@@ -1,0 +1,214 @@
+// Ablations of the design choices DESIGN.md calls out — not figures from the
+// paper, but the studies a reviewer would ask for:
+//
+//   A1  perfect splits (straddler re-clipping) on/off: build cost vs tree
+//       quality (SAH cost, render time)
+//   A2  empty-space bonus sweep (Wald & Havran's lambda)
+//   A3  BFS bin-count sweep: binned-SAH fidelity vs per-level cost
+//   A4  search strategies head-to-head including hill climbing
+//   A5  algorithm selection (the paper's SVI proposal) vs each fixed algorithm
+//   A6  acceleration-structure baseline: tuned SAH kd-tree vs binned-SAH BVH
+//   A7  CI sweep with traversal work counters: how the SAH intersect cost
+//       trades node visits against triangle tests (the tuner's mechanism)
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace kdtune;
+using namespace kdtune::bench;
+
+double render_ms(const KdTreeBase& tree, const Scene& scene, ThreadPool& pool,
+                 int w, int h) {
+  const Camera camera(scene.camera(), w, h);
+  Framebuffer fb(w, h);
+  Stopwatch clock;
+  clock.start();
+  render(tree, scene, camera, fb, pool);
+  return clock.elapsed() * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  opts.describe("Ablations: clipping, empty bonus, bin count, strategies, "
+                "algorithm selection");
+
+  ThreadPool pool(opts.threads);
+  const Scene scene = make_scene("sponza", opts.detail)->frame(0);
+
+  // --- A1: perfect splits ---------------------------------------------------
+  {
+    print_banner("A1: perfect splits (straddler re-clipping), sweep builder");
+    TextTable t({"clipping", "build [ms]", "SAH cost", "prim refs",
+                 "render [ms]"});
+    for (const bool clip : {true, false}) {
+      BuildConfig config;
+      config.clip_straddlers = clip;
+      Stopwatch clock;
+      clock.start();
+      const auto tree =
+          make_sweep_builder()->build(scene.triangles(), config, pool);
+      const double build_ms = clock.elapsed() * 1e3;
+      const TreeStats stats = tree->stats();
+      t.add_row({clip ? "on" : "off", fmt(build_ms, 2), fmt(stats.sah_cost, 1),
+                 std::to_string(stats.prim_refs),
+                 fmt(render_ms(*tree, scene, pool, opts.width, opts.height), 2)});
+    }
+    t.print();
+  }
+
+  // --- A2: empty-space bonus -------------------------------------------------
+  {
+    print_banner("A2: empty-space bonus sweep (in-place builder)");
+    TextTable t({"bonus", "SAH cost", "nodes", "empty leaves", "render [ms]"});
+    for (const double bonus : {0.0, 0.2, 0.5, 0.8}) {
+      BuildConfig config;
+      config.empty_bonus = bonus;
+      const auto tree = make_builder(Algorithm::kInPlace)
+                            ->build(scene.triangles(), config, pool);
+      const TreeStats stats = tree->stats();
+      t.add_row({fmt(bonus, 1), fmt(stats.sah_cost, 1),
+                 std::to_string(stats.node_count),
+                 std::to_string(stats.empty_leaf_count),
+                 fmt(render_ms(*tree, scene, pool, opts.width, opts.height), 2)});
+    }
+    t.print();
+  }
+
+  // --- A3: bin count ----------------------------------------------------------
+  {
+    print_banner("A3: BFS bin-count sweep (in-place builder)");
+    TextTable t({"bins", "build [ms]", "SAH cost", "render [ms]"});
+    for (const int bins : {4, 8, 16, 32, 64}) {
+      BuildConfig config;
+      config.bin_count = bins;
+      Stopwatch clock;
+      clock.start();
+      const auto tree = make_builder(Algorithm::kInPlace)
+                            ->build(scene.triangles(), config, pool);
+      const double build_ms = clock.elapsed() * 1e3;
+      t.add_row({std::to_string(bins), fmt(build_ms, 2),
+                 fmt(tree->stats().sah_cost, 1),
+                 fmt(render_ms(*tree, scene, pool, opts.width, opts.height), 2)});
+    }
+    t.print();
+  }
+
+  // --- A4: strategies head-to-head --------------------------------------------
+  {
+    print_banner("A4: search strategies on the in-place algorithm (frames to "
+                 "convergence, best frame time)");
+    struct Entry {
+      const char* name;
+      std::function<std::unique_ptr<SearchStrategy>()> make;
+    };
+    const Entry entries[] = {
+        {"nelder-mead", [&] { return make_nelder_mead_search(); }},
+        {"hill-climb", [&] { return make_hill_climb_search(2, opts.seed); }},
+        {"random-64", [&] { return make_random_search(64, opts.seed); }},
+    };
+    TextTable t({"strategy", "frames", "best frame [ms]", "config"});
+    for (const Entry& entry : entries) {
+      PipelineOptions popts;
+      popts.width = opts.width;
+      popts.height = opts.height;
+      popts.strategy = entry.make();
+      TunedPipeline pipeline(Algorithm::kInPlace, pool, std::move(popts));
+      std::size_t frames = 0;
+      while (!pipeline.tuner().converged() && frames < 4 * opts.iterations) {
+        pipeline.render_frame(scene);
+        ++frames;
+      }
+      t.add_row({entry.name, std::to_string(frames),
+                 fmt(pipeline.tuner().best_time() * 1e3, 2),
+                 config_to_string(pipeline.best_config(), false)});
+    }
+    t.print();
+  }
+
+  // --- A5: algorithm selection -------------------------------------------------
+  {
+    print_banner("A5: algorithm selection (tune each, pick the winner)");
+    SelectorOptions sopts;
+    sopts.width = opts.width;
+    sopts.height = opts.height;
+    sopts.frames_per_algorithm = opts.iterations;
+    AlgorithmSelector selector(pool, sopts);
+    std::size_t frames = 0;
+    while (!selector.selection_done()) {
+      selector.render_frame(scene);
+      ++frames;
+    }
+    TextTable t({"algorithm", "best frame [ms]"});
+    for (const auto& [algorithm, time] : selector.standings()) {
+      t.add_row({std::string(to_string(algorithm)), fmt(time * 1e3, 2)});
+    }
+    t.print();
+    std::printf("selected %s after %zu frames\n",
+                std::string(to_string(selector.selected())).c_str(), frames);
+  }
+
+  // --- A6: kd-tree vs BVH -------------------------------------------------------
+  {
+    print_banner("A6: SAH kd-tree vs binned-SAH BVH (build + render, same scene)");
+    TextTable t({"structure", "build [ms]", "nodes", "prim refs",
+                 "render [ms]"});
+    {
+      Stopwatch clock;
+      clock.start();
+      const auto kd = make_builder(Algorithm::kInPlace)
+                          ->build(scene.triangles(), kBaseConfig, pool);
+      const double build_ms = clock.elapsed() * 1e3;
+      const TreeStats s = kd->stats();
+      t.add_row({"kd-tree (in-place, C_base)", fmt(build_ms, 2),
+                 std::to_string(s.node_count), std::to_string(s.prim_refs),
+                 fmt(render_ms(*kd, scene, pool, opts.width, opts.height), 2)});
+    }
+    {
+      Stopwatch clock;
+      clock.start();
+      const auto bvh = build_bvh(scene.triangles(), {}, pool);
+      const double build_ms = clock.elapsed() * 1e3;
+      const TreeStats s = bvh->stats();
+      t.add_row({"BVH (binned SAH)", fmt(build_ms, 2),
+                 std::to_string(s.node_count), std::to_string(s.prim_refs),
+                 fmt(render_ms(*bvh, scene, pool, opts.width, opts.height), 2)});
+    }
+    t.print();
+  }
+
+  // --- A7: CI sweep with traversal counters -------------------------------------
+  {
+    print_banner("A7: CI sweep - node visits vs triangle tests per primary ray "
+                 "(sweep builder, camera rays)");
+    TextTable t({"CI", "nodes", "leaves", "interior/ray", "leaves/ray",
+                 "tris tested/ray"});
+    const Camera camera(scene.camera(), 64, 48);
+    for (const std::int64_t ci : {3, 10, 17, 40, 101}) {
+      BuildConfig config;
+      config.ci = ci;
+      const auto tree_base =
+          make_sweep_builder()->build(scene.triangles(), config, pool);
+      const auto* tree = dynamic_cast<const KdTree*>(tree_base.get());
+      TraversalCounters total;
+      std::size_t rays = 0;
+      for (int y = 0; y < 48; y += 2) {
+        for (int x = 0; x < 64; x += 2) {
+          tree->closest_hit_counted(camera.primary_ray(x, y), total);
+          ++rays;
+        }
+      }
+      const double inv = 1.0 / static_cast<double>(rays);
+      const TreeStats stats = tree->stats();
+      t.add_row({std::to_string(ci), std::to_string(stats.node_count),
+                 std::to_string(stats.leaf_count),
+                 fmt(static_cast<double>(total.interior_visited) * inv, 2),
+                 fmt(static_cast<double>(total.leaves_visited) * inv, 2),
+                 fmt(static_cast<double>(total.triangles_tested) * inv, 2)});
+    }
+    t.print();
+  }
+  return 0;
+}

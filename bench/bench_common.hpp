@@ -1,0 +1,98 @@
+#pragma once
+
+// Shared command-line handling for the per-figure benchmark binaries.
+//
+// Defaults are sized so the whole `for b in build/bench/*; do $b; done` sweep
+// finishes in minutes on a small machine; pass --full for paper-scale runs
+// (full-size scenes, 15 repetitions, more tuning iterations).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/kdtune.hpp"
+
+namespace kdtune::bench {
+
+struct BenchOptions {
+  float detail = 0.25f;        ///< scene detail scale (1.0 = paper size)
+  std::size_t reps = 3;        ///< experiment repetitions (paper: 15)
+  std::size_t iterations = 60; ///< max tuning iterations per run
+  std::size_t measure = 20;    ///< measurement repeats for distributions
+  unsigned threads = 3;        ///< pool workers (pool width = threads + 1)
+  int width = 96;
+  int height = 72;
+  bool csv = false;            ///< also print CSV blocks
+  std::uint64_t seed = 0x5EEDu;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&arg](const char* key) -> const char* {
+        const std::size_t n = std::strlen(key);
+        return arg.compare(0, n, key) == 0 ? arg.c_str() + n : nullptr;
+      };
+      if (arg == "--full") {
+        o.detail = 1.0f;
+        o.reps = 15;
+        o.iterations = 150;
+        o.measure = 150;
+        o.width = 256;
+        o.height = 192;
+      } else if (arg == "--csv") {
+        o.csv = true;
+      } else if (const char* v = value("--detail=")) {
+        o.detail = std::strtof(v, nullptr);
+      } else if (const char* v = value("--reps=")) {
+        o.reps = std::strtoul(v, nullptr, 10);
+      } else if (const char* v = value("--iters=")) {
+        o.iterations = std::strtoul(v, nullptr, 10);
+      } else if (const char* v = value("--measure=")) {
+        o.measure = std::strtoul(v, nullptr, 10);
+      } else if (const char* v = value("--threads=")) {
+        o.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      } else if (const char* v = value("--seed=")) {
+        o.seed = std::strtoull(v, nullptr, 10);
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf(
+            "options: --full --csv --detail=F --reps=N --iters=N "
+            "--measure=N --threads=N --seed=N\n");
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
+        std::exit(1);
+      }
+    }
+    return o;
+  }
+
+  ExperimentOptions experiment() const {
+    ExperimentOptions e;
+    e.width = width;
+    e.height = height;
+    e.detail = detail;
+    e.max_iterations = iterations;
+    e.base_samples = std::max<std::size_t>(3, measure / 4);
+    e.seed = seed;
+    return e;
+  }
+
+  void describe(const char* what) const {
+    std::printf(
+        "%s\n  scene detail %.2f, %zu repetition(s), <=%zu tuning iterations, "
+        "%zu measurements, pool width %u, %dx%d px\n  (--full for paper-scale "
+        "settings; --help for all options)\n",
+        what, detail, reps, iterations, measure, threads + 1, width, height);
+  }
+};
+
+inline std::string config_to_string(const BuildConfig& c, bool with_r) {
+  std::string s = "(" + std::to_string(c.ci) + ", " + std::to_string(c.cb) +
+                  ", " + std::to_string(c.s);
+  if (with_r) s += ", " + std::to_string(c.r);
+  return s + ")";
+}
+
+}  // namespace kdtune::bench

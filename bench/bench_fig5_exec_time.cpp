@@ -1,0 +1,49 @@
+// Figure 5: absolute frame time (t_c + t_r) with and without tuning for the
+// four algorithms on Sibenik, Sponza and Fairy Forest. The paper shows bar
+// charts; this harness prints the bar heights: median frame time at C_base
+// next to the median frame time at the configuration the autotuner found.
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kdtune;
+  using namespace kdtune::bench;
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  opts.describe("Figure 5: absolute execution time, base vs tuned");
+
+  ThreadPool pool(opts.threads);
+  const ExperimentOptions eopts = opts.experiment();
+
+  TextTable table({"scene", "algorithm", "base [ms]", "tuned [ms]",
+                   "tuned config (CI, CB, S[, R])", "speedup"});
+  TextTable csv({"scene", "algorithm", "base_ms", "tuned_ms", "speedup"});
+
+  for (const char* scene_id : {"sibenik", "sponza", "fairy_forest"}) {
+    const auto scene = make_scene(scene_id, opts.detail);
+    std::printf("\n[%s] %zu triangles, %zu frame(s)\n", scene_id,
+                scene->frame(0).triangle_count(), scene->frame_count());
+    for (const Algorithm algorithm : all_algorithms()) {
+      const TuningRun run =
+          run_tuning_experiment(algorithm, *scene, pool, eopts);
+      table.add_row({scene_id, run.algorithm, fmt(run.base_median * 1e3, 2),
+                     fmt(run.tuned_median * 1e3, 2),
+                     config_to_string(run.tuned_config,
+                                      algorithm == Algorithm::kLazy),
+                     fmt(run.speedup(), 2)});
+      csv.add_row({scene_id, run.algorithm, fmt(run.base_median * 1e3, 3),
+                   fmt(run.tuned_median * 1e3, 3), fmt(run.speedup(), 3)});
+      std::printf("  %-10s base %8.2f ms -> tuned %8.2f ms (%.2fx)\n",
+                  run.algorithm.c_str(), run.base_median * 1e3,
+                  run.tuned_median * 1e3, run.speedup());
+    }
+  }
+
+  print_banner("Figure 5 summary (paper: tuned bars at or below base bars; "
+               "lazy lowest on the occluded Fairy-Forest scene)");
+  table.print();
+  if (opts.csv) {
+    print_banner("CSV");
+    csv.print_csv();
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 7: distribution of tuned configurations for the in-place algorithm —
+// (a) across the static scenes, (b) across the dynamic scenes, (c) across the
+// four (virtual) hardware platforms on Sibenik. The paper normalizes every
+// parameter to [0, 100] and draws box plots; this harness prints the box-plot
+// statistics (min/q1/median/q3/max) per scene/platform and parameter. The
+// result to look for: the boxes land in clearly different ranges — tuned
+// configurations are not portable across inputs or machines.
+
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace kdtune;
+using namespace kdtune::bench;
+
+double normalize(std::int64_t value, std::int64_t lo, std::int64_t hi) {
+  if (hi == lo) return 0.0;
+  return 100.0 * static_cast<double>(value - lo) / static_cast<double>(hi - lo);
+}
+
+// Collects the normalized tuned parameter values of `reps` independent
+// tuning runs of the in-place algorithm.
+std::vector<std::vector<double>> tuned_distributions(
+    const AnimatedScene& scene, ThreadPool& pool, const BenchOptions& opts,
+    std::uint64_t seed_base) {
+  std::vector<std::vector<double>> per_param(3);
+  for (std::size_t rep = 0; rep < opts.reps; ++rep) {
+    ExperimentOptions eopts = opts.experiment();
+    eopts.seed = seed_base + rep * 104729;
+    const TuningRun run =
+        run_tuning_experiment(Algorithm::kInPlace, scene, pool, eopts);
+    per_param[0].push_back(normalize(run.tuned_values[0], 3, 101));   // CI
+    per_param[1].push_back(normalize(run.tuned_values[1], 0, 60));    // CB
+    per_param[2].push_back(normalize(run.tuned_values[2], 1, 8));     // S
+  }
+  return per_param;
+}
+
+void print_boxplots(TextTable& table, const std::string& label,
+                    const std::vector<std::vector<double>>& dists) {
+  static const char* kParams[3] = {"CI", "CB", "S"};
+  for (int p = 0; p < 3; ++p) {
+    const SampleStats s = compute_stats(dists[p]);
+    table.add_row({label, kParams[p], fmt(s.min, 1), fmt(s.q1, 1),
+                   fmt(s.median, 1), fmt(s.q3, 1), fmt(s.max, 1)});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  opts.describe(
+      "Figure 7: distribution of tuned configurations (in-place algorithm), "
+      "normalized to [0, 100]");
+
+  // (a) + (b): scenes on the reference pool.
+  {
+    ThreadPool pool(opts.threads);
+    TextTable table(
+        {"scene", "param", "min", "q1", "median", "q3", "max"});
+    for (const std::string& id : static_scene_ids()) {
+      const auto scene = make_scene(id, opts.detail);
+      std::printf("tuning on %s...\n", id.c_str());
+      print_boxplots(table, id,
+                     tuned_distributions(*scene, pool, opts, opts.seed));
+    }
+    print_banner("Figure 7a: static scenes");
+    table.print();
+  }
+  {
+    ThreadPool pool(opts.threads);
+    TextTable table(
+        {"scene", "param", "min", "q1", "median", "q3", "max"});
+    for (const std::string& id : dynamic_scene_ids()) {
+      const auto scene = make_scene(id, opts.detail);
+      std::printf("tuning on %s...\n", id.c_str());
+      print_boxplots(table, id,
+                     tuned_distributions(*scene, pool, opts, opts.seed + 17));
+    }
+    print_banner("Figure 7b: dynamic scenes");
+    table.print();
+  }
+
+  // (c): Sibenik across the virtual platforms (DESIGN.md substitution #2 —
+  // each platform pins the pool's thread count to the paper machine's).
+  {
+    TextTable table(
+        {"platform", "param", "min", "q1", "median", "q3", "max"});
+    const auto scene = make_scene("sibenik", opts.detail);
+    for (const Platform& platform : paper_platforms()) {
+      std::printf("tuning on virtual platform %s (%u threads; %s)...\n",
+                  platform.name.c_str(), platform.threads,
+                  platform.emulates.c_str());
+      ThreadPool pool(platform.threads - 1);  // pool width == threads
+      print_boxplots(table, platform.name,
+                     tuned_distributions(*scene, pool, opts, opts.seed + 33));
+    }
+    print_banner(
+        "Figure 7c: Sibenik on four virtual platforms (paper: tuned "
+        "configurations differ per machine -> not portable)");
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 8: mean speedup over time (tuning iterations) for Sponza (static)
+// and Wood Doll (dynamic). The paper's observation: the autotuner reaches a
+// stable state after about 40 iterations; static scenes then show little
+// jitter, dynamic scenes keep a larger variance because the optimal
+// configuration shifts with the animation.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kdtune;
+  using namespace kdtune::bench;
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  opts.describe("Figure 8: mean speedup over tuning iterations "
+                "(in-place algorithm; Sponza and Wood Doll)");
+
+  ThreadPool pool(opts.threads);
+
+  for (const char* scene_id : {"sponza", "wood_doll"}) {
+    const auto scene = make_scene(scene_id, opts.detail);
+
+    // Collect per-iteration times across repetitions; tuning keeps running
+    // the full iteration budget so every repetition has the same length.
+    std::vector<std::vector<double>> traces;
+    double base_median = 0.0;
+    for (std::size_t rep = 0; rep < opts.reps; ++rep) {
+      ExperimentOptions eopts = opts.experiment();
+      eopts.seed = opts.seed + rep * 6151;
+      eopts.post_convergence = opts.iterations;  // keep measuring after conv.
+      const TuningRun run =
+          run_tuning_experiment(Algorithm::kInPlace, *scene, pool, eopts);
+      std::vector<double> trace;
+      trace.reserve(run.samples.size());
+      for (const IterationSample& s : run.samples) trace.push_back(s.seconds);
+      traces.push_back(std::move(trace));
+      base_median = run.base_median;  // same protocol every repetition
+    }
+
+    std::size_t length = 0;
+    for (const auto& t : traces) length = std::max(length, t.size());
+
+    print_banner(std::string("Figure 8: ") + scene_id +
+                 " - mean speedup vs iteration (speedup = t(C_base)/t_i)");
+    TextTable table({"iteration", "mean speedup", "min", "max", "samples"});
+    TextTable csv({"scene", "iteration", "mean_speedup"});
+    for (std::size_t i = 0; i < length; ++i) {
+      std::vector<double> at;
+      for (const auto& t : traces) {
+        if (i < t.size() && t[i] > 0.0) at.push_back(base_median / t[i]);
+      }
+      if (at.empty()) continue;
+      const SampleStats s = compute_stats(at);
+      if (i % 5 == 0 || i + 1 == length) {
+        table.add_row({std::to_string(i), fmt(s.mean, 2), fmt(s.min, 2),
+                       fmt(s.max, 2), std::to_string(s.count)});
+      }
+      csv.add_row({scene_id, std::to_string(i), fmt(s.mean, 4)});
+    }
+    table.print();
+    if (opts.csv) {
+      print_banner("CSV");
+      csv.print_csv();
+    }
+  }
+  return 0;
+}

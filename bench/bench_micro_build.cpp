@@ -1,0 +1,111 @@
+// Micro: construction throughput of every builder (the paper's four parallel
+// algorithms plus the sequential references) on the evaluation scenes, and
+// the asymptotic-complexity ablation (sweep O(n log^2 n) vs event O(n log n)).
+
+#include <benchmark/benchmark.h>
+
+#include "core/kdtune.hpp"
+
+namespace {
+
+using namespace kdtune;
+
+std::unique_ptr<Builder> builder_for(int id) {
+  switch (id) {
+    case 0: return make_median_builder();
+    case 1: return make_sweep_builder();
+    case 2: return make_event_builder();
+    case 3: return make_builder(Algorithm::kNodeLevel);
+    case 4: return make_builder(Algorithm::kNested);
+    case 5: return make_builder(Algorithm::kInPlace);
+    default: return make_builder(Algorithm::kLazy);
+  }
+}
+
+const char* builder_name(int id) {
+  switch (id) {
+    case 0: return "median";
+    case 1: return "sweep";
+    case 2: return "event";
+    case 3: return "node-level";
+    case 4: return "nested";
+    case 5: return "in-place";
+    default: return "lazy";
+  }
+}
+
+const Scene& cached_scene(const std::string& id, float detail) {
+  static std::map<std::string, Scene> cache;
+  const std::string key = id + "@" + std::to_string(detail);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, make_scene(id, detail)->frame(0)).first;
+  }
+  return it->second;
+}
+
+void BM_Build(benchmark::State& state) {
+  const int builder_id = static_cast<int>(state.range(0));
+  const auto builder = builder_for(builder_id);
+  const Scene& scene = cached_scene("sponza", 0.3f);
+  ThreadPool pool(3);
+
+  for (auto _ : state) {
+    auto tree = builder->build(scene.triangles(), kBaseConfig, pool);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetLabel(builder_name(builder_id));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scene.triangle_count()));
+}
+BENCHMARK(BM_Build)->DenseRange(0, 6)->Unit(benchmark::kMillisecond);
+
+// Complexity ablation: triangle-count sweep for the two exact sequential
+// builders. The ratio of their slopes shows the extra log factor of the
+// re-sorting sweep.
+void BM_BuildScaling(benchmark::State& state) {
+  const bool use_event = state.range(0) == 1;
+  const float detail = static_cast<float>(state.range(1)) / 100.0f;
+  const auto builder = use_event ? make_event_builder() : make_sweep_builder();
+  const Scene& scene = cached_scene("bunny", detail);
+  ThreadPool pool(0);
+
+  for (auto _ : state) {
+    auto tree = builder->build(scene.triangles(), kBaseConfig, pool);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetLabel(std::string(use_event ? "event" : "sweep") + "/n=" +
+                 std::to_string(scene.triangle_count()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scene.triangle_count()));
+}
+BENCHMARK(BM_BuildScaling)
+    ->Args({0, 10})
+    ->Args({0, 20})
+    ->Args({0, 40})
+    ->Args({1, 10})
+    ->Args({1, 20})
+    ->Args({1, 40})
+    ->Unit(benchmark::kMillisecond);
+
+// Lazy construction cost as a function of R: the larger the minimal
+// resolution, the cheaper the up-front build (figure-5's lazy advantage).
+void BM_LazyBuildVsR(benchmark::State& state) {
+  const auto builder = make_builder(Algorithm::kLazy);
+  const Scene& scene = cached_scene("sibenik", 0.3f);
+  ThreadPool pool(3);
+  BuildConfig config;
+  config.r = state.range(0);
+
+  for (auto _ : state) {
+    auto tree = builder->build(scene.triangles(), config, pool);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetLabel("R=" + std::to_string(config.r));
+}
+BENCHMARK(BM_LazyBuildVsR)->RangeMultiplier(4)->Range(16, 8192)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

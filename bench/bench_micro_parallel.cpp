@@ -1,0 +1,106 @@
+// Micro: the parallel runtime substrate — task spawn overhead, parallel_for /
+// reduce / scan / sort throughput at several pool widths. These bound what
+// the S parameter can buy the builders.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/kdtune.hpp"
+
+namespace {
+
+using namespace kdtune;
+
+ThreadPool& pool_for(std::int64_t workers) {
+  static std::map<std::int64_t, std::unique_ptr<ThreadPool>> pools;
+  auto it = pools.find(workers);
+  if (it == pools.end()) {
+    it = pools
+             .emplace(workers,
+                      std::make_unique<ThreadPool>(
+                          static_cast<unsigned>(workers)))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_TaskSpawn(benchmark::State& state) {
+  ThreadPool& pool = pool_for(state.range(0));
+  for (auto _ : state) {
+    TaskGroup group(pool);
+    for (int i = 0; i < 64; ++i) {
+      group.run([] { benchmark::DoNotOptimize(0); });
+    }
+    group.wait();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_TaskSpawn)->Arg(0)->Arg(1)->Arg(3)->Arg(7);
+
+void BM_ParallelFor(benchmark::State& state) {
+  ThreadPool& pool = pool_for(state.range(0));
+  std::vector<float> data(1 << 18, 1.5f);
+  for (auto _ : state) {
+    parallel_for(pool, 0, data.size(), 4096,
+                 [&](std::size_t i) { data[i] = data[i] * 1.0001f + 0.1f; });
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_ParallelFor)->Arg(0)->Arg(1)->Arg(3)->Arg(7);
+
+void BM_ParallelScan(benchmark::State& state) {
+  ThreadPool& pool = pool_for(state.range(0));
+  std::vector<std::uint32_t> in(1 << 18, 1), out(1 << 18);
+  for (auto _ : state) {
+    parallel_exclusive_scan<std::uint32_t>(pool, in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_ParallelScan)->Arg(0)->Arg(1)->Arg(3)->Arg(7);
+
+void BM_ParallelSort(benchmark::State& state) {
+  ThreadPool& pool = pool_for(state.range(0));
+  std::vector<int> base(1 << 17);
+  Rng rng(1);
+  for (auto& v : base) v = static_cast<int>(rng.next_int(0, 1 << 30));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<int> data = base;
+    state.ResumeTiming();
+    parallel_sort(pool, std::span<int>(data));
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(base.size()));
+}
+BENCHMARK(BM_ParallelSort)->Arg(0)->Arg(1)->Arg(3)->Arg(7)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelReduce(benchmark::State& state) {
+  ThreadPool& pool = pool_for(state.range(0));
+  std::vector<double> data(1 << 18);
+  std::iota(data.begin(), data.end(), 0.0);
+  for (auto _ : state) {
+    const double sum = parallel_reduce<double>(
+        pool, 0, data.size(), 4096, 0.0,
+        [&](std::size_t b, std::size_t e) {
+          double s = 0;
+          for (std::size_t i = b; i < e; ++i) s += data[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_ParallelReduce)->Arg(0)->Arg(1)->Arg(3)->Arg(7);
+
+}  // namespace
+
+BENCHMARK_MAIN();

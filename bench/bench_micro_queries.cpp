@@ -1,0 +1,98 @@
+// Micro: range and nearest-neighbor query throughput through the SAH
+// kd-tree vs the BVH baseline, plus lazy-tree queries (which may expand).
+
+#include <benchmark/benchmark.h>
+
+#include "core/kdtune.hpp"
+
+namespace {
+
+using namespace kdtune;
+
+struct QueryFixture {
+  Scene scene;
+  std::unique_ptr<KdTreeBase> kd;
+  std::unique_ptr<KdTreeBase> bvh;
+  std::vector<AABB> boxes;
+  std::vector<Vec3> points;
+};
+
+const QueryFixture& fixture() {
+  static const QueryFixture f = [] {
+    QueryFixture q;
+    q.scene = make_scene("sponza", 0.3f)->frame(0);
+    ThreadPool pool(3);
+    q.kd = make_builder(Algorithm::kInPlace)
+               ->build(q.scene.triangles(), kBaseConfig, pool);
+    q.bvh = build_bvh(q.scene.triangles(), {}, pool);
+    Rng rng(42);
+    const AABB bounds = q.scene.bounds();
+    for (int i = 0; i < 256; ++i) {
+      const Vec3 c{rng.uniform(bounds.lo.x, bounds.hi.x),
+                   rng.uniform(bounds.lo.y, bounds.hi.y),
+                   rng.uniform(bounds.lo.z, bounds.hi.z)};
+      const Vec3 half{rng.uniform(0.2f, 1.5f), rng.uniform(0.2f, 1.5f),
+                      rng.uniform(0.2f, 1.5f)};
+      q.boxes.push_back({c - half, c + half});
+      q.points.push_back(c);
+    }
+    return q;
+  }();
+  return f;
+}
+
+void BM_RangeQuery(benchmark::State& state) {
+  const QueryFixture& f = fixture();
+  const KdTreeBase& tree = state.range(0) == 0 ? *f.kd : *f.bvh;
+  std::vector<std::uint32_t> out;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    tree.query_range(f.boxes[i], out);
+    benchmark::DoNotOptimize(out.data());
+    i = (i + 1) % f.boxes.size();
+  }
+  state.SetLabel(state.range(0) == 0 ? "kd-tree" : "bvh");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RangeQuery)->Arg(0)->Arg(1);
+
+void BM_NearestQuery(benchmark::State& state) {
+  const QueryFixture& f = fixture();
+  const KdTreeBase& tree = state.range(0) == 0 ? *f.kd : *f.bvh;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.nearest(f.points[i]));
+    i = (i + 1) % f.points.size();
+  }
+  state.SetLabel(state.range(0) == 0 ? "kd-tree" : "bvh");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NearestQuery)->Arg(0)->Arg(1);
+
+// Lazy queries on a fresh tree pay for expansion on first touch; this
+// measures steady state after a warm-up pass.
+void BM_LazyNearestWarm(benchmark::State& state) {
+  static const auto tree = [] {
+    ThreadPool pool(3);
+    BuildConfig config;
+    config.r = 256;
+    const Scene scene = make_scene("sponza", 0.3f)->frame(0);
+    auto t = make_builder(Algorithm::kLazy)->build(scene.triangles(), config, pool);
+    return t;
+  }();
+  const QueryFixture& f = fixture();
+  for (const Vec3& p : f.points) tree->nearest(p);  // warm up / expand
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->nearest(f.points[i]));
+    i = (i + 1) % f.points.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LazyNearestWarm);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// Micro: traversal (closest-hit and shadow-ray) throughput through trees
+// built by the different algorithms, plus the SAH-vs-median-split ablation —
+// how much query time the SAH actually buys.
+
+#include <benchmark/benchmark.h>
+
+#include "core/kdtune.hpp"
+
+namespace {
+
+using namespace kdtune;
+
+struct Fixture {
+  Scene scene;
+  std::unique_ptr<KdTreeBase> tree;
+  std::vector<Ray> rays;
+};
+
+Fixture make_fixture(int builder_id) {
+  Fixture f;
+  f.scene = make_scene("sponza", 0.3f)->frame(0);
+  ThreadPool pool(3);
+  switch (builder_id) {
+    case 0:
+      f.tree = make_median_builder()->build(f.scene.triangles(), kBaseConfig, pool);
+      break;
+    case 1:
+      f.tree = make_sweep_builder()->build(f.scene.triangles(), kBaseConfig, pool);
+      break;
+    default:
+      f.tree = make_builder(Algorithm::kInPlace)
+                   ->build(f.scene.triangles(), kBaseConfig, pool);
+      break;
+  }
+  const Camera camera(f.scene.camera(), 256, 192);
+  for (int y = 0; y < 192; y += 2) {
+    for (int x = 0; x < 256; x += 2) {
+      f.rays.push_back(camera.primary_ray(x, y));
+    }
+  }
+  return f;
+}
+
+const char* fixture_name(int id) {
+  switch (id) {
+    case 0: return "median-tree";
+    case 1: return "sweep-tree";
+    default: return "in-place-tree";
+  }
+}
+
+void BM_ClosestHit(benchmark::State& state) {
+  static std::map<int, Fixture> cache;
+  const int id = static_cast<int>(state.range(0));
+  if (!cache.contains(id)) cache.emplace(id, make_fixture(id));
+  const Fixture& f = cache.at(id);
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Hit hit = f.tree->closest_hit(f.rays[i]);
+    benchmark::DoNotOptimize(hit);
+    i = (i + 1) % f.rays.size();
+  }
+  state.SetLabel(fixture_name(id));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClosestHit)->DenseRange(0, 2);
+
+void BM_AnyHit(benchmark::State& state) {
+  static std::map<int, Fixture> cache;
+  const int id = static_cast<int>(state.range(0));
+  if (!cache.contains(id)) cache.emplace(id, make_fixture(id));
+  const Fixture& f = cache.at(id);
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const bool hit = f.tree->any_hit(f.rays[i]);
+    benchmark::DoNotOptimize(hit);
+    i = (i + 1) % f.rays.size();
+  }
+  state.SetLabel(fixture_name(id));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AnyHit)->DenseRange(0, 2);
+
+// CI/CB sensitivity: how the SAH parameters change the tree's query cost —
+// the mechanism the autotuner exploits.
+void BM_TraversalVsCi(benchmark::State& state) {
+  const Scene scene = make_scene("sibenik", 0.25f)->frame(0);
+  ThreadPool pool(3);
+  BuildConfig config;
+  config.ci = state.range(0);
+  const auto tree =
+      make_builder(Algorithm::kInPlace)->build(scene.triangles(), config, pool);
+  const Camera camera(scene.camera(), 128, 96);
+  std::vector<Ray> rays;
+  for (int y = 0; y < 96; y += 2) {
+    for (int x = 0; x < 128; x += 2) rays.push_back(camera.primary_ray(x, y));
+  }
+
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->closest_hit(rays[i]));
+    i = (i + 1) % rays.size();
+  }
+  state.SetLabel("CI=" + std::to_string(config.ci));
+}
+BENCHMARK(BM_TraversalVsCi)->Arg(3)->Arg(17)->Arg(50)->Arg(101);
+
+// Packet vs scalar traversal on coherent camera tiles.
+void BM_PacketVsScalar(benchmark::State& state) {
+  const bool packets = state.range(0) == 1;
+  static std::map<int, Fixture> cache;
+  if (!cache.contains(1)) cache.emplace(1, make_fixture(1));
+  const Fixture& f = cache.at(1);
+  const auto* tree = dynamic_cast<const KdTree*>(f.tree.get());
+
+  std::vector<Hit> hits(kMaxPacketSize);
+  std::size_t offset = 0;
+  for (auto _ : state) {
+    const std::size_t n = std::min(kMaxPacketSize, f.rays.size() - offset);
+    const std::span<const Ray> rays(f.rays.data() + offset, n);
+    if (packets) {
+      closest_hit_packet(*tree, rays, std::span<Hit>(hits.data(), n));
+      benchmark::DoNotOptimize(hits.data());
+    } else {
+      for (const Ray& ray : rays) {
+        benchmark::DoNotOptimize(tree->closest_hit(ray));
+      }
+    }
+    offset = (offset + kMaxPacketSize) % (f.rays.size() - kMaxPacketSize);
+  }
+  state.SetLabel(packets ? "packet64" : "scalar");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kMaxPacketSize));
+}
+BENCHMARK(BM_PacketVsScalar)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

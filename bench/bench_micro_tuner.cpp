@@ -1,0 +1,84 @@
+// Micro: autotuner overhead — the paper claims "little runtime overhead";
+// this measures the cost of a full measurement cycle (propose + apply +
+// report) for the Nelder-Mead strategy and the baselines, excluding the
+// client workload itself.
+
+#include <benchmark/benchmark.h>
+
+#include "core/kdtune.hpp"
+
+namespace {
+
+using namespace kdtune;
+
+void BM_TunerCycle_NelderMead(benchmark::State& state) {
+  std::int64_t ci = 0, cb = 0, s = 0, r = 0;
+  Tuner tuner;
+  tuner.register_parameter(&ci, 3, 101, 1, "CI");
+  tuner.register_parameter(&cb, 0, 60, 1, "CB");
+  tuner.register_parameter(&s, 1, 8, 1, "S");
+  tuner.register_parameter_pow2(&r, 16, 8192, "R");
+
+  double fake_time = 1.0;
+  for (auto _ : state) {
+    tuner.apply_next();
+    fake_time = 1.0 + 0.001 * static_cast<double>((ci + cb + s) % 7);
+    tuner.record(fake_time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TunerCycle_NelderMead);
+
+void BM_TunerCycle_Random(benchmark::State& state) {
+  std::int64_t ci = 0, cb = 0;
+  Tuner tuner(make_random_search(1u << 30));
+  tuner.register_parameter(&ci, 3, 101, 1, "CI");
+  tuner.register_parameter(&cb, 0, 60, 1, "CB");
+  for (auto _ : state) {
+    tuner.apply_next();
+    tuner.record(1.0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TunerCycle_Random);
+
+void BM_TunerCycle_Exhaustive(benchmark::State& state) {
+  std::int64_t ci = 0, cb = 0;
+  Tuner tuner(make_exhaustive_search());
+  tuner.register_parameter(&ci, 3, 101, 1, "CI");
+  tuner.register_parameter(&cb, 0, 60, 1, "CB");
+  for (auto _ : state) {
+    tuner.apply_next();
+    tuner.record(1.0);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TunerCycle_Exhaustive);
+
+// Convergence speed in evaluations on a synthetic bowl: how many frames the
+// application pays before the tuner settles (paper: ~40 iterations).
+void BM_NelderMeadConvergence(benchmark::State& state) {
+  for (auto _ : state) {
+    auto search = make_nelder_mead_search();
+    search->initialize({99, 61, 8, 10});
+    std::size_t evals = 0;
+    while (!search->converged() && evals < 500) {
+      const ConfigPoint p = search->propose();
+      double cost = 1.0;
+      const double targets[4] = {40, 20, 5, 3};
+      for (std::size_t d = 0; d < 4; ++d) {
+        const double delta = static_cast<double>(p[d]) - targets[d];
+        cost += delta * delta;
+      }
+      search->report(cost);
+      ++evals;
+    }
+    benchmark::DoNotOptimize(evals);
+    state.counters["evals"] = static_cast<double>(evals);
+  }
+}
+BENCHMARK(BM_NelderMeadConvergence);
+
+}  // namespace
+
+BENCHMARK_MAIN();

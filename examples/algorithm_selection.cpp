@@ -1,0 +1,67 @@
+// algorithm_selection: the paper's closing question — which *algorithm* wins
+// on a given scene and machine — answered with the baseline the paper
+// proposes: tune each algorithm in turn, then route all rendering to the
+// winner. Watch the selector move through the four candidates and settle.
+//
+//   ./algorithm_selection [scene] [detail]
+
+#include <cstdio>
+#include <string>
+
+#include "core/kdtune.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kdtune;
+
+  const std::string scene_id = argc > 1 ? argv[1] : "sibenik";
+  const float detail = argc > 2 ? std::strtof(argv[2], nullptr) : 0.3f;
+
+  const auto animated = make_scene(scene_id, detail);
+  const Scene scene = animated->frame(0);
+  ThreadPool pool(3);
+  std::printf("scene %s: %zu triangles\n\n", scene_id.c_str(),
+              scene.triangle_count());
+
+  SelectorOptions opts;
+  opts.width = 128;
+  opts.height = 96;
+  opts.frames_per_algorithm = 40;
+  AlgorithmSelector selector(pool, opts);
+
+  Algorithm last = selector.current();
+  std::printf("evaluating %s...\n", std::string(to_string(last)).c_str());
+  std::size_t frame = 0;
+  while (!selector.selection_done()) {
+    selector.render_frame(scene);
+    ++frame;
+    if (!selector.selection_done() && selector.current() != last) {
+      last = selector.current();
+      std::printf("evaluating %s... (frame %zu)\n",
+                  std::string(to_string(last)).c_str(), frame);
+    }
+  }
+
+  std::printf("\nstandings after %zu frames:\n", frame);
+  TextTable table({"algorithm", "best frame [ms]", "tuned config"});
+  for (const auto& [algorithm, time] : selector.standings()) {
+    const BuildConfig best = selector.pipeline(algorithm).best_config();
+    std::string config = "(CI=" + std::to_string(best.ci) +
+                         ", CB=" + std::to_string(best.cb) +
+                         ", S=" + std::to_string(best.s);
+    if (algorithm == Algorithm::kLazy) {
+      config += ", R=" + std::to_string(best.r);
+    }
+    config += ")";
+    table.add_row({std::string(to_string(algorithm)), fmt(time * 1e3, 2),
+                   config});
+  }
+  table.print();
+
+  std::printf("\nselected: %s — subsequent frames render through it\n",
+              std::string(to_string(selector.selected())).c_str());
+  for (int i = 0; i < 5; ++i) {
+    const FrameReport r = selector.render_frame(scene);
+    std::printf("  frame: %.2f ms\n", r.total_seconds * 1e3);
+  }
+  return 0;
+}

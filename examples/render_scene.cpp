@@ -1,0 +1,70 @@
+// render_scene: renders any of the six evaluation scenes with any of the four
+// algorithms, tuning online until convergence, then saves the image.
+//
+//   ./render_scene [scene] [algorithm] [detail] [output.ppm]
+//   ./render_scene sibenik lazy 0.5 sibenik.ppm
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/kdtune.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kdtune;
+
+  const std::string scene_id = argc > 1 ? argv[1] : "sibenik";
+  const std::string algo_name = argc > 2 ? argv[2] : "lazy";
+  const float detail = argc > 3 ? std::strtof(argv[3], nullptr) : 0.4f;
+  const std::string output =
+      argc > 4 ? argv[4] : scene_id + "_" + algo_name + ".ppm";
+
+  Algorithm algorithm;
+  std::unique_ptr<AnimatedScene> scene;
+  try {
+    algorithm = algorithm_from_string(algo_name);
+    scene = make_scene(scene_id, detail);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr,
+                 "usage: render_scene [bunny|sponza|sibenik|toasters|"
+                 "wood_doll|fairy_forest] [node-level|nested|in-place|lazy] "
+                 "[detail] [out.ppm]\n");
+    return 1;
+  }
+
+  ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()) - 0);
+  std::printf("scene %s (%zu frames, %zu triangles at frame 0), algorithm %s\n",
+              scene_id.c_str(), scene->frame_count(),
+              scene->frame(0).triangle_count(), algo_name.c_str());
+
+  PipelineOptions opts;
+  opts.width = 320;
+  opts.height = 240;
+  TunedPipeline pipeline(algorithm, pool, std::move(opts));
+
+  Framebuffer fb(320, 240);
+  const Scene frame0 = scene->frame(0);
+  double first_time = 0.0;
+  int frames = 0;
+  for (; frames < 80; ++frames) {
+    const std::size_t f =
+        scene->frame_count() > 1 ? (frames / 5) % scene->frame_count() : 0;
+    const Scene current = f == 0 ? frame0 : scene->frame(f);
+    const FrameReport report = pipeline.render_frame(current, &fb);
+    if (frames == 0) first_time = report.total_seconds;
+    if (pipeline.tuner().converged()) break;
+  }
+
+  const BuildConfig best = pipeline.best_config();
+  std::printf(
+      "converged after %d frames: CI=%lld CB=%lld S=%lld R=%lld\n"
+      "first frame %.2f ms, best frame %.2f ms\n",
+      frames, static_cast<long long>(best.ci), static_cast<long long>(best.cb),
+      static_cast<long long>(best.s), static_cast<long long>(best.r),
+      first_time * 1e3, pipeline.tuner().best_time() * 1e3);
+
+  fb.save_ppm(output);
+  std::printf("wrote %s\n", output.c_str());
+  return 0;
+}

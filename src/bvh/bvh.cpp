@@ -1,0 +1,396 @@
+#include "bvh/bvh.hpp"
+
+#include <algorithm>
+#include <array>
+#include <queue>
+
+#include "geom/closest_point.hpp"
+#include "geom/intersect.hpp"
+
+namespace kdtune {
+
+namespace {
+
+constexpr int kMaxBins = 32;
+
+struct BuildPrim {
+  std::uint32_t tri;
+  AABB box;
+  Vec3 centroid;
+};
+
+struct BuildNode {
+  AABB box;
+  std::unique_ptr<BuildNode> left;
+  std::unique_ptr<BuildNode> right;
+  std::vector<std::uint32_t> prims;
+
+  bool is_leaf() const noexcept { return left == nullptr; }
+};
+
+struct BuildContext {
+  const BvhConfig* config;
+  ThreadPool* pool;
+  int task_depth;
+  int max_depth;
+};
+
+std::unique_ptr<BuildNode> make_leaf(const AABB& box,
+                                     std::span<const BuildPrim> prims) {
+  auto node = std::make_unique<BuildNode>();
+  node->box = box;
+  node->prims.reserve(prims.size());
+  for (const BuildPrim& p : prims) node->prims.push_back(p.tri);
+  return node;
+}
+
+std::unique_ptr<BuildNode> build_rec(const BuildContext& ctx,
+                                     std::vector<BuildPrim> prims, int depth) {
+  AABB box;
+  AABB centroid_box;
+  for (const BuildPrim& p : prims) {
+    box.expand(p.box);
+    centroid_box.expand(p.centroid);
+  }
+
+  const auto count = prims.size();
+  if (count <= static_cast<std::size_t>(ctx.config->max_leaf_size) ||
+      depth >= ctx.max_depth) {
+    return make_leaf(box, prims);
+  }
+
+  const Axis axis = centroid_box.longest_axis();
+  const float extent = centroid_box.extent()[axis];
+  if (extent <= 0.0f) {
+    // All centroids coincide: binning cannot separate them. Split the list
+    // in half to bound leaf sizes.
+    auto node = std::make_unique<BuildNode>();
+    node->box = box;
+    std::vector<BuildPrim> left(prims.begin(), prims.begin() + count / 2);
+    std::vector<BuildPrim> right(prims.begin() + count / 2, prims.end());
+    node->left = build_rec(ctx, std::move(left), depth + 1);
+    node->right = build_rec(ctx, std::move(right), depth + 1);
+    return node;
+  }
+
+  // Binned SAH over the centroid extent.
+  const int k = std::clamp(ctx.config->bin_count, 2, kMaxBins);
+  const float inv_width = static_cast<float>(k) / extent;
+  const float lo = centroid_box.lo[axis];
+  const auto bin_of = [&](const BuildPrim& p) {
+    return std::clamp(static_cast<int>((p.centroid[axis] - lo) * inv_width), 0,
+                      k - 1);
+  };
+
+  std::array<AABB, kMaxBins> bin_box;
+  std::array<std::uint32_t, kMaxBins> bin_count{};
+  for (const BuildPrim& p : prims) {
+    const int b = bin_of(p);
+    bin_box[static_cast<std::size_t>(b)].expand(p.box);
+    ++bin_count[static_cast<std::size_t>(b)];
+  }
+
+  // Suffix sweep (right-to-left), then prefix sweep evaluating each boundary.
+  std::array<AABB, kMaxBins> suffix_box;
+  std::array<std::uint32_t, kMaxBins> suffix_count{};
+  AABB acc_box;
+  std::uint32_t acc_count = 0;
+  for (int b = k - 1; b >= 0; --b) {
+    acc_box.expand(bin_box[static_cast<std::size_t>(b)]);
+    acc_count += bin_count[static_cast<std::size_t>(b)];
+    suffix_box[static_cast<std::size_t>(b)] = acc_box;
+    suffix_count[static_cast<std::size_t>(b)] = acc_count;
+  }
+
+  const double area = box.surface_area();
+  double best_cost = ctx.config->ci * static_cast<double>(count);  // leaf cost
+  int best_boundary = -1;
+  AABB prefix_box;
+  std::uint32_t prefix_count = 0;
+  for (int b = 0; b + 1 < k; ++b) {
+    prefix_box.expand(bin_box[static_cast<std::size_t>(b)]);
+    prefix_count += bin_count[static_cast<std::size_t>(b)];
+    const std::uint32_t right_count = suffix_count[static_cast<std::size_t>(b + 1)];
+    if (prefix_count == 0 || right_count == 0 || area <= 0.0) continue;
+    const double cost =
+        ctx.config->ct +
+        ctx.config->ci *
+            (prefix_box.surface_area() * prefix_count +
+             suffix_box[static_cast<std::size_t>(b + 1)].surface_area() *
+                 right_count) /
+            area;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_boundary = b;
+    }
+  }
+
+  if (best_boundary < 0) {
+    // No split beats the leaf; refuse only within the size bound, otherwise
+    // fall back to a median split so leaves stay small.
+    if (count <= 4 * static_cast<std::size_t>(ctx.config->max_leaf_size)) {
+      return make_leaf(box, prims);
+    }
+    best_boundary = k / 2 - 1;
+  }
+
+  std::vector<BuildPrim> left, right;
+  left.reserve(count);
+  right.reserve(count);
+  for (const BuildPrim& p : prims) {
+    (bin_of(p) <= best_boundary ? left : right).push_back(p);
+  }
+  if (left.empty() || right.empty()) {
+    return make_leaf(box, prims);  // median fallback degenerated
+  }
+  prims.clear();
+  prims.shrink_to_fit();
+
+  auto node = std::make_unique<BuildNode>();
+  node->box = box;
+  if (depth < ctx.task_depth && ctx.pool->worker_count() > 0) {
+    TaskGroup group(*ctx.pool);
+    group.run([&ctx, &node, l = std::move(left), depth]() mutable {
+      node->left = build_rec(ctx, std::move(l), depth + 1);
+    });
+    node->right = build_rec(ctx, std::move(right), depth + 1);
+    group.wait();
+  } else {
+    node->left = build_rec(ctx, std::move(left), depth + 1);
+    node->right = build_rec(ctx, std::move(right), depth + 1);
+  }
+  return node;
+}
+
+std::uint32_t flatten(const BuildNode& node, std::vector<Bvh::Node>& nodes,
+                      std::vector<std::uint32_t>& prim_indices) {
+  const auto index = static_cast<std::uint32_t>(nodes.size());
+  nodes.emplace_back();
+  if (node.is_leaf()) {
+    Bvh::Node& out = nodes[index];
+    out.box = node.box;
+    out.first = static_cast<std::uint32_t>(prim_indices.size());
+    out.count = static_cast<std::uint32_t>(node.prims.size());
+    prim_indices.insert(prim_indices.end(), node.prims.begin(),
+                        node.prims.end());
+    return index;
+  }
+  const std::uint32_t left = flatten(*node.left, nodes, prim_indices);
+  const std::uint32_t right = flatten(*node.right, nodes, prim_indices);
+  Bvh::Node& out = nodes[index];
+  out.box = node.box;
+  out.left = left;
+  out.right = right;
+  out.count = 0;
+  return index;
+}
+
+}  // namespace
+
+Bvh::Bvh(std::vector<Triangle> triangles, std::vector<Node> nodes,
+         std::vector<std::uint32_t> prim_indices, AABB bounds)
+    : triangles_(std::move(triangles)),
+      nodes_(std::move(nodes)),
+      prim_indices_(std::move(prim_indices)),
+      bounds_(bounds) {}
+
+std::unique_ptr<Bvh> build_bvh(std::span<const Triangle> tris,
+                               const BvhConfig& config, ThreadPool& pool) {
+  std::vector<BuildPrim> prims;
+  prims.reserve(tris.size());
+  AABB bounds;
+  for (std::uint32_t i = 0; i < tris.size(); ++i) {
+    if (tris[i].degenerate()) continue;
+    const AABB box = tris[i].bounds();
+    bounds.expand(box);
+    prims.push_back({i, box, box.center()});
+  }
+
+  std::vector<Bvh::Node> nodes;
+  std::vector<std::uint32_t> prim_indices;
+  if (prims.empty()) {
+    // Root is an empty leaf; its empty AABB never intersects anything.
+    nodes.push_back(Bvh::Node{});
+    return std::make_unique<Bvh>(
+        std::vector<Triangle>(tris.begin(), tris.end()), std::move(nodes),
+        std::move(prim_indices), bounds);
+  }
+
+  // Task spawn depth ~ log2(4 * pool width), like the kd node-level scheme.
+  int task_depth = 0;
+  for (unsigned w = pool.concurrency() * 4; w > 1; w /= 2) ++task_depth;
+  BuildContext ctx{&config, &pool, pool.worker_count() > 0 ? task_depth : 0,
+                   64};
+  const std::unique_ptr<BuildNode> root = build_rec(ctx, std::move(prims), 0);
+  flatten(*root, nodes, prim_indices);
+  return std::make_unique<Bvh>(std::vector<Triangle>(tris.begin(), tris.end()),
+                               std::move(nodes), std::move(prim_indices),
+                               bounds);
+}
+
+Hit Bvh::closest_hit(const Ray& ray) const {
+  Hit best;
+  if (nodes_.empty()) return best;
+  Ray r = ray;
+
+  std::uint32_t stack[128];
+  int sp = 0;
+  stack[sp++] = 0;
+
+  while (sp > 0) {
+    const Node& node = nodes_[stack[--sp]];
+    float t0, t1;
+    if (!intersect_aabb(r, node.box, t0, t1)) continue;
+    if (node.is_leaf()) {
+      for (std::uint32_t k = 0; k < node.count; ++k) {
+        const std::uint32_t tri = prim_indices_[node.first + k];
+        float t, u, v;
+        if (intersect(r, triangles_[tri], t, u, v)) {
+          best = {t, tri, u, v};
+          r.t_max = t;  // shrink: later boxes beyond t are skipped
+        }
+      }
+      continue;
+    }
+    // Near child popped first: push the farther one below the nearer one.
+    float l0 = 0, l1 = 0, r0 = 0, r1 = 0;
+    const bool hit_l = intersect_aabb(r, nodes_[node.left].box, l0, l1);
+    const bool hit_r = intersect_aabb(r, nodes_[node.right].box, r0, r1);
+    if (hit_l && hit_r) {
+      const bool left_first = l0 <= r0;
+      stack[sp++] = left_first ? node.right : node.left;
+      stack[sp++] = left_first ? node.left : node.right;
+    } else if (hit_l) {
+      stack[sp++] = node.left;
+    } else if (hit_r) {
+      stack[sp++] = node.right;
+    }
+    if (sp > 126) sp = 126;  // depth guard (cannot trigger: depth <= 64)
+  }
+  return best;
+}
+
+bool Bvh::any_hit(const Ray& ray) const {
+  if (nodes_.empty()) return false;
+  std::uint32_t stack[128];
+  int sp = 0;
+  stack[sp++] = 0;
+  while (sp > 0) {
+    const Node& node = nodes_[stack[--sp]];
+    if (!intersect_aabb(ray, node.box)) continue;
+    if (node.is_leaf()) {
+      for (std::uint32_t k = 0; k < node.count; ++k) {
+        const std::uint32_t tri = prim_indices_[node.first + k];
+        float t, u, v;
+        if (intersect(ray, triangles_[tri], t, u, v)) return true;
+      }
+      continue;
+    }
+    stack[sp++] = node.left;
+    stack[sp++] = node.right;
+    if (sp > 126) sp = 126;
+  }
+  return false;
+}
+
+void Bvh::query_range(const AABB& box, std::vector<std::uint32_t>& out) const {
+  const std::size_t start = out.size();
+  if (nodes_.empty()) return;
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!node.box.overlaps(box)) continue;
+    if (node.is_leaf()) {
+      for (std::uint32_t k = 0; k < node.count; ++k) {
+        const std::uint32_t tri = prim_indices_[node.first + k];
+        if (box.overlaps(triangles_[tri].bounds()) &&
+            !clipped_bounds(triangles_[tri], box).empty()) {
+          out.push_back(tri);
+        }
+      }
+      continue;
+    }
+    stack.push_back(node.left);
+    stack.push_back(node.right);
+  }
+  std::sort(out.begin() + start, out.end());
+  out.erase(std::unique(out.begin() + start, out.end()), out.end());
+}
+
+NearestResult Bvh::nearest(const Vec3& point) const {
+  NearestResult best;
+  if (nodes_.empty()) return best;
+
+  struct Entry {
+    float dist_sq;
+    std::uint32_t node;
+    bool operator>(const Entry& o) const noexcept {
+      return dist_sq > o.dist_sq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  queue.push({distance_squared(point, nodes_[0].box), 0});
+  while (!queue.empty()) {
+    const Entry entry = queue.top();
+    queue.pop();
+    if (entry.dist_sq >= best.distance_sq) break;
+    const Node& node = nodes_[entry.node];
+    if (node.is_leaf()) {
+      for (std::uint32_t k = 0; k < node.count; ++k) {
+        const std::uint32_t tri = prim_indices_[node.first + k];
+        const Vec3 cp = closest_point_on_triangle(point, triangles_[tri]);
+        const float d = length_squared(point - cp);
+        if (d < best.distance_sq) best = {tri, cp, d};
+      }
+      continue;
+    }
+    queue.push({distance_squared(point, nodes_[node.left].box), node.left});
+    queue.push({distance_squared(point, nodes_[node.right].box), node.right});
+  }
+  return best;
+}
+
+TreeStats Bvh::stats() const {
+  TreeStats s;
+  if (nodes_.empty()) return s;
+  const double root_area = nodes_[0].box.surface_area();
+
+  struct Frame {
+    std::uint32_t node;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack{{0, 1}};
+  std::size_t nonempty_prims = 0, nonempty_leaves = 0;
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[f.node];
+    ++s.node_count;
+    s.max_depth = std::max(s.max_depth, f.depth);
+    const double p =
+        root_area > 0.0 ? node.box.surface_area() / root_area : 0.0;
+    if (node.is_leaf() ||
+        (node.left == 0 && node.right == 0 && node.count == 0)) {
+      ++s.leaf_count;
+      if (node.count == 0) ++s.empty_leaf_count;
+      s.prim_refs += node.count;
+      if (node.count > 0) {
+        nonempty_prims += node.count;
+        ++nonempty_leaves;
+      }
+      s.sah_cost += p * 1.5 * static_cast<double>(node.count);
+      continue;
+    }
+    s.sah_cost += p * 1.0;
+    stack.push_back({node.left, f.depth + 1});
+    stack.push_back({node.right, f.depth + 1});
+  }
+  s.avg_leaf_prims = nonempty_leaves > 0
+                         ? static_cast<double>(nonempty_prims) /
+                               static_cast<double>(nonempty_leaves)
+                         : 0.0;
+  return s;
+}
+
+}  // namespace kdtune

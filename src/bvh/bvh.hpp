@@ -1,0 +1,72 @@
+#pragma once
+
+// Bounding Volume Hierarchy — the standard alternative acceleration structure
+// (the paper's related work tunes a BVH-based ray tracer, Ganestam & Doggett
+// 2012). Included as the cross-structure baseline: the ablation benches
+// compare an autotuned SAH kd-tree against a binned-SAH BVH on the same
+// scenes.
+//
+// Implements the same query interface as the kd-trees (KdTreeBase), so every
+// renderer/bench component accepts it unchanged.
+
+#include <memory>
+
+#include "kdtree/tree.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace kdtune {
+
+struct BvhConfig {
+  /// Binned-SAH bins along the centroid extent.
+  int bin_count = 16;
+  /// Leaves are created at or below this primitive count (or when the SAH
+  /// prefers not splitting).
+  int max_leaf_size = 4;
+  /// SAH constants (relative, like the kd-tree's CT/CI).
+  double ct = 1.0;
+  double ci = 1.5;
+};
+
+class Bvh final : public KdTreeBase {
+ public:
+  /// Node of the flat BVH. Leaves have count > 0 and reference a range of
+  /// the primitive-index array; interior nodes store two child indices.
+  struct Node {
+    AABB box;
+    std::uint32_t left = 0;   ///< interior only
+    std::uint32_t right = 0;  ///< interior only
+    std::uint32_t first = 0;  ///< leaf: first primitive index
+    std::uint32_t count = 0;  ///< leaf: primitive count; 0 = interior
+
+    bool is_leaf() const noexcept { return count > 0; }
+  };
+
+  Bvh(std::vector<Triangle> triangles, std::vector<Node> nodes,
+      std::vector<std::uint32_t> prim_indices, AABB bounds);
+
+  Hit closest_hit(const Ray& ray) const override;
+  bool any_hit(const Ray& ray) const override;
+  void query_range(const AABB& box,
+                   std::vector<std::uint32_t>& out) const override;
+  NearestResult nearest(const Vec3& point) const override;
+  const AABB& bounds() const noexcept override { return bounds_; }
+  std::span<const Triangle> triangles() const noexcept override {
+    return triangles_;
+  }
+  TreeStats stats() const override;
+
+  std::span<const Node> nodes() const noexcept { return nodes_; }
+
+ private:
+  std::vector<Triangle> triangles_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> prim_indices_;
+  AABB bounds_;
+};
+
+/// Builds a binned-SAH BVH. Node-level parallel (subtree tasks) when the pool
+/// has workers, mirroring the kd-tree's node-level scheme.
+std::unique_ptr<Bvh> build_bvh(std::span<const Triangle> tris,
+                               const BvhConfig& config, ThreadPool& pool);
+
+}  // namespace kdtune

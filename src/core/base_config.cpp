@@ -1,0 +1,30 @@
+#include "core/base_config.hpp"
+
+namespace kdtune {
+
+std::size_t register_build_parameters(Tuner& tuner, BuildConfig& config,
+                                      Algorithm algorithm,
+                                      const TuningRanges& ranges) {
+  tuner.register_parameter(&config.ci, ranges.ci_min, ranges.ci_max, 1, "CI");
+  tuner.register_parameter(&config.cb, ranges.cb_min, ranges.cb_max, 1, "CB");
+  tuner.register_parameter(&config.s, ranges.s_min, ranges.s_max, 1, "S");
+  if (algorithm == Algorithm::kLazy) {
+    tuner.register_parameter_pow2(&config.r, ranges.r_min, ranges.r_max, "R");
+    return 4;
+  }
+  return 3;
+}
+
+ConfigPoint base_config_point(Algorithm algorithm, const TuningRanges& ranges) {
+  const BuildConfig base = kBaseConfig;
+  ConfigPoint point{base.ci - ranges.ci_min, base.cb - ranges.cb_min,
+                    base.s - ranges.s_min};
+  if (algorithm == Algorithm::kLazy) {
+    std::int64_t index = 0;
+    for (std::int64_t v = ranges.r_min; v < base.r; v *= 2) ++index;
+    point.push_back(index);
+  }
+  return point;
+}
+
+}  // namespace kdtune

@@ -1,0 +1,34 @@
+#pragma once
+
+// The paper's tuning setup: Table II parameter ranges, the manually crafted
+// base configuration C_base = (17, 10, 3, 2^12), and the glue that registers
+// a BuildConfig's fields with a Tuner (Table Ia for the eager algorithms,
+// Table Ib — adding R — for the lazy one).
+
+#include "kdtree/build_config.hpp"
+#include "kdtree/builder.hpp"
+#include "tuning/tuner.hpp"
+
+namespace kdtune {
+
+/// Table II ranges.
+struct TuningRanges {
+  std::int64_t ci_min = 3, ci_max = 101;
+  std::int64_t cb_min = 0, cb_max = 60;
+  std::int64_t s_min = 1, s_max = 8;
+  std::int64_t r_min = 16, r_max = 8192;  // powers of two
+};
+
+inline constexpr TuningRanges kPaperRanges{};
+
+/// Registers CI, CB, S (and R for the lazy algorithm) on `tuner`, pointing at
+/// the fields of `config`. Returns the number of registered parameters.
+std::size_t register_build_parameters(Tuner& tuner, BuildConfig& config,
+                                      Algorithm algorithm,
+                                      const TuningRanges& ranges = kPaperRanges);
+
+/// C_base as index-space point for the given algorithm (for FixedSearch).
+ConfigPoint base_config_point(Algorithm algorithm,
+                              const TuningRanges& ranges = kPaperRanges);
+
+}  // namespace kdtune

@@ -1,0 +1,134 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+namespace kdtune {
+
+namespace {
+
+/// The frame an iteration renders: dynamic scenes advance every
+/// `frame_repeat` iterations and wrap around; static scenes always render
+/// frame 0.
+std::size_t frame_for_iteration(const AnimatedScene& scene,
+                                std::size_t iteration,
+                                std::size_t frame_repeat) {
+  if (scene.frame_count() <= 1) return 0;
+  const std::size_t step = std::max<std::size_t>(1, frame_repeat);
+  return (iteration / step) % scene.frame_count();
+}
+
+}  // namespace
+
+StrategyFactory nelder_mead_factory() {
+  return [](std::uint64_t seed) {
+    NelderMeadOptions opts;
+    opts.seed = seed;
+    return make_nelder_mead_search(opts);
+  };
+}
+
+TuningRun run_tuning_experiment(Algorithm algorithm, const AnimatedScene& scene,
+                                ThreadPool& pool, const ExperimentOptions& opts,
+                                const StrategyFactory& strategy_factory) {
+  const StrategyFactory factory =
+      strategy_factory ? strategy_factory : nelder_mead_factory();
+
+  PipelineOptions popts;
+  popts.width = opts.width;
+  popts.height = opts.height;
+  popts.tuner = opts.tuner;
+  popts.strategy = factory(opts.seed);
+  TunedPipeline pipeline(algorithm, pool, std::move(popts));
+
+  TuningRun run;
+  run.scene = scene.name();
+  run.algorithm = std::string(to_string(algorithm));
+
+  // Scene frames are pre-generated so per-frame geometry synthesis never
+  // pollutes the timing (the paper measures construction + rendering only).
+  std::vector<Scene> frames;
+  frames.reserve(scene.frame_count());
+  for (std::size_t f = 0; f < scene.frame_count(); ++f) {
+    frames.push_back(scene.frame(f));
+  }
+
+  std::size_t post = 0;
+  std::size_t iteration = 0;
+  bool noted_convergence = false;
+  while (iteration < opts.max_iterations + opts.post_convergence) {
+    const std::size_t frame =
+        frame_for_iteration(scene, iteration, opts.frame_repeat);
+    const FrameReport report = pipeline.render_frame(frames[frame]);
+
+    IterationSample sample;
+    sample.iteration = iteration;
+    sample.frame = frame;
+    sample.seconds = report.total_seconds;
+    sample.build_seconds = report.build_seconds;
+    sample.render_seconds = report.render_seconds;
+    sample.values = {report.config.ci, report.config.cb, report.config.s};
+    if (algorithm == Algorithm::kLazy) sample.values.push_back(report.config.r);
+    sample.after_convergence = report.tuner_converged;
+    run.samples.push_back(sample);
+
+    ++iteration;
+    if (pipeline.tuner().converged()) {
+      if (!noted_convergence) {
+        noted_convergence = true;
+        run.iterations_to_convergence = iteration;
+      }
+      if (++post >= opts.post_convergence) break;
+    }
+  }
+  if (!noted_convergence) run.iterations_to_convergence = iteration;
+
+  run.tuned_values = pipeline.tuner().best_values();
+  run.tuned_config = pipeline.best_config();
+
+  // Tuned/base medians over the same frame schedule.
+  const std::size_t eval_samples = std::max<std::size_t>(opts.base_samples, 3);
+  run.tuned_median = measure_config_median(algorithm, scene, run.tuned_config,
+                                           pool, opts, eval_samples);
+  run.base_median = measure_config_median(algorithm, scene, kBaseConfig, pool,
+                                          opts, eval_samples);
+  return run;
+}
+
+std::vector<double> measure_config_times(Algorithm algorithm,
+                                         const AnimatedScene& scene,
+                                         const BuildConfig& config,
+                                         ThreadPool& pool,
+                                         const ExperimentOptions& opts,
+                                         std::size_t samples) {
+  PipelineOptions popts;
+  popts.width = opts.width;
+  popts.height = opts.height;
+  TunedPipeline pipeline(algorithm, pool, std::move(popts));
+
+  std::vector<Scene> frames;
+  frames.reserve(scene.frame_count());
+  for (std::size_t f = 0; f < scene.frame_count(); ++f) {
+    frames.push_back(scene.frame(f));
+  }
+
+  std::vector<double> times;
+  times.reserve(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const std::size_t frame = frame_for_iteration(scene, i, opts.frame_repeat);
+    const FrameReport report =
+        pipeline.render_frame_with(frames[frame], config);
+    times.push_back(report.total_seconds);
+  }
+  return times;
+}
+
+double measure_config_median(Algorithm algorithm, const AnimatedScene& scene,
+                             const BuildConfig& config, ThreadPool& pool,
+                             const ExperimentOptions& opts,
+                             std::size_t samples) {
+  const std::vector<double> times =
+      measure_config_times(algorithm, scene, config, pool, opts, samples);
+  return compute_stats(times).median;
+}
+
+}  // namespace kdtune

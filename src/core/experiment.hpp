@@ -1,0 +1,95 @@
+#pragma once
+
+// Experiment runner shared by the per-figure benchmark binaries. It
+// reproduces the paper's protocol (§V-C): a single experiment constructs the
+// kd-tree for each frame of a scene with the current configuration and
+// renders it, the autotuner measuring total time and choosing the next
+// configuration; static scenes iterate until convergence, dynamic scenes
+// repeat every frame 5x; speedups compare the tuned configuration's time to
+// C_base on the same frames.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "scene/animation.hpp"
+#include "tuning/measurement.hpp"
+
+namespace kdtune {
+
+struct ExperimentOptions {
+  int width = 96;
+  int height = 72;
+  /// Scene detail (1.0 = the paper's triangle counts; benches default lower
+  /// so the full grid of experiments completes in CI time).
+  float detail = 0.35f;
+  /// Upper bound on tuning iterations (frames); tuning may converge earlier.
+  std::size_t max_iterations = 80;
+  /// Extra iterations measured after convergence (the converged plateau of
+  /// Fig. 8, and the sample the tuned-time median is computed from).
+  std::size_t post_convergence = 8;
+  /// Dynamic scenes: every frame is repeated this many times (paper: 5).
+  std::size_t frame_repeat = 5;
+  /// Measurements of C_base the baseline median is computed from.
+  std::size_t base_samples = 8;
+  std::uint64_t seed = 0x5EEDu;
+  TunerOptions tuner{};
+};
+
+struct IterationSample {
+  std::size_t iteration = 0;
+  std::size_t frame = 0;  ///< animation frame the iteration rendered
+  double seconds = 0.0;
+  double build_seconds = 0.0;
+  double render_seconds = 0.0;
+  std::vector<std::int64_t> values;  ///< parameter values used
+  bool after_convergence = false;
+};
+
+struct TuningRun {
+  std::string scene;
+  std::string algorithm;
+  std::vector<IterationSample> samples;
+  std::vector<std::int64_t> tuned_values;  ///< best configuration found
+  BuildConfig tuned_config;
+  double tuned_median = 0.0;  ///< median frame time at the tuned config
+  double base_median = 0.0;   ///< median frame time at C_base
+  std::size_t iterations_to_convergence = 0;
+
+  double speedup() const noexcept {
+    return tuned_median > 0.0 ? base_median / tuned_median : 0.0;
+  }
+};
+
+/// Factory so each repetition gets a fresh strategy (seeded differently).
+using StrategyFactory =
+    std::function<std::unique_ptr<SearchStrategy>(std::uint64_t seed)>;
+
+/// Default: the paper's random-sampling-seeded Nelder-Mead.
+StrategyFactory nelder_mead_factory();
+
+/// Runs one full tuning experiment of `algorithm` on `scene`.
+TuningRun run_tuning_experiment(Algorithm algorithm,
+                                const AnimatedScene& scene,
+                                ThreadPool& pool, const ExperimentOptions& opts,
+                                const StrategyFactory& strategy_factory = {});
+
+/// Median frame time of a pinned configuration over `samples` frames of the
+/// scene (cycling through its animation).
+double measure_config_median(Algorithm algorithm, const AnimatedScene& scene,
+                             const BuildConfig& config, ThreadPool& pool,
+                             const ExperimentOptions& opts,
+                             std::size_t samples);
+
+/// All frame times of a pinned configuration (Fig. 9 needs distributions).
+std::vector<double> measure_config_times(Algorithm algorithm,
+                                         const AnimatedScene& scene,
+                                         const BuildConfig& config,
+                                         ThreadPool& pool,
+                                         const ExperimentOptions& opts,
+                                         std::size_t samples);
+
+}  // namespace kdtune

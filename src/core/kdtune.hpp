@@ -1,0 +1,50 @@
+#pragma once
+
+// Umbrella header: the full public API of the kdtune library.
+//
+//   #include "core/kdtune.hpp"
+//
+//   kdtune::ThreadPool pool(7);
+//   auto scene = kdtune::make_scene("sibenik", 0.5f);
+//   kdtune::TunedPipeline pipeline(kdtune::Algorithm::kLazy, pool);
+//   for (std::size_t i = 0; i < 100; ++i) {
+//     auto report = pipeline.render_frame(scene->frame(0));
+//   }
+//
+// See README.md for a guided tour and DESIGN.md for the architecture.
+
+#include "core/base_config.hpp"      // Table II ranges, C_base
+#include "core/experiment.hpp"       // paper-protocol experiment runner
+#include "core/pipeline.hpp"         // TunedPipeline (fig. 4 workflow)
+#include "core/platform.hpp"         // virtual platforms
+#include "core/selector.hpp"         // algorithm selection (paper SVI)
+#include "core/table_io.hpp"         // bench output helpers
+#include "bvh/bvh.hpp"               // cross-structure baseline
+#include "geom/closest_point.hpp"
+#include "geom/intersect.hpp"        // brute-force oracles, slab test
+#include "geom/ray.hpp"
+#include "geom/rng.hpp"
+#include "geom/transform.hpp"
+#include "geom/triangle.hpp"
+#include "kdtree/builder.hpp"        // the four algorithms + references
+#include "kdtree/analysis.hpp"
+#include "kdtree/dot_export.hpp"
+#include "kdtree/lazy_tree.hpp"
+#include "kdtree/packet.hpp"
+#include "kdtree/serialize.hpp"
+#include "kdtree/tree.hpp"
+#include "kdtree/validate.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_reduce.hpp"
+#include "parallel/parallel_scan.hpp"
+#include "parallel/parallel_sort.hpp"
+#include "parallel/thread_pool.hpp"
+#include "render/camera.hpp"
+#include "render/framebuffer.hpp"
+#include "render/raycaster.hpp"
+#include "scene/animation.hpp"
+#include "scene/generators.hpp"      // the six evaluation scenes
+#include "scene/obj_loader.hpp"
+#include "tuning/config_cache.hpp"   // persistent warm-start cache
+#include "tuning/search.hpp"         // Nelder-Mead + baseline strategies
+#include "tuning/tuner.hpp"          // the AtuneRT-style online autotuner

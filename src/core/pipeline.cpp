@@ -1,0 +1,88 @@
+#include "core/pipeline.hpp"
+
+#include "kdtree/lazy_tree.hpp"
+#include "tuning/measurement.hpp"
+
+namespace kdtune {
+
+TunedPipeline::TunedPipeline(Algorithm algorithm, ThreadPool& pool,
+                             PipelineOptions opts)
+    : algorithm_(algorithm), pool_(pool), opts_(std::move(opts)),
+      builder_(make_builder(algorithm)),
+      tuner_(std::move(opts_.strategy), opts_.tuner) {
+  register_build_parameters(tuner_, config_, algorithm_, opts_.ranges);
+}
+
+FrameReport TunedPipeline::run_once(const Scene& scene,
+                                    const BuildConfig& config,
+                                    Framebuffer* fb) {
+  FrameReport report;
+  report.config = config;
+
+  Framebuffer local(opts_.width, opts_.height);
+  Framebuffer& target = fb != nullptr ? *fb : local;
+  const Camera camera(scene.camera(), target.width(), target.height());
+
+  Stopwatch clock;
+  clock.start();
+  const std::unique_ptr<KdTreeBase> tree =
+      builder_->build(scene.triangles(), config, pool_);
+  report.build_seconds = clock.elapsed();
+
+  clock.start();
+  render(*tree, scene, camera, target, pool_, opts_.render);
+  report.render_seconds = clock.elapsed();
+  report.total_seconds = report.build_seconds + report.render_seconds;
+
+  report.tree = tree->stats();
+  if (const auto* lazy = dynamic_cast<const LazyKdTree*>(tree.get())) {
+    report.lazy_expansions = lazy->expansions();
+  }
+  return report;
+}
+
+FrameReport TunedPipeline::render_frame(const Scene& scene, Framebuffer* fb) {
+  const bool converged_before = tuner_.converged();
+  // apply_next() writes the configuration under test into config_; the
+  // measurement handed to the tuner defaults to the sum t_c + t_r (the
+  // paper's m_a), or one of the components per the configured objective.
+  tuner_.apply_next();
+  FrameReport report = run_once(scene, config_, fb);
+  report.tuner_converged = converged_before;
+  switch (opts_.objective) {
+    case TuningObjective::kTotalTime:
+      tuner_.record(report.total_seconds);
+      break;
+    case TuningObjective::kBuildTime:
+      tuner_.record(report.build_seconds);
+      break;
+    case TuningObjective::kRenderTime:
+      tuner_.record(report.render_seconds);
+      break;
+  }
+  return report;
+}
+
+FrameReport TunedPipeline::render_frame_with(const Scene& scene,
+                                             const BuildConfig& config,
+                                             Framebuffer* fb) {
+  return run_once(scene, config, fb);
+}
+
+void TunedPipeline::warm_start(const BuildConfig& config) {
+  std::vector<std::int64_t> values{config.ci, config.cb, config.s};
+  if (algorithm_ == Algorithm::kLazy) values.push_back(config.r);
+  tuner_.warm_start(values);
+}
+
+BuildConfig TunedPipeline::best_config() const {
+  const std::vector<std::int64_t> values = tuner_.best_values();
+  BuildConfig best;
+  best.ci = values[0];
+  best.cb = values[1];
+  best.s = values[2];
+  if (values.size() > 3) best.r = values[3];
+  return best;
+}
+
+}  // namespace kdtune

@@ -1,0 +1,87 @@
+#pragma once
+
+// TunedPipeline — the paper's Fig. 4 workflow as a reusable component: per
+// frame, the tuner's measurement cycle wraps kd-tree construction plus
+// rendering (m = t_c + t_r), and the tuner writes the next configuration into
+// the BuildConfig before the next frame. This is the public entry point for
+// applications that want an autotuned kd-tree ray caster.
+
+#include <memory>
+#include <optional>
+
+#include "core/base_config.hpp"
+#include "kdtree/builder.hpp"
+#include "render/framebuffer.hpp"
+#include "render/raycaster.hpp"
+#include "scene/scene.hpp"
+#include "tuning/tuner.hpp"
+
+namespace kdtune {
+
+/// What the tuner minimizes. The paper's objective is the full frame time
+/// m = t_c + t_r; build-only suits offline bakes (minimize construction,
+/// ignore query quality), render-only suits build-once/query-forever uses.
+enum class TuningObjective { kTotalTime, kBuildTime, kRenderTime };
+
+struct PipelineOptions {
+  int width = 160;
+  int height = 120;
+  TuningRanges ranges{};
+  TunerOptions tuner{};
+  RenderOptions render{};
+  TuningObjective objective = TuningObjective::kTotalTime;
+  /// nullptr selects the default Nelder-Mead strategy.
+  std::unique_ptr<SearchStrategy> strategy{};
+};
+
+struct FrameReport {
+  double build_seconds = 0.0;
+  double render_seconds = 0.0;
+  double total_seconds = 0.0;   ///< t_c + t_r, what the tuner measures
+  BuildConfig config;           ///< configuration this frame ran with
+  TreeStats tree;
+  std::size_t lazy_expansions = 0;  ///< lazy algorithm only
+  bool tuner_converged = false;     ///< state *before* this measurement
+};
+
+class TunedPipeline {
+ public:
+  TunedPipeline(Algorithm algorithm, ThreadPool& pool,
+                PipelineOptions opts = {});
+
+  /// Builds the tree for `scene` with the configuration under test, renders
+  /// into `fb` (sized per options), reports the time to the tuner, and
+  /// applies the next configuration. `fb == nullptr` renders into an
+  /// internal buffer.
+  FrameReport render_frame(const Scene& scene, Framebuffer* fb = nullptr);
+
+  /// One frame with a *pinned* configuration, bypassing the tuner — used to
+  /// measure C_base baselines and tuned-config validation runs.
+  FrameReport render_frame_with(const Scene& scene, const BuildConfig& config,
+                                Framebuffer* fb = nullptr);
+
+  Algorithm algorithm() const noexcept { return algorithm_; }
+  const Tuner& tuner() const noexcept { return tuner_; }
+  Tuner& tuner() noexcept { return tuner_; }
+  const BuildConfig& config() const noexcept { return config_; }
+
+  /// Best configuration found so far as a BuildConfig.
+  BuildConfig best_config() const;
+
+  /// Seeds the tuner with a known-good configuration (e.g. a ConfigCache hit
+  /// from a previous run). Call before the first render_frame().
+  void warm_start(const BuildConfig& config);
+
+ private:
+  FrameReport run_once(const Scene& scene, const BuildConfig& config,
+                       Framebuffer* fb);
+
+  Algorithm algorithm_;
+  ThreadPool& pool_;
+  PipelineOptions opts_;
+  std::unique_ptr<Builder> builder_;
+  BuildConfig config_;  ///< tuner-owned parameter storage
+  Tuner tuner_;
+};
+
+}  // namespace kdtune

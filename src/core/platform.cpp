@@ -1,0 +1,16 @@
+#include "core/platform.hpp"
+
+namespace kdtune {
+
+std::vector<Platform> paper_platforms() {
+  return {
+      {"opteron24", 24, "dual AMD Opteron 6168, 24 cores @ 1.9 GHz"},
+      {"xeon8", 8, "Intel Xeon E5-1620, 4 cores / 8 threads @ 3.7 GHz"},
+      {"i7_8", 8, "Intel i7-4770K, 4 cores / 8 threads @ 3.5 GHz"},
+      {"a8_4", 4, "AMD A8-4500M, 4 cores @ 1.9 GHz"},
+  };
+}
+
+Platform opteron_platform() { return paper_platforms().front(); }
+
+}  // namespace kdtune

@@ -1,0 +1,28 @@
+#pragma once
+
+// Virtual platforms — the substitution for the paper's four physical machines
+// (Fig. 7c; DESIGN.md §2.2). A platform pins the worker-thread count of the
+// pool the builders run on, emulating each machine's multithreading capacity.
+// Clock-speed differences are not emulated: they scale all measurements
+// uniformly and therefore do not move the optimum within a platform, but
+// thread counts do (through S and the parallel phase granularities).
+
+#include <string>
+#include <vector>
+
+namespace kdtune {
+
+struct Platform {
+  std::string name;
+  unsigned threads = 1;   ///< hardware threads of the emulated machine
+  std::string emulates;   ///< the paper's machine this stands in for
+};
+
+/// The paper's four machines (§V-C).
+std::vector<Platform> paper_platforms();
+
+/// The machine the paper's main results (Figs. 5, 6, 8, 9) were measured on:
+/// the dual AMD Opteron 6168, 24 hardware threads.
+Platform opteron_platform();
+
+}  // namespace kdtune

@@ -1,0 +1,96 @@
+#include "core/selector.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace kdtune {
+
+AlgorithmSelector::AlgorithmSelector(ThreadPool& pool, SelectorOptions opts)
+    : opts_(opts) {
+  for (const Algorithm a : all_algorithms()) {
+    PipelineOptions popts;
+    popts.width = opts_.width;
+    popts.height = opts_.height;
+    popts.tuner = opts_.tuner;
+    popts.ranges = opts_.ranges;
+    candidates_.push_back(
+        {a, std::make_unique<TunedPipeline>(a, pool, std::move(popts)), 0});
+  }
+}
+
+Algorithm AlgorithmSelector::current() const noexcept {
+  if (selection_done()) {
+    return selected_.value_or(candidates_.front().algorithm);
+  }
+  return candidates_[phase_].algorithm;
+}
+
+Algorithm AlgorithmSelector::selected() const {
+  if (!selected_) {
+    throw std::logic_error("AlgorithmSelector: selection not finished");
+  }
+  return *selected_;
+}
+
+std::vector<std::pair<Algorithm, double>> AlgorithmSelector::standings() const {
+  std::vector<std::pair<Algorithm, double>> out;
+  out.reserve(candidates_.size());
+  for (const Candidate& c : candidates_) {
+    out.emplace_back(c.algorithm, c.frames > 0
+                                      ? c.pipeline->tuner().best_time()
+                                      : std::numeric_limits<double>::infinity());
+  }
+  return out;
+}
+
+AlgorithmSelector::Candidate& AlgorithmSelector::candidate(Algorithm a) {
+  for (Candidate& c : candidates_) {
+    if (c.algorithm == a) return c;
+  }
+  throw std::invalid_argument("AlgorithmSelector: unknown algorithm");
+}
+
+const TunedPipeline& AlgorithmSelector::pipeline(Algorithm a) const {
+  return *const_cast<AlgorithmSelector*>(this)->candidate(a).pipeline;
+}
+
+TunedPipeline& AlgorithmSelector::pipeline(Algorithm a) {
+  return *candidate(a).pipeline;
+}
+
+void AlgorithmSelector::maybe_advance_phase() {
+  const Candidate& c = candidates_[phase_];
+  // A phase ends when its tuner converged or the frame budget is exhausted;
+  // at least a handful of frames are always granted so best_time is real.
+  const bool budget_done = c.frames >= opts_.frames_per_algorithm;
+  const bool converged = c.frames >= 4 && c.pipeline->tuner().converged();
+  if (!budget_done && !converged) return;
+
+  ++phase_;
+  if (selection_done()) {
+    // Pick the winner: smallest best measured frame time.
+    double best = std::numeric_limits<double>::infinity();
+    for (const Candidate& cand : candidates_) {
+      const double t = cand.pipeline->tuner().best_time();
+      if (t < best) {
+        best = t;
+        selected_ = cand.algorithm;
+      }
+    }
+    if (!selected_) selected_ = candidates_.front().algorithm;
+  }
+}
+
+FrameReport AlgorithmSelector::render_frame(const Scene& scene,
+                                            Framebuffer* fb) {
+  if (!selection_done()) {
+    Candidate& c = candidates_[phase_];
+    const FrameReport report = c.pipeline->render_frame(scene, fb);
+    ++c.frames;
+    maybe_advance_phase();
+    return report;
+  }
+  return candidate(*selected_).pipeline->render_frame(scene, fb);
+}
+
+}  // namespace kdtune

@@ -1,0 +1,71 @@
+#pragma once
+
+// Algorithm selection — the open question the paper's conclusion raises: which
+// *algorithm* is best for a given scene and machine is a nominal parameter
+// with no notion of distance or direction, so it cannot live inside the
+// Nelder-Mead search. This implements the strategy the paper suggests as the
+// baseline: optimize one algorithm after another, then pick the best.
+//
+// The selector owns one TunedPipeline per algorithm. It tunes them in
+// sequence (each gets a frame budget, ending early on convergence), then
+// routes every further frame to the winner, whose tuner keeps running online
+// (so drift re-tuning still works after selection).
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace kdtune {
+
+struct SelectorOptions {
+  int width = 160;
+  int height = 120;
+  /// Maximum tuning frames granted to each algorithm's pipeline.
+  std::size_t frames_per_algorithm = 60;
+  TunerOptions tuner{};
+  TuningRanges ranges{};
+};
+
+class AlgorithmSelector {
+ public:
+  AlgorithmSelector(ThreadPool& pool, SelectorOptions opts = {});
+
+  /// Renders one frame through the pipeline currently under evaluation (or
+  /// the selected winner once selection finished).
+  FrameReport render_frame(const Scene& scene, Framebuffer* fb = nullptr);
+
+  /// True once every algorithm had its tuning phase.
+  bool selection_done() const noexcept { return phase_ >= candidates_.size(); }
+
+  /// The algorithm currently being evaluated, or the winner when done.
+  Algorithm current() const noexcept;
+
+  /// The winner; only meaningful when selection_done().
+  Algorithm selected() const;
+
+  /// Best measured frame time per algorithm (infinity if not yet evaluated).
+  std::vector<std::pair<Algorithm, double>> standings() const;
+
+  const TunedPipeline& pipeline(Algorithm a) const;
+  TunedPipeline& pipeline(Algorithm a);
+
+ private:
+  struct Candidate {
+    Algorithm algorithm;
+    std::unique_ptr<TunedPipeline> pipeline;
+    std::size_t frames = 0;
+  };
+
+  Candidate& candidate(Algorithm a);
+  void maybe_advance_phase();
+
+  SelectorOptions opts_;
+  std::vector<Candidate> candidates_;
+  std::size_t phase_ = 0;  ///< index of the candidate being tuned
+  std::optional<Algorithm> selected_;
+};
+
+}  // namespace kdtune

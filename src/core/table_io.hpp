@@ -1,0 +1,36 @@
+#pragma once
+
+// Small table/CSV emitters shared by the benchmark binaries: every figure
+// bench prints a human-readable table (the paper's rows/series) plus a CSV
+// block for replotting.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace kdtune {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Aligned, pipe-separated print.
+  void print(std::ostream& os = std::cout) const;
+
+  /// Plain CSV (comma-separated, no quoting — callers keep cells simple).
+  void print_csv(std::ostream& os = std::cout) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting (tables want "0.0123", not 1.23e-02).
+std::string fmt(double value, int precision = 4);
+
+/// Section banner for bench output.
+void print_banner(const std::string& title, std::ostream& os = std::cout);
+
+}  // namespace kdtune

@@ -1,0 +1,16 @@
+#include "geom/aabb.hpp"
+
+#include <algorithm>
+
+namespace kdtune {
+
+std::pair<AABB, AABB> AABB::split(Axis axis, float offset) const noexcept {
+  const float clamped = std::clamp(offset, lo[axis], hi[axis]);
+  AABB left = *this;
+  AABB right = *this;
+  left.hi[axis] = clamped;
+  right.lo[axis] = clamped;
+  return {left, right};
+}
+
+}  // namespace kdtune

@@ -1,0 +1,100 @@
+#pragma once
+
+// Axis-aligned bounding box. The SAH is computed entirely from AABB surface
+// areas (Wald & Havran 2006), so this type carries the surface-area and
+// split helpers the builders need.
+
+#include <limits>
+#include <ostream>
+
+#include "geom/vec3.hpp"
+
+namespace kdtune {
+
+struct AABB {
+  Vec3 lo{std::numeric_limits<float>::infinity(),
+          std::numeric_limits<float>::infinity(),
+          std::numeric_limits<float>::infinity()};
+  Vec3 hi{-std::numeric_limits<float>::infinity(),
+          -std::numeric_limits<float>::infinity(),
+          -std::numeric_limits<float>::infinity()};
+
+  constexpr AABB() = default;
+  constexpr AABB(const Vec3& lo_, const Vec3& hi_) : lo(lo_), hi(hi_) {}
+
+  /// An empty box is the identity of expand()/unite(); any point expands it.
+  bool empty() const noexcept {
+    return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z;
+  }
+
+  void expand(const Vec3& p) noexcept {
+    lo = min(lo, p);
+    hi = max(hi, p);
+  }
+
+  void expand(const AABB& b) noexcept {
+    lo = min(lo, b.lo);
+    hi = max(hi, b.hi);
+  }
+
+  Vec3 extent() const noexcept { return hi - lo; }
+  Vec3 center() const noexcept { return (lo + hi) * 0.5f; }
+
+  /// Surface area; the quantity the SAH divides to obtain hit probabilities.
+  /// Empty boxes report zero area so they never look profitable to a split.
+  float surface_area() const noexcept {
+    if (empty()) return 0.0f;
+    const Vec3 e = extent();
+    return 2.0f * (e.x * e.y + e.y * e.z + e.z * e.x);
+  }
+
+  float volume() const noexcept {
+    if (empty()) return 0.0f;
+    const Vec3 e = extent();
+    return e.x * e.y * e.z;
+  }
+
+  Axis longest_axis() const noexcept { return max_axis(extent()); }
+
+  bool contains(const Vec3& p, float eps = 0.0f) const noexcept {
+    return p.x >= lo.x - eps && p.x <= hi.x + eps &&
+           p.y >= lo.y - eps && p.y <= hi.y + eps &&
+           p.z >= lo.z - eps && p.z <= hi.z + eps;
+  }
+
+  bool contains(const AABB& b, float eps = 0.0f) const noexcept {
+    return !b.empty() && contains(b.lo, eps) && contains(b.hi, eps);
+  }
+
+  bool overlaps(const AABB& b) const noexcept {
+    return lo.x <= b.hi.x && hi.x >= b.lo.x &&
+           lo.y <= b.hi.y && hi.y >= b.lo.y &&
+           lo.z <= b.hi.z && hi.z >= b.lo.z;
+  }
+
+  /// Splits the box by the plane `axis = offset` into (left, right) halves.
+  /// The offset is clamped into the box so both halves stay valid.
+  std::pair<AABB, AABB> split(Axis axis, float offset) const noexcept;
+
+  /// Intersection of two boxes; empty if they are disjoint.
+  static AABB intersect(const AABB& a, const AABB& b) noexcept {
+    AABB r{max(a.lo, b.lo), min(a.hi, b.hi)};
+    return r;
+  }
+
+  static AABB unite(const AABB& a, const AABB& b) noexcept {
+    AABB r = a;
+    r.expand(b);
+    return r;
+  }
+
+  friend bool operator==(const AABB& a, const AABB& b) noexcept {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const AABB& b) {
+    return os << '[' << b.lo << " .. " << b.hi << ']';
+  }
+};
+
+}  // namespace kdtune

@@ -1,0 +1,72 @@
+#include "geom/closest_point.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace kdtune {
+
+Vec3 closest_point_on_triangle(const Vec3& p, const Triangle& tri) noexcept {
+  // Ericson 5.1.5: classify p against the triangle's Voronoi regions.
+  const Vec3& a = tri.a;
+  const Vec3& b = tri.b;
+  const Vec3& c = tri.c;
+
+  const Vec3 ab = b - a;
+  const Vec3 ac = c - a;
+  const Vec3 ap = p - a;
+  const float d1 = dot(ab, ap);
+  const float d2 = dot(ac, ap);
+  if (d1 <= 0.0f && d2 <= 0.0f) return a;  // vertex region A
+
+  const Vec3 bp = p - b;
+  const float d3 = dot(ab, bp);
+  const float d4 = dot(ac, bp);
+  if (d3 >= 0.0f && d4 <= d3) return b;  // vertex region B
+
+  const float vc = d1 * d4 - d3 * d2;
+  if (vc <= 0.0f && d1 >= 0.0f && d3 <= 0.0f) {
+    const float v = d1 / (d1 - d3);
+    return a + ab * v;  // edge region AB
+  }
+
+  const Vec3 cp = p - c;
+  const float d5 = dot(ab, cp);
+  const float d6 = dot(ac, cp);
+  if (d6 >= 0.0f && d5 <= d6) return c;  // vertex region C
+
+  const float vb = d5 * d2 - d1 * d6;
+  if (vb <= 0.0f && d2 >= 0.0f && d6 <= 0.0f) {
+    const float w = d2 / (d2 - d6);
+    return a + ac * w;  // edge region AC
+  }
+
+  const float va = d3 * d6 - d5 * d4;
+  if (va <= 0.0f && (d4 - d3) >= 0.0f && (d5 - d6) >= 0.0f) {
+    const float w = (d4 - d3) / ((d4 - d3) + (d5 - d6));
+    return b + (c - b) * w;  // edge region BC
+  }
+
+  // Face region.
+  const float denom = 1.0f / (va + vb + vc);
+  const float v = vb * denom;
+  const float w = vc * denom;
+  return a + ab * v + ac * w;
+}
+
+float distance_squared(const Vec3& p, const AABB& box) noexcept {
+  if (box.empty()) return std::numeric_limits<float>::infinity();
+  float sum = 0.0f;
+  for (int axis = 0; axis < 3; ++axis) {
+    const float v = p[axis];
+    if (v < box.lo[axis]) {
+      const float d = box.lo[axis] - v;
+      sum += d * d;
+    } else if (v > box.hi[axis]) {
+      const float d = v - box.hi[axis];
+      sum += d * d;
+    }
+  }
+  return sum;
+}
+
+}  // namespace kdtune

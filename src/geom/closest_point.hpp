@@ -1,0 +1,25 @@
+#pragma once
+
+// Point/primitive proximity queries (Ericson, Real-Time Collision Detection,
+// ch. 5 — the same reference the traversal uses). These power the kd-tree's
+// nearest-neighbor query, the second query family the paper's introduction
+// names for spatial data structures.
+
+#include "geom/aabb.hpp"
+#include "geom/triangle.hpp"
+#include "geom/vec3.hpp"
+
+namespace kdtune {
+
+/// Closest point on triangle `tri` to point `p` (vertex, edge or face).
+Vec3 closest_point_on_triangle(const Vec3& p, const Triangle& tri) noexcept;
+
+/// Squared distance from `p` to the triangle.
+inline float distance_squared(const Vec3& p, const Triangle& tri) noexcept {
+  return length_squared(p - closest_point_on_triangle(p, tri));
+}
+
+/// Squared distance from `p` to the box (0 if inside).
+float distance_squared(const Vec3& p, const AABB& box) noexcept;
+
+}  // namespace kdtune

@@ -1,0 +1,57 @@
+#include "geom/intersect.hpp"
+
+#include <algorithm>
+
+namespace kdtune {
+
+bool intersect_aabb(const Ray& ray, const AABB& box,
+                    float& t_enter, float& t_exit) noexcept {
+  float t0 = ray.t_min;
+  float t1 = ray.t_max;
+  for (int axis = 0; axis < 3; ++axis) {
+    const float inv = ray.inv_dir[axis];
+    float near = (box.lo[axis] - ray.origin[axis]) * inv;
+    float far = (box.hi[axis] - ray.origin[axis]) * inv;
+    if (inv < 0.0f) std::swap(near, far);
+    // NaN (ray parallel to slab and origin on boundary) resolves to "no
+    // constraint" because comparisons with NaN are false.
+    if (near > t0) t0 = near;
+    if (far < t1) t1 = far;
+    if (t0 > t1) return false;
+  }
+  t_enter = t0;
+  t_exit = t1;
+  return true;
+}
+
+Hit brute_force_closest_hit(const Ray& ray, std::span<const Triangle> tris) noexcept {
+  Hit best;
+  Ray r = ray;
+  for (std::size_t i = 0; i < tris.size(); ++i) {
+    float t, u, v;
+    if (intersect(r, tris[i], t, u, v)) {
+      best.t = t;
+      best.triangle = static_cast<std::uint32_t>(i);
+      best.u = u;
+      best.v = v;
+      r.t_max = t;  // shrink interval so later hits must be closer
+    }
+  }
+  return best;
+}
+
+bool brute_force_any_hit(const Ray& ray, std::span<const Triangle> tris) noexcept {
+  for (const Triangle& tri : tris) {
+    float t, u, v;
+    if (intersect(ray, tri, t, u, v)) return true;
+  }
+  return false;
+}
+
+AABB bounds_of(std::span<const Triangle> tris) noexcept {
+  AABB box;
+  for (const Triangle& tri : tris) box.expand(tri.bounds());
+  return box;
+}
+
+}  // namespace kdtune

@@ -1,0 +1,35 @@
+#pragma once
+
+// Ray/AABB slab test and brute-force reference queries. The brute-force
+// closest-hit is the oracle every kd-tree traversal is validated against in
+// the property tests.
+
+#include <span>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/ray.hpp"
+#include "geom/triangle.hpp"
+
+namespace kdtune {
+
+/// Slab test. On success returns true and yields the parametric entry/exit
+/// interval clamped to [ray.t_min, ray.t_max].
+bool intersect_aabb(const Ray& ray, const AABB& box,
+                    float& t_enter, float& t_exit) noexcept;
+
+inline bool intersect_aabb(const Ray& ray, const AABB& box) noexcept {
+  float t0, t1;
+  return intersect_aabb(ray, box, t0, t1);
+}
+
+/// O(n) closest hit over a triangle soup; reference oracle for tests.
+Hit brute_force_closest_hit(const Ray& ray, std::span<const Triangle> tris) noexcept;
+
+/// O(n) any-hit (shadow ray) over a triangle soup; reference oracle.
+bool brute_force_any_hit(const Ray& ray, std::span<const Triangle> tris) noexcept;
+
+/// Bounds of a whole triangle soup.
+AABB bounds_of(std::span<const Triangle> tris) noexcept;
+
+}  // namespace kdtune

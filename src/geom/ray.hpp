@@ -1,0 +1,44 @@
+#pragma once
+
+// Ray with cached reciprocal direction for the slab AABB test. The traversal
+// loop evaluates a slab test per kd-node, so the reciprocals are computed once
+// at construction.
+
+#include <limits>
+
+#include "geom/vec3.hpp"
+
+namespace kdtune {
+
+struct Ray {
+  Vec3 origin;
+  Vec3 dir;       ///< not required to be normalized
+  Vec3 inv_dir;   ///< 1/dir, +-inf on zero components (IEEE semantics)
+  float t_min = 1e-4f;
+  float t_max = std::numeric_limits<float>::infinity();
+
+  Ray() : Ray({0, 0, 0}, {0, 0, 1}) {}
+
+  Ray(const Vec3& o, const Vec3& d,
+      float tmin = 1e-4f,
+      float tmax = std::numeric_limits<float>::infinity())
+      : origin(o), dir(d),
+        inv_dir{1.0f / d.x, 1.0f / d.y, 1.0f / d.z},
+        t_min(tmin), t_max(tmax) {}
+
+  Vec3 at(float t) const noexcept { return origin + dir * t; }
+};
+
+/// Result of the closest-hit query against the scene.
+struct Hit {
+  float t = std::numeric_limits<float>::infinity();
+  std::uint32_t triangle = kNoTriangle;
+  float u = 0.0f;  ///< barycentric coordinate
+  float v = 0.0f;  ///< barycentric coordinate
+
+  static constexpr std::uint32_t kNoTriangle = 0xFFFFFFFFu;
+
+  bool valid() const noexcept { return triangle != kNoTriangle; }
+};
+
+}  // namespace kdtune

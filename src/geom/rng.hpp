@@ -1,0 +1,71 @@
+#pragma once
+
+// Deterministic xoshiro256** PRNG. Used by the scene generators, the
+// autotuner's random-sampling phase, and the property tests. Not <random>'s
+// mt19937 because we want cheap, splittable, reproducible streams with a tiny
+// state that can live inside per-thread contexts.
+
+#include <cstdint>
+
+namespace kdtune {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 seeding, recommended initialization for xoshiro.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [0, 1).
+  float next_float() noexcept {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1u;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) noexcept {
+    return lo + (hi - lo) * next_float();
+  }
+
+  /// A statistically independent child stream; allows deterministic
+  /// per-thread / per-object RNGs derived from one master seed.
+  Rng split() noexcept { return Rng(next_u64() ^ 0xA3EC647659359ACDull); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace kdtune

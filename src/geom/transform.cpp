@@ -1,0 +1,57 @@
+#include "geom/transform.hpp"
+
+#include <cmath>
+
+namespace kdtune {
+
+Transform Transform::translate(const Vec3& t) {
+  Transform r;
+  r.t_ = t;
+  return r;
+}
+
+Transform Transform::scale(const Vec3& s) {
+  Transform r;
+  r.m_[0][0] = s.x;
+  r.m_[1][1] = s.y;
+  r.m_[2][2] = s.z;
+  return r;
+}
+
+Transform Transform::rotate(const Vec3& axis, float radians) {
+  const Vec3 u = normalized(axis);
+  const float c = std::cos(radians);
+  const float s = std::sin(radians);
+  const float ic = 1.0f - c;
+  Transform r;
+  r.m_ = {{{c + u.x * u.x * ic, u.x * u.y * ic - u.z * s, u.x * u.z * ic + u.y * s},
+           {u.y * u.x * ic + u.z * s, c + u.y * u.y * ic, u.y * u.z * ic - u.x * s},
+           {u.z * u.x * ic - u.y * s, u.z * u.y * ic + u.x * s, c + u.z * u.z * ic}}};
+  return r;
+}
+
+Transform operator*(const Transform& a, const Transform& b) {
+  Transform r;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      r.m_[i][j] = a.m_[i][0] * b.m_[0][j] + a.m_[i][1] * b.m_[1][j] +
+                   a.m_[i][2] * b.m_[2][j];
+    }
+  }
+  r.t_ = a.apply_vector(b.t_) + a.t_;
+  return r;
+}
+
+AABB Transform::apply_bounds(const AABB& box) const noexcept {
+  if (box.empty()) return box;
+  AABB out;
+  for (int corner = 0; corner < 8; ++corner) {
+    const Vec3 p{(corner & 1) ? box.hi.x : box.lo.x,
+                 (corner & 2) ? box.hi.y : box.lo.y,
+                 (corner & 4) ? box.hi.z : box.lo.z};
+    out.expand(apply_point(p));
+  }
+  return out;
+}
+
+}  // namespace kdtune

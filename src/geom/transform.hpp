@@ -1,0 +1,51 @@
+#pragma once
+
+// Affine transform (3x3 linear part + translation). Enough for the scene
+// generators and the keyframe animation rigs; no projective math is needed
+// anywhere in the library (the camera generates rays directly).
+
+#include <array>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace kdtune {
+
+class Transform {
+ public:
+  /// Identity.
+  constexpr Transform()
+      : m_{{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}}, t_{0, 0, 0} {}
+
+  static Transform translate(const Vec3& t);
+  static Transform scale(const Vec3& s);
+  static Transform scale(float s) { return scale(Vec3(s)); }
+  /// Rotation by `radians` around the (normalized internally) `axis`,
+  /// Rodrigues' formula.
+  static Transform rotate(const Vec3& axis, float radians);
+
+  Vec3 apply_point(const Vec3& p) const noexcept {
+    return apply_vector(p) + t_;
+  }
+
+  Vec3 apply_vector(const Vec3& v) const noexcept {
+    return {m_[0][0] * v.x + m_[0][1] * v.y + m_[0][2] * v.z,
+            m_[1][0] * v.x + m_[1][1] * v.y + m_[1][2] * v.z,
+            m_[2][0] * v.x + m_[2][1] * v.y + m_[2][2] * v.z};
+  }
+
+  /// Composition: (a * b) applies b first, then a.
+  friend Transform operator*(const Transform& a, const Transform& b);
+
+  /// Bounds of the 8 transformed corners (conservative box transform).
+  AABB apply_bounds(const AABB& box) const noexcept;
+
+  const std::array<std::array<float, 3>, 3>& linear() const noexcept { return m_; }
+  const Vec3& translation() const noexcept { return t_; }
+
+ private:
+  std::array<std::array<float, 3>, 3> m_;  ///< row-major linear part
+  Vec3 t_;                                 ///< translation
+};
+
+}  // namespace kdtune

@@ -1,0 +1,88 @@
+#include "geom/triangle.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace kdtune {
+
+bool intersect(const Ray& ray, const Triangle& tri,
+               float& t, float& u, float& v) noexcept {
+  constexpr float kEps = 1e-9f;
+  const Vec3 e1 = tri.b - tri.a;
+  const Vec3 e2 = tri.c - tri.a;
+  const Vec3 p = cross(ray.dir, e2);
+  const float det = dot(e1, p);
+  if (std::fabs(det) < kEps) return false;  // parallel or degenerate
+
+  const float inv_det = 1.0f / det;
+  const Vec3 s = ray.origin - tri.a;
+  const float uu = dot(s, p) * inv_det;
+  if (uu < 0.0f || uu > 1.0f) return false;
+
+  const Vec3 q = cross(s, e1);
+  const float vv = dot(ray.dir, q) * inv_det;
+  if (vv < 0.0f || uu + vv > 1.0f) return false;
+
+  const float tt = dot(e2, q) * inv_det;
+  if (tt <= ray.t_min || tt >= ray.t_max) return false;
+
+  t = tt;
+  u = uu;
+  v = vv;
+  return true;
+}
+
+namespace {
+
+// Clips the convex polygon `poly` against the half space `keep_below ?
+// p[axis] <= offset : p[axis] >= offset`, writing the result to `out`.
+// Returns the output vertex count. Classic Sutherland–Hodgman step.
+int clip_against_plane(const Vec3* poly, int n, Axis axis, float offset,
+                       bool keep_below, Vec3* out) noexcept {
+  int m = 0;
+  for (int i = 0; i < n; ++i) {
+    const Vec3& cur = poly[i];
+    const Vec3& nxt = poly[(i + 1) % n];
+    const float dc = keep_below ? offset - cur[axis] : cur[axis] - offset;
+    const float dn = keep_below ? offset - nxt[axis] : nxt[axis] - offset;
+    const bool cur_in = dc >= 0.0f;
+    const bool nxt_in = dn >= 0.0f;
+    if (cur_in) out[m++] = cur;
+    if (cur_in != nxt_in) {
+      const float denom = dc - dn;
+      const float s = denom != 0.0f ? dc / denom : 0.0f;
+      out[m++] = lerp(cur, nxt, s);
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+AABB clipped_bounds(const Triangle& tri, const AABB& box) noexcept {
+  // A triangle clipped by up to 6 planes has at most 3 + 6 vertices.
+  std::array<Vec3, 10> buf_a{tri.a, tri.b, tri.c};
+  std::array<Vec3, 10> buf_b{};
+  Vec3* src = buf_a.data();
+  Vec3* dst = buf_b.data();
+  int n = 3;
+  for (int axis = 0; axis < 3 && n > 0; ++axis) {
+    const Axis a = static_cast<Axis>(axis);
+    n = clip_against_plane(src, n, a, box.hi[a], /*keep_below=*/true, dst);
+    std::swap(src, dst);
+    if (n == 0) break;
+    n = clip_against_plane(src, n, a, box.lo[a], /*keep_below=*/false, dst);
+    std::swap(src, dst);
+  }
+  AABB result;
+  for (int i = 0; i < n; ++i) result.expand(src[i]);
+  // Numerical safety: the clipped polygon must stay inside the node box or
+  // the SAH sweep may place events outside the node extent.
+  if (!result.empty()) {
+    result.lo = max(result.lo, box.lo);
+    result.hi = min(result.hi, box.hi);
+  }
+  return result;
+}
+
+}  // namespace kdtune

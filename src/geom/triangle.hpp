@@ -1,0 +1,52 @@
+#pragma once
+
+// Triangle primitive. kd-tree builders operate on triangle *bounds* (possibly
+// clipped to a node box — "perfect splits" in Wald & Havran's terminology),
+// while traversal needs the exact Möller–Trumbore intersection test.
+
+#include <array>
+#include <cstdint>
+
+#include "geom/aabb.hpp"
+#include "geom/ray.hpp"
+#include "geom/vec3.hpp"
+
+namespace kdtune {
+
+struct Triangle {
+  Vec3 a, b, c;
+
+  constexpr Triangle() = default;
+  constexpr Triangle(const Vec3& a_, const Vec3& b_, const Vec3& c_)
+      : a(a_), b(b_), c(c_) {}
+
+  AABB bounds() const noexcept {
+    AABB box;
+    box.expand(a);
+    box.expand(b);
+    box.expand(c);
+    return box;
+  }
+
+  Vec3 centroid() const noexcept { return (a + b + c) / 3.0f; }
+
+  /// Geometric (unnormalized-winding) normal.
+  Vec3 normal() const noexcept { return normalized(cross(b - a, c - a)); }
+
+  float area() const noexcept { return 0.5f * length(cross(b - a, c - a)); }
+
+  bool degenerate() const noexcept { return area() <= 0.0f; }
+};
+
+/// Möller–Trumbore ray/triangle intersection.
+/// On a hit with t in (ray.t_min, ray.t_max), fills t/u/v and returns true.
+bool intersect(const Ray& ray, const Triangle& tri,
+               float& t, float& u, float& v) noexcept;
+
+/// Clips a triangle against an AABB (Sutherland–Hodgman against the 6 slabs)
+/// and returns the bounds of the clipped polygon. This yields the tight
+/// per-node bounds the exact SAH sweep uses; if the triangle misses the box
+/// entirely an empty AABB is returned.
+AABB clipped_bounds(const Triangle& tri, const AABB& box) noexcept;
+
+}  // namespace kdtune

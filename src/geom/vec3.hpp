@@ -1,0 +1,121 @@
+#pragma once
+
+// Minimal 3-component vector used throughout the kd-tree, scene and renderer
+// layers. Deliberately a plain aggregate: builders store millions of these and
+// rely on trivially-copyable semantics for fast partitioning.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+
+namespace kdtune {
+
+/// Axis indices used across the kd-tree code. A split plane is always
+/// axis-aligned, so an axis plus an offset fully describes it.
+enum class Axis : std::uint8_t { X = 0, Y = 1, Z = 2 };
+
+/// Next axis in round-robin order (X -> Y -> Z -> X).
+constexpr Axis next_axis(Axis a) noexcept {
+  return static_cast<Axis>((static_cast<std::uint8_t>(a) + 1u) % 3u);
+}
+
+constexpr int axis_index(Axis a) noexcept { return static_cast<int>(a); }
+
+struct Vec3 {
+  float x = 0.0f;
+  float y = 0.0f;
+  float z = 0.0f;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(float vx, float vy, float vz) : x(vx), y(vy), z(vz) {}
+  constexpr explicit Vec3(float v) : x(v), y(v), z(v) {}
+
+  constexpr float operator[](int i) const noexcept {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+  float& operator[](int i) noexcept { return i == 0 ? x : (i == 1 ? y : z); }
+
+  constexpr float operator[](Axis a) const noexcept {
+    return (*this)[axis_index(a)];
+  }
+  float& operator[](Axis a) noexcept { return (*this)[axis_index(a)]; }
+
+  constexpr Vec3 operator-() const noexcept { return {-x, -y, -z}; }
+
+  constexpr Vec3& operator+=(const Vec3& o) noexcept {
+    x += o.x; y += o.y; z += o.z; return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) noexcept {
+    x -= o.x; y -= o.y; z -= o.z; return *this;
+  }
+  constexpr Vec3& operator*=(float s) noexcept {
+    x *= s; y *= s; z *= s; return *this;
+  }
+  constexpr Vec3& operator/=(float s) noexcept { return *this *= (1.0f / s); }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) noexcept { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) noexcept { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, float s) noexcept { return a *= s; }
+  friend constexpr Vec3 operator*(float s, Vec3 a) noexcept { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, float s) noexcept { return a /= s; }
+  friend constexpr Vec3 operator*(Vec3 a, const Vec3& b) noexcept {
+    return {a.x * b.x, a.y * b.y, a.z * b.z};
+  }
+
+  friend constexpr bool operator==(const Vec3& a, const Vec3& b) noexcept {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+  friend constexpr bool operator!=(const Vec3& a, const Vec3& b) noexcept {
+    return !(a == b);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+    return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+  }
+};
+
+constexpr float dot(const Vec3& a, const Vec3& b) noexcept {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) noexcept {
+  return {a.y * b.z - a.z * b.y,
+          a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+constexpr float length_squared(const Vec3& v) noexcept { return dot(v, v); }
+
+inline float length(const Vec3& v) noexcept { return std::sqrt(length_squared(v)); }
+
+/// Returns v normalized; a zero vector is returned unchanged so callers never
+/// see NaNs from degenerate input.
+inline Vec3 normalized(const Vec3& v) noexcept {
+  const float len = length(v);
+  return len > 0.0f ? v / len : v;
+}
+
+constexpr Vec3 min(const Vec3& a, const Vec3& b) noexcept {
+  return {std::min(a.x, b.x), std::min(a.y, b.y), std::min(a.z, b.z)};
+}
+
+constexpr Vec3 max(const Vec3& a, const Vec3& b) noexcept {
+  return {std::max(a.x, b.x), std::max(a.y, b.y), std::max(a.z, b.z)};
+}
+
+constexpr Vec3 lerp(const Vec3& a, const Vec3& b, float t) noexcept {
+  return a + (b - a) * t;
+}
+
+/// Component with the largest absolute extent; used to pick split axes.
+inline Axis max_axis(const Vec3& v) noexcept {
+  if (v.x >= v.y && v.x >= v.z) return Axis::X;
+  return v.y >= v.z ? Axis::Y : Axis::Z;
+}
+
+inline bool is_finite(const Vec3& v) noexcept {
+  return std::isfinite(v.x) && std::isfinite(v.y) && std::isfinite(v.z);
+}
+
+}  // namespace kdtune

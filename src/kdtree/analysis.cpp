@@ -1,0 +1,86 @@
+#include "kdtree/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+namespace kdtune {
+
+TreeAnalysis analyze_tree(const KdTree& tree,
+                          std::size_t max_leaf_size_bucket) {
+  TreeAnalysis out;
+  out.leaf_size_histogram.assign(max_leaf_size_bucket + 1, 0);
+
+  const auto nodes = tree.nodes();
+  const auto prim_indices = tree.prim_indices();
+  if (nodes.empty()) return out;
+
+  struct Frame {
+    std::uint32_t node;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack{{tree.root(), 0}};
+  std::unordered_set<std::uint32_t> distinct;
+  std::size_t total_refs = 0;
+  std::size_t leaf_count = 0;
+  double depth_sum = 0.0;
+
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const KdNode& node = nodes[f.node];
+    if (node.is_interior()) {
+      stack.push_back({node.a, f.depth + 1});
+      stack.push_back({node.b, f.depth + 1});
+      continue;
+    }
+    ++leaf_count;
+    depth_sum += static_cast<double>(f.depth);
+    if (out.leaf_depth_histogram.size() <= f.depth) {
+      out.leaf_depth_histogram.resize(f.depth + 1, 0);
+    }
+    ++out.leaf_depth_histogram[f.depth];
+
+    const std::size_t bucket =
+        std::min<std::size_t>(node.b, max_leaf_size_bucket);
+    ++out.leaf_size_histogram[bucket];
+    total_refs += node.b;
+    for (std::uint32_t k = 0; k < node.b; ++k) {
+      distinct.insert(prim_indices[node.a + k]);
+    }
+  }
+
+  out.duplication_factor =
+      distinct.empty() ? 0.0
+                       : static_cast<double>(total_refs) /
+                             static_cast<double>(distinct.size());
+  if (leaf_count > 1) {
+    out.balance = (depth_sum / static_cast<double>(leaf_count)) /
+                  std::log2(static_cast<double>(leaf_count));
+  } else {
+    out.balance = 1.0;
+  }
+  return out;
+}
+
+std::string TreeAnalysis::to_string() const {
+  std::ostringstream os;
+  os << "duplication factor " << duplication_factor << ", balance " << balance
+     << "\nleaf depths:";
+  for (std::size_t d = 0; d < leaf_depth_histogram.size(); ++d) {
+    if (leaf_depth_histogram[d] > 0) {
+      os << ' ' << d << ':' << leaf_depth_histogram[d];
+    }
+  }
+  os << "\nleaf sizes:";
+  for (std::size_t k = 0; k < leaf_size_histogram.size(); ++k) {
+    if (leaf_size_histogram[k] > 0) {
+      os << ' ' << k << (k + 1 == leaf_size_histogram.size() ? "+" : "") << ':'
+         << leaf_size_histogram[k];
+    }
+  }
+  return os.str();
+}
+
+}  // namespace kdtune

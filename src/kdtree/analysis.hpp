@@ -1,0 +1,35 @@
+#pragma once
+
+// Tree-quality analysis beyond the scalar TreeStats: leaf-depth and
+// leaf-population histograms, duplication factor, and a balance measure.
+// Used by `kdtune_cli inspect` and the ablation discussions — e.g. how the
+// tuned CI reshapes the leaf-size distribution.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kdtree/tree.hpp"
+
+namespace kdtune {
+
+struct TreeAnalysis {
+  /// histogram[d] = number of leaves at depth d (root = depth 0).
+  std::vector<std::size_t> leaf_depth_histogram;
+  /// histogram[k] = number of leaves holding k primitives (capped; the last
+  /// bucket aggregates everything >= its index).
+  std::vector<std::size_t> leaf_size_histogram;
+  /// Total primitive references / distinct primitives referenced:
+  /// 1.0 = no duplication; kd-trees typically land in 1.3 - 2.5.
+  double duplication_factor = 0.0;
+  /// Mean leaf depth / log2(leaf count): 1.0 = perfectly balanced.
+  double balance = 0.0;
+
+  std::string to_string() const;
+};
+
+/// Analyzes an eager tree. `max_leaf_size_bucket` bounds the size histogram.
+TreeAnalysis analyze_tree(const KdTree& tree,
+                          std::size_t max_leaf_size_bucket = 32);
+
+}  // namespace kdtune

@@ -1,0 +1,353 @@
+#include "kdtree/bfs_builder.hpp"
+
+#include <array>
+#include <atomic>
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_reduce.hpp"
+
+namespace kdtune {
+
+namespace {
+
+struct ActiveNode {
+  std::uint32_t node;   ///< index into the output node array
+  AABB box;
+  std::size_t first;    ///< instance range in the level's instance arrays
+  std::size_t count;
+  int depth;
+};
+
+enum class Action : std::uint8_t { kLeaf, kDefer, kSplit };
+
+struct Decision {
+  Action action = Action::kLeaf;
+  SplitCandidate split;
+  std::size_t nl = 0;  ///< exact left instance count (straddlers included)
+  std::size_t nr = 0;
+};
+
+struct BinSet {
+  static constexpr int kMaxBins = 64;
+  std::array<std::array<std::uint32_t, kMaxBins>, 3> enter{};
+  std::array<std::array<std::uint32_t, kMaxBins>, 3> exit{};
+
+  friend BinSet merge(BinSet a, const BinSet& b) {
+    for (int ax = 0; ax < 3; ++ax) {
+      for (int k = 0; k < kMaxBins; ++k) {
+        a.enter[ax][k] += b.enter[ax][k];
+        a.exit[ax][k] += b.exit[ax][k];
+      }
+    }
+    return a;
+  }
+};
+
+struct LevelArrays {
+  std::vector<std::uint32_t> tri;
+  std::vector<AABB> box;
+};
+
+class BfsBuild {
+ public:
+  BfsBuild(std::span<const Triangle> tris, const BuildConfig& config,
+           ThreadPool& pool, std::int64_t defer_below)
+      : tris_(tris), config_(config), pool_(pool), defer_below_(defer_below),
+        sah_(SahParams::from_config(config)),
+        bin_count_(std::clamp(config.bin_count, 4, BinSet::kMaxBins)) {}
+
+  BfsResult run() {
+    BfsResult out;
+    std::vector<PrimRef> refs = make_prim_refs(tris_);
+    out.bounds = bounds_of_refs(refs);
+    max_depth_ = config_.resolved_max_depth(refs.size());
+
+    LevelArrays current;
+    current.tri.reserve(refs.size());
+    current.box.reserve(refs.size());
+    for (const PrimRef& r : refs) {
+      current.tri.push_back(r.tri);
+      current.box.push_back(r.bounds);
+    }
+
+    out.tree.nodes.emplace_back();  // root placeholder
+    out.tree.root = 0;
+    std::vector<ActiveNode> active{
+        {0, out.bounds, 0, current.tri.size(), 0}};
+
+    while (!active.empty()) {
+      // Phase A: per-node plane selection + exact child counts (parallel
+      // across nodes; across primitives inside wide nodes).
+      std::vector<Decision> decisions(active.size());
+      parallel_for(pool_, 0, active.size(), 1, [&](std::size_t i) {
+        decisions[i] = decide(active[i], current);
+      });
+
+      // Phase B (sequential, cheap): emit leaves, allocate children and the
+      // next level's instance ranges.
+      std::vector<ActiveNode> next_active;
+      LevelArrays next;
+      std::size_t next_total = 0;
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        if (decisions[i].action == Action::kSplit) {
+          next_total += decisions[i].nl + decisions[i].nr;
+        }
+      }
+      next.tri.resize(next_total);
+      next.box.resize(next_total);
+
+      struct Scatter {
+        std::size_t active_index;
+        std::size_t l_first, r_first;
+      };
+      std::vector<Scatter> scatters;
+      std::size_t offset = 0;
+
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const ActiveNode& an = active[i];
+        const Decision& d = decisions[i];
+        if (d.action != Action::kSplit) {
+          emit_leaf(out, an, current, d.action == Action::kDefer);
+          continue;
+        }
+
+        const auto [lbox, rbox] = an.box.split(d.split.axis, d.split.position);
+        const auto left_node =
+            static_cast<std::uint32_t>(out.tree.nodes.size());
+        out.tree.nodes.emplace_back();
+        const auto right_node =
+            static_cast<std::uint32_t>(out.tree.nodes.size());
+        out.tree.nodes.emplace_back();
+        out.tree.nodes[an.node] = KdNode::make_interior(
+            d.split.axis, d.split.position, left_node, right_node);
+
+        scatters.push_back({i, offset, offset + d.nl});
+        next_active.push_back({left_node, lbox, offset, d.nl, an.depth + 1});
+        next_active.push_back(
+            {right_node, rbox, offset + d.nl, d.nr, an.depth + 1});
+        offset += d.nl + d.nr;
+      }
+
+      // Phase C: scatter instances into the children's ranges (parallel
+      // across nodes; atomic cursors inside wide nodes).
+      parallel_for(pool_, 0, scatters.size(), 1, [&](std::size_t s) {
+        const Scatter& sc = scatters[s];
+        scatter(active[sc.active_index], decisions[sc.active_index], current,
+                next, sc.l_first, sc.r_first);
+      });
+
+      // Children that came out empty are finalized as empty leaves here
+      // (they never need another level).
+      std::vector<ActiveNode> pruned;
+      pruned.reserve(next_active.size());
+      for (const ActiveNode& an : next_active) {
+        if (an.count == 0) {
+          out.tree.nodes[an.node] = KdNode::make_leaf(
+              static_cast<std::uint32_t>(out.tree.prim_indices.size()), 0);
+        } else {
+          pruned.push_back(an);
+        }
+      }
+
+      active = std::move(pruned);
+      current = std::move(next);
+    }
+    return out;
+  }
+
+ private:
+  Decision decide(const ActiveNode& an, const LevelArrays& level) {
+    Decision d;
+    if (an.count <= 1 || an.depth >= max_depth_) return d;  // leaf
+    if (defer_below_ > 0 &&
+        an.count < static_cast<std::size_t>(defer_below_)) {
+      d.action = Action::kDefer;
+      return d;
+    }
+
+    const SplitCandidate best = best_binned_split(an, level);
+    if (should_terminate(sah_, an.count, best)) return d;  // leaf
+
+    d.action = Action::kSplit;
+    d.split = best;
+    // Exact child counts (the binned counts are approximate): one
+    // classification pass.
+    std::size_t nl = 0, nr = 0;
+    const auto count_fn = [&](std::size_t b, std::size_t e) {
+      std::pair<std::size_t, std::size_t> c{0, 0};
+      for (std::size_t k = b; k < e; ++k) {
+        const Side side = classify_box(level.box[an.first + k], best);
+        if (side != Side::kRight) ++c.first;
+        if (side != Side::kLeft) ++c.second;
+      }
+      return c;
+    };
+    if (an.count >= config_.wide_node_threshold) {
+      const auto c = parallel_reduce<std::pair<std::size_t, std::size_t>>(
+          pool_, 0, an.count, 8192, {0, 0}, count_fn,
+          [](auto a, auto b) {
+            return std::pair<std::size_t, std::size_t>{a.first + b.first,
+                                                       a.second + b.second};
+          });
+      nl = c.first;
+      nr = c.second;
+    } else {
+      const auto c = count_fn(0, an.count);
+      nl = c.first;
+      nr = c.second;
+    }
+    d.nl = nl;
+    d.nr = nr;
+    return d;
+  }
+
+  static Side classify_box(const AABB& box, const SplitCandidate& split) noexcept {
+    const float lo = box.lo[split.axis];
+    const float hi = box.hi[split.axis];
+    if (lo == split.position && hi == split.position) {
+      return split.planar_left ? Side::kLeft : Side::kRight;
+    }
+    if (hi <= split.position) return Side::kLeft;
+    if (lo >= split.position) return Side::kRight;
+    return Side::kBoth;
+  }
+
+  SplitCandidate best_binned_split(const ActiveNode& an,
+                                   const LevelArrays& level) {
+    const int k = bin_count_;
+    const Vec3 ext = an.box.extent();
+    const Vec3 inv_width{
+        ext.x > 0.0f ? static_cast<float>(k) / ext.x : 0.0f,
+        ext.y > 0.0f ? static_cast<float>(k) / ext.y : 0.0f,
+        ext.z > 0.0f ? static_cast<float>(k) / ext.z : 0.0f};
+
+    const auto bin_of = [&](float v, Axis axis) {
+      const int b = static_cast<int>((v - an.box.lo[axis]) * inv_width[axis]);
+      return std::clamp(b, 0, k - 1);
+    };
+
+    const auto accumulate = [&](std::size_t b, std::size_t e) {
+      BinSet bins;
+      for (std::size_t i = b; i < e; ++i) {
+        const AABB& box = level.box[an.first + i];
+        for (int ax = 0; ax < 3; ++ax) {
+          const Axis axis = static_cast<Axis>(ax);
+          ++bins.enter[ax][static_cast<std::size_t>(bin_of(box.lo[axis], axis))];
+          ++bins.exit[ax][static_cast<std::size_t>(bin_of(box.hi[axis], axis))];
+        }
+      }
+      return bins;
+    };
+
+    BinSet bins;
+    if (an.count >= config_.wide_node_threshold) {
+      bins = parallel_reduce<BinSet>(
+          pool_, 0, an.count, 8192, BinSet{}, accumulate,
+          [](const BinSet& a, const BinSet& b) { return merge(a, b); });
+    } else {
+      bins = accumulate(0, an.count);
+    }
+
+    SplitCandidate best;
+    for (int ax = 0; ax < 3; ++ax) {
+      const Axis axis = static_cast<Axis>(ax);
+      if (an.box.lo[axis] >= an.box.hi[axis]) continue;
+      const float width = ext[axis] / static_cast<float>(k);
+      std::size_t nl = 0;
+      std::size_t nr = an.count;
+      for (int j = 1; j < k; ++j) {
+        nl += bins.enter[ax][static_cast<std::size_t>(j - 1)];
+        nr -= bins.exit[ax][static_cast<std::size_t>(j - 1)];
+        const float pos = an.box.lo[axis] + width * static_cast<float>(j);
+        const SplitCandidate cand = evaluate_plane(sah_, an.box, axis, pos, nl,
+                                                   0, nr, an.count);
+        if (cand.cost < best.cost) best = cand;
+      }
+    }
+    return best;
+  }
+
+  void emit_leaf(BfsResult& out, const ActiveNode& an,
+                 const LevelArrays& level, bool deferred) {
+    const auto first = static_cast<std::uint32_t>(out.tree.prim_indices.size());
+    for (std::size_t i = 0; i < an.count; ++i) {
+      out.tree.prim_indices.push_back(level.tri[an.first + i]);
+    }
+    const auto count = static_cast<std::uint32_t>(an.count);
+    if (deferred) {
+      out.tree.nodes[an.node] = KdNode::make_deferred(first, count);
+      out.deferred_bounds.emplace(an.node, an.box);
+    } else {
+      out.tree.nodes[an.node] = KdNode::make_leaf(first, count);
+    }
+  }
+
+  void scatter(const ActiveNode& an, const Decision& d, const LevelArrays& cur,
+               LevelArrays& next, std::size_t l_first, std::size_t r_first) {
+    const auto [lbox, rbox] = an.box.split(d.split.axis, d.split.position);
+    const auto place = [&](std::size_t idx, std::size_t li, std::size_t ri) {
+      const std::uint32_t tri = cur.tri[an.first + idx];
+      const AABB& box = cur.box[an.first + idx];
+      switch (classify_box(box, d.split)) {
+        case Side::kLeft:
+          next.tri[li] = tri;
+          next.box[li] = box;
+          break;
+        case Side::kRight:
+          next.tri[ri] = tri;
+          next.box[ri] = box;
+          break;
+        case Side::kBoth:
+          // Child bounds are clipped to the child boxes; unlike the exact
+          // sweep path the triangle is not re-clipped (standard for binned
+          // breadth-first builders; the intersection is never empty because
+          // straddlers satisfy lo < pos < hi).
+          next.tri[li] = tri;
+          next.box[li] = AABB::intersect(box, lbox);
+          next.tri[ri] = tri;
+          next.box[ri] = AABB::intersect(box, rbox);
+          break;
+      }
+    };
+
+    if (an.count >= config_.wide_node_threshold) {
+      std::atomic<std::size_t> lc{l_first}, rc{r_first};
+      parallel_for(pool_, 0, an.count, 8192, [&](std::size_t i) {
+        const Side side = classify_box(cur.box[an.first + i], d.split);
+        const std::size_t li = side != Side::kRight
+                                   ? lc.fetch_add(1, std::memory_order_relaxed)
+                                   : 0;
+        const std::size_t ri = side != Side::kLeft
+                                   ? rc.fetch_add(1, std::memory_order_relaxed)
+                                   : 0;
+        place(i, li, ri);
+      });
+    } else {
+      std::size_t li = l_first, ri = r_first;
+      for (std::size_t i = 0; i < an.count; ++i) {
+        const Side side = classify_box(cur.box[an.first + i], d.split);
+        place(i, li, ri);
+        if (side != Side::kRight) ++li;
+        if (side != Side::kLeft) ++ri;
+      }
+    }
+  }
+
+  std::span<const Triangle> tris_;
+  const BuildConfig& config_;
+  ThreadPool& pool_;
+  std::int64_t defer_below_;
+  SahParams sah_;
+  int bin_count_;
+  int max_depth_ = 0;
+};
+
+}  // namespace
+
+BfsResult bfs_build(std::span<const Triangle> tris, const BuildConfig& config,
+                    ThreadPool& pool, std::int64_t defer_below) {
+  return BfsBuild(tris, config, pool, defer_below).run();
+}
+
+}  // namespace kdtune

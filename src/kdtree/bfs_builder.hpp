@@ -1,0 +1,36 @@
+#pragma once
+
+// Breadth-first, level-at-a-time construction core shared by the in-place
+// parallel builder (paper §IV-C) and the lazy builder's top phase (§IV-D).
+// Primitive instances carry their node membership ("keeping track of the
+// nodes each triangle belongs to"); each level runs two parallel phases:
+// per-node binned SAH plane selection, then classification of every instance
+// into the next level's child nodes. Parallelism is across nodes at deep
+// levels and across primitives inside large nodes near the root.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kdtree/build_common.hpp"
+#include "kdtree/builder.hpp"
+#include "kdtree/tree.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace kdtune {
+
+/// Result of the BFS core: a flat tree where nodes with fewer than
+/// `defer_below` primitives were left as deferred pseudo-leaves (flags ==
+/// KdNode::kDeferred) whose node bounds are recorded in `deferred_bounds`.
+/// With defer_below == 0 nothing is deferred and the result is a complete
+/// eager tree.
+struct BfsResult {
+  FlatTree tree;
+  AABB bounds;
+  std::unordered_map<std::uint32_t, AABB> deferred_bounds;
+};
+
+BfsResult bfs_build(std::span<const Triangle> tris, const BuildConfig& config,
+                    ThreadPool& pool, std::int64_t defer_below);
+
+}  // namespace kdtune

@@ -1,0 +1,182 @@
+#include "kdtree/build_common.hpp"
+
+#include <algorithm>
+
+namespace kdtune {
+
+std::vector<PrimRef> make_prim_refs(std::span<const Triangle> tris) {
+  std::vector<PrimRef> refs;
+  refs.reserve(tris.size());
+  for (std::size_t i = 0; i < tris.size(); ++i) {
+    if (tris[i].degenerate()) continue;  // zero-area: never hit, never stored
+    refs.push_back({static_cast<std::uint32_t>(i), tris[i].bounds()});
+  }
+  return refs;
+}
+
+AABB bounds_of_refs(std::span<const PrimRef> prims) noexcept {
+  AABB box;
+  for (const PrimRef& p : prims) box.expand(p.bounds);
+  return box;
+}
+
+void make_events(std::span<const PrimRef> prims, Axis axis,
+                 std::vector<SahEvent>& events) {
+  events.clear();
+  events.reserve(prims.size() * 2);
+  for (std::uint32_t i = 0; i < prims.size(); ++i) {
+    const float lo = prims[i].bounds.lo[axis];
+    const float hi = prims[i].bounds.hi[axis];
+    if (lo == hi) {
+      events.push_back({lo, i, SahEvent::kPlanar});
+    } else {
+      events.push_back({lo, i, SahEvent::kStart});
+      events.push_back({hi, i, SahEvent::kEnd});
+    }
+  }
+}
+
+void sweep_axis(const SahParams& sah, const AABB& node_bounds, Axis axis,
+                std::span<const SahEvent> events, std::size_t nb,
+                SplitCandidate& best) {
+  std::size_t nl = 0;
+  std::size_t nr = nb;
+  std::size_t i = 0;
+  const std::size_t n = events.size();
+  while (i < n) {
+    const float pos = events[i].position;
+    std::size_t ends = 0, planars = 0, starts = 0;
+    // Events are grouped by position; within a group the order is
+    // End < Planar < Start.
+    while (i < n && events[i].position == pos && events[i].type == SahEvent::kEnd) {
+      ++ends;
+      ++i;
+    }
+    while (i < n && events[i].position == pos &&
+           events[i].type == SahEvent::kPlanar) {
+      ++planars;
+      ++i;
+    }
+    while (i < n && events[i].position == pos &&
+           events[i].type == SahEvent::kStart) {
+      ++starts;
+      ++i;
+    }
+
+    // Primitives ending here or lying in the plane leave the right side
+    // before the plane is evaluated.
+    nr -= ends + planars;
+    const SplitCandidate cand =
+        evaluate_plane(sah, node_bounds, axis, pos, nl, planars, nr, nb);
+    if (cand.cost < best.cost) best = cand;
+    // Primitives starting here or lying in the plane join the left side
+    // for all later planes.
+    nl += starts + planars;
+  }
+}
+
+SplitCandidate find_best_split_sweep(const SahParams& sah,
+                                     const AABB& node_bounds,
+                                     std::span<const PrimRef> prims) {
+  SplitCandidate best;
+  std::vector<SahEvent> events;
+  for (int a = 0; a < 3; ++a) {
+    const Axis axis = static_cast<Axis>(a);
+    if (node_bounds.lo[axis] >= node_bounds.hi[axis]) continue;  // flat node
+    make_events(prims, axis, events);
+    std::sort(events.begin(), events.end());
+    sweep_axis(sah, node_bounds, axis, events, prims.size(), best);
+  }
+  return best;
+}
+
+Side classify(const PrimRef& prim, const SplitCandidate& split) noexcept {
+  const float lo = prim.bounds.lo[split.axis];
+  const float hi = prim.bounds.hi[split.axis];
+  const float pos = split.position;
+  if (lo == pos && hi == pos) {
+    return split.planar_left ? Side::kLeft : Side::kRight;
+  }
+  if (hi <= pos) return Side::kLeft;
+  if (lo >= pos) return Side::kRight;
+  return Side::kBoth;
+}
+
+void partition_prims(std::span<const PrimRef> prims,
+                     std::span<const Triangle> tris,
+                     const SplitCandidate& split, const AABB& left_box,
+                     const AABB& right_box, std::vector<PrimRef>& left,
+                     std::vector<PrimRef>& right, bool clip_straddlers) {
+  left.clear();
+  right.clear();
+  left.reserve(split.nl);
+  right.reserve(split.nr);
+  for (const PrimRef& prim : prims) {
+    switch (classify(prim, split)) {
+      case Side::kLeft:
+        left.push_back(prim);
+        break;
+      case Side::kRight:
+        right.push_back(prim);
+        break;
+      case Side::kBoth: {
+        if (clip_straddlers) {
+          // Perfect split: re-clip the triangle to each child box so later
+          // plane positions stay tight. Empty clips (the triangle only
+          // grazes the plane) are dropped.
+          const AABB lb = clipped_bounds(tris[prim.tri], left_box);
+          if (!lb.empty()) left.push_back({prim.tri, lb});
+          const AABB rb = clipped_bounds(tris[prim.tri], right_box);
+          if (!rb.empty()) right.push_back({prim.tri, rb});
+        } else {
+          left.push_back({prim.tri, AABB::intersect(prim.bounds, left_box)});
+          right.push_back({prim.tri, AABB::intersect(prim.bounds, right_box)});
+        }
+        break;
+      }
+    }
+  }
+}
+
+std::unique_ptr<BuildNode> BuildNode::make_leaf(std::span<const PrimRef> refs) {
+  auto node = std::make_unique<BuildNode>();
+  node->leaf = true;
+  node->prims.reserve(refs.size());
+  for (const PrimRef& r : refs) node->prims.push_back(r.tri);
+  // A triangle can reach the same leaf through both children of an ancestor
+  // split (it was duplicated, then the regions merged back); deduplicate so
+  // leaves never test a triangle twice.
+  std::sort(node->prims.begin(), node->prims.end());
+  node->prims.erase(std::unique(node->prims.begin(), node->prims.end()),
+                    node->prims.end());
+  return node;
+}
+
+namespace {
+
+std::uint32_t flatten_into(const BuildNode& node, FlatTree& out) {
+  const auto index = static_cast<std::uint32_t>(out.nodes.size());
+  out.nodes.emplace_back();
+  if (node.leaf) {
+    const auto first = static_cast<std::uint32_t>(out.prim_indices.size());
+    out.prim_indices.insert(out.prim_indices.end(), node.prims.begin(),
+                            node.prims.end());
+    out.nodes[index] =
+        KdNode::make_leaf(first, static_cast<std::uint32_t>(node.prims.size()));
+    return index;
+  }
+  const std::uint32_t left = flatten_into(*node.left, out);
+  const std::uint32_t right = flatten_into(*node.right, out);
+  out.nodes[index] = KdNode::make_interior(node.axis, node.split, left, right);
+  return index;
+}
+
+}  // namespace
+
+FlatTree flatten(const BuildNode& root) {
+  FlatTree out;
+  out.root = flatten_into(root, out);
+  return out;
+}
+
+}  // namespace kdtune

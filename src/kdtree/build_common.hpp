@@ -1,0 +1,97 @@
+#pragma once
+
+// Machinery shared by the recursive (depth-first) builders: primitive
+// references with clipped bounds, the per-node SAH event sweep (Wald & Havran
+// style plane selection with "perfect split" clipping), classification /
+// partitioning, and the pointer-tree -> flat-array flattening step.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/triangle.hpp"
+#include "kdtree/nodes.hpp"
+#include "kdtree/sah.hpp"
+
+namespace kdtune {
+
+/// A primitive inside one build node: triangle id + bounds clipped to the
+/// node ("perfect splits" keep SAH event positions tight).
+struct PrimRef {
+  std::uint32_t tri = 0;
+  AABB bounds;
+};
+
+std::vector<PrimRef> make_prim_refs(std::span<const Triangle> tris);
+
+AABB bounds_of_refs(std::span<const PrimRef> prims) noexcept;
+
+/// One SAH sweep event. Sort order at equal positions is End < Planar <
+/// Start, which makes the sweep counts exact at shared plane positions.
+struct SahEvent {
+  enum Type : std::uint8_t { kEnd = 0, kPlanar = 1, kStart = 2 };
+
+  float position = 0.0f;
+  std::uint32_t prim = 0;  ///< index into the node's PrimRef array
+  Type type = kStart;
+
+  friend bool operator<(const SahEvent& a, const SahEvent& b) noexcept {
+    if (a.position != b.position) return a.position < b.position;
+    return a.type < b.type;
+  }
+};
+
+/// Fills `events` (cleared first) with the events of `prims` along `axis`.
+void make_events(std::span<const PrimRef> prims, Axis axis,
+                 std::vector<SahEvent>& events);
+
+/// Sweeps sorted `events` and returns the best plane on this axis (merged into
+/// `best` only if cheaper). `nb` is the node's primitive count.
+void sweep_axis(const SahParams& sah, const AABB& node_bounds, Axis axis,
+                std::span<const SahEvent> events, std::size_t nb,
+                SplitCandidate& best);
+
+/// Full sequential plane search: all three axes, O(n log n) per node
+/// (re-sorts events; the recursion over it is O(n log^2 n) total).
+SplitCandidate find_best_split_sweep(const SahParams& sah,
+                                     const AABB& node_bounds,
+                                     std::span<const PrimRef> prims);
+
+/// Which side of a chosen plane a primitive belongs to.
+enum class Side : std::uint8_t { kLeft, kRight, kBoth };
+
+Side classify(const PrimRef& prim, const SplitCandidate& split) noexcept;
+
+/// Splits `prims` into child lists. With `clip_straddlers` (the default,
+/// "perfect splits"), straddling primitives are re-clipped against the child
+/// boxes and clips that come up empty are dropped; without it their bounds
+/// are merely intersected with the child box (cheaper, looser).
+void partition_prims(std::span<const PrimRef> prims,
+                     std::span<const Triangle> tris,
+                     const SplitCandidate& split, const AABB& left_box,
+                     const AABB& right_box, std::vector<PrimRef>& left,
+                     std::vector<PrimRef>& right, bool clip_straddlers = true);
+
+/// Pointer-based node produced by recursive builders, flattened at the end.
+struct BuildNode {
+  bool leaf = true;
+  Axis axis = Axis::X;
+  float split = 0.0f;
+  std::unique_ptr<BuildNode> left;
+  std::unique_ptr<BuildNode> right;
+  std::vector<std::uint32_t> prims;  ///< triangle ids (leaves only)
+
+  static std::unique_ptr<BuildNode> make_leaf(std::span<const PrimRef> refs);
+};
+
+struct FlatTree {
+  std::vector<KdNode> nodes;
+  std::vector<std::uint32_t> prim_indices;
+  std::uint32_t root = 0;
+};
+
+/// DFS pre-order flattening of a pointer tree.
+FlatTree flatten(const BuildNode& root);
+
+}  // namespace kdtune

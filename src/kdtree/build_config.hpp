@@ -1,0 +1,78 @@
+#pragma once
+
+// The tunable build configuration — exactly the parameter set of the paper's
+// Tables I/II. The autotuner registers pointers to these fields; builders
+// read them per build.
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+
+namespace kdtune {
+
+struct BuildConfig {
+  // --- Tunable parameters (Table I) -------------------------------------
+  /// CI: SAH cost of intersecting a triangle. Tuning range [3, 101].
+  std::int64_t ci = 17;
+  /// CB: SAH cost of duplicating a primitive across a split. Range [0, 60].
+  std::int64_t cb = 10;
+  /// S: maximum number of subtrees per thread; bounds the task-spawn depth of
+  /// the node-level/nested builders. Range [1, 8].
+  std::int64_t s = 3;
+  /// R: minimal resolution of a lazy node (primitive count below which
+  /// construction is deferred). Range [16, 8192], powers of two.
+  std::int64_t r = 4096;
+
+  // --- Fixed constants ----------------------------------------------------
+  /// CT: cost of traversing an inner node. CI and CB are only meaningful
+  /// relative to CT, so the paper fixes it at 10.
+  static constexpr double kCt = 10.0;
+
+  // --- Non-tunable build controls ------------------------------------------
+  /// Hard recursion cap; 0 = automatic (8 + 1.3 * log2(n), the standard
+  /// kd-tree depth bound) as a safety net against adversarial geometry.
+  int max_depth = 0;
+
+  /// Number of SAH bins used by the breadth-first (in-place / lazy) builders.
+  int bin_count = 32;
+
+  /// Wald & Havran's empty-space bonus: a plane that cuts off an empty child
+  /// has its cost scaled by (1 - empty_bonus). 0 disables (the paper's
+  /// equation 1 has no bonus term); the ablation bench sweeps it.
+  double empty_bonus = 0.0;
+
+  /// "Perfect splits": re-clip straddling triangles to the child boxes so
+  /// later SAH plane positions stay tight. Disabling falls back to plain
+  /// AABB intersection (faster partitioning, looser trees) — an ablation.
+  bool clip_straddlers = true;
+
+  /// Nested builder: minimum primitives in a node before intra-node
+  /// parallelism (the chunked prefix operations) pays for itself.
+  std::size_t nested_threshold = 8192;
+
+  /// BFS builders: minimum primitives in a node before its binning/scatter
+  /// phases parallelize across primitives rather than across nodes.
+  std::size_t wide_node_threshold = 65536;
+
+  int resolved_max_depth(std::size_t prim_count) const noexcept;
+
+  friend std::ostream& operator<<(std::ostream& os, const BuildConfig& c) {
+    return os << "{CI=" << c.ci << ", CB=" << c.cb << ", S=" << c.s
+              << ", R=" << c.r << '}';
+  }
+
+  friend bool operator==(const BuildConfig& a, const BuildConfig& b) noexcept {
+    return a.ci == b.ci && a.cb == b.cb && a.s == b.s && a.r == b.r &&
+           a.max_depth == b.max_depth && a.bin_count == b.bin_count &&
+           a.empty_bonus == b.empty_bonus &&
+           a.clip_straddlers == b.clip_straddlers &&
+           a.nested_threshold == b.nested_threshold &&
+           a.wide_node_threshold == b.wide_node_threshold;
+  }
+};
+
+/// The paper's manually crafted base configuration
+/// C_base = (17, 10, 3, 2^12), drawn from literature best practices.
+inline constexpr BuildConfig kBaseConfig{};
+
+}  // namespace kdtune

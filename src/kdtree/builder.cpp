@@ -1,0 +1,46 @@
+#include "kdtree/builder.hpp"
+
+#include <stdexcept>
+
+namespace kdtune {
+
+// Defined in the respective *_builder.cpp translation units.
+std::unique_ptr<Builder> make_nodelevel_builder();
+std::unique_ptr<Builder> make_nested_builder();
+std::unique_ptr<Builder> make_inplace_builder();
+std::unique_ptr<Builder> make_lazy_builder();
+
+std::string_view to_string(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::kNodeLevel: return "node-level";
+    case Algorithm::kNested: return "nested";
+    case Algorithm::kInPlace: return "in-place";
+    case Algorithm::kLazy: return "lazy";
+  }
+  return "?";
+}
+
+Algorithm algorithm_from_string(std::string_view name) {
+  if (name == "node-level" || name == "nodelevel") return Algorithm::kNodeLevel;
+  if (name == "nested") return Algorithm::kNested;
+  if (name == "in-place" || name == "inplace") return Algorithm::kInPlace;
+  if (name == "lazy") return Algorithm::kLazy;
+  throw std::invalid_argument("unknown algorithm: " + std::string(name));
+}
+
+std::vector<Algorithm> all_algorithms() {
+  return {Algorithm::kNodeLevel, Algorithm::kNested, Algorithm::kInPlace,
+          Algorithm::kLazy};
+}
+
+std::unique_ptr<Builder> make_builder(Algorithm a) {
+  switch (a) {
+    case Algorithm::kNodeLevel: return make_nodelevel_builder();
+    case Algorithm::kNested: return make_nested_builder();
+    case Algorithm::kInPlace: return make_inplace_builder();
+    case Algorithm::kLazy: return make_lazy_builder();
+  }
+  throw std::invalid_argument("unknown algorithm id");
+}
+
+}  // namespace kdtune

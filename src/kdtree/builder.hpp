@@ -1,0 +1,52 @@
+#pragma once
+
+// Builder interface and registry. The paper evaluates four parallel builders
+// (node-level, nested, in-place, lazy); the library additionally ships three
+// sequential reference builders (median split, SAH sweep, O(n log n) event
+// build) used as baselines and as the lazy tree's expansion engine.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geom/triangle.hpp"
+#include "kdtree/build_config.hpp"
+#include "kdtree/tree.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace kdtune {
+
+class Builder {
+ public:
+  virtual ~Builder() = default;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// True if the builder uses the lazy parameter R (Table Ib vs Ia).
+  virtual bool uses_lazy_resolution() const noexcept { return false; }
+
+  /// Builds a tree over a copy of `tris`. Thread-safe: one builder instance
+  /// may run concurrent builds.
+  virtual std::unique_ptr<KdTreeBase> build(std::span<const Triangle> tris,
+                                            const BuildConfig& config,
+                                            ThreadPool& pool) const = 0;
+};
+
+/// The paper's four algorithm ids, in its order.
+enum class Algorithm { kNodeLevel, kNested, kInPlace, kLazy };
+
+std::string_view to_string(Algorithm a) noexcept;
+Algorithm algorithm_from_string(std::string_view name);
+std::vector<Algorithm> all_algorithms();
+
+/// Factory for the paper's four algorithms.
+std::unique_ptr<Builder> make_builder(Algorithm a);
+
+/// Factories for the sequential reference builders.
+std::unique_ptr<Builder> make_median_builder();
+std::unique_ptr<Builder> make_sweep_builder();
+std::unique_ptr<Builder> make_event_builder();
+
+}  // namespace kdtune

@@ -1,0 +1,83 @@
+#include "kdtree/dot_export.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace kdtune {
+
+namespace {
+
+const char* axis_name(Axis a) {
+  switch (a) {
+    case Axis::X: return "x";
+    case Axis::Y: return "y";
+    default: return "z";
+  }
+}
+
+}  // namespace
+
+void export_dot(std::ostream& out, const KdTree& tree, DotOptions opts) {
+  const auto nodes = tree.nodes();
+  out << "digraph kdtree {\n"
+      << "  node [shape=box, fontsize=10];\n";
+
+  struct Frame {
+    std::uint32_t node;
+    std::size_t depth;
+    AABB box;
+  };
+  std::vector<Frame> stack{{tree.root(), 0, tree.bounds()}};
+  const double root_volume = tree.bounds().volume();
+
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const KdNode& node = nodes[f.node];
+
+    std::string label;
+    if (node.is_leaf()) {
+      label = "leaf\\n" + std::to_string(node.b) + " prims";
+    } else if (node.is_deferred()) {
+      label = "deferred\\n" + std::to_string(node.b) + " prims";
+    } else {
+      label = std::string(axis_name(node.axis())) + " @ " +
+              std::to_string(node.split);
+    }
+    if (opts.show_bounds && root_volume > 0.0) {
+      const double share = f.box.volume() / root_volume * 100.0;
+      label += "\\n" + std::to_string(share).substr(0, 4) + "% vol";
+    }
+
+    out << "  n" << f.node << " [label=\"" << label << "\"";
+    if (node.is_leaf() && node.b == 0) out << ", style=dotted";
+    if (node.is_leaf() && node.b > 0) out << ", style=filled, fillcolor=\"#e8f0fe\"";
+    out << "];\n";
+
+    if (!node.is_interior()) continue;
+    if (opts.max_depth > 0 && f.depth + 1 >= opts.max_depth) {
+      // Collapse both subtrees.
+      out << "  c" << f.node
+          << " [label=\"...\", shape=plaintext];\n  n" << f.node << " -> c"
+          << f.node << " [style=dashed];\n";
+      continue;
+    }
+    const auto [lbox, rbox] = f.box.split(node.axis(), node.split);
+    out << "  n" << f.node << " -> n" << node.a << ";\n";
+    out << "  n" << f.node << " -> n" << node.b << ";\n";
+    stack.push_back({node.a, f.depth + 1, lbox});
+    stack.push_back({node.b, f.depth + 1, rbox});
+  }
+  out << "}\n";
+}
+
+void export_dot_file(const std::string& path, const KdTree& tree,
+                     DotOptions opts) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  export_dot(out, tree, opts);
+}
+
+}  // namespace kdtune

@@ -1,0 +1,26 @@
+#pragma once
+
+// Graphviz export of (small) kd-trees, for debugging and documentation:
+// interior nodes show axis/offset, leaves show their primitive count.
+//   dot -Tsvg tree.dot -o tree.svg
+
+#include <iosfwd>
+#include <string>
+
+#include "kdtree/tree.hpp"
+
+namespace kdtune {
+
+struct DotOptions {
+  /// Nodes beyond this depth are collapsed into "..." placeholders so big
+  /// trees stay renderable. 0 = no limit.
+  std::size_t max_depth = 8;
+  /// Include each node's box volume share as a tooltip-style label.
+  bool show_bounds = false;
+};
+
+void export_dot(std::ostream& out, const KdTree& tree, DotOptions opts = {});
+void export_dot_file(const std::string& path, const KdTree& tree,
+                     DotOptions opts = {});
+
+}  // namespace kdtune

@@ -1,0 +1,241 @@
+// O(n log n) SAH build (Wald & Havran 2006, "On building fast kd-trees for
+// ray tracing, and on doing that in O(N log N)"): events are generated and
+// sorted exactly once at the root; every recursion step reuses the sort by
+// *splicing* the per-axis event lists — stable-filtering events whose
+// primitive went entirely left or right, and merging in freshly generated
+// (small) event lists for straddling primitives re-clipped to the child
+// boxes. The paper's node-level algorithm is the parallel form of this
+// builder; here it serves as the sequential reference whose asymptotics the
+// ablation benchmarks measure against the O(n log^2 n) re-sorting sweep.
+
+#include <algorithm>
+#include <array>
+
+#include "kdtree/build_common.hpp"
+#include "kdtree/builder.hpp"
+#include "kdtree/recursive_builder.hpp"
+
+namespace kdtune {
+
+namespace {
+
+using EventLists = std::array<std::vector<SahEvent>, 3>;
+
+enum class PrimSide : std::uint8_t { kBoth = 0, kLeft = 1, kRight = 2 };
+
+/// Number of distinct primitives in a per-axis event list: every primitive
+/// contributes exactly one Start or one Planar event per axis.
+std::size_t count_prims(const std::vector<SahEvent>& axis_events) noexcept {
+  std::size_t n = 0;
+  for (const SahEvent& e : axis_events) {
+    n += e.type != SahEvent::kEnd;
+  }
+  return n;
+}
+
+class EventBuildContext {
+ public:
+  EventBuildContext(std::span<const Triangle> tris, const SahParams& sah,
+                    int max_depth)
+      : tris_(tris), sah_(sah), max_depth_(max_depth),
+        side_(tris.size(), PrimSide::kBoth) {}
+
+  std::unique_ptr<BuildNode> build(EventLists events, std::size_t nb,
+                                   const AABB& box, int depth) {
+    if (nb <= 1 || depth >= max_depth_) return make_leaf(events[0]);
+
+    SplitCandidate best;
+    for (int a = 0; a < 3; ++a) {
+      const Axis axis = static_cast<Axis>(a);
+      if (box.lo[axis] >= box.hi[axis]) continue;
+      sweep_axis(sah_, box, axis, events[a], nb, best);
+    }
+    if (should_terminate(sah_, nb, best)) return make_leaf(events[0]);
+
+    const auto [lbox, rbox] = box.split(best.axis, best.position);
+
+    // Classification (W&H §4.3): walk the chosen axis' events once, marking
+    // each primitive Left, Right, or Both.
+    classify_prims(events[axis_index(best.axis)], best);
+
+    // Splice all three axis lists into child lists.
+    EventLists left_events, right_events;
+    for (int a = 0; a < 3; ++a) {
+      splice_axis(static_cast<Axis>(a), events[a], lbox, rbox, left_events[a],
+                  right_events[a]);
+      events[a].clear();
+      events[a].shrink_to_fit();
+    }
+    reset_sides(left_events[0]);
+    reset_sides(right_events[0]);
+
+    const std::size_t nl = count_prims(left_events[0]);
+    const std::size_t nr = count_prims(right_events[0]);
+
+    auto node = std::make_unique<BuildNode>();
+    node->leaf = false;
+    node->axis = best.axis;
+    node->split = best.position;
+    node->left = build(std::move(left_events), nl, lbox, depth + 1);
+    node->right = build(std::move(right_events), nr, rbox, depth + 1);
+    return node;
+  }
+
+ private:
+  std::unique_ptr<BuildNode> make_leaf(const std::vector<SahEvent>& x_events) {
+    auto node = std::make_unique<BuildNode>();
+    node->leaf = true;
+    for (const SahEvent& e : x_events) {
+      if (e.type != SahEvent::kEnd) node->prims.push_back(e.prim);
+    }
+    std::sort(node->prims.begin(), node->prims.end());
+    node->prims.erase(std::unique(node->prims.begin(), node->prims.end()),
+                      node->prims.end());
+    return node;
+  }
+
+  void classify_prims(const std::vector<SahEvent>& axis_events,
+                      const SplitCandidate& split) {
+    // Default is Both; events prove a primitive lies entirely on one side.
+    for (const SahEvent& e : axis_events) side_[e.prim] = PrimSide::kBoth;
+    for (const SahEvent& e : axis_events) {
+      switch (e.type) {
+        case SahEvent::kEnd:
+          if (e.position <= split.position) side_[e.prim] = PrimSide::kLeft;
+          break;
+        case SahEvent::kStart:
+          if (e.position >= split.position) side_[e.prim] = PrimSide::kRight;
+          break;
+        case SahEvent::kPlanar:
+          if (e.position < split.position) {
+            side_[e.prim] = PrimSide::kLeft;
+          } else if (e.position > split.position) {
+            side_[e.prim] = PrimSide::kRight;
+          } else {
+            side_[e.prim] =
+                split.planar_left ? PrimSide::kLeft : PrimSide::kRight;
+          }
+          break;
+      }
+    }
+  }
+
+  void splice_axis(Axis axis, const std::vector<SahEvent>& events,
+                   const AABB& lbox, const AABB& rbox,
+                   std::vector<SahEvent>& left, std::vector<SahEvent>& right) {
+    left.clear();
+    right.clear();
+    // Stable filter preserves sortedness for one-sided primitives.
+    std::vector<SahEvent> fresh_left, fresh_right;
+    for (const SahEvent& e : events) {
+      switch (side_[e.prim]) {
+        case PrimSide::kLeft:
+          left.push_back(e);
+          break;
+        case PrimSide::kRight:
+          right.push_back(e);
+          break;
+        case PrimSide::kBoth:
+          // Regenerated below (only once per primitive, at its non-End
+          // event, so Start/End pairs are not emitted twice).
+          if (e.type != SahEvent::kEnd) {
+            emit_clipped(axis, e.prim, lbox, fresh_left);
+            emit_clipped(axis, e.prim, rbox, fresh_right);
+          }
+          break;
+      }
+    }
+    // The fresh lists are small (straddlers only): sort and merge.
+    std::sort(fresh_left.begin(), fresh_left.end());
+    std::sort(fresh_right.begin(), fresh_right.end());
+    merge_into(left, fresh_left);
+    merge_into(right, fresh_right);
+  }
+
+  void emit_clipped(Axis axis, std::uint32_t prim, const AABB& box,
+                    std::vector<SahEvent>& out) {
+    const AABB clipped = clipped_bounds(tris_[prim], box);
+    if (clipped.empty()) return;  // grazing contact with the plane
+    const float lo = clipped.lo[axis];
+    const float hi = clipped.hi[axis];
+    if (lo == hi) {
+      out.push_back({lo, prim, SahEvent::kPlanar});
+    } else {
+      out.push_back({lo, prim, SahEvent::kStart});
+      out.push_back({hi, prim, SahEvent::kEnd});
+    }
+  }
+
+  static void merge_into(std::vector<SahEvent>& sorted,
+                         const std::vector<SahEvent>& addition) {
+    if (addition.empty()) return;
+    std::vector<SahEvent> merged;
+    merged.reserve(sorted.size() + addition.size());
+    std::merge(sorted.begin(), sorted.end(), addition.begin(), addition.end(),
+               std::back_inserter(merged));
+    sorted = std::move(merged);
+  }
+
+  void reset_sides(const std::vector<SahEvent>& x_events) {
+    for (const SahEvent& e : x_events) side_[e.prim] = PrimSide::kBoth;
+  }
+
+  std::span<const Triangle> tris_;
+  SahParams sah_;
+  int max_depth_;
+  std::vector<PrimSide> side_;
+};
+
+class EventBuilder final : public Builder {
+ public:
+  std::string_view name() const noexcept override { return "event"; }
+
+  std::unique_ptr<KdTreeBase> build(std::span<const Triangle> tris,
+                                    const BuildConfig& config,
+                                    ThreadPool&) const override {
+    std::vector<PrimRef> refs = make_prim_refs(tris);
+    const AABB bounds = bounds_of_refs(refs);
+
+    std::unique_ptr<BuildNode> root;
+    if (refs.empty()) {
+      root = BuildNode::make_leaf({});
+    } else {
+      // Root events index primitives by *triangle id* (the event builder
+      // tracks sides globally), unlike the sweep path's node-local refs.
+      EventLists events;
+      for (int a = 0; a < 3; ++a) {
+        const Axis axis = static_cast<Axis>(a);
+        auto& list = events[a];
+        list.reserve(refs.size() * 2);
+        for (const PrimRef& r : refs) {
+          const float lo = r.bounds.lo[axis];
+          const float hi = r.bounds.hi[axis];
+          if (lo == hi) {
+            list.push_back({lo, r.tri, SahEvent::kPlanar});
+          } else {
+            list.push_back({lo, r.tri, SahEvent::kStart});
+            list.push_back({hi, r.tri, SahEvent::kEnd});
+          }
+        }
+        std::sort(list.begin(), list.end());
+      }
+
+      EventBuildContext ctx(tris, SahParams::from_config(config),
+                            config.resolved_max_depth(refs.size()));
+      root = ctx.build(std::move(events), refs.size(), bounds, 0);
+    }
+
+    FlatTree flat = flatten(*root);
+    return std::make_unique<KdTree>(
+        std::vector<Triangle>(tris.begin(), tris.end()), std::move(flat.nodes),
+        std::move(flat.prim_indices), flat.root, bounds);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Builder> make_event_builder() {
+  return std::make_unique<EventBuilder>();
+}
+
+}  // namespace kdtune

@@ -1,0 +1,36 @@
+// In-place parallel builder (paper §IV-C): breadth-first construction, one
+// whole tree level at a time, primitives tracked by node membership. The two
+// parallel prefix-style phases (per-node maximum-SAH selection, per-triangle
+// assignment to children) live in bfs_builder.cpp and are shared with the
+// lazy builder.
+
+#include "kdtree/bfs_builder.hpp"
+
+namespace kdtune {
+
+namespace {
+
+class InPlaceBuilder final : public Builder {
+ public:
+  std::string_view name() const noexcept override { return "in-place"; }
+
+  std::unique_ptr<KdTreeBase> build(std::span<const Triangle> tris,
+                                    const BuildConfig& config,
+                                    ThreadPool& pool) const override {
+    BfsResult r = bfs_build(tris, config, pool, /*defer_below=*/0);
+    return std::make_unique<KdTree>(
+        std::vector<Triangle>(tris.begin(), tris.end()),
+        std::move(r.tree.nodes), std::move(r.tree.prim_indices), r.tree.root,
+        r.bounds);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Builder> make_inplace_builder();
+
+std::unique_ptr<Builder> make_inplace_builder() {
+  return std::make_unique<InPlaceBuilder>();
+}
+
+}  // namespace kdtune

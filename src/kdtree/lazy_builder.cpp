@@ -1,0 +1,38 @@
+// Lazy construction builder (paper §IV-D): the in-place BFS phase stops
+// refining once a node holds fewer than R primitives, leaving it deferred;
+// LazyKdTree expands deferred nodes on first ray contact. On heavily occluded
+// scenes (the Fairy Forest corner case) most subtrees are never built.
+
+#include "kdtree/bfs_builder.hpp"
+#include "kdtree/lazy_tree.hpp"
+
+namespace kdtune {
+
+namespace {
+
+class LazyBuilder final : public Builder {
+ public:
+  std::string_view name() const noexcept override { return "lazy"; }
+
+  bool uses_lazy_resolution() const noexcept override { return true; }
+
+  std::unique_ptr<KdTreeBase> build(std::span<const Triangle> tris,
+                                    const BuildConfig& config,
+                                    ThreadPool& pool) const override {
+    BfsResult r = bfs_build(tris, config, pool, /*defer_below=*/config.r);
+    return std::make_unique<LazyKdTree>(
+        std::vector<Triangle>(tris.begin(), tris.end()),
+        std::move(r.tree.nodes), std::move(r.tree.prim_indices), r.tree.root,
+        r.bounds, std::move(r.deferred_bounds), config);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Builder> make_lazy_builder();
+
+std::unique_ptr<Builder> make_lazy_builder() {
+  return std::make_unique<LazyBuilder>();
+}
+
+}  // namespace kdtune

@@ -1,0 +1,370 @@
+#include "kdtree/lazy_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <utility>
+
+#include "geom/closest_point.hpp"
+#include "geom/intersect.hpp"
+#include "kdtree/build_common.hpp"
+
+namespace kdtune {
+
+namespace {
+
+// Generous expansion headroom: a lazy tree can at most hold the fully eager
+// tree, whose node/reference counts are bounded by duplication along the
+// depth-capped recursion. Exceeding these throws (StablePool), which tests
+// would catch long before production use.
+std::size_t node_capacity(std::size_t initial, std::size_t tris) {
+  return std::max<std::size_t>(4096, initial + 32 * tris + 1024);
+}
+
+std::size_t prim_capacity(std::size_t initial, std::size_t tris) {
+  return std::max<std::size_t>(4096, initial + 64 * tris + 1024);
+}
+
+}  // namespace
+
+LazyKdTree::LazyKdTree(std::vector<Triangle> triangles,
+                       std::vector<KdNode> nodes,
+                       std::vector<std::uint32_t> prim_indices,
+                       std::uint32_t root, AABB bounds,
+                       std::unordered_map<std::uint32_t, AABB> deferred_bounds,
+                       BuildConfig config)
+    : triangles_(std::move(triangles)),
+      bounds_(bounds),
+      root_(root),
+      config_(config),
+      nodes_(node_capacity(nodes.size(), triangles_.size())),
+      prims_(prim_capacity(prim_indices.size(), triangles_.size())),
+      deferred_bounds_(std::move(deferred_bounds)) {
+  const std::size_t nbase = nodes_.append(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    LazyNode& dst = nodes_[nbase + i];
+    dst.split = nodes[i].split;
+    dst.a = nodes[i].a;
+    dst.b = nodes[i].b;
+    dst.flags.store(nodes[i].flags, std::memory_order_release);
+  }
+  const std::size_t pbase = prims_.append(prim_indices.size());
+  for (std::size_t i = 0; i < prim_indices.size(); ++i) {
+    prims_[pbase + i] = prim_indices[i];
+  }
+}
+
+LazyKdTree::Snapshot LazyKdTree::resolve(std::uint32_t index) const {
+  const LazyNode& node = nodes_[index];
+  std::uint32_t flags = node.flags.load(std::memory_order_acquire);
+  if (flags == KdNode::kDeferred) {
+    expand(index);
+    flags = node.flags.load(std::memory_order_acquire);
+  }
+  return {node.split, flags, node.a, node.b};
+}
+
+void LazyKdTree::expand(std::uint32_t index) const {
+  // The paper serializes deferred processing with an OpenMP critical
+  // section; this mutex is its equivalent.
+  std::lock_guard lock(expand_mutex_);
+  LazyNode& node = nodes_[index];
+  if (node.flags.load(std::memory_order_relaxed) != KdNode::kDeferred) {
+    return;  // another ray expanded it while we waited
+  }
+
+  const auto it = deferred_bounds_.find(index);
+  const AABB box = it != deferred_bounds_.end() ? it->second : bounds_;
+
+  // Rebuild primitive refs for the subtree, re-clipping each triangle to the
+  // node box ("perfect splits" for the expansion sweep).
+  std::vector<PrimRef> refs;
+  refs.reserve(node.b);
+  for (std::uint32_t k = 0; k < node.b; ++k) {
+    const std::uint32_t tri = prims_[node.a + k];
+    const AABB clipped = clipped_bounds(triangles_[tri], box);
+    if (!clipped.empty()) refs.push_back({tri, clipped});
+  }
+  if (refs.empty() && node.b > 0) {
+    // Every clip grazed the box: keep the original primitives as a plain leaf.
+    node.flags.store(KdNode::kLeaf, std::memory_order_release);
+    if (it != deferred_bounds_.end()) deferred_bounds_.erase(it);
+    expansions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // Sequential SAH sweep over the (small, < R primitives) subtree.
+  const SahParams sah = SahParams::from_config(config_);
+  const int max_depth = config_.resolved_max_depth(refs.size());
+
+  struct Rec {
+    static std::unique_ptr<BuildNode> build(std::span<const Triangle> tris,
+                                            const SahParams& sah,
+                                            std::vector<PrimRef> prims,
+                                            const AABB& box, int depth,
+                                            int max_depth, bool clip) {
+      if (prims.size() <= 1 || depth >= max_depth) {
+        return BuildNode::make_leaf(prims);
+      }
+      const SplitCandidate best = find_best_split_sweep(sah, box, prims);
+      if (should_terminate(sah, prims.size(), best)) {
+        return BuildNode::make_leaf(prims);
+      }
+      const auto [lbox, rbox] = box.split(best.axis, best.position);
+      std::vector<PrimRef> left, right;
+      partition_prims(prims, tris, best, lbox, rbox, left, right, clip);
+      prims.clear();
+      prims.shrink_to_fit();
+      auto n = std::make_unique<BuildNode>();
+      n->leaf = false;
+      n->axis = best.axis;
+      n->split = best.position;
+      n->left =
+          build(tris, sah, std::move(left), lbox, depth + 1, max_depth, clip);
+      n->right =
+          build(tris, sah, std::move(right), rbox, depth + 1, max_depth, clip);
+      return n;
+    }
+  };
+
+  const std::unique_ptr<BuildNode> sub =
+      Rec::build(triangles_, sah, std::move(refs), box, 0, max_depth,
+                 config_.clip_straddlers);
+  const FlatTree flat = flatten(*sub);
+
+  // Append the subtree's primitive references and non-root nodes, remapping
+  // indices: flat-node i (i > 0) lands at nbase + i - 1; the flat root
+  // overwrites the deferred node in place.
+  const std::size_t pbase = prims_.append(flat.prim_indices.size());
+  for (std::size_t i = 0; i < flat.prim_indices.size(); ++i) {
+    prims_[pbase + i] = flat.prim_indices[i];
+  }
+
+  const std::size_t extra = flat.nodes.size() - 1;
+  const std::size_t nbase = extra > 0 ? nodes_.append(extra) : 0;
+  const auto remap = [&](std::uint32_t child) {
+    return static_cast<std::uint32_t>(nbase + child - 1);
+  };
+
+  for (std::size_t i = 1; i < flat.nodes.size(); ++i) {
+    const KdNode& src = flat.nodes[i];
+    LazyNode& dst = nodes_[nbase + i - 1];
+    dst.split = src.split;
+    if (src.is_leaf()) {
+      dst.a = static_cast<std::uint32_t>(pbase + src.a);
+      dst.b = src.b;
+    } else {
+      dst.a = remap(src.a);
+      dst.b = remap(src.b);
+    }
+    dst.flags.store(src.flags, std::memory_order_release);
+  }
+
+  // Publish the root last: after this store, other threads may traverse the
+  // subtree without taking the lock.
+  const KdNode& src_root = flat.nodes[flat.root];
+  node.split = src_root.split;
+  if (src_root.is_leaf()) {
+    node.a = static_cast<std::uint32_t>(pbase + src_root.a);
+    node.b = src_root.b;
+  } else {
+    node.a = remap(src_root.a);
+    node.b = remap(src_root.b);
+  }
+  node.flags.store(src_root.flags, std::memory_order_release);
+
+  if (it != deferred_bounds_.end()) deferred_bounds_.erase(it);
+  expansions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+template <typename LeafFn>
+void LazyKdTree::traverse(const Ray& ray, LeafFn&& leaf_fn) const {
+  float t_min, t_max;
+  if (!intersect_aabb(ray, bounds_, t_min, t_max)) return;
+
+  using traversal_detail::StackEntry;
+  StackEntry stack[traversal_detail::kMaxStackDepth];
+  int sp = 0;
+  std::uint32_t current = root_;
+
+  for (;;) {
+    const Snapshot node = resolve(current);
+    if (node.flags == KdNode::kLeaf) {
+      if (leaf_fn(node, t_min, t_max)) return;
+      if (sp == 0) return;
+      --sp;
+      current = stack[sp].node;
+      t_min = stack[sp].t_min;
+      t_max = stack[sp].t_max;
+      continue;
+    }
+
+    const Axis axis = static_cast<Axis>(node.flags);
+    const float origin = ray.origin[axis];
+    const float t_split = (node.split - origin) * ray.inv_dir[axis];
+
+    std::uint32_t near = node.a;
+    std::uint32_t far = node.b;
+    const bool below =
+        origin < node.split || (origin == node.split && ray.dir[axis] <= 0.0f);
+    if (!below) std::swap(near, far);
+
+    if (std::isnan(t_split)) {
+      if (sp < traversal_detail::kMaxStackDepth) {
+        stack[sp++] = {far, t_min, t_max};
+      }
+      current = near;
+    } else if (t_split > t_max || t_split <= 0.0f) {
+      current = near;
+    } else if (t_split < t_min) {
+      current = far;
+    } else {
+      if (sp < traversal_detail::kMaxStackDepth) {
+        stack[sp++] = {far, t_split, t_max};
+      }
+      current = near;
+      t_max = t_split;
+    }
+  }
+}
+
+Hit LazyKdTree::closest_hit(const Ray& ray) const {
+  Hit best;
+  Ray r = ray;
+  traverse(ray, [&](const Snapshot& node, float, float t_max) {
+    for (std::uint32_t k = 0; k < node.b; ++k) {
+      const std::uint32_t tri = prims_[node.a + k];
+      float t, u, v;
+      if (intersect(r, triangles_[tri], t, u, v)) {
+        best = {t, tri, u, v};
+        r.t_max = t;
+      }
+    }
+    return best.valid() && best.t <= t_max;
+  });
+  return best;
+}
+
+bool LazyKdTree::any_hit(const Ray& ray) const {
+  bool found = false;
+  traverse(ray, [&](const Snapshot& node, float, float) {
+    for (std::uint32_t k = 0; k < node.b; ++k) {
+      const std::uint32_t tri = prims_[node.a + k];
+      float t, u, v;
+      if (intersect(ray, triangles_[tri], t, u, v)) {
+        found = true;
+        return true;
+      }
+    }
+    return false;
+  });
+  return found;
+}
+
+void LazyKdTree::query_range(const AABB& box,
+                             std::vector<std::uint32_t>& out) const {
+  const std::size_t start = out.size();
+  if (!bounds_.overlaps(box)) return;
+
+  struct Frame {
+    std::uint32_t node;
+    AABB node_box;
+  };
+  std::vector<Frame> stack{{root_, bounds_}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Snapshot node = resolve(f.node);  // expands deferred nodes it meets
+    if (node.flags == KdNode::kLeaf) {
+      for (std::uint32_t k = 0; k < node.b; ++k) {
+        const std::uint32_t tri = prims_[node.a + k];
+        if (box.overlaps(triangles_[tri].bounds()) &&
+            !clipped_bounds(triangles_[tri], box).empty()) {
+          out.push_back(tri);
+        }
+      }
+      continue;
+    }
+    const auto [lbox, rbox] =
+        f.node_box.split(static_cast<Axis>(node.flags), node.split);
+    if (box.overlaps(lbox)) stack.push_back({node.a, lbox});
+    if (box.overlaps(rbox)) stack.push_back({node.b, rbox});
+  }
+
+  std::sort(out.begin() + start, out.end());
+  out.erase(std::unique(out.begin() + start, out.end()), out.end());
+}
+
+NearestResult LazyKdTree::nearest(const Vec3& point) const {
+  NearestResult best;
+  if (nodes_.size() == 0) return best;
+
+  struct Entry {
+    float dist_sq;
+    std::uint32_t node;
+    AABB box;
+
+    bool operator>(const Entry& o) const noexcept {
+      return dist_sq > o.dist_sq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  queue.push({distance_squared(point, bounds_), root_, bounds_});
+
+  while (!queue.empty()) {
+    const Entry entry = queue.top();
+    queue.pop();
+    if (entry.dist_sq >= best.distance_sq) break;
+
+    const Snapshot node = resolve(entry.node);
+    if (node.flags == KdNode::kLeaf) {
+      for (std::uint32_t k = 0; k < node.b; ++k) {
+        const std::uint32_t tri = prims_[node.a + k];
+        const Vec3 cp = closest_point_on_triangle(point, triangles_[tri]);
+        const float d = length_squared(point - cp);
+        if (d < best.distance_sq) {
+          best = {tri, cp, d};
+        }
+      }
+      continue;
+    }
+    const auto [lbox, rbox] =
+        entry.box.split(static_cast<Axis>(node.flags), node.split);
+    queue.push({distance_squared(point, lbox), node.a, lbox});
+    queue.push({distance_squared(point, rbox), node.b, rbox});
+  }
+  return best;
+}
+
+TreeStats LazyKdTree::stats() const {
+  // Snapshot the pool into a flat array and reuse the shared walker.
+  std::vector<KdNode> snapshot;
+  const std::size_t n = nodes_.size();
+  snapshot.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const LazyNode& ln = nodes_[i];
+    KdNode kn;
+    kn.split = ln.split;
+    kn.flags = ln.flags.load(std::memory_order_acquire);
+    kn.a = ln.a;
+    kn.b = ln.b;
+    snapshot.push_back(kn);
+  }
+  return compute_stats(snapshot, root_, bounds_);
+}
+
+std::size_t LazyKdTree::deferred_remaining() const {
+  std::lock_guard lock(expand_mutex_);
+  return deferred_bounds_.size();
+}
+
+void LazyKdTree::expand_all() const {
+  // Expansion never creates new deferred nodes, so one growing scan suffices.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].flags.load(std::memory_order_acquire) == KdNode::kDeferred) {
+      expand(static_cast<std::uint32_t>(i));
+    }
+  }
+}
+
+}  // namespace kdtune

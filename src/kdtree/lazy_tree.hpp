@@ -1,0 +1,100 @@
+#pragma once
+
+// Lazily expanded kd-tree (paper §IV-D). The in-place BFS phase builds the
+// tree down to nodes of fewer than R primitives and leaves them *deferred*;
+// a deferred node is fully expanded the first time a ray reaches it during
+// traversal. Expansion runs under a single critical section (matching the
+// paper's OpenMP critical) and publishes new subtrees with release/acquire
+// ordering, so concurrent rays on other threads are safe and lock-free on the
+// already-expanded parts of the tree.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "kdtree/build_config.hpp"
+#include "kdtree/nodes.hpp"
+#include "kdtree/tree.hpp"
+#include "parallel/stable_pool.hpp"
+
+namespace kdtune {
+
+class LazyKdTree final : public KdTreeBase {
+ public:
+  /// Node with atomically readable flags (the publication point for lazily
+  /// created subtrees).
+  struct LazyNode {
+    float split = 0.0f;
+    std::atomic<std::uint32_t> flags{KdNode::kLeaf};
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+
+    LazyNode() = default;
+    LazyNode(const LazyNode&) = delete;
+    LazyNode& operator=(const LazyNode&) = delete;
+  };
+
+  /// Takes the BFS phase's flat output. `deferred_bounds` maps deferred node
+  /// indices to their boxes (needed to build their subtrees later).
+  LazyKdTree(std::vector<Triangle> triangles, std::vector<KdNode> nodes,
+             std::vector<std::uint32_t> prim_indices, std::uint32_t root,
+             AABB bounds, std::unordered_map<std::uint32_t, AABB> deferred_bounds,
+             BuildConfig config);
+
+  Hit closest_hit(const Ray& ray) const override;
+  bool any_hit(const Ray& ray) const override;
+  /// Range/nearest queries expand the deferred subtrees they reach, exactly
+  /// like rays do.
+  void query_range(const AABB& box,
+                   std::vector<std::uint32_t>& out) const override;
+  NearestResult nearest(const Vec3& point) const override;
+  const AABB& bounds() const noexcept override { return bounds_; }
+  std::span<const Triangle> triangles() const noexcept override {
+    return triangles_;
+  }
+  TreeStats stats() const override;
+
+  /// Number of deferred nodes expanded so far (the benchmarks report this:
+  /// on heavily occluded scenes most subtrees are never expanded).
+  std::size_t expansions() const noexcept {
+    return expansions_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t deferred_remaining() const;
+
+  /// Expands every remaining deferred node (tests use this to compare the
+  /// fully expanded lazy tree against an eager build).
+  void expand_all() const;
+
+ private:
+  struct Snapshot {
+    float split;
+    std::uint32_t flags;
+    std::uint32_t a;
+    std::uint32_t b;
+  };
+
+  /// Loads a node, expanding it first if deferred.
+  Snapshot resolve(std::uint32_t index) const;
+  void expand(std::uint32_t index) const;
+
+  template <typename LeafFn>
+  void traverse(const Ray& ray, LeafFn&& leaf_fn) const;
+
+  std::vector<Triangle> triangles_;
+  AABB bounds_;
+  std::uint32_t root_;
+  BuildConfig config_;
+
+  // Mutable: queries are const but expansion appends state. All mutation is
+  // guarded by expand_mutex_; publication is via LazyNode::flags.
+  mutable StablePool<LazyNode> nodes_;
+  mutable StablePool<std::uint32_t> prims_;
+  mutable std::unordered_map<std::uint32_t, AABB> deferred_bounds_;
+  mutable std::mutex expand_mutex_;  ///< the paper's "OpenMP critical"
+  mutable std::atomic<std::size_t> expansions_{0};
+};
+
+}  // namespace kdtune

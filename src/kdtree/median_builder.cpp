@@ -1,0 +1,59 @@
+// Spatial-median builder: splits at the midpoint of the longest axis until a
+// small leaf size or the depth cap. Not part of the paper's evaluation — it
+// exists as a sanity baseline (how much does the SAH actually buy?) for the
+// ablation benchmarks, and as a second traversal oracle in tests.
+
+#include "kdtree/recursive_builder.hpp"
+
+namespace kdtune {
+
+namespace {
+
+class MedianSplitStrategy final : public SplitStrategy {
+ public:
+  SplitCandidate find_best_split(const SahParams&, const AABB& node_bounds,
+                                 std::span<const PrimRef> prims,
+                                 ThreadPool&) const override {
+    SplitCandidate out;
+    if (prims.size() <= 8) return out;  // invalid -> leaf
+    const Axis axis = node_bounds.longest_axis();
+    const float pos = node_bounds.center()[axis];
+    if (pos <= node_bounds.lo[axis] || pos >= node_bounds.hi[axis]) return out;
+
+    std::size_t nl = 0, nr = 0;
+    for (const PrimRef& p : prims) {
+      if (p.bounds.lo[axis] < pos) ++nl;
+      if (p.bounds.hi[axis] > pos) ++nr;
+    }
+    // Refuse splits that separate nothing (all primitives straddle).
+    if (nl == prims.size() && nr == prims.size()) return out;
+
+    out.axis = axis;
+    out.position = pos;
+    out.planar_left = true;
+    out.nl = nl;
+    out.nr = nr;
+    out.cost = 0.0;  // always accepted; termination comes from leaf size/depth
+    return out;
+  }
+};
+
+class MedianBuilder final : public Builder {
+ public:
+  std::string_view name() const noexcept override { return "median"; }
+
+  std::unique_ptr<KdTreeBase> build(std::span<const Triangle> tris,
+                                    const BuildConfig& config,
+                                    ThreadPool& pool) const override {
+    static const MedianSplitStrategy strategy;
+    return recursive_build_tree(tris, config, pool, /*task_depth=*/0, strategy);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Builder> make_median_builder() {
+  return std::make_unique<MedianBuilder>();
+}
+
+}  // namespace kdtune

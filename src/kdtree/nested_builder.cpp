@@ -1,0 +1,221 @@
+// Nested parallel builder (paper §IV-B, after Choi et al. 2010): node-level
+// subtree tasks exactly as in §IV-A, *plus* parallel processing of the
+// primitives inside individual nodes. Per node and axis the primitive/event
+// list is split into chunks distributed across threads and processed as a
+// sequence of parallel prefix operations:
+//
+//   1. event generation            - parallel for over primitives
+//   2. event sorting               - parallel merge sort
+//   3. sweep counts (nl/np/nr)     - three chunked exclusive prefix sums
+//   4. plane selection             - parallel argmin reduction
+//   5. classification + partition  - parallel for + prefix-sum compaction
+//
+// Step 3's across-chunk combination is inherently serialized (the paper notes
+// the prefix interactions are in fact serialized); everything else scales.
+
+#include <atomic>
+#include <cstring>
+
+#include "kdtree/recursive_builder.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_reduce.hpp"
+#include "parallel/parallel_scan.hpp"
+#include "parallel/parallel_sort.hpp"
+
+namespace kdtune {
+
+namespace {
+
+class NestedSplitStrategy final : public SplitStrategy {
+ public:
+  /// `threshold`: below this primitive count intra-node parallelism costs
+  /// more than it buys and the node falls back to the sequential sweep.
+  explicit NestedSplitStrategy(std::size_t threshold) : threshold_(threshold) {}
+
+  SplitCandidate find_best_split(const SahParams& sah, const AABB& node_bounds,
+                                 std::span<const PrimRef> prims,
+                                 ThreadPool& pool) const override {
+    if (prims.size() < threshold_ || pool.worker_count() == 0) {
+      return find_best_split_sweep(sah, node_bounds, prims);
+    }
+
+    SplitCandidate best;
+    std::vector<SahEvent> events;
+    std::vector<std::uint32_t> is_start, is_end, is_planar;
+    std::vector<std::uint32_t> pre_start, pre_end, pre_planar;
+
+    for (int a = 0; a < 3; ++a) {
+      const Axis axis = static_cast<Axis>(a);
+      if (node_bounds.lo[axis] >= node_bounds.hi[axis]) continue;
+
+      // (1) Parallel event generation. Each primitive emits a fixed-size
+      // record (two slots; planar prims leave the second slot as a
+      // sentinel), so slots are computed without synchronization and
+      // sentinels are compacted afterwards.
+      events.assign(prims.size() * 2,
+                    SahEvent{0.0f, 0xFFFFFFFFu, SahEvent::kStart});
+      parallel_for(pool, 0, prims.size(), 1024, [&](std::size_t i) {
+        const float lo = prims[i].bounds.lo[axis];
+        const float hi = prims[i].bounds.hi[axis];
+        const auto prim = static_cast<std::uint32_t>(i);
+        if (lo == hi) {
+          events[2 * i] = {lo, prim, SahEvent::kPlanar};
+        } else {
+          events[2 * i] = {lo, prim, SahEvent::kStart};
+          events[2 * i + 1] = {hi, prim, SahEvent::kEnd};
+        }
+      });
+      std::erase_if(events, [](const SahEvent& e) { return e.prim == 0xFFFFFFFFu; });
+
+      // (2) Parallel sort.
+      parallel_sort(pool, std::span<SahEvent>(events));
+
+      const std::size_t n = events.size();
+
+      // (3) Chunked prefix sums of the per-type indicators give, for every
+      // event index i, the number of starts/ends/planars strictly before i.
+      is_start.resize(n);
+      is_end.resize(n);
+      is_planar.resize(n);
+      parallel_for(pool, 0, n, 4096, [&](std::size_t i) {
+        is_start[i] = events[i].type == SahEvent::kStart;
+        is_end[i] = events[i].type == SahEvent::kEnd;
+        is_planar[i] = events[i].type == SahEvent::kPlanar;
+      });
+      pre_start.resize(n);
+      pre_end.resize(n);
+      pre_planar.resize(n);
+      parallel_exclusive_scan<std::uint32_t>(pool, is_start, pre_start);
+      parallel_exclusive_scan<std::uint32_t>(pool, is_end, pre_end);
+      parallel_exclusive_scan<std::uint32_t>(pool, is_planar, pre_planar);
+
+      const std::size_t nb = prims.size();
+
+      // (4) Parallel argmin over candidate planes. A candidate is the first
+      // event of each position group; the group's end/planar counts are
+      // gathered by a short forward scan (groups are contiguous and sorted
+      // End < Planar < Start, and the scan may safely cross chunk borders —
+      // it only reads).
+      const SplitCandidate axis_best = parallel_reduce<SplitCandidate>(
+          pool, 0, n, 4096, SplitCandidate{},
+          [&](std::size_t b, std::size_t e) {
+            SplitCandidate local;
+            for (std::size_t i = b; i < e; ++i) {
+              if (i > 0 && events[i - 1].position == events[i].position) {
+                continue;  // not a group head
+              }
+              const float pos = events[i].position;
+              std::size_t ends_at = 0, planars_at = 0;
+              std::size_t j = i;
+              while (j < n && events[j].position == pos &&
+                     events[j].type == SahEvent::kEnd) {
+                ++ends_at;
+                ++j;
+              }
+              while (j < n && events[j].position == pos &&
+                     events[j].type == SahEvent::kPlanar) {
+                ++planars_at;
+                ++j;
+              }
+              const std::size_t nl = pre_start[i] + pre_planar[i];
+              const std::size_t nr =
+                  nb - (pre_end[i] + ends_at) - (pre_planar[i] + planars_at);
+              const SplitCandidate cand = evaluate_plane(
+                  sah, node_bounds, axis, pos, nl, planars_at, nr, nb);
+              if (cand.cost < local.cost) local = cand;
+            }
+            return local;
+          },
+          [](const SplitCandidate& x, const SplitCandidate& y) {
+            return y.cost < x.cost ? y : x;
+          });
+
+      if (axis_best.cost < best.cost) best = axis_best;
+    }
+    return best;
+  }
+
+  void partition(std::span<const PrimRef> prims, std::span<const Triangle> tris,
+                 const SplitCandidate& split, const AABB& left_box,
+                 const AABB& right_box, std::vector<PrimRef>& left,
+                 std::vector<PrimRef>& right, bool clip_straddlers,
+                 ThreadPool& pool) const override {
+    if (prims.size() < threshold_ || pool.worker_count() == 0) {
+      partition_prims(prims, tris, split, left_box, right_box, left, right,
+                      clip_straddlers);
+      return;
+    }
+
+    const std::size_t n = prims.size();
+    // (5a) Parallel classification into per-primitive child indicators.
+    std::vector<std::uint32_t> go_left(n), go_right(n);
+    parallel_for(pool, 0, n, 2048, [&](std::size_t i) {
+      const Side side = classify(prims[i], split);
+      go_left[i] = side != Side::kRight;
+      go_right[i] = side != Side::kLeft;
+    });
+
+    // (5b) Prefix sums turn the indicators into stable output slots.
+    std::vector<std::uint32_t> off_left(n), off_right(n);
+    const std::uint32_t total_left =
+        parallel_exclusive_scan_total<std::uint32_t>(pool, go_left, off_left);
+    const std::uint32_t total_right =
+        parallel_exclusive_scan_total<std::uint32_t>(pool, go_right, off_right);
+
+    left.assign(total_left, PrimRef{});
+    right.assign(total_right, PrimRef{});
+
+    // (5c) Parallel scatter. Straddlers are re-clipped against the child
+    // boxes (perfect splits); a clip that comes up empty leaves a sentinel
+    // dropped in the sequential compaction below (rare: grazing contact).
+    constexpr std::uint32_t kDrop = 0xFFFFFFFFu;
+    parallel_for(pool, 0, n, 2048, [&](std::size_t i) {
+      const Side side = classify(prims[i], split);
+      if (side == Side::kBoth) {
+        const AABB lb = clip_straddlers
+                            ? clipped_bounds(tris[prims[i].tri], left_box)
+                            : AABB::intersect(prims[i].bounds, left_box);
+        left[off_left[i]] =
+            lb.empty() ? PrimRef{kDrop, {}} : PrimRef{prims[i].tri, lb};
+        const AABB rb = clip_straddlers
+                            ? clipped_bounds(tris[prims[i].tri], right_box)
+                            : AABB::intersect(prims[i].bounds, right_box);
+        right[off_right[i]] =
+            rb.empty() ? PrimRef{kDrop, {}} : PrimRef{prims[i].tri, rb};
+      } else if (side == Side::kLeft) {
+        left[off_left[i]] = prims[i];
+      } else {
+        right[off_right[i]] = prims[i];
+      }
+    });
+
+    std::erase_if(left, [](const PrimRef& p) { return p.tri == kDrop; });
+    std::erase_if(right, [](const PrimRef& p) { return p.tri == kDrop; });
+  }
+
+ private:
+  std::size_t threshold_;
+};
+
+class NestedBuilder final : public Builder {
+ public:
+  std::string_view name() const noexcept override { return "nested"; }
+
+  std::unique_ptr<KdTreeBase> build(std::span<const Triangle> tris,
+                                    const BuildConfig& config,
+                                    ThreadPool& pool) const override {
+    const NestedSplitStrategy strategy(config.nested_threshold);
+    const int depth = task_depth_for(config.s, pool.concurrency());
+    return recursive_build_tree(tris, config, pool, depth, strategy);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Builder> make_nested_builder();
+
+std::unique_ptr<Builder> make_nested_builder() {
+  return std::make_unique<NestedBuilder>();
+}
+
+}  // namespace kdtune

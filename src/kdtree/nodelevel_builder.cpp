@@ -1,0 +1,34 @@
+// Node-level parallel builder (paper §IV-A): the naive parallelization of
+// Wald & Havran's sequential algorithm — the two subtrees of every inner node
+// are independent, so recursive calls spawn tasks up to a maximum depth
+// derived from S (maximum subtrees per thread). Below that depth construction
+// proceeds sequentially inside each task.
+
+#include "kdtree/recursive_builder.hpp"
+
+namespace kdtune {
+
+namespace {
+
+class NodeLevelBuilder final : public Builder {
+ public:
+  std::string_view name() const noexcept override { return "node-level"; }
+
+  std::unique_ptr<KdTreeBase> build(std::span<const Triangle> tris,
+                                    const BuildConfig& config,
+                                    ThreadPool& pool) const override {
+    static const SplitStrategy sequential;
+    const int depth = task_depth_for(config.s, pool.concurrency());
+    return recursive_build_tree(tris, config, pool, depth, sequential);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Builder> make_nodelevel_builder();  // forward for builder.cpp
+
+std::unique_ptr<Builder> make_nodelevel_builder() {
+  return std::make_unique<NodeLevelBuilder>();
+}
+
+}  // namespace kdtune

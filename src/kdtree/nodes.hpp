@@ -1,0 +1,44 @@
+#pragma once
+
+// Flat kd-tree node. One layout serves every builder: interior nodes store the
+// split plane and both child indices (children are *not* required to be
+// adjacent, which the breadth-first builders exploit); leaves store a range
+// into the tree's shared primitive-index array.
+
+#include <cstdint>
+
+#include "geom/vec3.hpp"
+
+namespace kdtune {
+
+struct KdNode {
+  static constexpr std::uint32_t kLeaf = 3;      ///< flags value for leaves
+  static constexpr std::uint32_t kDeferred = 4;  ///< lazy: unexpanded subtree
+
+  float split = 0.0f;      ///< interior: plane offset on `axis`
+  std::uint32_t flags = kLeaf;  ///< 0/1/2 = interior split axis, 3 = leaf,
+                                ///< 4 = deferred (lazy trees only)
+  std::uint32_t a = 0;     ///< interior: left child index; leaf: first prim
+  std::uint32_t b = 0;     ///< interior: right child index; leaf: prim count
+
+  bool is_leaf() const noexcept { return flags == kLeaf; }
+  bool is_deferred() const noexcept { return flags == kDeferred; }
+  bool is_interior() const noexcept { return flags < 3; }
+
+  Axis axis() const noexcept { return static_cast<Axis>(flags); }
+
+  static KdNode make_leaf(std::uint32_t first_prim, std::uint32_t count) noexcept {
+    return {0.0f, kLeaf, first_prim, count};
+  }
+
+  static KdNode make_interior(Axis axis, float split, std::uint32_t left,
+                              std::uint32_t right) noexcept {
+    return {split, static_cast<std::uint32_t>(axis), left, right};
+  }
+
+  static KdNode make_deferred(std::uint32_t first_prim, std::uint32_t count) noexcept {
+    return {0.0f, kDeferred, first_prim, count};
+  }
+};
+
+}  // namespace kdtune

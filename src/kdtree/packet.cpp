@@ -1,0 +1,215 @@
+#include "kdtree/packet.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "geom/intersect.hpp"
+
+namespace kdtune {
+
+namespace {
+
+using Mask = std::uint64_t;
+
+struct PacketState {
+  float t_min[kMaxPacketSize];
+  float t_max[kMaxPacketSize];
+};
+
+struct StackEntry {
+  std::uint32_t node;
+  Mask mask;
+  PacketState state;
+};
+
+}  // namespace
+
+void closest_hit_packet(const KdTree& tree, std::span<const Ray> rays,
+                        std::span<Hit> hits) {
+  const std::size_t n = rays.size();
+  if (hits.size() != n) {
+    throw std::invalid_argument("closest_hit_packet: rays/hits size mismatch");
+  }
+  if (n == 0) return;
+  if (n > kMaxPacketSize) {
+    throw std::invalid_argument("closest_hit_packet: packet too large");
+  }
+
+  const auto nodes = tree.nodes();
+  const auto prim_indices = tree.prim_indices();
+  const auto tris = tree.triangles();
+
+  // Per-ray state that persists across the whole trace.
+  float best_t[kMaxPacketSize];
+  for (std::size_t i = 0; i < n; ++i) {
+    hits[i] = Hit{};
+    best_t[i] = rays[i].t_max;
+  }
+
+  // Clip every ray against the scene bounds; rays that miss leave the mask.
+  PacketState root_state;
+  Mask mask = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    float t0, t1;
+    if (intersect_aabb(rays[i], tree.bounds(), t0, t1)) {
+      root_state.t_min[i] = t0;
+      root_state.t_max[i] = t1;
+      mask |= Mask{1} << i;
+    }
+  }
+  if (mask == 0 || nodes.empty()) return;
+
+  std::vector<StackEntry> stack;
+  stack.reserve(64);
+  std::uint32_t current = tree.root();
+  PacketState state = root_state;
+
+  for (;;) {
+    const KdNode& node = nodes[current];
+    if (node.is_leaf()) {
+      for (std::uint32_t k = 0; k < node.b; ++k) {
+        const std::uint32_t tri = prim_indices[node.a + k];
+        for (std::size_t i = 0; i < n; ++i) {
+          if ((mask & (Mask{1} << i)) == 0) continue;
+          Ray r = rays[i];
+          r.t_max = best_t[i];
+          float t, u, v;
+          if (intersect(r, tris[tri], t, u, v)) {
+            hits[i] = {t, tri, u, v};
+            best_t[i] = t;
+          }
+        }
+      }
+      // Pop the next deferred far side, dropping rays that already found a
+      // hit no farther than the deferred interval's start (their result is
+      // final; the deferred subtree cannot beat it).
+      for (;;) {
+        if (stack.empty()) return;
+        StackEntry entry = std::move(stack.back());
+        stack.pop_back();
+        Mask still = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if ((entry.mask & (Mask{1} << i)) == 0) continue;
+          if (hits[i].valid() && hits[i].t <= entry.state.t_min[i]) continue;
+          still |= Mask{1} << i;
+        }
+        if (still != 0) {
+          current = entry.node;
+          mask = still;
+          state = entry.state;
+          break;
+        }
+      }
+      continue;
+    }
+
+    const Axis axis = node.axis();
+    Mask near_mask = 0, far_mask = 0;
+    PacketState near_state = state, far_state = state;
+
+    // Children by the *first* active ray's orientation; rays pointing the
+    // other way swap roles individually below.
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask & (Mask{1} << i)) == 0) continue;
+      const Ray& ray = rays[i];
+      const float origin = ray.origin[axis];
+      const float t_split = (node.split - origin) * ray.inv_dir[axis];
+      const bool below = origin < node.split ||
+                         (origin == node.split && ray.dir[axis] <= 0.0f);
+
+      // Per-ray classification mirrors the scalar traversal exactly.
+      bool go_near = false, go_far = false;
+      float near_t_max = state.t_max[i];
+      float far_t_min = state.t_min[i];
+      if (std::isnan(t_split)) {
+        go_near = go_far = true;
+      } else if (t_split > state.t_max[i] || t_split <= 0.0f) {
+        go_near = true;
+      } else if (t_split < state.t_min[i]) {
+        go_far = true;
+      } else {
+        go_near = go_far = true;
+        near_t_max = t_split;
+        far_t_min = t_split;
+      }
+
+      // The two buckets are keyed by *physical* child: bucket "near_" is
+      // child a, bucket "far_" is child b. A ray's own near child is a when
+      // it starts below the plane, b otherwise.
+      if (go_near) {
+        if (below) {
+          near_mask |= Mask{1} << i;
+          near_state.t_max[i] = near_t_max;
+        } else {
+          far_mask |= Mask{1} << i;
+          far_state.t_max[i] = near_t_max;
+        }
+      }
+      if (go_far) {
+        if (below) {
+          far_mask |= Mask{1} << i;
+          far_state.t_min[i] = far_t_min;
+        } else {
+          near_mask |= Mask{1} << i;
+          near_state.t_min[i] = far_t_min;
+        }
+      }
+    }
+
+    // Bucket "near_" is physical child a, "far_" is child b. Descend into
+    // whichever has rays; defer the other.
+    if (near_mask != 0 && far_mask != 0) {
+      stack.push_back({node.b, far_mask, far_state});
+      current = node.a;
+      mask = near_mask;
+      state = near_state;
+    } else if (near_mask != 0) {
+      current = node.a;
+      mask = near_mask;
+      state = near_state;
+    } else if (far_mask != 0) {
+      current = node.b;
+      mask = far_mask;
+      state = far_state;
+    } else {
+      // No ray continues here: pop.
+      for (;;) {
+        if (stack.empty()) return;
+        StackEntry entry = std::move(stack.back());
+        stack.pop_back();
+        Mask still = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          if ((entry.mask & (Mask{1} << i)) == 0) continue;
+          if (hits[i].valid() && hits[i].t <= entry.state.t_min[i]) continue;
+          still |= Mask{1} << i;
+        }
+        if (still != 0) {
+          current = entry.node;
+          mask = still;
+          state = entry.state;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void closest_hit_packet_any(const KdTreeBase& tree, std::span<const Ray> rays,
+                            std::span<Hit> hits) {
+  if (const auto* eager = dynamic_cast<const KdTree*>(&tree)) {
+    std::size_t offset = 0;
+    while (offset < rays.size()) {
+      const std::size_t chunk = std::min(kMaxPacketSize, rays.size() - offset);
+      closest_hit_packet(*eager, rays.subspan(offset, chunk),
+                         hits.subspan(offset, chunk));
+      offset += chunk;
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < rays.size(); ++i) {
+    hits[i] = tree.closest_hit(rays[i]);
+  }
+}
+
+}  // namespace kdtune

@@ -1,0 +1,34 @@
+#pragma once
+
+// Coherent ray-packet traversal. Interactive ray tracers trace camera-tile
+// packets instead of single rays: coherent rays mostly take the same branch,
+// so one node visit serves many rays. This is the classic masked kd-tree
+// packet traversal — per-ray [t_min, t_max] intervals plus an active mask;
+// when a packet splits across a plane, the far side is deferred with the
+// subset mask.
+//
+// Packets are a pure traversal optimization: results are bit-identical to
+// per-ray traversal (the tests enforce this).
+
+#include <cstdint>
+#include <span>
+
+#include "kdtree/tree.hpp"
+
+namespace kdtune {
+
+/// Upper packet width; an 8x8 camera tile.
+inline constexpr std::size_t kMaxPacketSize = 64;
+
+/// Traces up to kMaxPacketSize rays through an eager tree, writing one Hit
+/// per ray. `rays.size()` must equal `hits.size()`.
+void closest_hit_packet(const KdTree& tree, std::span<const Ray> rays,
+                        std::span<Hit> hits);
+
+/// Convenience fallback for any KdTreeBase: uses the real packet traversal
+/// for eager trees and per-ray traversal otherwise (lazy trees mutate during
+/// traversal, which packet masking does not model).
+void closest_hit_packet_any(const KdTreeBase& tree, std::span<const Ray> rays,
+                            std::span<Hit> hits);
+
+}  // namespace kdtune

@@ -1,0 +1,118 @@
+#include "kdtree/recursive_builder.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace kdtune {
+
+SplitCandidate SplitStrategy::find_best_split(const SahParams& sah,
+                                              const AABB& node_bounds,
+                                              std::span<const PrimRef> prims,
+                                              ThreadPool&) const {
+  return find_best_split_sweep(sah, node_bounds, prims);
+}
+
+void SplitStrategy::partition(std::span<const PrimRef> prims,
+                              std::span<const Triangle> tris,
+                              const SplitCandidate& split, const AABB& left_box,
+                              const AABB& right_box, std::vector<PrimRef>& left,
+                              std::vector<PrimRef>& right, bool clip_straddlers,
+                              ThreadPool&) const {
+  partition_prims(prims, tris, split, left_box, right_box, left, right,
+                  clip_straddlers);
+}
+
+int task_depth_for(std::int64_t s, unsigned concurrency) noexcept {
+  const double subtrees =
+      static_cast<double>(std::max<std::int64_t>(1, s)) * concurrency;
+  const int depth = static_cast<int>(std::floor(std::log2(subtrees)));
+  return std::max(0, depth);
+}
+
+namespace {
+
+struct BuildContext {
+  SahParams sah;
+  int max_depth;
+  int task_depth;
+  const SplitStrategy* strategy;
+  ThreadPool* pool;
+  std::span<const Triangle> tris;
+  bool clip_straddlers;
+};
+
+std::unique_ptr<BuildNode> build_rec(const BuildContext& ctx,
+                                     std::vector<PrimRef> prims,
+                                     const AABB& box, int depth) {
+  if (prims.size() <= 1 || depth >= ctx.max_depth) {
+    return BuildNode::make_leaf(prims);
+  }
+
+  const SplitCandidate best =
+      ctx.strategy->find_best_split(ctx.sah, box, prims, *ctx.pool);
+  if (should_terminate(ctx.sah, prims.size(), best)) {
+    return BuildNode::make_leaf(prims);
+  }
+
+  const auto [lbox, rbox] = box.split(best.axis, best.position);
+  std::vector<PrimRef> left, right;
+  ctx.strategy->partition(prims, ctx.tris, best, lbox, rbox, left, right,
+                          ctx.clip_straddlers, *ctx.pool);
+  // Free the parent's working set before recursing: peak memory of a deep
+  // build would otherwise be O(n * depth).
+  prims.clear();
+  prims.shrink_to_fit();
+
+  auto node = std::make_unique<BuildNode>();
+  node->leaf = false;
+  node->axis = best.axis;
+  node->split = best.position;
+
+  if (depth < ctx.task_depth && ctx.pool->worker_count() > 0) {
+    // Node-level parallelism: the left subtree becomes a task, the right
+    // subtree is built by this thread (which also helps drain the queue
+    // while waiting).
+    TaskGroup group(*ctx.pool);
+    group.run([&ctx, &node, l = std::move(left), lbox = lbox, depth]() mutable {
+      node->left = build_rec(ctx, std::move(l), lbox, depth + 1);
+    });
+    node->right = build_rec(ctx, std::move(right), rbox, depth + 1);
+    group.wait();
+  } else {
+    node->left = build_rec(ctx, std::move(left), lbox, depth + 1);
+    node->right = build_rec(ctx, std::move(right), rbox, depth + 1);
+  }
+  return node;
+}
+
+}  // namespace
+
+std::unique_ptr<KdTree> recursive_build_tree(std::span<const Triangle> tris,
+                                             const BuildConfig& config,
+                                             ThreadPool& pool, int task_depth,
+                                             const SplitStrategy& strategy) {
+  std::vector<PrimRef> refs = make_prim_refs(tris);
+  const AABB bounds = bounds_of_refs(refs);
+
+  BuildContext ctx{SahParams::from_config(config),
+                   config.resolved_max_depth(refs.size()),
+                   task_depth,
+                   &strategy,
+                   &pool,
+                   tris,
+                   config.clip_straddlers};
+
+  std::unique_ptr<BuildNode> root;
+  if (refs.empty()) {
+    root = BuildNode::make_leaf({});
+  } else {
+    root = build_rec(ctx, std::move(refs), bounds, 0);
+  }
+
+  FlatTree flat = flatten(*root);
+  return std::make_unique<KdTree>(
+      std::vector<Triangle>(tris.begin(), tris.end()), std::move(flat.nodes),
+      std::move(flat.prim_indices), flat.root, bounds);
+}
+
+}  // namespace kdtune

@@ -1,0 +1,50 @@
+#pragma once
+
+// Depth-first recursive construction engine. Three builders are thin
+// configurations of it:
+//   - sequential SAH sweep     (task_depth = 0, sequential strategy)
+//   - node-level parallel      (task_depth from S, sequential strategy)
+//   - nested parallel          (task_depth from S, parallel intra-node
+//                               strategy: Choi et al.'s chunked prefix ops)
+
+#include <memory>
+#include <span>
+
+#include "kdtree/build_common.hpp"
+#include "kdtree/builder.hpp"
+#include "kdtree/tree.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace kdtune {
+
+/// Per-node split-search/partition policy. The default implementation is the
+/// sequential Wald & Havran sweep from build_common.
+class SplitStrategy {
+ public:
+  virtual ~SplitStrategy() = default;
+
+  virtual SplitCandidate find_best_split(const SahParams& sah,
+                                         const AABB& node_bounds,
+                                         std::span<const PrimRef> prims,
+                                         ThreadPool& pool) const;
+
+  virtual void partition(std::span<const PrimRef> prims,
+                         std::span<const Triangle> tris,
+                         const SplitCandidate& split, const AABB& left_box,
+                         const AABB& right_box, std::vector<PrimRef>& left,
+                         std::vector<PrimRef>& right, bool clip_straddlers,
+                         ThreadPool& pool) const;
+};
+
+/// Maximum task-spawn depth for a given S (max subtrees per thread) and pool
+/// width: tasks are spawned while depth < task_depth, producing at most
+/// 2^task_depth ~= S * threads concurrent subtrees (paper §IV-A).
+int task_depth_for(std::int64_t s, unsigned concurrency) noexcept;
+
+/// Runs the engine. `task_depth` = 0 builds fully sequentially.
+std::unique_ptr<KdTree> recursive_build_tree(std::span<const Triangle> tris,
+                                             const BuildConfig& config,
+                                             ThreadPool& pool, int task_depth,
+                                             const SplitStrategy& strategy);
+
+}  // namespace kdtune

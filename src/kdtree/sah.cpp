@@ -1,0 +1,58 @@
+#include "kdtree/sah.hpp"
+
+#include <cmath>
+
+namespace kdtune {
+
+int BuildConfig::resolved_max_depth(std::size_t prim_count) const noexcept {
+  if (max_depth > 0) return max_depth;
+  if (prim_count < 2) return 1;
+  // Standard kd-tree depth bound (PBRT / Wald): 8 + 1.3 * log2(n).
+  return static_cast<int>(
+      8.0 + 1.3 * std::log2(static_cast<double>(prim_count)) + 0.5);
+}
+
+SplitCandidate evaluate_plane(const SahParams& p, const AABB& node_bounds,
+                              Axis axis, float position, std::size_t nl,
+                              std::size_t np, std::size_t nr,
+                              std::size_t nb) noexcept {
+  SplitCandidate out;
+  // Planes flush with the node boundary that put everything on one side are
+  // useless (they create an empty child identical to the parent).
+  const float lo = node_bounds.lo[axis];
+  const float hi = node_bounds.hi[axis];
+  if (position <= lo || position >= hi) return out;
+
+  const auto [lbox, rbox] = node_bounds.split(axis, position);
+  const double area_b = node_bounds.surface_area();
+  const double area_l = lbox.surface_area();
+  const double area_r = rbox.surface_area();
+
+  double cost_planar_left =
+      split_cost(p, area_l, area_r, area_b, nl + np, nr, nb);
+  double cost_planar_right =
+      split_cost(p, area_l, area_r, area_b, nl, nr + np, nb);
+  if (p.empty_bonus > 0.0) {
+    // Reward planes that cut away empty space (Wald & Havran SS4.4).
+    const double bonus = 1.0 - p.empty_bonus;
+    if (nl + np == 0 || nr == 0) cost_planar_left *= bonus;
+    if (nl == 0 || nr + np == 0) cost_planar_right *= bonus;
+  }
+
+  out.axis = axis;
+  out.position = position;
+  if (cost_planar_left <= cost_planar_right) {
+    out.cost = cost_planar_left;
+    out.planar_left = true;
+    out.nl = nl + np;
+    out.nr = nr;
+  } else {
+    out.cost = cost_planar_right;
+    out.planar_left = false;
+    out.nl = nl;
+    out.nr = nr + np;
+  }
+  return out;
+}
+
+}  // namespace kdtune

@@ -1,0 +1,84 @@
+#pragma once
+
+// The Surface Area Heuristic cost model (paper §III-B, equations 1 and 2).
+//
+//   SAH(h, b) = CT + p(l,b)*Nl*CI + p(r,b)*Nr*CI + (Nl + Nr - Nb)*CB
+//
+// where p(sub, b) = A(sub)/A(b) is the geometric hit probability and the
+// (Nl+Nr-Nb) term charges CB for every primitive duplicated across the plane.
+// Subdivision stops when no plane beats the leaf cost Nb*CI (equation 2).
+
+#include <cstddef>
+#include <limits>
+
+#include "geom/aabb.hpp"
+#include "kdtree/build_config.hpp"
+
+namespace kdtune {
+
+/// SAH cost coefficients for one build. Kept as doubles: the sweep compares
+/// tens of thousands of nearly-equal costs per node and float rounding changes
+/// chosen planes between builders.
+struct SahParams {
+  double ct = BuildConfig::kCt;
+  double ci = 17.0;
+  double cb = 10.0;
+  /// Wald & Havran's empty-space bonus: planes cutting off an empty child get
+  /// their cost scaled by (1 - empty_bonus). 0 = plain equation 1.
+  double empty_bonus = 0.0;
+
+  static SahParams from_config(const BuildConfig& c) noexcept {
+    return {BuildConfig::kCt, static_cast<double>(c.ci),
+            static_cast<double>(c.cb), c.empty_bonus};
+  }
+};
+
+/// Cost of making `n` primitives a leaf (the right side of equation 2).
+inline double leaf_cost(const SahParams& p, std::size_t n) noexcept {
+  return p.ci * static_cast<double>(n);
+}
+
+/// Equation 1 for a concrete plane: `nl`/`nr` are the primitive counts of the
+/// two children (straddlers counted in both), `nb` the parent's count,
+/// `area_l`/`area_r`/`area_b` the respective surface areas. Returns +inf for
+/// a degenerate parent (zero area), which can only happen with planar nodes.
+inline double split_cost(const SahParams& p, double area_l, double area_r,
+                         double area_b, std::size_t nl, std::size_t nr,
+                         std::size_t nb) noexcept {
+  if (area_b <= 0.0) return std::numeric_limits<double>::infinity();
+  const double pl = area_l / area_b;
+  const double pr = area_r / area_b;
+  const double duplicated =
+      static_cast<double>(nl) + static_cast<double>(nr) - static_cast<double>(nb);
+  return p.ct + pl * static_cast<double>(nl) * p.ci +
+         pr * static_cast<double>(nr) * p.ci + duplicated * p.cb;
+}
+
+/// A candidate split plane with its cost and the side planar primitives go to.
+struct SplitCandidate {
+  double cost = std::numeric_limits<double>::infinity();
+  Axis axis = Axis::X;
+  float position = 0.0f;
+  bool planar_left = false;  ///< planar prims assigned to the left child
+  std::size_t nl = 0;        ///< resulting left count (incl. planars if left)
+  std::size_t nr = 0;        ///< resulting right count
+
+  bool valid() const noexcept {
+    return cost < std::numeric_limits<double>::infinity();
+  }
+};
+
+/// Equation 2: should `node` become a leaf given the best plane found?
+inline bool should_terminate(const SahParams& p, std::size_t nb,
+                             const SplitCandidate& best) noexcept {
+  return !best.valid() || leaf_cost(p, nb) <= best.cost;
+}
+
+/// Evaluates one plane (both planar-side choices) and returns the better
+/// candidate. `np` is the number of primitives lying exactly in the plane.
+SplitCandidate evaluate_plane(const SahParams& p, const AABB& node_bounds,
+                              Axis axis, float position, std::size_t nl,
+                              std::size_t np, std::size_t nr,
+                              std::size_t nb) noexcept;
+
+}  // namespace kdtune

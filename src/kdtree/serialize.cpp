@@ -1,0 +1,120 @@
+#include "kdtree/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace kdtune {
+
+namespace {
+
+constexpr char kMagic[4] = {'K', 'D', 'T', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("kd-tree file truncated");
+  return value;
+}
+
+template <typename T>
+void write_span(std::ostream& out, std::span<const T> data) {
+  write_pod<std::uint64_t>(out, data.size());
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size_bytes()));
+}
+
+template <typename T>
+std::vector<T> read_vector(std::istream& in, std::uint64_t sanity_cap) {
+  const auto count = read_pod<std::uint64_t>(in);
+  if (count > sanity_cap) {
+    throw std::runtime_error("kd-tree file corrupt: implausible array size");
+  }
+  std::vector<T> data(count);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) throw std::runtime_error("kd-tree file truncated");
+  return data;
+}
+
+}  // namespace
+
+void save_tree(std::ostream& out, const KdTree& tree) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, tree.bounds());
+  write_pod(out, tree.root());
+  write_span(out, tree.nodes());
+  write_span(out, tree.prim_indices());
+  write_span(out, tree.triangles());
+  if (!out) throw std::runtime_error("kd-tree write failed");
+}
+
+std::unique_ptr<KdTree> load_tree(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not a kd-tree file (bad magic)");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported kd-tree file version " +
+                             std::to_string(version));
+  }
+  const auto bounds = read_pod<AABB>(in);
+  const auto root = read_pod<std::uint32_t>(in);
+  constexpr std::uint64_t kCap = 1ull << 32;  // corruption guard
+  auto nodes = read_vector<KdNode>(in, kCap);
+  auto prim_indices = read_vector<std::uint32_t>(in, kCap);
+  auto triangles = read_vector<Triangle>(in, kCap);
+
+  // Structural sanity before handing out a traversable tree.
+  if (nodes.empty() || root >= nodes.size()) {
+    throw std::runtime_error("kd-tree file corrupt: bad root");
+  }
+  for (const KdNode& node : nodes) {
+    if (node.is_interior()) {
+      if (node.a >= nodes.size() || node.b >= nodes.size()) {
+        throw std::runtime_error("kd-tree file corrupt: child out of range");
+      }
+    } else if (node.is_leaf()) {
+      if (static_cast<std::uint64_t>(node.a) + node.b > prim_indices.size()) {
+        throw std::runtime_error("kd-tree file corrupt: leaf range");
+      }
+    } else {
+      throw std::runtime_error("kd-tree file corrupt: bad node flags");
+    }
+  }
+  for (const std::uint32_t idx : prim_indices) {
+    if (idx >= triangles.size()) {
+      throw std::runtime_error("kd-tree file corrupt: primitive index");
+    }
+  }
+
+  return std::make_unique<KdTree>(std::move(triangles), std::move(nodes),
+                                  std::move(prim_indices), root, bounds);
+}
+
+void save_tree_file(const std::string& path, const KdTree& tree) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save_tree(out, tree);
+}
+
+std::unique_ptr<KdTree> load_tree_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return load_tree(in);
+}
+
+}  // namespace kdtune

@@ -1,0 +1,32 @@
+#pragma once
+
+// Binary (de)serialization of eager kd-trees. Building a full-size SAH tree
+// costs seconds; applications with static geometry can build once, save, and
+// memory-load on the next run. Format (little-endian, as written by the
+// host):
+//
+//   magic "KDTN", u32 version,
+//   AABB bounds (6 floats), u32 root,
+//   u64 node count,   KdNode[]   (split, flags, a, b as u32 words)
+//   u64 index count,  u32[]      (leaf primitive indices)
+//   u64 tri count,    Triangle[] (9 floats each)
+//
+// Lazy trees are intentionally not serializable: their value is *not* doing
+// the work; expand_all() + rebuild covers the rare need.
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "kdtree/tree.hpp"
+
+namespace kdtune {
+
+void save_tree(std::ostream& out, const KdTree& tree);
+void save_tree_file(const std::string& path, const KdTree& tree);
+
+/// Throws std::runtime_error on bad magic/version/truncation.
+std::unique_ptr<KdTree> load_tree(std::istream& in);
+std::unique_ptr<KdTree> load_tree_file(const std::string& path);
+
+}  // namespace kdtune

@@ -1,0 +1,31 @@
+// Sequential SAH sweep builder: the Wald & Havran plane selection run
+// single-threaded with per-node event re-sorting (O(n log^2 n) total). It is
+// the correctness reference for every parallel variant and the expansion
+// engine of the lazy tree.
+
+#include "kdtree/recursive_builder.hpp"
+
+namespace kdtune {
+
+namespace {
+
+class SweepBuilder final : public Builder {
+ public:
+  std::string_view name() const noexcept override { return "sweep"; }
+
+  std::unique_ptr<KdTreeBase> build(std::span<const Triangle> tris,
+                                    const BuildConfig& config,
+                                    ThreadPool& pool) const override {
+    static const SplitStrategy sequential;
+    return recursive_build_tree(tris, config, pool, /*task_depth=*/0,
+                                sequential);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Builder> make_sweep_builder() {
+  return std::make_unique<SweepBuilder>();
+}
+
+}  // namespace kdtune

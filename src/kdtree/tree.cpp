@@ -1,0 +1,281 @@
+#include "kdtree/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <utility>
+
+#include "geom/closest_point.hpp"
+#include "geom/intersect.hpp"
+
+namespace kdtune {
+
+KdTree::KdTree(std::vector<Triangle> triangles, std::vector<KdNode> nodes,
+               std::vector<std::uint32_t> prim_indices, std::uint32_t root,
+               AABB bounds)
+    : triangles_(std::move(triangles)),
+      nodes_(std::move(nodes)),
+      prim_indices_(std::move(prim_indices)),
+      root_(root),
+      bounds_(bounds) {}
+
+namespace {
+
+// Shared stack traversal over a flat node array. `LeafFn(node, t_max)` tests
+// the leaf's primitives and returns true to terminate traversal early; it may
+// shrink the ray interval by returning the new t_max through its reference
+// parameter.
+template <typename LeafFn>
+void traverse(std::span<const KdNode> nodes, std::uint32_t root,
+              const AABB& bounds, const Ray& ray, LeafFn&& leaf_fn,
+              TraversalCounters* counters = nullptr) {
+  float t_min, t_max;
+  if (!intersect_aabb(ray, bounds, t_min, t_max)) return;
+
+  using traversal_detail::StackEntry;
+  StackEntry stack[traversal_detail::kMaxStackDepth];
+  int sp = 0;
+  std::uint32_t current = root;
+
+  for (;;) {
+    const KdNode& node = nodes[current];
+    if (node.is_leaf()) {
+      if (counters != nullptr) ++counters->leaves_visited;
+      if (leaf_fn(node, t_min, t_max)) return;
+      if (sp == 0) return;
+      --sp;
+      current = stack[sp].node;
+      t_min = stack[sp].t_min;
+      t_max = stack[sp].t_max;
+      continue;
+    }
+
+    if (counters != nullptr) ++counters->interior_visited;
+    const Axis axis = node.axis();
+    const float origin = ray.origin[axis];
+    const float inv_dir = ray.inv_dir[axis];
+    const float t_split = (node.split - origin) * inv_dir;
+
+    // Near child contains the ray origin side of the plane; ties broken by
+    // direction so rays lying in the plane still make progress.
+    std::uint32_t near = node.a;
+    std::uint32_t far = node.b;
+    const bool below =
+        origin < node.split || (origin == node.split && ray.dir[axis] <= 0.0f);
+    if (!below) std::swap(near, far);
+
+    if (std::isnan(t_split)) {
+      // Ray lies exactly in the split plane (dir[axis] == 0, origin on the
+      // plane): 0 * inf above. Visit both children over the full interval.
+      if (sp < traversal_detail::kMaxStackDepth) {
+        stack[sp++] = {far, t_min, t_max};
+      }
+      current = near;
+    } else if (t_split > t_max || t_split <= 0.0f) {
+      current = near;
+    } else if (t_split < t_min) {
+      current = far;
+    } else {
+      if (sp < traversal_detail::kMaxStackDepth) {
+        stack[sp++] = {far, t_split, t_max};
+      }
+      current = near;
+      t_max = t_split;
+    }
+  }
+}
+
+}  // namespace
+
+Hit KdTree::closest_hit(const Ray& ray) const {
+  Hit best;
+  Ray r = ray;
+  traverse(nodes_, root_, bounds_, ray,
+           [&](const KdNode& node, float /*t_min*/, float t_max) {
+             for (std::uint32_t k = 0; k < node.b; ++k) {
+               const std::uint32_t tri = prim_indices_[node.a + k];
+               float t, u, v;
+               if (intersect(r, triangles_[tri], t, u, v)) {
+                 best = {t, tri, u, v};
+                 r.t_max = t;
+               }
+             }
+             // A hit inside this leaf's interval cannot be beaten by nodes
+             // further along the ray.
+             return best.valid() && best.t <= t_max;
+           });
+  return best;
+}
+
+Hit KdTree::closest_hit_counted(const Ray& ray,
+                                TraversalCounters& counters) const {
+  Hit best;
+  Ray r = ray;
+  traverse(
+      nodes_, root_, bounds_, ray,
+      [&](const KdNode& node, float /*t_min*/, float t_max) {
+        counters.triangles_tested += node.b;
+        for (std::uint32_t k = 0; k < node.b; ++k) {
+          const std::uint32_t tri = prim_indices_[node.a + k];
+          float t, u, v;
+          if (intersect(r, triangles_[tri], t, u, v)) {
+            best = {t, tri, u, v};
+            r.t_max = t;
+          }
+        }
+        return best.valid() && best.t <= t_max;
+      },
+      &counters);
+  return best;
+}
+
+bool KdTree::any_hit(const Ray& ray) const {
+  bool found = false;
+  traverse(nodes_, root_, bounds_, ray,
+           [&](const KdNode& node, float, float) {
+             for (std::uint32_t k = 0; k < node.b; ++k) {
+               const std::uint32_t tri = prim_indices_[node.a + k];
+               float t, u, v;
+               if (intersect(ray, triangles_[tri], t, u, v)) {
+                 found = true;
+                 return true;
+               }
+             }
+             return false;
+           });
+  return found;
+}
+
+void KdTree::query_range(const AABB& box,
+                         std::vector<std::uint32_t>& out) const {
+  const std::size_t start = out.size();
+  if (!bounds_.overlaps(box)) return;
+
+  struct Frame {
+    std::uint32_t node;
+    AABB node_box;
+  };
+  std::vector<Frame> stack{{root_, bounds_}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const KdNode& node = nodes_[f.node];
+    if (node.is_leaf()) {
+      for (std::uint32_t k = 0; k < node.b; ++k) {
+        const std::uint32_t tri = prim_indices_[node.a + k];
+        // Exact filter: the clipped geometry must reach into the query box.
+        if (box.overlaps(triangles_[tri].bounds()) &&
+            !clipped_bounds(triangles_[tri], box).empty()) {
+          out.push_back(tri);
+        }
+      }
+      continue;
+    }
+    const auto [lbox, rbox] = f.node_box.split(node.axis(), node.split);
+    if (box.overlaps(lbox)) stack.push_back({node.a, lbox});
+    if (box.overlaps(rbox)) stack.push_back({node.b, rbox});
+  }
+
+  // Straddlers live in several leaves: deduplicate the appended range.
+  std::sort(out.begin() + start, out.end());
+  out.erase(std::unique(out.begin() + start, out.end()), out.end());
+}
+
+NearestResult KdTree::nearest(const Vec3& point) const {
+  NearestResult best;
+  if (nodes_.empty()) return best;
+
+  struct Entry {
+    float dist_sq;
+    std::uint32_t node;
+    AABB box;
+
+    bool operator>(const Entry& o) const noexcept {
+      return dist_sq > o.dist_sq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  queue.push({distance_squared(point, bounds_), root_, bounds_});
+
+  while (!queue.empty()) {
+    const Entry entry = queue.top();
+    queue.pop();
+    if (entry.dist_sq >= best.distance_sq) break;  // all remaining are farther
+
+    const KdNode& node = nodes_[entry.node];
+    if (node.is_leaf()) {
+      for (std::uint32_t k = 0; k < node.b; ++k) {
+        const std::uint32_t tri = prim_indices_[node.a + k];
+        const Vec3 cp = closest_point_on_triangle(point, triangles_[tri]);
+        const float d = length_squared(point - cp);
+        if (d < best.distance_sq) {
+          best = {tri, cp, d};
+        }
+      }
+      continue;
+    }
+    const auto [lbox, rbox] = entry.box.split(node.axis(), node.split);
+    queue.push({distance_squared(point, lbox), node.a, lbox});
+    queue.push({distance_squared(point, rbox), node.b, rbox});
+  }
+  return best;
+}
+
+TreeStats KdTree::stats() const {
+  return compute_stats(nodes_, root_, bounds_);
+}
+
+TreeStats compute_stats(std::span<const KdNode> nodes, std::uint32_t root,
+                        const AABB& bounds, double ct, double ci) {
+  TreeStats s;
+  if (nodes.empty()) return s;
+
+  struct Frame {
+    std::uint32_t node;
+    AABB box;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack{{root, bounds, 1}};
+  const double root_area = bounds.surface_area();
+  std::size_t nonempty_prims = 0;
+  std::size_t nonempty_leaves = 0;
+
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const KdNode& node = nodes[f.node];
+    ++s.node_count;
+    s.max_depth = std::max(s.max_depth, f.depth);
+    const double p =
+        root_area > 0.0 ? f.box.surface_area() / root_area : 0.0;
+
+    if (node.is_leaf() || node.is_deferred()) {
+      if (node.is_deferred()) {
+        ++s.deferred_count;
+      } else {
+        ++s.leaf_count;
+        if (node.b == 0) ++s.empty_leaf_count;
+      }
+      s.prim_refs += node.b;
+      if (node.b > 0) {
+        nonempty_prims += node.b;
+        ++nonempty_leaves;
+      }
+      s.sah_cost += p * ci * static_cast<double>(node.b);
+      continue;
+    }
+
+    s.sah_cost += p * ct;
+    const auto [lbox, rbox] = f.box.split(node.axis(), node.split);
+    stack.push_back({node.a, lbox, f.depth + 1});
+    stack.push_back({node.b, rbox, f.depth + 1});
+  }
+
+  s.avg_leaf_prims = nonempty_leaves > 0
+                         ? static_cast<double>(nonempty_prims) /
+                               static_cast<double>(nonempty_leaves)
+                         : 0.0;
+  return s;
+}
+
+}  // namespace kdtune

@@ -1,0 +1,142 @@
+#pragma once
+
+// Eager (fully built) SAH kd-tree plus the query interface shared with the
+// lazy tree. Traversal follows the classic near/far stack algorithm
+// (Ericson, Real-Time Collision Detection, pp. 319-321 — the reference the
+// paper's ray caster cites).
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/ray.hpp"
+#include "geom/triangle.hpp"
+#include "kdtree/nodes.hpp"
+
+namespace kdtune {
+
+/// Structural statistics, used by tests, benchmarks and the ablation studies.
+struct TreeStats {
+  std::size_t node_count = 0;
+  std::size_t leaf_count = 0;
+  std::size_t deferred_count = 0;   ///< lazy trees: unexpanded subtrees
+  std::size_t empty_leaf_count = 0;
+  std::size_t prim_refs = 0;        ///< total primitive references in leaves
+  std::size_t max_depth = 0;
+  double avg_leaf_prims = 0.0;      ///< over non-empty leaves
+  double sah_cost = 0.0;            ///< expected traversal cost of the tree
+};
+
+/// Result of a nearest-neighbor query.
+struct NearestResult {
+  std::uint32_t triangle = Hit::kNoTriangle;
+  Vec3 point;           ///< closest point on that triangle
+  float distance_sq = std::numeric_limits<float>::infinity();
+
+  bool valid() const noexcept { return triangle != Hit::kNoTriangle; }
+};
+
+/// Query interface implemented by both the eager KdTree and the LazyKdTree.
+/// Queries are const and safe to call from many threads concurrently (the
+/// lazy tree synchronizes its internal expansion).
+class KdTreeBase {
+ public:
+  virtual ~KdTreeBase() = default;
+
+  /// Closest intersection along the ray, or an invalid Hit.
+  virtual Hit closest_hit(const Ray& ray) const = 0;
+
+  /// True if anything intersects (shadow-ray query; may be any primitive).
+  virtual bool any_hit(const Ray& ray) const = 0;
+
+  /// Appends (sorted, deduplicated) the ids of all triangles that actually
+  /// intersect `box` — the range query of the paper's introduction.
+  virtual void query_range(const AABB& box,
+                           std::vector<std::uint32_t>& out) const = 0;
+
+  /// Closest triangle to a point (best-first descent) — the nearest-neighbor
+  /// query of the paper's introduction.
+  virtual NearestResult nearest(const Vec3& point) const = 0;
+
+  virtual const AABB& bounds() const noexcept = 0;
+  virtual std::span<const Triangle> triangles() const noexcept = 0;
+  virtual TreeStats stats() const = 0;
+};
+
+/// Per-ray traversal work counters — the quantities the SAH models (CT ~
+/// interior visits, CI ~ triangle tests). `closest_hit_counted` fills them;
+/// the ablation benches use them to show how CI/CB reshape the
+/// visits-vs-tests tradeoff.
+struct TraversalCounters {
+  std::size_t interior_visited = 0;
+  std::size_t leaves_visited = 0;
+  std::size_t triangles_tested = 0;
+
+  TraversalCounters& operator+=(const TraversalCounters& o) noexcept {
+    interior_visited += o.interior_visited;
+    leaves_visited += o.leaves_visited;
+    triangles_tested += o.triangles_tested;
+    return *this;
+  }
+};
+
+class KdTree final : public KdTreeBase {
+ public:
+  /// Assembles a tree from flat arrays (produced by a builder). `root` is the
+  /// index of the root node inside `nodes`.
+  KdTree(std::vector<Triangle> triangles, std::vector<KdNode> nodes,
+         std::vector<std::uint32_t> prim_indices, std::uint32_t root,
+         AABB bounds);
+
+  Hit closest_hit(const Ray& ray) const override;
+  bool any_hit(const Ray& ray) const override;
+  /// closest_hit with work counters (identical result, slower; analysis
+  /// only — the hot path stays uninstrumented).
+  Hit closest_hit_counted(const Ray& ray, TraversalCounters& counters) const;
+  void query_range(const AABB& box,
+                   std::vector<std::uint32_t>& out) const override;
+  NearestResult nearest(const Vec3& point) const override;
+  const AABB& bounds() const noexcept override { return bounds_; }
+  std::span<const Triangle> triangles() const noexcept override {
+    return triangles_;
+  }
+  TreeStats stats() const override;
+
+  std::span<const KdNode> nodes() const noexcept { return nodes_; }
+  std::span<const std::uint32_t> prim_indices() const noexcept {
+    return prim_indices_;
+  }
+  std::uint32_t root() const noexcept { return root_; }
+
+ private:
+  std::vector<Triangle> triangles_;
+  std::vector<KdNode> nodes_;
+  std::vector<std::uint32_t> prim_indices_;
+  std::uint32_t root_ = 0;
+  AABB bounds_;
+};
+
+namespace traversal_detail {
+
+/// Entry on the traversal stack: a deferred far child with its ray interval.
+struct StackEntry {
+  std::uint32_t node;
+  float t_min;
+  float t_max;
+};
+
+constexpr int kMaxStackDepth = 64;
+
+}  // namespace traversal_detail
+
+/// Computes TreeStats for any flat node/prim-index representation. `ct`/`ci`
+/// weight the SAH-cost metric (defaults match the paper's fixed CT and base
+/// CI). Exposed so the lazy tree and the tests can reuse it.
+TreeStats compute_stats(std::span<const KdNode> nodes,
+                        std::uint32_t root, const AABB& bounds,
+                        double ct = 10.0, double ci = 17.0);
+
+}  // namespace kdtune

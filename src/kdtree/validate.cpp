@@ -1,0 +1,114 @@
+#include "kdtree/validate.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "geom/intersect.hpp"
+
+namespace kdtune {
+
+ValidationResult validate_tree(const KdTree& tree, bool check_completeness) {
+  ValidationResult result;
+  const auto nodes = tree.nodes();
+  const auto prim_indices = tree.prim_indices();
+  const auto tris = tree.triangles();
+
+  if (nodes.empty()) {
+    result.fail("tree has no nodes");
+    return result;
+  }
+  if (tree.root() >= nodes.size()) {
+    result.fail("root index out of range");
+    return result;
+  }
+
+  struct Frame {
+    std::uint32_t node;
+    AABB box;
+  };
+  std::vector<Frame> stack{{tree.root(), tree.bounds()}};
+  std::unordered_set<std::uint32_t> visited;
+
+  while (!stack.empty() && result.errors.size() < 32) {
+    const Frame f = stack.back();
+    stack.pop_back();
+
+    if (!visited.insert(f.node).second) {
+      result.fail("node " + std::to_string(f.node) +
+                  " reachable through two paths (not a tree)");
+      continue;
+    }
+    const KdNode& node = nodes[f.node];
+
+    if (node.is_interior()) {
+      if (node.a >= nodes.size() || node.b >= nodes.size()) {
+        result.fail("interior node " + std::to_string(f.node) +
+                    " has child index out of range");
+        continue;
+      }
+      if (node.split < f.box.lo[node.axis()] ||
+          node.split > f.box.hi[node.axis()]) {
+        result.fail("interior node " + std::to_string(f.node) +
+                    " splits outside its box");
+      }
+      const auto [lbox, rbox] = f.box.split(node.axis(), node.split);
+      stack.push_back({node.a, lbox});
+      stack.push_back({node.b, rbox});
+      continue;
+    }
+
+    if (node.is_deferred()) {
+      result.fail("eager tree contains deferred node " + std::to_string(f.node));
+      continue;
+    }
+
+    // Leaf checks.
+    if (static_cast<std::size_t>(node.a) + node.b > prim_indices.size()) {
+      result.fail("leaf " + std::to_string(f.node) +
+                  " prim range out of bounds");
+      continue;
+    }
+    constexpr float kEps = 1e-4f;
+    AABB grown = f.box;
+    grown.lo -= Vec3(kEps);
+    grown.hi += Vec3(kEps);
+    std::unordered_set<std::uint32_t> in_leaf;
+    for (std::uint32_t k = 0; k < node.b; ++k) {
+      const std::uint32_t tri = prim_indices[node.a + k];
+      if (tri >= tris.size()) {
+        result.fail("leaf " + std::to_string(f.node) +
+                    " references triangle out of range");
+        continue;
+      }
+      in_leaf.insert(tri);
+      if (!grown.overlaps(tris[tri].bounds())) {
+        result.fail("leaf " + std::to_string(f.node) + " stores triangle " +
+                    std::to_string(tri) + " that does not touch its box");
+      }
+    }
+
+    if (check_completeness) {
+      for (std::uint32_t t = 0; t < tris.size(); ++t) {
+        if (tris[t].degenerate()) continue;
+        if (in_leaf.contains(t)) continue;
+        // The tight test: the triangle's *clipped* geometry must intersect
+        // the (slightly shrunk) leaf box to count as missing. Shrinking
+        // avoids false positives from grazing contact, which either child
+        // may legitimately own.
+        AABB shrunk = f.box;
+        shrunk.lo += Vec3(kEps);
+        shrunk.hi -= Vec3(kEps);
+        if (shrunk.empty()) continue;
+        const AABB clipped = clipped_bounds(tris[t], shrunk);
+        if (!clipped.empty() && clipped.volume() > 0.0f) {
+          result.fail("leaf " + std::to_string(f.node) +
+                      " is missing overlapping triangle " + std::to_string(t));
+        }
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace kdtune

@@ -1,0 +1,31 @@
+#pragma once
+
+// Structural validation used by the test suite's property checks. Not part of
+// the hot path — O(leaves x primitives) in completeness mode.
+
+#include <string>
+#include <vector>
+
+#include "kdtree/tree.hpp"
+
+namespace kdtune {
+
+struct ValidationResult {
+  bool ok = true;
+  std::vector<std::string> errors;
+
+  void fail(std::string msg) {
+    ok = false;
+    if (errors.size() < 32) errors.push_back(std::move(msg));
+  }
+};
+
+/// Checks structural invariants of an eager tree:
+///   - node/prim indices in range, the node graph is a tree (no sharing),
+///   - every leaf primitive actually overlaps the leaf's box (soundness),
+///   - with `check_completeness`: every triangle overlapping a leaf box (by
+///     clipped bounds) is listed in that leaf — the property traversal
+///     correctness rests on.
+ValidationResult validate_tree(const KdTree& tree, bool check_completeness);
+
+}  // namespace kdtune

@@ -1,0 +1,49 @@
+#pragma once
+
+// Blocked-range parallel for, the OpenMP `parallel for` equivalent the paper's
+// nested and in-place builders are written with.
+
+#include <algorithm>
+#include <cstddef>
+
+#include "parallel/thread_pool.hpp"
+
+namespace kdtune {
+
+/// Splits [begin, end) into blocks of at least `grain` elements and invokes
+/// `body(block_begin, block_end)` for each, in parallel. The calling thread
+/// participates. Blocks are sized so there are at most ~4 blocks per unit of
+/// concurrency, which keeps scheduling overhead bounded on fine grains.
+template <typename Body>
+void parallel_for_blocked(ThreadPool& pool, std::size_t begin, std::size_t end,
+                          std::size_t grain, Body&& body) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t max_blocks =
+      std::max<std::size_t>(1, static_cast<std::size_t>(pool.concurrency()) * 4);
+  const std::size_t block =
+      std::max(grain, (n + max_blocks - 1) / max_blocks);
+  if (n <= block || pool.worker_count() == 0) {
+    body(begin, end);
+    return;
+  }
+  TaskGroup group(pool);
+  for (std::size_t b = begin; b < end; b += block) {
+    const std::size_t e = std::min(end, b + block);
+    group.run([&body, b, e] { body(b, e); });
+  }
+  group.wait();
+}
+
+/// Element-wise parallel for: `body(i)` for i in [begin, end).
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, Body&& body) {
+  parallel_for_blocked(pool, begin, end, grain,
+                       [&body](std::size_t b, std::size_t e) {
+                         for (std::size_t i = b; i < e; ++i) body(i);
+                       });
+}
+
+}  // namespace kdtune

@@ -1,0 +1,47 @@
+#pragma once
+
+// Map-reduce over a blocked range. Used for parallel SAH plane minimization
+// (the per-chunk argmin of the nested builder) and for parallel statistics.
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace kdtune {
+
+/// Evaluates `map(block_begin, block_end) -> T` on blocks in parallel, then
+/// folds the block results left-to-right with `reduce(T, T) -> T`, starting
+/// from `identity`. The fold order is deterministic (block order), so
+/// floating-point reductions are reproducible run-to-run.
+template <typename T, typename Map, typename Reduce>
+T parallel_reduce(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, T identity, Map&& map, Reduce&& reduce) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  if (n == 0) return identity;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t max_blocks =
+      std::max<std::size_t>(1, static_cast<std::size_t>(pool.concurrency()) * 4);
+  const std::size_t block = std::max(grain, (n + max_blocks - 1) / max_blocks);
+  const std::size_t num_blocks = (n + block - 1) / block;
+
+  if (num_blocks <= 1 || pool.worker_count() == 0) {
+    return reduce(identity, map(begin, end));
+  }
+
+  std::vector<T> partial(num_blocks, identity);
+  TaskGroup group(pool);
+  for (std::size_t k = 0; k < num_blocks; ++k) {
+    const std::size_t b = begin + k * block;
+    const std::size_t e = std::min(end, b + block);
+    group.run([&partial, &map, k, b, e] { partial[k] = map(b, e); });
+  }
+  group.wait();
+
+  T acc = identity;
+  for (const T& p : partial) acc = reduce(acc, p);
+  return acc;
+}
+
+}  // namespace kdtune

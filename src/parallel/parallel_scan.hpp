@@ -1,0 +1,97 @@
+#pragma once
+
+// Chunked three-phase exclusive prefix sum — the core of Choi et al.'s nested
+// and in-place builders ("a sequence of parallel prefix operations"): phase 1
+// sums each chunk in parallel, phase 2 scans the chunk totals sequentially
+// (this serialization is inherent, as the paper notes), phase 3 writes the
+// offset prefix values in parallel.
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace kdtune {
+
+/// out[i] = init + sum(in[0..i)). `in` and `out` may alias element-for-element
+/// (same span) because each output slot is written after its input is read
+/// within the same chunk pass.
+template <typename T>
+void parallel_exclusive_scan(ThreadPool& pool, std::span<const T> in,
+                             std::span<T> out, T init = T{}) {
+  const std::size_t n = in.size();
+  if (out.size() != n) throw std::invalid_argument("scan: size mismatch");
+  if (n == 0) return;
+
+  const std::size_t chunks =
+      std::max<std::size_t>(1, std::min<std::size_t>(
+          static_cast<std::size_t>(pool.concurrency()) * 4, n));
+  const std::size_t block = (n + chunks - 1) / chunks;
+  const std::size_t num_chunks = (n + block - 1) / block;
+
+  if (num_chunks <= 1 || pool.worker_count() == 0) {
+    T acc = init;
+    for (std::size_t i = 0; i < n; ++i) {
+      const T v = in[i];
+      out[i] = acc;
+      acc = acc + v;
+    }
+    return;
+  }
+
+  // Phase 1: per-chunk totals.
+  std::vector<T> chunk_sum(num_chunks, T{});
+  {
+    TaskGroup group(pool);
+    for (std::size_t k = 0; k < num_chunks; ++k) {
+      const std::size_t b = k * block;
+      const std::size_t e = std::min(n, b + block);
+      group.run([&, k, b, e] {
+        T acc{};
+        for (std::size_t i = b; i < e; ++i) acc = acc + in[i];
+        chunk_sum[k] = acc;
+      });
+    }
+    group.wait();
+  }
+
+  // Phase 2: sequential scan over chunk totals (the serialized step).
+  std::vector<T> chunk_offset(num_chunks);
+  T acc = init;
+  for (std::size_t k = 0; k < num_chunks; ++k) {
+    chunk_offset[k] = acc;
+    acc = acc + chunk_sum[k];
+  }
+
+  // Phase 3: per-chunk exclusive scan seeded with the chunk offset.
+  {
+    TaskGroup group(pool);
+    for (std::size_t k = 0; k < num_chunks; ++k) {
+      const std::size_t b = k * block;
+      const std::size_t e = std::min(n, b + block);
+      group.run([&, k, b, e] {
+        T local = chunk_offset[k];
+        for (std::size_t i = b; i < e; ++i) {
+          const T v = in[i];
+          out[i] = local;
+          local = local + v;
+        }
+      });
+    }
+    group.wait();
+  }
+}
+
+/// Total of `in` plus scan: convenience overload returning the inclusive sum
+/// (== the offset one past the end), which partition-style callers need.
+template <typename T>
+T parallel_exclusive_scan_total(ThreadPool& pool, std::span<const T> in,
+                                std::span<T> out, T init = T{}) {
+  parallel_exclusive_scan(pool, in, out, init);
+  if (in.empty()) return init;
+  return out[in.size() - 1] + in[in.size() - 1];
+}
+
+}  // namespace kdtune

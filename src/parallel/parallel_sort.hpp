@@ -1,0 +1,70 @@
+#pragma once
+
+// Parallel merge sort over a contiguous range: chunked std::sort followed by a
+// log-depth pairwise merge tree. Used to sort SAH events in the nested builder
+// (event sorting dominates sequential build time, so parallelizing it is what
+// makes intra-node parallelism pay off).
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace kdtune {
+
+template <typename T, typename Compare = std::less<T>>
+void parallel_sort(ThreadPool& pool, std::span<T> data, Compare cmp = {}) {
+  const std::size_t n = data.size();
+  const std::size_t min_chunk = 4096;
+  const std::size_t width = pool.concurrency();
+  if (n < 2 * min_chunk || width <= 1 || pool.worker_count() == 0) {
+    std::sort(data.begin(), data.end(), cmp);
+    return;
+  }
+
+  // Round chunk count down to a power of two so the merge tree is balanced.
+  std::size_t chunks = 1;
+  while (chunks * 2 <= width * 2 && n / (chunks * 2) >= min_chunk) chunks *= 2;
+  const std::size_t block = (n + chunks - 1) / chunks;
+
+  std::vector<std::size_t> bounds;
+  bounds.reserve(chunks + 1);
+  for (std::size_t b = 0; b <= n; b += block) bounds.push_back(std::min(b, n));
+  if (bounds.back() != n) bounds.push_back(n);
+
+  {
+    TaskGroup group(pool);
+    for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+      group.run([&, k] {
+        std::sort(data.begin() + bounds[k], data.begin() + bounds[k + 1], cmp);
+      });
+    }
+    group.wait();
+  }
+
+  // Pairwise merge passes; each pass halves the number of sorted runs.
+  std::vector<T> scratch(n);
+  while (bounds.size() > 2) {
+    std::vector<std::size_t> next;
+    next.reserve(bounds.size() / 2 + 2);
+    TaskGroup group(pool);
+    std::size_t k = 0;
+    for (; k + 2 < bounds.size(); k += 2) {
+      const std::size_t lo = bounds[k], mid = bounds[k + 1], hi = bounds[k + 2];
+      next.push_back(lo);
+      group.run([&, lo, mid, hi] {
+        std::merge(data.begin() + lo, data.begin() + mid,
+                   data.begin() + mid, data.begin() + hi,
+                   scratch.begin() + lo, cmp);
+        std::copy(scratch.begin() + lo, scratch.begin() + hi, data.begin() + lo);
+      });
+    }
+    for (; k < bounds.size(); ++k) next.push_back(bounds[k]);
+    group.wait();
+    bounds = std::move(next);
+  }
+}
+
+}  // namespace kdtune

@@ -1,0 +1,82 @@
+#pragma once
+
+// Append-only storage with stable addresses and lock-free reads, used by the
+// lazy kd-tree: ray-casting threads read nodes while expansion appends new
+// subtrees. Elements live in fixed-size blocks; the block pointer table is
+// preallocated at construction, so readers never observe a reallocation.
+// Appends serialize on an internal mutex (expansion is already serialized by
+// the tree's critical section, matching the paper's OpenMP critical).
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace kdtune {
+
+template <typename T>
+class StablePool {
+ public:
+  static constexpr std::size_t kBlockSize = 4096;
+
+  /// `capacity` bounds the total number of elements ever stored; it only
+  /// costs one pointer per 4096 elements up front.
+  explicit StablePool(std::size_t capacity)
+      : capacity_(capacity),
+        blocks_((capacity + kBlockSize - 1) / kBlockSize) {}
+
+  std::size_t size() const noexcept {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Lock-free read. `i` must be < size() as observed by this thread
+  /// (publication of new indices is the caller's responsibility — the lazy
+  /// tree publishes via the parent node's flags).
+  const T& operator[](std::size_t i) const noexcept {
+    return blocks_[i / kBlockSize].load(std::memory_order_acquire)[i % kBlockSize];
+  }
+
+  T& operator[](std::size_t i) noexcept {
+    return blocks_[i / kBlockSize].load(std::memory_order_acquire)[i % kBlockSize];
+  }
+
+  /// Appends `count` default-constructed elements, returning the first index.
+  /// Throws std::length_error when the fixed capacity would be exceeded.
+  std::size_t append(std::size_t count) {
+    std::lock_guard lock(mutex_);
+    const std::size_t start = size_.load(std::memory_order_relaxed);
+    if (start + count > capacity_) {
+      throw std::length_error("StablePool: capacity exceeded");
+    }
+    const std::size_t last_block = (start + count + kBlockSize - 1) / kBlockSize;
+    for (std::size_t b = allocated_blocks_; b < last_block; ++b) {
+      blocks_[b].store(new T[kBlockSize](), std::memory_order_release);
+    }
+    allocated_blocks_ = std::max(allocated_blocks_, last_block);
+    size_.store(start + count, std::memory_order_release);
+    return start;
+  }
+
+  ~StablePool() {
+    for (std::size_t b = 0; b < allocated_blocks_; ++b) {
+      delete[] blocks_[b].load(std::memory_order_relaxed);
+    }
+  }
+
+  StablePool(const StablePool&) = delete;
+  StablePool& operator=(const StablePool&) = delete;
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::atomic<T*>> blocks_;
+  std::atomic<std::size_t> size_{0};
+  std::size_t allocated_blocks_ = 0;
+  std::mutex mutex_;
+};
+
+}  // namespace kdtune

@@ -1,0 +1,116 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace kdtune {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()) - 1u);
+  return pool;
+}
+
+void TaskGroup::execute(std::function<void()> fn) {
+  try {
+    fn();
+  } catch (...) {
+    std::lock_guard lock(err_mutex_);
+    if (!error_) error_ = std::current_exception();
+  }
+  // The decrement and the wake-up happen under the group mutex. This is not
+  // just about lost notifications: a waiter that observes pending_ == 0 may
+  // destroy the TaskGroup immediately, so the counter must only reach zero
+  // while we hold the mutex, and we must not touch any group member after
+  // releasing it. The waiter re-acquires the mutex before returning, which
+  // forces it to wait until this unlock.
+  std::lock_guard lock(done_mutex_);
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    done_cv_.notify_all();
+  }
+}
+
+void TaskGroup::wait() {
+  using namespace std::chrono_literals;
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (!pool_.try_run_one()) {
+      // Nothing to help with: tasks of this group are running on workers.
+      std::unique_lock lock(done_mutex_);
+      done_cv_.wait_for(lock, 100us, [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+      });
+    }
+  }
+  // Synchronize with the last finisher: it decremented to zero while
+  // holding done_mutex_, so once we acquire it here the finisher can no
+  // longer be inside execute() touching this object, and destruction after
+  // wait() is safe.
+  { std::lock_guard lock(done_mutex_); }
+  std::exception_ptr err;
+  {
+    std::lock_guard lock(err_mutex_);
+    err = std::exchange(error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void TaskGroup::wait_noexcept() noexcept {
+  try {
+    wait();
+  } catch (...) {
+    // Destructor path: the exception was already lost to the caller; dropping
+    // it here keeps unwinding safe.
+  }
+}
+
+}  // namespace kdtune

@@ -1,0 +1,111 @@
+#pragma once
+
+// From-scratch parallel runtime used by every builder. The paper's
+// implementations use OpenMP tasks / parallel-for / critical sections; this
+// pool provides the equivalent primitives with an exactly controllable thread
+// count (which the virtual-platform experiments rely on).
+//
+// Deadlock-freedom: waiting on a TaskGroup *helps* — the waiting thread pops
+// and executes pending tasks instead of blocking. Recursive fork-join (the
+// node-level builder) therefore cannot starve even when every worker is
+// waiting on children.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kdtune {
+
+class TaskGroup;
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers in addition to the calling
+  /// thread (which participates through TaskGroup::wait). `num_threads == 0`
+  /// is valid: everything runs inline on the caller.
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (excludes the caller).
+  unsigned worker_count() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Total execution width: workers plus the participating caller.
+  unsigned concurrency() const noexcept { return worker_count() + 1; }
+
+  /// Runs one pending task on the calling thread. Returns false when the
+  /// queue was empty. Public so that TaskGroup waits can help.
+  bool try_run_one();
+
+  /// Shared default pool sized to the hardware.
+  static ThreadPool& global();
+
+ private:
+  friend class TaskGroup;
+
+  void submit(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Fork-join scope. Tasks spawned through the group are executed by the pool;
+/// wait() participates in execution until all of this group's tasks (including
+/// tasks recursively spawned from them) finished. The first exception thrown
+/// by any task is captured and rethrown from wait().
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup() { wait_noexcept(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Spawns `fn` onto the pool. If the pool has no workers the task runs
+  /// inline immediately (sequential degradation).
+  template <typename F>
+  void run(F&& fn) {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    if (pool_.worker_count() == 0) {
+      execute(std::function<void()>(std::forward<F>(fn)));
+      return;
+    }
+    pool_.submit([this, f = std::function<void()>(std::forward<F>(fn))]() mutable {
+      execute(std::move(f));
+    });
+  }
+
+  /// Blocks until every task of this group completed; helps execute pool
+  /// tasks while waiting. Rethrows the first captured exception.
+  void wait();
+
+  /// Number of tasks not yet completed (approximate; for tests/metrics).
+  std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void execute(std::function<void()> fn);
+  void wait_noexcept() noexcept;
+
+  ThreadPool& pool_;
+  std::atomic<std::size_t> pending_{0};
+  std::mutex err_mutex_;
+  std::exception_ptr error_;
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+};
+
+}  // namespace kdtune

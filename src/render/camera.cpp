@@ -1,0 +1,29 @@
+#include "render/camera.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace kdtune {
+
+Camera::Camera(const Vec3& eye, const Vec3& look_at, const Vec3& up,
+               float vertical_fov_deg, int width, int height)
+    : eye_(eye), width_(width), height_(height) {
+  forward_ = normalized(look_at - eye);
+  right_ = normalized(cross(forward_, up));
+  up_ = cross(right_, forward_);
+  const float fov_rad =
+      vertical_fov_deg * std::numbers::pi_v<float> / 180.0f;
+  half_height_ = std::tan(fov_rad * 0.5f);
+  half_width_ = half_height_ * static_cast<float>(width) /
+                static_cast<float>(height);
+}
+
+Ray Camera::ray_at(float px, float py) const noexcept {
+  // NDC in [-1, 1], y flipped (image origin is top-left).
+  const float u = (2.0f * px / static_cast<float>(width_)) - 1.0f;
+  const float v = 1.0f - (2.0f * py / static_cast<float>(height_));
+  const Vec3 dir = forward_ + right_ * (u * half_width_) + up_ * (v * half_height_);
+  return Ray(eye_, normalized(dir));
+}
+
+}  // namespace kdtune

@@ -1,0 +1,47 @@
+#pragma once
+
+// Pinhole camera: generates one primary ray per pixel. The evaluation's ray
+// caster (paper §V-A) needs nothing fancier — no lens, no jitter (rendering
+// must be deterministic for the tuner's measurements to be comparable).
+
+#include "geom/ray.hpp"
+#include "geom/vec3.hpp"
+#include "scene/scene.hpp"
+
+namespace kdtune {
+
+class Camera {
+ public:
+  Camera(const Vec3& eye, const Vec3& look_at, const Vec3& up,
+         float vertical_fov_deg, int width, int height);
+
+  /// Builds the camera from a scene's preset.
+  Camera(const CameraPreset& preset, int width, int height)
+      : Camera(preset.eye, preset.look_at, preset.up, preset.vertical_fov_deg,
+               width, height) {}
+
+  /// Primary ray through the center of pixel (x, y); (0, 0) is top-left.
+  Ray primary_ray(int x, int y) const noexcept {
+    return ray_at(static_cast<float>(x) + 0.5f, static_cast<float>(y) + 0.5f);
+  }
+
+  /// Ray through continuous pixel coordinates (sub-pixel positions for
+  /// supersampling: px in [0, width), py in [0, height)).
+  Ray ray_at(float px, float py) const noexcept;
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  const Vec3& eye() const noexcept { return eye_; }
+
+ private:
+  Vec3 eye_;
+  Vec3 forward_;
+  Vec3 right_;
+  Vec3 up_;
+  float half_width_;   ///< tan(fov/2) * aspect
+  float half_height_;  ///< tan(fov/2)
+  int width_;
+  int height_;
+};
+
+}  // namespace kdtune

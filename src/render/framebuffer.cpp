@@ -1,0 +1,38 @@
+#include "render/framebuffer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace kdtune {
+
+double Framebuffer::checksum() const noexcept {
+  double sum = 0.0;
+  for (const Vec3& p : pixels_) sum += p.x + p.y + p.z;
+  return sum;
+}
+
+void Framebuffer::save_ppm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+  const auto encode = [](float v) {
+    const float clamped = std::clamp(v, 0.0f, 1.0f);
+    const float srgb = std::pow(clamped, 1.0f / 2.2f);
+    return static_cast<unsigned char>(std::lround(srgb * 255.0f));
+  };
+  std::vector<unsigned char> row(static_cast<std::size_t>(width_) * 3);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const Vec3& p = at(x, y);
+      row[3 * x + 0] = encode(p.x);
+      row[3 * x + 1] = encode(p.y);
+      row[3 * x + 2] = encode(p.z);
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+}
+
+}  // namespace kdtune

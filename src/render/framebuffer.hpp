@@ -1,0 +1,46 @@
+#pragma once
+
+// RGB framebuffer with binary PPM output — enough to inspect the rendered
+// scenes (the quickstart example writes one) and to checksum renders in
+// tests.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace kdtune {
+
+class Framebuffer {
+ public:
+  Framebuffer(int width, int height)
+      : width_(width), height_(height),
+        pixels_(static_cast<std::size_t>(width) * height) {}
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+
+  /// Linear-space color; clamped to [0,1] at write-out.
+  void set(int x, int y, const Vec3& color) noexcept {
+    pixels_[static_cast<std::size_t>(y) * width_ + x] = color;
+  }
+
+  const Vec3& at(int x, int y) const noexcept {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Sum of all channel values — a cheap order-independent checksum used by
+  /// tests to compare renders across builders.
+  double checksum() const noexcept;
+
+  /// Binary PPM (P6), gamma 2.2.
+  void save_ppm(const std::string& path) const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<Vec3> pixels_;
+};
+
+}  // namespace kdtune

@@ -1,0 +1,149 @@
+#include "render/raycaster.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "kdtree/packet.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace kdtune {
+
+Vec3 shade_hit(const KdTreeBase& tree, const Scene& scene, const Ray& ray,
+               const Hit& hit, const RenderOptions& opts,
+               std::size_t* shadow_rays) {
+  const Triangle& tri = tree.triangles()[hit.triangle];
+  const Vec3 point = ray.at(hit.t);
+  Vec3 normal = tri.normal();
+  // Two-sided shading: flip the normal toward the viewer.
+  if (dot(normal, ray.dir) > 0.0f) normal = -normal;
+
+  Vec3 color = opts.ambient * opts.albedo;
+  for (const PointLight& light : scene.lights()) {
+    const Vec3 to_light = light.position - point;
+    const float dist = length(to_light);
+    if (dist <= 0.0f) continue;
+    const Vec3 dir = to_light / dist;
+    const float lambert = dot(normal, dir);
+    if (lambert <= 0.0f) continue;
+
+    if (opts.shadows) {
+      // From the intersection point a shadow ray is cast to the light source
+      // to determine the light's contribution (paper §V-A).
+      const Ray shadow(point + normal * opts.shadow_bias, dir,
+                       opts.shadow_bias, dist);
+      if (shadow_rays != nullptr) ++*shadow_rays;
+      if (tree.any_hit(shadow)) continue;
+    }
+    // Inverse-square falloff normalized to keep presets simple.
+    const float atten = 1.0f / (1.0f + 0.02f * dist * dist);
+    color += opts.albedo * light.intensity * (lambert * atten);
+  }
+  return color;
+}
+
+Vec3 pixel_color(const KdTreeBase& tree, const Scene& scene, const Ray& ray,
+                 const Hit& hit, const RenderOptions& opts,
+                 std::size_t* shadow_rays) {
+  switch (opts.mode) {
+    case RenderMode::kDepth:
+      return Vec3(1.0f / (1.0f + hit.t * 0.15f));
+    case RenderMode::kNormals: {
+      Vec3 n = tree.triangles()[hit.triangle].normal();
+      if (dot(n, ray.dir) > 0.0f) n = -n;
+      return (n + Vec3(1.0f)) * 0.5f;
+    }
+    case RenderMode::kShaded:
+      break;
+  }
+  return shade_hit(tree, scene, ray, hit, opts, shadow_rays);
+}
+
+RenderResult render(const KdTreeBase& tree, const Scene& scene,
+                    const Camera& camera, Framebuffer& fb, ThreadPool& pool,
+                    const RenderOptions& opts) {
+  std::atomic<std::size_t> shadow_total{0};
+  std::atomic<std::size_t> hit_total{0};
+
+  parallel_for_blocked(
+      pool, 0, static_cast<std::size_t>(camera.height()), 1,
+      [&](std::size_t y0, std::size_t y1) {
+        std::size_t shadow_rays = 0;
+        std::size_t hits = 0;
+        std::vector<Ray> packet;
+        std::vector<Hit> packet_hits;
+        for (std::size_t y = y0; y < y1; ++y) {
+          if (opts.use_packets) {
+            // One row at a time in <=64-ray packets: adjacent pixels share
+            // most of their traversal path.
+            packet.clear();
+            for (int x = 0; x < camera.width(); ++x) {
+              packet.push_back(camera.primary_ray(x, static_cast<int>(y)));
+            }
+            packet_hits.assign(packet.size(), Hit{});
+            closest_hit_packet_any(tree, packet, packet_hits);
+            for (int x = 0; x < camera.width(); ++x) {
+              const Hit& hit = packet_hits[static_cast<std::size_t>(x)];
+              if (hit.valid()) {
+                ++hits;
+                fb.set(x, static_cast<int>(y),
+                       pixel_color(tree, scene,
+                                   packet[static_cast<std::size_t>(x)], hit,
+                                   opts, &shadow_rays));
+              } else {
+                fb.set(x, static_cast<int>(y), opts.background);
+              }
+            }
+            continue;
+          }
+          const int spa = std::max(1, opts.samples_per_axis);
+          const float sub = 1.0f / static_cast<float>(spa);
+          for (int x = 0; x < camera.width(); ++x) {
+            if (spa == 1) {
+              const Ray ray = camera.primary_ray(x, static_cast<int>(y));
+              const Hit hit = tree.closest_hit(ray);
+              if (hit.valid()) {
+                ++hits;
+                fb.set(x, static_cast<int>(y),
+                       pixel_color(tree, scene, ray, hit, opts, &shadow_rays));
+              } else {
+                fb.set(x, static_cast<int>(y), opts.background);
+              }
+              continue;
+            }
+            // Supersampling: regular sub-pixel grid, box filter.
+            Vec3 accum{0, 0, 0};
+            bool any_hit_here = false;
+            for (int sy = 0; sy < spa; ++sy) {
+              for (int sx = 0; sx < spa; ++sx) {
+                const Ray ray = camera.ray_at(
+                    static_cast<float>(x) + (static_cast<float>(sx) + 0.5f) * sub,
+                    static_cast<float>(y) + (static_cast<float>(sy) + 0.5f) * sub);
+                const Hit hit = tree.closest_hit(ray);
+                if (hit.valid()) {
+                  any_hit_here = true;
+                  accum += pixel_color(tree, scene, ray, hit, opts, &shadow_rays);
+                } else {
+                  accum += opts.background;
+                }
+              }
+            }
+            hits += any_hit_here;
+            fb.set(x, static_cast<int>(y),
+                   accum / static_cast<float>(spa * spa));
+          }
+        }
+        shadow_total.fetch_add(shadow_rays, std::memory_order_relaxed);
+        hit_total.fetch_add(hits, std::memory_order_relaxed);
+      });
+
+  RenderResult result;
+  const int spa = opts.use_packets ? 1 : std::max(1, opts.samples_per_axis);
+  result.rays_cast = static_cast<std::size_t>(camera.width()) *
+                     camera.height() * spa * spa;
+  result.shadow_rays = shadow_total.load();
+  result.hits = hit_total.load();
+  return result;
+}
+
+}  // namespace kdtune

@@ -1,0 +1,61 @@
+#pragma once
+
+// Ray casting renderer (paper §V-A, after Appel 1968): one primary ray per
+// pixel finds the first intersection through the kd-tree; one shadow ray per
+// light decides its contribution; Lambertian shading. Rays are independent,
+// so intersection testing parallelizes across pixels (rows are the grain).
+// Traversal through a *lazy* tree expands deferred nodes on the fly — which
+// is exactly how the lazy builder's construction cost shifts into rendering.
+
+#include "kdtree/tree.hpp"
+#include "parallel/thread_pool.hpp"
+#include "render/camera.hpp"
+#include "render/framebuffer.hpp"
+#include "scene/scene.hpp"
+
+namespace kdtune {
+
+/// What the renderer writes per pixel: shaded color (the default), a
+/// depth visualization (1/(1+t), white = near), or the geometric normal
+/// mapped to RGB — the standard debugging AOVs.
+enum class RenderMode { kShaded, kDepth, kNormals };
+
+struct RenderOptions {
+  RenderMode mode = RenderMode::kShaded;
+  Vec3 background{0.05f, 0.06f, 0.08f};
+  Vec3 albedo{0.75f, 0.73f, 0.7f};
+  Vec3 ambient{0.06f, 0.06f, 0.07f};
+  float shadow_bias = 1e-3f;
+  bool shadows = true;
+  /// Trace primary rays in coherent packets (eager trees only; identical
+  /// results, fewer node visits on coherent camera rays).
+  bool use_packets = false;
+  /// Supersampling: samples_per_axis^2 primary rays per pixel on a regular
+  /// sub-pixel grid, box-filtered. 1 = one centered ray (the default;
+  /// deterministic either way).
+  int samples_per_axis = 1;
+};
+
+struct RenderResult {
+  std::size_t rays_cast = 0;     ///< primary rays
+  std::size_t shadow_rays = 0;
+  std::size_t hits = 0;          ///< primary rays that hit geometry
+};
+
+/// Shades a single primary-ray hit (exposed for tests). Lambertian + shadow
+/// rays; ignores opts.mode (render() dispatches on it).
+Vec3 shade_hit(const KdTreeBase& tree, const Scene& scene, const Ray& ray,
+               const Hit& hit, const RenderOptions& opts,
+               std::size_t* shadow_rays);
+
+/// Full per-pixel color for a hit under the configured RenderMode.
+Vec3 pixel_color(const KdTreeBase& tree, const Scene& scene, const Ray& ray,
+                 const Hit& hit, const RenderOptions& opts,
+                 std::size_t* shadow_rays);
+
+/// Renders `scene` through `tree` into `fb`, parallel across pixel rows.
+RenderResult render(const KdTreeBase& tree, const Scene& scene,
+                    const Camera& camera, Framebuffer& fb, ThreadPool& pool,
+                    const RenderOptions& opts = {});
+
+}  // namespace kdtune

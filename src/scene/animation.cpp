@@ -1,0 +1,45 @@
+#include "scene/animation.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace kdtune {
+
+OrbitScene::OrbitScene(Scene scene, std::size_t frames)
+    : scene_(std::move(scene)),
+      name_(scene_.name() + "_orbit"),
+      frames_(frames == 0 ? 1 : frames) {}
+
+Scene OrbitScene::frame(std::size_t i) const {
+  if (i >= frames_) {
+    throw std::out_of_range("OrbitScene::frame: index out of range");
+  }
+  Scene out = scene_;
+  const CameraPreset& base = scene_.camera();
+  const Vec3 offset = base.eye - base.look_at;
+  const float angle = 2.0f * std::numbers::pi_v<float> *
+                      static_cast<float>(i) / static_cast<float>(frames_);
+  const Transform rot = Transform::rotate(base.up, angle);
+  CameraPreset moved = base;
+  moved.eye = base.look_at + rot.apply_vector(offset);
+  out.set_camera(moved);
+  out.set_name(name_);
+  return out;
+}
+
+Scene RigidRigScene::frame(std::size_t i) const {
+  if (i >= frames_) {
+    throw std::out_of_range("RigidRigScene::frame: index " + std::to_string(i) +
+                            " >= " + std::to_string(frames_));
+  }
+  Scene scene(name_);
+  scene.set_camera(camera_);
+  for (const PointLight& l : lights_) scene.add_light(l);
+  for (const Part& part : parts_) {
+    part.mesh.append_triangles(scene.mutable_triangles(), part.pose(i));
+  }
+  return scene;
+}
+
+}  // namespace kdtune

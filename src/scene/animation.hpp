@@ -1,0 +1,129 @@
+#pragma once
+
+// Animated scenes. The paper's dynamic inputs (Toasters, Wood Doll, Fairy
+// Forest) change geometry every frame, forcing a kd-tree rebuild per frame —
+// which is exactly the situation online autotuning targets. An AnimatedScene
+// yields one Scene per frame; static scenes are the single-frame special case.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geom/transform.hpp"
+#include "scene/mesh.hpp"
+#include "scene/scene.hpp"
+
+namespace kdtune {
+
+class AnimatedScene {
+ public:
+  virtual ~AnimatedScene() = default;
+
+  virtual const std::string& name() const noexcept = 0;
+  virtual std::size_t frame_count() const noexcept = 0;
+  virtual bool dynamic() const noexcept { return frame_count() > 1; }
+
+  /// Builds frame `i` (0-based, must be < frame_count()).
+  virtual Scene frame(std::size_t i) const = 0;
+};
+
+/// Adapts a fixed Scene to the AnimatedScene interface (frame_count == 1).
+class StaticScene final : public AnimatedScene {
+ public:
+  explicit StaticScene(Scene scene) : scene_(std::move(scene)) {}
+
+  const std::string& name() const noexcept override { return scene_.name(); }
+  std::size_t frame_count() const noexcept override { return 1; }
+  Scene frame(std::size_t) const override { return scene_; }
+
+ private:
+  Scene scene_;
+};
+
+/// A rig of rigid parts: each part is a mesh with a per-frame transform.
+/// frame(i) evaluates every part's pose at i and flattens the result. This is
+/// the representation behind the Toasters and Wood Doll stand-ins.
+class RigidRigScene final : public AnimatedScene {
+ public:
+  /// pose(frame) -> world transform of the part at that frame.
+  using PoseFn = std::function<Transform(std::size_t)>;
+
+  RigidRigScene(std::string name, std::size_t frames,
+                CameraPreset camera, std::vector<PointLight> lights)
+      : name_(std::move(name)), frames_(frames),
+        camera_(camera), lights_(std::move(lights)) {}
+
+  void add_part(Mesh mesh, PoseFn pose) {
+    parts_.push_back({std::move(mesh), std::move(pose)});
+  }
+
+  /// A part that never moves.
+  void add_static_part(Mesh mesh) {
+    add_part(std::move(mesh), [](std::size_t) { return Transform{}; });
+  }
+
+  std::size_t part_count() const noexcept { return parts_.size(); }
+
+  const std::string& name() const noexcept override { return name_; }
+  std::size_t frame_count() const noexcept override { return frames_; }
+  Scene frame(std::size_t i) const override;
+
+ private:
+  struct Part {
+    Mesh mesh;
+    PoseFn pose;
+  };
+
+  std::string name_;
+  std::size_t frames_;
+  CameraPreset camera_;
+  std::vector<PointLight> lights_;
+  std::vector<Part> parts_;
+};
+
+/// A static scene with a camera orbiting its geometry: every frame has the
+/// same triangles but a different viewpoint. The paper notes that "camera
+/// positioning, system load and other environment effects all influence the
+/// optimal configuration" even for static geometry — this wrapper produces
+/// exactly that workload (rebuild-per-frame with identical input, shifting
+/// ray distribution).
+class OrbitScene final : public AnimatedScene {
+ public:
+  /// The camera circles the scene center at the preset's distance and
+  /// height, completing one revolution over `frames` frames.
+  OrbitScene(Scene scene, std::size_t frames);
+
+  const std::string& name() const noexcept override { return name_; }
+  std::size_t frame_count() const noexcept override { return frames_; }
+  bool dynamic() const noexcept override { return false; }  // geometry static
+  Scene frame(std::size_t i) const override;
+
+ private:
+  Scene scene_;
+  std::string name_;
+  std::size_t frames_;
+};
+
+/// Fully procedural per-frame scenes (used where per-vertex deformation is
+/// needed rather than rigid parts).
+class ProceduralAnimation final : public AnimatedScene {
+ public:
+  using FrameFn = std::function<Scene(std::size_t)>;
+
+  ProceduralAnimation(std::string name, std::size_t frames, FrameFn fn)
+      : name_(std::move(name)), frames_(frames), fn_(std::move(fn)) {}
+
+  const std::string& name() const noexcept override { return name_; }
+  std::size_t frame_count() const noexcept override { return frames_; }
+  Scene frame(std::size_t i) const override { return fn_(i); }
+
+ private:
+  std::string name_;
+  std::size_t frames_;
+  FrameFn fn_;
+};
+
+}  // namespace kdtune

@@ -1,0 +1,121 @@
+// Sponza stand-in: an open rectangular atrium with two stories of colonnades,
+// arches between the columns, tall surrounding walls and a tessellated floor —
+// the mix of large occluders and dense thin columns that characterizes the
+// Dabrovic Sponza model. 66,450 triangles at detail=1 (frieze-padded exact).
+
+#include <cmath>
+#include <numbers>
+
+#include "scene/generators.hpp"
+#include "scene/primitives.hpp"
+
+namespace kdtune {
+
+namespace {
+
+constexpr std::size_t kSponzaTriangles = 66450;
+constexpr float kPi = std::numbers::pi_v<float>;
+
+// Target count for a given detail level: exact paper count at detail >= 1,
+// otherwise scaled by detail^2 (tessellation is two-dimensional).
+std::size_t padded_target(std::size_t paper_count, float detail) {
+  if (detail >= 1.0f) return paper_count;
+  const double t = static_cast<double>(paper_count) * detail * detail;
+  return static_cast<std::size_t>(std::lround(t));
+}
+
+}  // namespace
+
+Scene make_sponza(float detail) {
+  using detail_helpers::frieze;
+  using detail_helpers::scaled;
+  namespace prim = kdtune::primitives;
+
+  Scene scene("sponza");
+  auto& tris = scene.mutable_triangles();
+
+  const float atrium_x = 24.0f;  // length
+  const float atrium_z = 12.0f;  // width
+  const float story_h = 4.0f;
+  const float wall_h = 2.5f * story_h;
+
+  // Floor.
+  {
+    Mesh floor = prim::grid(1.0f, scaled(90, detail, 4));
+    floor.append_triangles(
+        tris, Transform::scale({atrium_x + 6.0f, 1.0f, atrium_z + 6.0f}));
+  }
+
+  // Surrounding walls: vertical grids on all four sides, two stories tall.
+  {
+    const int wall_res = scaled(56, detail, 4);
+    Mesh wall = prim::grid(1.0f, wall_res);  // XZ unit grid, rotated upright
+    const Transform upright = Transform::rotate({1, 0, 0}, kPi / 2.0f);
+    // Long walls (facing +-z).
+    for (int side = 0; side < 2; ++side) {
+      const float z = (side == 0 ? -1.0f : 1.0f) * (atrium_z * 0.5f + 2.5f);
+      wall.append_triangles(
+          tris, Transform::translate({0.0f, wall_h * 0.5f, z}) *
+                    Transform::scale({atrium_x + 6.0f, wall_h, 1.0f}) * upright);
+    }
+    // Short walls (facing +-x).
+    for (int side = 0; side < 2; ++side) {
+      const float x = (side == 0 ? -1.0f : 1.0f) * (atrium_x * 0.5f + 2.5f);
+      wall.append_triangles(
+          tris, Transform::translate({x, wall_h * 0.5f, 0.0f}) *
+                    Transform::rotate({0, 1, 0}, kPi / 2.0f) *
+                    Transform::scale({atrium_z + 5.0f, wall_h, 1.0f}) * upright);
+    }
+  }
+
+  // Two rows x two stories of columns with capital spheres and arches.
+  {
+    const int col_seg = scaled(24, detail, 5);
+    const int cap_rings = scaled(10, detail, 3);
+    const int cap_seg = scaled(16, detail, 4);
+    const int arch_seg = scaled(16, detail, 3);
+    const int columns_per_row = 10;
+    const float spacing = atrium_x / static_cast<float>(columns_per_row - 1);
+
+    Mesh column = prim::cylinder(0.35f, story_h - 0.6f, col_seg, true);
+    Mesh capital = prim::uv_sphere(0.45f, cap_rings, cap_seg);
+    Mesh arch_m = prim::arch(spacing * 0.5f - 0.35f, 0.3f, 0.7f, arch_seg);
+
+    for (int story = 0; story < 2; ++story) {
+      const float y0 = static_cast<float>(story) * story_h;
+      for (int row = 0; row < 2; ++row) {
+        const float z = (row == 0 ? -1.0f : 1.0f) * atrium_z * 0.5f;
+        for (int c = 0; c < columns_per_row; ++c) {
+          const float x = -atrium_x * 0.5f + spacing * static_cast<float>(c);
+          column.append_triangles(tris, Transform::translate({x, y0, z}));
+          capital.append_triangles(
+              tris, Transform::translate({x, y0 + story_h - 0.4f, z}));
+          if (c + 1 < columns_per_row) {
+            arch_m.append_triangles(
+                tris, Transform::translate(
+                          {x + spacing * 0.5f, y0 + story_h - 0.6f, z - 0.35f}));
+          }
+        }
+      }
+    }
+  }
+
+  // Frieze padding to the target triangle count (exact at detail = 1).
+  const std::size_t want = padded_target(kSponzaTriangles, detail);
+  if (tris.size() < want) {
+    Mesh band = frieze(atrium_x + 4.0f, wall_h - 1.4f, 1.2f,
+                       -(atrium_z * 0.5f + 2.45f), want - tris.size());
+    band.append_triangles(
+        tris, Transform::translate({-(atrium_x + 4.0f) * 0.5f, 0.0f, 0.0f}));
+  }
+
+  scene.set_camera({{-atrium_x * 0.45f, 3.0f, 0.0f},
+                    {atrium_x * 0.4f, 3.5f, 0.0f},
+                    {0, 1, 0},
+                    60.0f});
+  scene.add_light({{0.0f, 14.0f, 0.0f}, {1.0f, 1.0f, 0.95f}});
+  scene.add_light({{-8.0f, 5.0f, 3.0f}, {0.35f, 0.35f, 0.4f}});
+  return scene;
+}
+
+}  // namespace kdtune

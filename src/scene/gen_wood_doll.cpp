@@ -1,0 +1,163 @@
+// Wood Doll stand-in: a small articulated wooden figure walking in place over
+// a 29-frame cycle — limbs swing from shoulder/hip pivots, the head bobs.
+// Matches the Utah "Wood Doll" sequence's character: tiny triangle budget,
+// strongly articulated motion. 6,658 triangles, 29 frames at detail=1.
+
+#include <cmath>
+#include <numbers>
+
+#include "scene/generators.hpp"
+#include "scene/primitives.hpp"
+
+namespace kdtune {
+
+namespace {
+
+constexpr std::size_t kWoodDollTriangles = 6658;
+constexpr std::size_t kWoodDollFrames = 29;
+constexpr float kPi = std::numbers::pi_v<float>;
+
+std::size_t padded_target(std::size_t paper_count, float detail) {
+  if (detail >= 1.0f) return paper_count;
+  const double t = static_cast<double>(paper_count) * detail * detail;
+  return static_cast<std::size_t>(std::lround(t));
+}
+
+// Swing around a pivot point: rotate about `axis` by `angle`, anchored at
+// `pivot` (the classic joint transform).
+Transform swing(const Vec3& pivot, const Vec3& axis, float angle) {
+  return Transform::translate(pivot) * Transform::rotate(axis, angle) *
+         Transform::translate(-pivot);
+}
+
+}  // namespace
+
+std::unique_ptr<AnimatedScene> make_wood_doll(float detail) {
+  using detail_helpers::frieze;
+  using detail_helpers::scaled;
+  namespace prim = kdtune::primitives;
+
+  CameraPreset camera{{0.0f, 1.3f, 3.2f}, {0.0f, 1.0f, 0.0f}, {0, 1, 0}, 50.0f};
+  std::vector<PointLight> lights{{{2.5f, 4.0f, 3.0f}, {1.0f, 1.0f, 0.95f}},
+                                 {{-2.0f, 2.0f, -1.0f}, {0.3f, 0.3f, 0.35f}}};
+  auto rig = std::make_unique<RigidRigScene>("wood_doll", kWoodDollFrames,
+                                             camera, lights);
+
+  // Ground.
+  {
+    Mesh ground = prim::grid(1.0f, scaled(30, detail, 3));
+    ground.transform(Transform::scale({6.0f, 1.0f, 6.0f}));
+    rig->add_static_part(std::move(ground));
+  }
+
+  const int limb_seg = scaled(24, detail, 5);
+  const int head_rings = scaled(16, detail, 4);
+  const int head_seg = scaled(24, detail, 5);
+  const int joint_rings = scaled(6, detail, 3);
+  const int joint_seg = scaled(8, detail, 4);
+
+  const float frames_f = static_cast<float>(kWoodDollFrames);
+  const auto cycle = [frames_f](std::size_t frame, float phase) {
+    return std::sin((static_cast<float>(frame) / frames_f + phase) * 2.0f * kPi);
+  };
+
+  // Torso, pelvis, head (head bobs slightly).
+  {
+    Mesh torso = prim::cylinder(0.18f, 0.5f, limb_seg, true);
+    torso.transform(Transform::translate({0.0f, 0.95f, 0.0f}));
+    rig->add_static_part(std::move(torso));
+
+    Mesh pelvis = prim::box({0.3f, 0.15f, 0.2f});
+    pelvis.transform(Transform::translate({0.0f, 0.9f, 0.0f}));
+    rig->add_static_part(std::move(pelvis));
+
+    Mesh skirt = prim::cone(0.3f, 0.35f, scaled(48, detail, 6), false);
+    skirt.transform(Transform::translate({0.0f, 0.75f, 0.0f}));
+    rig->add_static_part(std::move(skirt));
+
+    Mesh head = prim::uv_sphere(0.16f, head_rings, head_seg);
+    rig->add_part(head, [cycle](std::size_t frame) {
+      return Transform::translate(
+          {0.0f, 1.62f + 0.02f * cycle(frame, 0.5f), 0.0f});
+    });
+
+    Mesh hat = prim::cone(0.18f, 0.22f, scaled(24, detail, 5), true);
+    rig->add_part(hat, [cycle](std::size_t frame) {
+      return Transform::translate(
+          {0.0f, 1.72f + 0.02f * cycle(frame, 0.5f), 0.0f});
+    });
+  }
+
+  // Limbs: upper+lower segments with spherical joints, swinging in the
+  // standard contralateral walk pattern (left arm with right leg).
+  const Mesh upper_limb = prim::cylinder(0.05f, 0.3f, limb_seg, true);
+  const Mesh lower_limb = prim::cylinder(0.04f, 0.28f, limb_seg, true);
+  const Mesh joint_ball = prim::uv_sphere(0.06f, joint_rings, joint_seg);
+  const Mesh hand = prim::box({0.07f, 0.1f, 0.07f});
+
+  struct LimbSpec {
+    Vec3 pivot;       // shoulder or hip
+    float phase;      // walk phase offset
+    float amplitude;  // swing amplitude (radians)
+  };
+  const LimbSpec arms[2] = {{{-0.26f, 1.4f, 0.0f}, 0.0f, 0.6f},
+                            {{0.26f, 1.4f, 0.0f}, 0.5f, 0.6f}};
+  const LimbSpec legs[2] = {{{-0.1f, 0.85f, 0.0f}, 0.5f, 0.45f},
+                            {{0.1f, 0.85f, 0.0f}, 0.0f, 0.45f}};
+
+  const auto add_limb = [&](const LimbSpec& spec, bool is_arm) {
+    const Vec3 pivot = spec.pivot;
+    const float amp = spec.amplitude;
+    const float phase = spec.phase;
+    const auto pose = [pivot, amp, phase, cycle](std::size_t frame) {
+      return swing(pivot, {1, 0, 0}, amp * cycle(frame, phase));
+    };
+    // The lower segment bends additionally at the elbow/knee.
+    const Vec3 mid = pivot - Vec3{0.0f, 0.34f, 0.0f};
+    const float knee_amp = is_arm ? 0.35f : 0.5f;
+    const auto lower_pose = [pivot, mid, amp, knee_amp, phase,
+                             cycle](std::size_t frame) {
+      const float c = cycle(frame, phase);
+      return swing(pivot, {1, 0, 0}, amp * c) *
+             swing(mid, {1, 0, 0}, knee_amp * std::max(0.0f, c));
+    };
+
+    Mesh upper = upper_limb;
+    upper.transform(Transform::translate(pivot - Vec3{0.0f, 0.32f, 0.0f}));
+    rig->add_part(std::move(upper), pose);
+
+    Mesh ball = joint_ball;
+    ball.transform(Transform::translate(pivot));
+    rig->add_part(std::move(ball), pose);
+
+    Mesh elbow = joint_ball;
+    elbow.transform(Transform::translate(mid));
+    rig->add_part(std::move(elbow), lower_pose);
+
+    Mesh lower = lower_limb;
+    lower.transform(Transform::translate(mid - Vec3{0.0f, 0.3f, 0.0f}));
+    rig->add_part(std::move(lower), lower_pose);
+
+    Mesh tip = hand;
+    tip.transform(Transform::translate(mid - Vec3{0.0f, 0.36f, 0.0f}));
+    rig->add_part(std::move(tip), lower_pose);
+  };
+
+  for (const LimbSpec& spec : arms) add_limb(spec, true);
+  for (const LimbSpec& spec : legs) add_limb(spec, false);
+
+  // Backdrop frieze pads to the paper's exact count.
+  {
+    const std::size_t current = rig->frame(0).triangle_count();
+    const std::size_t want = padded_target(kWoodDollTriangles, detail);
+    if (current < want) {
+      Mesh band = frieze(5.0f, 0.1f, 1.6f, -2.8f, want - current);
+      band.transform(Transform::translate({-2.5f, 0.0f, 0.0f}));
+      rig->add_static_part(std::move(band));
+    }
+  }
+
+  return rig;
+}
+
+}  // namespace kdtune

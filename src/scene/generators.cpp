@@ -1,0 +1,60 @@
+#include "scene/generators.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace kdtune {
+
+namespace detail_helpers {
+
+Mesh frieze(float length, float y0, float height, float z, std::size_t n) {
+  Mesh m;
+  if (n == 0) return m;
+  // Classic triangle strip: vertices alternate bottom/top along +X; triangle
+  // i is (v_i, v_i+1, v_i+2), giving exactly n triangles from n+2 vertices.
+  const std::size_t columns = (n + 1) / 2 + 1;
+  const float step = length / static_cast<float>(columns);
+  for (std::size_t k = 0; k < n + 2; ++k) {
+    const float x = step * static_cast<float>(k / 2);
+    const float y = (k % 2 == 0) ? y0 : y0 + height;
+    m.add_vertex({x, y, z});
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto a = static_cast<std::uint32_t>(i);
+    m.add_triangle(a, a + 1, a + 2);
+  }
+  return m;
+}
+
+int scaled(int base, float detail, int min_value) {
+  const int v = static_cast<int>(std::lround(static_cast<double>(base) * detail));
+  return std::max(min_value, v);
+}
+
+}  // namespace detail_helpers
+
+std::vector<std::string> static_scene_ids() {
+  return {"bunny", "sponza", "sibenik"};
+}
+
+std::vector<std::string> dynamic_scene_ids() {
+  return {"toasters", "wood_doll", "fairy_forest"};
+}
+
+std::vector<std::string> scene_ids() {
+  std::vector<std::string> ids = static_scene_ids();
+  for (auto& id : dynamic_scene_ids()) ids.push_back(id);
+  return ids;
+}
+
+std::unique_ptr<AnimatedScene> make_scene(const std::string& id, float detail) {
+  if (id == "bunny") return std::make_unique<StaticScene>(make_bunny(detail));
+  if (id == "sponza") return std::make_unique<StaticScene>(make_sponza(detail));
+  if (id == "sibenik") return std::make_unique<StaticScene>(make_sibenik(detail));
+  if (id == "toasters") return make_toasters(detail);
+  if (id == "wood_doll") return make_wood_doll(detail);
+  if (id == "fairy_forest") return make_fairy_forest(detail);
+  throw std::invalid_argument("unknown scene id: " + id);
+}
+
+}  // namespace kdtune

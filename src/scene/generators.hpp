@@ -1,0 +1,65 @@
+#pragma once
+
+// Procedural stand-ins for the paper's six evaluation scenes. See DESIGN.md §2
+// (substitution #1): the original model files are not redistributable, so each
+// generator reproduces the scene's triangle count and spatial character — the
+// two properties that drive SAH kd-tree construction and traversal behaviour.
+//
+// Every generator takes a `detail` scale in (0, 1]: at 1.0 it matches the
+// paper's triangle count (exactly, via frieze padding); smaller values shrink
+// tessellation proportionally so tests run fast.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scene/animation.hpp"
+#include "scene/scene.hpp"
+
+namespace kdtune {
+
+/// Bunny stand-in: displaced sphere, 69,666 triangles at detail=1. Static.
+Scene make_bunny(float detail = 1.0f);
+
+/// Sponza stand-in: open atrium with colonnades, 66,450 triangles. Static.
+Scene make_sponza(float detail = 1.0f);
+
+/// Sibenik stand-in: enclosed cathedral interior, 75,284 triangles. Static.
+Scene make_sibenik(float detail = 1.0f);
+
+/// Toasters stand-in: articulated appliances, 11,141 triangles, 246 frames.
+std::unique_ptr<AnimatedScene> make_toasters(float detail = 1.0f);
+
+/// Wood Doll stand-in: articulated humanoid, 6,658 triangles, 29 frames.
+std::unique_ptr<AnimatedScene> make_wood_doll(float detail = 1.0f);
+
+/// Fairy Forest stand-in: forest with a close-up figure (heavy occlusion),
+/// 174,117 triangles, 21 frames.
+std::unique_ptr<AnimatedScene> make_fairy_forest(float detail = 1.0f);
+
+/// Registry -------------------------------------------------------------
+
+/// The six scene ids in the paper's order:
+/// bunny, sponza, sibenik, toasters, wood_doll, fairy_forest.
+std::vector<std::string> scene_ids();
+std::vector<std::string> static_scene_ids();
+std::vector<std::string> dynamic_scene_ids();
+
+/// Builds a scene by id; throws std::invalid_argument for unknown ids.
+std::unique_ptr<AnimatedScene> make_scene(const std::string& id,
+                                          float detail = 1.0f);
+
+namespace detail_helpers {
+
+/// A zig-zag wall strip with *exactly* `n` triangles spanning `length` along
+/// +X at height `y0..y0+height`, depth position z. Generators use this to pad
+/// composite scenes to the paper's exact triangle counts with plausible
+/// geometry (a decorative frieze) instead of degenerate filler.
+Mesh frieze(float length, float y0, float height, float z, std::size_t n);
+
+/// Scales a tessellation parameter by `detail`, with a floor of `min_value`.
+int scaled(int base, float detail, int min_value = 1);
+
+}  // namespace detail_helpers
+
+}  // namespace kdtune

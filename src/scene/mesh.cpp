@@ -1,0 +1,66 @@
+#include "scene/mesh.hpp"
+
+#include <stdexcept>
+
+namespace kdtune {
+
+void Mesh::add_triangle(std::uint32_t a, std::uint32_t b, std::uint32_t c) {
+  const auto n = static_cast<std::uint32_t>(vertices_.size());
+  if (a >= n || b >= n || c >= n) {
+    throw std::out_of_range("Mesh::add_triangle: vertex index out of range");
+  }
+  indices_.push_back(a);
+  indices_.push_back(b);
+  indices_.push_back(c);
+}
+
+void Mesh::add_quad(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                    std::uint32_t d) {
+  add_triangle(a, b, c);
+  add_triangle(a, c, d);
+}
+
+AABB Mesh::bounds() const noexcept {
+  AABB box;
+  for (const Vec3& v : vertices_) box.expand(v);
+  return box;
+}
+
+void Mesh::merge(const Mesh& other, const Transform& xf) {
+  const auto base = static_cast<std::uint32_t>(vertices_.size());
+  vertices_.reserve(vertices_.size() + other.vertices_.size());
+  for (const Vec3& v : other.vertices_) vertices_.push_back(xf.apply_point(v));
+  indices_.reserve(indices_.size() + other.indices_.size());
+  for (std::uint32_t i : other.indices_) indices_.push_back(base + i);
+}
+
+void Mesh::transform(const Transform& xf) {
+  for (Vec3& v : vertices_) v = xf.apply_point(v);
+}
+
+void Mesh::append_triangles(std::vector<Triangle>& out, const Transform& xf) const {
+  out.reserve(out.size() + triangle_count());
+  for (std::size_t i = 0; i < triangle_count(); ++i) {
+    Triangle t = triangle(i);
+    out.push_back({xf.apply_point(t.a), xf.apply_point(t.b), xf.apply_point(t.c)});
+  }
+}
+
+std::size_t Mesh::remove_degenerate_triangles() {
+  std::vector<std::uint32_t> kept;
+  kept.reserve(indices_.size());
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < triangle_count(); ++i) {
+    if (triangle(i).degenerate()) {
+      ++removed;
+      continue;
+    }
+    kept.push_back(indices_[3 * i]);
+    kept.push_back(indices_[3 * i + 1]);
+    kept.push_back(indices_[3 * i + 2]);
+  }
+  indices_ = std::move(kept);
+  return removed;
+}
+
+}  // namespace kdtune

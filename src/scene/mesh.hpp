@@ -1,0 +1,68 @@
+#pragma once
+
+// Indexed triangle mesh. Scene generators build meshes (shared vertices keep
+// memory + generation time down); the kd-tree layers consume flat triangle
+// soups produced by `append_triangles`.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/transform.hpp"
+#include "geom/triangle.hpp"
+#include "geom/vec3.hpp"
+
+namespace kdtune {
+
+class Mesh {
+ public:
+  Mesh() = default;
+
+  std::size_t vertex_count() const noexcept { return vertices_.size(); }
+  std::size_t triangle_count() const noexcept { return indices_.size() / 3; }
+  bool empty() const noexcept { return indices_.empty(); }
+
+  std::span<const Vec3> vertices() const noexcept { return vertices_; }
+  std::span<const std::uint32_t> indices() const noexcept { return indices_; }
+  std::span<Vec3> mutable_vertices() noexcept { return vertices_; }
+
+  /// Appends a vertex, returning its index.
+  std::uint32_t add_vertex(const Vec3& v) {
+    vertices_.push_back(v);
+    return static_cast<std::uint32_t>(vertices_.size() - 1);
+  }
+
+  void add_triangle(std::uint32_t a, std::uint32_t b, std::uint32_t c);
+
+  /// Appends a quad as two triangles (a,b,c) and (a,c,d).
+  void add_quad(std::uint32_t a, std::uint32_t b, std::uint32_t c, std::uint32_t d);
+
+  Triangle triangle(std::size_t i) const noexcept {
+    return {vertices_[indices_[3 * i]], vertices_[indices_[3 * i + 1]],
+            vertices_[indices_[3 * i + 2]]};
+  }
+
+  AABB bounds() const noexcept;
+
+  /// Appends all of `other`'s geometry, transformed by `xf`.
+  void merge(const Mesh& other, const Transform& xf = {});
+
+  /// Transforms all vertices in place.
+  void transform(const Transform& xf);
+
+  /// Flattens into a triangle soup (appends to `out`).
+  void append_triangles(std::vector<Triangle>& out,
+                        const Transform& xf = {}) const;
+
+  /// Removes triangles with zero area (guards generators against numeric
+  /// degeneracies at poles/seams). Returns the number removed.
+  std::size_t remove_degenerate_triangles();
+
+ private:
+  std::vector<Vec3> vertices_;
+  std::vector<std::uint32_t> indices_;  // triples
+};
+
+}  // namespace kdtune

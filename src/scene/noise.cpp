@@ -1,0 +1,73 @@
+#include "scene/noise.hpp"
+
+#include <cmath>
+
+namespace kdtune {
+
+namespace {
+
+// Quintic fade curve (Perlin's improved interpolant): C2-continuous so the
+// displaced surface has no visible lattice creases.
+float fade(float t) noexcept { return t * t * t * (t * (t * 6.0f - 15.0f) + 10.0f); }
+
+float lerpf(float a, float b, float t) noexcept { return a + (b - a) * t; }
+
+}  // namespace
+
+float ValueNoise::lattice(std::int32_t x, std::int32_t y, std::int32_t z) const noexcept {
+  // Mix the lattice coordinates with the seed through a 32-bit finalizer.
+  std::uint32_t h = seed_;
+  h ^= static_cast<std::uint32_t>(x) * 0x8DA6B343u;
+  h ^= static_cast<std::uint32_t>(y) * 0xD8163841u;
+  h ^= static_cast<std::uint32_t>(z) * 0xCB1AB31Fu;
+  h ^= h >> 16;
+  h *= 0x85EBCA6Bu;
+  h ^= h >> 13;
+  h *= 0xC2B2AE35u;
+  h ^= h >> 16;
+  return static_cast<float>(h) * (2.0f / 4294967295.0f) - 1.0f;
+}
+
+float ValueNoise::sample(const Vec3& p) const noexcept {
+  const float fx = std::floor(p.x);
+  const float fy = std::floor(p.y);
+  const float fz = std::floor(p.z);
+  const auto x0 = static_cast<std::int32_t>(fx);
+  const auto y0 = static_cast<std::int32_t>(fy);
+  const auto z0 = static_cast<std::int32_t>(fz);
+  const float tx = fade(p.x - fx);
+  const float ty = fade(p.y - fy);
+  const float tz = fade(p.z - fz);
+
+  float corner[2][2][2];
+  for (int dz = 0; dz < 2; ++dz) {
+    for (int dy = 0; dy < 2; ++dy) {
+      for (int dx = 0; dx < 2; ++dx) {
+        corner[dz][dy][dx] = lattice(x0 + dx, y0 + dy, z0 + dz);
+      }
+    }
+  }
+  const float x00 = lerpf(corner[0][0][0], corner[0][0][1], tx);
+  const float x10 = lerpf(corner[0][1][0], corner[0][1][1], tx);
+  const float x01 = lerpf(corner[1][0][0], corner[1][0][1], tx);
+  const float x11 = lerpf(corner[1][1][0], corner[1][1][1], tx);
+  const float y0v = lerpf(x00, x10, ty);
+  const float y1v = lerpf(x01, x11, ty);
+  return lerpf(y0v, y1v, tz);
+}
+
+float ValueNoise::fbm(const Vec3& p, int octaves) const noexcept {
+  float amplitude = 0.5f;
+  float frequency = 1.0f;
+  float sum = 0.0f;
+  float norm = 0.0f;
+  for (int o = 0; o < octaves; ++o) {
+    sum += amplitude * sample(p * frequency);
+    norm += amplitude;
+    amplitude *= 0.5f;
+    frequency *= 2.0f;
+  }
+  return norm > 0.0f ? sum / norm : 0.0f;
+}
+
+}  // namespace kdtune

@@ -1,0 +1,31 @@
+#pragma once
+
+// Deterministic gradient-free value noise + fractional Brownian motion.
+// Used to displace the Bunny stand-in and to vary tree/terrain shapes in the
+// Fairy-Forest stand-in. Hash-based, so no tables to seed and identical
+// results on every platform.
+
+#include <cstdint>
+
+#include "geom/vec3.hpp"
+
+namespace kdtune {
+
+class ValueNoise {
+ public:
+  explicit ValueNoise(std::uint32_t seed = 1337u) : seed_(seed) {}
+
+  /// Smooth noise in [-1, 1] at a 3D position.
+  float sample(const Vec3& p) const noexcept;
+
+  /// `octaves` octaves of self-similar noise, lacunarity 2, gain 0.5;
+  /// output approximately in [-1, 1].
+  float fbm(const Vec3& p, int octaves) const noexcept;
+
+ private:
+  float lattice(std::int32_t x, std::int32_t y, std::int32_t z) const noexcept;
+
+  std::uint32_t seed_;
+};
+
+}  // namespace kdtune

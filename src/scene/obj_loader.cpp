@@ -1,0 +1,94 @@
+#include "scene/obj_loader.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace kdtune {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("OBJ parse error at line " + std::to_string(line) +
+                           ": " + what);
+}
+
+// "3", "3/1", "3//2", "3/1/2", "-1" -> vertex index (1-based or negative).
+long parse_face_index(const std::string& token, std::size_t line) {
+  const std::size_t slash = token.find('/');
+  const std::string head = slash == std::string::npos ? token : token.substr(0, slash);
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(head, &pos);
+    if (pos != head.size() || v == 0) fail(line, "bad face index '" + token + "'");
+    return v;
+  } catch (const std::logic_error&) {
+    fail(line, "bad face index '" + token + "'");
+  }
+}
+
+}  // namespace
+
+Mesh load_obj(std::istream& in) {
+  Mesh mesh;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and skip blank lines.
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag)) continue;
+
+    if (tag == "v") {
+      float x, y, z;
+      if (!(ls >> x >> y >> z)) fail(line_no, "vertex needs 3 coordinates");
+      mesh.add_vertex({x, y, z});
+    } else if (tag == "f") {
+      std::vector<std::uint32_t> face;
+      std::string token;
+      while (ls >> token) {
+        long v = parse_face_index(token, line_no);
+        const long n = static_cast<long>(mesh.vertex_count());
+        if (v < 0) v = n + v + 1;  // relative indexing
+        if (v < 1 || v > n) fail(line_no, "face index out of range");
+        face.push_back(static_cast<std::uint32_t>(v - 1));
+      }
+      if (face.size() < 3) fail(line_no, "face needs at least 3 vertices");
+      for (std::size_t i = 1; i + 1 < face.size(); ++i) {
+        mesh.add_triangle(face[0], face[i], face[i + 1]);
+      }
+    }
+    // All other tags (vn, vt, g, o, s, usemtl, mtllib, ...) are ignored.
+  }
+  return mesh;
+}
+
+Mesh load_obj_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open OBJ file: " + path);
+  return load_obj(in);
+}
+
+void save_obj(std::ostream& out, const Mesh& mesh) {
+  for (const Vec3& v : mesh.vertices()) {
+    out << "v " << v.x << ' ' << v.y << ' ' << v.z << '\n';
+  }
+  const auto idx = mesh.indices();
+  for (std::size_t i = 0; i + 2 < idx.size(); i += 3) {
+    out << "f " << idx[i] + 1 << ' ' << idx[i + 1] + 1 << ' ' << idx[i + 2] + 1
+        << '\n';
+  }
+}
+
+void save_obj_file(const std::string& path, const Mesh& mesh) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open OBJ file for writing: " + path);
+  save_obj(out, mesh);
+}
+
+}  // namespace kdtune

@@ -1,0 +1,28 @@
+#pragma once
+
+// Minimal Wavefront OBJ reader/writer. Supports `v` and `f` records with
+// triangle and convex-polygon faces (fan triangulation) and negative
+// (relative) indices. This lets users drop in the paper's original models
+// (Bunny, Sponza, ...) when they have them, in place of the procedural
+// stand-ins.
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "scene/mesh.hpp"
+
+namespace kdtune {
+
+/// Parses an OBJ stream. Throws std::runtime_error with a line number on
+/// malformed input. Normals/texcoords/materials are accepted and ignored.
+Mesh load_obj(std::istream& in);
+
+/// Convenience file overload; throws on unreadable path.
+Mesh load_obj_file(const std::string& path);
+
+/// Writes vertices and triangular faces.
+void save_obj(std::ostream& out, const Mesh& mesh);
+void save_obj_file(const std::string& path, const Mesh& mesh);
+
+}  // namespace kdtune

@@ -1,0 +1,215 @@
+#include "scene/primitives.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <numbers>
+#include <utility>
+
+namespace kdtune::primitives {
+
+namespace {
+constexpr float kPi = std::numbers::pi_v<float>;
+}
+
+Mesh box(const Vec3& size) {
+  Mesh m;
+  const Vec3 h = size * 0.5f;
+  // 8 corners; bit i of the index selects hi/lo per axis.
+  std::uint32_t idx[8];
+  for (int c = 0; c < 8; ++c) {
+    idx[c] = m.add_vertex({(c & 1) ? h.x : -h.x,
+                           (c & 2) ? h.y : -h.y,
+                           (c & 4) ? h.z : -h.z});
+  }
+  // Faces wound outward.
+  m.add_quad(idx[0], idx[2], idx[3], idx[1]);  // -z
+  m.add_quad(idx[4], idx[5], idx[7], idx[6]);  // +z
+  m.add_quad(idx[0], idx[1], idx[5], idx[4]);  // -y
+  m.add_quad(idx[2], idx[6], idx[7], idx[3]);  // +y
+  m.add_quad(idx[0], idx[4], idx[6], idx[2]);  // -x
+  m.add_quad(idx[1], idx[3], idx[7], idx[5]);  // +x
+  return m;
+}
+
+Mesh grid(float size, int res) {
+  Mesh m;
+  const float half = size * 0.5f;
+  const float step = size / static_cast<float>(res);
+  for (int j = 0; j <= res; ++j) {
+    for (int i = 0; i <= res; ++i) {
+      m.add_vertex({-half + step * static_cast<float>(i), 0.0f,
+                    -half + step * static_cast<float>(j)});
+    }
+  }
+  const auto at = [res](int i, int j) {
+    return static_cast<std::uint32_t>(j * (res + 1) + i);
+  };
+  for (int j = 0; j < res; ++j) {
+    for (int i = 0; i < res; ++i) {
+      m.add_quad(at(i, j), at(i, j + 1), at(i + 1, j + 1), at(i + 1, j));
+    }
+  }
+  return m;
+}
+
+Mesh cylinder(float r, float h, int segments, bool capped) {
+  Mesh m;
+  std::vector<std::uint32_t> bottom(segments), top(segments);
+  for (int i = 0; i < segments; ++i) {
+    const float a = 2.0f * kPi * static_cast<float>(i) / static_cast<float>(segments);
+    const float x = r * std::cos(a);
+    const float z = r * std::sin(a);
+    bottom[i] = m.add_vertex({x, 0.0f, z});
+    top[i] = m.add_vertex({x, h, z});
+  }
+  for (int i = 0; i < segments; ++i) {
+    const int n = (i + 1) % segments;
+    m.add_quad(bottom[i], top[i], top[n], bottom[n]);
+  }
+  if (capped) {
+    const std::uint32_t cb = m.add_vertex({0.0f, 0.0f, 0.0f});
+    const std::uint32_t ct = m.add_vertex({0.0f, h, 0.0f});
+    for (int i = 0; i < segments; ++i) {
+      const int n = (i + 1) % segments;
+      m.add_triangle(cb, bottom[i], bottom[n]);
+      m.add_triangle(ct, top[n], top[i]);
+    }
+  }
+  return m;
+}
+
+Mesh cone(float r, float h, int segments, bool capped) {
+  Mesh m;
+  std::vector<std::uint32_t> base(segments);
+  for (int i = 0; i < segments; ++i) {
+    const float a = 2.0f * kPi * static_cast<float>(i) / static_cast<float>(segments);
+    base[i] = m.add_vertex({r * std::cos(a), 0.0f, r * std::sin(a)});
+  }
+  const std::uint32_t apex = m.add_vertex({0.0f, h, 0.0f});
+  for (int i = 0; i < segments; ++i) {
+    const int n = (i + 1) % segments;
+    m.add_triangle(base[i], apex, base[n]);
+  }
+  if (capped) {
+    const std::uint32_t cb = m.add_vertex({0.0f, 0.0f, 0.0f});
+    for (int i = 0; i < segments; ++i) {
+      const int n = (i + 1) % segments;
+      m.add_triangle(cb, base[i], base[n]);
+    }
+  }
+  return m;
+}
+
+Mesh icosphere(int subdivisions) {
+  Mesh m;
+  // Icosahedron from three orthogonal golden rectangles.
+  const float phi = (1.0f + std::sqrt(5.0f)) * 0.5f;
+  const Vec3 base[12] = {
+      {-1, phi, 0}, {1, phi, 0},   {-1, -phi, 0}, {1, -phi, 0},
+      {0, -1, phi}, {0, 1, phi},   {0, -1, -phi}, {0, 1, -phi},
+      {phi, 0, -1}, {phi, 0, 1},   {-phi, 0, -1}, {-phi, 0, 1}};
+  for (const Vec3& v : base) m.add_vertex(normalized(v));
+  const int faces[20][3] = {
+      {0, 11, 5}, {0, 5, 1},  {0, 1, 7},   {0, 7, 10}, {0, 10, 11},
+      {1, 5, 9},  {5, 11, 4}, {11, 10, 2}, {10, 7, 6}, {7, 1, 8},
+      {3, 9, 4},  {3, 4, 2},  {3, 2, 6},   {3, 6, 8},  {3, 8, 9},
+      {4, 9, 5},  {2, 4, 11}, {6, 2, 10},  {8, 6, 7},  {9, 8, 1}};
+
+  std::vector<std::array<std::uint32_t, 3>> tris;
+  tris.reserve(20);
+  for (const auto& f : faces) {
+    tris.push_back({static_cast<std::uint32_t>(f[0]),
+                    static_cast<std::uint32_t>(f[1]),
+                    static_cast<std::uint32_t>(f[2])});
+  }
+
+  for (int s = 0; s < subdivisions; ++s) {
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> midpoint;
+    const auto mid = [&](std::uint32_t a, std::uint32_t b) {
+      const std::pair<std::uint32_t, std::uint32_t> key{std::min(a, b),
+                                                        std::max(a, b)};
+      if (const auto it = midpoint.find(key); it != midpoint.end()) return it->second;
+      const Vec3 p = normalized((m.vertices()[a] + m.vertices()[b]) * 0.5f);
+      const std::uint32_t idx = m.add_vertex(p);
+      midpoint.emplace(key, idx);
+      return idx;
+    };
+    std::vector<std::array<std::uint32_t, 3>> next;
+    next.reserve(tris.size() * 4);
+    for (const auto& t : tris) {
+      const std::uint32_t ab = mid(t[0], t[1]);
+      const std::uint32_t bc = mid(t[1], t[2]);
+      const std::uint32_t ca = mid(t[2], t[0]);
+      next.push_back({t[0], ab, ca});
+      next.push_back({t[1], bc, ab});
+      next.push_back({t[2], ca, bc});
+      next.push_back({ab, bc, ca});
+    }
+    tris = std::move(next);
+  }
+
+  for (const auto& t : tris) m.add_triangle(t[0], t[1], t[2]);
+  return m;
+}
+
+Mesh arch(float r, float t, float d, int segments) {
+  Mesh m;
+  const float r_out = r + t;
+  // Rings of 4 vertices (inner/outer x front/back) along the half circle.
+  std::vector<std::array<std::uint32_t, 4>> rings(segments + 1);
+  for (int i = 0; i <= segments; ++i) {
+    const float a = kPi * static_cast<float>(i) / static_cast<float>(segments);
+    const float c = std::cos(a);
+    const float s = std::sin(a);
+    rings[i] = {m.add_vertex({r * c, r * s, 0.0f}),
+                m.add_vertex({r_out * c, r_out * s, 0.0f}),
+                m.add_vertex({r * c, r * s, d}),
+                m.add_vertex({r_out * c, r_out * s, d})};
+  }
+  for (int i = 0; i < segments; ++i) {
+    const auto& p = rings[i];
+    const auto& q = rings[i + 1];
+    m.add_quad(p[0], q[0], q[2], p[2]);  // inner surface
+    m.add_quad(p[1], p[3], q[3], q[1]);  // outer surface
+    m.add_quad(p[0], p[1], q[1], q[0]);  // front face
+    m.add_quad(p[2], q[2], q[3], p[3]);  // back face
+  }
+  return m;
+}
+
+Mesh uv_sphere(float radius, int rings, int segments) {
+  Mesh m;
+  const std::uint32_t south = m.add_vertex({0.0f, -radius, 0.0f});
+  std::vector<std::vector<std::uint32_t>> ring_idx;
+  for (int j = 1; j < rings; ++j) {
+    const float theta = kPi * static_cast<float>(j) / static_cast<float>(rings);
+    std::vector<std::uint32_t> row(segments);
+    for (int i = 0; i < segments; ++i) {
+      const float phi = 2.0f * kPi * static_cast<float>(i) / static_cast<float>(segments);
+      row[i] = m.add_vertex({radius * std::sin(theta) * std::cos(phi),
+                             -radius * std::cos(theta),
+                             radius * std::sin(theta) * std::sin(phi)});
+    }
+    ring_idx.push_back(std::move(row));
+  }
+  const std::uint32_t north = m.add_vertex({0.0f, radius, 0.0f});
+
+  for (int i = 0; i < segments; ++i) {
+    const int n = (i + 1) % segments;
+    m.add_triangle(south, ring_idx.front()[n], ring_idx.front()[i]);
+    m.add_triangle(north, ring_idx.back()[i], ring_idx.back()[n]);
+  }
+  for (std::size_t j = 0; j + 1 < ring_idx.size(); ++j) {
+    for (int i = 0; i < segments; ++i) {
+      const int n = (i + 1) % segments;
+      m.add_quad(ring_idx[j][i], ring_idx[j][n], ring_idx[j + 1][n],
+                 ring_idx[j + 1][i]);
+    }
+  }
+  return m;
+}
+
+}  // namespace kdtune::primitives

@@ -1,0 +1,39 @@
+#pragma once
+
+// Parametric primitive meshes the procedural scene generators are assembled
+// from. All primitives are centered/axis-conventional; placement is done via
+// Transform at merge time.
+
+#include <cstdint>
+
+#include "scene/mesh.hpp"
+
+namespace kdtune::primitives {
+
+/// Axis-aligned box spanning [-sx/2, sx/2] x [-sy/2, sy/2] x [-sz/2, sz/2].
+Mesh box(const Vec3& size);
+
+/// XZ ground plane at y=0, `size` x `size`, tessellated `res` x `res` quads.
+Mesh grid(float size, int res);
+
+/// Y-axis cylinder, radius `r`, height `h` (base at y=0), `segments` sides.
+/// `capped` adds top/bottom fans.
+Mesh cylinder(float r, float h, int segments, bool capped = true);
+
+/// Y-axis cone, base radius `r` at y=0, apex at y=h.
+Mesh cone(float r, float h, int segments, bool capped = true);
+
+/// Unit icosphere (radius 1, centered), `subdivisions` rounds of 4-way
+/// subdivision. Triangle count = 20 * 4^subdivisions.
+Mesh icosphere(int subdivisions);
+
+/// Open half-pipe arch in the XY plane extruded along Z: inner radius `r`,
+/// thickness `t`, depth `d`, `segments` angular steps over [0, pi]. Building
+/// block for colonnades and vaults.
+Mesh arch(float r, float t, float d, int segments);
+
+/// UV sphere with explicit ring/segment counts (exact triangle-count control:
+/// 2*segments*(rings-1) triangles).
+Mesh uv_sphere(float radius, int rings, int segments);
+
+}  // namespace kdtune::primitives

@@ -1,0 +1,4 @@
+#include "scene/scene.hpp"
+
+// Scene is currently header-only logic; this TU anchors the library target
+// and is the future home of scene (de)serialization.

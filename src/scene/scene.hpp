@@ -1,0 +1,58 @@
+#pragma once
+
+// A renderable scene: a flat triangle soup plus the lights and the camera
+// preset the ray caster uses. The kd-tree builders consume only the triangle
+// span; the rest exists so the evaluation harness can render each scene the
+// way the paper's figures describe (e.g. the Fairy-Forest close-up camera).
+
+#include <string>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/intersect.hpp"
+#include "geom/triangle.hpp"
+#include "geom/vec3.hpp"
+
+namespace kdtune {
+
+struct PointLight {
+  Vec3 position;
+  Vec3 intensity{1.0f, 1.0f, 1.0f};
+};
+
+/// Where the camera should sit for this scene (consumed by render::Camera).
+struct CameraPreset {
+  Vec3 eye{0.0f, 1.0f, 5.0f};
+  Vec3 look_at{0.0f, 0.0f, 0.0f};
+  Vec3 up{0.0f, 1.0f, 0.0f};
+  float vertical_fov_deg = 55.0f;
+};
+
+class Scene {
+ public:
+  Scene() = default;
+  explicit Scene(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  std::span<const Triangle> triangles() const noexcept { return triangles_; }
+  std::vector<Triangle>& mutable_triangles() noexcept { return triangles_; }
+  std::size_t triangle_count() const noexcept { return triangles_.size(); }
+
+  std::span<const PointLight> lights() const noexcept { return lights_; }
+  void add_light(const PointLight& l) { lights_.push_back(l); }
+
+  const CameraPreset& camera() const noexcept { return camera_; }
+  void set_camera(const CameraPreset& c) { camera_ = c; }
+
+  AABB bounds() const noexcept { return bounds_of(triangles_); }
+
+ private:
+  std::string name_;
+  std::vector<Triangle> triangles_;
+  std::vector<PointLight> lights_;
+  CameraPreset camera_;
+};
+
+}  // namespace kdtune

@@ -1,0 +1,143 @@
+// Simulated annealing: probabilistic local search that accepts worsening
+// moves with temperature-decaying probability — the standard remedy for the
+// local minima the paper observes trapping Nelder-Mead (SV-D4). Included as
+// a further baseline for the strategy-comparison ablation: in noisy online
+// settings its acceptance test is measurement-noise tolerant but it needs
+// more evaluations than the simplex to get close.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geom/rng.hpp"
+#include "tuning/search.hpp"
+
+namespace kdtune {
+
+namespace {
+
+class AnnealingSearch final : public SearchStrategy {
+ public:
+  AnnealingSearch(AnnealingOptions opts) : opts_(opts), rng_(opts.seed) {}
+
+  void initialize(std::vector<std::int64_t> dimension_sizes) override {
+    sizes_ = std::move(dimension_sizes);
+    best_point_.assign(sizes_.size(), 0);
+    best_time_ = std::numeric_limits<double>::infinity();
+    seeded_ = false;
+    restart();
+  }
+
+  ConfigPoint propose() override {
+    if (converged_) return best_point_;
+    if (!have_current_) return current_;
+    pending_ = perturb(current_);
+    return pending_;
+  }
+
+  void report(double seconds) override {
+    if (converged_) return;
+    ++evaluations_;
+
+    if (!have_current_) {
+      current_value_ = seconds;
+      have_current_ = true;
+      track_best(current_, seconds);
+    } else {
+      track_best(pending_, seconds);
+      // Metropolis acceptance on relative slowdown.
+      const double delta =
+          (seconds - current_value_) / std::max(current_value_, 1e-12);
+      if (delta <= 0.0 ||
+          rng_.next_double() < std::exp(-delta / temperature_)) {
+        current_ = pending_;
+        current_value_ = seconds;
+      }
+      temperature_ *= opts_.cooling;
+    }
+
+    if (temperature_ < opts_.final_temperature ||
+        evaluations_ >= opts_.max_evaluations) {
+      converged_ = true;
+    }
+  }
+
+  bool converged() const noexcept override { return converged_; }
+  const ConfigPoint& best() const noexcept override { return best_point_; }
+  double best_time() const noexcept override { return best_time_; }
+
+  void restart() override {
+    converged_ = false;
+    evaluations_ = 0;
+    temperature_ = opts_.initial_temperature;
+    have_current_ = false;
+    current_.resize(sizes_.size());
+    if (seeded_) {
+      current_ = best_point_;  // re-tune: restart from the best known point
+    } else {
+      for (std::size_t d = 0; d < sizes_.size(); ++d) {
+        current_[d] = rng_.next_int(0, sizes_[d] - 1);
+      }
+    }
+  }
+
+  void seed(const ConfigPoint& point) override {
+    if (point.size() != sizes_.size()) return;
+    current_ = point;
+    for (std::size_t d = 0; d < sizes_.size(); ++d) {
+      current_[d] = std::clamp<std::int64_t>(point[d], 0, sizes_[d] - 1);
+    }
+    best_point_ = current_;
+    seeded_ = true;
+  }
+
+ private:
+  ConfigPoint perturb(const ConfigPoint& from) {
+    // Step size shrinks with temperature: wide exploration early, local
+    // refinement late.
+    ConfigPoint p = from;
+    const std::size_t d = static_cast<std::size_t>(
+        rng_.next_int(0, static_cast<std::int64_t>(sizes_.size()) - 1));
+    const double scale =
+        std::max(1.0, static_cast<double>(sizes_[d] - 1) * temperature_ * 0.5);
+    const std::int64_t step = rng_.next_int(
+        1, std::max<std::int64_t>(1, static_cast<std::int64_t>(scale)));
+    p[d] += rng_.next_float() < 0.5f ? -step : step;
+    p[d] = std::clamp<std::int64_t>(p[d], 0, sizes_[d] - 1);
+    if (p == from && sizes_[d] > 1) {
+      p[d] = p[d] == 0 ? 1 : p[d] - 1;  // guarantee movement
+    }
+    return p;
+  }
+
+  void track_best(const ConfigPoint& p, double t) {
+    if (t < best_time_) {
+      best_time_ = t;
+      best_point_ = p;
+    }
+  }
+
+  AnnealingOptions opts_;
+  Rng rng_;
+  std::vector<std::int64_t> sizes_;
+
+  double temperature_ = 1.0;
+  ConfigPoint current_;
+  double current_value_ = 0.0;
+  bool have_current_ = false;
+  ConfigPoint pending_;
+  std::size_t evaluations_ = 0;
+  bool converged_ = false;
+  bool seeded_ = false;
+
+  ConfigPoint best_point_;
+  double best_time_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+std::unique_ptr<SearchStrategy> make_annealing_search(AnnealingOptions opts) {
+  return std::make_unique<AnnealingSearch>(opts);
+}
+
+}  // namespace kdtune

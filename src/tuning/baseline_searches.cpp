@@ -1,0 +1,165 @@
+// Baseline strategies for the search-quality comparison (paper Fig. 9):
+// exhaustive enumeration of a (possibly coarsened) grid, uniform random
+// search with a fixed budget, and a pinned configuration (the default
+// C_base that tuned results are compared against).
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "geom/rng.hpp"
+#include "tuning/search.hpp"
+
+namespace kdtune {
+
+namespace {
+
+class RandomSearch final : public SearchStrategy {
+ public:
+  RandomSearch(std::size_t budget, std::uint64_t seed)
+      : budget_(budget), rng_(seed) {}
+
+  void initialize(std::vector<std::int64_t> dimension_sizes) override {
+    sizes_ = std::move(dimension_sizes);
+    evaluations_ = 0;
+    best_point_.assign(sizes_.size(), 0);
+    best_time_ = std::numeric_limits<double>::infinity();
+  }
+
+  ConfigPoint propose() override {
+    if (converged()) return best_point_;
+    pending_.resize(sizes_.size());
+    for (std::size_t d = 0; d < sizes_.size(); ++d) {
+      pending_[d] = rng_.next_int(0, sizes_[d] - 1);
+    }
+    return pending_;
+  }
+
+  void report(double seconds) override {
+    if (converged()) return;
+    ++evaluations_;
+    if (seconds < best_time_) {
+      best_time_ = seconds;
+      best_point_ = pending_;
+    }
+  }
+
+  bool converged() const noexcept override { return evaluations_ >= budget_; }
+  const ConfigPoint& best() const noexcept override { return best_point_; }
+  double best_time() const noexcept override { return best_time_; }
+  void restart() override { evaluations_ = 0; }
+
+ private:
+  std::size_t budget_;
+  Rng rng_;
+  std::vector<std::int64_t> sizes_;
+  std::size_t evaluations_ = 0;
+  ConfigPoint pending_;
+  ConfigPoint best_point_;
+  double best_time_ = std::numeric_limits<double>::infinity();
+};
+
+class ExhaustiveSearch final : public SearchStrategy {
+ public:
+  explicit ExhaustiveSearch(std::vector<std::int64_t> strides)
+      : strides_(std::move(strides)) {}
+
+  void initialize(std::vector<std::int64_t> dimension_sizes) override {
+    sizes_ = std::move(dimension_sizes);
+    if (strides_.empty()) strides_.assign(sizes_.size(), 1);
+    if (strides_.size() != sizes_.size()) {
+      throw std::invalid_argument("exhaustive: stride/dimension mismatch");
+    }
+    for (std::int64_t s : strides_) {
+      if (s <= 0) throw std::invalid_argument("exhaustive: stride must be > 0");
+    }
+    cursor_.assign(sizes_.size(), 0);
+    done_ = sizes_.empty();
+    best_point_.assign(sizes_.size(), 0);
+    best_time_ = std::numeric_limits<double>::infinity();
+  }
+
+  ConfigPoint propose() override { return done_ ? best_point_ : cursor_; }
+
+  void report(double seconds) override {
+    if (done_) return;
+    if (seconds < best_time_) {
+      best_time_ = seconds;
+      best_point_ = cursor_;
+    }
+    // Odometer increment with per-dimension stride.
+    for (std::size_t d = 0;; ++d) {
+      if (d == sizes_.size()) {
+        done_ = true;
+        break;
+      }
+      cursor_[d] += strides_[d];
+      if (cursor_[d] < sizes_[d]) break;
+      cursor_[d] = 0;
+    }
+  }
+
+  bool converged() const noexcept override { return done_; }
+  const ConfigPoint& best() const noexcept override { return best_point_; }
+  double best_time() const noexcept override { return best_time_; }
+
+  void restart() override {
+    cursor_.assign(sizes_.size(), 0);
+    done_ = sizes_.empty();
+  }
+
+ private:
+  std::vector<std::int64_t> strides_;
+  std::vector<std::int64_t> sizes_;
+  ConfigPoint cursor_;
+  bool done_ = false;
+  ConfigPoint best_point_;
+  double best_time_ = std::numeric_limits<double>::infinity();
+};
+
+class FixedSearch final : public SearchStrategy {
+ public:
+  explicit FixedSearch(ConfigPoint point) : point_(std::move(point)) {}
+
+  void initialize(std::vector<std::int64_t> dimension_sizes) override {
+    if (point_.size() != dimension_sizes.size()) {
+      throw std::invalid_argument("fixed search: wrong dimension count");
+    }
+    for (std::size_t d = 0; d < point_.size(); ++d) {
+      point_[d] = std::clamp<std::int64_t>(point_[d], 0, dimension_sizes[d] - 1);
+    }
+  }
+
+  ConfigPoint propose() override { return point_; }
+
+  void report(double seconds) override {
+    best_time_ = std::min(best_time_, seconds);
+  }
+
+  bool converged() const noexcept override { return true; }
+  const ConfigPoint& best() const noexcept override { return point_; }
+  double best_time() const noexcept override { return best_time_; }
+  void restart() override {}
+
+ private:
+  ConfigPoint point_;
+  double best_time_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+std::unique_ptr<SearchStrategy> make_random_search(std::size_t budget,
+                                                   std::uint64_t seed) {
+  return std::make_unique<RandomSearch>(budget, seed);
+}
+
+std::unique_ptr<SearchStrategy> make_exhaustive_search(
+    std::vector<std::int64_t> strides) {
+  return std::make_unique<ExhaustiveSearch>(std::move(strides));
+}
+
+std::unique_ptr<SearchStrategy> make_fixed_search(ConfigPoint point) {
+  return std::make_unique<FixedSearch>(std::move(point));
+}
+
+}  // namespace kdtune

@@ -1,0 +1,93 @@
+#include "tuning/config_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace kdtune {
+
+std::optional<ConfigCache::Entry> ConfigCache::lookup(
+    const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ConfigCache::store(const std::string& key,
+                        std::vector<std::int64_t> values, double seconds) {
+  if (key.find('\t') != std::string::npos ||
+      key.find('\n') != std::string::npos) {
+    throw std::invalid_argument("ConfigCache: key must not contain tab/newline");
+  }
+  const auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.seconds <= seconds) return false;
+  entries_[key] = {std::move(values), seconds};
+  return true;
+}
+
+void ConfigCache::save(std::ostream& out) const {
+  for (const auto& [key, entry] : entries_) {
+    out << key << '\t' << entry.seconds << '\t';
+    for (std::size_t i = 0; i < entry.values.size(); ++i) {
+      if (i > 0) out << ',';
+      out << entry.values[i];
+    }
+    out << '\n';
+  }
+}
+
+void ConfigCache::load(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::size_t tab1 = line.find('\t');
+    const std::size_t tab2 =
+        tab1 == std::string::npos ? std::string::npos : line.find('\t', tab1 + 1);
+    if (tab2 == std::string::npos) {
+      throw std::runtime_error("ConfigCache: malformed line " +
+                               std::to_string(line_no));
+    }
+    Entry entry;
+    const std::string key = line.substr(0, tab1);
+    try {
+      entry.seconds = std::stod(line.substr(tab1 + 1, tab2 - tab1 - 1));
+      std::stringstream values(line.substr(tab2 + 1));
+      std::string token;
+      while (std::getline(values, token, ',')) {
+        entry.values.push_back(std::stoll(token));
+      }
+    } catch (const std::logic_error&) {
+      throw std::runtime_error("ConfigCache: malformed line " +
+                               std::to_string(line_no));
+    }
+    if (key.empty() || entry.values.empty()) {
+      throw std::runtime_error("ConfigCache: malformed line " +
+                               std::to_string(line_no));
+    }
+    store(key, std::move(entry.values), entry.seconds);
+  }
+}
+
+void ConfigCache::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("ConfigCache: cannot write " + path);
+  save(out);
+}
+
+void ConfigCache::load_file(const std::string& path) {
+  if (!std::filesystem::exists(path)) return;  // first run: empty cache
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ConfigCache: cannot read " + path);
+  load(in);
+}
+
+std::string ConfigCache::key_for(const std::string& scene,
+                                 const std::string& algorithm,
+                                 unsigned threads) {
+  return scene + "/" + algorithm + "/threads=" + std::to_string(threads);
+}
+
+}  // namespace kdtune

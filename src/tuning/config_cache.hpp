@@ -1,0 +1,57 @@
+#pragma once
+
+// Persistent configuration cache. Online tuning pays for its search on every
+// program run; caching the best configuration per *context* (scene, algorithm,
+// machine, thread count — any string the client composes) lets the next run
+// seed the search at yesterday's optimum and converge almost immediately,
+// while the online search still corrects for whatever changed.
+//
+// Storage is a human-readable line format:
+//   <key>\t<seconds>\t<v0,v1,...>
+
+#include <istream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "tuning/parameter.hpp"
+
+namespace kdtune {
+
+class ConfigCache {
+ public:
+  struct Entry {
+    std::vector<std::int64_t> values;
+    double seconds = 0.0;
+  };
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  /// The cached best for `key`, if any.
+  std::optional<Entry> lookup(const std::string& key) const;
+
+  /// Records `values` for `key` if it is new or faster than the cached entry.
+  /// Returns true if the cache changed.
+  bool store(const std::string& key, std::vector<std::int64_t> values,
+             double seconds);
+
+  void save(std::ostream& out) const;
+  void load(std::istream& in);  ///< merges (keeps faster of duplicates)
+
+  void save_file(const std::string& path) const;
+  /// Missing files are treated as an empty cache; malformed lines throw.
+  void load_file(const std::string& path);
+
+  /// Canonical key for the kd-tree use case.
+  static std::string key_for(const std::string& scene,
+                             const std::string& algorithm, unsigned threads);
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace kdtune

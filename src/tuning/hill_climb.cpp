@@ -1,0 +1,156 @@
+// Steepest-descent hill climbing with random restarts: a classic local-search
+// baseline for the strategy comparison. From the current point it measures
+// every +-1 grid neighbor, moves to the best improving one, and stops at a
+// local minimum; remaining restart budget re-seeds from a random point.
+// Included to contrast with Nelder-Mead: it needs ~2d measurements *per step*
+// where the simplex needs ~1, which matters online.
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/rng.hpp"
+#include "tuning/search.hpp"
+
+namespace kdtune {
+
+namespace {
+
+class HillClimbSearch final : public SearchStrategy {
+ public:
+  HillClimbSearch(std::size_t restarts, std::uint64_t seed)
+      : restarts_left_(restarts), rng_(seed) {}
+
+  void initialize(std::vector<std::int64_t> dimension_sizes) override {
+    sizes_ = std::move(dimension_sizes);
+    best_point_.assign(sizes_.size(), 0);
+    best_time_ = std::numeric_limits<double>::infinity();
+    begin_restart();
+  }
+
+  ConfigPoint propose() override {
+    if (converged_) return best_point_;
+    if (!have_center_value_) return center_;
+    pending_ = neighbor(neighbor_index_);
+    return pending_;
+  }
+
+  void report(double seconds) override {
+    if (converged_) return;
+
+    if (!have_center_value_) {
+      center_value_ = seconds;
+      have_center_value_ = true;
+      track_best(center_, seconds);
+      neighbor_index_ = 0;
+      skip_invalid_neighbors();
+      if (round_done()) finish_round();
+      return;
+    }
+
+    track_best(pending_, seconds);
+    if (seconds < best_neighbor_value_) {
+      best_neighbor_value_ = seconds;
+      best_neighbor_ = pending_;
+    }
+    ++neighbor_index_;
+    skip_invalid_neighbors();
+    if (round_done()) finish_round();
+  }
+
+  bool converged() const noexcept override { return converged_; }
+  const ConfigPoint& best() const noexcept override { return best_point_; }
+  double best_time() const noexcept override { return best_time_; }
+
+  void restart() override {
+    converged_ = false;
+    begin_restart();
+  }
+
+ private:
+  /// Neighbor k: dimension k/2, direction (k%2 ? +1 : -1).
+  ConfigPoint neighbor(std::size_t k) const {
+    ConfigPoint p = center_;
+    const std::size_t d = k / 2;
+    p[d] += (k % 2 == 1) ? 1 : -1;
+    return p;
+  }
+
+  bool neighbor_valid(std::size_t k) const {
+    const std::size_t d = k / 2;
+    const std::int64_t v = center_[d] + ((k % 2 == 1) ? 1 : -1);
+    return v >= 0 && v < sizes_[d];
+  }
+
+  void skip_invalid_neighbors() {
+    while (!round_done() && !neighbor_valid(neighbor_index_)) {
+      ++neighbor_index_;
+    }
+  }
+
+  bool round_done() const { return neighbor_index_ >= 2 * sizes_.size(); }
+
+  void finish_round() {
+    if (best_neighbor_value_ < center_value_) {
+      center_ = best_neighbor_;
+      center_value_ = best_neighbor_value_;
+      reset_round();
+      return;
+    }
+    // Local minimum: restart or converge.
+    if (restarts_left_ > 0) {
+      --restarts_left_;
+      begin_restart();
+    } else {
+      converged_ = true;
+    }
+  }
+
+  void reset_round() {
+    neighbor_index_ = 0;
+    best_neighbor_value_ = std::numeric_limits<double>::infinity();
+    skip_invalid_neighbors();
+  }
+
+  void begin_restart() {
+    // Always re-seed randomly: restarting at the best known point would walk
+    // straight back into the same local minimum.
+    center_.resize(sizes_.size());
+    for (std::size_t d = 0; d < sizes_.size(); ++d) {
+      center_[d] = rng_.next_int(0, sizes_[d] - 1);
+    }
+    have_center_value_ = false;
+    reset_round();
+  }
+
+  void track_best(const ConfigPoint& p, double t) {
+    if (t < best_time_) {
+      best_time_ = t;
+      best_point_ = p;
+    }
+  }
+
+  std::size_t restarts_left_;
+  Rng rng_;
+  std::vector<std::int64_t> sizes_;
+
+  ConfigPoint center_;
+  double center_value_ = 0.0;
+  bool have_center_value_ = false;
+  std::size_t neighbor_index_ = 0;
+  ConfigPoint pending_;
+  ConfigPoint best_neighbor_;
+  double best_neighbor_value_ = std::numeric_limits<double>::infinity();
+
+  bool converged_ = false;
+  ConfigPoint best_point_;
+  double best_time_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+std::unique_ptr<SearchStrategy> make_hill_climb_search(std::size_t restarts,
+                                                       std::uint64_t seed) {
+  return std::make_unique<HillClimbSearch>(restarts, seed);
+}
+
+}  // namespace kdtune

@@ -1,0 +1,51 @@
+#include "tuning/measurement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kdtune {
+
+double sorted_quantile(std::span<const double> sorted, double q) noexcept {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+SampleStats compute_stats(std::span<const double> values) {
+  SampleStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+
+  double var = 0.0;
+  for (double v : sorted) var += (v - s.mean) * (v - s.mean);
+  s.stddev = sorted.size() > 1
+                 ? std::sqrt(var / static_cast<double>(sorted.size() - 1))
+                 : 0.0;
+
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.q1 = sorted_quantile(sorted, 0.25);
+  s.median = sorted_quantile(sorted, 0.5);
+  s.q3 = sorted_quantile(sorted, 0.75);
+
+  std::vector<double> dev(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    dev[i] = std::fabs(sorted[i] - s.median);
+  }
+  std::sort(dev.begin(), dev.end());
+  s.mad = sorted_quantile(dev, 0.5);
+  return s;
+}
+
+}  // namespace kdtune

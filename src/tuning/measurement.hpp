@@ -1,0 +1,47 @@
+#pragma once
+
+// Timing and the small-sample statistics the evaluation harness reports
+// (median, quartiles, MAD) — the paper's box plots are built from these.
+
+#include <chrono>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace kdtune {
+
+/// Monotonic stopwatch used by the tuner's measurement cycles.
+class Stopwatch {
+ public:
+  void start() noexcept { begin_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds since start().
+  double elapsed() const noexcept {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         begin_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point begin_ = std::chrono::steady_clock::now();
+};
+
+/// Summary statistics over a sample. Quantiles use linear interpolation.
+struct SampleStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double q1 = 0.0;      ///< 25th percentile
+  double median = 0.0;
+  double q3 = 0.0;      ///< 75th percentile
+  double max = 0.0;
+  double mad = 0.0;     ///< median absolute deviation
+};
+
+SampleStats compute_stats(std::span<const double> values);
+
+/// Quantile (0 <= q <= 1) with linear interpolation over a *sorted* sample.
+double sorted_quantile(std::span<const double> sorted, double q) noexcept;
+
+}  // namespace kdtune

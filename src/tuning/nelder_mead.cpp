@@ -1,0 +1,271 @@
+// Random-sampling-seeded Nelder-Mead simplex search (Nelder & Mead 1965), the
+// production strategy of AtuneRT. The search runs on a continuous relaxation
+// of the integer index space; every proposal is rounded to the grid for
+// evaluation. Because measurements arrive one at a time from the client's
+// start/stop cycles, the algorithm is written as an explicit state machine
+// (propose -> report -> advance).
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/rng.hpp"
+#include "tuning/search.hpp"
+
+namespace kdtune {
+
+namespace {
+
+class NelderMeadSearch final : public SearchStrategy {
+ public:
+  explicit NelderMeadSearch(NelderMeadOptions opts)
+      : opts_(opts), rng_(opts.seed) {}
+
+  void initialize(std::vector<std::int64_t> dimension_sizes) override {
+    sizes_ = std::move(dimension_sizes);
+    dims_ = sizes_.size();
+    restart_clean();
+  }
+
+  ConfigPoint propose() override {
+    switch (phase_) {
+      case Phase::kSampling: {
+        pending_.assign(dims_, 0.0);
+        if (samples_.empty() && !best_point_.empty()) {
+          // Re-tuning restart: seed with the best known configuration.
+          for (std::size_t d = 0; d < dims_; ++d) {
+            pending_[d] = static_cast<double>(best_point_[d]);
+          }
+        } else {
+          for (std::size_t d = 0; d < dims_; ++d) {
+            pending_[d] =
+                rng_.next_double() * static_cast<double>(sizes_[d] - 1);
+          }
+        }
+        break;
+      }
+      case Phase::kReflect:
+        pending_ = affine(centroid(), worst().x, -opts_.alpha);
+        break;
+      case Phase::kExpand:
+        pending_ = affine(centroid(), reflected_.x, opts_.gamma);
+        break;
+      case Phase::kContract:
+        pending_ = contract_outside_
+                       ? affine(centroid(), reflected_.x, opts_.rho)
+                       : affine(centroid(), worst().x, opts_.rho);
+        break;
+      case Phase::kShrink: {
+        const auto& x0 = simplex_[0].x;
+        const auto& xi = simplex_[shrink_index_].x;
+        pending_.resize(dims_);
+        for (std::size_t d = 0; d < dims_; ++d) {
+          pending_[d] = x0[d] + opts_.sigma * (xi[d] - x0[d]);
+        }
+        break;
+      }
+      case Phase::kConverged:
+        return best_point_.empty() ? ConfigPoint(dims_, 0) : best_point_;
+    }
+    clamp(pending_);
+    return to_grid(pending_);
+  }
+
+  void report(double seconds) override {
+    if (phase_ == Phase::kConverged) return;
+    ++evaluations_;
+    track_best(pending_, seconds);
+
+    switch (phase_) {
+      case Phase::kSampling: {
+        samples_.push_back({pending_, seconds});
+        const std::size_t need = std::max(opts_.random_samples, dims_ + 1);
+        if (samples_.size() >= need) seed_simplex();
+        break;
+      }
+      case Phase::kReflect: {
+        const Vertex r{pending_, seconds};
+        if (r.f < simplex_.front().f) {
+          reflected_ = r;
+          phase_ = Phase::kExpand;
+        } else if (r.f < simplex_[dims_ - 1].f) {
+          replace_worst(r);
+        } else {
+          reflected_ = r;
+          contract_outside_ = r.f < worst().f;
+          phase_ = Phase::kContract;
+        }
+        break;
+      }
+      case Phase::kExpand: {
+        const Vertex e{pending_, seconds};
+        replace_worst(e.f < reflected_.f ? e : reflected_);
+        break;
+      }
+      case Phase::kContract: {
+        const Vertex c{pending_, seconds};
+        const bool accept = contract_outside_ ? c.f <= reflected_.f
+                                              : c.f < worst().f;
+        if (accept) {
+          replace_worst(c);
+        } else {
+          shrink_index_ = 1;
+          phase_ = Phase::kShrink;
+        }
+        break;
+      }
+      case Phase::kShrink: {
+        simplex_[shrink_index_] = {pending_, seconds};
+        if (++shrink_index_ > dims_) {
+          sort_simplex();
+          phase_ = Phase::kReflect;
+          check_convergence();
+        }
+        break;
+      }
+      case Phase::kConverged:
+        break;
+    }
+
+    if (phase_ != Phase::kConverged && evaluations_ >= opts_.max_evaluations) {
+      phase_ = Phase::kConverged;
+    }
+  }
+
+  bool converged() const noexcept override { return phase_ == Phase::kConverged; }
+  const ConfigPoint& best() const noexcept override { return best_point_; }
+  double best_time() const noexcept override { return best_time_; }
+
+  void restart() override {
+    // Keep best_point_/best_time_ as the seed and global reference.
+    samples_.clear();
+    simplex_.clear();
+    evaluations_ = 0;
+    phase_ = Phase::kSampling;
+  }
+
+  void seed(const ConfigPoint& point) override {
+    // A warm start behaves like a remembered best with no measurement yet:
+    // the first sampling proposal is the seed, and any real measurement that
+    // beats infinity replaces it as best.
+    if (point.size() != dims_) return;
+    best_point_ = point;
+    for (std::size_t d = 0; d < dims_; ++d) {
+      best_point_[d] = std::clamp<std::int64_t>(point[d], 0, sizes_[d] - 1);
+    }
+  }
+
+ private:
+  enum class Phase { kSampling, kReflect, kExpand, kContract, kShrink, kConverged };
+
+  struct Vertex {
+    std::vector<double> x;
+    double f = std::numeric_limits<double>::infinity();
+  };
+
+  void restart_clean() {
+    best_point_.clear();
+    best_time_ = std::numeric_limits<double>::infinity();
+    restart();
+  }
+
+  std::vector<double> centroid() const {
+    std::vector<double> c(dims_, 0.0);
+    for (std::size_t v = 0; v < dims_; ++v) {  // all but the worst
+      for (std::size_t d = 0; d < dims_; ++d) c[d] += simplex_[v].x[d];
+    }
+    for (double& e : c) e /= static_cast<double>(dims_);
+    return c;
+  }
+
+  /// c + t * (p - c): t = -alpha reflects p through c, t > 0 moves toward p.
+  std::vector<double> affine(const std::vector<double>& c,
+                             const std::vector<double>& p, double t) const {
+    std::vector<double> out(dims_);
+    for (std::size_t d = 0; d < dims_; ++d) out[d] = c[d] + t * (p[d] - c[d]);
+    return out;
+  }
+
+  const Vertex& worst() const { return simplex_.back(); }
+
+  void clamp(std::vector<double>& x) const {
+    for (std::size_t d = 0; d < dims_; ++d) {
+      x[d] = std::clamp(x[d], 0.0, static_cast<double>(sizes_[d] - 1));
+    }
+  }
+
+  ConfigPoint to_grid(const std::vector<double>& x) const {
+    ConfigPoint p(dims_);
+    for (std::size_t d = 0; d < dims_; ++d) {
+      p[d] = std::clamp<std::int64_t>(
+          static_cast<std::int64_t>(std::llround(x[d])), 0, sizes_[d] - 1);
+    }
+    return p;
+  }
+
+  void track_best(const std::vector<double>& x, double f) {
+    if (f < best_time_) {
+      best_time_ = f;
+      best_point_ = to_grid(x);
+    }
+  }
+
+  void seed_simplex() {
+    std::sort(samples_.begin(), samples_.end(),
+              [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+    simplex_.assign(samples_.begin(), samples_.begin() + dims_ + 1);
+    samples_.clear();
+    phase_ = Phase::kReflect;
+    check_convergence();
+  }
+
+  void replace_worst(Vertex v) {
+    simplex_.back() = std::move(v);
+    sort_simplex();
+    check_convergence();
+  }
+
+  void sort_simplex() {
+    std::sort(simplex_.begin(), simplex_.end(),
+              [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+  }
+
+  void check_convergence() {
+    double diameter = 0.0;
+    for (const Vertex& v : simplex_) {
+      for (std::size_t d = 0; d < dims_; ++d) {
+        diameter = std::max(diameter, std::fabs(v.x[d] - simplex_[0].x[d]));
+      }
+    }
+    const double f0 = simplex_.front().f;
+    const double fn = simplex_.back().f;
+    const double spread = std::fabs(fn - f0) / std::max(std::fabs(f0), 1e-12);
+    if (diameter < opts_.position_tolerance || spread < opts_.value_tolerance) {
+      phase_ = Phase::kConverged;
+    }
+  }
+
+  NelderMeadOptions opts_;
+  Rng rng_;
+  std::vector<std::int64_t> sizes_;
+  std::size_t dims_ = 0;
+
+  Phase phase_ = Phase::kSampling;
+  std::vector<Vertex> samples_;
+  std::vector<Vertex> simplex_;
+  std::vector<double> pending_;
+  Vertex reflected_;
+  bool contract_outside_ = false;
+  std::size_t shrink_index_ = 1;
+  std::size_t evaluations_ = 0;
+
+  ConfigPoint best_point_;
+  double best_time_ = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+std::unique_ptr<SearchStrategy> make_nelder_mead_search(NelderMeadOptions opts) {
+  return std::make_unique<NelderMeadSearch>(opts);
+}
+
+}  // namespace kdtune

@@ -1,0 +1,75 @@
+#include "tuning/parameter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace kdtune {
+
+TunableParameter::TunableParameter(std::int64_t* target, std::int64_t min,
+                                   std::int64_t max, std::int64_t step,
+                                   bool is_pow2, std::string name)
+    : target_(target), min_(min), max_(max), step_(step), pow2_(is_pow2),
+      name_(std::move(name)) {
+  if (target == nullptr) throw std::invalid_argument("parameter: null target");
+  if (max < min) throw std::invalid_argument("parameter: max < min");
+  if (pow2_) {
+    if (min <= 0 || (min & (min - 1)) != 0) {
+      throw std::invalid_argument("parameter: pow2 min must be a power of two");
+    }
+    count_ = 0;
+    for (std::int64_t v = min; v <= max; v *= 2) ++count_;
+  } else {
+    if (step <= 0) throw std::invalid_argument("parameter: step must be > 0");
+    count_ = (max - min) / step + 1;
+  }
+}
+
+TunableParameter TunableParameter::linear(std::int64_t* target,
+                                          std::int64_t min, std::int64_t max,
+                                          std::int64_t step, std::string name) {
+  return TunableParameter(target, min, max, step, false, std::move(name));
+}
+
+TunableParameter TunableParameter::pow2(std::int64_t* target, std::int64_t min,
+                                        std::int64_t max, std::string name) {
+  return TunableParameter(target, min, max, 1, true, std::move(name));
+}
+
+std::int64_t TunableParameter::value_at(std::int64_t index) const {
+  index = std::clamp<std::int64_t>(index, 0, count_ - 1);
+  if (pow2_) return min_ << index;
+  return min_ + index * step_;
+}
+
+std::int64_t TunableParameter::index_of(std::int64_t value) const noexcept {
+  if (pow2_) {
+    std::int64_t best = 0;
+    std::int64_t best_err = std::numeric_limits<std::int64_t>::max();
+    for (std::int64_t i = 0; i < count_; ++i) {
+      const std::int64_t err = std::llabs((min_ << i) - value);
+      if (err < best_err) {
+        best_err = err;
+        best = i;
+      }
+    }
+    return best;
+  }
+  const std::int64_t clamped = std::clamp(value, min_, max_);
+  return (clamped - min_ + step_ / 2) / step_;
+}
+
+std::int64_t TunableParameter::round_index(double x) const noexcept {
+  const auto i = static_cast<std::int64_t>(std::llround(x));
+  return std::clamp<std::int64_t>(i, 0, count_ - 1);
+}
+
+std::uint64_t search_space_size(const std::vector<TunableParameter>& params) {
+  std::uint64_t total = 1;
+  for (const TunableParameter& p : params) {
+    total *= static_cast<std::uint64_t>(p.count());
+  }
+  return total;
+}
+
+}  // namespace kdtune

@@ -1,0 +1,71 @@
+#pragma once
+
+// A tunable parameter in the AtuneRT style: the client registers a *pointer*
+// to a program variable together with its valid range; the tuner writes new
+// values into that memory between measurement cycles (paper §III-A, fig. 1).
+//
+// Search strategies operate on a normalized integer *index space*
+// [0, count-1] per parameter; linear parameters map index -> min + i*step,
+// power-of-two parameters (the lazy builder's R) map index -> min << i.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace kdtune {
+
+class TunableParameter {
+ public:
+  /// Linear grid: {min, min+step, ..., <= max}.
+  static TunableParameter linear(std::int64_t* target, std::int64_t min,
+                                 std::int64_t max, std::int64_t step = 1,
+                                 std::string name = {});
+
+  /// Power-of-two grid: {min, 2*min, 4*min, ..., <= max}; min must be a
+  /// positive power of two and max >= min.
+  static TunableParameter pow2(std::int64_t* target, std::int64_t min,
+                               std::int64_t max, std::string name = {});
+
+  const std::string& name() const noexcept { return name_; }
+  std::int64_t min_value() const noexcept { return min_; }
+  std::int64_t max_value() const noexcept { return max_; }
+
+  /// Number of grid points (the size of this dimension of the search space).
+  std::int64_t count() const noexcept { return count_; }
+
+  /// Grid index -> parameter value.
+  std::int64_t value_at(std::int64_t index) const;
+
+  /// Parameter value -> nearest grid index.
+  std::int64_t index_of(std::int64_t value) const noexcept;
+
+  /// Continuous search coordinate -> clamped grid index.
+  std::int64_t round_index(double x) const noexcept;
+
+  /// Writes the value at `index` into the registered program variable.
+  void apply(std::int64_t index) const { *target_ = value_at(index); }
+
+  /// Current value of the registered variable.
+  std::int64_t current() const noexcept { return *target_; }
+
+ private:
+  TunableParameter(std::int64_t* target, std::int64_t min, std::int64_t max,
+                   std::int64_t step, bool is_pow2, std::string name);
+
+  std::int64_t* target_;
+  std::int64_t min_;
+  std::int64_t max_;
+  std::int64_t step_;
+  bool pow2_;
+  std::int64_t count_;
+  std::string name_;
+};
+
+/// A point in the index space of a parameter set.
+using ConfigPoint = std::vector<std::int64_t>;
+
+/// Total number of configurations of a parameter set (product of counts).
+std::uint64_t search_space_size(const std::vector<TunableParameter>& params);
+
+}  // namespace kdtune

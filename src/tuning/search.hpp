@@ -1,0 +1,103 @@
+#pragma once
+
+// Search strategy interface. The tuner drives a propose/report loop: the
+// strategy proposes an index-space configuration, the client runs one
+// measurement cycle with it, the measured time is reported back. AtuneRT's
+// production strategy is random-sampling-seeded Nelder-Mead; exhaustive,
+// random and fixed strategies exist as the baselines of the paper's Fig. 9.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "tuning/parameter.hpp"
+
+namespace kdtune {
+
+class SearchStrategy {
+ public:
+  virtual ~SearchStrategy() = default;
+
+  /// Geometry of the index space: one entry per parameter, the value is the
+  /// number of grid points of that dimension. Called once before the loop.
+  virtual void initialize(std::vector<std::int64_t> dimension_sizes) = 0;
+
+  /// The next configuration to measure.
+  virtual ConfigPoint propose() = 0;
+
+  /// The measured execution time of the last proposed configuration.
+  virtual void report(double seconds) = 0;
+
+  /// True once the strategy has settled (it will keep proposing its best).
+  virtual bool converged() const noexcept = 0;
+
+  /// Best configuration / time observed so far.
+  virtual const ConfigPoint& best() const noexcept = 0;
+  virtual double best_time() const noexcept = 0;
+
+  /// Restart the search (online re-tuning after drift), keeping the best
+  /// known point as a seed where the strategy supports it.
+  virtual void restart() = 0;
+
+  /// Suggests a starting point (e.g. a cached configuration from a previous
+  /// run). Called after initialize(), before the first propose(). Strategies
+  /// that cannot use a seed may ignore it.
+  virtual void seed(const ConfigPoint& /*point*/) {}
+};
+
+/// Options for the Nelder-Mead strategy.
+struct NelderMeadOptions {
+  /// Random samples drawn to seed the simplex (at least dims+1 are used).
+  std::size_t random_samples = 8;
+  /// Reflection / expansion / contraction / shrink coefficients.
+  double alpha = 1.0;
+  double gamma = 2.0;
+  double rho = 0.5;
+  double sigma = 0.5;
+  /// Convergence: simplex collapses below this index-space diameter...
+  double position_tolerance = 1.0;
+  /// ...or the relative value spread falls below this. The defaults settle
+  /// after a few dozen measurements, matching the paper's observation of a
+  /// stable state "after just about 40 iterations" (SV-D3).
+  double value_tolerance = 5e-3;
+  /// Hard iteration cap (proposals) before forcing convergence.
+  std::size_t max_evaluations = 120;
+  std::uint64_t seed = 0x5EEDull;
+};
+
+std::unique_ptr<SearchStrategy> make_nelder_mead_search(NelderMeadOptions opts = {});
+
+/// Uniform random search; converges after `budget` evaluations.
+std::unique_ptr<SearchStrategy> make_random_search(std::size_t budget,
+                                                   std::uint64_t seed = 0x5EEDull);
+
+/// Full grid enumeration with an optional per-dimension stride (coarsening);
+/// converges after one pass.
+std::unique_ptr<SearchStrategy> make_exhaustive_search(
+    std::vector<std::int64_t> strides = {});
+
+/// Always proposes the given point (e.g. C_base); converged immediately.
+std::unique_ptr<SearchStrategy> make_fixed_search(ConfigPoint point);
+
+/// Steepest-descent hill climbing with `restarts` random restarts; converges
+/// at a local minimum once the restart budget is spent. Baseline contrasting
+/// Nelder-Mead's ~1 measurement per step with hill climbing's ~2*dims.
+std::unique_ptr<SearchStrategy> make_hill_climb_search(
+    std::size_t restarts = 2, std::uint64_t seed = 0x5EEDull);
+
+/// Options for the simulated-annealing strategy.
+struct AnnealingOptions {
+  double initial_temperature = 0.6;
+  double final_temperature = 0.01;
+  double cooling = 0.95;   ///< per-evaluation temperature multiplier
+  std::size_t max_evaluations = 200;
+  std::uint64_t seed = 0x5EEDull;
+};
+
+/// Metropolis simulated annealing with temperature-scaled single-axis steps.
+/// More noise-tolerant than greedy descent; slower to converge than the
+/// simplex — the third point in the strategy-comparison ablation.
+std::unique_ptr<SearchStrategy> make_annealing_search(AnnealingOptions opts = {});
+
+}  // namespace kdtune

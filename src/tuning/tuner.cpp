@@ -1,0 +1,152 @@
+#include "tuning/tuner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kdtune {
+
+Tuner::Tuner(std::unique_ptr<SearchStrategy> strategy, TunerOptions opts)
+    : strategy_(strategy ? std::move(strategy) : make_nelder_mead_search()),
+      opts_(opts) {}
+
+Tuner::~Tuner() = default;
+
+void Tuner::register_parameter(std::int64_t* var, std::int64_t min,
+                               std::int64_t max, std::int64_t step,
+                               std::string name) {
+  if (initialized_) {
+    throw std::logic_error("Tuner: cannot register parameters after start()");
+  }
+  params_.push_back(
+      TunableParameter::linear(var, min, max, step, std::move(name)));
+}
+
+void Tuner::register_parameter_pow2(std::int64_t* var, std::int64_t min,
+                                    std::int64_t max, std::string name) {
+  if (initialized_) {
+    throw std::logic_error("Tuner: cannot register parameters after start()");
+  }
+  params_.push_back(TunableParameter::pow2(var, min, max, std::move(name)));
+}
+
+void Tuner::warm_start(const std::vector<std::int64_t>& values) {
+  if (values.size() != params_.size()) {
+    throw std::invalid_argument("Tuner::warm_start: wrong value count");
+  }
+  ensure_initialized();
+  ConfigPoint point(params_.size());
+  for (std::size_t d = 0; d < params_.size(); ++d) {
+    point[d] = params_[d].index_of(values[d]);
+  }
+  strategy_->seed(point);
+}
+
+void Tuner::ensure_initialized() {
+  if (initialized_) return;
+  if (params_.empty()) {
+    throw std::logic_error("Tuner: no parameters registered");
+  }
+  std::vector<std::int64_t> sizes;
+  sizes.reserve(params_.size());
+  for (const TunableParameter& p : params_) sizes.push_back(p.count());
+  strategy_->initialize(std::move(sizes));
+  initialized_ = true;
+}
+
+void Tuner::apply(const ConfigPoint& point) {
+  for (std::size_t d = 0; d < params_.size(); ++d) params_[d].apply(point[d]);
+}
+
+std::vector<std::int64_t> Tuner::values_of(const ConfigPoint& point) const {
+  std::vector<std::int64_t> values(params_.size());
+  for (std::size_t d = 0; d < params_.size(); ++d) {
+    values[d] = params_[d].value_at(point[d]);
+  }
+  return values;
+}
+
+void Tuner::apply_next() {
+  ensure_initialized();
+  pending_ = strategy_->propose();
+  apply(pending_);
+  pending_applied_ = true;
+}
+
+void Tuner::start() {
+  if (cycle_open_) throw std::logic_error("Tuner: start() without stop()");
+  if (!pending_applied_) apply_next();
+  cycle_open_ = true;
+  stopwatch_.start();
+}
+
+void Tuner::stop() {
+  if (!cycle_open_) throw std::logic_error("Tuner: stop() without start()");
+  cycle_open_ = false;
+  record(stopwatch_.elapsed());
+}
+
+void Tuner::record(double seconds) {
+  if (!pending_applied_) {
+    throw std::logic_error("Tuner: record() without apply_next()/start()");
+  }
+  pending_applied_ = false;
+  ++iterations_;
+
+  const bool was_converged = strategy_->converged();
+  if (opts_.keep_history) {
+    history_.push_back({pending_, values_of(pending_), seconds, was_converged});
+  }
+
+  strategy_->report(seconds);
+
+  // Online drift detection: once converged, the tuner keeps measuring the
+  // chosen configuration; a sustained slowdown vs. the best observed time of
+  // that configuration re-opens the search (paper §V-D4: "these cases can in
+  // practice be countered by repeating the optimization as needed").
+  if (was_converged && opts_.drift_threshold > 0.0) {
+    drift_samples_.push_back(seconds);
+    if (drift_samples_.size() > opts_.drift_window) {
+      drift_samples_.erase(drift_samples_.begin());
+    }
+    if (drift_samples_.size() == opts_.drift_window) {
+      const SampleStats stats = compute_stats(drift_samples_);
+      const double reference = strategy_->best_time();
+      if (reference > 0.0 &&
+          stats.median > reference * (1.0 + opts_.drift_threshold)) {
+        retune();
+      }
+    }
+  } else if (!was_converged) {
+    drift_samples_.clear();
+  }
+
+  // Propose and immediately apply the next configuration so the client's
+  // next frame already runs with it (fig. 4's "apply new configuration" on
+  // Stop()).
+  apply_next();
+}
+
+bool Tuner::converged() const noexcept {
+  return initialized_ && strategy_->converged();
+}
+
+std::vector<std::int64_t> Tuner::best_values() const {
+  if (!initialized_ || strategy_->best().empty()) {
+    std::vector<std::int64_t> current(params_.size());
+    for (std::size_t d = 0; d < params_.size(); ++d) {
+      current[d] = params_[d].current();
+    }
+    return current;
+  }
+  return values_of(strategy_->best());
+}
+
+double Tuner::best_time() const noexcept { return strategy_->best_time(); }
+
+void Tuner::retune() {
+  ++retunes_;
+  drift_samples_.clear();
+  strategy_->restart();
+}
+
+}  // namespace kdtune

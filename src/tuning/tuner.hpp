@@ -1,0 +1,130 @@
+#pragma once
+
+// The online autotuner — a reimplementation of AtuneRT (paper §III-A).
+// Client workflow (paper fig. 1):
+//
+//   Tuner tuner;
+//   tuner.register_parameter(&n_threads, 1, 32);
+//   while (work_to_do) {
+//     tuner.start();          // begin measurement cycle
+//     do_work();              // uses the registered variables
+//     tuner.stop();           // end cycle; tuner writes the next
+//   }                         // configuration into the variables
+//
+// The tuner communicates with the client purely through the registered
+// variables ("shared memory" in the paper's phrasing) plus start/stop. After
+// the search converges it keeps monitoring the measurements of the chosen
+// configuration; if performance drifts (scene change, system load), the
+// search restarts from the best known point — this is what makes the tuning
+// *online*.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tuning/measurement.hpp"
+#include "tuning/parameter.hpp"
+#include "tuning/search.hpp"
+
+namespace kdtune {
+
+struct TunerOptions {
+  /// Relative slowdown of the converged configuration (vs. its best observed
+  /// time) that triggers a re-tune. <= 0 disables online re-tuning.
+  double drift_threshold = 0.5;
+  /// Number of recent converged-phase measurements the drift check medians.
+  std::size_t drift_window = 8;
+  /// Keep the full measurement history (benchmarks read it; long-running
+  /// applications may turn it off).
+  bool keep_history = true;
+};
+
+struct MeasurementRecord {
+  ConfigPoint point;                 ///< index-space configuration measured
+  std::vector<std::int64_t> values;  ///< parameter values of that point
+  double seconds = 0.0;
+  bool after_convergence = false;
+};
+
+class Tuner {
+ public:
+  /// `strategy` defaults to random-sampling-seeded Nelder-Mead.
+  explicit Tuner(std::unique_ptr<SearchStrategy> strategy = nullptr,
+                 TunerOptions opts = {});
+  ~Tuner();
+
+  Tuner(const Tuner&) = delete;
+  Tuner& operator=(const Tuner&) = delete;
+
+  /// RegisterParameter(&N, min, max, step): tune *var over the linear grid
+  /// {min, min+step, ..., max}. Must be called before the first start().
+  void register_parameter(std::int64_t* var, std::int64_t min,
+                          std::int64_t max, std::int64_t step = 1,
+                          std::string name = {});
+
+  /// Power-of-two grid {min, 2min, ..., max} (the lazy R parameter).
+  void register_parameter_pow2(std::int64_t* var, std::int64_t min,
+                               std::int64_t max, std::string name = {});
+
+  /// Seeds the search with known-good parameter *values* (e.g. from a
+  /// ConfigCache of a previous run). Call after registering all parameters
+  /// and before the first start()/apply_next().
+  void warm_start(const std::vector<std::int64_t>& values);
+
+  /// Starts a measurement cycle: applies the configuration under test to the
+  /// registered variables and starts the clock.
+  void start();
+
+  /// Ends the cycle: reports the elapsed time to the search and writes the
+  /// *next* configuration into the registered variables.
+  void stop();
+
+  /// Manual-measurement alternative to start()/stop() for synthetic cost
+  /// functions (tests, simulation benches): apply_next() writes the next
+  /// configuration, record() reports its cost.
+  void apply_next();
+  void record(double seconds);
+
+  std::size_t parameter_count() const noexcept { return params_.size(); }
+  const std::vector<TunableParameter>& parameters() const noexcept {
+    return params_;
+  }
+
+  std::size_t iterations() const noexcept { return iterations_; }
+  bool converged() const noexcept;
+  std::size_t retune_count() const noexcept { return retunes_; }
+
+  /// Best configuration found so far, as parameter *values*.
+  std::vector<std::int64_t> best_values() const;
+  double best_time() const noexcept;
+
+  const std::vector<MeasurementRecord>& history() const noexcept {
+    return history_;
+  }
+
+  /// Forces a search restart (seeded from the best known configuration).
+  void retune();
+
+ private:
+  void ensure_initialized();
+  void apply(const ConfigPoint& point);
+  std::vector<std::int64_t> values_of(const ConfigPoint& point) const;
+
+  std::unique_ptr<SearchStrategy> strategy_;
+  TunerOptions opts_;
+  std::vector<TunableParameter> params_;
+
+  bool initialized_ = false;
+  bool cycle_open_ = false;
+  bool pending_applied_ = false;
+  ConfigPoint pending_;
+  Stopwatch stopwatch_;
+
+  std::size_t iterations_ = 0;
+  std::size_t retunes_ = 0;
+  std::vector<double> drift_samples_;
+  std::vector<MeasurementRecord> history_;
+};
+
+}  // namespace kdtune

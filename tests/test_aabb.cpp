@@ -1,0 +1,115 @@
+#include "geom/aabb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/rng.hpp"
+
+namespace kdtune {
+namespace {
+
+TEST(AABB, DefaultIsEmpty) {
+  const AABB box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_FLOAT_EQ(box.surface_area(), 0.0f);
+  EXPECT_FLOAT_EQ(box.volume(), 0.0f);
+}
+
+TEST(AABB, ExpandByPoints) {
+  AABB box;
+  box.expand({1, 2, 3});
+  EXPECT_FALSE(box.empty());
+  EXPECT_EQ(box.lo, Vec3(1, 2, 3));
+  EXPECT_EQ(box.hi, Vec3(1, 2, 3));
+  box.expand({-1, 5, 0});
+  EXPECT_EQ(box.lo, Vec3(-1, 2, 0));
+  EXPECT_EQ(box.hi, Vec3(1, 5, 3));
+}
+
+TEST(AABB, ExpandByEmptyBoxIsIdentity) {
+  AABB box({0, 0, 0}, {1, 1, 1});
+  box.expand(AABB{});
+  EXPECT_EQ(box, AABB({0, 0, 0}, {1, 1, 1}));
+}
+
+TEST(AABB, SurfaceAreaAndVolume) {
+  const AABB box({0, 0, 0}, {2, 3, 4});
+  EXPECT_FLOAT_EQ(box.surface_area(), 2 * (2 * 3 + 3 * 4 + 4 * 2));
+  EXPECT_FLOAT_EQ(box.volume(), 24.0f);
+}
+
+TEST(AABB, FlatBoxHasAreaButNoVolume) {
+  const AABB box({0, 0, 0}, {2, 0, 4});
+  EXPECT_FLOAT_EQ(box.surface_area(), 2 * (2 * 4));
+  EXPECT_FLOAT_EQ(box.volume(), 0.0f);
+}
+
+TEST(AABB, CenterExtentLongestAxis) {
+  const AABB box({0, 0, 0}, {4, 2, 8});
+  EXPECT_EQ(box.center(), Vec3(2, 1, 4));
+  EXPECT_EQ(box.extent(), Vec3(4, 2, 8));
+  EXPECT_EQ(box.longest_axis(), Axis::Z);
+}
+
+TEST(AABB, Contains) {
+  const AABB box({0, 0, 0}, {1, 1, 1});
+  EXPECT_TRUE(box.contains(Vec3(0.5f, 0.5f, 0.5f)));
+  EXPECT_TRUE(box.contains(Vec3(0, 0, 0)));  // boundary inclusive
+  EXPECT_FALSE(box.contains(Vec3(1.1f, 0.5f, 0.5f)));
+  EXPECT_TRUE(box.contains(Vec3(1.05f, 0.5f, 0.5f), 0.1f));  // epsilon
+  EXPECT_TRUE(box.contains(AABB({0.2f, 0.2f, 0.2f}, {0.8f, 0.8f, 0.8f})));
+  EXPECT_FALSE(box.contains(AABB({0.2f, 0.2f, 0.2f}, {1.8f, 0.8f, 0.8f})));
+}
+
+TEST(AABB, Overlaps) {
+  const AABB a({0, 0, 0}, {1, 1, 1});
+  EXPECT_TRUE(a.overlaps(AABB({0.5f, 0.5f, 0.5f}, {2, 2, 2})));
+  EXPECT_TRUE(a.overlaps(AABB({1, 0, 0}, {2, 1, 1})));  // touching counts
+  EXPECT_FALSE(a.overlaps(AABB({1.01f, 0, 0}, {2, 1, 1})));
+}
+
+TEST(AABB, SplitPartitionsTheBox) {
+  const AABB box({0, 0, 0}, {4, 2, 2});
+  const auto [l, r] = box.split(Axis::X, 1.0f);
+  EXPECT_EQ(l, AABB({0, 0, 0}, {1, 2, 2}));
+  EXPECT_EQ(r, AABB({1, 0, 0}, {4, 2, 2}));
+  EXPECT_FLOAT_EQ(l.volume() + r.volume(), box.volume());
+}
+
+TEST(AABB, SplitClampsOutOfRangeOffsets) {
+  const AABB box({0, 0, 0}, {1, 1, 1});
+  const auto [l, r] = box.split(Axis::Y, 5.0f);
+  EXPECT_FLOAT_EQ(l.hi.y, 1.0f);
+  EXPECT_FLOAT_EQ(r.lo.y, 1.0f);
+  EXPECT_TRUE(r.volume() == 0.0f);
+}
+
+TEST(AABB, IntersectAndUnite) {
+  const AABB a({0, 0, 0}, {2, 2, 2});
+  const AABB b({1, 1, 1}, {3, 3, 3});
+  EXPECT_EQ(AABB::intersect(a, b), AABB({1, 1, 1}, {2, 2, 2}));
+  EXPECT_EQ(AABB::unite(a, b), AABB({0, 0, 0}, {3, 3, 3}));
+  EXPECT_TRUE(AABB::intersect(a, AABB({5, 5, 5}, {6, 6, 6})).empty());
+}
+
+// Property sweep: for random boxes and random split planes, child surface
+// areas never exceed the parent's and the SAH probabilities stay in [0, 1] —
+// the invariant equation 1 relies on.
+TEST(AABB, SplitAreaProperty) {
+  Rng rng(42);
+  for (int i = 0; i < 500; ++i) {
+    AABB box;
+    box.expand({rng.uniform(-10, 10), rng.uniform(-10, 10), rng.uniform(-10, 10)});
+    box.expand({rng.uniform(-10, 10), rng.uniform(-10, 10), rng.uniform(-10, 10)});
+    const Axis axis = static_cast<Axis>(rng.next_int(0, 2));
+    const float pos = rng.uniform(box.lo[axis], box.hi[axis]);
+    const auto [l, r] = box.split(axis, pos);
+    const float area = box.surface_area();
+    EXPECT_LE(l.surface_area(), area + 1e-3f);
+    EXPECT_LE(r.surface_area(), area + 1e-3f);
+    EXPECT_TRUE(box.contains(l, 1e-5f));
+    EXPECT_TRUE(box.contains(r, 1e-5f));
+  }
+}
+
+}  // namespace
+}  // namespace kdtune

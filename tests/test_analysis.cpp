@@ -1,0 +1,99 @@
+#include "kdtree/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+
+namespace kdtune {
+namespace {
+
+std::unique_ptr<KdTree> build_soup_tree(std::size_t n, std::uint64_t seed,
+                                        const BuildConfig& config = kBaseConfig) {
+  Rng rng(seed);
+  std::vector<Triangle> tris;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 base{rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    tris.push_back({base,
+                    base + Vec3{rng.uniform(-0.4f, 0.4f), rng.uniform(-0.4f, 0.4f),
+                                rng.uniform(-0.4f, 0.4f)},
+                    base + Vec3{rng.uniform(-0.4f, 0.4f), rng.uniform(-0.4f, 0.4f),
+                                rng.uniform(-0.4f, 0.4f)}});
+  }
+  ThreadPool pool(0);
+  auto base = make_sweep_builder()->build(tris, config, pool);
+  return std::unique_ptr<KdTree>(dynamic_cast<KdTree*>(base.release()));
+}
+
+TEST(TreeAnalysis, HistogramsSumToLeafCount) {
+  const auto tree = build_soup_tree(300, 1);
+  const TreeAnalysis a = analyze_tree(*tree);
+  const TreeStats s = tree->stats();
+
+  const std::size_t depth_total =
+      std::accumulate(a.leaf_depth_histogram.begin(),
+                      a.leaf_depth_histogram.end(), std::size_t{0});
+  const std::size_t size_total =
+      std::accumulate(a.leaf_size_histogram.begin(),
+                      a.leaf_size_histogram.end(), std::size_t{0});
+  EXPECT_EQ(depth_total, s.leaf_count);
+  EXPECT_EQ(size_total, s.leaf_count);
+  // Deepest histogram bucket matches the stats' max depth (stats count the
+  // root as depth 1, analysis as depth 0).
+  EXPECT_EQ(a.leaf_depth_histogram.size(), s.max_depth);
+}
+
+TEST(TreeAnalysis, DuplicationFactorAtLeastOne) {
+  const auto tree = build_soup_tree(400, 2);
+  const TreeAnalysis a = analyze_tree(*tree);
+  EXPECT_GE(a.duplication_factor, 1.0);
+  EXPECT_LT(a.duplication_factor, 4.0);  // sane for random soups
+}
+
+TEST(TreeAnalysis, HigherCbReducesDuplication) {
+  // CB penalizes duplication, so cranking it up must not increase the
+  // duplication factor.
+  BuildConfig cheap;
+  cheap.cb = 0;
+  BuildConfig dear;
+  dear.cb = 60;
+  const auto a = analyze_tree(*build_soup_tree(400, 3, cheap));
+  const auto b = analyze_tree(*build_soup_tree(400, 3, dear));
+  EXPECT_LE(b.duplication_factor, a.duplication_factor + 0.05);
+}
+
+TEST(TreeAnalysis, BalanceIsReasonable) {
+  const auto tree = build_soup_tree(500, 4);
+  const TreeAnalysis a = analyze_tree(*tree);
+  EXPECT_GT(a.balance, 0.5);
+  EXPECT_LT(a.balance, 3.0);
+}
+
+TEST(TreeAnalysis, SizeBucketsAreCapped) {
+  const auto tree = build_soup_tree(200, 5);
+  const TreeAnalysis a = analyze_tree(*tree, 4);
+  EXPECT_EQ(a.leaf_size_histogram.size(), 5u);  // 0..3 plus the 4+ bucket
+}
+
+TEST(TreeAnalysis, ToStringMentionsEverything) {
+  const auto tree = build_soup_tree(100, 6);
+  const std::string text = analyze_tree(*tree).to_string();
+  EXPECT_NE(text.find("duplication factor"), std::string::npos);
+  EXPECT_NE(text.find("leaf depths:"), std::string::npos);
+  EXPECT_NE(text.find("leaf sizes:"), std::string::npos);
+}
+
+TEST(TreeAnalysis, SingleLeafTreeIsBalanced) {
+  std::vector<Triangle> one{{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}}};
+  ThreadPool pool(0);
+  auto base = make_sweep_builder()->build(one, kBaseConfig, pool);
+  const auto* tree = dynamic_cast<const KdTree*>(base.get());
+  const TreeAnalysis a = analyze_tree(*tree);
+  EXPECT_DOUBLE_EQ(a.balance, 1.0);
+  EXPECT_DOUBLE_EQ(a.duplication_factor, 1.0);
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,88 @@
+#include "scene/animation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scene/primitives.hpp"
+
+namespace kdtune {
+namespace {
+
+TEST(StaticScene, SingleFrame) {
+  Scene s("demo");
+  s.mutable_triangles().push_back({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+  const StaticScene wrapped(s);
+  EXPECT_EQ(wrapped.name(), "demo");
+  EXPECT_EQ(wrapped.frame_count(), 1u);
+  EXPECT_FALSE(wrapped.dynamic());
+  EXPECT_EQ(wrapped.frame(0).triangle_count(), 1u);
+}
+
+TEST(RigidRig, StaticPartsAreIdenticalEveryFrame) {
+  RigidRigScene rig("rig", 10, {}, {});
+  rig.add_static_part(primitives::box({1, 1, 1}));
+  const Scene f0 = rig.frame(0);
+  const Scene f7 = rig.frame(7);
+  ASSERT_EQ(f0.triangle_count(), f7.triangle_count());
+  for (std::size_t i = 0; i < f0.triangle_count(); ++i) {
+    EXPECT_EQ(f0.triangles()[i].a, f7.triangles()[i].a);
+  }
+}
+
+TEST(RigidRig, AnimatedPartMoves) {
+  RigidRigScene rig("rig", 10, {}, {});
+  rig.add_part(primitives::box({1, 1, 1}), [](std::size_t frame) {
+    return Transform::translate({static_cast<float>(frame), 0, 0});
+  });
+  const AABB b0 = rig.frame(0).bounds();
+  const AABB b5 = rig.frame(5).bounds();
+  EXPECT_FLOAT_EQ(b5.lo.x - b0.lo.x, 5.0f);
+  // Same shape, different place.
+  EXPECT_FLOAT_EQ(b5.extent().x, b0.extent().x);
+}
+
+TEST(RigidRig, FrameCountAndOutOfRange) {
+  RigidRigScene rig("rig", 3, {}, {});
+  rig.add_static_part(primitives::box({1, 1, 1}));
+  EXPECT_EQ(rig.frame_count(), 3u);
+  EXPECT_TRUE(rig.dynamic());
+  EXPECT_NO_THROW(rig.frame(2));
+  EXPECT_THROW(rig.frame(3), std::out_of_range);
+}
+
+TEST(RigidRig, CarriesCameraAndLights) {
+  CameraPreset cam;
+  cam.eye = {1, 2, 3};
+  RigidRigScene rig("rig", 2, cam, {{{0, 5, 0}, {1, 1, 1}}});
+  const Scene f = rig.frame(1);
+  EXPECT_EQ(f.camera().eye, Vec3(1, 2, 3));
+  ASSERT_EQ(f.lights().size(), 1u);
+  EXPECT_EQ(f.lights()[0].position, Vec3(0, 5, 0));
+}
+
+TEST(RigidRig, TriangleCountConstantAcrossFrames) {
+  RigidRigScene rig("rig", 5, {}, {});
+  rig.add_static_part(primitives::box({1, 1, 1}));
+  rig.add_part(primitives::cone(1, 2, 8, true), [](std::size_t f) {
+    return Transform::rotate({0, 1, 0}, static_cast<float>(f) * 0.3f);
+  });
+  const std::size_t count = rig.frame(0).triangle_count();
+  for (std::size_t f = 1; f < 5; ++f) {
+    EXPECT_EQ(rig.frame(f).triangle_count(), count);
+  }
+}
+
+TEST(ProceduralAnimation, DelegatesToCallback) {
+  const ProceduralAnimation anim("proc", 4, [](std::size_t frame) {
+    Scene s("proc");
+    for (std::size_t i = 0; i <= frame; ++i) {
+      s.mutable_triangles().push_back({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+    }
+    return s;
+  });
+  EXPECT_EQ(anim.frame_count(), 4u);
+  EXPECT_EQ(anim.frame(0).triangle_count(), 1u);
+  EXPECT_EQ(anim.frame(3).triangle_count(), 4u);
+}
+
+}  // namespace
+}  // namespace kdtune

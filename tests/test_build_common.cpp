@@ -1,0 +1,206 @@
+#include "kdtree/build_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/intersect.hpp"
+#include "geom/rng.hpp"
+
+namespace kdtune {
+namespace {
+
+const SahParams kParams{10.0, 17.0, 10.0};
+
+std::vector<Triangle> random_triangles(std::size_t n, std::uint64_t seed,
+                                       float extent = 2.0f) {
+  Rng rng(seed);
+  std::vector<Triangle> tris;
+  tris.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 base{rng.uniform(-extent, extent), rng.uniform(-extent, extent),
+                    rng.uniform(-extent, extent)};
+    const Vec3 e1{rng.uniform(-0.4f, 0.4f), rng.uniform(-0.4f, 0.4f),
+                  rng.uniform(-0.4f, 0.4f)};
+    const Vec3 e2{rng.uniform(-0.4f, 0.4f), rng.uniform(-0.4f, 0.4f),
+                  rng.uniform(-0.4f, 0.4f)};
+    tris.push_back({base, base + e1, base + e2});
+  }
+  return tris;
+}
+
+TEST(PrimRefs, SkipsDegenerateTriangles) {
+  std::vector<Triangle> tris = random_triangles(5, 1);
+  tris.push_back({{1, 1, 1}, {1, 1, 1}, {1, 1, 1}});
+  const auto refs = make_prim_refs(tris);
+  EXPECT_EQ(refs.size(), 5u);
+}
+
+TEST(PrimRefs, BoundsMatchTriangles) {
+  const auto tris = random_triangles(20, 2);
+  const auto refs = make_prim_refs(tris);
+  for (const PrimRef& r : refs) {
+    EXPECT_EQ(r.bounds, tris[r.tri].bounds());
+  }
+  EXPECT_EQ(bounds_of_refs(refs), bounds_of(tris));
+}
+
+TEST(Events, GenerationAndOrdering) {
+  std::vector<PrimRef> refs{
+      {0, AABB({0, 0, 0}, {1, 1, 1})},
+      {1, AABB({0.5f, 0, 0}, {0.5f, 1, 1})},  // planar on X at 0.5
+  };
+  std::vector<SahEvent> events;
+  make_events(refs, Axis::X, events);
+  ASSERT_EQ(events.size(), 3u);  // start+end for #0, planar for #1
+  std::sort(events.begin(), events.end());
+  EXPECT_EQ(events[0].type, SahEvent::kStart);
+  EXPECT_FLOAT_EQ(events[0].position, 0.0f);
+  EXPECT_EQ(events[1].type, SahEvent::kPlanar);
+  EXPECT_FLOAT_EQ(events[1].position, 0.5f);
+  EXPECT_EQ(events[2].type, SahEvent::kEnd);
+}
+
+TEST(Events, TypeOrderAtEqualPositions) {
+  // End < Planar < Start at the same coordinate.
+  const SahEvent end{1.0f, 0, SahEvent::kEnd};
+  const SahEvent planar{1.0f, 1, SahEvent::kPlanar};
+  const SahEvent start{1.0f, 2, SahEvent::kStart};
+  EXPECT_TRUE(end < planar);
+  EXPECT_TRUE(planar < start);
+  EXPECT_FALSE(start < end);
+}
+
+// The sweep must agree with direct enumeration: for every candidate plane,
+// count sides by brute force and evaluate; the sweep's winner must match the
+// enumerated minimum.
+TEST(Sweep, MatchesBruteForceEnumeration) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto tris = random_triangles(40, seed);
+    const auto refs = make_prim_refs(tris);
+    const AABB box = bounds_of_refs(refs);
+
+    const SplitCandidate sweep_best = find_best_split_sweep(kParams, box, refs);
+
+    SplitCandidate enum_best;
+    for (const PrimRef& r : refs) {
+      for (int a = 0; a < 3; ++a) {
+        const Axis axis = static_cast<Axis>(a);
+        for (const float pos : {r.bounds.lo[axis], r.bounds.hi[axis]}) {
+          std::size_t nl = 0, np = 0, nr = 0;
+          for (const PrimRef& q : refs) {
+            const float lo = q.bounds.lo[axis];
+            const float hi = q.bounds.hi[axis];
+            if (lo == pos && hi == pos) {
+              ++np;
+            } else {
+              if (lo < pos) ++nl;          // starts before the plane
+              if (hi > pos) ++nr;          // ends after the plane
+            }
+          }
+          const SplitCandidate c =
+              evaluate_plane(kParams, box, axis, pos, nl, np, nr, refs.size());
+          if (c.cost < enum_best.cost) enum_best = c;
+        }
+      }
+    }
+
+    ASSERT_TRUE(sweep_best.valid());
+    EXPECT_NEAR(sweep_best.cost, enum_best.cost, 1e-6)
+        << "seed " << seed << ": sweep chose axis "
+        << axis_index(sweep_best.axis) << " pos " << sweep_best.position;
+  }
+}
+
+TEST(Classify, SidesAgainstPlane) {
+  SplitCandidate split;
+  split.axis = Axis::X;
+  split.position = 1.0f;
+  split.planar_left = true;
+
+  EXPECT_EQ(classify({0, AABB({0, 0, 0}, {0.5f, 1, 1})}, split), Side::kLeft);
+  EXPECT_EQ(classify({0, AABB({1.5f, 0, 0}, {2, 1, 1})}, split), Side::kRight);
+  EXPECT_EQ(classify({0, AABB({0.5f, 0, 0}, {1.5f, 1, 1})}, split), Side::kBoth);
+  // Touching the plane from either side is one-sided, not straddling.
+  EXPECT_EQ(classify({0, AABB({0, 0, 0}, {1, 1, 1})}, split), Side::kLeft);
+  EXPECT_EQ(classify({0, AABB({1, 0, 0}, {2, 1, 1})}, split), Side::kRight);
+  // Planar follows the candidate's side choice.
+  EXPECT_EQ(classify({0, AABB({1, 0, 0}, {1, 1, 1})}, split), Side::kLeft);
+  split.planar_left = false;
+  EXPECT_EQ(classify({0, AABB({1, 0, 0}, {1, 1, 1})}, split), Side::kRight);
+}
+
+TEST(Partition, CountsMatchCandidate) {
+  const auto tris = random_triangles(60, 9);
+  const auto refs = make_prim_refs(tris);
+  const AABB box = bounds_of_refs(refs);
+  const SplitCandidate best = find_best_split_sweep(kParams, box, refs);
+  ASSERT_TRUE(best.valid());
+
+  const auto [lbox, rbox] = box.split(best.axis, best.position);
+  std::vector<PrimRef> left, right;
+  partition_prims(refs, tris, best, lbox, rbox, left, right);
+
+  // The partition may drop straddlers whose clip to a child is empty, so the
+  // realized counts are bounded by the sweep's predictions.
+  EXPECT_LE(left.size(), best.nl);
+  EXPECT_LE(right.size(), best.nr);
+  EXPECT_GE(left.size() + right.size(), refs.size());  // straddlers duplicate
+
+  for (const PrimRef& p : left) {
+    EXPECT_TRUE(lbox.contains(p.bounds, 1e-4f));
+  }
+  for (const PrimRef& p : right) {
+    EXPECT_TRUE(rbox.contains(p.bounds, 1e-4f));
+  }
+}
+
+TEST(Flatten, PreservesStructure) {
+  // Hand-build:   root(X@1) -> [leaf{0,1}, inner(Y@2) -> [leaf{2}, leaf{}]]
+  auto leaf_a = std::make_unique<BuildNode>();
+  leaf_a->prims = {0, 1};
+  auto leaf_b = std::make_unique<BuildNode>();
+  leaf_b->prims = {2};
+  auto leaf_c = std::make_unique<BuildNode>();
+  auto inner = std::make_unique<BuildNode>();
+  inner->leaf = false;
+  inner->axis = Axis::Y;
+  inner->split = 2.0f;
+  inner->left = std::move(leaf_b);
+  inner->right = std::move(leaf_c);
+  BuildNode root;
+  root.leaf = false;
+  root.axis = Axis::X;
+  root.split = 1.0f;
+  root.left = std::move(leaf_a);
+  root.right = std::move(inner);
+
+  const FlatTree flat = flatten(root);
+  ASSERT_EQ(flat.nodes.size(), 5u);
+  const KdNode& r = flat.nodes[flat.root];
+  ASSERT_TRUE(r.is_interior());
+  EXPECT_EQ(r.axis(), Axis::X);
+  EXPECT_FLOAT_EQ(r.split, 1.0f);
+
+  const KdNode& l = flat.nodes[r.a];
+  ASSERT_TRUE(l.is_leaf());
+  EXPECT_EQ(l.b, 2u);
+  EXPECT_EQ(flat.prim_indices[l.a], 0u);
+  EXPECT_EQ(flat.prim_indices[l.a + 1], 1u);
+
+  const KdNode& i = flat.nodes[r.b];
+  ASSERT_TRUE(i.is_interior());
+  EXPECT_EQ(i.axis(), Axis::Y);
+  const KdNode& empty = flat.nodes[i.b];
+  ASSERT_TRUE(empty.is_leaf());
+  EXPECT_EQ(empty.b, 0u);
+}
+
+TEST(BuildNodeLeaf, DeduplicatesPrims) {
+  std::vector<PrimRef> refs{{3, {}}, {1, {}}, {3, {}}, {2, {}}};
+  const auto leaf = BuildNode::make_leaf(refs);
+  EXPECT_EQ(leaf->prims, (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace kdtune

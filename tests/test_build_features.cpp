@@ -1,0 +1,189 @@
+// Build-control features: the empty-space bonus, the perfect-splits toggle,
+// and the parallelism thresholds. Lowering the thresholds forces the nested
+// builder's intra-node prefix-op path and the BFS builders' wide-node path
+// onto small inputs, so those code paths are exercised and oracle-checked.
+
+#include <gtest/gtest.h>
+
+#include "geom/intersect.hpp"
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "kdtree/sah.hpp"
+#include "kdtree/validate.hpp"
+
+namespace kdtune {
+namespace {
+
+std::vector<Triangle> random_soup(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triangle> tris;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 base{rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    tris.push_back({base,
+                    base + Vec3{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                                rng.uniform(-0.5f, 0.5f)},
+                    base + Vec3{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                                rng.uniform(-0.5f, 0.5f)}});
+  }
+  return tris;
+}
+
+void expect_oracle(const KdTreeBase& tree, std::span<const Triangle> tris,
+                   std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  const AABB box = bounds_of(tris);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Vec3 origin = box.center() +
+                        normalized(Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                        rng.uniform(-1, 1)}) *
+                            (length(box.extent()) * 0.8f);
+    const Vec3 target{rng.uniform(box.lo.x, box.hi.x),
+                      rng.uniform(box.lo.y, box.hi.y),
+                      rng.uniform(box.lo.z, box.hi.z)};
+    const Ray ray(origin, normalized(target - origin));
+    const Hit expected = brute_force_closest_hit(ray, tris);
+    const Hit got = tree.closest_hit(ray);
+    ASSERT_EQ(got.valid(), expected.valid()) << "ray " << i;
+    if (expected.valid()) ASSERT_NEAR(got.t, expected.t, 1e-4f) << "ray " << i;
+  }
+}
+
+// --- Parallelism thresholds -------------------------------------------------
+
+TEST(ForcedParallelPaths, NestedIntraNodePathIsCorrect) {
+  // Threshold 1 forces the chunked prefix-op path in *every* node.
+  const auto tris = random_soup(600, 1);
+  ThreadPool pool(3);
+  BuildConfig config;
+  config.nested_threshold = 1;
+  const auto tree =
+      make_builder(Algorithm::kNested)->build(tris, config, pool);
+  expect_oracle(*tree, tris, 120, 2);
+}
+
+TEST(ForcedParallelPaths, NestedParallelSweepMatchesSequentialTree) {
+  // The intra-node parallel plane search must choose the same planes as the
+  // sequential sweep: identical tree statistics.
+  const auto tris = random_soup(800, 3);
+  ThreadPool pool(3);
+  BuildConfig parallel_cfg;
+  parallel_cfg.nested_threshold = 1;
+  const auto nested =
+      make_builder(Algorithm::kNested)->build(tris, parallel_cfg, pool);
+  const auto sweep = make_sweep_builder()->build(tris, kBaseConfig, pool);
+  EXPECT_EQ(nested->stats().node_count, sweep->stats().node_count);
+  EXPECT_EQ(nested->stats().leaf_count, sweep->stats().leaf_count);
+  EXPECT_NEAR(nested->stats().sah_cost, sweep->stats().sah_cost, 1e-3);
+}
+
+TEST(ForcedParallelPaths, BfsWideNodePathIsCorrect) {
+  const auto tris = random_soup(700, 4);
+  ThreadPool pool(3);
+  BuildConfig config;
+  config.wide_node_threshold = 1;  // every node takes the wide path
+  const auto inplace =
+      make_builder(Algorithm::kInPlace)->build(tris, config, pool);
+  expect_oracle(*inplace, tris, 120, 5);
+
+  config.r = 64;
+  const auto lazy = make_builder(Algorithm::kLazy)->build(tris, config, pool);
+  expect_oracle(*lazy, tris, 120, 6);
+}
+
+TEST(ForcedParallelPaths, BfsWidePathMatchesNarrowPathTree) {
+  const auto tris = random_soup(900, 7);
+  ThreadPool pool(3);
+  BuildConfig wide;
+  wide.wide_node_threshold = 1;
+  BuildConfig narrow;  // default: nothing is "wide" at this input size
+  const auto a = make_builder(Algorithm::kInPlace)->build(tris, wide, pool);
+  const auto b = make_builder(Algorithm::kInPlace)->build(tris, narrow, pool);
+  // The wide path may order instances differently but must pick the same
+  // splits: identical structure.
+  EXPECT_EQ(a->stats().node_count, b->stats().node_count);
+  EXPECT_EQ(a->stats().leaf_count, b->stats().leaf_count);
+  EXPECT_EQ(a->stats().prim_refs, b->stats().prim_refs);
+  EXPECT_NEAR(a->stats().sah_cost, b->stats().sah_cost, 1e-3);
+}
+
+// --- Perfect splits (straddler clipping) -------------------------------------
+
+TEST(ClipStraddlers, DisabledStillMatchesOracle) {
+  const auto tris = random_soup(400, 8);
+  ThreadPool pool(2);
+  BuildConfig config;
+  config.clip_straddlers = false;
+  for (const Algorithm a : all_algorithms()) {
+    const auto tree = make_builder(a)->build(tris, config, pool);
+    expect_oracle(*tree, tris, 80, 9);
+  }
+}
+
+TEST(ClipStraddlers, ClippingNeverIncreasesSahCost) {
+  // Perfect splits give the sweep tighter events, which can only improve
+  // (or equal) the resulting tree's expected cost.
+  const auto tris = random_soup(500, 10);
+  ThreadPool pool(0);
+  BuildConfig clipped;
+  BuildConfig loose;
+  loose.clip_straddlers = false;
+  const auto a = make_sweep_builder()->build(tris, clipped, pool);
+  const auto b = make_sweep_builder()->build(tris, loose, pool);
+  EXPECT_LE(a->stats().sah_cost, b->stats().sah_cost * 1.05);
+}
+
+TEST(ClipStraddlers, DisabledTreeIsStructurallyValid) {
+  const auto tris = random_soup(300, 11);
+  ThreadPool pool(0);
+  BuildConfig config;
+  config.clip_straddlers = false;
+  const auto tree_base = make_sweep_builder()->build(tris, config, pool);
+  const auto* tree = dynamic_cast<const KdTree*>(tree_base.get());
+  ASSERT_NE(tree, nullptr);
+  const ValidationResult r = validate_tree(*tree, true);
+  EXPECT_TRUE(r.ok) << (r.errors.empty() ? "" : r.errors[0]);
+}
+
+// --- Empty-space bonus --------------------------------------------------------
+
+TEST(EmptyBonus, DiscountsEmptyCuts) {
+  const SahParams plain{10.0, 17.0, 10.0, 0.0};
+  const SahParams bonus{10.0, 17.0, 10.0, 0.3};
+  const AABB box({0, 0, 0}, {4, 1, 1});
+  // Plane at x=1 with everything on the right: empty left child.
+  const SplitCandidate a = evaluate_plane(plain, box, Axis::X, 1.0f, 0, 0, 9, 9);
+  const SplitCandidate b = evaluate_plane(bonus, box, Axis::X, 1.0f, 0, 0, 9, 9);
+  ASSERT_TRUE(a.valid());
+  ASSERT_TRUE(b.valid());
+  EXPECT_NEAR(b.cost, a.cost * 0.7, 1e-9);
+}
+
+TEST(EmptyBonus, NoDiscountWhenBothSidesOccupied) {
+  const SahParams plain{10.0, 17.0, 10.0, 0.0};
+  const SahParams bonus{10.0, 17.0, 10.0, 0.3};
+  const AABB box({0, 0, 0}, {4, 1, 1});
+  const SplitCandidate a = evaluate_plane(plain, box, Axis::X, 2.0f, 4, 0, 5, 9);
+  const SplitCandidate b = evaluate_plane(bonus, box, Axis::X, 2.0f, 4, 0, 5, 9);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+TEST(EmptyBonus, TreeRemainsCorrectWithBonus) {
+  // Clustered geometry with lots of empty space around it.
+  std::vector<Triangle> tris = random_soup(200, 12);
+  for (Triangle& t : tris) {
+    t.a = t.a * 0.2f + Vec3{5, 5, 5};
+    t.b = t.b * 0.2f + Vec3{5, 5, 5};
+    t.c = t.c * 0.2f + Vec3{5, 5, 5};
+  }
+  tris.push_back({{-5, -5, -5}, {-4.5f, -5, -5}, {-5, -4.5f, -5}});  // far away
+  ThreadPool pool(0);
+  BuildConfig config;
+  config.empty_bonus = 0.8;
+  for (const Algorithm a : all_algorithms()) {
+    const auto tree = make_builder(a)->build(tris, config, pool);
+    expect_oracle(*tree, tris, 60, 13);
+  }
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,286 @@
+// The central correctness suite: every builder (the paper's four parallel
+// algorithms plus the three sequential references), across scenes, pool
+// widths and configurations, must produce structurally valid trees whose
+// traversal answers exactly match the brute-force oracle.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "geom/intersect.hpp"
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "kdtree/recursive_builder.hpp"
+#include "kdtree/validate.hpp"
+#include "scene/generators.hpp"
+
+namespace kdtune {
+namespace {
+
+std::unique_ptr<Builder> builder_by_name(const std::string& name) {
+  if (name == "median") return make_median_builder();
+  if (name == "sweep") return make_sweep_builder();
+  if (name == "event") return make_event_builder();
+  return make_builder(algorithm_from_string(name));
+}
+
+std::vector<Triangle> random_soup(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triangle> tris;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 base{rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    tris.push_back({base,
+                    base + Vec3{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                                rng.uniform(-0.5f, 0.5f)},
+                    base + Vec3{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                                rng.uniform(-0.5f, 0.5f)}});
+  }
+  return tris;
+}
+
+/// Fires `count` random rays (a mix of outside-in and inside-out) and checks
+/// closest_hit/any_hit against the brute-force oracle.
+void expect_oracle_equivalence(const KdTreeBase& tree,
+                               std::span<const Triangle> tris,
+                               std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  AABB box = bounds_of(tris);
+  if (box.empty()) box = AABB({-1, -1, -1}, {1, 1, 1});
+  const Vec3 c = box.center();
+  const float radius = length(box.extent()) * 0.75f + 1.0f;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    Vec3 origin, target;
+    if (i % 3 == 0) {
+      origin = c + Vec3{rng.uniform(-0.4f, 0.4f), rng.uniform(-0.4f, 0.4f),
+                        rng.uniform(-0.4f, 0.4f)} *
+                       length(box.extent());
+      target = c + Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                        rng.uniform(-1, 1)} *
+                       radius;
+    } else {
+      origin = c + normalized(Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                   rng.uniform(-1, 1)}) *
+                       radius;
+      target = c + Vec3{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                        rng.uniform(-0.5f, 0.5f)} *
+                       length(box.extent());
+    }
+    const Vec3 dir = target - origin;
+    if (length(dir) == 0.0f) continue;
+    const Ray ray(origin, normalized(dir));
+
+    const Hit expected = brute_force_closest_hit(ray, tris);
+    const Hit got = tree.closest_hit(ray);
+    ASSERT_EQ(got.valid(), expected.valid()) << "ray " << i;
+    if (expected.valid()) {
+      ASSERT_NEAR(got.t, expected.t, 1e-4f) << "ray " << i;
+    }
+    EXPECT_EQ(tree.any_hit(ray), brute_force_any_hit(ray, tris)) << "ray " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized sweep: builder x pool width.
+
+struct BuilderCase {
+  const char* builder;
+  unsigned workers;
+};
+
+class AllBuilders : public ::testing::TestWithParam<BuilderCase> {
+ protected:
+  std::unique_ptr<Builder> builder() const {
+    return builder_by_name(GetParam().builder);
+  }
+  ThreadPool pool_{GetParam().workers};
+};
+
+TEST_P(AllBuilders, EmptySceneYieldsEmptyTree) {
+  const auto tree = builder()->build({}, kBaseConfig, pool_);
+  EXPECT_FALSE(tree->closest_hit(Ray({0, 0, 0}, {0, 0, 1})).valid());
+  EXPECT_FALSE(tree->any_hit(Ray({0, 0, 0}, {0, 0, 1})));
+  EXPECT_EQ(tree->stats().prim_refs, 0u);
+}
+
+TEST_P(AllBuilders, SingleTriangle) {
+  const std::vector<Triangle> tris{{{-1, -1, 2}, {1, -1, 2}, {0, 1, 2}}};
+  const auto tree = builder()->build(tris, kBaseConfig, pool_);
+  const Hit hit = tree->closest_hit(Ray({0, 0, 0}, {0, 0, 1}));
+  ASSERT_TRUE(hit.valid());
+  EXPECT_FLOAT_EQ(hit.t, 2.0f);
+  EXPECT_EQ(hit.triangle, 0u);
+  EXPECT_FALSE(tree->any_hit(Ray({0, 0, 0}, {0, 0, -1})));
+}
+
+TEST_P(AllBuilders, AllDegenerateTrianglesYieldNoHits) {
+  const std::vector<Triangle> tris{
+      {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}},
+      {{1, 1, 1}, {2, 2, 2}, {3, 3, 3}},
+  };
+  const auto tree = builder()->build(tris, kBaseConfig, pool_);
+  EXPECT_FALSE(tree->closest_hit(Ray({0, 0, -5}, {0, 0, 1})).valid());
+}
+
+TEST_P(AllBuilders, DuplicateTrianglesAreHandled) {
+  std::vector<Triangle> tris = random_soup(30, 5);
+  tris.insert(tris.end(), tris.begin(), tris.end());  // every triangle twice
+  const auto tree = builder()->build(tris, kBaseConfig, pool_);
+  expect_oracle_equivalence(*tree, tris, 60, 77);
+}
+
+TEST_P(AllBuilders, CoplanarGeometry) {
+  // All triangles in the z = 0 plane: the Z extent of the root is flat,
+  // planar events everywhere.
+  std::vector<Triangle> tris;
+  Rng rng(11);
+  for (int i = 0; i < 40; ++i) {
+    const Vec3 base{rng.uniform(-3, 3), rng.uniform(-3, 3), 0.0f};
+    tris.push_back(
+        {base, base + Vec3{rng.uniform(0.1f, 0.5f), 0, 0},
+         base + Vec3{0, rng.uniform(0.1f, 0.5f), 0}});
+  }
+  const auto tree = builder()->build(tris, kBaseConfig, pool_);
+  expect_oracle_equivalence(*tree, tris, 80, 13);
+}
+
+TEST_P(AllBuilders, RandomSoupMatchesOracle) {
+  const auto tris = random_soup(300, 21);
+  const auto tree = builder()->build(tris, kBaseConfig, pool_);
+  expect_oracle_equivalence(*tree, tris, 150, 99);
+}
+
+TEST_P(AllBuilders, SceneGeometryMatchesOracle) {
+  const Scene scene = make_scene("sponza", 0.08f)->frame(0);
+  const auto tree =
+      builder()->build(scene.triangles(), kBaseConfig, pool_);
+  expect_oracle_equivalence(*tree, scene.triangles(), 100, 3);
+}
+
+TEST_P(AllBuilders, ExtremeConfigurationsStillCorrect) {
+  const auto tris = random_soup(120, 31);
+  for (const BuildConfig config :
+       {BuildConfig{3, 0, 1, 16, 0, 32},      // cheapest intersection
+        BuildConfig{101, 60, 8, 8192, 0, 32},  // dearest everything
+        BuildConfig{3, 60, 8, 16, 0, 4}}) {    // few bins
+    const auto tree = builder()->build(tris, config, pool_);
+    expect_oracle_equivalence(*tree, tris, 60, 7);
+  }
+}
+
+TEST_P(AllBuilders, StatsAreConsistent) {
+  const auto tris = random_soup(200, 41);
+  const auto tree = builder()->build(tris, kBaseConfig, pool_);
+  const TreeStats stats = tree->stats();
+  EXPECT_GT(stats.node_count, 0u);
+  EXPECT_GT(stats.leaf_count + stats.deferred_count, 0u);
+  EXPECT_GE(stats.prim_refs, 0u);
+  EXPECT_GT(stats.max_depth, 0u);
+  EXPECT_GT(stats.sah_cost, 0.0);
+  // A binary tree with L leaves has L-1 interior nodes.
+  const std::size_t terminals = stats.leaf_count + stats.deferred_count;
+  EXPECT_EQ(stats.node_count, 2 * terminals - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AllBuilders,
+    ::testing::Values(BuilderCase{"median", 0}, BuilderCase{"sweep", 0},
+                      BuilderCase{"event", 0}, BuilderCase{"node-level", 0},
+                      BuilderCase{"node-level", 3},
+                      BuilderCase{"nested", 0}, BuilderCase{"nested", 3},
+                      BuilderCase{"in-place", 0}, BuilderCase{"in-place", 3},
+                      BuilderCase{"lazy", 0}, BuilderCase{"lazy", 3}),
+    [](const ::testing::TestParamInfo<BuilderCase>& info) {
+      std::string name = info.param.builder;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_w" + std::to_string(info.param.workers);
+    });
+
+// ---------------------------------------------------------------------------
+// Structural validation of the eager builders (the lazy tree is validated via
+// oracle equivalence above and its dedicated suite).
+
+class EagerBuilders : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EagerBuilders, StructurallyValidTrees) {
+  ThreadPool pool(2);
+  const auto builder = builder_by_name(GetParam());
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto tris = random_soup(150, seed);
+    const auto tree_base = builder->build(tris, kBaseConfig, pool);
+    const auto* tree = dynamic_cast<const KdTree*>(tree_base.get());
+    ASSERT_NE(tree, nullptr);
+    const ValidationResult result = validate_tree(*tree, true);
+    EXPECT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+  }
+}
+
+TEST_P(EagerBuilders, SceneTreeStructurallyValid) {
+  ThreadPool pool(2);
+  const auto builder = builder_by_name(GetParam());
+  const Scene scene = make_scene("sibenik", 0.08f)->frame(0);
+  const auto tree_base = builder->build(scene.triangles(), kBaseConfig, pool);
+  const auto* tree = dynamic_cast<const KdTree*>(tree_base.get());
+  ASSERT_NE(tree, nullptr);
+  // Completeness check is O(leaves x prims); soundness-only on the scene.
+  const ValidationResult result = validate_tree(*tree, false);
+  EXPECT_TRUE(result.ok) << (result.errors.empty() ? "" : result.errors[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, EagerBuilders,
+                         ::testing::Values("median", "sweep", "event",
+                                           "node-level", "nested", "in-place"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Cross-builder agreement.
+
+TEST(BuilderAgreement, EventBuilderMatchesSweepExactly) {
+  // Both implement the same exact SAH; their trees must have identical
+  // statistics (same planes chosen) on generic geometry.
+  ThreadPool pool(0);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto tris = random_soup(200, seed);
+    const auto sweep = make_sweep_builder()->build(tris, kBaseConfig, pool);
+    const auto event = make_event_builder()->build(tris, kBaseConfig, pool);
+    const TreeStats a = sweep->stats();
+    const TreeStats b = event->stats();
+    EXPECT_EQ(a.node_count, b.node_count) << "seed " << seed;
+    EXPECT_EQ(a.leaf_count, b.leaf_count) << "seed " << seed;
+    EXPECT_EQ(a.max_depth, b.max_depth) << "seed " << seed;
+    EXPECT_NEAR(a.sah_cost, b.sah_cost, 1e-3) << "seed " << seed;
+  }
+}
+
+TEST(BuilderAgreement, NodeLevelMatchesSweepTree) {
+  // Node-level parallelism must not change the tree, only who builds it.
+  ThreadPool pool(3);
+  const auto tris = random_soup(300, 17);
+  const auto sweep = make_sweep_builder()->build(tris, kBaseConfig, pool);
+  const auto parallel = make_builder(Algorithm::kNodeLevel)
+                            ->build(tris, kBaseConfig, pool);
+  const TreeStats a = sweep->stats();
+  const TreeStats b = parallel->stats();
+  EXPECT_EQ(a.node_count, b.node_count);
+  EXPECT_EQ(a.leaf_count, b.leaf_count);
+  EXPECT_NEAR(a.sah_cost, b.sah_cost, 1e-3);
+}
+
+TEST(BuilderAgreement, TaskDepthForFormula) {
+  EXPECT_EQ(task_depth_for(1, 1), 0);
+  EXPECT_EQ(task_depth_for(2, 1), 1);
+  EXPECT_EQ(task_depth_for(3, 8), 4);   // floor(log2(24))
+  EXPECT_EQ(task_depth_for(8, 24), 7);  // floor(log2(192))
+  EXPECT_EQ(task_depth_for(0, 4), 2);   // S clamped to >= 1
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,181 @@
+#include "bvh/bvh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/closest_point.hpp"
+#include "geom/intersect.hpp"
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "render/raycaster.hpp"
+#include "scene/generators.hpp"
+
+namespace kdtune {
+namespace {
+
+std::vector<Triangle> random_soup(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triangle> tris;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 base{rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    tris.push_back({base,
+                    base + Vec3{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                                rng.uniform(-0.5f, 0.5f)},
+                    base + Vec3{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                                rng.uniform(-0.5f, 0.5f)}});
+  }
+  return tris;
+}
+
+TEST(Bvh, EmptyScene) {
+  ThreadPool pool(0);
+  const auto bvh = build_bvh({}, {}, pool);
+  EXPECT_FALSE(bvh->closest_hit(Ray({0, 0, 0}, {0, 0, 1})).valid());
+  EXPECT_FALSE(bvh->any_hit(Ray({0, 0, 0}, {0, 0, 1})));
+  EXPECT_FALSE(bvh->nearest({0, 0, 0}).valid());
+  std::vector<std::uint32_t> out;
+  bvh->query_range(AABB({-1, -1, -1}, {1, 1, 1}), out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Bvh, SingleTriangle) {
+  ThreadPool pool(0);
+  const std::vector<Triangle> tris{{{-1, -1, 2}, {1, -1, 2}, {0, 1, 2}}};
+  const auto bvh = build_bvh(tris, {}, pool);
+  const Hit hit = bvh->closest_hit(Ray({0, 0, 0}, {0, 0, 1}));
+  ASSERT_TRUE(hit.valid());
+  EXPECT_FLOAT_EQ(hit.t, 2.0f);
+}
+
+TEST(Bvh, ClosestHitMatchesOracle) {
+  for (const unsigned workers : {0u, 3u}) {
+    ThreadPool pool(workers);
+    const auto tris = random_soup(500, 1);
+    const auto bvh = build_bvh(tris, {}, pool);
+    Rng rng(2);
+    const AABB box = bounds_of(tris);
+    for (int i = 0; i < 150; ++i) {
+      const Vec3 origin = box.center() +
+                          normalized(Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                          rng.uniform(-1, 1)}) *
+                              (length(box.extent()) * 0.8f);
+      const Vec3 target{rng.uniform(box.lo.x, box.hi.x),
+                        rng.uniform(box.lo.y, box.hi.y),
+                        rng.uniform(box.lo.z, box.hi.z)};
+      const Ray ray(origin, normalized(target - origin));
+      const Hit expected = brute_force_closest_hit(ray, tris);
+      const Hit got = bvh->closest_hit(ray);
+      ASSERT_EQ(got.valid(), expected.valid()) << "ray " << i;
+      if (expected.valid()) ASSERT_NEAR(got.t, expected.t, 1e-4f);
+      EXPECT_EQ(bvh->any_hit(ray), brute_force_any_hit(ray, tris));
+    }
+  }
+}
+
+TEST(Bvh, IdenticalCentroidsDoNotRecurseForever) {
+  // 64 triangles, all with the same centroid (rotated copies).
+  std::vector<Triangle> tris;
+  Rng rng(3);
+  for (int i = 0; i < 64; ++i) {
+    const Vec3 d{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                 rng.uniform(-0.5f, 0.5f)};
+    tris.push_back({Vec3{0, 0, 0} - d, Vec3{0, 0, 0} + d,
+                    Vec3{d.y, d.z, d.x}});
+  }
+  // Force equal centroids exactly: translate each so centroid == origin.
+  for (Triangle& t : tris) {
+    const Vec3 c = t.centroid();
+    t.a -= c;
+    t.b -= c;
+    t.c -= c;
+  }
+  ThreadPool pool(0);
+  const auto bvh = build_bvh(tris, {}, pool);
+  EXPECT_GT(bvh->stats().leaf_count, 1u);  // the median fallback split
+  EXPECT_LE(bvh->stats().max_depth, 65u);
+}
+
+TEST(Bvh, StatsAreCoherent) {
+  ThreadPool pool(0);
+  const auto tris = random_soup(300, 4);
+  const auto bvh = build_bvh(tris, {}, pool);
+  const TreeStats s = bvh->stats();
+  EXPECT_EQ(s.node_count, 2 * s.leaf_count - 1);  // binary tree
+  EXPECT_GE(s.prim_refs, tris.size());  // BVH never duplicates: == actually
+  EXPECT_EQ(s.prim_refs, tris.size());
+  EXPECT_GT(s.sah_cost, 0.0);
+}
+
+TEST(Bvh, MaxLeafSizeIsHonoredOnSeparableInput) {
+  // Evenly spread triangles: binning always separates, so leaves obey the
+  // bound strictly.
+  std::vector<Triangle> tris;
+  for (int i = 0; i < 256; ++i) {
+    const float x = static_cast<float>(i);
+    tris.push_back({{x, 0, 0}, {x + 0.4f, 0, 0}, {x, 0.4f, 0.1f}});
+  }
+  ThreadPool pool(0);
+  BvhConfig config;
+  config.max_leaf_size = 2;
+  const auto bvh = build_bvh(tris, config, pool);
+  for (const Bvh::Node& node : bvh->nodes()) {
+    if (node.is_leaf()) EXPECT_LE(node.count, 2u);
+  }
+}
+
+TEST(Bvh, RangeAndNearestMatchBruteForce) {
+  ThreadPool pool(0);
+  const auto tris = random_soup(300, 5);
+  const auto bvh = build_bvh(tris, {}, pool);
+  Rng rng(6);
+
+  for (int q = 0; q < 30; ++q) {
+    AABB box;
+    box.expand({rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)});
+    box.expand({rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)});
+    std::vector<std::uint32_t> got;
+    bvh->query_range(box, got);
+    std::vector<std::uint32_t> expected;
+    for (std::uint32_t i = 0; i < tris.size(); ++i) {
+      if (box.overlaps(tris[i].bounds()) &&
+          !clipped_bounds(tris[i], box).empty()) {
+        expected.push_back(i);
+      }
+    }
+    EXPECT_EQ(got, expected) << "query " << q;
+  }
+
+  for (int q = 0; q < 30; ++q) {
+    const Vec3 p{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const NearestResult got = bvh->nearest(p);
+    float best = std::numeric_limits<float>::infinity();
+    for (const Triangle& t : tris) best = std::min(best, distance_squared(p, t));
+    EXPECT_NEAR(got.distance_sq, best, 1e-3f) << "query " << q;
+  }
+}
+
+TEST(Bvh, RendersTheSameImageAsKdTree) {
+  const Scene scene = make_scene("wood_doll", 0.2f)->frame(0);
+  ThreadPool pool(2);
+  const auto kd = make_builder(Algorithm::kInPlace)
+                      ->build(scene.triangles(), kBaseConfig, pool);
+  const auto bvh = build_bvh(scene.triangles(), {}, pool);
+
+  const Camera camera(scene.camera(), 48, 36);
+  Framebuffer kd_fb(48, 36), bvh_fb(48, 36);
+  render(*kd, scene, camera, kd_fb, pool);
+  render(*bvh, scene, camera, bvh_fb, pool);
+  EXPECT_DOUBLE_EQ(kd_fb.checksum(), bvh_fb.checksum());
+}
+
+TEST(Bvh, ParallelBuildMatchesSequentialStructure) {
+  const auto tris = random_soup(600, 7);
+  ThreadPool seq(0), par(3);
+  const auto a = build_bvh(tris, {}, seq);
+  const auto b = build_bvh(tris, {}, par);
+  EXPECT_EQ(a->stats().node_count, b->stats().node_count);
+  EXPECT_EQ(a->stats().leaf_count, b->stats().leaf_count);
+  EXPECT_EQ(a->stats().max_depth, b->stats().max_depth);
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,180 @@
+#include "tuning/config_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/pipeline.hpp"
+#include "scene/generators.hpp"
+#include "tuning/tuner.hpp"
+
+namespace kdtune {
+namespace {
+
+TEST(ConfigCache, StoreAndLookup) {
+  ConfigCache cache;
+  EXPECT_TRUE(cache.empty());
+  EXPECT_FALSE(cache.lookup("k").has_value());
+
+  EXPECT_TRUE(cache.store("k", {17, 10, 3}, 0.5));
+  ASSERT_TRUE(cache.lookup("k").has_value());
+  EXPECT_EQ(cache.lookup("k")->values, (std::vector<std::int64_t>{17, 10, 3}));
+  EXPECT_DOUBLE_EQ(cache.lookup("k")->seconds, 0.5);
+}
+
+TEST(ConfigCache, KeepsTheFasterEntry) {
+  ConfigCache cache;
+  cache.store("k", {1}, 0.5);
+  EXPECT_FALSE(cache.store("k", {2}, 0.7));  // slower: rejected
+  EXPECT_EQ(cache.lookup("k")->values[0], 1);
+  EXPECT_TRUE(cache.store("k", {3}, 0.3));   // faster: replaces
+  EXPECT_EQ(cache.lookup("k")->values[0], 3);
+}
+
+TEST(ConfigCache, RoundTripsThroughStream) {
+  ConfigCache cache;
+  cache.store("sibenik/lazy/threads=8", {40, 20, 5, 128}, 0.0123);
+  cache.store("bunny/in-place/threads=4", {17, 10, 3}, 1.5);
+
+  std::stringstream buffer;
+  cache.save(buffer);
+
+  ConfigCache loaded;
+  loaded.load(buffer);
+  EXPECT_EQ(loaded.size(), 2u);
+  const auto entry = loaded.lookup("sibenik/lazy/threads=8");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->values, (std::vector<std::int64_t>{40, 20, 5, 128}));
+  EXPECT_NEAR(entry->seconds, 0.0123, 1e-9);
+}
+
+TEST(ConfigCache, LoadMergesKeepingFaster) {
+  ConfigCache cache;
+  cache.store("k", {1}, 0.2);
+  std::stringstream buffer("k\t0.5\t9\nother\t1.0\t7\n");
+  cache.load(buffer);
+  EXPECT_EQ(cache.lookup("k")->values[0], 1);  // existing 0.2 is faster
+  EXPECT_EQ(cache.lookup("other")->values[0], 7);
+}
+
+TEST(ConfigCache, MalformedInputThrows) {
+  for (const char* bad : {"justakey\n", "k\tnotanumber\t1\n", "k\t1.0\t\n",
+                          "k\t1.0\tx,y\n"}) {
+    ConfigCache cache;
+    std::stringstream buffer(bad);
+    EXPECT_THROW(cache.load(buffer), std::runtime_error) << bad;
+  }
+}
+
+TEST(ConfigCache, RejectsKeysWithSeparators) {
+  ConfigCache cache;
+  EXPECT_THROW(cache.store("bad\tkey", {1}, 1.0), std::invalid_argument);
+  EXPECT_THROW(cache.store("bad\nkey", {1}, 1.0), std::invalid_argument);
+}
+
+TEST(ConfigCache, FileRoundTripAndMissingFile) {
+  const std::string path = ::testing::TempDir() + "/kdtune_cache.txt";
+  ConfigCache cache;
+  cache.store("k", {4, 2}, 0.25);
+  cache.save_file(path);
+
+  ConfigCache loaded;
+  loaded.load_file(path);
+  EXPECT_EQ(loaded.size(), 1u);
+  std::remove(path.c_str());
+
+  ConfigCache empty;
+  empty.load_file("/nonexistent/dir/cache.txt");  // no throw: first run
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(ConfigCache, KeyForComposesContext) {
+  EXPECT_EQ(ConfigCache::key_for("sibenik", "lazy", 8),
+            "sibenik/lazy/threads=8");
+}
+
+TEST(WarmStart, TunerProposesSeedFirst) {
+  std::int64_t ci = 0, cb = 0;
+  Tuner tuner;
+  tuner.register_parameter(&ci, 3, 101, 1, "CI");
+  tuner.register_parameter(&cb, 0, 60, 1, "CB");
+  tuner.warm_start({42, 13});
+  tuner.apply_next();
+  EXPECT_EQ(ci, 42);
+  EXPECT_EQ(cb, 13);
+}
+
+TEST(WarmStart, WrongValueCountThrows) {
+  std::int64_t a = 0;
+  Tuner tuner;
+  tuner.register_parameter(&a, 0, 10);
+  EXPECT_THROW(tuner.warm_start({1, 2}), std::invalid_argument);
+}
+
+TEST(WarmStart, OutOfRangeValuesAreClamped) {
+  std::int64_t a = 0;
+  Tuner tuner;
+  tuner.register_parameter(&a, 5, 15);
+  tuner.warm_start({1000});
+  tuner.apply_next();
+  EXPECT_EQ(a, 15);
+}
+
+TEST(WarmStart, PipelineSeedsFromBuildConfig) {
+  ThreadPool pool(0);
+  PipelineOptions popts;
+  popts.width = 32;
+  popts.height = 24;
+  TunedPipeline pipeline(Algorithm::kLazy, pool, std::move(popts));
+  BuildConfig cached;
+  cached.ci = 55;
+  cached.cb = 5;
+  cached.s = 2;
+  cached.r = 256;
+  pipeline.warm_start(cached);
+
+  const Scene scene = make_bunny(0.06f);
+  const FrameReport first = pipeline.render_frame(scene);
+  EXPECT_EQ(first.config.ci, 55);
+  EXPECT_EQ(first.config.cb, 5);
+  EXPECT_EQ(first.config.s, 2);
+  EXPECT_EQ(first.config.r, 256);
+}
+
+TEST(WarmStart, EndToEndCacheRoundTrip) {
+  // Tune, cache the result, start a fresh pipeline warm-started from the
+  // cache: its first frame runs the cached configuration.
+  ThreadPool pool(0);
+  const Scene scene = make_bunny(0.06f);
+  const std::string key = ConfigCache::key_for(scene.name(), "lazy", 1);
+
+  ConfigCache cache;
+  {
+    PipelineOptions popts;
+    popts.width = 32;
+    popts.height = 24;
+    TunedPipeline pipeline(Algorithm::kLazy, pool, std::move(popts));
+    for (int i = 0; i < 8; ++i) pipeline.render_frame(scene);
+    cache.store(key, pipeline.tuner().best_values(),
+                pipeline.tuner().best_time());
+  }
+
+  const auto entry = cache.lookup(key);
+  ASSERT_TRUE(entry.has_value());
+  PipelineOptions popts;
+  popts.width = 32;
+  popts.height = 24;
+  TunedPipeline fresh(Algorithm::kLazy, pool, std::move(popts));
+  BuildConfig cached;
+  cached.ci = entry->values[0];
+  cached.cb = entry->values[1];
+  cached.s = entry->values[2];
+  cached.r = entry->values[3];
+  fresh.warm_start(cached);
+  const FrameReport first = fresh.render_frame(scene);
+  EXPECT_EQ(first.config.ci, cached.ci);
+  EXPECT_EQ(first.config.r, cached.r);
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,177 @@
+// Instrumented traversal (work counters) and the renderer's AOV modes.
+
+#include <gtest/gtest.h>
+
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "render/raycaster.hpp"
+#include "scene/generators.hpp"
+
+namespace kdtune {
+namespace {
+
+std::unique_ptr<KdTree> build_scene_tree(const Scene& scene,
+                                         const BuildConfig& config = kBaseConfig) {
+  ThreadPool pool(0);
+  auto base = make_sweep_builder()->build(scene.triangles(), config, pool);
+  return std::unique_ptr<KdTree>(dynamic_cast<KdTree*>(base.release()));
+}
+
+TEST(TraversalCounters, CountedHitMatchesPlainHit) {
+  const Scene scene = make_scene("sponza", 0.12f)->frame(0);
+  const auto tree = build_scene_tree(scene);
+  const Camera camera(scene.camera(), 32, 24);
+  for (int y = 0; y < 24; y += 3) {
+    for (int x = 0; x < 32; x += 3) {
+      const Ray ray = camera.primary_ray(x, y);
+      TraversalCounters counters;
+      const Hit counted = tree->closest_hit_counted(ray, counters);
+      const Hit plain = tree->closest_hit(ray);
+      ASSERT_EQ(counted.valid(), plain.valid());
+      if (plain.valid()) {
+        EXPECT_EQ(counted.triangle, plain.triangle);
+        EXPECT_FLOAT_EQ(counted.t, plain.t);
+      }
+    }
+  }
+}
+
+TEST(TraversalCounters, CountsArePlausible) {
+  const Scene scene = make_scene("sibenik", 0.12f)->frame(0);
+  const auto tree = build_scene_tree(scene);
+  const Camera camera(scene.camera(), 16, 12);
+  TraversalCounters total;
+  std::size_t rays = 0;
+  for (int y = 0; y < 12; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      TraversalCounters c;
+      tree->closest_hit_counted(camera.primary_ray(x, y), c);
+      // A ray that visits any leaf must have passed interior nodes (unless
+      // the tree is a single leaf).
+      if (c.leaves_visited > 0 && tree->nodes().size() > 1) {
+        EXPECT_GT(c.interior_visited, 0u);
+      }
+      total += c;
+      ++rays;
+    }
+  }
+  EXPECT_GT(total.leaves_visited, 0u);
+  EXPECT_GT(total.triangles_tested, 0u);
+  // Sanity bound: no ray can visit more nodes than exist.
+  EXPECT_LT(total.interior_visited, rays * tree->nodes().size());
+}
+
+TEST(TraversalCounters, MissingRayTouchesNothing) {
+  const Scene scene = make_scene("bunny", 0.08f)->frame(0);
+  const auto tree = build_scene_tree(scene);
+  TraversalCounters c;
+  const Hit hit =
+      tree->closest_hit_counted(Ray({100, 100, 100}, {1, 0, 0}), c);
+  EXPECT_FALSE(hit.valid());
+  EXPECT_EQ(c.interior_visited + c.leaves_visited + c.triangles_tested, 0u);
+}
+
+TEST(TraversalCounters, HigherCiMeansDeeperTreesFewerTests) {
+  // CI scales both the leaf cost and the intersection term of the split
+  // cost; only CT stays fixed. So larger CI makes node traversal relatively
+  // cheaper -> splitting pays off longer -> deeper trees with fewer triangle
+  // tests per ray but more node visits. The counters must show that
+  // direction (it is the mechanism the tuner exploits).
+  const Scene scene = make_scene("sponza", 0.15f)->frame(0);
+  BuildConfig low_ci;
+  low_ci.ci = 3;    // CT dominates: stop early, big leaves
+  BuildConfig high_ci;
+  high_ci.ci = 101; // traversal relatively cheap: deep tree, small leaves
+  const auto shallow_tree = build_scene_tree(scene, low_ci);
+  const auto deep_tree = build_scene_tree(scene, high_ci);
+  EXPECT_GT(deep_tree->stats().node_count, shallow_tree->stats().node_count);
+
+  const Camera camera(scene.camera(), 24, 18);
+  TraversalCounters deep, shallow;
+  for (int y = 0; y < 18; ++y) {
+    for (int x = 0; x < 24; ++x) {
+      const Ray ray = camera.primary_ray(x, y);
+      deep_tree->closest_hit_counted(ray, deep);
+      shallow_tree->closest_hit_counted(ray, shallow);
+    }
+  }
+  EXPECT_GT(deep.interior_visited, shallow.interior_visited);
+  EXPECT_LT(deep.triangles_tested, shallow.triangles_tested);
+}
+
+TEST(RenderModes, DepthAndNormalsProduceDistinctImages) {
+  const Scene scene = make_scene("wood_doll", 0.15f)->frame(0);
+  ThreadPool pool(0);
+  const auto tree = make_builder(Algorithm::kInPlace)
+                        ->build(scene.triangles(), kBaseConfig, pool);
+  const Camera camera(scene.camera(), 32, 24);
+
+  Framebuffer shaded(32, 24), depth(32, 24), normals(32, 24);
+  RenderOptions opts;
+  render(*tree, scene, camera, shaded, pool, opts);
+  opts.mode = RenderMode::kDepth;
+  render(*tree, scene, camera, depth, pool, opts);
+  opts.mode = RenderMode::kNormals;
+  render(*tree, scene, camera, normals, pool, opts);
+
+  EXPECT_NE(shaded.checksum(), depth.checksum());
+  EXPECT_NE(shaded.checksum(), normals.checksum());
+  EXPECT_NE(depth.checksum(), normals.checksum());
+}
+
+TEST(RenderModes, DepthIsMonotonicWithDistance) {
+  // Two big walls at different depths, both spanning the full view; render
+  // them separately and compare the center pixel: nearer = brighter.
+  const auto wall_scene = [](float z) {
+    Scene scene("wall");
+    scene.mutable_triangles() = {
+        {{-20, -20, z}, {20, -20, z}, {20, 20, z}},
+        {{-20, -20, z}, {20, 20, z}, {-20, 20, z}},
+    };
+    scene.set_camera({{0, 0, -2}, {0, 0, 1}, {0, 1, 0}, 60.0f});
+    return scene;
+  };
+  ThreadPool pool(0);
+  RenderOptions opts;
+  opts.mode = RenderMode::kDepth;
+
+  float values[2];
+  int i = 0;
+  for (const float z : {2.0f, 8.0f}) {
+    const Scene scene = wall_scene(z);
+    const auto tree =
+        make_sweep_builder()->build(scene.triangles(), kBaseConfig, pool);
+    const Camera camera(scene.camera(), 16, 12);
+    Framebuffer fb(16, 12);
+    render(*tree, scene, camera, fb, pool, opts);
+    values[i++] = fb.at(8, 6).x;
+  }
+  ASSERT_GT(values[0], 0.1f);  // both walls actually hit
+  ASSERT_GT(values[1], 0.1f);
+  EXPECT_GT(values[0], values[1]);  // near wall brighter
+}
+
+TEST(RenderModes, NormalsEncodeOrientation) {
+  // A floor facing +y: normal (0,1,0) encodes to (0.5, 1.0, 0.5).
+  Scene scene("floor");
+  scene.mutable_triangles() = {
+      {{-5, 0, -5}, {5, 0, -5}, {5, 0, 5}},
+      {{-5, 0, -5}, {5, 0, 5}, {-5, 0, 5}},
+  };
+  scene.set_camera({{0, 3, 0.1f}, {0, 0, 0}, {0, 0, -1}, 60.0f});
+  ThreadPool pool(0);
+  const auto tree =
+      make_sweep_builder()->build(scene.triangles(), kBaseConfig, pool);
+  const Camera camera(scene.camera(), 16, 12);
+  Framebuffer fb(16, 12);
+  RenderOptions opts;
+  opts.mode = RenderMode::kNormals;
+  render(*tree, scene, camera, fb, pool, opts);
+  const Vec3 c = fb.at(8, 6);
+  EXPECT_NEAR(c.x, 0.5f, 1e-3f);
+  EXPECT_NEAR(c.y, 1.0f, 1e-3f);
+  EXPECT_NEAR(c.z, 0.5f, 1e-3f);
+}
+
+}  // namespace
+}  // namespace kdtune

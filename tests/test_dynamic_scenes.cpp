@@ -1,0 +1,132 @@
+// Dynamic-scene sweeps: the per-frame rebuild workload of the paper's
+// evaluation, checked for correctness across animation frames and detail
+// levels (not just frame 0, which most other tests use).
+
+#include <gtest/gtest.h>
+
+#include "geom/intersect.hpp"
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "render/camera.hpp"
+#include "render/raycaster.hpp"
+#include "scene/generators.hpp"
+
+namespace kdtune {
+namespace {
+
+struct DynamicCase {
+  const char* scene;
+  const char* algorithm;
+};
+
+class DynamicScenes : public ::testing::TestWithParam<DynamicCase> {};
+
+TEST_P(DynamicScenes, EveryNthFrameMatchesOracle) {
+  const auto [scene_id, algo] = GetParam();
+  const auto scene = make_scene(scene_id, 0.08f);
+  ThreadPool pool(2);
+  const auto builder = make_builder(algorithm_from_string(algo));
+
+  const std::size_t step = std::max<std::size_t>(1, scene->frame_count() / 4);
+  for (std::size_t f = 0; f < scene->frame_count(); f += step) {
+    const Scene frame = scene->frame(f);
+    const auto tree = builder->build(frame.triangles(), kBaseConfig, pool);
+
+    // Camera rays: the distribution the real workload uses.
+    const Camera camera(frame.camera(), 16, 12);
+    for (int y = 0; y < 12; y += 3) {
+      for (int x = 0; x < 16; x += 3) {
+        const Ray ray = camera.primary_ray(x, y);
+        const Hit expected = brute_force_closest_hit(ray, frame.triangles());
+        const Hit got = tree->closest_hit(ray);
+        ASSERT_EQ(got.valid(), expected.valid())
+            << scene_id << " frame " << f << " px " << x << ',' << y;
+        if (expected.valid()) {
+          ASSERT_NEAR(got.t, expected.t, 1e-3f)
+              << scene_id << " frame " << f;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, DynamicScenes,
+    ::testing::Values(DynamicCase{"toasters", "node-level"},
+                      DynamicCase{"toasters", "lazy"},
+                      DynamicCase{"wood_doll", "nested"},
+                      DynamicCase{"wood_doll", "in-place"},
+                      DynamicCase{"fairy_forest", "in-place"},
+                      DynamicCase{"fairy_forest", "lazy"}),
+    [](const ::testing::TestParamInfo<DynamicCase>& info) {
+      std::string name =
+          std::string(info.param.scene) + "_" + info.param.algorithm;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+class DetailSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(DetailSweep, GeneratorsScaleCleanly) {
+  const float detail = GetParam();
+  for (const std::string& id : scene_ids()) {
+    const auto scene = make_scene(id, detail);
+    const Scene frame = scene->frame(0);
+    ASSERT_GT(frame.triangle_count(), 0u) << id;
+    // Bounds are finite and non-degenerate.
+    const AABB box = frame.bounds();
+    ASSERT_FALSE(box.empty()) << id;
+    EXPECT_TRUE(is_finite(box.lo)) << id;
+    EXPECT_TRUE(is_finite(box.hi)) << id;
+    EXPECT_GT(box.volume(), 0.0f) << id;
+    // Every vertex is finite (noise/displacement never produces NaN).
+    for (const Triangle& t : frame.triangles()) {
+      ASSERT_TRUE(is_finite(t.a) && is_finite(t.b) && is_finite(t.c)) << id;
+    }
+  }
+}
+
+TEST_P(DetailSweep, CountsGrowWithDetail) {
+  const float detail = GetParam();
+  if (detail >= 0.5f) return;  // compare against 2x detail below 0.5 only
+  for (const std::string& id : scene_ids()) {
+    const std::size_t small = make_scene(id, detail)->frame(0).triangle_count();
+    const std::size_t large =
+        make_scene(id, detail * 2.0f)->frame(0).triangle_count();
+    EXPECT_GT(large, small) << id << " at detail " << detail;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, DetailSweep,
+                         ::testing::Values(0.06f, 0.12f, 0.24f),
+                         [](const ::testing::TestParamInfo<float>& info) {
+                           return "d" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+TEST(DynamicScenes, RebuildLoopRendersEveryFrame) {
+  // End-to-end: the paper's per-frame loop on a whole (small) animation.
+  const auto scene = make_scene("wood_doll", 0.1f);
+  ThreadPool pool(2);
+  const auto builder = make_builder(Algorithm::kInPlace);
+  double previous_checksum = -1.0;
+  bool any_change = false;
+  for (std::size_t f = 0; f < scene->frame_count(); ++f) {
+    const Scene frame = scene->frame(f);
+    const auto tree = builder->build(frame.triangles(), kBaseConfig, pool);
+    const Camera camera(frame.camera(), 24, 18);
+    Framebuffer fb(24, 18);
+    render(*tree, frame, camera, fb, pool);
+    EXPECT_GT(fb.checksum(), 0.0) << "frame " << f;
+    if (previous_checksum >= 0.0 && fb.checksum() != previous_checksum) {
+      any_change = true;
+    }
+    previous_checksum = fb.checksum();
+  }
+  EXPECT_TRUE(any_change) << "animation should change the rendered image";
+}
+
+}  // namespace
+}  // namespace kdtune

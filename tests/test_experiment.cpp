@@ -1,0 +1,144 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+#include "core/table_io.hpp"
+#include "scene/generators.hpp"
+
+#include <sstream>
+
+namespace kdtune {
+namespace {
+
+ExperimentOptions tiny_opts() {
+  ExperimentOptions opts;
+  opts.width = 32;
+  opts.height = 24;
+  opts.detail = 0.08f;
+  opts.max_iterations = 25;
+  opts.post_convergence = 3;
+  opts.base_samples = 3;
+  return opts;
+}
+
+TEST(Experiment, TuningRunHasCoherentStructure) {
+  ThreadPool pool(0);
+  const auto scene = make_scene("bunny", 0.08f);
+  const TuningRun run = run_tuning_experiment(Algorithm::kInPlace, *scene,
+                                              pool, tiny_opts());
+  EXPECT_EQ(run.scene, "bunny");
+  EXPECT_EQ(run.algorithm, "in-place");
+  EXPECT_FALSE(run.samples.empty());
+  EXPECT_GT(run.base_median, 0.0);
+  EXPECT_GT(run.tuned_median, 0.0);
+  EXPECT_GT(run.speedup(), 0.0);
+  EXPECT_EQ(run.tuned_values.size(), 3u);
+  EXPECT_GT(run.iterations_to_convergence, 0u);
+  // Samples are sequentially numbered.
+  for (std::size_t i = 0; i < run.samples.size(); ++i) {
+    EXPECT_EQ(run.samples[i].iteration, i);
+  }
+}
+
+TEST(Experiment, LazyRunCarriesFourValues) {
+  ThreadPool pool(0);
+  const auto scene = make_scene("bunny", 0.08f);
+  const TuningRun run =
+      run_tuning_experiment(Algorithm::kLazy, *scene, pool, tiny_opts());
+  EXPECT_EQ(run.tuned_values.size(), 4u);
+  for (const IterationSample& s : run.samples) {
+    EXPECT_EQ(s.values.size(), 4u);
+  }
+}
+
+TEST(Experiment, DynamicSceneCyclesFramesWithRepeat) {
+  ThreadPool pool(0);
+  const auto scene = make_scene("wood_doll", 0.08f);
+  ExperimentOptions opts = tiny_opts();
+  opts.frame_repeat = 2;
+  const TuningRun run =
+      run_tuning_experiment(Algorithm::kNodeLevel, *scene, pool, opts);
+  // Frames advance every `frame_repeat` iterations.
+  ASSERT_GE(run.samples.size(), 6u);
+  EXPECT_EQ(run.samples[0].frame, 0u);
+  EXPECT_EQ(run.samples[1].frame, 0u);
+  EXPECT_EQ(run.samples[2].frame, 1u);
+  EXPECT_EQ(run.samples[4].frame, 2u);
+}
+
+TEST(Experiment, MeasureConfigTimesCount) {
+  ThreadPool pool(0);
+  const auto scene = make_scene("bunny", 0.06f);
+  const auto times = measure_config_times(Algorithm::kInPlace, *scene,
+                                          kBaseConfig, pool, tiny_opts(), 5);
+  ASSERT_EQ(times.size(), 5u);
+  for (double t : times) EXPECT_GT(t, 0.0);
+}
+
+TEST(Experiment, StrategyFactorySeedsAreUsed) {
+  ThreadPool pool(0);
+  const auto scene = make_scene("bunny", 0.06f);
+  ExperimentOptions a = tiny_opts();
+  ExperimentOptions b = tiny_opts();
+  b.seed = a.seed + 1;
+  const TuningRun ra =
+      run_tuning_experiment(Algorithm::kInPlace, *scene, pool, a);
+  const TuningRun rb =
+      run_tuning_experiment(Algorithm::kInPlace, *scene, pool, b);
+  // Different seeds explore different configurations (compare the first
+  // sampled values; identical sampling for different seeds would indicate the
+  // seed is ignored).
+  ASSERT_FALSE(ra.samples.empty());
+  ASSERT_FALSE(rb.samples.empty());
+  bool any_different = false;
+  const std::size_t n = std::min(ra.samples.size(), rb.samples.size());
+  for (std::size_t i = 0; i < n && !any_different; ++i) {
+    any_different = ra.samples[i].values != rb.samples[i].values;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Platforms, PaperMachines) {
+  const auto platforms = paper_platforms();
+  ASSERT_EQ(platforms.size(), 4u);
+  EXPECT_EQ(platforms[0].threads, 24u);
+  EXPECT_EQ(platforms[3].threads, 4u);
+  EXPECT_EQ(opteron_platform().name, "opteron24");
+}
+
+TEST(TableIo, AlignedTableOutput) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| alpha | 1  "), std::string::npos);
+  EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+TEST(TableIo, CsvOutput) {
+  TextTable table({"a", "b"});
+  table.add_row({"1", "2"});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableIo, FmtPrecision) {
+  EXPECT_EQ(fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt(0.000123, 6), "0.000123");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(TableIo, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"1"});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,,\n");
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,203 @@
+// Tests for the auxiliary features: Graphviz export, simulated annealing,
+// and supersampled rendering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "kdtree/builder.hpp"
+#include "kdtree/dot_export.hpp"
+#include "render/raycaster.hpp"
+#include "scene/generators.hpp"
+#include "tuning/search.hpp"
+#include "tuning/tuner.hpp"
+
+namespace kdtune {
+namespace {
+
+std::unique_ptr<KdTree> small_tree() {
+  const std::vector<Triangle> tris{
+      {{-1, -1, 0}, {1, -1, 0}, {0, 1, 0}},
+      {{-1, -1, 2}, {1, -1, 2}, {0, 1, 2}},
+      {{-1, -1, 4}, {1, -1, 4}, {0, 1, 4}},
+  };
+  ThreadPool pool(0);
+  auto base = make_sweep_builder()->build(tris, kBaseConfig, pool);
+  return std::unique_ptr<KdTree>(dynamic_cast<KdTree*>(base.release()));
+}
+
+// --- Graphviz export ---------------------------------------------------------
+
+TEST(DotExport, ProducesWellFormedGraph) {
+  const auto tree = small_tree();
+  std::ostringstream out;
+  export_dot(out, *tree);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("digraph kdtree {"), std::string::npos);
+  EXPECT_NE(dot.find("n0 ["), std::string::npos);
+  EXPECT_NE(dot.find("leaf"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}"), std::string::npos);
+  // One node statement per tree node.
+  std::size_t count = 0;
+  for (std::size_t pos = 0; (pos = dot.find("  n", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_GE(count, tree->nodes().size());  // nodes + edges
+}
+
+TEST(DotExport, DepthLimitCollapsesSubtrees) {
+  const Scene scene = make_bunny(0.1f);
+  ThreadPool pool(0);
+  auto base = make_sweep_builder()->build(scene.triangles(), kBaseConfig, pool);
+  const auto* tree = dynamic_cast<const KdTree*>(base.get());
+  DotOptions opts;
+  opts.max_depth = 3;
+  std::ostringstream out;
+  export_dot(out, *tree, opts);
+  EXPECT_NE(out.str().find("\"...\""), std::string::npos);
+  // Far fewer statements than nodes in the full tree.
+  EXPECT_LT(out.str().size(), tree->nodes().size() * 40);
+}
+
+TEST(DotExport, ShowBoundsAddsVolumeShares) {
+  const auto tree = small_tree();
+  DotOptions opts;
+  opts.show_bounds = true;
+  std::ostringstream out;
+  export_dot(out, *tree, opts);
+  EXPECT_NE(out.str().find("% vol"), std::string::npos);
+}
+
+// --- Simulated annealing -------------------------------------------------------
+
+double bowl(const ConfigPoint& p, const std::vector<double>& target) {
+  double sum = 1.0;
+  for (std::size_t d = 0; d < p.size(); ++d) {
+    const double delta = static_cast<double>(p[d]) - target[d];
+    sum += delta * delta;
+  }
+  return sum;
+}
+
+TEST(Annealing, ApproachesBowlMinimum) {
+  auto search = make_annealing_search();
+  search->initialize({100, 60});
+  std::size_t evals = 0;
+  while (!search->converged() && evals < 1000) {
+    const ConfigPoint p = search->propose();
+    search->report(bowl(p, {70, 20}));
+    ++evals;
+  }
+  EXPECT_TRUE(search->converged());
+  EXPECT_LT(bowl(search->best(), {70, 20}), bowl({0, 0}, {70, 20}) * 0.1);
+}
+
+TEST(Annealing, EscapesLocalMinimum) {
+  // Double well on a line: local min at 10 (value 2), global at 80 (value 1).
+  const auto cost = [](const ConfigPoint& p) {
+    const double x = static_cast<double>(p[0]);
+    return std::min(2.0 + 0.05 * (x - 10) * (x - 10),
+                    1.0 + 0.05 * (x - 80) * (x - 80));
+  };
+  int found_global = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    AnnealingOptions opts;
+    opts.seed = seed;
+    auto search = make_annealing_search(opts);
+    search->initialize({100});
+    while (!search->converged()) {
+      const ConfigPoint p = search->propose();
+      search->report(cost(p));
+    }
+    found_global += std::llabs(search->best()[0] - 80) <= 3;
+  }
+  EXPECT_GE(found_global, 3);  // most seeds find the global basin
+}
+
+TEST(Annealing, HonorsEvaluationCap) {
+  AnnealingOptions opts;
+  opts.max_evaluations = 30;
+  opts.cooling = 1.0;  // never cools below final temperature on its own
+  auto search = make_annealing_search(opts);
+  search->initialize({50});
+  std::size_t evals = 0;
+  while (!search->converged() && evals < 500) {
+    search->report(1.0 + (search->propose()[0] % 7)), ++evals;
+  }
+  EXPECT_EQ(evals, 30u);
+}
+
+TEST(Annealing, SeedIsRespectedOnRestart) {
+  auto search = make_annealing_search();
+  search->initialize({100});
+  search->seed({42});
+  EXPECT_EQ(search->propose(), (ConfigPoint{42}));
+  // After restart the search resumes from the best known point.
+  search->report(1.0);
+  search->restart();
+  EXPECT_FALSE(search->converged());
+}
+
+TEST(Annealing, WorksInsideTuner) {
+  std::int64_t x = 0;
+  Tuner tuner(make_annealing_search());
+  tuner.register_parameter(&x, 0, 80);
+  for (int i = 0; i < 400 && !tuner.converged(); ++i) {
+    tuner.apply_next();
+    tuner.record(1.0 + 0.1 * std::abs(static_cast<double>(x) - 55.0));
+  }
+  EXPECT_TRUE(tuner.converged());
+  EXPECT_NEAR(static_cast<double>(tuner.best_values()[0]), 55.0, 10.0);
+}
+
+// --- Supersampling -------------------------------------------------------------
+
+TEST(Supersampling, SmoothsEdgesAndCountsRays) {
+  const Scene scene = make_scene("wood_doll", 0.15f)->frame(0);
+  ThreadPool pool(0);
+  const auto tree = make_builder(Algorithm::kInPlace)
+                        ->build(scene.triangles(), kBaseConfig, pool);
+  const Camera camera(scene.camera(), 32, 24);
+
+  RenderOptions plain;
+  RenderOptions ssaa;
+  ssaa.samples_per_axis = 2;
+  Framebuffer plain_fb(32, 24), ssaa_fb(32, 24);
+  const RenderResult r1 = render(*tree, scene, camera, plain_fb, pool, plain);
+  const RenderResult r4 = render(*tree, scene, camera, ssaa_fb, pool, ssaa);
+
+  EXPECT_EQ(r4.rays_cast, r1.rays_cast * 4);
+  // Same overall brightness (box filter), different per-pixel values at
+  // silhouettes.
+  EXPECT_NEAR(ssaa_fb.checksum(), plain_fb.checksum(),
+              plain_fb.checksum() * 0.2 + 1.0);
+  bool differs = false;
+  for (int y = 0; y < 24 && !differs; ++y) {
+    for (int x = 0; x < 32 && !differs; ++x) {
+      differs = !(plain_fb.at(x, y) == ssaa_fb.at(x, y));
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Supersampling, OneSampleIsTheDefaultPath) {
+  const Scene scene = make_scene("wood_doll", 0.1f)->frame(0);
+  ThreadPool pool(0);
+  const auto tree = make_builder(Algorithm::kInPlace)
+                        ->build(scene.triangles(), kBaseConfig, pool);
+  const Camera camera(scene.camera(), 24, 18);
+  RenderOptions one;
+  one.samples_per_axis = 1;
+  RenderOptions zero;  // clamped up to 1
+  zero.samples_per_axis = 0;
+  Framebuffer a(24, 18), b(24, 18);
+  render(*tree, scene, camera, a, pool, one);
+  render(*tree, scene, camera, b, pool, zero);
+  EXPECT_DOUBLE_EQ(a.checksum(), b.checksum());
+}
+
+}  // namespace
+}  // namespace kdtune

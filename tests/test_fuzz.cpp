@@ -1,0 +1,121 @@
+// Randomized cross-cutting sweep: random geometry x random configurations x
+// every builder, oracle-checked. Each seed generates a different soup shape
+// (uniform, clustered, flat, elongated, mixed-scale) and a random point in
+// the Table II configuration space, catching interactions no directed test
+// enumerates.
+
+#include <gtest/gtest.h>
+
+#include "geom/intersect.hpp"
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+
+namespace kdtune {
+namespace {
+
+std::vector<Triangle> fuzz_geometry(Rng& rng) {
+  const int shape = static_cast<int>(rng.next_int(0, 4));
+  const std::size_t n = static_cast<std::size_t>(rng.next_int(2, 250));
+  std::vector<Triangle> tris;
+  tris.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3 base;
+    float scale = 0.4f;
+    switch (shape) {
+      case 0:  // uniform cloud
+        base = {rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)};
+        break;
+      case 1:  // tight cluster + outliers
+        if (i % 10 == 0) {
+          base = {rng.uniform(-20, 20), rng.uniform(-20, 20),
+                  rng.uniform(-20, 20)};
+        } else {
+          base = {rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                  rng.uniform(-0.5f, 0.5f)};
+        }
+        break;
+      case 2:  // flat sheet (z ~ 0)
+        base = {rng.uniform(-5, 5), rng.uniform(-5, 5),
+                rng.uniform(-0.01f, 0.01f)};
+        scale = 0.6f;
+        break;
+      case 3:  // elongated tube along x
+        base = {rng.uniform(-50, 50), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+        break;
+      default:  // mixed triangle sizes over 3 orders of magnitude
+        base = {rng.uniform(-4, 4), rng.uniform(-4, 4), rng.uniform(-4, 4)};
+        scale = rng.next_float() < 0.3f ? 3.0f : 0.02f;
+        break;
+    }
+    tris.push_back(
+        {base,
+         base + Vec3{rng.uniform(-scale, scale), rng.uniform(-scale, scale),
+                     rng.uniform(-scale, scale)},
+         base + Vec3{rng.uniform(-scale, scale), rng.uniform(-scale, scale),
+                     rng.uniform(-scale, scale)}});
+  }
+  // Sprinkle degenerates: builders must skip them silently.
+  if (n > 10) {
+    tris[n / 2] = {tris[0].a, tris[0].a, tris[0].a};
+  }
+  return tris;
+}
+
+BuildConfig fuzz_config(Rng& rng) {
+  BuildConfig config;
+  config.ci = rng.next_int(3, 101);
+  config.cb = rng.next_int(0, 60);
+  config.s = rng.next_int(1, 8);
+  config.r = 16ll << rng.next_int(0, 9);
+  config.bin_count = static_cast<int>(rng.next_int(4, 64));
+  config.empty_bonus = rng.next_float() < 0.5f ? 0.0 : rng.next_double() * 0.9;
+  config.clip_straddlers = rng.next_float() < 0.8f;
+  return config;
+}
+
+class Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Fuzz, AllBuildersMatchOracle) {
+  Rng rng(GetParam() * 7919 + 17);
+  const auto tris = fuzz_geometry(rng);
+  const BuildConfig config = fuzz_config(rng);
+  const unsigned workers = static_cast<unsigned>(rng.next_int(0, 3));
+  ThreadPool pool(workers);
+
+  std::vector<std::unique_ptr<KdTreeBase>> trees;
+  trees.push_back(make_sweep_builder()->build(tris, config, pool));
+  trees.push_back(make_event_builder()->build(tris, config, pool));
+  for (const Algorithm a : all_algorithms()) {
+    trees.push_back(make_builder(a)->build(tris, config, pool));
+  }
+
+  AABB box = bounds_of(tris);
+  if (box.empty()) box = AABB({-1, -1, -1}, {1, 1, 1});
+  for (int i = 0; i < 40; ++i) {
+    const Vec3 origin =
+        box.center() + normalized(Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                       rng.uniform(-1, 1)}) *
+                           (length(box.extent()) * 0.8f + 1.0f);
+    const Vec3 target{rng.uniform(box.lo.x, box.hi.x),
+                      rng.uniform(box.lo.y, box.hi.y),
+                      rng.uniform(box.lo.z, box.hi.z)};
+    const Vec3 dir = target - origin;
+    if (length(dir) == 0.0f) continue;
+    const Ray ray(origin, normalized(dir));
+    const Hit expected = brute_force_closest_hit(ray, tris);
+    for (const auto& tree : trees) {
+      const Hit got = tree->closest_hit(ray);
+      ASSERT_EQ(got.valid(), expected.valid())
+          << "seed " << GetParam() << " ray " << i;
+      if (expected.valid()) {
+        ASSERT_NEAR(got.t, expected.t, 1e-3f)
+            << "seed " << GetParam() << " ray " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace kdtune

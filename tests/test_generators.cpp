@@ -1,0 +1,146 @@
+// The six evaluation-scene stand-ins: exact paper triangle counts at
+// detail=1 (DESIGN.md substitution #1), frame counts, determinism, and the
+// geometric properties the experiments rely on (e.g. Fairy Forest occlusion).
+
+#include "scene/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/intersect.hpp"
+#include "render/camera.hpp"
+
+namespace kdtune {
+namespace {
+
+struct SceneSpec {
+  const char* id;
+  std::size_t triangles;
+  std::size_t frames;
+};
+
+class GeneratorCounts : public ::testing::TestWithParam<SceneSpec> {};
+
+// Full-size generation: the paper's exact triangle and frame counts.
+TEST_P(GeneratorCounts, PaperTriangleAndFrameCounts) {
+  const SceneSpec spec = GetParam();
+  const auto scene = make_scene(spec.id, 1.0f);
+  EXPECT_EQ(scene->frame_count(), spec.frames);
+  EXPECT_EQ(scene->frame(0).triangle_count(), spec.triangles);
+  EXPECT_EQ(scene->name(), spec.id);
+}
+
+TEST_P(GeneratorCounts, ReducedDetailShrinksScene) {
+  const SceneSpec spec = GetParam();
+  const auto small = make_scene(spec.id, 0.15f);
+  const std::size_t count = small->frame(0).triangle_count();
+  EXPECT_GT(count, 0u);
+  EXPECT_LT(count, spec.triangles / 2);
+  EXPECT_EQ(small->frame_count(), spec.frames);  // frames don't scale
+}
+
+TEST_P(GeneratorCounts, DeterministicGeneration) {
+  const SceneSpec spec = GetParam();
+  const auto a = make_scene(spec.id, 0.12f);
+  const auto b = make_scene(spec.id, 0.12f);
+  const Scene fa = a->frame(0);
+  const Scene fb = b->frame(0);
+  ASSERT_EQ(fa.triangle_count(), fb.triangle_count());
+  for (std::size_t i = 0; i < fa.triangle_count(); i += 97) {
+    EXPECT_EQ(fa.triangles()[i].a, fb.triangles()[i].a);
+  }
+}
+
+TEST_P(GeneratorCounts, HasCameraAndLights) {
+  const SceneSpec spec = GetParam();
+  const Scene frame = make_scene(spec.id, 0.1f)->frame(0);
+  EXPECT_FALSE(frame.lights().empty());
+  EXPECT_GT(length(frame.camera().eye - frame.camera().look_at), 0.0f);
+}
+
+TEST_P(GeneratorCounts, NoDegenerateTriangles) {
+  const SceneSpec spec = GetParam();
+  const Scene frame = make_scene(spec.id, 0.1f)->frame(0);
+  std::size_t degenerate = 0;
+  for (const Triangle& t : frame.triangles()) {
+    degenerate += t.degenerate();
+  }
+  // The generators avoid degenerate output almost entirely; allow a tiny
+  // tolerance for pole slivers in displaced spheres.
+  EXPECT_LE(degenerate, frame.triangle_count() / 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperScenes, GeneratorCounts,
+    ::testing::Values(SceneSpec{"bunny", 69666, 1},
+                      SceneSpec{"sponza", 66450, 1},
+                      SceneSpec{"sibenik", 75284, 1},
+                      SceneSpec{"toasters", 11141, 246},
+                      SceneSpec{"wood_doll", 6658, 29},
+                      SceneSpec{"fairy_forest", 174117, 21}),
+    [](const ::testing::TestParamInfo<SceneSpec>& info) {
+      return info.param.id;
+    });
+
+TEST(Generators, Registry) {
+  EXPECT_EQ(scene_ids().size(), 6u);
+  EXPECT_EQ(static_scene_ids().size(), 3u);
+  EXPECT_EQ(dynamic_scene_ids().size(), 3u);
+  EXPECT_THROW(make_scene("not_a_scene"), std::invalid_argument);
+}
+
+TEST(Generators, DynamicScenesActuallyMove) {
+  for (const std::string& id : dynamic_scene_ids()) {
+    const auto scene = make_scene(id, 0.12f);
+    const Scene f0 = scene->frame(0);
+    const Scene f1 = scene->frame(scene->frame_count() / 2);
+    ASSERT_EQ(f0.triangle_count(), f1.triangle_count()) << id;
+    bool moved = false;
+    for (std::size_t i = 0; i < f0.triangle_count() && !moved; ++i) {
+      moved = !(f0.triangles()[i].a == f1.triangles()[i].a);
+    }
+    EXPECT_TRUE(moved) << id << " geometry did not change between frames";
+  }
+}
+
+TEST(Generators, FriezeHasExactCount) {
+  using detail_helpers::frieze;
+  for (std::size_t n : {1u, 2u, 3u, 10u, 1001u}) {
+    const Mesh m = frieze(5.0f, 0.0f, 1.0f, 0.0f, n);
+    EXPECT_EQ(m.triangle_count(), n);
+    for (std::size_t i = 0; i < m.triangle_count(); ++i) {
+      EXPECT_FALSE(m.triangle(i).degenerate());
+    }
+  }
+  EXPECT_EQ(frieze(5.0f, 0.0f, 1.0f, 0.0f, 0).triangle_count(), 0u);
+}
+
+TEST(Generators, FairyForestCameraSeesLittleGeometry) {
+  // The paper's corner case: the close-up camera means primary rays hit only
+  // a tiny fraction of the scene's triangles (most geometry is occluded or
+  // out of frame). Verify with brute-force ray casts on a reduced scene.
+  const auto scene = make_scene("fairy_forest", 0.2f);
+  const Scene frame = scene->frame(0);
+  const Camera camera(frame.camera(), 32, 24);
+
+  std::size_t hit_count = 0;
+  std::vector<bool> hit_tri(frame.triangle_count(), false);
+  for (int y = 0; y < 24; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      const Hit h = brute_force_closest_hit(camera.primary_ray(x, y),
+                                            frame.triangles());
+      if (h.valid()) {
+        ++hit_count;
+        hit_tri[h.triangle] = true;
+      }
+    }
+  }
+  EXPECT_GT(hit_count, 0u);
+  const std::size_t unique =
+      static_cast<std::size_t>(std::count(hit_tri.begin(), hit_tri.end(), true));
+  // "The cast rays intersect only with a tiny fraction of the scene's
+  // triangles."
+  EXPECT_LT(unique, frame.triangle_count() / 20);
+}
+
+}  // namespace
+}  // namespace kdtune

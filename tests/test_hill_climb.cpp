@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tuning/search.hpp"
+#include "tuning/tuner.hpp"
+
+namespace kdtune {
+namespace {
+
+double bowl(const ConfigPoint& p, const std::vector<double>& target) {
+  double sum = 1.0;
+  for (std::size_t d = 0; d < p.size(); ++d) {
+    const double delta = static_cast<double>(p[d]) - target[d];
+    sum += delta * delta;
+  }
+  return sum;
+}
+
+template <typename Fn>
+std::size_t drive(SearchStrategy& s, std::vector<std::int64_t> sizes, Fn&& cost,
+                  std::size_t cap = 20000) {
+  s.initialize(std::move(sizes));
+  std::size_t evals = 0;
+  while (!s.converged() && evals < cap) {
+    const ConfigPoint p = s.propose();
+    s.report(cost(p));
+    ++evals;
+  }
+  return evals;
+}
+
+TEST(HillClimb, FindsExactMinimumOfConvexBowl) {
+  // On a convex separable function, steepest descent reaches the *exact*
+  // grid optimum (no local minima to get stuck in).
+  auto search = make_hill_climb_search(0, 123);
+  drive(*search, {40, 30}, [](const ConfigPoint& p) { return bowl(p, {25, 7}); });
+  EXPECT_TRUE(search->converged());
+  EXPECT_EQ(search->best(), (ConfigPoint{25, 7}));
+}
+
+TEST(HillClimb, ProposalsStayInGrid) {
+  auto search = make_hill_climb_search(1, 5);
+  search->initialize({3, 3});
+  for (int i = 0; i < 200 && !search->converged(); ++i) {
+    const ConfigPoint p = search->propose();
+    for (std::size_t d = 0; d < 2; ++d) {
+      ASSERT_GE(p[d], 0);
+      ASSERT_LT(p[d], 3);
+    }
+    search->report(bowl(p, {0, 2}));
+  }
+  EXPECT_EQ(search->best(), (ConfigPoint{0, 2}));
+}
+
+TEST(HillClimb, RestartsEscapeLocalMinima) {
+  // Two-basin landscape on a line: local minimum at 5 (value 2), global at
+  // 45 (value 1), separated by a high ridge at 25.
+  const auto cost = [](const ConfigPoint& p) {
+    const double x = static_cast<double>(p[0]);
+    const double local = 2.0 + 0.1 * (x - 5.0) * (x - 5.0);
+    const double global = 1.0 + 0.1 * (x - 45.0) * (x - 45.0);
+    return std::min(local, global);
+  };
+  // With many restarts, at least one lands in the global basin.
+  auto search = make_hill_climb_search(8, 99);
+  drive(*search, {50}, cost);
+  EXPECT_EQ(search->best(), (ConfigPoint{45}));
+}
+
+TEST(HillClimb, ConvergesAtLocalMinimumWithoutRestarts) {
+  auto search = make_hill_climb_search(0, 7);
+  const std::size_t evals =
+      drive(*search, {20}, [](const ConfigPoint& p) { return bowl(p, {10}); });
+  EXPECT_TRUE(search->converged());
+  EXPECT_LT(evals, 100u);
+  // After convergence it pins its best point.
+  EXPECT_EQ(search->propose(), search->best());
+}
+
+TEST(HillClimb, SingletonDimensionsHandled) {
+  auto search = make_hill_climb_search(0, 3);
+  drive(*search, {1, 10, 1}, [](const ConfigPoint& p) { return bowl(p, {0, 4, 0}); });
+  EXPECT_TRUE(search->converged());
+  EXPECT_EQ(search->best()[1], 4);
+}
+
+TEST(HillClimb, RestartReopensSearch) {
+  auto search = make_hill_climb_search(0, 11);
+  drive(*search, {30}, [](const ConfigPoint& p) { return bowl(p, {3}); });
+  ASSERT_TRUE(search->converged());
+  search->restart();
+  EXPECT_FALSE(search->converged());
+  drive(*search, {30}, [&](const ConfigPoint& p) { return bowl(p, {3}); });
+  EXPECT_EQ(search->best(), (ConfigPoint{3}));
+}
+
+TEST(HillClimb, WorksInsideTuner) {
+  std::int64_t x = 0;
+  Tuner tuner(make_hill_climb_search(1, 17));
+  tuner.register_parameter(&x, 0, 50);
+  for (int i = 0; i < 500 && !tuner.converged(); ++i) {
+    tuner.apply_next();
+    tuner.record(1.0 + std::abs(static_cast<double>(x) - 33.0));
+  }
+  EXPECT_TRUE(tuner.converged());
+  EXPECT_EQ(tuner.best_values()[0], 33);
+}
+
+}  // namespace
+}  // namespace kdtune

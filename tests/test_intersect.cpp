@@ -1,0 +1,116 @@
+#include "geom/intersect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/rng.hpp"
+
+namespace kdtune {
+namespace {
+
+TEST(SlabTest, StraightThroughHit) {
+  const AABB box({0, 0, 0}, {1, 1, 1});
+  const Ray ray({-1, 0.5f, 0.5f}, {1, 0, 0});
+  float t0, t1;
+  ASSERT_TRUE(intersect_aabb(ray, box, t0, t1));
+  EXPECT_FLOAT_EQ(t0, 1.0f);
+  EXPECT_FLOAT_EQ(t1, 2.0f);
+}
+
+TEST(SlabTest, MissAbove) {
+  const AABB box({0, 0, 0}, {1, 1, 1});
+  const Ray ray({-1, 2.0f, 0.5f}, {1, 0, 0});
+  EXPECT_FALSE(intersect_aabb(ray, box));
+}
+
+TEST(SlabTest, OriginInsideBox) {
+  const AABB box({0, 0, 0}, {1, 1, 1});
+  const Ray ray({0.5f, 0.5f, 0.5f}, {0, 1, 0});
+  float t0, t1;
+  ASSERT_TRUE(intersect_aabb(ray, box, t0, t1));
+  EXPECT_FLOAT_EQ(t0, ray.t_min);  // clamped to the ray interval
+  EXPECT_FLOAT_EQ(t1, 0.5f);
+}
+
+TEST(SlabTest, NegativeDirection) {
+  const AABB box({0, 0, 0}, {1, 1, 1});
+  const Ray ray({2, 0.5f, 0.5f}, {-1, 0, 0});
+  float t0, t1;
+  ASSERT_TRUE(intersect_aabb(ray, box, t0, t1));
+  EXPECT_FLOAT_EQ(t0, 1.0f);
+  EXPECT_FLOAT_EQ(t1, 2.0f);
+}
+
+TEST(SlabTest, RespectsRayInterval) {
+  const AABB box({0, 0, 0}, {1, 1, 1});
+  const Ray before({-1, 0.5f, 0.5f}, {1, 0, 0}, 1e-4f, 0.5f);
+  EXPECT_FALSE(intersect_aabb(before, box));
+  const Ray after({-1, 0.5f, 0.5f}, {1, 0, 0}, 3.0f, 10.0f);
+  EXPECT_FALSE(intersect_aabb(after, box));
+}
+
+TEST(SlabTest, AxisParallelRayInsideSlab) {
+  const AABB box({0, 0, 0}, {1, 1, 1});
+  // dir.y == dir.z == 0; origin inside the y and z slabs.
+  const Ray ray({-5, 0.5f, 0.5f}, {1, 0, 0});
+  EXPECT_TRUE(intersect_aabb(ray, box));
+  // Origin outside a parallel slab must miss.
+  const Ray outside({-5, 1.5f, 0.5f}, {1, 0, 0});
+  EXPECT_FALSE(intersect_aabb(outside, box));
+}
+
+TEST(SlabTest, PointsOnRayInsideIntervalAreInBox) {
+  Rng rng(1234);
+  const AABB box({-1, -1, -1}, {1, 1, 1});
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 origin{rng.uniform(-4, 4), rng.uniform(-4, 4), rng.uniform(-4, 4)};
+    const Vec3 dir = normalized(
+        {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)});
+    if (length(dir) == 0.0f) continue;
+    const Ray ray(origin, dir);
+    float t0, t1;
+    if (!intersect_aabb(ray, box, t0, t1)) continue;
+    const float mid = 0.5f * (t0 + t1);
+    EXPECT_TRUE(box.contains(ray.at(mid), 1e-3f))
+        << "t0=" << t0 << " t1=" << t1;
+  }
+}
+
+TEST(BruteForce, ClosestHitPicksNearest) {
+  const std::vector<Triangle> tris{
+      {{-1, -1, 5}, {1, -1, 5}, {0, 1, 5}},   // far
+      {{-1, -1, 2}, {1, -1, 2}, {0, 1, 2}},   // near
+      {{-1, -1, 8}, {1, -1, 8}, {0, 1, 8}},   // farthest
+  };
+  const Ray ray({0, 0, 0}, {0, 0, 1});
+  const Hit hit = brute_force_closest_hit(ray, tris);
+  ASSERT_TRUE(hit.valid());
+  EXPECT_EQ(hit.triangle, 1u);
+  EXPECT_FLOAT_EQ(hit.t, 2.0f);
+}
+
+TEST(BruteForce, AnyHitAndMiss) {
+  const std::vector<Triangle> tris{{{-1, -1, 5}, {1, -1, 5}, {0, 1, 5}}};
+  EXPECT_TRUE(brute_force_any_hit(Ray({0, 0, 0}, {0, 0, 1}), tris));
+  EXPECT_FALSE(brute_force_any_hit(Ray({0, 0, 0}, {0, 0, -1}), tris));
+  EXPECT_FALSE(brute_force_closest_hit(Ray({0, 0, 0}, {0, 0, -1}), tris).valid());
+}
+
+TEST(BruteForce, EmptySceneNeverHits) {
+  EXPECT_FALSE(brute_force_closest_hit(Ray({0, 0, 0}, {0, 0, 1}), {}).valid());
+  EXPECT_FALSE(brute_force_any_hit(Ray({0, 0, 0}, {0, 0, 1}), {}));
+}
+
+TEST(BoundsOf, CoversAllTriangles) {
+  const std::vector<Triangle> tris{
+      {{0, 0, 0}, {1, 0, 0}, {0, 1, 0}},
+      {{-3, 2, 1}, {0, 5, -2}, {1, 1, 1}},
+  };
+  const AABB box = bounds_of(tris);
+  for (const Triangle& t : tris) {
+    EXPECT_TRUE(box.contains(t.bounds()));
+  }
+  EXPECT_TRUE(bounds_of({}).empty());
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,223 @@
+// The lazy construction algorithm (§IV-D): deferral honoring R, on-demand
+// expansion correctness, equivalence with eager trees, and thread-safety of
+// concurrent expansion.
+
+#include "kdtree/lazy_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "geom/intersect.hpp"
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "scene/generators.hpp"
+
+namespace kdtune {
+namespace {
+
+std::vector<Triangle> random_soup(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triangle> tris;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 base{rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    tris.push_back({base,
+                    base + Vec3{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                                rng.uniform(-0.5f, 0.5f)},
+                    base + Vec3{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                                rng.uniform(-0.5f, 0.5f)}});
+  }
+  return tris;
+}
+
+const LazyKdTree& as_lazy(const KdTreeBase& tree) {
+  return dynamic_cast<const LazyKdTree&>(tree);
+}
+
+TEST(LazyTree, FreshTreeHasDeferredNodes) {
+  ThreadPool pool(0);
+  const auto tris = random_soup(500, 1);
+  BuildConfig config;
+  config.r = 64;
+  const auto tree = make_builder(Algorithm::kLazy)->build(tris, config, pool);
+  const LazyKdTree& lazy = as_lazy(*tree);
+  EXPECT_GT(lazy.deferred_remaining(), 0u);
+  EXPECT_EQ(lazy.expansions(), 0u);
+}
+
+TEST(LazyTree, BuildIsCheaperWithLargerR) {
+  // Larger R means less is built eagerly: the fresh tree has fewer nodes.
+  ThreadPool pool(0);
+  const auto tris = random_soup(2000, 2);
+  BuildConfig small_r;
+  small_r.r = 16;
+  BuildConfig large_r;
+  large_r.r = 8192;
+  const auto fine =
+      make_builder(Algorithm::kLazy)->build(tris, small_r, pool);
+  const auto coarse =
+      make_builder(Algorithm::kLazy)->build(tris, large_r, pool);
+  EXPECT_GT(fine->stats().node_count, coarse->stats().node_count);
+}
+
+TEST(LazyTree, RaysExpandOnlyWhatTheyTouch) {
+  ThreadPool pool(0);
+  const auto tris = random_soup(2000, 3);
+  BuildConfig config;
+  config.r = 64;
+  const auto tree = make_builder(Algorithm::kLazy)->build(tris, config, pool);
+  const LazyKdTree& lazy = as_lazy(*tree);
+  const std::size_t initially_deferred = lazy.deferred_remaining();
+
+  // A single ray through the middle expands a handful of nodes, not all.
+  tree->closest_hit(Ray({-10, 0, 0}, {1, 0, 0}));
+  EXPECT_GT(lazy.expansions(), 0u);
+  EXPECT_LT(lazy.expansions(), initially_deferred);
+  EXPECT_GT(lazy.deferred_remaining(), 0u);
+}
+
+TEST(LazyTree, MatchesOracleWhileExpanding) {
+  ThreadPool pool(0);
+  const auto tris = random_soup(800, 4);
+  BuildConfig config;
+  config.r = 32;
+  const auto tree = make_builder(Algorithm::kLazy)->build(tris, config, pool);
+
+  Rng rng(5);
+  const AABB box = bounds_of(tris);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 origin = box.center() +
+                        normalized(Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                        rng.uniform(-1, 1)}) *
+                            (length(box.extent()) * 0.8f);
+    const Vec3 target{rng.uniform(box.lo.x, box.hi.x),
+                      rng.uniform(box.lo.y, box.hi.y),
+                      rng.uniform(box.lo.z, box.hi.z)};
+    const Ray ray(origin, normalized(target - origin));
+    const Hit expected = brute_force_closest_hit(ray, tris);
+    const Hit got = tree->closest_hit(ray);
+    ASSERT_EQ(got.valid(), expected.valid()) << "ray " << i;
+    if (expected.valid()) ASSERT_NEAR(got.t, expected.t, 1e-4f) << "ray " << i;
+  }
+}
+
+TEST(LazyTree, ExpandAllMatchesEagerStats) {
+  // Fully expanded, the lazy tree's leaves cover the same primitives as an
+  // eager build; its traversal keeps matching the oracle.
+  ThreadPool pool(0);
+  const auto tris = random_soup(600, 6);
+  BuildConfig config;
+  config.r = 128;
+  const auto tree = make_builder(Algorithm::kLazy)->build(tris, config, pool);
+  const LazyKdTree& lazy = as_lazy(*tree);
+  lazy.expand_all();
+  EXPECT_EQ(lazy.deferred_remaining(), 0u);
+  EXPECT_EQ(lazy.stats().deferred_count, 0u);
+
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const Ray ray({rng.uniform(-5, 5), rng.uniform(-5, 5), -10.0f}, {0, 0, 1});
+    const Hit expected = brute_force_closest_hit(ray, tris);
+    const Hit got = tree->closest_hit(ray);
+    ASSERT_EQ(got.valid(), expected.valid());
+    if (expected.valid()) ASSERT_NEAR(got.t, expected.t, 1e-4f);
+  }
+}
+
+TEST(LazyTree, ExpansionIsIdempotent) {
+  ThreadPool pool(0);
+  const auto tris = random_soup(400, 8);
+  BuildConfig config;
+  config.r = 64;
+  const auto tree = make_builder(Algorithm::kLazy)->build(tris, config, pool);
+  const LazyKdTree& lazy = as_lazy(*tree);
+
+  const Ray ray({-10, 0, 0}, {1, 0, 0});
+  tree->closest_hit(ray);
+  const std::size_t after_first = lazy.expansions();
+  // The same ray again finds everything already expanded.
+  tree->closest_hit(ray);
+  EXPECT_EQ(lazy.expansions(), after_first);
+}
+
+TEST(LazyTree, ConcurrentRaysRaceExpansionSafely) {
+  ThreadPool pool(0);  // builders sequential; the *rays* are the threads here
+  const auto tris = random_soup(1500, 9);
+  BuildConfig config;
+  config.r = 32;
+  const auto tree = make_builder(Algorithm::kLazy)->build(tris, config, pool);
+
+  // Precompute oracle answers, then hammer the tree from several threads.
+  std::vector<Ray> rays;
+  std::vector<Hit> expected;
+  Rng rng(10);
+  const AABB box = bounds_of(tris);
+  for (int i = 0; i < 120; ++i) {
+    const Vec3 origin = box.center() +
+                        normalized(Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                        rng.uniform(-1, 1)}) *
+                            (length(box.extent()) * 0.8f);
+    const Vec3 target = box.center() +
+                        Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                             rng.uniform(-1, 1)};
+    rays.emplace_back(origin, normalized(target - origin));
+    expected.push_back(brute_force_closest_hit(rays.back(), tris));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = t; i < rays.size(); i += 2) {  // overlapping work
+        const Hit got = tree->closest_hit(rays[i]);
+        if (got.valid() != expected[i].valid() ||
+            (expected[i].valid() && std::abs(got.t - expected[i].t) > 1e-3f)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(LazyTree, OccludedSceneExpandsFewNodes) {
+  // The Fairy-Forest effect: a close-up camera leaves most subtrees
+  // unexpanded after rendering the visible part.
+  ThreadPool pool(0);
+  const Scene scene = make_scene("fairy_forest", 0.3f)->frame(0);
+  BuildConfig config;
+  config.r = 128;
+  const auto tree =
+      make_builder(Algorithm::kLazy)->build(scene.triangles(), config, pool);
+  const LazyKdTree& lazy = as_lazy(*tree);
+  const std::size_t total_deferred = lazy.deferred_remaining();
+  ASSERT_GT(total_deferred, 10u);
+
+  // Cast the camera's rays.
+  Rng rng(11);
+  const CameraPreset cam = scene.camera();
+  const Vec3 fwd = normalized(cam.look_at - cam.eye);
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 jitter{rng.uniform(-0.3f, 0.3f), rng.uniform(-0.3f, 0.3f),
+                      rng.uniform(-0.3f, 0.3f)};
+    tree->closest_hit(Ray(cam.eye, normalized(fwd + jitter)));
+  }
+  EXPECT_LT(lazy.expansions(), total_deferred / 2)
+      << "close-up camera should leave most of the forest unexpanded";
+}
+
+TEST(LazyTree, StatsCountDeferredNodes) {
+  ThreadPool pool(0);
+  const auto tris = random_soup(1000, 12);
+  BuildConfig config;
+  config.r = 64;
+  const auto tree = make_builder(Algorithm::kLazy)->build(tris, config, pool);
+  const TreeStats stats = tree->stats();
+  EXPECT_EQ(stats.deferred_count, as_lazy(*tree).deferred_remaining());
+  EXPECT_GT(stats.prim_refs, 0u);
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,84 @@
+#include "tuning/measurement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+namespace kdtune {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  sw.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double t = sw.elapsed();
+  EXPECT_GE(t, 0.018);
+  EXPECT_LT(t, 1.0);
+}
+
+TEST(SampleStats, EmptySample) {
+  const SampleStats s = compute_stats({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(SampleStats, SingleValue) {
+  const std::vector<double> v{4.2};
+  const SampleStats s = compute_stats(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.2);
+  EXPECT_DOUBLE_EQ(s.median, 4.2);
+  EXPECT_DOUBLE_EQ(s.min, 4.2);
+  EXPECT_DOUBLE_EQ(s.max, 4.2);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.mad, 0.0);
+}
+
+TEST(SampleStats, KnownValues) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const SampleStats s = compute_stats(v);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mad, 1.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(SampleStats, OrderIndependent) {
+  const std::vector<double> sorted{1, 2, 3, 4};
+  const std::vector<double> shuffled{3, 1, 4, 2};
+  const SampleStats a = compute_stats(sorted);
+  const SampleStats b = compute_stats(shuffled);
+  EXPECT_DOUBLE_EQ(a.median, b.median);
+  EXPECT_DOUBLE_EQ(a.q1, b.q1);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+}
+
+TEST(SampleStats, EvenCountMedianInterpolates) {
+  const std::vector<double> v{1, 2, 3, 10};
+  EXPECT_DOUBLE_EQ(compute_stats(v).median, 2.5);
+}
+
+TEST(SampleStats, MadIsRobustToOutliers) {
+  const std::vector<double> clean{10, 10, 10, 10, 10};
+  const std::vector<double> dirty{10, 10, 10, 10, 1000};
+  EXPECT_DOUBLE_EQ(compute_stats(clean).mad, 0.0);
+  EXPECT_DOUBLE_EQ(compute_stats(dirty).mad, 0.0);  // median deviation still 0
+  EXPECT_GT(compute_stats(dirty).stddev, 100.0);    // stddev is not robust
+}
+
+TEST(SortedQuantile, Interpolation) {
+  const std::vector<double> v{0, 10, 20, 30};
+  EXPECT_DOUBLE_EQ(sorted_quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sorted_quantile(v, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(sorted_quantile(v, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(sorted_quantile(v, 0.25), 7.5);
+  EXPECT_DOUBLE_EQ(sorted_quantile({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace kdtune

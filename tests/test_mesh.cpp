@@ -1,0 +1,94 @@
+#include "scene/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kdtune {
+namespace {
+
+Mesh unit_triangle_mesh() {
+  Mesh m;
+  const auto a = m.add_vertex({0, 0, 0});
+  const auto b = m.add_vertex({1, 0, 0});
+  const auto c = m.add_vertex({0, 1, 0});
+  m.add_triangle(a, b, c);
+  return m;
+}
+
+TEST(Mesh, StartsEmpty) {
+  const Mesh m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.vertex_count(), 0u);
+  EXPECT_EQ(m.triangle_count(), 0u);
+  EXPECT_TRUE(m.bounds().empty());
+}
+
+TEST(Mesh, AddVertexReturnsSequentialIndices) {
+  Mesh m;
+  EXPECT_EQ(m.add_vertex({0, 0, 0}), 0u);
+  EXPECT_EQ(m.add_vertex({1, 1, 1}), 1u);
+  EXPECT_EQ(m.vertex_count(), 2u);
+}
+
+TEST(Mesh, AddTriangleValidatesIndices) {
+  Mesh m = unit_triangle_mesh();
+  EXPECT_THROW(m.add_triangle(0, 1, 7), std::out_of_range);
+  EXPECT_EQ(m.triangle_count(), 1u);
+}
+
+TEST(Mesh, QuadBecomesTwoTriangles) {
+  Mesh m;
+  const auto a = m.add_vertex({0, 0, 0});
+  const auto b = m.add_vertex({1, 0, 0});
+  const auto c = m.add_vertex({1, 1, 0});
+  const auto d = m.add_vertex({0, 1, 0});
+  m.add_quad(a, b, c, d);
+  EXPECT_EQ(m.triangle_count(), 2u);
+  // The two triangles tile the quad: total area 1.
+  EXPECT_NEAR(m.triangle(0).area() + m.triangle(1).area(), 1.0f, 1e-6f);
+}
+
+TEST(Mesh, MergeOffsetsIndicesAndTransforms) {
+  Mesh a = unit_triangle_mesh();
+  const Mesh b = unit_triangle_mesh();
+  a.merge(b, Transform::translate({10, 0, 0}));
+  EXPECT_EQ(a.vertex_count(), 6u);
+  EXPECT_EQ(a.triangle_count(), 2u);
+  const Triangle t = a.triangle(1);
+  EXPECT_FLOAT_EQ(t.a.x, 10.0f);
+  EXPECT_FLOAT_EQ(t.b.x, 11.0f);
+}
+
+TEST(Mesh, TransformInPlace) {
+  Mesh m = unit_triangle_mesh();
+  m.transform(Transform::scale(2.0f));
+  EXPECT_EQ(m.bounds(), AABB({0, 0, 0}, {2, 2, 0}));
+}
+
+TEST(Mesh, AppendTrianglesFlattens) {
+  const Mesh m = unit_triangle_mesh();
+  std::vector<Triangle> out;
+  m.append_triangles(out);
+  m.append_triangles(out, Transform::translate({0, 0, 5}));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_FLOAT_EQ(out[1].a.z, 5.0f);
+}
+
+TEST(Mesh, RemoveDegenerateTriangles) {
+  Mesh m = unit_triangle_mesh();
+  const auto a = m.add_vertex({5, 5, 5});
+  m.add_triangle(a, a, a);  // degenerate
+  EXPECT_EQ(m.triangle_count(), 2u);
+  EXPECT_EQ(m.remove_degenerate_triangles(), 1u);
+  EXPECT_EQ(m.triangle_count(), 1u);
+  EXPECT_FALSE(m.triangle(0).degenerate());
+}
+
+TEST(Mesh, BoundsCoverAllVertices) {
+  Mesh m;
+  m.add_vertex({-1, 2, 3});
+  m.add_vertex({4, -5, 6});
+  EXPECT_EQ(m.bounds(), AABB({-1, -5, 3}, {4, 2, 6}));
+}
+
+}  // namespace
+}  // namespace kdtune

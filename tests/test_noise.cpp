@@ -1,0 +1,76 @@
+#include "scene/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/rng.hpp"
+
+namespace kdtune {
+namespace {
+
+TEST(ValueNoise, Deterministic) {
+  const ValueNoise a(42), b(42);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 p{rng.uniform(-10, 10), rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    EXPECT_EQ(a.sample(p), b.sample(p));
+    EXPECT_EQ(a.fbm(p, 4), b.fbm(p, 4));
+  }
+}
+
+TEST(ValueNoise, SeedsDiffer) {
+  const ValueNoise a(1), b(2);
+  int equal = 0;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 p{rng.uniform(-10, 10), rng.uniform(-10, 10), rng.uniform(-10, 10)};
+    equal += a.sample(p) == b.sample(p);
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(ValueNoise, OutputInRange) {
+  const ValueNoise noise(7);
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const Vec3 p{rng.uniform(-50, 50), rng.uniform(-50, 50), rng.uniform(-50, 50)};
+    const float v = noise.sample(p);
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+    const float f = noise.fbm(p, 5);
+    EXPECT_GE(f, -1.0f);
+    EXPECT_LE(f, 1.0f);
+  }
+}
+
+TEST(ValueNoise, SmoothOverSmallSteps) {
+  // C2 interpolation: adjacent samples must be close.
+  const ValueNoise noise(11);
+  float prev = noise.sample({0.0f, 0.3f, 0.7f});
+  for (int i = 1; i <= 1000; ++i) {
+    const float cur = noise.sample({static_cast<float>(i) * 0.01f, 0.3f, 0.7f});
+    EXPECT_LT(std::fabs(cur - prev), 0.15f) << "step " << i;
+    prev = cur;
+  }
+}
+
+TEST(ValueNoise, FbmZeroOctavesIsZero) {
+  const ValueNoise noise(5);
+  EXPECT_EQ(noise.fbm({1, 2, 3}, 0), 0.0f);
+}
+
+TEST(ValueNoise, NotConstant) {
+  const ValueNoise noise(13);
+  float lo = 1e9f, hi = -1e9f;
+  for (int i = 0; i < 500; ++i) {
+    const float v =
+        noise.sample({static_cast<float>(i) * 0.37f, 0.0f, 0.0f});
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi - lo, 0.5f);
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,120 @@
+#include "scene/obj_loader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace kdtune {
+namespace {
+
+TEST(ObjLoader, ParsesVerticesAndTriangles) {
+  std::istringstream in(
+      "v 0 0 0\n"
+      "v 1 0 0\n"
+      "v 0 1 0\n"
+      "f 1 2 3\n");
+  const Mesh m = load_obj(in);
+  EXPECT_EQ(m.vertex_count(), 3u);
+  EXPECT_EQ(m.triangle_count(), 1u);
+  EXPECT_FLOAT_EQ(m.triangle(0).b.x, 1.0f);
+}
+
+TEST(ObjLoader, FanTriangulatesPolygons) {
+  std::istringstream in(
+      "v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\nv -1 0.5 0\n"
+      "f 1 2 3 4 5\n");
+  const Mesh m = load_obj(in);
+  EXPECT_EQ(m.triangle_count(), 3u);  // pentagon -> 3 triangles
+}
+
+TEST(ObjLoader, HandlesSlashForms) {
+  std::istringstream in(
+      "v 0 0 0\nv 1 0 0\nv 0 1 0\n"
+      "vt 0 0\nvn 0 0 1\n"
+      "f 1/1 2/1/1 3//1\n");
+  const Mesh m = load_obj(in);
+  EXPECT_EQ(m.triangle_count(), 1u);
+}
+
+TEST(ObjLoader, NegativeIndicesAreRelative) {
+  std::istringstream in(
+      "v 0 0 0\nv 1 0 0\nv 0 1 0\n"
+      "f -3 -2 -1\n");
+  const Mesh m = load_obj(in);
+  ASSERT_EQ(m.triangle_count(), 1u);
+  EXPECT_FLOAT_EQ(m.triangle(0).c.y, 1.0f);
+}
+
+TEST(ObjLoader, IgnoresCommentsAndUnknownTags) {
+  std::istringstream in(
+      "# a comment\n"
+      "mtllib scene.mtl\n"
+      "o object\n"
+      "v 0 0 0 # trailing comment\n"
+      "v 1 0 0\nv 0 1 0\n"
+      "s off\n"
+      "f 1 2 3\n");
+  const Mesh m = load_obj(in);
+  EXPECT_EQ(m.triangle_count(), 1u);
+}
+
+TEST(ObjLoader, RejectsMalformedInput) {
+  {
+    std::istringstream in("v 1 2\n");  // missing coordinate
+    EXPECT_THROW(load_obj(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("v 0 0 0\nf 1 2 3\n");  // indices out of range
+    EXPECT_THROW(load_obj(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("v 0 0 0\nv 1 0 0\nf 1 2\n");  // 2-gon
+    EXPECT_THROW(load_obj(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1 x 3\n");
+    EXPECT_THROW(load_obj(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 0 1 2\n");  // 0 invalid
+    EXPECT_THROW(load_obj(in), std::runtime_error);
+  }
+}
+
+TEST(ObjLoader, ErrorMentionsLineNumber) {
+  std::istringstream in("v 0 0 0\nv 1 2\n");
+  try {
+    load_obj(in);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ObjLoader, RoundTripThroughSave) {
+  Mesh m;
+  m.add_vertex({0, 0, 0});
+  m.add_vertex({1, 0, 0});
+  m.add_vertex({0, 1, 0});
+  m.add_vertex({0, 0, 1});
+  m.add_triangle(0, 1, 2);
+  m.add_triangle(0, 2, 3);
+
+  std::stringstream buffer;
+  save_obj(buffer, m);
+  const Mesh loaded = load_obj(buffer);
+  ASSERT_EQ(loaded.vertex_count(), m.vertex_count());
+  ASSERT_EQ(loaded.triangle_count(), m.triangle_count());
+  for (std::size_t i = 0; i < m.triangle_count(); ++i) {
+    EXPECT_EQ(loaded.triangle(i).a, m.triangle(i).a);
+    EXPECT_EQ(loaded.triangle(i).b, m.triangle(i).b);
+    EXPECT_EQ(loaded.triangle(i).c, m.triangle(i).c);
+  }
+}
+
+TEST(ObjLoader, MissingFileThrows) {
+  EXPECT_THROW(load_obj_file("/nonexistent/path/model.obj"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,201 @@
+// Packet traversal must be bit-identical to per-ray traversal: same hit
+// triangle, same t, for coherent and incoherent packets alike.
+
+#include "kdtree/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "render/camera.hpp"
+#include "render/raycaster.hpp"
+#include "scene/generators.hpp"
+
+namespace kdtune {
+namespace {
+
+std::unique_ptr<KdTree> build_tree(const std::vector<Triangle>& tris) {
+  ThreadPool pool(0);
+  auto base = make_sweep_builder()->build(tris, kBaseConfig, pool);
+  return std::unique_ptr<KdTree>(dynamic_cast<KdTree*>(base.release()));
+}
+
+std::vector<Triangle> random_soup(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triangle> tris;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 base{rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    tris.push_back({base,
+                    base + Vec3{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                                rng.uniform(-0.5f, 0.5f)},
+                    base + Vec3{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                                rng.uniform(-0.5f, 0.5f)}});
+  }
+  return tris;
+}
+
+void expect_packet_matches_scalar(const KdTree& tree,
+                                  std::span<const Ray> rays) {
+  std::vector<Hit> packet_hits(rays.size());
+  closest_hit_packet(tree, rays, packet_hits);
+  for (std::size_t i = 0; i < rays.size(); ++i) {
+    const Hit scalar = tree.closest_hit(rays[i]);
+    ASSERT_EQ(packet_hits[i].valid(), scalar.valid()) << "ray " << i;
+    if (scalar.valid()) {
+      EXPECT_EQ(packet_hits[i].triangle, scalar.triangle) << "ray " << i;
+      EXPECT_FLOAT_EQ(packet_hits[i].t, scalar.t) << "ray " << i;
+    }
+  }
+}
+
+TEST(Packet, CoherentCameraTileMatchesScalar) {
+  const Scene scene = make_scene("sponza", 0.12f)->frame(0);
+  const auto tree = build_tree(std::vector<Triangle>(
+      scene.triangles().begin(), scene.triangles().end()));
+  const Camera camera(scene.camera(), 64, 48);
+  std::vector<Ray> rays;
+  for (int y = 8; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) rays.push_back(camera.primary_ray(x, y));
+  }
+  ASSERT_EQ(rays.size(), kMaxPacketSize);
+  expect_packet_matches_scalar(*tree, rays);
+}
+
+TEST(Packet, IncoherentRandomRaysMatchScalar) {
+  const auto tris = random_soup(400, 3);
+  const auto tree = build_tree(tris);
+  Rng rng(4);
+  std::vector<Ray> rays;
+  for (std::size_t i = 0; i < kMaxPacketSize; ++i) {
+    rays.emplace_back(
+        Vec3{rng.uniform(-6, 6), rng.uniform(-6, 6), rng.uniform(-6, 6)},
+        normalized(Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                        rng.uniform(-1, 1)}));
+  }
+  expect_packet_matches_scalar(*tree, rays);
+}
+
+TEST(Packet, MixedDirectionsAlongEveryAxis) {
+  const auto tris = random_soup(200, 5);
+  const auto tree = build_tree(tris);
+  std::vector<Ray> rays;
+  for (int axis = 0; axis < 3; ++axis) {
+    for (int sign = -1; sign <= 1; sign += 2) {
+      Vec3 dir{0, 0, 0};
+      dir[axis] = static_cast<float>(sign);
+      for (int j = 0; j < 4; ++j) {
+        Vec3 origin{0.3f * j, 0.2f * j, 0.1f * j};
+        origin[axis] = sign > 0 ? -8.0f : 8.0f;
+        rays.emplace_back(origin, dir);
+      }
+    }
+  }
+  expect_packet_matches_scalar(*tree, rays);
+}
+
+TEST(Packet, PartialAndSingleRayPackets) {
+  const auto tris = random_soup(150, 6);
+  const auto tree = build_tree(tris);
+  Rng rng(7);
+  for (const std::size_t size : {1u, 2u, 7u, 33u}) {
+    std::vector<Ray> rays;
+    for (std::size_t i = 0; i < size; ++i) {
+      rays.emplace_back(
+          Vec3{rng.uniform(-5, 5), rng.uniform(-5, 5), -8.0f},
+          normalized(Vec3{rng.uniform(-0.3f, 0.3f), rng.uniform(-0.3f, 0.3f), 1.0f}));
+    }
+    expect_packet_matches_scalar(*tree, rays);
+  }
+}
+
+TEST(Packet, RespectsPerRayIntervals) {
+  const std::vector<Triangle> tris{
+      {{-1, -1, 2}, {1, -1, 2}, {0, 1, 2}},
+      {{-1, -1, 5}, {1, -1, 5}, {0, 1, 5}},
+  };
+  const auto tree = build_tree(tris);
+  std::vector<Ray> rays{
+      Ray({0, 0, 0}, {0, 0, 1}),                 // hits z=2
+      Ray({0, 0, 0}, {0, 0, 1}, 3.0f, 10.0f),    // window excludes z=2
+      Ray({0, 0, 0}, {0, 0, 1}, 6.0f, 10.0f),    // window excludes both
+  };
+  std::vector<Hit> hits(rays.size());
+  closest_hit_packet(*tree, rays, hits);
+  ASSERT_TRUE(hits[0].valid());
+  EXPECT_FLOAT_EQ(hits[0].t, 2.0f);
+  ASSERT_TRUE(hits[1].valid());
+  EXPECT_FLOAT_EQ(hits[1].t, 5.0f);
+  EXPECT_FALSE(hits[2].valid());
+}
+
+TEST(Packet, ErrorsOnBadArguments) {
+  const auto tris = random_soup(10, 8);
+  const auto tree = build_tree(tris);
+  std::vector<Ray> rays(3);
+  std::vector<Hit> wrong(2);
+  EXPECT_THROW(closest_hit_packet(*tree, rays, wrong), std::invalid_argument);
+  std::vector<Ray> huge(kMaxPacketSize + 1);
+  std::vector<Hit> huge_hits(kMaxPacketSize + 1);
+  EXPECT_THROW(closest_hit_packet(*tree, huge, huge_hits),
+               std::invalid_argument);
+}
+
+TEST(Packet, AnyFallbackChunksLargeSpans) {
+  const auto tris = random_soup(200, 9);
+  const auto tree = build_tree(tris);
+  Rng rng(10);
+  std::vector<Ray> rays;
+  for (int i = 0; i < 150; ++i) {  // > 2 packets
+    rays.emplace_back(
+        Vec3{rng.uniform(-5, 5), rng.uniform(-5, 5), -8.0f},
+        normalized(Vec3{rng.uniform(-0.3f, 0.3f), rng.uniform(-0.3f, 0.3f), 1.0f}));
+  }
+  std::vector<Hit> hits(rays.size());
+  closest_hit_packet_any(*tree, rays, hits);
+  for (std::size_t i = 0; i < rays.size(); ++i) {
+    const Hit scalar = tree->closest_hit(rays[i]);
+    ASSERT_EQ(hits[i].valid(), scalar.valid());
+    if (scalar.valid()) EXPECT_FLOAT_EQ(hits[i].t, scalar.t);
+  }
+}
+
+TEST(Packet, RenderWithPacketsMatchesScalarRender) {
+  const Scene scene = make_scene("wood_doll", 0.2f)->frame(0);
+  ThreadPool pool(2);
+  const auto tree = make_builder(Algorithm::kInPlace)
+                        ->build(scene.triangles(), kBaseConfig, pool);
+  const Camera camera(scene.camera(), 64, 48);
+
+  Framebuffer scalar_fb(64, 48), packet_fb(64, 48);
+  RenderOptions scalar_opts;
+  RenderOptions packet_opts;
+  packet_opts.use_packets = true;
+  render(*tree, scene, camera, scalar_fb, pool, scalar_opts);
+  render(*tree, scene, camera, packet_fb, pool, packet_opts);
+  EXPECT_DOUBLE_EQ(scalar_fb.checksum(), packet_fb.checksum());
+}
+
+TEST(Packet, LazyTreeFallsBackToScalar) {
+  const auto tris = random_soup(300, 11);
+  ThreadPool pool(0);
+  BuildConfig config;
+  config.r = 64;
+  const auto lazy = make_builder(Algorithm::kLazy)->build(tris, config, pool);
+  Rng rng(12);
+  std::vector<Ray> rays;
+  for (std::size_t i = 0; i < 32; ++i) {
+    rays.emplace_back(
+        Vec3{rng.uniform(-5, 5), rng.uniform(-5, 5), -8.0f},
+        normalized(Vec3{rng.uniform(-0.3f, 0.3f), rng.uniform(-0.3f, 0.3f), 1.0f}));
+  }
+  std::vector<Hit> hits(rays.size());
+  closest_hit_packet_any(*lazy, rays, hits);
+  for (std::size_t i = 0; i < rays.size(); ++i) {
+    const Hit scalar = lazy->closest_hit(rays[i]);
+    ASSERT_EQ(hits[i].valid(), scalar.valid());
+    if (scalar.valid()) EXPECT_FLOAT_EQ(hits[i].t, scalar.t);
+  }
+}
+
+}  // namespace
+}  // namespace kdtune

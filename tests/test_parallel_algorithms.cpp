@@ -1,0 +1,163 @@
+// Parameterized sweeps of the parallel primitives against their sequential
+// references, across pool widths and input sizes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "geom/rng.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/parallel_reduce.hpp"
+#include "parallel/parallel_scan.hpp"
+#include "parallel/parallel_sort.hpp"
+
+namespace kdtune {
+namespace {
+
+struct ParallelCase {
+  unsigned workers;
+  std::size_t n;
+};
+
+class ParallelPrimitives : public ::testing::TestWithParam<ParallelCase> {};
+
+TEST_P(ParallelPrimitives, ForTouchesEveryIndexOnce) {
+  const auto [workers, n] = GetParam();
+  ThreadPool pool(workers);
+  std::vector<std::atomic<int>> touched(n);
+  parallel_for(pool, 0, n, 16, [&](std::size_t i) {
+    touched[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(ParallelPrimitives, BlockedForCoversRangeExactly) {
+  const auto [workers, n] = GetParam();
+  ThreadPool pool(workers);
+  std::atomic<std::size_t> total{0};
+  parallel_for_blocked(pool, 0, n, 8, [&](std::size_t b, std::size_t e) {
+    EXPECT_LE(b, e);
+    total.fetch_add(e - b, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), n);
+}
+
+TEST_P(ParallelPrimitives, ReduceMatchesSequentialSum) {
+  const auto [workers, n] = GetParam();
+  ThreadPool pool(workers);
+  std::vector<std::int64_t> data(n);
+  Rng rng(n + workers);
+  for (auto& v : data) v = rng.next_int(-100, 100);
+
+  const std::int64_t expected =
+      std::accumulate(data.begin(), data.end(), std::int64_t{0});
+  const std::int64_t got = parallel_reduce<std::int64_t>(
+      pool, 0, n, 16, 0,
+      [&](std::size_t b, std::size_t e) {
+        std::int64_t s = 0;
+        for (std::size_t i = b; i < e; ++i) s += data[i];
+        return s;
+      },
+      [](std::int64_t a, std::int64_t b) { return a + b; });
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(ParallelPrimitives, ExclusiveScanMatchesSequential) {
+  const auto [workers, n] = GetParam();
+  ThreadPool pool(workers);
+  std::vector<std::uint32_t> in(n);
+  Rng rng(31 * n + workers);
+  for (auto& v : in) v = static_cast<std::uint32_t>(rng.next_int(0, 9));
+
+  std::vector<std::uint32_t> expected(n);
+  std::uint32_t acc = 5;  // non-trivial init
+  for (std::size_t i = 0; i < n; ++i) {
+    expected[i] = acc;
+    acc += in[i];
+  }
+
+  std::vector<std::uint32_t> out(n);
+  const std::uint32_t total =
+      parallel_exclusive_scan_total<std::uint32_t>(pool, in, out, 5);
+  EXPECT_EQ(out, expected);
+  EXPECT_EQ(total, acc);
+}
+
+TEST_P(ParallelPrimitives, SortMatchesStdSort) {
+  const auto [workers, n] = GetParam();
+  ThreadPool pool(workers);
+  std::vector<int> data(n);
+  Rng rng(17 * n + workers);
+  for (auto& v : data) v = static_cast<int>(rng.next_int(-1000, 1000));
+
+  std::vector<int> expected = data;
+  std::sort(expected.begin(), expected.end());
+  parallel_sort(pool, std::span<int>(data));
+  EXPECT_EQ(data, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelPrimitives,
+    ::testing::Values(ParallelCase{0, 0}, ParallelCase{0, 1},
+                      ParallelCase{0, 1000}, ParallelCase{1, 37},
+                      ParallelCase{2, 1000}, ParallelCase{3, 4096},
+                      ParallelCase{4, 20000}, ParallelCase{7, 65536}),
+    [](const ::testing::TestParamInfo<ParallelCase>& info) {
+      return "w" + std::to_string(info.param.workers) + "_n" +
+             std::to_string(info.param.n);
+    });
+
+TEST(ParallelScan, SizeMismatchThrows) {
+  ThreadPool pool(1);
+  std::vector<std::uint32_t> in(4), out(3);
+  EXPECT_THROW(
+      (parallel_exclusive_scan<std::uint32_t>(pool, in, out)),
+      std::invalid_argument);
+}
+
+TEST(ParallelSort, CustomComparatorDescending) {
+  ThreadPool pool(2);
+  std::vector<int> data(10000);
+  Rng rng(5);
+  for (auto& v : data) v = static_cast<int>(rng.next_int(0, 99));
+  parallel_sort(pool, std::span<int>(data), std::greater<int>{});
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end(), std::greater<int>{}));
+}
+
+TEST(ParallelFor, EmptyAndReversedRangesAreNoops) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, 1, [&](std::size_t) { ++calls; });
+  parallel_for(pool, 7, 3, 1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelReduce, DeterministicFloatFoldOrder) {
+  // The fold is defined to run in block order, so float reductions are
+  // bit-stable run to run.
+  ThreadPool pool(4);
+  std::vector<double> data(50000);
+  Rng rng(404);
+  for (auto& v : data) v = rng.next_double() - 0.5;
+
+  const auto run = [&] {
+    return parallel_reduce<double>(
+        pool, 0, data.size(), 128, 0.0,
+        [&](std::size_t b, std::size_t e) {
+          double s = 0;
+          for (std::size_t i = b; i < e; ++i) s += data[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double first = run();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(run(), first);
+  }
+}
+
+}  // namespace
+}  // namespace kdtune

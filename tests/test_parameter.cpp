@@ -1,0 +1,98 @@
+#include "tuning/parameter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kdtune {
+namespace {
+
+TEST(TunableParameter, LinearGrid) {
+  std::int64_t var = 0;
+  const auto p = TunableParameter::linear(&var, 3, 101, 1, "CI");
+  EXPECT_EQ(p.count(), 99);
+  EXPECT_EQ(p.value_at(0), 3);
+  EXPECT_EQ(p.value_at(98), 101);
+  EXPECT_EQ(p.name(), "CI");
+}
+
+TEST(TunableParameter, LinearGridWithStep) {
+  std::int64_t var = 0;
+  const auto p = TunableParameter::linear(&var, 0, 10, 3);
+  EXPECT_EQ(p.count(), 4);  // 0, 3, 6, 9
+  EXPECT_EQ(p.value_at(3), 9);
+}
+
+TEST(TunableParameter, ApplyWritesThroughPointer) {
+  std::int64_t var = -1;
+  const auto p = TunableParameter::linear(&var, 10, 20);
+  p.apply(5);
+  EXPECT_EQ(var, 15);
+  EXPECT_EQ(p.current(), 15);
+}
+
+TEST(TunableParameter, ValueAtClampsIndex) {
+  std::int64_t var = 0;
+  const auto p = TunableParameter::linear(&var, 0, 9);
+  EXPECT_EQ(p.value_at(-5), 0);
+  EXPECT_EQ(p.value_at(100), 9);
+}
+
+TEST(TunableParameter, Pow2Grid) {
+  std::int64_t var = 0;
+  const auto p = TunableParameter::pow2(&var, 16, 8192, "R");
+  EXPECT_EQ(p.count(), 10);  // 16 .. 8192
+  EXPECT_EQ(p.value_at(0), 16);
+  EXPECT_EQ(p.value_at(9), 8192);
+  EXPECT_EQ(p.value_at(4), 256);
+}
+
+TEST(TunableParameter, Pow2IndexOfSnapsToNearest) {
+  std::int64_t var = 0;
+  const auto p = TunableParameter::pow2(&var, 16, 8192);
+  EXPECT_EQ(p.index_of(16), 0);
+  EXPECT_EQ(p.index_of(8192), 9);
+  EXPECT_EQ(p.index_of(100), 3);  // nearest of {64, 128} by absolute error: 128
+  EXPECT_EQ(p.value_at(p.index_of(100)), 128);
+}
+
+TEST(TunableParameter, LinearIndexOfRounds) {
+  std::int64_t var = 0;
+  const auto p = TunableParameter::linear(&var, 0, 100, 10);
+  EXPECT_EQ(p.index_of(34), 3);
+  EXPECT_EQ(p.index_of(36), 4);
+  EXPECT_EQ(p.index_of(-5), 0);
+  EXPECT_EQ(p.index_of(1000), 10);
+}
+
+TEST(TunableParameter, RoundIndexClamps) {
+  std::int64_t var = 0;
+  const auto p = TunableParameter::linear(&var, 0, 9);
+  EXPECT_EQ(p.round_index(4.4), 4);
+  EXPECT_EQ(p.round_index(4.6), 5);
+  EXPECT_EQ(p.round_index(-3.0), 0);
+  EXPECT_EQ(p.round_index(99.0), 9);
+}
+
+TEST(TunableParameter, InvalidArgumentsThrow) {
+  std::int64_t var = 0;
+  EXPECT_THROW(TunableParameter::linear(nullptr, 0, 1), std::invalid_argument);
+  EXPECT_THROW(TunableParameter::linear(&var, 5, 1), std::invalid_argument);
+  EXPECT_THROW(TunableParameter::linear(&var, 0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(TunableParameter::pow2(&var, 12, 100), std::invalid_argument);
+  EXPECT_THROW(TunableParameter::pow2(&var, 0, 100), std::invalid_argument);
+}
+
+TEST(TunableParameter, SearchSpaceSize) {
+  std::int64_t a = 0, b = 0, c = 0, d = 0;
+  // The paper's Table II space: 99 * 61 * 8 * 10.
+  const std::vector<TunableParameter> params{
+      TunableParameter::linear(&a, 3, 101),
+      TunableParameter::linear(&b, 0, 60),
+      TunableParameter::linear(&c, 1, 8),
+      TunableParameter::pow2(&d, 16, 8192),
+  };
+  EXPECT_EQ(search_space_size(params), 99ull * 61ull * 8ull * 10ull);
+  EXPECT_EQ(search_space_size({}), 1ull);
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,162 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scene/generators.hpp"
+
+namespace kdtune {
+namespace {
+
+PipelineOptions small_opts() {
+  PipelineOptions opts;
+  opts.width = 40;
+  opts.height = 30;
+  return opts;
+}
+
+TEST(TunedPipeline, RegistersThreeParamsForEagerAlgorithms) {
+  ThreadPool pool(0);
+  for (Algorithm a : {Algorithm::kNodeLevel, Algorithm::kNested,
+                      Algorithm::kInPlace}) {
+    TunedPipeline p(a, pool, small_opts());
+    EXPECT_EQ(p.tuner().parameter_count(), 3u) << to_string(a);
+  }
+  TunedPipeline lazy(Algorithm::kLazy, pool, small_opts());
+  EXPECT_EQ(lazy.tuner().parameter_count(), 4u);
+}
+
+TEST(TunedPipeline, FrameReportIsCoherent) {
+  ThreadPool pool(0);
+  const Scene scene = make_bunny(0.1f);
+  TunedPipeline pipeline(Algorithm::kInPlace, pool, small_opts());
+  const FrameReport r = pipeline.render_frame(scene);
+  EXPECT_GT(r.build_seconds, 0.0);
+  EXPECT_GT(r.render_seconds, 0.0);
+  EXPECT_NEAR(r.total_seconds, r.build_seconds + r.render_seconds, 1e-9);
+  EXPECT_GT(r.tree.node_count, 0u);
+  // Config values within Table II ranges.
+  EXPECT_GE(r.config.ci, 3);
+  EXPECT_LE(r.config.ci, 101);
+  EXPECT_GE(r.config.cb, 0);
+  EXPECT_LE(r.config.cb, 60);
+  EXPECT_GE(r.config.s, 1);
+  EXPECT_LE(r.config.s, 8);
+}
+
+TEST(TunedPipeline, TunerIteratesAcrossFrames) {
+  ThreadPool pool(0);
+  const Scene scene = make_bunny(0.08f);
+  TunedPipeline pipeline(Algorithm::kNodeLevel, pool, small_opts());
+  for (int i = 0; i < 5; ++i) pipeline.render_frame(scene);
+  EXPECT_EQ(pipeline.tuner().iterations(), 5u);
+  EXPECT_EQ(pipeline.tuner().history().size(), 5u);
+}
+
+TEST(TunedPipeline, PinnedConfigDoesNotTouchTuner) {
+  ThreadPool pool(0);
+  const Scene scene = make_bunny(0.08f);
+  TunedPipeline pipeline(Algorithm::kInPlace, pool, small_opts());
+  BuildConfig pinned;
+  pinned.ci = 50;
+  const FrameReport r = pipeline.render_frame_with(scene, pinned);
+  EXPECT_EQ(r.config.ci, 50);
+  EXPECT_EQ(pipeline.tuner().iterations(), 0u);
+}
+
+TEST(TunedPipeline, LazyReportsExpansions) {
+  ThreadPool pool(0);
+  const Scene scene = make_bunny(0.12f);
+  TunedPipeline pipeline(Algorithm::kLazy, pool, small_opts());
+  BuildConfig config;
+  config.r = 64;  // force a deferred top so rendering expands something
+  const FrameReport r = pipeline.render_frame_with(scene, config);
+  EXPECT_GT(r.lazy_expansions, 0u);
+}
+
+TEST(TunedPipeline, BestConfigReflectsTunerBest) {
+  ThreadPool pool(0);
+  const Scene scene = make_bunny(0.08f);
+  TunedPipeline pipeline(Algorithm::kLazy, pool, small_opts());
+  for (int i = 0; i < 6; ++i) pipeline.render_frame(scene);
+  const BuildConfig best = pipeline.best_config();
+  const auto values = pipeline.tuner().best_values();
+  EXPECT_EQ(best.ci, values[0]);
+  EXPECT_EQ(best.cb, values[1]);
+  EXPECT_EQ(best.s, values[2]);
+  EXPECT_EQ(best.r, values[3]);
+}
+
+TEST(TunedPipeline, FixedStrategyPinsTheBaseConfig) {
+  ThreadPool pool(0);
+  const Scene scene = make_bunny(0.08f);
+  PipelineOptions opts = small_opts();
+  opts.strategy = make_fixed_search(base_config_point(Algorithm::kLazy));
+  TunedPipeline pipeline(Algorithm::kLazy, pool, std::move(opts));
+  const FrameReport r = pipeline.render_frame(scene);
+  EXPECT_EQ(r.config.ci, kBaseConfig.ci);
+  EXPECT_EQ(r.config.cb, kBaseConfig.cb);
+  EXPECT_EQ(r.config.s, kBaseConfig.s);
+  EXPECT_EQ(r.config.r, kBaseConfig.r);
+}
+
+TEST(TunedPipeline, ObjectiveSelectsTheMeasuredComponent) {
+  ThreadPool pool(0);
+  const Scene scene = make_bunny(0.08f);
+  for (const TuningObjective objective :
+       {TuningObjective::kTotalTime, TuningObjective::kBuildTime,
+        TuningObjective::kRenderTime}) {
+    PipelineOptions opts = small_opts();
+    opts.objective = objective;
+    TunedPipeline pipeline(objective == TuningObjective::kBuildTime
+                               ? Algorithm::kLazy
+                               : Algorithm::kInPlace,
+                           pool, std::move(opts));
+    const FrameReport r = pipeline.render_frame(scene);
+    const double recorded = pipeline.tuner().history().back().seconds;
+    switch (objective) {
+      case TuningObjective::kTotalTime:
+        EXPECT_DOUBLE_EQ(recorded, r.total_seconds);
+        break;
+      case TuningObjective::kBuildTime:
+        EXPECT_DOUBLE_EQ(recorded, r.build_seconds);
+        break;
+      case TuningObjective::kRenderTime:
+        EXPECT_DOUBLE_EQ(recorded, r.render_seconds);
+        break;
+    }
+  }
+}
+
+TEST(TunedPipeline, BuildObjectiveDrivesLazyTowardLargeR) {
+  // When only construction time matters, the lazy builder's optimum is the
+  // largest R (defer everything). The tuner should discover that.
+  ThreadPool pool(0);
+  const Scene scene = make_bunny(0.12f);
+  PipelineOptions opts = small_opts();
+  opts.objective = TuningObjective::kBuildTime;
+  TunedPipeline pipeline(Algorithm::kLazy, pool, std::move(opts));
+  for (int i = 0; i < 80 && !pipeline.tuner().converged(); ++i) {
+    pipeline.render_frame(scene);
+  }
+  EXPECT_GE(pipeline.best_config().r, 1024);
+}
+
+TEST(BaseConfig, PointRoundTripsThroughRanges) {
+  // base_config_point must map back to C_base through the registered grids.
+  ThreadPool pool(0);
+  for (Algorithm a : all_algorithms()) {
+    BuildConfig config;
+    Tuner tuner(make_fixed_search(base_config_point(a)));
+    register_build_parameters(tuner, config, a);
+    tuner.apply_next();
+    EXPECT_EQ(config.ci, kBaseConfig.ci) << to_string(a);
+    EXPECT_EQ(config.cb, kBaseConfig.cb) << to_string(a);
+    EXPECT_EQ(config.s, kBaseConfig.s) << to_string(a);
+    if (a == Algorithm::kLazy) {
+      EXPECT_EQ(config.r, kBaseConfig.r);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kdtune

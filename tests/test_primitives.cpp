@@ -1,0 +1,112 @@
+#include "scene/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kdtune {
+namespace {
+
+namespace prim = kdtune::primitives;
+
+// Triangle-count formulas: the generators rely on these to hit the paper's
+// exact scene sizes.
+TEST(Primitives, BoxHasTwelveTriangles) {
+  const Mesh m = prim::box({1, 2, 3});
+  EXPECT_EQ(m.triangle_count(), 12u);
+  EXPECT_EQ(m.vertex_count(), 8u);
+  EXPECT_EQ(m.bounds(), AABB({-0.5f, -1, -1.5f}, {0.5f, 1, 1.5f}));
+}
+
+TEST(Primitives, GridTriangleCount) {
+  for (int res : {1, 2, 7, 16}) {
+    const Mesh m = prim::grid(2.0f, res);
+    EXPECT_EQ(m.triangle_count(), static_cast<std::size_t>(2 * res * res));
+  }
+}
+
+TEST(Primitives, GridLiesInXZPlane) {
+  const Mesh m = prim::grid(4.0f, 4);
+  const AABB b = m.bounds();
+  EXPECT_FLOAT_EQ(b.lo.y, 0.0f);
+  EXPECT_FLOAT_EQ(b.hi.y, 0.0f);
+  EXPECT_FLOAT_EQ(b.lo.x, -2.0f);
+  EXPECT_FLOAT_EQ(b.hi.x, 2.0f);
+}
+
+TEST(Primitives, CylinderTriangleCount) {
+  // sides: 2 per segment; caps: 1 per segment each.
+  EXPECT_EQ(prim::cylinder(1, 2, 8, false).triangle_count(), 16u);
+  EXPECT_EQ(prim::cylinder(1, 2, 8, true).triangle_count(), 32u);
+}
+
+TEST(Primitives, CylinderBounds) {
+  const Mesh m = prim::cylinder(1.0f, 2.0f, 64, true);
+  const AABB b = m.bounds();
+  EXPECT_NEAR(b.lo.y, 0.0f, 1e-6f);
+  EXPECT_NEAR(b.hi.y, 2.0f, 1e-6f);
+  EXPECT_NEAR(b.hi.x, 1.0f, 1e-2f);
+}
+
+TEST(Primitives, ConeTriangleCount) {
+  EXPECT_EQ(prim::cone(1, 2, 10, false).triangle_count(), 10u);
+  EXPECT_EQ(prim::cone(1, 2, 10, true).triangle_count(), 20u);
+}
+
+TEST(Primitives, IcosphereSubdivisionCounts) {
+  EXPECT_EQ(prim::icosphere(0).triangle_count(), 20u);
+  EXPECT_EQ(prim::icosphere(1).triangle_count(), 80u);
+  EXPECT_EQ(prim::icosphere(2).triangle_count(), 320u);
+}
+
+TEST(Primitives, IcosphereVerticesOnUnitSphere) {
+  const Mesh m = prim::icosphere(2);
+  for (const Vec3& v : m.vertices()) {
+    EXPECT_NEAR(length(v), 1.0f, 1e-5f);
+  }
+}
+
+TEST(Primitives, IcosphereSharesSubdivisionVertices) {
+  // Closed subdivision: V = 10 * 4^n + 2.
+  EXPECT_EQ(prim::icosphere(1).vertex_count(), 42u);
+  EXPECT_EQ(prim::icosphere(2).vertex_count(), 162u);
+}
+
+TEST(Primitives, UvSphereTriangleCountFormula) {
+  // 2 * segments * (rings - 1)
+  EXPECT_EQ(prim::uv_sphere(1, 4, 6).triangle_count(), 36u);
+  EXPECT_EQ(prim::uv_sphere(1, 52, 683).triangle_count(), 69666u);  // Bunny!
+}
+
+TEST(Primitives, UvSphereRadius) {
+  const Mesh m = prim::uv_sphere(2.5f, 8, 12);
+  for (const Vec3& v : m.vertices()) {
+    EXPECT_NEAR(length(v), 2.5f, 1e-5f);
+  }
+}
+
+TEST(Primitives, ArchTriangleCount) {
+  // 4 quads per angular segment.
+  EXPECT_EQ(prim::arch(1.0f, 0.2f, 0.5f, 10).triangle_count(), 80u);
+}
+
+TEST(Primitives, ArchSpansHalfCircle) {
+  const Mesh m = prim::arch(1.0f, 0.2f, 0.5f, 16);
+  const AABB b = m.bounds();
+  EXPECT_NEAR(b.lo.x, -1.2f, 1e-5f);
+  EXPECT_NEAR(b.hi.x, 1.2f, 1e-5f);
+  EXPECT_NEAR(b.hi.y, 1.2f, 1e-5f);
+  EXPECT_GE(b.lo.y, -1e-5f);  // nothing below the springing line
+}
+
+TEST(Primitives, NoDegenerateTriangles) {
+  for (const Mesh& m :
+       {prim::box({1, 1, 1}), prim::grid(2, 5), prim::cylinder(1, 2, 12, true),
+        prim::cone(1, 2, 12, true), prim::icosphere(2),
+        prim::uv_sphere(1, 6, 9), prim::arch(1, 0.3f, 0.6f, 9)}) {
+    for (std::size_t i = 0; i < m.triangle_count(); ++i) {
+      EXPECT_FALSE(m.triangle(i).degenerate()) << "triangle " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,204 @@
+// Range and nearest-neighbor queries — the other two query families the
+// paper's introduction names — oracle-checked against brute force on every
+// builder's trees.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/closest_point.hpp"
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "kdtree/lazy_tree.hpp"
+
+namespace kdtune {
+namespace {
+
+std::vector<Triangle> random_soup(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triangle> tris;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 base{rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    tris.push_back({base,
+                    base + Vec3{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                                rng.uniform(-0.5f, 0.5f)},
+                    base + Vec3{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                                rng.uniform(-0.5f, 0.5f)}});
+  }
+  return tris;
+}
+
+std::vector<std::uint32_t> brute_force_range(std::span<const Triangle> tris,
+                                             const AABB& box) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < tris.size(); ++i) {
+    if (tris[i].degenerate()) continue;
+    if (box.overlaps(tris[i].bounds()) &&
+        !clipped_bounds(tris[i], box).empty()) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+// --- closest_point_on_triangle ----------------------------------------------
+
+TEST(ClosestPoint, VertexEdgeFaceRegions) {
+  const Triangle tri{{0, 0, 0}, {2, 0, 0}, {0, 2, 0}};
+  // Face region: projects straight down.
+  EXPECT_EQ(closest_point_on_triangle({0.5f, 0.5f, 3.0f}, tri),
+            Vec3(0.5f, 0.5f, 0.0f));
+  // Vertex regions.
+  EXPECT_EQ(closest_point_on_triangle({-1, -1, 0}, tri), Vec3(0, 0, 0));
+  EXPECT_EQ(closest_point_on_triangle({5, -1, 0}, tri), Vec3(2, 0, 0));
+  EXPECT_EQ(closest_point_on_triangle({-1, 5, 0}, tri), Vec3(0, 2, 0));
+  // Edge AB region.
+  EXPECT_EQ(closest_point_on_triangle({1, -2, 0}, tri), Vec3(1, 0, 0));
+  // Edge AC region.
+  EXPECT_EQ(closest_point_on_triangle({-2, 1, 0}, tri), Vec3(0, 1, 0));
+  // Edge BC (hypotenuse) region.
+  const Vec3 cp = closest_point_on_triangle({2, 2, 0}, tri);
+  EXPECT_NEAR(cp.x, 1.0f, 1e-5f);
+  EXPECT_NEAR(cp.y, 1.0f, 1e-5f);
+}
+
+TEST(ClosestPoint, ResultIsMinimalBySampling) {
+  // Property: no sampled point of the triangle is closer than the result.
+  Rng rng(1);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Triangle tri{
+        {rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)},
+        {rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)},
+        {rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)}};
+    if (tri.degenerate()) continue;
+    const Vec3 p{rng.uniform(-4, 4), rng.uniform(-4, 4), rng.uniform(-4, 4)};
+    const float best = distance_squared(p, tri);
+    for (int s = 0; s < 30; ++s) {
+      float u = rng.next_float();
+      float v = rng.next_float();
+      if (u + v > 1.0f) {
+        u = 1.0f - u;
+        v = 1.0f - v;
+      }
+      const Vec3 sample = tri.a * (1 - u - v) + tri.b * u + tri.c * v;
+      EXPECT_GE(length_squared(p - sample), best - 1e-4f);
+    }
+  }
+}
+
+TEST(ClosestPoint, DistanceToBox) {
+  const AABB box({0, 0, 0}, {1, 1, 1});
+  EXPECT_FLOAT_EQ(distance_squared(Vec3(0.5f, 0.5f, 0.5f), box), 0.0f);
+  EXPECT_FLOAT_EQ(distance_squared(Vec3(2, 0.5f, 0.5f), box), 1.0f);
+  EXPECT_FLOAT_EQ(distance_squared(Vec3(2, 2, 0.5f), box), 2.0f);
+  EXPECT_FLOAT_EQ(distance_squared(Vec3(-1, -1, -1), box), 3.0f);
+  EXPECT_TRUE(std::isinf(distance_squared(Vec3(0, 0, 0), AABB{})));
+}
+
+// --- tree queries, parameterized across builders -----------------------------
+
+class TreeQueries : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<KdTreeBase> build(std::span<const Triangle> tris) {
+    BuildConfig config;
+    config.r = 64;  // ensure the lazy tree actually defers something
+    if (std::string(GetParam()) == "sweep") {
+      return make_sweep_builder()->build(tris, config, pool_);
+    }
+    return make_builder(algorithm_from_string(GetParam()))
+        ->build(tris, config, pool_);
+  }
+
+  ThreadPool pool_{2};
+};
+
+TEST_P(TreeQueries, RangeQueryMatchesBruteForce) {
+  const auto tris = random_soup(400, 7);
+  const auto tree = build(tris);
+  Rng rng(8);
+  for (int q = 0; q < 40; ++q) {
+    AABB box;
+    box.expand({rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)});
+    box.expand({rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)});
+    std::vector<std::uint32_t> got;
+    tree->query_range(box, got);
+    EXPECT_EQ(got, brute_force_range(tris, box)) << "query " << q;
+  }
+}
+
+TEST_P(TreeQueries, RangeQueryAppendsAndDedups) {
+  const auto tris = random_soup(100, 9);
+  const auto tree = build(tris);
+  std::vector<std::uint32_t> out{999999};  // pre-existing content survives
+  tree->query_range(tree->bounds(), out);
+  EXPECT_EQ(out[0], 999999u);
+  // Whole-bounds query returns every non-degenerate triangle exactly once.
+  std::vector<std::uint32_t> rest(out.begin() + 1, out.end());
+  EXPECT_TRUE(std::is_sorted(rest.begin(), rest.end()));
+  EXPECT_EQ(std::adjacent_find(rest.begin(), rest.end()), rest.end());
+  EXPECT_EQ(rest.size(), tris.size());
+}
+
+TEST_P(TreeQueries, NearestMatchesBruteForce) {
+  const auto tris = random_soup(300, 10);
+  const auto tree = build(tris);
+  Rng rng(11);
+  for (int q = 0; q < 60; ++q) {
+    const Vec3 p{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const NearestResult got = tree->nearest(p);
+    ASSERT_TRUE(got.valid());
+
+    float best = std::numeric_limits<float>::infinity();
+    for (const Triangle& t : tris) {
+      best = std::min(best, distance_squared(p, t));
+    }
+    EXPECT_NEAR(got.distance_sq, best, 1e-3f) << "query " << q;
+    // The reported point lies on the reported triangle at that distance.
+    EXPECT_NEAR(length_squared(p - got.point), got.distance_sq, 1e-4f);
+  }
+}
+
+TEST_P(TreeQueries, EmptyTreeQueries) {
+  const auto tree = build({});
+  std::vector<std::uint32_t> out;
+  tree->query_range(AABB({-1, -1, -1}, {1, 1, 1}), out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(tree->nearest({0, 0, 0}).valid());
+}
+
+TEST_P(TreeQueries, DisjointRangeIsEmpty) {
+  const auto tris = random_soup(100, 12);
+  const auto tree = build(tris);
+  std::vector<std::uint32_t> out;
+  tree->query_range(AABB({100, 100, 100}, {101, 101, 101}), out);
+  EXPECT_TRUE(out.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, TreeQueries,
+                         ::testing::Values("sweep", "in-place", "lazy"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(LazyQueries, RangeQueryExpandsOnlyTouchedRegion) {
+  const auto tris = random_soup(2000, 13);
+  ThreadPool pool(0);
+  BuildConfig config;
+  config.r = 32;
+  const auto tree = make_builder(Algorithm::kLazy)->build(tris, config, pool);
+  const auto& lazy = dynamic_cast<const LazyKdTree&>(*tree);
+  const std::size_t deferred = lazy.deferred_remaining();
+  ASSERT_GT(deferred, 4u);
+
+  std::vector<std::uint32_t> out;
+  tree->query_range(AABB({-0.5f, -0.5f, -0.5f}, {0.5f, 0.5f, 0.5f}), out);
+  EXPECT_GT(lazy.expansions(), 0u);
+  EXPECT_LT(lazy.expansions(), deferred);
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,166 @@
+#include "render/raycaster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "kdtree/builder.hpp"
+#include "scene/generators.hpp"
+
+namespace kdtune {
+namespace {
+
+TEST(Camera, CenterRayLooksForward) {
+  const Camera cam({0, 0, 0}, {0, 0, -5}, {0, 1, 0}, 60.0f, 100, 100);
+  const Ray center = cam.primary_ray(50, 50);
+  EXPECT_NEAR(center.dir.z, -1.0f, 0.02f);
+  EXPECT_NEAR(center.dir.x, 0.0f, 0.02f);
+  EXPECT_NEAR(center.dir.y, 0.0f, 0.02f);
+  EXPECT_EQ(center.origin, Vec3(0, 0, 0));
+}
+
+TEST(Camera, CornersDivergeSymmetrically) {
+  const Camera cam({0, 0, 0}, {0, 0, -5}, {0, 1, 0}, 60.0f, 100, 100);
+  const Ray tl = cam.primary_ray(0, 0);
+  const Ray tr = cam.primary_ray(99, 0);
+  const Ray bl = cam.primary_ray(0, 99);
+  EXPECT_LT(tl.dir.x, 0.0f);
+  EXPECT_GT(tr.dir.x, 0.0f);
+  EXPECT_GT(tl.dir.y, 0.0f);  // top of image looks up
+  EXPECT_LT(bl.dir.y, 0.0f);
+  EXPECT_NEAR(tl.dir.x, -tr.dir.x, 1e-4f);
+  EXPECT_NEAR(tl.dir.y, -bl.dir.y, 1e-4f);
+}
+
+TEST(Camera, WiderFovSpreadsRays) {
+  const Camera narrow({0, 0, 0}, {0, 0, -1}, {0, 1, 0}, 30.0f, 64, 64);
+  const Camera wide({0, 0, 0}, {0, 0, -1}, {0, 1, 0}, 90.0f, 64, 64);
+  EXPECT_GT(std::abs(wide.primary_ray(0, 32).dir.x),
+            std::abs(narrow.primary_ray(0, 32).dir.x));
+}
+
+TEST(Framebuffer, SetAndChecksum) {
+  Framebuffer fb(4, 4);
+  EXPECT_DOUBLE_EQ(fb.checksum(), 0.0);
+  fb.set(1, 2, {0.5f, 0.25f, 0.25f});
+  EXPECT_DOUBLE_EQ(fb.checksum(), 1.0);
+  EXPECT_EQ(fb.at(1, 2), Vec3(0.5f, 0.25f, 0.25f));
+}
+
+TEST(Framebuffer, SavesPpm) {
+  Framebuffer fb(2, 2);
+  fb.set(0, 0, {1, 0, 0});
+  const std::string path = ::testing::TempDir() + "/kdtune_test.ppm";
+  fb.save_ppm(path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  in >> magic;
+  EXPECT_EQ(magic, "P6");
+  int w, h, maxval;
+  in >> w >> h >> maxval;
+  EXPECT_EQ(w, 2);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxval, 255);
+  std::remove(path.c_str());
+}
+
+class RenderFixture : public ::testing::Test {
+ protected:
+  // Floor at y=0 plus an occluder square hovering above part of it; a light
+  // straight overhead. Shadow rays from under the occluder must hit it.
+  void SetUp() override {
+    scene_.mutable_triangles() = {
+        // floor 10x10 on XZ
+        {{-5, 0, -5}, {5, 0, -5}, {5, 0, 5}},
+        {{-5, 0, -5}, {5, 0, 5}, {-5, 0, 5}},
+        // occluder 2x2 at y=2 over the +x,+z quadrant
+        {{1, 2, 1}, {3, 2, 1}, {3, 2, 3}},
+        {{1, 2, 1}, {3, 2, 3}, {1, 2, 3}},
+    };
+    scene_.add_light({{0, 10, 0}, {1, 1, 1}});
+    ThreadPool pool(0);
+    tree_ = make_sweep_builder()->build(scene_.triangles(), kBaseConfig, pool);
+  }
+
+  Scene scene_;
+  std::unique_ptr<KdTreeBase> tree_;
+};
+
+TEST_F(RenderFixture, ShadowedPointIsDarkerThanLitPoint) {
+  RenderOptions opts;
+  // A ray hitting the floor under the occluder (x=2, z=2); it starts *below*
+  // the occluder plane so the primary hit is the floor, not the occluder.
+  const Ray shadowed_ray({2, 1.5f, 2.2f}, {0, -1, 0});
+  const Hit shadowed_hit = tree_->closest_hit(shadowed_ray);
+  ASSERT_TRUE(shadowed_hit.valid());
+  // A ray hitting open floor (x=-2, z=-2).
+  const Ray lit_ray({-2, 5, -2}, {0, -1, 0});
+  const Hit lit_hit = tree_->closest_hit(lit_ray);
+  ASSERT_TRUE(lit_hit.valid());
+
+  std::size_t shadow_rays = 0;
+  const Vec3 dark =
+      shade_hit(*tree_, scene_, shadowed_ray, shadowed_hit, opts, &shadow_rays);
+  const Vec3 lit =
+      shade_hit(*tree_, scene_, lit_ray, lit_hit, opts, &shadow_rays);
+  EXPECT_GT(shadow_rays, 0u);
+  EXPECT_LT(dark.x + dark.y + dark.z, 0.5f * (lit.x + lit.y + lit.z));
+}
+
+TEST_F(RenderFixture, DisablingShadowsRemovesThem) {
+  RenderOptions no_shadows;
+  no_shadows.shadows = false;
+  const Ray ray({2, 5, 2.2f}, {0, -1, 0});
+  const Hit hit = tree_->closest_hit(ray);
+  ASSERT_TRUE(hit.valid());
+  const Vec3 color = shade_hit(*tree_, scene_, ray, hit, no_shadows, nullptr);
+  // Without shadow tests the occluded point gets direct light.
+  EXPECT_GT(color.x + color.y + color.z, 0.2f);
+}
+
+TEST_F(RenderFixture, RenderFillsFramebufferAndCounts) {
+  ThreadPool pool(2);
+  scene_.set_camera({{0, 6, 8}, {0, 0, 0}, {0, 1, 0}, 55.0f});
+  const Camera camera(scene_.camera(), 64, 48);
+  Framebuffer fb(64, 48);
+  const RenderResult result = render(*tree_, scene_, camera, fb, pool);
+  EXPECT_EQ(result.rays_cast, 64u * 48u);
+  EXPECT_GT(result.hits, 0u);
+  EXPECT_LT(result.hits, result.rays_cast);  // horizon shows background
+  EXPECT_GT(result.shadow_rays, 0u);
+  EXPECT_GT(fb.checksum(), 0.0);
+}
+
+TEST_F(RenderFixture, RenderIsDeterministicAcrossPoolWidths) {
+  scene_.set_camera({{0, 6, 8}, {0, 0, 0}, {0, 1, 0}, 55.0f});
+  const Camera camera(scene_.camera(), 48, 36);
+  ThreadPool seq(0), par(3);
+  Framebuffer fb_seq(48, 36), fb_par(48, 36);
+  render(*tree_, scene_, camera, fb_seq, seq);
+  render(*tree_, scene_, camera, fb_par, par);
+  EXPECT_DOUBLE_EQ(fb_seq.checksum(), fb_par.checksum());
+}
+
+TEST(RenderAgreement, AllBuildersProduceTheSameImage) {
+  const Scene scene = make_scene("wood_doll", 0.25f)->frame(0);
+  const Camera camera(scene.camera(), 48, 36);
+  ThreadPool pool(2);
+
+  double reference = -1.0;
+  for (Algorithm a : all_algorithms()) {
+    const auto tree =
+        make_builder(a)->build(scene.triangles(), kBaseConfig, pool);
+    Framebuffer fb(48, 36);
+    render(*tree, scene, camera, fb, pool);
+    if (reference < 0) {
+      reference = fb.checksum();
+    } else {
+      EXPECT_DOUBLE_EQ(fb.checksum(), reference) << to_string(a);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,100 @@
+#include "geom/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace kdtune {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.next_u64() == b.next_u64();
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, FloatInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.next_float();
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Rng, IntInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values reached
+}
+
+TEST(Rng, SingletonRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.next_int(42, 42), 42);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(3);
+  float lo = 1e9f, hi = -1e9f;
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.uniform(2.0f, 4.0f);
+    EXPECT_GE(v, 2.0f);
+    EXPECT_LT(v, 4.0f);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 2.1f);
+  EXPECT_GT(hi, 3.9f);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(77);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += parent.next_u64() == child.next_u64();
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, RoughlyUniformBuckets) {
+  Rng rng(2024);
+  int buckets[10] = {};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++buckets[static_cast<int>(rng.next_double() * 10.0)];
+  }
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_NEAR(buckets[b], kDraws / 10, kDraws / 100);
+  }
+}
+
+}  // namespace
+}  // namespace kdtune

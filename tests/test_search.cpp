@@ -1,0 +1,216 @@
+// Search strategies on synthetic cost functions: the Nelder-Mead search must
+// find near-optimal points of smooth landscapes quickly; exhaustive must
+// enumerate exactly; random must respect its budget.
+
+#include "tuning/search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace kdtune {
+namespace {
+
+/// Drives a strategy against a synthetic cost function until convergence (or
+/// `cap` evaluations), returning the number of evaluations used.
+template <typename Fn>
+std::size_t drive(SearchStrategy& search, std::vector<std::int64_t> sizes,
+                  Fn&& cost, std::size_t cap = 10000) {
+  search.initialize(std::move(sizes));
+  std::size_t evals = 0;
+  while (!search.converged() && evals < cap) {
+    const ConfigPoint p = search.propose();
+    search.report(cost(p));
+    ++evals;
+  }
+  return evals;
+}
+
+double bowl(const ConfigPoint& p, const std::vector<double>& target) {
+  double sum = 1.0;
+  for (std::size_t d = 0; d < p.size(); ++d) {
+    const double delta = static_cast<double>(p[d]) - target[d];
+    sum += delta * delta;
+  }
+  return sum;
+}
+
+TEST(NelderMead, FindsMinimumOfQuadraticBowl1D) {
+  auto search = make_nelder_mead_search();
+  drive(*search, {101}, [](const ConfigPoint& p) { return bowl(p, {70}); });
+  EXPECT_TRUE(search->converged());
+  EXPECT_NEAR(static_cast<double>(search->best()[0]), 70.0, 5.0);
+}
+
+TEST(NelderMead, FindsMinimumOfQuadraticBowl4D) {
+  // The paper's search-space shape: 99 x 61 x 8 x 10.
+  auto search = make_nelder_mead_search();
+  const std::vector<double> target{40, 20, 5, 3};
+  const std::size_t evals =
+      drive(*search, {99, 61, 8, 10},
+            [&](const ConfigPoint& p) { return bowl(p, target); });
+  EXPECT_TRUE(search->converged());
+  // Fast convergence matters online (paper: stable after ~40 iterations).
+  EXPECT_LE(evals, 200u);
+  const double final_cost = bowl(search->best(), target);
+  const double worst_cost = bowl({0, 0, 0, 0}, target);
+  EXPECT_LT(final_cost, worst_cost * 0.05);
+}
+
+TEST(NelderMead, ConvergesOnSeparableRidge) {
+  auto search = make_nelder_mead_search();
+  const auto cost = [](const ConfigPoint& p) {
+    return std::abs(static_cast<double>(p[0]) - 10.0) +
+           3.0 * std::abs(static_cast<double>(p[1]) - 44.0) + 1.0;
+  };
+  const std::size_t evals = drive(*search, {50, 50}, cost);
+  EXPECT_LE(evals, 200u);  // default max_evaluations caps the search
+  // The found point must be a large improvement over the worst corner.
+  EXPECT_LT(cost(search->best()), 0.2 * cost({49, 0}));
+}
+
+TEST(NelderMead, DeterministicForSameSeed) {
+  NelderMeadOptions opts;
+  opts.seed = 99;
+  auto a = make_nelder_mead_search(opts);
+  auto b = make_nelder_mead_search(opts);
+  const auto cost = [](const ConfigPoint& p) { return bowl(p, {30, 7}); };
+  drive(*a, {60, 15}, cost);
+  drive(*b, {60, 15}, cost);
+  EXPECT_EQ(a->best(), b->best());
+  EXPECT_EQ(a->best_time(), b->best_time());
+}
+
+TEST(NelderMead, TracksGlobalBestNotJustSimplex) {
+  auto search = make_nelder_mead_search();
+  search->initialize({1000});
+  double best_seen = 1e18;
+  for (int i = 0; i < 50 && !search->converged(); ++i) {
+    const ConfigPoint p = search->propose();
+    const double c = bowl(p, {123});
+    best_seen = std::min(best_seen, c);
+    search->report(c);
+  }
+  EXPECT_DOUBLE_EQ(search->best_time(), best_seen);
+}
+
+TEST(NelderMead, ConvergedProposesBestForever) {
+  auto search = make_nelder_mead_search();
+  drive(*search, {40}, [](const ConfigPoint& p) { return bowl(p, {12}); });
+  ASSERT_TRUE(search->converged());
+  const ConfigPoint best = search->best();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(search->propose(), best);
+    search->report(1e6);  // converged reports are ignored
+  }
+  EXPECT_EQ(search->best(), best);
+}
+
+TEST(NelderMead, RestartKeepsBestAsSeed) {
+  auto search = make_nelder_mead_search();
+  drive(*search, {200}, [](const ConfigPoint& p) { return bowl(p, {150}); });
+  const ConfigPoint best = search->best();
+  search->restart();
+  EXPECT_FALSE(search->converged());
+  // First proposal after restart is the previous best (warm start).
+  EXPECT_EQ(search->propose(), best);
+}
+
+TEST(NelderMead, HonorsMaxEvaluations) {
+  NelderMeadOptions opts;
+  opts.max_evaluations = 25;
+  auto search = make_nelder_mead_search(opts);
+  // A noisy cost function that never naturally converges.
+  std::uint64_t state = 1;
+  const std::size_t evals =
+      drive(*search, {100, 100}, [&state](const ConfigPoint&) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        return 1.0 + static_cast<double>(state >> 40);
+      });
+  EXPECT_EQ(evals, 25u);
+  EXPECT_TRUE(search->converged());
+}
+
+TEST(ExhaustiveSearch, EnumeratesEveryPoint) {
+  auto search = make_exhaustive_search();
+  std::set<ConfigPoint> seen;
+  search->initialize({3, 4});
+  while (!search->converged()) {
+    const ConfigPoint p = search->propose();
+    seen.insert(p);
+    search->report(static_cast<double>(p[0] * 10 + p[1]) + 1.0);
+  }
+  EXPECT_EQ(seen.size(), 12u);
+  EXPECT_EQ(search->best(), (ConfigPoint{0, 0}));
+}
+
+TEST(ExhaustiveSearch, FindsExactMinimum) {
+  auto search = make_exhaustive_search();
+  drive(*search, {20, 20},
+        [](const ConfigPoint& p) { return bowl(p, {13, 4}); });
+  EXPECT_EQ(search->best(), (ConfigPoint{13, 4}));
+}
+
+TEST(ExhaustiveSearch, StrideCoarsensTheGrid) {
+  auto search = make_exhaustive_search({2, 3});
+  std::size_t count = 0;
+  search->initialize({10, 9});
+  while (!search->converged()) {
+    search->propose();
+    search->report(1.0);
+    ++count;
+  }
+  EXPECT_EQ(count, 5u * 3u);  // ceil(10/2) x ceil(9/3)
+}
+
+TEST(ExhaustiveSearch, StrideMismatchThrows) {
+  auto search = make_exhaustive_search({2});
+  EXPECT_THROW(search->initialize({10, 10}), std::invalid_argument);
+}
+
+TEST(RandomSearch, RespectsBudgetAndFindsDecentPoint) {
+  auto search = make_random_search(300, 42);
+  const std::size_t evals = drive(*search, {100, 100}, [](const ConfigPoint& p) {
+    return bowl(p, {50, 50});
+  });
+  EXPECT_EQ(evals, 300u);
+  EXPECT_TRUE(search->converged());
+  EXPECT_LT(bowl(search->best(), {50, 50}), bowl({0, 0}, {50, 50}) * 0.5);
+}
+
+TEST(RandomSearch, ProposalsAreInRange) {
+  auto search = make_random_search(100, 7);
+  search->initialize({5, 3});
+  for (int i = 0; i < 100; ++i) {
+    const ConfigPoint p = search->propose();
+    ASSERT_GE(p[0], 0);
+    ASSERT_LT(p[0], 5);
+    ASSERT_GE(p[1], 0);
+    ASSERT_LT(p[1], 3);
+    search->report(1.0);
+  }
+}
+
+TEST(FixedSearch, AlwaysProposesItsPoint) {
+  auto search = make_fixed_search({7, 2});
+  search->initialize({10, 10});
+  EXPECT_TRUE(search->converged());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(search->propose(), (ConfigPoint{7, 2}));
+    search->report(5.0);
+  }
+  EXPECT_DOUBLE_EQ(search->best_time(), 5.0);
+}
+
+TEST(FixedSearch, ClampsAndValidates) {
+  auto clamped = make_fixed_search({99, 99});
+  clamped->initialize({10, 10});
+  EXPECT_EQ(clamped->propose(), (ConfigPoint{9, 9}));
+
+  auto wrong = make_fixed_search({1});
+  EXPECT_THROW(wrong->initialize({10, 10}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kdtune

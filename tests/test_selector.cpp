@@ -1,0 +1,89 @@
+#include "core/selector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scene/generators.hpp"
+
+namespace kdtune {
+namespace {
+
+SelectorOptions tiny_selector() {
+  SelectorOptions opts;
+  opts.width = 32;
+  opts.height = 24;
+  opts.frames_per_algorithm = 6;
+  return opts;
+}
+
+TEST(AlgorithmSelector, EvaluatesAlgorithmsInSequence) {
+  ThreadPool pool(0);
+  const Scene scene = make_bunny(0.06f);
+  AlgorithmSelector selector(pool, tiny_selector());
+
+  EXPECT_FALSE(selector.selection_done());
+  EXPECT_EQ(selector.current(), Algorithm::kNodeLevel);
+  EXPECT_THROW(selector.selected(), std::logic_error);
+
+  std::vector<Algorithm> seen;
+  while (!selector.selection_done()) {
+    if (seen.empty() || seen.back() != selector.current()) {
+      seen.push_back(selector.current());
+    }
+    selector.render_frame(scene);
+  }
+  // Every algorithm was visited exactly once, in the paper's order.
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], Algorithm::kNodeLevel);
+  EXPECT_EQ(seen[1], Algorithm::kNested);
+  EXPECT_EQ(seen[2], Algorithm::kInPlace);
+  EXPECT_EQ(seen[3], Algorithm::kLazy);
+}
+
+TEST(AlgorithmSelector, PicksTheFastestCandidate) {
+  ThreadPool pool(0);
+  const Scene scene = make_bunny(0.06f);
+  AlgorithmSelector selector(pool, tiny_selector());
+  while (!selector.selection_done()) selector.render_frame(scene);
+
+  const Algorithm winner = selector.selected();
+  const auto standings = selector.standings();
+  double winner_time = 0.0, best_time = 1e18;
+  for (const auto& [algorithm, time] : standings) {
+    EXPECT_TRUE(std::isfinite(time)) << to_string(algorithm);
+    if (algorithm == winner) winner_time = time;
+    best_time = std::min(best_time, time);
+  }
+  EXPECT_DOUBLE_EQ(winner_time, best_time);
+}
+
+TEST(AlgorithmSelector, RoutesFramesToWinnerAfterSelection) {
+  ThreadPool pool(0);
+  const Scene scene = make_bunny(0.06f);
+  AlgorithmSelector selector(pool, tiny_selector());
+  while (!selector.selection_done()) selector.render_frame(scene);
+
+  const Algorithm winner = selector.selected();
+  const std::size_t before = selector.pipeline(winner).tuner().iterations();
+  selector.render_frame(scene);
+  selector.render_frame(scene);
+  EXPECT_EQ(selector.pipeline(winner).tuner().iterations(), before + 2);
+  EXPECT_EQ(selector.current(), winner);
+}
+
+TEST(AlgorithmSelector, StandingsBeforeEvaluationAreInfinite) {
+  ThreadPool pool(0);
+  AlgorithmSelector selector(pool, tiny_selector());
+  for (const auto& [algorithm, time] : selector.standings()) {
+    EXPECT_TRUE(std::isinf(time)) << to_string(algorithm);
+  }
+}
+
+TEST(AlgorithmSelector, PipelineAccessorsWork) {
+  ThreadPool pool(0);
+  AlgorithmSelector selector(pool, tiny_selector());
+  EXPECT_EQ(selector.pipeline(Algorithm::kLazy).algorithm(), Algorithm::kLazy);
+  EXPECT_EQ(selector.pipeline(Algorithm::kNested).tuner().parameter_count(), 3u);
+}
+
+}  // namespace
+}  // namespace kdtune

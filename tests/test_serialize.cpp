@@ -1,0 +1,143 @@
+#include "kdtree/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "geom/intersect.hpp"
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "scene/animation.hpp"
+#include "scene/generators.hpp"
+
+namespace kdtune {
+namespace {
+
+std::unique_ptr<KdTree> build_test_tree(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triangle> tris;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 base{rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    tris.push_back({base,
+                    base + Vec3{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                                rng.uniform(-0.5f, 0.5f)},
+                    base + Vec3{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                                rng.uniform(-0.5f, 0.5f)}});
+  }
+  ThreadPool pool(0);
+  auto base = make_sweep_builder()->build(tris, kBaseConfig, pool);
+  return std::unique_ptr<KdTree>(dynamic_cast<KdTree*>(base.release()));
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const auto tree = build_test_tree(200, 1);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_tree(buffer, *tree);
+  const auto loaded = load_tree(buffer);
+
+  EXPECT_EQ(loaded->root(), tree->root());
+  EXPECT_EQ(loaded->nodes().size(), tree->nodes().size());
+  EXPECT_EQ(loaded->prim_indices().size(), tree->prim_indices().size());
+  EXPECT_EQ(loaded->triangles().size(), tree->triangles().size());
+  EXPECT_EQ(loaded->bounds(), tree->bounds());
+
+  const TreeStats a = tree->stats();
+  const TreeStats b = loaded->stats();
+  EXPECT_EQ(a.node_count, b.node_count);
+  EXPECT_EQ(a.max_depth, b.max_depth);
+  EXPECT_DOUBLE_EQ(a.sah_cost, b.sah_cost);
+}
+
+TEST(Serialize, LoadedTreeTraversesIdentically) {
+  const auto tree = build_test_tree(300, 2);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_tree(buffer, *tree);
+  const auto loaded = load_tree(buffer);
+
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Ray ray({rng.uniform(-5, 5), rng.uniform(-5, 5), -10.0f},
+                  normalized(Vec3{rng.uniform(-0.3f, 0.3f),
+                                  rng.uniform(-0.3f, 0.3f), 1.0f}));
+    const Hit a = tree->closest_hit(ray);
+    const Hit b = loaded->closest_hit(ray);
+    ASSERT_EQ(a.valid(), b.valid());
+    if (a.valid()) {
+      EXPECT_EQ(a.triangle, b.triangle);
+      EXPECT_FLOAT_EQ(a.t, b.t);
+    }
+    EXPECT_EQ(tree->any_hit(ray), loaded->any_hit(ray));
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto tree = build_test_tree(100, 4);
+  const std::string path = ::testing::TempDir() + "/kdtune_tree.bin";
+  save_tree_file(path, *tree);
+  const auto loaded = load_tree_file(path);
+  EXPECT_EQ(loaded->nodes().size(), tree->nodes().size());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream buffer("not a tree file at all");
+  EXPECT_THROW(load_tree(buffer), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  const auto tree = build_test_tree(50, 5);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_tree(buffer, *tree);
+  const std::string full = buffer.str();
+  // Chop at several points; every prefix must be rejected, never crash.
+  for (const std::size_t keep :
+       {std::size_t{3}, std::size_t{10}, full.size() / 2, full.size() - 4}) {
+    std::stringstream cut(full.substr(0, keep),
+                          std::ios::in | std::ios::binary);
+    EXPECT_THROW(load_tree(cut), std::runtime_error) << "keep=" << keep;
+  }
+}
+
+TEST(Serialize, RejectsCorruptChildIndex) {
+  const auto tree = build_test_tree(50, 6);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_tree(buffer, *tree);
+  std::string data = buffer.str();
+  // The first node starts right after magic(4) + version(4) + bounds(24) +
+  // root(4) + count(8). Corrupt its child index field.
+  const std::size_t node0 = 4 + 4 + 24 + 4 + 8;
+  data[node0 + 8] = '\xFF';  // KdNode::a low byte -> huge index
+  data[node0 + 9] = '\xFF';
+  data[node0 + 10] = '\xFF';
+  data[node0 + 11] = '\xFF';
+  std::stringstream cut(data, std::ios::in | std::ios::binary);
+  EXPECT_THROW(load_tree(cut), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_tree_file("/nonexistent/tree.bin"), std::runtime_error);
+}
+
+TEST(OrbitScene, CameraMovesGeometryDoesNot) {
+  Scene base = make_bunny(0.08f);
+  const OrbitScene orbit(base, 8);
+  EXPECT_EQ(orbit.frame_count(), 8u);
+  EXPECT_FALSE(orbit.dynamic());
+  EXPECT_EQ(orbit.name(), "bunny_orbit");
+
+  const Scene f0 = orbit.frame(0);
+  const Scene f4 = orbit.frame(4);
+  ASSERT_EQ(f0.triangle_count(), f4.triangle_count());
+  for (std::size_t i = 0; i < f0.triangle_count(); i += 101) {
+    EXPECT_EQ(f0.triangles()[i].a, f4.triangles()[i].a);
+  }
+  // Half a revolution: the camera is on the opposite side, same distance.
+  const Vec3 c = base.camera().look_at;
+  EXPECT_GT(length(f0.camera().eye - f4.camera().eye), 0.1f);
+  EXPECT_NEAR(length(f0.camera().eye - c), length(f4.camera().eye - c), 1e-3f);
+  EXPECT_THROW(orbit.frame(8), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace kdtune

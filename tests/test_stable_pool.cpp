@@ -1,0 +1,95 @@
+#include "parallel/stable_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace kdtune {
+namespace {
+
+TEST(StablePool, AppendAndRead) {
+  StablePool<int> pool(100);
+  const std::size_t a = pool.append(3);
+  EXPECT_EQ(a, 0u);
+  pool[0] = 10;
+  pool[1] = 20;
+  pool[2] = 30;
+  const std::size_t b = pool.append(2);
+  EXPECT_EQ(b, 3u);
+  EXPECT_EQ(pool.size(), 5u);
+  EXPECT_EQ(pool[0], 10);
+  EXPECT_EQ(pool[2], 30);
+}
+
+TEST(StablePool, ElementsAreValueInitialized) {
+  StablePool<int> pool(10);
+  pool.append(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(pool[i], 0);
+  }
+}
+
+TEST(StablePool, CapacityExceededThrows) {
+  StablePool<int> pool(10);
+  pool.append(8);
+  EXPECT_THROW(pool.append(3), std::length_error);
+  // The failed append must not have changed the size.
+  EXPECT_EQ(pool.size(), 8u);
+  EXPECT_NO_THROW(pool.append(2));
+}
+
+TEST(StablePool, AddressesAreStableAcrossGrowth) {
+  StablePool<int> pool(StablePool<int>::kBlockSize * 4);
+  pool.append(1);
+  int* first = &pool[0];
+  pool[0] = 42;
+  // Grow across several blocks.
+  pool.append(StablePool<int>::kBlockSize * 3);
+  EXPECT_EQ(first, &pool[0]);
+  EXPECT_EQ(pool[0], 42);
+}
+
+TEST(StablePool, SpansMultipleBlocks) {
+  const std::size_t n = StablePool<int>::kBlockSize * 2 + 17;
+  StablePool<int> pool(n);
+  pool.append(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pool[i] = static_cast<int>(i % 1000);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(pool[i], static_cast<int>(i % 1000));
+  }
+}
+
+TEST(StablePool, ConcurrentReadersDuringAppend) {
+  // Readers hammer already-published elements while a writer appends new
+  // blocks; under TSan/ASan this exercises the acquire/release pairing.
+  constexpr std::size_t kBlock = StablePool<int>::kBlockSize;
+  StablePool<int> pool(kBlock * 16);
+  const std::size_t base = pool.append(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) pool[base + i] = 7;
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        for (std::size_t i = 0; i < kBlock; ++i) {
+          if (pool[i] != 7) bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int k = 0; k < 15; ++k) {
+    const std::size_t s = pool.append(kBlock);
+    for (std::size_t i = 0; i < kBlock; ++i) pool[s + i] = 7;
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,179 @@
+// Strategy x landscape property matrix: every search strategy, driven on a
+// family of synthetic cost surfaces (convex bowl, ridge, plateau, noisy
+// bowl, double well), must converge and end at a point that is a large
+// improvement over the landscape's worst corner. This guards the common
+// SearchStrategy contract (initialize / propose / report / converged / best)
+// across all implementations at once.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "geom/rng.hpp"
+#include "tuning/search.hpp"
+
+namespace kdtune {
+namespace {
+
+struct Landscape {
+  const char* name;
+  std::vector<std::int64_t> sizes;
+  std::function<double(const ConfigPoint&)> cost;
+  /// Required improvement: best <= improvement_bound * worst_corner.
+  double improvement_bound;
+};
+
+double bowl(const ConfigPoint& p, const std::vector<double>& t) {
+  double s = 1.0;
+  for (std::size_t d = 0; d < p.size(); ++d) {
+    const double delta = static_cast<double>(p[d]) - t[d];
+    s += delta * delta;
+  }
+  return s;
+}
+
+std::vector<Landscape> landscapes() {
+  return {
+      {"bowl2d",
+       {60, 40},
+       [](const ConfigPoint& p) { return bowl(p, {45, 10}); },
+       0.25},
+      {"ridge",
+       {50, 50},
+       [](const ConfigPoint& p) {
+         return 1.0 + std::abs(static_cast<double>(p[0]) - 12.0) +
+                4.0 * std::abs(static_cast<double>(p[1]) - 30.0);
+       },
+       0.35},
+      {"plateau",  // flat almost everywhere; narrow funnel near the optimum
+       {80},
+       [](const ConfigPoint& p) {
+         const double x = static_cast<double>(p[0]);
+         return x > 50 && x < 70 ? 1.0 + std::abs(x - 60.0) : 20.0;
+       },
+       1.01},  // just require no worse than the plateau
+      {"noisy_bowl",
+       {60, 40},
+       [](const ConfigPoint& p) {
+         // Deterministic "noise" from the point itself (reproducible).
+         const auto h = static_cast<double>(
+             ((p[0] * 2654435761u) ^ (p[1] * 40503u)) % 97);
+         return bowl(p, {20, 20}) * (1.0 + 0.02 * h / 97.0);
+       },
+       0.25},
+      {"double_well",
+       {100},
+       [](const ConfigPoint& p) {
+         const double x = static_cast<double>(p[0]);
+         return std::min(3.0 + 0.05 * (x - 15) * (x - 15),
+                         1.0 + 0.05 * (x - 75) * (x - 75));
+       },
+       0.4},
+  };
+}
+
+struct StrategyCase {
+  const char* name;
+  std::function<std::unique_ptr<SearchStrategy>(std::uint64_t)> make;
+  std::size_t cap;  // evaluation budget
+};
+
+std::vector<StrategyCase> strategies() {
+  return {
+      {"nelder_mead",
+       [](std::uint64_t seed) {
+         NelderMeadOptions o;
+         o.seed = seed;
+         return make_nelder_mead_search(o);
+       },
+       400},
+      {"hill_climb",
+       [](std::uint64_t seed) { return make_hill_climb_search(3, seed); },
+       3000},
+      {"annealing",
+       [](std::uint64_t seed) {
+         AnnealingOptions o;
+         o.seed = seed;
+         return make_annealing_search(o);
+       },
+       600},
+      {"random",
+       [](std::uint64_t seed) { return make_random_search(300, seed); },
+       400},
+      {"exhaustive",
+       [](std::uint64_t) { return make_exhaustive_search(); },
+       20000},
+  };
+}
+
+struct MatrixParam {
+  std::size_t strategy_index;
+  std::size_t landscape_index;
+};
+
+class StrategyMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(StrategyMatrix, ConvergesToGoodPoint) {
+  const StrategyCase sc = strategies()[GetParam().strategy_index];
+  const Landscape land = landscapes()[GetParam().landscape_index];
+
+  // Three seeds; the *median* outcome must satisfy the bound (stochastic
+  // strategies may blow one seed on a hard landscape).
+  std::vector<double> outcomes;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto search = sc.make(seed * 1299709);
+    search->initialize(land.sizes);
+    std::size_t evals = 0;
+    while (!search->converged() && evals < sc.cap) {
+      const ConfigPoint p = search->propose();
+      ASSERT_EQ(p.size(), land.sizes.size());
+      for (std::size_t d = 0; d < p.size(); ++d) {
+        ASSERT_GE(p[d], 0);
+        ASSERT_LT(p[d], land.sizes[d]);
+      }
+      search->report(land.cost(p));
+      ++evals;
+    }
+    EXPECT_TRUE(search->converged())
+        << sc.name << " on " << land.name << " ran out of budget";
+    outcomes.push_back(land.cost(search->best()));
+    // best_time must be consistent with the best point's cost for
+    // deterministic landscapes (noisy_bowl included: cost is deterministic).
+    EXPECT_DOUBLE_EQ(search->best_time(), land.cost(search->best()));
+  }
+  std::sort(outcomes.begin(), outcomes.end());
+  const double median = outcomes[1];
+
+  // Worst corner as the reference scale.
+  ConfigPoint corner(land.sizes.size());
+  double worst = 0.0;
+  for (int mask = 0; mask < (1 << land.sizes.size()); ++mask) {
+    for (std::size_t d = 0; d < land.sizes.size(); ++d) {
+      corner[d] = (mask >> d) & 1 ? land.sizes[d] - 1 : 0;
+    }
+    worst = std::max(worst, land.cost(corner));
+  }
+  EXPECT_LE(median, land.improvement_bound * worst)
+      << sc.name << " on " << land.name;
+}
+
+std::vector<MatrixParam> all_cases() {
+  std::vector<MatrixParam> cases;
+  for (std::size_t s = 0; s < strategies().size(); ++s) {
+    for (std::size_t l = 0; l < landscapes().size(); ++l) {
+      cases.push_back({s, l});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, StrategyMatrix, ::testing::ValuesIn(all_cases()),
+    [](const ::testing::TestParamInfo<MatrixParam>& info) {
+      return std::string(strategies()[info.param.strategy_index].name) + "_" +
+             landscapes()[info.param.landscape_index].name;
+    });
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,153 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+namespace kdtune {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 100; ++i) {
+    group.run([&counter] { counter.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  EXPECT_EQ(pool.concurrency(), 1u);
+  int counter = 0;  // no atomics needed: everything runs on this thread
+  TaskGroup group(pool);
+  for (int i = 0; i < 10; ++i) {
+    group.run([&counter] { ++counter; });
+  }
+  group.wait();
+  EXPECT_EQ(counter, 10);
+}
+
+TEST(ThreadPool, ConcurrencyCountsCaller) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+  EXPECT_EQ(pool.concurrency(), 4u);
+}
+
+TEST(TaskGroup, NestedForkJoinDoesNotDeadlock) {
+  // Recursive fork-join with more outstanding groups than workers: waiting
+  // threads must help execute queued tasks or this deadlocks.
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+
+  struct Rec {
+    static void go(ThreadPool& pool, std::atomic<int>& leaves, int depth) {
+      if (depth == 0) {
+        leaves.fetch_add(1);
+        return;
+      }
+      TaskGroup group(pool);
+      group.run([&pool, &leaves, depth] { go(pool, leaves, depth - 1); });
+      go(pool, leaves, depth - 1);
+      group.wait();
+    }
+  };
+  Rec::go(pool, leaves, 8);
+  EXPECT_EQ(leaves.load(), 256);
+}
+
+TEST(TaskGroup, PropagatesFirstException) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  for (int i = 0; i < 8; ++i) {
+    group.run([i] {
+      if (i == 3) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(TaskGroup, ExceptionDoesNotPoisonPool) {
+  ThreadPool pool(2);
+  {
+    TaskGroup group(pool);
+    group.run([] { throw std::logic_error("boom"); });
+    EXPECT_THROW(group.wait(), std::logic_error);
+  }
+  // The pool still works afterwards.
+  std::atomic<int> counter{0};
+  TaskGroup group(pool);
+  group.run([&counter] { counter.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(TaskGroup, WaitTwiceIsSafe) {
+  ThreadPool pool(1);
+  TaskGroup group(pool);
+  std::atomic<int> counter{0};
+  group.run([&counter] { counter.fetch_add(1); });
+  group.wait();
+  group.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(TaskGroup, DestructorWaitsForTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  {
+    TaskGroup group(pool);
+    for (int i = 0; i < 32; ++i) {
+      group.run([&counter] { counter.fetch_add(1); });
+    }
+    // no explicit wait
+  }
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(TaskGroup, ManyTasksFromManyThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  TaskGroup outer(pool);
+  for (int i = 0; i < 8; ++i) {
+    outer.run([&pool, &counter] {
+      TaskGroup inner(pool);
+      for (int j = 0; j < 50; ++j) {
+        inner.run([&counter] { counter.fetch_add(1); });
+      }
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(counter.load(), 400);
+}
+
+TEST(TaskGroup, TeardownRaceStress) {
+  // Regression: a waiter that observes the pending counter hit zero may
+  // destroy the group while the last finisher is still inside its wake-up
+  // path. Thousands of short-lived groups make the window observable (as an
+  // intermittent segfault / TSan report before the fix).
+  ThreadPool pool(4);
+  for (int iter = 0; iter < 20000; ++iter) {
+    TaskGroup group(pool);
+    group.run([] {});
+    group.wait();
+  }
+  SUCCEED();
+}
+
+TEST(ThreadPool, GlobalPoolExists) {
+  ThreadPool& pool = ThreadPool::global();
+  std::atomic<int> counter{0};
+  TaskGroup group(pool);
+  group.run([&counter] { counter.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+}  // namespace
+}  // namespace kdtune

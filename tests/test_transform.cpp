@@ -1,0 +1,83 @@
+#include "geom/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace kdtune {
+namespace {
+
+constexpr float kPi = std::numbers::pi_v<float>;
+
+void expect_near(const Vec3& a, const Vec3& b, float eps = 1e-5f) {
+  EXPECT_NEAR(a.x, b.x, eps);
+  EXPECT_NEAR(a.y, b.y, eps);
+  EXPECT_NEAR(a.z, b.z, eps);
+}
+
+TEST(Transform, IdentityLeavesPointsAlone) {
+  const Transform id;
+  expect_near(id.apply_point({1, 2, 3}), {1, 2, 3});
+  expect_near(id.apply_vector({1, 2, 3}), {1, 2, 3});
+}
+
+TEST(Transform, TranslateMovesPointsNotVectors) {
+  const Transform t = Transform::translate({1, 2, 3});
+  expect_near(t.apply_point({0, 0, 0}), {1, 2, 3});
+  expect_near(t.apply_vector({5, 5, 5}), {5, 5, 5});
+}
+
+TEST(Transform, Scale) {
+  const Transform s = Transform::scale({2, 3, 4});
+  expect_near(s.apply_point({1, 1, 1}), {2, 3, 4});
+  expect_near(Transform::scale(2.0f).apply_point({1, 1, 1}), {2, 2, 2});
+}
+
+TEST(Transform, RotateQuarterTurnAroundZ) {
+  const Transform r = Transform::rotate({0, 0, 1}, kPi / 2.0f);
+  expect_near(r.apply_point({1, 0, 0}), {0, 1, 0});
+  expect_near(r.apply_point({0, 1, 0}), {-1, 0, 0});
+}
+
+TEST(Transform, RotationPreservesLength) {
+  const Transform r = Transform::rotate({1, 2, 3}, 1.234f);
+  const Vec3 v{0.5f, -2.0f, 1.5f};
+  EXPECT_NEAR(length(r.apply_vector(v)), length(v), 1e-5f);
+}
+
+TEST(Transform, CompositionAppliesRightFirst) {
+  const Transform t = Transform::translate({1, 0, 0});
+  const Transform s = Transform::scale(2.0f);
+  // (s * t): translate first, then scale.
+  expect_near((s * t).apply_point({0, 0, 0}), {2, 0, 0});
+  // (t * s): scale first, then translate.
+  expect_near((t * s).apply_point({1, 0, 0}), {3, 0, 0});
+}
+
+TEST(Transform, CompositionMatchesSequentialApplication) {
+  const Transform a =
+      Transform::translate({1, 2, 3}) * Transform::rotate({0, 1, 0}, 0.7f);
+  const Transform b = Transform::scale({2, 1, 0.5f});
+  const Vec3 p{0.3f, -1.0f, 2.0f};
+  expect_near((a * b).apply_point(p), a.apply_point(b.apply_point(p)), 1e-4f);
+}
+
+TEST(Transform, BoundsTransformContainsTransformedCorners) {
+  const AABB box({-1, -1, -1}, {1, 1, 1});
+  const Transform xf =
+      Transform::translate({5, 0, 0}) * Transform::rotate({0, 0, 1}, 0.5f);
+  const AABB out = xf.apply_bounds(box);
+  for (int c = 0; c < 8; ++c) {
+    const Vec3 p{(c & 1) ? box.hi.x : box.lo.x, (c & 2) ? box.hi.y : box.lo.y,
+                 (c & 4) ? box.hi.z : box.lo.z};
+    EXPECT_TRUE(out.contains(xf.apply_point(p), 1e-4f));
+  }
+}
+
+TEST(Transform, EmptyBoundsStayEmpty) {
+  const AABB out = Transform::translate({1, 1, 1}).apply_bounds(AABB{});
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace kdtune

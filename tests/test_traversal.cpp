@@ -1,0 +1,127 @@
+// Traversal edge cases the random-ray oracle sweeps are unlikely to hit:
+// rays lying exactly in split planes, axis-parallel rays, interval clamping,
+// early termination across leaf boundaries.
+
+#include <gtest/gtest.h>
+
+#include "geom/intersect.hpp"
+#include "kdtree/builder.hpp"
+
+namespace kdtune {
+namespace {
+
+// Two quads (4 triangles) at z=1 and z=3, side by side in x so the root
+// split lands between them on some axis.
+std::vector<Triangle> two_walls() {
+  std::vector<Triangle> tris;
+  const auto quad = [&tris](float z, float x0, float x1) {
+    tris.push_back({{x0, -1, z}, {x1, -1, z}, {x1, 1, z}});
+    tris.push_back({{x0, -1, z}, {x1, 1, z}, {x0, 1, z}});
+  };
+  quad(1.0f, -2.0f, -0.5f);
+  quad(3.0f, 0.5f, 2.0f);
+  return tris;
+}
+
+class TraversalEdgeCases : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tris_ = two_walls();
+    ThreadPool pool(0);
+    tree_ = make_sweep_builder()->build(tris_, kBaseConfig, pool);
+  }
+
+  void expect_matches_oracle(const Ray& ray) {
+    const Hit expected = brute_force_closest_hit(ray, tris_);
+    const Hit got = tree_->closest_hit(ray);
+    ASSERT_EQ(got.valid(), expected.valid());
+    if (expected.valid()) EXPECT_NEAR(got.t, expected.t, 1e-5f);
+    EXPECT_EQ(tree_->any_hit(ray), brute_force_any_hit(ray, tris_));
+  }
+
+  std::vector<Triangle> tris_;
+  std::unique_ptr<KdTreeBase> tree_;
+};
+
+TEST_F(TraversalEdgeCases, StraightThroughBothWalls) {
+  expect_matches_oracle(Ray({-1, 0, -1}, {0, 0, 1}));
+  expect_matches_oracle(Ray({1, 0, -1}, {0, 0, 1}));
+}
+
+TEST_F(TraversalEdgeCases, FromBehind) {
+  expect_matches_oracle(Ray({-1, 0, 5}, {0, 0, -1}));
+}
+
+TEST_F(TraversalEdgeCases, OriginBetweenWalls) {
+  expect_matches_oracle(Ray({0, 0, 2}, {0, 0, 1}));
+  expect_matches_oracle(Ray({0, 0, 2}, {0, 0, -1}));
+}
+
+TEST_F(TraversalEdgeCases, AxisParallelThroughGap) {
+  // Travels along x between the walls; never hits.
+  expect_matches_oracle(Ray({-5, 0, 2}, {1, 0, 0}));
+}
+
+TEST_F(TraversalEdgeCases, RayInSplitPlane) {
+  // The kd-tree of two z-separated walls splits on z somewhere in (1, 3);
+  // build a ray living exactly in a node plane: dir.z == 0, origin.z at a
+  // plane position. Sweep all z in [1, 3] to be sure one matches a plane.
+  for (float z = 1.0f; z <= 3.01f; z += 0.125f) {
+    expect_matches_oracle(Ray({-5, 0, z}, {1, 0, 0}));
+    expect_matches_oracle(Ray({5, 0.5f, z}, {-1, 0, 0}));
+  }
+}
+
+TEST_F(TraversalEdgeCases, DiagonalCorners) {
+  expect_matches_oracle(Ray({-3, -3, -3}, normalized(Vec3{1, 1, 1})));
+  expect_matches_oracle(Ray({3, 3, 5}, normalized(Vec3{-1, -1, -1})));
+}
+
+TEST_F(TraversalEdgeCases, TminTmaxWindow) {
+  // A window that excludes the first wall but includes the second.
+  const Ray windowed({-1, 0, -1}, {0, 0, 1}, 2.5f, 10.0f);
+  EXPECT_FALSE(tree_->closest_hit(windowed).valid());  // first wall at t=2 skipped
+  const Ray narrow({1, 0, -1}, {0, 0, 1}, 3.5f, 4.5f);
+  const Hit hit = tree_->closest_hit(narrow);
+  ASSERT_TRUE(hit.valid());
+  EXPECT_NEAR(hit.t, 4.0f, 1e-5f);  // second wall at z=3
+}
+
+TEST_F(TraversalEdgeCases, GrazingTheSceneBounds) {
+  const AABB box = bounds_of(tris_);
+  // Skim along the top face.
+  expect_matches_oracle(Ray({box.lo.x - 1, box.hi.y, 2.0f}, {1, 0, 0}));
+  // Just above: must be a clean miss.
+  const Ray above({box.lo.x - 1, box.hi.y + 0.01f, 2.0f}, {1, 0, 0});
+  EXPECT_FALSE(tree_->closest_hit(above).valid());
+}
+
+TEST_F(TraversalEdgeCases, EarlyTerminationIsNotPremature) {
+  // A hit found in a near leaf must not mask a closer hit in a farther leaf
+  // when the near hit lies beyond the leaf's interval. Construct the classic
+  // trap: a big triangle spanning both children, hit far away, plus a close
+  // triangle only in the far child.
+  std::vector<Triangle> tris{
+      // Large slanted triangle spanning x in [-2, 2], hit at z ~ 4.
+      {{-2, -2, 4}, {2, -2, 4}, {0, 2, 4}},
+      // Small triangle at z = 1 on the +x side only.
+      {{0.5f, -0.5f, 1}, {1.5f, -0.5f, 1}, {1.0f, 0.5f, 1}},
+  };
+  ThreadPool pool(0);
+  const auto tree = make_sweep_builder()->build(tris, kBaseConfig, pool);
+  const Ray ray({1, 0, -1}, {0, 0, 1});
+  const Hit expected = brute_force_closest_hit(ray, tris);
+  const Hit got = tree->closest_hit(ray);
+  ASSERT_TRUE(got.valid());
+  EXPECT_EQ(got.triangle, expected.triangle);
+  EXPECT_NEAR(got.t, expected.t, 1e-5f);
+  EXPECT_NEAR(got.t, 2.0f, 1e-5f);
+}
+
+TEST_F(TraversalEdgeCases, ZeroLengthIntervalMisses) {
+  const Ray degenerate({-1, 0, -1}, {0, 0, 1}, 5.0f, 5.0f);
+  EXPECT_FALSE(tree_->closest_hit(degenerate).valid());
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,90 @@
+// TreeStats / compute_stats on hand-built trees with known answers, plus the
+// orbit-pipeline integration (camera motion with per-frame rebuilds).
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "kdtree/tree.hpp"
+#include "scene/animation.hpp"
+#include "scene/generators.hpp"
+
+namespace kdtune {
+namespace {
+
+// Hand-built tree over box [0,2]x[0,1]x[0,1], split at x=1:
+//   root (x@1) -> leaf L {0,1}, leaf R {2}
+KdTree two_leaf_tree() {
+  std::vector<Triangle> tris{
+      {{0.1f, 0.1f, 0.5f}, {0.4f, 0.1f, 0.5f}, {0.1f, 0.4f, 0.5f}},
+      {{0.5f, 0.5f, 0.5f}, {0.9f, 0.5f, 0.5f}, {0.5f, 0.9f, 0.5f}},
+      {{1.5f, 0.5f, 0.5f}, {1.9f, 0.5f, 0.5f}, {1.5f, 0.9f, 0.5f}},
+  };
+  std::vector<KdNode> nodes{
+      KdNode::make_interior(Axis::X, 1.0f, 1, 2),
+      KdNode::make_leaf(0, 2),
+      KdNode::make_leaf(2, 1),
+  };
+  std::vector<std::uint32_t> prims{0, 1, 2};
+  return KdTree(std::move(tris), std::move(nodes), std::move(prims), 0,
+                AABB({0, 0, 0}, {2, 1, 1}));
+}
+
+TEST(TreeStatsManual, CountsAndDepth) {
+  const KdTree tree = two_leaf_tree();
+  const TreeStats s = tree.stats();
+  EXPECT_EQ(s.node_count, 3u);
+  EXPECT_EQ(s.leaf_count, 2u);
+  EXPECT_EQ(s.empty_leaf_count, 0u);
+  EXPECT_EQ(s.deferred_count, 0u);
+  EXPECT_EQ(s.prim_refs, 3u);
+  EXPECT_EQ(s.max_depth, 2u);
+  EXPECT_DOUBLE_EQ(s.avg_leaf_prims, 1.5);
+}
+
+TEST(TreeStatsManual, SahCostFormula) {
+  // Root area: 2*(2*1 + 1*1 + 1*2) = 10. Children are 1x1x1 with area 6.
+  // cost = 1.0*CT + 0.6*CI*2 + 0.6*CI*1 with CT=10, CI=17.
+  const KdTree tree = two_leaf_tree();
+  const TreeStats s =
+      compute_stats(tree.nodes(), tree.root(), tree.bounds(), 10.0, 17.0);
+  EXPECT_NEAR(s.sah_cost, 10.0 + 0.6 * 17.0 * 2 + 0.6 * 17.0 * 1, 1e-6);
+}
+
+TEST(TreeStatsManual, CustomCostWeights) {
+  const KdTree tree = two_leaf_tree();
+  const TreeStats a =
+      compute_stats(tree.nodes(), tree.root(), tree.bounds(), 1.0, 1.0);
+  EXPECT_NEAR(a.sah_cost, 1.0 + 0.6 * 2 + 0.6 * 1, 1e-6);
+}
+
+TEST(TreeStatsManual, SingleLeafTree) {
+  std::vector<KdNode> nodes{KdNode::make_leaf(0, 0)};
+  const TreeStats s = compute_stats(nodes, 0, AABB({0, 0, 0}, {1, 1, 1}));
+  EXPECT_EQ(s.node_count, 1u);
+  EXPECT_EQ(s.leaf_count, 1u);
+  EXPECT_EQ(s.empty_leaf_count, 1u);
+  EXPECT_EQ(s.max_depth, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_leaf_prims, 0.0);
+}
+
+TEST(OrbitPipeline, TunesAcrossCameraMotion) {
+  // The paper's static-scene protocol: geometry fixed, camera (and thus the
+  // ray distribution) moving, tree rebuilt and tuned every frame.
+  ThreadPool pool(0);
+  const OrbitScene orbit(make_bunny(0.08f), 12);
+  PipelineOptions opts;
+  opts.width = 32;
+  opts.height = 24;
+  TunedPipeline pipeline(Algorithm::kInPlace, pool, std::move(opts));
+
+  for (std::size_t i = 0; i < orbit.frame_count(); ++i) {
+    const FrameReport r = pipeline.render_frame(orbit.frame(i));
+    EXPECT_GT(r.total_seconds, 0.0);
+  }
+  EXPECT_EQ(pipeline.tuner().iterations(), orbit.frame_count());
+  // All measurements recorded with per-frame configs.
+  EXPECT_EQ(pipeline.tuner().history().size(), orbit.frame_count());
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,136 @@
+#include "geom/triangle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/rng.hpp"
+
+namespace kdtune {
+namespace {
+
+const Triangle kUnit{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};  // z = 0 plane
+
+TEST(Triangle, BoundsCentroidAreaNormal) {
+  EXPECT_EQ(kUnit.bounds(), AABB({0, 0, 0}, {1, 1, 0}));
+  const Vec3 c = kUnit.centroid();
+  EXPECT_NEAR(c.x, 1.0f / 3.0f, 1e-6f);
+  EXPECT_NEAR(c.y, 1.0f / 3.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(kUnit.area(), 0.5f);
+  EXPECT_EQ(kUnit.normal(), Vec3(0, 0, 1));
+}
+
+TEST(Triangle, DegenerateDetection) {
+  EXPECT_FALSE(kUnit.degenerate());
+  const Triangle line{{0, 0, 0}, {1, 1, 1}, {2, 2, 2}};
+  EXPECT_TRUE(line.degenerate());
+  const Triangle point{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}};
+  EXPECT_TRUE(point.degenerate());
+}
+
+TEST(MollerTrumbore, CenterHit) {
+  const Ray ray({0.25f, 0.25f, 1.0f}, {0, 0, -1});
+  float t, u, v;
+  ASSERT_TRUE(intersect(ray, kUnit, t, u, v));
+  EXPECT_FLOAT_EQ(t, 1.0f);
+  EXPECT_NEAR(u, 0.25f, 1e-5f);
+  EXPECT_NEAR(v, 0.25f, 1e-5f);
+}
+
+TEST(MollerTrumbore, MissOutsideBarycentrics) {
+  const Ray ray({0.9f, 0.9f, 1.0f}, {0, 0, -1});  // u + v > 1
+  float t, u, v;
+  EXPECT_FALSE(intersect(ray, kUnit, t, u, v));
+}
+
+TEST(MollerTrumbore, BehindOriginMisses) {
+  const Ray ray({0.25f, 0.25f, -1.0f}, {0, 0, -1});
+  float t, u, v;
+  EXPECT_FALSE(intersect(ray, kUnit, t, u, v));
+}
+
+TEST(MollerTrumbore, ParallelRayMisses) {
+  const Ray ray({0.25f, 0.25f, 1.0f}, {1, 0, 0});
+  float t, u, v;
+  EXPECT_FALSE(intersect(ray, kUnit, t, u, v));
+}
+
+TEST(MollerTrumbore, RespectsTminTmax) {
+  float t, u, v;
+  const Ray short_ray({0.25f, 0.25f, 1.0f}, {0, 0, -1}, 1e-4f, 0.5f);
+  EXPECT_FALSE(intersect(short_ray, kUnit, t, u, v));
+  const Ray far_ray({0.25f, 0.25f, 1.0f}, {0, 0, -1}, 1.5f, 10.0f);
+  EXPECT_FALSE(intersect(far_ray, kUnit, t, u, v));
+}
+
+TEST(MollerTrumbore, BackfaceIsHit) {
+  const Ray ray({0.25f, 0.25f, -1.0f}, {0, 0, 1});  // from behind
+  float t, u, v;
+  ASSERT_TRUE(intersect(ray, kUnit, t, u, v));
+  EXPECT_FLOAT_EQ(t, 1.0f);
+}
+
+// Property: barycentric interpolation of the hit reproduces the hit point.
+TEST(MollerTrumbore, BarycentricReconstruction) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Triangle tri{{rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)},
+                       {rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)},
+                       {rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)}};
+    if (tri.degenerate()) continue;
+    const Vec3 target = tri.a * 0.2f + tri.b * 0.3f + tri.c * 0.5f;
+    const Vec3 origin = target + tri.normal() * 3.0f;
+    const Ray ray(origin, normalized(target - origin));
+    float t, u, v;
+    if (!intersect(ray, tri, t, u, v)) continue;  // grazing precision cases
+    const Vec3 reconstructed =
+        tri.a * (1 - u - v) + tri.b * u + tri.c * v;
+    const Vec3 hit_point = ray.at(t);
+    EXPECT_NEAR(length(reconstructed - hit_point), 0.0f, 1e-3f);
+  }
+}
+
+TEST(ClippedBounds, TriangleFullyInsideIsItsBounds) {
+  const AABB box({-5, -5, -5}, {5, 5, 5});
+  EXPECT_EQ(clipped_bounds(kUnit, box), kUnit.bounds());
+}
+
+TEST(ClippedBounds, TriangleOutsideIsEmpty) {
+  const AABB box({10, 10, 10}, {11, 11, 11});
+  EXPECT_TRUE(clipped_bounds(kUnit, box).empty());
+}
+
+TEST(ClippedBounds, StraddlingTriangleIsTight) {
+  // Clip the unit triangle to x <= 0.5: the clipped polygon reaches exactly
+  // x = 0.5 and y = 1 stays at the a-c edge.
+  const AABB box({-1, -1, -1}, {0.5f, 2, 1});
+  const AABB clipped = clipped_bounds(kUnit, box);
+  ASSERT_FALSE(clipped.empty());
+  EXPECT_FLOAT_EQ(clipped.hi.x, 0.5f);
+  EXPECT_FLOAT_EQ(clipped.lo.x, 0.0f);
+  EXPECT_FLOAT_EQ(clipped.hi.y, 1.0f);
+}
+
+TEST(ClippedBounds, ResultIsInsideBoxAndTriangleBounds) {
+  Rng rng(99);
+  const AABB box({-0.5f, -0.5f, -0.5f}, {0.5f, 0.5f, 0.5f});
+  for (int i = 0; i < 300; ++i) {
+    const Triangle tri{{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)},
+                       {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)},
+                       {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)}};
+    const AABB clipped = clipped_bounds(tri, box);
+    if (clipped.empty()) continue;
+    EXPECT_TRUE(box.contains(clipped, 1e-5f));
+    EXPECT_TRUE(tri.bounds().contains(clipped, 1e-4f));
+  }
+}
+
+TEST(ClippedBounds, PlanarTriangleOnBoxFace) {
+  // Triangle lying exactly in the z = 0 face of the box.
+  const AABB box({0, 0, 0}, {1, 1, 1});
+  const AABB clipped = clipped_bounds(kUnit, box);
+  ASSERT_FALSE(clipped.empty());
+  EXPECT_FLOAT_EQ(clipped.lo.z, 0.0f);
+  EXPECT_FLOAT_EQ(clipped.hi.z, 0.0f);
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,191 @@
+#include "tuning/tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kdtune {
+namespace {
+
+TEST(Tuner, RegisterAfterStartThrows) {
+  std::int64_t a = 0, b = 0;
+  Tuner tuner;
+  tuner.register_parameter(&a, 0, 10);
+  tuner.apply_next();
+  EXPECT_THROW(tuner.register_parameter(&b, 0, 10), std::logic_error);
+}
+
+TEST(Tuner, NoParametersThrows) {
+  Tuner tuner;
+  EXPECT_THROW(tuner.start(), std::logic_error);
+}
+
+TEST(Tuner, StartStopProtocolEnforced) {
+  std::int64_t a = 0;
+  Tuner tuner;
+  tuner.register_parameter(&a, 0, 10);
+  EXPECT_THROW(tuner.stop(), std::logic_error);
+  tuner.start();
+  EXPECT_THROW(tuner.start(), std::logic_error);
+  tuner.stop();
+  // stop() already applied the *next* configuration, so a manual record()
+  // is legal here; a fresh tuner without any application must throw.
+  EXPECT_NO_THROW(tuner.record(1.0));
+  std::int64_t b = 0;
+  Tuner fresh;
+  fresh.register_parameter(&b, 0, 10);
+  EXPECT_THROW(fresh.record(1.0), std::logic_error);
+}
+
+TEST(Tuner, AppliesProposalsIntoRegisteredVariable) {
+  std::int64_t a = -100;
+  Tuner tuner;
+  tuner.register_parameter(&a, 5, 15);
+  tuner.apply_next();
+  EXPECT_GE(a, 5);
+  EXPECT_LE(a, 15);
+}
+
+TEST(Tuner, ConvergesOnSyntheticCostAndFindsMinimum) {
+  std::int64_t x = 0;
+  Tuner tuner;
+  tuner.register_parameter(&x, 0, 100, 1, "x");
+
+  for (int i = 0; i < 300 && !tuner.converged(); ++i) {
+    tuner.apply_next();
+    const double cost =
+        1.0 + 0.01 * (static_cast<double>(x) - 62) * (static_cast<double>(x) - 62);
+    tuner.record(cost);
+  }
+  EXPECT_TRUE(tuner.converged());
+  EXPECT_NEAR(static_cast<double>(tuner.best_values()[0]), 62.0, 10.0);
+  EXPECT_GT(tuner.iterations(), 5u);
+}
+
+TEST(Tuner, MultiParameterValuesRespectGrids) {
+  std::int64_t ci = 0, r = 0;
+  Tuner tuner;
+  tuner.register_parameter(&ci, 3, 101, 1, "CI");
+  tuner.register_parameter_pow2(&r, 16, 8192, "R");
+  EXPECT_EQ(tuner.parameter_count(), 2u);
+
+  for (int i = 0; i < 50; ++i) {
+    tuner.apply_next();
+    EXPECT_GE(ci, 3);
+    EXPECT_LE(ci, 101);
+    // R must always be a power of two within range.
+    EXPECT_GE(r, 16);
+    EXPECT_LE(r, 8192);
+    EXPECT_EQ(r & (r - 1), 0);
+    tuner.record(1.0 + std::abs(static_cast<double>(ci) - 20.0));
+  }
+}
+
+TEST(Tuner, HistoryRecordsEverything) {
+  std::int64_t a = 0;
+  Tuner tuner;
+  tuner.register_parameter(&a, 0, 9);
+  for (int i = 0; i < 10; ++i) {
+    tuner.apply_next();
+    tuner.record(static_cast<double>(i + 1));
+  }
+  ASSERT_EQ(tuner.history().size(), 10u);
+  EXPECT_DOUBLE_EQ(tuner.history()[3].seconds, 4.0);
+  EXPECT_EQ(tuner.history()[3].values.size(), 1u);
+}
+
+TEST(Tuner, HistoryCanBeDisabled) {
+  std::int64_t a = 0;
+  TunerOptions opts;
+  opts.keep_history = false;
+  Tuner tuner(nullptr, opts);
+  tuner.register_parameter(&a, 0, 9);
+  for (int i = 0; i < 5; ++i) {
+    tuner.apply_next();
+    tuner.record(1.0);
+  }
+  EXPECT_TRUE(tuner.history().empty());
+  EXPECT_EQ(tuner.iterations(), 5u);
+}
+
+TEST(Tuner, DriftTriggersRetune) {
+  std::int64_t a = 0;
+  TunerOptions opts;
+  opts.drift_threshold = 0.5;
+  opts.drift_window = 4;
+  Tuner tuner(nullptr, opts);
+  tuner.register_parameter(&a, 0, 20);
+
+  // Phase 1: stable landscape, let the search converge.
+  int guard = 0;
+  while (!tuner.converged() && guard++ < 300) {
+    tuner.apply_next();
+    tuner.record(1.0 + 0.05 * std::abs(static_cast<double>(a) - 10.0));
+  }
+  ASSERT_TRUE(tuner.converged());
+  EXPECT_EQ(tuner.retune_count(), 0u);
+
+  // Phase 2: the world changes — everything is 4x slower. After a window of
+  // slow measurements the tuner must re-open the search.
+  for (int i = 0; i < 10 && tuner.retune_count() == 0; ++i) {
+    tuner.apply_next();
+    tuner.record(4.0 + 0.05 * std::abs(static_cast<double>(a) - 10.0));
+  }
+  EXPECT_EQ(tuner.retune_count(), 1u);
+  EXPECT_FALSE(tuner.converged());
+}
+
+TEST(Tuner, NoRetuneWhenDriftDisabled) {
+  std::int64_t a = 0;
+  TunerOptions opts;
+  opts.drift_threshold = 0.0;  // disabled
+  Tuner tuner(nullptr, opts);
+  tuner.register_parameter(&a, 0, 20);
+  int guard = 0;
+  while (!tuner.converged() && guard++ < 300) {
+    tuner.apply_next();
+    tuner.record(1.0);
+  }
+  for (int i = 0; i < 20; ++i) {
+    tuner.apply_next();
+    tuner.record(100.0);
+  }
+  EXPECT_EQ(tuner.retune_count(), 0u);
+}
+
+TEST(Tuner, CustomStrategyIsUsed) {
+  std::int64_t a = 0;
+  Tuner tuner(make_fixed_search({7}));
+  tuner.register_parameter(&a, 0, 20);
+  for (int i = 0; i < 3; ++i) {
+    tuner.apply_next();
+    EXPECT_EQ(a, 7);
+    tuner.record(1.0);
+  }
+  EXPECT_TRUE(tuner.converged());
+  EXPECT_EQ(tuner.best_values()[0], 7);
+}
+
+TEST(Tuner, BestValuesBeforeAnyMeasurement) {
+  std::int64_t a = 4;
+  Tuner tuner;
+  tuner.register_parameter(&a, 0, 9);
+  // Falls back to the current variable values.
+  EXPECT_EQ(tuner.best_values()[0], 4);
+}
+
+TEST(Tuner, StartStopMeasuresWallClock) {
+  std::int64_t a = 0;
+  Tuner tuner;
+  tuner.register_parameter(&a, 0, 9);
+  tuner.start();
+  // Busy-wait a little so elapsed > 0.
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  tuner.stop();
+  ASSERT_EQ(tuner.history().size(), 1u);
+  EXPECT_GT(tuner.history()[0].seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,106 @@
+#include "geom/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kdtune {
+namespace {
+
+TEST(Vec3, DefaultIsZero) {
+  const Vec3 v;
+  EXPECT_EQ(v, Vec3(0, 0, 0));
+}
+
+TEST(Vec3, BroadcastConstructor) {
+  EXPECT_EQ(Vec3(2.5f), Vec3(2.5f, 2.5f, 2.5f));
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a(1, 2, 3);
+  const Vec3 b(4, 5, 6);
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0f, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0f * a, Vec3(2, 4, 6));
+  EXPECT_EQ(Vec3(2, 4, 6) / 2.0f, Vec3(1, 2, 3));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+  EXPECT_EQ(a * b, Vec3(4, 10, 18));  // componentwise
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v(1, 1, 1);
+  v += Vec3(1, 2, 3);
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v -= Vec3(1, 1, 1);
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  v *= 3.0f;
+  EXPECT_EQ(v, Vec3(3, 6, 9));
+  v /= 3.0f;
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+}
+
+TEST(Vec3, DotAndCross) {
+  EXPECT_FLOAT_EQ(dot(Vec3(1, 2, 3), Vec3(4, 5, 6)), 32.0f);
+  EXPECT_EQ(cross(Vec3(1, 0, 0), Vec3(0, 1, 0)), Vec3(0, 0, 1));
+  EXPECT_EQ(cross(Vec3(0, 1, 0), Vec3(1, 0, 0)), Vec3(0, 0, -1));
+  // Cross product is perpendicular to both operands.
+  const Vec3 a(1.2f, -3.4f, 0.7f), b(0.3f, 2.0f, -1.1f);
+  const Vec3 c = cross(a, b);
+  EXPECT_NEAR(dot(c, a), 0.0f, 1e-5f);
+  EXPECT_NEAR(dot(c, b), 0.0f, 1e-5f);
+}
+
+TEST(Vec3, LengthAndNormalize) {
+  EXPECT_FLOAT_EQ(length(Vec3(3, 4, 0)), 5.0f);
+  EXPECT_FLOAT_EQ(length_squared(Vec3(3, 4, 0)), 25.0f);
+  const Vec3 n = normalized(Vec3(0, 0, 7));
+  EXPECT_EQ(n, Vec3(0, 0, 1));
+}
+
+TEST(Vec3, NormalizeZeroVectorIsSafe) {
+  const Vec3 n = normalized(Vec3(0, 0, 0));
+  EXPECT_TRUE(is_finite(n));
+  EXPECT_EQ(n, Vec3(0, 0, 0));
+}
+
+TEST(Vec3, MinMaxLerp) {
+  EXPECT_EQ(min(Vec3(1, 5, 3), Vec3(2, 4, 3)), Vec3(1, 4, 3));
+  EXPECT_EQ(max(Vec3(1, 5, 3), Vec3(2, 4, 3)), Vec3(2, 5, 3));
+  EXPECT_EQ(lerp(Vec3(0, 0, 0), Vec3(2, 4, 6), 0.5f), Vec3(1, 2, 3));
+  EXPECT_EQ(lerp(Vec3(1, 1, 1), Vec3(2, 2, 2), 0.0f), Vec3(1, 1, 1));
+  EXPECT_EQ(lerp(Vec3(1, 1, 1), Vec3(2, 2, 2), 1.0f), Vec3(2, 2, 2));
+}
+
+TEST(Vec3, IndexingByIntAndAxis) {
+  Vec3 v(7, 8, 9);
+  EXPECT_FLOAT_EQ(v[0], 7);
+  EXPECT_FLOAT_EQ(v[1], 8);
+  EXPECT_FLOAT_EQ(v[2], 9);
+  EXPECT_FLOAT_EQ(v[Axis::Y], 8);
+  v[Axis::Z] = 1.0f;
+  EXPECT_FLOAT_EQ(v.z, 1.0f);
+}
+
+TEST(Vec3, MaxAxisPicksLargestExtent) {
+  EXPECT_EQ(max_axis(Vec3(3, 2, 1)), Axis::X);
+  EXPECT_EQ(max_axis(Vec3(1, 3, 2)), Axis::Y);
+  EXPECT_EQ(max_axis(Vec3(1, 2, 3)), Axis::Z);
+  // Ties go to the earlier axis.
+  EXPECT_EQ(max_axis(Vec3(2, 2, 1)), Axis::X);
+}
+
+TEST(Vec3, NextAxisCycles) {
+  EXPECT_EQ(next_axis(Axis::X), Axis::Y);
+  EXPECT_EQ(next_axis(Axis::Y), Axis::Z);
+  EXPECT_EQ(next_axis(Axis::Z), Axis::X);
+}
+
+TEST(Vec3, IsFiniteDetectsNanAndInf) {
+  EXPECT_TRUE(is_finite(Vec3(1, 2, 3)));
+  EXPECT_FALSE(is_finite(Vec3(std::nanf(""), 0, 0)));
+  EXPECT_FALSE(is_finite(Vec3(0, INFINITY, 0)));
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,314 @@
+// kdtune command-line driver: the library's features end-to-end without
+// writing code.
+//
+//   kdtune_cli info
+//   kdtune_cli tune   <scene> <algorithm> [options]   # online-tune, cache
+//   kdtune_cli render <scene> <algorithm> [options]   # warm-start + image
+//   kdtune_cli select <scene> [options]               # pick best algorithm
+//   kdtune_cli bake   <scene> <out.kdt> [options]     # build + serialize
+//   kdtune_cli inspect <tree.kdt>                     # stats of a baked tree
+//
+// Options: --detail=F --threads=N --frames=N --cache=FILE --out=FILE
+//          --obj=FILE (load geometry from a Wavefront OBJ instead of a
+//          generated scene; pass "obj" as the scene name)
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/kdtune.hpp"
+
+namespace {
+
+using namespace kdtune;
+
+struct CliOptions {
+  float detail = 0.5f;
+  unsigned threads = 3;
+  std::size_t frames = 80;
+  std::string cache_path;
+  std::string out_path;
+  std::string obj_path;
+  int width = 320;
+  int height = 240;
+};
+
+CliOptions parse_options(int argc, char** argv, int first) {
+  CliOptions o;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return arg.compare(0, n, key) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--detail=")) {
+      o.detail = std::strtof(v, nullptr);
+    } else if (const char* v = value("--threads=")) {
+      o.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--frames=")) {
+      o.frames = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value("--cache=")) {
+      o.cache_path = v;
+    } else if (const char* v = value("--out=")) {
+      o.out_path = v;
+    } else if (const char* v = value("--obj=")) {
+      o.obj_path = v;
+    } else if (const char* v = value("--size=")) {
+      std::sscanf(v, "%dx%d", &o.width, &o.height);
+    } else {
+      throw std::invalid_argument("unknown option: " + arg);
+    }
+  }
+  return o;
+}
+
+std::unique_ptr<AnimatedScene> resolve_scene(const std::string& id,
+                                             const CliOptions& o) {
+  if (id == "obj") {
+    if (o.obj_path.empty()) {
+      throw std::invalid_argument("scene 'obj' requires --obj=FILE");
+    }
+    const Mesh mesh = load_obj_file(o.obj_path);
+    Scene scene(o.obj_path);
+    mesh.append_triangles(scene.mutable_triangles());
+    const AABB box = scene.bounds();
+    const Vec3 c = box.center();
+    const float r = length(box.extent());
+    scene.set_camera({c + Vec3{0.0f, r * 0.3f, r * 0.9f}, c, {0, 1, 0}, 55.0f});
+    scene.add_light({c + Vec3{r, r, r}, {1, 1, 1}});
+    scene.add_light({c + Vec3{-r, r * 0.5f, -r}, {0.3f, 0.3f, 0.35f}});
+    return std::make_unique<StaticScene>(std::move(scene));
+  }
+  return make_scene(id, o.detail);
+}
+
+void print_config(const char* label, const BuildConfig& c, bool lazy) {
+  std::printf("%s CI=%lld CB=%lld S=%lld", label,
+              static_cast<long long>(c.ci), static_cast<long long>(c.cb),
+              static_cast<long long>(c.s));
+  if (lazy) std::printf(" R=%lld", static_cast<long long>(c.r));
+  std::printf("\n");
+}
+
+BuildConfig config_from_values(const std::vector<std::int64_t>& values) {
+  BuildConfig c;
+  c.ci = values[0];
+  c.cb = values[1];
+  c.s = values[2];
+  if (values.size() > 3) c.r = values[3];
+  return c;
+}
+
+int cmd_info() {
+  std::printf("scenes:     ");
+  for (const auto& id : scene_ids()) std::printf("%s ", id.c_str());
+  std::printf("obj (with --obj=FILE)\nalgorithms: ");
+  for (const Algorithm a : all_algorithms()) {
+    std::printf("%s ", std::string(to_string(a)).c_str());
+  }
+  std::printf("\nbase config: CI=17 CB=10 S=3 R=4096; CT fixed at 10\n");
+  std::printf("ranges: CI [3,101], CB [0,60], S [1,8], R [16,8192] pow2\n");
+  return 0;
+}
+
+int cmd_tune(const std::string& scene_id, const std::string& algo,
+             const CliOptions& o) {
+  const Algorithm algorithm = algorithm_from_string(algo);
+  const auto scene = resolve_scene(scene_id, o);
+  ThreadPool pool(o.threads);
+
+  ConfigCache cache;
+  const std::string key =
+      ConfigCache::key_for(scene->name(), algo, pool.concurrency());
+  if (!o.cache_path.empty()) cache.load_file(o.cache_path);
+
+  PipelineOptions popts;
+  popts.width = o.width / 2;
+  popts.height = o.height / 2;
+  TunedPipeline pipeline(algorithm, pool, std::move(popts));
+  if (const auto hit = cache.lookup(key)) {
+    std::printf("warm start from cache: ");
+    print_config("", config_from_values(hit->values),
+                 algorithm == Algorithm::kLazy);
+    pipeline.warm_start(config_from_values(hit->values));
+  }
+
+  double base_time = 0.0;
+  const Scene first = scene->frame(0);
+  for (int i = 0; i < 3; ++i) {
+    base_time += pipeline.render_frame_with(first, kBaseConfig).total_seconds;
+  }
+  base_time /= 3.0;
+
+  for (std::size_t i = 0; i < o.frames; ++i) {
+    const std::size_t f =
+        scene->frame_count() > 1 ? (i / 5) % scene->frame_count() : 0;
+    pipeline.render_frame(scene->frame(f));
+    if (pipeline.tuner().converged()) break;
+  }
+
+  const double best = pipeline.tuner().best_time();
+  std::printf("C_base %.2f ms -> tuned %.2f ms (%.2fx) after %zu frames\n",
+              base_time * 1e3, best * 1e3, base_time / best,
+              pipeline.tuner().iterations());
+  print_config("best:", pipeline.best_config(),
+               algorithm == Algorithm::kLazy);
+
+  if (!o.cache_path.empty()) {
+    cache.store(key, pipeline.tuner().best_values(), best);
+    cache.save_file(o.cache_path);
+    std::printf("cached as '%s' in %s\n", key.c_str(), o.cache_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_render(const std::string& scene_id, const std::string& algo,
+               const CliOptions& o) {
+  const Algorithm algorithm = algorithm_from_string(algo);
+  const auto scene = resolve_scene(scene_id, o);
+  ThreadPool pool(o.threads);
+
+  BuildConfig config = kBaseConfig;
+  if (!o.cache_path.empty()) {
+    ConfigCache cache;
+    cache.load_file(o.cache_path);
+    const std::string key =
+        ConfigCache::key_for(scene->name(), algo, pool.concurrency());
+    if (const auto hit = cache.lookup(key)) {
+      config = config_from_values(hit->values);
+      std::printf("using cached configuration for '%s'\n", key.c_str());
+    }
+  }
+  print_config("config:", config, algorithm == Algorithm::kLazy);
+
+  PipelineOptions popts;
+  popts.width = o.width;
+  popts.height = o.height;
+  TunedPipeline pipeline(algorithm, pool, std::move(popts));
+  Framebuffer fb(o.width, o.height);
+  const FrameReport r = pipeline.render_frame_with(scene->frame(0), config, &fb);
+  std::printf("frame: %.2f ms (build %.2f + render %.2f), %zu nodes\n",
+              r.total_seconds * 1e3, r.build_seconds * 1e3,
+              r.render_seconds * 1e3, r.tree.node_count);
+
+  const std::string out =
+      o.out_path.empty() ? scene->name() + ".ppm" : o.out_path;
+  fb.save_ppm(out);
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_select(const std::string& scene_id, const CliOptions& o) {
+  const auto scene = resolve_scene(scene_id, o);
+  ThreadPool pool(o.threads);
+  SelectorOptions sopts;
+  sopts.width = o.width / 2;
+  sopts.height = o.height / 2;
+  sopts.frames_per_algorithm = o.frames / 4 + 1;
+  AlgorithmSelector selector(pool, sopts);
+  const Scene frame = scene->frame(0);
+  while (!selector.selection_done()) selector.render_frame(frame);
+
+  for (const auto& [algorithm, time] : selector.standings()) {
+    std::printf("%-10s %8.2f ms\n", std::string(to_string(algorithm)).c_str(),
+                time * 1e3);
+  }
+  std::printf("selected: %s\n",
+              std::string(to_string(selector.selected())).c_str());
+  return 0;
+}
+
+int cmd_bake(const std::string& scene_id, const std::string& out,
+             const CliOptions& o) {
+  const auto scene = resolve_scene(scene_id, o);
+  const Scene frame = scene->frame(0);
+  ThreadPool pool(o.threads);
+  Stopwatch clock;
+  clock.start();
+  auto tree_base =
+      make_builder(Algorithm::kInPlace)->build(frame.triangles(), kBaseConfig, pool);
+  const double build_s = clock.elapsed();
+  auto* tree = dynamic_cast<KdTree*>(tree_base.get());
+  save_tree_file(out, *tree);
+  std::printf("built %zu nodes over %zu triangles in %.2f ms -> %s\n",
+              tree->nodes().size(), frame.triangle_count(), build_s * 1e3,
+              out.c_str());
+  return 0;
+}
+
+int cmd_inspect(const std::string& path) {
+  const auto tree = load_tree_file(path);
+  const TreeStats s = tree->stats();
+  std::printf("%s:\n", path.c_str());
+  std::printf("  triangles     %zu\n", tree->triangles().size());
+  std::printf("  nodes         %zu (%zu leaves, %zu empty)\n", s.node_count,
+              s.leaf_count, s.empty_leaf_count);
+  std::printf("  max depth     %zu\n", s.max_depth);
+  std::printf("  prim refs     %zu (avg %.2f per non-empty leaf)\n",
+              s.prim_refs, s.avg_leaf_prims);
+  std::printf("  SAH cost      %.1f\n", s.sah_cost);
+  const TreeAnalysis analysis = analyze_tree(*tree);
+  std::printf("  %s\n", analysis.to_string().c_str());
+  return 0;
+}
+
+int cmd_export_scene(const std::string& scene_id, const std::string& out,
+                     const CliOptions& o) {
+  const Scene frame = resolve_scene(scene_id, o)->frame(0);
+  Mesh mesh;
+  for (const Triangle& t : frame.triangles()) {
+    const auto a = mesh.add_vertex(t.a);
+    const auto b = mesh.add_vertex(t.b);
+    const auto c = mesh.add_vertex(t.c);
+    mesh.add_triangle(a, b, c);
+  }
+  save_obj_file(out, mesh);
+  std::printf("wrote %zu triangles to %s\n", mesh.triangle_count(),
+              out.c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: kdtune_cli <info|tune|render|select|bake|inspect|"
+               "export-scene> ...\n"
+               "  tune   <scene> <algorithm> [--frames=N] [--cache=FILE]\n"
+               "  render <scene> <algorithm> [--cache=FILE] [--out=FILE]\n"
+               "  select <scene>\n"
+               "  bake   <scene> <out.kdt>\n"
+               "  inspect <tree.kdt>\n"
+               "  export-scene <scene> <out.obj>\n"
+               "common: --detail=F --threads=N --size=WxH --obj=FILE\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "info") return cmd_info();
+    if (cmd == "tune" && argc >= 4) {
+      return cmd_tune(argv[2], argv[3], parse_options(argc, argv, 4));
+    }
+    if (cmd == "render" && argc >= 4) {
+      return cmd_render(argv[2], argv[3], parse_options(argc, argv, 4));
+    }
+    if (cmd == "select" && argc >= 3) {
+      return cmd_select(argv[2], parse_options(argc, argv, 3));
+    }
+    if (cmd == "bake" && argc >= 4) {
+      return cmd_bake(argv[2], argv[3], parse_options(argc, argv, 4));
+    }
+    if (cmd == "inspect" && argc >= 3) return cmd_inspect(argv[2]);
+    if (cmd == "export-scene" && argc >= 4) {
+      return cmd_export_scene(argv[2], argv[3], parse_options(argc, argv, 4));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
