@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/kdtune.hpp"
 
@@ -87,6 +88,44 @@ struct BenchOptions {
         what, detail, reps, iterations, measure, threads + 1, width, height);
   }
 };
+
+/// One machine-readable measurement row for the BENCH_*.json artifacts the
+/// CI Release job uploads: which scene/builder/layout was measured, what
+/// query ran, and the resulting per-query cost and throughput.
+struct BenchRecord {
+  std::string scene;
+  std::string builder;
+  std::string layout;   ///< "kdtree", "compact", "bvh", ...
+  std::string query;    ///< "closest_hit", "any_hit", "range", "nearest", ...
+  double ns_per_query = 0.0;
+  double queries_per_sec = 0.0;
+};
+
+/// Writes records as a JSON array of objects. Hand-rolled on purpose: the
+/// fields are all simple identifiers and numbers, and the benchmarks must
+/// not grow a JSON-library dependency.
+inline void write_bench_json(const std::string& path,
+                             const std::vector<BenchRecord>& records) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(out,
+                 "  {\"scene\": \"%s\", \"builder\": \"%s\", "
+                 "\"layout\": \"%s\", \"query\": \"%s\", "
+                 "\"ns_per_query\": %.3f, \"queries_per_sec\": %.1f}%s\n",
+                 r.scene.c_str(), r.builder.c_str(), r.layout.c_str(),
+                 r.query.c_str(), r.ns_per_query, r.queries_per_sec,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
+}
 
 inline std::string config_to_string(const BuildConfig& c, bool with_r) {
   std::string s = "(" + std::to_string(c.ci) + ", " + std::to_string(c.cb) +

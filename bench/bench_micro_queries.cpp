@@ -1,8 +1,16 @@
 // Micro: range and nearest-neighbor query throughput through the SAH
-// kd-tree vs the BVH baseline, plus lazy-tree queries (which may expand).
+// kd-tree (builder layout and compact serving layout) vs the BVH baseline,
+// plus lazy-tree queries (which may expand).
+//
+// Like bench_micro_traversal, the binary always writes machine-readable
+// results to BENCH_queries.json (--json=PATH to override); `--smoke` runs
+// only that pass with reduced repetitions for CI.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_common.hpp"
 #include "core/kdtune.hpp"
 
 namespace {
@@ -12,6 +20,7 @@ using namespace kdtune;
 struct QueryFixture {
   Scene scene;
   std::unique_ptr<KdTreeBase> kd;
+  std::unique_ptr<CompactKdTree> compact;
   std::unique_ptr<KdTreeBase> bvh;
   std::vector<AABB> boxes;
   std::vector<Vec3> points;
@@ -24,6 +33,8 @@ const QueryFixture& fixture() {
     ThreadPool pool(3);
     q.kd = make_builder(Algorithm::kInPlace)
                ->build(q.scene.triangles(), kBaseConfig, pool);
+    q.compact = std::make_unique<CompactKdTree>(
+        dynamic_cast<const KdTree&>(*q.kd));
     q.bvh = build_bvh(q.scene.triangles(), {}, pool);
     Rng rng(42);
     const AABB bounds = q.scene.bounds();
@@ -41,9 +52,25 @@ const QueryFixture& fixture() {
   return f;
 }
 
+const KdTreeBase& pick_tree(const QueryFixture& f, int which) {
+  switch (which) {
+    case 0: return *f.kd;
+    case 1: return *f.compact;
+    default: return *f.bvh;
+  }
+}
+
+const char* tree_label(int which) {
+  switch (which) {
+    case 0: return "kd-tree";
+    case 1: return "kd-compact";
+    default: return "bvh";
+  }
+}
+
 void BM_RangeQuery(benchmark::State& state) {
   const QueryFixture& f = fixture();
-  const KdTreeBase& tree = state.range(0) == 0 ? *f.kd : *f.bvh;
+  const KdTreeBase& tree = pick_tree(f, static_cast<int>(state.range(0)));
   std::vector<std::uint32_t> out;
   std::size_t i = 0;
   for (auto _ : state) {
@@ -52,23 +79,23 @@ void BM_RangeQuery(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
     i = (i + 1) % f.boxes.size();
   }
-  state.SetLabel(state.range(0) == 0 ? "kd-tree" : "bvh");
+  state.SetLabel(tree_label(static_cast<int>(state.range(0))));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_RangeQuery)->Arg(0)->Arg(1);
+BENCHMARK(BM_RangeQuery)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_NearestQuery(benchmark::State& state) {
   const QueryFixture& f = fixture();
-  const KdTreeBase& tree = state.range(0) == 0 ? *f.kd : *f.bvh;
+  const KdTreeBase& tree = pick_tree(f, static_cast<int>(state.range(0)));
   std::size_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(tree.nearest(f.points[i]));
     i = (i + 1) % f.points.size();
   }
-  state.SetLabel(state.range(0) == 0 ? "kd-tree" : "bvh");
+  state.SetLabel(tree_label(static_cast<int>(state.range(0))));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_NearestQuery)->Arg(0)->Arg(1);
+BENCHMARK(BM_NearestQuery)->Arg(0)->Arg(1)->Arg(2);
 
 // Lazy queries on a fresh tree pay for expansion on first touch; this
 // measures steady state after a warm-up pass.
@@ -93,6 +120,83 @@ void BM_LazyNearestWarm(benchmark::State& state) {
 }
 BENCHMARK(BM_LazyNearestWarm);
 
+// ---------------------------------------------------------------------------
+// Machine-readable measurement pass (BENCH_queries.json).
+
+template <typename Fn>
+double measure_ns_per_query(std::size_t count, int reps, Fn&& run) {
+  using Clock = std::chrono::steady_clock;
+  double best = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = Clock::now();
+    run();
+    const auto t1 = Clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(t1 - t0).count() /
+        static_cast<double>(count);
+    best = std::min(best, ns);
+  }
+  return best;
+}
+
+void run_json_pass(const std::string& path, bool smoke) {
+  const int reps = smoke ? 2 : 5;
+  const QueryFixture& f = fixture();
+  std::vector<bench::BenchRecord> records;
+
+  const char* layouts[] = {"kdtree", "compact", "bvh"};
+  for (int which = 0; which < 3; ++which) {
+    const KdTreeBase& tree = pick_tree(f, which);
+    std::vector<std::uint32_t> out;
+    const double range_ns = measure_ns_per_query(f.boxes.size(), reps, [&] {
+      for (const AABB& box : f.boxes) {
+        out.clear();
+        tree.query_range(box, out);
+        benchmark::DoNotOptimize(out.data());
+      }
+    });
+    const double nearest_ns =
+        measure_ns_per_query(f.points.size(), reps, [&] {
+          for (const Vec3& p : f.points) {
+            benchmark::DoNotOptimize(tree.nearest(p));
+          }
+        });
+    records.push_back({"sponza", "inplace", layouts[which], "range", range_ns,
+                       1e9 / range_ns});
+    records.push_back({"sponza", "inplace", layouts[which], "nearest",
+                       nearest_ns, 1e9 / nearest_ns});
+    std::printf("%-10s range %9.1f ns/query | nearest %9.1f ns/query\n",
+                layouts[which], range_ns, nearest_ns);
+  }
+  bench::write_bench_json(path, records);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_queries.json";
+  std::vector<char*> bench_args;
+  bench_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  run_json_pass(json_path, smoke);
+  if (smoke) return 0;
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

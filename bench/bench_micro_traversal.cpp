@@ -1,9 +1,19 @@
 // Micro: traversal (closest-hit and shadow-ray) throughput through trees
 // built by the different algorithms, plus the SAH-vs-median-split ablation —
-// how much query time the SAH actually buys.
+// how much query time the SAH actually buys — and the builder layout
+// (KdTree) vs compact serving layout (CompactKdTree) comparison.
+//
+// Besides the google-benchmark suite, the binary always runs a small
+// measurement pass that writes machine-readable results to
+// BENCH_traversal.json (override with --json=PATH). `--smoke` runs only that
+// pass with reduced repetitions — the CI Release job uses it to produce the
+// JSON artifact without paying for the full suite.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_common.hpp"
 #include "core/kdtune.hpp"
 
 namespace {
@@ -13,6 +23,7 @@ using namespace kdtune;
 struct Fixture {
   Scene scene;
   std::unique_ptr<KdTreeBase> tree;
+  std::unique_ptr<CompactKdTree> compact;
   std::vector<Ray> rays;
 };
 
@@ -32,6 +43,8 @@ Fixture make_fixture(int builder_id) {
                    ->build(f.scene.triangles(), kBaseConfig, pool);
       break;
   }
+  f.compact = std::make_unique<CompactKdTree>(
+      dynamic_cast<const KdTree&>(*f.tree));
   const Camera camera(f.scene.camera(), 256, 192);
   for (int y = 0; y < 192; y += 2) {
     for (int x = 0; x < 256; x += 2) {
@@ -49,39 +62,52 @@ const char* fixture_name(int id) {
   }
 }
 
+const KdTreeBase& pick_layout(const Fixture& f, int layout) {
+  return layout == 0 ? *f.tree
+                     : static_cast<const KdTreeBase&>(*f.compact);
+}
+
+std::string layout_label(int id, int layout) {
+  return std::string(fixture_name(id)) + (layout == 0 ? "/kdtree" : "/compact");
+}
+
 void BM_ClosestHit(benchmark::State& state) {
   static std::map<int, Fixture> cache;
   const int id = static_cast<int>(state.range(0));
+  const int layout = static_cast<int>(state.range(1));
   if (!cache.contains(id)) cache.emplace(id, make_fixture(id));
   const Fixture& f = cache.at(id);
+  const KdTreeBase& tree = pick_layout(f, layout);
 
   std::size_t i = 0;
   for (auto _ : state) {
-    const Hit hit = f.tree->closest_hit(f.rays[i]);
+    const Hit hit = tree.closest_hit(f.rays[i]);
     benchmark::DoNotOptimize(hit);
     i = (i + 1) % f.rays.size();
   }
-  state.SetLabel(fixture_name(id));
+  state.SetLabel(layout_label(id, layout));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_ClosestHit)->DenseRange(0, 2);
+BENCHMARK(BM_ClosestHit)->ArgsProduct({{0, 1, 2}, {0, 1}});
 
 void BM_AnyHit(benchmark::State& state) {
   static std::map<int, Fixture> cache;
   const int id = static_cast<int>(state.range(0));
+  const int layout = static_cast<int>(state.range(1));
   if (!cache.contains(id)) cache.emplace(id, make_fixture(id));
   const Fixture& f = cache.at(id);
+  const KdTreeBase& tree = pick_layout(f, layout);
 
   std::size_t i = 0;
   for (auto _ : state) {
-    const bool hit = f.tree->any_hit(f.rays[i]);
+    const bool hit = tree.any_hit(f.rays[i]);
     benchmark::DoNotOptimize(hit);
     i = (i + 1) % f.rays.size();
   }
-  state.SetLabel(fixture_name(id));
+  state.SetLabel(layout_label(id, layout));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_AnyHit)->DenseRange(0, 2);
+BENCHMARK(BM_AnyHit)->ArgsProduct({{0, 1, 2}, {0, 1}});
 
 // CI/CB sensitivity: how the SAH parameters change the tree's query cost —
 // the mechanism the autotuner exploits.
@@ -107,9 +133,9 @@ void BM_TraversalVsCi(benchmark::State& state) {
 }
 BENCHMARK(BM_TraversalVsCi)->Arg(3)->Arg(17)->Arg(50)->Arg(101);
 
-// Packet vs scalar traversal on coherent camera tiles.
+// Packet vs scalar traversal on coherent camera tiles, for both layouts.
 void BM_PacketVsScalar(benchmark::State& state) {
-  const bool packets = state.range(0) == 1;
+  const int mode = static_cast<int>(state.range(0));
   static std::map<int, Fixture> cache;
   if (!cache.contains(1)) cache.emplace(1, make_fixture(1));
   const Fixture& f = cache.at(1);
@@ -120,8 +146,11 @@ void BM_PacketVsScalar(benchmark::State& state) {
   for (auto _ : state) {
     const std::size_t n = std::min(kMaxPacketSize, f.rays.size() - offset);
     const std::span<const Ray> rays(f.rays.data() + offset, n);
-    if (packets) {
+    if (mode == 1) {
       closest_hit_packet(*tree, rays, std::span<Hit>(hits.data(), n));
+      benchmark::DoNotOptimize(hits.data());
+    } else if (mode == 2) {
+      closest_hit_packet(*f.compact, rays, std::span<Hit>(hits.data(), n));
       benchmark::DoNotOptimize(hits.data());
     } else {
       for (const Ray& ray : rays) {
@@ -130,12 +159,146 @@ void BM_PacketVsScalar(benchmark::State& state) {
     }
     offset = (offset + kMaxPacketSize) % (f.rays.size() - kMaxPacketSize);
   }
-  state.SetLabel(packets ? "packet64" : "scalar");
+  state.SetLabel(mode == 1 ? "packet64" : mode == 2 ? "packet64-compact"
+                                                    : "scalar");
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kMaxPacketSize));
 }
-BENCHMARK(BM_PacketVsScalar)->Arg(0)->Arg(1);
+BENCHMARK(BM_PacketVsScalar)->Arg(0)->Arg(1)->Arg(2);
+
+// ---------------------------------------------------------------------------
+// Machine-readable measurement pass (BENCH_traversal.json).
+
+double time_pass_ns(const KdTreeBase& tree, const std::vector<Ray>& rays,
+                    bool any) {
+  using Clock = std::chrono::steady_clock;
+  std::size_t sink = 0;
+  const auto t0 = Clock::now();
+  for (const Ray& ray : rays) {
+    if (any) {
+      sink += tree.any_hit(ray) ? 1 : 0;
+    } else {
+      sink += tree.closest_hit(ray).valid() ? 1 : 0;
+    }
+  }
+  const auto t1 = Clock::now();
+  benchmark::DoNotOptimize(sink);
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         static_cast<double>(rays.size());
+}
+
+/// Times both layouts with interleaved repetitions (A B A B ...) so that
+/// machine noise hits both sides equally, and reports the best pass of each —
+/// the standard min-of-N estimator for a noisy shared host.
+std::pair<double, double> measure_pair_ns(const KdTreeBase& kd,
+                                          const KdTreeBase& compact,
+                                          const std::vector<Ray>& rays,
+                                          bool any, int reps) {
+  double kd_best = 1e30, co_best = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    kd_best = std::min(kd_best, time_pass_ns(kd, rays, any));
+    co_best = std::min(co_best, time_pass_ns(compact, rays, any));
+  }
+  return {kd_best, co_best};
+}
+
+void run_json_pass(const std::string& path, bool smoke) {
+  const int reps = smoke ? 7 : 9;
+  const float detail = 1.0f;
+  std::vector<bench::BenchRecord> records;
+  ThreadPool pool(3);
+
+  struct BuilderSpec {
+    const char* name;
+    std::unique_ptr<Builder> builder;
+  };
+  BuilderSpec builders[3] = {{"median", make_median_builder()},
+                             {"sweep", make_sweep_builder()},
+                             {"inplace", make_builder(Algorithm::kInPlace)}};
+  const char* scenes[] = {"bunny", "sponza"};
+
+  double bunny_kd_ns = 0.0, bunny_compact_ns = 0.0;
+  std::size_t mismatches = 0;
+
+  for (const char* scene_id : scenes) {
+    const Scene scene = make_scene(scene_id, detail)->frame(0);
+    const Camera camera(scene.camera(), 256, 192);
+    std::vector<Ray> rays;
+    for (int y = 0; y < 192; ++y) {
+      for (int x = 0; x < 256; ++x) rays.push_back(camera.primary_ray(x, y));
+    }
+    for (BuilderSpec& spec : builders) {
+      const auto tree =
+          spec.builder->build(scene.triangles(), kBaseConfig, pool);
+      const auto& kd = dynamic_cast<const KdTree&>(*tree);
+      const CompactKdTree compact(kd);
+
+      // Hit parity on every ray before trusting the timings.
+      for (const Ray& ray : rays) {
+        const Hit a = kd.closest_hit(ray);
+        const Hit b = compact.closest_hit(ray);
+        if (a.valid() != b.valid() ||
+            (a.valid() && (a.t != b.t || a.triangle != b.triangle ||
+                           a.u != b.u || a.v != b.v))) {
+          ++mismatches;
+        }
+      }
+
+      for (const bool any : {false, true}) {
+        const char* query = any ? "any_hit" : "closest_hit";
+        const auto [kd_ns, co_ns] = measure_pair_ns(kd, compact, rays, any, reps);
+        records.push_back({scene_id, spec.name, "kdtree", query, kd_ns,
+                           1e9 / kd_ns});
+        records.push_back({scene_id, spec.name, "compact", query, co_ns,
+                           1e9 / co_ns});
+        if (!any && std::string(scene_id) == "bunny" &&
+            std::string(spec.name) == "sweep") {
+          bunny_kd_ns = kd_ns;
+          bunny_compact_ns = co_ns;
+        }
+        std::printf("%-8s %-8s %-12s kdtree %8.1f ns/ray | compact %8.1f "
+                    "ns/ray | speedup %.2fx\n",
+                    scene_id, spec.name, query, kd_ns, co_ns, kd_ns / co_ns);
+      }
+    }
+  }
+
+  std::printf("hit-parity mismatches: %zu\n", mismatches);
+  if (bunny_compact_ns > 0.0) {
+    std::printf(
+        "compact speedup (bunny, recursive sweep builder, closest_hit): "
+        "%.2fx\n",
+        bunny_kd_ns / bunny_compact_ns);
+  }
+  bench::write_bench_json(path, records);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_traversal.json";
+  std::vector<char*> bench_args;
+  bench_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  run_json_pass(json_path, smoke);
+  if (smoke) return 0;
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

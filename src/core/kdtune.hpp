@@ -28,6 +28,7 @@
 #include "geom/triangle.hpp"
 #include "kdtree/builder.hpp"        // the four algorithms + references
 #include "kdtree/analysis.hpp"
+#include "kdtree/compact_tree.hpp"   // cache-compact serving layout
 #include "kdtree/dot_export.hpp"
 #include "kdtree/lazy_tree.hpp"
 #include "kdtree/packet.hpp"

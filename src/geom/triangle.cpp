@@ -7,29 +7,9 @@ namespace kdtune {
 
 bool intersect(const Ray& ray, const Triangle& tri,
                float& t, float& u, float& v) noexcept {
-  constexpr float kEps = 1e-9f;
   const Vec3 e1 = tri.b - tri.a;
   const Vec3 e2 = tri.c - tri.a;
-  const Vec3 p = cross(ray.dir, e2);
-  const float det = dot(e1, p);
-  if (std::fabs(det) < kEps) return false;  // parallel or degenerate
-
-  const float inv_det = 1.0f / det;
-  const Vec3 s = ray.origin - tri.a;
-  const float uu = dot(s, p) * inv_det;
-  if (uu < 0.0f || uu > 1.0f) return false;
-
-  const Vec3 q = cross(s, e1);
-  const float vv = dot(ray.dir, q) * inv_det;
-  if (vv < 0.0f || uu + vv > 1.0f) return false;
-
-  const float tt = dot(e2, q) * inv_det;
-  if (tt <= ray.t_min || tt >= ray.t_max) return false;
-
-  t = tt;
-  u = uu;
-  v = vv;
-  return true;
+  return intersect_edges(ray, tri.a, e1, e2, t, u, v);
 }
 
 namespace {

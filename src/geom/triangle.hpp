@@ -5,7 +5,9 @@
 // while traversal needs the exact Möller–Trumbore intersection test.
 
 #include <array>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 
 #include "geom/aabb.hpp"
 #include "geom/ray.hpp"
@@ -42,6 +44,64 @@ struct Triangle {
 /// On a hit with t in (ray.t_min, ray.t_max), fills t/u/v and returns true.
 bool intersect(const Ray& ray, const Triangle& tri,
                float& t, float& u, float& v) noexcept;
+
+/// Möller–Trumbore core over precomputed edge vectors (e1 = b - a,
+/// e2 = c - a). This is the *single* definition of the test: `intersect`
+/// computes the edges and calls it, and the compact tree's leaf-block SoA
+/// path loads precomputed edges and calls it — so both are bit-identical by
+/// construction.
+/// Straight-line (branchless) form of the test: always evaluates the full
+/// arithmetic and returns the hit distance, or +infinity for a miss. `u`/`v`
+/// are written unconditionally (garbage on a miss). The rejection predicate
+/// is evaluated at the end, which is exactly equivalent to the classic
+/// early-out ordering: a near-zero determinant poisons uu/vv/tt with
+/// inf/NaN, but such lanes are rejected by the determinant clause anyway.
+/// The single straight-line body is what lets the compact tree's leaf-block
+/// loop vectorize across a SoA block while staying bit-identical to the
+/// scalar path — every caller funnels into this one definition.
+inline float intersect_edges_t(const Vec3& origin, const Vec3& dir,
+                               float t_min, float t_max, const Vec3& a,
+                               const Vec3& e1, const Vec3& e2, float& u,
+                               float& v) noexcept {
+  constexpr float kEps = 1e-9f;
+  const Vec3 p = cross(dir, e2);
+  const float det = dot(e1, p);
+  const float inv_det = 1.0f / det;
+  const Vec3 s = origin - a;
+  const float uu = dot(s, p) * inv_det;
+  const Vec3 q = cross(s, e1);
+  const float vv = dot(dir, q) * inv_det;
+  const float tt = dot(e2, q) * inv_det;
+  // Bitwise & (not &&): no short-circuit control flow, so the whole body
+  // if-converts and vectorizes when inlined into a block loop.
+  const bool hit = (std::fabs(det) >= kEps) & (uu >= 0.0f) & (uu <= 1.0f) &
+                   (vv >= 0.0f) & (uu + vv <= 1.0f) & (tt > t_min) &
+                   (tt < t_max);
+  u = uu;
+  v = vv;
+  return hit ? tt : std::numeric_limits<float>::infinity();
+}
+
+inline bool intersect_edges(const Vec3& origin, const Vec3& dir, float t_min,
+                            float t_max, const Vec3& a, const Vec3& e1,
+                            const Vec3& e2, float& t, float& u,
+                            float& v) noexcept {
+  float uu, vv;
+  const float tt =
+      intersect_edges_t(origin, dir, t_min, t_max, a, e1, e2, uu, vv);
+  if (tt == std::numeric_limits<float>::infinity()) return false;
+  t = tt;
+  u = uu;
+  v = vv;
+  return true;
+}
+
+inline bool intersect_edges(const Ray& ray, const Vec3& a, const Vec3& e1,
+                            const Vec3& e2, float& t, float& u,
+                            float& v) noexcept {
+  return intersect_edges(ray.origin, ray.dir, ray.t_min, ray.t_max, a, e1, e2,
+                         t, u, v);
+}
 
 /// Clips a triangle against an AABB (Sutherland–Hodgman against the 6 slabs)
 /// and returns the bounds of the clipped polygon. This yields the tight

@@ -277,7 +277,7 @@ class BfsBuild {
     const auto count = static_cast<std::uint32_t>(an.count);
     if (deferred) {
       out.tree.nodes[an.node] = KdNode::make_deferred(first, count);
-      out.deferred_bounds.emplace(an.node, an.box);
+      out.deferred_bounds.emplace(an.node, DeferredInfo{an.box, an.depth});
     } else {
       out.tree.nodes[an.node] = KdNode::make_leaf(first, count);
     }

@@ -19,15 +19,25 @@
 
 namespace kdtune {
 
+/// What the lazy tree needs to expand a deferred node later: its box, and
+/// its depth in the BFS tree so the expansion can cap the subtree depth to
+/// the remaining traversal-stack budget (kMaxStackDepth minus the path above
+/// the node) — otherwise a deferred node near the depth cap could expand
+/// into a combined path deeper than the stack.
+struct DeferredInfo {
+  AABB box;
+  int depth = 0;
+};
+
 /// Result of the BFS core: a flat tree where nodes with fewer than
 /// `defer_below` primitives were left as deferred pseudo-leaves (flags ==
-/// KdNode::kDeferred) whose node bounds are recorded in `deferred_bounds`.
-/// With defer_below == 0 nothing is deferred and the result is a complete
-/// eager tree.
+/// KdNode::kDeferred) whose node bounds/depths are recorded in
+/// `deferred_bounds`. With defer_below == 0 nothing is deferred and the
+/// result is a complete eager tree.
 struct BfsResult {
   FlatTree tree;
   AABB bounds;
-  std::unordered_map<std::uint32_t, AABB> deferred_bounds;
+  std::unordered_map<std::uint32_t, DeferredInfo> deferred_bounds;
 };
 
 BfsResult bfs_build(std::span<const Triangle> tris, const BuildConfig& config,

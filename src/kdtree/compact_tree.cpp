@@ -1,0 +1,475 @@
+#include "kdtree/compact_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "geom/closest_point.hpp"
+#include "geom/intersect.hpp"
+
+namespace kdtune {
+
+namespace {
+
+/// Visits every triangle of a leaf: inlined single triangles load from the
+/// triangle array; larger leaves stream their SoA block. `fn(a, e1, e2, id)`
+/// returns true to stop early.
+template <typename Fn>
+inline void for_each_leaf_tri(const CompactNode& node,
+                              std::span<const Triangle> triangles,
+                              const float* soa, const std::uint32_t* leaf_tris,
+                              Fn&& fn) {
+  const std::uint32_t count = node.prim_count();
+  if (count == 1) {
+    const Triangle& tri = triangles[node.prim];
+    fn(tri.a, tri.b - tri.a, tri.c - tri.a, node.prim);
+    return;
+  }
+  const float* blk = soa + 9ull * node.prim;
+  const std::uint32_t* ids = leaf_tris + node.prim;
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const Vec3 a{blk[k], blk[count + k], blk[2ull * count + k]};
+    const Vec3 e1{blk[3ull * count + k], blk[4ull * count + k],
+                  blk[5ull * count + k]};
+    const Vec3 e2{blk[6ull * count + k], blk[7ull * count + k],
+                  blk[8ull * count + k]};
+    if (fn(a, e1, e2, ids[k])) return;
+  }
+}
+
+}  // namespace
+
+CompactKdTree::CompactKdTree(const KdTree& source)
+    : triangles_(source.triangles().begin(), source.triangles().end()),
+      bounds_(source.bounds()) {
+  const auto src_nodes = source.nodes();
+  const auto prim_indices = source.prim_indices();
+
+  if (src_nodes.empty()) {
+    nodes_.push_back(CompactNode::make_leaf(0, 0));
+    build_blocks_and_validate();
+    return;
+  }
+  if (src_nodes.size() > CompactNode::kMaxPayload) {
+    throw std::invalid_argument(
+        "CompactKdTree: source exceeds the 30-bit node budget");
+  }
+
+  nodes_.reserve(src_nodes.size());
+  leaf_tris_.reserve(prim_indices.size());
+
+  // Iterative preorder emission, left subtree first, so the left child always
+  // lands at parent + 1. Right children are patched in when they are emitted.
+  constexpr std::uint32_t kNoPatch = 0xFFFFFFFFu;
+  struct Item {
+    std::uint32_t src;    ///< node index in the source tree
+    std::uint32_t patch;  ///< compact interior whose right-child this is
+  };
+  std::vector<Item> stack{{source.root(), kNoPatch}};
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    const KdNode& n = src_nodes[item.src];
+    const auto pos = static_cast<std::uint32_t>(nodes_.size());
+    if (item.patch != kNoPatch) nodes_[item.patch].meta |= pos << 2;
+
+    if (n.is_leaf()) {
+      if (n.b == 1) {
+        nodes_.push_back(CompactNode::make_leaf(prim_indices[n.a], 1));
+      } else {
+        const auto base = static_cast<std::uint32_t>(leaf_tris_.size());
+        for (std::uint32_t k = 0; k < n.b; ++k) {
+          leaf_tris_.push_back(prim_indices[n.a + k]);
+        }
+        nodes_.push_back(CompactNode::make_leaf(base, n.b));
+      }
+    } else if (n.is_interior()) {
+      nodes_.push_back(CompactNode::make_interior(n.axis(), n.split, 0));
+      stack.push_back({n.b, pos});      // right: emitted after the whole
+      stack.push_back({n.a, kNoPatch}); // left subtree, patched back in
+    } else {
+      throw std::invalid_argument(
+          "CompactKdTree: source contains deferred nodes (expand first)");
+    }
+  }
+  build_blocks_and_validate();
+}
+
+CompactKdTree::CompactKdTree(std::vector<Triangle> triangles,
+                             std::vector<CompactNode> nodes,
+                             std::vector<std::uint32_t> leaf_tris, AABB bounds)
+    : triangles_(std::move(triangles)),
+      nodes_(std::move(nodes)),
+      leaf_tris_(std::move(leaf_tris)),
+      bounds_(bounds) {
+  build_blocks_and_validate();
+}
+
+void CompactKdTree::build_blocks_and_validate() {
+  if (nodes_.empty()) {
+    throw std::runtime_error("compact tree corrupt: no nodes");
+  }
+  if (nodes_.size() - 1 > CompactNode::kMaxPayload) {
+    throw std::runtime_error("compact tree corrupt: too many nodes");
+  }
+
+  soa_.assign(9ull * leaf_tris_.size(), 0.0f);
+  std::size_t running = 0;  // next unclaimed leaf-block slot
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const CompactNode& n = nodes_[i];
+    if (!n.is_leaf()) {
+      // DFS order: the left subtree is non-empty, so the right child is at
+      // least two slots ahead. This also guarantees forward progress when
+      // traversing untrusted (deserialized) trees.
+      const std::uint32_t right = n.right_child();
+      if (right < i + 2 || right >= nodes_.size()) {
+        throw std::runtime_error("compact tree corrupt: right child");
+      }
+      continue;
+    }
+    const std::uint32_t count = n.prim_count();
+    if (count == 0) continue;
+    if (count == 1) {
+      if (n.prim >= triangles_.size()) {
+        throw std::runtime_error("compact tree corrupt: inlined triangle id");
+      }
+      continue;
+    }
+    if (n.prim != running || running + count > leaf_tris_.size()) {
+      throw std::runtime_error("compact tree corrupt: leaf block range");
+    }
+    float* blk = soa_.data() + 9ull * running;
+    for (std::uint32_t k = 0; k < count; ++k) {
+      const std::uint32_t id = leaf_tris_[running + k];
+      if (id >= triangles_.size()) {
+        throw std::runtime_error("compact tree corrupt: leaf triangle id");
+      }
+      const Triangle& tri = triangles_[id];
+      const Vec3 e1 = tri.b - tri.a;
+      const Vec3 e2 = tri.c - tri.a;
+      blk[k] = tri.a.x;
+      blk[count + k] = tri.a.y;
+      blk[2ull * count + k] = tri.a.z;
+      blk[3ull * count + k] = e1.x;
+      blk[4ull * count + k] = e1.y;
+      blk[5ull * count + k] = e1.z;
+      blk[6ull * count + k] = e2.x;
+      blk[7ull * count + k] = e2.y;
+      blk[8ull * count + k] = e2.z;
+    }
+    running += count;
+  }
+  if (running != leaf_tris_.size()) {
+    throw std::runtime_error("compact tree corrupt: dangling leaf block data");
+  }
+}
+
+void CompactKdTree::intersect_leaf(const CompactNode& node, Ray& ray,
+                                   Hit& best) const {
+  for_each_leaf_tri(
+      node, triangles_, soa_.data(), leaf_tris_.data(),
+      [&](const Vec3& a, const Vec3& e1, const Vec3& e2, std::uint32_t id) {
+        float t, u, v;
+        if (intersect_edges(ray, a, e1, e2, t, u, v)) {
+          best = {t, id, u, v};
+          ray.t_max = t;
+        }
+        return false;
+      });
+}
+
+template <CompactKdTree::HitQuery M, bool kCounted>
+Hit CompactKdTree::hit_core(const Ray& ray, TraversalCounters* counters) const {
+  Hit best;
+  float t_min, t_max;
+  if (!intersect_aabb(ray, bounds_, t_min, t_max)) return best;
+
+  // Hoisted raw pointers keep the hot loop free of member indirections.
+  const CompactNode* const nodes = nodes_.data();
+  const float* const soa = soa_.data();
+  const std::uint32_t* const leaf_tris = leaf_tris_.data();
+  const Triangle* const tris = triangles_.data();
+
+  // Shrinking interval for the closest-hit query, kept in a register
+  // (identical semantics to shrinking a Ray copy's t_max).
+  float ray_t_max = ray.t_max;
+  using traversal_detail::StackEntry;
+  StackEntry stack[traversal_detail::kMaxStackDepth];
+  int sp = 0;
+  std::uint32_t current = 0;
+
+  constexpr float kInf = std::numeric_limits<float>::infinity();
+
+  for (;;) {
+    const CompactNode node = nodes[current];
+    if (node.is_leaf()) {
+      const std::uint32_t count = node.prim_count();
+      if constexpr (kCounted) {
+        ++counters->leaves_visited;
+        counters->triangles_tested += count;
+      }
+      if (count == 1) {
+        // Inlined single-triangle leaf: edges computed on the fly.
+        const Triangle& tri = tris[node.prim];
+        const float bound = M == HitQuery::kAny ? ray.t_max : ray_t_max;
+        float t, u, v;
+        if (intersect_edges(ray.origin, ray.dir, ray.t_min, bound, tri.a,
+                            tri.b - tri.a, tri.c - tri.a, t, u, v)) {
+          best = {t, node.prim, u, v};
+          if constexpr (M == HitQuery::kAny) return best;
+          ray_t_max = t;
+        }
+      } else if (count > 1) {
+        // Block evaluation over the leaf's SoA slab: a branchless pass
+        // fills per-triangle hit distances (+inf = miss), then a scalar
+        // argmin scan picks the winner. Equivalent to the sequential
+        // shrinking scan — the argmin keeps the first of equal distances,
+        // exactly like `tt >= t_max` rejects a tie against an earlier hit —
+        // but the straight-line inner loop vectorizes across the block.
+        const float* const ax = soa + 9ull * node.prim;
+        const float* const ay = ax + count;
+        const float* const az = ay + count;
+        const float* const e1x = az + count;
+        const float* const e1y = e1x + count;
+        const float* const e1z = e1y + count;
+        const float* const e2x = e1z + count;
+        const float* const e2y = e2x + count;
+        const float* const e2z = e2y + count;
+        const std::uint32_t* const ids = leaf_tris + node.prim;
+
+        if (count <= 4) {
+          // Tiny blocks (the common case for well-built SAH trees) take a
+          // plain sequential scan over the SoA slots: identical test order
+          // and shrinking bound, none of the chunk machinery.
+          for (std::uint32_t k = 0; k < count; ++k) {
+            const float bound = M == HitQuery::kAny ? ray.t_max : ray_t_max;
+            float t, u, v;
+            if (intersect_edges(ray.origin, ray.dir, ray.t_min, bound,
+                                Vec3{ax[k], ay[k], az[k]},
+                                Vec3{e1x[k], e1y[k], e1z[k]},
+                                Vec3{e2x[k], e2y[k], e2z[k]}, t, u, v)) {
+              best = {t, ids[k], u, v};
+              if constexpr (M == HitQuery::kAny) return best;
+              ray_t_max = t;
+            }
+          }
+        } else {
+          constexpr std::uint32_t kChunk = 128;
+          float ts[kChunk], us[kChunk], vs[kChunk];
+          for (std::uint32_t off = 0; off < count; off += kChunk) {
+            const std::uint32_t n = std::min(kChunk, count - off);
+            const float bound = M == HitQuery::kAny ? ray.t_max : ray_t_max;
+            for (std::uint32_t k = 0; k < n; ++k) {
+              ts[k] = intersect_edges_t(
+                  ray.origin, ray.dir, ray.t_min, bound,
+                  Vec3{ax[off + k], ay[off + k], az[off + k]},
+                  Vec3{e1x[off + k], e1y[off + k], e1z[off + k]},
+                  Vec3{e2x[off + k], e2y[off + k], e2z[off + k]}, us[k], vs[k]);
+            }
+            float m = kInf;
+            std::uint32_t mk = 0;
+            for (std::uint32_t k = 0; k < n; ++k) {
+              if (ts[k] < m) {
+                m = ts[k];
+                mk = k;
+              }
+            }
+            if (m < kInf) {
+              best = {m, ids[off + mk], us[mk], vs[mk]};
+              if constexpr (M == HitQuery::kAny) return best;
+              ray_t_max = m;
+            }
+          }
+        }
+      }
+      if constexpr (M == HitQuery::kClosest) {
+        // A hit inside this leaf's interval cannot be beaten by nodes
+        // further along the ray.
+        if (best.valid() && best.t <= t_max) return best;
+      }
+      if (sp == 0) return best;
+      --sp;
+      current = stack[sp].node;
+      t_min = stack[sp].t_min;
+      t_max = stack[sp].t_max;
+      continue;
+    }
+
+    if constexpr (kCounted) ++counters->interior_visited;
+    const Axis axis = node.axis();
+    const float origin = ray.origin[axis];
+    const float t_split = (node.split - origin) * ray.inv_dir[axis];
+
+    // Same near/far rules as KdTree::traverse; left child is implicit.
+    std::uint32_t near = current + 1;
+    std::uint32_t far = node.right_child();
+    const bool below =
+        origin < node.split || (origin == node.split && ray.dir[axis] <= 0.0f);
+    if (!below) std::swap(near, far);
+
+    // NaN (ray in the split plane) fails every ordered comparison, so the
+    // common near-only / far-only cases never pay for the NaN test — it is
+    // only reached (and checked) on the visit-both path. Decisions are
+    // identical to checking NaN first, as KdTree::traverse does.
+    if (t_split > t_max || t_split <= 0.0f) {
+      current = near;
+    } else if (t_split < t_min) {
+      current = far;
+    } else if (std::isnan(t_split)) {
+      if (sp < traversal_detail::kMaxStackDepth) {
+        stack[sp++] = {far, t_min, t_max};
+      }
+      current = near;
+    } else {
+      if (sp < traversal_detail::kMaxStackDepth) {
+        __builtin_prefetch(nodes + far);  // next miss after the matching pop
+        stack[sp++] = {far, t_split, t_max};
+      }
+      current = near;
+      t_max = t_split;
+    }
+  }
+}
+
+Hit CompactKdTree::closest_hit(const Ray& ray) const {
+  return hit_core<HitQuery::kClosest, false>(ray, nullptr);
+}
+
+Hit CompactKdTree::closest_hit_counted(const Ray& ray,
+                                       TraversalCounters& counters) const {
+  return hit_core<HitQuery::kClosest, true>(ray, &counters);
+}
+
+bool CompactKdTree::any_hit(const Ray& ray) const {
+  return hit_core<HitQuery::kAny, false>(ray, nullptr).valid();
+}
+
+void CompactKdTree::query_range(const AABB& box,
+                                std::vector<std::uint32_t>& out) const {
+  const std::size_t start = out.size();
+  if (!bounds_.overlaps(box)) return;
+
+  struct Frame {
+    std::uint32_t node;
+    AABB node_box;
+  };
+  std::vector<Frame> stack{{0, bounds_}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const CompactNode& node = nodes_[f.node];
+    if (node.is_leaf()) {
+      for_each_leaf_tri(
+          node, triangles_, soa_.data(), leaf_tris_.data(),
+          [&](const Vec3&, const Vec3&, const Vec3&, std::uint32_t id) {
+            // Exact filter: the clipped geometry must reach into the box.
+            if (box.overlaps(triangles_[id].bounds()) &&
+                !clipped_bounds(triangles_[id], box).empty()) {
+              out.push_back(id);
+            }
+            return false;
+          });
+      continue;
+    }
+    const auto [lbox, rbox] = f.node_box.split(node.axis(), node.split);
+    if (box.overlaps(lbox)) stack.push_back({f.node + 1, lbox});
+    if (box.overlaps(rbox)) stack.push_back({node.right_child(), rbox});
+  }
+
+  std::sort(out.begin() + start, out.end());
+  out.erase(std::unique(out.begin() + start, out.end()), out.end());
+}
+
+NearestResult CompactKdTree::nearest(const Vec3& point) const {
+  NearestResult best;
+  if (nodes_.empty()) return best;
+
+  struct Entry {
+    float dist_sq;
+    std::uint32_t node;
+    AABB box;
+
+    bool operator>(const Entry& o) const noexcept {
+      return dist_sq > o.dist_sq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  queue.push({distance_squared(point, bounds_), 0, bounds_});
+
+  while (!queue.empty()) {
+    const Entry entry = queue.top();
+    queue.pop();
+    if (entry.dist_sq >= best.distance_sq) break;  // all remaining are farther
+
+    const CompactNode& node = nodes_[entry.node];
+    if (node.is_leaf()) {
+      for_each_leaf_tri(
+          node, triangles_, soa_.data(), leaf_tris_.data(),
+          [&](const Vec3&, const Vec3&, const Vec3&, std::uint32_t id) {
+            const Vec3 cp = closest_point_on_triangle(point, triangles_[id]);
+            const float d = length_squared(point - cp);
+            if (d < best.distance_sq) {
+              best = {id, cp, d};
+            }
+            return false;
+          });
+      continue;
+    }
+    const auto [lbox, rbox] = entry.box.split(node.axis(), node.split);
+    queue.push({distance_squared(point, lbox), entry.node + 1, lbox});
+    queue.push({distance_squared(point, rbox), node.right_child(), rbox});
+  }
+  return best;
+}
+
+TreeStats CompactKdTree::stats() const {
+  TreeStats s;
+  if (nodes_.empty()) return s;
+
+  struct Frame {
+    std::uint32_t node;
+    AABB box;
+    std::size_t depth;
+  };
+  std::vector<Frame> stack{{0, bounds_, 1}};
+  const double root_area = bounds_.surface_area();
+  std::size_t nonempty_prims = 0;
+  std::size_t nonempty_leaves = 0;
+
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const CompactNode& node = nodes_[f.node];
+    ++s.node_count;
+    s.max_depth = std::max(s.max_depth, f.depth);
+    const double p = root_area > 0.0 ? f.box.surface_area() / root_area : 0.0;
+
+    if (node.is_leaf()) {
+      const std::uint32_t count = node.prim_count();
+      ++s.leaf_count;
+      if (count == 0) ++s.empty_leaf_count;
+      s.prim_refs += count;
+      if (count > 0) {
+        nonempty_prims += count;
+        ++nonempty_leaves;
+      }
+      s.sah_cost += p * 17.0 * static_cast<double>(count);
+      continue;
+    }
+
+    s.sah_cost += p * 10.0;
+    const auto [lbox, rbox] = f.box.split(node.axis(), node.split);
+    stack.push_back({f.node + 1, lbox, f.depth + 1});
+    stack.push_back({node.right_child(), rbox, f.depth + 1});
+  }
+
+  s.avg_leaf_prims = nonempty_leaves > 0
+                         ? static_cast<double>(nonempty_prims) /
+                               static_cast<double>(nonempty_leaves)
+                         : 0.0;
+  return s;
+}
+
+}  // namespace kdtune

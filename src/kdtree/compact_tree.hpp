@@ -1,0 +1,132 @@
+#pragma once
+
+// Cache-compact query fast path — the immutable "serving layout".
+//
+// Any built eager KdTree can be re-emitted into a CompactKdTree, a read-only
+// structure tuned purely for query throughput (PBRT-style node packing plus
+// the cache-conscious layout discipline of ParGeo / Wald's in-place trees):
+//
+//   * Nodes shrink from 16 to 8 bytes and are re-emitted in depth-first
+//     order, so the left child of node i is *implicit* at i + 1 (one fewer
+//     word to load, and the near-child descent walks forward through memory).
+//     The second word packs axis/leaf into its 2 low bits and the right-child
+//     index (interior) or primitive count (leaf) into the upper 30 bits.
+//   * Primitive storage is rewritten into leaf-order contiguous blocks: each
+//     leaf's triangles are one linear scan, with no `prim_indices[i] ->
+//     triangles[tri]` double indirection on the hot path. Blocks store
+//     precomputed Möller–Trumbore base/edge vectors SoA (per block), so the
+//     per-triangle test starts from contiguous loads.
+//   * Single-triangle leaves are inlined: the node stores the triangle id
+//     directly and skips the block lookup entirely.
+//
+// Queries return bit-identical results to the source KdTree (the parity test
+// suite enforces this): same traversal decisions, same per-leaf test order,
+// and the Möller–Trumbore core is shared (geom/triangle.hpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "kdtree/tree.hpp"
+
+namespace kdtune {
+
+/// 8-byte packed node. DFS order: left child of node i is node i + 1.
+struct CompactNode {
+  static constexpr std::uint32_t kLeafTag = 3;
+  /// Upper bound on node index / leaf count imposed by the 30-bit field.
+  static constexpr std::uint32_t kMaxPayload = (1u << 30) - 1;
+
+  union {
+    float split;         ///< interior: plane offset on `axis()`
+    std::uint32_t prim;  ///< leaf, count == 1: triangle id (inlined);
+                         ///< leaf, count != 1: first slot of its leaf block
+  };
+  std::uint32_t meta = kLeafTag;  ///< bits 0-1: axis (0/1/2) or 3 = leaf;
+                                  ///< bits 2-31: right child / prim count
+
+  bool is_leaf() const noexcept { return (meta & 3u) == kLeafTag; }
+  Axis axis() const noexcept { return static_cast<Axis>(meta & 3u); }
+  std::uint32_t right_child() const noexcept { return meta >> 2; }
+  std::uint32_t prim_count() const noexcept { return meta >> 2; }
+
+  static CompactNode make_leaf(std::uint32_t prim,
+                               std::uint32_t count) noexcept {
+    CompactNode n;
+    n.prim = prim;
+    n.meta = (count << 2) | kLeafTag;
+    return n;
+  }
+
+  static CompactNode make_interior(Axis axis, float split,
+                                   std::uint32_t right) noexcept {
+    CompactNode n;
+    n.split = split;
+    n.meta = (right << 2) | static_cast<std::uint32_t>(axis);
+    return n;
+  }
+};
+static_assert(sizeof(CompactNode) == 8, "CompactNode must pack to 8 bytes");
+
+class CompactKdTree final : public KdTreeBase {
+ public:
+  /// Re-emits `source` into the compact layout. The source tree is left
+  /// untouched; triangles are copied so the compact tree is self-contained.
+  /// Throws std::invalid_argument if the source exceeds the 30-bit node
+  /// budget or contains deferred nodes.
+  explicit CompactKdTree(const KdTree& source);
+
+  /// Assembles from raw parts (deserialization). `leaf_tris` is the
+  /// leaf-ordered triangle-id array; the SoA blocks are recomputed. Throws
+  /// std::runtime_error if the arrays are structurally inconsistent.
+  CompactKdTree(std::vector<Triangle> triangles,
+                std::vector<CompactNode> nodes,
+                std::vector<std::uint32_t> leaf_tris, AABB bounds);
+
+  Hit closest_hit(const Ray& ray) const override;
+  bool any_hit(const Ray& ray) const override;
+  /// closest_hit with work counters; counts match KdTree::closest_hit_counted
+  /// exactly (same visits, same triangle tests).
+  Hit closest_hit_counted(const Ray& ray, TraversalCounters& counters) const;
+  void query_range(const AABB& box,
+                   std::vector<std::uint32_t>& out) const override;
+  NearestResult nearest(const Vec3& point) const override;
+  const AABB& bounds() const noexcept override { return bounds_; }
+  std::span<const Triangle> triangles() const noexcept override {
+    return triangles_;
+  }
+  TreeStats stats() const override;
+
+  std::span<const CompactNode> nodes() const noexcept { return nodes_; }
+  /// Leaf-ordered triangle ids for all leaves with count >= 2.
+  std::span<const std::uint32_t> leaf_tris() const noexcept {
+    return leaf_tris_;
+  }
+
+  /// Intersects `ray` against leaf `node` (which must be a leaf), shrinking
+  /// `ray.t_max` on hits and updating `best`. Exposed for the packet
+  /// traversal, which shares the leaf blocks.
+  void intersect_leaf(const CompactNode& node, Ray& ray, Hit& best) const;
+
+ private:
+  enum class HitQuery { kClosest, kAny };
+
+  /// kCounted templates the instrumentation out of the uncounted hot paths
+  /// entirely (no per-node branch on a counters pointer).
+  template <HitQuery M, bool kCounted>
+  Hit hit_core(const Ray& ray, TraversalCounters* counters) const;
+
+  /// Recomputes the per-block SoA arrays from triangles_ + leaf_tris_ and
+  /// validates node/block structure. Shared by both constructors.
+  void build_blocks_and_validate();
+
+  std::vector<Triangle> triangles_;
+  std::vector<CompactNode> nodes_;
+  std::vector<std::uint32_t> leaf_tris_;
+  /// 9 floats per leaf-block slot, SoA within each block: for a block of n
+  /// triangles starting at slot s, floats [9s, 9s + 9n) hold
+  /// [a.x * n][a.y * n][a.z * n][e1.x * n]...[e2.z * n].
+  std::vector<float> soa_;
+  AABB bounds_;
+};
+
+}  // namespace kdtune

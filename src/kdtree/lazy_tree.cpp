@@ -31,7 +31,8 @@ LazyKdTree::LazyKdTree(std::vector<Triangle> triangles,
                        std::vector<KdNode> nodes,
                        std::vector<std::uint32_t> prim_indices,
                        std::uint32_t root, AABB bounds,
-                       std::unordered_map<std::uint32_t, AABB> deferred_bounds,
+                       std::unordered_map<std::uint32_t, DeferredInfo>
+                           deferred_bounds,
                        BuildConfig config)
     : triangles_(std::move(triangles)),
       bounds_(bounds),
@@ -74,7 +75,8 @@ void LazyKdTree::expand(std::uint32_t index) const {
   }
 
   const auto it = deferred_bounds_.find(index);
-  const AABB box = it != deferred_bounds_.end() ? it->second : bounds_;
+  const AABB box = it != deferred_bounds_.end() ? it->second.box : bounds_;
+  const int node_depth = it != deferred_bounds_.end() ? it->second.depth : 0;
 
   // Rebuild primitive refs for the subtree, re-clipping each triangle to the
   // node box ("perfect splits" for the expansion sweep).
@@ -93,9 +95,14 @@ void LazyKdTree::expand(std::uint32_t index) const {
     return;
   }
 
-  // Sequential SAH sweep over the (small, < R primitives) subtree.
+  // Sequential SAH sweep over the (small, < R primitives) subtree. The
+  // subtree depth is capped to the traversal stack budget *remaining below
+  // this node*, so the combined BFS + expansion path can never overflow the
+  // near/far stack (which would silently drop far children).
   const SahParams sah = SahParams::from_config(config_);
-  const int max_depth = config_.resolved_max_depth(refs.size());
+  const int max_depth =
+      std::max(0, std::min(config_.resolved_max_depth(refs.size()),
+                           traversal_detail::kMaxStackDepth - node_depth));
 
   struct Rec {
     static std::unique_ptr<BuildNode> build(std::span<const Triangle> tris,

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "kdtree/bfs_builder.hpp"
 #include "kdtree/build_config.hpp"
 #include "kdtree/nodes.hpp"
 #include "kdtree/tree.hpp"
@@ -37,10 +38,12 @@ class LazyKdTree final : public KdTreeBase {
   };
 
   /// Takes the BFS phase's flat output. `deferred_bounds` maps deferred node
-  /// indices to their boxes (needed to build their subtrees later).
+  /// indices to their boxes and depths (needed to build their subtrees later
+  /// within the traversal-stack depth budget).
   LazyKdTree(std::vector<Triangle> triangles, std::vector<KdNode> nodes,
              std::vector<std::uint32_t> prim_indices, std::uint32_t root,
-             AABB bounds, std::unordered_map<std::uint32_t, AABB> deferred_bounds,
+             AABB bounds,
+             std::unordered_map<std::uint32_t, DeferredInfo> deferred_bounds,
              BuildConfig config);
 
   Hit closest_hit(const Ray& ray) const override;
@@ -92,7 +95,7 @@ class LazyKdTree final : public KdTreeBase {
   // guarded by expand_mutex_; publication is via LazyNode::flags.
   mutable StablePool<LazyNode> nodes_;
   mutable StablePool<std::uint32_t> prims_;
-  mutable std::unordered_map<std::uint32_t, AABB> deferred_bounds_;
+  mutable std::unordered_map<std::uint32_t, DeferredInfo> deferred_bounds_;
   mutable std::mutex expand_mutex_;  ///< the paper's "OpenMP critical"
   mutable std::atomic<std::size_t> expansions_{0};
 };

@@ -23,10 +23,68 @@ struct StackEntry {
   PacketState state;
 };
 
-}  // namespace
+/// Decoded node shared by the two layouts.
+struct DecodedNode {
+  bool leaf;
+  Axis axis;
+  float split;
+  std::uint32_t left;
+  std::uint32_t right;
+};
 
-void closest_hit_packet(const KdTree& tree, std::span<const Ray> rays,
-                        std::span<Hit> hits) {
+/// Adapter over the classic 16-byte builder layout.
+struct EagerView {
+  std::span<const KdNode> nodes;
+  std::span<const std::uint32_t> prim_indices;
+  std::span<const Triangle> tris;
+  std::uint32_t root_index;
+
+  std::uint32_t root() const noexcept { return root_index; }
+
+  DecodedNode decode(std::uint32_t idx) const noexcept {
+    const KdNode& n = nodes[idx];
+    if (n.is_leaf()) return {true, Axis::X, 0.0f, 0, 0};
+    return {false, n.axis(), n.split, n.a, n.b};
+  }
+
+  void intersect_leaf(std::uint32_t idx, Ray& ray, Hit& best) const {
+    const KdNode& n = nodes[idx];
+    for (std::uint32_t k = 0; k < n.b; ++k) {
+      const std::uint32_t tri = prim_indices[n.a + k];
+      float t, u, v;
+      if (intersect(ray, tris[tri], t, u, v)) {
+        best = {t, tri, u, v};
+        ray.t_max = t;
+      }
+    }
+  }
+};
+
+/// Adapter over the 8-byte compact layout (implicit left child).
+struct CompactView {
+  const CompactKdTree* tree;
+  std::span<const CompactNode> nodes;
+
+  std::uint32_t root() const noexcept { return 0; }
+
+  DecodedNode decode(std::uint32_t idx) const noexcept {
+    const CompactNode& n = nodes[idx];
+    if (n.is_leaf()) return {true, Axis::X, 0.0f, 0, 0};
+    return {false, n.axis(), n.split, idx + 1, n.right_child()};
+  }
+
+  void intersect_leaf(std::uint32_t idx, Ray& ray, Hit& best) const {
+    tree->intersect_leaf(nodes[idx], ray, best);
+  }
+};
+
+/// The masked packet traversal, shared by both layouts. Per-ray results are
+/// bit-identical to the scalar traversal: the same near/far decisions run
+/// per ray, and each ray tests its leaves' triangles in the same order with
+/// its own shrinking interval.
+template <typename View>
+void packet_traverse(const View& view, const AABB& bounds,
+                     std::span<const Ray> rays, std::span<Hit> hits) {
   const std::size_t n = rays.size();
   if (hits.size() != n) {
     throw std::invalid_argument("closest_hit_packet: rays/hits size mismatch");
@@ -35,10 +93,6 @@ void closest_hit_packet(const KdTree& tree, std::span<const Ray> rays,
   if (n > kMaxPacketSize) {
     throw std::invalid_argument("closest_hit_packet: packet too large");
   }
-
-  const auto nodes = tree.nodes();
-  const auto prim_indices = tree.prim_indices();
-  const auto tris = tree.triangles();
 
   // Per-ray state that persists across the whole trace.
   float best_t[kMaxPacketSize];
@@ -52,64 +106,60 @@ void closest_hit_packet(const KdTree& tree, std::span<const Ray> rays,
   Mask mask = 0;
   for (std::size_t i = 0; i < n; ++i) {
     float t0, t1;
-    if (intersect_aabb(rays[i], tree.bounds(), t0, t1)) {
+    if (intersect_aabb(rays[i], bounds, t0, t1)) {
       root_state.t_min[i] = t0;
       root_state.t_max[i] = t1;
       mask |= Mask{1} << i;
     }
   }
-  if (mask == 0 || nodes.empty()) return;
+  if (mask == 0) return;
 
   std::vector<StackEntry> stack;
   stack.reserve(64);
-  std::uint32_t current = tree.root();
+  std::uint32_t current = view.root();
   PacketState state = root_state;
 
+  // Pops the next deferred far side, dropping rays that already found a hit
+  // no farther than the deferred interval's start (their result is final;
+  // the deferred subtree cannot beat it). Returns false when exhausted.
+  const auto pop = [&]() -> bool {
+    for (;;) {
+      if (stack.empty()) return false;
+      StackEntry entry = std::move(stack.back());
+      stack.pop_back();
+      Mask still = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((entry.mask & (Mask{1} << i)) == 0) continue;
+        if (hits[i].valid() && hits[i].t <= entry.state.t_min[i]) continue;
+        still |= Mask{1} << i;
+      }
+      if (still != 0) {
+        current = entry.node;
+        mask = still;
+        state = entry.state;
+        return true;
+      }
+    }
+  };
+
   for (;;) {
-    const KdNode& node = nodes[current];
-    if (node.is_leaf()) {
-      for (std::uint32_t k = 0; k < node.b; ++k) {
-        const std::uint32_t tri = prim_indices[node.a + k];
-        for (std::size_t i = 0; i < n; ++i) {
-          if ((mask & (Mask{1} << i)) == 0) continue;
-          Ray r = rays[i];
-          r.t_max = best_t[i];
-          float t, u, v;
-          if (intersect(r, tris[tri], t, u, v)) {
-            hits[i] = {t, tri, u, v};
-            best_t[i] = t;
-          }
-        }
+    const DecodedNode node = view.decode(current);
+    if (node.leaf) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((mask & (Mask{1} << i)) == 0) continue;
+        Ray r = rays[i];
+        r.t_max = best_t[i];
+        view.intersect_leaf(current, r, hits[i]);
+        best_t[i] = r.t_max;
       }
-      // Pop the next deferred far side, dropping rays that already found a
-      // hit no farther than the deferred interval's start (their result is
-      // final; the deferred subtree cannot beat it).
-      for (;;) {
-        if (stack.empty()) return;
-        StackEntry entry = std::move(stack.back());
-        stack.pop_back();
-        Mask still = 0;
-        for (std::size_t i = 0; i < n; ++i) {
-          if ((entry.mask & (Mask{1} << i)) == 0) continue;
-          if (hits[i].valid() && hits[i].t <= entry.state.t_min[i]) continue;
-          still |= Mask{1} << i;
-        }
-        if (still != 0) {
-          current = entry.node;
-          mask = still;
-          state = entry.state;
-          break;
-        }
-      }
+      if (!pop()) return;
       continue;
     }
 
-    const Axis axis = node.axis();
+    const Axis axis = node.axis;
     Mask near_mask = 0, far_mask = 0;
     PacketState near_state = state, far_state = state;
 
-    // Children by the *first* active ray's orientation; rays pointing the
-    // other way swap roles individually below.
     for (std::size_t i = 0; i < n; ++i) {
       if ((mask & (Mask{1} << i)) == 0) continue;
       const Ray& ray = rays[i];
@@ -134,9 +184,9 @@ void closest_hit_packet(const KdTree& tree, std::span<const Ray> rays,
         far_t_min = t_split;
       }
 
-      // The two buckets are keyed by *physical* child: bucket "near_" is
-      // child a, bucket "far_" is child b. A ray's own near child is a when
-      // it starts below the plane, b otherwise.
+      // The two buckets are keyed by *physical* child: bucket "near_" is the
+      // left child, bucket "far_" is the right child. A ray's own near child
+      // is the left one when it starts below the plane, right otherwise.
       if (go_near) {
         if (below) {
           near_mask |= Mask{1} << i;
@@ -157,52 +207,60 @@ void closest_hit_packet(const KdTree& tree, std::span<const Ray> rays,
       }
     }
 
-    // Bucket "near_" is physical child a, "far_" is child b. Descend into
-    // whichever has rays; defer the other.
+    // Descend into whichever physical child has rays; defer the other.
     if (near_mask != 0 && far_mask != 0) {
-      stack.push_back({node.b, far_mask, far_state});
-      current = node.a;
+      stack.push_back({node.right, far_mask, far_state});
+      current = node.left;
       mask = near_mask;
       state = near_state;
     } else if (near_mask != 0) {
-      current = node.a;
+      current = node.left;
       mask = near_mask;
       state = near_state;
     } else if (far_mask != 0) {
-      current = node.b;
+      current = node.right;
       mask = far_mask;
       state = far_state;
     } else {
-      // No ray continues here: pop.
-      for (;;) {
-        if (stack.empty()) return;
-        StackEntry entry = std::move(stack.back());
-        stack.pop_back();
-        Mask still = 0;
-        for (std::size_t i = 0; i < n; ++i) {
-          if ((entry.mask & (Mask{1} << i)) == 0) continue;
-          if (hits[i].valid() && hits[i].t <= entry.state.t_min[i]) continue;
-          still |= Mask{1} << i;
-        }
-        if (still != 0) {
-          current = entry.node;
-          mask = still;
-          state = entry.state;
-          break;
-        }
-      }
+      if (!pop()) return;
     }
   }
 }
 
+}  // namespace
+
+void closest_hit_packet(const KdTree& tree, std::span<const Ray> rays,
+                        std::span<Hit> hits) {
+  if (tree.nodes().empty()) {
+    for (std::size_t i = 0; i < hits.size(); ++i) hits[i] = Hit{};
+    return;
+  }
+  const EagerView view{tree.nodes(), tree.prim_indices(), tree.triangles(),
+                       tree.root()};
+  packet_traverse(view, tree.bounds(), rays, hits);
+}
+
+void closest_hit_packet(const CompactKdTree& tree, std::span<const Ray> rays,
+                        std::span<Hit> hits) {
+  const CompactView view{&tree, tree.nodes()};
+  packet_traverse(view, tree.bounds(), rays, hits);
+}
+
 void closest_hit_packet_any(const KdTreeBase& tree, std::span<const Ray> rays,
                             std::span<Hit> hits) {
-  if (const auto* eager = dynamic_cast<const KdTree*>(&tree)) {
+  const auto* eager = dynamic_cast<const KdTree*>(&tree);
+  const auto* compact = dynamic_cast<const CompactKdTree*>(&tree);
+  if (eager != nullptr || compact != nullptr) {
     std::size_t offset = 0;
     while (offset < rays.size()) {
       const std::size_t chunk = std::min(kMaxPacketSize, rays.size() - offset);
-      closest_hit_packet(*eager, rays.subspan(offset, chunk),
-                         hits.subspan(offset, chunk));
+      if (eager != nullptr) {
+        closest_hit_packet(*eager, rays.subspan(offset, chunk),
+                           hits.subspan(offset, chunk));
+      } else {
+        closest_hit_packet(*compact, rays.subspan(offset, chunk),
+                           hits.subspan(offset, chunk));
+      }
       offset += chunk;
     }
     return;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <span>
 
+#include "kdtree/compact_tree.hpp"
 #include "kdtree/tree.hpp"
 
 namespace kdtune {
@@ -25,9 +26,14 @@ inline constexpr std::size_t kMaxPacketSize = 64;
 void closest_hit_packet(const KdTree& tree, std::span<const Ray> rays,
                         std::span<Hit> hits);
 
+/// Packet traversal over the compact serving layout; results are
+/// bit-identical to the KdTree overload and to per-ray traversal.
+void closest_hit_packet(const CompactKdTree& tree, std::span<const Ray> rays,
+                        std::span<Hit> hits);
+
 /// Convenience fallback for any KdTreeBase: uses the real packet traversal
-/// for eager trees and per-ray traversal otherwise (lazy trees mutate during
-/// traversal, which packet masking does not model).
+/// for eager/compact trees and per-ray traversal otherwise (lazy trees
+/// mutate during traversal, which packet masking does not model).
 void closest_hit_packet_any(const KdTreeBase& tree, std::span<const Ray> rays,
                             std::span<Hit> hits);
 

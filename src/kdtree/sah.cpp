@@ -1,15 +1,24 @@
 #include "kdtree/sah.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "kdtree/tree.hpp"
 
 namespace kdtune {
 
 int BuildConfig::resolved_max_depth(std::size_t prim_count) const noexcept {
-  if (max_depth > 0) return max_depth;
+  // Whatever the source (manual override or the automatic bound), the result
+  // is clamped to the traversal stack capacity: a deeper tree would overflow
+  // the fixed near/far stack, which silently drops far children (lost hits).
+  if (max_depth > 0) {
+    return std::min(max_depth, traversal_detail::kMaxStackDepth);
+  }
   if (prim_count < 2) return 1;
   // Standard kd-tree depth bound (PBRT / Wald): 8 + 1.3 * log2(n).
-  return static_cast<int>(
+  const int automatic = static_cast<int>(
       8.0 + 1.3 * std::log2(static_cast<double>(prim_count)) + 0.5);
+  return std::min(automatic, traversal_detail::kMaxStackDepth);
 }
 
 SplitCandidate evaluate_plane(const SahParams& p, const AABB& node_bounds,

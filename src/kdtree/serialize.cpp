@@ -13,6 +13,7 @@ namespace {
 
 constexpr char kMagic[4] = {'K', 'D', 'T', 'N'};
 constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kCompactVersion = 2;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -47,30 +48,17 @@ std::vector<T> read_vector(std::istream& in, std::uint64_t sanity_cap) {
   return data;
 }
 
-}  // namespace
-
-void save_tree(std::ostream& out, const KdTree& tree) {
-  out.write(kMagic, sizeof(kMagic));
-  write_pod(out, kVersion);
-  write_pod(out, tree.bounds());
-  write_pod(out, tree.root());
-  write_span(out, tree.nodes());
-  write_span(out, tree.prim_indices());
-  write_span(out, tree.triangles());
-  if (!out) throw std::runtime_error("kd-tree write failed");
-}
-
-std::unique_ptr<KdTree> load_tree(std::istream& in) {
+std::uint32_t read_header(std::istream& in) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     throw std::runtime_error("not a kd-tree file (bad magic)");
   }
-  const auto version = read_pod<std::uint32_t>(in);
-  if (version != kVersion) {
-    throw std::runtime_error("unsupported kd-tree file version " +
-                             std::to_string(version));
-  }
+  return read_pod<std::uint32_t>(in);
+}
+
+/// Body of a v1 file, after the magic/version header.
+std::unique_ptr<KdTree> load_tree_v1(std::istream& in) {
   const auto bounds = read_pod<AABB>(in);
   const auto root = read_pod<std::uint32_t>(in);
   constexpr std::uint64_t kCap = 1ull << 32;  // corruption guard
@@ -105,6 +93,74 @@ std::unique_ptr<KdTree> load_tree(std::istream& in) {
                                   std::move(prim_indices), root, bounds);
 }
 
+/// Body of a v2 file, after the magic/version header. Structural validation
+/// (child ranges, leaf blocks, triangle ids) happens inside the CompactKdTree
+/// constructor, which rebuilds the SoA blocks.
+std::unique_ptr<CompactKdTree> load_compact_v2(std::istream& in) {
+  const auto bounds = read_pod<AABB>(in);
+  constexpr std::uint64_t kCap = 1ull << 32;  // corruption guard
+  auto nodes = read_vector<CompactNode>(in, kCap);
+  auto leaf_tris = read_vector<std::uint32_t>(in, kCap);
+  auto triangles = read_vector<Triangle>(in, kCap);
+  return std::make_unique<CompactKdTree>(std::move(triangles),
+                                         std::move(nodes),
+                                         std::move(leaf_tris), bounds);
+}
+
+}  // namespace
+
+void save_tree(std::ostream& out, const KdTree& tree) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, tree.bounds());
+  write_pod(out, tree.root());
+  write_span(out, tree.nodes());
+  write_span(out, tree.prim_indices());
+  write_span(out, tree.triangles());
+  if (!out) throw std::runtime_error("kd-tree write failed");
+}
+
+std::unique_ptr<KdTree> load_tree(std::istream& in) {
+  const std::uint32_t version = read_header(in);
+  if (version == kCompactVersion) {
+    throw std::runtime_error(
+        "kd-tree file is format v2 (compact layout): use load_compact_tree");
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported kd-tree file version " +
+                             std::to_string(version));
+  }
+  return load_tree_v1(in);
+}
+
+void save_compact_tree(std::ostream& out, const CompactKdTree& tree) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kCompactVersion);
+  write_pod(out, tree.bounds());
+  write_span(out, tree.nodes());
+  write_span(out, tree.leaf_tris());
+  write_span(out, tree.triangles());
+  if (!out) throw std::runtime_error("kd-tree write failed");
+}
+
+std::unique_ptr<CompactKdTree> load_compact_tree(std::istream& in) {
+  const std::uint32_t version = read_header(in);
+  if (version == kCompactVersion) {
+    try {
+      return load_compact_v2(in);
+    } catch (const std::invalid_argument& e) {
+      throw std::runtime_error(e.what());
+    }
+  }
+  if (version == kVersion) {
+    // Backward read: re-emit the builder layout into the serving layout.
+    const std::unique_ptr<KdTree> v1 = load_tree_v1(in);
+    return std::make_unique<CompactKdTree>(*v1);
+  }
+  throw std::runtime_error("unsupported kd-tree file version " +
+                           std::to_string(version));
+}
+
 void save_tree_file(const std::string& path, const KdTree& tree) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot open for writing: " + path);
@@ -115,6 +171,19 @@ std::unique_ptr<KdTree> load_tree_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open: " + path);
   return load_tree(in);
+}
+
+void save_compact_tree_file(const std::string& path,
+                            const CompactKdTree& tree) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save_compact_tree(out, tree);
+}
+
+std::unique_ptr<CompactKdTree> load_compact_tree_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return load_compact_tree(in);
 }
 
 }  // namespace kdtune

@@ -2,14 +2,24 @@
 
 // Binary (de)serialization of eager kd-trees. Building a full-size SAH tree
 // costs seconds; applications with static geometry can build once, save, and
-// memory-load on the next run. Format (little-endian, as written by the
-// host):
+// memory-load on the next run. Two formats share the magic and a version
+// word (little-endian, as written by the host):
 //
-//   magic "KDTN", u32 version,
+// v1 — the builder layout (KdTree):
+//   magic "KDTN", u32 version = 1,
 //   AABB bounds (6 floats), u32 root,
 //   u64 node count,   KdNode[]   (split, flags, a, b as u32 words)
 //   u64 index count,  u32[]      (leaf primitive indices)
 //   u64 tri count,    Triangle[] (9 floats each)
+//
+// v2 — the compact serving layout (CompactKdTree):
+//   magic "KDTN", u32 version = 2,
+//   AABB bounds (6 floats),
+//   u64 node count,   CompactNode[] (8 bytes each, root at index 0)
+//   u64 slot count,   u32[]         (leaf-ordered triangle ids)
+//   u64 tri count,    Triangle[]
+//   The per-leaf SoA intersection blocks are recomputed on load (they are a
+//   pure function of triangles + leaf order), keeping files small.
 //
 // Lazy trees are intentionally not serializable: their value is *not* doing
 // the work; expand_all() + rebuild covers the rare need.
@@ -18,6 +28,7 @@
 #include <memory>
 #include <string>
 
+#include "kdtree/compact_tree.hpp"
 #include "kdtree/tree.hpp"
 
 namespace kdtune {
@@ -25,8 +36,21 @@ namespace kdtune {
 void save_tree(std::ostream& out, const KdTree& tree);
 void save_tree_file(const std::string& path, const KdTree& tree);
 
-/// Throws std::runtime_error on bad magic/version/truncation.
+/// Reads a v1 (builder-layout) file. Throws std::runtime_error on bad
+/// magic/version/truncation; a v2 file is rejected with a pointer to
+/// load_compact_tree.
 std::unique_ptr<KdTree> load_tree(std::istream& in);
 std::unique_ptr<KdTree> load_tree_file(const std::string& path);
+
+/// Writes the compact serving layout (format v2).
+void save_compact_tree(std::ostream& out, const CompactKdTree& tree);
+void save_compact_tree_file(const std::string& path,
+                            const CompactKdTree& tree);
+
+/// Reads a compact tree. Accepts v2 directly and v1 for backward
+/// compatibility (the loaded builder layout is re-emitted into the compact
+/// layout). Throws std::runtime_error on bad magic/version/truncation.
+std::unique_ptr<CompactKdTree> load_compact_tree(std::istream& in);
+std::unique_ptr<CompactKdTree> load_compact_tree_file(const std::string& path);
 
 }  // namespace kdtune

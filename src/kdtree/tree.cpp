@@ -87,63 +87,52 @@ void traverse(std::span<const KdNode> nodes, std::uint32_t root,
 
 }  // namespace
 
-Hit KdTree::closest_hit(const Ray& ray) const {
-  Hit best;
-  Ray r = ray;
-  traverse(nodes_, root_, bounds_, ray,
-           [&](const KdNode& node, float /*t_min*/, float t_max) {
-             for (std::uint32_t k = 0; k < node.b; ++k) {
-               const std::uint32_t tri = prim_indices_[node.a + k];
-               float t, u, v;
-               if (intersect(r, triangles_[tri], t, u, v)) {
-                 best = {t, tri, u, v};
-                 r.t_max = t;
-               }
-             }
-             // A hit inside this leaf's interval cannot be beaten by nodes
-             // further along the ray.
-             return best.valid() && best.t <= t_max;
-           });
-  return best;
-}
-
-Hit KdTree::closest_hit_counted(const Ray& ray,
-                                TraversalCounters& counters) const {
+// The one leaf-test core behind closest_hit, closest_hit_counted and
+// any_hit. kClosest shrinks the ray interval and keeps the nearest hit;
+// kAny stops at the first intersection over the original interval.
+template <KdTree::HitQuery M>
+Hit KdTree::hit_core(const Ray& ray, TraversalCounters* counters) const {
   Hit best;
   Ray r = ray;
   traverse(
       nodes_, root_, bounds_, ray,
       [&](const KdNode& node, float /*t_min*/, float t_max) {
-        counters.triangles_tested += node.b;
+        if (counters != nullptr) counters->triangles_tested += node.b;
         for (std::uint32_t k = 0; k < node.b; ++k) {
           const std::uint32_t tri = prim_indices_[node.a + k];
           float t, u, v;
-          if (intersect(r, triangles_[tri], t, u, v)) {
-            best = {t, tri, u, v};
-            r.t_max = t;
+          if constexpr (M == HitQuery::kAny) {
+            if (intersect(ray, triangles_[tri], t, u, v)) {
+              best = {t, tri, u, v};
+              return true;
+            }
+          } else {
+            if (intersect(r, triangles_[tri], t, u, v)) {
+              best = {t, tri, u, v};
+              r.t_max = t;
+            }
           }
         }
+        if constexpr (M == HitQuery::kAny) return false;
+        // A hit inside this leaf's interval cannot be beaten by nodes
+        // further along the ray.
         return best.valid() && best.t <= t_max;
       },
-      &counters);
+      counters);
   return best;
 }
 
+Hit KdTree::closest_hit(const Ray& ray) const {
+  return hit_core<HitQuery::kClosest>(ray, nullptr);
+}
+
+Hit KdTree::closest_hit_counted(const Ray& ray,
+                                TraversalCounters& counters) const {
+  return hit_core<HitQuery::kClosest>(ray, &counters);
+}
+
 bool KdTree::any_hit(const Ray& ray) const {
-  bool found = false;
-  traverse(nodes_, root_, bounds_, ray,
-           [&](const KdNode& node, float, float) {
-             for (std::uint32_t k = 0; k < node.b; ++k) {
-               const std::uint32_t tri = prim_indices_[node.a + k];
-               float t, u, v;
-               if (intersect(ray, triangles_[tri], t, u, v)) {
-                 found = true;
-                 return true;
-               }
-             }
-             return false;
-           });
-  return found;
+  return hit_core<HitQuery::kAny>(ray, nullptr).valid();
 }
 
 void KdTree::query_range(const AABB& box,

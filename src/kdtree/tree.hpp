@@ -112,6 +112,13 @@ class KdTree final : public KdTreeBase {
   std::uint32_t root() const noexcept { return root_; }
 
  private:
+  /// The two ray queries share one traversal/leaf-test core (below), so the
+  /// counted and shadow paths can never diverge from the hot path.
+  enum class HitQuery { kClosest, kAny };
+
+  template <HitQuery M>
+  Hit hit_core(const Ray& ray, TraversalCounters* counters) const;
+
   std::vector<Triangle> triangles_;
   std::vector<KdNode> nodes_;
   std::vector<std::uint32_t> prim_indices_;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
 
+#include "kdtree/compact_tree.hpp"
 #include "kdtree/packet.hpp"
 #include "parallel/parallel_for.hpp"
 
@@ -59,9 +61,20 @@ Vec3 pixel_color(const KdTreeBase& tree, const Scene& scene, const Ray& ray,
   return shade_hit(tree, scene, ray, hit, opts, shadow_rays);
 }
 
-RenderResult render(const KdTreeBase& tree, const Scene& scene,
+RenderResult render(const KdTreeBase& tree_in, const Scene& scene,
                     const Camera& camera, Framebuffer& fb, ThreadPool& pool,
                     const RenderOptions& opts) {
+  // Serving-layout fast path: re-emit an eager tree into the compact layout
+  // once, up front, and trace everything through it. Lazy trees are left
+  // alone — they must expand in place during traversal.
+  std::unique_ptr<CompactKdTree> compacted;
+  if (opts.use_compact) {
+    if (const auto* eager = dynamic_cast<const KdTree*>(&tree_in)) {
+      compacted = std::make_unique<CompactKdTree>(*eager);
+    }
+  }
+  const KdTreeBase& tree = compacted ? *compacted : tree_in;
+
   std::atomic<std::size_t> shadow_total{0};
   std::atomic<std::size_t> hit_total{0};
 

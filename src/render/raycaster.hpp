@@ -34,6 +34,11 @@ struct RenderOptions {
   /// sub-pixel grid, box-filtered. 1 = one centered ray (the default;
   /// deterministic either way).
   int samples_per_axis = 1;
+  /// Re-emit eager (KdTree) input into the cache-compact serving layout
+  /// (CompactKdTree) before rendering and route every query — primary,
+  /// packet, shadow — through it. Identical results, fewer cache misses.
+  /// Ignored for lazy trees (their nodes mutate during traversal).
+  bool use_compact = true;
 };
 
 struct RenderResult {

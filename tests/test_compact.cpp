@@ -1,0 +1,253 @@
+#include "kdtree/compact_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "geom/intersect.hpp"
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "kdtree/serialize.hpp"
+#include "scene/animation.hpp"
+#include "render/camera.hpp"
+#include "scene/generators.hpp"
+
+namespace kdtune {
+namespace {
+
+// The compact layout promises *bit-identical* query results to the source
+// KdTree — same traversal decisions, same per-leaf test order, same
+// Möller–Trumbore arithmetic. These tests enforce exact equality (==, not
+// NEAR) across every procedural scene and every builder.
+
+std::unique_ptr<KdTree> build_eager(std::span<const Triangle> tris,
+                                    const Builder& builder) {
+  ThreadPool pool(2);
+  auto base = builder.build(tris, kBaseConfig, pool);
+  auto* eager = dynamic_cast<KdTree*>(base.get());
+  EXPECT_NE(eager, nullptr);
+  base.release();
+  return std::unique_ptr<KdTree>(eager);
+}
+
+std::vector<Ray> make_rays(const Scene& scene, int count, std::uint64_t seed) {
+  std::vector<Ray> rays;
+  const Camera camera(scene.camera(), 64, 48);
+  for (int y = 0; y < 48; y += 4) {
+    for (int x = 0; x < 64; x += 4) rays.push_back(camera.primary_ray(x, y));
+  }
+  Rng rng(seed);
+  const AABB b = scene.bounds();
+  const Vec3 size = b.hi - b.lo;
+  for (int i = 0; i < count; ++i) {
+    const Vec3 origin{b.lo.x + rng.uniform(-0.5f, 1.5f) * size.x,
+                      b.lo.y + rng.uniform(-0.5f, 1.5f) * size.y,
+                      b.lo.z + rng.uniform(-0.5f, 1.5f) * size.z};
+    const Vec3 dir = normalized(Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                     rng.uniform(-1, 1)} +
+                                Vec3{0.0f, 0.0f, 1e-4f});
+    rays.emplace_back(origin, dir);
+  }
+  return rays;
+}
+
+void expect_identical_hit(const Hit& a, const Hit& b) {
+  ASSERT_EQ(a.valid(), b.valid());
+  if (a.valid()) {
+    EXPECT_EQ(a.t, b.t);
+    EXPECT_EQ(a.triangle, b.triangle);
+    EXPECT_EQ(a.u, b.u);
+    EXPECT_EQ(a.v, b.v);
+  }
+}
+
+void expect_parity(const KdTree& kd, const CompactKdTree& compact,
+                   const Scene& scene, std::uint64_t seed) {
+  const std::vector<Ray> rays = make_rays(scene, 64, seed);
+  for (const Ray& ray : rays) {
+    expect_identical_hit(kd.closest_hit(ray), compact.closest_hit(ray));
+    EXPECT_EQ(kd.any_hit(ray), compact.any_hit(ray));
+
+    TraversalCounters ca, cb;
+    expect_identical_hit(kd.closest_hit_counted(ray, ca),
+                         compact.closest_hit_counted(ray, cb));
+    EXPECT_EQ(ca.interior_visited, cb.interior_visited);
+    EXPECT_EQ(ca.leaves_visited, cb.leaves_visited);
+    EXPECT_EQ(ca.triangles_tested, cb.triangles_tested);
+  }
+
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  const AABB b = scene.bounds();
+  const Vec3 size = b.hi - b.lo;
+  for (int i = 0; i < 32; ++i) {
+    const Vec3 c{b.lo.x + rng.uniform(0, 1) * size.x,
+                 b.lo.y + rng.uniform(0, 1) * size.y,
+                 b.lo.z + rng.uniform(0, 1) * size.z};
+    const Vec3 half = size * rng.uniform(0.01f, 0.3f);
+    std::vector<std::uint32_t> got_kd, got_compact;
+    kd.query_range({c - half, c + half}, got_kd);
+    compact.query_range({c - half, c + half}, got_compact);
+    EXPECT_EQ(got_kd, got_compact);
+
+    const NearestResult na = kd.nearest(c);
+    const NearestResult nb = compact.nearest(c);
+    ASSERT_EQ(na.valid(), nb.valid());
+    if (na.valid()) {
+      EXPECT_EQ(na.triangle, nb.triangle);
+      EXPECT_EQ(na.distance_sq, nb.distance_sq);
+      EXPECT_EQ(na.point, nb.point);
+    }
+  }
+}
+
+struct NamedBuilder {
+  const char* name;
+  std::unique_ptr<Builder> builder;
+};
+
+std::vector<NamedBuilder> all_builders() {
+  std::vector<NamedBuilder> out;
+  out.push_back({"median", make_median_builder()});
+  out.push_back({"sweep", make_sweep_builder()});
+  out.push_back({"event", make_event_builder()});
+  out.push_back({"nodelevel", make_builder(Algorithm::kNodeLevel)});
+  out.push_back({"nested", make_builder(Algorithm::kNested)});
+  out.push_back({"inplace", make_builder(Algorithm::kInPlace)});
+  return out;
+}
+
+// All six procedural scenes x all eager builders, exact parity on every
+// query type. Small detail keeps the cross-product fast; determinism comes
+// from fixed seeds.
+TEST(CompactParity, AllScenesAllBuilders) {
+  const auto builders = all_builders();
+  std::uint64_t seed = 1;
+  for (const std::string& id : scene_ids()) {
+    const Scene scene = make_scene(id, 0.1f)->frame(0);
+    for (const NamedBuilder& spec : builders) {
+      SCOPED_TRACE(id + " / " + spec.name);
+      const auto kd = build_eager(scene.triangles(), *spec.builder);
+      const CompactKdTree compact(*kd);
+      expect_parity(*kd, compact, scene, seed++);
+    }
+  }
+}
+
+// Counters and stats agree with the source tree structurally.
+TEST(CompactParity, StatsMatchSource) {
+  const Scene scene = make_scene("bunny", 0.2f)->frame(0);
+  const auto kd = build_eager(scene.triangles(), *make_sweep_builder());
+  const CompactKdTree compact(*kd);
+
+  const TreeStats a = kd->stats();
+  const TreeStats b = compact.stats();
+  EXPECT_EQ(a.node_count, b.node_count);
+  EXPECT_EQ(a.leaf_count, b.leaf_count);
+  EXPECT_EQ(a.max_depth, b.max_depth);
+  EXPECT_EQ(a.prim_refs, b.prim_refs);
+  EXPECT_DOUBLE_EQ(a.sah_cost, b.sah_cost);
+  EXPECT_EQ(compact.bounds(), kd->bounds());
+  EXPECT_EQ(compact.triangles().size(), kd->triangles().size());
+}
+
+// Degenerate inputs: a single triangle (inlined leaf) and a handful that
+// never split.
+TEST(CompactParity, TinyTrees) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{4}}) {
+    Rng rng(7 + n);
+    std::vector<Triangle> tris;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec3 base{rng.uniform(-2, 2), rng.uniform(-2, 2),
+                      rng.uniform(-2, 2)};
+      tris.push_back({base, base + Vec3{1, 0, 0}, base + Vec3{0, 1, 0}});
+    }
+    const auto kd = build_eager(tris, *make_sweep_builder());
+    const CompactKdTree compact(*kd);
+    Rng ray_rng(n);
+    for (int i = 0; i < 200; ++i) {
+      const Ray ray({ray_rng.uniform(-4, 4), ray_rng.uniform(-4, 4), -6.0f},
+                    normalized(Vec3{ray_rng.uniform(-0.4f, 0.4f),
+                                    ray_rng.uniform(-0.4f, 0.4f), 1.0f}));
+      expect_identical_hit(kd->closest_hit(ray), compact.closest_hit(ray));
+      EXPECT_EQ(kd->any_hit(ray), compact.any_hit(ray));
+    }
+  }
+}
+
+// Compact results are also correct, not just consistent: spot-check against
+// the brute-force oracle.
+TEST(CompactParity, MatchesBruteForceOracle) {
+  const Scene scene = make_scene("toasters", 0.15f)->frame(0);
+  const auto kd = build_eager(scene.triangles(), *make_event_builder());
+  const CompactKdTree compact(*kd);
+  const std::vector<Ray> rays = make_rays(scene, 32, 99);
+  for (const Ray& ray : rays) {
+    const Hit got = compact.closest_hit(ray);
+    const Hit want = brute_force_closest_hit(ray, scene.triangles());
+    ASSERT_EQ(got.valid(), want.valid());
+    if (want.valid()) EXPECT_EQ(got.t, want.t);
+    EXPECT_EQ(compact.any_hit(ray), brute_force_any_hit(ray, scene.triangles()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: v2 round trip, v1 backward read, cross-format rejection.
+
+TEST(CompactSerialize, V2RoundTripIsExact) {
+  const Scene scene = make_scene("wood_doll", 0.15f)->frame(0);
+  const auto kd = build_eager(scene.triangles(), *make_sweep_builder());
+  const CompactKdTree compact(*kd);
+
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_compact_tree(buffer, compact);
+  const auto loaded = load_compact_tree(buffer);
+
+  ASSERT_EQ(loaded->nodes().size(), compact.nodes().size());
+  for (std::size_t i = 0; i < compact.nodes().size(); ++i) {
+    EXPECT_EQ(loaded->nodes()[i].meta, compact.nodes()[i].meta);
+    EXPECT_EQ(loaded->nodes()[i].prim, compact.nodes()[i].prim);
+  }
+  ASSERT_EQ(loaded->leaf_tris().size(), compact.leaf_tris().size());
+  EXPECT_EQ(loaded->bounds(), compact.bounds());
+  expect_parity(*kd, *loaded, scene, 123);
+}
+
+TEST(CompactSerialize, ReadsV1FilesByConversion) {
+  const Scene scene = make_scene("fairy_forest", 0.1f)->frame(0);
+  const auto kd = build_eager(scene.triangles(), *make_median_builder());
+
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_tree(buffer, *kd);  // v1 (builder layout)
+  const auto loaded = load_compact_tree(buffer);
+  expect_parity(*kd, *loaded, scene, 321);
+}
+
+TEST(CompactSerialize, LoadTreeRejectsV2WithPointer) {
+  const auto kd = build_eager(make_scene("bunny", 0.05f)->frame(0).triangles(),
+                              *make_sweep_builder());
+  const CompactKdTree compact(*kd);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_compact_tree(buffer, compact);
+  try {
+    load_tree(buffer);
+    FAIL() << "load_tree accepted a v2 stream";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("load_compact_tree"),
+              std::string::npos);
+  }
+}
+
+TEST(CompactSerialize, RejectsTruncatedStream) {
+  const auto kd = build_eager(make_scene("bunny", 0.05f)->frame(0).triangles(),
+                              *make_sweep_builder());
+  const CompactKdTree compact(*kd);
+  std::stringstream full(std::ios::in | std::ios::out | std::ios::binary);
+  save_compact_tree(full, compact);
+  const std::string bytes = full.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() / 2),
+                        std::ios::in | std::ios::binary);
+  EXPECT_THROW(load_compact_tree(cut), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace kdtune

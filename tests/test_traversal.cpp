@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "geom/intersect.hpp"
 #include "kdtree/builder.hpp"
 
@@ -121,6 +123,52 @@ TEST_F(TraversalEdgeCases, EarlyTerminationIsNotPremature) {
 TEST_F(TraversalEdgeCases, ZeroLengthIntervalMisses) {
   const Ray degenerate({-1, 0, -1}, {0, 0, 1}, 5.0f, 5.0f);
   EXPECT_FALSE(tree_->closest_hit(degenerate).valid());
+}
+
+// ---------------------------------------------------------------------------
+// Traversal stack-depth safety. The fixed near/far stack holds
+// kMaxStackDepth entries; a tree deeper than that silently drops far-child
+// pushes, i.e. loses hits. resolved_max_depth must therefore clamp any
+// depth request (manual or automatic) to the stack capacity.
+
+TEST(TraversalStackDepth, ResolvedMaxDepthIsClampedToStack) {
+  BuildConfig config;
+  config.max_depth = 200;  // manual override far beyond the stack
+  EXPECT_LE(config.resolved_max_depth(1000), traversal_detail::kMaxStackDepth);
+  config.max_depth = 0;  // automatic bound with an absurd primitive count
+  EXPECT_LE(config.resolved_max_depth(std::size_t{1} << 62),
+            traversal_detail::kMaxStackDepth);
+}
+
+// Regression: a degenerate scene whose spatial-median tree would exceed the
+// stack depth if the clamp were removed. Triangles sit at exponentially
+// spaced z = 2^i, so every midpoint split peels only the topmost few off —
+// a depth ~N chain. A ray entering from below descends the chain pushing
+// one far child per level; without the clamp (depth 200 honored) the pushes
+// past kMaxStackDepth were dropped and the hits below went missing.
+// Verified to fail against the unclamped resolved_max_depth.
+TEST(TraversalStackDepth, DeepChainSceneDoesNotLoseHits) {
+  std::vector<Triangle> tris;
+  for (int i = 0; i < 90; ++i) {
+    const float z = std::ldexp(1.0f, i);  // 2^i
+    // Hittable band lives at x in [10, 11]; the rest at x in [0, 1] only
+    // shapes the tree. The ray below misses those.
+    const float x0 = (i >= 8 && i < 20) ? 10.0f : 0.0f;
+    tris.push_back({{x0, 0, z}, {x0 + 1, 0, z}, {x0, 1, z}});
+  }
+  BuildConfig config;
+  config.max_depth = 200;
+  ThreadPool pool(0);
+  const auto tree = make_median_builder()->build(tris, config, pool);
+
+  const Ray up({10.25f, 0.25f, 0.0f}, {0, 0, 1});
+  const Hit expected = brute_force_closest_hit(up, tris);
+  ASSERT_TRUE(expected.valid());
+  const Hit got = tree->closest_hit(up);
+  ASSERT_TRUE(got.valid());
+  EXPECT_EQ(got.triangle, expected.triangle);
+  EXPECT_EQ(got.t, expected.t);
+  EXPECT_TRUE(tree->any_hit(up));
 }
 
 }  // namespace
