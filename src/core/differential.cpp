@@ -1,0 +1,359 @@
+#include "core/differential.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "bvh/bvh.hpp"
+#include "geom/closest_point.hpp"
+#include "geom/intersect.hpp"
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "kdtree/compact_tree.hpp"
+#include "kdtree/lazy_tree.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace kdtune {
+
+namespace {
+
+// Random soup generator. Shapes stress different tree pathologies: uniform
+// clouds, outlier clusters (huge empty-space cutoffs), flat sheets (one axis
+// never splits usefully), elongated tubes, mixed scales, and an axis-aligned
+// grid whose coplanar geometry produces exact SAH-plane and hit-distance
+// ties — the case where "agree approximately" would hide real divergence.
+std::vector<Triangle> generate_geometry(Rng& rng,
+                                        const DifferentialOptions& opts) {
+  const int shape = static_cast<int>(rng.next_int(0, 5));
+  const std::size_t n = static_cast<std::size_t>(
+      rng.next_int(2, static_cast<std::int64_t>(opts.max_triangles)));
+  std::vector<Triangle> tris;
+  tris.reserve(n);
+
+  if (shape == 5) {
+    // Axis-aligned grid of quads in the z = const planes.
+    const int cols = static_cast<int>(rng.next_int(2, 8));
+    for (std::size_t i = 0; i < n; ++i) {
+      const int cell = static_cast<int>(i / 2);
+      const float x = static_cast<float>(cell % cols);
+      const float y = static_cast<float>((cell / cols) % cols);
+      const float z = static_cast<float>(cell / (cols * cols));
+      if (i % 2 == 0) {
+        tris.push_back({{x, y, z}, {x + 1, y, z}, {x, y + 1, z}});
+      } else {
+        tris.push_back({{x + 1, y + 1, z}, {x, y + 1, z}, {x + 1, y, z}});
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      Vec3 base;
+      float scale = 0.4f;
+      switch (shape) {
+        case 0:
+          base = {rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)};
+          break;
+        case 1:
+          if (i % 10 == 0) {
+            base = {rng.uniform(-20, 20), rng.uniform(-20, 20),
+                    rng.uniform(-20, 20)};
+          } else {
+            base = {rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                    rng.uniform(-0.5f, 0.5f)};
+          }
+          break;
+        case 2:
+          base = {rng.uniform(-5, 5), rng.uniform(-5, 5),
+                  rng.uniform(-0.01f, 0.01f)};
+          scale = 0.6f;
+          break;
+        case 3:
+          base = {rng.uniform(-50, 50), rng.uniform(-1, 1),
+                  rng.uniform(-1, 1)};
+          break;
+        default:
+          base = {rng.uniform(-4, 4), rng.uniform(-4, 4), rng.uniform(-4, 4)};
+          scale = rng.next_float() < 0.3f ? 3.0f : 0.02f;
+          break;
+      }
+      tris.push_back(
+          {base,
+           base + Vec3{rng.uniform(-scale, scale), rng.uniform(-scale, scale),
+                       rng.uniform(-scale, scale)},
+           base + Vec3{rng.uniform(-scale, scale), rng.uniform(-scale, scale),
+                       rng.uniform(-scale, scale)}});
+    }
+  }
+
+  // Degenerates must be skipped identically by every builder and by the
+  // brute-force oracles below.
+  if (n > 10) {
+    tris[n / 2] = {tris[0].a, tris[0].a, tris[0].a};
+  }
+  return tris;
+}
+
+// A random point of the paper's Table II search space, plus the non-tuned
+// build controls the ablations sweep.
+BuildConfig generate_config(Rng& rng) {
+  BuildConfig config;
+  config.ci = rng.next_int(3, 101);
+  config.cb = rng.next_int(0, 60);
+  config.s = rng.next_int(1, 8);
+  config.r = 16ll << rng.next_int(0, 9);
+  config.bin_count = static_cast<int>(rng.next_int(4, 64));
+  config.empty_bonus = rng.next_float() < 0.5f ? 0.0 : rng.next_double() * 0.9;
+  config.clip_straddlers = rng.next_float() < 0.8f;
+  if (rng.next_float() < 0.2f) {
+    config.max_depth = static_cast<int>(rng.next_int(2, 96));
+  }
+  return config;
+}
+
+struct Impl {
+  std::string name;
+  std::unique_ptr<KdTreeBase> tree;
+};
+
+Ray random_ray(Rng& rng, const AABB& box) {
+  if (rng.next_float() < 0.25f) {
+    // Axis-aligned ray: exercises the NaN split-plane traversal path and
+    // exact near/far tie-breaks against axis-aligned geometry.
+    const int axis = static_cast<int>(rng.next_int(0, 2));
+    Vec3 origin{rng.uniform(box.lo.x, box.hi.x),
+                rng.uniform(box.lo.y, box.hi.y),
+                rng.uniform(box.lo.z, box.hi.z)};
+    Vec3 dir{0, 0, 0};
+    const bool positive = rng.next_float() < 0.5f;
+    dir[static_cast<Axis>(axis)] = positive ? 1.0f : -1.0f;
+    origin[static_cast<Axis>(axis)] =
+        positive ? box.lo[static_cast<Axis>(axis)] - 1.0f
+                 : box.hi[static_cast<Axis>(axis)] + 1.0f;
+    return Ray(origin, dir);
+  }
+  const Vec3 origin =
+      box.center() + normalized(Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                     rng.uniform(-1, 1)}) *
+                         (length(box.extent()) * 0.8f + 1.0f);
+  const Vec3 target{rng.uniform(box.lo.x, box.hi.x),
+                    rng.uniform(box.lo.y, box.hi.y),
+                    rng.uniform(box.lo.z, box.hi.z)};
+  Vec3 dir = target - origin;
+  if (length(dir) == 0.0f) dir = {1, 0, 0};
+  return Ray(origin, normalized(dir));
+}
+
+AABB random_box(Rng& rng, const AABB& bounds) {
+  const Vec3 ext = bounds.extent();
+  const float pad = 0.25f * length(ext) + 0.5f;
+  const auto coord = [&](float lo, float hi) {
+    return rng.uniform(lo - pad, hi + pad);
+  };
+  Vec3 p{coord(bounds.lo.x, bounds.hi.x), coord(bounds.lo.y, bounds.hi.y),
+         coord(bounds.lo.z, bounds.hi.z)};
+  Vec3 q{coord(bounds.lo.x, bounds.hi.x), coord(bounds.lo.y, bounds.hi.y),
+         coord(bounds.lo.z, bounds.hi.z)};
+  return AABB(min(p, q), max(p, q));
+}
+
+// Brute-force range oracle: the exact predicate every tree applies at its
+// leaves, over the non-degenerate triangles every builder stores.
+std::vector<std::uint32_t> brute_force_range(std::span<const Triangle> tris,
+                                             const AABB& box) {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t i = 0; i < tris.size(); ++i) {
+    if (tris[i].degenerate()) continue;
+    if (box.overlaps(tris[i].bounds()) &&
+        !clipped_bounds(tris[i], box).empty()) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+NearestResult brute_force_nearest(std::span<const Triangle> tris,
+                                  const Vec3& point) {
+  NearestResult best;
+  for (std::uint32_t i = 0; i < tris.size(); ++i) {
+    if (tris[i].degenerate()) continue;
+    const Vec3 cp = closest_point_on_triangle(point, tris[i]);
+    const float d = length_squared(point - cp);
+    if (d < best.distance_sq) best = {i, cp, d};
+  }
+  return best;
+}
+
+}  // namespace
+
+bool kdtune_ci_small() noexcept {
+  const char* v = std::getenv("KDTUNE_CI_SMALL");
+  return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
+}
+
+DifferentialOptions differential_default_options() {
+  DifferentialOptions opts;
+  if (kdtune_ci_small()) {
+    opts.max_triangles = 96;
+    opts.rays = 10;
+    opts.boxes = 4;
+    opts.points = 4;
+    opts.post_expand_rays = 4;
+  }
+  return opts;
+}
+
+DifferentialResult run_differential_case(std::uint64_t seed,
+                                         const DifferentialOptions& opts) {
+  DifferentialResult result;
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+
+  const std::vector<Triangle> tris = generate_geometry(rng, opts);
+  const BuildConfig config = generate_config(rng);
+  const unsigned workers = static_cast<unsigned>(rng.next_int(0, 3));
+  ThreadPool pool(workers);
+
+  const auto fail = [&](std::ostringstream& msg) {
+    result.disagreements.push_back("seed " + std::to_string(seed) + ": " +
+                                   msg.str());
+  };
+
+  std::vector<Impl> impls;
+  impls.push_back({"sweep", make_sweep_builder()->build(tris, config, pool)});
+  impls.push_back({"event", make_event_builder()->build(tris, config, pool)});
+  impls.push_back(
+      {"median", make_median_builder()->build(tris, config, pool)});
+  for (const Algorithm a : all_algorithms()) {
+    impls.push_back(
+        {std::string(to_string(a)), make_builder(a)->build(tris, config, pool)});
+  }
+
+  // The compact serving layout, re-emitted from the eager sweep tree.
+  const auto* eager = dynamic_cast<const KdTree*>(impls.front().tree.get());
+  if (eager != nullptr) {
+    impls.push_back({"compact", std::make_unique<CompactKdTree>(*eager)});
+  } else {
+    std::ostringstream msg;
+    msg << "sweep builder did not produce an eager KdTree";
+    fail(msg);
+  }
+
+  // The cross-structure BVH baseline, with its own randomized knobs.
+  BvhConfig bvh_config;
+  bvh_config.bin_count = static_cast<int>(rng.next_int(2, 32));
+  bvh_config.max_leaf_size = static_cast<int>(rng.next_int(1, 8));
+  impls.push_back({"bvh", build_bvh(tris, bvh_config, pool)});
+
+  const LazyKdTree* lazy = nullptr;
+  for (const Impl& impl : impls) {
+    if (auto* l = dynamic_cast<const LazyKdTree*>(impl.tree.get())) lazy = l;
+  }
+
+  AABB box = bounds_of(tris);
+  if (box.empty()) box = AABB({-1, -1, -1}, {1, 1, 1});
+
+  // --- Ray probes (closest_hit + any_hit); the first pass races the lazy
+  // tree's first-touch expansion of whatever subtrees the rays reach.
+  std::vector<Ray> rays;
+  for (int i = 0; i < opts.rays; ++i) rays.push_back(random_ray(rng, box));
+
+  const auto probe_rays = [&](std::span<const Ray> batch, const char* phase) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const Ray& ray = batch[i];
+      const Hit expected = brute_force_closest_hit(ray, tris);
+      const bool expected_any = brute_force_any_hit(ray, tris);
+      for (const Impl& impl : impls) {
+        ++result.queries;
+        const Hit got = impl.tree->closest_hit(ray);
+        if (got.valid() != expected.valid() ||
+            (expected.valid() && got.t != expected.t)) {
+          std::ostringstream msg;
+          msg << phase << " ray " << i << " closest_hit (" << impl.name
+              << "): expected valid=" << expected.valid() << " t="
+              << std::hexfloat << expected.t << ", got valid=" << got.valid()
+              << " t=" << got.t << " (tri " << got.triangle << " vs "
+              << expected.triangle << ")";
+          fail(msg);
+        }
+        ++result.queries;
+        const bool got_any = impl.tree->any_hit(ray);
+        if (got_any != expected_any) {
+          std::ostringstream msg;
+          msg << phase << " ray " << i << " any_hit (" << impl.name
+              << "): expected " << expected_any << ", got " << got_any;
+          fail(msg);
+        }
+      }
+    }
+  };
+  probe_rays(rays, "fresh");
+
+  // --- Range probes: the result set is an exact, structure-independent
+  // predicate, so every implementation must return the identical id list.
+  for (int i = 0; i < opts.boxes; ++i) {
+    const AABB query = random_box(rng, box);
+    const std::vector<std::uint32_t> expected =
+        brute_force_range(tris, query);
+    std::vector<std::uint32_t> out;
+    for (const Impl& impl : impls) {
+      ++result.queries;
+      out.clear();
+      impl.tree->query_range(query, out);
+      if (out != expected) {
+        std::ostringstream msg;
+        msg << "box " << i << " query_range (" << impl.name << "): expected "
+            << expected.size() << " ids, got " << out.size();
+        fail(msg);
+      }
+    }
+  }
+
+  // --- Nearest probes: the minimum squared distance over the soup is bit
+  // identical across implementations (same closest_point_on_triangle per
+  // triangle); only the winning id may tie.
+  for (int i = 0; i < opts.points; ++i) {
+    const Vec3 point{rng.uniform(box.lo.x - 1.0f, box.hi.x + 1.0f),
+                     rng.uniform(box.lo.y - 1.0f, box.hi.y + 1.0f),
+                     rng.uniform(box.lo.z - 1.0f, box.hi.z + 1.0f)};
+    const NearestResult expected = brute_force_nearest(tris, point);
+    for (const Impl& impl : impls) {
+      ++result.queries;
+      const NearestResult got = impl.tree->nearest(point);
+      if (got.valid() != expected.valid() ||
+          (expected.valid() && got.distance_sq != expected.distance_sq)) {
+        std::ostringstream msg;
+        msg << "point " << i << " nearest (" << impl.name
+            << "): expected valid=" << expected.valid() << " d2="
+            << std::hexfloat << expected.distance_sq << ", got valid="
+            << got.valid() << " d2=" << got.distance_sq;
+        fail(msg);
+      }
+    }
+  }
+
+  // --- Post-expansion pass: the fully expanded lazy tree must still agree.
+  if (lazy != nullptr) {
+    lazy->expand_all();
+    if (lazy->deferred_remaining() != 0) {
+      std::ostringstream msg;
+      msg << "expand_all left " << lazy->deferred_remaining()
+          << " deferred nodes";
+      fail(msg);
+    }
+    std::vector<Ray> post;
+    for (int i = 0; i < opts.post_expand_rays; ++i) {
+      post.push_back(random_ray(rng, box));
+    }
+    probe_rays(post, "expanded");
+    if (lazy->stack_overflows() != 0) {
+      std::ostringstream msg;
+      msg << "lazy traversal dropped " << lazy->stack_overflows()
+          << " far children (stack overflow)";
+      fail(msg);
+    }
+  }
+
+  return result;
+}
+
+}  // namespace kdtune

@@ -1,0 +1,57 @@
+#pragma once
+
+// Differential fuzz harness: one seeded case generates a random scene and a
+// random BuildConfig drawn from the paper's Table II ranges, builds the same
+// geometry with every builder (the four parallel algorithms plus the three
+// sequential references), re-emits the eager tree into the compact serving
+// layout, builds the BVH baseline, and then checks that every implementation
+// agrees with a brute-force oracle — *exactly*, not approximately — on
+// closest-hit, any-hit, range and nearest queries. The lazy tree is probed
+// twice: once fresh (queries racing first-touch expansion of its own
+// deferred subtrees) and once after expand_all().
+//
+// Exactness is well-defined because every implementation shares the same
+// per-triangle primitives (Möller-Trumbore, closest_point_on_triangle,
+// clipped_bounds): for a given ray and triangle the computed t is bit
+// identical no matter which tree found the pair, so the minimum over the
+// soup is bit identical too. Only the *winning triangle id* may legitimately
+// differ, on exact distance ties — the comparisons below are tie-robust.
+//
+// Shared by tests/test_differential_fuzz.cpp (a ctest-sized seed sweep) and
+// tools/kdtune_fuzz.cpp (the standalone driver CI uses for 500+ cases).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kdtune {
+
+struct DifferentialOptions {
+  std::size_t max_triangles = 260;  ///< scene size cap (min stays small)
+  int rays = 24;                    ///< closest-hit + any-hit probes
+  int boxes = 8;                    ///< range-query probes
+  int points = 8;                   ///< nearest-neighbor probes
+  int post_expand_rays = 8;         ///< re-probes after lazy expand_all()
+};
+
+/// Default options, scaled down when the KDTUNE_CI_SMALL environment
+/// variable is set (the sanitizer CI jobs use this: TSan is ~10x slower).
+DifferentialOptions differential_default_options();
+
+/// True when KDTUNE_CI_SMALL is set to anything but "" or "0".
+bool kdtune_ci_small() noexcept;
+
+struct DifferentialResult {
+  std::size_t queries = 0;  ///< individual probe comparisons executed
+  std::vector<std::string> disagreements;  ///< empty = every query agreed
+
+  bool ok() const noexcept { return disagreements.empty(); }
+};
+
+/// Runs one seeded (scene, config) case. Deterministic: the same seed and
+/// options always generate the same geometry, configuration and probes.
+DifferentialResult run_differential_case(
+    std::uint64_t seed, const DifferentialOptions& opts = {});
+
+}  // namespace kdtune

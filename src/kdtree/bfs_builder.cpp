@@ -206,7 +206,10 @@ class BfsBuild {
     const float lo = box.lo[split.axis];
     const float hi = box.hi[split.axis];
     if (lo == split.position && hi == split.position) {
-      return split.planar_left ? Side::kLeft : Side::kRight;
+      // In-plane primitives are duplicated into both children (see classify()
+      // in build_common.cpp): one-sided placement drops closest hits whose
+      // computed t rounds across the computed t_split.
+      return Side::kBoth;
     }
     if (hi <= split.position) return Side::kLeft;
     if (lo >= split.position) return Side::kRight;

@@ -95,7 +95,15 @@ Side classify(const PrimRef& prim, const SplitCandidate& split) noexcept {
   const float hi = prim.bounds.hi[split.axis];
   const float pos = split.position;
   if (lo == pos && hi == pos) {
-    return split.planar_left ? Side::kLeft : Side::kRight;
+    // A primitive lying exactly in the split plane goes to BOTH children,
+    // regardless of which side the SAH counted it on (split.planar_left).
+    // Placing it on one side only loses hits: a ray entering the other child
+    // owns the interval up to and including t_split, its computed hit t for
+    // the planar primitive can round to either side of the computed t_split,
+    // and closest_hit legitimately terminates in that child without ever
+    // testing the primitive. Each closed cell that touches the plane must
+    // therefore list it. planar_left remains a cost-model choice only.
+    return Side::kBoth;
   }
   if (hi <= pos) return Side::kLeft;
   if (lo >= pos) return Side::kRight;

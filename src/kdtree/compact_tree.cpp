@@ -1,6 +1,7 @@
 #include "kdtree/compact_tree.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <queue>
 #include <stdexcept>
@@ -318,11 +319,15 @@ Hit CompactKdTree::hit_core(const Ray& ray, TraversalCounters* counters) const {
     } else if (t_split < t_min) {
       current = far;
     } else if (std::isnan(t_split)) {
+      assert(sp < traversal_detail::kMaxStackDepth &&
+             "compact kd traversal stack overflow (depth clamp violated)");
       if (sp < traversal_detail::kMaxStackDepth) {
         stack[sp++] = {far, t_min, t_max};
       }
       current = near;
     } else {
+      assert(sp < traversal_detail::kMaxStackDepth &&
+             "compact kd traversal stack overflow (depth clamp violated)");
       if (sp < traversal_detail::kMaxStackDepth) {
         __builtin_prefetch(nodes + far);  // next miss after the matching pop
         stack[sp++] = {far, t_split, t_max};

@@ -111,10 +111,10 @@ class EventBuildContext {
             side_[e.prim] = PrimSide::kLeft;
           } else if (e.position > split.position) {
             side_[e.prim] = PrimSide::kRight;
-          } else {
-            side_[e.prim] =
-                split.planar_left ? PrimSide::kLeft : PrimSide::kRight;
           }
+          // Exactly in the plane: stays kBoth so the splice emits it into
+          // both children (see classify() in build_common.cpp — one-sided
+          // placement of in-plane primitives loses closest hits).
           break;
       }
     }

@@ -1,6 +1,7 @@
 #include "kdtree/lazy_tree.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <queue>
 #include <utility>
@@ -194,6 +195,20 @@ void LazyKdTree::traverse(const Ray& ray, LeafFn&& leaf_fn) const {
   int sp = 0;
   std::uint32_t current = root_;
 
+  // Stack saturation should be structurally impossible: resolved_max_depth
+  // clamps every build (and every lazy expansion budgets its subtree) to
+  // kMaxStackDepth, and traversal pushes at most one entry per tree level.
+  // Dropping the far child instead would silently lose hits, so a violation
+  // asserts in debug builds and is counted (not hidden) in release builds.
+  const auto push_far = [&](std::uint32_t far, float fmin, float fmax) {
+    if (sp < traversal_detail::kMaxStackDepth) {
+      stack[sp++] = {far, fmin, fmax};
+    } else {
+      assert(false && "LazyKdTree::traverse: stack overflow (depth clamp violated)");
+      stack_overflows_.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
   for (;;) {
     const Snapshot node = resolve(current);
     if (node.flags == KdNode::kLeaf) {
@@ -217,18 +232,14 @@ void LazyKdTree::traverse(const Ray& ray, LeafFn&& leaf_fn) const {
     if (!below) std::swap(near, far);
 
     if (std::isnan(t_split)) {
-      if (sp < traversal_detail::kMaxStackDepth) {
-        stack[sp++] = {far, t_min, t_max};
-      }
+      push_far(far, t_min, t_max);
       current = near;
     } else if (t_split > t_max || t_split <= 0.0f) {
       current = near;
     } else if (t_split < t_min) {
       current = far;
     } else {
-      if (sp < traversal_detail::kMaxStackDepth) {
-        stack[sp++] = {far, t_split, t_max};
-      }
+      push_far(far, t_split, t_max);
       current = near;
       t_max = t_split;
     }
@@ -344,18 +355,30 @@ NearestResult LazyKdTree::nearest(const Vec3& point) const {
 }
 
 TreeStats LazyKdTree::stats() const {
-  // Snapshot the pool into a flat array and reuse the shared walker.
+  // Snapshot the pool into a flat array and reuse the shared walker. The
+  // snapshot must be taken under the expansion lock: expand() writes
+  // split/a/b of the node under expansion (and of freshly appended nodes)
+  // *before* release-publishing flags, and the pool's size is published at
+  // append time, before those fields are written. A lock-free index scan can
+  // therefore observe a node mid-publication — torn split/a/b would send
+  // compute_stats walking garbage child indices. Traversal never has this
+  // problem because it only reaches nodes through parent links published
+  // after the fields (the flags acquire/release handshake), but a flat scan
+  // bypasses that protocol, so it synchronizes with the writer directly.
   std::vector<KdNode> snapshot;
-  const std::size_t n = nodes_.size();
-  snapshot.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const LazyNode& ln = nodes_[i];
-    KdNode kn;
-    kn.split = ln.split;
-    kn.flags = ln.flags.load(std::memory_order_acquire);
-    kn.a = ln.a;
-    kn.b = ln.b;
-    snapshot.push_back(kn);
+  {
+    std::lock_guard lock(expand_mutex_);
+    const std::size_t n = nodes_.size();
+    snapshot.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const LazyNode& ln = nodes_[i];
+      KdNode kn;
+      kn.split = ln.split;
+      kn.flags = ln.flags.load(std::memory_order_acquire);
+      kn.a = ln.a;
+      kn.b = ln.b;
+      snapshot.push_back(kn);
+    }
   }
   return compute_stats(snapshot, root_, bounds_);
 }
@@ -367,6 +390,12 @@ std::size_t LazyKdTree::deferred_remaining() const {
 
 void LazyKdTree::expand_all() const {
   // Expansion never creates new deferred nodes, so one growing scan suffices.
+  // Unlike stats(), this scan touches only the atomic flags word, never the
+  // plain split/a/b fields, so it needs no lock even while other threads
+  // expand concurrently: a node observed mid-publication still carries its
+  // default-constructed kLeaf flags (not kDeferred) and is skipped here, and
+  // a stale kDeferred read just sends us into expand(), which re-checks under
+  // the lock and returns if someone else got there first.
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (nodes_[i].flags.load(std::memory_order_acquire) == KdNode::kDeferred) {
       expand(static_cast<std::uint32_t>(i));

@@ -65,6 +65,14 @@ class LazyKdTree final : public KdTreeBase {
     return expansions_.load(std::memory_order_relaxed);
   }
 
+  /// Number of far-child pushes dropped because the traversal stack was
+  /// saturated. The depth clamp makes this structurally impossible, so any
+  /// non-zero value is a bug (debug builds assert instead of counting);
+  /// exposed so release deployments can alarm rather than silently lose hits.
+  std::size_t stack_overflows() const noexcept {
+    return stack_overflows_.load(std::memory_order_relaxed);
+  }
+
   std::size_t deferred_remaining() const;
 
   /// Expands every remaining deferred node (tests use this to compare the
@@ -98,6 +106,7 @@ class LazyKdTree final : public KdTreeBase {
   mutable std::unordered_map<std::uint32_t, DeferredInfo> deferred_bounds_;
   mutable std::mutex expand_mutex_;  ///< the paper's "OpenMP critical"
   mutable std::atomic<std::size_t> expansions_{0};
+  mutable std::atomic<std::size_t> stack_overflows_{0};
 };
 
 }  // namespace kdtune

@@ -54,12 +54,16 @@ inline double split_cost(const SahParams& p, double area_l, double area_r,
          pr * static_cast<double>(nr) * p.ci + duplicated * p.cb;
 }
 
-/// A candidate split plane with its cost and the side planar primitives go to.
+/// A candidate split plane with its cost and the side planar primitives were
+/// counted on. planar_left is a cost-model accounting choice only: the actual
+/// partition duplicates in-plane primitives into both children, because
+/// one-sided placement loses closest hits whose computed t rounds across the
+/// computed t_split (see classify() in build_common.cpp).
 struct SplitCandidate {
   double cost = std::numeric_limits<double>::infinity();
   Axis axis = Axis::X;
   float position = 0.0f;
-  bool planar_left = false;  ///< planar prims assigned to the left child
+  bool planar_left = false;  ///< side planar prims were *counted* on (SAH)
   std::size_t nl = 0;        ///< resulting left count (incl. planars if left)
   std::size_t nr = 0;        ///< resulting right count
 

@@ -1,6 +1,7 @@
 #include "kdtree/tree.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <queue>
 #include <utility>
@@ -67,6 +68,8 @@ void traverse(std::span<const KdNode> nodes, std::uint32_t root,
     if (std::isnan(t_split)) {
       // Ray lies exactly in the split plane (dir[axis] == 0, origin on the
       // plane): 0 * inf above. Visit both children over the full interval.
+      assert(sp < traversal_detail::kMaxStackDepth &&
+             "kd traversal stack overflow (depth clamp violated)");
       if (sp < traversal_detail::kMaxStackDepth) {
         stack[sp++] = {far, t_min, t_max};
       }
@@ -76,6 +79,8 @@ void traverse(std::span<const KdNode> nodes, std::uint32_t root,
     } else if (t_split < t_min) {
       current = far;
     } else {
+      assert(sp < traversal_detail::kMaxStackDepth &&
+             "kd traversal stack overflow (depth clamp violated)");
       if (sp < traversal_detail::kMaxStackDepth) {
         stack[sp++] = {far, t_split, t_max};
       }

@@ -57,7 +57,13 @@ void ThreadPool::worker_loop() {
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()) - 1u);
+  // hardware_concurrency() may report 0 (unknown) or 1 (single core). The
+  // naive "cores - 1" sizing then yields a pool with *no* workers, and a bare
+  // submit() with no helping TaskGroup waiter would never run. The shared
+  // pool therefore always keeps at least one worker; zero-worker pools remain
+  // constructible explicitly for the sequential-degradation tests.
+  const unsigned hw = std::thread::hardware_concurrency();
+  static ThreadPool pool(hw > 1u ? hw - 1u : 1u);
   return pool;
 }
 

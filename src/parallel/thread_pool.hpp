@@ -45,13 +45,18 @@ class ThreadPool {
   /// queue was empty. Public so that TaskGroup waits can help.
   bool try_run_one();
 
-  /// Shared default pool sized to the hardware.
+  /// Enqueues a bare task with no completion tracking (fire-and-forget).
+  /// Callers that need to wait should go through TaskGroup instead. On a
+  /// zero-worker pool the task only runs when somebody calls try_run_one().
+  void submit(std::function<void()> task);
+
+  /// Shared default pool sized to the hardware; always has >= 1 worker so
+  /// bare submissions make progress even on single-core machines.
   static ThreadPool& global();
 
  private:
   friend class TaskGroup;
 
-  void submit(std::function<void()> task);
   void worker_loop();
 
   std::vector<std::thread> workers_;

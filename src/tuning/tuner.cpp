@@ -1,6 +1,7 @@
 #include "tuning/tuner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace kdtune {
@@ -88,6 +89,16 @@ void Tuner::stop() {
 void Tuner::record(double seconds) {
   if (!pending_applied_) {
     throw std::logic_error("Tuner: record() without apply_next()/start()");
+  }
+  if (!std::isfinite(seconds)) {
+    // A NaN/Inf measurement (timer glitch, client-computed cost gone wrong)
+    // must never reach the search: NaN is unordered, so it poisons both
+    // compute_stats' sort in the drift detector and the simplex comparisons
+    // in Nelder-Mead, silently corrupting the optimum. Drop the sample and
+    // keep the pending configuration applied, so the next start()/record()
+    // cycle re-measures the same point.
+    ++rejected_samples_;
+    return;
   }
   pending_applied_ = false;
   ++iterations_;

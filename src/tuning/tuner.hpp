@@ -95,6 +95,10 @@ class Tuner {
   bool converged() const noexcept;
   std::size_t retune_count() const noexcept { return retunes_; }
 
+  /// Measurements rejected because they were NaN/Inf (the configuration under
+  /// test stays applied and is re-measured on the next cycle).
+  std::size_t rejected_samples() const noexcept { return rejected_samples_; }
+
   /// Best configuration found so far, as parameter *values*.
   std::vector<std::int64_t> best_values() const;
   double best_time() const noexcept;
@@ -123,6 +127,7 @@ class Tuner {
 
   std::size_t iterations_ = 0;
   std::size_t retunes_ = 0;
+  std::size_t rejected_samples_ = 0;
   std::vector<double> drift_samples_;
   std::vector<MeasurementRecord> history_;
 };

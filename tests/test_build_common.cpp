@@ -124,10 +124,13 @@ TEST(Classify, SidesAgainstPlane) {
   // Touching the plane from either side is one-sided, not straddling.
   EXPECT_EQ(classify({0, AABB({0, 0, 0}, {1, 1, 1})}, split), Side::kLeft);
   EXPECT_EQ(classify({0, AABB({1, 0, 0}, {2, 1, 1})}, split), Side::kRight);
-  // Planar follows the candidate's side choice.
-  EXPECT_EQ(classify({0, AABB({1, 0, 0}, {1, 1, 1})}, split), Side::kLeft);
+  // Exactly in the plane goes to BOTH children regardless of the SAH's
+  // planar_left counting choice: one-sided placement loses closest hits
+  // whose computed t rounds across the computed t_split (a ray terminating
+  // in the other child would never test the primitive).
+  EXPECT_EQ(classify({0, AABB({1, 0, 0}, {1, 1, 1})}, split), Side::kBoth);
   split.planar_left = false;
-  EXPECT_EQ(classify({0, AABB({1, 0, 0}, {1, 1, 1})}, split), Side::kRight);
+  EXPECT_EQ(classify({0, AABB({1, 0, 0}, {1, 1, 1})}, split), Side::kBoth);
 }
 
 TEST(Partition, CountsMatchCandidate) {

@@ -1,0 +1,40 @@
+// Differential fuzz (the cross-implementation oracle, src/core/differential):
+// seeded random (scene, config) cases over the Table II search space, every
+// builder + the compact layout + the BVH baseline checked for *exact*
+// agreement with brute force on all four query kinds, with the lazy tree
+// probed both while racing its own first-touch expansion and after
+// expand_all(). The ctest run sweeps a fixed seed range; the standalone
+// driver (tools/kdtune_fuzz) runs the 500+ case CI sweep over the same code.
+
+#include "core/differential.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kdtune {
+namespace {
+
+class DifferentialFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialFuzz, AllImplementationsAgreeExactly) {
+  const DifferentialResult result =
+      run_differential_case(GetParam(), differential_default_options());
+  EXPECT_GT(result.queries, 0u);
+  for (const std::string& msg : result.disagreements) {
+    ADD_FAILURE() << msg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+TEST(DifferentialFuzz, CasesAreDeterministic) {
+  // Resuming a reported seed must reproduce the exact same probes: the
+  // driver's failure output is only actionable if seeds are replayable.
+  const DifferentialResult a = run_differential_case(42);
+  const DifferentialResult b = run_differential_case(42);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.disagreements, b.disagreements);
+}
+
+}  // namespace
+}  // namespace kdtune

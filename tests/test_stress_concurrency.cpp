@@ -1,0 +1,438 @@
+// Concurrency stress suite. These tests exist to give the sanitizer CI jobs
+// (ThreadSanitizer in particular) something worth watching: they hammer every
+// documented publication protocol — LazyKdTree's first-touch expansion under
+// mixed query kinds, StablePool's block publication against concurrent
+// readers, and ThreadPool/TaskGroup construction-destruction cycles — while
+// simultaneously checking results against single-threaded oracles. Sizes
+// scale down when KDTUNE_CI_SMALL is set (sanitizer jobs; TSan is ~10x).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/differential.hpp"
+#include "geom/intersect.hpp"
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "kdtree/lazy_tree.hpp"
+#include "parallel/stable_pool.hpp"
+#include "parallel/thread_pool.hpp"
+#include "scene/generators.hpp"
+
+namespace kdtune {
+namespace {
+
+std::size_t scaled(std::size_t full, std::size_t small) {
+  return kdtune_ci_small() ? small : full;
+}
+
+std::vector<Triangle> random_soup(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triangle> tris;
+  tris.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 base{rng.uniform(-3, 3), rng.uniform(-3, 3),
+                    rng.uniform(-3, 3)};
+    tris.push_back(
+        {base,
+         base + Vec3{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                     rng.uniform(-0.5f, 0.5f)},
+         base + Vec3{rng.uniform(-0.5f, 0.5f), rng.uniform(-0.5f, 0.5f),
+                     rng.uniform(-0.5f, 0.5f)}});
+  }
+  return tris;
+}
+
+const LazyKdTree& as_lazy(const KdTreeBase& tree) {
+  return dynamic_cast<const LazyKdTree&>(tree);
+}
+
+Ray random_ray_into(Rng& rng, const AABB& box) {
+  const Vec3 origin =
+      box.center() + normalized(Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                     rng.uniform(-1, 1)}) *
+                         (length(box.extent()) * 0.8f + 0.5f);
+  const Vec3 target{rng.uniform(box.lo.x, box.hi.x),
+                    rng.uniform(box.lo.y, box.hi.y),
+                    rng.uniform(box.lo.z, box.hi.z)};
+  Vec3 dir = target - origin;
+  if (length(dir) == 0.0f) dir = {1, 0, 0};
+  return Ray(origin, normalized(dir));
+}
+
+// ---------------------------------------------------------------------------
+// LazyKdTree: N threads of mixed closest_hit / any_hit / query_range /
+// nearest calls racing first-touch expansion, with stats() and
+// deferred_remaining() churning on the side. The eager sweep tree over the
+// same configuration is the oracle; agreement is exact (shared per-triangle
+// primitives make the minima bit-identical, see core/differential.hpp).
+
+TEST(LazyStressConcurrency, MixedQueriesRaceFirstTouchExpansion) {
+  const std::size_t tri_count = scaled(1500, 400);
+  const auto tris = random_soup(tri_count, 101);
+  BuildConfig config;
+  config.r = 32;
+  ThreadPool pool(0);
+
+  const auto eager = make_sweep_builder()->build(tris, config, pool);
+  const auto tree = make_builder(Algorithm::kLazy)->build(tris, config, pool);
+  const LazyKdTree& lazy = as_lazy(*tree);
+  ASSERT_GT(lazy.deferred_remaining(), 0u);
+
+  // Precompute every probe and its oracle answer single-threaded.
+  const AABB box = bounds_of(tris);
+  Rng rng(102);
+  const int probes = static_cast<int>(scaled(90, 36));
+  std::vector<Ray> rays;
+  std::vector<Hit> expected_hit;
+  std::vector<bool> expected_any;
+  std::vector<AABB> boxes;
+  std::vector<std::vector<std::uint32_t>> expected_range;
+  std::vector<Vec3> points;
+  std::vector<float> expected_d2;
+  for (int i = 0; i < probes; ++i) {
+    rays.push_back(random_ray_into(rng, box));
+    expected_hit.push_back(eager->closest_hit(rays.back()));
+    expected_any.push_back(eager->any_hit(rays.back()));
+    const Vec3 p{rng.uniform(box.lo.x, box.hi.x),
+                 rng.uniform(box.lo.y, box.hi.y),
+                 rng.uniform(box.lo.z, box.hi.z)};
+    const Vec3 q{rng.uniform(box.lo.x, box.hi.x),
+                 rng.uniform(box.lo.y, box.hi.y),
+                 rng.uniform(box.lo.z, box.hi.z)};
+    boxes.push_back(AABB(min(p, q), max(p, q)));
+    expected_range.emplace_back();
+    eager->query_range(boxes.back(), expected_range.back());
+    points.push_back(p);
+    expected_d2.push_back(eager->nearest(p).distance_sq);
+  }
+
+  std::atomic<int> mismatches{0};
+  const int num_threads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::uint32_t> out;
+      // Strided with overlap: most probes are executed by several threads,
+      // so first-touch expansion of the same subtree is genuinely contended.
+      for (int i = t % 2; i < probes; ++i) {
+        switch ((i + t) % 4) {
+          case 0: {
+            const Hit got = tree->closest_hit(rays[i]);
+            if (got.valid() != expected_hit[i].valid() ||
+                (got.valid() && got.t != expected_hit[i].t)) {
+              mismatches.fetch_add(1);
+            }
+            break;
+          }
+          case 1:
+            if (tree->any_hit(rays[i]) != expected_any[i]) {
+              mismatches.fetch_add(1);
+            }
+            break;
+          case 2: {
+            out.clear();
+            tree->query_range(boxes[i], out);
+            if (out != expected_range[i]) mismatches.fetch_add(1);
+            break;
+          }
+          default: {
+            const NearestResult got = tree->nearest(points[i]);
+            if (got.distance_sq != expected_d2[i]) mismatches.fetch_add(1);
+            break;
+          }
+        }
+        if (i % 16 == t) {
+          // Structural reads racing the expansions the queries trigger —
+          // the regression surface for the unsynchronized stats() snapshot.
+          const TreeStats stats = lazy.stats();
+          if (stats.node_count == 0) mismatches.fetch_add(1);
+          (void)lazy.deferred_remaining();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(lazy.stack_overflows(), 0u);
+}
+
+TEST(LazyStressConcurrency, StatsRacesExpandAll) {
+  // Minimized regression for the stats() data race: one thread repeatedly
+  // snapshots structural statistics while another expands every deferred
+  // subtree. Before stats() synchronized with expand(), TSan flagged the
+  // split/a/b reads against expand()'s field writes, and a torn child index
+  // could send compute_stats walking garbage.
+  const auto tris = random_soup(scaled(1200, 400), 103);
+  BuildConfig config;
+  config.r = 32;
+  ThreadPool pool(0);
+  const auto tree = make_builder(Algorithm::kLazy)->build(tris, config, pool);
+  const LazyKdTree& lazy = as_lazy(*tree);
+  ASSERT_GT(lazy.deferred_remaining(), 0u);
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const TreeStats stats = lazy.stats();
+      EXPECT_GT(stats.node_count, 0u);
+      EXPECT_GT(stats.prim_refs, 0u);
+    }
+  });
+  lazy.expand_all();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(lazy.deferred_remaining(), 0u);
+  EXPECT_EQ(lazy.stats().deferred_count, 0u);
+}
+
+TEST(LazyStressConcurrency, ConcurrentExpandAllIsIdempotent) {
+  // Several threads calling expand_all() concurrently with query traffic:
+  // every deferred node must be expanded exactly once (the expansions
+  // counter equals the initially deferred count).
+  const auto tris = random_soup(scaled(1000, 400), 104);
+  BuildConfig config;
+  config.r = 32;
+  ThreadPool pool(0);
+  const auto tree = make_builder(Algorithm::kLazy)->build(tris, config, pool);
+  const LazyKdTree& lazy = as_lazy(*tree);
+  const std::size_t initially_deferred = lazy.deferred_remaining();
+  ASSERT_GT(initially_deferred, 0u);
+
+  const AABB box = bounds_of(tris);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      if (t % 2 == 0) {
+        lazy.expand_all();
+      } else {
+        Rng rng(200 + static_cast<std::uint64_t>(t));
+        for (int i = 0; i < 40; ++i) {
+          tree->closest_hit(random_ray_into(rng, box));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(lazy.deferred_remaining(), 0u);
+  EXPECT_EQ(lazy.expansions(), initially_deferred);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: concurrent-expansion parity on the paper's six scenes. N threads
+// of seeded ray batches over a *fresh* lazy tree must produce bit-identical
+// hits to the eager sweep tree, no matter which thread expands what first.
+
+TEST(LazyStressConcurrency, SixSceneConcurrentExpansionParity) {
+  const float detail = kdtune_ci_small() ? 0.08f : 0.15f;
+  const int rays_per_thread = static_cast<int>(scaled(60, 24));
+  BuildConfig config;
+  config.r = 64;
+  ThreadPool pool(0);
+
+  for (const std::string& id : scene_ids()) {
+    SCOPED_TRACE(id);
+    const Scene scene = make_scene(id, detail)->frame(0);
+    const auto tris = scene.triangles();
+    const auto eager = make_sweep_builder()->build(tris, config, pool);
+    const auto tree =
+        make_builder(Algorithm::kLazy)->build(tris, config, pool);
+    const LazyKdTree& lazy = as_lazy(*tree);
+
+    const AABB box = bounds_of(tris);
+    const int num_threads = 4;
+    std::vector<std::vector<Ray>> batches(num_threads);
+    std::vector<std::vector<Hit>> expected(num_threads);
+    Rng master(905);
+    for (int t = 0; t < num_threads; ++t) {
+      Rng rng = master.split();
+      for (int i = 0; i < rays_per_thread; ++i) {
+        batches[t].push_back(random_ray_into(rng, box));
+        expected[t].push_back(eager->closest_hit(batches[t].back()));
+      }
+    }
+
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < num_threads; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::size_t i = 0; i < batches[t].size(); ++i) {
+          const Hit got = tree->closest_hit(batches[t][i]);
+          const Hit& want = expected[t][i];
+          if (got.valid() != want.valid() ||
+              (want.valid() && got.t != want.t)) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(lazy.stack_overflows(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: the depth clamp makes traversal-stack saturation impossible, so
+// the (release-build) overflow counter must stay zero even on the adversarial
+// depth-chain geometry that used to overflow before the clamp — including
+// through lazy expansion, whose subtrees budget only the depth remaining
+// below the deferred node.
+
+TEST(LazyStressConcurrency, ClampDepthTreeNeverDropsFarChildren) {
+  std::vector<Triangle> tris;
+  for (int i = 0; i < 90; ++i) {
+    const float z = std::ldexp(1.0f, i);  // 2^i: every median split peels one
+    const float x0 = (i >= 8 && i < 20) ? 10.0f : 0.0f;
+    tris.push_back({{x0, 0, z}, {x0 + 1, 0, z}, {x0, 1, z}});
+  }
+  BuildConfig config;
+  config.max_depth = 200;  // clamped to the stack budget by resolved_max_depth
+  config.r = 16;
+  ThreadPool pool(0);
+  const auto tree = make_builder(Algorithm::kLazy)->build(tris, config, pool);
+  const LazyKdTree& lazy = as_lazy(*tree);
+
+  Rng rng(906);
+  const AABB box = bounds_of(tris);
+  for (int i = 0; i < 200; ++i) {
+    const Ray ray = random_ray_into(rng, box);
+    const Hit expected = brute_force_closest_hit(ray, tris);
+    const Hit got = tree->closest_hit(ray);
+    ASSERT_EQ(got.valid(), expected.valid()) << "ray " << i;
+    if (expected.valid()) {
+      ASSERT_EQ(got.t, expected.t) << "ray " << i;
+    }
+  }
+  lazy.expand_all();
+  const Ray up({10.25f, 0.25f, 0.0f}, {0, 0, 1});
+  EXPECT_TRUE(tree->closest_hit(up).valid());
+  EXPECT_EQ(lazy.stack_overflows(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool / TaskGroup construction-destruction churn.
+
+TEST(ThreadPoolStressConcurrency, ConstructDestroyChurn) {
+  const int iterations = static_cast<int>(scaled(150, 40));
+  std::atomic<int> executed{0};
+  int expected = 0;
+  for (int iter = 0; iter < iterations; ++iter) {
+    ThreadPool pool(1 + iter % 3);
+    TaskGroup group(pool);
+    for (int i = 0; i < 16; ++i) {
+      group.run([&executed] { executed.fetch_add(1); });
+    }
+    expected += 16;
+    if (iter % 2 == 0) {
+      group.wait();
+    }
+    // Odd iterations leave the wait to ~TaskGroup, then ~ThreadPool joins
+    // workers — the destruction-ordering handshake documented in
+    // docs/CONCURRENCY.md, exercised back to back.
+  }
+  EXPECT_EQ(executed.load(), expected);
+}
+
+TEST(ThreadPoolStressConcurrency, BareSubmitChurn) {
+  // Fire-and-forget submissions racing pool destruction: every task must
+  // still run (the destructor drains the queue before stopping workers is
+  // NOT guaranteed — workers exit only when stopping && queue empty, so all
+  // queued work executes).
+  const int iterations = static_cast<int>(scaled(100, 30));
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::promise<void> last;
+    auto fut = last.get_future();
+    std::atomic<int> ran{0};
+    {
+      ThreadPool pool(2);
+      for (int i = 0; i < 32; ++i) {
+        pool.submit([&ran] { ran.fetch_add(1); });
+      }
+      pool.submit([&last] { last.set_value(); });
+      ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)),
+                std::future_status::ready);
+    }
+    EXPECT_EQ(ran.load(), 32);
+  }
+}
+
+TEST(ThreadPoolStressConcurrency, TaskGroupChurnAcrossThreads) {
+  // The TeardownRaceStress scenario, but with several external threads
+  // churning short-lived groups against one shared pool: the last-finisher
+  // wake-up must never touch a group object a waiter already destroyed.
+  ThreadPool pool(4);
+  const int iterations = static_cast<int>(scaled(2000, 500));
+  std::atomic<int> executed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < iterations; ++i) {
+        TaskGroup group(pool);
+        group.run([&executed] { executed.fetch_add(1); });
+        group.wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(executed.load(), 4 * iterations);
+}
+
+// ---------------------------------------------------------------------------
+// StablePool: readers racing the appender across block boundaries. Mirrors
+// the lazy tree's protocol exactly: the appender publishes a watermark with
+// release order *after* writing the new elements, and readers only touch
+// indices below an acquired watermark.
+
+TEST(StablePoolStressConcurrency, ReadersRaceAppenderAcrossBlocks) {
+  const std::size_t capacity = scaled(3 * 4096 + 512, 4096 + 512);
+  StablePool<std::uint32_t> pool(capacity);
+  std::atomic<std::size_t> published{0};
+  std::atomic<bool> done{false};
+  std::atomic<int> corrupt{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(300 + static_cast<std::uint64_t>(t));
+      while (!done.load(std::memory_order_acquire)) {
+        const std::size_t n = published.load(std::memory_order_acquire);
+        if (n == 0) continue;
+        for (int k = 0; k < 64; ++k) {
+          const std::size_t i = static_cast<std::size_t>(
+              rng.next_int(0, static_cast<std::int64_t>(n) - 1));
+          if (pool[i] != i) corrupt.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  Rng rng(301);
+  std::size_t total = 0;
+  while (total < capacity) {
+    const std::size_t chunk = std::min<std::size_t>(
+        static_cast<std::size_t>(rng.next_int(1, 97)), capacity - total);
+    const std::size_t start = pool.append(chunk);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      pool[start + i] = static_cast<std::uint32_t>(start + i);
+    }
+    published.store(start + chunk, std::memory_order_release);
+    total += chunk;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(corrupt.load(), 0);
+  EXPECT_EQ(pool.size(), capacity);
+  EXPECT_THROW(pool.append(1), std::length_error);
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
 #include <stdexcept>
 
 namespace kdtune {
@@ -147,6 +150,24 @@ TEST(ThreadPool, GlobalPoolExists) {
   group.run([&counter] { counter.fetch_add(1); });
   group.wait();
   EXPECT_EQ(counter.load(), 1);
+}
+
+// Regression: "hardware_concurrency() - 1" sizing gave the global pool zero
+// workers on single-core machines (and when hardware_concurrency() reports
+// 0), so a bare submit() with no helping TaskGroup waiter never ran. Both
+// expectations below hang/fail against the unclamped sizing on a 1-CPU host.
+TEST(ThreadPool, GlobalPoolHasAtLeastOneWorker) {
+  EXPECT_GE(ThreadPool::global().worker_count(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolRunsBareSubmitWithoutHelping) {
+  auto done = std::make_shared<std::promise<void>>();
+  auto fut = done->get_future();
+  ThreadPool::global().submit([done] { done->set_value(); });
+  // No TaskGroup, no try_run_one(): only a pool worker can run the task.
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << "global pool executed no submitted work (zero workers?)";
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace kdtune {
 namespace {
@@ -172,6 +173,44 @@ TEST(Tuner, BestValuesBeforeAnyMeasurement) {
   tuner.register_parameter(&a, 0, 9);
   // Falls back to the current variable values.
   EXPECT_EQ(tuner.best_values()[0], 4);
+}
+
+TEST(Tuner, RejectsNonFiniteSamplesAndRemeasures) {
+  // A NaN/Inf frame time must never reach the search: NaN is unordered, so
+  // it would poison compute_stats' sort in the drift detector and the
+  // Nelder-Mead simplex comparisons. The sample is dropped and the *same*
+  // configuration stays applied for a re-measure.
+  std::int64_t x = 0;
+  Tuner tuner;
+  tuner.register_parameter(&x, 0, 100, 1, "x");
+  tuner.apply_next();
+  const std::int64_t proposed = x;
+
+  tuner.record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(tuner.rejected_samples(), 1u);
+  EXPECT_EQ(tuner.iterations(), 0u);
+  EXPECT_EQ(x, proposed) << "rejected sample must keep the config applied";
+  EXPECT_TRUE(tuner.history().empty());
+
+  tuner.record(std::numeric_limits<double>::infinity());
+  tuner.record(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(tuner.rejected_samples(), 3u);
+  EXPECT_EQ(tuner.iterations(), 0u);
+
+  // The re-measure of the same configuration is accepted and the search
+  // carries on to convergence with a finite optimum.
+  tuner.record(0.5);
+  EXPECT_EQ(tuner.iterations(), 1u);
+  ASSERT_EQ(tuner.history().size(), 1u);
+  EXPECT_EQ(tuner.history()[0].values[0], proposed);
+
+  for (int i = 0; i < 300 && !tuner.converged(); ++i) {
+    const double cost = 1.0 + 0.01 * static_cast<double>((x - 40) * (x - 40));
+    tuner.record(cost);
+  }
+  EXPECT_TRUE(tuner.converged());
+  EXPECT_TRUE(std::isfinite(tuner.best_time()));
+  EXPECT_EQ(tuner.rejected_samples(), 3u);
 }
 
 TEST(Tuner, StartStopMeasuresWallClock) {

@@ -1,0 +1,95 @@
+// Standalone differential fuzz driver. Runs N seeded (scene, config) cases
+// through the cross-implementation harness (src/core/differential.hpp) and
+// exits non-zero on the first disagreement batch, printing every divergent
+// probe with its seed so a failure is replayable:
+//
+//   kdtune_fuzz --cases=500            # the CI sweep
+//   kdtune_fuzz --seed0=17 --cases=1   # replay one reported seed
+//
+// KDTUNE_CI_SMALL=1 shrinks scenes and probe counts (sanitizer jobs).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/differential.hpp"
+
+namespace {
+
+std::uint64_t parse_u64(const char* arg, const char* name) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg, &end, 10);
+  if (end == arg || *end != '\0') {
+    std::fprintf(stderr, "kdtune_fuzz: bad value for %s: '%s'\n", name, arg);
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t cases = 100;
+  std::uint64_t seed0 = 1;
+  bool keep_going = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--cases=", 8) == 0) {
+      cases = parse_u64(arg + 8, "--cases");
+    } else if (std::strncmp(arg, "--seed0=", 8) == 0) {
+      seed0 = parse_u64(arg + 8, "--seed0");
+    } else if (std::strcmp(arg, "--keep-going") == 0) {
+      keep_going = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "usage: kdtune_fuzz [--cases=N] [--seed0=S] [--keep-going]\n"
+          "Differential fuzz: every builder, the compact layout and the BVH\n"
+          "baseline must agree exactly with brute force on seeded random\n"
+          "scenes and Table II configurations.\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "kdtune_fuzz: unknown argument '%s'\n", arg);
+      return 2;
+    }
+  }
+
+  const kdtune::DifferentialOptions opts =
+      kdtune::differential_default_options();
+  std::size_t total_queries = 0;
+  std::size_t total_disagreements = 0;
+
+  for (std::uint64_t i = 0; i < cases; ++i) {
+    const std::uint64_t seed = seed0 + i;
+    const kdtune::DifferentialResult result =
+        kdtune::run_differential_case(seed, opts);
+    total_queries += result.queries;
+    total_disagreements += result.disagreements.size();
+    for (const std::string& msg : result.disagreements) {
+      std::fprintf(stderr, "DISAGREEMENT %s\n", msg.c_str());
+    }
+    if (!result.ok() && !keep_going) {
+      std::fprintf(stderr,
+                   "kdtune_fuzz: stopping at seed %llu (replay with "
+                   "--seed0=%llu --cases=1)\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(seed));
+      break;
+    }
+    if ((i + 1) % 100 == 0) {
+      std::printf("kdtune_fuzz: %llu/%llu cases, %zu queries, %zu "
+                  "disagreements\n",
+                  static_cast<unsigned long long>(i + 1),
+                  static_cast<unsigned long long>(cases), total_queries,
+                  total_disagreements);
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("kdtune_fuzz: %s — %zu queries checked, %zu disagreements\n",
+              total_disagreements == 0 ? "PASS" : "FAIL", total_queries,
+              total_disagreements);
+  return total_disagreements == 0 ? 0 : 1;
+}
