@@ -1,0 +1,236 @@
+// Serving-path benchmark: throughput and latency of the micro-batched
+// QueryService at batch size 1 (no batching — every request is its own pool
+// task) versus the batch size the ServeTuner converges to on the same
+// traffic. Writes BENCH_serve.json with throughput and p50/p99 latency per
+// configuration; `--smoke` shrinks everything for CI.
+//
+// The point of the comparison is the one the serving layer exists to make:
+// per-request dispatch amortization. At batch=1 every ray pays a full
+// queue round-trip and pool submission; at the tuned batch size those costs
+// spread over the whole batch.
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "core/differential.hpp"
+#include "core/kdtune.hpp"
+
+namespace {
+
+using namespace kdtune;
+using kdtune::bench::BenchOptions;
+
+struct ServeMeasurement {
+  std::int64_t batch_size = 0;
+  std::int64_t flush_us = 0;
+  std::uint64_t completed = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+};
+
+Ray random_ray_into(Rng& rng, const AABB& box) {
+  const Vec3 origin =
+      box.center() + normalized(Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                     rng.uniform(-1, 1)}) *
+                         (length(box.extent()) * 0.8f + 0.5f);
+  const Vec3 target{rng.uniform(box.lo.x, box.hi.x),
+                    rng.uniform(box.lo.y, box.hi.y),
+                    rng.uniform(box.lo.z, box.hi.z)};
+  Vec3 dir = target - origin;
+  if (length(dir) == 0.0f) dir = {1, 0, 0};
+  return Ray(origin, normalized(dir));
+}
+
+/// Runs `total` closest-hit requests from `clients` closed-loop threads
+/// against a fresh service configured with `params`; returns the measured
+/// window. A fresh service per run keeps each configuration's histograms and
+/// counters isolated.
+ServeMeasurement run_load(SceneRegistry& registry, ThreadPool& pool,
+                          const std::vector<std::string>& names,
+                          const std::vector<AABB>& boxes,
+                          const ServingParams& params, int clients, int total,
+                          std::uint64_t seed) {
+  ServiceOptions sopts;
+  sopts.params = params;
+  QueryService service(registry, pool, sopts);
+
+  const int per_client = std::max(total / std::max(clients, 1), 1);
+  Rng master(seed);
+  std::vector<Rng> rngs;
+  for (int c = 0; c < clients; ++c) rngs.push_back(master.split());
+
+  Stopwatch wall;
+  wall.start();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng = rngs[static_cast<std::size_t>(c)];
+      for (int i = 0; i < per_client; ++i) {
+        const std::size_t scene = static_cast<std::size_t>(
+            rng.next_int(0, static_cast<std::int64_t>(names.size()) - 1));
+        service
+            .submit_closest_hit(names[scene],
+                                random_ray_into(rng, boxes[scene]))
+            .get();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  service.drain();
+  const double seconds = wall.elapsed();
+  const ServiceStats stats = service.stats();
+  const EndpointStats& ep =
+      stats.endpoints[static_cast<int>(QueryKind::kClosestHit)];
+
+  ServeMeasurement m;
+  m.batch_size = params.batch_size;
+  m.flush_us = params.flush_timeout_us;
+  m.completed = stats.completed;
+  m.seconds = seconds;
+  m.qps = seconds > 0.0 ? static_cast<double>(stats.completed) / seconds : 0.0;
+  m.p50_us = ep.p50_seconds * 1e6;
+  m.p99_us = ep.p99_seconds * 1e6;
+  m.mean_us = ep.mean_seconds * 1e6;
+  service.shutdown();
+  return m;
+}
+
+/// Lets the ServeTuner search over live traffic and returns its best params.
+ServingParams tune_params(SceneRegistry& registry, ThreadPool& pool,
+                          const std::vector<std::string>& names,
+                          const std::vector<AABB>& boxes, int clients,
+                          int windows, int window_ms, std::uint64_t seed) {
+  ServiceOptions sopts;
+  QueryService service(registry, pool, sopts);
+  ServeTuner tuner(service);
+
+  std::atomic<bool> done{false};
+  Rng master(seed ^ 0xBE9Cull);
+  std::vector<Rng> rngs;
+  for (int c = 0; c < clients; ++c) rngs.push_back(master.split());
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng = rngs[static_cast<std::size_t>(c)];
+      while (!done.load(std::memory_order_acquire)) {
+        const std::size_t scene = static_cast<std::size_t>(
+            rng.next_int(0, static_cast<std::int64_t>(names.size()) - 1));
+        service
+            .submit_closest_hit(names[scene],
+                                random_ray_into(rng, boxes[scene]))
+            .get();
+      }
+    });
+  }
+  for (int w = 0; w < windows; ++w) {
+    tuner.begin_window();
+    std::this_thread::sleep_for(std::chrono::milliseconds(window_ms));
+    tuner.end_window();
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  service.shutdown();
+
+  const ServingParams best = tuner.best();
+  std::printf(
+      "tuned over %zu windows: batch=%" PRId64 " flush=%" PRId64
+      "us inflight=%" PRId64 "\n",
+      tuner.windows(), best.batch_size, best.flush_timeout_us,
+      best.max_inflight_batches);
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::vector<char*> rest{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  BenchOptions opts =
+      BenchOptions::parse(static_cast<int>(rest.size()), rest.data());
+  if (smoke) {
+    opts.detail = kdtune_ci_small() ? 0.06f : 0.1f;
+    opts.measure = 5;
+  }
+  opts.describe("bench_serve: micro-batched serving throughput/latency");
+
+  const int clients = 4;
+  const int total = smoke ? (kdtune_ci_small() ? 400 : 800) : 4000;
+  const int tune_windows = smoke ? 10 : 24;
+  const int window_ms = smoke ? 10 : 40;
+
+  ThreadPool pool(opts.threads);
+  SceneRegistry registry(pool);
+  std::vector<std::string> names{"bunny", "sponza"};
+  std::vector<AABB> boxes;
+  for (const std::string& id : names) {
+    const Scene scene = make_scene(id, opts.detail)->frame(0);
+    boxes.push_back(scene.bounds());
+    const auto snap = registry.admit(id, scene);
+    std::printf("  %-10s %7zu tris (%s)\n", id.c_str(), snap->triangle_count,
+                snap->layout.c_str());
+  }
+
+  ServingParams unbatched;
+  unbatched.batch_size = 1;
+  unbatched.flush_timeout_us = 0;
+  const ServingParams tuned = tune_params(registry, pool, names, boxes,
+                                          clients, tune_windows, window_ms,
+                                          opts.seed);
+
+  std::vector<ServeMeasurement> rows;
+  for (const ServingParams& p : {unbatched, tuned}) {
+    ServeMeasurement best;
+    for (std::size_t rep = 0; rep < std::max<std::size_t>(opts.reps, 1);
+         ++rep) {
+      const ServeMeasurement m = run_load(registry, pool, names, boxes, p,
+                                          clients, total, opts.seed + rep);
+      if (best.completed == 0 || m.qps > best.qps) best = m;
+    }
+    rows.push_back(best);
+    std::printf("batch=%-4" PRId64 " %9.0f req/s   p50 %7.1f us   p99 %7.1f "
+                "us   (%" PRIu64 " requests, best of %zu)\n",
+                best.batch_size, best.qps, best.p50_us, best.p99_us,
+                best.completed, std::max<std::size_t>(opts.reps, 1));
+  }
+
+  if (rows.size() == 2 && rows[0].qps > 0.0) {
+    std::printf("tuned batching speedup over batch=1: %.2fx\n",
+                rows[1].qps / rows[0].qps);
+  }
+
+  std::FILE* out = std::fopen("BENCH_serve.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ServeMeasurement& m = rows[i];
+    std::fprintf(out,
+                 "  {\"config\": \"%s\", \"batch_size\": %" PRId64
+                 ", \"flush_timeout_us\": %" PRId64
+                 ", \"requests\": %" PRIu64
+                 ", \"queries_per_sec\": %.1f, \"p50_us\": %.2f, "
+                 "\"p99_us\": %.2f, \"mean_us\": %.2f}%s\n",
+                 i == 0 ? "unbatched" : "tuned", m.batch_size, m.flush_us,
+                 m.completed, m.qps, m.p50_us, m.p99_us, m.mean_us,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_serve.json (%zu records)\n", rows.size());
+  return 0;
+}

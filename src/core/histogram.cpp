@@ -1,0 +1,152 @@
+#include "core/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace kdtune {
+
+int LogHistogram::index_of(std::uint64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<int>(value);
+  const int octave = std::bit_width(value) - 1;  // floor(log2(value)) >= 2
+  const int sub =
+      static_cast<int>((value >> (octave - kSubBits)) & (kSubBuckets - 1));
+  return (octave - 1) * kSubBuckets + sub;
+}
+
+std::uint64_t LogHistogram::bucket_lower(int index) noexcept {
+  if (index < kSubBuckets) return static_cast<std::uint64_t>(index);
+  const int octave = index / kSubBuckets + 1;
+  const int sub = index % kSubBuckets;
+  return (std::uint64_t{1} << octave) +
+         (static_cast<std::uint64_t>(sub) << (octave - kSubBits));
+}
+
+std::uint64_t LogHistogram::bucket_upper(int index) noexcept {
+  if (index + 1 >= kBucketCount) return ~std::uint64_t{0};
+  return bucket_lower(index + 1) - 1;
+}
+
+void LogHistogram::record(std::uint64_t value) noexcept {
+  buckets_[static_cast<std::size_t>(index_of(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void LogHistogram::record_seconds(double seconds) noexcept {
+  if (!(seconds > 0.0)) {  // negatives and NaN clamp to 0
+    record(0);
+    return;
+  }
+  const double ns = seconds * 1e9;
+  constexpr double kMax = 1.8e19;  // < 2^64, saturate beyond
+  record(ns >= kMax ? ~std::uint64_t{0} : static_cast<std::uint64_t>(ns));
+}
+
+std::uint64_t LogHistogram::min() const noexcept {
+  const std::uint64_t v = min_.load(std::memory_order_relaxed);
+  return v == ~std::uint64_t{0} && count() == 0 ? 0 : v;
+}
+
+std::uint64_t LogHistogram::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double LogHistogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(n);
+}
+
+std::uint64_t LogHistogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, ceil): the value such that at least
+  // ceil(q * n) samples are <= it.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(n) - 1e-9)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c = buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (seen + c >= rank) {
+      // Interpolate inside the bucket by the rank's position within it.
+      const std::uint64_t lo = bucket_lower(i);
+      const std::uint64_t hi = bucket_upper(i);
+      const double frac =
+          c <= 1 ? 0.0
+                 : static_cast<double>(rank - seen - 1) /
+                       static_cast<double>(c - 1);
+      const double width = static_cast<double>(hi - lo);
+      std::uint64_t v = lo + static_cast<std::uint64_t>(width * frac);
+      return std::clamp(v, min(), max());
+    }
+    seen += c;
+  }
+  return max();
+}
+
+void LogHistogram::merge(const LogHistogram& other) noexcept {
+  for (int i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c = other.buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (c != 0) {
+      buckets_[static_cast<std::size_t>(i)].fetch_add(
+          c, std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  if (other.count() != 0) {
+    std::uint64_t v = other.min_.load(std::memory_order_relaxed);
+    std::uint64_t seen = min_.load(std::memory_order_relaxed);
+    while (v < seen && !min_.compare_exchange_weak(seen, v,
+                                                   std::memory_order_relaxed)) {
+    }
+    v = other.max_.load(std::memory_order_relaxed);
+    seen = max_.load(std::memory_order_relaxed);
+    while (v > seen && !max_.compare_exchange_weak(seen, v,
+                                                   std::memory_order_relaxed)) {
+    }
+  }
+}
+
+void LogHistogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::string LogHistogram::to_json(double scale) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %llu, \"min\": %.3f, \"mean\": %.3f, "
+                "\"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, \"max\": %.3f}",
+                static_cast<unsigned long long>(count()),
+                static_cast<double>(min()) * scale, mean() * scale,
+                static_cast<double>(quantile(0.5)) * scale,
+                static_cast<double>(quantile(0.9)) * scale,
+                static_cast<double>(quantile(0.99)) * scale,
+                static_cast<double>(max()) * scale);
+  return buf;
+}
+
+}  // namespace kdtune

@@ -1,0 +1,79 @@
+#pragma once
+
+// Log-bucket histogram — the serving layer's latency/occupancy metric.
+//
+// Values (unsigned integers; latencies are recorded in nanoseconds) land in
+// logarithmically spaced buckets: 4 sub-buckets per power of two, HDR-style,
+// so relative quantile error is bounded by one sub-bucket (~19%) across the
+// full 64-bit range with a fixed 256-slot table and no allocation. Recording
+// is a single relaxed atomic increment, safe from any number of threads
+// concurrently; quantile/merge/json readers see a (possibly slightly stale)
+// consistent-enough snapshot, which is all a metrics endpoint needs.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace kdtune {
+
+class LogHistogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits buckets per octave.
+  static constexpr int kSubBits = 2;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  /// Highest index is for value 2^64-1: (63 - 1) * 4 + 3 = 251.
+  static constexpr int kBucketCount = 252;
+
+  LogHistogram() = default;
+  LogHistogram(const LogHistogram&) = delete;
+  LogHistogram& operator=(const LogHistogram&) = delete;
+
+  /// Thread-safe, lock-free.
+  void record(std::uint64_t value) noexcept;
+
+  /// Records a duration in seconds as integer nanoseconds (negative clamps
+  /// to 0; overflow saturates). Thread-safe.
+  void record_seconds(double seconds) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t min() const noexcept;  ///< 0 when empty
+  std::uint64_t max() const noexcept;  ///< 0 when empty
+  double mean() const noexcept;        ///< 0 when empty
+
+  /// Value at quantile q in [0, 1] (0.5 = median, 0.99 = p99), linearly
+  /// interpolated inside the winning bucket and clamped to the observed
+  /// min/max. 0 when empty.
+  std::uint64_t quantile(double q) const noexcept;
+
+  /// quantile() on a nanosecond-recorded histogram, in seconds.
+  double quantile_seconds(double q) const noexcept {
+    return static_cast<double>(quantile(q)) * 1e-9;
+  }
+  double mean_seconds() const noexcept { return mean() * 1e-9; }
+
+  /// Adds `other`'s counts into this histogram (per-shard merge).
+  void merge(const LogHistogram& other) noexcept;
+
+  void reset() noexcept;
+
+  /// {"count":N,"min":..,"mean":..,"p50":..,"p90":..,"p99":..,"max":..}
+  /// with values scaled by `scale` (e.g. 1e-3 to report ns as us).
+  std::string to_json(double scale = 1.0) const;
+
+  /// Bucket geometry, exposed for the tests.
+  static int index_of(std::uint64_t value) noexcept;
+  static std::uint64_t bucket_lower(int index) noexcept;
+  static std::uint64_t bucket_upper(int index) noexcept;  ///< inclusive
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace kdtune

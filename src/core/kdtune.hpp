@@ -15,6 +15,7 @@
 
 #include "core/base_config.hpp"      // Table II ranges, C_base
 #include "core/experiment.hpp"       // paper-protocol experiment runner
+#include "core/histogram.hpp"        // log-bucket latency histogram
 #include "core/pipeline.hpp"         // TunedPipeline (fig. 4 workflow)
 #include "core/platform.hpp"         // virtual platforms
 #include "core/selector.hpp"         // algorithm selection (paper SVI)
@@ -46,6 +47,9 @@
 #include "scene/animation.hpp"
 #include "scene/generators.hpp"      // the six evaluation scenes
 #include "scene/obj_loader.hpp"
+#include "serve/query_service.hpp"   // micro-batched async ray service
+#include "serve/scene_registry.hpp"  // versioned scene registry (hot swap)
+#include "serve/serve_tuner.hpp"     // online tuning of the serving knobs
 #include "tuning/config_cache.hpp"   // persistent warm-start cache
 #include "tuning/search.hpp"         // Nelder-Mead + baseline strategies
 #include "tuning/tuner.hpp"          // the AtuneRT-style online autotuner

@@ -1,0 +1,387 @@
+#include "serve/query_service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "kdtree/packet.hpp"
+
+namespace kdtune {
+
+namespace {
+
+constexpr std::int64_t kMaxBatchSize = 1 << 20;
+
+ServingParams clamp_params(ServingParams p) noexcept {
+  p.batch_size = std::clamp<std::int64_t>(p.batch_size, 1, kMaxBatchSize);
+  p.flush_timeout_us = std::max<std::int64_t>(p.flush_timeout_us, 0);
+  p.max_inflight_batches = std::max<std::int64_t>(p.max_inflight_batches, 0);
+  return p;
+}
+
+double seconds_between(QueryService::Clock::time_point a,
+                       QueryService::Clock::time_point b) noexcept {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+std::string_view to_string(QueryKind kind) noexcept {
+  switch (kind) {
+    case QueryKind::kClosestHit: return "closest_hit";
+    case QueryKind::kAnyHit: return "any_hit";
+    case QueryKind::kPacket: return "packet";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(QueryStatus status) noexcept {
+  switch (status) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kSceneNotFound: return "scene_not_found";
+    case QueryStatus::kRejectedOverflow: return "rejected_overflow";
+    case QueryStatus::kTimedOut: return "timed_out";
+    case QueryStatus::kShutdown: return "shutdown";
+    case QueryStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+QueryService::QueryService(SceneRegistry& registry, ThreadPool& pool,
+                           ServiceOptions opts)
+    : registry_(registry),
+      pool_(pool),
+      max_queue_(std::max<std::size_t>(opts.max_queue, 1)),
+      started_(Clock::now()),
+      params_(clamp_params(opts.params)) {
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+QueryService::~QueryService() { shutdown(); }
+
+std::future<QueryResponse> QueryService::submit_closest_hit(
+    std::string scene, const Ray& ray, Clock::time_point deadline) {
+  Request req;
+  req.kind = QueryKind::kClosestHit;
+  req.scene = std::move(scene);
+  req.ray = ray;
+  req.deadline = deadline;
+  return submit(std::move(req));
+}
+
+std::future<QueryResponse> QueryService::submit_any_hit(
+    std::string scene, const Ray& ray, Clock::time_point deadline) {
+  Request req;
+  req.kind = QueryKind::kAnyHit;
+  req.scene = std::move(scene);
+  req.ray = ray;
+  req.deadline = deadline;
+  return submit(std::move(req));
+}
+
+std::future<QueryResponse> QueryService::submit_packet(
+    std::string scene, std::vector<Ray> rays, Clock::time_point deadline) {
+  Request req;
+  req.kind = QueryKind::kPacket;
+  req.scene = std::move(scene);
+  req.rays = std::move(rays);
+  req.deadline = deadline;
+  return submit(std::move(req));
+}
+
+std::future<QueryResponse> QueryService::submit(Request req) {
+  req.submitted = Clock::now();
+  std::future<QueryResponse> fut = req.promise.get_future();
+  const int kind = static_cast<int>(req.kind);
+
+  QueryStatus reject = QueryStatus::kOk;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (!accepting_) {
+      reject = QueryStatus::kShutdown;
+    } else if (queue_.size() >= max_queue_) {
+      reject = QueryStatus::kRejectedOverflow;
+    } else {
+      counters_[kind].accepted.fetch_add(1, std::memory_order_relaxed);
+      queue_.push_back(std::move(req));
+    }
+  }
+  if (reject == QueryStatus::kOk) {
+    dispatch_cv_.notify_one();
+    return fut;
+  }
+
+  // Rejection path: resolve the future immediately — admission control must
+  // never block a caller, and a rejected request is complete by definition.
+  counters_[kind].rejected.fetch_add(1, std::memory_order_relaxed);
+  QueryResponse resp;
+  resp.status = reject;
+  resp.kind = req.kind;
+  req.promise.set_value(std::move(resp));
+  return fut;
+}
+
+void QueryService::set_serving_params(const ServingParams& params) {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    params_ = clamp_params(params);
+  }
+  dispatch_cv_.notify_all();
+}
+
+ServingParams QueryService::serving_params() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return params_;
+}
+
+bool QueryService::accepting() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return accepting_;
+}
+
+void QueryService::dispatcher_loop() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  for (;;) {
+    if (stop_ && queue_.empty()) return;
+    if (queue_.empty()) {
+      dispatch_cv_.wait(lk);
+      continue;
+    }
+    const ServingParams params = params_;
+    const std::size_t batch_cap = static_cast<std::size_t>(params.batch_size);
+    const std::size_t inflight_cap =
+        params.max_inflight_batches > 0
+            ? static_cast<std::size_t>(params.max_inflight_batches)
+            : pool_.concurrency();
+    if (inflight_batches_ >= inflight_cap) {
+      dispatch_cv_.wait(lk);  // a batch completion frees a slot
+      continue;
+    }
+    const Clock::time_point flush_at =
+        queue_.front().submitted +
+        std::chrono::microseconds(params.flush_timeout_us);
+    const bool flush_now = queue_.size() >= batch_cap ||
+                           Clock::now() >= flush_at || drain_waiters_ > 0 ||
+                           !accepting_ || stop_;
+    if (!flush_now) {
+      dispatch_cv_.wait_until(lk, flush_at);
+      continue;
+    }
+
+    auto batch = std::make_shared<std::vector<Request>>();
+    batch->reserve(std::min(batch_cap, queue_.size()));
+    while (!queue_.empty() && batch->size() < batch_cap) {
+      batch->push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    inflight_requests_ += batch->size();
+    ++inflight_batches_;
+    lk.unlock();
+    if (pool_.worker_count() == 0) {
+      // Sequential degradation: no workers to hand the batch to, so the
+      // dispatcher thread executes it inline.
+      run_batch(std::move(*batch));
+    } else {
+      pool_.submit([this, batch] { run_batch(std::move(*batch)); });
+    }
+    lk.lock();
+  }
+}
+
+void QueryService::execute(
+    Request& req, QueryResponse& resp,
+    std::vector<std::pair<std::string, std::shared_ptr<const SceneSnapshot>>>&
+        snapshots) const {
+  // Per-batch snapshot memo: one registry acquire per distinct scene per
+  // batch. Linear scan — batches reference a handful of scenes at most.
+  const std::shared_ptr<const SceneSnapshot>* snap = nullptr;
+  for (const auto& [name, cached] : snapshots) {
+    if (name == req.scene) {
+      snap = &cached;
+      break;
+    }
+  }
+  if (snap == nullptr) {
+    snapshots.emplace_back(req.scene, registry_.acquire(req.scene));
+    snap = &snapshots.back().second;
+  }
+  if (*snap == nullptr) {
+    resp.status = QueryStatus::kSceneNotFound;
+    return;
+  }
+  const SceneSnapshot& snapshot = **snap;
+  resp.scene_version = snapshot.version;
+  switch (req.kind) {
+    case QueryKind::kClosestHit:
+      resp.hit = snapshot.tree->closest_hit(req.ray);
+      break;
+    case QueryKind::kAnyHit:
+      resp.any = snapshot.tree->any_hit(req.ray);
+      break;
+    case QueryKind::kPacket:
+      resp.hits.resize(req.rays.size());
+      closest_hit_packet_any(*snapshot.tree, req.rays, resp.hits);
+      break;
+  }
+  resp.status = QueryStatus::kOk;
+}
+
+void QueryService::run_batch(std::vector<Request> batch) {
+  batch_occupancy_.record(batch.size());
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::pair<std::string, std::shared_ptr<const SceneSnapshot>>>
+      snapshots;
+
+  for (Request& req : batch) {
+    QueryResponse resp;
+    resp.kind = req.kind;
+    const int kind = static_cast<int>(req.kind);
+    try {
+      if (Clock::now() >= req.deadline) {
+        resp.status = QueryStatus::kTimedOut;
+      } else {
+        execute(req, resp, snapshots);
+      }
+    } catch (...) {
+      resp.status = QueryStatus::kError;
+    }
+    switch (resp.status) {
+      case QueryStatus::kOk:
+        counters_[kind].completed.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case QueryStatus::kTimedOut:
+        counters_[kind].timed_out.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case QueryStatus::kSceneNotFound:
+        counters_[kind].not_found.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:
+        counters_[kind].failed.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    resp.latency_seconds = seconds_between(req.submitted, Clock::now());
+    latency_[kind].record_seconds(resp.latency_seconds);
+    req.promise.set_value(std::move(resp));
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    inflight_requests_ -= batch.size();
+    --inflight_batches_;
+    // Notify while holding the mutex: a drain()/shutdown() waiter may
+    // destroy this service the moment it observes completion, so the
+    // notifies must finish before the waiter can re-acquire the lock —
+    // notifying after unlock would race ~QueryService.
+    dispatch_cv_.notify_one();  // an in-flight slot freed up
+    done_cv_.notify_all();      // drain() may be waiting on this batch
+  }
+}
+
+void QueryService::drain() {
+  std::unique_lock<std::mutex> lk(mutex_);
+  ++drain_waiters_;
+  dispatch_cv_.notify_all();  // flush partial batches immediately
+  done_cv_.wait(lk, [this] {
+    return queue_.empty() && inflight_requests_ == 0;
+  });
+  --drain_waiters_;
+}
+
+void QueryService::shutdown() {
+  std::lock_guard<std::mutex> shutdown_lk(shutdown_mutex_);
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    accepting_ = false;
+  }
+  dispatch_cv_.notify_all();
+  drain();
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  dispatch_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  for (int k = 0; k < kQueryKindCount; ++k) {
+    EndpointStats& e = s.endpoints[static_cast<std::size_t>(k)];
+    const KindCounters& c = counters_[static_cast<std::size_t>(k)];
+    e.accepted = c.accepted.load(std::memory_order_relaxed);
+    e.completed = c.completed.load(std::memory_order_relaxed);
+    e.rejected = c.rejected.load(std::memory_order_relaxed);
+    e.timed_out = c.timed_out.load(std::memory_order_relaxed);
+    e.not_found = c.not_found.load(std::memory_order_relaxed);
+    e.failed = c.failed.load(std::memory_order_relaxed);
+    const LogHistogram& h = latency_[static_cast<std::size_t>(k)];
+    e.p50_seconds = h.quantile_seconds(0.5);
+    e.p99_seconds = h.quantile_seconds(0.99);
+    e.mean_seconds = h.mean_seconds();
+    s.accepted += e.accepted;
+    s.completed += e.completed;
+    s.rejected += e.rejected;
+    s.timed_out += e.timed_out;
+    s.not_found += e.not_found;
+    s.failed += e.failed;
+  }
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.mean_batch_occupancy = batch_occupancy_.mean();
+  s.p50_batch_occupancy = batch_occupancy_.quantile(0.5);
+  s.swaps = registry_.swap_count();
+  s.uptime_seconds = seconds_between(started_, Clock::now());
+  s.qps = s.uptime_seconds > 0.0
+              ? static_cast<double>(s.completed) / s.uptime_seconds
+              : 0.0;
+  return s;
+}
+
+std::string QueryService::stats_json() const {
+  const ServiceStats s = stats();
+  std::string out;
+  out.reserve(1024);
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n  \"uptime_seconds\": %.3f,\n  \"qps\": %.1f,\n"
+      "  \"accepted\": %llu,\n  \"completed\": %llu,\n"
+      "  \"rejected\": %llu,\n  \"timed_out\": %llu,\n"
+      "  \"not_found\": %llu,\n  \"failed\": %llu,\n"
+      "  \"batches\": %llu,\n  \"mean_batch_occupancy\": %.2f,\n"
+      "  \"p50_batch_occupancy\": %llu,\n  \"swaps\": %llu,\n"
+      "  \"endpoints\": {\n",
+      s.uptime_seconds, s.qps, static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.rejected),
+      static_cast<unsigned long long>(s.timed_out),
+      static_cast<unsigned long long>(s.not_found),
+      static_cast<unsigned long long>(s.failed),
+      static_cast<unsigned long long>(s.batches), s.mean_batch_occupancy,
+      static_cast<unsigned long long>(s.p50_batch_occupancy),
+      static_cast<unsigned long long>(s.swaps));
+  out += buf;
+  for (int k = 0; k < kQueryKindCount; ++k) {
+    const EndpointStats& e = s.endpoints[static_cast<std::size_t>(k)];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    \"%s\": {\"accepted\": %llu, \"completed\": %llu, "
+        "\"rejected\": %llu, \"timed_out\": %llu, \"not_found\": %llu, "
+        "\"failed\": %llu, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+        "\"mean_us\": %.1f}%s\n",
+        std::string(to_string(static_cast<QueryKind>(k))).c_str(),
+        static_cast<unsigned long long>(e.accepted),
+        static_cast<unsigned long long>(e.completed),
+        static_cast<unsigned long long>(e.rejected),
+        static_cast<unsigned long long>(e.timed_out),
+        static_cast<unsigned long long>(e.not_found),
+        static_cast<unsigned long long>(e.failed), e.p50_seconds * 1e6,
+        e.p99_seconds * 1e6, e.mean_seconds * 1e6,
+        k + 1 < kQueryKindCount ? "," : "");
+    out += buf;
+  }
+  out += "  }\n}\n";
+  return out;
+}
+
+}  // namespace kdtune

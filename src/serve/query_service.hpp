@@ -1,0 +1,208 @@
+#pragma once
+
+// Micro-batched asynchronous ray query service.
+//
+// Clients submit heterogeneous requests (closest-hit, any-hit, packet-of-
+// rays) against named scenes in a SceneRegistry and get a std::future for
+// the response. A dispatcher thread collects requests from a lock-guarded,
+// *bounded* submission queue into batches — flushed when the batch fills or
+// the oldest request has waited flush_timeout_us — and hands each batch to
+// the shared ThreadPool. Batching amortizes task dispatch and snapshot
+// acquisition over many requests, which is where single-query serving
+// throughput goes to die.
+//
+// Contracts (tested in tests/test_serve_service.cpp):
+//   * Admission control: submit() never blocks. A full queue rejects with
+//     kRejectedOverflow; a shut-down service rejects with kShutdown; both as
+//     immediately-ready futures.
+//   * Exactly-once completion: every *accepted* request gets exactly one
+//     response, even through drain/shutdown and hot swaps.
+//   * Deadlines: a request whose deadline expired before execution completes
+//     with kTimedOut instead of running.
+//   * drain() returns once every accepted request has completed; shutdown()
+//     additionally stops admission first and then the dispatcher (and is
+//     what the destructor runs).
+//
+// The serving knobs (batch size, flush timeout, in-flight batch cap a.k.a.
+// worker share) are mutable at runtime via set_serving_params() — that is
+// the surface the ServeTuner drives with the paper's online tuning loop.
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/histogram.hpp"
+#include "geom/ray.hpp"
+#include "serve/scene_registry.hpp"
+
+namespace kdtune {
+
+enum class QueryKind : int { kClosestHit = 0, kAnyHit = 1, kPacket = 2 };
+inline constexpr int kQueryKindCount = 3;
+std::string_view to_string(QueryKind kind) noexcept;
+
+enum class QueryStatus {
+  kOk,
+  kSceneNotFound,      ///< scene name unknown at execution time
+  kRejectedOverflow,   ///< admission control: queue full at submit
+  kTimedOut,           ///< deadline expired before execution
+  kShutdown,           ///< submitted after shutdown began
+  kError,              ///< query threw (never expected; the catch-all)
+};
+std::string_view to_string(QueryStatus status) noexcept;
+
+struct QueryResponse {
+  QueryStatus status = QueryStatus::kError;
+  QueryKind kind = QueryKind::kClosestHit;
+  std::uint64_t scene_version = 0;  ///< snapshot version that served it
+  Hit hit{};                        ///< closest-hit result
+  bool any = false;                 ///< any-hit result
+  std::vector<Hit> hits;            ///< packet result, one per ray
+  double latency_seconds = 0.0;     ///< submit-to-completion
+};
+
+/// The tuner-driven serving knobs. All values clamp to sane minima on apply.
+struct ServingParams {
+  std::int64_t batch_size = 16;
+  std::int64_t flush_timeout_us = 200;
+  /// Cap on concurrently executing batches (the service's share of the pool);
+  /// 0 means the pool's full concurrency.
+  std::int64_t max_inflight_batches = 0;
+};
+
+struct ServiceOptions {
+  /// Admission bound: pending (undispatched) requests beyond this reject.
+  std::size_t max_queue = 4096;
+  ServingParams params{};
+};
+
+struct EndpointStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;   ///< kOk responses
+  std::uint64_t rejected = 0;    ///< overflow + shutdown rejections
+  std::uint64_t timed_out = 0;
+  std::uint64_t not_found = 0;
+  std::uint64_t failed = 0;
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double mean_seconds = 0.0;
+};
+
+struct ServiceStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t not_found = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t batches = 0;
+  double mean_batch_occupancy = 0.0;
+  std::uint64_t p50_batch_occupancy = 0;
+  std::uint64_t swaps = 0;       ///< registry hot swaps observed so far
+  double uptime_seconds = 0.0;
+  double qps = 0.0;              ///< completed responses per uptime second
+  std::array<EndpointStats, kQueryKindCount> endpoints{};
+};
+
+class QueryService {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  QueryService(SceneRegistry& registry, ThreadPool& pool,
+               ServiceOptions opts = {});
+  ~QueryService();  ///< shutdown()
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  std::future<QueryResponse> submit_closest_hit(
+      std::string scene, const Ray& ray,
+      Clock::time_point deadline = Clock::time_point::max());
+  std::future<QueryResponse> submit_any_hit(
+      std::string scene, const Ray& ray,
+      Clock::time_point deadline = Clock::time_point::max());
+  std::future<QueryResponse> submit_packet(
+      std::string scene, std::vector<Ray> rays,
+      Clock::time_point deadline = Clock::time_point::max());
+
+  /// Thread-safe; takes effect for the next batch decision.
+  void set_serving_params(const ServingParams& params);
+  ServingParams serving_params() const;
+
+  /// Blocks until every accepted request has completed. Callers should stop
+  /// submitting first (concurrent submits merely extend the wait).
+  void drain();
+
+  /// Stops admission, drains, and stops the dispatcher. Idempotent.
+  void shutdown();
+
+  bool accepting() const;
+  unsigned concurrency() const noexcept { return pool_.concurrency(); }
+  SceneRegistry& registry() const noexcept { return registry_; }
+
+  ServiceStats stats() const;
+  std::string stats_json() const;
+
+ private:
+  struct Request {
+    QueryKind kind = QueryKind::kClosestHit;
+    std::string scene;
+    Ray ray{};
+    std::vector<Ray> rays;
+    Clock::time_point deadline{};
+    Clock::time_point submitted{};
+    std::promise<QueryResponse> promise;
+  };
+
+  struct KindCounters {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> timed_out{0};
+    std::atomic<std::uint64_t> not_found{0};
+    std::atomic<std::uint64_t> failed{0};
+  };
+
+  std::future<QueryResponse> submit(Request req);
+  void dispatcher_loop();
+  void run_batch(std::vector<Request> batch);
+  void execute(Request& req, QueryResponse& resp,
+               std::vector<std::pair<std::string,
+                                     std::shared_ptr<const SceneSnapshot>>>&
+                   snapshots) const;
+
+  SceneRegistry& registry_;
+  ThreadPool& pool_;
+  const std::size_t max_queue_;
+  const Clock::time_point started_;
+
+  mutable std::mutex mutex_;  ///< guards queue_, params_, flags, in-flight
+  std::condition_variable dispatch_cv_;  ///< wakes the dispatcher
+  std::condition_variable done_cv_;      ///< wakes drain() waiters
+  std::deque<Request> queue_;
+  ServingParams params_;
+  bool accepting_ = true;
+  bool stop_ = false;
+  int drain_waiters_ = 0;
+  std::size_t inflight_requests_ = 0;
+  std::size_t inflight_batches_ = 0;
+
+  std::array<KindCounters, kQueryKindCount> counters_;
+  std::array<LogHistogram, kQueryKindCount> latency_;  ///< nanoseconds
+  LogHistogram batch_occupancy_;
+  std::atomic<std::uint64_t> batches_{0};
+
+  std::mutex shutdown_mutex_;  ///< serializes shutdown() callers
+  std::thread dispatcher_;     ///< last member: starts in the ctor body
+};
+
+}  // namespace kdtune

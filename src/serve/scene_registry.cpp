@@ -1,0 +1,166 @@
+#include "serve/scene_registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "kdtree/compact_tree.hpp"
+#include "tuning/measurement.hpp"
+
+namespace kdtune {
+
+void SceneRegistry::attach_cache(ConfigCache* cache) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  cache_ = cache;
+}
+
+BuildConfig SceneRegistry::config_from_values(
+    const std::vector<std::int64_t>& values) {
+  if (values.size() < 3) {
+    throw std::invalid_argument(
+        "SceneRegistry::config_from_values: need at least [CI, CB, S]");
+  }
+  BuildConfig c;
+  c.ci = values[0];
+  c.cb = values[1];
+  c.s = values[2];
+  if (values.size() > 3) c.r = values[3];
+  return c;
+}
+
+std::vector<std::int64_t> SceneRegistry::values_of(const BuildConfig& config,
+                                                   Algorithm algorithm) {
+  std::vector<std::int64_t> values{config.ci, config.cb, config.s};
+  if (algorithm == Algorithm::kLazy) values.push_back(config.r);
+  return values;
+}
+
+std::string SceneRegistry::cache_key(const std::string& name,
+                                     Algorithm algorithm) const {
+  return ConfigCache::key_for(name, std::string(to_string(algorithm)),
+                              pool_.concurrency());
+}
+
+std::shared_ptr<SceneSnapshot> SceneRegistry::build_snapshot(
+    const std::string& name, const Scene& scene, const AdmitOptions& opts,
+    const BuildConfig& config) const {
+  Stopwatch clock;
+  clock.start();
+  std::unique_ptr<KdTreeBase> built =
+      make_builder(opts.algorithm)->build(scene.triangles(), config, pool_);
+
+  auto snapshot = std::make_shared<SceneSnapshot>();
+  snapshot->scene = name;
+  snapshot->config = config;
+  snapshot->algorithm = opts.algorithm;
+  snapshot->triangle_count = scene.triangle_count();
+  snapshot->layout = opts.algorithm == Algorithm::kLazy ? "lazy" : "kdtree";
+  if (opts.compact && opts.algorithm != Algorithm::kLazy) {
+    if (const auto* eager = dynamic_cast<const KdTree*>(built.get())) {
+      snapshot->tree = std::make_shared<const CompactKdTree>(*eager);
+      snapshot->layout = "compact";
+    }
+  }
+  if (!snapshot->tree) {
+    snapshot->tree = std::shared_ptr<const KdTreeBase>(std::move(built));
+  }
+  snapshot->build_seconds = clock.elapsed();
+  return snapshot;
+}
+
+std::shared_ptr<const SceneSnapshot> SceneRegistry::admit(
+    const std::string& name, Scene scene, const AdmitOptions& opts) {
+  BuildConfig config;
+  if (opts.config) {
+    config = *opts.config;
+  } else {
+    config = kBaseConfig;
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (cache_ != nullptr) {
+      if (const auto hit = cache_->lookup(cache_key(name, opts.algorithm))) {
+        config = config_from_values(hit->values);
+      }
+    }
+  }
+
+  // The (potentially long) build runs without the registry lock; only the
+  // publication below serializes with readers and other writers.
+  auto snapshot = build_snapshot(name, scene, opts, config);
+
+  std::lock_guard<std::mutex> lk(mutex_);
+  Entry& entry = entries_[name];
+  const bool replacing = entry.current != nullptr;
+  snapshot->version = replacing ? entry.current->version + 1 : 1;
+  entry.scene = std::move(scene);
+  entry.opts = opts;
+  entry.opts.config = config;
+  entry.current = snapshot;
+  if (replacing) swaps_.fetch_add(1, std::memory_order_relaxed);
+  return snapshot;
+}
+
+std::shared_ptr<const SceneSnapshot> SceneRegistry::acquire(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.current;
+}
+
+std::shared_ptr<const SceneSnapshot> SceneRegistry::rebuild(
+    const std::string& name, std::optional<BuildConfig> config,
+    std::optional<Scene> geometry) {
+  Scene scene;
+  AdmitOptions opts;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) return nullptr;
+    scene = geometry ? std::move(*geometry) : it->second.scene;
+    opts = it->second.opts;
+    if (config) opts.config = *config;
+  }
+  const BuildConfig build_config = opts.config.value_or(kBaseConfig);
+  auto snapshot = build_snapshot(name, scene, opts, build_config);
+
+  std::lock_guard<std::mutex> lk(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;  // removed while building
+  snapshot->version = it->second.current->version + 1;
+  if (geometry) it->second.scene = std::move(scene);
+  it->second.opts = opts;
+  it->second.current = snapshot;
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  return snapshot;
+}
+
+bool SceneRegistry::record_tuned(const std::string& name,
+                                 const BuildConfig& config, double seconds) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  it->second.opts.config = config;
+  if (cache_ != nullptr) {
+    cache_->store(cache_key(name, it->second.opts.algorithm),
+                  values_of(config, it->second.opts.algorithm), seconds);
+  }
+  return true;
+}
+
+bool SceneRegistry::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return entries_.erase(name) != 0;
+}
+
+std::vector<std::string> SceneRegistry::names() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::size_t SceneRegistry::size() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return entries_.size();
+}
+
+}  // namespace kdtune

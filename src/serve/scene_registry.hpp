@@ -1,0 +1,131 @@
+#pragma once
+
+// Versioned scene registry — the serving layer's source of truth.
+//
+// Each named scene maps to an immutable SceneSnapshot: a built acceleration
+// structure (KdTree re-emitted into the compact serving layout, a lazy tree,
+// or the raw eager tree) plus the BuildConfig and version it was built with.
+// Publication is RCU-style via shared_ptr: readers acquire() the current
+// snapshot (a mutex-protected pointer copy — the only shared state touched),
+// queries then run entirely on immutable data, and a writer publishing a new
+// version swaps the pointer atomically. In-flight queries keep the snapshot
+// they acquired; the old tree retires when its last reference drops. The full
+// protocol is specified in docs/SERVING.md.
+//
+// The registry also closes the warm-start loop of the paper's online tuner:
+// attach a ConfigCache and admit() seeds each build from the cached best
+// BuildConfig for (scene, algorithm, pool width), while record_tuned() writes
+// tuned results back for the next run.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kdtree/builder.hpp"
+#include "scene/scene.hpp"
+#include "tuning/config_cache.hpp"
+
+namespace kdtune {
+
+/// One published tree version. Immutable after publication; hold the
+/// shared_ptr for as long as queries need the tree.
+struct SceneSnapshot {
+  std::string scene;
+  std::uint64_t version = 0;      ///< 1 on admit, +1 per publish
+  std::shared_ptr<const KdTreeBase> tree;
+  BuildConfig config{};
+  Algorithm algorithm = Algorithm::kInPlace;
+  std::string layout;             ///< "compact", "kdtree", or "lazy"
+  double build_seconds = 0.0;
+  std::size_t triangle_count = 0;
+};
+
+struct AdmitOptions {
+  Algorithm algorithm = Algorithm::kInPlace;
+  /// Build configuration; unset falls back to the attached ConfigCache's
+  /// entry for (scene, algorithm, pool width), then to kBaseConfig.
+  std::optional<BuildConfig> config{};
+  /// Re-emit eager builds into the CompactKdTree serving layout. Ignored for
+  /// the lazy algorithm (lazy trees expand in place and stay as built).
+  bool compact = true;
+};
+
+class SceneRegistry {
+ public:
+  explicit SceneRegistry(ThreadPool& pool) : pool_(pool) {}
+
+  SceneRegistry(const SceneRegistry&) = delete;
+  SceneRegistry& operator=(const SceneRegistry&) = delete;
+
+  /// Warm-start cache, not owned; pass nullptr to detach. The registry
+  /// serializes its own cache accesses, but the cache must not be mutated
+  /// concurrently by others while attached.
+  void attach_cache(ConfigCache* cache);
+
+  /// Builds and publishes version 1 of `name` (or the next version if the
+  /// name already exists — re-admission is a hot swap that also replaces the
+  /// stored geometry). Blocks for the build; the publication itself is O(1).
+  std::shared_ptr<const SceneSnapshot> admit(const std::string& name,
+                                             Scene scene,
+                                             const AdmitOptions& opts = {});
+
+  /// Current snapshot, or nullptr if the name is unknown. O(1); safe from
+  /// any thread, any number of times.
+  std::shared_ptr<const SceneSnapshot> acquire(const std::string& name) const;
+
+  /// Rebuilds `name` (new config and/or new geometry; unset keeps the stored
+  /// one) and publishes the result as the next version. Typically called
+  /// from a background thread while readers keep serving the old snapshot.
+  /// Returns nullptr if the name is unknown.
+  std::shared_ptr<const SceneSnapshot> rebuild(
+      const std::string& name, std::optional<BuildConfig> config = {},
+      std::optional<Scene> geometry = {});
+
+  /// Records a tuned configuration for `name`: future rebuilds default to it
+  /// and, when a cache is attached, it is stored under the scene's key (kept
+  /// only if faster — ConfigCache semantics). Returns false for unknown names.
+  bool record_tuned(const std::string& name, const BuildConfig& config,
+                    double seconds);
+
+  bool remove(const std::string& name);
+  std::vector<std::string> names() const;
+  std::size_t size() const;
+
+  /// Number of publications that *replaced* a live snapshot (hot swaps).
+  std::uint64_t swap_count() const noexcept {
+    return swaps_.load(std::memory_order_relaxed);
+  }
+
+  ThreadPool& pool() const noexcept { return pool_; }
+
+  /// ConfigCache value layout for BuildConfig: [CI, CB, S] (+ [R] for lazy).
+  static BuildConfig config_from_values(
+      const std::vector<std::int64_t>& values);
+  static std::vector<std::int64_t> values_of(const BuildConfig& config,
+                                             Algorithm algorithm);
+
+ private:
+  struct Entry {
+    Scene scene;
+    AdmitOptions opts;
+    std::shared_ptr<const SceneSnapshot> current;
+  };
+
+  std::string cache_key(const std::string& name, Algorithm algorithm) const;
+  std::shared_ptr<SceneSnapshot> build_snapshot(
+      const std::string& name, const Scene& scene, const AdmitOptions& opts,
+      const BuildConfig& config) const;
+
+  ThreadPool& pool_;
+  mutable std::mutex mutex_;  ///< guards entries_ and cache_ access
+  std::map<std::string, Entry> entries_;
+  ConfigCache* cache_ = nullptr;
+  std::atomic<std::uint64_t> swaps_{0};
+};
+
+}  // namespace kdtune

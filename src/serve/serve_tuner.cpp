@@ -1,0 +1,91 @@
+#include "serve/serve_tuner.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace kdtune {
+
+namespace {
+
+std::uint64_t completed_of(const QueryService& service) {
+  return service.stats().completed;
+}
+
+std::int64_t floor_pow2(std::int64_t v) {
+  return std::int64_t{1} << (std::bit_width(static_cast<std::uint64_t>(
+                                 std::max<std::int64_t>(v, 1))) -
+                             1);
+}
+
+}  // namespace
+
+ServeTuner::ServeTuner(QueryService& service, ServeTunerOptions opts)
+    : service_(service), opts_(opts), tuner_(nullptr, opts.tuner) {
+  trial_ = service_.serving_params();
+
+  const std::int64_t batch_min = floor_pow2(std::max<std::int64_t>(
+      1, opts_.batch_min));
+  const std::int64_t batch_max =
+      std::max(batch_min, floor_pow2(opts_.batch_max));
+  tuner_.register_parameter_pow2(&trial_.batch_size, batch_min, batch_max,
+                                 "batch_size");
+  if (opts_.tune_flush) {
+    tuner_.register_parameter(&trial_.flush_timeout_us, opts_.flush_min_us,
+                              opts_.flush_max_us,
+                              std::max<std::int64_t>(1, opts_.flush_step_us),
+                              "flush_timeout_us");
+  }
+  if (opts_.tune_workers) {
+    tuner_.register_parameter(&trial_.max_inflight_batches, 1,
+                              static_cast<std::int64_t>(service_.concurrency()),
+                              1, "max_inflight_batches");
+  }
+}
+
+void ServeTuner::begin_window() {
+  if (window_open_) return;
+  // record() auto-applies the next proposal into trial_, so only the very
+  // first window needs an explicit apply (mirrors Tuner::start()).
+  if (!applied_once_) {
+    tuner_.apply_next();
+    applied_once_ = true;
+  }
+  service_.set_serving_params(trial_);
+  window_start_completed_ = completed_of(service_);
+  clock_.start();
+  window_open_ = true;
+}
+
+double ServeTuner::end_window() {
+  if (!window_open_) return 0.0;
+  window_open_ = false;
+  ++windows_;
+  const double elapsed = clock_.elapsed();
+  const std::uint64_t completed =
+      completed_of(service_) - window_start_completed_;
+  if (completed == 0) {
+    // No completions at all (e.g. a zero-traffic window): report a large
+    // finite cost so the search moves away from configurations that starve
+    // the service, without feeding it NaN/Inf.
+    tuner_.record(std::max(elapsed, 1e-6) * 1e3);
+    return 0.0;
+  }
+  tuner_.record(elapsed / static_cast<double>(completed));
+  return static_cast<double>(completed) / std::max(elapsed, 1e-12);
+}
+
+ServingParams ServeTuner::params_from_values(
+    const std::vector<std::int64_t>& values) const {
+  ServingParams p = trial_;
+  std::size_t i = 0;
+  p.batch_size = values[i++];
+  if (opts_.tune_flush) p.flush_timeout_us = values[i++];
+  if (opts_.tune_workers) p.max_inflight_batches = values[i++];
+  return p;
+}
+
+ServingParams ServeTuner::best() const {
+  return params_from_values(tuner_.best_values());
+}
+
+}  // namespace kdtune

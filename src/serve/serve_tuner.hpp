@@ -1,0 +1,89 @@
+#pragma once
+
+// ServeTuner — the paper's online tuning loop pointed at a *serving* workload
+// instead of a build. The knobs are QueryService's live parameters (batch
+// size on a power-of-two grid, flush timeout, in-flight batch cap a.k.a.
+// worker share); the measurement is a wall-clock window of real service
+// traffic, costed as seconds-per-completed-request (inverse throughput), so
+// the same Nelder-Mead search that minimizes frame time minimizes serving
+// latency-per-request here. Karcher & Tichy's concurrency-library autotuning
+// is the precedent: batch size and worker count are exactly the knobs whose
+// optimum depends on machine, load mix, and scene.
+//
+//   ServeTuner tuner(service);
+//   while (serving) {
+//     tuner.begin_window();     // applies the trial params to the service
+//     ... live traffic for ~100ms ...
+//     tuner.end_window();       // costs the window, proposes the next trial
+//   }
+//
+// Like the build tuner, the search keeps monitoring after convergence and
+// re-opens when throughput drifts (load mix change, hot swap to a heavier
+// scene) — the paper's online re-tune path, exercised on a non-build
+// workload.
+
+#include <cstdint>
+
+#include "serve/query_service.hpp"
+#include "tuning/measurement.hpp"
+#include "tuning/tuner.hpp"
+
+namespace kdtune {
+
+struct ServeTunerOptions {
+  /// Batch size grid {batch_min, 2*batch_min, ..., batch_max} (powers of 2).
+  std::int64_t batch_min = 1;
+  std::int64_t batch_max = 256;
+  /// Flush-timeout grid [flush_min_us, flush_max_us] step flush_step_us.
+  bool tune_flush = true;
+  std::int64_t flush_min_us = 0;
+  std::int64_t flush_max_us = 1000;
+  std::int64_t flush_step_us = 125;
+  /// Tune the in-flight batch cap over [1, pool concurrency].
+  bool tune_workers = true;
+  TunerOptions tuner{};
+};
+
+class ServeTuner {
+ public:
+  explicit ServeTuner(QueryService& service, ServeTunerOptions opts = {});
+
+  ServeTuner(const ServeTuner&) = delete;
+  ServeTuner& operator=(const ServeTuner&) = delete;
+
+  /// Applies the next trial parameters to the service and starts measuring.
+  void begin_window();
+
+  /// Ends the window: costs it as elapsed-seconds / completed-requests and
+  /// reports to the search. Returns the window's completed-request
+  /// throughput (requests/second). A window with zero completions records a
+  /// large finite cost so the search backs away without poisoning itself.
+  double end_window();
+
+  bool window_open() const noexcept { return window_open_; }
+  std::size_t windows() const noexcept { return windows_; }
+
+  /// Parameters currently applied to the service (the trial under test).
+  ServingParams current() const noexcept { return trial_; }
+  /// Best parameters found so far.
+  ServingParams best() const;
+
+  const Tuner& tuner() const noexcept { return tuner_; }
+  Tuner& tuner() noexcept { return tuner_; }
+
+ private:
+  ServingParams params_from_values(
+      const std::vector<std::int64_t>& values) const;
+
+  QueryService& service_;
+  ServeTunerOptions opts_;
+  ServingParams trial_;  ///< tuner-owned parameter storage
+  Tuner tuner_;
+  bool applied_once_ = false;
+  bool window_open_ = false;
+  std::uint64_t window_start_completed_ = 0;
+  Stopwatch clock_;
+  std::size_t windows_ = 0;
+};
+
+}  // namespace kdtune

@@ -1,0 +1,159 @@
+#include "core/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace kdtune {
+namespace {
+
+TEST(LogHistogram, EmptyReportsZeros) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(LogHistogram, SmallValuesAreExact) {
+  // Values 0..3 get identity buckets, so they round-trip exactly.
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(LogHistogram::index_of(v), static_cast<int>(v));
+    EXPECT_EQ(LogHistogram::bucket_lower(static_cast<int>(v)), v);
+    EXPECT_EQ(LogHistogram::bucket_upper(static_cast<int>(v)), v);
+  }
+}
+
+TEST(LogHistogram, BucketGeometryIsMonotoneAndTight) {
+  int last = -1;
+  for (int shift = 0; shift < 64; ++shift) {
+    const std::uint64_t v = std::uint64_t{1} << shift;
+    // Bucket index must be non-decreasing in the value and each value must
+    // lie inside its bucket's [lower, upper] range.
+    for (const std::uint64_t probe : {v, v + v / 4, v + v / 2, 2 * v - 1}) {
+      if (probe < v) continue;  // overflow at the top octave
+      const int idx = LogHistogram::index_of(probe);
+      EXPECT_GE(idx, last);
+      EXPECT_LT(idx, LogHistogram::kBucketCount);
+      EXPECT_LE(LogHistogram::bucket_lower(idx), probe);
+      EXPECT_GE(LogHistogram::bucket_upper(idx), probe);
+      last = LogHistogram::index_of(v);
+    }
+  }
+  EXPECT_EQ(LogHistogram::index_of(~std::uint64_t{0}),
+            LogHistogram::kBucketCount - 1);
+}
+
+TEST(LogHistogram, SubBucketRelativeErrorBounded) {
+  // One sub-bucket spans 1/4 of its octave, so interpolated quantiles are
+  // within ~25% of the true value. Spot-check the bracket widths.
+  for (const std::uint64_t v : {100ull, 5000ull, 123456789ull, 1ull << 40}) {
+    const int idx = LogHistogram::index_of(v);
+    const double lo = static_cast<double>(LogHistogram::bucket_lower(idx));
+    const double hi = static_cast<double>(LogHistogram::bucket_upper(idx));
+    EXPECT_LE((hi - lo) / lo, 0.26);
+  }
+}
+
+TEST(LogHistogram, CountMinMaxMean) {
+  LogHistogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(LogHistogram, QuantilesOrderedAndClamped) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const std::uint64_t p10 = h.quantile(0.10);
+  const std::uint64_t p50 = h.quantile(0.50);
+  const std::uint64_t p99 = h.quantile(0.99);
+  EXPECT_LE(p10, p50);
+  EXPECT_LE(p50, p99);
+  // Log-bucket quantiles carry at most one sub-bucket of relative error.
+  EXPECT_NEAR(static_cast<double>(p50), 500.0, 500.0 * 0.26);
+  EXPECT_NEAR(static_cast<double>(p99), 990.0, 990.0 * 0.26);
+  // Extremes clamp to the observed range.
+  EXPECT_EQ(h.quantile(0.0), 1u);
+  EXPECT_EQ(h.quantile(1.0), 1000u);
+}
+
+TEST(LogHistogram, SingleValueQuantileIsExact) {
+  LogHistogram h;
+  for (int i = 0; i < 17; ++i) h.record(777);
+  // min/max clamping makes every quantile exact for a constant stream.
+  EXPECT_EQ(h.quantile(0.5), 777u);
+  EXPECT_EQ(h.quantile(0.99), 777u);
+}
+
+TEST(LogHistogram, RecordSecondsClampsAndConverts) {
+  LogHistogram h;
+  h.record_seconds(-1.0);     // clamps to 0
+  h.record_seconds(1e-6);     // 1000 ns
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_NEAR(static_cast<double>(h.max()), 1000.0, 1.0);
+  // Quantiles carry one sub-bucket of relative error (the exact max is in
+  // max(); quantile() answers from bucket geometry).
+  EXPECT_NEAR(h.quantile_seconds(1.0), 1e-6, 0.26e-6);
+}
+
+TEST(LogHistogram, MergeAddsCounts) {
+  LogHistogram a, b;
+  a.record(5);
+  a.record(100);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 1000u);
+  EXPECT_DOUBLE_EQ(a.mean(), (5.0 + 100.0 + 1000.0) / 3.0);
+}
+
+TEST(LogHistogram, ResetClears) {
+  LogHistogram h;
+  h.record(42);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  h.record(7);  // usable after reset
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 7u);
+}
+
+TEST(LogHistogram, ToJsonContainsFields) {
+  LogHistogram h;
+  h.record(1000);
+  const std::string json = h.to_json(1e-3);  // ns -> us scaling
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(LogHistogram, ConcurrentRecordLosesNothing) {
+  LogHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(t * kPerThread + i + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace kdtune

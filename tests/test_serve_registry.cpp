@@ -1,0 +1,189 @@
+#include "serve/scene_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "geom/rng.hpp"
+#include "kdtree/tree.hpp"
+#include "scene/scene.hpp"
+
+namespace kdtune {
+namespace {
+
+Scene soup_scene(std::size_t n, std::uint64_t seed) {
+  Scene scene("soup");
+  Rng rng(seed);
+  auto& tris = scene.mutable_triangles();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 a{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                 rng.uniform(-10, 10)};
+    const Vec3 e1{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const Vec3 e2{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    tris.push_back({a, a + e1, a + e2});
+  }
+  return scene;
+}
+
+TEST(SceneRegistry, AdmitAcquireAndVersioning) {
+  ThreadPool pool(2);
+  SceneRegistry registry(pool);
+  EXPECT_EQ(registry.acquire("nope"), nullptr);
+  EXPECT_EQ(registry.size(), 0u);
+
+  const auto v1 = registry.admit("soup", soup_scene(200, 1));
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->version, 1u);
+  EXPECT_EQ(v1->scene, "soup");
+  EXPECT_EQ(v1->triangle_count, 200u);
+  EXPECT_EQ(v1->layout, "compact");  // eager builds re-emit by default
+  ASSERT_NE(v1->tree, nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_EQ(registry.swap_count(), 0u);
+
+  const auto got = registry.acquire("soup");
+  EXPECT_EQ(got, v1);
+}
+
+TEST(SceneRegistry, RebuildPublishesNextVersionAndCountsSwap) {
+  ThreadPool pool(2);
+  SceneRegistry registry(pool);
+  registry.admit("soup", soup_scene(200, 2));
+
+  const auto held = registry.acquire("soup");
+  BuildConfig alt = kBaseConfig;
+  alt.ci = 40;
+  const auto v2 = registry.rebuild("soup", alt);
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(v2->version, 2u);
+  EXPECT_EQ(v2->config.ci, 40);
+  EXPECT_EQ(registry.swap_count(), 1u);
+  EXPECT_EQ(registry.acquire("soup"), v2);
+
+  // RCU: the held snapshot outlives the swap and still answers queries.
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->version, 1u);
+  const Ray ray({0, 0, -30}, {0, 0, 1});
+  const Hit old_hit = held->tree->closest_hit(ray);
+  const Hit new_hit = v2->tree->closest_hit(ray);
+  EXPECT_EQ(old_hit.valid(), new_hit.valid());
+  if (old_hit.valid()) {
+    EXPECT_EQ(old_hit.t, new_hit.t);  // bit-identical
+  }
+
+  EXPECT_EQ(registry.rebuild("unknown"), nullptr);
+}
+
+TEST(SceneRegistry, ReadmissionIsHotSwapWithNewGeometry) {
+  ThreadPool pool(2);
+  SceneRegistry registry(pool);
+  registry.admit("soup", soup_scene(100, 3));
+  const auto v2 = registry.admit("soup", soup_scene(150, 4));
+  EXPECT_EQ(v2->version, 2u);
+  EXPECT_EQ(v2->triangle_count, 150u);
+  EXPECT_EQ(registry.swap_count(), 1u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(SceneRegistry, AdmitOptionsControlAlgorithmAndLayout) {
+  ThreadPool pool(2);
+  SceneRegistry registry(pool);
+
+  AdmitOptions raw;
+  raw.compact = false;
+  const auto eager = registry.admit("eager", soup_scene(120, 5), raw);
+  EXPECT_EQ(eager->layout, "kdtree");
+  EXPECT_NE(dynamic_cast<const KdTree*>(eager->tree.get()), nullptr);
+
+  AdmitOptions lazy;
+  lazy.algorithm = Algorithm::kLazy;
+  const auto lz = registry.admit("lazy", soup_scene(120, 6), lazy);
+  EXPECT_EQ(lz->layout, "lazy");
+  EXPECT_EQ(lz->algorithm, Algorithm::kLazy);
+
+  AdmitOptions fixed;
+  fixed.config = BuildConfig{.ci = 25, .cb = 7, .s = 2, .r = kBaseConfig.r};
+  const auto cfg = registry.admit("fixed", soup_scene(120, 7), fixed);
+  EXPECT_EQ(cfg->config.ci, 25);
+  EXPECT_EQ(cfg->config.cb, 7);
+  EXPECT_EQ(cfg->config.s, 2);
+}
+
+TEST(SceneRegistry, RemoveAndNames) {
+  ThreadPool pool(2);
+  SceneRegistry registry(pool);
+  registry.admit("a", soup_scene(60, 8));
+  registry.admit("b", soup_scene(60, 9));
+  const auto names = registry.names();
+  EXPECT_EQ(names.size(), 2u);
+  EXPECT_TRUE(registry.remove("a"));
+  EXPECT_FALSE(registry.remove("a"));
+  EXPECT_EQ(registry.acquire("a"), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(SceneRegistry, ConfigValuesRoundTrip) {
+  BuildConfig c{.ci = 33, .cb = 12, .s = 4, .r = 2048};
+  const auto eager_vals = SceneRegistry::values_of(c, Algorithm::kInPlace);
+  EXPECT_EQ(eager_vals, (std::vector<std::int64_t>{33, 12, 4}));
+  const BuildConfig back = SceneRegistry::config_from_values(eager_vals);
+  EXPECT_EQ(back.ci, 33);
+  EXPECT_EQ(back.cb, 12);
+  EXPECT_EQ(back.s, 4);
+
+  const auto lazy_vals = SceneRegistry::values_of(c, Algorithm::kLazy);
+  EXPECT_EQ(lazy_vals, (std::vector<std::int64_t>{33, 12, 4, 2048}));
+  EXPECT_EQ(SceneRegistry::config_from_values(lazy_vals).r, 2048);
+
+  EXPECT_THROW(SceneRegistry::config_from_values({1, 2}),
+               std::invalid_argument);
+}
+
+TEST(SceneRegistry, ConfigCacheWarmStartRoundTrip) {
+  ThreadPool pool(2);
+  const std::string key =
+      ConfigCache::key_for("soup", std::string(to_string(Algorithm::kInPlace)),
+                           pool.concurrency());
+
+  // First "run": admit, tune, record. record_tuned stores to the cache.
+  ConfigCache cache;
+  std::stringstream persisted;
+  {
+    SceneRegistry registry(pool);
+    registry.attach_cache(&cache);
+    registry.admit("soup", soup_scene(200, 10));
+    const BuildConfig tuned{.ci = 29, .cb = 3, .s = 2, .r = kBaseConfig.r};
+    EXPECT_TRUE(registry.record_tuned("soup", tuned, 0.001));
+    EXPECT_FALSE(registry.record_tuned("unknown", tuned, 0.001));
+    const auto entry = cache.lookup(key);
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->values, (std::vector<std::int64_t>{29, 3, 2}));
+    cache.save(persisted);
+
+    // Rebuilds now default to the tuned config without passing one.
+    const auto snap = registry.rebuild("soup");
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->config.ci, 29);
+    EXPECT_EQ(snap->config.cb, 3);
+  }
+
+  // Second "run": a fresh registry with the persisted cache warm-starts
+  // admit() straight into the tuned configuration.
+  ConfigCache reloaded;
+  reloaded.load(persisted);
+  SceneRegistry registry(pool);
+  registry.attach_cache(&reloaded);
+  const auto snap = registry.admit("soup", soup_scene(200, 10));
+  EXPECT_EQ(snap->config.ci, 29);
+  EXPECT_EQ(snap->config.cb, 3);
+  EXPECT_EQ(snap->config.s, 2);
+
+  // An explicit config always wins over the cache.
+  AdmitOptions fixed;
+  fixed.config = kBaseConfig;
+  const auto base = registry.admit("soup", soup_scene(200, 10), fixed);
+  EXPECT_EQ(base->config.ci, kBaseConfig.ci);
+}
+
+}  // namespace
+}  // namespace kdtune

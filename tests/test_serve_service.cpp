@@ -1,0 +1,284 @@
+#include "serve/query_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "scene/scene.hpp"
+
+namespace kdtune {
+namespace {
+
+Scene soup_scene(std::size_t n, std::uint64_t seed) {
+  Scene scene("soup");
+  Rng rng(seed);
+  auto& tris = scene.mutable_triangles();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 a{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                 rng.uniform(-10, 10)};
+    const Vec3 e1{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const Vec3 e2{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    tris.push_back({a, a + e1, a + e2});
+  }
+  return scene;
+}
+
+Ray random_ray(Rng& rng) {
+  const Vec3 origin{rng.uniform(-25, 25), rng.uniform(-25, 25),
+                    rng.uniform(-25, 25)};
+  const Vec3 target{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                    rng.uniform(-10, 10)};
+  Vec3 dir = target - origin;
+  if (length(dir) == 0.0f) dir = {1, 0, 0};
+  return Ray(origin, normalized(dir));
+}
+
+struct ServiceFixture {
+  ThreadPool pool{2};
+  ThreadPool single{0};
+  SceneRegistry registry{pool};
+  Scene scene = soup_scene(300, 11);
+  std::unique_ptr<KdTreeBase> reference =
+      make_sweep_builder()->build(scene.triangles(), kBaseConfig, single);
+
+  ServiceFixture() { registry.admit("soup", scene); }
+};
+
+TEST(QueryService, MixedKindsMatchDirectQueries) {
+  ServiceFixture f;
+  QueryService service(f.registry, f.pool);
+  Rng rng(99);
+
+  std::vector<Ray> single_rays;
+  std::vector<std::future<QueryResponse>> closest, any;
+  for (int i = 0; i < 64; ++i) {
+    single_rays.push_back(random_ray(rng));
+    closest.push_back(service.submit_closest_hit("soup", single_rays.back()));
+    any.push_back(service.submit_any_hit("soup", single_rays.back()));
+  }
+  std::vector<Ray> packet;
+  for (int i = 0; i < 12; ++i) packet.push_back(random_ray(rng));
+  auto pkt = service.submit_packet("soup", packet);
+
+  for (int i = 0; i < 64; ++i) {
+    const QueryResponse ch = closest[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(ch.status, QueryStatus::kOk);
+    EXPECT_EQ(ch.kind, QueryKind::kClosestHit);
+    EXPECT_EQ(ch.scene_version, 1u);
+    EXPECT_GT(ch.latency_seconds, 0.0);
+    const Hit expect = f.reference->closest_hit(
+        single_rays[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(ch.hit.valid(), expect.valid());
+    if (expect.valid()) {
+      EXPECT_EQ(ch.hit.t, expect.t);  // bit-identical
+    }
+
+    const QueryResponse ah = any[static_cast<std::size_t>(i)].get();
+    ASSERT_EQ(ah.status, QueryStatus::kOk);
+    EXPECT_EQ(ah.any, f.reference->any_hit(
+                          single_rays[static_cast<std::size_t>(i)]));
+  }
+  const QueryResponse pr = pkt.get();
+  ASSERT_EQ(pr.status, QueryStatus::kOk);
+  ASSERT_EQ(pr.hits.size(), packet.size());
+  for (std::size_t i = 0; i < packet.size(); ++i) {
+    const Hit expect = f.reference->closest_hit(packet[i]);
+    ASSERT_EQ(pr.hits[i].valid(), expect.valid());
+    if (expect.valid()) {
+      EXPECT_EQ(pr.hits[i].t, expect.t);
+    }
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, 129u);
+  EXPECT_EQ(stats.completed, 129u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GT(stats.batches, 0u);
+}
+
+TEST(QueryService, UnknownSceneReportsNotFound) {
+  ServiceFixture f;
+  QueryService service(f.registry, f.pool);
+  Rng rng(5);
+  const QueryResponse r =
+      service.submit_closest_hit("missing", random_ray(rng)).get();
+  EXPECT_EQ(r.status, QueryStatus::kSceneNotFound);
+  EXPECT_EQ(service.stats().not_found, 1u);
+  // A not-found response still counts as a resolved request.
+  EXPECT_EQ(service.stats().accepted, 1u);
+}
+
+TEST(QueryService, FullQueueRejectsWithoutBlocking) {
+  ServiceFixture f;
+  ServiceOptions opts;
+  opts.max_queue = 8;
+  // Park the dispatcher: batches far larger than the queue bound and an
+  // hour-long flush timeout mean nothing dispatches until drain().
+  opts.params.batch_size = 1 << 20;
+  opts.params.flush_timeout_us = 3600ll * 1000 * 1000;
+  QueryService service(f.registry, f.pool, opts);
+  Rng rng(6);
+
+  std::vector<std::future<QueryResponse>> accepted;
+  for (int i = 0; i < 8; ++i) {
+    accepted.push_back(service.submit_closest_hit("soup", random_ray(rng)));
+  }
+  // The queue is full: the next submissions must reject as already-ready
+  // futures — submit() never blocks the caller.
+  for (int i = 0; i < 3; ++i) {
+    auto rejected = service.submit_any_hit("soup", random_ray(rng));
+    ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(rejected.get().status, QueryStatus::kRejectedOverflow);
+  }
+  EXPECT_EQ(service.stats().rejected, 3u);
+
+  // drain() flushes the parked batch; all accepted requests complete.
+  service.drain();
+  for (auto& fut : accepted) {
+    EXPECT_EQ(fut.get().status, QueryStatus::kOk);
+  }
+  EXPECT_EQ(service.stats().completed, 8u);
+}
+
+TEST(QueryService, ExpiredDeadlineTimesOutInsteadOfRunning) {
+  ServiceFixture f;
+  QueryService service(f.registry, f.pool);
+  Rng rng(7);
+  const auto past = QueryService::Clock::now() - std::chrono::milliseconds(1);
+  const QueryResponse r =
+      service.submit_closest_hit("soup", random_ray(rng), past).get();
+  EXPECT_EQ(r.status, QueryStatus::kTimedOut);
+  EXPECT_FALSE(r.hit.valid());
+  EXPECT_EQ(service.stats().timed_out, 1u);
+
+  // A generous deadline completes normally.
+  const auto future_deadline =
+      QueryService::Clock::now() + std::chrono::seconds(60);
+  EXPECT_EQ(
+      service.submit_closest_hit("soup", random_ray(rng), future_deadline)
+          .get()
+          .status,
+      QueryStatus::kOk);
+}
+
+TEST(QueryService, DrainCompletesAllAcceptedWork) {
+  ServiceFixture f;
+  ServiceOptions opts;
+  opts.params.batch_size = 4;
+  QueryService service(f.registry, f.pool, opts);
+  Rng rng(8);
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(service.submit_closest_hit("soup", random_ray(rng)));
+  }
+  service.drain();
+  // After drain every accepted future is ready — no .get() waits.
+  for (auto& fut : futures) {
+    ASSERT_EQ(fut.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(fut.get().status, QueryStatus::kOk);
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, 100u);
+  EXPECT_EQ(stats.completed, 100u);
+}
+
+TEST(QueryService, ShutdownRejectsNewSubmissionsAndIsIdempotent) {
+  ServiceFixture f;
+  QueryService service(f.registry, f.pool);
+  Rng rng(9);
+  auto before = service.submit_closest_hit("soup", random_ray(rng));
+  EXPECT_TRUE(service.accepting());
+  service.shutdown();
+  EXPECT_FALSE(service.accepting());
+  // Work accepted before shutdown still completed (shutdown drains).
+  EXPECT_EQ(before.get().status, QueryStatus::kOk);
+
+  auto after = service.submit_closest_hit("soup", random_ray(rng));
+  ASSERT_EQ(after.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(after.get().status, QueryStatus::kShutdown);
+  service.shutdown();  // idempotent
+}
+
+TEST(QueryService, ZeroWorkerPoolRunsBatchesInline) {
+  ThreadPool pool(0);
+  SceneRegistry registry(pool);
+  registry.admit("soup", soup_scene(150, 12));
+  QueryService service(registry, pool);
+  Rng rng(10);
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 40; ++i) {
+    futures.push_back(service.submit_closest_hit("soup", random_ray(rng)));
+  }
+  for (auto& fut : futures) {
+    EXPECT_EQ(fut.get().status, QueryStatus::kOk);
+  }
+  EXPECT_EQ(service.stats().completed, 40u);
+}
+
+TEST(QueryService, ServingParamsApplyAndClamp) {
+  ServiceFixture f;
+  QueryService service(f.registry, f.pool);
+  ServingParams p;
+  p.batch_size = 64;
+  p.flush_timeout_us = 500;
+  p.max_inflight_batches = 2;
+  service.set_serving_params(p);
+  const ServingParams got = service.serving_params();
+  EXPECT_EQ(got.batch_size, 64);
+  EXPECT_EQ(got.flush_timeout_us, 500);
+  EXPECT_EQ(got.max_inflight_batches, 2);
+
+  // Degenerate values clamp rather than wedge the dispatcher.
+  ServingParams bad;
+  bad.batch_size = -5;
+  bad.flush_timeout_us = -1;
+  bad.max_inflight_batches = -3;
+  service.set_serving_params(bad);
+  const ServingParams clamped = service.serving_params();
+  EXPECT_GE(clamped.batch_size, 1);
+  EXPECT_GE(clamped.flush_timeout_us, 0);
+  EXPECT_GE(clamped.max_inflight_batches, 0);
+
+  // Service still works under the clamped parameters.
+  Rng rng(13);
+  EXPECT_EQ(service.submit_closest_hit("soup", random_ray(rng)).get().status,
+            QueryStatus::kOk);
+}
+
+TEST(QueryService, StatsJsonIsWellFormedEnough) {
+  ServiceFixture f;
+  QueryService service(f.registry, f.pool);
+  Rng rng(14);
+  service.submit_closest_hit("soup", random_ray(rng)).get();
+  const std::string json = service.stats_json();
+  EXPECT_NE(json.find("\"accepted\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"closest_hit\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"swaps\""), std::string::npos);
+}
+
+TEST(QueryService, ResponsesCarryTheServingSnapshotVersion) {
+  ServiceFixture f;
+  QueryService service(f.registry, f.pool);
+  Rng rng(15);
+  EXPECT_EQ(service.submit_closest_hit("soup", random_ray(rng))
+                .get()
+                .scene_version,
+            1u);
+  f.registry.rebuild("soup");
+  service.drain();
+  EXPECT_EQ(service.submit_closest_hit("soup", random_ray(rng))
+                .get()
+                .scene_version,
+            2u);
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,162 @@
+#include "serve/serve_tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geom/rng.hpp"
+#include "scene/scene.hpp"
+
+namespace kdtune {
+namespace {
+
+Scene soup_scene(std::size_t n, std::uint64_t seed) {
+  Scene scene("soup");
+  Rng rng(seed);
+  auto& tris = scene.mutable_triangles();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 a{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                 rng.uniform(-10, 10)};
+    const Vec3 e1{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const Vec3 e2{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    tris.push_back({a, a + e1, a + e2});
+  }
+  return scene;
+}
+
+bool is_pow2(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+
+void pump_requests(QueryService& service, Rng& rng, int n) {
+  for (int i = 0; i < n; ++i) {
+    const Vec3 origin{rng.uniform(-25, 25), rng.uniform(-25, 25),
+                      rng.uniform(-25, 25)};
+    const Vec3 target{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                      rng.uniform(-10, 10)};
+    Vec3 dir = target - origin;
+    if (length(dir) == 0.0f) dir = {1, 0, 0};
+    service.submit_closest_hit("soup", Ray(origin, normalized(dir))).get();
+  }
+}
+
+struct TunerFixture {
+  ThreadPool pool{2};
+  SceneRegistry registry{pool};
+  QueryService service{registry, pool};
+
+  TunerFixture() { registry.admit("soup", soup_scene(200, 21)); }
+};
+
+TEST(ServeTuner, AppliesTrialParamsWithinGrids) {
+  TunerFixture f;
+  ServeTunerOptions opts;
+  opts.batch_min = 1;
+  opts.batch_max = 64;
+  ServeTuner tuner(f.service, opts);
+  Rng rng(1);
+
+  std::set<std::int64_t> batches;
+  for (int w = 0; w < 12; ++w) {
+    tuner.begin_window();
+    EXPECT_TRUE(tuner.window_open());
+    const ServingParams trial = tuner.current();
+    EXPECT_TRUE(is_pow2(trial.batch_size));
+    EXPECT_GE(trial.batch_size, 1);
+    EXPECT_LE(trial.batch_size, 64);
+    EXPECT_GE(trial.flush_timeout_us, opts.flush_min_us);
+    EXPECT_LE(trial.flush_timeout_us, opts.flush_max_us);
+    EXPECT_GE(trial.max_inflight_batches, 1);
+    EXPECT_LE(trial.max_inflight_batches,
+              static_cast<std::int64_t>(f.service.concurrency()));
+    // The trial is actually applied to the service, not just stored.
+    EXPECT_EQ(f.service.serving_params().batch_size, trial.batch_size);
+    batches.insert(trial.batch_size);
+
+    pump_requests(f.service, rng, 30);
+    const double qps = tuner.end_window();
+    EXPECT_FALSE(tuner.window_open());
+    EXPECT_GT(qps, 0.0);
+  }
+  EXPECT_EQ(tuner.windows(), 12u);
+  // The search explored: more than one distinct batch size was applied.
+  EXPECT_GE(batches.size(), 2u);
+}
+
+TEST(ServeTuner, BestStaysWithinGrids) {
+  TunerFixture f;
+  ServeTunerOptions opts;
+  opts.batch_min = 2;
+  opts.batch_max = 32;
+  ServeTuner tuner(f.service, opts);
+  Rng rng(2);
+  for (int w = 0; w < 8; ++w) {
+    tuner.begin_window();
+    pump_requests(f.service, rng, 20);
+    tuner.end_window();
+  }
+  const ServingParams best = tuner.best();
+  EXPECT_TRUE(is_pow2(best.batch_size));
+  EXPECT_GE(best.batch_size, 2);
+  EXPECT_LE(best.batch_size, 32);
+  EXPECT_GE(best.flush_timeout_us, 0);
+  EXPECT_LE(best.flush_timeout_us, opts.flush_max_us);
+  EXPECT_GE(best.max_inflight_batches, 1);
+}
+
+TEST(ServeTuner, ZeroCompletionWindowDoesNotPoisonTheSearch) {
+  TunerFixture f;
+  ServeTuner tuner(f.service);
+  Rng rng(3);
+
+  // An idle window: zero completions must record a finite cost.
+  tuner.begin_window();
+  EXPECT_EQ(tuner.end_window(), 0.0);
+  EXPECT_EQ(tuner.windows(), 1u);
+
+  // The tuner keeps proposing and measuring normally afterwards.
+  for (int w = 0; w < 4; ++w) {
+    tuner.begin_window();
+    pump_requests(f.service, rng, 15);
+    EXPECT_GT(tuner.end_window(), 0.0);
+  }
+  EXPECT_EQ(tuner.windows(), 5u);
+  const ServingParams best = tuner.best();
+  EXPECT_GE(best.batch_size, 1);
+}
+
+TEST(ServeTuner, WindowProtocolIsForgiving) {
+  TunerFixture f;
+  ServeTuner tuner(f.service);
+  // end before begin: a no-op, not an error.
+  EXPECT_EQ(tuner.end_window(), 0.0);
+  EXPECT_EQ(tuner.windows(), 0u);
+  // double begin: the second is a no-op.
+  tuner.begin_window();
+  const ServingParams first = tuner.current();
+  tuner.begin_window();
+  EXPECT_EQ(tuner.current().batch_size, first.batch_size);
+  tuner.end_window();
+  EXPECT_EQ(tuner.windows(), 1u);
+}
+
+TEST(ServeTuner, OptionalKnobsCanBeDisabled) {
+  TunerFixture f;
+  const ServingParams before = f.service.serving_params();
+  ServeTunerOptions opts;
+  opts.tune_flush = false;
+  opts.tune_workers = false;
+  ServeTuner tuner(f.service, opts);
+  Rng rng(4);
+  for (int w = 0; w < 4; ++w) {
+    tuner.begin_window();
+    pump_requests(f.service, rng, 10);
+    tuner.end_window();
+  }
+  // Only batch_size is searched; the other knobs keep their initial values.
+  EXPECT_EQ(tuner.current().flush_timeout_us, before.flush_timeout_us);
+  EXPECT_EQ(tuner.current().max_inflight_batches,
+            before.max_inflight_batches);
+  EXPECT_EQ(tuner.best().flush_timeout_us, before.flush_timeout_us);
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -25,6 +25,8 @@
 #include "parallel/stable_pool.hpp"
 #include "parallel/thread_pool.hpp"
 #include "scene/generators.hpp"
+#include "serve/query_service.hpp"
+#include "serve/scene_registry.hpp"
 
 namespace kdtune {
 namespace {
@@ -432,6 +434,158 @@ TEST(StablePoolStressConcurrency, ReadersRaceAppenderAcrossBlocks) {
   EXPECT_EQ(corrupt.load(), 0);
   EXPECT_EQ(pool.size(), capacity);
   EXPECT_THROW(pool.append(1), std::length_error);
+}
+
+// ---------------------------------------------------------------------------
+// SceneRegistry: RCU hot swap under load. Reader threads continuously
+// acquire() and query while a writer republishes the scene with alternating
+// build configurations. Every result must match the single-threaded eager
+// oracle bit-exactly regardless of which tree generation served it — the
+// acceptance criterion of the serving layer's publication protocol.
+
+TEST(ServeStressConcurrency, RegistryHotSwapUnderQueryLoad) {
+  const auto tris = random_soup(scaled(1200, 400), 401);
+  ThreadPool oracle_pool(0);
+  const auto oracle = make_sweep_builder()->build(tris, kBaseConfig,
+                                                  oracle_pool);
+  Scene scene("swap-soup");
+  scene.mutable_triangles().assign(tris.begin(), tris.end());
+  const AABB box = bounds_of(tris);
+
+  ThreadPool pool(2);
+  SceneRegistry registry(pool);
+  registry.admit("swap-soup", scene);
+
+  const int swaps = static_cast<int>(scaled(12, 5));
+  const int reader_count = 3;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> null_snapshots{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < reader_count; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(500 + static_cast<std::uint64_t>(t));
+      while (!done.load(std::memory_order_acquire)) {
+        const auto snap = registry.acquire("swap-soup");
+        if (snap == nullptr || snap->tree == nullptr) {
+          null_snapshots.fetch_add(1);
+          continue;
+        }
+        // Several queries against one acquired snapshot: the snapshot must
+        // stay fully valid even if the writer republishes mid-loop.
+        for (int i = 0; i < 16; ++i) {
+          const Ray ray = random_ray_into(rng, box);
+          const Hit got = snap->tree->closest_hit(ray);
+          const Hit want = oracle->closest_hit(ray);
+          if (got.valid() != want.valid() ||
+              (want.valid() && got.t != want.t)) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  std::uint64_t last_version = 1;
+  for (int s = 0; s < swaps; ++s) {
+    BuildConfig config = kBaseConfig;
+    config.ci = (s % 2 == 0) ? 35 : 9;
+    config.cb = (s % 2 == 0) ? 4 : 20;
+    const auto snap = registry.rebuild("swap-soup", config);
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->version, last_version + 1);  // monotonic publication
+    last_version = snap->version;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(null_snapshots.load(), 0);
+  EXPECT_EQ(registry.swap_count(), static_cast<std::uint64_t>(swaps));
+}
+
+// ---------------------------------------------------------------------------
+// QueryService under hot swaps: client threads submit through the batching
+// service while the writer republishes both scenes. Exactly-once completion
+// and oracle parity must hold across the swap boundary, and the final drain
+// must leave no request behind.
+
+TEST(ServeStressConcurrency, ServiceSurvivesHotSwapsWithExactResults) {
+  const auto tris_a = random_soup(scaled(900, 300), 402);
+  const auto tris_b = random_soup(scaled(900, 300), 403);
+  ThreadPool oracle_pool(0);
+  const auto oracle_a = make_sweep_builder()->build(tris_a, kBaseConfig,
+                                                    oracle_pool);
+  const auto oracle_b = make_sweep_builder()->build(tris_b, kBaseConfig,
+                                                    oracle_pool);
+  Scene scene_a("a"), scene_b("b");
+  scene_a.mutable_triangles().assign(tris_a.begin(), tris_a.end());
+  scene_b.mutable_triangles().assign(tris_b.begin(), tris_b.end());
+  const AABB box_a = bounds_of(tris_a);
+  const AABB box_b = bounds_of(tris_b);
+
+  ThreadPool pool(3);
+  SceneRegistry registry(pool);
+  registry.admit("a", scene_a);
+  registry.admit("b", scene_b);
+  ServiceOptions opts;
+  opts.params.batch_size = 8;
+  opts.params.flush_timeout_us = 100;
+  QueryService service(registry, pool, opts);
+
+  const int per_client = static_cast<int>(scaled(160, 60));
+  const int client_count = 3;
+  std::atomic<int> mismatches{0};
+  std::atomic<bool> clients_done{false};
+
+  std::thread swapper([&] {
+    Rng rng(404);
+    while (!clients_done.load(std::memory_order_acquire)) {
+      for (const char* name : {"a", "b"}) {
+        BuildConfig config = kBaseConfig;
+        config.ci = static_cast<std::int64_t>(rng.next_int(5, 60));
+        registry.rebuild(name, config);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < client_count; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(600 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < per_client; ++i) {
+        const bool use_a = rng.next_int(0, 1) == 0;
+        const Ray ray = random_ray_into(rng, use_a ? box_a : box_b);
+        const QueryResponse resp =
+            service.submit_closest_hit(use_a ? "a" : "b", ray).get();
+        if (resp.status != QueryStatus::kOk) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        const Hit want =
+            (use_a ? *oracle_a : *oracle_b).closest_hit(ray);
+        if (resp.hit.valid() != want.valid() ||
+            (want.valid() && resp.hit.t != want.t)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  clients_done.store(true, std::memory_order_release);
+  swapper.join();
+  service.drain();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const ServiceStats stats = service.stats();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(client_count) *
+      static_cast<std::uint64_t>(per_client);
+  EXPECT_EQ(stats.accepted, total);    // exactly-once: nothing lost...
+  EXPECT_EQ(stats.completed, total);   // ...and nothing unresolved
+  EXPECT_GT(stats.swaps, 0u);
 }
 
 }  // namespace

@@ -7,15 +7,24 @@
 //   kdtune_cli select <scene> [options]               # pick best algorithm
 //   kdtune_cli bake   <scene> <out.kdt> [options]     # build + serialize
 //   kdtune_cli inspect <tree.kdt>                     # stats of a baked tree
+//   kdtune_cli serve  <scene>[,scene...] [options]    # quick serving demo
 //
 // Options: --detail=F --threads=N --frames=N --cache=FILE --out=FILE
+//          --seed=N (deterministic serve load)
 //          --obj=FILE (load geometry from a Wavefront OBJ instead of a
 //          generated scene; pass "obj" as the scene name)
+//
+// `serve` is a short registry + QueryService demonstration; the full load
+// generator with hot swaps, online tuning, and result verification is the
+// dedicated kdtune_serve binary (tools/kdtune_serve.cpp).
 
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/kdtune.hpp"
 
@@ -32,6 +41,7 @@ struct CliOptions {
   std::string obj_path;
   int width = 320;
   int height = 240;
+  std::uint64_t seed = 0x5EEDu;
 };
 
 CliOptions parse_options(int argc, char** argv, int first) {
@@ -56,6 +66,8 @@ CliOptions parse_options(int argc, char** argv, int first) {
       o.obj_path = v;
     } else if (const char* v = value("--size=")) {
       std::sscanf(v, "%dx%d", &o.width, &o.height);
+    } else if (const char* v = value("--seed=")) {
+      o.seed = std::strtoull(v, nullptr, 10);
     } else {
       throw std::invalid_argument("unknown option: " + arg);
     }
@@ -253,6 +265,79 @@ int cmd_inspect(const std::string& path) {
   return 0;
 }
 
+int cmd_serve(const std::string& scene_list, const CliOptions& o) {
+  std::vector<std::string> ids;
+  std::string item;
+  for (const char* p = scene_list.c_str();; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!item.empty()) ids.push_back(item);
+      item.clear();
+      if (*p == '\0') break;
+    } else {
+      item.push_back(*p);
+    }
+  }
+  if (ids.empty()) throw std::invalid_argument("serve: no scenes given");
+
+  ThreadPool pool(o.threads);
+  SceneRegistry registry(pool);
+  ConfigCache cache;
+  if (!o.cache_path.empty()) {
+    cache.load_file(o.cache_path);
+    registry.attach_cache(&cache);  // warm-starts every admit below
+  }
+
+  std::vector<AABB> boxes;
+  for (const std::string& id : ids) {
+    const Scene scene = resolve_scene(id, o)->frame(0);
+    boxes.push_back(scene.bounds());
+    const auto snap = registry.admit(id, scene);
+    std::printf("admitted %-12s %7zu tris, %s v%llu, ", id.c_str(),
+                snap->triangle_count, snap->layout.c_str(),
+                static_cast<unsigned long long>(snap->version));
+    print_config("", snap->config, snap->algorithm == Algorithm::kLazy);
+  }
+
+  QueryService service(registry, pool);
+  const std::size_t per_scene = 2000;
+  Rng master(o.seed);
+  Stopwatch wall;
+  wall.start();
+  std::vector<std::thread> clients;
+  for (std::size_t s = 0; s < ids.size(); ++s) {
+    clients.emplace_back([&, s, rng = master.split()]() mutable {
+      const AABB& box = boxes[s];
+      for (std::size_t i = 0; i < per_scene; ++i) {
+        const Vec3 origin = box.center() +
+                            normalized(Vec3{rng.uniform(-1, 1),
+                                            rng.uniform(-1, 1),
+                                            rng.uniform(-1, 1)}) *
+                                (length(box.extent()) * 0.8f + 0.5f);
+        const Vec3 target{rng.uniform(box.lo.x, box.hi.x),
+                          rng.uniform(box.lo.y, box.hi.y),
+                          rng.uniform(box.lo.z, box.hi.z)};
+        Vec3 dir = target - origin;
+        if (length(dir) == 0.0f) dir = {1, 0, 0};
+        service.submit_closest_hit(ids[s], Ray(origin, normalized(dir)))
+            .get();
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  service.drain();
+  const double seconds = wall.elapsed();
+
+  std::printf("%s", service.stats_json().c_str());
+  std::printf("%zu requests in %.2f s (%.0f req/s, seed %llu)\n",
+              per_scene * ids.size(), seconds,
+              static_cast<double>(per_scene * ids.size()) / seconds,
+              static_cast<unsigned long long>(o.seed));
+  std::printf(
+      "(full load generator with hot swaps, tuning, and verification: "
+      "kdtune_serve)\n");
+  return 0;
+}
+
 int cmd_export_scene(const std::string& scene_id, const std::string& out,
                      const CliOptions& o) {
   const Scene frame = resolve_scene(scene_id, o)->frame(0);
@@ -272,14 +357,18 @@ int cmd_export_scene(const std::string& scene_id, const std::string& out,
 int usage() {
   std::fprintf(stderr,
                "usage: kdtune_cli <info|tune|render|select|bake|inspect|"
-               "export-scene> ...\n"
+               "export-scene|serve> ...\n"
                "  tune   <scene> <algorithm> [--frames=N] [--cache=FILE]\n"
                "  render <scene> <algorithm> [--cache=FILE] [--out=FILE]\n"
                "  select <scene>\n"
                "  bake   <scene> <out.kdt>\n"
                "  inspect <tree.kdt>\n"
                "  export-scene <scene> <out.obj>\n"
-               "common: --detail=F --threads=N --size=WxH --obj=FILE\n");
+               "  serve  <scene>[,scene...] [--cache=FILE] [--seed=N]\n"
+               "         (quick demo; kdtune_serve is the full load "
+               "generator)\n"
+               "common: --detail=F --threads=N --size=WxH --obj=FILE "
+               "--seed=N\n");
   return 1;
 }
 
@@ -303,6 +392,9 @@ int main(int argc, char** argv) {
       return cmd_bake(argv[2], argv[3], parse_options(argc, argv, 4));
     }
     if (cmd == "inspect" && argc >= 3) return cmd_inspect(argv[2]);
+    if (cmd == "serve" && argc >= 3) {
+      return cmd_serve(argv[2], parse_options(argc, argv, 3));
+    }
     if (cmd == "export-scene" && argc >= 4) {
       return cmd_export_scene(argv[2], argv[3], parse_options(argc, argv, 4));
     }

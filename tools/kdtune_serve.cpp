@@ -1,0 +1,528 @@
+// kdtune_serve — demo driver and load generator for the query-serving engine
+// (SceneRegistry + QueryService + ServeTuner; see docs/SERVING.md).
+//
+//   kdtune_serve [options]           # closed-loop demo over two scenes
+//   kdtune_serve --smoke             # CI-sized run; exit code = checks
+//
+// The generator admits the requested scenes, fires a deterministic (seeded)
+// mix of closest-hit / any-hit / packet requests from closed-loop client
+// threads (or one open-loop submitter with --rate), hot-swaps every scene to
+// a different build configuration mid-run, and runs the ServeTuner windows
+// over the live traffic. At the end it verifies the serving contracts:
+//
+//   * zero lost or duplicated responses — every accepted request resolved
+//     its future exactly once;
+//   * results bit-identical to direct single-threaded queries on a reference
+//     tree (hit distances are exact across builders/layouts/swaps; see
+//     core/differential.hpp for why);
+//   * at least one hot swap per scene and, with tuning on, at least one
+//     tuner-driven batch-size change.
+//
+// Options:
+//   --scenes=a,b,..  scene ids (default bunny,sponza)  --detail=F
+//   --threads=N      pool workers                      --clients=N
+//   --requests=N     requests per client (closed) / total (open)
+//   --rate=QPS       open-loop arrival rate (0 = closed-loop)
+//   --batch=N --flush-us=N --queue=N   initial serving parameters
+//   --no-tune --no-swap --no-verify    disable pieces of the demo
+//   --packet=N       rays per packet request
+//   --window-ms=N    tuner window length
+//   --seed=N         deterministic load (same seed = same requests)
+//   --json=FILE      write stats + check results as JSON
+//   --smoke          small sizes (smaller still under KDTUNE_CI_SMALL)
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/differential.hpp"
+#include "core/kdtune.hpp"
+
+namespace {
+
+using namespace kdtune;
+
+struct ServeOptions {
+  std::vector<std::string> scenes{"bunny", "sponza"};
+  float detail = 0.2f;
+  unsigned threads = 3;
+  int clients = 4;
+  int requests = 300;
+  double rate = 0.0;
+  std::size_t queue = 4096;
+  std::int64_t batch = 16;
+  std::int64_t flush_us = 200;
+  bool tune = true;
+  bool swap = true;
+  bool verify = true;
+  int packet_rays = 8;
+  int window_ms = 25;
+  std::uint64_t seed = 0x5EEDu;
+  std::string json_path;
+  bool smoke = false;
+};
+
+ServeOptions parse_options(int argc, char** argv) {
+  ServeOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return arg.compare(0, n, key) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--scenes=")) {
+      o.scenes.clear();
+      std::string item;
+      for (const char* p = v;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          if (!item.empty()) o.scenes.push_back(item);
+          item.clear();
+          if (*p == '\0') break;
+        } else {
+          item.push_back(*p);
+        }
+      }
+    } else if (const char* v = value("--detail=")) {
+      o.detail = std::strtof(v, nullptr);
+    } else if (const char* v = value("--threads=")) {
+      o.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--clients=")) {
+      o.clients = std::atoi(v);
+    } else if (const char* v = value("--requests=")) {
+      o.requests = std::atoi(v);
+    } else if (const char* v = value("--rate=")) {
+      o.rate = std::strtod(v, nullptr);
+    } else if (const char* v = value("--queue=")) {
+      o.queue = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value("--batch=")) {
+      o.batch = std::atoll(v);
+    } else if (const char* v = value("--flush-us=")) {
+      o.flush_us = std::atoll(v);
+    } else if (const char* v = value("--packet=")) {
+      o.packet_rays = std::atoi(v);
+    } else if (const char* v = value("--window-ms=")) {
+      o.window_ms = std::atoi(v);
+    } else if (const char* v = value("--seed=")) {
+      o.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--json=")) {
+      o.json_path = v;
+    } else if (arg == "--no-tune") {
+      o.tune = false;
+    } else if (arg == "--no-swap") {
+      o.swap = false;
+    } else if (arg == "--no-verify") {
+      o.verify = false;
+    } else if (arg == "--smoke") {
+      o.smoke = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("see the header of tools/kdtune_serve.cpp for options\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
+      std::exit(1);
+    }
+  }
+  if (o.smoke) {
+    o.detail = kdtune_ci_small() ? 0.06f : 0.1f;
+    o.clients = 3;
+    o.requests = kdtune_ci_small() ? 120 : 200;
+    o.window_ms = 15;
+  }
+  if (o.scenes.empty()) o.scenes = {"bunny", "sponza"};
+  o.clients = std::max(o.clients, 1);
+  o.requests = std::max(o.requests, 1);
+  o.packet_rays = std::max(o.packet_rays, 1);
+  return o;
+}
+
+Ray random_ray_into(Rng& rng, const AABB& box) {
+  const Vec3 origin =
+      box.center() + normalized(Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                     rng.uniform(-1, 1)}) *
+                         (length(box.extent()) * 0.8f + 0.5f);
+  const Vec3 target{rng.uniform(box.lo.x, box.hi.x),
+                    rng.uniform(box.lo.y, box.hi.y),
+                    rng.uniform(box.lo.z, box.hi.z)};
+  Vec3 dir = target - origin;
+  if (length(dir) == 0.0f) dir = {1, 0, 0};
+  return Ray(origin, normalized(dir));
+}
+
+struct PlannedRequest {
+  QueryKind kind = QueryKind::kClosestHit;
+  int scene = 0;
+  Ray ray{};
+  std::vector<Ray> rays;
+  // Expected results from the single-threaded reference tree. Hit distances
+  // are bit-exact across builders/layouts (shared per-triangle primitives),
+  // so equality is the pass criterion; winning ids may differ on exact ties.
+  Hit expect_hit{};
+  bool expect_any = false;
+  std::vector<Hit> expect_hits;
+};
+
+struct ClientTally {
+  std::uint64_t submitted = 0;
+  std::uint64_t responses = 0;  ///< futures that resolved (any status)
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t other = 0;      ///< timed_out / not_found / error
+  std::uint64_t mismatches = 0;
+  std::uint64_t broken_futures = 0;
+};
+
+bool verify_response(const PlannedRequest& plan, const QueryResponse& resp) {
+  switch (plan.kind) {
+    case QueryKind::kClosestHit:
+      return resp.hit.valid() == plan.expect_hit.valid() &&
+             (!resp.hit.valid() || resp.hit.t == plan.expect_hit.t);
+    case QueryKind::kAnyHit:
+      return resp.any == plan.expect_any;
+    case QueryKind::kPacket: {
+      if (resp.hits.size() != plan.expect_hits.size()) return false;
+      for (std::size_t i = 0; i < resp.hits.size(); ++i) {
+        if (resp.hits[i].valid() != plan.expect_hits[i].valid()) return false;
+        if (resp.hits[i].valid() && resp.hits[i].t != plan.expect_hits[i].t) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void tally_response(const ServeOptions& o, const PlannedRequest& plan,
+                    const QueryResponse& resp, ClientTally& tally) {
+  ++tally.responses;
+  switch (resp.status) {
+    case QueryStatus::kOk:
+      ++tally.ok;
+      if (o.verify && !verify_response(plan, resp)) ++tally.mismatches;
+      break;
+    case QueryStatus::kRejectedOverflow:
+    case QueryStatus::kShutdown:
+      ++tally.rejected;
+      break;
+    default:
+      ++tally.other;
+      break;
+  }
+}
+
+std::future<QueryResponse> submit_planned(QueryService& service,
+                                          const ServeOptions& o,
+                                          const std::string& scene,
+                                          const PlannedRequest& plan) {
+  switch (plan.kind) {
+    case QueryKind::kAnyHit:
+      return service.submit_any_hit(scene, plan.ray);
+    case QueryKind::kPacket:
+      return service.submit_packet(scene, plan.rays);
+    case QueryKind::kClosestHit:
+    default:
+      return service.submit_closest_hit(scene, plan.ray);
+  }
+  (void)o;
+}
+
+int run(const ServeOptions& o) {
+  ThreadPool pool(o.threads);
+  ThreadPool reference_pool(0);
+  SceneRegistry registry(pool);
+
+  // --- Admit scenes and build single-threaded reference trees --------------
+  std::vector<std::string> names;
+  std::vector<std::unique_ptr<KdTreeBase>> references;
+  std::vector<AABB> boxes;
+  std::printf("admitting %zu scene(s) at detail %.2f ...\n", o.scenes.size(),
+              o.detail);
+  for (const std::string& id : o.scenes) {
+    const Scene scene = make_scene(id, o.detail)->frame(0);
+    AdmitOptions admit;
+    admit.algorithm = Algorithm::kInPlace;
+    const auto snap = registry.admit(id, scene, admit);
+    names.push_back(id);
+    boxes.push_back(scene.bounds());
+    references.push_back(
+        make_sweep_builder()->build(scene.triangles(), kBaseConfig,
+                                    reference_pool));
+    std::printf("  %-14s %7zu tris, %s v%llu, build %.1f ms\n", id.c_str(),
+                snap->triangle_count, snap->layout.c_str(),
+                static_cast<unsigned long long>(snap->version),
+                snap->build_seconds * 1e3);
+  }
+
+  // --- Plan the load deterministically from the seed -----------------------
+  const int total_clients = o.rate > 0.0 ? 1 : o.clients;
+  const int per_client = o.rate > 0.0 ? o.requests : o.requests;
+  Rng master(o.seed);
+  std::vector<std::vector<PlannedRequest>> plans(
+      static_cast<std::size_t>(total_clients));
+  for (auto& plan : plans) {
+    Rng rng = master.split();
+    plan.resize(static_cast<std::size_t>(per_client));
+    for (int i = 0; i < per_client; ++i) {
+      PlannedRequest& p = plan[static_cast<std::size_t>(i)];
+      p.scene = static_cast<int>(
+          rng.next_int(0, static_cast<std::int64_t>(names.size()) - 1));
+      const int mix = static_cast<int>(rng.next_int(0, 9));
+      const AABB& box = boxes[static_cast<std::size_t>(p.scene)];
+      const KdTreeBase& ref = *references[static_cast<std::size_t>(p.scene)];
+      if (mix < 6) {  // 60% closest-hit
+        p.kind = QueryKind::kClosestHit;
+        p.ray = random_ray_into(rng, box);
+        if (o.verify) p.expect_hit = ref.closest_hit(p.ray);
+      } else if (mix < 8) {  // 20% any-hit
+        p.kind = QueryKind::kAnyHit;
+        p.ray = random_ray_into(rng, box);
+        if (o.verify) p.expect_any = ref.any_hit(p.ray);
+      } else {  // 20% packet
+        p.kind = QueryKind::kPacket;
+        p.rays.reserve(static_cast<std::size_t>(o.packet_rays));
+        for (int r = 0; r < o.packet_rays; ++r) {
+          p.rays.push_back(random_ray_into(rng, box));
+          if (o.verify) p.expect_hits.push_back(ref.closest_hit(p.rays.back()));
+        }
+      }
+    }
+  }
+
+  // --- Service + tuner + swap machinery ------------------------------------
+  ServiceOptions sopts;
+  sopts.max_queue = o.queue;
+  sopts.params.batch_size = o.batch;
+  sopts.params.flush_timeout_us = o.flush_us;
+  QueryService service(registry, pool, sopts);
+
+  // Mid-run hot swap: clients rendezvous at their halfway point, the swapper
+  // republishes every scene with a different configuration, then the second
+  // half of the load runs against the new versions. Deterministic by
+  // construction — every client queries both tree generations.
+  std::mutex swap_mutex;
+  std::condition_variable swap_cv;
+  int clients_at_half = 0;
+  bool swap_done = !o.swap;
+  std::atomic<bool> load_done{false};
+
+  std::thread swapper;
+  if (o.swap) {
+    swapper = std::thread([&] {
+      {
+        std::unique_lock<std::mutex> lk(swap_mutex);
+        swap_cv.wait(lk, [&] {
+          return clients_at_half == total_clients ||
+                 load_done.load(std::memory_order_acquire);
+        });
+      }
+      for (const std::string& name : names) {
+        BuildConfig alt = kBaseConfig;
+        alt.ci = 35;
+        alt.cb = 4;
+        const auto snap = registry.rebuild(name, alt);
+        if (snap) {
+          std::printf("  hot swap: %s -> v%llu (CI=%lld CB=%lld)\n",
+                      name.c_str(),
+                      static_cast<unsigned long long>(snap->version),
+                      static_cast<long long>(snap->config.ci),
+                      static_cast<long long>(snap->config.cb));
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lk(swap_mutex);
+        swap_done = true;
+      }
+      swap_cv.notify_all();
+    });
+  }
+
+  const auto reach_halfway = [&] {
+    if (!o.swap) return;
+    std::unique_lock<std::mutex> lk(swap_mutex);
+    ++clients_at_half;
+    swap_cv.notify_all();
+    swap_cv.wait(lk, [&] { return swap_done; });
+  };
+
+  // Tuner thread: fixed-length windows over the live traffic.
+  std::set<std::int64_t> batch_sizes_applied;
+  std::unique_ptr<ServeTuner> tuner;
+  std::thread tuner_thread;
+  if (o.tune) {
+    ServeTunerOptions topts;
+    topts.tune_flush = true;
+    topts.tune_workers = true;
+    tuner = std::make_unique<ServeTuner>(service, topts);
+    tuner_thread = std::thread([&] {
+      while (!load_done.load(std::memory_order_acquire)) {
+        tuner->begin_window();
+        {
+          std::lock_guard<std::mutex> lk(swap_mutex);
+          batch_sizes_applied.insert(service.serving_params().batch_size);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(o.window_ms));
+        tuner->end_window();
+      }
+    });
+  }
+
+  // --- Fire the load -------------------------------------------------------
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(total_clients));
+  Stopwatch wall;
+  wall.start();
+  std::vector<std::thread> clients;
+  if (o.rate > 0.0) {
+    // Open loop: one submitter paces arrivals; futures resolve out of band.
+    clients.emplace_back([&] {
+      ClientTally& tally = tallies[0];
+      const auto interval = std::chrono::duration<double>(1.0 / o.rate);
+      auto next = QueryService::Clock::now();
+      std::vector<std::future<QueryResponse>> futures;
+      futures.reserve(plans[0].size());
+      for (std::size_t i = 0; i < plans[0].size(); ++i) {
+        if (i == plans[0].size() / 2) reach_halfway();
+        std::this_thread::sleep_until(next);
+        next += std::chrono::duration_cast<QueryService::Clock::duration>(
+            interval);
+        futures.push_back(submit_planned(
+            service, o, names[static_cast<std::size_t>(plans[0][i].scene)],
+            plans[0][i]));
+        ++tally.submitted;
+      }
+      service.drain();
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        try {
+          tally_response(o, plans[0][i], futures[i].get(), tally);
+        } catch (...) {
+          ++tally.broken_futures;
+        }
+      }
+    });
+  } else {
+    for (int t = 0; t < total_clients; ++t) {
+      clients.emplace_back([&, t] {
+        ClientTally& tally = tallies[static_cast<std::size_t>(t)];
+        auto& plan = plans[static_cast<std::size_t>(t)];
+        for (std::size_t i = 0; i < plan.size(); ++i) {
+          if (i == plan.size() / 2) reach_halfway();
+          auto fut = submit_planned(
+              service, o, names[static_cast<std::size_t>(plan[i].scene)],
+              plan[i]);
+          ++tally.submitted;
+          try {
+            tally_response(o, plan[i], fut.get(), tally);
+          } catch (...) {
+            ++tally.broken_futures;
+          }
+        }
+      });
+    }
+  }
+  for (auto& c : clients) c.join();
+  load_done.store(true, std::memory_order_release);
+  swap_cv.notify_all();
+  const double load_seconds = wall.elapsed();
+  if (tuner_thread.joinable()) tuner_thread.join();
+  if (swapper.joinable()) swapper.join();
+  service.drain();
+  const ServiceStats stats = service.stats();
+  service.shutdown();
+
+  // --- Report --------------------------------------------------------------
+  ClientTally total;
+  for (const ClientTally& t : tallies) {
+    total.submitted += t.submitted;
+    total.responses += t.responses;
+    total.ok += t.ok;
+    total.rejected += t.rejected;
+    total.other += t.other;
+    total.mismatches += t.mismatches;
+    total.broken_futures += t.broken_futures;
+  }
+
+  std::printf(
+      "\nload: %llu requests in %.2f s (%.0f submitted/s, %s)\n",
+      static_cast<unsigned long long>(total.submitted), load_seconds,
+      static_cast<double>(total.submitted) / load_seconds,
+      o.rate > 0.0 ? "open loop" : "closed loop");
+  std::printf("%s", service.stats_json().c_str());
+  if (tuner) {
+    const ServingParams best = tuner->best();
+    std::printf(
+        "tuner: %zu windows, %zu iterations, batch sizes tried {",
+        tuner->windows(), tuner->tuner().iterations());
+    bool first = true;
+    for (const std::int64_t b : batch_sizes_applied) {
+      std::printf("%s%lld", first ? "" : ", ", static_cast<long long>(b));
+      first = false;
+    }
+    std::printf("}, best batch=%lld flush=%lldus inflight=%lld\n",
+                static_cast<long long>(best.batch_size),
+                static_cast<long long>(best.flush_timeout_us),
+                static_cast<long long>(best.max_inflight_batches));
+  }
+
+  // --- Checks (the serving contracts; exit code for CI) --------------------
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+  std::printf("checks:\n");
+  check(total.responses == total.submitted && total.broken_futures == 0,
+        "every request resolved its future exactly once");
+  check(stats.accepted == stats.completed + stats.timed_out +
+                              stats.not_found + stats.failed,
+        "accepted == completed + timed_out + not_found + failed");
+  check(stats.not_found == 0 && stats.failed == 0,
+        "no scene_not_found / internal errors");
+  if (o.verify) {
+    check(total.mismatches == 0,
+          "results bit-identical to single-threaded reference queries");
+  }
+  if (o.swap) {
+    check(stats.swaps >= names.size(), "at least one hot swap per scene");
+  }
+  if (o.tune) {
+    check(batch_sizes_applied.size() >= 2,
+          "tuner applied at least two distinct batch sizes");
+  }
+
+  if (!o.json_path.empty()) {
+    std::FILE* out = std::fopen(o.json_path.c_str(), "w");
+    if (out != nullptr) {
+      std::fprintf(out,
+                   "{\n\"load_seconds\": %.3f,\n\"submitted\": %llu,\n"
+                   "\"responses\": %llu,\n\"mismatches\": %llu,\n"
+                   "\"failures\": %d,\n\"service\": %s}\n",
+                   load_seconds,
+                   static_cast<unsigned long long>(total.submitted),
+                   static_cast<unsigned long long>(total.responses),
+                   static_cast<unsigned long long>(total.mismatches), failures,
+                   service.stats_json().c_str());
+      std::fclose(out);
+      std::printf("wrote %s\n", o.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", o.json_path.c_str());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_options(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
