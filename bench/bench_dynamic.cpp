@@ -1,0 +1,341 @@
+// Dynamic-scene frame pipeline benchmark: the two comparisons the pipeline
+// exists to win, measured over the paper's three dynamic scenes.
+//
+//   1. Overlap: frames/sec of the sequential build-then-query loop vs the
+//      overlapped pipeline (frame N+1 builds while frame N's queries run),
+//      both at the base configuration. Overlap hides build time behind query
+//      time, so the overlapped loop should sustain at least the sequential
+//      frame rate.
+//   2. Tuning: total frame time (build + query, summed over the animation)
+//      at the base configuration vs with the FrameTuner driving the build
+//      configuration across frames, warm-started from a prior (untimed)
+//      tuning pass through the ConfigCache — the paper's cross-run
+//      warm-start loop.
+//
+// Writes BENCH_dynamic.json. `--smoke` shrinks everything for CI (smaller
+// still under KDTUNE_CI_SMALL).
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/differential.hpp"
+#include "core/kdtune.hpp"
+
+namespace {
+
+using namespace kdtune;
+
+/// Pool workers + the query thread together should match the machine: on a
+/// single-core host that means zero workers (the query thread helps the build
+/// through the pool's cooperative path), so overlap degrades to a tie instead
+/// of oversubscription losses.
+unsigned default_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw - 1 : 0;
+}
+
+struct DynamicBenchOptions {
+  float detail = 0.15f;
+  unsigned threads = default_workers();
+  std::size_t frames = 30;
+  int rays = 0;  ///< 0 = calibrate so query time ≈ build time per frame
+  std::size_t reps = 3;
+  std::uint64_t seed = 0x5EEDu;
+  std::string json_path = "BENCH_dynamic.json";
+  bool smoke = false;
+};
+
+DynamicBenchOptions parse_options(int argc, char** argv) {
+  DynamicBenchOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return arg.compare(0, n, key) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--detail=")) {
+      o.detail = std::strtof(v, nullptr);
+    } else if (const char* v = value("--threads=")) {
+      o.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--frames=")) {
+      o.frames = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value("--rays=")) {
+      o.rays = std::atoi(v);
+    } else if (const char* v = value("--reps=")) {
+      o.reps = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value("--seed=")) {
+      o.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--json=")) {
+      o.json_path = v;
+    } else if (arg == "--smoke") {
+      o.smoke = true;
+    } else if (arg == "--full") {
+      o.detail = 1.0f;
+      o.frames = 0;  // full animations
+      o.reps = 5;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("see the header of bench/bench_dynamic.cpp for options\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
+      std::exit(1);
+    }
+  }
+  if (o.smoke) {
+    o.detail = kdtune_ci_small() ? 0.06f : 0.1f;
+    o.frames = kdtune_ci_small() ? 6 : 10;
+    o.reps = 3;
+  }
+  o.reps = std::max<std::size_t>(o.reps, 1);
+  return o;
+}
+
+Ray random_ray_into(Rng& rng, const AABB& box) {
+  const Vec3 origin =
+      box.center() + normalized(Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                     rng.uniform(-1, 1)}) *
+                         (length(box.extent()) * 0.8f + 0.5f);
+  const Vec3 target{rng.uniform(box.lo.x, box.hi.x),
+                    rng.uniform(box.lo.y, box.hi.y),
+                    rng.uniform(box.lo.z, box.hi.z)};
+  Vec3 dir = target - origin;
+  if (length(dir) == 0.0f) dir = {1, 0, 0};
+  return Ray(origin, normalized(dir));
+}
+
+/// Pick a ray count whose per-frame query time roughly matches the frame-0
+/// build time. That is the regime a frame service runs in, and the only one
+/// where overlap has anything to hide: with a negligible query phase the
+/// overlapped loop degenerates to the sequential one, and with negligible
+/// build the swap is free either way.
+int calibrated_rays(const DynamicBenchOptions& o,
+                    const std::shared_ptr<const AnimatedScene>& anim,
+                    ThreadPool& pool) {
+  if (o.rays > 0) return o.rays;
+  const Scene frame0 = anim->frame(0);
+  Stopwatch clock;
+  clock.start();
+  const auto tree = make_builder(Algorithm::kInPlace)
+                        ->build(frame0.triangles(), kBaseConfig, pool);
+  const double build_seconds = clock.elapsed();
+
+  const AABB box = tree->bounds();
+  Rng rng(o.seed);
+  constexpr int kProbe = 512;
+  clock.start();
+  for (int r = 0; r < kProbe; ++r) {
+    (void)tree->closest_hit(random_ray_into(rng, box));
+  }
+  const double per_ray = clock.elapsed() / kProbe;
+  if (per_ray <= 0.0) return kProbe;
+  const double want = build_seconds / per_ray;
+  return static_cast<int>(std::min(65536.0, std::max(128.0, want)));
+}
+
+std::shared_ptr<const AnimatedScene> capped(
+    std::shared_ptr<const AnimatedScene> anim, std::size_t frames) {
+  if (frames == 0 || frames >= anim->frame_count()) return anim;
+  const std::string name = anim->name();
+  return std::make_shared<ProceduralAnimation>(
+      name, frames, [anim](std::size_t i) { return anim->frame(i); });
+}
+
+struct RunResult {
+  double wall_seconds = 0.0;
+  double build_seconds = 0.0;
+  double query_seconds = 0.0;
+  std::uint64_t frames = 0;
+  std::size_t tuner_iterations = 0;
+  double frames_per_sec() const {
+    return wall_seconds > 0.0 ? static_cast<double>(frames) / wall_seconds
+                              : 0.0;
+  }
+  /// Mean per-frame cost, the tuner's objective summed over the run.
+  double frame_seconds() const {
+    return frames > 0 ? (build_seconds + query_seconds) /
+                            static_cast<double>(frames)
+                      : 0.0;
+  }
+};
+
+/// One full pass over the animation: the per-frame query workload is the
+/// same seeded ray stream in every mode, so wall-clock differences come from
+/// the pipeline structure (overlap) and the build configuration (tuning).
+RunResult run_pipeline(const DynamicBenchOptions& o, int rays,
+                       const std::shared_ptr<const AnimatedScene>& anim,
+                       bool overlap, FrameTuner* tuner, ConfigCache* cache,
+                       ThreadPool& pool) {
+  SceneRegistry registry(pool);
+  if (cache != nullptr) registry.attach_cache(cache);
+
+  FramePipelineOptions popts;
+  popts.overlap = overlap;
+  popts.tuner = tuner;
+  FramePipeline pipeline(anim, registry, popts);
+
+  Rng rng(o.seed);
+  Stopwatch wall;
+  wall.start();
+  for (FrameTick tick = pipeline.begin(); tick.published;) {
+    const auto snap = registry.acquire(anim->name());
+    const AABB box = snap->tree->bounds();
+    Stopwatch query_clock;
+    query_clock.start();
+    for (int r = 0; r < rays; ++r) {
+      (void)snap->tree->closest_hit(random_ray_into(rng, box));
+    }
+    tick = pipeline.advance(query_clock.elapsed());
+  }
+
+  RunResult out;
+  out.wall_seconds = wall.elapsed();
+  const FramePipelineStats stats = pipeline.stats();
+  out.frames = stats.frames_published;
+  out.build_seconds = stats.total_build_seconds;
+  out.query_seconds = stats.total_query_seconds;
+  if (tuner != nullptr) out.tuner_iterations = tuner->iterations();
+  return out;
+}
+
+/// Best of `o.reps` timed passes (by wall clock). Per-frame costs on these
+/// scenes sit in the low-millisecond range, where a single pass is at the
+/// mercy of scheduler noise; the minimum is the standard estimator for the
+/// noise-free cost.
+template <typename Fn>
+RunResult best_of(const DynamicBenchOptions& o, Fn&& one_pass) {
+  RunResult best = one_pass();
+  for (std::size_t rep = 1; rep < o.reps; ++rep) {
+    const RunResult r = one_pass();
+    if (r.wall_seconds < best.wall_seconds) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const DynamicBenchOptions o = parse_options(argc, argv);
+  std::printf("dynamic pipeline bench: detail %.2f, %zu frames/scene, "
+              "%u workers, best of %zu reps\n\n",
+              o.detail, o.frames, o.threads, o.reps);
+
+  struct Row {
+    std::string scene;
+    int rays = 0;
+    RunResult sequential, overlapped, tuned;
+  };
+  std::vector<Row> rows;
+
+  for (const std::string& id : dynamic_scene_ids()) {
+    const auto anim = capped(make_scene(id, o.detail), o.frames);
+    ThreadPool pool(o.threads);
+    Row row;
+    row.scene = id;
+    const int rays = calibrated_rays(o, anim, pool);
+    row.rays = rays;
+
+    // Base configuration: sequential vs overlapped. Reps are interleaved so
+    // both modes sample the same machine-load windows, and the min of each is
+    // kept — otherwise a load spike during one mode's block decides the
+    // comparison.
+    for (std::size_t rep = 0; rep < o.reps; ++rep) {
+      const RunResult s =
+          run_pipeline(o, rays, anim, /*overlap=*/false, nullptr, nullptr,
+                       pool);
+      const RunResult v =
+          run_pipeline(o, rays, anim, /*overlap=*/true, nullptr, nullptr,
+                       pool);
+      if (rep == 0 || s.wall_seconds < row.sequential.wall_seconds) {
+        row.sequential = s;
+      }
+      if (rep == 0 || v.wall_seconds < row.overlapped.wall_seconds) {
+        row.overlapped = v;
+      }
+    }
+
+    // Tuned: seed the cache with the base configuration at its measured
+    // frame cost, then run untimed tuning passes — record_tuned replaces
+    // the entry only if the tuner found something faster (ConfigCache
+    // keeps-if-faster). The timed pass serves the resulting configuration
+    // fixed, exactly as a warm-started next run would open.
+    ConfigCache cache;
+    cache.store(
+        ConfigCache::key_for(id,
+                             std::string(to_string(Algorithm::kInPlace)),
+                             pool.concurrency()),
+        SceneRegistry::values_of(kBaseConfig, Algorithm::kInPlace),
+        row.overlapped.frame_seconds());
+    FrameTuner tuner;
+    tuner.warm_start(cache, id, pool.concurrency());
+    for (std::size_t pass = 0; pass < o.reps && !tuner.converged(); ++pass) {
+      (void)run_pipeline(o, rays, anim, /*overlap=*/true, &tuner, &cache,
+                         pool);
+    }
+    row.tuned = best_of(o, [&] {
+      return run_pipeline(o, rays, anim, /*overlap=*/true, nullptr, &cache,
+                          pool);
+    });
+    row.tuned.tuner_iterations = tuner.iterations();
+
+    std::printf("%-14s %5d rays | sequential %6.1f fps | overlapped %6.1f "
+                "fps (x%.2f) | frame cost base %7.3f ms -> tuned %7.3f ms "
+                "(x%.2f, %zu iters)\n",
+                id.c_str(), rays, row.sequential.frames_per_sec(),
+                row.overlapped.frames_per_sec(),
+                row.overlapped.frames_per_sec() /
+                    row.sequential.frames_per_sec(),
+                row.overlapped.frame_seconds() * 1e3,
+                row.tuned.frame_seconds() * 1e3,
+                row.overlapped.frame_seconds() / row.tuned.frame_seconds(),
+                row.tuned.tuner_iterations);
+    rows.push_back(std::move(row));
+  }
+
+  std::FILE* out = std::fopen(o.json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", o.json_path.c_str());
+    return 1;
+  }
+  // Hardware context matters for reading the overlap column: with a single
+  // CPU there is no spare core to hide the build on, so ~1.0 is the expected
+  // (and correct) result there.
+  std::fprintf(out,
+               "{\"cpus\": %u, \"workers\": %u, \"reps\": %zu,\n"
+               " \"scenes\": [\n",
+               std::thread::hardware_concurrency(), o.threads, o.reps);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const auto emit = [out](const char* key, const RunResult& rr,
+                            const char* tail) {
+      std::fprintf(out,
+                   "    \"%s\": {\"frames\": %" PRIu64
+                   ", \"wall_seconds\": %.4f, \"frames_per_sec\": %.2f, "
+                   "\"build_seconds\": %.4f, \"query_seconds\": %.4f, "
+                   "\"frame_seconds\": %.6f, \"tuner_iterations\": %zu}%s\n",
+                   key, rr.frames, rr.wall_seconds, rr.frames_per_sec(),
+                   rr.build_seconds, rr.query_seconds, rr.frame_seconds(),
+                   rr.tuner_iterations, tail);
+    };
+    std::fprintf(out, "  {\"scene\": \"%s\", \"rays\": %d,\n", r.scene.c_str(),
+                 r.rays);
+    emit("sequential", r.sequential, ",");
+    emit("overlapped", r.overlapped, ",");
+    emit("tuned", r.tuned, ",");
+    std::fprintf(out,
+                 "    \"overlap_speedup\": %.3f,\n"
+                 "    \"tuned_speedup\": %.3f}%s\n",
+                 r.overlapped.frames_per_sec() / r.sequential.frames_per_sec(),
+                 r.overlapped.frame_seconds() / r.tuned.frame_seconds(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "]}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s (%zu scenes)\n", o.json_path.c_str(), rows.size());
+  return 0;
+}

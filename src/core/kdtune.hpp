@@ -36,6 +36,8 @@
 #include "kdtree/serialize.hpp"
 #include "kdtree/tree.hpp"
 #include "kdtree/validate.hpp"
+#include "dynamic/frame_pipeline.hpp"  // overlapped rebuild/query frame loop
+#include "dynamic/frame_tuner.hpp"     // cross-frame autotuning + selection
 #include "parallel/parallel_for.hpp"
 #include "parallel/parallel_reduce.hpp"
 #include "parallel/parallel_scan.hpp"

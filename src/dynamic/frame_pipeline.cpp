@@ -1,0 +1,308 @@
+#include "dynamic/frame_pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "tuning/measurement.hpp"
+
+namespace kdtune {
+
+namespace {
+
+FramePipeline::Clock::duration to_duration(double seconds) {
+  return std::chrono::duration_cast<FramePipeline::Clock::duration>(
+      std::chrono::duration<double>(seconds));
+}
+
+double to_seconds(FramePipeline::Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+FramePipeline::FramePipeline(std::shared_ptr<const AnimatedScene> scene,
+                             SceneRegistry& registry,
+                             FramePipelineOptions opts)
+    : scene_(std::move(scene)), registry_(registry), opts_(opts) {
+  if (!scene_) {
+    throw std::invalid_argument("FramePipeline: null scene");
+  }
+  if (scene_->frame_count() == 0) {
+    throw std::invalid_argument("FramePipeline: animation has no frames");
+  }
+  name_ = scene_->name();
+}
+
+FramePipeline::~FramePipeline() {
+  // The build task captures `this`; it must finish before we go away. The
+  // staged tree (if any) retires unpublished.
+  if (inflight_.has_value()) wait_for_staged(nullptr);
+}
+
+FrameTuner::Trial FramePipeline::next_trial() {
+  if (opts_.tuner != nullptr) return opts_.tuner->next_trial();
+  FrameTuner::Trial trial;
+  trial.algorithm = opts_.algorithm;
+  if (opts_.config) trial.config = *opts_.config;
+  trial.probe = false;
+  return trial;
+}
+
+FrameTick FramePipeline::begin() {
+  if (began_) throw std::logic_error("FramePipeline::begin: called twice");
+  began_ = true;
+
+  AdmitOptions admit;
+  admit.compact = opts_.compact;
+  bool probe = false;
+  if (opts_.tuner != nullptr) {
+    const FrameTuner::Trial trial = opts_.tuner->next_trial();
+    admit.algorithm = trial.algorithm;
+    admit.config = trial.config;
+    probe = trial.probe;
+  } else {
+    admit.algorithm = opts_.algorithm;
+    admit.config = opts_.config;
+  }
+
+  const auto snap = registry_.admit(name_, scene_->frame(0), admit);
+  serving_frame_ = 0;
+  serving_probe_ = probe;
+  serving_build_seconds_ = snap->build_seconds;
+  serving_version_ = snap->version;
+  next_frame_ = 1;
+  drained_ = scene_->frame_count() == 1 && !opts_.loop;
+  if (opts_.loop && scene_->frame_count() == 1) next_frame_ = 0;
+
+  if (opts_.target_frame_seconds > 0.0) {
+    deadline_ = Clock::now() + to_duration(opts_.target_frame_seconds);
+  }
+
+  FrameTick tick;
+  tick.published = true;
+  tick.frame = 0;
+  tick.version = snap->version;
+  tick.build_seconds = snap->build_seconds;
+  tick.algorithm = snap->algorithm;
+  tick.config = snap->config;
+  note_published(tick, 0.0);
+
+  if (opts_.overlap && !drained_) launch_build(next_frame_);
+  return tick;
+}
+
+void FramePipeline::launch_build(std::size_t frame) {
+  const FrameTuner::Trial trial = next_trial();
+  // The trial configuration is copied into the task now: the tuner may write
+  // the next proposal into its storage while this build runs.
+  const std::optional<BuildConfig> config =
+      (opts_.tuner != nullptr || opts_.config) ? std::optional(trial.config)
+                                               : std::nullopt;
+  const Algorithm algorithm = trial.algorithm;
+
+  InFlight inflight;
+  inflight.frame = frame;
+  inflight.probe = trial.probe;
+  auto promise =
+      std::make_shared<std::promise<SceneRegistry::StagedSnapshot>>();
+  inflight.staged = promise->get_future();
+  registry_.pool().submit([this, frame, config, algorithm, promise] {
+    try {
+      promise->set_value(
+          registry_.stage(name_, scene_->frame(frame), config, algorithm));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  inflight_ = std::move(inflight);
+}
+
+SceneRegistry::StagedSnapshot FramePipeline::wait_for_staged(
+    double* wait_seconds) {
+  Stopwatch clock;
+  clock.start();
+  std::future<SceneRegistry::StagedSnapshot>& fut = inflight_->staged;
+  // Help the pool instead of blocking: keeps zero-worker pools live and puts
+  // the boundary thread to work when the workers are saturated by the build.
+  while (fut.wait_for(std::chrono::seconds(0)) !=
+         std::future_status::ready) {
+    if (!registry_.pool().try_run_one()) {
+      fut.wait_for(std::chrono::microseconds(100));
+    }
+  }
+  if (wait_seconds != nullptr) *wait_seconds = clock.elapsed();
+  SceneRegistry::StagedSnapshot staged = fut.get();
+  inflight_.reset();
+  return staged;
+}
+
+FrameTick FramePipeline::advance(double query_seconds) {
+  if (!began_) {
+    throw std::logic_error("FramePipeline::advance: begin() first");
+  }
+  {
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    totals_.total_query_seconds += query_seconds;
+  }
+
+  // Retire the frame that just finished serving: its measurement — build
+  // time of its tree plus the weighted query time reported now — completes
+  // the tuner's cycle when it was the probe frame.
+  if (opts_.tuner != nullptr) {
+    opts_.tuner->frame_retired(serving_probe_, serving_build_seconds_,
+                               query_seconds);
+    serving_probe_ = false;
+  }
+
+  if (drained_ && !inflight_.has_value()) {
+    record_best();
+    FrameTick tick;
+    tick.published = false;
+    tick.frame = serving_frame_;
+    tick.version = serving_version_;
+    return tick;
+  }
+
+  const bool paced = opts_.target_frame_seconds > 0.0;
+
+  SceneRegistry::StagedSnapshot staged;
+  std::size_t staged_frame = 0;
+  bool staged_probe = false;
+  double wait_seconds = 0.0;
+  if (opts_.overlap) {
+    // Publish no earlier than the frame boundary, then wait out the build.
+    if (paced) std::this_thread::sleep_until(deadline_);
+    staged_frame = inflight_->frame;
+    staged_probe = inflight_->probe;
+    staged = wait_for_staged(&wait_seconds);
+  } else {
+    // Sequential baseline: the build runs here, after retirement, on the
+    // boundary thread (parallelized over the pool) — nothing overlaps.
+    const FrameTuner::Trial trial = next_trial();
+    const std::optional<BuildConfig> config =
+        (opts_.tuner != nullptr || opts_.config) ? std::optional(trial.config)
+                                                 : std::nullopt;
+    staged_frame = next_frame_;
+    staged_probe = trial.probe;
+    Stopwatch clock;
+    clock.start();
+    staged = registry_.stage(name_, scene_->frame(staged_frame), config,
+                             trial.algorithm);
+    wait_seconds = clock.elapsed();
+    if (paced) std::this_thread::sleep_until(deadline_);
+  }
+  if (!staged.valid()) {
+    throw std::runtime_error("FramePipeline: scene missing from registry");
+  }
+
+  double lag_seconds = 0.0;
+  if (paced) {
+    const Clock::time_point now = Clock::now();
+    if (now > deadline_) lag_seconds = to_seconds(now - deadline_);
+  }
+
+  const auto snap = registry_.publish_staged(std::move(staged));
+  if (!snap) {
+    throw std::runtime_error("FramePipeline: scene removed while staged");
+  }
+  if (snap->version != serving_version_ + 1) {
+    // The pipeline is the only writer of its scene; any other publication
+    // interleaving would break the exactly-once frame contract.
+    throw std::logic_error("FramePipeline: publication version skew");
+  }
+
+  serving_frame_ = staged_frame;
+  serving_probe_ = staged_probe;
+  serving_build_seconds_ = snap->build_seconds;
+  serving_version_ = snap->version;
+
+  // Pacing bookkeeping. Carry-over reschedules from the actual publication
+  // (no death spiral: one long build delays the schedule instead of making
+  // every later frame "late"); skip-ahead keeps the absolute schedule and
+  // drops animation frames to catch back up.
+  std::size_t skip = 0;
+  if (paced) {
+    const auto interval = to_duration(opts_.target_frame_seconds);
+    if (lag_seconds > 0.0) {
+      if (opts_.lag_policy == LagPolicy::kSkipAhead) {
+        skip = static_cast<std::size_t>(lag_seconds /
+                                        opts_.target_frame_seconds);
+        deadline_ += interval * static_cast<long>(1 + skip);
+      } else {
+        deadline_ = Clock::now() + interval;
+      }
+    } else {
+      deadline_ += interval;
+    }
+  }
+
+  // Choose the next frame to build.
+  const std::size_t count = scene_->frame_count();
+  std::size_t skipped = 0;
+  if (opts_.loop) {
+    next_frame_ = (staged_frame + 1 + skip) % count;
+    skipped = skip;
+  } else if (staged_frame + 1 >= count) {
+    drained_ = true;
+  } else {
+    // The final frame is always presented: skipping never drops it.
+    next_frame_ = std::min(staged_frame + 1 + skip, count - 1);
+    skipped = next_frame_ - (staged_frame + 1);
+  }
+
+  FrameTick tick;
+  tick.published = true;
+  tick.frame = staged_frame;
+  tick.version = snap->version;
+  tick.skipped = skipped;
+  tick.build_seconds = snap->build_seconds;
+  tick.wait_seconds = wait_seconds;
+  tick.lag_seconds = lag_seconds;
+  tick.algorithm = snap->algorithm;
+  tick.config = snap->config;
+  note_published(tick, query_seconds);
+
+  if (!drained_ && opts_.overlap) launch_build(next_frame_);
+  return tick;
+}
+
+bool FramePipeline::done() const noexcept {
+  return began_ && drained_ && !inflight_.has_value();
+}
+
+void FramePipeline::record_best() {
+  if (recorded_best_ || opts_.tuner == nullptr) return;
+  if (opts_.tuner->iterations() == 0) return;
+  registry_.record_tuned(name_, opts_.tuner->best_config(),
+                         opts_.tuner->best_objective(),
+                         opts_.tuner->best_algorithm());
+  recorded_best_ = true;
+}
+
+void FramePipeline::note_published(const FrameTick& tick,
+                                   double /*query_seconds*/) {
+  lag_hist_.record_seconds(tick.lag_seconds);
+  std::lock_guard<std::mutex> lk(stats_mutex_);
+  ++totals_.frames_published;
+  totals_.frames_skipped += tick.skipped;
+  if (tick.lag_seconds > 0.0) ++totals_.late_frames;
+  totals_.total_build_seconds += tick.build_seconds;
+  totals_.total_wait_seconds += tick.wait_seconds;
+  totals_.max_lag_seconds =
+      std::max(totals_.max_lag_seconds, tick.lag_seconds);
+}
+
+FramePipelineStats FramePipeline::stats() const {
+  FramePipelineStats out;
+  {
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    out = totals_;
+  }
+  out.lag_p50_seconds = lag_hist_.quantile_seconds(0.5);
+  out.lag_p99_seconds = lag_hist_.quantile_seconds(0.99);
+  return out;
+}
+
+}  // namespace kdtune

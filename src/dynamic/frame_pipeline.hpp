@@ -1,0 +1,189 @@
+#pragma once
+
+// FramePipeline — the dynamic-scene frame loop as a long-lived service.
+//
+// The paper's headline scenario is geometry that changes every frame
+// (Toasters, Wood Doll, Fairy Forest), forcing a kd-tree rebuild per frame —
+// exactly where online autotuning pays off because measurements amortize
+// across frames. This pipeline connects the existing substrates into that
+// loop: while queries run against frame N's tree (published as a
+// SceneRegistry version and typically served through QueryService), the
+// builder constructs frame N+1's tree asynchronously on the shared
+// ThreadPool, and the new tree is hot-swapped in at the frame boundary
+// (double-buffered via SceneRegistry::stage() / publish_staged(); the old
+// version retires RCU-style when its last reader drops it).
+//
+// Contracts (specified in docs/DYNAMIC.md, tested in
+// tests/test_frame_pipeline.cpp):
+//   * Exactly-once publication: every advance() publishes exactly one staged
+//     tree; registry versions increase by exactly 1 per published frame and
+//     animation frame indices are strictly monotone (modulo looping).
+//   * Swap timing: publication happens only inside begin()/advance() — never
+//     from the build task — so the caller always knows which frame serves.
+//   * Result parity: queries against the published tree are bit-identical to
+//     a sequential build-then-query loop over the same frames (hit distances
+//     are exact across builders/configs; see core/differential.hpp).
+//   * Pacing: with a target frame interval, advance() publishes no earlier
+//     than the frame deadline. A build running past the deadline either
+//     carries over (kCarryOver: publish late, reschedule from the actual
+//     publication) or skips ahead (kSkipAhead: drop animation frames to
+//     catch back up to the absolute schedule). Lag lands in a LogHistogram.
+//
+// The pipeline is driven by one caller thread (begin() once, then advance()
+// per frame); queries may run from any number of other threads via the
+// registry/QueryService. stats() is safe from any thread.
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/histogram.hpp"
+#include "dynamic/frame_tuner.hpp"
+#include "scene/animation.hpp"
+#include "serve/scene_registry.hpp"
+
+namespace kdtune {
+
+/// What to do when the next frame's build is still running at the frame
+/// deadline (paced mode only).
+enum class LagPolicy {
+  kCarryOver,  ///< keep serving frame N past its deadline; publish late
+  kSkipAhead,  ///< drop animation frames to catch back up to the schedule
+};
+
+struct FramePipelineOptions {
+  /// Builder algorithm for fixed-config operation; a FrameTuner overrides
+  /// this per trial (including algorithm selection).
+  Algorithm algorithm = Algorithm::kInPlace;
+  /// Fixed build configuration; unset falls back to the registry's attached
+  /// ConfigCache entry, then kBaseConfig (ignored when a tuner is attached).
+  std::optional<BuildConfig> config{};
+  /// Re-emit eager builds into the compact serving layout.
+  bool compact = true;
+  /// Overlap the next frame's build with the current frame's queries. Off
+  /// gives the sequential build-then-query baseline bench_dynamic compares
+  /// against (build runs inside advance(), after the previous frame retires).
+  bool overlap = true;
+  /// Target seconds per frame; 0 = unpaced (publish as soon as built).
+  double target_frame_seconds = 0.0;
+  LagPolicy lag_policy = LagPolicy::kCarryOver;
+  /// Wrap past the last animation frame (long-lived service) instead of
+  /// draining.
+  bool loop = false;
+  /// Online tuner driving algorithm/config across frames; not owned, may be
+  /// nullptr (fixed config). Must outlive the pipeline.
+  FrameTuner* tuner = nullptr;
+};
+
+/// Result of one frame boundary.
+struct FrameTick {
+  /// False once the animation is exhausted (non-loop): nothing was published
+  /// and the pipeline has recorded its tuned configuration.
+  bool published = false;
+  std::size_t frame = 0;       ///< animation frame index now being served
+  std::uint64_t version = 0;   ///< registry version serving it
+  std::size_t skipped = 0;     ///< animation frames dropped at this boundary
+  double build_seconds = 0.0;  ///< construction time of the published tree
+  double wait_seconds = 0.0;   ///< advance() blocked on the build this long
+  double lag_seconds = 0.0;    ///< publication time past the frame deadline
+  Algorithm algorithm = Algorithm::kInPlace;
+  BuildConfig config{};        ///< configuration the published tree used
+};
+
+struct FramePipelineStats {
+  std::uint64_t frames_published = 0;
+  std::uint64_t frames_skipped = 0;
+  std::uint64_t late_frames = 0;   ///< paced frames published past deadline
+  double total_build_seconds = 0.0;
+  double total_query_seconds = 0.0;
+  double total_wait_seconds = 0.0;  ///< boundary time blocked on builds
+  double lag_p50_seconds = 0.0;
+  double lag_p99_seconds = 0.0;
+  double max_lag_seconds = 0.0;
+};
+
+class FramePipeline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// The pipeline publishes under `scene->name()` in `registry` and builds
+  /// on the registry's pool.
+  FramePipeline(std::shared_ptr<const AnimatedScene> scene,
+                SceneRegistry& registry, FramePipelineOptions opts = {});
+
+  /// Waits for any in-flight build (without publishing it).
+  ~FramePipeline();
+
+  FramePipeline(const FramePipeline&) = delete;
+  FramePipeline& operator=(const FramePipeline&) = delete;
+
+  /// Builds and publishes frame 0 synchronously (the service cannot answer
+  /// queries before the first tree exists), then starts the overlapped build
+  /// of frame 1. Call exactly once, before the first advance().
+  FrameTick begin();
+
+  /// The frame boundary. `query_seconds` is the caller-measured query/render
+  /// time of the frame currently serving (feeds the tuner objective
+  /// m = t_build + w * t_query). Retires the serving frame, waits for the
+  /// staged build per the pacing policy, publishes it, and launches the next
+  /// build. Returns published=false once the animation is exhausted.
+  FrameTick advance(double query_seconds = 0.0);
+
+  /// True when the last animation frame is serving and no build is in flight
+  /// (always false with loop=true).
+  bool done() const noexcept;
+
+  /// Records the tuner's best configuration with the registry (and its
+  /// attached ConfigCache) under the tuner's best algorithm. Called
+  /// automatically when the animation drains; idempotent; no-op without a
+  /// tuner or before the first completed measurement.
+  void record_best();
+
+  std::size_t current_frame() const noexcept { return serving_frame_; }
+  const std::string& scene_name() const noexcept { return name_; }
+  const AnimatedScene& scene() const noexcept { return *scene_; }
+  FrameTuner* tuner() const noexcept { return opts_.tuner; }
+
+  FramePipelineStats stats() const;
+
+ private:
+  struct InFlight {
+    std::size_t frame = 0;
+    bool probe = false;
+    std::future<SceneRegistry::StagedSnapshot> staged;
+  };
+
+  FrameTuner::Trial next_trial();
+  void launch_build(std::size_t frame);
+  SceneRegistry::StagedSnapshot wait_for_staged(double* wait_seconds);
+  void note_published(const FrameTick& tick, double query_seconds);
+
+  std::shared_ptr<const AnimatedScene> scene_;
+  SceneRegistry& registry_;
+  FramePipelineOptions opts_;
+  std::string name_;
+  bool began_ = false;
+  bool recorded_best_ = false;
+
+  // Serving state (driver thread only).
+  std::size_t serving_frame_ = 0;
+  bool serving_probe_ = false;
+  double serving_build_seconds_ = 0.0;
+  std::uint64_t serving_version_ = 0;
+
+  std::optional<InFlight> inflight_;
+  std::size_t next_frame_ = 0;  ///< next animation frame to build
+  bool drained_ = false;        ///< no further frames to build (non-loop)
+
+  Clock::time_point deadline_{};  ///< paced mode: next frame boundary
+
+  mutable std::mutex stats_mutex_;
+  FramePipelineStats totals_;
+  LogHistogram lag_hist_;  ///< nanoseconds of publication lag
+};
+
+}  // namespace kdtune

@@ -1,0 +1,147 @@
+#include "dynamic/frame_tuner.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace kdtune {
+
+FrameTuner::FrameTuner(FrameTunerOptions opts) : opts_(std::move(opts)) {
+  if (opts_.algorithms.empty()) {
+    throw std::invalid_argument("FrameTuner: need at least one algorithm");
+  }
+  candidates_.reserve(opts_.algorithms.size());
+  for (const Algorithm a : opts_.algorithms) {
+    Candidate c;
+    c.algorithm = a;
+    c.tuner = std::make_unique<Tuner>(nullptr, opts_.tuner);
+    candidates_.push_back(std::move(c));
+  }
+  // Parameters are registered only once every candidate sits at its final
+  // address: each Tuner holds raw pointers into its candidate's config, and
+  // candidates_ never resizes after construction (FrameTuner is immovable).
+  for (Candidate& c : candidates_) {
+    register_build_parameters(*c.tuner, c.config, c.algorithm, opts_.ranges);
+  }
+  // A single candidate needs no selection phase: route to it immediately so
+  // selection_done() is trivially true and the budget never interferes.
+  if (candidates_.size() == 1) {
+    phase_ = 1;
+    winner_ = 0;
+  }
+}
+
+std::size_t FrameTuner::warm_start(const ConfigCache& cache,
+                                   const std::string& scene,
+                                   unsigned threads) {
+  std::size_t warmed = 0;
+  for (Candidate& c : candidates_) {
+    const auto entry = cache.lookup(ConfigCache::key_for(
+        scene, std::string(to_string(c.algorithm)), threads));
+    if (!entry) continue;
+    c.tuner->warm_start(entry->values);
+    ++warmed;
+  }
+  return warmed;
+}
+
+FrameTuner::Candidate& FrameTuner::active() {
+  return candidates_[selection_done() ? winner_ : phase_];
+}
+
+const FrameTuner::Candidate& FrameTuner::active() const {
+  return candidates_[selection_done() ? winner_ : phase_];
+}
+
+bool FrameTuner::selection_done() const noexcept {
+  return phase_ >= candidates_.size();
+}
+
+Algorithm FrameTuner::current_algorithm() const noexcept {
+  return active().algorithm;
+}
+
+FrameTuner::Trial FrameTuner::next_trial() {
+  Candidate& c = active();
+  Trial trial;
+  trial.algorithm = c.algorithm;
+  if (!probe_outstanding_) {
+    // A fresh proposal is (or becomes) applied to c.config: the first trial
+    // applies explicitly; later ones were applied by Tuner::record() when the
+    // previous probe retired.
+    if (!c.started) {
+      c.tuner->apply_next();
+      c.started = true;
+    }
+    trial.probe = true;
+    probe_outstanding_ = true;
+  }
+  trial.config = c.config;
+  return trial;
+}
+
+void FrameTuner::frame_retired(bool probe, double build_seconds,
+                               double query_seconds) {
+  if (!probe) return;
+  if (!probe_outstanding_) {
+    throw std::logic_error("FrameTuner: probe retired without an outstanding "
+                           "probe trial");
+  }
+  Candidate& c = active();
+  // record() reports the measurement for the applied proposal and applies the
+  // next one into c.config (fig. 4's "apply new configuration" on Stop()).
+  c.tuner->record(build_seconds + opts_.query_weight * query_seconds);
+  probe_outstanding_ = false;
+  ++iterations_;
+  ++c.probe_frames;
+  maybe_advance_selection();
+}
+
+void FrameTuner::maybe_advance_selection() {
+  if (selection_done()) return;
+  const Candidate& c = candidates_[phase_];
+  if (c.probe_frames < opts_.frames_per_algorithm && !c.tuner->converged()) {
+    return;
+  }
+  ++phase_;
+  if (!selection_done()) return;
+  // Selection finished: pick the fastest candidate; its online tuner keeps
+  // running (drift re-tunes still work after selection).
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    const double t = candidates_[i].tuner->best_time();
+    if (t > 0.0 && t < best) {
+      best = t;
+      winner_ = i;
+    }
+  }
+}
+
+Algorithm FrameTuner::best_algorithm() const { return active().algorithm; }
+
+BuildConfig FrameTuner::best_config() const {
+  const Candidate& c = active();
+  const std::vector<std::int64_t> values = c.tuner->best_values();
+  BuildConfig config = c.config;
+  if (values.size() >= 3) {
+    config.ci = values[0];
+    config.cb = values[1];
+    config.s = values[2];
+  }
+  if (values.size() > 3) config.r = values[3];
+  return config;
+}
+
+double FrameTuner::best_objective() const { return active().tuner->best_time(); }
+
+std::size_t FrameTuner::iterations() const noexcept { return iterations_; }
+
+bool FrameTuner::converged() const { return active().tuner->converged(); }
+
+const Tuner& FrameTuner::tuner(Algorithm a) const {
+  for (const Candidate& c : candidates_) {
+    if (c.algorithm == a) return *c.tuner;
+  }
+  throw std::invalid_argument("FrameTuner: algorithm is not a candidate");
+}
+
+}  // namespace kdtune

@@ -1,0 +1,121 @@
+#pragma once
+
+// FrameTuner — the paper's online tuning loop pointed at the dynamic-scene
+// frame pipeline's *true* per-frame objective: build time plus weighted query
+// time (m = t_c + w * t_q, the fig. 4 measurement with the render term
+// generalized to whatever query traffic the frame served). It owns the
+// BuildConfig parameter storage the Tuner writes into and, when given several
+// candidate algorithms, runs the selection strategy the paper's conclusion
+// suggests — tune one algorithm after another, then route every further frame
+// to the winner, whose tuner keeps running online.
+//
+// The probe-frame protocol. In the overlapped pipeline a frame's measurement
+// completes one boundary *after* its build starts (the build overlaps the
+// previous frame's queries; the query time arrives when the frame retires).
+// Tuner::record() auto-applies the next proposal, so recording at the wrong
+// moment would attribute a measurement to the wrong configuration. FrameTuner
+// therefore tags exactly one in-flight build per tuner iteration as the
+// *probe*: next_trial() hands out the current proposal, marking it probe when
+// a fresh proposal is outstanding; frame_retired() completes the measurement
+// only for probe frames (build_seconds of that frame's tree + query_weight *
+// its query seconds) and lets the Tuner advance. Non-probe frames reuse the
+// trial configuration unrecorded. Sequentially (no overlap) every frame is a
+// probe and the loop degenerates to the paper's fig. 4; overlapped, tuner
+// iterations advance every other frame while the pipeline never stalls.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/base_config.hpp"
+#include "kdtree/builder.hpp"
+#include "tuning/config_cache.hpp"
+#include "tuning/tuner.hpp"
+
+namespace kdtune {
+
+struct FrameTunerOptions {
+  /// Candidate algorithms. One entry tunes that algorithm's knobs only; more
+  /// entries add the selection phase (each candidate gets probe frames until
+  /// convergence or its budget, then the best routes all further frames).
+  std::vector<Algorithm> algorithms{Algorithm::kInPlace};
+  /// Probe-frame budget per candidate during the selection phase.
+  std::size_t frames_per_algorithm = 24;
+  /// w in the objective m = t_build + w * t_query.
+  double query_weight = 1.0;
+  TuningRanges ranges{};
+  TunerOptions tuner{};
+};
+
+class FrameTuner {
+ public:
+  explicit FrameTuner(FrameTunerOptions opts = {});
+
+  FrameTuner(const FrameTuner&) = delete;
+  FrameTuner& operator=(const FrameTuner&) = delete;
+
+  /// Seeds each candidate's search from the cache entry for
+  /// (scene, algorithm, threads), when present. Call before the first
+  /// next_trial(). Returns the number of candidates warm-started.
+  std::size_t warm_start(const ConfigCache& cache, const std::string& scene,
+                         unsigned threads);
+
+  struct Trial {
+    Algorithm algorithm = Algorithm::kInPlace;
+    BuildConfig config{};
+    /// True when this build's frame completes the current tuning measurement.
+    bool probe = false;
+  };
+
+  /// Configuration for the next build the pipeline launches.
+  Trial next_trial();
+
+  /// Reports a retired frame: `probe` must be the flag next_trial() issued
+  /// for the build of that frame's tree. Probe frames complete the current
+  /// measurement (build + query_weight * query) and advance the search.
+  void frame_retired(bool probe, double build_seconds, double query_seconds);
+
+  /// True once every candidate had its selection budget (trivially true for
+  /// a single candidate).
+  bool selection_done() const noexcept;
+
+  /// The algorithm currently issuing trials (the winner once selection_done).
+  Algorithm current_algorithm() const noexcept;
+
+  /// Best (algorithm, config, objective seconds) found so far.
+  Algorithm best_algorithm() const;
+  BuildConfig best_config() const;
+  double best_objective() const;
+
+  /// Probe measurements completed across all candidates.
+  std::size_t iterations() const noexcept;
+
+  /// True when the active candidate's search has converged.
+  bool converged() const;
+
+  const Tuner& tuner(Algorithm a) const;
+  double query_weight() const noexcept { return opts_.query_weight; }
+
+ private:
+  struct Candidate {
+    Algorithm algorithm = Algorithm::kInPlace;
+    BuildConfig config{};  ///< tuner-owned parameter storage
+    std::unique_ptr<Tuner> tuner;
+    std::size_t probe_frames = 0;
+    bool started = false;  ///< first apply_next() issued
+  };
+
+  Candidate& active();
+  const Candidate& active() const;
+  void maybe_advance_selection();
+
+  FrameTunerOptions opts_;
+  std::vector<Candidate> candidates_;
+  std::size_t phase_ = 0;       ///< candidate under selection; == size when done
+  std::size_t winner_ = 0;      ///< valid once selection_done()
+  bool probe_outstanding_ = false;
+  std::size_t iterations_ = 0;
+};
+
+}  // namespace kdtune

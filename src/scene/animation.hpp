@@ -26,11 +26,17 @@ class AnimatedScene {
   virtual std::size_t frame_count() const noexcept = 0;
   virtual bool dynamic() const noexcept { return frame_count() > 1; }
 
-  /// Builds frame `i` (0-based, must be < frame_count()).
+  /// Builds frame `i` (0-based, must be < frame_count()). Returned scenes
+  /// share triangle storage where the implementation can (Scene copies are
+  /// copy-on-write): per-frame cost is geometry *generation*, never a copy of
+  /// an existing soup. StaticScene and OrbitScene hand out the same shared
+  /// soup every call; the dynamic generators produce fresh geometry per frame
+  /// because the triangles genuinely differ.
   virtual Scene frame(std::size_t i) const = 0;
 };
 
 /// Adapts a fixed Scene to the AnimatedScene interface (frame_count == 1).
+/// frame() shares the stored soup (O(1), no triangle copy).
 class StaticScene final : public AnimatedScene {
  public:
   explicit StaticScene(Scene scene) : scene_(std::move(scene)) {}
@@ -85,7 +91,8 @@ class RigidRigScene final : public AnimatedScene {
 };
 
 /// A static scene with a camera orbiting its geometry: every frame has the
-/// same triangles but a different viewpoint. The paper notes that "camera
+/// same triangles but a different viewpoint (frame() shares the soup and only
+/// the camera differs). The paper notes that "camera
 /// positioning, system load and other environment effects all influence the
 /// optimal configuration" even for static geometry — this wrapper produces
 /// exactly that workload (rebuild-per-frame with identical input, shifting

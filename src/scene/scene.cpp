@@ -1,4 +1,18 @@
 #include "scene/scene.hpp"
 
-// Scene is currently header-only logic; this TU anchors the library target
-// and is the future home of scene (de)serialization.
+namespace kdtune {
+
+std::vector<Triangle>& Scene::mutable_triangles() {
+  if (!triangles_) {
+    triangles_ = std::make_shared<std::vector<Triangle>>();
+  } else if (triangles_.use_count() > 1) {
+    // Copy-on-write clone. The use_count() check is sound because concurrent
+    // access to *this* Scene object is the caller's race, not ours: a count
+    // of 1 cannot grow behind our back without someone copying this very
+    // object concurrently.
+    triangles_ = std::make_shared<std::vector<Triangle>>(*triangles_);
+  }
+  return *triangles_;
+}
+
+}  // namespace kdtune

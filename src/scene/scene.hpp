@@ -4,7 +4,19 @@
 // preset the ray caster uses. The kd-tree builders consume only the triangle
 // span; the rest exists so the evaluation harness can render each scene the
 // way the paper's figures describe (e.g. the Fairy-Forest close-up camera).
+//
+// Triangle storage is *shared* between copies (copy-on-write): copying a
+// Scene is O(1) in the triangle count, and the copy references the same
+// immutable soup until one side calls mutable_triangles(). This is what makes
+// per-frame scene handoff cheap across the animation / registry / pipeline
+// layers — StaticScene::frame() and OrbitScene::frame() return by value yet
+// share one soup, and SceneRegistry can keep a frame's geometry without
+// duplicating it. Caveat: the reference returned by mutable_triangles() is
+// tied to the current storage generation — copying the Scene and then writing
+// through a previously obtained reference would mutate the shared soup, so
+// finish mutating before handing copies out (every generator does).
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,9 +48,25 @@ class Scene {
   const std::string& name() const noexcept { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
 
-  std::span<const Triangle> triangles() const noexcept { return triangles_; }
-  std::vector<Triangle>& mutable_triangles() noexcept { return triangles_; }
-  std::size_t triangle_count() const noexcept { return triangles_.size(); }
+  std::span<const Triangle> triangles() const noexcept {
+    return triangles_ ? std::span<const Triangle>(*triangles_)
+                      : std::span<const Triangle>();
+  }
+
+  /// Write access to the soup. Copy-on-write: if other Scene copies share the
+  /// storage it is cloned first, so mutation never affects them.
+  std::vector<Triangle>& mutable_triangles();
+
+  std::size_t triangle_count() const noexcept {
+    return triangles_ ? triangles_->size() : 0;
+  }
+
+  /// True when this scene references the same triangle storage as `other`
+  /// (i.e. copying between them was free). Exposed for the frame-sharing
+  /// regression tests.
+  bool shares_triangles(const Scene& other) const noexcept {
+    return triangles_ != nullptr && triangles_ == other.triangles_;
+  }
 
   std::span<const PointLight> lights() const noexcept { return lights_; }
   void add_light(const PointLight& l) { lights_.push_back(l); }
@@ -46,11 +74,11 @@ class Scene {
   const CameraPreset& camera() const noexcept { return camera_; }
   void set_camera(const CameraPreset& c) { camera_ = c; }
 
-  AABB bounds() const noexcept { return bounds_of(triangles_); }
+  AABB bounds() const noexcept { return bounds_of(triangles()); }
 
  private:
   std::string name_;
-  std::vector<Triangle> triangles_;
+  std::shared_ptr<std::vector<Triangle>> triangles_;
   std::vector<PointLight> lights_;
   CameraPreset camera_;
 };

@@ -132,12 +132,48 @@ std::shared_ptr<const SceneSnapshot> SceneRegistry::rebuild(
   return snapshot;
 }
 
+SceneRegistry::StagedSnapshot SceneRegistry::stage(
+    const std::string& name, Scene scene, std::optional<BuildConfig> config,
+    std::optional<Algorithm> algorithm) {
+  AdmitOptions opts;
+  BuildConfig build_config;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) return {};
+    opts = it->second.opts;
+    if (algorithm) opts.algorithm = *algorithm;
+    build_config = config ? *config : opts.config.value_or(kBaseConfig);
+  }
+  StagedSnapshot staged;
+  staged.snapshot = build_snapshot(name, scene, opts, build_config);
+  staged.scene = std::move(scene);
+  return staged;
+}
+
+std::shared_ptr<const SceneSnapshot> SceneRegistry::publish_staged(
+    StagedSnapshot staged) {
+  if (!staged.valid()) return nullptr;
+  std::lock_guard<std::mutex> lk(mutex_);
+  const auto it = entries_.find(staged.snapshot->scene);
+  if (it == entries_.end()) return nullptr;  // removed while staged
+  staged.snapshot->version = it->second.current->version + 1;
+  it->second.scene = std::move(staged.scene);
+  it->second.opts.algorithm = staged.snapshot->algorithm;
+  it->second.opts.config = staged.snapshot->config;
+  it->second.current = staged.snapshot;
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  return staged.snapshot;
+}
+
 bool SceneRegistry::record_tuned(const std::string& name,
-                                 const BuildConfig& config, double seconds) {
+                                 const BuildConfig& config, double seconds,
+                                 std::optional<Algorithm> algorithm) {
   std::lock_guard<std::mutex> lk(mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) return false;
   it->second.opts.config = config;
+  if (algorithm) it->second.opts.algorithm = *algorithm;
   if (cache_ != nullptr) {
     cache_->store(cache_key(name, it->second.opts.algorithm),
                   values_of(config, it->second.opts.algorithm), seconds);

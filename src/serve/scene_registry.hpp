@@ -86,11 +86,39 @@ class SceneRegistry {
       const std::string& name, std::optional<BuildConfig> config = {},
       std::optional<Scene> geometry = {});
 
+  /// A built-but-unpublished snapshot: the double-buffer half of the dynamic
+  /// FramePipeline's protocol (build frame N+1 while frame N serves, swap at
+  /// the frame boundary). Produced by stage(), installed by publish_staged().
+  struct StagedSnapshot {
+    std::shared_ptr<SceneSnapshot> snapshot;
+    Scene scene;  ///< geometry stored on publish (shared-storage copy, O(1))
+    bool valid() const noexcept { return snapshot != nullptr; }
+  };
+
+  /// Builds a snapshot of `scene` for the admitted name without publishing
+  /// it. The build runs on the calling thread (parallelized over the
+  /// registry's pool); the registry lock is held only to read the entry's
+  /// options, so readers and other writers are never blocked by the build.
+  /// `config`/`algorithm` unset keep the entry's current ones. Returns an
+  /// invalid StagedSnapshot when `name` is unknown.
+  StagedSnapshot stage(const std::string& name, Scene scene,
+                       std::optional<BuildConfig> config = {},
+                       std::optional<Algorithm> algorithm = {});
+
+  /// Publishes a staged build as the next version of its scene — O(1), just
+  /// the RCU pointer swap plus the geometry handoff. Returns the published
+  /// snapshot, or nullptr if the scene was removed since stage() (the staged
+  /// tree then simply retires unpublished).
+  std::shared_ptr<const SceneSnapshot> publish_staged(StagedSnapshot staged);
+
   /// Records a tuned configuration for `name`: future rebuilds default to it
   /// and, when a cache is attached, it is stored under the scene's key (kept
-  /// only if faster — ConfigCache semantics). Returns false for unknown names.
+  /// only if faster — ConfigCache semantics). `algorithm` set switches the
+  /// entry's builder too (cache key included) — the FrameTuner's selection
+  /// phase may conclude with a different winner than the entry's current
+  /// algorithm. Returns false for unknown names.
   bool record_tuned(const std::string& name, const BuildConfig& config,
-                    double seconds);
+                    double seconds, std::optional<Algorithm> algorithm = {});
 
   bool remove(const std::string& name);
   std::vector<std::string> names() const;

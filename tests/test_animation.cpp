@@ -17,6 +17,53 @@ TEST(StaticScene, SingleFrame) {
   EXPECT_EQ(wrapped.frame(0).triangle_count(), 1u);
 }
 
+TEST(StaticScene, FrameSharesTriangleStorage) {
+  Scene s("demo");
+  s.mutable_triangles().push_back({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+  const StaticScene wrapped(std::move(s));
+  const Scene f0 = wrapped.frame(0);
+  const Scene f1 = wrapped.frame(0);
+  // frame() hands out the stored soup: O(1), no triangle copy.
+  EXPECT_TRUE(f0.shares_triangles(f1));
+  EXPECT_EQ(f0.triangles().data(), f1.triangles().data());
+}
+
+TEST(SceneCopyOnWrite, CopiesShareUntilMutation) {
+  Scene a("demo");
+  a.mutable_triangles().push_back({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+  Scene b = a;
+  EXPECT_TRUE(a.shares_triangles(b));
+  EXPECT_EQ(a.triangles().data(), b.triangles().data());
+
+  b.mutable_triangles().push_back({{1, 1, 1}, {2, 1, 1}, {1, 2, 1}});
+  EXPECT_FALSE(a.shares_triangles(b));
+  EXPECT_EQ(a.triangle_count(), 1u);
+  EXPECT_EQ(b.triangle_count(), 2u);
+  // The untouched original still sees its own data.
+  EXPECT_EQ(a.triangles()[0].b, Vec3(1, 0, 0));
+}
+
+TEST(SceneCopyOnWrite, SoleOwnerMutatesInPlace) {
+  Scene a("demo");
+  a.mutable_triangles().push_back({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+  const Triangle* before = a.triangles().data();
+  a.mutable_triangles()[0].a = {5, 5, 5};
+  EXPECT_EQ(a.triangles().data(), before);  // no detach when unshared
+}
+
+TEST(OrbitScene, FramesShareSoupOnlyCameraDiffers) {
+  Scene base("city");
+  base.mutable_triangles().push_back({{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+  CameraPreset cam;
+  cam.eye = {0, 1, -5};
+  base.set_camera(cam);
+  const OrbitScene orbit(std::move(base), 8);
+  const Scene f0 = orbit.frame(0);
+  const Scene f4 = orbit.frame(4);
+  EXPECT_TRUE(f0.shares_triangles(f4));
+  EXPECT_NE(f0.camera().eye, f4.camera().eye);
+}
+
 TEST(RigidRig, StaticPartsAreIdenticalEveryFrame) {
   RigidRigScene rig("rig", 10, {}, {});
   rig.add_static_part(primitives::box({1, 1, 1}));

@@ -1,0 +1,426 @@
+// FramePipeline + FrameTuner: the dynamic-scene frame loop.
+//
+// The load-bearing assertions here are the pipeline contracts from
+// docs/DYNAMIC.md — overlapped execution is bit-identical to the sequential
+// build-then-query baseline, publication is exactly-once with versions
+// advancing by 1 per frame, the pacing policies behave as specified — plus
+// the probe-frame tuning protocol and the ConfigCache cross-frame
+// warm-start loop.
+
+#include "dynamic/frame_pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/differential.hpp"
+#include "dynamic/frame_tuner.hpp"
+#include "geom/rng.hpp"
+#include "scene/animation.hpp"
+#include "serve/scene_registry.hpp"
+
+namespace kdtune {
+namespace {
+
+// Deterministic per-frame triangle soup: frame i regenerates identical
+// geometry on every call (the pipeline may build it on any thread).
+std::shared_ptr<const AnimatedScene> soup_animation(const std::string& name,
+                                                    std::size_t frames,
+                                                    std::size_t tris) {
+  return std::make_shared<ProceduralAnimation>(
+      name, frames, [name, tris](std::size_t i) {
+        Scene scene(name);
+        Rng rng(0x5eed + 131 * static_cast<std::uint64_t>(i));
+        auto& out = scene.mutable_triangles();
+        out.reserve(tris);
+        for (std::size_t k = 0; k < tris; ++k) {
+          const Vec3 a{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                       rng.uniform(-10, 10)};
+          const Vec3 e1{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                        rng.uniform(-1, 1)};
+          const Vec3 e2{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                        rng.uniform(-1, 1)};
+          out.push_back({a, a + e1, a + e2});
+        }
+        return scene;
+      });
+}
+
+std::vector<Ray> probe_rays(std::size_t n) {
+  std::vector<Ray> rays;
+  rays.reserve(n);
+  Rng rng(99);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 origin{rng.uniform(-12, 12), rng.uniform(-12, 12), -30.0f};
+    const Vec3 target{rng.uniform(-6, 6), rng.uniform(-6, 6),
+                      rng.uniform(-6, 6)};
+    rays.emplace_back(origin, normalized(target - origin));
+  }
+  return rays;
+}
+
+// ---------------------------------------------------------------- FrameTuner
+
+TEST(FrameTuner, ProbeCadenceInOverlappedOperation) {
+  FrameTuner tuner;
+  const FrameTuner::Trial t0 = tuner.next_trial();
+  EXPECT_TRUE(t0.probe);  // fresh proposal outstanding
+
+  // A second build launched before the probe retires reuses the trial
+  // configuration unrecorded.
+  const FrameTuner::Trial t1 = tuner.next_trial();
+  EXPECT_FALSE(t1.probe);
+  EXPECT_EQ(t0.config.ci, t1.config.ci);
+  EXPECT_EQ(t0.config.cb, t1.config.cb);
+  EXPECT_EQ(t0.config.s, t1.config.s);
+
+  tuner.frame_retired(false, 0.5, 0.5);  // non-probe: ignored
+  EXPECT_EQ(tuner.iterations(), 0u);
+
+  tuner.frame_retired(true, 0.01, 0.0);  // probe completes the measurement
+  EXPECT_EQ(tuner.iterations(), 1u);
+
+  EXPECT_TRUE(tuner.next_trial().probe);  // next iteration starts
+}
+
+TEST(FrameTuner, ProbeRetireWithoutOutstandingProbeThrows) {
+  FrameTuner tuner;
+  EXPECT_THROW(tuner.frame_retired(true, 0.01, 0.0), std::logic_error);
+}
+
+TEST(FrameTuner, ObjectiveWeightsQueryTime) {
+  FrameTunerOptions opts;
+  opts.query_weight = 2.0;
+  FrameTuner tuner(opts);
+  EXPECT_DOUBLE_EQ(tuner.query_weight(), 2.0);
+  (void)tuner.next_trial();
+  tuner.frame_retired(true, 0.010, 0.005);  // m = 0.010 + 2 * 0.005
+  EXPECT_DOUBLE_EQ(tuner.best_objective(), 0.020);
+}
+
+TEST(FrameTuner, EmptyAlgorithmListThrows) {
+  FrameTunerOptions opts;
+  opts.algorithms.clear();
+  EXPECT_THROW(FrameTuner{opts}, std::invalid_argument);
+}
+
+TEST(FrameTuner, SelectionRoutesToFastestAlgorithm) {
+  FrameTunerOptions opts;
+  opts.algorithms = {Algorithm::kInPlace, Algorithm::kNested};
+  opts.frames_per_algorithm = 5;
+  FrameTuner tuner(opts);
+  EXPECT_FALSE(tuner.selection_done());
+
+  // Synthetic costs: kNested is always twice as fast.
+  int guard = 0;
+  while (!tuner.selection_done() && guard++ < 1000) {
+    const FrameTuner::Trial t = tuner.next_trial();
+    const double cost = t.algorithm == Algorithm::kNested ? 0.001 : 0.002;
+    tuner.frame_retired(t.probe, cost, 0.0);
+  }
+  ASSERT_TRUE(tuner.selection_done());
+  EXPECT_EQ(tuner.current_algorithm(), Algorithm::kNested);
+  EXPECT_EQ(tuner.best_algorithm(), Algorithm::kNested);
+  EXPECT_DOUBLE_EQ(tuner.best_objective(), 0.001);
+  // Further trials keep going to the winner (its tuner stays online).
+  EXPECT_EQ(tuner.next_trial().algorithm, Algorithm::kNested);
+}
+
+double synthetic_cost(const BuildConfig& c) {
+  // Smooth bowl with its optimum inside the Table II ranges.
+  const double ci = static_cast<double>(c.ci) - 30.0;
+  const double cb = static_cast<double>(c.cb) - 4.0;
+  const double s = static_cast<double>(c.s) - 8.0;
+  return 1e-3 + 1e-6 * (ci * ci + 4.0 * cb * cb + s * s);
+}
+
+std::size_t iterations_to_convergence(FrameTuner& tuner) {
+  std::size_t iterations = 0;
+  while (!tuner.converged() && iterations < 500) {
+    const FrameTuner::Trial t = tuner.next_trial();
+    tuner.frame_retired(t.probe, synthetic_cost(t.config), 0.0);
+    ++iterations;
+  }
+  return iterations;
+}
+
+TEST(FrameTuner, ConfigCacheWarmStartAcrossRuns) {
+  // First run: converge cold on a deterministic objective, record the result
+  // the way a draining FramePipeline does.
+  ThreadPool pool(1);
+  ConfigCache cache;
+  FrameTuner cold;
+  const std::size_t cold_iterations = iterations_to_convergence(cold);
+  ASSERT_TRUE(cold.converged());
+  cache.store(
+      ConfigCache::key_for("anim", std::string(to_string(Algorithm::kInPlace)),
+                           pool.concurrency()),
+      SceneRegistry::values_of(cold.best_config(), Algorithm::kInPlace),
+      cold.best_objective());
+
+  // Second run: warm-started. The very first trial IS the cached best, and
+  // the search needs no more iterations than the cold run to converge.
+  FrameTuner warm;
+  EXPECT_EQ(warm.warm_start(cache, "anim", pool.concurrency()), 1u);
+  const FrameTuner::Trial first = warm.next_trial();
+  EXPECT_EQ(first.config.ci, cold.best_config().ci);
+  EXPECT_EQ(first.config.cb, cold.best_config().cb);
+  EXPECT_EQ(first.config.s, cold.best_config().s);
+  warm.frame_retired(first.probe, synthetic_cost(first.config), 0.0);
+
+  const std::size_t warm_iterations = 1 + iterations_to_convergence(warm);
+  ASSERT_TRUE(warm.converged());
+  EXPECT_LE(warm_iterations, cold_iterations);
+  // And the warm optimum is at least as good.
+  EXPECT_LE(warm.best_objective(), cold.best_objective() + 1e-12);
+}
+
+// -------------------------------------------------------------- FramePipeline
+
+std::vector<float> run_and_query(const std::shared_ptr<const AnimatedScene>& anim,
+                                 bool overlap, const std::vector<Ray>& rays,
+                                 unsigned workers) {
+  ThreadPool pool(workers);
+  SceneRegistry registry(pool);
+  FramePipelineOptions opts;
+  opts.overlap = overlap;
+  FramePipeline pipeline(anim, registry, opts);
+
+  std::vector<float> hits;
+  for (FrameTick tick = pipeline.begin(); tick.published;
+       tick = pipeline.advance(0.0)) {
+    const auto snap = registry.acquire(anim->name());
+    for (const Ray& ray : rays) {
+      const Hit hit = snap->tree->closest_hit(ray);
+      hits.push_back(hit.valid() ? hit.t : -1.0f);
+    }
+  }
+  return hits;
+}
+
+TEST(FramePipeline, OverlappedMatchesSequentialBitExact) {
+  const auto anim = soup_animation("parity", 6, 300);
+  const std::vector<Ray> rays = probe_rays(64);
+  const std::vector<float> sequential = run_and_query(anim, false, rays, 3);
+  const std::vector<float> overlapped = run_and_query(anim, true, rays, 3);
+  ASSERT_EQ(sequential.size(), 6u * 64u);
+  EXPECT_EQ(sequential, overlapped);  // float == : bit-exact hit distances
+}
+
+TEST(FramePipeline, ExactlyOncePublicationAndDrain) {
+  const std::size_t kFrames = 5;
+  const auto anim = soup_animation("exact", kFrames, 200);
+  ThreadPool pool(2);
+  SceneRegistry registry(pool);
+  FramePipeline pipeline(anim, registry, {});
+
+  FrameTick tick = pipeline.begin();
+  EXPECT_TRUE(tick.published);
+  EXPECT_EQ(tick.frame, 0u);
+  EXPECT_EQ(tick.version, 1u);
+  std::uint64_t version = tick.version;
+
+  for (std::size_t f = 1; f < kFrames; ++f) {
+    tick = pipeline.advance(0.0);
+    ASSERT_TRUE(tick.published);
+    EXPECT_EQ(tick.frame, f);                 // frames strictly monotone
+    EXPECT_EQ(tick.version, version + 1);     // versions advance by exactly 1
+    EXPECT_EQ(tick.skipped, 0u);              // unpaced: nothing dropped
+    EXPECT_GT(tick.build_seconds, 0.0);
+    version = tick.version;
+    EXPECT_EQ(registry.acquire("exact")->version, version);
+  }
+
+  EXPECT_TRUE(pipeline.done());
+  tick = pipeline.advance(0.0);  // drained: nothing further publishes
+  EXPECT_FALSE(tick.published);
+  EXPECT_EQ(registry.acquire("exact")->version, version);
+
+  const FramePipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.frames_published, kFrames);
+  EXPECT_EQ(stats.frames_skipped, 0u);
+  EXPECT_GT(stats.total_build_seconds, 0.0);
+}
+
+TEST(FramePipeline, LifecycleErrorsAndAccessors) {
+  const auto anim = soup_animation("life", 3, 100);
+  ThreadPool pool(2);
+  SceneRegistry registry(pool);
+  EXPECT_THROW(FramePipeline(nullptr, registry, {}), std::invalid_argument);
+
+  FramePipeline pipeline(anim, registry, {});
+  EXPECT_THROW(pipeline.advance(0.0), std::logic_error);  // begin() first
+  EXPECT_FALSE(pipeline.done());
+  pipeline.begin();
+  EXPECT_THROW(pipeline.begin(), std::logic_error);  // begin() once
+  EXPECT_EQ(pipeline.scene_name(), "life");
+  EXPECT_EQ(pipeline.current_frame(), 0u);
+  EXPECT_EQ(pipeline.tuner(), nullptr);
+  // Destruction with the frame-1 build still in flight must be safe.
+}
+
+TEST(FramePipeline, LoopWrapsFrameIndices) {
+  const std::size_t kFrames = 3;
+  const auto anim = soup_animation("loop", kFrames, 100);
+  ThreadPool pool(2);
+  SceneRegistry registry(pool);
+  FramePipelineOptions opts;
+  opts.loop = true;
+  FramePipeline pipeline(anim, registry, opts);
+
+  FrameTick tick = pipeline.begin();
+  for (std::size_t step = 1; step <= 2 * kFrames + 1; ++step) {
+    tick = pipeline.advance(0.0);
+    ASSERT_TRUE(tick.published);
+    EXPECT_EQ(tick.frame, step % kFrames);
+    EXPECT_FALSE(pipeline.done());  // a looping service never drains
+  }
+}
+
+TEST(FramePipeline, ZeroWorkerPoolStillCompletes) {
+  // All "async" work runs via the helping wait on the driver thread.
+  const auto anim = soup_animation("zerow", 4, 120);
+  const std::vector<Ray> rays = probe_rays(16);
+  const std::vector<float> sequential = run_and_query(anim, false, rays, 0);
+  const std::vector<float> overlapped = run_and_query(anim, true, rays, 0);
+  EXPECT_EQ(sequential, overlapped);
+}
+
+TEST(FramePipeline, CarryOverPublishesEveryFrameLate) {
+  const std::size_t kFrames = 8;
+  const auto anim = soup_animation("carry", kFrames, 600);
+  ThreadPool pool(2);
+  SceneRegistry registry(pool);
+  FramePipelineOptions opts;
+  opts.target_frame_seconds = 2e-5;  // builds always overrun the deadline
+  opts.lag_policy = LagPolicy::kCarryOver;
+  FramePipeline pipeline(anim, registry, opts);
+
+  pipeline.begin();
+  std::size_t expected = 1;
+  for (FrameTick tick = pipeline.advance(0.0); tick.published;
+       tick = pipeline.advance(0.0)) {
+    EXPECT_EQ(tick.frame, expected);  // carry-over never drops frames
+    EXPECT_EQ(tick.skipped, 0u);
+    ++expected;
+  }
+  EXPECT_EQ(expected, kFrames);
+  const FramePipelineStats stats = pipeline.stats();
+  EXPECT_EQ(stats.frames_published, kFrames);
+  EXPECT_EQ(stats.frames_skipped, 0u);
+  EXPECT_GT(stats.late_frames, 0u);  // every deadline overran, none dropped
+}
+
+TEST(FramePipeline, SkipAheadDropsFramesToKeepSchedule) {
+  const std::size_t kFrames = 24;
+  const auto anim = soup_animation("skip", kFrames, 600);
+  ThreadPool pool(2);
+  SceneRegistry registry(pool);
+  FramePipelineOptions opts;
+  opts.target_frame_seconds = 2e-5;  // builds always overrun the deadline
+  opts.lag_policy = LagPolicy::kSkipAhead;
+  FramePipeline pipeline(anim, registry, opts);
+
+  std::size_t last_frame = pipeline.begin().frame;
+  std::uint64_t version = 1;
+  while (true) {
+    const FrameTick tick = pipeline.advance(0.0);
+    if (!tick.published) break;
+    EXPECT_GT(tick.frame, last_frame);        // still strictly monotone
+    EXPECT_EQ(tick.version, version + 1);     // every publish is one version
+    last_frame = tick.frame;
+    version = tick.version;
+  }
+  EXPECT_EQ(last_frame, kFrames - 1);  // the final frame is always presented
+  const FramePipelineStats stats = pipeline.stats();
+  EXPECT_GT(stats.frames_skipped, 0u);
+  EXPECT_GT(stats.late_frames, 0u);
+  EXPECT_GT(stats.max_lag_seconds, 0.0);
+  EXPECT_LT(stats.frames_published, kFrames);
+}
+
+TEST(FramePipeline, TunerDrivenRunRecordsBestIntoCache) {
+  const std::size_t kFrames = kdtune_ci_small() ? 8 : 16;
+  const auto anim = soup_animation("tuned", kFrames, 250);
+  ThreadPool pool(2);
+  ConfigCache cache;
+  SceneRegistry registry(pool);
+  registry.attach_cache(&cache);
+
+  FrameTuner tuner;
+  tuner.warm_start(cache, "tuned", pool.concurrency());  // empty cache: no-op
+  FramePipelineOptions opts;
+  opts.tuner = &tuner;
+  FramePipeline pipeline(anim, registry, opts);
+
+  for (FrameTick tick = pipeline.begin(); tick.published;
+       tick = pipeline.advance(1e-4)) {
+  }
+  // Overlapped operation completes a tuner iteration every other frame.
+  EXPECT_GE(tuner.iterations(), kFrames / 2 - 1);
+  EXPECT_GT(tuner.best_objective(), 0.0);
+
+  // Draining recorded the best configuration: cache holds it for the next
+  // run, and the registry entry now defaults to it.
+  const auto entry = cache.lookup(ConfigCache::key_for(
+      "tuned", std::string(to_string(tuner.best_algorithm())),
+      pool.concurrency()));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->values,
+            SceneRegistry::values_of(tuner.best_config(),
+                                     tuner.best_algorithm()));
+
+  // Cross-frame warm start: a fresh tuner for a second run opens with the
+  // recorded configuration as its first trial.
+  FrameTuner second;
+  EXPECT_EQ(second.warm_start(cache, "tuned", pool.concurrency()), 1u);
+  const FrameTuner::Trial first = second.next_trial();
+  EXPECT_EQ(first.config.ci, tuner.best_config().ci);
+  EXPECT_EQ(first.config.cb, tuner.best_config().cb);
+  EXPECT_EQ(first.config.s, tuner.best_config().s);
+}
+
+TEST(FramePipeline, StressQueriesDuringRebuild) {
+  // TSan target: readers hammer acquire()+traversal from several threads
+  // while the pipeline hot-swaps a new tree every frame.
+  const std::size_t kFrames = kdtune_ci_small() ? 6 : 20;
+  const auto anim = soup_animation("stress", kFrames, 400);
+  ThreadPool pool(3);
+  SceneRegistry registry(pool);
+  FramePipelineOptions opts;
+  FramePipeline pipeline(anim, registry, opts);
+  pipeline.begin();
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> queries{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&registry, &stop, &queries, t] {
+      Rng rng(500 + t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto snap = registry.acquire("stress");
+        if (!snap) continue;
+        const Ray ray({rng.uniform(-12, 12), rng.uniform(-12, 12), -30.0f},
+                      {0, 0, 1});
+        (void)snap->tree->closest_hit(ray);
+        queries.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  while (pipeline.advance(0.0).published) {
+  }
+  stop.store(true);
+  for (auto& r : readers) r.join();
+
+  EXPECT_GT(queries.load(), 0u);
+  EXPECT_EQ(pipeline.stats().frames_published, kFrames);
+  EXPECT_EQ(registry.acquire("stress")->version, kFrames);
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,92 @@
+// Determinism regression for the dynamic generators: frame i of Toasters,
+// Wood Doll and Fairy Forest must produce bit-identical triangle data no
+// matter how often, from which generator instance, or from how many threads
+// concurrently it is generated. The dynamic FramePipeline's oracle-parity
+// guarantee (overlapped == sequential, bit-exact) rests on this: frames are
+// regenerated per build, sometimes on a pool worker, sometimes on the driver.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "core/differential.hpp"
+#include "scene/generators.hpp"
+
+namespace kdtune {
+namespace {
+
+std::vector<std::size_t> sample_frames(std::size_t count) {
+  std::vector<std::size_t> frames{0};
+  if (count > 1) frames.push_back(1);
+  if (count > 4) frames.push_back(count / 2);
+  if (count > 2) frames.push_back(count - 1);
+  return frames;
+}
+
+bool bit_identical(const Scene& a, const Scene& b) {
+  if (a.triangle_count() != b.triangle_count()) return false;
+  if (a.triangle_count() == 0) return true;
+  return std::memcmp(a.triangles().data(), b.triangles().data(),
+                     a.triangle_count() * sizeof(Triangle)) == 0;
+}
+
+class DynamicSceneDeterminism
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DynamicSceneDeterminism, FramesAreBitIdenticalAcrossInstances) {
+  const float detail = kdtune_ci_small() ? 0.05f : 0.1f;
+  const auto gen_a = make_scene(GetParam(), detail);
+  const auto gen_b = make_scene(GetParam(), detail);  // independent instance
+  for (const std::size_t i : sample_frames(gen_a->frame_count())) {
+    const Scene ref = gen_a->frame(i);
+    EXPECT_TRUE(bit_identical(ref, gen_a->frame(i)))
+        << GetParam() << " frame " << i << " differs between calls";
+    EXPECT_TRUE(bit_identical(ref, gen_b->frame(i)))
+        << GetParam() << " frame " << i << " differs between instances";
+  }
+}
+
+TEST_P(DynamicSceneDeterminism, FramesAreBitIdenticalAcrossThreads) {
+  const float detail = kdtune_ci_small() ? 0.05f : 0.1f;
+  const auto gen = make_scene(GetParam(), detail);
+  const std::size_t frame = gen->frame_count() / 2;
+  const Scene ref = gen->frame(frame);
+
+  constexpr int kThreads = 4;
+  std::vector<Scene> produced(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&gen, &produced, frame, t] { produced[t] = gen->frame(frame); });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(bit_identical(ref, produced[t]))
+        << GetParam() << " frame " << frame << " differs on thread " << t;
+  }
+}
+
+TEST_P(DynamicSceneDeterminism, GeometryActuallyChangesBetweenFrames) {
+  const float detail = kdtune_ci_small() ? 0.05f : 0.1f;
+  const auto gen = make_scene(GetParam(), detail);
+  ASSERT_GT(gen->frame_count(), 1u);
+  EXPECT_TRUE(gen->dynamic());
+  EXPECT_FALSE(bit_identical(gen->frame(0), gen->frame(1)))
+      << GetParam() << " frames 0 and 1 are identical — not dynamic?";
+}
+
+INSTANTIATE_TEST_SUITE_P(Dynamic, DynamicSceneDeterminism,
+                         ::testing::ValuesIn(dynamic_scene_ids()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '_') c = 'X';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace kdtune

@@ -139,6 +139,87 @@ TEST(SceneRegistry, ConfigValuesRoundTrip) {
                std::invalid_argument);
 }
 
+TEST(SceneRegistry, StageBuildsWithoutPublishing) {
+  ThreadPool pool(2);
+  SceneRegistry registry(pool);
+  const auto v1 = registry.admit("soup", soup_scene(150, 20));
+
+  // Unknown names stage nothing.
+  EXPECT_FALSE(registry.stage("nope", soup_scene(10, 21)).valid());
+
+  auto staged = registry.stage("soup", soup_scene(180, 22));
+  ASSERT_TRUE(staged.valid());
+  EXPECT_EQ(staged.snapshot->triangle_count, 180u);
+  // Nothing published yet: readers still see version 1, no swap counted.
+  EXPECT_EQ(registry.acquire("soup"), v1);
+  EXPECT_EQ(registry.swap_count(), 0u);
+
+  const auto v2 = registry.publish_staged(std::move(staged));
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(v2->version, 2u);
+  EXPECT_EQ(registry.acquire("soup"), v2);
+  EXPECT_EQ(registry.swap_count(), 1u);
+}
+
+TEST(SceneRegistry, StagedConfigAndAlgorithmBecomeEntryDefaults) {
+  ThreadPool pool(2);
+  SceneRegistry registry(pool);
+  registry.admit("soup", soup_scene(150, 23));
+
+  BuildConfig alt = kBaseConfig;
+  alt.ci = 37;
+  auto staged =
+      registry.stage("soup", soup_scene(150, 24), alt, Algorithm::kNested);
+  ASSERT_TRUE(staged.valid());
+  EXPECT_EQ(staged.snapshot->config.ci, 37);
+  EXPECT_EQ(staged.snapshot->algorithm, Algorithm::kNested);
+  registry.publish_staged(std::move(staged));
+
+  // A follow-up stage with nothing overridden inherits the published pair.
+  auto next = registry.stage("soup", soup_scene(150, 25));
+  ASSERT_TRUE(next.valid());
+  EXPECT_EQ(next.snapshot->config.ci, 37);
+  EXPECT_EQ(next.snapshot->algorithm, Algorithm::kNested);
+}
+
+TEST(SceneRegistry, PublishStagedAfterRemoveRetiresUnpublished) {
+  ThreadPool pool(2);
+  SceneRegistry registry(pool);
+  registry.admit("soup", soup_scene(120, 26));
+  auto staged = registry.stage("soup", soup_scene(120, 27));
+  ASSERT_TRUE(staged.valid());
+  EXPECT_TRUE(registry.remove("soup"));
+  EXPECT_EQ(registry.publish_staged(std::move(staged)), nullptr);
+  EXPECT_EQ(registry.swap_count(), 0u);
+}
+
+TEST(SceneRegistry, RecordTunedCanSwitchAlgorithm) {
+  ThreadPool pool(2);
+  ConfigCache cache;
+  SceneRegistry registry(pool);
+  registry.attach_cache(&cache);
+  registry.admit("soup", soup_scene(150, 28));  // default kInPlace
+
+  BuildConfig tuned = kBaseConfig;
+  tuned.ci = 21;
+  tuned.r = 4096;
+  EXPECT_TRUE(
+      registry.record_tuned("soup", tuned, 0.002, Algorithm::kLazy));
+
+  // The cache entry lands under the *winning* algorithm's key.
+  const auto entry = cache.lookup(ConfigCache::key_for(
+      "soup", std::string(to_string(Algorithm::kLazy)), pool.concurrency()));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->values,
+            (std::vector<std::int64_t>{tuned.ci, tuned.cb, tuned.s, 4096}));
+
+  // Future rebuilds use the recorded algorithm and configuration.
+  const auto snap = registry.rebuild("soup");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->algorithm, Algorithm::kLazy);
+  EXPECT_EQ(snap->config.ci, 21);
+}
+
 TEST(SceneRegistry, ConfigCacheWarmStartRoundTrip) {
   ThreadPool pool(2);
   const std::string key =

@@ -1,0 +1,374 @@
+// kdtune_dynamic — demo driver and contract checker for the dynamic-scene
+// frame pipeline (FramePipeline + FrameTuner; see docs/DYNAMIC.md).
+//
+//   kdtune_dynamic [options]         # seeded run over the dynamic scenes
+//   kdtune_dynamic --smoke           # CI-sized run; exit code = checks
+//
+// For each dynamic scene the driver runs the overlapped pipeline as a
+// service: frame N serves a deterministic (seeded) ray workload while frame
+// N+1 builds in the background, with the FrameTuner choosing the build
+// configuration across frames and warm-starting from / recording back to a
+// ConfigCache. At the end it verifies the pipeline contracts:
+//
+//   * oracle parity — for every published frame, closest-hit distances are
+//     bit-identical to a sequential build-then-query of that frame with the
+//     same (algorithm, configuration) on a single thread (hit t values are
+//     exact across builders/layouts; see core/differential.hpp);
+//   * exactly-once publication — registry versions advance by exactly 1 per
+//     frame, frame indices are strictly monotone, and the animation drains
+//     on its final frame;
+//   * with tuning on, the tuner completes iterations and the best
+//     configuration lands in the ConfigCache for the next run.
+//
+// Options:
+//   --scenes=a,b,..  scene ids (default: the three dynamic scenes)
+//   --detail=F       scene detail scale          --threads=N  pool workers
+//   --frames=N       cap frames per scene        --rays=N     rays per frame
+//   --sequential     disable overlap (baseline --no-verify    skip parity
+//                    build-then-query order)
+//   --no-tune        fixed base configuration    --seed=N     workload seed
+//   --target-fps=F   pace frames; late builds carry over
+//   --skip-ahead     with --target-fps: drop frames instead
+//   --json=FILE      write stats + check results as JSON
+//   --smoke          small sizes (smaller still under KDTUNE_CI_SMALL)
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/differential.hpp"
+#include "core/kdtune.hpp"
+
+namespace {
+
+using namespace kdtune;
+
+struct DynamicOptions {
+  std::vector<std::string> scenes;
+  float detail = 0.2f;
+  unsigned threads = 3;
+  std::size_t frames = 40;
+  int rays = 256;
+  bool overlap = true;
+  bool tune = true;
+  bool verify = true;
+  double target_fps = 0.0;
+  bool skip_ahead = false;
+  std::uint64_t seed = 0x5EEDu;
+  std::string json_path;
+  bool smoke = false;
+};
+
+DynamicOptions parse_options(int argc, char** argv) {
+  DynamicOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return arg.compare(0, n, key) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--scenes=")) {
+      o.scenes.clear();
+      std::string item;
+      for (const char* p = v;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          if (!item.empty()) o.scenes.push_back(item);
+          item.clear();
+          if (*p == '\0') break;
+        } else {
+          item.push_back(*p);
+        }
+      }
+    } else if (const char* v = value("--detail=")) {
+      o.detail = std::strtof(v, nullptr);
+    } else if (const char* v = value("--threads=")) {
+      o.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--frames=")) {
+      o.frames = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value("--rays=")) {
+      o.rays = std::atoi(v);
+    } else if (const char* v = value("--target-fps=")) {
+      o.target_fps = std::strtod(v, nullptr);
+    } else if (const char* v = value("--seed=")) {
+      o.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--json=")) {
+      o.json_path = v;
+    } else if (arg == "--sequential") {
+      o.overlap = false;
+    } else if (arg == "--skip-ahead") {
+      o.skip_ahead = true;
+    } else if (arg == "--no-tune") {
+      o.tune = false;
+    } else if (arg == "--no-verify") {
+      o.verify = false;
+    } else if (arg == "--smoke") {
+      o.smoke = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("see the header of tools/kdtune_dynamic.cpp for options\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
+      std::exit(1);
+    }
+  }
+  if (o.scenes.empty()) o.scenes = dynamic_scene_ids();
+  if (o.smoke) {
+    o.detail = kdtune_ci_small() ? 0.06f : 0.1f;
+    o.frames = kdtune_ci_small() ? 6 : 10;
+    o.rays = kdtune_ci_small() ? 48 : 96;
+  }
+  o.frames = std::max<std::size_t>(o.frames, 2);
+  o.rays = std::max(o.rays, 1);
+  return o;
+}
+
+Ray random_ray_into(Rng& rng, const AABB& box) {
+  const Vec3 origin =
+      box.center() + normalized(Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                     rng.uniform(-1, 1)}) *
+                         (length(box.extent()) * 0.8f + 0.5f);
+  const Vec3 target{rng.uniform(box.lo.x, box.hi.x),
+                    rng.uniform(box.lo.y, box.hi.y),
+                    rng.uniform(box.lo.z, box.hi.z)};
+  Vec3 dir = target - origin;
+  if (length(dir) == 0.0f) dir = {1, 0, 0};
+  return Ray(origin, normalized(dir));
+}
+
+/// Caps an animation at `frames` frames without changing its name (the name
+/// keys the registry entry and the ConfigCache).
+std::shared_ptr<const AnimatedScene> capped(
+    std::shared_ptr<const AnimatedScene> anim, std::size_t frames) {
+  const std::size_t count = std::min(frames, anim->frame_count());
+  const std::string name = anim->name();
+  return std::make_shared<ProceduralAnimation>(
+      name, count, [anim](std::size_t i) { return anim->frame(i); });
+}
+
+struct SceneOutcome {
+  std::string scene;
+  std::size_t frames = 0;
+  std::uint64_t frames_published = 0;
+  std::uint64_t frames_skipped = 0;
+  std::uint64_t version_skews = 0;   ///< publishes whose version != prev + 1
+  std::uint64_t order_violations = 0;///< frames not strictly monotone
+  std::uint64_t mismatches = 0;      ///< parity failures vs reference
+  std::uint64_t rays = 0;
+  bool drained_on_last = false;
+  double wall_seconds = 0.0;
+  double total_build_seconds = 0.0;
+  double total_query_seconds = 0.0;
+  std::size_t tuner_iterations = 0;
+  bool cache_recorded = false;
+  Algorithm best_algorithm = Algorithm::kInPlace;
+  BuildConfig best_config{};
+};
+
+SceneOutcome run_scene(const DynamicOptions& o, const std::string& id,
+                       ConfigCache& cache) {
+  ThreadPool pool(o.threads);
+  ThreadPool reference_pool(0);
+  SceneRegistry registry(pool);
+  registry.attach_cache(&cache);
+
+  const auto anim = capped(make_scene(id, o.detail), o.frames);
+  SceneOutcome out;
+  out.scene = id;
+  out.frames = anim->frame_count();
+
+  std::unique_ptr<FrameTuner> tuner;
+  FramePipelineOptions popts;
+  if (o.tune) {
+    tuner = std::make_unique<FrameTuner>();
+    tuner->warm_start(cache, id, pool.concurrency());
+    popts.tuner = tuner.get();
+  }
+  popts.overlap = o.overlap;
+  if (o.target_fps > 0.0) {
+    popts.target_frame_seconds = 1.0 / o.target_fps;
+    popts.lag_policy =
+        o.skip_ahead ? LagPolicy::kSkipAhead : LagPolicy::kCarryOver;
+  }
+  FramePipeline pipeline(anim, registry, popts);
+
+  Rng rng(o.seed ^ std::hash<std::string>{}(id));
+  Stopwatch wall;
+  wall.start();
+  std::uint64_t version = 0;
+  std::size_t last_frame = 0;
+  bool first = true;
+  for (FrameTick tick = pipeline.begin(); tick.published;) {
+    if (first) {
+      version = tick.version;
+      last_frame = tick.frame;
+      first = false;
+    } else {
+      if (tick.version != version + 1) ++out.version_skews;
+      if (tick.frame <= last_frame) ++out.order_violations;
+      version = tick.version;
+      last_frame = tick.frame;
+    }
+
+    // The frame's query workload: seeded rays against the published tree.
+    const auto snap = registry.acquire(id);
+    const AABB box = snap->tree->bounds();
+    std::vector<Ray> rays(static_cast<std::size_t>(o.rays));
+    for (Ray& ray : rays) ray = random_ray_into(rng, box);
+    Stopwatch query_clock;
+    query_clock.start();
+    std::vector<Hit> hits(rays.size());
+    for (std::size_t r = 0; r < rays.size(); ++r) {
+      hits[r] = snap->tree->closest_hit(rays[r]);
+    }
+    const double query_seconds = query_clock.elapsed();
+    out.rays += rays.size();
+
+    // Oracle parity: sequential build-then-query of the same frame with the
+    // same (algorithm, configuration), single-threaded, fresh tree.
+    if (o.verify) {
+      const Scene frame_scene = anim->frame(tick.frame);
+      const auto reference = make_builder(tick.algorithm)
+                                 ->build(frame_scene.triangles(), tick.config,
+                                         reference_pool);
+      for (std::size_t r = 0; r < rays.size(); ++r) {
+        const Hit expect = reference->closest_hit(rays[r]);
+        if (expect.valid() != hits[r].valid() ||
+            (expect.valid() && expect.t != hits[r].t)) {
+          ++out.mismatches;
+        }
+      }
+    }
+
+    tick = pipeline.advance(query_seconds);
+  }
+  out.wall_seconds = wall.elapsed();
+  out.drained_on_last = pipeline.done() && last_frame == out.frames - 1;
+
+  const FramePipelineStats stats = pipeline.stats();
+  out.frames_published = stats.frames_published;
+  out.frames_skipped = stats.frames_skipped;
+  out.total_build_seconds = stats.total_build_seconds;
+  out.total_query_seconds = stats.total_query_seconds;
+  if (tuner) {
+    out.tuner_iterations = tuner->iterations();
+    out.best_algorithm = tuner->best_algorithm();
+    out.best_config = tuner->best_config();
+    out.cache_recorded =
+        cache
+            .lookup(ConfigCache::key_for(
+                id, std::string(to_string(out.best_algorithm)),
+                pool.concurrency()))
+            .has_value();
+  }
+  return out;
+}
+
+int run(const DynamicOptions& o) {
+  std::printf("dynamic frame pipeline: %zu scene(s), detail %.2f, %zu frames, "
+              "%d rays/frame, %s%s\n",
+              o.scenes.size(), o.detail, o.frames, o.rays,
+              o.overlap ? "overlapped" : "sequential",
+              o.tune ? ", tuned" : ", base config");
+
+  ConfigCache cache;
+  std::vector<SceneOutcome> outcomes;
+  for (const std::string& id : o.scenes) {
+    const SceneOutcome out = run_scene(o, id, cache);
+    std::printf(
+        "  %-14s %3llu frames in %6.2f s (%5.1f fps), build %6.1f ms, "
+        "query %6.1f ms, %llu rays%s",
+        out.scene.c_str(),
+        static_cast<unsigned long long>(out.frames_published),
+        out.wall_seconds,
+        static_cast<double>(out.frames_published) / out.wall_seconds,
+        out.total_build_seconds * 1e3, out.total_query_seconds * 1e3,
+        static_cast<unsigned long long>(out.rays),
+        o.verify ? "" : " (parity off)");
+    if (o.tune) {
+      std::printf(", tuner %zu iters -> %s CI=%lld CB=%lld S=%lld",
+                  out.tuner_iterations,
+                  std::string(to_string(out.best_algorithm)).c_str(),
+                  static_cast<long long>(out.best_config.ci),
+                  static_cast<long long>(out.best_config.cb),
+                  static_cast<long long>(out.best_config.s));
+    }
+    std::printf("\n");
+    outcomes.push_back(out);
+  }
+
+  // --- Checks (the pipeline contracts; exit code for CI) -------------------
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+  std::printf("checks:\n");
+  bool parity = true, exactly_once = true, monotone = true, drained = true;
+  bool published_all = true, tuned = true, recorded = true;
+  for (const SceneOutcome& out : outcomes) {
+    parity &= out.mismatches == 0;
+    exactly_once &= out.version_skews == 0;
+    monotone &= out.order_violations == 0;
+    drained &= out.drained_on_last;
+    if (o.target_fps <= 0.0) {
+      published_all &= out.frames_published == out.frames;
+    }
+    tuned &= out.tuner_iterations > 0;
+    recorded &= out.cache_recorded;
+  }
+  if (o.verify) {
+    check(parity, "oracle parity: hits bit-identical to sequential "
+                  "build-then-query of every frame");
+  }
+  check(exactly_once, "exactly-once: registry versions advance by 1 per frame");
+  check(monotone, "frame indices strictly monotone");
+  check(drained, "animation drains on its final frame");
+  if (o.target_fps <= 0.0) {
+    check(published_all, "unpaced: every animation frame published");
+  }
+  if (o.tune) {
+    check(tuned, "tuner completed iterations on every scene");
+    check(recorded, "best configuration recorded to the ConfigCache");
+  }
+
+  if (!o.json_path.empty()) {
+    std::FILE* out = std::fopen(o.json_path.c_str(), "w");
+    if (out != nullptr) {
+      std::fprintf(out, "{\n\"failures\": %d,\n\"scenes\": [\n", failures);
+      for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const SceneOutcome& s = outcomes[i];
+        std::fprintf(
+            out,
+            "  {\"scene\": \"%s\", \"frames\": %llu, \"skipped\": %llu, "
+            "\"wall_seconds\": %.4f, \"build_seconds\": %.4f, "
+            "\"query_seconds\": %.4f, \"mismatches\": %llu, "
+            "\"tuner_iterations\": %zu}%s\n",
+            s.scene.c_str(),
+            static_cast<unsigned long long>(s.frames_published),
+            static_cast<unsigned long long>(s.frames_skipped), s.wall_seconds,
+            s.total_build_seconds, s.total_query_seconds,
+            static_cast<unsigned long long>(s.mismatches), s.tuner_iterations,
+            i + 1 < outcomes.size() ? "," : "");
+      }
+      std::fprintf(out, "]}\n");
+      std::fclose(out);
+      std::printf("wrote %s\n", o.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", o.json_path.c_str());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_options(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
