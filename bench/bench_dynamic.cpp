@@ -203,6 +203,21 @@ RunResult run_pipeline(const DynamicBenchOptions& o, int rays,
   return out;
 }
 
+/// Disabled-tracing overhead: with the recorder off a TraceSpan must cost a
+/// single predictable branch (one relaxed atomic load), i.e. nothing at frame
+/// scale. Measured here so a regression that makes "tracing compiled in but
+/// off" expensive fails the bench run instead of silently taxing every build.
+double measure_disabled_span_ns() {
+  TraceRecorder::instance().set_enabled(false);
+  constexpr int kSpans = 2'000'000;
+  Stopwatch clock;
+  clock.start();
+  for (int i = 0; i < kSpans; ++i) {
+    TraceSpan span("bench.noop", "bench");
+  }
+  return clock.elapsed() / kSpans * 1e9;
+}
+
 /// Best of `o.reps` timed passes (by wall clock). Per-frame costs on these
 /// scenes sit in the low-millisecond range, where a single pass is at the
 /// mercy of scheduler noise; the minimum is the standard estimator for the
@@ -305,10 +320,20 @@ int main(int argc, char** argv) {
   // Hardware context matters for reading the overlap column: with a single
   // CPU there is no spare core to hide the build on, so ~1.0 is the expected
   // (and correct) result there.
+  // Threshold is deliberately loose (the real cost is ~1 ns): this asserts
+  // "no measurable regression", not a microbenchmark number, and must not
+  // flake on loaded CI machines.
+  const double disabled_ns = measure_disabled_span_ns();
+  constexpr double kMaxDisabledNs = 1000.0;
+  std::printf("disabled TraceSpan: %.2f ns/span (limit %.0f)\n", disabled_ns,
+              kMaxDisabledNs);
+
   std::fprintf(out,
                "{\"cpus\": %u, \"workers\": %u, \"reps\": %zu,\n"
+               " \"trace\": {\"disabled_ns_per_span\": %.3f},\n"
                " \"scenes\": [\n",
-               std::thread::hardware_concurrency(), o.threads, o.reps);
+               std::thread::hardware_concurrency(), o.threads, o.reps,
+               disabled_ns);
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     const auto emit = [out](const char* key, const RunResult& rr,
@@ -337,5 +362,12 @@ int main(int argc, char** argv) {
   std::fprintf(out, "]}\n");
   std::fclose(out);
   std::printf("\nwrote %s (%zu scenes)\n", o.json_path.c_str(), rows.size());
+  if (disabled_ns > kMaxDisabledNs) {
+    std::fprintf(stderr,
+                 "FAIL: disabled TraceSpan costs %.1f ns (> %.0f ns): "
+                 "tracing is no longer free when off\n",
+                 disabled_ns, kMaxDisabledNs);
+    return 1;
+  }
   return 0;
 }

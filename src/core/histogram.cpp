@@ -92,8 +92,15 @@ std::uint64_t LogHistogram::quantile(double q) const noexcept {
           c <= 1 ? 0.0
                  : static_cast<double>(rank - seen - 1) /
                        static_cast<double>(c - 1);
-      const double width = static_cast<double>(hi - lo);
-      std::uint64_t v = lo + static_cast<std::uint64_t>(width * frac);
+      // Compute the offset in uint64 and cap it at the bucket span: the
+      // span as a double rounds *up* for the top octaves (e.g. the last
+      // bucket spans 2^61 - 1 but rounds to 2^61), so `lo + offset` could
+      // wrap past UINT64_MAX and collapse a top-bucket quantile to min().
+      const std::uint64_t span = hi - lo;
+      std::uint64_t offset =
+          static_cast<std::uint64_t>(static_cast<double>(span) * frac);
+      if (offset > span) offset = span;
+      const std::uint64_t v = lo + offset;
       return std::clamp(v, min(), max());
     }
     seen += c;

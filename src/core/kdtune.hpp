@@ -36,6 +36,8 @@
 #include "kdtree/serialize.hpp"
 #include "kdtree/tree.hpp"
 #include "kdtree/validate.hpp"
+#include "obs/trace.hpp"             // run-wide tracing (Chrome trace JSON)
+#include "obs/tuner_log.hpp"         // per-iteration tuner decision log
 #include "dynamic/frame_pipeline.hpp"  // overlapped rebuild/query frame loop
 #include "dynamic/frame_tuner.hpp"     // cross-frame autotuning + selection
 #include "parallel/parallel_for.hpp"

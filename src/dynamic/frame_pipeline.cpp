@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "tuning/measurement.hpp"
 
 namespace kdtune {
@@ -53,6 +54,7 @@ FrameTuner::Trial FramePipeline::next_trial() {
 FrameTick FramePipeline::begin() {
   if (began_) throw std::logic_error("FramePipeline::begin: called twice");
   began_ = true;
+  TraceSpan span("frame.begin", "frame");
 
   AdmitOptions admit;
   admit.compact = opts_.compact;
@@ -110,6 +112,10 @@ void FramePipeline::launch_build(std::size_t frame) {
   inflight.staged = promise->get_future();
   registry_.pool().submit([this, frame, config, algorithm, promise] {
     try {
+      // This span is what makes the build-overlap visible in a trace: it
+      // sits on a pool worker's track while frame.boundary spans run on
+      // the driver thread.
+      TraceSpan span("frame.build", "frame");
       promise->set_value(
           registry_.stage(name_, scene_->frame(frame), config, algorithm));
     } catch (...) {
@@ -121,6 +127,7 @@ void FramePipeline::launch_build(std::size_t frame) {
 
 SceneRegistry::StagedSnapshot FramePipeline::wait_for_staged(
     double* wait_seconds) {
+  TraceSpan span("frame.wait_build", "frame");
   Stopwatch clock;
   clock.start();
   std::future<SceneRegistry::StagedSnapshot>& fut = inflight_->staged;
@@ -156,6 +163,7 @@ FrameTick FramePipeline::advance(double query_seconds) {
     serving_probe_ = false;
   }
 
+  TraceSpan boundary_span("frame.boundary", "frame");
   if (drained_ && !inflight_.has_value()) {
     record_best();
     FrameTick tick;
@@ -203,6 +211,8 @@ FrameTick FramePipeline::advance(double query_seconds) {
     if (now > deadline_) lag_seconds = to_seconds(now - deadline_);
   }
 
+  trace_instant("frame.publish", "frame");
+  trace_counter("frame.lag_ms", lag_seconds * 1e3, "frame");
   const auto snap = registry_.publish_staged(std::move(staged));
   if (!snap) {
     throw std::runtime_error("FramePipeline: scene removed while staged");

@@ -3,6 +3,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+#include "obs/tuner_log.hpp"
+
 namespace kdtune {
 
 FrameTuner::FrameTuner(FrameTunerOptions opts) : opts_(std::move(opts)) {
@@ -79,6 +82,12 @@ FrameTuner::Trial FrameTuner::next_trial() {
   return trial;
 }
 
+void FrameTuner::set_log(TunerLog* log) {
+  for (Candidate& c : candidates_) {
+    c.tuner->set_log(log, "frame:" + std::string(to_string(c.algorithm)));
+  }
+}
+
 void FrameTuner::frame_retired(bool probe, double build_seconds,
                                double query_seconds) {
   if (!probe) return;
@@ -90,6 +99,7 @@ void FrameTuner::frame_retired(bool probe, double build_seconds,
   // record() reports the measurement for the applied proposal and applies the
   // next one into c.config (fig. 4's "apply new configuration" on Stop()).
   c.tuner->record(build_seconds + opts_.query_weight * query_seconds);
+  trace_instant("frame.probe_retired", "tuner");
   probe_outstanding_ = false;
   ++iterations_;
   ++c.probe_frames;

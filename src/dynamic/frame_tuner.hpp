@@ -97,6 +97,10 @@ class FrameTuner {
   const Tuner& tuner(Algorithm a) const;
   double query_weight() const noexcept { return opts_.query_weight; }
 
+  /// Attaches `log` to every candidate tuner (stream names
+  /// "frame:<algorithm>"). The log must outlive this FrameTuner.
+  void set_log(TunerLog* log);
+
  private:
   struct Candidate {
     Algorithm algorithm = Algorithm::kInPlace;

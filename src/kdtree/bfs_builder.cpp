@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/parallel_reduce.hpp"
 
@@ -58,6 +59,7 @@ class BfsBuild {
         bin_count_(std::clamp(config.bin_count, 4, BinSet::kMaxBins)) {}
 
   BfsResult run() {
+    TraceSpan build_span("build.bfs", "build");
     BfsResult out;
     std::vector<PrimRef> refs = make_prim_refs(tris_);
     out.bounds = bounds_of_refs(refs);
@@ -77,65 +79,76 @@ class BfsBuild {
         {0, out.bounds, 0, current.tri.size(), 0}};
 
     while (!active.empty()) {
+      trace_counter("bfs.active_nodes", static_cast<double>(active.size()),
+                    "build");
       // Phase A: per-node plane selection + exact child counts (parallel
       // across nodes; across primitives inside wide nodes).
       std::vector<Decision> decisions(active.size());
-      parallel_for(pool_, 0, active.size(), 1, [&](std::size_t i) {
-        decisions[i] = decide(active[i], current);
-      });
+      {
+        TraceSpan span("bfs.split", "build");
+        parallel_for(pool_, 0, active.size(), 1, [&](std::size_t i) {
+          decisions[i] = decide(active[i], current);
+        });
+      }
 
       // Phase B (sequential, cheap): emit leaves, allocate children and the
       // next level's instance ranges.
-      std::vector<ActiveNode> next_active;
-      LevelArrays next;
-      std::size_t next_total = 0;
-      for (std::size_t i = 0; i < active.size(); ++i) {
-        if (decisions[i].action == Action::kSplit) {
-          next_total += decisions[i].nl + decisions[i].nr;
-        }
-      }
-      next.tri.resize(next_total);
-      next.box.resize(next_total);
-
       struct Scatter {
         std::size_t active_index;
         std::size_t l_first, r_first;
       };
+      std::vector<ActiveNode> next_active;
+      LevelArrays next;
       std::vector<Scatter> scatters;
-      std::size_t offset = 0;
-
-      for (std::size_t i = 0; i < active.size(); ++i) {
-        const ActiveNode& an = active[i];
-        const Decision& d = decisions[i];
-        if (d.action != Action::kSplit) {
-          emit_leaf(out, an, current, d.action == Action::kDefer);
-          continue;
+      {
+        TraceSpan span("bfs.emit", "build");
+        std::size_t next_total = 0;
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          if (decisions[i].action == Action::kSplit) {
+            next_total += decisions[i].nl + decisions[i].nr;
+          }
         }
+        next.tri.resize(next_total);
+        next.box.resize(next_total);
 
-        const auto [lbox, rbox] = an.box.split(d.split.axis, d.split.position);
-        const auto left_node =
-            static_cast<std::uint32_t>(out.tree.nodes.size());
-        out.tree.nodes.emplace_back();
-        const auto right_node =
-            static_cast<std::uint32_t>(out.tree.nodes.size());
-        out.tree.nodes.emplace_back();
-        out.tree.nodes[an.node] = KdNode::make_interior(
-            d.split.axis, d.split.position, left_node, right_node);
+        std::size_t offset = 0;
+        for (std::size_t i = 0; i < active.size(); ++i) {
+          const ActiveNode& an = active[i];
+          const Decision& d = decisions[i];
+          if (d.action != Action::kSplit) {
+            emit_leaf(out, an, current, d.action == Action::kDefer);
+            continue;
+          }
 
-        scatters.push_back({i, offset, offset + d.nl});
-        next_active.push_back({left_node, lbox, offset, d.nl, an.depth + 1});
-        next_active.push_back(
-            {right_node, rbox, offset + d.nl, d.nr, an.depth + 1});
-        offset += d.nl + d.nr;
+          const auto [lbox, rbox] =
+              an.box.split(d.split.axis, d.split.position);
+          const auto left_node =
+              static_cast<std::uint32_t>(out.tree.nodes.size());
+          out.tree.nodes.emplace_back();
+          const auto right_node =
+              static_cast<std::uint32_t>(out.tree.nodes.size());
+          out.tree.nodes.emplace_back();
+          out.tree.nodes[an.node] = KdNode::make_interior(
+              d.split.axis, d.split.position, left_node, right_node);
+
+          scatters.push_back({i, offset, offset + d.nl});
+          next_active.push_back({left_node, lbox, offset, d.nl, an.depth + 1});
+          next_active.push_back(
+              {right_node, rbox, offset + d.nl, d.nr, an.depth + 1});
+          offset += d.nl + d.nr;
+        }
       }
 
       // Phase C: scatter instances into the children's ranges (parallel
       // across nodes; atomic cursors inside wide nodes).
-      parallel_for(pool_, 0, scatters.size(), 1, [&](std::size_t s) {
-        const Scatter& sc = scatters[s];
-        scatter(active[sc.active_index], decisions[sc.active_index], current,
-                next, sc.l_first, sc.r_first);
-      });
+      {
+        TraceSpan span("bfs.scatter", "build");
+        parallel_for(pool_, 0, scatters.size(), 1, [&](std::size_t s) {
+          const Scatter& sc = scatters[s];
+          scatter(active[sc.active_index], decisions[sc.active_index], current,
+                  next, sc.l_first, sc.r_first);
+        });
+      }
 
       // Children that came out empty are finalized as empty leaves here
       // (they never need another level).

@@ -17,6 +17,7 @@
 #include <cstring>
 
 #include "kdtree/recursive_builder.hpp"
+#include "obs/trace.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/parallel_reduce.hpp"
 #include "parallel/parallel_scan.hpp"
@@ -52,42 +53,52 @@ class NestedSplitStrategy final : public SplitStrategy {
       // record (two slots; planar prims leave the second slot as a
       // sentinel), so slots are computed without synchronization and
       // sentinels are compacted afterwards.
-      events.assign(prims.size() * 2,
-                    SahEvent{0.0f, 0xFFFFFFFFu, SahEvent::kStart});
-      parallel_for(pool, 0, prims.size(), 1024, [&](std::size_t i) {
-        const float lo = prims[i].bounds.lo[axis];
-        const float hi = prims[i].bounds.hi[axis];
-        const auto prim = static_cast<std::uint32_t>(i);
-        if (lo == hi) {
-          events[2 * i] = {lo, prim, SahEvent::kPlanar};
-        } else {
-          events[2 * i] = {lo, prim, SahEvent::kStart};
-          events[2 * i + 1] = {hi, prim, SahEvent::kEnd};
-        }
-      });
-      std::erase_if(events, [](const SahEvent& e) { return e.prim == 0xFFFFFFFFu; });
+      {
+        TraceSpan span("nested.events", "build");
+        events.assign(prims.size() * 2,
+                      SahEvent{0.0f, 0xFFFFFFFFu, SahEvent::kStart});
+        parallel_for(pool, 0, prims.size(), 1024, [&](std::size_t i) {
+          const float lo = prims[i].bounds.lo[axis];
+          const float hi = prims[i].bounds.hi[axis];
+          const auto prim = static_cast<std::uint32_t>(i);
+          if (lo == hi) {
+            events[2 * i] = {lo, prim, SahEvent::kPlanar};
+          } else {
+            events[2 * i] = {lo, prim, SahEvent::kStart};
+            events[2 * i + 1] = {hi, prim, SahEvent::kEnd};
+          }
+        });
+        std::erase_if(events,
+                      [](const SahEvent& e) { return e.prim == 0xFFFFFFFFu; });
+      }
 
       // (2) Parallel sort.
-      parallel_sort(pool, std::span<SahEvent>(events));
+      {
+        TraceSpan span("nested.sort", "build");
+        parallel_sort(pool, std::span<SahEvent>(events));
+      }
 
       const std::size_t n = events.size();
 
       // (3) Chunked prefix sums of the per-type indicators give, for every
       // event index i, the number of starts/ends/planars strictly before i.
-      is_start.resize(n);
-      is_end.resize(n);
-      is_planar.resize(n);
-      parallel_for(pool, 0, n, 4096, [&](std::size_t i) {
-        is_start[i] = events[i].type == SahEvent::kStart;
-        is_end[i] = events[i].type == SahEvent::kEnd;
-        is_planar[i] = events[i].type == SahEvent::kPlanar;
-      });
-      pre_start.resize(n);
-      pre_end.resize(n);
-      pre_planar.resize(n);
-      parallel_exclusive_scan<std::uint32_t>(pool, is_start, pre_start);
-      parallel_exclusive_scan<std::uint32_t>(pool, is_end, pre_end);
-      parallel_exclusive_scan<std::uint32_t>(pool, is_planar, pre_planar);
+      {
+        TraceSpan span("nested.scan", "build");
+        is_start.resize(n);
+        is_end.resize(n);
+        is_planar.resize(n);
+        parallel_for(pool, 0, n, 4096, [&](std::size_t i) {
+          is_start[i] = events[i].type == SahEvent::kStart;
+          is_end[i] = events[i].type == SahEvent::kEnd;
+          is_planar[i] = events[i].type == SahEvent::kPlanar;
+        });
+        pre_start.resize(n);
+        pre_end.resize(n);
+        pre_planar.resize(n);
+        parallel_exclusive_scan<std::uint32_t>(pool, is_start, pre_start);
+        parallel_exclusive_scan<std::uint32_t>(pool, is_end, pre_end);
+        parallel_exclusive_scan<std::uint32_t>(pool, is_planar, pre_planar);
+      }
 
       const std::size_t nb = prims.size();
 
@@ -96,6 +107,7 @@ class NestedSplitStrategy final : public SplitStrategy {
       // gathered by a short forward scan (groups are contiguous and sorted
       // End < Planar < Start, and the scan may safely cross chunk borders —
       // it only reads).
+      TraceSpan select_span("nested.select", "build");
       const SplitCandidate axis_best = parallel_reduce<SplitCandidate>(
           pool, 0, n, 4096, SplitCandidate{},
           [&](std::size_t b, std::size_t e) {
@@ -149,18 +161,25 @@ class NestedSplitStrategy final : public SplitStrategy {
     const std::size_t n = prims.size();
     // (5a) Parallel classification into per-primitive child indicators.
     std::vector<std::uint32_t> go_left(n), go_right(n);
-    parallel_for(pool, 0, n, 2048, [&](std::size_t i) {
-      const Side side = classify(prims[i], split);
-      go_left[i] = side != Side::kRight;
-      go_right[i] = side != Side::kLeft;
-    });
+    {
+      TraceSpan span("nested.classify", "build");
+      parallel_for(pool, 0, n, 2048, [&](std::size_t i) {
+        const Side side = classify(prims[i], split);
+        go_left[i] = side != Side::kRight;
+        go_right[i] = side != Side::kLeft;
+      });
+    }
 
     // (5b) Prefix sums turn the indicators into stable output slots.
     std::vector<std::uint32_t> off_left(n), off_right(n);
-    const std::uint32_t total_left =
-        parallel_exclusive_scan_total<std::uint32_t>(pool, go_left, off_left);
-    const std::uint32_t total_right =
-        parallel_exclusive_scan_total<std::uint32_t>(pool, go_right, off_right);
+    std::uint32_t total_left = 0, total_right = 0;
+    {
+      TraceSpan span("nested.offsets", "build");
+      total_left =
+          parallel_exclusive_scan_total<std::uint32_t>(pool, go_left, off_left);
+      total_right = parallel_exclusive_scan_total<std::uint32_t>(pool, go_right,
+                                                                 off_right);
+    }
 
     left.assign(total_left, PrimRef{});
     right.assign(total_right, PrimRef{});
@@ -169,6 +188,7 @@ class NestedSplitStrategy final : public SplitStrategy {
     // boxes (perfect splits); a clip that comes up empty leaves a sentinel
     // dropped in the sequential compaction below (rare: grazing contact).
     constexpr std::uint32_t kDrop = 0xFFFFFFFFu;
+    TraceSpan scatter_span("nested.scatter", "build");
     parallel_for(pool, 0, n, 2048, [&](std::size_t i) {
       const Side side = classify(prims[i], split);
       if (side == Side::kBoth) {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace kdtune {
 
 SplitCandidate SplitStrategy::find_best_split(const SahParams& sah,
@@ -91,6 +93,7 @@ std::unique_ptr<KdTree> recursive_build_tree(std::span<const Triangle> tris,
                                              const BuildConfig& config,
                                              ThreadPool& pool, int task_depth,
                                              const SplitStrategy& strategy) {
+  TraceSpan build_span("build.recursive", "build");
   std::vector<PrimRef> refs = make_prim_refs(tris);
   const AABB bounds = bounds_of_refs(refs);
 

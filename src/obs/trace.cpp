@@ -1,0 +1,217 @@
+#include "obs/trace.hpp"
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+namespace kdtune {
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Names and categories are string literals at every call site, so the
+// escaping here is belt-and-braces for the JSON grammar, not a general
+// string escaper.
+void append_json_string(std::string& out, const char* s) {
+  out.push_back('"');
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+// Per-thread event storage. Chunked so that growth never moves events
+// already written: a writer appends lock-free into the current chunk and
+// takes `growth_mutex` only to push a new chunk pointer (once per
+// kChunkEvents events). `count` is the publication point — the writer
+// release-stores it after the event payload is fully written, and readers
+// acquire-load it before touching events, so a snapshot taken mid-run
+// sees a consistent prefix.
+//
+// Single-writer invariant: only the owning thread appends. Readers
+// (snapshot/to_json/event_count) take `growth_mutex` so chunk-vector
+// growth cannot reallocate under their feet; the writer's unlocked reads
+// of `chunks` are safe because the writer itself is the only mutator.
+struct TraceRecorder::Buffer {
+  static constexpr std::size_t kChunkEvents = 4096;
+  struct Chunk {
+    std::array<Event, kChunkEvents> events;
+  };
+
+  mutable std::mutex growth_mutex;
+  std::vector<std::unique_ptr<Chunk>> chunks;
+  std::atomic<std::size_t> count{0};
+  int tid = 0;
+
+  void push(const Event& event) {
+    const std::size_t n = count.load(std::memory_order_relaxed);
+    const std::size_t chunk_index = n / kChunkEvents;
+    if (chunk_index == chunks.size()) {
+      std::lock_guard<std::mutex> lock(growth_mutex);
+      chunks.push_back(std::make_unique<Chunk>());
+    }
+    chunks[chunk_index]->events[n % kChunkEvents] = event;
+    count.store(n + 1, std::memory_order_release);
+  }
+
+  std::vector<Event> copy_events() const {
+    std::lock_guard<std::mutex> lock(growth_mutex);
+    const std::size_t n = count.load(std::memory_order_acquire);
+    std::vector<Event> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(chunks[i / kChunkEvents]->events[i % kChunkEvents]);
+    }
+    return out;
+  }
+};
+
+TraceRecorder::TraceRecorder() : epoch_ns_(steady_now_ns()) {}
+
+TraceRecorder& TraceRecorder::instance() noexcept {
+  // Leaked on purpose: pool workers (including ThreadPool::global()'s)
+  // may record during static destruction; a destroyed recorder would be
+  // a use-after-free ordering lottery.
+  static TraceRecorder* const recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::Buffer& TraceRecorder::register_thread() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  auto* buffer = new Buffer();  // immortal, owned by buffers_
+  buffer->tid = static_cast<int>(buffers_.size()) + 1;
+  buffers_.push_back(buffer);
+  return *buffer;
+}
+
+TraceRecorder::Buffer& TraceRecorder::local_buffer() {
+  // One registration per thread per process; the cached pointer stays
+  // valid forever because buffers are never freed.
+  thread_local Buffer* cached = nullptr;
+  if (cached == nullptr) {
+    cached = &register_thread();
+  }
+  return *cached;
+}
+
+void TraceRecorder::record(Phase phase, const char* name, const char* cat,
+                           double value) {
+  Event event;
+  event.ts_ns = steady_now_ns() - epoch_ns_;
+  event.name = name;
+  event.cat = cat;
+  event.value = value;
+  event.phase = phase;
+  local_buffer().push(event);
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::size_t total = 0;
+  for (const Buffer* buffer : buffers_) {
+    total += buffer->count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::vector<std::pair<int, std::vector<TraceRecorder::Event>>>
+TraceRecorder::snapshot() const {
+  std::vector<Buffer*> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    buffers = buffers_;
+  }
+  std::vector<std::pair<int, std::vector<Event>>> out;
+  out.reserve(buffers.size());
+  for (const Buffer* buffer : buffers) {
+    out.emplace_back(buffer->tid, buffer->copy_events());
+  }
+  return out;
+}
+
+std::string TraceRecorder::to_json() const {
+  const auto threads = snapshot();
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char buf[96];
+  for (const auto& [tid, events] : threads) {
+    for (const Event& event : events) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += "{\"ph\":\"";
+      switch (event.phase) {
+        case Phase::kBegin:
+          out.push_back('B');
+          break;
+        case Phase::kEnd:
+          out.push_back('E');
+          break;
+        case Phase::kInstant:
+          out += "i\",\"s\":\"t";  // instant scoped to its thread
+          break;
+        case Phase::kCounter:
+          out.push_back('C');
+          break;
+      }
+      out.push_back('"');
+      if (event.name != nullptr) {
+        out += ",\"name\":";
+        append_json_string(out, event.name);
+      }
+      if (event.cat != nullptr) {
+        out += ",\"cat\":";
+        append_json_string(out, event.cat);
+      }
+      // Chrome trace timestamps are microseconds; keep ns resolution
+      // via the fractional part.
+      std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"pid\":1,\"tid\":%d",
+                    static_cast<double>(event.ts_ns) / 1000.0, tid);
+      out += buf;
+      if (event.phase == Phase::kCounter) {
+        std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%.17g}",
+                      event.value);
+        out += buf;
+      }
+      out.push_back('}');
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+bool TraceRecorder::write_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+void TraceRecorder::reset() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (Buffer* buffer : buffers_) {
+    std::lock_guard<std::mutex> growth(buffer->growth_mutex);
+    buffer->count.store(0, std::memory_order_release);
+  }
+}
+
+}  // namespace kdtune

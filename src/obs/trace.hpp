@@ -1,0 +1,153 @@
+#pragma once
+
+// Run-wide tracing: a low-overhead recorder every layer reports into.
+//
+// The design goal is that instrumentation can stay compiled into release
+// builds permanently:
+//
+//   * Disabled (the default): each probe is one relaxed atomic load and a
+//     predictable branch — no allocation, no lock, no clock read.
+//   * Enabled: ~20 ns per event.  Each thread appends to its own chunked
+//     buffer; the only lock a writer ever takes is on chunk allocation
+//     (once per 4096 events).  No event is ever dropped or overwritten.
+//
+// Events are the four Chrome trace-event phases the tooling needs:
+//
+//   TraceSpan span("build.bfs", "build");   // B/E duration pair (RAII)
+//   trace_instant("frame.publish", "frame"); // i: a point in time
+//   trace_counter("pool.queue_depth", n, "pool"); // C: a sampled value
+//
+// `TraceRecorder::write_json()` exports the whole run as Chrome
+// trace-event JSON, loadable in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing.  See docs/OBSERVABILITY.md for the span taxonomy.
+//
+// Constraints (checked in debug, documented here for release):
+//
+//   * `name` and `cat` must point to static-storage strings (string
+//     literals at every call site).  The recorder stores the pointers.
+//   * `reset()` and `set_enabled(false)` are safe at any time, but spans
+//     that are open across a reset() lose their B event; call reset()
+//     only from quiescent points (tests do).
+//   * The recorder singleton is intentionally leaked so worker threads
+//     that outlive main()'s locals can still touch their buffers during
+//     static destruction.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kdtune {
+
+class TraceRecorder {
+ public:
+  /// Chrome trace-event phases: duration begin/end, instant, counter.
+  enum class Phase : std::uint8_t { kBegin, kEnd, kInstant, kCounter };
+
+  struct Event {
+    std::int64_t ts_ns = 0;      ///< nanoseconds since the recorder epoch
+    const char* name = nullptr;  ///< static storage (string literal)
+    const char* cat = nullptr;   ///< static storage (string literal)
+    double value = 0.0;          ///< counter payload (kCounter only)
+    Phase phase = Phase::kInstant;
+  };
+
+  /// The process-wide recorder. First call constructs it; never destroyed.
+  static TraceRecorder& instance() noexcept;
+
+  /// One relaxed load — the entire cost of a probe when tracing is off.
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Appends one event to the calling thread's buffer. Callers should
+  /// check enabled() first (TraceSpan / the free helpers do).
+  void record(Phase phase, const char* name, const char* cat,
+              double value = 0.0);
+
+  /// Total events recorded across all threads (acquire-snapshot).
+  std::size_t event_count() const;
+
+  /// Copies out every thread's events as (tid, events) pairs, in thread
+  /// registration order. Events within a thread are in record order.
+  std::vector<std::pair<int, std::vector<Event>>> snapshot() const;
+
+  /// Serializes the whole run as Chrome trace-event JSON.
+  std::string to_json() const;
+
+  /// Writes to_json() to `path`. Returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  /// Discards all recorded events (buffers keep their capacity). Only
+  /// call from quiescent points: concurrent writers would interleave
+  /// with the clear, and open spans lose their B event.
+  void reset();
+
+ private:
+  struct Buffer;
+
+  TraceRecorder();
+  ~TraceRecorder() = delete;  // immortal by design
+
+  Buffer& local_buffer();
+  Buffer& register_thread();
+
+  std::atomic<bool> enabled_{false};
+  std::int64_t epoch_ns_ = 0;  ///< steady_clock epoch for relative stamps
+
+  mutable std::mutex registry_mutex_;
+  std::vector<Buffer*> buffers_;  ///< owned; never freed (immortal)
+};
+
+/// RAII duration span. Cost when tracing is disabled: one relaxed load
+/// and a branch in the constructor, one branch in the destructor.
+///
+/// The `armed_` flag makes B/E pairing unconditional: once the B event
+/// is written, the destructor writes the E event even if tracing was
+/// disabled in between, so exported traces always balance.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "kd") {
+    TraceRecorder& recorder = TraceRecorder::instance();
+    if (recorder.enabled()) {
+      armed_ = true;
+      recorder.record(TraceRecorder::Phase::kBegin, name, cat);
+    }
+  }
+  ~TraceSpan() {
+    if (armed_) {
+      TraceRecorder::instance().record(TraceRecorder::Phase::kEnd, nullptr,
+                                       nullptr);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool armed_ = false;
+};
+
+/// Marks a point in time (Chrome "i" event).
+inline void trace_instant(const char* name, const char* cat = "kd") {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  if (recorder.enabled()) {
+    recorder.record(TraceRecorder::Phase::kInstant, name, cat);
+  }
+}
+
+/// Samples a value (Chrome "C" event): queue depths, lag, batch sizes.
+inline void trace_counter(const char* name, double value,
+                          const char* cat = "kd") {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  if (recorder.enabled()) {
+    recorder.record(TraceRecorder::Phase::kCounter, name, cat, value);
+  }
+}
+
+}  // namespace kdtune

@@ -1,0 +1,94 @@
+#include "obs/tuner_log.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace kdtune {
+namespace {
+
+// Param names and tuner names come from TunableParameter::name() and the
+// callers' literals; escape the JSON specials anyway so a hostile name
+// cannot produce an unparseable log.
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+bool TunerLog::open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.open(path, std::ios::trunc);
+  records_ = 0;
+  return static_cast<bool>(out_);
+}
+
+bool TunerLog::is_open() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return out_.is_open();
+}
+
+void TunerLog::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (out_.is_open()) out_.close();
+}
+
+void TunerLog::log(const Record& record) {
+  std::string line;
+  line.reserve(160);
+  line += "{\"tuner\":";
+  append_json_string(line, record.tuner);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"iter\":%llu",
+                static_cast<unsigned long long>(record.iteration));
+  line += buf;
+  line += ",\"params\":{";
+  bool first = true;
+  for (const auto& [name, value] : record.params) {
+    if (!first) line.push_back(',');
+    first = false;
+    append_json_string(line, name);
+    std::snprintf(buf, sizeof(buf), ":%lld",
+                  static_cast<long long>(value));
+    line += buf;
+  }
+  line += "},\"seconds\":";
+  if (std::isfinite(record.seconds)) {
+    std::snprintf(buf, sizeof(buf), "%.*g",
+                  std::numeric_limits<double>::max_digits10, record.seconds);
+    line += buf;
+  } else {
+    line += "null";  // JSON has no NaN/Inf
+  }
+  line += ",\"status\":";
+  append_json_string(line, record.status);
+  line += ",\"phase\":";
+  append_json_string(line, record.phase);
+  line += "}\n";
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_.is_open()) return;
+  out_ << line;
+  out_.flush();
+  ++records_;
+}
+
+std::uint64_t TunerLog::records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+}  // namespace kdtune

@@ -1,0 +1,65 @@
+#pragma once
+
+// Tuner decision log: one JSONL line per tuner iteration, in the spirit
+// of Karcher et al. — understanding an online tuner's behaviour requires
+// the full (configuration, measurement, accept/reject) sequence, not
+// just the final winner.
+//
+// Several tuners (core, serve, and every FrameTuner candidate) can share
+// one TunerLog; the `tuner` field names the stream each line belongs to.
+// Writes are mutex-guarded and flushed per line so a crash loses at most
+// the line being written.
+//
+// Line schema (see docs/OBSERVABILITY.md):
+//
+//   {"tuner":"frame:in-place","iter":7,
+//    "params":{"nested_threshold_log2":17,"task_depth":5},
+//    "seconds":1.2345e-02,"status":"accepted","phase":"search"}
+//
+//   status: accepted | rejected | nan-rejected | retune
+//   phase:  search | converged
+//   seconds is written with max_digits10 (bit-exact round-trip); a
+//   non-finite measurement (nan-rejected) is written as null.
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kdtune {
+
+class TunerLog {
+ public:
+  struct Record {
+    std::string tuner;  ///< stream name, e.g. "core", "serve", "frame:bfs"
+    std::uint64_t iteration = 0;
+    std::vector<std::pair<std::string, std::int64_t>> params;
+    double seconds = 0.0;  ///< non-finite values are serialized as null
+    std::string status;    ///< accepted | rejected | nan-rejected | retune
+    std::string phase;     ///< search | converged
+  };
+
+  TunerLog() = default;
+
+  /// Opens (truncating) `path` for appending records. Returns false and
+  /// leaves the log closed on failure.
+  bool open(const std::string& path);
+  bool is_open() const;
+  void close();
+
+  /// Appends one JSONL line and flushes. Thread-safe; a no-op when the
+  /// log is not open.
+  void log(const Record& record);
+
+  /// Number of records written since open().
+  std::uint64_t records() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace kdtune

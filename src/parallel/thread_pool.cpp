@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace kdtune {
 
 ThreadPool::ThreadPool(unsigned num_threads) {
@@ -23,11 +25,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  std::size_t depth;
   {
     std::lock_guard lock(mutex_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
   cv_.notify_one();
+  trace_counter("pool.queue_depth", static_cast<double>(depth), "pool");
 }
 
 bool ThreadPool::try_run_one() {
@@ -38,7 +43,10 @@ bool ThreadPool::try_run_one() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
-  task();
+  {
+    TraceSpan span("pool.help", "pool");  // ran inline by a helping waiter
+    task();
+  }
   return true;
 }
 
@@ -52,7 +60,10 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    {
+      TraceSpan span("pool.task", "pool");
+      task();
+    }
   }
 }
 
@@ -69,6 +80,7 @@ ThreadPool& ThreadPool::global() {
 
 void TaskGroup::execute(std::function<void()> fn) {
   try {
+    TraceSpan span("pool.group_task", "pool");
     fn();
   } catch (...) {
     std::lock_guard lock(err_mutex_);

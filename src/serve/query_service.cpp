@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "kdtree/packet.hpp"
+#include "obs/trace.hpp"
 
 namespace kdtune {
 
@@ -96,6 +97,7 @@ std::future<QueryResponse> QueryService::submit(Request req) {
   const int kind = static_cast<int>(req.kind);
 
   QueryStatus reject = QueryStatus::kOk;
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lk(mutex_);
     if (!accepting_) {
@@ -105,10 +107,12 @@ std::future<QueryResponse> QueryService::submit(Request req) {
     } else {
       counters_[kind].accepted.fetch_add(1, std::memory_order_relaxed);
       queue_.push_back(std::move(req));
+      depth = queue_.size();
     }
   }
   if (reject == QueryStatus::kOk) {
     dispatch_cv_.notify_one();
+    trace_counter("serve.queue_depth", static_cast<double>(depth), "serve");
     return fut;
   }
 
@@ -177,7 +181,10 @@ void QueryService::dispatcher_loop() {
     }
     inflight_requests_ += batch->size();
     ++inflight_batches_;
+    const double inflight_now = static_cast<double>(inflight_batches_);
     lk.unlock();
+    trace_instant("serve.flush", "serve");
+    trace_counter("serve.inflight_batches", inflight_now, "serve");
     if (pool_.worker_count() == 0) {
       // Sequential degradation: no workers to hand the batch to, so the
       // dispatcher thread executes it inline.
@@ -228,6 +235,9 @@ void QueryService::execute(
 }
 
 void QueryService::run_batch(std::vector<Request> batch) {
+  TraceSpan span("serve.batch", "serve");
+  trace_counter("serve.batch_size", static_cast<double>(batch.size()),
+                "serve");
   batch_occupancy_.record(batch.size());
   batches_.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::pair<std::string, std::shared_ptr<const SceneSnapshot>>>
@@ -276,6 +286,7 @@ void QueryService::run_batch(std::vector<Request> batch) {
     dispatch_cv_.notify_one();  // an in-flight slot freed up
     done_cv_.notify_all();      // drain() may be waiting on this batch
   }
+  trace_instant("serve.batch_complete", "serve");
 }
 
 void QueryService::drain() {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "kdtree/compact_tree.hpp"
+#include "obs/trace.hpp"
 #include "tuning/measurement.hpp"
 
 namespace kdtune {
@@ -43,6 +44,7 @@ std::string SceneRegistry::cache_key(const std::string& name,
 std::shared_ptr<SceneSnapshot> SceneRegistry::build_snapshot(
     const std::string& name, const Scene& scene, const AdmitOptions& opts,
     const BuildConfig& config) const {
+  TraceSpan span("registry.build", "serve");
   Stopwatch clock;
   clock.start();
   std::unique_ptr<KdTreeBase> built =
@@ -163,6 +165,7 @@ std::shared_ptr<const SceneSnapshot> SceneRegistry::publish_staged(
   it->second.opts.config = staged.snapshot->config;
   it->second.current = staged.snapshot;
   swaps_.fetch_add(1, std::memory_order_relaxed);
+  trace_instant("registry.publish", "serve");
   return staged.snapshot;
 }
 

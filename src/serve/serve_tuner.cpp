@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/trace.hpp"
+
 namespace kdtune {
 
 namespace {
@@ -52,6 +54,7 @@ void ServeTuner::begin_window() {
   }
   service_.set_serving_params(trial_);
   window_start_completed_ = completed_of(service_);
+  trace_instant("serve.window_begin", "tuner");
   clock_.start();
   window_open_ = true;
 }
@@ -71,7 +74,10 @@ double ServeTuner::end_window() {
     return 0.0;
   }
   tuner_.record(elapsed / static_cast<double>(completed));
-  return static_cast<double>(completed) / std::max(elapsed, 1e-12);
+  const double throughput =
+      static_cast<double>(completed) / std::max(elapsed, 1e-12);
+  trace_counter("serve.window_qps", throughput, "tuner");
+  return throughput;
 }
 
 ServingParams ServeTuner::params_from_values(

@@ -1,7 +1,10 @@
 #include "tuning/config_cache.hpp"
 
+#include <atomic>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -27,6 +30,12 @@ bool ConfigCache::store(const std::string& key,
 }
 
 void ConfigCache::save(std::ostream& out) const {
+  // max_digits10 makes the seconds round-trip bit-exact through stod().
+  // At the default 6-digit precision a reloaded "best" differs from the
+  // in-memory one in the low bits, so store()'s keeps-if-faster
+  // comparison could flip against the very entry it was saved from.
+  const std::streamsize old_precision =
+      out.precision(std::numeric_limits<double>::max_digits10);
   for (const auto& [key, entry] : entries_) {
     out << key << '\t' << entry.seconds << '\t';
     for (std::size_t i = 0; i < entry.values.size(); ++i) {
@@ -35,6 +44,7 @@ void ConfigCache::save(std::ostream& out) const {
     }
     out << '\n';
   }
+  out.precision(old_precision);
 }
 
 void ConfigCache::load(std::istream& in) {
@@ -72,16 +82,64 @@ void ConfigCache::load(std::istream& in) {
 }
 
 void ConfigCache::save_file(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("ConfigCache: cannot write " + path);
-  save(out);
+  // Write-to-temp + rename so readers never observe a half-written cache:
+  // a crash mid-save leaves the previous cache intact, and the rename is
+  // atomic on POSIX filesystems. The counter keeps concurrent savers in
+  // one process off each other's temp file; cross-process savers still
+  // race benignly (last complete rename wins).
+  namespace fs = std::filesystem;
+  static std::atomic<unsigned> save_serial{0};
+  const fs::path target(path);
+  fs::path tmp(target);
+  tmp += ".tmp" + std::to_string(save_serial.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("ConfigCache: cannot write " + tmp.string());
+    }
+    save(out);
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw std::runtime_error("ConfigCache: write failed for " +
+                               tmp.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    throw std::runtime_error("ConfigCache: cannot replace " + path + ": " +
+                             ec.message());
+  }
 }
 
 void ConfigCache::load_file(const std::string& path) {
+  // A warm start is an optimisation, never a dependency: anything wrong
+  // with the cache file degrades to a warned cold start instead of
+  // throwing out of service startup. (The stream-level load() stays
+  // strict so tests and tools that own their input still see errors.)
   if (!std::filesystem::exists(path)) return;  // first run: empty cache
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("ConfigCache: cannot read " + path);
-  load(in);
+  if (!in) {
+    std::fprintf(stderr,
+                 "ConfigCache: cannot read %s; starting cold\n", path.c_str());
+    return;
+  }
+  ConfigCache incoming;
+  try {
+    incoming.load(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "ConfigCache: ignoring corrupt cache %s (%s); starting cold\n",
+                 path.c_str(), e.what());
+    return;
+  }
+  for (auto& [key, entry] : incoming.entries_) {
+    store(key, std::move(entry.values), entry.seconds);
+  }
 }
 
 std::string ConfigCache::key_for(const std::string& scene,

@@ -39,11 +39,17 @@ class ConfigCache {
   bool store(const std::string& key, std::vector<std::int64_t> values,
              double seconds);
 
+  /// Seconds are written with max_digits10, so save→load round-trips are
+  /// bit-exact (the keeps-if-faster comparison in store() depends on it).
   void save(std::ostream& out) const;
   void load(std::istream& in);  ///< merges (keeps faster of duplicates)
 
+  /// Writes atomically: temp file in the same directory + rename, so a
+  /// crash mid-save cannot leave a truncated cache behind.
   void save_file(const std::string& path) const;
-  /// Missing files are treated as an empty cache; malformed lines throw.
+  /// Missing files are treated as an empty cache. Unreadable or corrupt
+  /// files log a warning to stderr and load nothing (a cold start) — a
+  /// crashed writer must never take service startup down with it.
   void load_file(const std::string& path);
 
   /// Canonical key for the kd-tree use case.

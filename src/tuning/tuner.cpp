@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "obs/tuner_log.hpp"
 
 namespace kdtune {
 
@@ -98,6 +102,8 @@ void Tuner::record(double seconds) {
     // keep the pending configuration applied, so the next start()/record()
     // cycle re-measures the same point.
     ++rejected_samples_;
+    log_iteration(pending_, seconds, "nan-rejected", strategy_->converged());
+    trace_instant("tuner.nan_rejected", "tuner");
     return;
   }
   pending_applied_ = false;
@@ -108,7 +114,15 @@ void Tuner::record(double seconds) {
     history_.push_back({pending_, values_of(pending_), seconds, was_converged});
   }
 
+  // "Accepted" means this measurement improved the strategy's best known
+  // time (NelderMead and the baselines all track best on strict <; the
+  // initial best is +inf, so the first sample is always accepted).
+  const double best_before = strategy_->best_time();
   strategy_->report(seconds);
+  log_iteration(pending_, seconds,
+                seconds < best_before ? "accepted" : "rejected",
+                was_converged);
+  trace_counter("tuner.sample_ms", seconds * 1e3, "tuner");
 
   // Online drift detection: once converged, the tuner keeps measuring the
   // chosen configuration; a sustained slowdown vs. the best observed time of
@@ -157,7 +171,36 @@ double Tuner::best_time() const noexcept { return strategy_->best_time(); }
 void Tuner::retune() {
   ++retunes_;
   drift_samples_.clear();
+  if (log_ != nullptr && initialized_ && !strategy_->best().empty()) {
+    log_iteration(strategy_->best(), strategy_->best_time(), "retune",
+                  /*converged=*/false);
+  }
+  trace_instant("tuner.retune", "tuner");
   strategy_->restart();
+}
+
+void Tuner::set_log(TunerLog* log, std::string name) {
+  log_ = log;
+  log_name_ = std::move(name);
+}
+
+void Tuner::log_iteration(const ConfigPoint& point, double seconds,
+                          const char* status, bool converged) const {
+  if (log_ == nullptr) return;
+  TunerLog::Record rec;
+  rec.tuner = log_name_;
+  rec.iteration = iterations_;
+  const std::vector<std::int64_t> values = values_of(point);
+  rec.params.reserve(params_.size());
+  for (std::size_t d = 0; d < params_.size(); ++d) {
+    std::string name = params_[d].name();
+    if (name.empty()) name = "p" + std::to_string(d);
+    rec.params.emplace_back(std::move(name), values[d]);
+  }
+  rec.seconds = seconds;
+  rec.status = status;
+  rec.phase = converged ? "converged" : "search";
+  log_->log(rec);
 }
 
 }  // namespace kdtune

@@ -29,6 +29,8 @@
 
 namespace kdtune {
 
+class TunerLog;
+
 struct TunerOptions {
   /// Relative slowdown of the converged configuration (vs. its best observed
   /// time) that triggers a re-tune. <= 0 disables online re-tuning.
@@ -110,10 +112,17 @@ class Tuner {
   /// Forces a search restart (seeded from the best known configuration).
   void retune();
 
+  /// Attaches a decision log: every record() (and retune()) appends one
+  /// JSONL line under `name`. The log must outlive the tuner; nullptr
+  /// detaches. Several tuners can share one log.
+  void set_log(TunerLog* log, std::string name = "tuner");
+
  private:
   void ensure_initialized();
   void apply(const ConfigPoint& point);
   std::vector<std::int64_t> values_of(const ConfigPoint& point) const;
+  void log_iteration(const ConfigPoint& point, double seconds,
+                     const char* status, bool converged) const;
 
   std::unique_ptr<SearchStrategy> strategy_;
   TunerOptions opts_;
@@ -130,6 +139,9 @@ class Tuner {
   std::size_t rejected_samples_ = 0;
   std::vector<double> drift_samples_;
   std::vector<MeasurementRecord> history_;
+
+  TunerLog* log_ = nullptr;  ///< not owned; see set_log()
+  std::string log_name_;
 };
 
 }  // namespace kdtune

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "core/pipeline.hpp"
@@ -86,6 +90,118 @@ TEST(ConfigCache, FileRoundTripAndMissingFile) {
   ConfigCache empty;
   empty.load_file("/nonexistent/dir/cache.txt");  // no throw: first run
   EXPECT_TRUE(empty.empty());
+}
+
+TEST(ConfigCache, SecondsRoundTripBitExact) {
+  // save() writes seconds with max_digits10, so values survive a
+  // save→load round-trip *bit-exactly* — not merely to EXPECT_NEAR
+  // tolerance. The keeps-if-faster merge in store() depends on this:
+  // with fewer digits a reloaded entry can appear slower than itself
+  // and be replaced by a genuinely slower measurement.
+  const double nasty[] = {
+      0.1,
+      1.0 / 3.0,
+      0.1 + 0.2,  // 0.30000000000000004
+      std::nextafter(1.0, 2.0),
+      1.2345678901234567e-7,
+      9.007199254740993e15,  // > 2^53: not exactly representable as written
+  };
+  ConfigCache cache;
+  int i = 0;
+  for (const double s : nasty) {
+    cache.store("k" + std::to_string(i++), {1}, s);
+  }
+
+  std::stringstream buffer;
+  cache.save(buffer);
+  ConfigCache loaded;
+  loaded.load(buffer);
+
+  ASSERT_EQ(loaded.size(), cache.size());
+  i = 0;
+  for (const double s : nasty) {
+    const auto entry = loaded.lookup("k" + std::to_string(i++));
+    ASSERT_TRUE(entry.has_value());
+    EXPECT_EQ(entry->seconds, s);  // bit-exact, no tolerance
+  }
+}
+
+TEST(ConfigCache, SaveLoadSaveIsByteIdentical) {
+  ConfigCache cache;
+  cache.store("sibenik/lazy/threads=8", {40, 20, 5, 128}, 0.1 + 0.2);
+  cache.store("bunny/in-place/threads=4", {17, 10, 3}, 1.0 / 3.0);
+  cache.store("city/bfs/threads=16", {3, 1, 2}, 1.2345678901234567e-7);
+
+  std::stringstream first;
+  cache.save(first);
+  ConfigCache reloaded;
+  reloaded.load(first);
+  std::stringstream second;
+  reloaded.save(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(ConfigCache, SavePreservesStreamPrecision) {
+  // save() raises the stream's precision for itself but must restore it:
+  // callers interleaving their own floating-point output with save() would
+  // otherwise silently inherit 17-digit formatting.
+  std::stringstream buffer;
+  buffer.precision(3);
+  ConfigCache cache;
+  cache.store("k", {1}, 0.1);
+  cache.save(buffer);
+  EXPECT_EQ(buffer.precision(), 3);
+}
+
+TEST(ConfigCache, CorruptFileDegradesToColdStart) {
+  const std::string path = ::testing::TempDir() + "/kdtune_corrupt_cache.txt";
+  {
+    std::ofstream out(path);
+    out << "valid\t0.5\t1,2,3\n"
+        << "truncated-mid-wri";  // crash mid-write of a non-atomic writer
+  }
+  ConfigCache cache;
+  cache.store("pre-existing", {9}, 0.9);
+  EXPECT_NO_THROW(cache.load_file(path));  // warns, does not throw
+  // Cold start: nothing from the corrupt file, pre-existing entries intact,
+  // no partial merge of the valid prefix.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.lookup("valid").has_value());
+  EXPECT_TRUE(cache.lookup("pre-existing").has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ConfigCache, SaveFileReplacesAtomically) {
+  const std::string path = ::testing::TempDir() + "/kdtune_atomic_cache.txt";
+  ConfigCache first;
+  first.store("old", {1}, 1.0);
+  first.save_file(path);
+
+  ConfigCache second;
+  second.store("new", {2}, 2.0);
+  second.save_file(path);  // replaces via temp + rename
+
+  ConfigCache loaded;
+  loaded.load_file(path);
+  EXPECT_EQ(loaded.size(), 1u);
+  EXPECT_TRUE(loaded.lookup("new").has_value());
+  EXPECT_FALSE(loaded.lookup("old").has_value());
+
+  // No temp droppings left next to the target.
+  namespace fs = std::filesystem;
+  for (const auto& entry : fs::directory_iterator(::testing::TempDir())) {
+    EXPECT_EQ(entry.path().string().find("kdtune_atomic_cache.txt.tmp"),
+              std::string::npos)
+        << "leftover temp file: " << entry.path();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ConfigCache, SaveFileIntoMissingDirectoryThrowsAndCleansUp) {
+  ConfigCache cache;
+  cache.store("k", {1}, 1.0);
+  EXPECT_THROW(cache.save_file("/nonexistent/dir/cache.txt"),
+               std::runtime_error);
 }
 
 TEST(ConfigCache, KeyForComposesContext) {

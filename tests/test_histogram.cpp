@@ -58,6 +58,62 @@ TEST(LogHistogram, SubBucketRelativeErrorBounded) {
   }
 }
 
+TEST(LogHistogram, ExactBoundariesArePinned) {
+  // Pin the bucket edges exactly: every bucket's lower bound maps back to
+  // its own index, the upper (inclusive) bound too, and adjacent buckets
+  // tile the domain with no gap and no overlap.
+  EXPECT_EQ(LogHistogram::index_of(0), 0);
+  EXPECT_EQ(LogHistogram::index_of(~std::uint64_t{0}),
+            LogHistogram::kBucketCount - 1);
+  EXPECT_EQ(LogHistogram::bucket_lower(0), 0u);
+  EXPECT_EQ(LogHistogram::bucket_upper(LogHistogram::kBucketCount - 1),
+            ~std::uint64_t{0});
+  for (int i = 0; i < LogHistogram::kBucketCount; ++i) {
+    EXPECT_EQ(LogHistogram::index_of(LogHistogram::bucket_lower(i)), i);
+    EXPECT_EQ(LogHistogram::index_of(LogHistogram::bucket_upper(i)), i);
+    EXPECT_LE(LogHistogram::bucket_lower(i), LogHistogram::bucket_upper(i));
+    if (i + 1 < LogHistogram::kBucketCount) {
+      EXPECT_EQ(LogHistogram::bucket_upper(i) + 1,
+                LogHistogram::bucket_lower(i + 1));
+    }
+  }
+}
+
+TEST(LogHistogram, ZeroOnlyStream) {
+  LogHistogram h;
+  for (int i = 0; i < 5; ++i) h.record(0);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
+TEST(LogHistogram, TopBucketQuantileDoesNotWrapToMin) {
+  // Regression: the top bucket spans [0xE000000000000000, 2^64-1]. Its width
+  // (2^61 - 1) rounds *up* to 2^61 in double, so `lo + span * frac` computed
+  // through double could exceed UINT64_MAX and wrap to ~0 on the cast,
+  // making p99 of a max-heavy stream report the histogram *minimum*.
+  LogHistogram h;
+  h.record(1);
+  for (int i = 0; i < 10; ++i) h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.quantile(0.99), ~std::uint64_t{0});
+  EXPECT_EQ(h.quantile(1.0), ~std::uint64_t{0});
+  EXPECT_EQ(h.quantile(0.0), 1u);
+}
+
+TEST(LogHistogram, MaxOnlyStreamIsExactEverywhere) {
+  LogHistogram h;
+  for (int i = 0; i < 3; ++i) h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.min(), ~std::uint64_t{0});
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(q), ~std::uint64_t{0}) << "q=" << q;
+  }
+}
+
 TEST(LogHistogram, CountMinMaxMean) {
   LogHistogram h;
   h.record(10);

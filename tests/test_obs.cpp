@@ -1,0 +1,359 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/tuner_log.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tuning/tuner.hpp"
+
+namespace kdtune {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal strict JSON parser — enough to assert that the trace exporter and
+// the tuner log emit well-formed JSON without pulling in a dependency. It
+// validates the full grammar we use (objects, arrays, strings with escapes,
+// numbers, true/false/null) and reports the element count of the
+// "traceEvents" array when it meets one.
+class MiniJson {
+ public:
+  explicit MiniJson(std::string_view text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool parse() {
+    skip_ws();
+    if (!parse_value()) return false;
+    skip_ws();
+    return p_ == end_;
+  }
+
+  long trace_events = -1;  ///< -1: no "traceEvents" array seen
+
+ private:
+  bool peek(char c) const { return p_ < end_ && *p_ == c; }
+  bool expect(char c) {
+    if (!peek(c)) return false;
+    ++p_;
+    return true;
+  }
+  void skip_ws() {
+    while (p_ < end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+  bool literal(const char* s) {
+    for (; *s != '\0'; ++s) {
+      if (p_ == end_ || *p_ != *s) return false;
+      ++p_;
+    }
+    return true;
+  }
+
+  bool parse_value() {
+    skip_ws();
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{': return parse_object();
+      case '[': {
+        long n = 0;
+        return parse_array(&n);
+      }
+      case '"': return parse_string(nullptr);
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return parse_number();
+    }
+  }
+
+  bool parse_object() {
+    if (!expect('{')) return false;
+    skip_ws();
+    if (expect('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      if (key == "traceEvents" && peek('[')) {
+        long n = 0;
+        if (!parse_array(&n)) return false;
+        trace_events = n;
+      } else if (!parse_value()) {
+        return false;
+      }
+      skip_ws();
+      if (expect(',')) continue;
+      return expect('}');
+    }
+  }
+
+  bool parse_array(long* count) {
+    if (!expect('[')) return false;
+    skip_ws();
+    *count = 0;
+    if (expect(']')) return true;
+    for (;;) {
+      if (!parse_value()) return false;
+      ++*count;
+      skip_ws();
+      if (expect(',')) continue;
+      return expect(']');
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (!expect('"')) return false;
+    while (p_ < end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+      }
+      if (out != nullptr) out->push_back(*p_);
+      ++p_;
+    }
+    return expect('"');
+  }
+
+  bool parse_number() {
+    const char* start = p_;
+    if (peek('-')) ++p_;
+    bool digits = false;
+    while (p_ < end_ &&
+           (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '.' ||
+            *p_ == 'e' || *p_ == 'E' || *p_ == '+' || *p_ == '-')) {
+      digits = true;
+      ++p_;
+    }
+    return digits && p_ != start;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+/// Enables tracing for one test and restores the disabled default (and an
+/// empty buffer) however the test exits.
+class ScopedTracing {
+ public:
+  ScopedTracing() {
+    TraceRecorder::instance().reset();
+    TraceRecorder::instance().set_enabled(true);
+  }
+  ~ScopedTracing() {
+    TraceRecorder::instance().set_enabled(false);
+    TraceRecorder::instance().reset();
+  }
+};
+
+using Event = TraceRecorder::Event;
+using Phase = TraceRecorder::Phase;
+
+TEST(TraceRecorder, DisabledRecordsNothing) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.reset();
+  ASSERT_FALSE(recorder.enabled());
+  const std::size_t before = recorder.event_count();
+  {
+    TraceSpan span("test.noop", "test");
+    trace_instant("test.noop_instant", "test");
+    trace_counter("test.noop_counter", 1.0, "test");
+  }
+  EXPECT_EQ(recorder.event_count(), before);
+}
+
+TEST(TraceRecorder, SpansNestAndBalancePerThread) {
+  ScopedTracing tracing;
+  ThreadPool pool(3);
+
+  {
+    TraceSpan outer("test.outer", "test");
+    trace_instant("test.mark", "test");
+    {
+      TraceSpan inner("test.inner", "test");
+      trace_counter("test.depth", 2.0, "test");
+    }
+  }
+  // Pool tasks produce spans on worker threads (pool.task wraps each task).
+  TaskGroup group(pool);
+  for (int i = 0; i < 16; ++i) {
+    group.run([] { TraceSpan span("test.task_body", "test"); });
+  }
+  group.wait();
+
+  const auto threads = TraceRecorder::instance().snapshot();
+  ASSERT_FALSE(threads.empty());
+  std::size_t total = 0;
+  for (const auto& [tid, events] : threads) {
+    int depth = 0;
+    std::int64_t last_ts = 0;
+    for (const Event& e : events) {
+      EXPECT_GE(e.ts_ns, last_ts) << "timestamps monotone within thread";
+      last_ts = e.ts_ns;
+      if (e.phase == Phase::kBegin) {
+        ASSERT_NE(e.name, nullptr);
+        ++depth;
+      } else if (e.phase == Phase::kEnd) {
+        --depth;
+        ASSERT_GE(depth, 0) << "E without matching B on tid " << tid;
+      }
+      ++total;
+    }
+    EXPECT_EQ(depth, 0) << "unbalanced spans on tid " << tid;
+  }
+  // 2 B/E pairs + 2 instants/counters on this thread, plus >= 16 task-body
+  // pairs and their pool.task wrappers on the workers.
+  EXPECT_GE(total, 4u + 2u + 16u * 2u);
+  EXPECT_EQ(total, TraceRecorder::instance().event_count());
+}
+
+TEST(TraceRecorder, SpanStillClosesWhenDisabledMidSpan) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.reset();
+  recorder.set_enabled(true);
+  {
+    TraceSpan span("test.cut", "test");
+    recorder.set_enabled(false);  // e.g. a tool finishing its run mid-span
+  }
+  const auto threads = recorder.snapshot();
+  int begins = 0, ends = 0;
+  for (const auto& [tid, events] : threads) {
+    for (const Event& e : events) {
+      begins += e.phase == Phase::kBegin;
+      ends += e.phase == Phase::kEnd;
+    }
+  }
+  EXPECT_EQ(begins, 1);
+  EXPECT_EQ(ends, 1);  // the armed span emits its E regardless
+  recorder.reset();
+}
+
+TEST(TraceRecorder, ExportsParseableChromeTraceJson) {
+  ScopedTracing tracing;
+  ThreadPool pool(2);
+  {
+    TraceSpan span("test.export \"quoted\"\n", "test");  // escaping path
+    trace_counter("test.value", 42.5, "test");
+  }
+  TaskGroup group(pool);
+  for (int i = 0; i < 8; ++i) {
+    group.run([] { TraceSpan span("test.worker", "test"); });
+  }
+  group.wait();
+
+  const std::string json = TraceRecorder::instance().to_json();
+  MiniJson parser(json);
+  ASSERT_TRUE(parser.parse()) << json.substr(0, 400);
+  EXPECT_EQ(parser.trace_events,
+            static_cast<long>(TraceRecorder::instance().event_count()));
+  // Counter payload serialized under args.value.
+  EXPECT_NE(json.find("\"args\":{\"value\":42.5}"), std::string::npos);
+  // Only Chrome phases we emit.
+  EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TraceRecorder, CounterCarriesValue) {
+  ScopedTracing tracing;
+  trace_counter("test.queue", 7.0, "test");
+  bool found = false;
+  for (const auto& [tid, events] : TraceRecorder::instance().snapshot()) {
+    for (const Event& e : events) {
+      if (e.phase == Phase::kCounter &&
+          std::string_view(e.name) == "test.queue") {
+        EXPECT_EQ(e.value, 7.0);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TunerLog, WritesOneValidJsonlLinePerIteration) {
+  const std::string path = ::testing::TempDir() + "/kdtune_tuner_log.jsonl";
+  TunerLog log;
+  ASSERT_TRUE(log.open(path));
+
+  std::int64_t alpha = 0, beta = 0;
+  Tuner tuner;
+  tuner.register_parameter(&alpha, 1, 8, 1, "alpha");
+  tuner.register_parameter_pow2(&beta, 1, 16, "beta");
+  tuner.set_log(&log, "test-tuner");
+
+  tuner.apply_next();
+  for (int i = 0; i < 6; ++i) {
+    tuner.record(0.01 * static_cast<double>(alpha + beta));
+  }
+  tuner.record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(log.records(), 7u);
+  log.close();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 7u);
+
+  int accepted = 0, nan_rejected = 0;
+  for (const std::string& line : lines) {
+    MiniJson parser(line);
+    EXPECT_TRUE(parser.parse()) << line;
+    EXPECT_NE(line.find("\"tuner\":\"test-tuner\""), std::string::npos);
+    EXPECT_NE(line.find("\"alpha\":"), std::string::npos);
+    EXPECT_NE(line.find("\"beta\":"), std::string::npos);
+    accepted += line.find("\"status\":\"accepted\"") != std::string::npos;
+    nan_rejected +=
+        line.find("\"status\":\"nan-rejected\"") != std::string::npos;
+  }
+  EXPECT_GE(accepted, 1);  // the first finite sample always improves on +inf
+  EXPECT_EQ(nan_rejected, 1);
+  // The NaN iteration must not leak a bare NaN into the JSON.
+  EXPECT_NE(lines.back().find("\"seconds\":null"), std::string::npos);
+  EXPECT_EQ(lines.back().find("nan,"), std::string::npos);
+
+  std::remove(path.c_str());
+}
+
+TEST(TunerLog, SecondsRoundTripBitExactInLog) {
+  // The log writes seconds with max_digits10 — the same guarantee as
+  // ConfigCache::save(), pinned here for the log's schema.
+  const std::string path = ::testing::TempDir() + "/kdtune_tuner_log2.jsonl";
+  TunerLog log;
+  ASSERT_TRUE(log.open(path));
+  const double nasty = 0.1 + 0.2;  // 0.30000000000000004
+  TunerLog::Record rec;
+  rec.tuner = "t";
+  rec.params = {{"p", 1}};
+  rec.seconds = nasty;
+  rec.status = "accepted";
+  rec.phase = "search";
+  log.log(rec);
+  log.close();
+
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const std::size_t at = line.find("\"seconds\":");
+  ASSERT_NE(at, std::string::npos);
+  const double back = std::strtod(line.c_str() + at + 10, nullptr);
+  EXPECT_EQ(back, nasty);  // bit-exact, not approximately equal
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -11,6 +11,8 @@
 //
 // Options: --detail=F --threads=N --frames=N --cache=FILE --out=FILE
 //          --seed=N (deterministic serve load)
+//          --trace=FILE (Chrome trace-event JSON of the run; Perfetto)
+//          --tuner-log=FILE (JSONL tuner decision log; `tune` command)
 //          --obj=FILE (load geometry from a Wavefront OBJ instead of a
 //          generated scene; pass "obj" as the scene name)
 //
@@ -42,7 +44,12 @@ struct CliOptions {
   int width = 320;
   int height = 240;
   std::uint64_t seed = 0x5EEDu;
+  std::string tuner_log_path;
 };
+
+// The trace outlives any single command (main writes it after dispatch), so
+// the requested path lives here rather than in CliOptions.
+std::string g_trace_path;
 
 CliOptions parse_options(int argc, char** argv, int first) {
   CliOptions o;
@@ -68,6 +75,11 @@ CliOptions parse_options(int argc, char** argv, int first) {
       std::sscanf(v, "%dx%d", &o.width, &o.height);
     } else if (const char* v = value("--seed=")) {
       o.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--trace=")) {
+      g_trace_path = v;
+      TraceRecorder::instance().set_enabled(true);
+    } else if (const char* v = value("--tuner-log=")) {
+      o.tuner_log_path = v;
     } else {
       throw std::invalid_argument("unknown option: " + arg);
     }
@@ -139,6 +151,14 @@ int cmd_tune(const std::string& scene_id, const std::string& algo,
   popts.width = o.width / 2;
   popts.height = o.height / 2;
   TunedPipeline pipeline(algorithm, pool, std::move(popts));
+  TunerLog tuner_log;
+  if (!o.tuner_log_path.empty()) {
+    if (tuner_log.open(o.tuner_log_path)) {
+      pipeline.tuner().set_log(&tuner_log, "core:" + algo);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", o.tuner_log_path.c_str());
+    }
+  }
   if (const auto hit = cache.lookup(key)) {
     std::printf("warm start from cache: ");
     print_config("", config_from_values(hit->values),
@@ -374,7 +394,7 @@ int usage() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int dispatch(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   try {
@@ -403,4 +423,19 @@ int main(int argc, char** argv) {
     return 1;
   }
   return usage();
+}
+
+int main(int argc, char** argv) {
+  const int rc = dispatch(argc, argv);
+  if (!g_trace_path.empty()) {
+    TraceRecorder& recorder = TraceRecorder::instance();
+    recorder.set_enabled(false);
+    if (recorder.write_json(g_trace_path)) {
+      std::printf("wrote %s (%zu trace events)\n", g_trace_path.c_str(),
+                  recorder.event_count());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", g_trace_path.c_str());
+    }
+  }
+  return rc;
 }

@@ -30,6 +30,9 @@
 //   --target-fps=F   pace frames; late builds carry over
 //   --skip-ahead     with --target-fps: drop frames instead
 //   --json=FILE      write stats + check results as JSON
+//   --trace=FILE     write a Chrome trace-event JSON of the whole run
+//                    (open in Perfetto; see docs/OBSERVABILITY.md)
+//   --tuner-log=FILE write every tuner iteration as JSONL
 //   --smoke          small sizes (smaller still under KDTUNE_CI_SMALL)
 
 #include <cstdio>
@@ -58,6 +61,8 @@ struct DynamicOptions {
   bool skip_ahead = false;
   std::uint64_t seed = 0x5EEDu;
   std::string json_path;
+  std::string trace_path;
+  std::string tuner_log_path;
   bool smoke = false;
 };
 
@@ -95,6 +100,10 @@ DynamicOptions parse_options(int argc, char** argv) {
       o.seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--json=")) {
       o.json_path = v;
+    } else if (const char* v = value("--trace=")) {
+      o.trace_path = v;
+    } else if (const char* v = value("--tuner-log=")) {
+      o.tuner_log_path = v;
     } else if (arg == "--sequential") {
       o.overlap = false;
     } else if (arg == "--skip-ahead") {
@@ -167,7 +176,7 @@ struct SceneOutcome {
 };
 
 SceneOutcome run_scene(const DynamicOptions& o, const std::string& id,
-                       ConfigCache& cache) {
+                       ConfigCache& cache, TunerLog* tuner_log) {
   ThreadPool pool(o.threads);
   ThreadPool reference_pool(0);
   SceneRegistry registry(pool);
@@ -183,6 +192,7 @@ SceneOutcome run_scene(const DynamicOptions& o, const std::string& id,
   if (o.tune) {
     tuner = std::make_unique<FrameTuner>();
     tuner->warm_start(cache, id, pool.concurrency());
+    if (tuner_log != nullptr) tuner->set_log(tuner_log);
     popts.tuner = tuner.get();
   }
   popts.overlap = o.overlap;
@@ -219,8 +229,11 @@ SceneOutcome run_scene(const DynamicOptions& o, const std::string& id,
     Stopwatch query_clock;
     query_clock.start();
     std::vector<Hit> hits(rays.size());
-    for (std::size_t r = 0; r < rays.size(); ++r) {
-      hits[r] = snap->tree->closest_hit(rays[r]);
+    {
+      TraceSpan span("frame.query", "frame");
+      for (std::size_t r = 0; r < rays.size(); ++r) {
+        hits[r] = snap->tree->closest_hit(rays[r]);
+      }
     }
     const double query_seconds = query_clock.elapsed();
     out.rays += rays.size();
@@ -272,10 +285,19 @@ int run(const DynamicOptions& o) {
               o.overlap ? "overlapped" : "sequential",
               o.tune ? ", tuned" : ", base config");
 
+  if (!o.trace_path.empty()) {
+    TraceRecorder::instance().set_enabled(true);
+  }
+  TunerLog tuner_log;
+  if (!o.tuner_log_path.empty() && !tuner_log.open(o.tuner_log_path)) {
+    std::fprintf(stderr, "cannot write %s\n", o.tuner_log_path.c_str());
+  }
+
   ConfigCache cache;
   std::vector<SceneOutcome> outcomes;
   for (const std::string& id : o.scenes) {
-    const SceneOutcome out = run_scene(o, id, cache);
+    const SceneOutcome out =
+        run_scene(o, id, cache, tuner_log.is_open() ? &tuner_log : nullptr);
     std::printf(
         "  %-14s %3llu frames in %6.2f s (%5.1f fps), build %6.1f ms, "
         "query %6.1f ms, %llu rays%s",
@@ -358,6 +380,20 @@ int run(const DynamicOptions& o) {
     } else {
       std::fprintf(stderr, "cannot write %s\n", o.json_path.c_str());
     }
+  }
+  if (!o.trace_path.empty()) {
+    TraceRecorder& recorder = TraceRecorder::instance();
+    recorder.set_enabled(false);
+    if (recorder.write_json(o.trace_path)) {
+      std::printf("wrote %s (%zu trace events)\n", o.trace_path.c_str(),
+                  recorder.event_count());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", o.trace_path.c_str());
+    }
+  }
+  if (tuner_log.is_open()) {
+    std::printf("wrote %s (%llu tuner iterations)\n", o.tuner_log_path.c_str(),
+                static_cast<unsigned long long>(tuner_log.records()));
   }
   return failures == 0 ? 0 : 1;
 }

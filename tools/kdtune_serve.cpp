@@ -29,6 +29,8 @@
 //   --window-ms=N    tuner window length
 //   --seed=N         deterministic load (same seed = same requests)
 //   --json=FILE      write stats + check results as JSON
+//   --trace=FILE     write a Chrome trace-event JSON of the whole run
+//   --tuner-log=FILE write every tuner iteration as JSONL
 //   --smoke          small sizes (smaller still under KDTUNE_CI_SMALL)
 
 #include <atomic>
@@ -66,6 +68,8 @@ struct ServeOptions {
   int window_ms = 25;
   std::uint64_t seed = 0x5EEDu;
   std::string json_path;
+  std::string trace_path;
+  std::string tuner_log_path;
   bool smoke = false;
 };
 
@@ -113,6 +117,10 @@ ServeOptions parse_options(int argc, char** argv) {
       o.seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--json=")) {
       o.json_path = v;
+    } else if (const char* v = value("--trace=")) {
+      o.trace_path = v;
+    } else if (const char* v = value("--tuner-log=")) {
+      o.tuner_log_path = v;
     } else if (arg == "--no-tune") {
       o.tune = false;
     } else if (arg == "--no-swap") {
@@ -234,6 +242,14 @@ std::future<QueryResponse> submit_planned(QueryService& service,
 }
 
 int run(const ServeOptions& o) {
+  if (!o.trace_path.empty()) {
+    TraceRecorder::instance().set_enabled(true);
+  }
+  TunerLog tuner_log;
+  if (!o.tuner_log_path.empty() && !tuner_log.open(o.tuner_log_path)) {
+    std::fprintf(stderr, "cannot write %s\n", o.tuner_log_path.c_str());
+  }
+
   ThreadPool pool(o.threads);
   ThreadPool reference_pool(0);
   SceneRegistry registry(pool);
@@ -360,6 +376,7 @@ int run(const ServeOptions& o) {
     topts.tune_flush = true;
     topts.tune_workers = true;
     tuner = std::make_unique<ServeTuner>(service, topts);
+    if (tuner_log.is_open()) tuner->tuner().set_log(&tuner_log, "serve");
     tuner_thread = std::thread([&] {
       while (!load_done.load(std::memory_order_acquire)) {
         tuner->begin_window();
@@ -512,6 +529,20 @@ int run(const ServeOptions& o) {
     } else {
       std::fprintf(stderr, "cannot write %s\n", o.json_path.c_str());
     }
+  }
+  if (!o.trace_path.empty()) {
+    TraceRecorder& recorder = TraceRecorder::instance();
+    recorder.set_enabled(false);
+    if (recorder.write_json(o.trace_path)) {
+      std::printf("wrote %s (%zu trace events)\n", o.trace_path.c_str(),
+                  recorder.event_count());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", o.trace_path.c_str());
+    }
+  }
+  if (tuner_log.is_open()) {
+    std::printf("wrote %s (%llu tuner iterations)\n", o.tuner_log_path.c_str(),
+                static_cast<unsigned long long>(tuner_log.records()));
   }
   return failures == 0 ? 0 : 1;
 }
