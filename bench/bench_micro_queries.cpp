@@ -1,6 +1,8 @@
 // Micro: range and nearest-neighbor query throughput through the SAH
 // kd-tree (builder layout and compact serving layout) vs the BVH baseline,
-// plus lazy-tree queries (which may expand).
+// plus lazy-tree queries (which may expand) and a closest-hit sweep over the
+// serving query backends (compact / wide4 / wide8 / bvh) on bunny — the
+// measurement the wide-backend acceptance gate reads.
 //
 // Like bench_micro_traversal, the binary always writes machine-readable
 // results to BENCH_queries.json (--json=PATH to override); `--smoke` runs
@@ -139,10 +141,69 @@ double measure_ns_per_query(std::size_t count, int reps, Fn&& run) {
   return best;
 }
 
+/// Closest-hit over the tunable serving backends on bunny: parity first
+/// (valid/t bit-exact; triangle ids may differ on exact t-ties for wide/bvh),
+/// then interleaved min-of-N timings. Prints the wide8-vs-compact speedup the
+/// acceptance gate reads.
+void run_backend_pass(std::vector<bench::BenchRecord>& records, int reps) {
+  const Scene scene = make_scene("bunny", 1.0f)->frame(0);
+  ThreadPool pool(3);
+  const auto kd = make_builder(Algorithm::kInPlace)
+                      ->build(scene.triangles(), kBaseConfig, pool);
+  const auto compact = std::make_shared<const CompactKdTree>(
+      dynamic_cast<const KdTree&>(*kd));
+  const auto wide4 = make_wide_tree(compact, QueryBackend::kWide4);
+  const auto wide8 = make_wide_tree(compact, QueryBackend::kWide8);
+  const auto bvh = build_bvh(scene.triangles(), {}, pool);
+
+  const Camera camera(scene.camera(), 256, 192);
+  std::vector<Ray> rays;
+  for (int y = 0; y < 192; ++y) {
+    for (int x = 0; x < 256; ++x) rays.push_back(camera.primary_ray(x, y));
+  }
+
+  const char* names[] = {"compact", "wide4", "wide8", "bvh"};
+  const KdTreeBase* trees[] = {compact.get(), wide4.get(), wide8.get(),
+                               bvh.get()};
+
+  std::size_t mismatches = 0;
+  for (const Ray& ray : rays) {
+    const Hit a = compact->closest_hit(ray);
+    for (int i = 1; i < 4; ++i) {
+      const Hit b = trees[i]->closest_hit(ray);
+      if (a.valid() != b.valid() || (a.valid() && a.t != b.t)) ++mismatches;
+    }
+  }
+  std::printf("backend hit-parity mismatches (bunny): %zu\n", mismatches);
+
+  double best[4] = {1e30, 1e30, 1e30, 1e30};
+  for (int rep = 0; rep < reps; ++rep) {
+    for (int i = 0; i < 4; ++i) {
+      best[i] = std::min(
+          best[i], measure_ns_per_query(rays.size(), 1, [&] {
+            std::size_t sink = 0;
+            for (const Ray& ray : rays) {
+              sink += trees[i]->closest_hit(ray).valid() ? 1 : 0;
+            }
+            benchmark::DoNotOptimize(sink);
+          }));
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    records.push_back({"bunny", "inplace", names[i], "closest_hit", best[i],
+                       1e9 / best[i]});
+    std::printf("%-10s closest_hit %9.1f ns/ray\n", names[i], best[i]);
+  }
+  std::printf("wide8 speedup vs compact (bunny, closest_hit, simd=%s): "
+              "%.2fx\n",
+              to_string(detect_simd_level()), best[0] / best[2]);
+}
+
 void run_json_pass(const std::string& path, bool smoke) {
   const int reps = smoke ? 2 : 5;
   const QueryFixture& f = fixture();
   std::vector<bench::BenchRecord> records;
+  run_backend_pass(records, smoke ? 5 : 9);
 
   const char* layouts[] = {"kdtree", "compact", "bvh"};
   for (int which = 0; which < 3; ++which) {

@@ -1,7 +1,9 @@
 // Micro: traversal (closest-hit and shadow-ray) throughput through trees
 // built by the different algorithms, plus the SAH-vs-median-split ablation —
-// how much query time the SAH actually buys — and the builder layout
-// (KdTree) vs compact serving layout (CompactKdTree) comparison.
+// how much query time the SAH actually buys — and the query-backend
+// comparison: builder layout (KdTree), compact serving layout
+// (CompactKdTree), its 4/8-wide SIMD collapses (WideKdTree), and the BVH
+// baseline, all over the same trees and rays with hit parity checked first.
 //
 // Besides the google-benchmark suite, the binary always runs a small
 // measurement pass that writes machine-readable results to
@@ -23,7 +25,10 @@ using namespace kdtune;
 struct Fixture {
   Scene scene;
   std::unique_ptr<KdTreeBase> tree;
-  std::unique_ptr<CompactKdTree> compact;
+  std::shared_ptr<const CompactKdTree> compact;
+  std::unique_ptr<WideTreeBase> wide4;
+  std::unique_ptr<WideTreeBase> wide8;
+  std::unique_ptr<Bvh> bvh;
   std::vector<Ray> rays;
 };
 
@@ -43,8 +48,11 @@ Fixture make_fixture(int builder_id) {
                    ->build(f.scene.triangles(), kBaseConfig, pool);
       break;
   }
-  f.compact = std::make_unique<CompactKdTree>(
+  f.compact = std::make_shared<const CompactKdTree>(
       dynamic_cast<const KdTree&>(*f.tree));
+  f.wide4 = make_wide_tree(f.compact, QueryBackend::kWide4);
+  f.wide8 = make_wide_tree(f.compact, QueryBackend::kWide8);
+  f.bvh = build_bvh(f.scene.triangles(), {}, pool);
   const Camera camera(f.scene.camera(), 256, 192);
   for (int y = 0; y < 192; y += 2) {
     for (int x = 0; x < 256; x += 2) {
@@ -62,13 +70,20 @@ const char* fixture_name(int id) {
   }
 }
 
+const char* kLayoutNames[] = {"kdtree", "compact", "wide4", "wide8", "bvh"};
+
 const KdTreeBase& pick_layout(const Fixture& f, int layout) {
-  return layout == 0 ? *f.tree
-                     : static_cast<const KdTreeBase&>(*f.compact);
+  switch (layout) {
+    case 0: return *f.tree;
+    case 1: return *f.compact;
+    case 2: return *f.wide4;
+    case 3: return *f.wide8;
+    default: return *f.bvh;
+  }
 }
 
 std::string layout_label(int id, int layout) {
-  return std::string(fixture_name(id)) + (layout == 0 ? "/kdtree" : "/compact");
+  return std::string(fixture_name(id)) + "/" + kLayoutNames[layout];
 }
 
 void BM_ClosestHit(benchmark::State& state) {
@@ -88,7 +103,7 @@ void BM_ClosestHit(benchmark::State& state) {
   state.SetLabel(layout_label(id, layout));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_ClosestHit)->ArgsProduct({{0, 1, 2}, {0, 1}});
+BENCHMARK(BM_ClosestHit)->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3, 4}});
 
 void BM_AnyHit(benchmark::State& state) {
   static std::map<int, Fixture> cache;
@@ -107,7 +122,7 @@ void BM_AnyHit(benchmark::State& state) {
   state.SetLabel(layout_label(id, layout));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_AnyHit)->ArgsProduct({{0, 1, 2}, {0, 1}});
+BENCHMARK(BM_AnyHit)->ArgsProduct({{0, 1, 2}, {0, 1, 2, 3, 4}});
 
 // CI/CB sensitivity: how the SAH parameters change the tree's query cost —
 // the mechanism the autotuner exploits.
@@ -187,19 +202,19 @@ double time_pass_ns(const KdTreeBase& tree, const std::vector<Ray>& rays,
          static_cast<double>(rays.size());
 }
 
-/// Times both layouts with interleaved repetitions (A B A B ...) so that
-/// machine noise hits both sides equally, and reports the best pass of each —
-/// the standard min-of-N estimator for a noisy shared host.
-std::pair<double, double> measure_pair_ns(const KdTreeBase& kd,
-                                          const KdTreeBase& compact,
-                                          const std::vector<Ray>& rays,
-                                          bool any, int reps) {
-  double kd_best = 1e30, co_best = 1e30;
+/// Times every layout with interleaved repetitions (A B C ... A B C ...) so
+/// that machine noise hits all sides equally, and reports the best pass of
+/// each — the standard min-of-N estimator for a noisy shared host.
+std::vector<double> measure_all_ns(
+    const std::vector<const KdTreeBase*>& trees, const std::vector<Ray>& rays,
+    bool any, int reps) {
+  std::vector<double> best(trees.size(), 1e30);
   for (int rep = 0; rep < reps; ++rep) {
-    kd_best = std::min(kd_best, time_pass_ns(kd, rays, any));
-    co_best = std::min(co_best, time_pass_ns(compact, rays, any));
+    for (std::size_t i = 0; i < trees.size(); ++i) {
+      best[i] = std::min(best[i], time_pass_ns(*trees[i], rays, any));
+    }
   }
-  return {kd_best, co_best};
+  return best;
 }
 
 void run_json_pass(const std::string& path, bool smoke) {
@@ -217,7 +232,7 @@ void run_json_pass(const std::string& path, bool smoke) {
                              {"inplace", make_builder(Algorithm::kInPlace)}};
   const char* scenes[] = {"bunny", "sponza"};
 
-  double bunny_kd_ns = 0.0, bunny_compact_ns = 0.0;
+  double bunny_kd_ns = 0.0, bunny_compact_ns = 0.0, bunny_wide8_ns = 0.0;
   std::size_t mismatches = 0;
 
   for (const char* scene_id : scenes) {
@@ -231,34 +246,57 @@ void run_json_pass(const std::string& path, bool smoke) {
       const auto tree =
           spec.builder->build(scene.triangles(), kBaseConfig, pool);
       const auto& kd = dynamic_cast<const KdTree&>(*tree);
-      const CompactKdTree compact(kd);
+      const auto compact = std::make_shared<const CompactKdTree>(kd);
+      const auto wide4 = make_wide_tree(compact, QueryBackend::kWide4);
+      const auto wide8 = make_wide_tree(compact, QueryBackend::kWide8);
+      const auto bvh = build_bvh(scene.triangles(), {}, pool);
+      const std::vector<const KdTreeBase*> trees{
+          &kd, compact.get(), wide4.get(), wide8.get(), bvh.get()};
 
-      // Hit parity on every ray before trusting the timings.
+      // Hit parity on every ray before trusting the timings. The compact
+      // layout must match the builder tree exactly (same traversal order);
+      // the wide collapses and the BVH visit leaves in a different order, so
+      // triangle ids may differ on exact t-ties — valid/t stay bit-exact.
       for (const Ray& ray : rays) {
         const Hit a = kd.closest_hit(ray);
-        const Hit b = compact.closest_hit(ray);
+        const Hit b = compact->closest_hit(ray);
         if (a.valid() != b.valid() ||
             (a.valid() && (a.t != b.t || a.triangle != b.triangle ||
                            a.u != b.u || a.v != b.v))) {
           ++mismatches;
         }
+        for (const KdTreeBase* other : {static_cast<const KdTreeBase*>(
+                                            wide4.get()),
+                                        static_cast<const KdTreeBase*>(
+                                            wide8.get()),
+                                        static_cast<const KdTreeBase*>(
+                                            bvh.get())}) {
+          const Hit c = other->closest_hit(ray);
+          if (a.valid() != c.valid() || (a.valid() && a.t != c.t)) {
+            ++mismatches;
+          }
+          if (a.valid() != other->any_hit(ray)) ++mismatches;
+        }
       }
 
       for (const bool any : {false, true}) {
         const char* query = any ? "any_hit" : "closest_hit";
-        const auto [kd_ns, co_ns] = measure_pair_ns(kd, compact, rays, any, reps);
-        records.push_back({scene_id, spec.name, "kdtree", query, kd_ns,
-                           1e9 / kd_ns});
-        records.push_back({scene_id, spec.name, "compact", query, co_ns,
-                           1e9 / co_ns});
+        const std::vector<double> ns =
+            measure_all_ns(trees, rays, any, reps);
+        for (std::size_t i = 0; i < trees.size(); ++i) {
+          records.push_back({scene_id, spec.name, kLayoutNames[i], query,
+                             ns[i], 1e9 / ns[i]});
+        }
         if (!any && std::string(scene_id) == "bunny" &&
             std::string(spec.name) == "sweep") {
-          bunny_kd_ns = kd_ns;
-          bunny_compact_ns = co_ns;
+          bunny_kd_ns = ns[0];
+          bunny_compact_ns = ns[1];
+          bunny_wide8_ns = ns[3];
         }
-        std::printf("%-8s %-8s %-12s kdtree %8.1f ns/ray | compact %8.1f "
-                    "ns/ray | speedup %.2fx\n",
-                    scene_id, spec.name, query, kd_ns, co_ns, kd_ns / co_ns);
+        std::printf("%-8s %-8s %-12s kdtree %7.1f | compact %7.1f | wide4 "
+                    "%7.1f | wide8 %7.1f | bvh %7.1f ns/ray\n",
+                    scene_id, spec.name, query, ns[0], ns[1], ns[2], ns[3],
+                    ns[4]);
       }
     }
   }
@@ -269,6 +307,11 @@ void run_json_pass(const std::string& path, bool smoke) {
         "compact speedup (bunny, recursive sweep builder, closest_hit): "
         "%.2fx\n",
         bunny_kd_ns / bunny_compact_ns);
+    std::printf(
+        "wide8 speedup vs compact (bunny, sweep builder, closest_hit, "
+        "simd=%s): %.2fx\n",
+        to_string(detect_simd_level()),
+        bunny_compact_ns / bunny_wide8_ns);
   }
   bench::write_bench_json(path, records);
 }

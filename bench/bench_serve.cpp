@@ -211,6 +211,35 @@ int main(int argc, char** argv) {
                 rows[1].qps / rows[0].qps);
   }
 
+  // Backend comparison: identical tuned serving parameters and traffic, the
+  // registry's hot layout switch selecting the serving tree — the serving-
+  // path view of the SIMD backend the micro benches measure in isolation.
+  std::vector<std::pair<const char*, ServeMeasurement>> backend_rows;
+  for (const QueryBackend backend :
+       {QueryBackend::kCompact, QueryBackend::kWide8}) {
+    for (const std::string& id : names) {
+      if (registry.set_backend(id, backend) == nullptr) {
+        std::fprintf(stderr, "cannot switch %s to backend %s\n", id.c_str(),
+                     to_string(backend));
+        return 1;
+      }
+    }
+    ServeMeasurement best;
+    for (std::size_t rep = 0; rep < std::max<std::size_t>(opts.reps, 1);
+         ++rep) {
+      const ServeMeasurement m = run_load(registry, pool, names, boxes, tuned,
+                                          clients, total, opts.seed + rep);
+      if (best.completed == 0 || m.qps > best.qps) best = m;
+    }
+    std::printf("backend=%-8s %9.0f req/s   p50 %7.1f us   p99 %7.1f us\n",
+                to_string(backend), best.qps, best.p50_us, best.p99_us);
+    backend_rows.emplace_back(to_string(backend), best);
+  }
+  if (backend_rows.size() == 2 && backend_rows[0].second.qps > 0.0) {
+    std::printf("wide8 serving speedup over compact: %.2fx\n",
+                backend_rows[1].second.qps / backend_rows[0].second.qps);
+  }
+
   std::FILE* out = std::fopen("BENCH_serve.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_serve.json\n");
@@ -226,11 +255,22 @@ int main(int argc, char** argv) {
                  ", \"queries_per_sec\": %.1f, \"p50_us\": %.2f, "
                  "\"p99_us\": %.2f, \"mean_us\": %.2f}%s\n",
                  i == 0 ? "unbatched" : "tuned", m.batch_size, m.flush_us,
-                 m.completed, m.qps, m.p50_us, m.p99_us, m.mean_us,
-                 i + 1 < rows.size() ? "," : "");
+                 m.completed, m.qps, m.p50_us, m.p99_us, m.mean_us, ",");
+  }
+  for (std::size_t i = 0; i < backend_rows.size(); ++i) {
+    const ServeMeasurement& m = backend_rows[i].second;
+    std::fprintf(out,
+                 "  {\"config\": \"backend\", \"backend\": \"%s\", "
+                 "\"batch_size\": %" PRId64 ", \"requests\": %" PRIu64
+                 ", \"queries_per_sec\": %.1f, \"p50_us\": %.2f, "
+                 "\"p99_us\": %.2f, \"mean_us\": %.2f}%s\n",
+                 backend_rows[i].first, m.batch_size, m.completed, m.qps,
+                 m.p50_us, m.p99_us, m.mean_us,
+                 i + 1 < backend_rows.size() ? "," : "");
   }
   std::fprintf(out, "]\n");
   std::fclose(out);
-  std::printf("wrote BENCH_serve.json (%zu records)\n", rows.size());
+  std::printf("wrote BENCH_serve.json (%zu records)\n",
+              rows.size() + backend_rows.size());
   return 0;
 }

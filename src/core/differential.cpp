@@ -13,6 +13,7 @@
 #include "kdtree/builder.hpp"
 #include "kdtree/compact_tree.hpp"
 #include "kdtree/lazy_tree.hpp"
+#include "kdtree/wide_tree.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace kdtune {
@@ -113,7 +114,8 @@ BuildConfig generate_config(Rng& rng) {
 
 struct Impl {
   std::string name;
-  std::unique_ptr<KdTreeBase> tree;
+  /// shared, not unique: the wide backends alias one compact source tree.
+  std::shared_ptr<KdTreeBase> tree;
 };
 
 Ray random_ray(Rng& rng, const AABB& box) {
@@ -228,10 +230,23 @@ DifferentialResult run_differential_case(std::uint64_t seed,
         {std::string(to_string(a)), make_builder(a)->build(tris, config, pool)});
   }
 
-  // The compact serving layout, re-emitted from the eager sweep tree.
+  // The compact serving layout, re-emitted from the eager sweep tree, plus
+  // the wide backends collapsed from it: the auto-detected kernels (AVX2/SSE
+  // on this host) and the forced scalar fallback, which must answer
+  // identically — so one fuzz sweep checks every kernel tier the binary can
+  // reach against brute force and against each other.
   const auto* eager = dynamic_cast<const KdTree*>(impls.front().tree.get());
   if (eager != nullptr) {
-    impls.push_back({"compact", std::make_unique<CompactKdTree>(*eager)});
+    auto compact = std::make_shared<CompactKdTree>(*eager);
+    impls.push_back({"compact", compact});
+    impls.push_back({"wide4", std::make_shared<WideKdTree4>(compact)});
+    impls.push_back({"wide8", std::make_shared<WideKdTree8>(compact)});
+    if (detect_simd_level() != SimdLevel::kScalar) {
+      impls.push_back({"wide4-scalar", std::make_shared<WideKdTree4>(
+                                           compact, SimdLevel::kScalar)});
+      impls.push_back({"wide8-scalar", std::make_shared<WideKdTree8>(
+                                           compact, SimdLevel::kScalar)});
+    }
   } else {
     std::ostringstream msg;
     msg << "sweep builder did not produce an eager KdTree";

@@ -33,9 +33,12 @@
 #include "kdtree/dot_export.hpp"
 #include "kdtree/lazy_tree.hpp"
 #include "kdtree/packet.hpp"
+#include "kdtree/query_backend.hpp" // serving-backend enum (tunable online)
 #include "kdtree/serialize.hpp"
+#include "kdtree/simd_dispatch.hpp" // runtime CPU-feature detection
 #include "kdtree/tree.hpp"
 #include "kdtree/validate.hpp"
+#include "kdtree/wide_tree.hpp"      // 4/8-wide SIMD collapse of the compact tree
 #include "obs/trace.hpp"             // run-wide tracing (Chrome trace JSON)
 #include "obs/tuner_log.hpp"         // per-iteration tuner decision log
 #include "dynamic/frame_pipeline.hpp"  // overlapped rebuild/query frame loop

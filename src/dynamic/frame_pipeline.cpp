@@ -47,6 +47,7 @@ FrameTuner::Trial FramePipeline::next_trial() {
   FrameTuner::Trial trial;
   trial.algorithm = opts_.algorithm;
   if (opts_.config) trial.config = *opts_.config;
+  trial.backend = opts_.backend;
   trial.probe = false;
   return trial;
 }
@@ -58,11 +59,13 @@ FrameTick FramePipeline::begin() {
 
   AdmitOptions admit;
   admit.compact = opts_.compact;
+  admit.backend = opts_.backend;
   bool probe = false;
   if (opts_.tuner != nullptr) {
     const FrameTuner::Trial trial = opts_.tuner->next_trial();
     admit.algorithm = trial.algorithm;
     admit.config = trial.config;
+    admit.backend = trial.backend;
     probe = trial.probe;
   } else {
     admit.algorithm = opts_.algorithm;
@@ -89,6 +92,7 @@ FrameTick FramePipeline::begin() {
   tick.build_seconds = snap->build_seconds;
   tick.algorithm = snap->algorithm;
   tick.config = snap->config;
+  tick.backend = snap->backend;
   note_published(tick, 0.0);
 
   if (opts_.overlap && !drained_) launch_build(next_frame_);
@@ -103,6 +107,7 @@ void FramePipeline::launch_build(std::size_t frame) {
       (opts_.tuner != nullptr || opts_.config) ? std::optional(trial.config)
                                                : std::nullopt;
   const Algorithm algorithm = trial.algorithm;
+  const QueryBackend backend = trial.backend;
 
   InFlight inflight;
   inflight.frame = frame;
@@ -110,14 +115,14 @@ void FramePipeline::launch_build(std::size_t frame) {
   auto promise =
       std::make_shared<std::promise<SceneRegistry::StagedSnapshot>>();
   inflight.staged = promise->get_future();
-  registry_.pool().submit([this, frame, config, algorithm, promise] {
+  registry_.pool().submit([this, frame, config, algorithm, backend, promise] {
     try {
       // This span is what makes the build-overlap visible in a trace: it
       // sits on a pool worker's track while frame.boundary spans run on
       // the driver thread.
       TraceSpan span("frame.build", "frame");
-      promise->set_value(
-          registry_.stage(name_, scene_->frame(frame), config, algorithm));
+      promise->set_value(registry_.stage(name_, scene_->frame(frame), config,
+                                         algorithm, backend));
     } catch (...) {
       promise->set_exception(std::current_exception());
     }
@@ -197,7 +202,7 @@ FrameTick FramePipeline::advance(double query_seconds) {
     Stopwatch clock;
     clock.start();
     staged = registry_.stage(name_, scene_->frame(staged_frame), config,
-                             trial.algorithm);
+                             trial.algorithm, trial.backend);
     wait_seconds = clock.elapsed();
     if (paced) std::this_thread::sleep_until(deadline_);
   }
@@ -272,6 +277,7 @@ FrameTick FramePipeline::advance(double query_seconds) {
   tick.lag_seconds = lag_seconds;
   tick.algorithm = snap->algorithm;
   tick.config = snap->config;
+  tick.backend = snap->backend;
   note_published(tick, query_seconds);
 
   if (!drained_ && opts_.overlap) launch_build(next_frame_);

@@ -64,6 +64,10 @@ struct FramePipelineOptions {
   std::optional<BuildConfig> config{};
   /// Re-emit eager builds into the compact serving layout.
   bool compact = true;
+  /// Fixed serving backend (compact / wide4 / wide8 / bvh) for each frame's
+  /// tree; requires `compact`. A FrameTuner with tune_backend overrides this
+  /// per trial, making the layout part of the per-frame objective.
+  QueryBackend backend = QueryBackend::kCompact;
   /// Overlap the next frame's build with the current frame's queries. Off
   /// gives the sequential build-then-query baseline bench_dynamic compares
   /// against (build runs inside advance(), after the previous frame retires).
@@ -92,6 +96,9 @@ struct FrameTick {
   double lag_seconds = 0.0;    ///< publication time past the frame deadline
   Algorithm algorithm = Algorithm::kInPlace;
   BuildConfig config{};        ///< configuration the published tree used
+  /// Serving backend of the published snapshot (kCompact for lazy /
+  /// non-compacted frames).
+  QueryBackend backend = QueryBackend::kCompact;
 };
 
 struct FramePipelineStats {

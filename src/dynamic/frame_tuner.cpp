@@ -24,6 +24,14 @@ FrameTuner::FrameTuner(FrameTunerOptions opts) : opts_(std::move(opts)) {
   // candidates_ never resizes after construction (FrameTuner is immovable).
   for (Candidate& c : candidates_) {
     register_build_parameters(*c.tuner, c.config, c.algorithm, opts_.ranges);
+    // The backend dimension is always registered last, after the build knobs
+    // ([CI, CB, S] (+R)) — best_config()/best_backend() rely on this order.
+    c.tunes_backend =
+        opts_.tune_backend && c.algorithm != Algorithm::kLazy;
+    if (c.tunes_backend) {
+      c.tuner->register_parameter(&c.backend, 0, kQueryBackendCount - 1, 1,
+                                  std::string(kQueryBackendParam));
+    }
   }
   // A single candidate needs no selection phase: route to it immediately so
   // selection_done() is trivially true and the budget never interferes.
@@ -41,7 +49,13 @@ std::size_t FrameTuner::warm_start(const ConfigCache& cache,
     const auto entry = cache.lookup(ConfigCache::key_for(
         scene, std::string(to_string(c.algorithm)), threads));
     if (!entry) continue;
-    c.tuner->warm_start(entry->values);
+    // Cached entries persist the build knobs only ([CI, CB, S] (+R)); when
+    // this candidate also tunes the backend dimension, seed it at kCompact.
+    std::vector<std::int64_t> values = entry->values;
+    if (c.tunes_backend && values.size() == c.tuner->parameter_count() - 1) {
+      values.push_back(0);
+    }
+    c.tuner->warm_start(values);
     ++warmed;
   }
   return warmed;
@@ -79,6 +93,7 @@ FrameTuner::Trial FrameTuner::next_trial() {
     probe_outstanding_ = true;
   }
   trial.config = c.config;
+  if (c.tunes_backend) trial.backend = backend_from_int(c.backend);
   return trial;
 }
 
@@ -137,8 +152,18 @@ BuildConfig FrameTuner::best_config() const {
     config.cb = values[1];
     config.s = values[2];
   }
-  if (values.size() > 3) config.r = values[3];
+  // Layout-aware: index 3 is R only for the lazy algorithm; for backend-tuned
+  // candidates the trailing value is the QueryBackend, not a build knob.
+  if (c.algorithm == Algorithm::kLazy && values.size() > 3) {
+    config.r = values[3];
+  }
   return config;
+}
+
+QueryBackend FrameTuner::best_backend() const {
+  const Candidate& c = active();
+  if (!c.tunes_backend) return QueryBackend::kCompact;
+  return backend_from_int(c.tuner->best_values().back());
 }
 
 double FrameTuner::best_objective() const { return active().tuner->best_time(); }

@@ -30,6 +30,7 @@
 
 #include "core/base_config.hpp"
 #include "kdtree/builder.hpp"
+#include "kdtree/query_backend.hpp"
 #include "tuning/config_cache.hpp"
 #include "tuning/tuner.hpp"
 
@@ -44,6 +45,12 @@ struct FrameTunerOptions {
   std::size_t frames_per_algorithm = 24;
   /// w in the objective m = t_build + w * t_query.
   double query_weight = 1.0;
+  /// Add the serving query backend (compact / wide4 / wide8 / bvh) as one
+  /// more tuned dimension of each non-lazy candidate: the frame objective
+  /// then weighs a layout's collapse cost against its query speedup per
+  /// scene. Lazy candidates keep serving the builder layout (no compact
+  /// source to collapse) and always issue kCompact trials.
+  bool tune_backend = false;
   TuningRanges ranges{};
   TunerOptions tuner{};
 };
@@ -64,6 +71,8 @@ class FrameTuner {
   struct Trial {
     Algorithm algorithm = Algorithm::kInPlace;
     BuildConfig config{};
+    /// Serving backend for this build (kCompact unless tune_backend).
+    QueryBackend backend = QueryBackend::kCompact;
     /// True when this build's frame completes the current tuning measurement.
     bool probe = false;
   };
@@ -83,9 +92,10 @@ class FrameTuner {
   /// The algorithm currently issuing trials (the winner once selection_done).
   Algorithm current_algorithm() const noexcept;
 
-  /// Best (algorithm, config, objective seconds) found so far.
+  /// Best (algorithm, config, backend, objective seconds) found so far.
   Algorithm best_algorithm() const;
   BuildConfig best_config() const;
+  QueryBackend best_backend() const;
   double best_objective() const;
 
   /// Probe measurements completed across all candidates.
@@ -105,6 +115,8 @@ class FrameTuner {
   struct Candidate {
     Algorithm algorithm = Algorithm::kInPlace;
     BuildConfig config{};  ///< tuner-owned parameter storage
+    std::int64_t backend = 0;  ///< tuner-owned QueryBackend (tune_backend)
+    bool tunes_backend = false;
     std::unique_ptr<Tuner> tuner;
     std::size_t probe_frames = 0;
     bool started = false;  ///< first apply_next() issued

@@ -9,6 +9,7 @@
 
 #include "geom/closest_point.hpp"
 #include "geom/intersect.hpp"
+#include "kdtree/leaf_blocks.hpp"
 
 namespace kdtune {
 
@@ -201,8 +202,6 @@ Hit CompactKdTree::hit_core(const Ray& ray, TraversalCounters* counters) const {
   int sp = 0;
   std::uint32_t current = 0;
 
-  constexpr float kInf = std::numeric_limits<float>::infinity();
-
   for (;;) {
     const CompactNode node = nodes[current];
     if (node.is_leaf()) {
@@ -211,79 +210,12 @@ Hit CompactKdTree::hit_core(const Ray& ray, TraversalCounters* counters) const {
         ++counters->leaves_visited;
         counters->triangles_tested += count;
       }
-      if (count == 1) {
-        // Inlined single-triangle leaf: edges computed on the fly.
-        const Triangle& tri = tris[node.prim];
-        const float bound = M == HitQuery::kAny ? ray.t_max : ray_t_max;
-        float t, u, v;
-        if (intersect_edges(ray.origin, ray.dir, ray.t_min, bound, tri.a,
-                            tri.b - tri.a, tri.c - tri.a, t, u, v)) {
-          best = {t, node.prim, u, v};
-          if constexpr (M == HitQuery::kAny) return best;
-          ray_t_max = t;
-        }
-      } else if (count > 1) {
-        // Block evaluation over the leaf's SoA slab: a branchless pass
-        // fills per-triangle hit distances (+inf = miss), then a scalar
-        // argmin scan picks the winner. Equivalent to the sequential
-        // shrinking scan — the argmin keeps the first of equal distances,
-        // exactly like `tt >= t_max` rejects a tie against an earlier hit —
-        // but the straight-line inner loop vectorizes across the block.
-        const float* const ax = soa + 9ull * node.prim;
-        const float* const ay = ax + count;
-        const float* const az = ay + count;
-        const float* const e1x = az + count;
-        const float* const e1y = e1x + count;
-        const float* const e1z = e1y + count;
-        const float* const e2x = e1z + count;
-        const float* const e2y = e2x + count;
-        const float* const e2z = e2y + count;
-        const std::uint32_t* const ids = leaf_tris + node.prim;
-
-        if (count <= 4) {
-          // Tiny blocks (the common case for well-built SAH trees) take a
-          // plain sequential scan over the SoA slots: identical test order
-          // and shrinking bound, none of the chunk machinery.
-          for (std::uint32_t k = 0; k < count; ++k) {
-            const float bound = M == HitQuery::kAny ? ray.t_max : ray_t_max;
-            float t, u, v;
-            if (intersect_edges(ray.origin, ray.dir, ray.t_min, bound,
-                                Vec3{ax[k], ay[k], az[k]},
-                                Vec3{e1x[k], e1y[k], e1z[k]},
-                                Vec3{e2x[k], e2y[k], e2z[k]}, t, u, v)) {
-              best = {t, ids[k], u, v};
-              if constexpr (M == HitQuery::kAny) return best;
-              ray_t_max = t;
-            }
-          }
-        } else {
-          constexpr std::uint32_t kChunk = 128;
-          float ts[kChunk], us[kChunk], vs[kChunk];
-          for (std::uint32_t off = 0; off < count; off += kChunk) {
-            const std::uint32_t n = std::min(kChunk, count - off);
-            const float bound = M == HitQuery::kAny ? ray.t_max : ray_t_max;
-            for (std::uint32_t k = 0; k < n; ++k) {
-              ts[k] = intersect_edges_t(
-                  ray.origin, ray.dir, ray.t_min, bound,
-                  Vec3{ax[off + k], ay[off + k], az[off + k]},
-                  Vec3{e1x[off + k], e1y[off + k], e1z[off + k]},
-                  Vec3{e2x[off + k], e2y[off + k], e2z[off + k]}, us[k], vs[k]);
-            }
-            float m = kInf;
-            std::uint32_t mk = 0;
-            for (std::uint32_t k = 0; k < n; ++k) {
-              if (ts[k] < m) {
-                m = ts[k];
-                mk = k;
-              }
-            }
-            if (m < kInf) {
-              best = {m, ids[off + mk], us[mk], vs[mk]};
-              if constexpr (M == HitQuery::kAny) return best;
-              ray_t_max = m;
-            }
-          }
-        }
+      // Leaf blocks are shared with the wide backends: the full leaf test
+      // (inlined singles, tiny sequential blocks, chunked branchless pass)
+      // lives in leaf_blocks.hpp so every layout funnels through one body.
+      if (leaf_detail::intersect_leaf_blocks<M == HitQuery::kAny>(
+              node, ray, tris, soa, leaf_tris, ray_t_max, best)) {
+        return best;  // any-hit: first hit terminates the query
       }
       if constexpr (M == HitQuery::kClosest) {
         // A hit inside this leaf's interval cannot be beaten by nodes

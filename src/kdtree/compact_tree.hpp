@@ -101,6 +101,9 @@ class CompactKdTree final : public KdTreeBase {
   std::span<const std::uint32_t> leaf_tris() const noexcept {
     return leaf_tris_;
   }
+  /// The per-block SoA triangle slabs (see soa_ below). Exposed for the wide
+  /// traversal, which intersects this tree's leaves directly.
+  std::span<const float> leaf_soa() const noexcept { return soa_; }
 
   /// Intersects `ray` against leaf `node` (which must be a leaf), shrinking
   /// `ray.t_max` on hits and updating `best`. Exposed for the packet

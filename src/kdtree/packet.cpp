@@ -246,8 +246,25 @@ void closest_hit_packet(const CompactKdTree& tree, std::span<const Ray> rays,
   packet_traverse(view, tree.bounds(), rays, hits);
 }
 
+void closest_hit_packet(const WideTreeBase& tree, std::span<const Ray> rays,
+                        std::span<Hit> hits) {
+  if (rays.size() != hits.size()) {
+    throw std::invalid_argument("closest_hit_packet: rays/hits size mismatch");
+  }
+  // The wide kernels vectorize across a node's child slabs per ray; packet
+  // masking would fight that for no gain. Per-ray dispatch stays
+  // bit-identical to every other backend.
+  for (std::size_t i = 0; i < rays.size(); ++i) {
+    hits[i] = tree.closest_hit(rays[i]);
+  }
+}
+
 void closest_hit_packet_any(const KdTreeBase& tree, std::span<const Ray> rays,
                             std::span<Hit> hits) {
+  if (const auto* wide = dynamic_cast<const WideTreeBase*>(&tree)) {
+    closest_hit_packet(*wide, rays, hits);
+    return;
+  }
   const auto* eager = dynamic_cast<const KdTree*>(&tree);
   const auto* compact = dynamic_cast<const CompactKdTree*>(&tree);
   if (eager != nullptr || compact != nullptr) {

@@ -15,6 +15,7 @@
 
 #include "kdtree/compact_tree.hpp"
 #include "kdtree/tree.hpp"
+#include "kdtree/wide_tree.hpp"
 
 namespace kdtune {
 
@@ -31,9 +32,16 @@ void closest_hit_packet(const KdTree& tree, std::span<const Ray> rays,
 void closest_hit_packet(const CompactKdTree& tree, std::span<const Ray> rays,
                         std::span<Hit> hits);
 
+/// Wide trees spend their SIMD lanes *within* a ray (one ray vs. all child
+/// slabs of a node), so the packet entry point runs the wide per-ray kernel
+/// over the packet — same results, and the lanes are already busy.
+void closest_hit_packet(const WideTreeBase& tree, std::span<const Ray> rays,
+                        std::span<Hit> hits);
+
 /// Convenience fallback for any KdTreeBase: uses the real packet traversal
-/// for eager/compact trees and per-ray traversal otherwise (lazy trees
-/// mutate during traversal, which packet masking does not model).
+/// for eager/compact trees, the wide per-ray kernel for wide trees, and
+/// per-ray traversal otherwise (lazy trees mutate during traversal, which
+/// packet masking does not model).
 void closest_hit_packet_any(const KdTreeBase& tree, std::span<const Ray> rays,
                             std::span<Hit> hits);
 

@@ -1,0 +1,61 @@
+#pragma once
+
+// The serving-layout axis of the tuning space: which query backend answers
+// ray queries for a scene. Header-only (no kdtree-library types) so the
+// tuning and obs layers can name backends without linking traversal code.
+//
+// The enumerator values are the tunable parameter's integer grid — the tuner
+// registers `query_backend` as a linear parameter over [0, kQueryBackendCount)
+// and the serving layers map the chosen value back through from_int().
+
+#include <cstdint>
+#include <string>
+
+namespace kdtune {
+
+enum class QueryBackend : std::int64_t {
+  kCompact = 0,  ///< binary compact kd-tree (PR 1 serving layout)
+  kWide4 = 1,    ///< 4-wide collapsed nodes, SSE/NEON slab kernel
+  kWide8 = 2,    ///< 8-wide collapsed nodes, AVX2 slab kernel
+  kBvh = 3,      ///< binned SAH BVH (different structure, same interface)
+};
+
+inline constexpr std::int64_t kQueryBackendCount = 4;
+inline constexpr const char* kQueryBackendParam = "query_backend";
+
+inline const char* to_string(QueryBackend backend) noexcept {
+  switch (backend) {
+    case QueryBackend::kCompact: return "compact";
+    case QueryBackend::kWide4: return "wide4";
+    case QueryBackend::kWide8: return "wide8";
+    case QueryBackend::kBvh: return "bvh";
+  }
+  return "compact";
+}
+
+/// Clamps out-of-range tuner values (the search proposes only in-range
+/// indices, but deserialized or hand-written configs may not).
+inline QueryBackend backend_from_int(std::int64_t v) noexcept {
+  if (v < 0 || v >= kQueryBackendCount) return QueryBackend::kCompact;
+  return static_cast<QueryBackend>(v);
+}
+
+/// Parses a backend name; returns false (leaving `out` untouched) on an
+/// unknown name.
+inline bool backend_from_string(const std::string& name,
+                                QueryBackend& out) noexcept {
+  if (name == "compact") {
+    out = QueryBackend::kCompact;
+  } else if (name == "wide4") {
+    out = QueryBackend::kWide4;
+  } else if (name == "wide8") {
+    out = QueryBackend::kWide8;
+  } else if (name == "bvh") {
+    out = QueryBackend::kBvh;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace kdtune

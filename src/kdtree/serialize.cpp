@@ -14,6 +14,7 @@ namespace {
 constexpr char kMagic[4] = {'K', 'D', 'T', 'N'};
 constexpr std::uint32_t kVersion = 1;
 constexpr std::uint32_t kCompactVersion = 2;
+constexpr std::uint32_t kWideVersion = 3;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -107,6 +108,16 @@ std::unique_ptr<CompactKdTree> load_compact_v2(std::istream& in) {
                                          std::move(leaf_tris), bounds);
 }
 
+/// Collapses a loaded compact body to the requested width.
+std::unique_ptr<WideTreeBase> widen(std::unique_ptr<CompactKdTree> compact,
+                                    std::uint32_t width) {
+  std::shared_ptr<const CompactKdTree> shared = std::move(compact);
+  if (width == 4) return std::make_unique<WideKdTree4>(std::move(shared));
+  if (width == 8) return std::make_unique<WideKdTree8>(std::move(shared));
+  throw std::runtime_error("kd-tree file corrupt: unsupported wide width " +
+                           std::to_string(width));
+}
+
 }  // namespace
 
 void save_tree(std::ostream& out, const KdTree& tree) {
@@ -125,6 +136,11 @@ std::unique_ptr<KdTree> load_tree(std::istream& in) {
   if (version == kCompactVersion) {
     throw std::runtime_error(
         "kd-tree file is format v2 (compact layout): use load_compact_tree");
+  }
+  if (version == kWideVersion) {
+    throw std::runtime_error(
+        "kd-tree file is format v3 (wide layout): use load_wide_tree or "
+        "load_compact_tree");
   }
   if (version != kVersion) {
     throw std::runtime_error("unsupported kd-tree file version " +
@@ -145,7 +161,10 @@ void save_compact_tree(std::ostream& out, const CompactKdTree& tree) {
 
 std::unique_ptr<CompactKdTree> load_compact_tree(std::istream& in) {
   const std::uint32_t version = read_header(in);
-  if (version == kCompactVersion) {
+  if (version == kCompactVersion || version == kWideVersion) {
+    if (version == kWideVersion) {
+      (void)read_pod<std::uint32_t>(in);  // recorded width; body is compact
+    }
     try {
       return load_compact_v2(in);
     } catch (const std::invalid_argument& e) {
@@ -156,6 +175,37 @@ std::unique_ptr<CompactKdTree> load_compact_tree(std::istream& in) {
     // Backward read: re-emit the builder layout into the serving layout.
     const std::unique_ptr<KdTree> v1 = load_tree_v1(in);
     return std::make_unique<CompactKdTree>(*v1);
+  }
+  throw std::runtime_error("unsupported kd-tree file version " +
+                           std::to_string(version));
+}
+
+void save_wide_tree(std::ostream& out, const WideTreeBase& tree) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kWideVersion);
+  write_pod(out, static_cast<std::uint32_t>(tree.width()));
+  const CompactKdTree& source = tree.source();
+  write_pod(out, source.bounds());
+  write_span(out, source.nodes());
+  write_span(out, source.leaf_tris());
+  write_span(out, source.triangles());
+  if (!out) throw std::runtime_error("kd-tree write failed");
+}
+
+std::unique_ptr<WideTreeBase> load_wide_tree(std::istream& in,
+                                             int fallback_width) {
+  const std::uint32_t version = read_header(in);
+  if (version == kWideVersion) {
+    const auto width = read_pod<std::uint32_t>(in);
+    return widen(load_compact_v2(in), width);
+  }
+  const auto width = static_cast<std::uint32_t>(fallback_width);
+  if (version == kCompactVersion) {
+    return widen(load_compact_v2(in), width);
+  }
+  if (version == kVersion) {
+    const std::unique_ptr<KdTree> v1 = load_tree_v1(in);
+    return widen(std::make_unique<CompactKdTree>(*v1), width);
   }
   throw std::runtime_error("unsupported kd-tree file version " +
                            std::to_string(version));
@@ -184,6 +234,19 @@ std::unique_ptr<CompactKdTree> load_compact_tree_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open: " + path);
   return load_compact_tree(in);
+}
+
+void save_wide_tree_file(const std::string& path, const WideTreeBase& tree) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save_wide_tree(out, tree);
+}
+
+std::unique_ptr<WideTreeBase> load_wide_tree_file(const std::string& path,
+                                                  int fallback_width) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return load_wide_tree(in, fallback_width);
 }
 
 }  // namespace kdtune

@@ -21,6 +21,14 @@
 //   The per-leaf SoA intersection blocks are recomputed on load (they are a
 //   pure function of triangles + leaf order), keeping files small.
 //
+// v3 — the wide serving layout (WideKdTree):
+//   magic "KDTN", u32 version = 3, u32 width (4 or 8),
+//   then the v2 compact body verbatim (the wide tree's shared source).
+//   Wide nodes are re-collapsed on load — like the v2 SoA blocks they are a
+//   pure function of the compact tree, and the collapse is deterministic, so
+//   files stay small and v3 bodies remain readable as compact trees
+//   (load_compact_tree skips the width word).
+//
 // Lazy trees are intentionally not serializable: their value is *not* doing
 // the work; expand_all() + rebuild covers the rare need.
 
@@ -30,6 +38,7 @@
 
 #include "kdtree/compact_tree.hpp"
 #include "kdtree/tree.hpp"
+#include "kdtree/wide_tree.hpp"
 
 namespace kdtune {
 
@@ -47,10 +56,25 @@ void save_compact_tree(std::ostream& out, const CompactKdTree& tree);
 void save_compact_tree_file(const std::string& path,
                             const CompactKdTree& tree);
 
-/// Reads a compact tree. Accepts v2 directly and v1 for backward
-/// compatibility (the loaded builder layout is re-emitted into the compact
-/// layout). Throws std::runtime_error on bad magic/version/truncation.
+/// Reads a compact tree. Accepts v2 directly, v1 for backward compatibility
+/// (the loaded builder layout is re-emitted into the compact layout), and v3
+/// (the wide layout's compact body, ignoring the recorded width). Throws
+/// std::runtime_error on bad magic/version/truncation.
 std::unique_ptr<CompactKdTree> load_compact_tree(std::istream& in);
 std::unique_ptr<CompactKdTree> load_compact_tree_file(const std::string& path);
+
+/// Writes the wide serving layout (format v3: recorded width + the shared
+/// compact body).
+void save_wide_tree(std::ostream& out, const WideTreeBase& tree);
+void save_wide_tree_file(const std::string& path, const WideTreeBase& tree);
+
+/// Reads a wide tree: v3 rebuilds the recorded width; v2 and v1 load as a
+/// compact (resp. builder) tree and collapse to `fallback_width`. Throws
+/// std::runtime_error on bad magic/version/truncation or an unsupported
+/// recorded width.
+std::unique_ptr<WideTreeBase> load_wide_tree(std::istream& in,
+                                             int fallback_width = 4);
+std::unique_ptr<WideTreeBase> load_wide_tree_file(const std::string& path,
+                                                  int fallback_width = 4);
 
 }  // namespace kdtune

@@ -1,0 +1,90 @@
+#include "kdtree/simd_dispatch.hpp"
+
+#include <cstdlib>
+
+namespace kdtune {
+
+namespace {
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__) || \
+    defined(_M_IX86)
+#define KDTUNE_ARCH_X86 1
+#endif
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define KDTUNE_ARCH_NEON 1
+#endif
+
+SimdLevel cpu_level() noexcept {
+#if defined(KDTUNE_ARCH_X86)
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+#endif
+  return SimdLevel::kSse;  // SSE2 is the x86-64 baseline
+#elif defined(KDTUNE_ARCH_NEON)
+  return SimdLevel::kNeon;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+/// Weaker-of for the override clamp. NEON and the SSE/AVX2 ladder never
+/// coexist, so cross-architecture requests clamp to scalar.
+SimdLevel clamp_to(SimdLevel requested, SimdLevel available) noexcept {
+  if (requested == SimdLevel::kScalar || available == SimdLevel::kScalar) {
+    return SimdLevel::kScalar;
+  }
+  if (requested == SimdLevel::kNeon || available == SimdLevel::kNeon) {
+    return requested == available ? SimdLevel::kNeon : SimdLevel::kScalar;
+  }
+  return static_cast<int>(requested) < static_cast<int>(available) ? requested
+                                                                   : available;
+}
+
+SimdLevel resolve() noexcept {
+  SimdLevel level = clamp_to(cpu_level(), simd_compiled_level());
+  if (const char* env = std::getenv("KDTUNE_SIMD")) {
+    SimdLevel requested;
+    if (simd_level_from_string(env, requested)) {
+      level = clamp_to(requested, level);
+    }
+  }
+  return level;
+}
+
+}  // namespace
+
+bool simd_level_from_string(const std::string& name, SimdLevel& out) noexcept {
+  if (name == "scalar") {
+    out = SimdLevel::kScalar;
+  } else if (name == "sse") {
+    out = SimdLevel::kSse;
+  } else if (name == "avx2") {
+    out = SimdLevel::kAvx2;
+  } else if (name == "neon") {
+    out = SimdLevel::kNeon;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SimdLevel simd_compiled_level() noexcept {
+#if defined(KDTUNE_ARCH_X86)
+#if defined(KDTUNE_HAVE_AVX2_TU)
+  return SimdLevel::kAvx2;
+#else
+  return SimdLevel::kSse;
+#endif
+#elif defined(KDTUNE_ARCH_NEON)
+  return SimdLevel::kNeon;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+SimdLevel detect_simd_level() noexcept {
+  static const SimdLevel level = resolve();
+  return level;
+}
+
+}  // namespace kdtune

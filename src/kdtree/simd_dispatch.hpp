@@ -1,0 +1,53 @@
+#pragma once
+
+// Runtime CPU-feature detection for the wide traversal kernels.
+//
+// The 4-/8-wide node layouts are fixed at tree build; the *kernel* that tests
+// a ray against a node's child slabs is picked per tree from the host's
+// instruction set: AVX2 where available (and compiled in — the AVX2 TU is
+// gated on compiler support), SSE2 on any x86-64, NEON on AArch64, and a
+// portable scalar loop everywhere else. The scalar kernel is semantically
+// identical to the vector ones (same conservative NaN handling), so forcing
+// it via KDTUNE_SIMD=scalar must not change a single query result — CI runs
+// the parity suite under that override.
+
+#include <string>
+
+namespace kdtune {
+
+/// Kernel instruction-set tiers, ordered weakest-first within each
+/// architecture (scalar < sse < avx2 on x86; scalar < neon on ARM).
+enum class SimdLevel : int {
+  kScalar = 0,
+  kSse = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+inline const char* to_string(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kSse: return "sse";
+    case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kNeon: return "neon";
+  }
+  return "scalar";
+}
+
+/// Parses a KDTUNE_SIMD value; returns false on an unknown name. Exposed for
+/// the unit tests.
+bool simd_level_from_string(const std::string& name, SimdLevel& out) noexcept;
+
+/// The strongest kernel tier this *binary* contains (compile-time fact:
+/// kAvx2 only when the AVX2 TU was built, kSse on x86, kNeon on ARM NEON,
+/// else kScalar).
+SimdLevel simd_compiled_level() noexcept;
+
+/// The kernel tier wide trees built in this process use: the weaker of what
+/// the CPU supports and what the binary contains, further lowered by the
+/// KDTUNE_SIMD environment override (scalar|sse|avx2|neon). The override can
+/// only *lower* the tier — requesting an unsupported level clamps down.
+/// Detection (and the env read) happens once and is cached.
+SimdLevel detect_simd_level() noexcept;
+
+}  // namespace kdtune

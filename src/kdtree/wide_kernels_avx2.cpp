@@ -1,0 +1,93 @@
+// AVX2 kernel for 8-wide nodes: all eight child slabs of a node in one
+// 256-bit lane set. This TU is compiled with -mavx2 only when both the
+// target is x86 and the compiler accepts the flag (see
+// src/kdtree/CMakeLists.txt, which also defines KDTUNE_HAVE_AVX2_TU so the
+// dispatcher knows the symbols exist); runtime dispatch guarantees the
+// functions are never called on CPUs without AVX2.
+//
+// Same conservative slab semantics as the scalar/SSE kernels, and — on
+// purpose — no FMA: (lo - o) * inv must round exactly like the baseline
+// kernels so a tree answers identically whichever kernel serves it.
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "kdtree/wide_traverse.hpp"
+
+namespace kdtune::wide_detail {
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Per-ray near/far slab-plane selection (the Embree-style formulation): the
+/// sign of inv_dir decides once per ray whether lo or hi is the entry plane
+/// on each axis, so the per-node work is one sub+mul+fold per plane with no
+/// min/max swap and no unordered-compare blend. x86 maxps/minps return the
+/// SECOND operand when the first is NaN, so folding with the freshly
+/// computed distance as the first operand silently drops 0 * inf lanes —
+/// exactly the conservative "axis unconstrained" reading the scalar
+/// reference implements with an explicit isnan test. A kernel may therefore
+/// produce a *tighter* visit mask than the scalar reference in those
+/// measure-zero cases; both are conservative supersets of the children
+/// containing true hits, which is what keeps final hits bit-identical.
+struct Avx2Kernel8 {
+  __m256 o[3];
+  __m256 inv[3];
+  __m256 tmin;
+  int near_off[3];  ///< float offset of the entry plane row in the node
+  int far_off[3];   ///< float offset of the exit plane row
+
+  explicit Avx2Kernel8(const Ray& ray) noexcept {
+    const float os[3] = {ray.origin.x, ray.origin.y, ray.origin.z};
+    const float is[3] = {ray.inv_dir.x, ray.inv_dir.y, ray.inv_dir.z};
+    for (int a = 0; a < 3; ++a) {
+      o[a] = _mm256_set1_ps(os[a]);
+      inv[a] = _mm256_set1_ps(is[a]);
+      // lo[a] row sits at float offset a*8, hi[a] at 24 + a*8.
+      const bool toward_hi = !std::signbit(is[a]);
+      near_off[a] = toward_hi ? a * 8 : 24 + a * 8;
+      far_off[a] = toward_hi ? 24 + a * 8 : a * 8;
+    }
+    tmin = _mm256_set1_ps(ray.t_min);
+  }
+
+  std::uint32_t visit(const WideNode<8>& node, float bound,
+                      float* tnear) const noexcept {
+    const float* const base = node.lo[0];
+    __m256 tn = tmin;
+    __m256 tf = _mm256_set1_ps(kInf);
+    for (int a = 0; a < 3; ++a) {
+      const __m256 t0 = _mm256_mul_ps(
+          _mm256_sub_ps(_mm256_loadu_ps(base + near_off[a]), o[a]), inv[a]);
+      const __m256 t1 = _mm256_mul_ps(
+          _mm256_sub_ps(_mm256_loadu_ps(base + far_off[a]), o[a]), inv[a]);
+      tn = _mm256_max_ps(t0, tn);  // NaN t0 keeps tn: axis unconstrained
+      tf = _mm256_min_ps(t1, tf);
+    }
+    const __m256 ok =
+        _mm256_and_ps(_mm256_cmp_ps(tn, tf, _CMP_LE_OQ),
+                      _mm256_cmp_ps(tn, _mm256_set1_ps(bound), _CMP_LT_OQ));
+    _mm256_storeu_ps(tnear, tn);
+    const auto mask = static_cast<std::uint32_t>(_mm256_movemask_ps(ok));
+    return mask & ((1u << node.count) - 1u);
+  }
+};
+
+}  // namespace
+
+Hit closest_hit_avx2(const WideTreeView<8>& view, const Ray& ray) {
+  return wide_traverse<false, Avx2Kernel8>(view, ray);
+}
+Hit any_hit_avx2(const WideTreeView<8>& view, const Ray& ray) {
+  return wide_traverse<true, Avx2Kernel8>(view, ray);
+}
+
+}  // namespace kdtune::wide_detail
+
+#endif  // __AVX2__

@@ -1,0 +1,225 @@
+// Baseline wide-traversal kernels: the portable scalar fallback plus the
+// ISA tiers that need no extra compile flags — SSE2 (the x86-64 baseline)
+// and NEON (implied by the AArch64 target). The AVX2 kernel lives in its own
+// TU (wide_kernels_avx2.cpp) behind a -mavx2 compile gate.
+//
+// All kernels implement the same conservative slab test (see
+// wide_traverse.hpp), visit iff tn <= tf && tn < bound. The x86 kernels use
+// per-ray near/far plane selection with NaN-dropping min/max folds; NEON
+// keeps the min/max-swap formulation with an explicit ordered-lane blend
+// because its vmin/vmax propagate NaN instead of preferring one operand.
+// No FMA anywhere — fused rounding would perturb entry distances relative
+// to the scalar reference.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "kdtree/wide_traverse.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__) || \
+    defined(_M_IX86)
+#define KDTUNE_WIDE_X86 1
+#include <emmintrin.h>
+#endif
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define KDTUNE_WIDE_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace kdtune::wide_detail {
+
+namespace {
+[[maybe_unused]] constexpr float kInf = std::numeric_limits<float>::infinity();
+}  // namespace
+
+Hit closest_hit_scalar(const WideTreeView<4>& view, const Ray& ray) {
+  return wide_traverse<false, ScalarSlabKernel<4>>(view, ray);
+}
+Hit closest_hit_scalar(const WideTreeView<8>& view, const Ray& ray) {
+  return wide_traverse<false, ScalarSlabKernel<8>>(view, ray);
+}
+Hit any_hit_scalar(const WideTreeView<4>& view, const Ray& ray) {
+  return wide_traverse<true, ScalarSlabKernel<4>>(view, ray);
+}
+Hit any_hit_scalar(const WideTreeView<8>& view, const Ray& ray) {
+  return wide_traverse<true, ScalarSlabKernel<8>>(view, ray);
+}
+
+#if defined(KDTUNE_WIDE_X86)
+
+namespace {
+
+/// Per-ray near/far slab-plane selection, shared by the SSE kernels: the
+/// sign of inv_dir decides once per ray whether lo or hi is the entry plane
+/// on each axis (see the AVX2 kernel for the full rationale). x86
+/// maxps/minps return the second operand when the first is NaN, which drops
+/// 0 * inf lanes as "axis unconstrained" without an unordered-compare blend.
+template <int W>
+struct SseRay {
+  __m128 o[3];
+  __m128 inv[3];
+  __m128 tmin;
+  int near_off[3];  ///< float offset of the entry plane row in the node
+  int far_off[3];   ///< float offset of the exit plane row
+
+  explicit SseRay(const Ray& ray) noexcept {
+    const float os[3] = {ray.origin.x, ray.origin.y, ray.origin.z};
+    const float is[3] = {ray.inv_dir.x, ray.inv_dir.y, ray.inv_dir.z};
+    for (int a = 0; a < 3; ++a) {
+      o[a] = _mm_set1_ps(os[a]);
+      inv[a] = _mm_set1_ps(is[a]);
+      // lo[a] row sits at float offset a*W, hi[a] at 3*W + a*W.
+      const bool toward_hi = !std::signbit(is[a]);
+      near_off[a] = toward_hi ? a * W : (3 + a) * W;
+      far_off[a] = toward_hi ? (3 + a) * W : a * W;
+    }
+    tmin = _mm_set1_ps(ray.t_min);
+  }
+
+  /// Tests 4 lanes whose slabs start at lane offset `off` in `node`'s SoA
+  /// arrays; returns a 4-bit visit mask (unclamped by count).
+  std::uint32_t quad(const WideNode<W>& node, int off, float bound,
+                     float* tnear) const noexcept {
+    const float* const base = node.lo[0] + off;
+    __m128 tn = tmin;
+    __m128 tf = _mm_set1_ps(kInf);
+    for (int a = 0; a < 3; ++a) {
+      const __m128 t0 = _mm_mul_ps(
+          _mm_sub_ps(_mm_loadu_ps(base + near_off[a]), o[a]), inv[a]);
+      const __m128 t1 = _mm_mul_ps(
+          _mm_sub_ps(_mm_loadu_ps(base + far_off[a]), o[a]), inv[a]);
+      tn = _mm_max_ps(t0, tn);  // NaN t0 keeps tn: axis unconstrained
+      tf = _mm_min_ps(t1, tf);
+    }
+    const __m128 ok = _mm_and_ps(_mm_cmple_ps(tn, tf),
+                                 _mm_cmplt_ps(tn, _mm_set1_ps(bound)));
+    _mm_storeu_ps(tnear + off, tn);
+    return static_cast<std::uint32_t>(_mm_movemask_ps(ok));
+  }
+};
+
+struct SseKernel4 : SseRay<4> {
+  using SseRay<4>::SseRay;
+  std::uint32_t visit(const WideNode<4>& node, float bound,
+                      float* tnear) const noexcept {
+    return quad(node, 0, bound, tnear) & ((1u << node.count) - 1u);
+  }
+};
+
+/// 8-wide nodes on pre-AVX2 hosts: two 4-lane halves per node.
+struct SseKernel8 : SseRay<8> {
+  using SseRay<8>::SseRay;
+  std::uint32_t visit(const WideNode<8>& node, float bound,
+                      float* tnear) const noexcept {
+    const std::uint32_t mask =
+        quad(node, 0, bound, tnear) | (quad(node, 4, bound, tnear) << 4);
+    return mask & ((1u << node.count) - 1u);
+  }
+};
+
+}  // namespace
+
+Hit closest_hit_sse(const WideTreeView<4>& view, const Ray& ray) {
+  return wide_traverse<false, SseKernel4>(view, ray);
+}
+Hit closest_hit_sse(const WideTreeView<8>& view, const Ray& ray) {
+  return wide_traverse<false, SseKernel8>(view, ray);
+}
+Hit any_hit_sse(const WideTreeView<4>& view, const Ray& ray) {
+  return wide_traverse<true, SseKernel4>(view, ray);
+}
+Hit any_hit_sse(const WideTreeView<8>& view, const Ray& ray) {
+  return wide_traverse<true, SseKernel8>(view, ray);
+}
+
+#endif  // KDTUNE_WIDE_X86
+
+#if defined(KDTUNE_WIDE_NEON)
+
+namespace {
+
+/// Folds one axis' slabs into the running [tn, tf] interval for 4 lanes.
+inline void slab_axis_neon(const float* lo, const float* hi, float32x4_t o,
+                           float32x4_t inv, float32x4_t& tn,
+                           float32x4_t& tf) noexcept {
+  const float32x4_t t0 = vmulq_f32(vsubq_f32(vld1q_f32(lo), o), inv);
+  const float32x4_t t1 = vmulq_f32(vsubq_f32(vld1q_f32(hi), o), inv);
+  // ord lanes have both t0 and t1 non-NaN; the others get (-inf, +inf).
+  const uint32x4_t ord = vandq_u32(vceqq_f32(t0, t0), vceqq_f32(t1, t1));
+  const float32x4_t near =
+      vbslq_f32(ord, vminq_f32(t0, t1), vdupq_n_f32(-kInf));
+  const float32x4_t far =
+      vbslq_f32(ord, vmaxq_f32(t0, t1), vdupq_n_f32(kInf));
+  tn = vmaxq_f32(tn, near);
+  tf = vminq_f32(tf, far);
+}
+
+struct NeonRay {
+  float32x4_t ox, oy, oz;
+  float32x4_t ix, iy, iz;
+  float32x4_t tmin;
+
+  explicit NeonRay(const Ray& ray) noexcept
+      : ox(vdupq_n_f32(ray.origin.x)),
+        oy(vdupq_n_f32(ray.origin.y)),
+        oz(vdupq_n_f32(ray.origin.z)),
+        ix(vdupq_n_f32(ray.inv_dir.x)),
+        iy(vdupq_n_f32(ray.inv_dir.y)),
+        iz(vdupq_n_f32(ray.inv_dir.z)),
+        tmin(vdupq_n_f32(ray.t_min)) {}
+
+  template <int W>
+  std::uint32_t quad(const WideNode<W>& node, int off, float bound,
+                     float* tnear) const noexcept {
+    float32x4_t tn = tmin;
+    float32x4_t tf = vdupq_n_f32(kInf);
+    slab_axis_neon(node.lo[0] + off, node.hi[0] + off, ox, ix, tn, tf);
+    slab_axis_neon(node.lo[1] + off, node.hi[1] + off, oy, iy, tn, tf);
+    slab_axis_neon(node.lo[2] + off, node.hi[2] + off, oz, iz, tn, tf);
+    const uint32x4_t ok =
+        vandq_u32(vcleq_f32(tn, tf), vcltq_f32(tn, vdupq_n_f32(bound)));
+    vst1q_f32(tnear + off, tn);
+    std::uint32_t lanebits[4];
+    vst1q_u32(lanebits, ok);
+    return (lanebits[0] & 1u) | ((lanebits[1] & 1u) << 1) |
+           ((lanebits[2] & 1u) << 2) | ((lanebits[3] & 1u) << 3);
+  }
+};
+
+struct NeonKernel4 : NeonRay {
+  using NeonRay::NeonRay;
+  std::uint32_t visit(const WideNode<4>& node, float bound,
+                      float* tnear) const noexcept {
+    return quad(node, 0, bound, tnear) & ((1u << node.count) - 1u);
+  }
+};
+
+struct NeonKernel8 : NeonRay {
+  using NeonRay::NeonRay;
+  std::uint32_t visit(const WideNode<8>& node, float bound,
+                      float* tnear) const noexcept {
+    const std::uint32_t mask =
+        quad(node, 0, bound, tnear) | (quad(node, 4, bound, tnear) << 4);
+    return mask & ((1u << node.count) - 1u);
+  }
+};
+
+}  // namespace
+
+Hit closest_hit_neon(const WideTreeView<4>& view, const Ray& ray) {
+  return wide_traverse<false, NeonKernel4>(view, ray);
+}
+Hit closest_hit_neon(const WideTreeView<8>& view, const Ray& ray) {
+  return wide_traverse<false, NeonKernel8>(view, ray);
+}
+Hit any_hit_neon(const WideTreeView<4>& view, const Ray& ray) {
+  return wide_traverse<true, NeonKernel4>(view, ray);
+}
+Hit any_hit_neon(const WideTreeView<8>& view, const Ray& ray) {
+  return wide_traverse<true, NeonKernel8>(view, ray);
+}
+
+#endif  // KDTUNE_WIDE_NEON
+
+}  // namespace kdtune::wide_detail

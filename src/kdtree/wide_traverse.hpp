@@ -1,0 +1,381 @@
+#pragma once
+
+// Internal: the wide-node traversal loop and the portable scalar slab
+// kernel, shared by the per-ISA kernel translation units. Not installed API —
+// include only from kdtree/wide_*.cpp and tests that exercise kernels
+// directly.
+//
+// Structure: each kernel TU instantiates wide_traverse<> with its own slab
+// kernel type. The traversal itself is ISA-agnostic — order children
+// front-to-back by slab entry distance, prune popped cells against the
+// shrinking closest-hit bound, intersect compact leaves through the shared
+// leaf blocks. A kernel only answers one question: "which of this node's
+// child slabs does the ray enter before `bound`, and where?"
+//
+// Correctness contract for kernels (what keeps results bit-identical to the
+// binary traversal): the visit mask must be a superset of the children whose
+// cell contains any accepted hit. Slab min/max against the explicit cell
+// boxes gives exactly that; axes where 0 * inf produced NaN are treated as
+// unconstrained (the conservative reading of scalar intersect_aabb's
+// "NaN fails every ordered comparison" behavior). Extra visits cost time but
+// cannot change the closest hit: hit distances come from the one shared
+// Möller–Trumbore body and the argmin keeps strict `<` everywhere.
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+#include "geom/intersect.hpp"
+#include "geom/ray.hpp"
+#include "kdtree/leaf_blocks.hpp"
+#include "kdtree/wide_tree.hpp"
+
+namespace kdtune::wide_detail {
+
+/// Raw-pointer view of a WideKdTree + its source compact tree, hoisted once
+/// per query batch so the hot loop carries no shared_ptr or vector
+/// indirections.
+template <int W>
+struct WideTreeView {
+  const WideNode<W>* nodes;
+  std::size_t node_count;
+  const CompactNode* cnodes;  ///< source compact nodes (leaf refs point here)
+  const Triangle* tris;
+  const float* soa;
+  const std::uint32_t* leaf_tris;
+  AABB bounds;
+};
+
+/// Prefetches everything a *deferred* child ref will touch when it is popped
+/// again: every cache line of a wide node (they span 2 (W=4) or 4 (W=8)
+/// lines), or a leaf's triangle block. Deferred children surface only after
+/// the nearer subtrees finish — ample time to hide the misses, and on the
+/// single serving core latency is the scarce resource, not bandwidth. The
+/// immediate-descend path deliberately issues at most one line (see the
+/// loop): its loads start a few instructions later anyway, so extra prefetch
+/// instructions there are pure front-end overhead.
+template <int W>
+inline void prefetch_deferred(const WideTreeView<W>& view,
+                              std::int32_t ref) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  if (ref >= 0) {
+    const char* p = reinterpret_cast<const char*>(view.nodes + ref);
+    for (std::size_t off = 0; off < sizeof(WideNode<W>); off += 64) {
+      __builtin_prefetch(p + off);
+    }
+  } else {
+    // The 8-byte leaf header is loaded outright (the compact-node array is
+    // small and hot) so the triangle data it points at — the actual
+    // latency — can be requested now.
+    const CompactNode c = view.cnodes[~ref];
+    const std::uint32_t count = c.prim_count();
+    if (count == 1) {
+      __builtin_prefetch(view.tris + c.prim);
+    } else if (count > 1) {
+      const char* p = reinterpret_cast<const char*>(view.soa + 9ull * c.prim);
+      const std::size_t bytes =
+          count < 6 ? count * 9ull * sizeof(float) : 256;
+      for (std::size_t off = 0; off < bytes; off += 64) {
+        __builtin_prefetch(p + off);
+      }
+      __builtin_prefetch(view.leaf_tris + c.prim);
+    }
+  }
+#else
+  (void)view;
+  (void)ref;
+#endif
+}
+
+template <int W>
+inline void prefetch_near(const WideTreeView<W>& view,
+                          std::int32_t ref) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(ref >= 0 ? static_cast<const void*>(view.nodes + ref)
+                              : static_cast<const void*>(view.cnodes + ~ref));
+#else
+  (void)view;
+  (void)ref;
+#endif
+}
+
+inline int lowest_set_lane(std::uint32_t mask) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_ctz(mask);
+#else
+  int i = 0;
+  while ((mask & 1u) == 0u) {
+    mask >>= 1;
+    ++i;
+  }
+  return i;
+#endif
+}
+
+/// The traversal loop. Kernel must provide
+///   explicit Kernel(const Ray&);
+///   uint32_t visit(const WideNode<W>&, float bound, float* tnear) const;
+/// where the returned mask has bit i set iff child lane i's slab interval
+/// [tn, tf] satisfies tn <= tf && tn < bound (tn written to tnear[i]).
+///
+/// Shape of the loop: the nearest surviving child stays in registers and is
+/// descended into immediately — only the farther children round-trip through
+/// the stack. Combined with the single-child fast path this removes a stack
+/// push+pop (and its sort participation) from the overwhelmingly common
+/// straight-line descent, and the prefetch of the next node overlaps its
+/// cache miss with the current node's bookkeeping — the wide nodes are an
+/// order of magnitude larger than the 8-byte binary nodes, so they miss L2
+/// where the compact tree does not.
+template <bool kAnyHit, class Kernel, int W>
+inline Hit wide_traverse(const WideTreeView<W>& view, const Ray& ray) {
+  Hit best;
+  float t_enter, t_exit;
+  if (view.node_count == 0 || !intersect_aabb(ray, view.bounds, t_enter, t_exit)) {
+    return best;
+  }
+  (void)t_exit;
+
+  const Kernel kernel(ray);
+  float ray_t_max = ray.t_max;
+
+  struct Entry {
+    std::int32_t ref;  ///< >= 0: wide node index; < 0: compact leaf ~ref
+    float t_near;      ///< slab entry distance of the child's cell
+  };
+  // Generous bound: a wide tree is at most ceil(64 / log2 W) levels deep
+  // (the binary builders clamp at depth 64) and each level defers at most
+  // W - 1 entries.
+  constexpr int kStackSize = 256;
+  Entry stack[kStackSize];
+  int sp = 0;
+
+  float tnear[W];
+  int lanes[W];
+  std::int32_t ref = 0;  ///< node in hand; >= 0 wide node, < 0 compact leaf
+  for (;;) {
+    if (ref >= 0) {
+      const WideNode<W>& node = view.nodes[ref];
+      const float bound = kAnyHit ? ray.t_max : ray_t_max;
+      std::uint32_t mask = kernel.visit(node, bound, tnear);
+      // Dispatch on the raw mask value for the 0/1/2-survivor patterns that
+      // dominate traversal. The point is not fewer instructions — it is that
+      // inside each case the child lane is a compile-time constant, so the
+      // next node's address depends only on a *predicted* branch (the
+      // switch's indirect jump plus, for two survivors, one near/far
+      // compare), both highly coherent across a ray batch. That lets the
+      // CPU speculate straight into the next level's loads instead of
+      // serializing on the movemask -> tzcnt -> child[lane] data chain —
+      // the same speculation that makes the binary tree's 2-way branch
+      // cheap per level. Three or more survivors (rare) fall through to the
+      // generic extract/sort path below.
+      //
+      // Tie-breaking in KDTUNE_WIDE_CASE2 (strict far < near compare, lower
+      // lane wins ties) only affects visit order between cells with equal
+      // entry distance; the closest-hit t is an argmin over every surviving
+      // cell, so results stay bit-identical.
+#define KDTUNE_WIDE_CASE1(I)   \
+  case (1u << (I)):            \
+    ref = node.child[(I)];     \
+    prefetch_near(view, ref);  \
+    continue;
+#define KDTUNE_WIDE_CASE2(I, J)                          \
+  case (1u << (I)) | (1u << (J)):                        \
+    assert(sp < kStackSize &&                            \
+           "wide traversal stack overflow");             \
+    if (sp < kStackSize) {                               \
+      if (tnear[(J)] < tnear[(I)]) {                     \
+        stack[sp++] = {node.child[(I)], tnear[(I)]};     \
+        prefetch_deferred(view, node.child[(I)]);        \
+        ref = node.child[(J)];                           \
+      } else {                                           \
+        stack[sp++] = {node.child[(J)], tnear[(J)]};     \
+        prefetch_deferred(view, node.child[(J)]);        \
+        ref = node.child[(I)];                           \
+      }                                                  \
+    } else {                                             \
+      ref = node.child[(I)];                             \
+    }                                                    \
+    prefetch_near(view, ref);                            \
+    continue;
+      if constexpr (W == 4) {
+        switch (mask) {
+          case 0:
+            goto next_from_stack;
+          KDTUNE_WIDE_CASE1(0)
+          KDTUNE_WIDE_CASE1(1)
+          KDTUNE_WIDE_CASE1(2)
+          KDTUNE_WIDE_CASE1(3)
+          KDTUNE_WIDE_CASE2(0, 1)
+          KDTUNE_WIDE_CASE2(0, 2)
+          KDTUNE_WIDE_CASE2(0, 3)
+          KDTUNE_WIDE_CASE2(1, 2)
+          KDTUNE_WIDE_CASE2(1, 3)
+          KDTUNE_WIDE_CASE2(2, 3)
+          default:
+            break;
+        }
+      } else {
+        switch (mask) {
+          case 0:
+            goto next_from_stack;
+          KDTUNE_WIDE_CASE1(0)
+          KDTUNE_WIDE_CASE1(1)
+          KDTUNE_WIDE_CASE1(2)
+          KDTUNE_WIDE_CASE1(3)
+          KDTUNE_WIDE_CASE1(4)
+          KDTUNE_WIDE_CASE1(5)
+          KDTUNE_WIDE_CASE1(6)
+          KDTUNE_WIDE_CASE1(7)
+          KDTUNE_WIDE_CASE2(0, 1)
+          KDTUNE_WIDE_CASE2(0, 2)
+          KDTUNE_WIDE_CASE2(0, 3)
+          KDTUNE_WIDE_CASE2(0, 4)
+          KDTUNE_WIDE_CASE2(0, 5)
+          KDTUNE_WIDE_CASE2(0, 6)
+          KDTUNE_WIDE_CASE2(0, 7)
+          KDTUNE_WIDE_CASE2(1, 2)
+          KDTUNE_WIDE_CASE2(1, 3)
+          KDTUNE_WIDE_CASE2(1, 4)
+          KDTUNE_WIDE_CASE2(1, 5)
+          KDTUNE_WIDE_CASE2(1, 6)
+          KDTUNE_WIDE_CASE2(1, 7)
+          KDTUNE_WIDE_CASE2(2, 3)
+          KDTUNE_WIDE_CASE2(2, 4)
+          KDTUNE_WIDE_CASE2(2, 5)
+          KDTUNE_WIDE_CASE2(2, 6)
+          KDTUNE_WIDE_CASE2(2, 7)
+          KDTUNE_WIDE_CASE2(3, 4)
+          KDTUNE_WIDE_CASE2(3, 5)
+          KDTUNE_WIDE_CASE2(3, 6)
+          KDTUNE_WIDE_CASE2(3, 7)
+          KDTUNE_WIDE_CASE2(4, 5)
+          KDTUNE_WIDE_CASE2(4, 6)
+          KDTUNE_WIDE_CASE2(4, 7)
+          KDTUNE_WIDE_CASE2(5, 6)
+          KDTUNE_WIDE_CASE2(5, 7)
+          KDTUNE_WIDE_CASE2(6, 7)
+          default:
+            break;
+        }
+      }
+#undef KDTUNE_WIDE_CASE1
+#undef KDTUNE_WIDE_CASE2
+      {
+        int n = 0;
+        while (mask != 0) {
+          lanes[n++] = lowest_set_lane(mask);
+          mask &= mask - 1;
+        }
+        // Insertion sort, descending by entry distance (W is 4 or 8 — a
+        // sort network would buy nothing over this).
+        for (int a = 1; a < n; ++a) {
+          const int lane = lanes[a];
+          const float t = tnear[lane];
+          int b = a - 1;
+          while (b >= 0 && tnear[lanes[b]] < t) {
+            lanes[b + 1] = lanes[b];
+            --b;
+          }
+          lanes[b + 1] = lane;
+        }
+        // Defer all but the nearest; keep descending with the nearest.
+        for (int a = 0; a + 1 < n; ++a) {
+          assert(sp < kStackSize && "wide traversal stack overflow");
+          if (sp < kStackSize) {
+            stack[sp++] = {node.child[lanes[a]], tnear[lanes[a]]};
+            prefetch_deferred(view, node.child[lanes[a]]);
+          }
+        }
+        ref = node.child[lanes[n - 1]];
+        prefetch_near(view, ref);
+        continue;
+      }
+    } else {
+      if (leaf_detail::intersect_leaf_blocks<kAnyHit>(
+              view.cnodes[~ref], ray, view.tris, view.soa, view.leaf_tris,
+              ray_t_max, best)) {
+        return best;  // any-hit: done on the first hit
+      }
+    }
+
+    // Pop the next deferred cell. Every hit inside a cell has t >= t_near,
+    // and acceptance is strict t < ray_t_max — a cell entered at or beyond
+    // the current best cannot improve it.
+  next_from_stack:
+    for (;;) {
+      if (sp == 0) return best;
+      const Entry e = stack[--sp];
+      if (kAnyHit || e.t_near < ray_t_max) {
+        ref = e.ref;
+        break;
+      }
+    }
+  }
+}
+
+/// Portable slab kernel — the semantic reference for every vector kernel and
+/// the fallback on hosts (or builds) without SIMD support.
+template <int W>
+struct ScalarSlabKernel {
+  float origin[3];
+  float inv[3];
+  float t_min;
+
+  explicit ScalarSlabKernel(const Ray& ray) noexcept
+      : origin{ray.origin.x, ray.origin.y, ray.origin.z},
+        inv{ray.inv_dir.x, ray.inv_dir.y, ray.inv_dir.z},
+        t_min(ray.t_min) {}
+
+  std::uint32_t visit(const WideNode<W>& node, float bound,
+                      float* tnear) const noexcept {
+    std::uint32_t mask = 0;
+    for (std::uint32_t i = 0; i < node.count; ++i) {
+      float tn = t_min;
+      float tf = std::numeric_limits<float>::infinity();
+      for (int a = 0; a < 3; ++a) {
+        const float t0 = (node.lo[a][i] - origin[a]) * inv[a];
+        const float t1 = (node.hi[a][i] - origin[a]) * inv[a];
+        // 0 * inf (axis-parallel ray, origin on a slab plane): leave the
+        // axis unconstrained, matching the vector kernels' unordered-compare
+        // blend to (-inf, +inf).
+        if (std::isnan(t0) || std::isnan(t1)) continue;
+        const float near = t0 < t1 ? t0 : t1;
+        const float far = t0 < t1 ? t1 : t0;
+        if (near > tn) tn = near;
+        if (far < tf) tf = far;
+      }
+      if (tn <= tf && tn < bound) {
+        mask |= 1u << i;
+        tnear[i] = tn;
+      }
+    }
+    return mask;
+  }
+};
+
+// Kernel entry points, one pair per (ISA, width) the binary may contain.
+// Defined in wide_kernels_portable.cpp / wide_kernels_avx2.cpp; WideKdTree
+// dispatches among the ones present via simd_dispatch.
+Hit closest_hit_scalar(const WideTreeView<4>& view, const Ray& ray);
+Hit closest_hit_scalar(const WideTreeView<8>& view, const Ray& ray);
+Hit any_hit_scalar(const WideTreeView<4>& view, const Ray& ray);
+Hit any_hit_scalar(const WideTreeView<8>& view, const Ray& ray);
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__) || \
+    defined(_M_IX86)
+Hit closest_hit_sse(const WideTreeView<4>& view, const Ray& ray);
+Hit closest_hit_sse(const WideTreeView<8>& view, const Ray& ray);
+Hit any_hit_sse(const WideTreeView<4>& view, const Ray& ray);
+Hit any_hit_sse(const WideTreeView<8>& view, const Ray& ray);
+// Present only when the AVX2 TU is compiled (KDTUNE_HAVE_AVX2_TU).
+Hit closest_hit_avx2(const WideTreeView<8>& view, const Ray& ray);
+Hit any_hit_avx2(const WideTreeView<8>& view, const Ray& ray);
+#endif
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+Hit closest_hit_neon(const WideTreeView<4>& view, const Ray& ray);
+Hit closest_hit_neon(const WideTreeView<8>& view, const Ray& ray);
+Hit any_hit_neon(const WideTreeView<4>& view, const Ray& ray);
+Hit any_hit_neon(const WideTreeView<8>& view, const Ray& ray);
+#endif
+
+}  // namespace kdtune::wide_detail

@@ -1,0 +1,228 @@
+#include "kdtree/wide_tree.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "kdtree/wide_traverse.hpp"
+#include "obs/trace.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__) || \
+    defined(_M_IX86)
+#define KDTUNE_WIDE_TREE_X86 1
+#endif
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define KDTUNE_WIDE_TREE_NEON 1
+#endif
+
+namespace kdtune {
+
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+struct ChildRef {
+  std::uint32_t cidx;  ///< compact node index
+  AABB box;            ///< that node's cell
+  bool leaf;
+};
+
+/// Collects up to W subtree roots below `cidx` by greedy frontier packing:
+/// starting from the two children of `cidx`, repeatedly replace the
+/// largest-surface-area interior frontier entry with its two binary children
+/// until the frontier holds W entries (or nothing splittable remains). Rays
+/// hit large cells most often, so spending lanes subdividing them first
+/// maximises the tree-depth collapsed per wide node — a fixed-depth cut
+/// (log2(W) levels) fills only ~5 of 8 lanes on real scenes because empty
+/// leaves are dropped and subtrees terminate at different depths.
+/// Each child carries its exact cell from `box.split`, so slab tests stay
+/// bit-identical to the binary traversal's plane distances. Empty leaves are
+/// dropped — the ray cannot hit anything in them, and skipping them is what
+/// makes wide nodes denser than the binary tree.
+void collect_children(const CompactKdTree& src, std::uint32_t cidx,
+                      const AABB& box, int width,
+                      std::vector<ChildRef>& out) {
+  const CompactNode& root = src.nodes()[cidx];
+  if (root.is_leaf()) {
+    if (root.prim_count() > 0) out.push_back({cidx, box, true});
+    return;
+  }
+  out.push_back({cidx, box, false});
+  for (;;) {
+    int pick = -1;
+    double pick_area = -1.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      if (out[i].leaf) continue;
+      const double area = out[i].box.surface_area();
+      if (area > pick_area) {
+        pick_area = area;
+        pick = static_cast<int>(i);
+      }
+    }
+    if (pick < 0) return;  // all-leaf frontier: nothing left to split
+    const CompactNode& n = src.nodes()[out[pick].cidx];
+    const auto [lbox, rbox] = out[pick].box.split(n.axis(), n.split);
+    ChildRef side[2] = {{out[pick].cidx + 1, lbox, false},
+                        {n.right_child(), rbox, false}};
+    out.erase(out.begin() + pick);
+    for (ChildRef& c : side) {
+      const CompactNode& cn = src.nodes()[c.cidx];
+      if (cn.is_leaf()) {
+        if (cn.prim_count() == 0) continue;  // drop empty leaves
+        c.leaf = true;
+      }
+      out.push_back(c);
+    }
+    // A split nets at most +1 entry, so the frontier never exceeds W; it
+    // can also shrink (empty-leaf children), in which case keep splitting.
+    if (out.size() >= static_cast<std::size_t>(width)) return;
+  }
+}
+
+/// Emits the wide node rooted at compact interior (or root leaf) `cidx` in
+/// DFS preorder and returns its index. Recurses for interior children after
+/// the parent is placed, patching child refs in — `out` may reallocate
+/// during recursion, so the parent is always re-indexed.
+template <int W>
+std::int32_t emit_wide(const CompactKdTree& src, std::uint32_t cidx,
+                       const AABB& box, std::vector<WideNode<W>>& out) {
+  std::vector<ChildRef> children;
+  children.reserve(W);
+  collect_children(src, cidx, box, W, children);
+
+  const auto my = static_cast<std::int32_t>(out.size());
+  out.emplace_back();
+  {
+    WideNode<W>& node = out[my];
+    node.count = static_cast<std::uint32_t>(children.size());
+    for (int i = 0; i < W; ++i) {
+      const bool live = i < static_cast<int>(children.size());
+      for (int a = 0; a < 3; ++a) {
+        // Dead lanes get an empty slab; they are masked off by `count`
+        // anyway, but deterministic padding keeps the layout reproducible.
+        node.lo[a][i] = live ? children[i].box.lo[a] : kInf;
+        node.hi[a][i] = live ? children[i].box.hi[a] : -kInf;
+      }
+      node.child[i] = 0;
+    }
+  }
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (children[i].leaf) {
+      out[my].child[i] = ~static_cast<std::int32_t>(children[i].cidx);
+    } else {
+      const std::int32_t sub =
+          emit_wide<W>(src, children[i].cidx, children[i].box, out);
+      out[my].child[i] = sub;
+    }
+  }
+  return my;
+}
+
+/// Lowers `level` to a kernel this binary actually contains for width `W`
+/// (there is no AVX2 4-wide entry, and the AVX2 8-wide entry exists only
+/// when its TU was compiled).
+SimdLevel clamp_for_width(SimdLevel level, int width) noexcept {
+#if defined(KDTUNE_WIDE_TREE_X86)
+  if (level == SimdLevel::kNeon) return SimdLevel::kScalar;
+  if (level == SimdLevel::kAvx2) {
+    if (width == 4) return SimdLevel::kSse;
+#if !defined(KDTUNE_HAVE_AVX2_TU)
+    return SimdLevel::kSse;
+#endif
+  }
+  return level;
+#elif defined(KDTUNE_WIDE_TREE_NEON)
+  (void)width;
+  return level == SimdLevel::kNeon ? SimdLevel::kNeon : SimdLevel::kScalar;
+#else
+  (void)width;
+  (void)level;
+  return SimdLevel::kScalar;
+#endif
+}
+
+template <bool kAnyHit, int W>
+Hit run_kernel(const wide_detail::WideTreeView<W>& view, const Ray& ray,
+               SimdLevel level) {
+  using namespace wide_detail;
+#if defined(KDTUNE_WIDE_TREE_X86)
+  if constexpr (W == 8) {
+#if defined(KDTUNE_HAVE_AVX2_TU)
+    if (level == SimdLevel::kAvx2) {
+      return kAnyHit ? any_hit_avx2(view, ray) : closest_hit_avx2(view, ray);
+    }
+#endif
+  }
+  if (level == SimdLevel::kSse || level == SimdLevel::kAvx2) {
+    return kAnyHit ? any_hit_sse(view, ray) : closest_hit_sse(view, ray);
+  }
+#elif defined(KDTUNE_WIDE_TREE_NEON)
+  if (level == SimdLevel::kNeon) {
+    return kAnyHit ? any_hit_neon(view, ray) : closest_hit_neon(view, ray);
+  }
+#else
+  (void)level;
+#endif
+  return kAnyHit ? any_hit_scalar(view, ray) : closest_hit_scalar(view, ray);
+}
+
+template <int W>
+wide_detail::WideTreeView<W> make_view(
+    const std::vector<WideNode<W>>& nodes, const CompactKdTree& src) noexcept {
+  return {nodes.data(),          nodes.size(),
+          src.nodes().data(),    src.triangles().data(),
+          src.leaf_soa().data(), src.leaf_tris().data(),
+          src.bounds()};
+}
+
+}  // namespace
+
+template <int W>
+WideKdTree<W>::WideKdTree(std::shared_ptr<const CompactKdTree> source,
+                          SimdLevel force_level)
+    : WideTreeBase(std::move(source), SimdLevel::kScalar) {
+  if (source_ == nullptr) {
+    throw std::invalid_argument("WideKdTree: null source tree");
+  }
+  level_ = clamp_for_width(
+      force_level == SimdLevel{-1} ? detect_simd_level() : force_level, W);
+
+  // Per-query spans would drown the trace buffer (millions of rays); the
+  // wide backend's trace footprint is the layout emission itself plus the
+  // registry's backend-switch instants.
+  TraceSpan span(W == 4 ? "build.emit_wide4" : "build.emit_wide8", "build");
+  const CompactNode root = source_->nodes().front();
+  if (root.is_leaf() && root.prim_count() == 0) {
+    return;  // empty scene: no wide nodes, every query misses
+  }
+  emit_wide<W>(*source_, 0, source_->bounds(), nodes_);
+  trace_counter(W == 4 ? "build.wide4_nodes" : "build.wide8_nodes",
+                static_cast<double>(nodes_.size()), "build");
+}
+
+template <int W>
+Hit WideKdTree<W>::closest_hit(const Ray& ray) const {
+  return run_kernel<false>(make_view(nodes_, *source_), ray, level_);
+}
+
+template <int W>
+bool WideKdTree<W>::any_hit(const Ray& ray) const {
+  return run_kernel<true>(make_view(nodes_, *source_), ray, level_).valid();
+}
+
+template class WideKdTree<4>;
+template class WideKdTree<8>;
+
+std::unique_ptr<WideTreeBase> make_wide_tree(
+    std::shared_ptr<const CompactKdTree> source, QueryBackend backend) {
+  switch (backend) {
+    case QueryBackend::kWide4:
+      return std::make_unique<WideKdTree4>(std::move(source));
+    case QueryBackend::kWide8:
+      return std::make_unique<WideKdTree8>(std::move(source));
+    default:
+      throw std::invalid_argument("make_wide_tree: backend is not wide");
+  }
+}
+
+}  // namespace kdtune

@@ -1,0 +1,129 @@
+#pragma once
+
+// Wide-node serving layout — the MBVH/QBVH-style answer to idle SIMD lanes.
+//
+// A WideKdTree<W> collapses a CompactKdTree's binary interior structure into
+// W-wide nodes: each wide node cuts the binary tree log2(W) levels deep and
+// stores its up-to-W surviving subtree roots as children, with the child cell
+// AABBs transposed into SoA slabs (lo.x[W], lo.y[W], ... hi.z[W]) so one ray
+// tests all children in a handful of vector min/max ops. Children are either
+// further wide nodes or *compact leaves* — leaf storage is not duplicated:
+// the wide tree keeps a shared_ptr to its source CompactKdTree and
+// intersects leaves through the same leaf-local SoA triangle blocks
+// (kdtree/leaf_blocks.hpp), which is what makes hit distances bit-identical
+// across backends.
+//
+// Traversal visits a conservative superset of the binary tree's cells (slab
+// tests against the explicit cell boxes, NaN axes treated as unconstrained),
+// orders children front-to-back by slab entry distance, and prunes popped
+// cells against the shrinking closest-hit bound — so extra visits can only
+// cost time, never change a result.
+//
+// The slab kernel is chosen at construction from runtime CPU detection
+// (kdtree/simd_dispatch.hpp): AVX2 for 8-wide where compiled in, SSE2 /
+// NEON for 4-wide (8-wide runs as two 4-lane halves below AVX2), and a
+// semantically identical scalar loop as the portable fallback.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "kdtree/compact_tree.hpp"
+#include "kdtree/query_backend.hpp"
+#include "kdtree/simd_dispatch.hpp"
+#include "kdtree/tree.hpp"
+
+namespace kdtune {
+
+/// One W-wide node: SoA child slabs + child references. `child[i] >= 0`
+/// indexes another wide node; `child[i] < 0` encodes a compact-tree leaf as
+/// `~child[i]` (index into the source CompactKdTree's node array). Lanes
+/// `>= count` are padded with empty slabs (+inf lo, -inf hi) so kernels can
+/// test all W lanes unconditionally.
+template <int W>
+struct alignas(W >= 8 ? 32 : 16) WideNode {
+  float lo[3][W];  ///< child slab minima, SoA by axis
+  float hi[3][W];  ///< child slab maxima, SoA by axis
+  std::int32_t child[W];
+  std::uint32_t count;  ///< live lanes in [0, W]
+};
+
+/// Backend-erasing base: serving layers hold wide trees behind KdTreeBase
+/// and use this interface to reach the shared source tree (serialization,
+/// packet fallback) without knowing W.
+class WideTreeBase : public KdTreeBase {
+ public:
+  virtual int width() const noexcept = 0;
+  virtual QueryBackend backend() const noexcept = 0;
+
+  const CompactKdTree& source() const noexcept { return *source_; }
+  const std::shared_ptr<const CompactKdTree>& source_ptr() const noexcept {
+    return source_;
+  }
+  /// The slab-kernel tier this tree dispatches to (fixed at construction).
+  SimdLevel simd_level() const noexcept { return level_; }
+
+  // Non-ray queries and metadata delegate to the source compact tree — the
+  // wide layout only accelerates ray traversal.
+  void query_range(const AABB& box,
+                   std::vector<std::uint32_t>& out) const override {
+    source_->query_range(box, out);
+  }
+  NearestResult nearest(const Vec3& point) const override {
+    return source_->nearest(point);
+  }
+  const AABB& bounds() const noexcept override { return source_->bounds(); }
+  std::span<const Triangle> triangles() const noexcept override {
+    return source_->triangles();
+  }
+  TreeStats stats() const override { return source_->stats(); }
+
+ protected:
+  explicit WideTreeBase(std::shared_ptr<const CompactKdTree> source,
+                        SimdLevel level)
+      : source_(std::move(source)), level_(level) {}
+
+  std::shared_ptr<const CompactKdTree> source_;
+  SimdLevel level_;
+};
+
+template <int W>
+class WideKdTree final : public WideTreeBase {
+  static_assert(W == 4 || W == 8, "wide nodes come in 4- and 8-lane flavors");
+
+ public:
+  /// Collapses `source` into the W-wide layout. The source tree is shared,
+  /// not copied (leaf blocks and triangles are read through it), so backend
+  /// switches on a live scene reuse the build. `force_level` pins the slab
+  /// kernel (tests / forced-fallback CI); default is runtime detection
+  /// clamped to what fits W.
+  explicit WideKdTree(std::shared_ptr<const CompactKdTree> source,
+                      SimdLevel force_level = SimdLevel{-1});
+
+  Hit closest_hit(const Ray& ray) const override;
+  bool any_hit(const Ray& ray) const override;
+
+  int width() const noexcept override { return W; }
+  QueryBackend backend() const noexcept override {
+    return W == 4 ? QueryBackend::kWide4 : QueryBackend::kWide8;
+  }
+
+  std::span<const WideNode<W>> wide_nodes() const noexcept { return nodes_; }
+
+ private:
+  std::vector<WideNode<W>> nodes_;
+};
+
+using WideKdTree4 = WideKdTree<4>;
+using WideKdTree8 = WideKdTree<8>;
+
+extern template class WideKdTree<4>;
+extern template class WideKdTree<8>;
+
+/// Builds the wide tree for `backend` (kWide4/kWide8) over a shared compact
+/// source. Convenience for the serving layers' backend switches.
+std::unique_ptr<WideTreeBase> make_wide_tree(
+    std::shared_ptr<const CompactKdTree> source, QueryBackend backend);
+
+}  // namespace kdtune

@@ -77,6 +77,10 @@ void TunerLog::log(const Record& record) {
   append_json_string(line, record.status);
   line += ",\"phase\":";
   append_json_string(line, record.phase);
+  if (!record.backend.empty()) {
+    line += ",\"backend\":";
+    append_json_string(line, record.backend);
+  }
   line += "}\n";
 
   std::lock_guard<std::mutex> lock(mutex_);

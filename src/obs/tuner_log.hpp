@@ -20,6 +20,10 @@
 //   phase:  search | converged
 //   seconds is written with max_digits10 (bit-exact round-trip); a
 //   non-finite measurement (nan-rejected) is written as null.
+//   When the iteration tunes a "query_backend" dimension, the line also
+//   carries `"backend":"compact"|"wide4"|"wide8"|"bvh"` — the decoded
+//   name of that dimension's value, so layout decisions are greppable
+//   without knowing the parameter grid.
 
 #include <cstdint>
 #include <fstream>
@@ -39,6 +43,9 @@ class TunerLog {
     double seconds = 0.0;  ///< non-finite values are serialized as null
     std::string status;    ///< accepted | rejected | nan-rejected | retune
     std::string phase;     ///< search | converged
+    /// Decoded query-backend name ("compact"/"wide4"/...) when this
+    /// iteration tunes one; empty omits the field from the line.
+    std::string backend;
   };
 
   TunerLog() = default;

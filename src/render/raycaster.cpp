@@ -5,8 +5,10 @@
 #include <cmath>
 #include <memory>
 
+#include "bvh/bvh.hpp"
 #include "kdtree/compact_tree.hpp"
 #include "kdtree/packet.hpp"
+#include "kdtree/wide_tree.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace kdtune {
@@ -67,13 +69,27 @@ RenderResult render(const KdTreeBase& tree_in, const Scene& scene,
   // Serving-layout fast path: re-emit an eager tree into the compact layout
   // once, up front, and trace everything through it. Lazy trees are left
   // alone — they must expand in place during traversal.
-  std::unique_ptr<CompactKdTree> compacted;
+  std::shared_ptr<const KdTreeBase> serving;
   if (opts.use_compact) {
     if (const auto* eager = dynamic_cast<const KdTree*>(&tree_in)) {
-      compacted = std::make_unique<CompactKdTree>(*eager);
+      auto compacted = std::make_shared<const CompactKdTree>(*eager);
+      switch (opts.backend) {
+        case QueryBackend::kWide4:
+        case QueryBackend::kWide8:
+          serving = std::shared_ptr<const KdTreeBase>(
+              make_wide_tree(compacted, opts.backend));
+          break;
+        case QueryBackend::kBvh:
+          serving = std::shared_ptr<const KdTreeBase>(
+              build_bvh(compacted->triangles(), BvhConfig{}, pool));
+          break;
+        case QueryBackend::kCompact:
+          serving = compacted;
+          break;
+      }
     }
   }
-  const KdTreeBase& tree = compacted ? *compacted : tree_in;
+  const KdTreeBase& tree = serving ? *serving : tree_in;
 
   std::atomic<std::size_t> shadow_total{0};
   std::atomic<std::size_t> hit_total{0};

@@ -7,6 +7,7 @@
 // Traversal through a *lazy* tree expands deferred nodes on the fly — which
 // is exactly how the lazy builder's construction cost shifts into rendering.
 
+#include "kdtree/query_backend.hpp"
 #include "kdtree/tree.hpp"
 #include "parallel/thread_pool.hpp"
 #include "render/camera.hpp"
@@ -39,6 +40,11 @@ struct RenderOptions {
   /// packet, shadow — through it. Identical results, fewer cache misses.
   /// Ignored for lazy trees (their nodes mutate during traversal).
   bool use_compact = true;
+  /// Query backend the re-emitted tree serves from: the binary compact
+  /// layout, a 4/8-wide collapse of it (SIMD child-slab tests), or a BVH
+  /// over the same triangles. Requires use_compact on an eager input;
+  /// identical hits either way (see docs/DESIGN.md on bit-parity).
+  QueryBackend backend = QueryBackend::kCompact;
 };
 
 struct RenderResult {

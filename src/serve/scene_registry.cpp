@@ -3,11 +3,38 @@
 #include <stdexcept>
 #include <utility>
 
+#include "bvh/bvh.hpp"
 #include "kdtree/compact_tree.hpp"
+#include "kdtree/wide_tree.hpp"
 #include "obs/trace.hpp"
 #include "tuning/measurement.hpp"
 
 namespace kdtune {
+
+namespace {
+
+/// Emits the serving tree for `backend` over a shared compact source. The
+/// BVH backend rebuilds from the same triangles (it is a different
+/// structure, not a re-layout), which is still cheap next to the SAH
+/// kd-tree build.
+std::shared_ptr<const KdTreeBase> emit_backend(
+    const std::shared_ptr<const CompactKdTree>& compact, QueryBackend backend,
+    ThreadPool& pool) {
+  switch (backend) {
+    case QueryBackend::kWide4:
+    case QueryBackend::kWide8:
+      return std::shared_ptr<const KdTreeBase>(
+          make_wide_tree(compact, backend));
+    case QueryBackend::kBvh:
+      return std::shared_ptr<const KdTreeBase>(
+          build_bvh(compact->triangles(), BvhConfig{}, pool));
+    case QueryBackend::kCompact:
+      break;
+  }
+  return compact;
+}
+
+}  // namespace
 
 void SceneRegistry::attach_cache(ConfigCache* cache) {
   std::lock_guard<std::mutex> lk(mutex_);
@@ -58,8 +85,13 @@ std::shared_ptr<SceneSnapshot> SceneRegistry::build_snapshot(
   snapshot->layout = opts.algorithm == Algorithm::kLazy ? "lazy" : "kdtree";
   if (opts.compact && opts.algorithm != Algorithm::kLazy) {
     if (const auto* eager = dynamic_cast<const KdTree*>(built.get())) {
-      snapshot->tree = std::make_shared<const CompactKdTree>(*eager);
-      snapshot->layout = "compact";
+      // The compact tree is retained even when another backend serves — it
+      // is the shared source wide layouts collapse from, and what lets
+      // set_backend() switch layouts without a rebuild.
+      snapshot->compact = std::make_shared<const CompactKdTree>(*eager);
+      snapshot->backend = opts.backend;
+      snapshot->tree = emit_backend(snapshot->compact, opts.backend, pool_);
+      snapshot->layout = to_string(opts.backend);
     }
   }
   if (!snapshot->tree) {
@@ -136,7 +168,7 @@ std::shared_ptr<const SceneSnapshot> SceneRegistry::rebuild(
 
 SceneRegistry::StagedSnapshot SceneRegistry::stage(
     const std::string& name, Scene scene, std::optional<BuildConfig> config,
-    std::optional<Algorithm> algorithm) {
+    std::optional<Algorithm> algorithm, std::optional<QueryBackend> backend) {
   AdmitOptions opts;
   BuildConfig build_config;
   {
@@ -145,6 +177,7 @@ SceneRegistry::StagedSnapshot SceneRegistry::stage(
     if (it == entries_.end()) return {};
     opts = it->second.opts;
     if (algorithm) opts.algorithm = *algorithm;
+    if (backend) opts.backend = *backend;
     build_config = config ? *config : opts.config.value_or(kBaseConfig);
   }
   StagedSnapshot staged;
@@ -163,10 +196,45 @@ std::shared_ptr<const SceneSnapshot> SceneRegistry::publish_staged(
   it->second.scene = std::move(staged.scene);
   it->second.opts.algorithm = staged.snapshot->algorithm;
   it->second.opts.config = staged.snapshot->config;
+  if (staged.snapshot->compact != nullptr) {
+    it->second.opts.backend = staged.snapshot->backend;
+  }
   it->second.current = staged.snapshot;
   swaps_.fetch_add(1, std::memory_order_relaxed);
   trace_instant("registry.publish", "serve");
   return staged.snapshot;
+}
+
+std::shared_ptr<const SceneSnapshot> SceneRegistry::set_backend(
+    const std::string& name, QueryBackend backend) {
+  std::shared_ptr<const SceneSnapshot> current;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) return nullptr;
+    current = it->second.current;
+  }
+  if (current == nullptr || current->compact == nullptr) return nullptr;
+  if (current->backend == backend) return current;
+
+  // The layout emission runs without the registry lock, like every build.
+  Stopwatch clock;
+  clock.start();
+  auto snapshot = std::make_shared<SceneSnapshot>(*current);
+  snapshot->backend = backend;
+  snapshot->tree = emit_backend(current->compact, backend, pool_);
+  snapshot->layout = to_string(backend);
+  snapshot->build_seconds = clock.elapsed();
+
+  std::lock_guard<std::mutex> lk(mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;  // removed while emitting
+  snapshot->version = it->second.current->version + 1;
+  it->second.opts.backend = backend;
+  it->second.current = snapshot;
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  trace_instant("registry.backend_switch", "serve");
+  return snapshot;
 }
 
 bool SceneRegistry::record_tuned(const std::string& name,

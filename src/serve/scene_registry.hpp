@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "kdtree/builder.hpp"
+#include "kdtree/compact_tree.hpp"
+#include "kdtree/query_backend.hpp"
 #include "scene/scene.hpp"
 #include "tuning/config_cache.hpp"
 
@@ -40,7 +42,15 @@ struct SceneSnapshot {
   std::shared_ptr<const KdTreeBase> tree;
   BuildConfig config{};
   Algorithm algorithm = Algorithm::kInPlace;
-  std::string layout;             ///< "compact", "kdtree", or "lazy"
+  /// "compact", "wide4", "wide8", "bvh", "kdtree", or "lazy"
+  std::string layout;
+  /// The serving backend `tree` implements (meaningful when the layout is a
+  /// serving layout; lazy/kdtree snapshots report kCompact).
+  QueryBackend backend = QueryBackend::kCompact;
+  /// The compact source tree, retained whenever one was emitted — this is
+  /// what makes set_backend() an O(collapse) layout switch instead of a full
+  /// rebuild. Null for lazy / non-compacted snapshots.
+  std::shared_ptr<const CompactKdTree> compact;
   double build_seconds = 0.0;
   std::size_t triangle_count = 0;
 };
@@ -53,6 +63,11 @@ struct AdmitOptions {
   /// Re-emit eager builds into the CompactKdTree serving layout. Ignored for
   /// the lazy algorithm (lazy trees expand in place and stay as built).
   bool compact = true;
+  /// Serving layout for ray queries: the binary compact tree, a wide
+  /// collapse of it, or a BVH. Requires `compact` (non-compacted snapshots
+  /// serve the builder layout and ignore this). Tunable online via
+  /// set_backend() — ServeTuner/FrameTuner drive it per scene.
+  QueryBackend backend = QueryBackend::kCompact;
 };
 
 class SceneRegistry {
@@ -103,7 +118,8 @@ class SceneRegistry {
   /// invalid StagedSnapshot when `name` is unknown.
   StagedSnapshot stage(const std::string& name, Scene scene,
                        std::optional<BuildConfig> config = {},
-                       std::optional<Algorithm> algorithm = {});
+                       std::optional<Algorithm> algorithm = {},
+                       std::optional<QueryBackend> backend = {});
 
   /// Publishes a staged build as the next version of its scene — O(1), just
   /// the RCU pointer swap plus the geometry handoff. Returns the published
@@ -119,6 +135,17 @@ class SceneRegistry {
   /// algorithm. Returns false for unknown names.
   bool record_tuned(const std::string& name, const BuildConfig& config,
                     double seconds, std::optional<Algorithm> algorithm = {});
+
+  /// Switches `name`'s serving backend without rebuilding the kd-tree: the
+  /// retained compact source is re-emitted into the requested layout (or a
+  /// BVH is built over the same triangles) and published as the next
+  /// version. Returns the published snapshot; the current one unchanged if
+  /// it already serves `backend`; nullptr if the name is unknown or the
+  /// snapshot retains no compact source (lazy / non-compacted scenes cannot
+  /// switch). This is the cheap hot path the serving tuners drive per
+  /// measurement window.
+  std::shared_ptr<const SceneSnapshot> set_backend(const std::string& name,
+                                                   QueryBackend backend);
 
   bool remove(const std::string& name);
   std::vector<std::string> names() const;

@@ -42,6 +42,10 @@ ServeTuner::ServeTuner(QueryService& service, ServeTunerOptions opts)
                               static_cast<std::int64_t>(service_.concurrency()),
                               1, "max_inflight_batches");
   }
+  if (opts_.tune_backend) {
+    tuner_.register_parameter(&trial_backend_, 0, kQueryBackendCount - 1, 1,
+                              std::string(kQueryBackendParam));
+  }
 }
 
 void ServeTuner::begin_window() {
@@ -53,6 +57,17 @@ void ServeTuner::begin_window() {
     applied_once_ = true;
   }
   service_.set_serving_params(trial_);
+  if (opts_.tune_backend) {
+    const QueryBackend backend = backend_from_int(trial_backend_);
+    const std::vector<std::string> scenes = opts_.backend_scenes.empty()
+                                                ? service_.registry().names()
+                                                : opts_.backend_scenes;
+    for (const std::string& scene : scenes) {
+      // Unknown / non-switchable scenes return nullptr and are skipped; the
+      // window still measures whatever the service actually serves.
+      (void)service_.registry().set_backend(scene, backend);
+    }
+  }
   window_start_completed_ = completed_of(service_);
   trace_instant("serve.window_begin", "tuner");
   clock_.start();
@@ -92,6 +107,13 @@ ServingParams ServeTuner::params_from_values(
 
 ServingParams ServeTuner::best() const {
   return params_from_values(tuner_.best_values());
+}
+
+QueryBackend ServeTuner::best_backend() const {
+  if (!opts_.tune_backend) return QueryBackend::kCompact;
+  // The backend is always the last registered dimension.
+  const std::vector<std::int64_t> values = tuner_.best_values();
+  return backend_from_int(values.back());
 }
 
 }  // namespace kdtune

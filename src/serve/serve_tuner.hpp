@@ -23,7 +23,10 @@
 // workload.
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
+#include "kdtree/query_backend.hpp"
 #include "serve/query_service.hpp"
 #include "tuning/measurement.hpp"
 #include "tuning/tuner.hpp"
@@ -41,6 +44,14 @@ struct ServeTunerOptions {
   std::int64_t flush_step_us = 125;
   /// Tune the in-flight batch cap over [1, pool concurrency].
   bool tune_workers = true;
+  /// Tune the serving query backend (compact / wide4 / wide8 / bvh) as one
+  /// more dimension of the same search: each window's trial backend is
+  /// applied to `backend_scenes` via SceneRegistry::set_backend before
+  /// measurement. Scenes that cannot switch (lazy, non-compacted) are
+  /// skipped. Empty `backend_scenes` with tune_backend set applies the trial
+  /// to every admitted scene.
+  bool tune_backend = false;
+  std::vector<std::string> backend_scenes{};
   TunerOptions tuner{};
 };
 
@@ -68,6 +79,13 @@ class ServeTuner {
   /// Best parameters found so far.
   ServingParams best() const;
 
+  /// The query backend under test / the best found so far. Meaningful only
+  /// with tune_backend; otherwise both report kCompact.
+  QueryBackend current_backend() const noexcept {
+    return backend_from_int(trial_backend_);
+  }
+  QueryBackend best_backend() const;
+
   const Tuner& tuner() const noexcept { return tuner_; }
   Tuner& tuner() noexcept { return tuner_; }
 
@@ -78,6 +96,7 @@ class ServeTuner {
   QueryService& service_;
   ServeTunerOptions opts_;
   ServingParams trial_;  ///< tuner-owned parameter storage
+  std::int64_t trial_backend_ = 0;  ///< QueryBackend under test (tune_backend)
   Tuner tuner_;
   bool applied_once_ = false;
   bool window_open_ = false;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "kdtree/query_backend.hpp"
 #include "obs/trace.hpp"
 #include "obs/tuner_log.hpp"
 
@@ -194,6 +195,11 @@ void Tuner::log_iteration(const ConfigPoint& point, double seconds,
   rec.params.reserve(params_.size());
   for (std::size_t d = 0; d < params_.size(); ++d) {
     std::string name = params_[d].name();
+    if (name == kQueryBackendParam) {
+      // Decode the backend dimension into its layout name so the log line
+      // is greppable without knowing the parameter grid.
+      rec.backend = to_string(backend_from_int(values[d]));
+    }
     if (name.empty()) name = "p" + std::to_string(d);
     rec.params.emplace_back(std::move(name), values[d]);
   }

@@ -13,6 +13,10 @@
 #include <string_view>
 #include <vector>
 
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "kdtree/query_backend.hpp"
+#include "kdtree/wide_tree.hpp"
 #include "obs/tuner_log.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tuning/tuner.hpp"
@@ -353,6 +357,94 @@ TEST(TunerLog, SecondsRoundTripBitExactInLog) {
   const double back = std::strtod(line.c_str() + at + 10, nullptr);
   EXPECT_EQ(back, nasty);  // bit-exact, not approximately equal
   std::remove(path.c_str());
+}
+
+TEST(TunerLog, BackendFieldDecodesQueryBackendDimension) {
+  // When the tuner searches a `query_backend` dimension, every decision line
+  // carries the decoded layout name — the greppable schema the serving docs
+  // promise. Other dimensions must not produce the field.
+  const std::string path = ::testing::TempDir() + "/kdtune_tuner_log3.jsonl";
+  TunerLog log;
+  ASSERT_TRUE(log.open(path));
+
+  std::int64_t batch = 0, backend = 0;
+  Tuner tuner;
+  tuner.register_parameter(&batch, 1, 4, 1, "batch");
+  tuner.register_parameter(&backend, 0, kQueryBackendCount - 1, 1,
+                           kQueryBackendParam);
+  tuner.set_log(&log, "serve-test");
+  tuner.apply_next();
+  for (int i = 0; i < 5; ++i) tuner.record(1.0);
+  log.close();
+
+  std::ifstream in(path);
+  std::size_t lines = 0;
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    ++lines;
+    MiniJson parser(line);
+    EXPECT_TRUE(parser.parse()) << line;
+    const std::size_t at = line.find("\"backend\":\"");
+    ASSERT_NE(at, std::string::npos) << line;
+    const std::string name =
+        line.substr(at + 11, line.find('"', at + 11) - (at + 11));
+    QueryBackend decoded = QueryBackend::kCompact;
+    EXPECT_TRUE(backend_from_string(name, decoded)) << name;
+    // The field mirrors the query_backend parameter value on the same line.
+    EXPECT_NE(line.find("\"query_backend\":" +
+                        std::to_string(static_cast<std::int64_t>(decoded))),
+              std::string::npos)
+        << line;
+  }
+  EXPECT_EQ(lines, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorder, WideCollapseEmitsBuildSpan) {
+  ScopedTracing tracing;
+  {
+    Rng rng(5);
+    std::vector<Triangle> tris;
+    for (int i = 0; i < 64; ++i) {
+      const Vec3 a{rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)};
+      tris.push_back({a, a + Vec3{0.3f, 0, 0}, a + Vec3{0, 0.3f, 0}});
+    }
+    ThreadPool pool(0);
+    const auto base = make_sweep_builder()->build(tris, kBaseConfig, pool);
+    const auto compact = std::make_shared<const CompactKdTree>(
+        dynamic_cast<const KdTree&>(*base));
+    WideKdTree4 w4(compact);
+    WideKdTree8 w8(compact);
+  }
+  // Both collapse widths report into the build layer, spans balanced. End
+  // events carry no name, so spans are paired through a begin stack.
+  int open4 = 0, open8 = 0, close4 = 0, close8 = 0;
+  for (const auto& [tid, events] : TraceRecorder::instance().snapshot()) {
+    std::vector<std::string_view> begins;
+    for (const Event& e : events) {
+      if (e.phase == Phase::kBegin) {
+        const std::string_view name(e.name);
+        if (name == "build.emit_wide4") {
+          EXPECT_STREQ(e.cat, "build");
+          ++open4;
+        } else if (name == "build.emit_wide8") {
+          EXPECT_STREQ(e.cat, "build");
+          ++open8;
+        }
+        begins.push_back(name);
+      } else if (e.phase == Phase::kEnd) {
+        ASSERT_FALSE(begins.empty());
+        close4 += begins.back() == "build.emit_wide4";
+        close8 += begins.back() == "build.emit_wide8";
+        begins.pop_back();
+      }
+    }
+    EXPECT_TRUE(begins.empty()) << "unbalanced spans on tid " << tid;
+  }
+  EXPECT_EQ(open4, 1);
+  EXPECT_EQ(close4, 1);
+  EXPECT_EQ(open8, 1);
+  EXPECT_EQ(close8, 1);
 }
 
 }  // namespace

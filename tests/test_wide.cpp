@@ -1,0 +1,316 @@
+#include "kdtree/wide_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "kdtree/serialize.hpp"
+#include "kdtree/simd_dispatch.hpp"
+#include "serve/scene_registry.hpp"
+#include "tuning/tuner.hpp"
+
+namespace kdtune {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+std::vector<Triangle> soup(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triangle> tris;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 a{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const Vec3 e1{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const Vec3 e2{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    tris.push_back({a, a + e1, a + e2});
+  }
+  return tris;
+}
+
+std::shared_ptr<const CompactKdTree> build_compact(std::size_t n,
+                                                   std::uint64_t seed) {
+  ThreadPool pool(0);
+  const auto base = make_sweep_builder()->build(soup(n, seed), kBaseConfig,
+                                                pool);
+  return std::make_shared<const CompactKdTree>(
+      dynamic_cast<const KdTree&>(*base));
+}
+
+std::vector<Ray> probe_rays(const AABB& bounds, std::size_t n,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  const Vec3 center = (bounds.lo + bounds.hi) * 0.5f;
+  std::vector<Ray> rays;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 origin{rng.uniform(-12, 12), rng.uniform(-12, 12),
+                      rng.uniform(-12, 12)};
+    Vec3 dir = center - origin +
+               Vec3{rng.uniform(-4, 4), rng.uniform(-4, 4),
+                    rng.uniform(-4, 4)};
+    // Mix in axis-aligned rays: zero direction components exercise the
+    // 0 * inf NaN lanes in the slab kernels.
+    if (i % 5 == 0) dir.y = 0.0f;
+    if (i % 7 == 0) dir.x = 0.0f;
+    rays.emplace_back(origin, dir);
+  }
+  return rays;
+}
+
+template <int W>
+void check_structure(const WideKdTree<W>& wide, const CompactKdTree& src) {
+  const auto nodes = wide.wide_nodes();
+  ASSERT_FALSE(nodes.empty());
+  for (const WideNode<W>& node : nodes) {
+    ASSERT_GE(node.count, 1u);
+    ASSERT_LE(node.count, static_cast<std::uint32_t>(W));
+    for (int i = 0; i < W; ++i) {
+      const bool live = i < static_cast<int>(node.count);
+      for (int a = 0; a < 3; ++a) {
+        if (live) {
+          EXPECT_LE(node.lo[a][i], node.hi[a][i]);
+        } else {
+          // Dead lanes carry the canonical empty slab so unconditioned
+          // W-lane kernels cannot produce a hit in them.
+          EXPECT_EQ(node.lo[a][i], kInf);
+          EXPECT_EQ(node.hi[a][i], -kInf);
+        }
+      }
+      if (!live) continue;
+      const std::int32_t ref = node.child[i];
+      if (ref >= 0) {
+        EXPECT_LT(static_cast<std::size_t>(ref), nodes.size());
+      } else {
+        const auto cidx = static_cast<std::size_t>(~ref);
+        ASSERT_LT(cidx, src.nodes().size());
+        EXPECT_TRUE(src.nodes()[cidx].is_leaf());
+        // Empty leaves are dropped by the collapse; a lane must never
+        // point at one.
+        EXPECT_GT(src.nodes()[cidx].prim_count(), 0u);
+      }
+    }
+  }
+}
+
+TEST(WideTree, CollapseStructureInvariants) {
+  const auto compact = build_compact(400, 11);
+  const WideKdTree4 w4(compact);
+  const WideKdTree8 w8(compact);
+  check_structure(w4, *compact);
+  check_structure(w8, *compact);
+  // Greedy frontier packing: with 400 triangles every 8-wide node set
+  // should average clearly above half-full lanes.
+  std::size_t lanes = 0;
+  for (const auto& n : w8.wide_nodes()) lanes += n.count;
+  EXPECT_GT(static_cast<double>(lanes) / w8.wide_nodes().size(), 4.0);
+}
+
+template <class Tree>
+void expect_parity(const CompactKdTree& compact, const Tree& wide,
+                   const std::vector<Ray>& rays) {
+  for (const Ray& ray : rays) {
+    const Hit a = compact.closest_hit(ray);
+    const Hit b = wide.closest_hit(ray);
+    ASSERT_EQ(a.valid(), b.valid());
+    if (a.valid()) {
+      // Bit-identical distances; triangle ids may differ only on exact
+      // t-ties, so parity is valid + t.
+      ASSERT_EQ(a.t, b.t);
+    }
+    ASSERT_EQ(compact.any_hit(ray), wide.any_hit(ray));
+  }
+}
+
+TEST(WideTree, ParityAcrossSimdLevels) {
+  const auto compact = build_compact(500, 23);
+  const auto rays = probe_rays(compact->bounds(), 400, 7);
+
+  // Every kernel tier this binary can run must answer identically — the
+  // scalar fallback is the semantic reference, the detected tier is what
+  // production uses, and SSE is the x86 floor.
+  const SimdLevel levels[] = {SimdLevel::kScalar, SimdLevel::kSse,
+                              SimdLevel::kNeon, detect_simd_level()};
+  for (const SimdLevel level : levels) {
+    expect_parity(*compact, WideKdTree4(compact, level), rays);
+    expect_parity(*compact, WideKdTree8(compact, level), rays);
+  }
+}
+
+TEST(WideTree, ForcedScalarMatchesDetected) {
+  const auto compact = build_compact(300, 31);
+  const auto rays = probe_rays(compact->bounds(), 200, 13);
+  const WideKdTree8 detected(compact);
+  const WideKdTree8 scalar(compact, SimdLevel::kScalar);
+  EXPECT_EQ(scalar.simd_level(), SimdLevel::kScalar);
+  for (const Ray& ray : rays) {
+    const Hit a = detected.closest_hit(ray);
+    const Hit b = scalar.closest_hit(ray);
+    ASSERT_EQ(a.valid(), b.valid());
+    if (a.valid()) ASSERT_EQ(a.t, b.t);
+  }
+}
+
+TEST(WideTree, TinyTreesAndMisses) {
+  for (const std::size_t n : {std::size_t{1}, std::size_t{3}}) {
+    const auto compact = build_compact(n, 41);
+    const WideKdTree4 w4(compact);
+    const WideKdTree8 w8(compact);
+    const auto rays = probe_rays(compact->bounds(), 100, 17);
+    expect_parity(*compact, w4, rays);
+    expect_parity(*compact, w8, rays);
+    // A ray pointing away from the scene must miss through every backend.
+    const Ray away{{100.0f, 100.0f, 100.0f}, {1.0f, 0.0f, 0.0f}};
+    EXPECT_FALSE(w4.closest_hit(away).valid());
+    EXPECT_FALSE(w8.any_hit(away));
+  }
+}
+
+TEST(WideTree, MakeWideTreeSelectsWidth) {
+  const auto compact = build_compact(100, 43);
+  const auto w4 = make_wide_tree(compact, QueryBackend::kWide4);
+  const auto w8 = make_wide_tree(compact, QueryBackend::kWide8);
+  EXPECT_EQ(w4->width(), 4);
+  EXPECT_EQ(w4->backend(), QueryBackend::kWide4);
+  EXPECT_EQ(w8->width(), 8);
+  EXPECT_EQ(w8->backend(), QueryBackend::kWide8);
+  EXPECT_EQ(&w4->source(), compact.get());
+}
+
+TEST(WideSerialize, V3RoundTripBothWidths) {
+  const auto compact = build_compact(250, 53);
+  const auto rays = probe_rays(compact->bounds(), 150, 19);
+  for (const QueryBackend backend :
+       {QueryBackend::kWide4, QueryBackend::kWide8}) {
+    const auto wide = make_wide_tree(compact, backend);
+    std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+    save_wide_tree(buffer, *wide);
+    const auto loaded = load_wide_tree(buffer);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->width(), wide->width());
+    EXPECT_EQ(loaded->backend(), backend);
+    for (const Ray& ray : rays) {
+      const Hit a = wide->closest_hit(ray);
+      const Hit b = loaded->closest_hit(ray);
+      ASSERT_EQ(a.valid(), b.valid());
+      if (a.valid()) ASSERT_EQ(a.t, b.t);
+    }
+  }
+}
+
+TEST(WideSerialize, V3BodyLoadsAsCompactTree) {
+  const auto compact = build_compact(200, 59);
+  const WideKdTree8 wide(compact);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_wide_tree(buffer, wide);
+  const auto loaded = load_compact_tree(buffer);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->nodes().size(), compact->nodes().size());
+  const auto rays = probe_rays(compact->bounds(), 100, 23);
+  for (const Ray& ray : rays) {
+    const Hit a = compact->closest_hit(ray);
+    const Hit b = loaded->closest_hit(ray);
+    ASSERT_EQ(a.valid(), b.valid());
+    if (a.valid()) ASSERT_EQ(a.t, b.t);
+  }
+}
+
+TEST(WideSerialize, OlderVersionsLoadWithFallbackWidth) {
+  const auto compact = build_compact(200, 61);
+
+  // v2 file (compact layout) → wide tree at the requested fallback width.
+  std::stringstream v2(std::ios::in | std::ios::out | std::ios::binary);
+  save_compact_tree(v2, *compact);
+  const auto from_v2 = load_wide_tree(v2, 8);
+  ASSERT_NE(from_v2, nullptr);
+  EXPECT_EQ(from_v2->width(), 8);
+
+  // v1 file (builder layout) still loads too.
+  ThreadPool pool(0);
+  const auto base = make_sweep_builder()->build(soup(200, 61), kBaseConfig,
+                                                pool);
+  std::stringstream v1(std::ios::in | std::ios::out | std::ios::binary);
+  save_tree(v1, dynamic_cast<const KdTree&>(*base));
+  const auto from_v1 = load_wide_tree(v1);  // default fallback: 4
+  ASSERT_NE(from_v1, nullptr);
+  EXPECT_EQ(from_v1->width(), 4);
+
+  const auto rays = probe_rays(compact->bounds(), 100, 29);
+  for (const Ray& ray : rays) {
+    const Hit a = compact->closest_hit(ray);
+    const Hit b = from_v2->closest_hit(ray);
+    ASSERT_EQ(a.valid(), b.valid());
+    if (a.valid()) ASSERT_EQ(a.t, b.t);
+  }
+}
+
+TEST(WideRegistry, SetBackendSwitchesWithoutRebuild) {
+  ThreadPool pool(2);
+  SceneRegistry registry(pool);
+  Scene scene("soup");
+  scene.mutable_triangles() = soup(300, 71);
+  const auto v1 = registry.admit("soup", scene);
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->backend, QueryBackend::kCompact);
+
+  // Unknown scenes cannot switch.
+  EXPECT_EQ(registry.set_backend("nope", QueryBackend::kWide8), nullptr);
+
+  const auto v2 = registry.set_backend("soup", QueryBackend::kWide8);
+  ASSERT_NE(v2, nullptr);
+  EXPECT_EQ(v2->backend, QueryBackend::kWide8);
+  EXPECT_GT(v2->version, v1->version);
+
+  // Same-backend switch is a no-op: the live snapshot is returned as-is.
+  const auto v3 = registry.set_backend("soup", QueryBackend::kWide8);
+  ASSERT_NE(v3, nullptr);
+  EXPECT_EQ(v3->version, v2->version);
+
+  // The switched layout answers identically to the compact one it wraps.
+  const Ray ray{{-20.0f, 0.0f, 0.0f}, {1.0f, 0.01f, 0.01f}};
+  const Hit a = v1->tree->closest_hit(ray);
+  const Hit b = v3->tree->closest_hit(ray);
+  EXPECT_EQ(a.valid(), b.valid());
+  if (a.valid()) EXPECT_EQ(a.t, b.t);
+}
+
+TEST(WideTuner, SelectorConvergesToFastestBackend) {
+  // Synthetic serving costs with a known winner: wide8 is fastest. The
+  // selector sees only the measurements, so convergence to kWide8 shows the
+  // query_backend dimension is searchable end-to-end.
+  std::int64_t backend = 0;
+  Tuner tuner;
+  tuner.register_parameter(&backend, 0, kQueryBackendCount - 1, 1,
+                           kQueryBackendParam);
+  const double cost[kQueryBackendCount] = {1.0, 0.8, 0.55, 0.9};
+  int guard = 0;
+  while (!tuner.converged() && guard++ < 300) {
+    tuner.apply_next();
+    tuner.record(cost[static_cast<std::size_t>(backend_from_int(backend))]);
+  }
+  ASSERT_TRUE(tuner.converged());
+  EXPECT_EQ(backend_from_int(backend), QueryBackend::kWide8);
+}
+
+TEST(WideSimd, LevelNamesRoundTrip) {
+  SimdLevel level = SimdLevel::kAvx2;
+  EXPECT_TRUE(simd_level_from_string("scalar", level));
+  EXPECT_EQ(level, SimdLevel::kScalar);
+  EXPECT_TRUE(simd_level_from_string("sse", level));
+  EXPECT_EQ(level, SimdLevel::kSse);
+  EXPECT_TRUE(simd_level_from_string("avx2", level));
+  EXPECT_EQ(level, SimdLevel::kAvx2);
+  EXPECT_TRUE(simd_level_from_string("neon", level));
+  EXPECT_EQ(level, SimdLevel::kNeon);
+  EXPECT_FALSE(simd_level_from_string("avx512", level));
+  EXPECT_EQ(level, SimdLevel::kNeon);  // unknown names leave `out` untouched
+  EXPECT_STREQ(to_string(SimdLevel::kScalar), "scalar");
+  // Detection never reports a tier the binary does not contain.
+  EXPECT_LE(static_cast<int>(detect_simd_level()),
+            static_cast<int>(simd_compiled_level()));
+}
+
+}  // namespace
+}  // namespace kdtune
