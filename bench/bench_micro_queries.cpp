@@ -1,8 +1,11 @@
-// Micro: range and nearest-neighbor query throughput through the SAH
+// Micro: range, nearest-neighbor and k-NN query throughput through the SAH
 // kd-tree (builder layout and compact serving layout) vs the BVH baseline,
 // plus lazy-tree queries (which may expand) and a closest-hit sweep over the
 // serving query backends (compact / wide4 / wide8 / bvh) on bunny — the
-// measurement the wide-backend acceptance gate reads.
+// measurement the wide-backend acceptance gate reads. The JSON pass also
+// asserts the best-first search prunes at push time (KnnSearchStats.pruned
+// must be nonzero on a real scene — the child-push bound check is the fix
+// for unconditional enqueueing).
 //
 // Like bench_micro_traversal, the binary always writes machine-readable
 // results to BENCH_queries.json (--json=PATH to override); `--smoke` runs
@@ -222,12 +225,47 @@ void run_json_pass(const std::string& path, bool smoke) {
             benchmark::DoNotOptimize(tree.nearest(p));
           }
         });
+    std::vector<NearestResult> knn;
+    const double knn_ns = measure_ns_per_query(f.points.size(), reps, [&] {
+      for (const Vec3& p : f.points) {
+        knn.clear();
+        tree.nearest_k(p, 8, knn);
+        benchmark::DoNotOptimize(knn.data());
+      }
+    });
     records.push_back({"sponza", "inplace", layouts[which], "range", range_ns,
                        1e9 / range_ns});
     records.push_back({"sponza", "inplace", layouts[which], "nearest",
                        nearest_ns, 1e9 / nearest_ns});
-    std::printf("%-10s range %9.1f ns/query | nearest %9.1f ns/query\n",
-                layouts[which], range_ns, nearest_ns);
+    records.push_back({"sponza", "inplace", layouts[which], "nearest_k8",
+                       knn_ns, 1e9 / knn_ns});
+    std::printf("%-10s range %9.1f ns/query | nearest %9.1f ns/query | "
+                "k=8 %9.1f ns/query\n",
+                layouts[which], range_ns, nearest_ns, knn_ns);
+  }
+
+  // Push-time pruning sanity: on a real scene the bound must reject child
+  // pushes — if `pruned` is ever zero here the best-first search has
+  // regressed to unconditional enqueueing.
+  {
+    const auto& kd = dynamic_cast<const KdTree&>(*f.kd);
+    KnnSearchStats total{};
+    for (const Vec3& p : f.points) {
+      KnnSearchStats stats{};
+      kd.nearest_counted(p, stats);
+      total.pushed += stats.pushed;
+      total.popped += stats.popped;
+      total.pruned += stats.pruned;
+    }
+    std::printf("nearest push-prune: %llu pushed, %llu popped, %llu pruned\n",
+                static_cast<unsigned long long>(total.pushed),
+                static_cast<unsigned long long>(total.popped),
+                static_cast<unsigned long long>(total.pruned));
+    if (total.pruned == 0) {
+      std::fprintf(stderr,
+                   "FAIL: best-first nearest() pruned no child pushes\n");
+      std::exit(1);
+    }
   }
   bench::write_bench_json(path, records);
 }

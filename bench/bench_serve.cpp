@@ -1,8 +1,10 @@
 // Serving-path benchmark: throughput and latency of the micro-batched
 // QueryService at batch size 1 (no batching — every request is its own pool
 // task) versus the batch size the ServeTuner converges to on the same
-// traffic. Writes BENCH_serve.json with throughput and p50/p99 latency per
-// configuration; `--smoke` shrinks everything for CI.
+// traffic, plus a mixed-family pass (closest-hit / any-hit / packet / range
+// / k-NN / closest-point) that reports per-family p50/p99 latency. Writes
+// BENCH_serve.json with throughput and p50/p99 latency per configuration
+// and per family; `--smoke` shrinks everything for CI.
 //
 // The point of the comparison is the one the serving layer exists to make:
 // per-request dispatch amortization. At batch=1 every ray pays a full
@@ -99,6 +101,106 @@ ServeMeasurement run_load(SceneRegistry& registry, ThreadPool& pool,
   m.mean_us = ep.mean_seconds * 1e6;
   service.shutdown();
   return m;
+}
+
+struct FamilyRow {
+  const char* name = "";
+  std::uint64_t completed = 0;
+  std::uint64_t batches = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+};
+
+/// Fires a uniform mix of all six query families from closed-loop clients
+/// and returns one latency row per family from the service's per-family
+/// histograms.
+std::vector<FamilyRow> run_mixed_load(SceneRegistry& registry,
+                                      ThreadPool& pool,
+                                      const std::vector<std::string>& names,
+                                      const std::vector<AABB>& boxes,
+                                      const ServingParams& params, int clients,
+                                      int total, std::uint64_t seed) {
+  ServiceOptions sopts;
+  sopts.params = params;
+  QueryService service(registry, pool, sopts);
+
+  const int per_client = std::max(total / std::max(clients, 1), 1);
+  Rng master(seed ^ 0xFA317ull);
+  std::vector<Rng> rngs;
+  for (int c = 0; c < clients; ++c) rngs.push_back(master.split());
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng = rngs[static_cast<std::size_t>(c)];
+      for (int i = 0; i < per_client; ++i) {
+        const std::size_t scene = static_cast<std::size_t>(
+            rng.next_int(0, static_cast<std::int64_t>(names.size()) - 1));
+        const AABB& box = boxes[scene];
+        const float diag = length(box.extent());
+        const Vec3 point{rng.uniform(box.lo.x, box.hi.x),
+                         rng.uniform(box.lo.y, box.hi.y),
+                         rng.uniform(box.lo.z, box.hi.z)};
+        switch (rng.next_int(0, 5)) {
+          case 0:
+            service.submit_closest_hit(names[scene],
+                                       random_ray_into(rng, box)).get();
+            break;
+          case 1:
+            service.submit_any_hit(names[scene], random_ray_into(rng, box))
+                .get();
+            break;
+          case 2: {
+            std::vector<Ray> rays;
+            for (int r = 0; r < 8; ++r) {
+              rays.push_back(random_ray_into(rng, box));
+            }
+            service.submit_packet(names[scene], std::move(rays)).get();
+            break;
+          }
+          case 3: {
+            const Vec3 half{rng.uniform(0.01f, 0.1f) * diag,
+                            rng.uniform(0.01f, 0.1f) * diag,
+                            rng.uniform(0.01f, 0.1f) * diag};
+            service.submit_range(names[scene],
+                                 AABB(point - half, point + half)).get();
+            break;
+          }
+          case 4:
+            service
+                .submit_nearest(names[scene], point,
+                                static_cast<std::uint32_t>(
+                                    rng.next_int(1, 8)))
+                .get();
+            break;
+          default:
+            service
+                .submit_closest_point(names[scene], point, diag * 0.5f)
+                .get();
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  service.drain();
+  const ServiceStats stats = service.stats();
+  service.shutdown();
+
+  std::vector<FamilyRow> rows;
+  for (int k = 0; k < kQueryKindCount; ++k) {
+    const EndpointStats& e = stats.endpoints[static_cast<std::size_t>(k)];
+    FamilyRow row;
+    row.name = to_string(static_cast<QueryKind>(k)).data();
+    row.completed = e.completed;
+    row.batches = e.batches;
+    row.p50_us = e.p50_seconds * 1e6;
+    row.p99_us = e.p99_seconds * 1e6;
+    row.mean_us = e.mean_seconds * 1e6;
+    rows.push_back(row);
+  }
+  return rows;
 }
 
 /// Lets the ServeTuner search over live traffic and returns its best params.
@@ -240,6 +342,16 @@ int main(int argc, char** argv) {
                 backend_rows[1].second.qps / backend_rows[0].second.qps);
   }
 
+  // Per-family latency under a uniform mix of all six query families, read
+  // from the service's per-family histograms at the tuned parameters.
+  const std::vector<FamilyRow> family_rows = run_mixed_load(
+      registry, pool, names, boxes, tuned, clients, total, opts.seed);
+  for (const FamilyRow& row : family_rows) {
+    std::printf("family=%-13s %7" PRIu64 " completed in %5" PRIu64
+                " batches   p50 %7.1f us   p99 %7.1f us\n",
+                row.name, row.completed, row.batches, row.p50_us, row.p99_us);
+  }
+
   std::FILE* out = std::fopen("BENCH_serve.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_serve.json\n");
@@ -263,14 +375,23 @@ int main(int argc, char** argv) {
                  "  {\"config\": \"backend\", \"backend\": \"%s\", "
                  "\"batch_size\": %" PRId64 ", \"requests\": %" PRIu64
                  ", \"queries_per_sec\": %.1f, \"p50_us\": %.2f, "
-                 "\"p99_us\": %.2f, \"mean_us\": %.2f}%s\n",
+                 "\"p99_us\": %.2f, \"mean_us\": %.2f},\n",
                  backend_rows[i].first, m.batch_size, m.completed, m.qps,
-                 m.p50_us, m.p99_us, m.mean_us,
-                 i + 1 < backend_rows.size() ? "," : "");
+                 m.p50_us, m.p99_us, m.mean_us);
+  }
+  for (std::size_t i = 0; i < family_rows.size(); ++i) {
+    const FamilyRow& row = family_rows[i];
+    std::fprintf(out,
+                 "  {\"config\": \"family\", \"family\": \"%s\", "
+                 "\"requests\": %" PRIu64 ", \"batches\": %" PRIu64
+                 ", \"p50_us\": %.2f, \"p99_us\": %.2f, "
+                 "\"mean_us\": %.2f}%s\n",
+                 row.name, row.completed, row.batches, row.p50_us, row.p99_us,
+                 row.mean_us, i + 1 < family_rows.size() ? "," : "");
   }
   std::fprintf(out, "]\n");
   std::fclose(out);
   std::printf("wrote BENCH_serve.json (%zu records)\n",
-              rows.size() + backend_rows.size());
+              rows.size() + backend_rows.size() + family_rows.size());
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "geom/closest_point.hpp"
 #include "geom/intersect.hpp"
+#include "kdtree/knn.hpp"
 
 namespace kdtune {
 
@@ -318,9 +319,11 @@ void Bvh::query_range(const AABB& box, std::vector<std::uint32_t>& out) const {
   out.erase(std::unique(out.begin() + start, out.end()), out.end());
 }
 
-NearestResult Bvh::nearest(const Vec3& point) const {
-  NearestResult best;
-  if (nodes_.empty()) return best;
+void Bvh::nearest_core(const Vec3& point, KnnCollector& collector) const {
+  // An empty scene's root is a default node with an empty box; it reads as
+  // an interior with self-children, so bail before seeding the queue (its
+  // infinite box distance ties the infinite initial bound and would loop).
+  if (nodes_.empty() || nodes_[0].box.empty()) return;
 
   struct Entry {
     float dist_sq;
@@ -330,25 +333,43 @@ NearestResult Bvh::nearest(const Vec3& point) const {
     }
   };
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
-  queue.push({distance_squared(point, nodes_[0].box), 0});
+  const float root_dist = distance_squared(point, nodes_[0].box);
+  if (root_dist > collector.bound()) return;  // radius seed prunes the root
+  queue.push({root_dist, 0});
   while (!queue.empty()) {
     const Entry entry = queue.top();
     queue.pop();
-    if (entry.dist_sq >= best.distance_sq) break;
+    // Strictly farther entries cannot contribute; entries at exactly the
+    // bound still can (equal-distance, lower-id ties) — see knn.hpp.
+    if (entry.dist_sq > collector.bound()) break;
     const Node& node = nodes_[entry.node];
     if (node.is_leaf()) {
       for (std::uint32_t k = 0; k < node.count; ++k) {
         const std::uint32_t tri = prim_indices_[node.first + k];
         const Vec3 cp = closest_point_on_triangle(point, triangles_[tri]);
-        const float d = length_squared(point - cp);
-        if (d < best.distance_sq) best = {tri, cp, d};
+        collector.offer(tri, cp, length_squared(point - cp));
       }
       continue;
     }
-    queue.push({distance_squared(point, nodes_[node.left].box), node.left});
-    queue.push({distance_squared(point, nodes_[node.right].box), node.right});
+    const float dl = distance_squared(point, nodes_[node.left].box);
+    const float dr = distance_squared(point, nodes_[node.right].box);
+    if (dl <= collector.bound()) queue.push({dl, node.left});
+    if (dr <= collector.bound()) queue.push({dr, node.right});
   }
-  return best;
+}
+
+NearestResult Bvh::nearest(const Vec3& point) const {
+  KnnCollector collector(1, std::numeric_limits<float>::infinity());
+  nearest_core(point, collector);
+  return collector.best();
+}
+
+void Bvh::do_nearest_k(const Vec3& point, std::size_t k,
+                       std::vector<NearestResult>& out,
+                       float max_distance) const {
+  KnnCollector collector(k, max_distance);
+  nearest_core(point, collector);
+  collector.take_sorted(out);
 }
 
 TreeStats Bvh::stats() const {

@@ -58,6 +58,11 @@ class Bvh final : public KdTreeBase {
   std::span<const Node> nodes() const noexcept { return nodes_; }
 
  private:
+  void do_nearest_k(const Vec3& point, std::size_t k,
+                    std::vector<NearestResult>& out,
+                    float max_distance) const override;
+  void nearest_core(const Vec3& point, KnnCollector& collector) const;
+
   std::vector<Triangle> triangles_;
   std::vector<Node> nodes_;
   std::vector<std::uint32_t> prim_indices_;

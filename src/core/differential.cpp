@@ -1,7 +1,9 @@
 #include "core/differential.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <utility>
@@ -12,6 +14,7 @@
 #include "geom/rng.hpp"
 #include "kdtree/builder.hpp"
 #include "kdtree/compact_tree.hpp"
+#include "kdtree/knn.hpp"
 #include "kdtree/lazy_tree.hpp"
 #include "kdtree/wide_tree.hpp"
 #include "parallel/thread_pool.hpp"
@@ -176,6 +179,8 @@ std::vector<std::uint32_t> brute_force_range(std::span<const Triangle> tris,
 
 NearestResult brute_force_nearest(std::span<const Triangle> tris,
                                   const Vec3& point) {
+  // Ascending scan with a strict `<` keeps the lowest id on exact distance
+  // ties — the same tie-break every tree's KnnCollector applies.
   NearestResult best;
   for (std::uint32_t i = 0; i < tris.size(); ++i) {
     if (tris[i].degenerate()) continue;
@@ -184,6 +189,22 @@ NearestResult brute_force_nearest(std::span<const Triangle> tris,
     if (d < best.distance_sq) best = {i, cp, d};
   }
   return best;
+}
+
+// Brute-force k-NN oracle through the same KnnCollector the trees use, so
+// radius acceptance, dedup and (distance, id) ordering are one definition.
+std::vector<NearestResult> brute_force_knn(std::span<const Triangle> tris,
+                                           const Vec3& point, std::size_t k,
+                                           float max_distance) {
+  KnnCollector collector(k, max_distance);
+  for (std::uint32_t i = 0; i < tris.size(); ++i) {
+    if (tris[i].degenerate()) continue;
+    const Vec3 cp = closest_point_on_triangle(point, tris[i]);
+    collector.offer(i, cp, length_squared(point - cp));
+  }
+  std::vector<NearestResult> out;
+  collector.take_sorted(out);
+  return out;
 }
 
 }  // namespace
@@ -200,6 +221,7 @@ DifferentialOptions differential_default_options() {
     opts.rays = 10;
     opts.boxes = 4;
     opts.points = 4;
+    opts.knn_points = 4;
     opts.post_expand_rays = 4;
   }
   return opts;
@@ -325,7 +347,8 @@ DifferentialResult run_differential_case(std::uint64_t seed,
 
   // --- Nearest probes: the minimum squared distance over the soup is bit
   // identical across implementations (same closest_point_on_triangle per
-  // triangle); only the winning id may tie.
+  // triangle), and the winning id is too — ties break toward the lowest
+  // triangle id in every tree, so the comparison includes the id.
   for (int i = 0; i < opts.points; ++i) {
     const Vec3 point{rng.uniform(box.lo.x - 1.0f, box.hi.x + 1.0f),
                      rng.uniform(box.lo.y - 1.0f, box.hi.y + 1.0f),
@@ -335,12 +358,77 @@ DifferentialResult run_differential_case(std::uint64_t seed,
       ++result.queries;
       const NearestResult got = impl.tree->nearest(point);
       if (got.valid() != expected.valid() ||
-          (expected.valid() && got.distance_sq != expected.distance_sq)) {
+          (expected.valid() && (got.distance_sq != expected.distance_sq ||
+                                got.triangle != expected.triangle))) {
         std::ostringstream msg;
         msg << "point " << i << " nearest (" << impl.name
             << "): expected valid=" << expected.valid() << " d2="
-            << std::hexfloat << expected.distance_sq << ", got valid="
-            << got.valid() << " d2=" << got.distance_sq;
+            << std::hexfloat << expected.distance_sq << " tri "
+            << expected.triangle << ", got valid=" << got.valid()
+            << " d2=" << got.distance_sq << " tri " << got.triangle;
+        fail(msg);
+      }
+    }
+  }
+
+  // --- k-NN + closest-point-within-radius probes: full result lists must be
+  // bit identical (ids included) against the KnnCollector brute oracle.
+  const float diag = length(box.extent());
+  for (int i = 0; i < opts.knn_points; ++i) {
+    const Vec3 point{rng.uniform(box.lo.x - 1.0f, box.hi.x + 1.0f),
+                     rng.uniform(box.lo.y - 1.0f, box.hi.y + 1.0f),
+                     rng.uniform(box.lo.z - 1.0f, box.hi.z + 1.0f)};
+    const std::size_t k = static_cast<std::size_t>(rng.next_int(1, 6));
+    // Half the probes bound the search by a conservative radius — the
+    // photon-gather / sensor-query shape — including radii small enough to
+    // produce empty results.
+    const float radius = rng.next_float() < 0.5f
+                             ? std::numeric_limits<float>::infinity()
+                             : rng.uniform(0.0f, diag * 0.6f + 0.1f);
+    const std::vector<NearestResult> expected =
+        brute_force_knn(tris, point, k, radius);
+    std::vector<NearestResult> got;
+    for (const Impl& impl : impls) {
+      ++result.queries;
+      got.clear();
+      impl.tree->nearest_k(point, k, got, radius);
+      bool match = got.size() == expected.size();
+      for (std::size_t j = 0; match && j < got.size(); ++j) {
+        match = got[j].triangle == expected[j].triangle &&
+                got[j].distance_sq == expected[j].distance_sq;
+      }
+      if (!match) {
+        std::ostringstream msg;
+        msg << "point " << i << " nearest_k k=" << k << " r=" << std::hexfloat
+            << radius << " (" << impl.name << "): expected "
+            << expected.size() << " results, got " << got.size();
+        for (std::size_t j = 0; j < std::min(got.size(), expected.size());
+             ++j) {
+          if (got[j].triangle != expected[j].triangle ||
+              got[j].distance_sq != expected[j].distance_sq) {
+            msg << "; first mismatch at " << j << ": tri " << got[j].triangle
+                << " d2=" << got[j].distance_sq << " vs tri "
+                << expected[j].triangle << " d2=" << expected[j].distance_sq;
+            break;
+          }
+        }
+        fail(msg);
+      }
+
+      // Closest point with a conservative seed radius: equivalent to k=1
+      // over the same radius, so the first expected entry is the oracle.
+      ++result.queries;
+      const NearestResult within = impl.tree->nearest_within(point, radius);
+      const bool expect_valid = !expected.empty();
+      if (within.valid() != expect_valid ||
+          (expect_valid && (within.triangle != expected.front().triangle ||
+                            within.distance_sq !=
+                                expected.front().distance_sq))) {
+        std::ostringstream msg;
+        msg << "point " << i << " nearest_within r=" << std::hexfloat
+            << radius << " (" << impl.name << "): expected valid="
+            << expect_valid << ", got valid=" << within.valid() << " tri "
+            << within.triangle << " d2=" << within.distance_sq;
         fail(msg);
       }
     }

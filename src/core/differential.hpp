@@ -6,16 +6,18 @@
 // sequential references), re-emits the eager tree into the compact serving
 // layout, builds the BVH baseline, and then checks that every implementation
 // agrees with a brute-force oracle — *exactly*, not approximately — on
-// closest-hit, any-hit, range and nearest queries. The lazy tree is probed
-// twice: once fresh (queries racing first-touch expansion of its own
-// deferred subtrees) and once after expand_all().
+// closest-hit, any-hit, range, nearest, k-nearest and closest-point-within-
+// radius queries. The lazy tree is probed twice: once fresh (queries racing
+// first-touch expansion of its own deferred subtrees) and once after
+// expand_all().
 //
 // Exactness is well-defined because every implementation shares the same
 // per-triangle primitives (Möller-Trumbore, closest_point_on_triangle,
 // clipped_bounds): for a given ray and triangle the computed t is bit
 // identical no matter which tree found the pair, so the minimum over the
-// soup is bit identical too. Only the *winning triangle id* may legitimately
-// differ, on exact distance ties — the comparisons below are tie-robust.
+// soup is bit identical too. Distance ties break toward the lowest triangle
+// id in every tree and in the oracles (KnnCollector's contract), so even the
+// winning ids — including full k-NN result lists — compare bit-exactly.
 //
 // Shared by tests/test_differential_fuzz.cpp (a ctest-sized seed sweep) and
 // tools/kdtune_fuzz.cpp (the standalone driver CI uses for 500+ cases).
@@ -32,6 +34,7 @@ struct DifferentialOptions {
   int rays = 24;                    ///< closest-hit + any-hit probes
   int boxes = 8;                    ///< range-query probes
   int points = 8;                   ///< nearest-neighbor probes
+  int knn_points = 8;               ///< k-NN + closest-point-radius probes
   int post_expand_rays = 8;         ///< re-probes after lazy expand_all()
 };
 

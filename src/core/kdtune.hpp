@@ -31,6 +31,7 @@
 #include "kdtree/analysis.hpp"
 #include "kdtree/compact_tree.hpp"   // cache-compact serving layout
 #include "kdtree/dot_export.hpp"
+#include "kdtree/knn.hpp"           // shared k-NN collection core
 #include "kdtree/lazy_tree.hpp"
 #include "kdtree/packet.hpp"
 #include "kdtree/query_backend.hpp" // serving-backend enum (tunable online)

@@ -9,6 +9,7 @@
 
 #include "geom/closest_point.hpp"
 #include "geom/intersect.hpp"
+#include "kdtree/knn.hpp"
 #include "kdtree/leaf_blocks.hpp"
 
 namespace kdtune {
@@ -286,7 +287,7 @@ bool CompactKdTree::any_hit(const Ray& ray) const {
 void CompactKdTree::query_range(const AABB& box,
                                 std::vector<std::uint32_t>& out) const {
   const std::size_t start = out.size();
-  if (!bounds_.overlaps(box)) return;
+  if (nodes_.empty() || !bounds_.overlaps(box)) return;
 
   struct Frame {
     std::uint32_t node;
@@ -319,9 +320,9 @@ void CompactKdTree::query_range(const AABB& box,
   out.erase(std::unique(out.begin() + start, out.end()), out.end());
 }
 
-NearestResult CompactKdTree::nearest(const Vec3& point) const {
-  NearestResult best;
-  if (nodes_.empty()) return best;
+void CompactKdTree::nearest_core(const Vec3& point,
+                                 KnnCollector& collector) const {
+  if (nodes_.empty()) return;
 
   struct Entry {
     float dist_sq;
@@ -333,12 +334,16 @@ NearestResult CompactKdTree::nearest(const Vec3& point) const {
     }
   };
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
-  queue.push({distance_squared(point, bounds_), 0, bounds_});
+  const float root_dist = distance_squared(point, bounds_);
+  if (root_dist > collector.bound()) return;  // radius seed prunes the root
+  queue.push({root_dist, 0, bounds_});
 
   while (!queue.empty()) {
     const Entry entry = queue.top();
     queue.pop();
-    if (entry.dist_sq >= best.distance_sq) break;  // all remaining are farther
+    // Strictly farther entries cannot contribute; entries at exactly the
+    // bound still can (equal-distance, lower-id ties) — see knn.hpp.
+    if (entry.dist_sq > collector.bound()) break;
 
     const CompactNode& node = nodes_[entry.node];
     if (node.is_leaf()) {
@@ -346,19 +351,31 @@ NearestResult CompactKdTree::nearest(const Vec3& point) const {
           node, triangles_, soa_.data(), leaf_tris_.data(),
           [&](const Vec3&, const Vec3&, const Vec3&, std::uint32_t id) {
             const Vec3 cp = closest_point_on_triangle(point, triangles_[id]);
-            const float d = length_squared(point - cp);
-            if (d < best.distance_sq) {
-              best = {id, cp, d};
-            }
+            collector.offer(id, cp, length_squared(point - cp));
             return false;
           });
       continue;
     }
     const auto [lbox, rbox] = entry.box.split(node.axis(), node.split);
-    queue.push({distance_squared(point, lbox), entry.node + 1, lbox});
-    queue.push({distance_squared(point, rbox), node.right_child(), rbox});
+    const float dl = distance_squared(point, lbox);
+    const float dr = distance_squared(point, rbox);
+    if (dl <= collector.bound()) queue.push({dl, entry.node + 1, lbox});
+    if (dr <= collector.bound()) queue.push({dr, node.right_child(), rbox});
   }
-  return best;
+}
+
+NearestResult CompactKdTree::nearest(const Vec3& point) const {
+  KnnCollector collector(1, std::numeric_limits<float>::infinity());
+  nearest_core(point, collector);
+  return collector.best();
+}
+
+void CompactKdTree::do_nearest_k(const Vec3& point, std::size_t k,
+                                 std::vector<NearestResult>& out,
+                                 float max_distance) const {
+  KnnCollector collector(k, max_distance);
+  nearest_core(point, collector);
+  collector.take_sorted(out);
 }
 
 TreeStats CompactKdTree::stats() const {

@@ -91,6 +91,7 @@ class CompactKdTree final : public KdTreeBase {
                    std::vector<std::uint32_t>& out) const override;
   NearestResult nearest(const Vec3& point) const override;
   const AABB& bounds() const noexcept override { return bounds_; }
+  // (nearest_k / nearest_within resolve through do_nearest_k below.)
   std::span<const Triangle> triangles() const noexcept override {
     return triangles_;
   }
@@ -117,6 +118,11 @@ class CompactKdTree final : public KdTreeBase {
   /// entirely (no per-node branch on a counters pointer).
   template <HitQuery M, bool kCounted>
   Hit hit_core(const Ray& ray, TraversalCounters* counters) const;
+
+  void do_nearest_k(const Vec3& point, std::size_t k,
+                    std::vector<NearestResult>& out,
+                    float max_distance) const override;
+  void nearest_core(const Vec3& point, KnnCollector& collector) const;
 
   /// Recomputes the per-block SoA arrays from triangles_ + leaf_tris_ and
   /// validates node/block structure. Shared by both constructors.

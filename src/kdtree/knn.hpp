@@ -1,0 +1,102 @@
+#pragma once
+
+// Shared k-nearest-neighbor collection core for the best-first point queries
+// (nearest / nearest_k / nearest_within) of every tree structure.
+//
+// All trees and the brute-force oracles order candidates the same way:
+// lexicographically by (distance_sq, triangle id). Distances are bit
+// identical across structures (every implementation calls the same
+// closest_point_on_triangle per triangle), so with a deterministic tie-break
+// the *entire result set — ids included —* is identical no matter which tree
+// found it. That is what lets the differential fuzzer compare kNN results
+// exactly instead of "distances agree, ids may differ".
+//
+// The pruning contract that makes the tie-break traversal-order-independent:
+// a node box may be skipped only when its minimum distance is *strictly*
+// greater than bound(). A box at exactly bound() can still contain an
+// equal-distance, lower-id candidate that must displace the current worst.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kdtree/tree.hpp"
+
+namespace kdtune {
+
+/// Lexicographic candidate order: distance first, triangle id second.
+inline bool knn_before(const NearestResult& a,
+                       const NearestResult& b) noexcept {
+  return a.distance_sq < b.distance_sq ||
+         (a.distance_sq == b.distance_sq && a.triangle < b.triangle);
+}
+
+/// Collects the up-to-k best candidates within a search radius. A max-heap
+/// keyed by knn_before keeps the current worst at the front; offers are
+/// deduplicated by triangle id because straddlers appear in several leaves
+/// (k stays small, so the linear scan is cheaper than a hash set).
+class KnnCollector {
+ public:
+  KnnCollector(std::size_t k, float max_distance)
+      : k_(std::max<std::size_t>(k, 1)),
+        max_dist_sq_(std::max(max_distance, 0.0f) *
+                     std::max(max_distance, 0.0f)) {
+    heap_.reserve(std::min<std::size_t>(k_, 64));
+  }
+
+  /// Offers one candidate; returns true if it entered the result set.
+  /// Radius acceptance is inclusive (d == r^2 is inside) — the brute-force
+  /// oracles apply the identical predicate.
+  bool offer(std::uint32_t tri, const Vec3& cp, float dist_sq) {
+    if (dist_sq > max_dist_sq_) return false;
+    const NearestResult cand{tri, cp, dist_sq};
+    if (heap_.size() == k_ && !knn_before(cand, heap_.front())) return false;
+    for (const NearestResult& have : heap_) {
+      if (have.triangle == tri) return false;  // straddler: already collected
+    }
+    if (heap_.size() < k_) {
+      heap_.push_back(cand);
+      std::push_heap(heap_.begin(), heap_.end(), knn_before);
+    } else {
+      std::pop_heap(heap_.begin(), heap_.end(), knn_before);
+      heap_.back() = cand;
+      std::push_heap(heap_.begin(), heap_.end(), knn_before);
+    }
+    return true;
+  }
+
+  /// Boxes with min-distance *strictly* greater than this cannot improve the
+  /// result set; boxes at exactly this distance still can (equal-distance
+  /// lower-id ties), so callers prune with `dist_sq > bound()`, never `>=`.
+  float bound() const noexcept {
+    return heap_.size() == k_ ? heap_.front().distance_sq : max_dist_sq_;
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// The single best candidate (k == 1 usage), or an invalid result.
+  NearestResult best() const noexcept {
+    NearestResult best;
+    for (const NearestResult& c : heap_) {
+      if (knn_before(c, best) || !best.valid()) best = c;
+    }
+    return best;
+  }
+
+  /// Appends the collected candidates to `out`, sorted ascending by
+  /// (distance_sq, id). Consumes the heap.
+  void take_sorted(std::vector<NearestResult>& out) {
+    std::sort_heap(heap_.begin(), heap_.end(), knn_before);
+    out.insert(out.end(), heap_.begin(), heap_.end());
+    heap_.clear();
+  }
+
+ private:
+  std::size_t k_;
+  float max_dist_sq_;
+  std::vector<NearestResult> heap_;  ///< max-heap: front = current worst
+};
+
+}  // namespace kdtune

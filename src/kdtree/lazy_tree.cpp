@@ -9,6 +9,7 @@
 #include "geom/closest_point.hpp"
 #include "geom/intersect.hpp"
 #include "kdtree/build_common.hpp"
+#include "kdtree/knn.hpp"
 
 namespace kdtune {
 
@@ -282,7 +283,7 @@ bool LazyKdTree::any_hit(const Ray& ray) const {
 void LazyKdTree::query_range(const AABB& box,
                              std::vector<std::uint32_t>& out) const {
   const std::size_t start = out.size();
-  if (!bounds_.overlaps(box)) return;
+  if (nodes_.size() == 0 || !bounds_.overlaps(box)) return;
 
   struct Frame {
     std::uint32_t node;
@@ -313,9 +314,9 @@ void LazyKdTree::query_range(const AABB& box,
   out.erase(std::unique(out.begin() + start, out.end()), out.end());
 }
 
-NearestResult LazyKdTree::nearest(const Vec3& point) const {
-  NearestResult best;
-  if (nodes_.size() == 0) return best;
+void LazyKdTree::nearest_core(const Vec3& point,
+                              KnnCollector& collector) const {
+  if (nodes_.size() == 0) return;
 
   struct Entry {
     float dist_sq;
@@ -327,31 +328,47 @@ NearestResult LazyKdTree::nearest(const Vec3& point) const {
     }
   };
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
-  queue.push({distance_squared(point, bounds_), root_, bounds_});
+  const float root_dist = distance_squared(point, bounds_);
+  if (root_dist > collector.bound()) return;  // radius seed prunes the root
+  queue.push({root_dist, root_, bounds_});
 
   while (!queue.empty()) {
     const Entry entry = queue.top();
     queue.pop();
-    if (entry.dist_sq >= best.distance_sq) break;
+    // Strictly farther entries cannot contribute; entries at exactly the
+    // bound still can (equal-distance, lower-id ties) — see knn.hpp.
+    if (entry.dist_sq > collector.bound()) break;
 
     const Snapshot node = resolve(entry.node);
     if (node.flags == KdNode::kLeaf) {
       for (std::uint32_t k = 0; k < node.b; ++k) {
         const std::uint32_t tri = prims_[node.a + k];
         const Vec3 cp = closest_point_on_triangle(point, triangles_[tri]);
-        const float d = length_squared(point - cp);
-        if (d < best.distance_sq) {
-          best = {tri, cp, d};
-        }
+        collector.offer(tri, cp, length_squared(point - cp));
       }
       continue;
     }
     const auto [lbox, rbox] =
         entry.box.split(static_cast<Axis>(node.flags), node.split);
-    queue.push({distance_squared(point, lbox), node.a, lbox});
-    queue.push({distance_squared(point, rbox), node.b, rbox});
+    const float dl = distance_squared(point, lbox);
+    const float dr = distance_squared(point, rbox);
+    if (dl <= collector.bound()) queue.push({dl, node.a, lbox});
+    if (dr <= collector.bound()) queue.push({dr, node.b, rbox});
   }
-  return best;
+}
+
+NearestResult LazyKdTree::nearest(const Vec3& point) const {
+  KnnCollector collector(1, std::numeric_limits<float>::infinity());
+  nearest_core(point, collector);
+  return collector.best();
+}
+
+void LazyKdTree::do_nearest_k(const Vec3& point, std::size_t k,
+                              std::vector<NearestResult>& out,
+                              float max_distance) const {
+  KnnCollector collector(k, max_distance);
+  nearest_core(point, collector);
+  collector.take_sorted(out);
 }
 
 TreeStats LazyKdTree::stats() const {

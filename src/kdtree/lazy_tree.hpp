@@ -91,6 +91,11 @@ class LazyKdTree final : public KdTreeBase {
   Snapshot resolve(std::uint32_t index) const;
   void expand(std::uint32_t index) const;
 
+  void do_nearest_k(const Vec3& point, std::size_t k,
+                    std::vector<NearestResult>& out,
+                    float max_distance) const override;
+  void nearest_core(const Vec3& point, KnnCollector& collector) const;
+
   template <typename LeafFn>
   void traverse(const Ray& ray, LeafFn&& leaf_fn) const;
 

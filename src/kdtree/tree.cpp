@@ -8,6 +8,7 @@
 
 #include "geom/closest_point.hpp"
 #include "geom/intersect.hpp"
+#include "kdtree/knn.hpp"
 
 namespace kdtune {
 
@@ -143,7 +144,7 @@ bool KdTree::any_hit(const Ray& ray) const {
 void KdTree::query_range(const AABB& box,
                          std::vector<std::uint32_t>& out) const {
   const std::size_t start = out.size();
-  if (!bounds_.overlaps(box)) return;
+  if (nodes_.empty() || !bounds_.overlaps(box)) return;
 
   struct Frame {
     std::uint32_t node;
@@ -175,9 +176,9 @@ void KdTree::query_range(const AABB& box,
   out.erase(std::unique(out.begin() + start, out.end()), out.end());
 }
 
-NearestResult KdTree::nearest(const Vec3& point) const {
-  NearestResult best;
-  if (nodes_.empty()) return best;
+void KdTree::nearest_core(const Vec3& point, KnnCollector& collector,
+                          KnnSearchStats* stats) const {
+  if (nodes_.empty()) return;
 
   struct Entry {
     float dist_sq;
@@ -189,30 +190,90 @@ NearestResult KdTree::nearest(const Vec3& point) const {
     }
   };
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
-  queue.push({distance_squared(point, bounds_), root_, bounds_});
+  const float root_dist = distance_squared(point, bounds_);
+  if (root_dist > collector.bound()) return;  // radius seed prunes the root
+  queue.push({root_dist, root_, bounds_});
+  if (stats != nullptr) ++stats->pushed;
 
   while (!queue.empty()) {
     const Entry entry = queue.top();
     queue.pop();
-    if (entry.dist_sq >= best.distance_sq) break;  // all remaining are farther
+    if (stats != nullptr) ++stats->popped;
+    // Strictly farther entries cannot contribute; entries at exactly the
+    // bound still can (an equal-distance, lower-id tie) — see knn.hpp.
+    if (entry.dist_sq > collector.bound()) break;
 
     const KdNode& node = nodes_[entry.node];
     if (node.is_leaf()) {
       for (std::uint32_t k = 0; k < node.b; ++k) {
         const std::uint32_t tri = prim_indices_[node.a + k];
         const Vec3 cp = closest_point_on_triangle(point, triangles_[tri]);
-        const float d = length_squared(point - cp);
-        if (d < best.distance_sq) {
-          best = {tri, cp, d};
-        }
+        collector.offer(tri, cp, length_squared(point - cp));
       }
       continue;
     }
     const auto [lbox, rbox] = entry.box.split(node.axis(), node.split);
-    queue.push({distance_squared(point, lbox), node.a, lbox});
-    queue.push({distance_squared(point, rbox), node.b, rbox});
+    const float dl = distance_squared(point, lbox);
+    const float dr = distance_squared(point, rbox);
+    // Push-time pruning: children already beyond the bound never enter the
+    // queue (instead of being pushed and discarded at pop time).
+    if (dl <= collector.bound()) {
+      queue.push({dl, node.a, lbox});
+      if (stats != nullptr) ++stats->pushed;
+    } else if (stats != nullptr) {
+      ++stats->pruned;
+    }
+    if (dr <= collector.bound()) {
+      queue.push({dr, node.b, rbox});
+      if (stats != nullptr) ++stats->pushed;
+    } else if (stats != nullptr) {
+      ++stats->pruned;
+    }
   }
-  return best;
+}
+
+NearestResult KdTree::nearest(const Vec3& point) const {
+  KnnCollector collector(1, std::numeric_limits<float>::infinity());
+  nearest_core(point, collector, nullptr);
+  return collector.best();
+}
+
+NearestResult KdTree::nearest_counted(const Vec3& point,
+                                      KnnSearchStats& stats) const {
+  KnnCollector collector(1, std::numeric_limits<float>::infinity());
+  nearest_core(point, collector, &stats);
+  return collector.best();
+}
+
+void KdTree::do_nearest_k(const Vec3& point, std::size_t k,
+                          std::vector<NearestResult>& out,
+                          float max_distance) const {
+  KnnCollector collector(k, max_distance);
+  nearest_core(point, collector, nullptr);
+  collector.take_sorted(out);
+}
+
+NearestResult KdTreeBase::nearest_within(const Vec3& point,
+                                         float max_distance) const {
+  std::vector<NearestResult> out;
+  do_nearest_k(point, 1, out, max_distance);
+  return out.empty() ? NearestResult{} : out.front();
+}
+
+void KdTreeBase::do_nearest_k(const Vec3& point, std::size_t k,
+                              std::vector<NearestResult>& out,
+                              float max_distance) const {
+  // Brute force over the stored soup: correct for any subclass, and the
+  // semantics every override must reproduce exactly (including the
+  // lowest-id tie-break and the inclusive radius).
+  KnnCollector collector(k, max_distance);
+  const std::span<const Triangle> tris = triangles();
+  for (std::uint32_t i = 0; i < tris.size(); ++i) {
+    if (tris[i].degenerate()) continue;
+    const Vec3 cp = closest_point_on_triangle(point, tris[i]);
+    collector.offer(i, cp, length_squared(point - cp));
+  }
+  collector.take_sorted(out);
 }
 
 TreeStats KdTree::stats() const {

@@ -18,6 +18,8 @@
 
 namespace kdtune {
 
+class KnnCollector;  // kdtree/knn.hpp — shared k-NN collection core
+
 /// Structural statistics, used by tests, benchmarks and the ablation studies.
 struct TreeStats {
   std::size_t node_count = 0;
@@ -39,6 +41,14 @@ struct NearestResult {
   bool valid() const noexcept { return triangle != Hit::kNoTriangle; }
 };
 
+/// Queue-work counters for the best-first point search. The micro bench uses
+/// them to assert that bound-pruning actually shrinks the queue (pruned > 0).
+struct KnnSearchStats {
+  std::size_t pushed = 0;  ///< queue entries pushed
+  std::size_t popped = 0;  ///< queue entries popped (visited)
+  std::size_t pruned = 0;  ///< child pushes skipped by the shrinking bound
+};
+
 /// Query interface implemented by both the eager KdTree and the LazyKdTree.
 /// Queries are const and safe to call from many threads concurrently (the
 /// lazy tree synchronizes its internal expansion).
@@ -58,12 +68,37 @@ class KdTreeBase {
                            std::vector<std::uint32_t>& out) const = 0;
 
   /// Closest triangle to a point (best-first descent) — the nearest-neighbor
-  /// query of the paper's introduction.
+  /// query of the paper's introduction. Exact distance ties break toward the
+  /// lowest triangle id, so every tree structure returns the same winner.
   virtual NearestResult nearest(const Vec3& point) const = 0;
+
+  /// The k nearest triangles to `point` within `max_distance` (Euclidean),
+  /// appended to `out` sorted ascending by (distance_sq, triangle id). The
+  /// radius is inclusive; fewer than k results when the radius runs dry.
+  void nearest_k(const Vec3& point, std::size_t k,
+                 std::vector<NearestResult>& out,
+                 float max_distance =
+                     std::numeric_limits<float>::infinity()) const {
+    if (k == 0) return;
+    do_nearest_k(point, k, out, max_distance);
+  }
+
+  /// Closest triangle within a caller-supplied conservative radius: the
+  /// best-first queue is seeded with the radius, so subtrees beyond it are
+  /// pruned without ever being visited (fcpw's closest-point-with-max-radius
+  /// query). Invalid result when nothing lies within `max_distance`.
+  NearestResult nearest_within(const Vec3& point, float max_distance) const;
 
   virtual const AABB& bounds() const noexcept = 0;
   virtual std::span<const Triangle> triangles() const noexcept = 0;
   virtual TreeStats stats() const = 0;
+
+ protected:
+  /// Default implementation is brute force over triangles() (correct for any
+  /// subclass); the concrete trees override it with the best-first search.
+  virtual void do_nearest_k(const Vec3& point, std::size_t k,
+                            std::vector<NearestResult>& out,
+                            float max_distance) const;
 };
 
 /// Per-ray traversal work counters — the quantities the SAH models (CT ~
@@ -99,6 +134,9 @@ class KdTree final : public KdTreeBase {
   void query_range(const AABB& box,
                    std::vector<std::uint32_t>& out) const override;
   NearestResult nearest(const Vec3& point) const override;
+  /// nearest() with queue-work counters (identical result; analysis only).
+  NearestResult nearest_counted(const Vec3& point,
+                                KnnSearchStats& stats) const;
   const AABB& bounds() const noexcept override { return bounds_; }
   std::span<const Triangle> triangles() const noexcept override {
     return triangles_;
@@ -118,6 +156,12 @@ class KdTree final : public KdTreeBase {
 
   template <HitQuery M>
   Hit hit_core(const Ray& ray, TraversalCounters* counters) const;
+
+  void do_nearest_k(const Vec3& point, std::size_t k,
+                    std::vector<NearestResult>& out,
+                    float max_distance) const override;
+  void nearest_core(const Vec3& point, KnnCollector& collector,
+                    KnnSearchStats* stats) const;
 
   std::vector<Triangle> triangles_;
   std::vector<KdNode> nodes_;

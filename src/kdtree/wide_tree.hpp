@@ -65,7 +65,9 @@ class WideTreeBase : public KdTreeBase {
   SimdLevel simd_level() const noexcept { return level_; }
 
   // Non-ray queries and metadata delegate to the source compact tree — the
-  // wide layout only accelerates ray traversal.
+  // wide layout only accelerates ray traversal. Because the source is shared
+  // (not copied), these answers are bit-identical across set_backend hot
+  // switches.
   void query_range(const AABB& box,
                    std::vector<std::uint32_t>& out) const override {
     source_->query_range(box, out);
@@ -83,6 +85,12 @@ class WideTreeBase : public KdTreeBase {
   explicit WideTreeBase(std::shared_ptr<const CompactKdTree> source,
                         SimdLevel level)
       : source_(std::move(source)), level_(level) {}
+
+  void do_nearest_k(const Vec3& point, std::size_t k,
+                    std::vector<NearestResult>& out,
+                    float max_distance) const override {
+    source_->nearest_k(point, k, out, max_distance);
+  }
 
   std::shared_ptr<const CompactKdTree> source_;
   SimdLevel level_;

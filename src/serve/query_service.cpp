@@ -18,6 +18,11 @@ ServingParams clamp_params(ServingParams p) noexcept {
   p.batch_size = std::clamp<std::int64_t>(p.batch_size, 1, kMaxBatchSize);
   p.flush_timeout_us = std::max<std::int64_t>(p.flush_timeout_us, 0);
   p.max_inflight_batches = std::max<std::int64_t>(p.max_inflight_batches, 0);
+  for (FamilyParams& f : p.family) {
+    // 0 / -1 are the inherit sentinels; anything below clamps onto them.
+    f.batch_size = std::clamp<std::int64_t>(f.batch_size, 0, kMaxBatchSize);
+    f.flush_timeout_us = std::max<std::int64_t>(f.flush_timeout_us, -1);
+  }
   return p;
 }
 
@@ -33,6 +38,9 @@ std::string_view to_string(QueryKind kind) noexcept {
     case QueryKind::kClosestHit: return "closest_hit";
     case QueryKind::kAnyHit: return "any_hit";
     case QueryKind::kPacket: return "packet";
+    case QueryKind::kRange: return "range";
+    case QueryKind::kNearest: return "nearest";
+    case QueryKind::kClosestPoint: return "closest_point";
   }
   return "unknown";
 }
@@ -91,6 +99,41 @@ std::future<QueryResponse> QueryService::submit_packet(
   return submit(std::move(req));
 }
 
+std::future<QueryResponse> QueryService::submit_range(
+    std::string scene, const AABB& box, Clock::time_point deadline) {
+  Request req;
+  req.kind = QueryKind::kRange;
+  req.scene = std::move(scene);
+  req.box = box;
+  req.deadline = deadline;
+  return submit(std::move(req));
+}
+
+std::future<QueryResponse> QueryService::submit_nearest(
+    std::string scene, const Vec3& point, std::uint32_t k, float max_distance,
+    Clock::time_point deadline) {
+  Request req;
+  req.kind = QueryKind::kNearest;
+  req.scene = std::move(scene);
+  req.point = point;
+  req.k = std::max<std::uint32_t>(k, 1);
+  req.max_distance = max_distance;
+  req.deadline = deadline;
+  return submit(std::move(req));
+}
+
+std::future<QueryResponse> QueryService::submit_closest_point(
+    std::string scene, const Vec3& point, float max_distance,
+    Clock::time_point deadline) {
+  Request req;
+  req.kind = QueryKind::kClosestPoint;
+  req.scene = std::move(scene);
+  req.point = point;
+  req.max_distance = max_distance;
+  req.deadline = deadline;
+  return submit(std::move(req));
+}
+
 std::future<QueryResponse> QueryService::submit(Request req) {
   req.submitted = Clock::now();
   std::future<QueryResponse> fut = req.promise.get_future();
@@ -102,12 +145,12 @@ std::future<QueryResponse> QueryService::submit(Request req) {
     std::lock_guard<std::mutex> lk(mutex_);
     if (!accepting_) {
       reject = QueryStatus::kShutdown;
-    } else if (queue_.size() >= max_queue_) {
+    } else if (pending_ >= max_queue_) {
       reject = QueryStatus::kRejectedOverflow;
     } else {
       counters_[kind].accepted.fetch_add(1, std::memory_order_relaxed);
-      queue_.push_back(std::move(req));
-      depth = queue_.size();
+      queues_[static_cast<std::size_t>(kind)].push_back(std::move(req));
+      depth = ++pending_;
     }
   }
   if (reject == QueryStatus::kOk) {
@@ -147,13 +190,12 @@ bool QueryService::accepting() const {
 void QueryService::dispatcher_loop() {
   std::unique_lock<std::mutex> lk(mutex_);
   for (;;) {
-    if (stop_ && queue_.empty()) return;
-    if (queue_.empty()) {
+    if (stop_ && pending_ == 0) return;
+    if (pending_ == 0) {
       dispatch_cv_.wait(lk);
       continue;
     }
     const ServingParams params = params_;
-    const std::size_t batch_cap = static_cast<std::size_t>(params.batch_size);
     const std::size_t inflight_cap =
         params.max_inflight_batches > 0
             ? static_cast<std::size_t>(params.max_inflight_batches)
@@ -162,23 +204,50 @@ void QueryService::dispatcher_loop() {
       dispatch_cv_.wait(lk);  // a batch completion frees a slot
       continue;
     }
-    const Clock::time_point flush_at =
-        queue_.front().submitted +
-        std::chrono::microseconds(params.flush_timeout_us);
-    const bool flush_now = queue_.size() >= batch_cap ||
-                           Clock::now() >= flush_at || drain_waiters_ > 0 ||
-                           !accepting_ || stop_;
-    if (!flush_now) {
-      dispatch_cv_.wait_until(lk, flush_at);
+
+    // Pick a family to flush. A family is ready when its batch fills, its
+    // oldest request has waited out the family's flush timeout, or the
+    // service is draining/stopping. Among ready families the oldest head
+    // request wins (FIFO fairness across families); when none is ready,
+    // sleep until the earliest family flush deadline.
+    const Clock::time_point now = Clock::now();
+    const bool force = drain_waiters_ > 0 || !accepting_ || stop_;
+    int pick = -1;
+    Clock::time_point earliest_flush = Clock::time_point::max();
+    for (int k = 0; k < kQueryKindCount; ++k) {
+      const auto& q = queues_[static_cast<std::size_t>(k)];
+      if (q.empty()) continue;
+      const QueryKind kind = static_cast<QueryKind>(k);
+      const std::size_t cap =
+          static_cast<std::size_t>(params.effective_batch(kind));
+      const Clock::time_point flush_at =
+          q.front().submitted +
+          std::chrono::microseconds(params.effective_flush_us(kind));
+      if (force || q.size() >= cap || now >= flush_at) {
+        if (pick < 0 ||
+            q.front().submitted <
+                queues_[static_cast<std::size_t>(pick)].front().submitted) {
+          pick = k;
+        }
+      } else {
+        earliest_flush = std::min(earliest_flush, flush_at);
+      }
+    }
+    if (pick < 0) {
+      dispatch_cv_.wait_until(lk, earliest_flush);
       continue;
     }
 
+    auto& queue = queues_[static_cast<std::size_t>(pick)];
+    const std::size_t batch_cap = static_cast<std::size_t>(
+        params.effective_batch(static_cast<QueryKind>(pick)));
     auto batch = std::make_shared<std::vector<Request>>();
-    batch->reserve(std::min(batch_cap, queue_.size()));
-    while (!queue_.empty() && batch->size() < batch_cap) {
-      batch->push_back(std::move(queue_.front()));
-      queue_.pop_front();
+    batch->reserve(std::min(batch_cap, queue.size()));
+    while (!queue.empty() && batch->size() < batch_cap) {
+      batch->push_back(std::move(queue.front()));
+      queue.pop_front();
     }
+    pending_ -= batch->size();
     inflight_requests_ += batch->size();
     ++inflight_batches_;
     const double inflight_now = static_cast<double>(inflight_batches_);
@@ -230,6 +299,23 @@ void QueryService::execute(
       resp.hits.resize(req.rays.size());
       closest_hit_packet_any(*snapshot.tree, req.rays, resp.hits);
       break;
+    case QueryKind::kRange:
+      snapshot.tree->query_range(req.box, resp.range_ids);
+      // Canonicalize: trees may emit ids in traversal order; a sorted,
+      // deduped list is bit-comparable across every backend.
+      std::sort(resp.range_ids.begin(), resp.range_ids.end());
+      resp.range_ids.erase(
+          std::unique(resp.range_ids.begin(), resp.range_ids.end()),
+          resp.range_ids.end());
+      break;
+    case QueryKind::kNearest:
+      snapshot.tree->nearest_k(req.point, req.k, resp.neighbors,
+                               req.max_distance);
+      break;
+    case QueryKind::kClosestPoint:
+      resp.nearest =
+          snapshot.tree->nearest_within(req.point, req.max_distance);
+      break;
   }
   resp.status = QueryStatus::kOk;
 }
@@ -240,6 +326,12 @@ void QueryService::run_batch(std::vector<Request> batch) {
                 "serve");
   batch_occupancy_.record(batch.size());
   batches_.fetch_add(1, std::memory_order_relaxed);
+  if (!batch.empty()) {
+    // Batches are homogeneous per family, so the front request's kind is
+    // the batch's kind.
+    counters_[static_cast<std::size_t>(batch.front().kind)].batches.fetch_add(
+        1, std::memory_order_relaxed);
+  }
   std::vector<std::pair<std::string, std::shared_ptr<const SceneSnapshot>>>
       snapshots;
 
@@ -294,7 +386,7 @@ void QueryService::drain() {
   ++drain_waiters_;
   dispatch_cv_.notify_all();  // flush partial batches immediately
   done_cv_.wait(lk, [this] {
-    return queue_.empty() && inflight_requests_ == 0;
+    return pending_ == 0 && inflight_requests_ == 0;
   });
   --drain_waiters_;
 }
@@ -326,6 +418,7 @@ ServiceStats QueryService::stats() const {
     e.timed_out = c.timed_out.load(std::memory_order_relaxed);
     e.not_found = c.not_found.load(std::memory_order_relaxed);
     e.failed = c.failed.load(std::memory_order_relaxed);
+    e.batches = c.batches.load(std::memory_order_relaxed);
     const LogHistogram& h = latency_[static_cast<std::size_t>(k)];
     e.p50_seconds = h.quantile_seconds(0.5);
     e.p99_seconds = h.quantile_seconds(0.99);
@@ -378,15 +471,16 @@ std::string QueryService::stats_json() const {
         buf, sizeof(buf),
         "    \"%s\": {\"accepted\": %llu, \"completed\": %llu, "
         "\"rejected\": %llu, \"timed_out\": %llu, \"not_found\": %llu, "
-        "\"failed\": %llu, \"p50_us\": %.1f, \"p99_us\": %.1f, "
-        "\"mean_us\": %.1f}%s\n",
+        "\"failed\": %llu, \"batches\": %llu, \"p50_us\": %.1f, "
+        "\"p99_us\": %.1f, \"mean_us\": %.1f}%s\n",
         std::string(to_string(static_cast<QueryKind>(k))).c_str(),
         static_cast<unsigned long long>(e.accepted),
         static_cast<unsigned long long>(e.completed),
         static_cast<unsigned long long>(e.rejected),
         static_cast<unsigned long long>(e.timed_out),
         static_cast<unsigned long long>(e.not_found),
-        static_cast<unsigned long long>(e.failed), e.p50_seconds * 1e6,
+        static_cast<unsigned long long>(e.failed),
+        static_cast<unsigned long long>(e.batches), e.p50_seconds * 1e6,
         e.p99_seconds * 1e6, e.mean_seconds * 1e6,
         k + 1 < kQueryKindCount ? "," : "");
     out += buf;

@@ -1,15 +1,21 @@
 #pragma once
 
-// Micro-batched asynchronous ray query service.
+// Micro-batched asynchronous query service — every query family the trees
+// answer, served through one admission/batching/tuning pipeline.
 //
 // Clients submit heterogeneous requests (closest-hit, any-hit, packet-of-
-// rays) against named scenes in a SceneRegistry and get a std::future for
-// the response. A dispatcher thread collects requests from a lock-guarded,
-// *bounded* submission queue into batches — flushed when the batch fills or
-// the oldest request has waited flush_timeout_us — and hands each batch to
-// the shared ThreadPool. Batching amortizes task dispatch and snapshot
-// acquisition over many requests, which is where single-query serving
-// throughput goes to die.
+// rays, range, k-nearest-neighbor, closest-point-within-radius) against
+// named scenes in a SceneRegistry and get a std::future for the response. A
+// dispatcher thread collects requests from lock-guarded, *bounded* per-family
+// submission queues into homogeneous batches — a family flushes when its
+// batch fills or its oldest request has waited its flush timeout — and hands
+// each batch to the shared ThreadPool. Batching amortizes task dispatch and
+// snapshot acquisition over many requests, which is where single-query
+// serving throughput goes to die. Each family has its own batch-size/flush
+// knobs (inheriting the global ones by default) because the families cost
+// very different amounts per request — a range query over a fat box is
+// orders of magnitude heavier than an any-hit ray — so the ServeTuner can
+// optimize them independently.
 //
 // Contracts (tested in tests/test_serve_service.cpp):
 //   * Admission control: submit() never blocks. A full queue rejects with
@@ -41,13 +47,22 @@
 #include <vector>
 
 #include "core/histogram.hpp"
+#include "geom/aabb.hpp"
 #include "geom/ray.hpp"
+#include "kdtree/tree.hpp"
 #include "serve/scene_registry.hpp"
 
 namespace kdtune {
 
-enum class QueryKind : int { kClosestHit = 0, kAnyHit = 1, kPacket = 2 };
-inline constexpr int kQueryKindCount = 3;
+enum class QueryKind : int {
+  kClosestHit = 0,
+  kAnyHit = 1,
+  kPacket = 2,
+  kRange = 3,         ///< all triangles intersecting a box
+  kNearest = 4,       ///< k nearest triangles to a point
+  kClosestPoint = 5,  ///< closest point within a conservative radius
+};
+inline constexpr int kQueryKindCount = 6;
 std::string_view to_string(QueryKind kind) noexcept;
 
 enum class QueryStatus {
@@ -67,7 +82,18 @@ struct QueryResponse {
   Hit hit{};                        ///< closest-hit result
   bool any = false;                 ///< any-hit result
   std::vector<Hit> hits;            ///< packet result, one per ray
+  std::vector<std::uint32_t> range_ids;  ///< range result: sorted, deduped
+  std::vector<NearestResult> neighbors;  ///< kNN result: ascending (d, id)
+  NearestResult nearest{};               ///< closest-point result
   double latency_seconds = 0.0;     ///< submit-to-completion
+};
+
+/// Per-family overrides of the global batching knobs. Sentinel values mean
+/// "inherit the global knob" — the default, so a service configured only
+/// with the global ServingParams behaves exactly as before.
+struct FamilyParams {
+  std::int64_t batch_size = 0;         ///< 0 = inherit ServingParams value
+  std::int64_t flush_timeout_us = -1;  ///< <0 = inherit ServingParams value
 };
 
 /// The tuner-driven serving knobs. All values clamp to sane minima on apply.
@@ -77,6 +103,18 @@ struct ServingParams {
   /// Cap on concurrently executing batches (the service's share of the pool);
   /// 0 means the pool's full concurrency.
   std::int64_t max_inflight_batches = 0;
+  /// Per-family batch/flush overrides, indexed by QueryKind.
+  std::array<FamilyParams, kQueryKindCount> family{};
+
+  std::int64_t effective_batch(QueryKind kind) const noexcept {
+    const std::int64_t f = family[static_cast<std::size_t>(kind)].batch_size;
+    return f > 0 ? f : batch_size;
+  }
+  std::int64_t effective_flush_us(QueryKind kind) const noexcept {
+    const std::int64_t f =
+        family[static_cast<std::size_t>(kind)].flush_timeout_us;
+    return f >= 0 ? f : flush_timeout_us;
+  }
 };
 
 struct ServiceOptions {
@@ -92,6 +130,7 @@ struct EndpointStats {
   std::uint64_t timed_out = 0;
   std::uint64_t not_found = 0;
   std::uint64_t failed = 0;
+  std::uint64_t batches = 0;     ///< batches flushed for this family
   double p50_seconds = 0.0;
   double p99_seconds = 0.0;
   double mean_seconds = 0.0;
@@ -133,6 +172,20 @@ class QueryService {
   std::future<QueryResponse> submit_packet(
       std::string scene, std::vector<Ray> rays,
       Clock::time_point deadline = Clock::time_point::max());
+  /// Range query: all triangle ids intersecting `box` (sorted, deduped).
+  std::future<QueryResponse> submit_range(
+      std::string scene, const AABB& box,
+      Clock::time_point deadline = Clock::time_point::max());
+  /// k nearest triangles to `point`, optionally radius-limited.
+  std::future<QueryResponse> submit_nearest(
+      std::string scene, const Vec3& point, std::uint32_t k = 1,
+      float max_distance = std::numeric_limits<float>::infinity(),
+      Clock::time_point deadline = Clock::time_point::max());
+  /// Closest point on the scene within a conservative caller-supplied
+  /// radius (seeds the best-first search for aggressive pruning).
+  std::future<QueryResponse> submit_closest_point(
+      std::string scene, const Vec3& point, float max_distance,
+      Clock::time_point deadline = Clock::time_point::max());
 
   /// Thread-safe; takes effect for the next batch decision.
   void set_serving_params(const ServingParams& params);
@@ -158,6 +211,10 @@ class QueryService {
     std::string scene;
     Ray ray{};
     std::vector<Ray> rays;
+    AABB box{};     ///< kRange
+    Vec3 point{};   ///< kNearest / kClosestPoint
+    std::uint32_t k = 1;  ///< kNearest
+    float max_distance = std::numeric_limits<float>::infinity();
     Clock::time_point deadline{};
     Clock::time_point submitted{};
     std::promise<QueryResponse> promise;
@@ -170,6 +227,7 @@ class QueryService {
     std::atomic<std::uint64_t> timed_out{0};
     std::atomic<std::uint64_t> not_found{0};
     std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> batches{0};
   };
 
   std::future<QueryResponse> submit(Request req);
@@ -185,10 +243,14 @@ class QueryService {
   const std::size_t max_queue_;
   const Clock::time_point started_;
 
-  mutable std::mutex mutex_;  ///< guards queue_, params_, flags, in-flight
+  mutable std::mutex mutex_;  ///< guards queues_, params_, flags, in-flight
   std::condition_variable dispatch_cv_;  ///< wakes the dispatcher
   std::condition_variable done_cv_;      ///< wakes drain() waiters
-  std::deque<Request> queue_;
+  /// One queue per family: batches are homogeneous, so each family flushes
+  /// on its own batch-size/flush-timeout knobs. `pending_` is the total
+  /// across all queues (admission control and drain look at the sum).
+  std::array<std::deque<Request>, kQueryKindCount> queues_;
+  std::size_t pending_ = 0;
   ServingParams params_;
   bool accepting_ = true;
   bool stop_ = false;

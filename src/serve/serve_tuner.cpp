@@ -42,6 +42,27 @@ ServeTuner::ServeTuner(QueryService& service, ServeTunerOptions opts)
                               static_cast<std::int64_t>(service_.concurrency()),
                               1, "max_inflight_batches");
   }
+  // Per-family dimensions ride between the worker cap and the backend: the
+  // backend must stay the LAST registered dimension (best_backend() reads
+  // values.back()).
+  for (const QueryKind kind : opts_.tune_families) {
+    FamilyParams& fam = trial_.family[static_cast<std::size_t>(kind)];
+    // Seed the trial with the global knobs so the family starts from a
+    // concrete (non-inherit) point on its grid.
+    fam.batch_size = std::clamp(floor_pow2(trial_.batch_size), batch_min,
+                                batch_max);
+    const std::string prefix{to_string(kind)};
+    tuner_.register_parameter_pow2(&fam.batch_size, batch_min, batch_max,
+                                   prefix + ".batch_size");
+    if (opts_.tune_flush) {
+      fam.flush_timeout_us = std::clamp(trial_.flush_timeout_us,
+                                        opts_.flush_min_us, opts_.flush_max_us);
+      tuner_.register_parameter(&fam.flush_timeout_us, opts_.flush_min_us,
+                                opts_.flush_max_us,
+                                std::max<std::int64_t>(1, opts_.flush_step_us),
+                                prefix + ".flush_timeout_us");
+    }
+  }
   if (opts_.tune_backend) {
     tuner_.register_parameter(&trial_backend_, 0, kQueryBackendCount - 1, 1,
                               std::string(kQueryBackendParam));
@@ -102,6 +123,11 @@ ServingParams ServeTuner::params_from_values(
   p.batch_size = values[i++];
   if (opts_.tune_flush) p.flush_timeout_us = values[i++];
   if (opts_.tune_workers) p.max_inflight_batches = values[i++];
+  for (const QueryKind kind : opts_.tune_families) {
+    FamilyParams& fam = p.family[static_cast<std::size_t>(kind)];
+    fam.batch_size = values[i++];
+    if (opts_.tune_flush) fam.flush_timeout_us = values[i++];
+  }
   return p;
 }
 

@@ -44,6 +44,14 @@ struct ServeTunerOptions {
   std::int64_t flush_step_us = 125;
   /// Tune the in-flight batch cap over [1, pool concurrency].
   bool tune_workers = true;
+  /// Per-family batch-size/flush knobs: each listed family gets its own
+  /// pow2 batch dimension (same grid as the global batch) and, when
+  /// tune_flush is set, its own flush-timeout dimension — named e.g.
+  /// "range.batch_size" / "range.flush_timeout_us" in the tuner log. The
+  /// global knobs keep serving the unlisted families. Useful because the
+  /// families cost wildly different amounts per request (a fat range box
+  /// vs. an any-hit ray), so their optimal batching differs.
+  std::vector<QueryKind> tune_families{};
   /// Tune the serving query backend (compact / wide4 / wide8 / bvh) as one
   /// more dimension of the same search: each window's trial backend is
   /// applied to `backend_scenes` via SceneRegistry::set_backend before

@@ -6,10 +6,13 @@
 
 #include <algorithm>
 
+#include "bvh/bvh.hpp"
 #include "geom/closest_point.hpp"
 #include "geom/rng.hpp"
 #include "kdtree/builder.hpp"
+#include "kdtree/compact_tree.hpp"
 #include "kdtree/lazy_tree.hpp"
+#include "kdtree/wide_tree.hpp"
 
 namespace kdtune {
 namespace {
@@ -164,6 +167,83 @@ TEST_P(TreeQueries, EmptyTreeQueries) {
   tree->query_range(AABB({-1, -1, -1}, {1, 1, 1}), out);
   EXPECT_TRUE(out.empty());
   EXPECT_FALSE(tree->nearest({0, 0, 0}).valid());
+  std::vector<NearestResult> knn;
+  tree->nearest_k({0, 0, 0}, 3, knn);
+  EXPECT_TRUE(knn.empty());
+  EXPECT_FALSE(tree->nearest_within({0, 0, 0}, 10.0f).valid());
+}
+
+TEST_P(TreeQueries, NearestKMatchesBruteForce) {
+  const auto tris = random_soup(300, 21);
+  const auto tree = build(tris);
+  Rng rng(22);
+  for (int q = 0; q < 40; ++q) {
+    const Vec3 p{rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)};
+    const std::size_t k = static_cast<std::size_t>(rng.next_int(1, 9));
+    const float radius = q % 2 == 0 ? std::numeric_limits<float>::infinity()
+                                    : rng.uniform(0.1f, 3.0f);
+
+    // Brute oracle: (distance_sq, id) ascending, radius-filtered, top k.
+    std::vector<NearestResult> expected;
+    for (std::uint32_t i = 0; i < tris.size(); ++i) {
+      if (tris[i].degenerate()) continue;
+      const Vec3 cp = closest_point_on_triangle(p, tris[i]);
+      const float d = length_squared(p - cp);
+      if (d <= radius * radius) expected.push_back({i, cp, d});
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const NearestResult& a, const NearestResult& b) {
+                return a.distance_sq != b.distance_sq
+                           ? a.distance_sq < b.distance_sq
+                           : a.triangle < b.triangle;
+              });
+    if (expected.size() > k) expected.resize(k);
+
+    std::vector<NearestResult> got;
+    tree->nearest_k(p, k, got, radius);
+    ASSERT_EQ(got.size(), expected.size()) << "query " << q << " k=" << k;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].triangle, expected[i].triangle) << "query " << q;
+      EXPECT_EQ(got[i].distance_sq, expected[i].distance_sq) << "query " << q;
+    }
+
+    // nearest_within == the first k-NN entry under the same radius.
+    const NearestResult within = tree->nearest_within(p, radius);
+    if (expected.empty()) {
+      EXPECT_FALSE(within.valid());
+    } else {
+      EXPECT_EQ(within.triangle, expected.front().triangle);
+      EXPECT_EQ(within.distance_sq, expected.front().distance_sq);
+    }
+  }
+}
+
+TEST_P(TreeQueries, NearestTieBreaksTowardLowestTriangleId) {
+  // Several *coincident* triangles: every copy is at the identical distance
+  // from any query point, so the winner is purely the tie-break. The bugfix
+  // contract: lowest triangle id wins, independent of traversal order.
+  const Triangle proto{{1, 0, 0}, {1, 1, 0}, {1, 0, 1}};
+  std::vector<Triangle> tris;
+  // Spacer geometry first so the coincident block lands mid-array and
+  // straddles split planes.
+  tris.push_back({{-4, 0, 0}, {-4, 1, 0}, {-4, 0, 1}});
+  tris.push_back({{4, 0, 0}, {4, 1, 0}, {4, 0, 1}});
+  const std::uint32_t first_copy = static_cast<std::uint32_t>(tris.size());
+  for (int i = 0; i < 5; ++i) tris.push_back(proto);
+  const auto tree = build(tris);
+
+  const NearestResult got = tree->nearest({1.1f, 0.2f, 0.2f});
+  ASSERT_TRUE(got.valid());
+  EXPECT_EQ(got.triangle, first_copy);
+
+  // k-NN over the coincident block: ids ascend within the equal-distance run.
+  std::vector<NearestResult> knn;
+  tree->nearest_k({1.1f, 0.2f, 0.2f}, 5, knn);
+  ASSERT_EQ(knn.size(), 5u);
+  for (std::size_t i = 0; i < knn.size(); ++i) {
+    EXPECT_EQ(knn[i].triangle, first_copy + i);
+    EXPECT_EQ(knn[i].distance_sq, knn[0].distance_sq);
+  }
 }
 
 TEST_P(TreeQueries, DisjointRangeIsEmpty) {
@@ -183,6 +263,88 @@ INSTANTIATE_TEST_SUITE_P(Matrix, TreeQueries,
                            }
                            return name;
                          });
+
+// --- point queries across the serving layouts --------------------------------
+
+TEST(LayoutQueries, TieBreakAndKnnAgreeAcrossBackends) {
+  // The coincident-triangle scene again, this time through every serving
+  // layout: compact, wide4/wide8 (which delegate non-ray queries to their
+  // compact source) and the BVH baseline must all pick the lowest id and
+  // produce identical k-NN lists.
+  const Triangle proto{{1, 0, 0}, {1, 1, 0}, {1, 0, 1}};
+  std::vector<Triangle> tris;
+  tris.push_back({{-4, 0, 0}, {-4, 1, 0}, {-4, 0, 1}});
+  tris.push_back({{4, 0, 0}, {4, 1, 0}, {4, 0, 1}});
+  const std::uint32_t first_copy = static_cast<std::uint32_t>(tris.size());
+  for (int i = 0; i < 5; ++i) tris.push_back(proto);
+
+  ThreadPool pool(0);
+  const auto kd = make_sweep_builder()->build(tris, {}, pool);
+  const auto compact = std::make_shared<const CompactKdTree>(
+      dynamic_cast<const KdTree&>(*kd));
+  const auto wide4 = make_wide_tree(compact, QueryBackend::kWide4);
+  const auto wide8 = make_wide_tree(compact, QueryBackend::kWide8);
+  const auto bvh = build_bvh(tris, {}, pool);
+
+  const Vec3 p{1.1f, 0.2f, 0.2f};
+  const std::vector<const KdTreeBase*> trees{kd.get(), compact.get(),
+                                             wide4.get(), wide8.get(),
+                                             bvh.get()};
+  for (const KdTreeBase* tree : trees) {
+    const NearestResult got = tree->nearest(p);
+    ASSERT_TRUE(got.valid());
+    EXPECT_EQ(got.triangle, first_copy);
+    std::vector<NearestResult> knn;
+    tree->nearest_k(p, 5, knn);
+    ASSERT_EQ(knn.size(), 5u);
+    for (std::size_t i = 0; i < knn.size(); ++i) {
+      EXPECT_EQ(knn[i].triangle, first_copy + i);
+    }
+  }
+}
+
+TEST(LayoutQueries, DirectlyConstructedEmptyTreeDoesNotCrash) {
+  // Regression: query_range()/nearest() used to dereference the root with no
+  // empty-node guard. Builders always emit one empty leaf, so the reachable
+  // repro is a directly-assembled tree with zero nodes and non-empty bounds.
+  const KdTree tree({}, {}, {}, 0, AABB({0, 0, 0}, {1, 1, 1}));
+  std::vector<std::uint32_t> out;
+  tree.query_range(AABB({-1, -1, -1}, {2, 2, 2}), out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(tree.nearest({0.5f, 0.5f, 0.5f}).valid());
+  std::vector<NearestResult> knn;
+  tree.nearest_k({0.5f, 0.5f, 0.5f}, 4, knn);
+  EXPECT_TRUE(knn.empty());
+  EXPECT_FALSE(tree.nearest_within({0.5f, 0.5f, 0.5f}, 5.0f).valid());
+}
+
+TEST(LayoutQueries, SinglePointSceneThroughEveryBackend) {
+  // One degenerate (point) triangle: every builder and backend skips it, so
+  // all query families must return empty results rather than crash.
+  const std::vector<Triangle> tris{{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}}};
+  ThreadPool pool(0);
+  const auto kd = make_sweep_builder()->build(tris, {}, pool);
+  const auto compact = std::make_shared<const CompactKdTree>(
+      dynamic_cast<const KdTree&>(*kd));
+  const auto wide4 = make_wide_tree(compact, QueryBackend::kWide4);
+  const auto wide8 = make_wide_tree(compact, QueryBackend::kWide8);
+  const auto bvh = build_bvh(tris, {}, pool);
+  const auto lazy = make_builder(Algorithm::kLazy)->build(tris, {}, pool);
+
+  const std::vector<const KdTreeBase*> trees{
+      kd.get(), compact.get(), wide4.get(), wide8.get(), bvh.get(),
+      lazy.get()};
+  for (const KdTreeBase* tree : trees) {
+    std::vector<std::uint32_t> out;
+    tree->query_range(AABB({0, 0, 0}, {2, 2, 2}), out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_FALSE(tree->nearest({1, 1, 1}).valid());
+    std::vector<NearestResult> knn;
+    tree->nearest_k({1, 1, 1}, 2, knn);
+    EXPECT_TRUE(knn.empty());
+    EXPECT_FALSE(tree->nearest_within({1, 1, 1}, 10.0f).valid());
+  }
+}
 
 TEST(LazyQueries, RangeQueryExpandsOnlyTouchedRegion) {
   const auto tris = random_soup(2000, 13);

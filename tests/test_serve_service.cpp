@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <future>
+#include <limits>
 #include <vector>
 
 #include "geom/rng.hpp"
@@ -278,6 +280,135 @@ TEST(QueryService, ResponsesCarryTheServingSnapshotVersion) {
                 .get()
                 .scene_version,
             2u);
+}
+
+TEST(QueryService, RangeKnnAndClosestPointMatchDirectQueries) {
+  ServiceFixture f;
+  QueryService service(f.registry, f.pool);
+  Rng rng(21);
+  const AABB bounds = f.scene.bounds();
+
+  std::vector<AABB> boxes;
+  std::vector<std::future<QueryResponse>> range_futs;
+  for (int i = 0; i < 16; ++i) {
+    const Vec3 c{rng.uniform(bounds.lo.x, bounds.hi.x),
+                 rng.uniform(bounds.lo.y, bounds.hi.y),
+                 rng.uniform(bounds.lo.z, bounds.hi.z)};
+    const Vec3 half{rng.uniform(0.5f, 3.0f), rng.uniform(0.5f, 3.0f),
+                    rng.uniform(0.5f, 3.0f)};
+    boxes.push_back({c - half, c + half});
+    range_futs.push_back(service.submit_range("soup", boxes.back()));
+  }
+
+  std::vector<Vec3> points;
+  std::vector<std::uint32_t> ks;
+  std::vector<float> radii;
+  std::vector<std::future<QueryResponse>> knn_futs, cp_futs;
+  for (int i = 0; i < 16; ++i) {
+    points.push_back({rng.uniform(-12, 12), rng.uniform(-12, 12),
+                      rng.uniform(-12, 12)});
+    ks.push_back(1u + static_cast<std::uint32_t>(i % 5));
+    radii.push_back(i % 2 == 0 ? std::numeric_limits<float>::infinity()
+                               : rng.uniform(1.0f, 8.0f));
+    knn_futs.push_back(
+        service.submit_nearest("soup", points.back(), ks.back(), radii.back()));
+    cp_futs.push_back(
+        service.submit_closest_point("soup", points.back(), 6.0f));
+  }
+
+  for (std::size_t i = 0; i < boxes.size(); ++i) {
+    const QueryResponse r = range_futs[i].get();
+    ASSERT_EQ(r.status, QueryStatus::kOk);
+    EXPECT_EQ(r.kind, QueryKind::kRange);
+    std::vector<std::uint32_t> expect;
+    f.reference->query_range(boxes[i], expect);
+    std::sort(expect.begin(), expect.end());
+    expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+    EXPECT_EQ(r.range_ids, expect);  // service canonicalizes: sorted + unique
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const QueryResponse kn = knn_futs[i].get();
+    ASSERT_EQ(kn.status, QueryStatus::kOk);
+    EXPECT_EQ(kn.kind, QueryKind::kNearest);
+    std::vector<NearestResult> expect;
+    f.reference->nearest_k(points[i], ks[i], expect, radii[i]);
+    ASSERT_EQ(kn.neighbors.size(), expect.size());
+    for (std::size_t j = 0; j < expect.size(); ++j) {
+      EXPECT_EQ(kn.neighbors[j].triangle, expect[j].triangle);
+      EXPECT_EQ(kn.neighbors[j].distance_sq, expect[j].distance_sq);
+    }
+
+    const QueryResponse cp = cp_futs[i].get();
+    ASSERT_EQ(cp.status, QueryStatus::kOk);
+    EXPECT_EQ(cp.kind, QueryKind::kClosestPoint);
+    const NearestResult expect_cp = f.reference->nearest_within(points[i], 6.0f);
+    ASSERT_EQ(cp.nearest.valid(), expect_cp.valid());
+    if (expect_cp.valid()) {
+      EXPECT_EQ(cp.nearest.triangle, expect_cp.triangle);
+      EXPECT_EQ(cp.nearest.distance_sq, expect_cp.distance_sq);
+    }
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 48u);
+  for (const QueryKind kind :
+       {QueryKind::kRange, QueryKind::kNearest, QueryKind::kClosestPoint}) {
+    const EndpointStats& ep = stats.endpoints[static_cast<std::size_t>(kind)];
+    EXPECT_EQ(ep.accepted, 16u);
+    EXPECT_EQ(ep.completed, 16u);
+    EXPECT_GT(ep.batches, 0u);
+  }
+}
+
+TEST(QueryService, FamilyParamsApplyClampAndInherit) {
+  ServiceFixture f;
+  QueryService service(f.registry, f.pool);
+
+  ServingParams p;
+  p.batch_size = 32;
+  p.flush_timeout_us = 200;
+  p.family[static_cast<std::size_t>(QueryKind::kRange)] = {4, 50};
+  service.set_serving_params(p);
+  const ServingParams got = service.serving_params();
+  EXPECT_EQ(got.effective_batch(QueryKind::kRange), 4);
+  EXPECT_EQ(got.effective_flush_us(QueryKind::kRange), 50);
+  // Families without overrides inherit the global knobs.
+  EXPECT_EQ(got.effective_batch(QueryKind::kNearest), 32);
+  EXPECT_EQ(got.effective_flush_us(QueryKind::kClosestPoint), 200);
+
+  // Degenerate family values clamp onto the inherit sentinels.
+  ServingParams bad;
+  bad.family[static_cast<std::size_t>(QueryKind::kNearest)] = {-7, -9};
+  service.set_serving_params(bad);
+  const ServingParams clamped = service.serving_params();
+  const FamilyParams& fam =
+      clamped.family[static_cast<std::size_t>(QueryKind::kNearest)];
+  EXPECT_EQ(fam.batch_size, 0);
+  EXPECT_EQ(fam.flush_timeout_us, -1);
+
+  // Service still answers every family under clamped per-family knobs.
+  Rng rng(31);
+  EXPECT_EQ(service.submit_range("soup", {{-1, -1, -1}, {1, 1, 1}})
+                .get()
+                .status,
+            QueryStatus::kOk);
+  EXPECT_EQ(service.submit_nearest("soup", {0, 0, 0}, 3).get().status,
+            QueryStatus::kOk);
+  EXPECT_EQ(service.submit_closest_point("soup", {0, 0, 0}, 5.0f).get().status,
+            QueryStatus::kOk);
+}
+
+TEST(QueryService, StatsJsonCoversEveryQueryFamily) {
+  ServiceFixture f;
+  QueryService service(f.registry, f.pool);
+  service.submit_range("soup", {{-2, -2, -2}, {2, 2, 2}}).get();
+  service.submit_nearest("soup", {1, 1, 1}, 2).get();
+  service.submit_closest_point("soup", {0, 0, 0}, 4.0f).get();
+  const std::string json = service.stats_json();
+  EXPECT_NE(json.find("\"range\""), std::string::npos);
+  EXPECT_NE(json.find("\"nearest\""), std::string::npos);
+  EXPECT_NE(json.find("\"closest_point\""), std::string::npos);
+  EXPECT_NE(json.find("\"batches\""), std::string::npos);
 }
 
 }  // namespace

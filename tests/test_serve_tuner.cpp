@@ -38,6 +38,25 @@ void pump_requests(QueryService& service, Rng& rng, int n) {
   }
 }
 
+void pump_mixed(QueryService& service, Rng& rng, int n) {
+  for (int i = 0; i < n; ++i) {
+    const Vec3 p{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                 rng.uniform(-10, 10)};
+    switch (i % 3) {
+      case 0:
+        service.submit_range("soup", {p - Vec3{2, 2, 2}, p + Vec3{2, 2, 2}})
+            .get();
+        break;
+      case 1:
+        service.submit_nearest("soup", p, 4).get();
+        break;
+      default:
+        service.submit_closest_point("soup", p, 8.0f).get();
+        break;
+    }
+  }
+}
+
 struct TunerFixture {
   ThreadPool pool{2};
   SceneRegistry registry{pool};
@@ -156,6 +175,62 @@ TEST(ServeTuner, OptionalKnobsCanBeDisabled) {
   EXPECT_EQ(tuner.current().max_inflight_batches,
             before.max_inflight_batches);
   EXPECT_EQ(tuner.best().flush_timeout_us, before.flush_timeout_us);
+}
+
+TEST(ServeTuner, FamilyDimensionsAreSearchedAndBackendStaysLast) {
+  TunerFixture f;
+  ServeTunerOptions opts;
+  opts.batch_min = 1;
+  opts.batch_max = 64;
+  opts.tune_families = {QueryKind::kRange, QueryKind::kNearest,
+                        QueryKind::kClosestPoint};
+  opts.tune_backend = true;
+  ServeTuner tuner(f.service, opts);
+
+  // Dimension layout: the three global knobs, then one batch + one flush
+  // dimension per listed family, with the backend dimension last —
+  // best_backend() decodes the final value, so the order is load-bearing.
+  const auto& params = tuner.tuner().parameters();
+  ASSERT_EQ(params.size(), 3u + 2u * 3u + 1u);
+  EXPECT_EQ(params[3].name(), "range.batch_size");
+  EXPECT_EQ(params[4].name(), "range.flush_timeout_us");
+  EXPECT_EQ(params[5].name(), "nearest.batch_size");
+  EXPECT_EQ(params[6].name(), "nearest.flush_timeout_us");
+  EXPECT_EQ(params[7].name(), "closest_point.batch_size");
+  EXPECT_EQ(params[8].name(), "closest_point.flush_timeout_us");
+  EXPECT_EQ(params.back().name(), std::string(kQueryBackendParam));
+
+  Rng rng(6);
+  for (int w = 0; w < 8; ++w) {
+    tuner.begin_window();
+    const ServingParams trial = tuner.current();
+    for (const QueryKind kind : opts.tune_families) {
+      const FamilyParams& fam = trial.family[static_cast<std::size_t>(kind)];
+      EXPECT_TRUE(is_pow2(fam.batch_size));
+      EXPECT_GE(fam.batch_size, 1);
+      EXPECT_LE(fam.batch_size, 64);
+      EXPECT_GE(fam.flush_timeout_us, opts.flush_min_us);
+      EXPECT_LE(fam.flush_timeout_us, opts.flush_max_us);
+      // The family trial is live on the service, not just stored.
+      EXPECT_EQ(f.service.serving_params().effective_batch(kind),
+                fam.batch_size);
+    }
+    pump_mixed(f.service, rng, 12);
+    tuner.end_window();
+  }
+
+  const ServingParams best = tuner.best();
+  for (const QueryKind kind : opts.tune_families) {
+    const FamilyParams& fam = best.family[static_cast<std::size_t>(kind)];
+    EXPECT_TRUE(is_pow2(fam.batch_size));
+    EXPECT_GE(fam.batch_size, 1);
+    EXPECT_LE(fam.batch_size, 64);
+    EXPECT_GE(fam.flush_timeout_us, opts.flush_min_us);
+    EXPECT_LE(fam.flush_timeout_us, opts.flush_max_us);
+  }
+  const int bb = static_cast<int>(tuner.best_backend());
+  EXPECT_GE(bb, 0);
+  EXPECT_LT(bb, static_cast<int>(kQueryBackendCount));
 }
 
 }  // namespace

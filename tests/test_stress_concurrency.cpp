@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cmath>
 #include <future>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -157,6 +158,102 @@ TEST(LazyStressConcurrency, MixedQueriesRaceFirstTouchExpansion) {
           const TreeStats stats = lazy.stats();
           if (stats.node_count == 0) mismatches.fetch_add(1);
           (void)lazy.deferred_remaining();
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(lazy.stack_overflows(), 0u);
+}
+
+// The k-NN and radius queries added with the serve-layer families, raced
+// against first-touch expansion. The lowest-id tie-break makes the returned
+// triangle ids traversal-order independent, so the oracle comparison is exact
+// on ids too — an id mismatch here means expansion order leaked into results.
+
+TEST(LazyStressConcurrency, KnnQueriesRaceFirstTouchExpansion) {
+  const std::size_t tri_count = scaled(1200, 400);
+  const auto tris = random_soup(tri_count, 105);
+  BuildConfig config;
+  config.r = 32;
+  ThreadPool pool(0);
+
+  const auto eager = make_sweep_builder()->build(tris, config, pool);
+  const auto tree = make_builder(Algorithm::kLazy)->build(tris, config, pool);
+  const LazyKdTree& lazy = as_lazy(*tree);
+  ASSERT_GT(lazy.deferred_remaining(), 0u);
+
+  const AABB box = bounds_of(tris);
+  Rng rng(106);
+  const int probes = static_cast<int>(scaled(80, 32));
+  std::vector<Vec3> points;
+  std::vector<std::uint32_t> ks;
+  std::vector<float> radii;
+  std::vector<std::vector<NearestResult>> expected_knn;
+  std::vector<NearestResult> expected_within;
+  std::vector<AABB> boxes;
+  std::vector<std::vector<std::uint32_t>> expected_range;
+  for (int i = 0; i < probes; ++i) {
+    const Vec3 p{rng.uniform(box.lo.x, box.hi.x),
+                 rng.uniform(box.lo.y, box.hi.y),
+                 rng.uniform(box.lo.z, box.hi.z)};
+    points.push_back(p);
+    ks.push_back(1u + static_cast<std::uint32_t>(i % 6));
+    radii.push_back(i % 2 == 0 ? std::numeric_limits<float>::infinity()
+                               : rng.uniform(0.5f, 4.0f));
+    expected_knn.emplace_back();
+    eager->nearest_k(p, ks.back(), expected_knn.back(), radii.back());
+    expected_within.push_back(eager->nearest_within(p, 3.0f));
+    const Vec3 q{rng.uniform(box.lo.x, box.hi.x),
+                 rng.uniform(box.lo.y, box.hi.y),
+                 rng.uniform(box.lo.z, box.hi.z)};
+    boxes.push_back(AABB(min(p, q), max(p, q)));
+    expected_range.emplace_back();
+    eager->query_range(boxes.back(), expected_range.back());
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<NearestResult> knn;
+      std::vector<std::uint32_t> out;
+      // Strided with overlap so several threads contend on expanding the
+      // same subtrees, exactly like MixedQueriesRaceFirstTouchExpansion.
+      for (int i = t % 2; i < probes; ++i) {
+        switch ((i + t) % 3) {
+          case 0: {
+            knn.clear();
+            tree->nearest_k(points[i], ks[i], knn, radii[i]);
+            const auto& want = expected_knn[i];
+            if (knn.size() != want.size()) {
+              mismatches.fetch_add(1);
+              break;
+            }
+            for (std::size_t j = 0; j < want.size(); ++j) {
+              if (knn[j].triangle != want[j].triangle ||
+                  knn[j].distance_sq != want[j].distance_sq) {
+                mismatches.fetch_add(1);
+                break;
+              }
+            }
+            break;
+          }
+          case 1: {
+            const NearestResult got = tree->nearest_within(points[i], 3.0f);
+            if (got.triangle != expected_within[i].triangle ||
+                got.distance_sq != expected_within[i].distance_sq) {
+              mismatches.fetch_add(1);
+            }
+            break;
+          }
+          default: {
+            out.clear();
+            tree->query_range(boxes[i], out);
+            if (out != expected_range[i]) mismatches.fetch_add(1);
+            break;
+          }
         }
       }
     });

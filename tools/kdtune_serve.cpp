@@ -5,16 +5,21 @@
 //   kdtune_serve --smoke             # CI-sized run; exit code = checks
 //
 // The generator admits the requested scenes, fires a deterministic (seeded)
-// mix of closest-hit / any-hit / packet requests from closed-loop client
-// threads (or one open-loop submitter with --rate), hot-swaps every scene to
-// a different build configuration mid-run, and runs the ServeTuner windows
-// over the live traffic. At the end it verifies the serving contracts:
+// mix of every query family the service speaks — closest-hit / any-hit /
+// packet rays, collision-detection style range boxes around random targets,
+// photon-gather k-NN spheres, and sensor-style closest-point probes with a
+// conservative seed radius — from closed-loop client threads (or one
+// open-loop submitter with --rate), hot-swaps every scene to a different
+// build configuration mid-run, and runs the ServeTuner windows (including
+// the per-family batch/flush knobs) over the live traffic. At the end it
+// verifies the serving contracts:
 //
 //   * zero lost or duplicated responses — every accepted request resolved
 //     its future exactly once;
 //   * results bit-identical to direct single-threaded queries on a reference
-//     tree (hit distances are exact across builders/layouts/swaps; see
-//     core/differential.hpp for why);
+//     tree (hit distances, range id lists and k-NN result lists are exact
+//     across builders/layouts/swaps; see core/differential.hpp for why);
+//   * every query family actually served at least one batch;
 //   * at least one hot swap per scene and, with tuning on, at least one
 //     tuner-driven batch-size change.
 //
@@ -33,11 +38,13 @@
 //   --tuner-log=FILE write every tuner iteration as JSONL
 //   --smoke          small sizes (smaller still under KDTUNE_CI_SMALL)
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <mutex>
 #include <set>
 #include <string>
@@ -163,17 +170,45 @@ Ray random_ray_into(Rng& rng, const AABB& box) {
   return Ray(origin, normalized(dir));
 }
 
+// A collision-detection style range probe: a box around a random target
+// point, sized like a moving object's swept bounds.
+AABB random_collision_box(Rng& rng, const AABB& bounds) {
+  const float diag = length(bounds.extent());
+  const Vec3 center{rng.uniform(bounds.lo.x, bounds.hi.x),
+                    rng.uniform(bounds.lo.y, bounds.hi.y),
+                    rng.uniform(bounds.lo.z, bounds.hi.z)};
+  const Vec3 half{rng.uniform(0.01f, 0.12f) * diag,
+                  rng.uniform(0.01f, 0.12f) * diag,
+                  rng.uniform(0.01f, 0.12f) * diag};
+  return AABB(center - half, center + half);
+}
+
+Vec3 random_probe_point(Rng& rng, const AABB& bounds) {
+  const float pad = 0.2f * length(bounds.extent());
+  return {rng.uniform(bounds.lo.x - pad, bounds.hi.x + pad),
+          rng.uniform(bounds.lo.y - pad, bounds.hi.y + pad),
+          rng.uniform(bounds.lo.z - pad, bounds.hi.z + pad)};
+}
+
 struct PlannedRequest {
   QueryKind kind = QueryKind::kClosestHit;
   int scene = 0;
   Ray ray{};
   std::vector<Ray> rays;
-  // Expected results from the single-threaded reference tree. Hit distances
-  // are bit-exact across builders/layouts (shared per-triangle primitives),
-  // so equality is the pass criterion; winning ids may differ on exact ties.
+  AABB box{};     ///< kRange: collision-detection box
+  Vec3 point{};   ///< kNearest / kClosestPoint: gather / sensor point
+  std::uint32_t k = 1;
+  float max_distance = std::numeric_limits<float>::infinity();
+  // Expected results from the single-threaded reference tree. Hit distances,
+  // range id lists and k-NN results (ids included — ties break toward the
+  // lowest triangle id everywhere) are bit-exact across builders/layouts, so
+  // equality is the pass criterion.
   Hit expect_hit{};
   bool expect_any = false;
   std::vector<Hit> expect_hits;
+  std::vector<std::uint32_t> expect_ids;
+  std::vector<NearestResult> expect_neighbors;
+  NearestResult expect_nearest{};
 };
 
 struct ClientTally {
@@ -203,6 +238,24 @@ bool verify_response(const PlannedRequest& plan, const QueryResponse& resp) {
       }
       return true;
     }
+    case QueryKind::kRange:
+      return resp.range_ids == plan.expect_ids;
+    case QueryKind::kNearest: {
+      if (resp.neighbors.size() != plan.expect_neighbors.size()) return false;
+      for (std::size_t i = 0; i < resp.neighbors.size(); ++i) {
+        if (resp.neighbors[i].triangle != plan.expect_neighbors[i].triangle ||
+            resp.neighbors[i].distance_sq !=
+                plan.expect_neighbors[i].distance_sq) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case QueryKind::kClosestPoint:
+      return resp.nearest.valid() == plan.expect_nearest.valid() &&
+             (!resp.nearest.valid() ||
+              (resp.nearest.triangle == plan.expect_nearest.triangle &&
+               resp.nearest.distance_sq == plan.expect_nearest.distance_sq));
   }
   return false;
 }
@@ -234,6 +287,14 @@ std::future<QueryResponse> submit_planned(QueryService& service,
       return service.submit_any_hit(scene, plan.ray);
     case QueryKind::kPacket:
       return service.submit_packet(scene, plan.rays);
+    case QueryKind::kRange:
+      return service.submit_range(scene, plan.box);
+    case QueryKind::kNearest:
+      return service.submit_nearest(scene, plan.point, plan.k,
+                                    plan.max_distance);
+    case QueryKind::kClosestPoint:
+      return service.submit_closest_point(scene, plan.point,
+                                          plan.max_distance);
     case QueryKind::kClosestHit:
     default:
       return service.submit_closest_hit(scene, plan.ray);
@@ -292,20 +353,48 @@ int run(const ServeOptions& o) {
       const int mix = static_cast<int>(rng.next_int(0, 9));
       const AABB& box = boxes[static_cast<std::size_t>(p.scene)];
       const KdTreeBase& ref = *references[static_cast<std::size_t>(p.scene)];
-      if (mix < 6) {  // 60% closest-hit
+      const float diag = length(box.extent());
+      if (mix < 3) {  // 30% closest-hit
         p.kind = QueryKind::kClosestHit;
         p.ray = random_ray_into(rng, box);
         if (o.verify) p.expect_hit = ref.closest_hit(p.ray);
-      } else if (mix < 8) {  // 20% any-hit
+      } else if (mix == 3) {  // 10% any-hit
         p.kind = QueryKind::kAnyHit;
         p.ray = random_ray_into(rng, box);
         if (o.verify) p.expect_any = ref.any_hit(p.ray);
-      } else {  // 20% packet
+      } else if (mix == 4) {  // 10% packet
         p.kind = QueryKind::kPacket;
         p.rays.reserve(static_cast<std::size_t>(o.packet_rays));
         for (int r = 0; r < o.packet_rays; ++r) {
           p.rays.push_back(random_ray_into(rng, box));
           if (o.verify) p.expect_hits.push_back(ref.closest_hit(p.rays.back()));
+        }
+      } else if (mix < 7) {  // 20% range (collision-detection box)
+        p.kind = QueryKind::kRange;
+        p.box = random_collision_box(rng, box);
+        if (o.verify) {
+          ref.query_range(p.box, p.expect_ids);
+          std::sort(p.expect_ids.begin(), p.expect_ids.end());
+          p.expect_ids.erase(
+              std::unique(p.expect_ids.begin(), p.expect_ids.end()),
+              p.expect_ids.end());
+        }
+      } else if (mix < 9) {  // 20% k-NN (photon-gather sphere)
+        p.kind = QueryKind::kNearest;
+        p.point = random_probe_point(rng, box);
+        p.k = static_cast<std::uint32_t>(rng.next_int(1, 8));
+        if (rng.next_float() < 0.5f) {
+          p.max_distance = rng.uniform(0.05f, 0.5f) * diag;
+        }
+        if (o.verify) {
+          ref.nearest_k(p.point, p.k, p.expect_neighbors, p.max_distance);
+        }
+      } else {  // 10% closest point (sensor probe, conservative radius)
+        p.kind = QueryKind::kClosestPoint;
+        p.point = random_probe_point(rng, box);
+        p.max_distance = rng.uniform(0.3f, 1.0f) * (diag + 1.0f);
+        if (o.verify) {
+          p.expect_nearest = ref.nearest_within(p.point, p.max_distance);
         }
       }
     }
@@ -375,6 +464,9 @@ int run(const ServeOptions& o) {
     ServeTunerOptions topts;
     topts.tune_flush = true;
     topts.tune_workers = true;
+    // Give the heavy non-ray families their own batch/flush dimensions.
+    topts.tune_families = {QueryKind::kRange, QueryKind::kNearest,
+                           QueryKind::kClosestPoint};
     tuner = std::make_unique<ServeTuner>(service, topts);
     if (tuner_log.is_open()) tuner->tuner().set_log(&tuner_log, "serve");
     tuner_thread = std::thread([&] {
@@ -500,6 +592,14 @@ int run(const ServeOptions& o) {
         "accepted == completed + timed_out + not_found + failed");
   check(stats.not_found == 0 && stats.failed == 0,
         "no scene_not_found / internal errors");
+  {
+    bool all_served = true;
+    for (int k = 0; k < kQueryKindCount; ++k) {
+      const EndpointStats& e = stats.endpoints[static_cast<std::size_t>(k)];
+      if (e.completed == 0 || e.batches == 0) all_served = false;
+    }
+    check(all_served, "every query family completed at least one batch");
+  }
   if (o.verify) {
     check(total.mismatches == 0,
           "results bit-identical to single-threaded reference queries");
