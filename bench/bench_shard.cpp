@@ -1,0 +1,190 @@
+// bench_shard — sharded serving tier throughput/latency sweep.
+//
+// Measures the ShardRouter at 1/2/4/8 shards for the two workloads that
+// stress opposite ends of the routing spectrum — closest-hit rays (narrow
+// overlap sets, merge is a single (t, id) fold) and radius-limited k-NN
+// (wider overlap sets, KnnCollector merge) — plus a router-overhead pair:
+// the same ray workload against a bare QueryService and against a 1-shard
+// router, whose difference is the price of admission + routing + merge.
+// Writes BENCH_shard.json; `--smoke` shrinks everything for CI.
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/differential.hpp"
+#include "core/kdtune.hpp"
+#include "shard/shard_router.hpp"
+
+using namespace kdtune;
+
+namespace {
+
+struct Row {
+  std::string mode;   ///< "router" or "direct"
+  int shards = 0;     ///< 0 for direct
+  std::string query;  ///< "closest_hit" or "nearest"
+  std::uint64_t completed = 0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_fanout = 0.0;
+};
+
+/// Closed-loop: `clients` threads race down one shared request index,
+/// submitting and immediately resolving. Returns elapsed seconds.
+template <typename SubmitOne>
+double run_workload(int requests, int clients, SubmitOne&& submit_one) {
+  Stopwatch wall;
+  wall.start();
+  std::atomic<int> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= requests) break;
+        submit_one(i).get();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return wall.elapsed();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const float detail = smoke ? (kdtune_ci_small() ? 0.08f : 0.15f) : 0.4f;
+  const int requests = smoke ? (kdtune_ci_small() ? 300 : 600) : 4000;
+  const int clients = 4;
+
+  const Scene scene = make_scene("bunny", detail)->frame(0);
+  std::vector<Triangle> tris(scene.triangles().begin(),
+                             scene.triangles().end());
+  const AABB box = scene.bounds();
+  const float diag = length(box.extent());
+  std::printf("bench_shard: %zu tris, %d requests x %d clients\n", tris.size(),
+              requests, clients);
+
+  // Deterministic workloads, shared by every configuration.
+  Rng rng(0x5EEDu);
+  std::vector<Ray> rays;
+  std::vector<Vec3> points;
+  rays.reserve(static_cast<std::size_t>(requests));
+  points.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    const Vec3 origin =
+        box.center() + normalized(Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                       rng.uniform(-1, 1)}) *
+                           (diag * 0.8f + 0.5f);
+    const Vec3 target{rng.uniform(box.lo.x, box.hi.x),
+                      rng.uniform(box.lo.y, box.hi.y),
+                      rng.uniform(box.lo.z, box.hi.z)};
+    Vec3 dir = target - origin;
+    if (length(dir) == 0.0f) dir = {1, 0, 0};
+    rays.push_back(Ray(origin, normalized(dir)));
+    points.push_back(target);
+  }
+  const float knn_radius = 0.2f * diag;
+
+  std::vector<Row> rows;
+
+  // --- Router sweep: K x {closest-hit, kNN}, fresh router per cell so the
+  // latency histogram belongs to exactly one configuration.
+  for (const int k : {1, 2, 4, 8}) {
+    for (const bool knn : {false, true}) {
+      ShardRouterOptions ropts;
+      ropts.shard_count = k;
+      ropts.router_threads = 2;
+      ShardRouter router(tris, ropts);
+      const double seconds = run_workload(requests, clients, [&](int i) {
+        const auto idx = static_cast<std::size_t>(i);
+        return knn ? router.submit_nearest("bench", points[idx], 8, knn_radius)
+                   : router.submit_closest_hit("bench", rays[idx]);
+      });
+      router.drain();
+      const ShardRouterStats stats = router.stats();
+      Row row;
+      row.mode = "router";
+      row.shards = k;
+      row.query = knn ? "nearest" : "closest_hit";
+      row.completed = stats.completed;
+      row.qps = static_cast<double>(stats.completed) / seconds;
+      row.p50_us = stats.p50_seconds * 1e6;
+      row.p99_us = stats.p99_seconds * 1e6;
+      row.mean_fanout = stats.mean_fanout;
+      rows.push_back(row);
+      router.shutdown();
+      std::printf(
+          "shards=%d %-11s %9.0f req/s   p50 %7.1f us   p99 %7.1f us   "
+          "fanout %.2f\n",
+          k, row.query.c_str(), row.qps, row.p50_us, row.p99_us,
+          row.mean_fanout);
+    }
+  }
+
+  // --- Router overhead: the same rays against a bare QueryService. Compare
+  // with the shards=1 row above — the gap is admission + routing + merge.
+  {
+    ThreadPool pool(2);
+    SceneRegistry registry(pool);
+    Scene copy("bench");
+    copy.mutable_triangles() = tris;
+    registry.admit("bench", std::move(copy), AdmitOptions{});
+    QueryService service(registry, pool);
+    const double seconds = run_workload(requests, clients, [&](int i) {
+      return service.submit_closest_hit("bench",
+                                        rays[static_cast<std::size_t>(i)]);
+    });
+    service.drain();
+    const ServiceStats stats = service.stats();
+    const EndpointStats& ep =
+        stats.endpoints[static_cast<std::size_t>(QueryKind::kClosestHit)];
+    Row row;
+    row.mode = "direct";
+    row.shards = 0;
+    row.query = "closest_hit";
+    row.completed = ep.completed;
+    row.qps = static_cast<double>(ep.completed) / seconds;
+    row.p50_us = ep.p50_seconds * 1e6;
+    row.p99_us = ep.p99_seconds * 1e6;
+    rows.push_back(row);
+    service.shutdown();
+    std::printf(
+        "direct   %-11s %9.0f req/s   p50 %7.1f us   p99 %7.1f us   "
+        "(vs shards=1: router merge overhead)\n",
+        row.query.c_str(), row.qps, row.p50_us, row.p99_us);
+  }
+
+  std::FILE* out = std::fopen("BENCH_shard.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_shard.json\n");
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "  {\"mode\": \"%s\", \"shards\": %d, \"query\": \"%s\", "
+                 "\"completed\": %" PRIu64
+                 ", \"qps\": %.1f, \"p50_us\": %.2f, \"p99_us\": %.2f, "
+                 "\"mean_fanout\": %.3f}%s\n",
+                 r.mode.c_str(), r.shards, r.query.c_str(), r.completed, r.qps,
+                 r.p50_us, r.p99_us, r.mean_fanout,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_shard.json (%zu records)\n", rows.size());
+  return 0;
+}

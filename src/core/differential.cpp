@@ -18,6 +18,7 @@
 #include "kdtree/lazy_tree.hpp"
 #include "kdtree/wide_tree.hpp"
 #include "parallel/thread_pool.hpp"
+#include "shard/sharded_tree.hpp"
 
 namespace kdtune {
 
@@ -280,6 +281,17 @@ DifferentialResult run_differential_case(std::uint64_t seed,
   bvh_config.bin_count = static_cast<int>(rng.next_int(2, 32));
   bvh_config.max_leaf_size = static_cast<int>(rng.next_int(1, 8));
   impls.push_back({"bvh", build_bvh(tris, bvh_config, pool)});
+
+  // The sharded serving tier's partition + route + merge path, probed like
+  // any other tree: straddler duplication across shard boundaries is the
+  // highest-risk correctness surface in the repo, so it rides in the widest
+  // net we have. Random K covers the no-cut degenerate (K=1) through three
+  // cut levels.
+  const int shard_count = 1 << rng.next_int(0, 3);
+  impls.push_back({"sharded-k" + std::to_string(shard_count),
+                   std::make_shared<ShardedKdTree>(
+                       std::vector<Triangle>(tris.begin(), tris.end()),
+                       shard_count, *make_sweep_builder(), config, pool)});
 
   const LazyKdTree* lazy = nullptr;
   for (const Impl& impl : impls) {

@@ -52,6 +52,7 @@ std::string_view to_string(QueryStatus status) noexcept {
     case QueryStatus::kRejectedOverflow: return "rejected_overflow";
     case QueryStatus::kTimedOut: return "timed_out";
     case QueryStatus::kShutdown: return "shutdown";
+    case QueryStatus::kRejectedQuota: return "rejected_quota";
     case QueryStatus::kError: return "error";
   }
   return "unknown";
@@ -161,7 +162,11 @@ std::future<QueryResponse> QueryService::submit(Request req) {
 
   // Rejection path: resolve the future immediately — admission control must
   // never block a caller, and a rejected request is complete by definition.
-  counters_[kind].rejected.fetch_add(1, std::memory_order_relaxed);
+  if (reject == QueryStatus::kShutdown) {
+    counters_[kind].rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_[kind].rejected_overflow.fetch_add(1, std::memory_order_relaxed);
+  }
   QueryResponse resp;
   resp.status = reject;
   resp.kind = req.kind;
@@ -414,7 +419,10 @@ ServiceStats QueryService::stats() const {
     const KindCounters& c = counters_[static_cast<std::size_t>(k)];
     e.accepted = c.accepted.load(std::memory_order_relaxed);
     e.completed = c.completed.load(std::memory_order_relaxed);
-    e.rejected = c.rejected.load(std::memory_order_relaxed);
+    e.rejected_overflow = c.rejected_overflow.load(std::memory_order_relaxed);
+    e.rejected_shutdown = c.rejected_shutdown.load(std::memory_order_relaxed);
+    e.rejected_quota = c.rejected_quota.load(std::memory_order_relaxed);
+    e.rejected = e.rejected_overflow + e.rejected_shutdown + e.rejected_quota;
     e.timed_out = c.timed_out.load(std::memory_order_relaxed);
     e.not_found = c.not_found.load(std::memory_order_relaxed);
     e.failed = c.failed.load(std::memory_order_relaxed);
@@ -425,6 +433,9 @@ ServiceStats QueryService::stats() const {
     e.mean_seconds = h.mean_seconds();
     s.accepted += e.accepted;
     s.completed += e.completed;
+    s.rejected_overflow += e.rejected_overflow;
+    s.rejected_shutdown += e.rejected_shutdown;
+    s.rejected_quota += e.rejected_quota;
     s.rejected += e.rejected;
     s.timed_out += e.timed_out;
     s.not_found += e.not_found;
@@ -450,7 +461,9 @@ std::string QueryService::stats_json() const {
       buf, sizeof(buf),
       "{\n  \"uptime_seconds\": %.3f,\n  \"qps\": %.1f,\n"
       "  \"accepted\": %llu,\n  \"completed\": %llu,\n"
-      "  \"rejected\": %llu,\n  \"timed_out\": %llu,\n"
+      "  \"rejected\": %llu,\n  \"rejected_overflow\": %llu,\n"
+      "  \"rejected_shutdown\": %llu,\n  \"rejected_quota\": %llu,\n"
+      "  \"timed_out\": %llu,\n"
       "  \"not_found\": %llu,\n  \"failed\": %llu,\n"
       "  \"batches\": %llu,\n  \"mean_batch_occupancy\": %.2f,\n"
       "  \"p50_batch_occupancy\": %llu,\n  \"swaps\": %llu,\n"
@@ -458,6 +471,9 @@ std::string QueryService::stats_json() const {
       s.uptime_seconds, s.qps, static_cast<unsigned long long>(s.accepted),
       static_cast<unsigned long long>(s.completed),
       static_cast<unsigned long long>(s.rejected),
+      static_cast<unsigned long long>(s.rejected_overflow),
+      static_cast<unsigned long long>(s.rejected_shutdown),
+      static_cast<unsigned long long>(s.rejected_quota),
       static_cast<unsigned long long>(s.timed_out),
       static_cast<unsigned long long>(s.not_found),
       static_cast<unsigned long long>(s.failed),
@@ -470,13 +486,18 @@ std::string QueryService::stats_json() const {
     std::snprintf(
         buf, sizeof(buf),
         "    \"%s\": {\"accepted\": %llu, \"completed\": %llu, "
-        "\"rejected\": %llu, \"timed_out\": %llu, \"not_found\": %llu, "
+        "\"rejected\": %llu, \"rejected_overflow\": %llu, "
+        "\"rejected_shutdown\": %llu, \"rejected_quota\": %llu, "
+        "\"timed_out\": %llu, \"not_found\": %llu, "
         "\"failed\": %llu, \"batches\": %llu, \"p50_us\": %.1f, "
         "\"p99_us\": %.1f, \"mean_us\": %.1f}%s\n",
         std::string(to_string(static_cast<QueryKind>(k))).c_str(),
         static_cast<unsigned long long>(e.accepted),
         static_cast<unsigned long long>(e.completed),
         static_cast<unsigned long long>(e.rejected),
+        static_cast<unsigned long long>(e.rejected_overflow),
+        static_cast<unsigned long long>(e.rejected_shutdown),
+        static_cast<unsigned long long>(e.rejected_quota),
         static_cast<unsigned long long>(e.timed_out),
         static_cast<unsigned long long>(e.not_found),
         static_cast<unsigned long long>(e.failed),

@@ -71,6 +71,7 @@ enum class QueryStatus {
   kRejectedOverflow,   ///< admission control: queue full at submit
   kTimedOut,           ///< deadline expired before execution
   kShutdown,           ///< submitted after shutdown began
+  kRejectedQuota,      ///< admission control: tenant token bucket empty
   kError,              ///< query threw (never expected; the catch-all)
 };
 std::string_view to_string(QueryStatus status) noexcept;
@@ -126,7 +127,12 @@ struct ServiceOptions {
 struct EndpointStats {
   std::uint64_t accepted = 0;
   std::uint64_t completed = 0;   ///< kOk responses
-  std::uint64_t rejected = 0;    ///< overflow + shutdown rejections
+  /// Admission rejections by reason. `rejected` is their sum, kept so
+  /// existing callers ("how many bounced?") don't have to care why.
+  std::uint64_t rejected_overflow = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t rejected_quota = 0;   ///< quota rejects (router QoS layer)
+  std::uint64_t rejected = 0;
   std::uint64_t timed_out = 0;
   std::uint64_t not_found = 0;
   std::uint64_t failed = 0;
@@ -139,7 +145,10 @@ struct EndpointStats {
 struct ServiceStats {
   std::uint64_t accepted = 0;
   std::uint64_t completed = 0;
-  std::uint64_t rejected = 0;
+  std::uint64_t rejected_overflow = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t rejected = 0;    ///< sum of the three reasons above
   std::uint64_t timed_out = 0;
   std::uint64_t not_found = 0;
   std::uint64_t failed = 0;
@@ -223,7 +232,9 @@ class QueryService {
   struct KindCounters {
     std::atomic<std::uint64_t> accepted{0};
     std::atomic<std::uint64_t> completed{0};
-    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> rejected_overflow{0};
+    std::atomic<std::uint64_t> rejected_shutdown{0};
+    std::atomic<std::uint64_t> rejected_quota{0};
     std::atomic<std::uint64_t> timed_out{0};
     std::atomic<std::uint64_t> not_found{0};
     std::atomic<std::uint64_t> failed{0};

@@ -63,6 +63,26 @@ ServeTuner::ServeTuner(QueryService& service, ServeTunerOptions opts)
                                 prefix + ".flush_timeout_us");
     }
   }
+  // Extra caller-owned dimensions (e.g. the shard router's shard_count /
+  // fanout_cap). Storage is sized once up front so the registered pointers
+  // stay stable; like the families they sit before the backend dimension.
+  extra_values_.resize(opts_.extra_dimensions.size());
+  for (std::size_t i = 0; i < opts_.extra_dimensions.size(); ++i) {
+    const ServeTunerExtraDimension& dim = opts_.extra_dimensions[i];
+    if (dim.pow2) {
+      const std::int64_t lo = floor_pow2(std::max<std::int64_t>(1, dim.min));
+      const std::int64_t hi =
+          std::max(lo, floor_pow2(std::max<std::int64_t>(1, dim.max)));
+      extra_values_[i] = lo;
+      tuner_.register_parameter_pow2(&extra_values_[i], lo, hi, dim.name);
+    } else {
+      const std::int64_t lo = std::min(dim.min, dim.max);
+      const std::int64_t hi = std::max(dim.min, dim.max);
+      extra_values_[i] = lo;
+      tuner_.register_parameter(&extra_values_[i], lo, hi,
+                                std::max<std::int64_t>(1, dim.step), dim.name);
+    }
+  }
   if (opts_.tune_backend) {
     tuner_.register_parameter(&trial_backend_, 0, kQueryBackendCount - 1, 1,
                               std::string(kQueryBackendParam));
@@ -77,7 +97,16 @@ void ServeTuner::begin_window() {
     tuner_.apply_next();
     applied_once_ = true;
   }
-  service_.set_serving_params(trial_);
+  if (opts_.apply_params) {
+    opts_.apply_params(trial_);
+  } else {
+    service_.set_serving_params(trial_);
+  }
+  for (std::size_t i = 0; i < opts_.extra_dimensions.size(); ++i) {
+    if (opts_.extra_dimensions[i].apply) {
+      opts_.extra_dimensions[i].apply(extra_values_[i]);
+    }
+  }
   if (opts_.tune_backend) {
     const QueryBackend backend = backend_from_int(trial_backend_);
     const std::vector<std::string> scenes = opts_.backend_scenes.empty()
@@ -89,7 +118,9 @@ void ServeTuner::begin_window() {
       (void)service_.registry().set_backend(scene, backend);
     }
   }
-  window_start_completed_ = completed_of(service_);
+  window_start_completed_ =
+      opts_.completed_counter ? opts_.completed_counter()
+                              : completed_of(service_);
   trace_instant("serve.window_begin", "tuner");
   clock_.start();
   window_open_ = true;
@@ -100,8 +131,10 @@ double ServeTuner::end_window() {
   window_open_ = false;
   ++windows_;
   const double elapsed = clock_.elapsed();
-  const std::uint64_t completed =
-      completed_of(service_) - window_start_completed_;
+  const std::uint64_t now_completed =
+      opts_.completed_counter ? opts_.completed_counter()
+                              : completed_of(service_);
+  const std::uint64_t completed = now_completed - window_start_completed_;
   if (completed == 0) {
     // No completions at all (e.g. a zero-traffic window): report a large
     // finite cost so the search moves away from configurations that starve
@@ -133,6 +166,20 @@ ServingParams ServeTuner::params_from_values(
 
 ServingParams ServeTuner::best() const {
   return params_from_values(tuner_.best_values());
+}
+
+std::vector<std::int64_t> ServeTuner::best_extras() const {
+  std::vector<std::int64_t> out;
+  if (opts_.extra_dimensions.empty()) return out;
+  const std::vector<std::int64_t> values = tuner_.best_values();
+  std::size_t i = 1;  // batch_size
+  if (opts_.tune_flush) ++i;
+  if (opts_.tune_workers) ++i;
+  i += opts_.tune_families.size() * (opts_.tune_flush ? 2u : 1u);
+  out.assign(values.begin() + static_cast<std::ptrdiff_t>(i),
+             values.begin() +
+                 static_cast<std::ptrdiff_t>(i + opts_.extra_dimensions.size()));
+  return out;
 }
 
 QueryBackend ServeTuner::best_backend() const {

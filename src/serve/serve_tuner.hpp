@@ -23,6 +23,7 @@
 // workload.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,19 @@
 #include "tuning/tuner.hpp"
 
 namespace kdtune {
+
+/// A caller-owned integer knob searched alongside the serving parameters —
+/// how non-QueryService layers (e.g. the shard router's shard_count and
+/// fanout cap) join the same Nelder-Mead search. `apply` is invoked at every
+/// begin_window() with the trial value, before measurement starts.
+struct ServeTunerExtraDimension {
+  std::string name;
+  std::int64_t min = 1;
+  std::int64_t max = 1;
+  std::int64_t step = 1;
+  bool pow2 = false;  ///< search on a power-of-two grid (min/max rounded)
+  std::function<void(std::int64_t)> apply;
+};
 
 struct ServeTunerOptions {
   /// Batch size grid {batch_min, 2*batch_min, ..., batch_max} (powers of 2).
@@ -60,6 +74,15 @@ struct ServeTunerOptions {
   /// to every admitted scene.
   bool tune_backend = false;
   std::vector<std::string> backend_scenes{};
+  /// Extra caller-owned dimensions, registered after the per-family knobs
+  /// (and before the backend dimension, which stays last).
+  std::vector<ServeTunerExtraDimension> extra_dimensions{};
+  /// Overrides the progress metric (default: the service's completed count).
+  /// A router fronting many shard services sums its own counter here.
+  std::function<std::uint64_t()> completed_counter{};
+  /// Overrides where trial ServingParams are applied (default: the service
+  /// passed to the constructor). A router fans them to every shard.
+  std::function<void(const ServingParams&)> apply_params{};
   TunerOptions tuner{};
 };
 
@@ -94,6 +117,13 @@ class ServeTuner {
   }
   QueryBackend best_backend() const;
 
+  /// Trial / best values of the registered extra dimensions, in registration
+  /// order. Empty when no extra dimensions were configured.
+  const std::vector<std::int64_t>& current_extras() const noexcept {
+    return extra_values_;
+  }
+  std::vector<std::int64_t> best_extras() const;
+
   const Tuner& tuner() const noexcept { return tuner_; }
   Tuner& tuner() noexcept { return tuner_; }
 
@@ -104,6 +134,9 @@ class ServeTuner {
   QueryService& service_;
   ServeTunerOptions opts_;
   ServingParams trial_;  ///< tuner-owned parameter storage
+  /// Storage for extra dimensions; sized once in the constructor so the
+  /// registered pointers stay stable.
+  std::vector<std::int64_t> extra_values_;
   std::int64_t trial_backend_ = 0;  ///< QueryBackend under test (tune_backend)
   Tuner tuner_;
   bool applied_once_ = false;

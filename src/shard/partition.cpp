@@ -1,0 +1,172 @@
+#include "shard/partition.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "geom/intersect.hpp"
+
+namespace kdtune {
+
+namespace {
+
+/// Leaf node id of shard `s` in the heap-ordered perfect cut tree.
+inline int leaf_base(int shard_count) noexcept { return shard_count - 1; }
+
+void partition_node(std::span<const Triangle> all, int node,
+                    std::vector<std::uint32_t> ids, ShardPlan& plan) {
+  if (node >= leaf_base(plan.shard_count)) {
+    const int shard = node - leaf_base(plan.shard_count);
+    auto& soup = plan.shard_triangles[static_cast<std::size_t>(shard)];
+    auto& map = plan.shard_global_ids[static_cast<std::size_t>(shard)];
+    soup.reserve(ids.size());
+    map.reserve(ids.size());
+    for (const std::uint32_t id : ids) {
+      soup.push_back(all[id]);
+      map.push_back(id);  // ids arrive ascending, so the map stays ascending
+    }
+    return;
+  }
+
+  ShardCut cut;
+  if (!ids.empty()) {
+    AABB centroid_bounds;
+    for (const std::uint32_t id : ids) {
+      centroid_bounds.expand(all[id].centroid());
+    }
+    const Axis axis = centroid_bounds.longest_axis();
+    cut.axis = static_cast<int>(axis);
+    std::vector<float> coords;
+    coords.reserve(ids.size());
+    for (const std::uint32_t id : ids) {
+      coords.push_back(all[id].centroid()[axis]);
+    }
+    auto mid = coords.begin() +
+               static_cast<std::ptrdiff_t>(coords.size() / 2);
+    std::nth_element(coords.begin(), mid, coords.end());
+    cut.pos = *mid;
+  }
+  plan.cuts[static_cast<std::size_t>(node)] = cut;
+
+  // Inclusive placement on both sides: a triangle goes into every child
+  // whose half-space its bounds touch. Median position guarantees both
+  // children are non-empty whenever the parent is.
+  const Axis axis = static_cast<Axis>(cut.axis);
+  std::vector<std::uint32_t> left, right;
+  for (const std::uint32_t id : ids) {
+    const AABB b = all[id].bounds();
+    if (b.lo[axis] <= cut.pos) left.push_back(id);
+    if (b.hi[axis] >= cut.pos) right.push_back(id);
+  }
+  ids.clear();
+  ids.shrink_to_fit();
+  partition_node(all, 2 * node + 1, std::move(left), plan);
+  partition_node(all, 2 * node + 2, std::move(right), plan);
+}
+
+}  // namespace
+
+int clamp_shard_count(int requested) noexcept {
+  const int k = std::clamp(requested, 1, kMaxShardCount);
+  return static_cast<int>(
+      std::bit_floor(static_cast<unsigned>(k)));
+}
+
+ShardPlan build_shard_plan(std::span<const Triangle> tris, int shard_count) {
+  ShardPlan plan;
+  plan.shard_count = clamp_shard_count(shard_count);
+  plan.cuts.resize(static_cast<std::size_t>(plan.shard_count - 1));
+  plan.bounds = bounds_of(tris);
+  plan.shard_triangles.resize(static_cast<std::size_t>(plan.shard_count));
+  plan.shard_global_ids.resize(static_cast<std::size_t>(plan.shard_count));
+  plan.input_triangles = tris.size();
+
+  std::vector<std::uint32_t> ids(tris.size());
+  for (std::uint32_t i = 0; i < tris.size(); ++i) ids[i] = i;
+  partition_node(tris, 0, std::move(ids), plan);
+
+  for (const auto& soup : plan.shard_triangles) {
+    plan.total_refs += soup.size();
+  }
+  return plan;
+}
+
+void ShardPlan::route_ray(const Ray& ray, std::vector<int>& out) const {
+  out.clear();
+  int stack[kMaxShardCount];
+  int sp = 0;
+  stack[sp++] = 0;
+  while (sp > 0) {
+    const int node = stack[--sp];
+    if (node >= shard_count - 1) {
+      out.push_back(node - (shard_count - 1));
+      continue;
+    }
+    const ShardCut& cut = cuts[static_cast<std::size_t>(node)];
+    const Axis axis = static_cast<Axis>(cut.axis);
+    const float o = ray.origin[axis];
+    const float d = ray.dir[axis];
+    // Reachable coordinate range along the cut axis over [t_min, t_max].
+    // d == 0 (covers -0.0f) keeps the origin coordinate; otherwise an
+    // infinite t_max yields an infinite endpoint, never a NaN.
+    float lo_reach = o;
+    float hi_reach = o;
+    if (d != 0.0f) {
+      const float a = o + d * ray.t_min;
+      const float b = o + d * ray.t_max;
+      lo_reach = std::min(a, b);
+      hi_reach = std::max(a, b);
+    }
+    // Push right before left so shards pop in ascending order.
+    if (hi_reach >= cut.pos) stack[sp++] = 2 * node + 2;
+    if (lo_reach <= cut.pos) stack[sp++] = 2 * node + 1;
+  }
+}
+
+void ShardPlan::route_box(const AABB& box, std::vector<int>& out) const {
+  out.clear();
+  int stack[kMaxShardCount];
+  int sp = 0;
+  stack[sp++] = 0;
+  while (sp > 0) {
+    const int node = stack[--sp];
+    if (node >= shard_count - 1) {
+      out.push_back(node - (shard_count - 1));
+      continue;
+    }
+    const ShardCut& cut = cuts[static_cast<std::size_t>(node)];
+    const Axis axis = static_cast<Axis>(cut.axis);
+    if (box.hi[axis] >= cut.pos) stack[sp++] = 2 * node + 2;
+    if (box.lo[axis] <= cut.pos) stack[sp++] = 2 * node + 1;
+  }
+}
+
+void ShardPlan::route_sphere(const Vec3& center, float radius,
+                             std::vector<int>& out) const {
+  out.clear();
+  const float r = std::max(radius, 0.0f);
+  int stack[kMaxShardCount];
+  int sp = 0;
+  stack[sp++] = 0;
+  while (sp > 0) {
+    const int node = stack[--sp];
+    if (node >= shard_count - 1) {
+      out.push_back(node - (shard_count - 1));
+      continue;
+    }
+    const ShardCut& cut = cuts[static_cast<std::size_t>(node)];
+    const Axis axis = static_cast<Axis>(cut.axis);
+    const float c = center[axis];
+    // Finite center ± infinite radius is ±infinity, so both sides route.
+    if (c + r >= cut.pos) stack[sp++] = 2 * node + 2;
+    if (c - r <= cut.pos) stack[sp++] = 2 * node + 1;
+  }
+}
+
+void ShardPlan::route_all(std::vector<int>& out) const {
+  out.clear();
+  out.reserve(static_cast<std::size_t>(shard_count));
+  for (int s = 0; s < shard_count; ++s) out.push_back(s);
+}
+
+}  // namespace kdtune

@@ -1,0 +1,80 @@
+#pragma once
+
+// Spatial scene partitioner — the sharded serving tier's domain decomposition.
+//
+// A scene is split into K (power of two) sub-soups by a complete binary tree
+// of K-1 axis-aligned cut planes chosen over triangle *centroids* (median
+// cut along the longest centroid-bounds axis — the distributed forest-of-
+// octrees recipe, flattened to one level of kd-style cuts). Triangles whose
+// bounds straddle a cut are duplicated into every overlapping shard, exactly
+// like straddlers are referenced from both children inside a single kd-tree,
+// so each shard can answer any query that geometrically reaches its region
+// without consulting its neighbors.
+//
+// The routing predicates are the load-bearing correctness surface: a query
+// must visit every shard whose region can contain an answer. Placement and
+// routing use the *same* per-cut comparisons (lo <= pos goes left, hi >= pos
+// goes right — both inclusive, so planar/straddling geometry lands on both
+// sides), which gives the invariant the differential fuzzer leans on: any
+// point of any triangle lies in some routed shard's sub-soup, hence
+// min-over-routed-shards == min-over-the-whole-soup bit-exactly, and kNN /
+// range unions cover the global result set. The predicates are NaN-free for
+// every representable ray (zero direction components, infinite t_max) and
+// radius (infinity routes everywhere).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/ray.hpp"
+#include "geom/triangle.hpp"
+
+namespace kdtune {
+
+/// Hard cap on K — 64 shards of >= 1 process each is already far past any
+/// sane fan-out on one host, and it bounds the routing stack.
+inline constexpr int kMaxShardCount = 64;
+
+/// Rounds `requested` down to a power of two in [1, kMaxShardCount].
+int clamp_shard_count(int requested) noexcept;
+
+/// One top-level axis-aligned cut plane. Left child owns coordinates
+/// <= pos, right child owns >= pos (both inclusive — see header comment).
+struct ShardCut {
+  int axis = 0;     ///< 0 = X, 1 = Y, 2 = Z
+  float pos = 0.0f;
+};
+
+/// The partition: cut tree plus the per-shard sub-soups. `cuts` is stored in
+/// heap order (root at 0, children of i at 2i+1 / 2i+2); with K a power of
+/// two the tree is perfect and leaf node `K-1+s` is shard `s`.
+struct ShardPlan {
+  int shard_count = 1;
+  std::vector<ShardCut> cuts;  ///< size shard_count - 1
+  AABB bounds;                 ///< bounds of the input soup
+  /// Per-shard triangle soups. Local triangle order preserves global order,
+  /// so shard-local id comparisons agree with global-id comparisons.
+  std::vector<std::vector<Triangle>> shard_triangles;
+  /// Per-shard local-id -> global-id maps (strictly ascending).
+  std::vector<std::vector<std::uint32_t>> shard_global_ids;
+  std::size_t input_triangles = 0;
+  std::size_t total_refs = 0;  ///< sum of shard sizes; excess = straddlers
+
+  /// Ascending shard ids whose region the ray's [t_min, t_max] segment can
+  /// reach. Handles zero direction components and infinite t_max.
+  void route_ray(const Ray& ray, std::vector<int>& out) const;
+  /// Ascending shard ids whose region overlaps `box` (inclusive faces).
+  void route_box(const AABB& box, std::vector<int>& out) const;
+  /// Ascending shard ids whose region intersects the closed ball around
+  /// `center`; an infinite radius routes to every shard.
+  void route_sphere(const Vec3& center, float radius,
+                    std::vector<int>& out) const;
+  void route_all(std::vector<int>& out) const;
+};
+
+/// Partitions `tris` into clamp_shard_count(shard_count) sub-soups.
+/// Deterministic: the same soup and K always produce the same plan.
+ShardPlan build_shard_plan(std::span<const Triangle> tris, int shard_count);
+
+}  // namespace kdtune

@@ -1,0 +1,121 @@
+#include "shard/qos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kdtune {
+
+std::string_view to_string(Priority priority) noexcept {
+  switch (priority) {
+    case Priority::kInteractive: return "interactive";
+    case Priority::kBatch: return "batch";
+  }
+  return "unknown";
+}
+
+bool TenantTable::limited(const TenantQuota& q) noexcept {
+  return std::isfinite(q.rate_per_second);
+}
+
+TenantTable::Tenant& TenantTable::tenant_locked(const std::string& name) {
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(name, std::make_unique<Tenant>()).first;
+  }
+  return *it->second;
+}
+
+void TenantTable::set_quota(const std::string& tenant,
+                            const TenantQuota& quota) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  Tenant& t = tenant_locked(tenant);
+  t.quota = quota;
+  if (limited(t.quota) && !std::isfinite(t.quota.burst)) {
+    t.quota.burst = std::max(t.quota.rate_per_second, 1.0);
+  }
+  t.quota.burst = std::max(t.quota.burst, 1.0);
+  t.quota.rate_per_second = std::max(t.quota.rate_per_second, 0.0);
+  t.tokens = t.quota.burst;
+  t.bucket_started = false;  // first admit after a change restarts the clock
+}
+
+TenantQuota TenantTable::quota(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it != tenants_.end() ? it->second->quota : TenantQuota{};
+}
+
+bool TenantTable::admit(const std::string& tenant, Clock::time_point now,
+                        Priority* priority_out) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  Tenant& t = tenant_locked(tenant);
+  if (priority_out != nullptr) *priority_out = t.quota.priority;
+  if (!limited(t.quota)) {
+    ++t.admitted;
+    return true;
+  }
+  if (!t.bucket_started) {
+    t.tokens = t.quota.burst;  // a fresh tenant starts with a full bucket
+    t.last_refill = now;
+    t.bucket_started = true;
+  } else if (now > t.last_refill) {
+    const double dt = std::chrono::duration<double>(now - t.last_refill).count();
+    t.tokens = std::min(t.quota.burst, t.tokens + t.quota.rate_per_second * dt);
+    t.last_refill = now;
+  }
+  if (t.tokens >= 1.0) {
+    t.tokens -= 1.0;
+    ++t.admitted;
+    return true;
+  }
+  ++t.rejected_quota;
+  return false;
+}
+
+void TenantTable::record_completion(const std::string& tenant,
+                                    double latency_seconds) {
+  LogHistogram* hist = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    Tenant& t = tenant_locked(tenant);
+    ++t.completed;
+    hist = &t.latency;
+  }
+  // Histogram recording is lock-free; Tenant objects are never destroyed
+  // while the table lives (unique_ptr in the map), so recording outside the
+  // table lock is safe.
+  hist->record_seconds(latency_seconds);
+}
+
+std::vector<TenantStats> TenantTable::stats() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  std::vector<TenantStats> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, t] : tenants_) {
+    TenantStats s;
+    s.tenant = name;
+    s.priority = t->quota.priority;
+    s.admitted = t->admitted;
+    s.rejected_quota = t->rejected_quota;
+    s.completed = t->completed;
+    s.p50_seconds = t->latency.quantile_seconds(0.5);
+    s.p99_seconds = t->latency.quantile_seconds(0.99);
+    s.mean_seconds = t->latency.mean_seconds();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void TenantTable::merge_latency(LogHistogram& into) const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (const auto& [name, t] : tenants_) {
+    into.merge(t->latency);
+  }
+}
+
+std::size_t TenantTable::size() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return tenants_.size();
+}
+
+}  // namespace kdtune

@@ -1,0 +1,114 @@
+#pragma once
+
+// Multi-tenant QoS for the sharded serving tier: per-tenant token-bucket
+// admission quotas, two strict priority classes, and per-tenant latency
+// histograms. Layered on top of the existing never-blocking admission — a
+// tenant over its quota is *rejected immediately* (kRejectedQuota), never
+// queued, so a saturating tenant cannot occupy queue slots that belong to
+// the others.
+//
+// The bucket holds up to `burst` tokens, refills at `rate_per_second`, and
+// every admitted request consumes one token. Refill is computed from caller-
+// supplied time points, so tests drive the clock deterministically. Tenants
+// without a configured quota are unlimited (and still get counters and a
+// latency histogram — the fleet default is "observed, not throttled").
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/histogram.hpp"
+
+namespace kdtune {
+
+/// Strict two-class priority: interactive requests always dispatch before
+/// batch requests (starvation of kBatch under sustained interactive load is
+/// the documented, intended behavior — batch is the scavenger class).
+enum class Priority : int {
+  kInteractive = 0,
+  kBatch = 1,
+};
+inline constexpr int kPriorityCount = 2;
+std::string_view to_string(Priority priority) noexcept;
+
+struct TenantQuota {
+  /// Tokens per second; non-finite = unlimited (no quota enforcement).
+  double rate_per_second = std::numeric_limits<double>::infinity();
+  /// Bucket capacity (maximum burst). Non-finite with a finite rate clamps
+  /// to max(rate, 1) — a bottomless bucket would disable the quota.
+  double burst = std::numeric_limits<double>::infinity();
+  Priority priority = Priority::kInteractive;
+};
+
+struct TenantStats {
+  std::string tenant;
+  Priority priority = Priority::kInteractive;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t completed = 0;
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double mean_seconds = 0.0;
+};
+
+class TenantTable {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TenantTable() = default;
+  TenantTable(const TenantTable&) = delete;
+  TenantTable& operator=(const TenantTable&) = delete;
+
+  /// Creates or reconfigures a tenant. A quota change refills the bucket to
+  /// the new burst (the tenant starts the new regime with a full bucket).
+  void set_quota(const std::string& tenant, const TenantQuota& quota);
+  TenantQuota quota(const std::string& tenant) const;
+
+  /// Consumes one token at `now`. True = admitted. Unknown tenants are
+  /// created unlimited on first touch. `priority_out` (optional) receives
+  /// the tenant's priority class either way.
+  bool admit(const std::string& tenant, Clock::time_point now,
+             Priority* priority_out = nullptr);
+
+  /// Records one completed request's end-to-end latency for the tenant.
+  void record_completion(const std::string& tenant, double latency_seconds);
+
+  /// Per-tenant counters + latency quantiles, sorted by tenant name.
+  std::vector<TenantStats> stats() const;
+
+  /// Bucket-wise merge of every tenant's latency histogram into `into` —
+  /// the fleet-wide view, without re-recording a single sample.
+  void merge_latency(LogHistogram& into) const;
+
+  std::size_t size() const;
+
+ private:
+  struct Tenant {
+    TenantQuota quota{};
+    double tokens = 0.0;
+    bool bucket_started = false;  ///< tokens/last_refill valid
+    Clock::time_point last_refill{};
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected_quota = 0;
+    std::uint64_t completed = 0;
+    LogHistogram latency;  ///< nanoseconds
+  };
+
+  /// True when the quota actually throttles (finite rate).
+  static bool limited(const TenantQuota& q) noexcept;
+
+  Tenant& tenant_locked(const std::string& name);
+
+  mutable std::mutex mutex_;
+  /// unique_ptr: LogHistogram is neither copyable nor movable, and stats()
+  /// readers must be able to touch histograms outside map rebalances.
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace kdtune

@@ -1,0 +1,590 @@
+#include "shard/shard_router.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "kdtree/knn.hpp"
+#include "shard/sharded_tree.hpp"
+
+namespace kdtune {
+
+namespace {
+
+QueryResponse rejected(QueryKind kind, QueryStatus status) {
+  QueryResponse resp;
+  resp.kind = kind;
+  resp.status = status;
+  return resp;
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::vector<Triangle> triangles,
+                         ShardRouterOptions opts)
+    : triangles_(std::move(triangles)),
+      opts_(std::move(opts)),
+      build_pool_(std::thread::hardware_concurrency() > 1
+                      ? std::thread::hardware_concurrency() - 1
+                      : 0),
+      start_(Clock::now()) {
+  fanout_cap_.store(opts_.fanout_cap < 0 ? 0 : opts_.fanout_cap,
+                    std::memory_order_relaxed);
+  cluster_ = make_cluster(opts_.shard_count);
+  const unsigned threads = std::max(1u, opts_.router_threads);
+  routers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    routers_.emplace_back([this] { router_loop(); });
+  }
+}
+
+ShardRouter::~ShardRouter() { shutdown(); }
+
+std::shared_ptr<ShardRouter::Cluster> ShardRouter::make_cluster(
+    int count) const {
+  auto cluster = std::make_shared<Cluster>();
+  cluster->plan = build_shard_plan(triangles_, count);
+  const int k = cluster->plan.shard_count;
+  cluster->slots.reserve(static_cast<std::size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    auto slot = std::make_unique<ShardSlot>();
+    std::vector<Triangle> soup =
+        cluster->plan.shard_triangles[static_cast<std::size_t>(s)];
+    if (opts_.process_workers) {
+      ProcessShardWorker::Options wopts;
+      wopts.worker_path = opts_.worker_path;
+      wopts.backend = opts_.backend;
+      wopts.config = opts_.config;
+      wopts.reroute_on_death = opts_.reroute_on_death;
+      slot->worker = std::make_unique<ProcessShardWorker>(std::move(soup),
+                                                          wopts, build_pool_);
+    } else {
+      InProcessShardWorker::Options wopts;
+      wopts.scene_name = "shard" + std::to_string(s);
+      wopts.workers = std::max(1u, opts_.workers_per_shard);
+      wopts.algorithm = opts_.algorithm;
+      wopts.config = opts_.config;
+      wopts.backend = opts_.backend;
+      wopts.service = opts_.shard_service;
+      wopts.cache = opts_.cache;
+      slot->worker =
+          std::make_unique<InProcessShardWorker>(std::move(soup), wopts);
+    }
+    cluster->slots.push_back(std::move(slot));
+  }
+  return cluster;
+}
+
+std::shared_ptr<ShardRouter::Cluster> ShardRouter::snapshot() const {
+  std::lock_guard<std::mutex> lk(cluster_mutex_);
+  return cluster_;
+}
+
+void ShardRouter::set_shard_count(int count) {
+  count = clamp_shard_count(count);
+  {
+    std::lock_guard<std::mutex> lk(cluster_mutex_);
+    if (cluster_ != nullptr && cluster_->plan.shard_count == count) return;
+  }
+  // Build off to the side; in-flight requests keep the cluster they
+  // snapshotted, the old workers retire with its last reference.
+  std::shared_ptr<Cluster> next = make_cluster(count);
+  std::shared_ptr<Cluster> old;
+  {
+    std::lock_guard<std::mutex> lk(cluster_mutex_);
+    old = std::move(cluster_);
+    cluster_ = std::move(next);
+  }
+}
+
+int ShardRouter::shard_count() const {
+  std::lock_guard<std::mutex> lk(cluster_mutex_);
+  return cluster_ != nullptr ? cluster_->plan.shard_count : 0;
+}
+
+void ShardRouter::set_serving_params(const ServingParams& params) {
+  const std::shared_ptr<Cluster> cluster = snapshot();
+  if (cluster == nullptr) return;
+  for (const auto& slot : cluster->slots) {
+    if (QueryService* service = slot->worker->service()) {
+      service->set_serving_params(params);
+    }
+  }
+}
+
+QueryService* ShardRouter::shard_service(int s) const {
+  const std::shared_ptr<Cluster> cluster = snapshot();
+  if (cluster == nullptr || s < 0 ||
+      s >= static_cast<int>(cluster->slots.size())) {
+    return nullptr;
+  }
+  return cluster->slots[static_cast<std::size_t>(s)]->worker->service();
+}
+
+void ShardRouter::kill_worker(int s) {
+  const std::shared_ptr<Cluster> cluster = snapshot();
+  if (cluster == nullptr || s < 0 ||
+      s >= static_cast<int>(cluster->slots.size())) {
+    return;
+  }
+  auto* worker = dynamic_cast<ProcessShardWorker*>(
+      cluster->slots[static_cast<std::size_t>(s)]->worker.get());
+  if (worker != nullptr) worker->kill_child();
+}
+
+std::uint64_t ShardRouter::rerouted() const {
+  const std::shared_ptr<Cluster> cluster = snapshot();
+  std::uint64_t total = 0;
+  if (cluster != nullptr) {
+    for (const auto& slot : cluster->slots) total += slot->worker->rerouted();
+  }
+  return total;
+}
+
+// ----------------------------------------------------------------- admission
+
+std::future<QueryResponse> ShardRouter::enqueue(wire::ShardQuery query,
+                                                const std::string& tenant) {
+  Request req;
+  req.query = std::move(query);
+  req.tenant = tenant;
+  req.submitted = Clock::now();
+  std::future<QueryResponse> fut = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    if (!accepting_) {
+      rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_value(rejected(req.query.kind, QueryStatus::kShutdown));
+      return fut;
+    }
+    if (queues_[0].size() + queues_[1].size() >= opts_.max_queue) {
+      rejected_overflow_.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_value(
+          rejected(req.query.kind, QueryStatus::kRejectedOverflow));
+      return fut;
+    }
+    // Quota gate last: a request that would be bounced by the queue bound
+    // anyway must not burn one of its tenant's tokens.
+    if (!tenants_.admit(tenant, req.submitted, &req.priority)) {
+      rejected_quota_.fetch_add(1, std::memory_order_relaxed);
+      req.promise.set_value(
+          rejected(req.query.kind, QueryStatus::kRejectedQuota));
+      return fut;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    queues_[static_cast<int>(req.priority)].push_back(std::move(req));
+  }
+  queue_cv_.notify_one();
+  return fut;
+}
+
+std::future<QueryResponse> ShardRouter::submit_closest_hit(
+    const std::string& tenant, const Ray& ray, Clock::time_point deadline) {
+  wire::ShardQuery q;
+  q.kind = QueryKind::kClosestHit;
+  q.ray = ray;
+  q.deadline = deadline;
+  return enqueue(std::move(q), tenant);
+}
+
+std::future<QueryResponse> ShardRouter::submit_any_hit(
+    const std::string& tenant, const Ray& ray, Clock::time_point deadline) {
+  wire::ShardQuery q;
+  q.kind = QueryKind::kAnyHit;
+  q.ray = ray;
+  q.deadline = deadline;
+  return enqueue(std::move(q), tenant);
+}
+
+std::future<QueryResponse> ShardRouter::submit_packet(
+    const std::string& tenant, std::vector<Ray> rays,
+    Clock::time_point deadline) {
+  wire::ShardQuery q;
+  q.kind = QueryKind::kPacket;
+  q.rays = std::move(rays);
+  q.deadline = deadline;
+  return enqueue(std::move(q), tenant);
+}
+
+std::future<QueryResponse> ShardRouter::submit_range(
+    const std::string& tenant, const AABB& box, Clock::time_point deadline) {
+  wire::ShardQuery q;
+  q.kind = QueryKind::kRange;
+  q.box = box;
+  q.deadline = deadline;
+  return enqueue(std::move(q), tenant);
+}
+
+std::future<QueryResponse> ShardRouter::submit_nearest(
+    const std::string& tenant, const Vec3& point, std::uint32_t k,
+    float max_distance, Clock::time_point deadline) {
+  wire::ShardQuery q;
+  q.kind = QueryKind::kNearest;
+  q.point = point;
+  q.k = k;
+  q.max_distance = max_distance;
+  q.deadline = deadline;
+  return enqueue(std::move(q), tenant);
+}
+
+std::future<QueryResponse> ShardRouter::submit_closest_point(
+    const std::string& tenant, const Vec3& point, float max_distance,
+    Clock::time_point deadline) {
+  wire::ShardQuery q;
+  q.kind = QueryKind::kClosestPoint;
+  q.point = point;
+  q.max_distance = max_distance;
+  q.deadline = deadline;
+  return enqueue(std::move(q), tenant);
+}
+
+// ------------------------------------------------------------------ dispatch
+
+void ShardRouter::router_loop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock<std::mutex> lk(queue_mutex_);
+      queue_cv_.wait(lk, [this] {
+        return stop_ || !queues_[0].empty() || !queues_[1].empty();
+      });
+      // Strict priority: interactive first, batch only when the interactive
+      // queue is empty. Drain everything before honoring stop_.
+      std::deque<Request>* queue = nullptr;
+      if (!queues_[0].empty()) {
+        queue = &queues_[0];
+      } else if (!queues_[1].empty()) {
+        queue = &queues_[1];
+      } else {
+        break;  // stop_ set and both queues empty
+      }
+      req = std::move(queue->front());
+      queue->pop_front();
+      ++inflight_;
+    }
+    process(req);
+    {
+      std::lock_guard<std::mutex> lk(queue_mutex_);
+      --inflight_;
+      if (inflight_ == 0 && queues_[0].empty() && queues_[1].empty()) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ShardRouter::route_query(const ShardPlan& plan,
+                              const wire::ShardQuery& q,
+                              std::vector<int>& out) {
+  out.clear();
+  switch (q.kind) {
+    case QueryKind::kClosestHit:
+    case QueryKind::kAnyHit:
+      plan.route_ray(q.ray, out);
+      break;
+    case QueryKind::kPacket: {
+      // Union of the per-ray routes, ascending.
+      bool member[kMaxShardCount] = {};
+      std::vector<int> per;
+      for (const Ray& ray : q.rays) {
+        plan.route_ray(ray, per);
+        for (const int s : per) member[s] = true;
+      }
+      for (int s = 0; s < plan.shard_count; ++s) {
+        if (member[s]) out.push_back(s);
+      }
+      break;
+    }
+    case QueryKind::kRange:
+      plan.route_box(q.box, out);
+      break;
+    case QueryKind::kNearest:
+    case QueryKind::kClosestPoint:
+      plan.route_sphere(q.point, q.max_distance, out);
+      break;
+  }
+}
+
+void ShardRouter::finish(Request& req, QueryResponse resp) {
+  const double latency =
+      std::chrono::duration<double>(Clock::now() - req.submitted).count();
+  resp.latency_seconds = latency;
+  latency_.record_seconds(latency);
+  tenants_.record_completion(req.tenant, latency);
+  processed_.fetch_add(1, std::memory_order_relaxed);
+  switch (resp.status) {
+    case QueryStatus::kOk:
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case QueryStatus::kTimedOut:
+      timed_out_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+  req.promise.set_value(std::move(resp));
+}
+
+void ShardRouter::process(Request& req) {
+  const wire::ShardQuery& q = req.query;
+  QueryResponse resp;
+  resp.kind = q.kind;
+  if (Clock::now() >= q.deadline) {
+    resp.status = QueryStatus::kTimedOut;
+    finish(req, std::move(resp));
+    return;
+  }
+  const std::shared_ptr<Cluster> cluster = snapshot();
+  std::vector<int> routed;
+  route_query(cluster->plan, q, routed);
+
+  // Merge accumulators. Packet hits start as misses; range ids accumulate
+  // raw and are canonicalized once at the end; kNN folds through the same
+  // KnnCollector the single-tree path uses, with global ids (straddler
+  // duplicates collapse by id).
+  resp.hits.assign(q.kind == QueryKind::kPacket ? q.rays.size() : 0, Hit{});
+  KnnCollector collector(q.k, q.max_distance);
+  QueryStatus failure = QueryStatus::kOk;
+
+  const int cap = fanout_cap_.load(std::memory_order_relaxed);
+  const std::size_t wave =
+      cap <= 0 ? routed.size() : static_cast<std::size_t>(cap);
+  for (std::size_t begin = 0; begin < routed.size();
+       begin += std::max<std::size_t>(wave, 1)) {
+    if (q.kind == QueryKind::kAnyHit && resp.any) break;  // short-circuit
+    const std::size_t end =
+        wave == 0 ? routed.size() : std::min(routed.size(), begin + wave);
+    std::vector<std::pair<int, std::future<QueryResponse>>> futures;
+    futures.reserve(end - begin);
+    const Clock::time_point wave_start = Clock::now();
+    for (std::size_t i = begin; i < end; ++i) {
+      const int s = routed[i];
+      ShardSlot& slot = *cluster->slots[static_cast<std::size_t>(s)];
+      slot.subqueries.fetch_add(1, std::memory_order_relaxed);
+      subqueries_.fetch_add(1, std::memory_order_relaxed);
+      futures.emplace_back(s, slot.worker->submit(q));
+    }
+    for (auto& [s, future] : futures) {
+      QueryResponse sub = future.get();
+      ShardSlot& slot = *cluster->slots[static_cast<std::size_t>(s)];
+      slot.latency.record_seconds(
+          std::chrono::duration<double>(Clock::now() - wave_start).count());
+      if (sub.status != QueryStatus::kOk) {
+        if (failure == QueryStatus::kOk) failure = sub.status;
+        continue;
+      }
+      resp.scene_version = std::max(resp.scene_version, sub.scene_version);
+      const std::span<const std::uint32_t> ids =
+          cluster->plan.shard_global_ids[static_cast<std::size_t>(s)];
+      switch (q.kind) {
+        case QueryKind::kClosestHit:
+          merge_closest_hit(resp.hit, remap_hit(sub.hit, ids));
+          break;
+        case QueryKind::kAnyHit:
+          resp.any = resp.any || sub.any;
+          break;
+        case QueryKind::kPacket:
+          for (std::size_t r = 0;
+               r < sub.hits.size() && r < resp.hits.size(); ++r) {
+            merge_closest_hit(resp.hits[r], remap_hit(sub.hits[r], ids));
+          }
+          break;
+        case QueryKind::kRange:
+          for (const std::uint32_t local : sub.range_ids) {
+            resp.range_ids.push_back(ids[local]);
+          }
+          break;
+        case QueryKind::kNearest:
+          for (const NearestResult& n : sub.neighbors) {
+            collector.offer(ids[n.triangle], n.point, n.distance_sq);
+          }
+          break;
+        case QueryKind::kClosestPoint: {
+          NearestResult candidate = sub.nearest;
+          if (candidate.valid()) candidate.triangle = ids[candidate.triangle];
+          merge_nearest(resp.nearest, candidate);
+          break;
+        }
+      }
+    }
+  }
+  if (q.kind == QueryKind::kRange) canonicalize_range_ids(resp.range_ids, 0);
+  if (q.kind == QueryKind::kNearest) collector.take_sorted(resp.neighbors);
+  resp.status = failure;  // kOk unless some sub-query failed
+  finish(req, std::move(resp));
+}
+
+// ----------------------------------------------------------------- lifecycle
+
+bool ShardRouter::accepting() const {
+  std::lock_guard<std::mutex> lk(queue_mutex_);
+  return accepting_;
+}
+
+void ShardRouter::drain() {
+  std::unique_lock<std::mutex> lk(queue_mutex_);
+  done_cv_.wait(lk, [this] {
+    return inflight_ == 0 && queues_[0].empty() && queues_[1].empty();
+  });
+}
+
+void ShardRouter::shutdown() {
+  std::lock_guard<std::mutex> shutdown_lk(shutdown_mutex_);
+  {
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    if (!accepting_ && stop_ && routers_.empty()) return;
+    accepting_ = false;
+  }
+  drain();
+  {
+    std::lock_guard<std::mutex> lk(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : routers_) {
+    if (t.joinable()) t.join();
+  }
+  routers_.clear();
+  const std::shared_ptr<Cluster> cluster = snapshot();
+  if (cluster != nullptr) {
+    for (const auto& slot : cluster->slots) slot->worker->shutdown();
+  }
+}
+
+// --------------------------------------------------------------------- stats
+
+ShardRouterStats ShardRouter::stats() const {
+  ShardRouterStats out;
+  const std::shared_ptr<Cluster> cluster = snapshot();
+  out.shard_count = cluster != nullptr ? cluster->plan.shard_count : 0;
+  out.fanout_cap = fanout_cap();
+  out.accepted = accepted_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.rejected_overflow = rejected_overflow_.load(std::memory_order_relaxed);
+  out.rejected_shutdown = rejected_shutdown_.load(std::memory_order_relaxed);
+  out.rejected_quota = rejected_quota_.load(std::memory_order_relaxed);
+  out.rejected =
+      out.rejected_overflow + out.rejected_shutdown + out.rejected_quota;
+  out.timed_out = timed_out_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  out.subqueries = subqueries_.load(std::memory_order_relaxed);
+  const std::uint64_t processed = processed_.load(std::memory_order_relaxed);
+  out.mean_fanout = processed > 0 ? static_cast<double>(out.subqueries) /
+                                        static_cast<double>(processed)
+                                  : 0.0;
+  out.p50_seconds = latency_.quantile_seconds(0.5);
+  out.p99_seconds = latency_.quantile_seconds(0.99);
+  out.uptime_seconds =
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  out.qps = out.uptime_seconds > 0.0
+                ? static_cast<double>(out.completed) / out.uptime_seconds
+                : 0.0;
+  out.tenants = tenants_.stats();
+  if (cluster != nullptr) {
+    for (std::size_t s = 0; s < cluster->slots.size(); ++s) {
+      const ShardSlot& slot = *cluster->slots[s];
+      ShardSlotStats stats;
+      stats.shard = static_cast<int>(s);
+      stats.triangles = cluster->plan.shard_triangles[s].size();
+      stats.alive = slot.worker->alive();
+      stats.subqueries = slot.subqueries.load(std::memory_order_relaxed);
+      stats.rerouted = slot.worker->rerouted();
+      stats.p50_seconds = slot.latency.quantile_seconds(0.5);
+      stats.p99_seconds = slot.latency.quantile_seconds(0.99);
+      out.shards.push_back(stats);
+    }
+    for (const auto& slot : cluster->slots) out.rerouted += slot->worker->rerouted();
+  }
+  return out;
+}
+
+std::string ShardRouter::stats_json() const {
+  const ShardRouterStats s = stats();
+  std::string json;
+  json.reserve(1024);
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"shard_count\":%d,\"fanout_cap\":%d,\"accepted\":%llu,"
+      "\"completed\":%llu,\"rejected\":%llu,\"rejected_overflow\":%llu,"
+      "\"rejected_shutdown\":%llu,\"rejected_quota\":%llu,"
+      "\"timed_out\":%llu,\"failed\":%llu,\"subqueries\":%llu,"
+      "\"rerouted\":%llu,\"mean_fanout\":%.3f,\"p50_us\":%.1f,"
+      "\"p99_us\":%.1f,\"uptime_seconds\":%.3f,\"qps\":%.1f,\"tenants\":[",
+      s.shard_count, s.fanout_cap,
+      static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.rejected),
+      static_cast<unsigned long long>(s.rejected_overflow),
+      static_cast<unsigned long long>(s.rejected_shutdown),
+      static_cast<unsigned long long>(s.rejected_quota),
+      static_cast<unsigned long long>(s.timed_out),
+      static_cast<unsigned long long>(s.failed),
+      static_cast<unsigned long long>(s.subqueries),
+      static_cast<unsigned long long>(s.rerouted), s.mean_fanout,
+      s.p50_seconds * 1e6, s.p99_seconds * 1e6, s.uptime_seconds, s.qps);
+  json += buf;
+  for (std::size_t i = 0; i < s.tenants.size(); ++i) {
+    const TenantStats& t = s.tenants[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"tenant\":\"%s\",\"priority\":\"%s\",\"admitted\":%llu,"
+                  "\"rejected_quota\":%llu,\"completed\":%llu,"
+                  "\"p50_us\":%.1f,\"p99_us\":%.1f}",
+                  i == 0 ? "" : ",", t.tenant.c_str(),
+                  std::string(to_string(t.priority)).c_str(),
+                  static_cast<unsigned long long>(t.admitted),
+                  static_cast<unsigned long long>(t.rejected_quota),
+                  static_cast<unsigned long long>(t.completed),
+                  t.p50_seconds * 1e6, t.p99_seconds * 1e6);
+    json += buf;
+  }
+  json += "],\"shards\":[";
+  for (std::size_t i = 0; i < s.shards.size(); ++i) {
+    const ShardSlotStats& sh = s.shards[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"shard\":%d,\"triangles\":%zu,\"alive\":%s,"
+                  "\"subqueries\":%llu,\"rerouted\":%llu,"
+                  "\"p50_us\":%.1f,\"p99_us\":%.1f}",
+                  i == 0 ? "" : ",", sh.shard, sh.triangles,
+                  sh.alive ? "true" : "false",
+                  static_cast<unsigned long long>(sh.subqueries),
+                  static_cast<unsigned long long>(sh.rerouted),
+                  sh.p50_seconds * 1e6, sh.p99_seconds * 1e6);
+    json += buf;
+  }
+  json += "]}";
+  return json;
+}
+
+// ------------------------------------------------------------- tuner bridge
+
+void register_shard_dimensions(ServeTunerOptions& opts, ShardRouter& router,
+                               int max_shards, int max_fanout) {
+  ServeTunerExtraDimension shards;
+  shards.name = "shard_count";
+  shards.min = 1;
+  shards.max = std::max(1, max_shards);
+  shards.pow2 = true;
+  shards.apply = [&router](std::int64_t v) {
+    router.set_shard_count(static_cast<int>(v));
+  };
+  opts.extra_dimensions.push_back(std::move(shards));
+
+  ServeTunerExtraDimension fanout;
+  fanout.name = "fanout_cap";
+  fanout.min = 1;
+  fanout.max = std::max(1, max_fanout);
+  fanout.step = 1;
+  fanout.apply = [&router](std::int64_t v) {
+    router.set_fanout_cap(static_cast<int>(v));
+  };
+  opts.extra_dimensions.push_back(std::move(fanout));
+
+  opts.completed_counter = [&router] { return router.completed(); };
+  opts.apply_params = [&router](const ServingParams& params) {
+    router.set_serving_params(params);
+  };
+}
+
+}  // namespace kdtune

@@ -1,0 +1,254 @@
+#pragma once
+
+// ShardRouter — the sharded serving tier's front end.
+//
+// One router owns a cluster: a ShardPlan (top-level cut tree) plus one
+// ShardWorker per shard (in-process QueryService slices by default, spawned
+// kdtune_shardd processes in process mode). Submissions carry a tenant id
+// and pass three admission gates in order — accepting, queue bound, tenant
+// token bucket — all non-blocking; a request the gates admit is queued in
+// its tenant's priority class (strict interactive-before-batch dispatch).
+//
+// Router threads pop requests, compute the shard overlap set from the cut
+// planes (ray segment / box / sphere reach — union of per-ray routes for
+// packets), fan sub-queries to the overlapping workers in waves of at most
+// `fanout_cap`, and merge shard-local answers into global ids with the
+// canonical semantics the differential fuzzer validates (min-(t, id) hits,
+// sorted+deduped range, KnnCollector (distance_sq, id) order) — so sharded
+// answers are bit-identical to a single tree over the same soup, for every
+// QueryKind. Any-hit short-circuits between waves.
+//
+// shard_count and fanout_cap are live knobs: set_shard_count() builds a new
+// cluster off to the side and swaps it in RCU-style (in-flight requests
+// finish on the cluster they snapshotted; the old workers retire with the
+// last reference). register_shard_dimensions() exposes both to a ServeTuner
+// as extra search dimensions.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/histogram.hpp"
+#include "serve/serve_tuner.hpp"
+#include "shard/partition.hpp"
+#include "shard/qos.hpp"
+#include "shard/shard_worker.hpp"
+
+namespace kdtune {
+
+struct ShardRouterOptions {
+  /// Shards in the initial cluster (clamped to a power of two in [1, 64]).
+  int shard_count = 4;
+  unsigned router_threads = 2;
+  /// Admission bound on queued (undispatched) requests, both classes.
+  std::size_t max_queue = 4096;
+  /// Max shards queried concurrently per request; 0 = no cap (whole route
+  /// set in one wave). Tunable live via set_fanout_cap().
+  int fanout_cap = 0;
+  Algorithm algorithm = Algorithm::kInPlace;
+  std::optional<BuildConfig> config{};
+  QueryBackend backend = QueryBackend::kCompact;
+  /// Per-shard QueryService options (in-process workers).
+  ServiceOptions shard_service{};
+  unsigned workers_per_shard = 1;
+  /// Spawn one kdtune_shardd process per shard instead of in-process
+  /// workers. Requires `worker_path`.
+  bool process_workers = false;
+  std::string worker_path;
+  ConfigCache* cache = nullptr;  ///< warm-start cache, not owned
+  /// Process mode: answer from the retained in-parent tree when a worker
+  /// dies (false = reject those sub-queries with kShutdown).
+  bool reroute_on_death = true;
+};
+
+struct ShardSlotStats {
+  int shard = 0;
+  std::size_t triangles = 0;
+  bool alive = true;
+  std::uint64_t subqueries = 0;
+  std::uint64_t rerouted = 0;  ///< fallback-answered after a worker death
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+};
+
+struct ShardRouterStats {
+  int shard_count = 1;
+  int fanout_cap = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t completed = 0;  ///< kOk responses
+  std::uint64_t rejected_overflow = 0;
+  std::uint64_t rejected_shutdown = 0;
+  std::uint64_t rejected_quota = 0;
+  std::uint64_t rejected = 0;  ///< sum of the three above
+  std::uint64_t timed_out = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t subqueries = 0;
+  std::uint64_t rerouted = 0;
+  double mean_fanout = 0.0;  ///< subqueries per processed request
+  double p50_seconds = 0.0;  ///< end-to-end router latency
+  double p99_seconds = 0.0;
+  double uptime_seconds = 0.0;
+  double qps = 0.0;
+  std::vector<TenantStats> tenants;
+  std::vector<ShardSlotStats> shards;
+};
+
+class ShardRouter {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ShardRouter(std::vector<Triangle> triangles, ShardRouterOptions opts = {});
+  ~ShardRouter();  ///< shutdown()
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  // -- submissions (tenant-tagged; never block; futures resolve exactly once)
+  std::future<QueryResponse> submit_closest_hit(
+      const std::string& tenant, const Ray& ray,
+      Clock::time_point deadline = Clock::time_point::max());
+  std::future<QueryResponse> submit_any_hit(
+      const std::string& tenant, const Ray& ray,
+      Clock::time_point deadline = Clock::time_point::max());
+  std::future<QueryResponse> submit_packet(
+      const std::string& tenant, std::vector<Ray> rays,
+      Clock::time_point deadline = Clock::time_point::max());
+  std::future<QueryResponse> submit_range(
+      const std::string& tenant, const AABB& box,
+      Clock::time_point deadline = Clock::time_point::max());
+  std::future<QueryResponse> submit_nearest(
+      const std::string& tenant, const Vec3& point, std::uint32_t k = 1,
+      float max_distance = std::numeric_limits<float>::infinity(),
+      Clock::time_point deadline = Clock::time_point::max());
+  std::future<QueryResponse> submit_closest_point(
+      const std::string& tenant, const Vec3& point, float max_distance,
+      Clock::time_point deadline = Clock::time_point::max());
+
+  // -- multi-tenant QoS
+  void set_quota(const std::string& tenant, const TenantQuota& quota) {
+    tenants_.set_quota(tenant, quota);
+  }
+  TenantQuota quota(const std::string& tenant) const {
+    return tenants_.quota(tenant);
+  }
+
+  // -- live knobs (ServeTuner dimensions)
+  /// Re-partitions into clamp_shard_count(count) shards and hot-swaps the
+  /// cluster. Blocks for the rebuild; in-flight requests are unaffected.
+  void set_shard_count(int count);
+  int shard_count() const;
+  void set_fanout_cap(int cap) {
+    fanout_cap_.store(cap < 0 ? 0 : cap, std::memory_order_relaxed);
+  }
+  int fanout_cap() const {
+    return fanout_cap_.load(std::memory_order_relaxed);
+  }
+  /// Forwards to every in-process shard worker's QueryService.
+  void set_serving_params(const ServingParams& params);
+
+  // -- lifecycle
+  void drain();     ///< blocks until every accepted request completed
+  void shutdown();  ///< stops admission, drains, joins; idempotent
+  bool accepting() const;
+
+  std::uint64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t rerouted() const;
+  unsigned concurrency() const noexcept {
+    return static_cast<unsigned>(routers_.size());
+  }
+
+  ShardRouterStats stats() const;
+  std::string stats_json() const;
+
+  /// In-process mode: shard `s`'s QueryService (nullptr in process mode or
+  /// out of range). Snapshot of the *current* cluster.
+  QueryService* shard_service(int s) const;
+
+  /// Test hook (process mode): SIGKILL shard `s`'s child. The worker
+  /// degrades to reroute-or-reject; the router keeps answering.
+  void kill_worker(int s);
+
+ private:
+  struct ShardSlot {
+    std::unique_ptr<ShardWorker> worker;
+    LogHistogram latency;  ///< sub-query wave latency, nanoseconds
+    std::atomic<std::uint64_t> subqueries{0};
+  };
+  struct Cluster {
+    ShardPlan plan;
+    /// unique_ptr: slots hold a histogram and an atomic (non-movable).
+    std::vector<std::unique_ptr<ShardSlot>> slots;
+  };
+  struct Request {
+    wire::ShardQuery query;
+    std::string tenant;
+    Priority priority = Priority::kInteractive;
+    Clock::time_point submitted{};
+    std::promise<QueryResponse> promise;
+  };
+
+  std::shared_ptr<Cluster> make_cluster(int count) const;
+  std::shared_ptr<Cluster> snapshot() const;
+  std::future<QueryResponse> enqueue(wire::ShardQuery query,
+                                     const std::string& tenant);
+  static void route_query(const ShardPlan& plan, const wire::ShardQuery& q,
+                          std::vector<int>& out);
+  void router_loop();
+  void process(Request& req);
+  void finish(Request& req, QueryResponse resp);
+
+  std::vector<Triangle> triangles_;
+  ShardRouterOptions opts_;
+  /// Parallelizes the in-parent shard builds; mutable because clusters are
+  /// built from const context (snapshot/make_cluster are logically const).
+  mutable ThreadPool build_pool_;
+  TenantTable tenants_;
+
+  mutable std::mutex cluster_mutex_;
+  std::shared_ptr<Cluster> cluster_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::condition_variable done_cv_;
+  std::deque<Request> queues_[kPriorityCount];
+  std::size_t inflight_ = 0;
+  bool accepting_ = true;
+  bool stop_ = false;
+  std::vector<std::thread> routers_;
+  std::mutex shutdown_mutex_;
+
+  std::atomic<int> fanout_cap_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> rejected_overflow_{0};
+  std::atomic<std::uint64_t> rejected_shutdown_{0};
+  std::atomic<std::uint64_t> rejected_quota_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> subqueries_{0};
+  LogHistogram latency_;  ///< end-to-end request latency, nanoseconds
+  Clock::time_point start_;
+};
+
+/// Registers the sharded tier's knobs on a ServeTunerOptions as extra search
+/// dimensions: `shard_count` on a power-of-two grid in [1, max_shards] and
+/// `fanout_cap` in [1, max_fanout] (a cap of max_fanout or more behaves as
+/// "no cap" when it reaches shard_count). Also points the tuner's completed
+/// counter and parameter application at the router, so serving-parameter
+/// trials drive every shard's QueryService through one search.
+void register_shard_dimensions(ServeTunerOptions& opts, ShardRouter& router,
+                               int max_shards = 8, int max_fanout = 8);
+
+}  // namespace kdtune

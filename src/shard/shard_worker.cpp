@@ -1,0 +1,359 @@
+#include "shard/shard_worker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "kdtree/compact_tree.hpp"
+#include "kdtree/packet.hpp"
+#include "kdtree/serialize.hpp"
+#include "kdtree/wide_tree.hpp"
+#include "scene/scene.hpp"
+
+extern char** environ;
+
+namespace kdtune {
+
+QueryResponse execute_shard_query(const KdTreeBase& tree,
+                                  const wire::ShardQuery& query) {
+  QueryResponse resp;
+  resp.kind = query.kind;
+  if (std::chrono::steady_clock::now() >= query.deadline) {
+    resp.status = QueryStatus::kTimedOut;
+    return resp;
+  }
+  switch (query.kind) {
+    case QueryKind::kClosestHit:
+      resp.hit = tree.closest_hit(query.ray);
+      break;
+    case QueryKind::kAnyHit:
+      resp.any = tree.any_hit(query.ray);
+      break;
+    case QueryKind::kPacket:
+      resp.hits.resize(query.rays.size());
+      closest_hit_packet_any(tree, query.rays, resp.hits);
+      break;
+    case QueryKind::kRange:
+      tree.query_range(query.box, resp.range_ids);
+      // Same canonicalization as QueryService::execute — sorted + deduped,
+      // so daemon, fallback, and in-process answers are byte-identical.
+      std::sort(resp.range_ids.begin(), resp.range_ids.end());
+      resp.range_ids.erase(
+          std::unique(resp.range_ids.begin(), resp.range_ids.end()),
+          resp.range_ids.end());
+      break;
+    case QueryKind::kNearest:
+      tree.nearest_k(query.point, query.k, resp.neighbors,
+                     query.max_distance);
+      break;
+    case QueryKind::kClosestPoint:
+      resp.nearest = tree.nearest_within(query.point, query.max_distance);
+      break;
+  }
+  resp.status = QueryStatus::kOk;
+  return resp;
+}
+
+// ---------------------------------------------------------------- in-process
+
+InProcessShardWorker::InProcessShardWorker(std::vector<Triangle> triangles,
+                                           const Options& opts)
+    : scene_(opts.scene_name), pool_(opts.workers), registry_(pool_) {
+  registry_.attach_cache(opts.cache);
+  Scene scene(scene_);
+  scene.mutable_triangles() = std::move(triangles);
+  AdmitOptions admit;
+  admit.algorithm = opts.algorithm;
+  admit.config = opts.config;
+  admit.compact = true;
+  admit.backend = opts.backend;
+  registry_.admit(scene_, std::move(scene), admit);
+  service_ = std::make_unique<QueryService>(registry_, pool_, opts.service);
+}
+
+InProcessShardWorker::~InProcessShardWorker() { shutdown(); }
+
+void InProcessShardWorker::shutdown() { service_->shutdown(); }
+
+std::future<QueryResponse> InProcessShardWorker::submit(
+    const wire::ShardQuery& query) {
+  switch (query.kind) {
+    case QueryKind::kClosestHit:
+      return service_->submit_closest_hit(scene_, query.ray, query.deadline);
+    case QueryKind::kAnyHit:
+      return service_->submit_any_hit(scene_, query.ray, query.deadline);
+    case QueryKind::kPacket:
+      return service_->submit_packet(scene_, query.rays, query.deadline);
+    case QueryKind::kRange:
+      return service_->submit_range(scene_, query.box, query.deadline);
+    case QueryKind::kNearest:
+      return service_->submit_nearest(scene_, query.point, query.k,
+                                      query.max_distance, query.deadline);
+    case QueryKind::kClosestPoint:
+      return service_->submit_closest_point(scene_, query.point,
+                                            query.max_distance,
+                                            query.deadline);
+  }
+  std::promise<QueryResponse> promise;
+  QueryResponse resp;
+  resp.kind = query.kind;
+  resp.status = QueryStatus::kError;
+  promise.set_value(std::move(resp));
+  return promise.get_future();
+}
+
+// -------------------------------------------------------------- process pool
+
+ProcessShardWorker::ProcessShardWorker(std::vector<Triangle> triangles,
+                                       const Options& opts,
+                                       ThreadPool& build_pool)
+    : reroute_on_death_(opts.reroute_on_death) {
+  wire::ignore_sigpipe();
+
+  // Build the shard tree in-parent. The serving-layout tree doubles as the
+  // re-route fallback, so degraded answers stay bit-identical.
+  const std::size_t triangle_count = triangles.size();
+  std::shared_ptr<const CompactKdTree> compact;
+  std::string tree_bytes;
+  try {
+    const BuildConfig config = opts.config.value_or(BuildConfig{});
+    const std::unique_ptr<KdTreeBase> built =
+        make_sweep_builder()->build(triangles, config, build_pool);
+    const auto* eager = dynamic_cast<const KdTree*>(built.get());
+    if (eager == nullptr) return;  // dead worker; submits degrade
+    compact = std::make_shared<CompactKdTree>(*eager);
+    std::ostringstream stream;
+    if (opts.backend == QueryBackend::kWide4) {
+      auto wide = std::make_shared<WideKdTree4>(compact);
+      save_wide_tree(stream, *wide);  // serialization v3
+      fallback_ = wide;
+    } else if (opts.backend == QueryBackend::kWide8) {
+      auto wide = std::make_shared<WideKdTree8>(compact);
+      save_wide_tree(stream, *wide);  // serialization v3
+      fallback_ = wide;
+    } else {
+      save_compact_tree(stream, *compact);  // serialization v2
+      fallback_ = compact;
+    }
+    tree_bytes = std::move(stream).str();
+  } catch (...) {
+    // Un-serializable shard (node budget overflow): keep whatever fallback
+    // we have and stay in the degraded (local-answer) state.
+    if (fallback_ == nullptr && compact != nullptr) fallback_ = compact;
+    return;
+  }
+
+  if (opts.worker_path.empty()) return;
+
+  int to_child[2] = {-1, -1};
+  int from_child[2] = {-1, -1};
+  if (pipe2(to_child, O_CLOEXEC) != 0) return;
+  if (pipe2(from_child, O_CLOEXEC) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    return;
+  }
+
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  posix_spawn_file_actions_adddup2(&actions, to_child[0], STDIN_FILENO);
+  posix_spawn_file_actions_adddup2(&actions, from_child[1], STDOUT_FILENO);
+  char* argv[] = {const_cast<char*>(opts.worker_path.c_str()), nullptr};
+  pid_t pid = -1;
+  const int rc = posix_spawn(&pid, opts.worker_path.c_str(), &actions,
+                             nullptr, argv, environ);
+  posix_spawn_file_actions_destroy(&actions);
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  if (rc != 0) {
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    return;
+  }
+  pid_ = static_cast<int>(pid);
+  write_fd_ = to_child[1];
+  read_fd_ = from_child[0];
+
+  // Handshake: ship the tree, wait for the triangle-count echo.
+  std::vector<std::uint8_t> hello;
+  hello.reserve(2 + tree_bytes.size());
+  hello.push_back(static_cast<std::uint8_t>(wire::MsgType::kHello));
+  hello.push_back(static_cast<std::uint8_t>(opts.backend));
+  hello.insert(hello.end(), tree_bytes.begin(), tree_bytes.end());
+  bool ok = wire::write_frame(write_fd_, hello);
+  wire::MsgType type{};
+  std::vector<std::uint8_t> ack;
+  ok = ok && wire::read_frame(read_fd_, type, ack) &&
+       type == wire::MsgType::kHelloAck && ack.size() == sizeof(std::uint64_t);
+  if (ok) {
+    std::uint64_t count = 0;
+    std::memcpy(&count, ack.data(), sizeof(count));
+    ok = count == triangle_count;
+  }
+  if (!ok) {
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    ::close(write_fd_);
+    ::close(read_fd_);
+    write_fd_ = read_fd_ = -1;
+    pid_ = -1;
+    return;
+  }
+  alive_ = true;
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+ProcessShardWorker::~ProcessShardWorker() { shutdown(); }
+
+bool ProcessShardWorker::alive() const {
+  std::lock_guard<std::mutex> lk(state_mutex_);
+  return alive_;
+}
+
+QueryResponse ProcessShardWorker::answer_fallback(
+    const wire::ShardQuery& query) {
+  if (reroute_on_death_ && fallback_ != nullptr) {
+    rerouted_.fetch_add(1, std::memory_order_relaxed);
+    return execute_shard_query(*fallback_, query);
+  }
+  QueryResponse resp;
+  resp.kind = query.kind;
+  resp.status = QueryStatus::kShutdown;
+  return resp;
+}
+
+std::future<QueryResponse> ProcessShardWorker::submit(
+    const wire::ShardQuery& query) {
+  std::uint64_t id = 0;
+  std::future<QueryResponse> fut;
+  {
+    std::lock_guard<std::mutex> lk(state_mutex_);
+    if (!alive_) {
+      std::promise<QueryResponse> promise;
+      fut = promise.get_future();
+      promise.set_value(answer_fallback(query));
+      return fut;
+    }
+    id = next_id_++;
+    Pending& p = pending_[id];
+    p.query = query;
+    p.query.id = id;
+    fut = p.promise.get_future();
+  }
+
+  std::vector<std::uint8_t> frame;
+  {
+    std::lock_guard<std::mutex> lk(state_mutex_);
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return fut;  // degraded while encoding
+    wire::encode_query(it->second.query, frame);
+  }
+  bool ok = false;
+  {
+    std::lock_guard<std::mutex> lk(write_mutex_);
+    ok = wire::write_frame(write_fd_, frame);
+  }
+  if (!ok) degrade();  // completes our pending entry too (re-route/reject)
+  return fut;
+}
+
+void ProcessShardWorker::reader_loop() {
+  wire::MsgType type{};
+  std::vector<std::uint8_t> body;
+  while (wire::read_frame(read_fd_, type, body)) {
+    if (type != wire::MsgType::kResult) continue;
+    std::uint64_t id = 0;
+    QueryResponse resp;
+    if (!wire::decode_result(body, id, resp)) break;
+    Pending pending;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lk(state_mutex_);
+      const auto it = pending_.find(id);
+      if (it != pending_.end()) {
+        pending = std::move(it->second);
+        pending_.erase(it);
+        found = true;
+      }
+    }
+    if (found) pending.promise.set_value(std::move(resp));
+  }
+  degrade();
+}
+
+void ProcessShardWorker::degrade() {
+  std::map<std::uint64_t, Pending> orphans;
+  {
+    std::lock_guard<std::mutex> lk(state_mutex_);
+    alive_ = false;
+    orphans.swap(pending_);
+  }
+  for (auto& [id, pending] : orphans) {
+    pending.promise.set_value(answer_fallback(pending.query));
+  }
+}
+
+void ProcessShardWorker::kill_child() {
+  int pid = -1;
+  {
+    std::lock_guard<std::mutex> lk(state_mutex_);
+    pid = pid_;
+  }
+  if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+void ProcessShardWorker::shutdown() {
+  bool was_alive = false;
+  {
+    std::lock_guard<std::mutex> lk(state_mutex_);
+    if (shutting_down_) return;
+    shutting_down_ = true;
+    was_alive = alive_;
+  }
+  if (was_alive && write_fd_ >= 0) {
+    const std::uint8_t bye =
+        static_cast<std::uint8_t>(wire::MsgType::kShutdown);
+    std::lock_guard<std::mutex> lk(write_mutex_);
+    (void)wire::write_frame(write_fd_, std::span<const std::uint8_t>(&bye, 1));
+  }
+  if (write_fd_ >= 0) {
+    std::lock_guard<std::mutex> lk(write_mutex_);
+    ::close(write_fd_);  // EOF tells the child to exit
+    write_fd_ = -1;
+  }
+  if (reader_.joinable()) reader_.join();
+  degrade();  // reader may never have started (failed spawn)
+  if (pid_ > 0) {
+    // Bounded wait, then SIGKILL — a wedged worker must not wedge shutdown.
+    int status = 0;
+    bool reaped = false;
+    for (int i = 0; i < 200 && !reaped; ++i) {  // ~2s
+      const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+      if (r == pid_ || r < 0) {
+        reaped = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!reaped) {
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, &status, 0);
+    }
+    pid_ = -1;
+  }
+  if (read_fd_ >= 0) {
+    ::close(read_fd_);
+    read_fd_ = -1;
+  }
+}
+
+}  // namespace kdtune

@@ -1,0 +1,147 @@
+#pragma once
+
+// Shard workers — the execution backends behind the ShardRouter. One worker
+// owns one shard's sub-tree and answers ShardQuery sub-queries in shard-
+// local triangle ids (the router remaps to global ids when merging).
+//
+// Two implementations:
+//  * InProcessShardWorker — a private ThreadPool slice + SceneRegistry +
+//    QueryService per shard, so every shard reuses the existing admission /
+//    batching / ConfigCache / backend / tracing stack unchanged.
+//  * ProcessShardWorker — a spawned `kdtune_shardd` child process receiving
+//    the shard's serialized compact tree over the wire protocol (pipes). A
+//    writer mutex serializes request frames; a reader thread resolves
+//    futures by request id. When the child dies (EOF/EPIPE) the worker
+//    *degrades instead of hanging*: pending and future sub-queries are
+//    re-routed to a retained in-parent fallback tree (bit-identical answers,
+//    `rerouted()` counts them) or rejected with kShutdown when re-routing is
+//    disabled.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kdtree/builder.hpp"
+#include "kdtree/query_backend.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/query_service.hpp"
+#include "shard/wire.hpp"
+
+namespace kdtune {
+
+/// Executes one sub-query synchronously against a shard tree, applying the
+/// exact result canonicalization QueryService::execute applies (range ids
+/// sorted + deduped). Shared by the in-parent fallback path and the
+/// kdtune_shardd daemon, so every execution path produces identical bytes.
+QueryResponse execute_shard_query(const KdTreeBase& tree,
+                                  const wire::ShardQuery& query);
+
+class ShardWorker {
+ public:
+  virtual ~ShardWorker() = default;
+
+  /// Never blocks on the shard's progress; the future resolves exactly once.
+  virtual std::future<QueryResponse> submit(const wire::ShardQuery& query) = 0;
+  virtual void shutdown() = 0;
+  virtual bool alive() const { return true; }
+  /// Sub-queries answered by the fallback tree after the backend died.
+  virtual std::uint64_t rerouted() const { return 0; }
+  virtual int pid() const { return -1; }           ///< process mode only
+  virtual QueryService* service() { return nullptr; }  ///< in-process only
+};
+
+class InProcessShardWorker final : public ShardWorker {
+ public:
+  struct Options {
+    std::string scene_name = "shard";   ///< registry key (diagnostics)
+    unsigned workers = 1;               ///< thread-pool slice width
+    Algorithm algorithm = Algorithm::kInPlace;
+    std::optional<BuildConfig> config{};
+    QueryBackend backend = QueryBackend::kCompact;
+    ServiceOptions service{};
+    ConfigCache* cache = nullptr;       ///< warm-start cache, not owned
+  };
+
+  InProcessShardWorker(std::vector<Triangle> triangles, const Options& opts);
+  ~InProcessShardWorker() override;
+
+  std::future<QueryResponse> submit(const wire::ShardQuery& query) override;
+  void shutdown() override;
+  QueryService* service() override { return service_.get(); }
+  const std::string& scene_name() const noexcept { return scene_; }
+
+ private:
+  std::string scene_;
+  ThreadPool pool_;
+  SceneRegistry registry_;
+  std::unique_ptr<QueryService> service_;
+};
+
+class ProcessShardWorker final : public ShardWorker {
+ public:
+  struct Options {
+    std::string worker_path;  ///< the kdtune_shardd binary
+    QueryBackend backend = QueryBackend::kCompact;
+    std::optional<BuildConfig> config{};
+    /// Answer from the retained in-parent tree when the child dies; false
+    /// rejects with kShutdown instead.
+    bool reroute_on_death = true;
+  };
+
+  /// Builds the shard tree in-parent (sweep build + compact re-emit),
+  /// retains it as the fallback, serializes it to the spawned child, and
+  /// waits for the handshake. A failed spawn/handshake leaves the worker in
+  /// the dead state — submits degrade immediately; nothing throws.
+  ProcessShardWorker(std::vector<Triangle> triangles, const Options& opts,
+                     ThreadPool& build_pool);
+  ~ProcessShardWorker() override;
+
+  std::future<QueryResponse> submit(const wire::ShardQuery& query) override;
+  void shutdown() override;
+  bool alive() const override;
+  std::uint64_t rerouted() const override {
+    return rerouted_.load(std::memory_order_relaxed);
+  }
+  int pid() const override { return pid_; }
+
+  /// Test hook: SIGKILL the child (reroute-or-reject drill). The reader
+  /// thread observes EOF and degrades the worker.
+  void kill_child();
+
+ private:
+  struct Pending {
+    wire::ShardQuery query;  ///< retained for fallback re-execution
+    std::promise<QueryResponse> promise;
+  };
+
+  void reader_loop();
+  /// Marks dead and fails/re-routes every pending request. Called from the
+  /// reader (EOF) and from submit (write error).
+  void degrade();
+  QueryResponse answer_fallback(const wire::ShardQuery& query);
+
+  std::shared_ptr<const KdTreeBase> fallback_;
+  bool reroute_on_death_ = true;
+
+  mutable std::mutex state_mutex_;  ///< pending_, alive_, next_id_
+  std::map<std::uint64_t, Pending> pending_;
+  bool alive_ = false;
+  bool shutting_down_ = false;
+  std::uint64_t next_id_ = 1;
+
+  std::mutex write_mutex_;  ///< serializes request frames
+  int write_fd_ = -1;
+  int read_fd_ = -1;
+  int pid_ = -1;
+  std::atomic<std::uint64_t> rerouted_{0};
+  std::thread reader_;
+};
+
+}  // namespace kdtune

@@ -1,0 +1,153 @@
+#include "shard/sharded_tree.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "geom/intersect.hpp"
+#include "kdtree/knn.hpp"
+
+namespace kdtune {
+
+Hit remap_hit(Hit hit, std::span<const std::uint32_t> global_ids) noexcept {
+  if (hit.valid()) hit.triangle = global_ids[hit.triangle];
+  return hit;
+}
+
+void merge_closest_hit(Hit& best, const Hit& candidate) noexcept {
+  if (!candidate.valid()) return;
+  if (!best.valid() || candidate.t < best.t ||
+      (candidate.t == best.t && candidate.triangle < best.triangle)) {
+    best = candidate;
+  }
+}
+
+void merge_nearest(NearestResult& best,
+                   const NearestResult& candidate) noexcept {
+  if (!candidate.valid()) return;
+  if (!best.valid() || knn_before(candidate, best)) best = candidate;
+}
+
+void canonicalize_range_ids(std::vector<std::uint32_t>& ids,
+                            std::size_t first) {
+  auto begin = ids.begin() + static_cast<std::ptrdiff_t>(first);
+  std::sort(begin, ids.end());
+  ids.erase(std::unique(begin, ids.end()), ids.end());
+}
+
+ShardedKdTree::ShardedKdTree(std::vector<Triangle> triangles, int shard_count,
+                             const Builder& builder, const BuildConfig& config,
+                             ThreadPool& pool)
+    : triangles_(std::move(triangles)),
+      plan_(build_shard_plan(triangles_, shard_count)),
+      bounds_(bounds_of(triangles_)) {
+  shards_.reserve(static_cast<std::size_t>(plan_.shard_count));
+  for (int s = 0; s < plan_.shard_count; ++s) {
+    shards_.push_back(builder.build(
+        plan_.shard_triangles[static_cast<std::size_t>(s)], config, pool));
+  }
+}
+
+ShardedKdTree::ShardedKdTree(
+    std::vector<Triangle> triangles, ShardPlan plan,
+    std::vector<std::shared_ptr<const KdTreeBase>> shards)
+    : triangles_(std::move(triangles)),
+      plan_(std::move(plan)),
+      shards_(std::move(shards)),
+      bounds_(bounds_of(triangles_)) {}
+
+Hit ShardedKdTree::closest_hit(const Ray& ray) const {
+  std::vector<int> route;
+  plan_.route_ray(ray, route);
+  Hit best;
+  for (const int s : route) {
+    const Hit local = shards_[static_cast<std::size_t>(s)]->closest_hit(ray);
+    merge_closest_hit(
+        best,
+        remap_hit(local, plan_.shard_global_ids[static_cast<std::size_t>(s)]));
+  }
+  return best;
+}
+
+bool ShardedKdTree::any_hit(const Ray& ray) const {
+  std::vector<int> route;
+  plan_.route_ray(ray, route);
+  for (const int s : route) {
+    if (shards_[static_cast<std::size_t>(s)]->any_hit(ray)) return true;
+  }
+  return false;
+}
+
+void ShardedKdTree::query_range(const AABB& box,
+                                std::vector<std::uint32_t>& out) const {
+  std::vector<int> route;
+  plan_.route_box(box, route);
+  const std::size_t first = out.size();
+  std::vector<std::uint32_t> local;
+  for (const int s : route) {
+    local.clear();
+    shards_[static_cast<std::size_t>(s)]->query_range(box, local);
+    const auto& ids = plan_.shard_global_ids[static_cast<std::size_t>(s)];
+    for (const std::uint32_t id : local) out.push_back(ids[id]);
+  }
+  canonicalize_range_ids(out, first);
+}
+
+NearestResult ShardedKdTree::nearest(const Vec3& point) const {
+  NearestResult best;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    merge_nearest(best, [&] {
+      NearestResult local = shards_[s]->nearest(point);
+      if (local.valid()) local.triangle = plan_.shard_global_ids[s][local.triangle];
+      return local;
+    }());
+  }
+  return best;
+}
+
+void ShardedKdTree::do_nearest_k(const Vec3& point, std::size_t k,
+                                 std::vector<NearestResult>& out,
+                                 float max_distance) const {
+  std::vector<int> route;
+  plan_.route_sphere(point, max_distance, route);
+  KnnCollector collector(k, max_distance);
+  std::vector<NearestResult> local;
+  for (const int s : route) {
+    local.clear();
+    shards_[static_cast<std::size_t>(s)]->nearest_k(point, k, local,
+                                                    max_distance);
+    const auto& ids = plan_.shard_global_ids[static_cast<std::size_t>(s)];
+    // Each shard's top-k contains every global top-k candidate the shard
+    // owns, so the union the collector sees covers the global answer;
+    // straddler duplicates collapse in the collector's id dedup.
+    for (const NearestResult& r : local) {
+      collector.offer(ids[r.triangle], r.point, r.distance_sq);
+    }
+  }
+  collector.take_sorted(out);
+}
+
+TreeStats ShardedKdTree::stats() const {
+  TreeStats total;
+  double prim_sum = 0.0;
+  std::size_t nonempty_leaves = 0;
+  for (const auto& shard : shards_) {
+    const TreeStats s = shard->stats();
+    total.node_count += s.node_count;
+    total.leaf_count += s.leaf_count;
+    total.deferred_count += s.deferred_count;
+    total.empty_leaf_count += s.empty_leaf_count;
+    total.prim_refs += s.prim_refs;
+    total.max_depth = std::max(total.max_depth, s.max_depth);
+    total.sah_cost += s.sah_cost;
+    const std::size_t ne = s.leaf_count - s.empty_leaf_count;
+    prim_sum += s.avg_leaf_prims * static_cast<double>(ne);
+    nonempty_leaves += ne;
+  }
+  if (nonempty_leaves > 0) {
+    total.avg_leaf_prims = prim_sum / static_cast<double>(nonempty_leaves);
+  }
+  return total;
+}
+
+}  // namespace kdtune

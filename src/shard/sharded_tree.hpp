@@ -1,0 +1,85 @@
+#pragma once
+
+// ShardedKdTree — a KdTreeBase facade over a ShardPlan plus one sub-tree per
+// shard. Queries route through the plan's cut tree, run on each overlapping
+// shard, and merge with the canonical semantics the brute-force oracles use
+// (min-(t, id) for hits, sorted+deduped global ids for range, KnnCollector
+// lexicographic (distance_sq, id) order for kNN) — so a sharded tree answers
+// every query family bit-identically to a single tree over the same soup.
+//
+// Implementing KdTreeBase buys two things: the differential fuzzer probes a
+// sharded impl exactly like any other tree (straddler duplication is the
+// highest-risk correctness surface, so it sits in the widest test net we
+// have), and the router's in-process fallback path reuses the same merge
+// code the fuzzer validates.
+
+#include <memory>
+#include <vector>
+
+#include "kdtree/builder.hpp"
+#include "kdtree/tree.hpp"
+#include "shard/partition.hpp"
+
+namespace kdtune {
+
+class ShardedKdTree final : public KdTreeBase {
+ public:
+  /// Partitions `triangles` into `shard_count` shards and builds each
+  /// sub-tree with `builder`/`config` on `pool`.
+  ShardedKdTree(std::vector<Triangle> triangles, int shard_count,
+                const Builder& builder, const BuildConfig& config,
+                ThreadPool& pool);
+
+  /// Wraps pre-built shard trees over an existing plan (the router path).
+  /// `shards[i]` must be built over `plan.shard_triangles[i]`.
+  ShardedKdTree(std::vector<Triangle> triangles, ShardPlan plan,
+                std::vector<std::shared_ptr<const KdTreeBase>> shards);
+
+  Hit closest_hit(const Ray& ray) const override;
+  bool any_hit(const Ray& ray) const override;
+  void query_range(const AABB& box,
+                   std::vector<std::uint32_t>& out) const override;
+  NearestResult nearest(const Vec3& point) const override;
+  const AABB& bounds() const noexcept override { return bounds_; }
+  std::span<const Triangle> triangles() const noexcept override {
+    return triangles_;
+  }
+  TreeStats stats() const override;  ///< aggregated over the shard trees
+
+  const ShardPlan& plan() const noexcept { return plan_; }
+  int shard_count() const noexcept { return plan_.shard_count; }
+  const KdTreeBase* shard(int s) const noexcept {
+    return shards_[static_cast<std::size_t>(s)].get();
+  }
+
+ protected:
+  void do_nearest_k(const Vec3& point, std::size_t k,
+                    std::vector<NearestResult>& out,
+                    float max_distance) const override;
+
+ private:
+  std::vector<Triangle> triangles_;  ///< the global (unsharded) soup
+  ShardPlan plan_;
+  std::vector<std::shared_ptr<const KdTreeBase>> shards_;
+  AABB bounds_;
+};
+
+/// Remaps a shard-local hit to global triangle ids. Invalid hits pass
+/// through untouched.
+Hit remap_hit(Hit hit, std::span<const std::uint32_t> global_ids) noexcept;
+
+/// Folds `candidate` (already global) into `best` by (t, id) — the canonical
+/// closest-hit merge. Shared by ShardedKdTree and the ShardRouter.
+void merge_closest_hit(Hit& best, const Hit& candidate) noexcept;
+
+/// Folds `candidate` into `best` by (distance_sq, id) — the canonical
+/// nearest merge (KnnCollector's knn_before order).
+void merge_nearest(NearestResult& best,
+                   const NearestResult& candidate) noexcept;
+
+/// Sorts and dedups `ids[first..]` in place — the canonical range merge
+/// (straddlers land in several shards, so duplicates are expected).
+void canonicalize_range_ids(std::vector<std::uint32_t>& ids,
+                            std::size_t first);
+
+}  // namespace kdtune

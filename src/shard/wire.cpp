@@ -1,0 +1,325 @@
+#include "shard/wire.hpp"
+
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <errno.h>
+#include <unistd.h>
+
+namespace kdtune::wire {
+
+namespace {
+
+// --- little put/get helpers. Raw host little-endian, like the tree
+// serialization streams this protocol embeds; bounds-checked on the read
+// side so a truncated or corrupt frame decodes to `false`, never UB.
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+template <typename T>
+void put_raw(std::vector<std::uint8_t>& out, T v) {
+  std::uint8_t bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+void put_vec3(std::vector<std::uint8_t>& out, const Vec3& v) {
+  put_raw(out, v.x);
+  put_raw(out, v.y);
+  put_raw(out, v.z);
+}
+
+struct Cursor {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint8_t u8() { return get<std::uint8_t>(); }
+
+  template <typename T>
+  T get() {
+    T v{};
+    if (pos + sizeof(T) > data.size()) {
+      ok = false;
+      return v;
+    }
+    std::memcpy(&v, data.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return v;
+  }
+
+  Vec3 vec3() {
+    Vec3 v;
+    v.x = get<float>();
+    v.y = get<float>();
+    v.z = get<float>();
+    return v;
+  }
+
+  bool done() const { return ok && pos == data.size(); }
+};
+
+void put_ray(std::vector<std::uint8_t>& out, const Ray& ray) {
+  put_vec3(out, ray.origin);
+  put_vec3(out, ray.dir);
+  put_raw(out, ray.t_min);
+  put_raw(out, ray.t_max);
+}
+
+Ray get_ray(Cursor& c) {
+  const Vec3 origin = c.vec3();
+  const Vec3 dir = c.vec3();
+  Ray ray(origin, dir);  // recomputes inv_dir
+  ray.t_min = c.get<float>();
+  ray.t_max = c.get<float>();
+  return ray;
+}
+
+void put_hit(std::vector<std::uint8_t>& out, const Hit& hit) {
+  put_raw(out, hit.t);
+  put_raw(out, hit.triangle);
+  put_raw(out, hit.u);
+  put_raw(out, hit.v);
+}
+
+Hit get_hit(Cursor& c) {
+  Hit hit;
+  hit.t = c.get<float>();
+  hit.triangle = c.get<std::uint32_t>();
+  hit.u = c.get<float>();
+  hit.v = c.get<float>();
+  return hit;
+}
+
+void put_nearest(std::vector<std::uint8_t>& out, const NearestResult& r) {
+  put_raw(out, r.triangle);
+  put_vec3(out, r.point);
+  put_raw(out, r.distance_sq);
+}
+
+NearestResult get_nearest(Cursor& c) {
+  NearestResult r;
+  r.triangle = c.get<std::uint32_t>();
+  r.point = c.vec3();
+  r.distance_sq = c.get<float>();
+  return r;
+}
+
+/// Count prefix for the variable-length sections; capped at frame size on
+/// decode so a corrupt count cannot drive a giant resize.
+bool plausible(std::uint32_t count, const Cursor& c, std::size_t elem_bytes) {
+  return static_cast<std::size_t>(count) * elem_bytes <=
+         c.data.size() - c.pos + elem_bytes;
+}
+
+bool io_write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool io_read_all(int fd, std::uint8_t* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::read(fd, data, len);
+    if (n <= 0) {  // 0 = EOF mid-frame: treat like an error
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+void encode_query(const ShardQuery& query, std::vector<std::uint8_t>& out) {
+  put_u8(out, static_cast<std::uint8_t>(MsgType::kQuery));
+  put_u8(out, static_cast<std::uint8_t>(query.kind));
+  put_raw(out, query.id);
+  switch (query.kind) {
+    case QueryKind::kClosestHit:
+    case QueryKind::kAnyHit:
+      put_ray(out, query.ray);
+      break;
+    case QueryKind::kPacket:
+      put_raw(out, static_cast<std::uint32_t>(query.rays.size()));
+      for (const Ray& ray : query.rays) put_ray(out, ray);
+      break;
+    case QueryKind::kRange:
+      put_vec3(out, query.box.lo);
+      put_vec3(out, query.box.hi);
+      break;
+    case QueryKind::kNearest:
+      put_vec3(out, query.point);
+      put_raw(out, query.k);
+      put_raw(out, query.max_distance);
+      break;
+    case QueryKind::kClosestPoint:
+      put_vec3(out, query.point);
+      put_raw(out, query.max_distance);
+      break;
+  }
+}
+
+bool decode_query(std::span<const std::uint8_t> body, ShardQuery& query) {
+  Cursor c{body};
+  const std::uint8_t kind = c.u8();
+  if (!c.ok || kind >= kQueryKindCount) return false;
+  query.kind = static_cast<QueryKind>(kind);
+  query.id = c.get<std::uint64_t>();
+  switch (query.kind) {
+    case QueryKind::kClosestHit:
+    case QueryKind::kAnyHit:
+      query.ray = get_ray(c);
+      break;
+    case QueryKind::kPacket: {
+      const std::uint32_t count = c.get<std::uint32_t>();
+      if (!c.ok || !plausible(count, c, 8 * sizeof(float))) return false;
+      query.rays.clear();
+      query.rays.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) query.rays.push_back(get_ray(c));
+      break;
+    }
+    case QueryKind::kRange: {
+      const Vec3 lo = c.vec3();
+      const Vec3 hi = c.vec3();
+      query.box = AABB(lo, hi);
+      break;
+    }
+    case QueryKind::kNearest:
+      query.point = c.vec3();
+      query.k = c.get<std::uint32_t>();
+      query.max_distance = c.get<float>();
+      break;
+    case QueryKind::kClosestPoint:
+      query.point = c.vec3();
+      query.max_distance = c.get<float>();
+      break;
+  }
+  return c.done();
+}
+
+void encode_result(std::uint64_t id, const QueryResponse& resp,
+                   std::vector<std::uint8_t>& out) {
+  put_u8(out, static_cast<std::uint8_t>(MsgType::kResult));
+  put_u8(out, static_cast<std::uint8_t>(resp.kind));
+  put_raw(out, id);
+  put_u8(out, static_cast<std::uint8_t>(resp.status));
+  switch (resp.kind) {
+    case QueryKind::kClosestHit:
+      put_hit(out, resp.hit);
+      break;
+    case QueryKind::kAnyHit:
+      put_u8(out, resp.any ? 1 : 0);
+      break;
+    case QueryKind::kPacket:
+      put_raw(out, static_cast<std::uint32_t>(resp.hits.size()));
+      for (const Hit& hit : resp.hits) put_hit(out, hit);
+      break;
+    case QueryKind::kRange:
+      put_raw(out, static_cast<std::uint32_t>(resp.range_ids.size()));
+      for (const std::uint32_t tri : resp.range_ids) put_raw(out, tri);
+      break;
+    case QueryKind::kNearest:
+      put_raw(out, static_cast<std::uint32_t>(resp.neighbors.size()));
+      for (const NearestResult& r : resp.neighbors) put_nearest(out, r);
+      break;
+    case QueryKind::kClosestPoint:
+      put_nearest(out, resp.nearest);
+      break;
+  }
+}
+
+bool decode_result(std::span<const std::uint8_t> body, std::uint64_t& id,
+                   QueryResponse& resp) {
+  Cursor c{body};
+  const std::uint8_t kind = c.u8();
+  if (!c.ok || kind >= kQueryKindCount) return false;
+  resp.kind = static_cast<QueryKind>(kind);
+  id = c.get<std::uint64_t>();
+  const std::uint8_t status = c.u8();
+  if (!c.ok || status > static_cast<std::uint8_t>(QueryStatus::kError)) {
+    return false;
+  }
+  resp.status = static_cast<QueryStatus>(status);
+  switch (resp.kind) {
+    case QueryKind::kClosestHit:
+      resp.hit = get_hit(c);
+      break;
+    case QueryKind::kAnyHit:
+      resp.any = c.u8() != 0;
+      break;
+    case QueryKind::kPacket: {
+      const std::uint32_t count = c.get<std::uint32_t>();
+      if (!c.ok || !plausible(count, c, 4 * sizeof(float))) return false;
+      resp.hits.clear();
+      resp.hits.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) resp.hits.push_back(get_hit(c));
+      break;
+    }
+    case QueryKind::kRange: {
+      const std::uint32_t count = c.get<std::uint32_t>();
+      if (!c.ok || !plausible(count, c, sizeof(std::uint32_t))) return false;
+      resp.range_ids.clear();
+      resp.range_ids.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        resp.range_ids.push_back(c.get<std::uint32_t>());
+      }
+      break;
+    }
+    case QueryKind::kNearest: {
+      const std::uint32_t count = c.get<std::uint32_t>();
+      if (!c.ok || !plausible(count, c, 5 * sizeof(float))) return false;
+      resp.neighbors.clear();
+      resp.neighbors.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        resp.neighbors.push_back(get_nearest(c));
+      }
+      break;
+    }
+    case QueryKind::kClosestPoint:
+      resp.nearest = get_nearest(c);
+      break;
+  }
+  return c.done();
+}
+
+bool write_frame(int fd, std::span<const std::uint8_t> body) {
+  if (body.empty() || body.size() > kMaxFrameBytes) return false;
+  std::uint8_t prefix[4];
+  const std::uint32_t len = static_cast<std::uint32_t>(body.size());
+  std::memcpy(prefix, &len, sizeof(len));
+  return io_write_all(fd, prefix, sizeof(prefix)) &&
+         io_write_all(fd, body.data(), body.size());
+}
+
+bool read_frame(int fd, MsgType& type, std::vector<std::uint8_t>& body) {
+  std::uint8_t prefix[4];
+  if (!io_read_all(fd, prefix, sizeof(prefix))) return false;
+  std::uint32_t len = 0;
+  std::memcpy(&len, prefix, sizeof(len));
+  if (len == 0 || len > kMaxFrameBytes) return false;
+  body.resize(len);
+  if (!io_read_all(fd, body.data(), body.size())) return false;
+  type = static_cast<MsgType>(body.front());
+  body.erase(body.begin());
+  return true;
+}
+
+}  // namespace kdtune::wire

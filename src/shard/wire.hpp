@@ -1,0 +1,89 @@
+#pragma once
+
+// Same-host binary wire protocol for process-pool shard workers.
+//
+// Framing: every message is a u32 little-endian payload length followed by
+// the payload; payload byte 0 is the MsgType. Handshake: the parent sends
+// kHello ([type u8][backend u8][serialized tree bytes — the v2/v3 streams
+// from kdtree/serialize]), the worker replies kHelloAck ([type u8]
+// [u64 triangle_count]). After that the parent sends kQuery frames tagged
+// with a u64 request id and the worker answers each with a kResult frame
+// carrying the same id — ids let responses return out of order, though the
+// reference kdtune_shardd daemon answers in order. kShutdown (or EOF on the
+// request pipe) ends the worker.
+//
+// The protocol is deliberately host-local (pipes between a router and its
+// spawned workers): numbers are raw little-endian host encodings, exactly
+// like the tree serialization streams it embeds, and triangle ids in both
+// directions are *shard-local* — the router owns the local-to-global remap.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/ray.hpp"
+#include "kdtree/tree.hpp"
+#include "serve/query_service.hpp"
+
+namespace kdtune::wire {
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kQuery = 3,
+  kResult = 4,
+  kShutdown = 5,
+};
+
+/// Refuse frames larger than this (a corrupt length prefix must not make
+/// the reader allocate gigabytes).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+
+/// One sub-query addressed to a single shard, in shard-local coordinates
+/// (the geometry is global — only triangle ids are shard-local).
+struct ShardQuery {
+  QueryKind kind = QueryKind::kClosestHit;
+  std::uint64_t id = 0;
+  Ray ray{};
+  std::vector<Ray> rays;  ///< kPacket
+  AABB box{};             ///< kRange
+  Vec3 point{};           ///< kNearest / kClosestPoint
+  std::uint32_t k = 1;    ///< kNearest
+  float max_distance = std::numeric_limits<float>::infinity();
+  /// Router-side only (not serialized): in-process workers forward it to
+  /// their QueryService so shard batches respect the caller's deadline.
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+};
+
+/// Appends the kQuery payload (including the leading MsgType byte) to `out`.
+void encode_query(const ShardQuery& query, std::vector<std::uint8_t>& out);
+/// Parses a kQuery payload (without the MsgType byte). False = malformed.
+bool decode_query(std::span<const std::uint8_t> body, ShardQuery& query);
+
+/// Appends the kResult payload (including the leading MsgType byte).
+/// Serializes status/kind plus the kind's result fields of `resp`.
+void encode_result(std::uint64_t id, const QueryResponse& resp,
+                   std::vector<std::uint8_t>& out);
+/// Parses a kResult payload (without the MsgType byte). False = malformed.
+bool decode_result(std::span<const std::uint8_t> body, std::uint64_t& id,
+                   QueryResponse& resp);
+
+/// Writes one length-prefixed frame (payload = `body`, whose first byte must
+/// be the MsgType). Handles partial writes and EINTR; false on any error
+/// (EPIPE included — call ignore_sigpipe() first, which every wire user
+/// does). Not atomic across callers: serialize writers externally.
+bool write_frame(int fd, std::span<const std::uint8_t> body);
+
+/// Reads one frame. `type` gets payload byte 0, `body` the rest. False on
+/// EOF, error, or a malformed/oversized length prefix.
+bool read_frame(int fd, MsgType& type, std::vector<std::uint8_t>& body);
+
+/// Idempotently sets SIGPIPE to SIG_IGN for the process — a dead worker's
+/// pipe must surface as an EPIPE write error, not a process kill.
+void ignore_sigpipe();
+
+}  // namespace kdtune::wire

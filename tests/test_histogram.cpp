@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "geom/rng.hpp"
+
 namespace kdtune {
 namespace {
 
@@ -171,6 +173,90 @@ TEST(LogHistogram, MergeAddsCounts) {
   EXPECT_EQ(a.min(), 5u);
   EXPECT_EQ(a.max(), 1000u);
   EXPECT_DOUBLE_EQ(a.mean(), (5.0 + 100.0 + 1000.0) / 3.0);
+}
+
+TEST(LogHistogram, MergeQuantilesMatchTheCombinedStream) {
+  // merge() must be indistinguishable from having recorded both streams
+  // into one histogram: identical counts, extremes, mean, and quantiles at
+  // every probe point — not merely "close".
+  LogHistogram a, b, combined;
+  Rng rng(404);
+  for (int i = 0; i < 4000; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.uniform(1.0f, 1e6f));
+    a.record(v);
+    combined.record(v);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = static_cast<std::uint64_t>(rng.uniform(1e7f, 1e9f));
+    b.record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.mean(), combined.mean());
+  for (const double q :
+       {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, MergeWithEmptyIsIdentity) {
+  LogHistogram a, empty;
+  a.record(10);
+  a.record(1000);
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+
+  LogHistogram into;
+  into.merge(a);  // empty absorbs a fully
+  EXPECT_EQ(into.count(), 2u);
+  EXPECT_EQ(into.min(), 10u);
+  EXPECT_EQ(into.max(), 1000u);
+  EXPECT_DOUBLE_EQ(into.mean(), a.mean());
+  EXPECT_EQ(into.quantile(0.5), a.quantile(0.5));
+
+  LogHistogram x, y;
+  x.merge(y);  // empty + empty stays empty
+  EXPECT_EQ(x.count(), 0u);
+  EXPECT_EQ(x.quantile(0.5), 0u);
+}
+
+TEST(LogHistogram, MergeTopBucketDoesNotWrap) {
+  // The top-bucket interpolation hazard (see TopBucketQuantileDoesNotWrapToMin)
+  // must survive a merge: max-heavy mass arriving via merge() instead of
+  // record() takes the same quantile path.
+  LogHistogram a, b;
+  a.record(1);
+  for (int i = 0; i < 10; ++i) b.record(~std::uint64_t{0});
+  a.merge(b);
+  EXPECT_EQ(a.count(), 11u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), ~std::uint64_t{0});
+  EXPECT_EQ(a.quantile(0.99), ~std::uint64_t{0});
+  EXPECT_EQ(a.quantile(1.0), ~std::uint64_t{0});
+  EXPECT_EQ(a.quantile(0.0), 1u);
+}
+
+TEST(LogHistogram, MergeIsCommutativeOnQuantiles) {
+  LogHistogram ab, ba, a1, b1;
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    a1.record(v);
+    ab.record(v);
+  }
+  for (std::uint64_t v = 10000; v <= 10500; ++v) {
+    b1.record(v);
+    ba.record(v);
+  }
+  ab.merge(b1);  // a then b
+  ba.merge(a1);  // b then a
+  EXPECT_EQ(ab.count(), ba.count());
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(ab.quantile(q), ba.quantile(q)) << "q=" << q;
+  }
 }
 
 TEST(LogHistogram, ResetClears) {

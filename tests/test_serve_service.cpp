@@ -411,5 +411,76 @@ TEST(QueryService, StatsJsonCoversEveryQueryFamily) {
   EXPECT_NE(json.find("\"batches\""), std::string::npos);
 }
 
+TEST(QueryService, RejectBreakdownByReason) {
+  // Rejections must land in the per-reason counter matching their status,
+  // and `rejected` must stay their sum — the aggregate older dashboards key
+  // on. Overflow first: a huge batch with a far-future flush timeout parks
+  // one request in the queue, so a max_queue of 1 bounces everything after
+  // it deterministically...
+  ServiceFixture f;
+  ServiceOptions opts;
+  opts.max_queue = 1;
+  opts.params.batch_size = 64;
+  opts.params.flush_timeout_us = 10'000'000;
+  QueryService service(f.registry, f.pool, opts);
+  Rng rng(71);
+  auto held = service.submit_closest_hit("soup", random_ray(rng));
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(service.submit_closest_hit("soup", random_ray(rng)).get().status,
+              QueryStatus::kRejectedOverflow);
+  }
+  // ...then shutdown rejects, which must not be misfiled as overflow. The
+  // shutdown force-flush completes the parked request normally.
+  service.shutdown();
+  EXPECT_EQ(held.get().status, QueryStatus::kOk);
+  EXPECT_EQ(service.submit_any_hit("soup", random_ray(rng)).get().status,
+            QueryStatus::kShutdown);
+
+  const ServiceStats s = service.stats();
+  EXPECT_EQ(s.rejected_overflow, 2u);
+  EXPECT_EQ(s.rejected_shutdown, 1u);
+  EXPECT_EQ(s.rejected_quota, 0u);  // quota lives in the router QoS layer
+  EXPECT_EQ(s.rejected,
+            s.rejected_overflow + s.rejected_shutdown + s.rejected_quota);
+  const EndpointStats& ch =
+      s.endpoints[static_cast<std::size_t>(QueryKind::kClosestHit)];
+  EXPECT_EQ(ch.rejected_overflow, 2u);
+  EXPECT_EQ(ch.rejected_shutdown, 0u);
+  const EndpointStats& ah =
+      s.endpoints[static_cast<std::size_t>(QueryKind::kAnyHit)];
+  EXPECT_EQ(ah.rejected_shutdown, 1u);
+  EXPECT_EQ(ah.rejected_overflow, 0u);
+}
+
+TEST(QueryService, StatsJsonCarriesTheRejectBreakdown) {
+  // Schema regression: the top level and every endpoint object must expose
+  // all three reject reasons, with the counts we just provoked.
+  ServiceFixture f;
+  ServiceOptions opts;
+  opts.max_queue = 1;
+  opts.params.batch_size = 64;
+  opts.params.flush_timeout_us = 10'000'000;
+  QueryService service(f.registry, f.pool, opts);
+  Rng rng(72);
+  auto held = service.submit_closest_hit("soup", random_ray(rng));
+  service.submit_closest_hit("soup", random_ray(rng)).get();
+  service.submit_closest_hit("soup", random_ray(rng)).get();
+  service.shutdown();  // flushes the parked request
+  held.get();
+  const std::string json = service.stats_json();
+  EXPECT_NE(json.find("\"rejected\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"rejected_overflow\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"rejected_shutdown\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"rejected_quota\": 0"), std::string::npos);
+  // Endpoint objects carry the same keys (flat, one line per family).
+  const std::size_t ep = json.find("\"closest_hit\"");
+  ASSERT_NE(ep, std::string::npos);
+  const std::size_t eol = json.find('\n', ep);
+  const std::string line = json.substr(ep, eol - ep);
+  EXPECT_NE(line.find("\"rejected_overflow\": 2"), std::string::npos);
+  EXPECT_NE(line.find("\"rejected_shutdown\": 0"), std::string::npos);
+  EXPECT_NE(line.find("\"rejected_quota\": 0"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace kdtune

@@ -1,0 +1,203 @@
+#include "shard/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace kdtune {
+namespace {
+
+std::vector<Triangle> soup(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triangle> tris;
+  tris.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 a{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                 rng.uniform(-10, 10)};
+    const Vec3 e1{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const Vec3 e2{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    tris.push_back({a, a + e1, a + e2});
+  }
+  return tris;
+}
+
+bool same_triangle(const Triangle& a, const Triangle& b) {
+  return std::memcmp(&a, &b, sizeof(Triangle)) == 0;
+}
+
+TEST(ShardPartition, ClampShardCountIsPow2Floor) {
+  EXPECT_EQ(clamp_shard_count(-3), 1);
+  EXPECT_EQ(clamp_shard_count(0), 1);
+  EXPECT_EQ(clamp_shard_count(1), 1);
+  EXPECT_EQ(clamp_shard_count(2), 2);
+  EXPECT_EQ(clamp_shard_count(3), 2);
+  EXPECT_EQ(clamp_shard_count(5), 4);
+  EXPECT_EQ(clamp_shard_count(8), 8);
+  EXPECT_EQ(clamp_shard_count(63), 32);
+  EXPECT_EQ(clamp_shard_count(64), kMaxShardCount);
+  EXPECT_EQ(clamp_shard_count(1000), kMaxShardCount);
+}
+
+TEST(ShardPartition, SingleShardIsTheWholeSoup) {
+  const auto tris = soup(64, 1);
+  const ShardPlan plan = build_shard_plan(tris, 1);
+  EXPECT_EQ(plan.shard_count, 1);
+  EXPECT_TRUE(plan.cuts.empty());
+  ASSERT_EQ(plan.shard_triangles.size(), 1u);
+  ASSERT_EQ(plan.shard_triangles[0].size(), tris.size());
+  ASSERT_EQ(plan.shard_global_ids[0].size(), tris.size());
+  for (std::size_t i = 0; i < tris.size(); ++i) {
+    EXPECT_EQ(plan.shard_global_ids[0][i], static_cast<std::uint32_t>(i));
+    EXPECT_TRUE(same_triangle(plan.shard_triangles[0][i], tris[i]));
+  }
+}
+
+TEST(ShardPartition, CoverageDuplicationAndIdMaps) {
+  const auto tris = soup(500, 2);
+  for (const int k : {2, 4, 8}) {
+    const ShardPlan plan = build_shard_plan(tris, k);
+    EXPECT_EQ(plan.shard_count, k);
+    EXPECT_EQ(plan.cuts.size(), static_cast<std::size_t>(k - 1));
+    EXPECT_EQ(plan.input_triangles, tris.size());
+
+    std::set<std::uint32_t> covered;
+    std::size_t refs = 0;
+    for (int s = 0; s < k; ++s) {
+      const auto& ids = plan.shard_global_ids[static_cast<std::size_t>(s)];
+      const auto& local = plan.shard_triangles[static_cast<std::size_t>(s)];
+      ASSERT_EQ(ids.size(), local.size());
+      refs += ids.size();
+      // Strictly ascending local->global maps, and each local triangle is a
+      // verbatim copy of its global original (so local id comparisons agree
+      // with global ones after remapping).
+      for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (i > 0) EXPECT_LT(ids[i - 1], ids[i]);
+        ASSERT_LT(ids[i], tris.size());
+        EXPECT_TRUE(same_triangle(local[i], tris[ids[i]]));
+        covered.insert(ids[i]);
+      }
+    }
+    // Every input triangle lives in at least one shard; straddlers make the
+    // ref total exceed the input count.
+    EXPECT_EQ(covered.size(), tris.size());
+    EXPECT_EQ(plan.total_refs, refs);
+    EXPECT_GE(plan.total_refs, tris.size());
+  }
+}
+
+TEST(ShardPartition, PlacementMatchesBoxRouting) {
+  // The bit-exactness argument rests on placement and routing sharing the
+  // same inclusive predicates: the shards holding a triangle must be exactly
+  // the shards its bounding box routes to.
+  const auto tris = soup(300, 3);
+  const ShardPlan plan = build_shard_plan(tris, 8);
+  std::vector<int> routed;
+  for (std::size_t t = 0; t < tris.size(); ++t) {
+    std::vector<int> holders;
+    for (int s = 0; s < plan.shard_count; ++s) {
+      const auto& ids = plan.shard_global_ids[static_cast<std::size_t>(s)];
+      if (std::binary_search(ids.begin(), ids.end(),
+                             static_cast<std::uint32_t>(t))) {
+        holders.push_back(s);
+      }
+    }
+    plan.route_box(tris[t].bounds(), routed);
+    EXPECT_EQ(holders, routed) << "triangle " << t;
+  }
+}
+
+TEST(ShardPartition, RayRoutingReachesTheClosestHit) {
+  const auto tris = soup(400, 4);
+  const ShardPlan plan = build_shard_plan(tris, 8);
+  ThreadPool pool(0);
+  const auto reference = make_sweep_builder()->build(tris, kBaseConfig, pool);
+  Rng rng(5);
+  std::vector<int> routed;
+  int hits = 0;
+  for (int i = 0; i < 256; ++i) {
+    const Vec3 origin{rng.uniform(-25, 25), rng.uniform(-25, 25),
+                      rng.uniform(-25, 25)};
+    const Vec3 target{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                      rng.uniform(-10, 10)};
+    Vec3 dir = target - origin;
+    if (length(dir) == 0.0f) dir = {1, 0, 0};
+    const Ray ray(origin, normalized(dir));
+    const Hit hit = reference->closest_hit(ray);
+    if (!hit.valid()) continue;
+    ++hits;
+    plan.route_ray(ray, routed);
+    ASSERT_FALSE(routed.empty());
+    // Some routed shard must hold the globally closest triangle.
+    bool reachable = false;
+    for (const int s : routed) {
+      const auto& ids = plan.shard_global_ids[static_cast<std::size_t>(s)];
+      reachable |= std::binary_search(ids.begin(), ids.end(), hit.triangle);
+    }
+    EXPECT_TRUE(reachable) << "ray " << i;
+  }
+  EXPECT_GT(hits, 30);  // the workload actually exercised the check
+}
+
+TEST(ShardPartition, DegenerateRaysRouteSomewhere) {
+  const auto tris = soup(100, 6);
+  const ShardPlan plan = build_shard_plan(tris, 4);
+  std::vector<int> routed;
+  // Axis-aligned rays with zero direction components, and a ray starting
+  // far outside the bounds: routing must stay NaN-free and non-empty.
+  plan.route_ray(Ray({0, 0, 0}, {1, 0, 0}), routed);
+  EXPECT_FALSE(routed.empty());
+  plan.route_ray(Ray({0, 0, 0}, {0, 0, 1}), routed);
+  EXPECT_FALSE(routed.empty());
+  plan.route_ray(Ray({-1000, 0, 0}, {1, 0, 0}), routed);
+  EXPECT_FALSE(routed.empty());
+}
+
+TEST(ShardPartition, SphereRoutingHandlesInfinity) {
+  const auto tris = soup(100, 7);
+  const ShardPlan plan = build_shard_plan(tris, 8);
+  std::vector<int> routed, all;
+  plan.route_all(all);
+  EXPECT_EQ(all.size(), 8u);
+  plan.route_sphere({0, 0, 0}, std::numeric_limits<float>::infinity(), routed);
+  EXPECT_EQ(routed, all);
+  // A tiny sphere in one corner should not touch every shard.
+  plan.route_sphere(plan.bounds.lo, 1e-3f, routed);
+  EXPECT_FALSE(routed.empty());
+  EXPECT_LT(routed.size(), all.size());
+}
+
+TEST(ShardPartition, DeterministicAcrossRebuilds) {
+  const auto tris = soup(200, 8);
+  const ShardPlan a = build_shard_plan(tris, 8);
+  const ShardPlan b = build_shard_plan(tris, 8);
+  ASSERT_EQ(a.cuts.size(), b.cuts.size());
+  for (std::size_t i = 0; i < a.cuts.size(); ++i) {
+    EXPECT_EQ(a.cuts[i].axis, b.cuts[i].axis);
+    EXPECT_EQ(a.cuts[i].pos, b.cuts[i].pos);
+  }
+  EXPECT_EQ(a.shard_global_ids, b.shard_global_ids);
+}
+
+TEST(ShardPartition, CoincidentCentroidsStillCover) {
+  // Every centroid identical: median cuts land on the common coordinate and
+  // the inclusive predicates duplicate everything everywhere — ugly but
+  // correct. Coverage must hold and nothing may crash.
+  std::vector<Triangle> tris(32, Triangle{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}});
+  const ShardPlan plan = build_shard_plan(tris, 4);
+  std::set<std::uint32_t> covered;
+  for (const auto& ids : plan.shard_global_ids) {
+    covered.insert(ids.begin(), ids.end());
+  }
+  EXPECT_EQ(covered.size(), tris.size());
+}
+
+}  // namespace
+}  // namespace kdtune

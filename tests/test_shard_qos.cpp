@@ -1,0 +1,158 @@
+#include "shard/qos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <limits>
+#include <string>
+
+namespace kdtune {
+namespace {
+
+using Clock = TenantTable::Clock;
+
+// All quota arithmetic runs off caller-supplied time points, so the tests
+// drive a synthetic clock and never sleep.
+Clock::time_point t0() { return Clock::time_point{} + std::chrono::hours(1); }
+Clock::time_point after(double seconds) {
+  return t0() + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(seconds));
+}
+
+TEST(TenantTable, UnknownTenantsAreUnlimited) {
+  TenantTable table;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(table.admit("anyone", t0()));
+  }
+  EXPECT_EQ(table.size(), 1u);
+  const auto stats = table.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].admitted, 1000u);
+  EXPECT_EQ(stats[0].rejected_quota, 0u);
+}
+
+TEST(TenantTable, TokenBucketLimitsBurstThenRefills) {
+  TenantTable table;
+  table.set_quota("t", TenantQuota{1.0, 2.0, Priority::kInteractive});
+  // Full bucket at first touch: exactly `burst` admissions, then rejection.
+  EXPECT_TRUE(table.admit("t", t0()));
+  EXPECT_TRUE(table.admit("t", t0()));
+  EXPECT_FALSE(table.admit("t", t0()));
+  // One second at rate 1/s buys exactly one more token.
+  EXPECT_TRUE(table.admit("t", after(1.0)));
+  EXPECT_FALSE(table.admit("t", after(1.0)));
+  // Refill accumulates but clamps at burst: a long idle stretch buys at
+  // most 2 tokens, not 100.
+  EXPECT_TRUE(table.admit("t", after(101.0)));
+  EXPECT_TRUE(table.admit("t", after(101.0)));
+  EXPECT_FALSE(table.admit("t", after(101.0)));
+
+  const auto stats = table.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].admitted, 5u);
+  EXPECT_EQ(stats[0].rejected_quota, 3u);
+}
+
+TEST(TenantTable, TimeNeverRunsBackwards) {
+  TenantTable table;
+  table.set_quota("t", TenantQuota{1.0, 1.0, Priority::kInteractive});
+  EXPECT_TRUE(table.admit("t", after(10.0)));
+  // An earlier time point must not mint tokens (or crash on a negative
+  // elapsed interval).
+  EXPECT_FALSE(table.admit("t", after(5.0)));
+  EXPECT_TRUE(table.admit("t", after(11.0)));
+}
+
+TEST(TenantTable, InfiniteBurstClampsToRate) {
+  TenantTable table;
+  // A finite rate with an unbounded bucket would never throttle; the table
+  // clamps burst to max(rate, 1).
+  table.set_quota("t", TenantQuota{4.0,
+                                   std::numeric_limits<double>::infinity(),
+                                   Priority::kInteractive});
+  int admitted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (table.admit("t", t0())) ++admitted;
+  }
+  EXPECT_EQ(admitted, 4);
+
+  // Sub-1 rates still get a usable single-token bucket.
+  table.set_quota("slow", TenantQuota{0.25,
+                                      std::numeric_limits<double>::infinity(),
+                                      Priority::kBatch});
+  EXPECT_TRUE(table.admit("slow", t0()));
+  EXPECT_FALSE(table.admit("slow", t0()));
+  EXPECT_FALSE(table.admit("slow", after(1.0)));
+  EXPECT_TRUE(table.admit("slow", after(4.0)));
+}
+
+TEST(TenantTable, ReconfigureRefillsToNewBurst) {
+  TenantTable table;
+  table.set_quota("t", TenantQuota{1.0, 1.0, Priority::kInteractive});
+  EXPECT_TRUE(table.admit("t", t0()));
+  EXPECT_FALSE(table.admit("t", t0()));
+  // The new regime starts with a full (new) bucket.
+  table.set_quota("t", TenantQuota{1.0, 3.0, Priority::kBatch});
+  EXPECT_TRUE(table.admit("t", t0()));
+  EXPECT_TRUE(table.admit("t", t0()));
+  EXPECT_TRUE(table.admit("t", t0()));
+  EXPECT_FALSE(table.admit("t", t0()));
+  EXPECT_EQ(table.quota("t").priority, Priority::kBatch);
+}
+
+TEST(TenantTable, AdmitReportsPriorityEvenOnRejection) {
+  TenantTable table;
+  table.set_quota("b", TenantQuota{1.0, 1.0, Priority::kBatch});
+  Priority p = Priority::kInteractive;
+  EXPECT_TRUE(table.admit("b", t0(), &p));
+  EXPECT_EQ(p, Priority::kBatch);
+  p = Priority::kInteractive;
+  EXPECT_FALSE(table.admit("b", t0(), &p));
+  EXPECT_EQ(p, Priority::kBatch);
+}
+
+TEST(TenantTable, OneTenantAtQuotaDoesNotAffectOthers) {
+  TenantTable table;
+  table.set_quota("greedy", TenantQuota{1.0, 1.0, Priority::kInteractive});
+  EXPECT_TRUE(table.admit("greedy", t0()));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(table.admit("greedy", t0()));
+    EXPECT_TRUE(table.admit("polite", t0()));
+  }
+  const auto stats = table.stats();
+  ASSERT_EQ(stats.size(), 2u);  // sorted by name
+  EXPECT_EQ(stats[0].tenant, "greedy");
+  EXPECT_EQ(stats[0].rejected_quota, 50u);
+  EXPECT_EQ(stats[1].tenant, "polite");
+  EXPECT_EQ(stats[1].admitted, 50u);
+  EXPECT_EQ(stats[1].rejected_quota, 0u);
+}
+
+TEST(TenantTable, CompletionLatencyFeedsStatsAndMerge) {
+  TenantTable table;
+  table.admit("a", t0());
+  table.admit("b", t0());
+  for (int i = 0; i < 100; ++i) table.record_completion("a", 1e-3);
+  for (int i = 0; i < 100; ++i) table.record_completion("b", 4e-3);
+
+  const auto stats = table.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].completed, 100u);
+  EXPECT_NEAR(stats[0].p50_seconds, 1e-3, 0.3e-3);
+  EXPECT_NEAR(stats[1].p99_seconds, 4e-3, 1.2e-3);
+
+  // The fleet-wide merge sees every sample without re-recording.
+  LogHistogram fleet;
+  table.merge_latency(fleet);
+  EXPECT_EQ(fleet.count(), 200u);
+  EXPECT_NEAR(fleet.quantile_seconds(0.5), 1e-3, 0.3e-3);
+  EXPECT_NEAR(fleet.quantile_seconds(0.99), 4e-3, 1.2e-3);
+}
+
+TEST(TenantTable, PriorityNamesRoundTrip) {
+  EXPECT_EQ(to_string(Priority::kInteractive), "interactive");
+  EXPECT_EQ(to_string(Priority::kBatch), "batch");
+}
+
+}  // namespace
+}  // namespace kdtune

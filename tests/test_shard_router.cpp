@@ -1,0 +1,259 @@
+#include "shard/shard_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace kdtune {
+namespace {
+
+std::vector<Triangle> soup(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triangle> tris;
+  tris.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 a{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                 rng.uniform(-10, 10)};
+    const Vec3 e1{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const Vec3 e2{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    tris.push_back({a, a + e1, a + e2});
+  }
+  return tris;
+}
+
+Ray random_ray(Rng& rng) {
+  const Vec3 origin{rng.uniform(-25, 25), rng.uniform(-25, 25),
+                    rng.uniform(-25, 25)};
+  const Vec3 target{rng.uniform(-10, 10), rng.uniform(-10, 10),
+                    rng.uniform(-10, 10)};
+  Vec3 dir = target - origin;
+  if (length(dir) == 0.0f) dir = {1, 0, 0};
+  return Ray(origin, normalized(dir));
+}
+
+/// Fires every query family at the router and asserts bit-identity against
+/// direct queries on the single reference tree. `queries` scales the load.
+void expect_bit_identical(ShardRouter& router, const KdTreeBase& reference,
+                          std::uint64_t seed, int queries) {
+  Rng rng(seed);
+  for (int i = 0; i < queries; ++i) {
+    const Ray ray = random_ray(rng);
+    const QueryResponse ch = router.submit_closest_hit("t", ray).get();
+    ASSERT_EQ(ch.status, QueryStatus::kOk);
+    const Hit want = reference.closest_hit(ray);
+    EXPECT_EQ(ch.hit.triangle, want.triangle);
+    EXPECT_EQ(ch.hit.t, want.t);
+    EXPECT_EQ(ch.hit.u, want.u);
+    EXPECT_EQ(ch.hit.v, want.v);
+
+    const QueryResponse ah = router.submit_any_hit("t", ray).get();
+    ASSERT_EQ(ah.status, QueryStatus::kOk);
+    EXPECT_EQ(ah.any, reference.any_hit(ray));
+
+    const Vec3 point{rng.uniform(-12, 12), rng.uniform(-12, 12),
+                     rng.uniform(-12, 12)};
+    const Vec3 half{rng.uniform(0.5f, 3.0f), rng.uniform(0.5f, 3.0f),
+                    rng.uniform(0.5f, 3.0f)};
+    const AABB box{point - half, point + half};
+    const QueryResponse rq = router.submit_range("t", box).get();
+    ASSERT_EQ(rq.status, QueryStatus::kOk);
+    std::vector<std::uint32_t> want_ids;
+    reference.query_range(box, want_ids);
+    EXPECT_EQ(rq.range_ids, want_ids);
+
+    const float radius = rng.uniform(1.0f, 8.0f);
+    const QueryResponse knn = router.submit_nearest("t", point, 4, radius).get();
+    ASSERT_EQ(knn.status, QueryStatus::kOk);
+    std::vector<NearestResult> want_nn;
+    reference.nearest_k(point, 4, want_nn, radius);
+    ASSERT_EQ(knn.neighbors.size(), want_nn.size());
+    for (std::size_t j = 0; j < want_nn.size(); ++j) {
+      EXPECT_EQ(knn.neighbors[j].triangle, want_nn[j].triangle);
+      EXPECT_EQ(knn.neighbors[j].distance_sq, want_nn[j].distance_sq);
+    }
+
+    const QueryResponse cp =
+        router.submit_closest_point("t", point, radius).get();
+    ASSERT_EQ(cp.status, QueryStatus::kOk);
+    const NearestResult want_cp = reference.nearest_within(point, radius);
+    EXPECT_EQ(cp.nearest.triangle, want_cp.triangle);
+    EXPECT_EQ(cp.nearest.distance_sq, want_cp.distance_sq);
+  }
+  // Packets: several rays per request, merged per-lane.
+  for (int i = 0; i < std::max(1, queries / 4); ++i) {
+    std::vector<Ray> rays;
+    for (int j = 0; j < 8; ++j) rays.push_back(random_ray(rng));
+    const QueryResponse pk = router.submit_packet("t", rays).get();
+    ASSERT_EQ(pk.status, QueryStatus::kOk);
+    ASSERT_EQ(pk.hits.size(), rays.size());
+    for (std::size_t j = 0; j < rays.size(); ++j) {
+      const Hit want = reference.closest_hit(rays[j]);
+      EXPECT_EQ(pk.hits[j].triangle, want.triangle);
+      EXPECT_EQ(pk.hits[j].t, want.t);
+    }
+  }
+}
+
+struct RouterFixture {
+  std::vector<Triangle> tris = soup(400, 42);
+  ThreadPool single{0};
+  std::unique_ptr<KdTreeBase> reference =
+      make_sweep_builder()->build(tris, kBaseConfig, single);
+};
+
+TEST(ShardRouter, BitIdenticalToUnshardedAcrossShardCounts) {
+  RouterFixture f;
+  for (const int k : {1, 2, 4, 8}) {
+    ShardRouterOptions opts;
+    opts.shard_count = k;
+    ShardRouter router(f.tris, opts);
+    EXPECT_EQ(router.shard_count(), k);
+    expect_bit_identical(router, *f.reference, 7u + static_cast<unsigned>(k),
+                         32);
+  }
+}
+
+TEST(ShardRouter, FanoutCapPreservesAnswers) {
+  RouterFixture f;
+  ShardRouterOptions opts;
+  opts.shard_count = 8;
+  ShardRouter router(f.tris, opts);
+  // Serializing the fan-out (one shard per wave) changes scheduling only —
+  // never the merged answer.
+  router.set_fanout_cap(1);
+  EXPECT_EQ(router.fanout_cap(), 1);
+  expect_bit_identical(router, *f.reference, 11, 16);
+  router.set_fanout_cap(2);
+  expect_bit_identical(router, *f.reference, 12, 16);
+  const ShardRouterStats stats = router.stats();
+  EXPECT_GT(stats.subqueries, stats.completed);  // K=8 really fanned out
+}
+
+TEST(ShardRouter, LiveShardCountSwapKeepsServing) {
+  RouterFixture f;
+  ShardRouterOptions opts;
+  opts.shard_count = 1;
+  ShardRouter router(f.tris, opts);
+  expect_bit_identical(router, *f.reference, 21, 8);
+  router.set_shard_count(4);
+  EXPECT_EQ(router.shard_count(), 4);
+  expect_bit_identical(router, *f.reference, 22, 8);
+  router.set_shard_count(9);  // clamps to pow2
+  EXPECT_EQ(router.shard_count(), 8);
+  expect_bit_identical(router, *f.reference, 23, 8);
+  const ShardRouterStats stats = router.stats();
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(ShardRouter, QuotaRejectsTaggedTenantOnly) {
+  RouterFixture f;
+  ShardRouterOptions opts;
+  opts.shard_count = 2;
+  ShardRouter router(f.tris, opts);
+  router.set_quota("greedy", TenantQuota{0.0, 1.0, Priority::kBatch});
+  Rng rng(31);
+
+  std::uint64_t greedy_ok = 0, greedy_quota = 0;
+  for (int i = 0; i < 20; ++i) {
+    const QueryResponse r =
+        router.submit_closest_hit("greedy", random_ray(rng)).get();
+    if (r.status == QueryStatus::kOk) ++greedy_ok;
+    if (r.status == QueryStatus::kRejectedQuota) ++greedy_quota;
+  }
+  EXPECT_EQ(greedy_ok, 1u);      // the single burst token
+  EXPECT_EQ(greedy_quota, 19u);  // everything past it bounces immediately
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(router.submit_closest_hit("polite", random_ray(rng)).get().status,
+              QueryStatus::kOk);
+  }
+
+  const ShardRouterStats stats = router.stats();
+  EXPECT_EQ(stats.rejected_quota, 19u);
+  EXPECT_EQ(stats.rejected, stats.rejected_quota);
+  ASSERT_EQ(stats.tenants.size(), 2u);
+  EXPECT_EQ(stats.tenants[0].tenant, "greedy");
+  EXPECT_EQ(stats.tenants[0].rejected_quota, 19u);
+  EXPECT_EQ(stats.tenants[1].tenant, "polite");
+  EXPECT_EQ(stats.tenants[1].rejected_quota, 0u);
+  EXPECT_EQ(stats.tenants[1].completed, 20u);
+}
+
+TEST(ShardRouter, ZeroQueueRejectsWithOverflow) {
+  RouterFixture f;
+  ShardRouterOptions opts;
+  opts.shard_count = 2;
+  opts.max_queue = 0;
+  ShardRouter router(f.tris, opts);
+  Rng rng(33);
+  const QueryResponse r = router.submit_closest_hit("t", random_ray(rng)).get();
+  EXPECT_EQ(r.status, QueryStatus::kRejectedOverflow);
+  EXPECT_EQ(router.stats().rejected_overflow, 1u);
+}
+
+TEST(ShardRouter, ShutdownRejectsNewWorkButResolvesFutures) {
+  RouterFixture f;
+  ShardRouter router(f.tris, ShardRouterOptions{});
+  router.shutdown();
+  EXPECT_FALSE(router.accepting());
+  Rng rng(34);
+  const QueryResponse r = router.submit_closest_hit("t", random_ray(rng)).get();
+  EXPECT_EQ(r.status, QueryStatus::kShutdown);
+  router.shutdown();  // idempotent
+}
+
+TEST(ShardRouter, StatsJsonCarriesTheSchema) {
+  RouterFixture f;
+  ShardRouterOptions opts;
+  opts.shard_count = 4;
+  ShardRouter router(f.tris, opts);
+  Rng rng(35);
+  router.submit_closest_hit("t", random_ray(rng)).get();
+  const std::string json = router.stats_json();
+  for (const char* key :
+       {"\"shard_count\":4", "\"fanout_cap\":", "\"rejected_overflow\":",
+        "\"rejected_quota\":", "\"mean_fanout\":", "\"tenants\":[",
+        "\"shards\":[", "\"alive\":", "\"rerouted\":", "\"p99_us\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+#ifdef KDTUNE_SHARDD_PATH
+TEST(ShardRouterProcess, BitIdenticalAndSurvivesWorkerDeath) {
+  RouterFixture f;
+  ShardRouterOptions opts;
+  opts.shard_count = 2;
+  opts.process_workers = true;
+  opts.worker_path = KDTUNE_SHARDD_PATH;
+  ShardRouter router(f.tris, opts);
+  expect_bit_identical(router, *f.reference, 51, 16);
+  {
+    const ShardRouterStats stats = router.stats();
+    ASSERT_EQ(stats.shards.size(), 2u);
+    EXPECT_TRUE(stats.shards[0].alive);
+    EXPECT_EQ(stats.rerouted, 0u);
+  }
+
+  // SIGKILL shard 0's child: the worker degrades to the retained in-parent
+  // fallback tree and the router keeps returning bit-identical answers.
+  router.kill_worker(0);
+  expect_bit_identical(router, *f.reference, 52, 16);
+  const ShardRouterStats stats = router.stats();
+  EXPECT_FALSE(stats.shards[0].alive);
+  EXPECT_TRUE(stats.shards[1].alive);
+  EXPECT_GT(stats.rerouted, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  router.shutdown();  // must reap the surviving child without hanging
+}
+#endif  // KDTUNE_SHARDD_PATH
+
+}  // namespace
+}  // namespace kdtune

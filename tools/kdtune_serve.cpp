@@ -37,6 +37,20 @@
 //   --trace=FILE     write a Chrome trace-event JSON of the whole run
 //   --tuner-log=FILE write every tuner iteration as JSONL
 //   --smoke          small sizes (smaller still under KDTUNE_CI_SMALL)
+//
+// Sharded mode (--shards=K) drives the ShardRouter instead of a single
+// QueryService: the first scene is spatially partitioned into K shards,
+// --tenants=N client threads (tenant "t0" runs with a deliberately tight
+// token-bucket quota, the rest unlimited) fire the same deterministic mix,
+// and the checks add the sharding contracts — sharded answers bit-identical
+// to the unsharded reference for every family, quota rejects confined to
+// the throttled tenant, no starvation among the others, and (with
+// --process-workers) a mid-run SIGKILL of shard 0's worker that must
+// degrade to reroute-or-reject, never hang.
+//   --shards=K           shard count (power of two; 0 = classic mode)
+//   --tenants=N          tenant client threads (default 3)
+//   --process-workers    spawn kdtune_shardd processes instead of in-process
+//   --shardd=PATH        kdtune_shardd binary (default: next to this binary)
 
 #include <algorithm>
 #include <atomic>
@@ -53,6 +67,7 @@
 
 #include "core/differential.hpp"
 #include "core/kdtune.hpp"
+#include "shard/shard_router.hpp"
 
 namespace {
 
@@ -78,6 +93,11 @@ struct ServeOptions {
   std::string trace_path;
   std::string tuner_log_path;
   bool smoke = false;
+  int shards = 0;  ///< 0 = classic single-service mode
+  int tenants = 3;
+  bool process_workers = false;
+  std::string shardd_path;
+  std::string argv0;
 };
 
 ServeOptions parse_options(int argc, char** argv) {
@@ -128,6 +148,14 @@ ServeOptions parse_options(int argc, char** argv) {
       o.trace_path = v;
     } else if (const char* v = value("--tuner-log=")) {
       o.tuner_log_path = v;
+    } else if (const char* v = value("--shards=")) {
+      o.shards = std::atoi(v);
+    } else if (const char* v = value("--tenants=")) {
+      o.tenants = std::atoi(v);
+    } else if (const char* v = value("--shardd=")) {
+      o.shardd_path = v;
+    } else if (arg == "--process-workers") {
+      o.process_workers = true;
     } else if (arg == "--no-tune") {
       o.tune = false;
     } else if (arg == "--no-swap") {
@@ -211,6 +239,58 @@ struct PlannedRequest {
   NearestResult expect_nearest{};
 };
 
+/// Fills everything but `scene` of one planned request: the deterministic
+/// family mix and, with verify on, the expected results from the reference
+/// tree. Shared by the classic and sharded load generators.
+void plan_query(Rng& rng, const ServeOptions& o, const AABB& box,
+                const KdTreeBase& ref, PlannedRequest& p) {
+  const int mix = static_cast<int>(rng.next_int(0, 9));
+  const float diag = length(box.extent());
+  if (mix < 3) {  // 30% closest-hit
+    p.kind = QueryKind::kClosestHit;
+    p.ray = random_ray_into(rng, box);
+    if (o.verify) p.expect_hit = ref.closest_hit(p.ray);
+  } else if (mix == 3) {  // 10% any-hit
+    p.kind = QueryKind::kAnyHit;
+    p.ray = random_ray_into(rng, box);
+    if (o.verify) p.expect_any = ref.any_hit(p.ray);
+  } else if (mix == 4) {  // 10% packet
+    p.kind = QueryKind::kPacket;
+    p.rays.reserve(static_cast<std::size_t>(o.packet_rays));
+    for (int r = 0; r < o.packet_rays; ++r) {
+      p.rays.push_back(random_ray_into(rng, box));
+      if (o.verify) p.expect_hits.push_back(ref.closest_hit(p.rays.back()));
+    }
+  } else if (mix < 7) {  // 20% range (collision-detection box)
+    p.kind = QueryKind::kRange;
+    p.box = random_collision_box(rng, box);
+    if (o.verify) {
+      ref.query_range(p.box, p.expect_ids);
+      std::sort(p.expect_ids.begin(), p.expect_ids.end());
+      p.expect_ids.erase(
+          std::unique(p.expect_ids.begin(), p.expect_ids.end()),
+          p.expect_ids.end());
+    }
+  } else if (mix < 9) {  // 20% k-NN (photon-gather sphere)
+    p.kind = QueryKind::kNearest;
+    p.point = random_probe_point(rng, box);
+    p.k = static_cast<std::uint32_t>(rng.next_int(1, 8));
+    if (rng.next_float() < 0.5f) {
+      p.max_distance = rng.uniform(0.05f, 0.5f) * diag;
+    }
+    if (o.verify) {
+      ref.nearest_k(p.point, p.k, p.expect_neighbors, p.max_distance);
+    }
+  } else {  // 10% closest point (sensor probe, conservative radius)
+    p.kind = QueryKind::kClosestPoint;
+    p.point = random_probe_point(rng, box);
+    p.max_distance = rng.uniform(0.3f, 1.0f) * (diag + 1.0f);
+    if (o.verify) {
+      p.expect_nearest = ref.nearest_within(p.point, p.max_distance);
+    }
+  }
+}
+
 struct ClientTally {
   std::uint64_t submitted = 0;
   std::uint64_t responses = 0;  ///< futures that resolved (any status)
@@ -269,6 +349,7 @@ void tally_response(const ServeOptions& o, const PlannedRequest& plan,
       if (o.verify && !verify_response(plan, resp)) ++tally.mismatches;
       break;
     case QueryStatus::kRejectedOverflow:
+    case QueryStatus::kRejectedQuota:
     case QueryStatus::kShutdown:
       ++tally.rejected;
       break;
@@ -300,6 +381,251 @@ std::future<QueryResponse> submit_planned(QueryService& service,
       return service.submit_closest_hit(scene, plan.ray);
   }
   (void)o;
+}
+
+std::future<QueryResponse> submit_planned_sharded(ShardRouter& router,
+                                                  const std::string& tenant,
+                                                  const PlannedRequest& plan) {
+  switch (plan.kind) {
+    case QueryKind::kAnyHit:
+      return router.submit_any_hit(tenant, plan.ray);
+    case QueryKind::kPacket:
+      return router.submit_packet(tenant, plan.rays);
+    case QueryKind::kRange:
+      return router.submit_range(tenant, plan.box);
+    case QueryKind::kNearest:
+      return router.submit_nearest(tenant, plan.point, plan.k,
+                                   plan.max_distance);
+    case QueryKind::kClosestPoint:
+      return router.submit_closest_point(tenant, plan.point,
+                                         plan.max_distance);
+    case QueryKind::kClosestHit:
+    default:
+      return router.submit_closest_hit(tenant, plan.ray);
+  }
+}
+
+std::string default_shardd_path(const ServeOptions& o) {
+  if (!o.shardd_path.empty()) return o.shardd_path;
+  const std::size_t slash = o.argv0.rfind('/');
+  if (slash == std::string::npos) return "kdtune_shardd";
+  return o.argv0.substr(0, slash + 1) + "kdtune_shardd";
+}
+
+int run_sharded(const ServeOptions& o) {
+  const int tenant_count = std::max(2, o.tenants);
+  std::printf("sharded mode: %d shard(s), %d tenant(s), %s workers\n",
+              clamp_shard_count(o.shards), tenant_count,
+              o.process_workers ? "process" : "in-process");
+
+  const Scene scene = make_scene(o.scenes[0], o.detail)->frame(0);
+  std::vector<Triangle> tris(scene.triangles().begin(),
+                             scene.triangles().end());
+  ThreadPool reference_pool(0);
+  const std::unique_ptr<KdTreeBase> reference =
+      make_sweep_builder()->build(tris, kBaseConfig, reference_pool);
+  const AABB box = scene.bounds();
+  std::printf("  %-14s %7zu tris\n", o.scenes[0].c_str(), tris.size());
+
+  ShardRouterOptions ropts;
+  ropts.shard_count = o.shards;
+  ropts.router_threads = 2;
+  ropts.max_queue = o.queue;
+  ropts.shard_service.max_queue = o.queue;
+  ropts.shard_service.params.batch_size = o.batch;
+  ropts.shard_service.params.flush_timeout_us = o.flush_us;
+  ropts.process_workers = o.process_workers;
+  ropts.worker_path = default_shardd_path(o);
+  ShardRouter router(tris, ropts);
+
+  // Tenant "t0" runs at a deliberately tight quota so the closed-loop client
+  // saturates it; everyone else is unlimited. The QoS contract under test:
+  // t0's rejects stay t0's problem — the other tenants keep completing, and
+  // none of them starves relative to its peers.
+  router.set_quota("t0", TenantQuota{50.0, 10.0, Priority::kInteractive});
+
+  Rng master(o.seed);
+  std::vector<std::vector<PlannedRequest>> plans(
+      static_cast<std::size_t>(tenant_count));
+  for (auto& plan : plans) {
+    Rng rng = master.split();
+    plan.resize(static_cast<std::size_t>(o.requests));
+    for (PlannedRequest& p : plan) {
+      p.scene = 0;
+      plan_query(rng, o, box, *reference, p);
+    }
+  }
+
+  // In-process mode also drives a ServeTuner over the router: the shard
+  // count and fanout cap join the serving-parameter search via
+  // register_shard_dimensions. (The service reference is only used at
+  // construction — measurement and application go through the router hooks,
+  // which stay valid across cluster swaps.)
+  std::atomic<bool> load_done{false};
+  std::unique_ptr<ServeTuner> tuner;
+  std::thread tuner_thread;
+  std::mutex applied_mutex;
+  std::set<int> shard_counts_applied;
+  if (o.tune && !o.process_workers && router.shard_service(0) != nullptr) {
+    ServeTunerOptions topts;
+    topts.tune_flush = false;
+    topts.tune_workers = false;
+    register_shard_dimensions(topts, router,
+                              std::max(4, clamp_shard_count(o.shards)), 4);
+    tuner = std::make_unique<ServeTuner>(*router.shard_service(0), topts);
+    tuner_thread = std::thread([&] {
+      while (!load_done.load(std::memory_order_acquire)) {
+        tuner->begin_window();
+        {
+          std::lock_guard<std::mutex> lk(applied_mutex);
+          shard_counts_applied.insert(router.shard_count());
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(o.window_ms));
+        tuner->end_window();
+      }
+    });
+  }
+
+  std::once_flag kill_once;
+  bool killed = false;
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(tenant_count));
+  Stopwatch wall;
+  wall.start();
+  std::vector<std::thread> clients;
+  for (int t = 0; t < tenant_count; ++t) {
+    clients.emplace_back([&, t] {
+      const std::string tenant = "t" + std::to_string(t);
+      ClientTally& tally = tallies[static_cast<std::size_t>(t)];
+      auto& plan = plans[static_cast<std::size_t>(t)];
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        if (o.process_workers && i == plan.size() / 2) {
+          // Mid-run worker death drill: SIGKILL shard 0's child once. The
+          // router must degrade to reroute-or-reject, never hang, and the
+          // rerouted answers must stay bit-identical.
+          std::call_once(kill_once, [&] {
+            router.kill_worker(0);
+            killed = true;
+            std::printf("  killed shard 0 worker mid-run\n");
+          });
+        }
+        auto fut = submit_planned_sharded(router, tenant, plan[i]);
+        ++tally.submitted;
+        try {
+          tally_response(o, plan[i], fut.get(), tally);
+        } catch (...) {
+          ++tally.broken_futures;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  load_done.store(true, std::memory_order_release);
+  const double load_seconds = wall.elapsed();
+  if (tuner_thread.joinable()) tuner_thread.join();
+  router.drain();
+  const ShardRouterStats stats = router.stats();
+  const std::string stats_json = router.stats_json();
+  router.shutdown();
+
+  ClientTally total;
+  for (const ClientTally& t : tallies) {
+    total.submitted += t.submitted;
+    total.responses += t.responses;
+    total.ok += t.ok;
+    total.rejected += t.rejected;
+    total.other += t.other;
+    total.mismatches += t.mismatches;
+    total.broken_futures += t.broken_futures;
+  }
+  std::printf("\nload: %llu requests in %.2f s across %d tenants\n",
+              static_cast<unsigned long long>(total.submitted), load_seconds,
+              tenant_count);
+  std::printf("%s\n", stats_json.c_str());
+  if (tuner) {
+    std::printf("tuner: %zu windows, shard counts tried {", tuner->windows());
+    bool first = true;
+    for (const int k : shard_counts_applied) {
+      std::printf("%s%d", first ? "" : ", ", k);
+      first = false;
+    }
+    std::printf("}\n");
+  }
+
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+  std::printf("checks:\n");
+  check(total.responses == total.submitted && total.broken_futures == 0,
+        "every request resolved its future exactly once");
+  if (o.verify) {
+    check(total.mismatches == 0,
+          "sharded results bit-identical to the unsharded reference");
+  }
+  {
+    const TenantStats* throttled = nullptr;
+    bool others_clean = true;
+    for (const TenantStats& t : stats.tenants) {
+      if (t.tenant == "t0") {
+        throttled = &t;
+      } else if (t.rejected_quota != 0) {
+        others_clean = false;
+      }
+    }
+    check(throttled != nullptr && throttled->rejected_quota > 0,
+          "saturating tenant t0 hit its quota (rejected_quota > 0)");
+    check(others_clean, "no quota rejects leaked to unlimited tenants");
+  }
+  {
+    std::uint64_t min_ok = ~std::uint64_t{0};
+    std::uint64_t max_ok = 0;
+    for (int t = 1; t < tenant_count; ++t) {
+      const std::uint64_t ok = tallies[static_cast<std::size_t>(t)].ok;
+      min_ok = std::min(min_ok, ok);
+      max_ok = std::max(max_ok, ok);
+    }
+    check(max_ok > 0 && static_cast<double>(min_ok) >=
+                            0.5 * static_cast<double>(max_ok),
+          "no unlimited tenant starved (min/max served ratio >= 0.5)");
+    std::uint64_t unlimited_ok = 0;
+    std::uint64_t unlimited_submitted = 0;
+    for (int t = 1; t < tenant_count; ++t) {
+      unlimited_ok += tallies[static_cast<std::size_t>(t)].ok;
+      unlimited_submitted += tallies[static_cast<std::size_t>(t)].submitted;
+    }
+    check(static_cast<double>(unlimited_ok) >=
+              0.8 * static_cast<double>(unlimited_submitted),
+          "unlimited tenants served >= 80% of their load");
+  }
+  if (o.process_workers) {
+    check(killed, "worker-death drill actually fired");
+    check(stats.rerouted > 0,
+          "dead worker's sub-queries rerouted to the fallback tree");
+  }
+  if (tuner) {
+    check(tuner->windows() >= 1, "tuner measured at least one window");
+  }
+
+  if (!o.json_path.empty()) {
+    std::FILE* out = std::fopen(o.json_path.c_str(), "w");
+    if (out != nullptr) {
+      std::fprintf(out,
+                   "{\n\"load_seconds\": %.3f,\n\"submitted\": %llu,\n"
+                   "\"responses\": %llu,\n\"mismatches\": %llu,\n"
+                   "\"failures\": %d,\n\"router\": %s}\n",
+                   load_seconds,
+                   static_cast<unsigned long long>(total.submitted),
+                   static_cast<unsigned long long>(total.responses),
+                   static_cast<unsigned long long>(total.mismatches), failures,
+                   stats_json.c_str());
+      std::fclose(out);
+      std::printf("wrote %s\n", o.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", o.json_path.c_str());
+    }
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 int run(const ServeOptions& o) {
@@ -350,53 +676,8 @@ int run(const ServeOptions& o) {
       PlannedRequest& p = plan[static_cast<std::size_t>(i)];
       p.scene = static_cast<int>(
           rng.next_int(0, static_cast<std::int64_t>(names.size()) - 1));
-      const int mix = static_cast<int>(rng.next_int(0, 9));
-      const AABB& box = boxes[static_cast<std::size_t>(p.scene)];
-      const KdTreeBase& ref = *references[static_cast<std::size_t>(p.scene)];
-      const float diag = length(box.extent());
-      if (mix < 3) {  // 30% closest-hit
-        p.kind = QueryKind::kClosestHit;
-        p.ray = random_ray_into(rng, box);
-        if (o.verify) p.expect_hit = ref.closest_hit(p.ray);
-      } else if (mix == 3) {  // 10% any-hit
-        p.kind = QueryKind::kAnyHit;
-        p.ray = random_ray_into(rng, box);
-        if (o.verify) p.expect_any = ref.any_hit(p.ray);
-      } else if (mix == 4) {  // 10% packet
-        p.kind = QueryKind::kPacket;
-        p.rays.reserve(static_cast<std::size_t>(o.packet_rays));
-        for (int r = 0; r < o.packet_rays; ++r) {
-          p.rays.push_back(random_ray_into(rng, box));
-          if (o.verify) p.expect_hits.push_back(ref.closest_hit(p.rays.back()));
-        }
-      } else if (mix < 7) {  // 20% range (collision-detection box)
-        p.kind = QueryKind::kRange;
-        p.box = random_collision_box(rng, box);
-        if (o.verify) {
-          ref.query_range(p.box, p.expect_ids);
-          std::sort(p.expect_ids.begin(), p.expect_ids.end());
-          p.expect_ids.erase(
-              std::unique(p.expect_ids.begin(), p.expect_ids.end()),
-              p.expect_ids.end());
-        }
-      } else if (mix < 9) {  // 20% k-NN (photon-gather sphere)
-        p.kind = QueryKind::kNearest;
-        p.point = random_probe_point(rng, box);
-        p.k = static_cast<std::uint32_t>(rng.next_int(1, 8));
-        if (rng.next_float() < 0.5f) {
-          p.max_distance = rng.uniform(0.05f, 0.5f) * diag;
-        }
-        if (o.verify) {
-          ref.nearest_k(p.point, p.k, p.expect_neighbors, p.max_distance);
-        }
-      } else {  // 10% closest point (sensor probe, conservative radius)
-        p.kind = QueryKind::kClosestPoint;
-        p.point = random_probe_point(rng, box);
-        p.max_distance = rng.uniform(0.3f, 1.0f) * (diag + 1.0f);
-        if (o.verify) {
-          p.expect_nearest = ref.nearest_within(p.point, p.max_distance);
-        }
-      }
+      plan_query(rng, o, boxes[static_cast<std::size_t>(p.scene)],
+                 *references[static_cast<std::size_t>(p.scene)], p);
     }
   }
 
@@ -651,7 +932,9 @@ int run(const ServeOptions& o) {
 
 int main(int argc, char** argv) {
   try {
-    return run(parse_options(argc, argv));
+    ServeOptions o = parse_options(argc, argv);
+    o.argv0 = argc > 0 ? argv[0] : "";
+    return o.shards > 0 ? run_sharded(o) : run(o);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

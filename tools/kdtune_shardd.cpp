@@ -1,0 +1,86 @@
+// kdtune_shardd — one shard's worker process.
+//
+// Speaks the shard wire protocol on stdin/stdout (the ShardRouter spawns it
+// with its pipe ends dup2'ed to fds 0/1): reads a kHello carrying the
+// serving backend byte and the shard's serialized tree (the v2 compact or
+// v3 wide streams from kdtree/serialize), re-emits the requested serving
+// layout, acknowledges with the triangle count, then answers kQuery frames
+// with kResult frames until kShutdown or EOF. Answers use execute_shard_query
+// — the same canonicalization as the in-process and fallback paths, so a
+// process-pool shard is bit-identical to every other execution mode.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bvh/bvh.hpp"
+#include "kdtree/compact_tree.hpp"
+#include "kdtree/query_backend.hpp"
+#include "kdtree/serialize.hpp"
+#include "kdtree/wide_tree.hpp"
+#include "parallel/thread_pool.hpp"
+#include "shard/shard_worker.hpp"
+#include "shard/wire.hpp"
+
+using namespace kdtune;
+
+int main() {
+  wire::ignore_sigpipe();
+
+  wire::MsgType type{};
+  std::vector<std::uint8_t> body;
+  if (!wire::read_frame(STDIN_FILENO, type, body) ||
+      type != wire::MsgType::kHello || body.size() < 2) {
+    std::fprintf(stderr, "kdtune_shardd: bad hello\n");
+    return 1;
+  }
+
+  const auto backend = static_cast<QueryBackend>(body[0]);
+  std::shared_ptr<const CompactKdTree> compact;
+  try {
+    std::istringstream stream(std::string(
+        reinterpret_cast<const char*>(body.data()) + 1, body.size() - 1));
+    compact = load_compact_tree(stream);  // accepts v2 and v3 streams
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "kdtune_shardd: bad tree: %s\n", e.what());
+    return 1;
+  }
+
+  // Re-emit the requested serving layout over the shipped tree.
+  std::shared_ptr<const KdTreeBase> tree = compact;
+  if (backend == QueryBackend::kWide4 || backend == QueryBackend::kWide8) {
+    tree = std::shared_ptr<const KdTreeBase>(make_wide_tree(compact, backend));
+  } else if (backend == QueryBackend::kBvh) {
+    ThreadPool pool(0);
+    tree = std::shared_ptr<const KdTreeBase>(
+        build_bvh(compact->triangles(), BvhConfig{}, pool));
+  }
+
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(wire::MsgType::kHelloAck));
+  const std::uint64_t count = compact->triangles().size();
+  const auto* count_bytes = reinterpret_cast<const std::uint8_t*>(&count);
+  out.insert(out.end(), count_bytes, count_bytes + sizeof(count));
+  if (!wire::write_frame(STDOUT_FILENO, out)) return 1;
+
+  while (wire::read_frame(STDIN_FILENO, type, body)) {
+    if (type == wire::MsgType::kShutdown) break;
+    if (type != wire::MsgType::kQuery) continue;
+    wire::ShardQuery query;
+    if (!wire::decode_query(body, query)) {
+      std::fprintf(stderr, "kdtune_shardd: bad query frame\n");
+      return 1;
+    }
+    const QueryResponse resp = execute_shard_query(*tree, query);
+    out.clear();
+    wire::encode_result(query.id, resp, out);
+    if (!wire::write_frame(STDOUT_FILENO, out)) return 1;  // router went away
+  }
+  return 0;
+}
