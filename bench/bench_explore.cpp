@@ -1,0 +1,383 @@
+// Warm-start value of the offline explorer's ConfigDatabase
+// (docs/EXPLORE.md): how many tuning iterations does a new run need to get
+// within 5% of the sweep-best configuration, starting cold (C_base) vs from
+// an exact database hit vs from a nearest-neighbor match?
+//
+// The cost function is deterministic on purpose — build work modeled as
+// node count (SAH evaluations, bins fixed) plus traversal work counted over
+// a fixed seeded ray set, both normalized against C_base — so the iteration
+// counts are reproducible across runs and machines and the cold-vs-warm
+// comparison cannot be decided by measurement noise. Wall-clock seconds per
+// arm are tracked alongside (those ARE machine-dependent). Only the
+// tree-shaping parameters CI and CB are tuned: S controls task spawning,
+// which deterministic work counters cannot observe.
+//
+// Protocol:
+//   1. Sweep a coarse Table-II grid on the *library* scene (bunny at
+//      --detail) and record the best configuration in a ConfigDatabase,
+//      exactly as kdtune_explore would.
+//   2. "exact_hit" arm: look the library scene itself up — an exact context
+//      hit reuses the stored configuration directly, zero iterations.
+//   3. "cold" and "nn_warm" arms: tune the *target* scene (same generator at
+//      0.85x detail — similar geometry, different tessellation, so the
+//      database match is near, not exact) with the online Tuner; nn_warm
+//      seeds the search from the nearest entry's parameters. An arm is
+//      converged at the first iteration whose best-so-far cost is within 5%
+//      of the target's own exhaustive sweep best.
+//
+// Writes BENCH_explore.json (field reference in docs/EXPLORE.md). The
+// contract the CI bench job checks: nn_warm converges in strictly fewer
+// iterations than cold.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/differential.hpp"
+
+namespace {
+
+using namespace kdtune;
+using namespace kdtune::bench;
+
+struct Workload {
+  std::vector<Triangle> triangles;
+  std::vector<Ray> rays;
+  SceneFeatures features;
+};
+
+Workload make_workload(float detail, int rays, std::uint64_t seed) {
+  Workload w;
+  const Scene scene = make_scene("bunny", detail)->frame(0);
+  w.triangles.assign(scene.triangles().begin(), scene.triangles().end());
+  w.features = SceneFeatures::extract(w.triangles);
+  const AABB box = scene.bounds();
+  const Vec3 ext = box.extent();
+  Rng rng(seed);
+  w.rays.reserve(static_cast<std::size_t>(rays));
+  for (int i = 0; i < rays; ++i) {
+    const Vec3 origin{box.lo.x - ext.x * 0.5f + rng.next_float() * ext.x,
+                      box.lo.y + rng.next_float() * ext.y,
+                      box.lo.z + rng.next_float() * ext.z};
+    const Vec3 target{box.lo.x + rng.next_float() * ext.x,
+                      box.lo.y + rng.next_float() * ext.y,
+                      box.lo.z + rng.next_float() * ext.z};
+    Vec3 dir = target - origin;
+    if (length(dir) == 0.0f) dir = {1, 0, 0};
+    w.rays.emplace_back(origin, normalized(dir));
+  }
+  return w;
+}
+
+/// Deterministic cost of one configuration: SAH-evaluation build work plus
+/// counted traversal work over the fixed ray set, each normalized by the
+/// C_base value so neither term dominates by unit choice.
+struct CostModel {
+  double base_build_work = 1.0;
+  double base_query_work = 1.0;
+
+  struct Raw {
+    double build_work = 0.0;
+    double query_work = 0.0;
+  };
+
+  static Raw measure(const Workload& w, const BuildConfig& config,
+                     ThreadPool& pool) {
+    const auto built =
+        make_builder(Algorithm::kInPlace)->build(w.triangles, config, pool);
+    const auto* tree = dynamic_cast<const KdTree*>(built.get());
+    Raw raw;
+    raw.build_work = static_cast<double>(tree->stats().node_count);
+    TraversalCounters counters;
+    for (const Ray& ray : w.rays) {
+      (void)tree->closest_hit_counted(ray, counters);
+    }
+    // Triangle tests weighted as expensive relative to node steps — the
+    // serving regime this models (fat shading kernels per candidate hit).
+    // The SAH builder assumes the CI/CT ratio instead, so the cost optimum
+    // sits at high CI, well away from C_base = (17, 10, ...): a cold search
+    // has real distance to cover and the warm-start advantage is visible.
+    raw.query_work = static_cast<double>(counters.interior_visited) +
+                     static_cast<double>(counters.leaves_visited) +
+                     6.0 * static_cast<double>(counters.triangles_tested);
+    return raw;
+  }
+
+  double cost(const Raw& raw) const {
+    // Query work dominates (amortized serving); build work is a smaller
+    // rebuild tax that breaks ties toward shallower trees.
+    return 0.15 * raw.build_work / base_build_work +
+           raw.query_work / base_query_work;
+  }
+};
+
+CostModel calibrate(const Workload& w, ThreadPool& pool) {
+  const CostModel::Raw base = CostModel::measure(w, kBaseConfig, pool);
+  CostModel model;
+  model.base_build_work = std::max(base.build_work, 1.0);
+  model.base_query_work = std::max(base.query_work, 1.0);
+  return model;
+}
+
+struct SweepResult {
+  BuildConfig best = kBaseConfig;
+  double best_cost = 0.0;
+  std::size_t cells = 0;
+};
+
+SweepResult sweep(const Workload& w, const CostModel& model, ThreadPool& pool) {
+  SweepResult r;
+  bool first = true;
+  for (const std::int64_t ci : {3, 9, 17, 33, 49, 65, 81, 101}) {
+    for (const std::int64_t cb : {0, 10, 20, 30, 45, 60}) {
+      BuildConfig config = kBaseConfig;
+      config.ci = ci;
+      config.cb = cb;
+      const double cost = model.cost(CostModel::measure(w, config, pool));
+      ++r.cells;
+      if (first || cost < r.best_cost) {
+        r.best = config;
+        r.best_cost = cost;
+        first = false;
+      }
+    }
+  }
+  return r;
+}
+
+struct ArmResult {
+  std::string arm;
+  std::string match_kind = "none";
+  double match_distance = 0.0;
+  long iterations_to_5pct = -1;  ///< -1 = never reached within the budget
+  double seconds_to_5pct = 0.0;  ///< wall clock spent up to that iteration
+  double final_best_cost = 0.0;
+  std::size_t evaluations = 0;
+};
+
+const char* kind_name(ConfigDatabase::MatchKind kind) {
+  switch (kind) {
+    case ConfigDatabase::MatchKind::kExact: return "exact";
+    case ConfigDatabase::MatchKind::kNear: return "near";
+    case ConfigDatabase::MatchKind::kFar: return "far";
+  }
+  return "far";
+}
+
+/// Runs the online tuner against the deterministic cost model until the
+/// best-so-far cost is within 5% of `target_cost` (or the budget runs out).
+ArmResult run_arm(const std::string& name, const Workload& w,
+                  const CostModel& model, double target_cost,
+                  std::size_t budget, ThreadPool& pool,
+                  const ConfigDatabase::Entry* seed_entry) {
+  ArmResult result;
+  result.arm = name;
+
+  BuildConfig config = kBaseConfig;
+  Tuner tuner;
+  tuner.register_parameter(&config.ci, kPaperRanges.ci_min,
+                           kPaperRanges.ci_max, 1, "ci");
+  tuner.register_parameter(&config.cb, kPaperRanges.cb_min,
+                           kPaperRanges.cb_max, 1, "cb");
+  if (seed_entry != nullptr) {
+    std::vector<std::int64_t> values = {kBaseConfig.ci, kBaseConfig.cb};
+    for (const auto& [pname, value] : seed_entry->params) {
+      if (pname == "ci") values[0] = value;
+      else if (pname == "cb") values[1] = value;
+    }
+    tuner.warm_start(values);
+  }
+
+  const double threshold = 1.05 * target_cost;
+  double best_cost = 0.0;
+  Stopwatch wall;
+  wall.start();
+  for (std::size_t i = 1; i <= budget; ++i) {
+    tuner.apply_next();
+    const double cost = model.cost(CostModel::measure(w, config, pool));
+    tuner.record(cost);
+    ++result.evaluations;
+    if (result.evaluations == 1 || cost < best_cost) best_cost = cost;
+    if (result.iterations_to_5pct < 0 && best_cost <= threshold) {
+      result.iterations_to_5pct = static_cast<long>(i);
+      result.seconds_to_5pct = wall.elapsed();
+    }
+    if (result.iterations_to_5pct >= 0 && tuner.converged()) break;
+  }
+  result.final_best_cost = best_cost;
+  return result;
+}
+
+void write_explore_json(const std::string& path, float detail,
+                        float target_detail, std::size_t library_cells,
+                        const SweepResult& library, const SweepResult& target,
+                        const std::vector<ArmResult>& arms,
+                        bool warm_faster) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(out,
+               "{\n\"scene\": \"bunny\",\n\"library_detail\": %.4f,\n"
+               "\"target_detail\": %.4f,\n\"sweep_cells\": %zu,\n"
+               "\"library_sweep_best_cost\": %.6f,\n"
+               "\"target_sweep_best_cost\": %.6f,\n\"arms\": [\n",
+               detail, target_detail, library_cells + target.cells,
+               library.best_cost, target.best_cost);
+  for (std::size_t i = 0; i < arms.size(); ++i) {
+    const ArmResult& a = arms[i];
+    std::fprintf(out,
+                 "  {\"arm\": \"%s\", \"match_kind\": \"%s\", "
+                 "\"match_distance\": %.6f, \"iterations_to_5pct\": %ld, "
+                 "\"seconds_to_5pct\": %.6f, \"final_best_cost\": %.6f, "
+                 "\"evaluations\": %zu}%s\n",
+                 a.arm.c_str(), a.match_kind.c_str(), a.match_distance,
+                 a.iterations_to_5pct, a.seconds_to_5pct, a.final_best_cost,
+                 a.evaluations, i + 1 < arms.size() ? "," : "");
+  }
+  std::fprintf(out, "],\n\"warm_faster_than_cold\": %s\n}\n",
+               warm_faster ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = BenchOptions::parse(argc, argv);
+  opts.describe(
+      "BENCH_explore: cold vs exact-hit vs NN-warm iterations to reach "
+      "within 5% of the sweep-best configuration (deterministic cost model)");
+
+  const float detail = kdtune_ci_small() ? 0.5f * opts.detail : opts.detail;
+  const float target_detail = 0.85f * detail;
+  const int rays = kdtune_ci_small() ? 96 : 256;
+  ThreadPool pool(opts.threads);
+
+  // The offline library holds sweeps at several detail levels, as a real
+  // explorer database would; the target detail falls between two of them,
+  // so the NN lookup always has a genuine near neighbor.
+  const float library_scales[] = {1.0f, 0.9f, 0.8f};
+  const Workload target = make_workload(target_detail, rays, opts.seed ^ 0x9E);
+  const HardwareDescriptor hw = HardwareDescriptor::detect(pool.concurrency());
+
+  // --- Phase 1: offline sweeps of the library scenes into the database -----
+  ConfigDatabase db;
+  std::vector<Workload> libraries;
+  SweepResult library_sweep{};
+  CostModel library_model;
+  std::size_t library_cells = 0;
+  for (const float scale : library_scales) {
+    const float lib_detail = scale * detail;
+    libraries.push_back(make_workload(lib_detail, rays, opts.seed));
+    const Workload& lib = libraries.back();
+    const CostModel lib_model = calibrate(lib, pool);
+    const SweepResult lib_sweep = sweep(lib, lib_model, pool);
+    if (libraries.size() == 1) {
+      library_sweep = lib_sweep;
+      library_model = lib_model;
+    }
+    library_cells += lib_sweep.cells;
+    char scene_name[32];
+    std::snprintf(scene_name, sizeof(scene_name), "bunny@%.4f", lib_detail);
+    ConfigDatabase::Entry entry;
+    entry.workload = "build";
+    entry.scene = scene_name;
+    entry.builder = std::string(to_string(Algorithm::kInPlace));
+    entry.backend = "compact";
+    entry.hw = hw;
+    entry.features = lib.features;
+    entry.params = {{"ci", lib_sweep.best.ci}, {"cb", lib_sweep.best.cb}};
+    entry.seconds = lib_sweep.best_cost;
+    db.store(std::move(entry));
+    std::printf(
+        "library sweep %s: %zu cells, best CI=%lld CB=%lld cost %.4f\n",
+        scene_name, lib_sweep.cells, static_cast<long long>(lib_sweep.best.ci),
+        static_cast<long long>(lib_sweep.best.cb), lib_sweep.best_cost);
+  }
+
+  // The target scene's own exhaustive best is the arms' 5% reference.
+  const CostModel target_model = calibrate(target, pool);
+  const SweepResult target_sweep = sweep(target, target_model, pool);
+  std::printf(
+      "target sweep:  %zu cells, best CI=%lld CB=%lld cost %.4f\n",
+      target_sweep.cells, static_cast<long long>(target_sweep.best.ci),
+      static_cast<long long>(target_sweep.best.cb), target_sweep.best_cost);
+
+  std::vector<ArmResult> arms;
+
+  // --- Arm "exact_hit": the library scene itself — direct reuse ------------
+  {
+    ArmResult exact;
+    exact.arm = "exact_hit";
+    const auto match = db.nearest(
+        "build", libraries[0].features, hw,
+        std::string(to_string(Algorithm::kInPlace)), "compact");
+    exact.match_kind = kind_name(match.kind);
+    exact.match_distance = match.distance;
+    if (match.kind == ConfigDatabase::MatchKind::kExact) {
+      // No tuning at all: the stored configuration is applied as-is.
+      exact.iterations_to_5pct = 0;
+      exact.seconds_to_5pct = 0.0;
+      BuildConfig reused = kBaseConfig;
+      for (const auto& [pname, value] : match.entry->params) {
+        if (pname == "ci") reused.ci = value;
+        else if (pname == "cb") reused.cb = value;
+        else if (pname == "s") reused.s = value;
+      }
+      exact.final_best_cost =
+          library_model.cost(CostModel::measure(libraries[0], reused, pool));
+      exact.evaluations = 1;
+    }
+    arms.push_back(exact);
+  }
+
+  // --- Arms "cold" / "nn_warm": tuning the target scene --------------------
+  const std::size_t budget = opts.iterations;
+  arms.push_back(run_arm("cold", target, target_model, target_sweep.best_cost,
+                         budget, pool, nullptr));
+  {
+    // The target detail sits between two library detail levels, so this
+    // lookup finds a near neighbor at the database's default threshold.
+    const auto match = db.nearest(
+        "build", target.features, hw,
+        std::string(to_string(Algorithm::kInPlace)), "compact");
+    const ConfigDatabase::Entry* seed =
+        (match.entry != nullptr && match.kind != ConfigDatabase::MatchKind::kFar)
+            ? match.entry
+            : nullptr;
+    ArmResult warm = run_arm("nn_warm", target, target_model,
+                             target_sweep.best_cost, budget, pool, seed);
+    warm.match_kind = kind_name(match.kind);
+    warm.match_distance = match.distance;
+    arms.push_back(warm);
+  }
+
+  print_banner("BENCH_explore: iterations to reach within 5% of sweep best");
+  TextTable table({"arm", "match", "distance", "iters to 5%", "seconds to 5%",
+                   "final best cost", "evals"});
+  for (const ArmResult& a : arms) {
+    table.add_row({a.arm, a.match_kind, fmt(a.match_distance, 3),
+                   std::to_string(a.iterations_to_5pct),
+                   fmt(a.seconds_to_5pct, 3), fmt(a.final_best_cost, 4),
+                   std::to_string(a.evaluations)});
+  }
+  table.print();
+
+  const ArmResult& cold = arms[1];
+  const ArmResult& warm = arms[2];
+  const bool warm_faster =
+      warm.iterations_to_5pct >= 0 &&
+      (cold.iterations_to_5pct < 0 ||
+       warm.iterations_to_5pct < cold.iterations_to_5pct);
+  std::printf("nn_warm %ld iteration(s) vs cold %ld: %s\n",
+              warm.iterations_to_5pct, cold.iterations_to_5pct,
+              warm_faster ? "warm start converges strictly faster"
+                          : "WARM START DID NOT HELP");
+
+  write_explore_json("BENCH_explore.json", detail, target_detail,
+                     library_cells, library_sweep, target_sweep, arms,
+                     warm_faster);
+  return warm_faster ? 0 : 1;
+}

@@ -42,6 +42,9 @@
 #include "kdtree/wide_tree.hpp"      // 4/8-wide SIMD collapse of the compact tree
 #include "obs/trace.hpp"             // run-wide tracing (Chrome trace JSON)
 #include "obs/tuner_log.hpp"         // per-iteration tuner decision log
+#include "dse/config_db.hpp"         // feature-keyed cross-scene config store
+#include "dse/explore.hpp"           // offline design-space sweep driver
+#include "dse/features.hpp"          // scene/hardware descriptors (DB keys)
 #include "dynamic/frame_pipeline.hpp"  // overlapped rebuild/query frame loop
 #include "dynamic/frame_tuner.hpp"     // cross-frame autotuning + selection
 #include "parallel/parallel_for.hpp"

@@ -1,5 +1,11 @@
 #include "core/platform.hpp"
 
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace kdtune {
 
 std::vector<Platform> paper_platforms() {
@@ -12,5 +18,18 @@ std::vector<Platform> paper_platforms() {
 }
 
 Platform opteron_platform() { return paper_platforms().front(); }
+
+unsigned host_core_count() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+unsigned host_cache_line_bytes() noexcept {
+#if defined(_SC_LEVEL1_DCACHE_LINESIZE)
+  const long reported = sysconf(_SC_LEVEL1_DCACHE_LINESIZE);
+  if (reported > 0) return static_cast<unsigned>(reported);
+#endif
+  return 64;
+}
 
 }  // namespace kdtune

@@ -25,4 +25,14 @@ std::vector<Platform> paper_platforms();
 /// the dual AMD Opteron 6168, 24 hardware threads.
 Platform opteron_platform();
 
+/// Physical properties of the *host* (as opposed to the virtual platforms
+/// above): inputs of the design-space explorer's HardwareDescriptor
+/// (src/dse/features.hpp), which keys the portable config database.
+
+/// Hardware threads of this host (>= 1; hardware_concurrency with a floor).
+unsigned host_core_count() noexcept;
+
+/// L1 data cache line size in bytes; 64 when the OS does not report it.
+unsigned host_cache_line_bytes() noexcept;
+
 }  // namespace kdtune

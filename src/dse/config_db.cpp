@@ -1,0 +1,485 @@
+#include "dse/config_db.hpp"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace kdtune {
+
+namespace {
+
+// --- minimal JSON for the JSONL line format -------------------------------
+//
+// The writer emits a fixed field order with plain ASCII strings, and the
+// reader below parses general JSON values (objects, arrays, strings,
+// numbers, literals) strictly enough to reject hand-mangled lines. Numbers
+// keep their raw token so integer fields round-trip through strtoll without
+// a double detour.
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw;  ///< number token / string payload
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("ConfigDatabase: JSON error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue key = string_value();
+      skip_ws();
+      expect(':');
+      v.members.emplace_back(std::move(key.raw), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    expect('"');
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("bad escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': v.raw.push_back('"'); break;
+          case '\\': v.raw.push_back('\\'); break;
+          case '/': v.raw.push_back('/'); break;
+          case 'b': v.raw.push_back('\b'); break;
+          case 'f': v.raw.push_back('\f'); break;
+          case 'n': v.raw.push_back('\n'); break;
+          case 'r': v.raw.push_back('\r'); break;
+          case 't': v.raw.push_back('\t'); break;
+          default: fail("unsupported escape");
+        }
+      } else {
+        v.raw.push_back(c);
+      }
+    }
+  }
+
+  JsonValue boolean() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue null() {
+    JsonValue v;
+    if (s_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return v;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool digits = false;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(s_[pos_]))) digits = true;
+      ++pos_;
+    }
+    if (!digits) fail("bad number");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.raw = s_.substr(start, pos_ - start);
+    v.number = std::strtod(v.raw.c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+std::string double_token(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+const JsonValue& require(const JsonValue& obj, const std::string& key,
+                         JsonValue::Type type) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->type != type) {
+    throw std::runtime_error("ConfigDatabase: missing or mistyped field '" +
+                             key + "'");
+  }
+  return *v;
+}
+
+std::int64_t int_of(const JsonValue& v) {
+  if (v.type != JsonValue::Type::kNumber) {
+    throw std::runtime_error("ConfigDatabase: expected integer");
+  }
+  return std::strtoll(v.raw.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+std::string ConfigDatabase::Entry::key() const {
+  return workload + "|" + scene + "|" + builder + "|" + backend + "|" +
+         hw.id();
+}
+
+bool ConfigDatabase::store(Entry entry) {
+  const std::string key = entry.key();
+  if (key.find('\n') != std::string::npos) {
+    throw std::invalid_argument("ConfigDatabase: key must not contain newline");
+  }
+  const auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.seconds <= entry.seconds) return false;
+  entries_[key] = std::move(entry);
+  return true;
+}
+
+std::optional<ConfigDatabase::Entry> ConfigDatabase::lookup(
+    const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+ConfigDatabase::Match ConfigDatabase::nearest(
+    const std::string& workload, const SceneFeatures& features,
+    const HardwareDescriptor& hw, const std::string& builder,
+    const std::string& backend, double near_threshold) const {
+  Match best;
+  double best_distance = std::numeric_limits<double>::infinity();
+  for (const auto& [key, entry] : entries_) {
+    if (entry.workload != workload) continue;
+    if (!builder.empty() && entry.builder != builder) continue;
+    if (!backend.empty() && entry.backend != backend) continue;
+    const double d =
+        feature_distance(entry.features, features) +
+        hardware_distance(entry.hw, hw);
+    if (d < best_distance) {
+      best_distance = d;
+      best.entry = &entry;
+    }
+  }
+  if (best.entry == nullptr) return best;
+  best.distance = best_distance;
+  if (best.entry->features == features && best.entry->hw == hw) {
+    best.kind = MatchKind::kExact;
+  } else if (best_distance <= near_threshold) {
+    best.kind = MatchKind::kNear;
+  } else {
+    best.kind = MatchKind::kFar;
+  }
+  return best;
+}
+
+std::vector<const ConfigDatabase::Entry*> ConfigDatabase::entries() const {
+  std::vector<const Entry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(&entry);
+  return out;
+}
+
+void ConfigDatabase::save(std::ostream& out) const {
+  out << "{\"format\":\"kdtune-configdb\",\"version\":" << kFormatVersion
+      << "}\n";
+  for (const auto& [key, entry] : entries_) {
+    std::string line = "{\"workload\":";
+    append_escaped(line, entry.workload);
+    line += ",\"scene\":";
+    append_escaped(line, entry.scene);
+    line += ",\"builder\":";
+    append_escaped(line, entry.builder);
+    line += ",\"backend\":";
+    append_escaped(line, entry.backend);
+    line += ",\"hw\":{\"threads\":" + std::to_string(entry.hw.threads) +
+            ",\"cores\":" + std::to_string(entry.hw.cores) + ",\"simd\":";
+    append_escaped(line, to_string(entry.hw.simd));
+    line += ",\"cache_line\":" + std::to_string(entry.hw.cache_line) + "}";
+    line += ",\"prims\":" + std::to_string(entry.features.prim_count);
+    line += ",\"features\":[";
+    for (std::size_t i = 0; i < kSceneFeatureCount; ++i) {
+      if (i > 0) line += ",";
+      line += double_token(entry.features.v[i]);
+    }
+    line += "],\"params\":[";
+    for (std::size_t i = 0; i < entry.params.size(); ++i) {
+      if (i > 0) line += ",";
+      line += "[";
+      append_escaped(line, entry.params[i].first);
+      line += "," + std::to_string(entry.params[i].second) + "]";
+    }
+    line += "],\"seconds\":" + double_token(entry.seconds) + "}";
+    out << line << '\n';
+  }
+}
+
+void ConfigDatabase::load(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    JsonValue obj;
+    try {
+      obj = JsonParser(line).parse();
+    } catch (const std::exception& e) {
+      throw std::runtime_error("ConfigDatabase: line " +
+                               std::to_string(line_no) + ": " + e.what());
+    }
+    if (obj.type != JsonValue::Type::kObject) {
+      throw std::runtime_error("ConfigDatabase: line " +
+                               std::to_string(line_no) + ": not an object");
+    }
+    if (!saw_header) {
+      const JsonValue& format =
+          require(obj, "format", JsonValue::Type::kString);
+      if (format.raw != "kdtune-configdb") {
+        throw std::runtime_error("ConfigDatabase: unrecognized format '" +
+                                 format.raw + "'");
+      }
+      const std::int64_t version =
+          int_of(require(obj, "version", JsonValue::Type::kNumber));
+      if (version > kFormatVersion) {
+        throw std::runtime_error("ConfigDatabase: version " +
+                                 std::to_string(version) +
+                                 " is newer than this build understands");
+      }
+      saw_header = true;
+      continue;
+    }
+    Entry entry;
+    entry.workload = require(obj, "workload", JsonValue::Type::kString).raw;
+    entry.scene = require(obj, "scene", JsonValue::Type::kString).raw;
+    entry.builder = require(obj, "builder", JsonValue::Type::kString).raw;
+    entry.backend = require(obj, "backend", JsonValue::Type::kString).raw;
+    const JsonValue& hw = require(obj, "hw", JsonValue::Type::kObject);
+    entry.hw.threads = static_cast<unsigned>(
+        int_of(require(hw, "threads", JsonValue::Type::kNumber)));
+    entry.hw.cores = static_cast<unsigned>(
+        int_of(require(hw, "cores", JsonValue::Type::kNumber)));
+    if (!simd_level_from_string(
+            require(hw, "simd", JsonValue::Type::kString).raw,
+            entry.hw.simd)) {
+      throw std::runtime_error("ConfigDatabase: line " +
+                               std::to_string(line_no) +
+                               ": unknown simd level");
+    }
+    entry.hw.cache_line = static_cast<unsigned>(
+        int_of(require(hw, "cache_line", JsonValue::Type::kNumber)));
+    entry.features.prim_count = static_cast<std::uint64_t>(
+        int_of(require(obj, "prims", JsonValue::Type::kNumber)));
+    const JsonValue& features =
+        require(obj, "features", JsonValue::Type::kArray);
+    if (features.items.size() != kSceneFeatureCount) {
+      throw std::runtime_error("ConfigDatabase: line " +
+                               std::to_string(line_no) +
+                               ": wrong feature count");
+    }
+    for (std::size_t i = 0; i < kSceneFeatureCount; ++i) {
+      if (features.items[i].type != JsonValue::Type::kNumber) {
+        throw std::runtime_error("ConfigDatabase: line " +
+                                 std::to_string(line_no) +
+                                 ": non-numeric feature");
+      }
+      entry.features.v[i] = features.items[i].number;
+    }
+    const JsonValue& params = require(obj, "params", JsonValue::Type::kArray);
+    for (const JsonValue& pair : params.items) {
+      if (pair.type != JsonValue::Type::kArray || pair.items.size() != 2 ||
+          pair.items[0].type != JsonValue::Type::kString) {
+        throw std::runtime_error("ConfigDatabase: line " +
+                                 std::to_string(line_no) + ": bad param pair");
+      }
+      entry.params.emplace_back(pair.items[0].raw, int_of(pair.items[1]));
+    }
+    entry.seconds = require(obj, "seconds", JsonValue::Type::kNumber).number;
+    store(std::move(entry));
+  }
+  if (!saw_header && line_no > 0) {
+    throw std::runtime_error("ConfigDatabase: missing header line");
+  }
+}
+
+void ConfigDatabase::save_file(const std::string& path) const {
+  // Same protocol as ConfigCache::save_file: write a process-unique temp in
+  // the target directory, then rename — readers never see a torn database.
+  namespace fs = std::filesystem;
+  static std::atomic<unsigned> save_serial{0};
+  const fs::path target(path);
+  fs::path tmp(target);
+  tmp += ".tmp" + std::to_string(save_serial.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("ConfigDatabase: cannot write " + tmp.string());
+    }
+    save(out);
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw std::runtime_error("ConfigDatabase: write failed for " +
+                               tmp.string());
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    std::error_code ignored;
+    fs::remove(tmp, ignored);
+    throw std::runtime_error("ConfigDatabase: cannot replace " + path + ": " +
+                             ec.message());
+  }
+}
+
+void ConfigDatabase::load_file(const std::string& path) {
+  // Warm starts are an optimisation, never a dependency: anything wrong
+  // with the file degrades to a warned cold start (ConfigCache contract).
+  if (!std::filesystem::exists(path)) return;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "ConfigDatabase: cannot read %s; starting cold\n",
+                 path.c_str());
+    return;
+  }
+  ConfigDatabase incoming;
+  try {
+    incoming.load(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "ConfigDatabase: ignoring corrupt database %s (%s); "
+                 "starting cold\n",
+                 path.c_str(), e.what());
+    return;
+  }
+  for (auto& [key, entry] : incoming.entries_) {
+    store(std::move(entry));
+  }
+}
+
+}  // namespace kdtune

@@ -1,0 +1,103 @@
+#pragma once
+
+// ConfigDatabase — the portable artifact the offline design-space explorer
+// distills (docs/EXPLORE.md). It maps measurement *contexts* — (scene
+// feature vector, hardware descriptor, workload tag) — to the best known
+// parameter vector and its measured cost, and answers three kinds of
+// lookups:
+//
+//   * exact-key hit: the same (workload, scene, builder, backend, hardware)
+//     context was measured before -> reuse the stored parameters directly;
+//   * near miss: a context within `near_threshold` normalized distance is
+//     known -> warm-start the online search from its parameters and let
+//     Nelder-Mead fine-tune;
+//   * far miss: nothing nearby -> cold start, exactly as without a database.
+//
+// Storage is versioned, human-diffable JSONL: one header line, then one
+// entry per line, in deterministic (sorted-key) order with max_digits10
+// doubles, so save -> load -> save is byte-identical and databases merge
+// cleanly in code review. save_file() is atomic (temp + rename) and
+// load_file() degrades corrupt or unreadable files to a warned cold start —
+// the same durability contract as ConfigCache.
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dse/features.hpp"
+
+namespace kdtune {
+
+class ConfigDatabase {
+ public:
+  static constexpr int kFormatVersion = 1;
+
+  struct Entry {
+    std::string workload;  ///< "build", "serve", ... (free-form tag)
+    std::string scene;     ///< scene id the measurement ran on
+    std::string builder;   ///< builder name ("in-place", "sweep", ...)
+    std::string backend;   ///< query backend name ("compact", "wide8", ...)
+    HardwareDescriptor hw{};
+    SceneFeatures features{};
+    /// Named parameter values, in the workload's registration order (e.g.
+    /// [("ci",17),("cb",10),("s",3)] for a build entry).
+    std::vector<std::pair<std::string, std::int64_t>> params;
+    double seconds = 0.0;  ///< measured cost of `params` in this context
+
+    /// The storage key: workload|scene|builder|backend|hw-id.
+    std::string key() const;
+  };
+
+  enum class MatchKind { kExact, kNear, kFar };
+
+  struct Match {
+    MatchKind kind = MatchKind::kFar;
+    double distance = 0.0;   ///< feature + hardware distance (0 for exact)
+    const Entry* entry = nullptr;  ///< null iff no candidate exists at all
+  };
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  /// Records `entry` if its context is new or it is faster than the stored
+  /// entry for the same key. Returns true if the database changed.
+  bool store(Entry entry);
+
+  /// The entry for an exact storage key, if any.
+  std::optional<Entry> lookup(const std::string& key) const;
+
+  /// Nearest entry with the given workload tag (and, when non-empty, the
+  /// given builder/backend), ranked by feature distance plus hardware
+  /// penalty. kExact requires a bit-identical feature vector and identical
+  /// hardware; kNear is distance <= near_threshold. `entry` stays valid
+  /// until the database is mutated.
+  Match nearest(const std::string& workload, const SceneFeatures& features,
+                const HardwareDescriptor& hw, const std::string& builder = {},
+                const std::string& backend = {},
+                double near_threshold = kDefaultNearThreshold) const;
+
+  static constexpr double kDefaultNearThreshold = 0.35;
+
+  /// All entries, in key order (tooling / bench iteration).
+  std::vector<const Entry*> entries() const;
+
+  void save(std::ostream& out) const;
+  void load(std::istream& in);  ///< strict: throws on malformed input
+
+  /// Atomic write (temp + rename), like ConfigCache::save_file.
+  void save_file(const std::string& path) const;
+  /// Missing files load nothing; unreadable/corrupt files warn to stderr
+  /// and load nothing (cold start) instead of failing startup.
+  void load_file(const std::string& path);
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace kdtune

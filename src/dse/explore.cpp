@@ -1,0 +1,561 @@
+#include "dse/explore.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "bvh/bvh.hpp"
+#include "kdtree/builder.hpp"
+#include "kdtree/compact_tree.hpp"
+#include "kdtree/query_backend.hpp"
+#include "kdtree/tree.hpp"
+#include "kdtree/wide_tree.hpp"
+#include "obs/trace.hpp"
+#include "obs/tuner_log.hpp"
+#include "parallel/thread_pool.hpp"
+#include "scene/generators.hpp"
+#include "serve/query_service.hpp"
+#include "serve/scene_registry.hpp"
+#include "shard/shard_router.hpp"
+
+namespace kdtune {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// SplitMix64 — deterministic probe-load generation, independent of the
+/// standard library's distribution implementations.
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+  double uniform() {  // [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+};
+
+std::unique_ptr<Builder> builder_by_name(const std::string& name) {
+  if (name == "median") return make_median_builder();
+  if (name == "sweep") return make_sweep_builder();
+  if (name == "event") return make_event_builder();
+  return make_builder(algorithm_from_string(name));  // throws on unknown
+}
+
+struct Cell {
+  enum class Kind { kBuild, kServe };
+  Kind kind = Kind::kBuild;
+  std::string scene;
+  std::string builder;  ///< build cells
+  std::string backend;  ///< build cells ("native" = builder's own layout)
+  std::int64_t ci = 0, cb = 0, s = 0, r = 0;
+  std::int64_t batch = 0, flush_us = 0, range_batch = 0;  ///< serve cells
+  std::int64_t shards = 1, fanout = 0;
+
+  /// The resume key. Thread count and detail are part of it: a sweep re-run
+  /// under a different pool width or geometry scale must re-measure, not
+  /// trust cells from the old context.
+  std::string key(unsigned threads, float detail) const {
+    char suffix[64];
+    std::snprintf(suffix, sizeof(suffix), "|t=%u|d=%g", threads,
+                  static_cast<double>(detail));
+    if (kind == Kind::kBuild) {
+      std::string k = "build|" + scene + "|" + builder + "|" + backend +
+                      "|ci=" + std::to_string(ci) +
+                      ";cb=" + std::to_string(cb) + ";s=" + std::to_string(s);
+      if (builder == "lazy") k += ";r=" + std::to_string(r);
+      return k + suffix;
+    }
+    return "serve|" + scene + "|batch=" + std::to_string(batch) +
+           ";flush=" + std::to_string(flush_us) +
+           ";rb=" + std::to_string(range_batch) +
+           ";sh=" + std::to_string(shards) + ";fo=" + std::to_string(fanout) +
+           suffix;
+  }
+};
+
+std::vector<Cell> enumerate_cells(const ExploreOptions& opts) {
+  std::vector<Cell> cells;
+  const ExploreGrid& g = opts.grid;
+  for (const std::string& scene : opts.scenes) {
+    if (opts.sweep_build) {
+      for (const std::string& builder : g.builders) {
+        const bool lazy = builder == "lazy";
+        for (std::int64_t ci : g.ci) {
+          for (std::int64_t cb : g.cb) {
+            for (std::int64_t s : g.s) {
+              Cell c;
+              c.kind = Cell::Kind::kBuild;
+              c.scene = scene;
+              c.builder = builder;
+              c.ci = ci;
+              c.cb = cb;
+              c.s = s;
+              if (lazy) {
+                // Lazy trees expand in place and serve their own layout;
+                // the backend axis is replaced by the R axis.
+                c.backend = "native";
+                for (std::int64_t r : g.r) {
+                  c.r = r;
+                  cells.push_back(c);
+                }
+              } else {
+                for (const std::string& backend : g.backends) {
+                  c.backend = backend;
+                  cells.push_back(c);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+    if (opts.sweep_serve) {
+      for (std::int64_t batch : g.serve_batch) {
+        for (std::int64_t flush : g.serve_flush_us) {
+          for (std::int64_t rb : g.serve_range_batch) {
+            for (std::int64_t sh : g.serve_shards) {
+              Cell c;
+              c.kind = Cell::Kind::kServe;
+              c.scene = scene;
+              c.batch = batch;
+              c.flush_us = flush;
+              c.range_batch = rb;
+              c.shards = sh;
+              if (sh <= 1) {
+                cells.push_back(c);
+              } else {
+                // The fanout cap only exists once there are shards to fan
+                // out over, so the axis multiplies sharded cells only.
+                for (std::int64_t fo : g.serve_fanout) {
+                  c.fanout = fo;
+                  cells.push_back(c);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+/// Per-scene state, built lazily the first time a cell needs it.
+struct SceneState {
+  Scene scene;
+  SceneFeatures features;
+  std::vector<Ray> rays;    ///< shared probe load: costs stay comparable
+  std::vector<AABB> boxes;  ///< range-query probe load
+};
+
+/// The last eager build, memoized so the backend axis re-emits layouts
+/// instead of repeating an identical SAH build per backend cell. The
+/// memoized build/compact times are charged to every cell that reuses
+/// them — each cell's cost is what a cold service would pay end to end.
+struct BuiltTree {
+  std::string key;
+  std::unique_ptr<KdTreeBase> tree;
+  const KdTree* eager = nullptr;
+  std::shared_ptr<const CompactKdTree> compact;
+  double build_seconds = 0.0;
+  double compact_seconds = 0.0;
+};
+
+Ray make_probe_ray(SplitMix64& rng, const AABB& box) {
+  const Vec3 ext = box.extent();
+  const Vec3 mid = box.center();
+  const float radius =
+      0.75f * std::sqrt(ext.x * ext.x + ext.y * ext.y + ext.z * ext.z);
+  // Origin on a sphere around the scene, aimed at a random interior point.
+  const double u = rng.uniform() * 2.0 - 1.0;
+  const double phi = rng.uniform() * 6.28318530717958647692;
+  const double sin_theta = std::sqrt(std::max(0.0, 1.0 - u * u));
+  const Vec3 origin{mid.x + radius * static_cast<float>(sin_theta *
+                                                        std::cos(phi)),
+                    mid.y + radius * static_cast<float>(sin_theta *
+                                                        std::sin(phi)),
+                    mid.z + radius * static_cast<float>(u)};
+  const Vec3 target{
+      box.lo.x + ext.x * static_cast<float>(rng.uniform()),
+      box.lo.y + ext.y * static_cast<float>(rng.uniform()),
+      box.lo.z + ext.z * static_cast<float>(rng.uniform())};
+  return Ray(origin, target - origin);
+}
+
+AABB make_probe_box(SplitMix64& rng, const AABB& box) {
+  const Vec3 ext = box.extent();
+  Vec3 lo, hi;
+  const float* e = &ext.x;
+  const float* bl = &box.lo.x;
+  float* plo = &lo.x;
+  float* phi = &hi.x;
+  for (int a = 0; a < 3; ++a) {
+    const float size = e[a] * (0.02f + 0.08f * static_cast<float>(rng.uniform()));
+    const float at = bl[a] + (e[a] - size) * static_cast<float>(rng.uniform());
+    plo[a] = at;
+    phi[a] = at + size;
+  }
+  return AABB(lo, hi);
+}
+
+SceneState& scene_state(std::map<std::string, SceneState>& cache,
+                        const std::string& id, const ExploreOptions& opts) {
+  auto it = cache.find(id);
+  if (it != cache.end()) return it->second;
+  SceneState state;
+  state.scene = make_scene(id, opts.detail)->frame(0);
+  state.features = SceneFeatures::extract(state.scene.triangles());
+  SplitMix64 rng{opts.seed ^ std::hash<std::string>{}(id)};
+  const AABB bounds = state.scene.bounds();
+  const std::size_t probes = std::max(opts.build_rays, opts.serve_requests);
+  state.rays.reserve(probes);
+  for (std::size_t i = 0; i < probes; ++i) {
+    state.rays.push_back(make_probe_ray(rng, bounds));
+  }
+  state.boxes.reserve(probes / 4 + 1);
+  for (std::size_t i = 0; i < probes / 4 + 1; ++i) {
+    state.boxes.push_back(make_probe_box(rng, bounds));
+  }
+  return cache.emplace(id, std::move(state)).first->second;
+}
+
+BuildConfig config_for(const Cell& cell) {
+  BuildConfig config;
+  config.ci = cell.ci;
+  config.cb = cell.cb;
+  config.s = cell.s;
+  if (cell.r > 0) config.r = cell.r;
+  return config;
+}
+
+BuildConfig best_build_config(const ConfigDatabase& db,
+                              const SceneFeatures& features,
+                              const HardwareDescriptor& hw) {
+  const auto match = db.nearest("build", features, hw, "in-place", "compact");
+  if (match.entry == nullptr) return kBaseConfig;
+  BuildConfig config = kBaseConfig;
+  for (const auto& [name, value] : match.entry->params) {
+    if (name == "ci") config.ci = value;
+    if (name == "cb") config.cb = value;
+    if (name == "s") config.s = value;
+    if (name == "r") config.r = value;
+  }
+  return config;
+}
+
+/// Measures one build cell: timed build (+ layout emission) + the shared
+/// probe-ray load on the resulting serving tree. Returns the cell cost in
+/// seconds, or a negative value when the builder's output cannot express
+/// the requested backend (the cell is recorded as done but yields no entry).
+double measure_build_cell(const Cell& cell, SceneState& state,
+                          BuiltTree& built, ThreadPool& pool,
+                          std::size_t rays) {
+  const std::string build_key =
+      cell.scene + "|" + cell.builder + "|" + std::to_string(cell.ci) + "," +
+      std::to_string(cell.cb) + "," + std::to_string(cell.s) + "," +
+      std::to_string(cell.r);
+  if (built.key != build_key) {
+    built = BuiltTree{};
+    built.key = build_key;
+    const auto builder = builder_by_name(cell.builder);
+    const auto start = Clock::now();
+    built.tree =
+        builder->build(state.scene.triangles(), config_for(cell), pool);
+    built.build_seconds = seconds_since(start);
+    built.eager = dynamic_cast<const KdTree*>(built.tree.get());
+  }
+
+  double emit_seconds = 0.0;
+  const KdTreeBase* query_tree = built.tree.get();
+  std::shared_ptr<const KdTreeBase> emitted;  // keeps wide/bvh trees alive
+  if (cell.backend != "native") {
+    if (cell.backend == "bvh") {
+      const auto start = Clock::now();
+      emitted = build_bvh(state.scene.triangles(), BvhConfig{}, pool);
+      emit_seconds = seconds_since(start);
+      query_tree = emitted.get();
+    } else {
+      if (built.eager == nullptr) return -1.0;  // cannot re-emit this layout
+      if (!built.compact) {
+        const auto start = Clock::now();
+        built.compact = std::make_shared<const CompactKdTree>(*built.eager);
+        built.compact_seconds = seconds_since(start);
+      }
+      emit_seconds = built.compact_seconds;
+      if (cell.backend == "compact") {
+        query_tree = built.compact.get();
+      } else {
+        QueryBackend backend;
+        if (!backend_from_string(cell.backend, backend)) {
+          throw std::invalid_argument("explore: unknown backend " +
+                                      cell.backend);
+        }
+        const auto start = Clock::now();
+        emitted = make_wide_tree(built.compact, backend);
+        emit_seconds += seconds_since(start);
+        query_tree = emitted.get();
+      }
+    }
+  }
+
+  const std::size_t n = std::min(rays, state.rays.size());
+  std::size_t hits = 0;
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (query_tree->closest_hit(state.rays[i]).valid()) ++hits;
+  }
+  double query_seconds = seconds_since(start);
+  (void)hits;
+  return built.build_seconds + emit_seconds + query_seconds;
+}
+
+/// Measures one serve cell: seconds per completed request under a mixed
+/// closed-loop load (3:1 closest-hit : range) against a fresh service or
+/// shard router configured with the cell's knobs.
+double measure_serve_cell(const Cell& cell, SceneState& state,
+                          SceneRegistry& registry, ThreadPool& pool,
+                          const BuildConfig& build_config,
+                          std::size_t requests) {
+  ServingParams params;
+  params.batch_size = cell.batch;
+  params.flush_timeout_us = cell.flush_us;
+  params.family[static_cast<std::size_t>(QueryKind::kRange)].batch_size =
+      cell.range_batch;
+
+  std::vector<std::future<QueryResponse>> inflight;
+  inflight.reserve(64);
+  std::uint64_t completed = 0;
+  double elapsed = 0.0;
+
+  const auto drain = [&] {
+    for (auto& f : inflight) {
+      if (f.get().status == QueryStatus::kOk) ++completed;
+    }
+    inflight.clear();
+  };
+
+  if (cell.shards <= 1) {
+    ServiceOptions sopts;
+    sopts.params = params;
+    QueryService service(registry, pool, sopts);
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < requests; ++i) {
+      if (i % 4 == 3) {
+        inflight.push_back(service.submit_range(
+            cell.scene, state.boxes[(i / 4) % state.boxes.size()]));
+      } else {
+        inflight.push_back(service.submit_closest_hit(
+            cell.scene, state.rays[i % state.rays.size()]));
+      }
+      if (inflight.size() >= 64) drain();
+    }
+    drain();
+    elapsed = seconds_since(start);
+  } else {
+    const auto tris = state.scene.triangles();
+    ShardRouterOptions ropts;
+    ropts.shard_count = static_cast<int>(cell.shards);
+    ropts.fanout_cap = static_cast<int>(cell.fanout);
+    ropts.router_threads = 2;
+    ropts.config = build_config;
+    ropts.shard_service.params = params;
+    ShardRouter router(std::vector<Triangle>(tris.begin(), tris.end()),
+                       ropts);
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < requests; ++i) {
+      if (i % 4 == 3) {
+        inflight.push_back(router.submit_range(
+            "explore", state.boxes[(i / 4) % state.boxes.size()]));
+      } else {
+        inflight.push_back(router.submit_closest_hit(
+            "explore", state.rays[i % state.rays.size()]));
+      }
+      if (inflight.size() >= 64) drain();
+    }
+    drain();
+    elapsed = seconds_since(start);
+  }
+  if (completed == 0) return -1.0;  // nothing served; no entry to record
+  return elapsed / static_cast<double>(completed);
+}
+
+ConfigDatabase::Entry entry_for(const Cell& cell, const SceneState& state,
+                                const HardwareDescriptor& hw,
+                                double seconds) {
+  ConfigDatabase::Entry entry;
+  entry.scene = cell.scene;
+  entry.hw = hw;
+  entry.features = state.features;
+  entry.seconds = seconds;
+  if (cell.kind == Cell::Kind::kBuild) {
+    entry.workload = "build";
+    entry.builder = cell.builder;
+    entry.backend = cell.backend;
+    entry.params = {{"ci", cell.ci}, {"cb", cell.cb}, {"s", cell.s}};
+    if (cell.builder == "lazy") entry.params.emplace_back("r", cell.r);
+  } else {
+    entry.workload = "serve";
+    entry.builder = "in-place";
+    entry.backend = "compact";
+    entry.params = {{"batch_size", cell.batch},
+                    {"flush_timeout_us", cell.flush_us},
+                    {"range.batch_size", cell.range_batch},
+                    {"shard_count", cell.shards},
+                    {"fanout_cap", cell.fanout}};
+  }
+  return entry;
+}
+
+}  // namespace
+
+ExploreGrid ExploreGrid::coarse() {
+  ExploreGrid g;
+  g.ci = {3, 17, 49, 101};
+  g.cb = {0, 10, 30, 60};
+  g.s = {1, 3, 8};
+  g.r = {16, 256, 4096};
+  g.builders = explore_builder_names();
+  g.backends = {"compact", "wide4", "wide8", "bvh"};
+  g.serve_batch = {1, 16, 128};
+  g.serve_flush_us = {0, 200};
+  g.serve_range_batch = {0, 16};
+  g.serve_shards = {1, 2};
+  g.serve_fanout = {0, 1};
+  return g;
+}
+
+ExploreGrid ExploreGrid::smoke() {
+  ExploreGrid g;
+  g.ci = {17, 49};
+  g.cb = {10};
+  g.s = {3};
+  g.r = {4096};
+  g.builders = {"in-place", "sweep"};
+  g.backends = {"compact", "wide8"};
+  g.serve_batch = {1, 16};
+  g.serve_flush_us = {0};
+  g.serve_range_batch = {0};
+  g.serve_shards = {1};
+  g.serve_fanout = {0};
+  return g;
+}
+
+const std::vector<std::string>& explore_builder_names() {
+  static const std::vector<std::string> names{
+      "node-level", "nested", "in-place", "lazy", "median", "sweep", "event"};
+  return names;
+}
+
+ExploreStats run_explore(const ExploreOptions& opts, ConfigDatabase& db) {
+  const std::vector<Cell> cells = enumerate_cells(opts);
+  ExploreStats stats;
+  stats.cells_total = cells.size();
+
+  const std::string progress_path =
+      !opts.progress_path.empty()
+          ? opts.progress_path
+          : (opts.db_path.empty() ? std::string() : opts.db_path + ".progress");
+  std::unordered_set<std::string> done;
+  if (!progress_path.empty()) {
+    std::ifstream in(progress_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) done.insert(line);
+    }
+  }
+  std::ofstream progress;
+  if (!progress_path.empty()) {
+    progress.open(progress_path, std::ios::app);
+    if (!progress) {
+      throw std::runtime_error("explore: cannot write progress file " +
+                               progress_path);
+    }
+  }
+
+  ThreadPool pool(opts.threads);
+  const HardwareDescriptor hw = HardwareDescriptor::detect(opts.threads);
+  std::map<std::string, SceneState> scenes;
+  BuiltTree built;
+  // One registry shared by the unsharded serve cells; scenes are admitted
+  // lazily with the best build configuration the database knows so far.
+  SceneRegistry registry(pool);
+  std::uint64_t log_iteration = 0;
+
+  for (const Cell& cell : cells) {
+    const std::string key = cell.key(opts.threads, opts.detail);
+    if (done.count(key) != 0) {
+      ++stats.cells_skipped;
+      continue;
+    }
+    if (opts.max_cells != 0 && stats.cells_run >= opts.max_cells) continue;
+
+    SceneState& state = scene_state(scenes, cell.scene, opts);
+    double seconds = -1.0;
+    {
+      TraceSpan span("explore.cell", "explore");
+      if (cell.kind == Cell::Kind::kBuild) {
+        seconds =
+            measure_build_cell(cell, state, built, pool, opts.build_rays);
+      } else {
+        const BuildConfig config = best_build_config(db, state.features, hw);
+        if (!registry.acquire(cell.scene)) {
+          AdmitOptions aopts;
+          aopts.algorithm = Algorithm::kInPlace;
+          aopts.config = config;
+          registry.admit(cell.scene, state.scene, aopts);
+        }
+        seconds = measure_serve_cell(cell, state, registry, pool, config,
+                                     opts.serve_requests);
+      }
+    }
+    ++stats.cells_run;
+
+    if (seconds >= 0.0) {
+      const ConfigDatabase::Entry entry = entry_for(cell, state, hw, seconds);
+      if (db.store(entry)) ++stats.db_updates;
+      if (opts.log != nullptr) {
+        TunerLog::Record record;
+        record.tuner = "explore:" + cell.scene +
+                       (cell.kind == Cell::Kind::kBuild
+                            ? ":" + cell.builder
+                            : std::string(":serve"));
+        record.iteration = log_iteration++;
+        record.params = entry.params;
+        record.seconds = seconds;
+        record.status = "measured";
+        record.phase = "sweep";
+        if (cell.kind == Cell::Kind::kBuild && cell.backend != "native") {
+          record.backend = cell.backend;
+        }
+        opts.log->log(record);
+      }
+    }
+
+    // Checkpoint: the database first, the progress line second — a crash
+    // between the two re-measures one cell instead of losing one.
+    if (!opts.db_path.empty()) db.save_file(opts.db_path);
+    if (progress.is_open()) {
+      progress << key << '\n';
+      progress.flush();
+    }
+  }
+  return stats;
+}
+
+}  // namespace kdtune

@@ -1,0 +1,88 @@
+#pragma once
+
+// Offline design-space explorer (docs/EXPLORE.md). Sweeps a coarse grid over
+// the paper's Table II parameter space crossed with every builder, every
+// serving query backend, and the serving-layer knobs (batch size, flush
+// timeout, a per-family override, shard count, fanout cap) across the
+// generator scene classes, and distills the measurements into a
+// ConfigDatabase the online tuners warm-start from.
+//
+// The sweep is resumable: every measured cell appends its key to a progress
+// file and checkpoints the database, so an interrupted run picks up where it
+// left off instead of repeating days of measurement. Cell keys carry the
+// thread count and detail scale — changing either re-measures rather than
+// trusting stale cells.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/config_db.hpp"
+
+namespace kdtune {
+
+class TunerLog;
+
+/// The swept axes. Build cells are the cross product
+/// builders x ci x cb x s x backends (r replaces the backend axis meaning
+/// for the lazy builder, which serves its own layout); serve cells are
+/// batch x flush x range-override x shards (x fanout when sharded).
+struct ExploreGrid {
+  std::vector<std::int64_t> ci, cb, s;
+  std::vector<std::int64_t> r;  ///< lazy builder only
+  /// Builder names: the four tuned algorithms ("node-level", "nested",
+  /// "in-place", "lazy") plus the reference builders ("median", "sweep",
+  /// "event").
+  std::vector<std::string> builders;
+  /// Serving layouts for eager builds: "compact", "wide4", "wide8", "bvh"
+  /// (or "native" to query the builder's own layout).
+  std::vector<std::string> backends;
+  std::vector<std::int64_t> serve_batch;
+  std::vector<std::int64_t> serve_flush_us;
+  /// Per-family override axis: range-query batch size (0 = inherit).
+  std::vector<std::int64_t> serve_range_batch;
+  std::vector<std::int64_t> serve_shards;  ///< 1 = unsharded QueryService
+  std::vector<std::int64_t> serve_fanout;  ///< sharded cells only; 0 = uncapped
+
+  /// The default coarse sweep over Table II and the serving knobs.
+  static ExploreGrid coarse();
+  /// A minutes-not-hours grid for CI smoke runs and tests.
+  static ExploreGrid smoke();
+};
+
+struct ExploreOptions {
+  std::vector<std::string> scenes{"bunny"};
+  float detail = 0.12f;
+  unsigned threads = 3;  ///< pool workers (also the hardware-key thread count)
+  ExploreGrid grid = ExploreGrid::coarse();
+  bool sweep_build = true;
+  bool sweep_serve = true;
+  std::size_t build_rays = 512;      ///< probe rays per build cell
+  std::size_t serve_requests = 256;  ///< requests per serve cell
+  std::uint64_t seed = 0x5EED;
+  /// Stop after measuring this many cells this invocation (0 = no cap).
+  /// Skipped (already-measured) cells do not count — a capped run still
+  /// makes forward progress when resumed.
+  std::size_t max_cells = 0;
+  /// Database checkpoint path; empty keeps the database in memory only.
+  std::string db_path;
+  /// Progress (resume) file; empty derives `db_path + ".progress"`.
+  std::string progress_path;
+  TunerLog* log = nullptr;  ///< optional; streams named "explore:<scene>:..."
+};
+
+struct ExploreStats {
+  std::size_t cells_total = 0;    ///< enumerated for this option set
+  std::size_t cells_run = 0;      ///< measured this invocation
+  std::size_t cells_skipped = 0;  ///< resumed past (found in progress file)
+  std::size_t db_updates = 0;     ///< store() calls that changed the database
+};
+
+/// All seven builder names, in sweep order.
+const std::vector<std::string>& explore_builder_names();
+
+/// Runs the sweep, merging results into `db` (keeps-if-faster). Throws
+/// std::invalid_argument for unknown scene/builder/backend names.
+ExploreStats run_explore(const ExploreOptions& opts, ConfigDatabase& db);
+
+}  // namespace kdtune

@@ -1,0 +1,170 @@
+#include "dse/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/platform.hpp"
+#include "geom/aabb.hpp"
+
+namespace kdtune {
+
+HardwareDescriptor HardwareDescriptor::detect(unsigned threads) {
+  HardwareDescriptor hw;
+  hw.threads = std::max(threads, 1u);
+  hw.cores = host_core_count();
+  hw.simd = detect_simd_level();
+  hw.cache_line = host_cache_line_bytes();
+  return hw;
+}
+
+std::string HardwareDescriptor::suffix() const {
+  return std::to_string(cores) + "c-" + to_string(simd) + "-cl" +
+         std::to_string(cache_line);
+}
+
+std::string HardwareDescriptor::id() const {
+  return std::to_string(threads) + "t-" + suffix();
+}
+
+double hardware_distance(const HardwareDescriptor& a,
+                         const HardwareDescriptor& b) noexcept {
+  const auto log2_ratio = [](unsigned x, unsigned y) {
+    return std::abs(std::log2(static_cast<double>(std::max(x, 1u))) -
+                    std::log2(static_cast<double>(std::max(y, 1u))));
+  };
+  double d = 0.25 * log2_ratio(a.threads, b.threads);
+  d += 0.10 * log2_ratio(a.cores, b.cores);
+  if (a.simd != b.simd) d += 0.25;
+  if (a.cache_line != b.cache_line) d += 0.10;
+  return d;
+}
+
+const std::array<const char*, kSceneFeatureCount>& feature_names() noexcept {
+  static const std::array<const char*, kSceneFeatureCount> names{
+      "log2_prims",    "aspect_mid",    "aspect_min",    "centroid_mean_x",
+      "centroid_mean_y", "centroid_mean_z", "centroid_dev_x", "centroid_dev_y",
+      "centroid_dev_z", "straddler_ratio", "log2_overlap", "size_b0",
+      "size_b1",       "size_b2",       "size_b3",       "size_b4",
+      "size_b5",       "size_b6",       "size_b7"};
+  return names;
+}
+
+namespace {
+
+double surface_area_of(const AABB& box) {
+  if (box.empty()) return 0.0;
+  const Vec3 e = box.extent();
+  return 2.0 * (static_cast<double>(e.x) * e.y +
+                static_cast<double>(e.y) * e.z +
+                static_cast<double>(e.z) * e.x);
+}
+
+/// Per-dimension scales the distance divides by, so every dimension lands
+/// roughly in [0, 1] and no single statistic dominates the L2 norm.
+constexpr std::array<double, kSceneFeatureCount> kFeatureScales{
+    24.0,  // log2_prims: 2^24 tris spans anything this library serves
+    1.0, 1.0,             // aspect ratios already in [0, 1]
+    1.0, 1.0, 1.0,        // centroid means in [0, 1]
+    0.5, 0.5, 0.5,        // centroid stddevs (uniform ~0.29)
+    1.0,                  // straddler ratio in [0, 1]
+    8.0,                  // log2 overlap: 2^8x over-tessellation is extreme
+    1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0,  // histogram fractions
+};
+
+}  // namespace
+
+SceneFeatures SceneFeatures::extract(std::span<const Triangle> triangles) {
+  SceneFeatures out;
+  out.prim_count = triangles.size();
+  out.v[0] = std::log2(1.0 + static_cast<double>(triangles.size()));
+  if (triangles.empty()) return out;
+
+  AABB box;
+  for (const Triangle& t : triangles) box.expand(t.bounds());
+  const Vec3 ext = box.extent();
+  double axes[3] = {ext.x, ext.y, ext.z};
+  std::sort(axes, axes + 3);
+  const double max_axis = std::max(axes[2], 1e-30);
+  out.v[1] = axes[1] / max_axis;
+  out.v[2] = axes[0] / max_axis;
+
+  const double diag = std::max(
+      std::sqrt(static_cast<double>(ext.x) * ext.x +
+                static_cast<double>(ext.y) * ext.y +
+                static_cast<double>(ext.z) * ext.z),
+      1e-30);
+  const Vec3 mid = box.center();
+  const double inv_ext[3] = {1.0 / std::max<double>(ext.x, 1e-30),
+                             1.0 / std::max<double>(ext.y, 1e-30),
+                             1.0 / std::max<double>(ext.z, 1e-30)};
+
+  // One sequential pass: centroid sums, straddler counts, overlap area,
+  // and the size histogram. All accumulation in double, fixed order.
+  double mean[3] = {0, 0, 0};
+  double m2[3] = {0, 0, 0};  // sum of squared normalized centroids
+  std::uint64_t straddlers[3] = {0, 0, 0};
+  double tri_area_sum = 0.0;
+  std::array<std::uint64_t, kSceneSizeBuckets> size_hist{};
+  for (const Triangle& t : triangles) {
+    const AABB tb = t.bounds();
+    const Vec3 c = t.centroid();
+    const double nc[3] = {(c.x - box.lo.x) * inv_ext[0],
+                          (c.y - box.lo.y) * inv_ext[1],
+                          (c.z - box.lo.z) * inv_ext[2]};
+    const float lo[3] = {tb.lo.x, tb.lo.y, tb.lo.z};
+    const float hi[3] = {tb.hi.x, tb.hi.y, tb.hi.z};
+    const float midp[3] = {mid.x, mid.y, mid.z};
+    for (int a = 0; a < 3; ++a) {
+      mean[a] += nc[a];
+      m2[a] += nc[a] * nc[a];
+      if (lo[a] < midp[a] && hi[a] > midp[a]) ++straddlers[a];
+    }
+    tri_area_sum += surface_area_of(tb);
+    const Vec3 te = tb.extent();
+    const double tdiag =
+        std::sqrt(static_cast<double>(te.x) * te.x +
+                  static_cast<double>(te.y) * te.y +
+                  static_cast<double>(te.z) * te.z);
+    // Bucket b covers tdiag/diag in [2^-(b+1), 2^-b): b0 holds huge
+    // triangles (>= half the scene), b7 aggregates everything tiny.
+    const double rel = tdiag / diag;
+    int bucket = rel <= 0.0 ? static_cast<int>(kSceneSizeBuckets) - 1
+                            : static_cast<int>(-std::floor(std::log2(rel)));
+    bucket = std::clamp(bucket, 0, static_cast<int>(kSceneSizeBuckets) - 1);
+    ++size_hist[static_cast<std::size_t>(bucket)];
+  }
+
+  const double n = static_cast<double>(triangles.size());
+  for (int a = 0; a < 3; ++a) {
+    const double mu = mean[a] / n;
+    out.v[3 + a] = mu;
+    const double var = std::max(m2[a] / n - mu * mu, 0.0);
+    out.v[6 + a] = std::sqrt(var);
+  }
+  out.v[9] = static_cast<double>(straddlers[0] + straddlers[1] +
+                                 straddlers[2]) /
+             (3.0 * n);
+  out.v[10] =
+      std::log2(1.0 + tri_area_sum / std::max(surface_area_of(box), 1e-30));
+  for (std::size_t b = 0; b < kSceneSizeBuckets; ++b) {
+    out.v[11 + b] = static_cast<double>(size_hist[b]) / n;
+  }
+  return out;
+}
+
+double feature_distance(const std::array<double, kSceneFeatureCount>& a,
+                        const std::array<double, kSceneFeatureCount>& b) noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < kSceneFeatureCount; ++i) {
+    const double d = (a[i] - b[i]) / kFeatureScales[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double feature_distance(const SceneFeatures& a,
+                        const SceneFeatures& b) noexcept {
+  return feature_distance(a.v, b.v);
+}
+
+}  // namespace kdtune

@@ -1,0 +1,99 @@
+#pragma once
+
+// Context descriptors for the offline design-space explorer and its config
+// database (docs/EXPLORE.md). A database entry is keyed by *where it was
+// measured*: what the scene looks like (SceneFeatures) and what machine ran
+// it (HardwareDescriptor). A new (scene, machine) pair then warm-starts the
+// online tuner from the entry whose context is *nearest*, instead of paying
+// the full Nelder–Mead search from a cold simplex.
+//
+// Feature extraction is deliberately geometry-only and sequential: the same
+// triangle soup yields the bit-identical feature vector regardless of thread
+// count, builder choice, or which run computed it — that determinism is what
+// makes features usable as database keys (tests/test_dse_features.cpp).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "geom/triangle.hpp"
+#include "kdtree/simd_dispatch.hpp"
+
+namespace kdtune {
+
+/// The machine half of a database key. `threads` is the pool width the
+/// measurement used (the knob the paper's S parameter scales with);
+/// cores/simd/cache_line describe the host itself.
+struct HardwareDescriptor {
+  unsigned threads = 1;     ///< pool concurrency of the measurement
+  unsigned cores = 1;       ///< hardware threads of the host
+  SimdLevel simd = SimdLevel::kScalar;  ///< wide-kernel tier in use
+  unsigned cache_line = 64; ///< L1D line size in bytes
+
+  /// Detects the host (core count, SIMD tier after the KDTUNE_SIMD
+  /// override, cache line) for a measurement running on `threads` workers.
+  static HardwareDescriptor detect(unsigned threads);
+
+  /// Host identity without the thread count, e.g. "8c-avx2-cl64". This is
+  /// the ConfigCache key suffix (the key already carries threads=N).
+  std::string suffix() const;
+
+  /// Full identity including the pool width, e.g. "4t-8c-avx2-cl64" — the
+  /// database's hardware key.
+  std::string id() const;
+
+  bool operator==(const HardwareDescriptor& other) const noexcept {
+    return threads == other.threads && cores == other.cores &&
+           simd == other.simd && cache_line == other.cache_line;
+  }
+};
+
+/// Normalized distance between two hardware contexts: 0 for identical,
+/// growing with thread/core ratio (log2 scale) and SIMD-tier mismatch.
+/// Symmetric; used as an additive penalty next to the feature distance.
+double hardware_distance(const HardwareDescriptor& a,
+                         const HardwareDescriptor& b) noexcept;
+
+/// The scene half of a database key: a fixed-length vector of geometry
+/// statistics that drive SAH build cost and traversal behaviour.
+///
+/// Layout (kSceneFeatureCount doubles, names in feature_names()):
+///   [0]      log2(1 + prim_count)
+///   [1..2]   box shape: mid/max and min/max extent ratios
+///   [3..5]   centroid mean per axis, normalized into [0,1] by the box
+///   [6..8]   centroid stddev per axis, normalized by the axis extent
+///   [9]      straddler ratio: mean over axes of the fraction of triangles
+///            whose bounds cross the box midplane (the prims SAH splits
+///            must duplicate)
+///   [10]     overlap: log2(1 + sum of triangle-AABB surface area over the
+///            scene box surface area) — the SAH density measure
+///   [11..18] size sketch: 8-bucket histogram (fractions) of
+///            log2(triangle diagonal / scene diagonal)
+inline constexpr std::size_t kSceneFeatureCount = 19;
+inline constexpr std::size_t kSceneSizeBuckets = 8;
+
+struct SceneFeatures {
+  std::uint64_t prim_count = 0;
+  std::array<double, kSceneFeatureCount> v{};
+
+  /// Deterministic extraction: one sequential double-precision pass over
+  /// the soup (order-dependent sums never see a thread-dependent order).
+  static SceneFeatures extract(std::span<const Triangle> triangles);
+
+  bool operator==(const SceneFeatures& other) const noexcept {
+    return prim_count == other.prim_count && v == other.v;
+  }
+};
+
+/// Feature names in vector order (JSONL schema and tooling output).
+const std::array<const char*, kSceneFeatureCount>& feature_names() noexcept;
+
+/// Normalized L2 distance over the per-dimension scaled feature deltas.
+/// Symmetric; 0 iff the vectors are bit-identical. Roughly: < 0.1 is the
+/// same scene class at a different size/seed, > 1 is a different class.
+double feature_distance(const SceneFeatures& a, const SceneFeatures& b) noexcept;
+double feature_distance(const std::array<double, kSceneFeatureCount>& a,
+                        const std::array<double, kSceneFeatureCount>& b) noexcept;
+
+}  // namespace kdtune

@@ -44,10 +44,14 @@ FrameTuner::FrameTuner(FrameTunerOptions opts) : opts_(std::move(opts)) {
 std::size_t FrameTuner::warm_start(const ConfigCache& cache,
                                    const std::string& scene,
                                    unsigned threads) {
+  const std::string hw_suffix = HardwareDescriptor::detect(threads).suffix();
   std::size_t warmed = 0;
   for (Candidate& c : candidates_) {
-    const auto entry = cache.lookup(ConfigCache::key_for(
-        scene, std::string(to_string(c.algorithm)), threads));
+    const std::string algorithm(to_string(c.algorithm));
+    const auto entry = cache.lookup_compat(
+        ConfigCache::key_for(scene, algorithm, threads,
+                             to_string(QueryBackend::kCompact), hw_suffix),
+        ConfigCache::key_for(scene, algorithm, threads));
     if (!entry) continue;
     // Cached entries persist the build knobs only ([CI, CB, S] (+R)); when
     // this candidate also tunes the backend dimension, seed it at kCompact.
@@ -56,6 +60,43 @@ std::size_t FrameTuner::warm_start(const ConfigCache& cache,
       values.push_back(0);
     }
     c.tuner->warm_start(values);
+    c.warmed = true;
+    ++warmed;
+  }
+  return warmed;
+}
+
+std::size_t FrameTuner::warm_start_db(const ConfigDatabase& db,
+                                      const SceneFeatures& features,
+                                      const HardwareDescriptor& hw) {
+  std::size_t warmed = 0;
+  for (Candidate& c : candidates_) {
+    if (c.warmed) continue;  // the cache's scene-exact seed stays
+    const auto match =
+        db.nearest("build", features, hw, std::string(to_string(c.algorithm)));
+    if (match.entry == nullptr ||
+        match.kind == ConfigDatabase::MatchKind::kFar) {
+      continue;
+    }
+    std::int64_t ci = c.config.ci, cb = c.config.cb, s = c.config.s,
+                 r = c.config.r;
+    for (const auto& [name, value] : match.entry->params) {
+      if (name == "ci") ci = value;
+      if (name == "cb") cb = value;
+      if (name == "s") s = value;
+      if (name == "r") r = value;
+    }
+    std::vector<std::int64_t> values{ci, cb, s};
+    if (c.algorithm == Algorithm::kLazy) values.push_back(r);
+    if (c.tunes_backend) {
+      // Seed the layout dimension from the measured backend when the entry
+      // names one this candidate can serve.
+      QueryBackend backend = QueryBackend::kCompact;
+      backend_from_string(match.entry->backend, backend);
+      values.push_back(static_cast<std::int64_t>(backend));
+    }
+    c.tuner->warm_start(values);
+    c.warmed = true;
     ++warmed;
   }
   return warmed;

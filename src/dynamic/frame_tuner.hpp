@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/base_config.hpp"
+#include "dse/config_db.hpp"
 #include "kdtree/builder.hpp"
 #include "kdtree/query_backend.hpp"
 #include "tuning/config_cache.hpp"
@@ -63,10 +64,21 @@ class FrameTuner {
   FrameTuner& operator=(const FrameTuner&) = delete;
 
   /// Seeds each candidate's search from the cache entry for
-  /// (scene, algorithm, threads), when present. Call before the first
+  /// (scene, algorithm, threads) — the canonical backend/hardware-keyed
+  /// entry first, then the legacy pre-backend key. Call before the first
   /// next_trial(). Returns the number of candidates warm-started.
   std::size_t warm_start(const ConfigCache& cache, const std::string& scene,
                          unsigned threads);
+
+  /// Seeds each candidate from the ConfigDatabase's nearest measured
+  /// context (docs/EXPLORE.md): exact and near matches seed the search at
+  /// the stored parameters (the online loop keeps refining); far misses
+  /// leave the candidate cold. Returns the number warm-started. Typically
+  /// combined with warm_start(): cache first (same scene), database after
+  /// (candidates the cache missed).
+  std::size_t warm_start_db(const ConfigDatabase& db,
+                            const SceneFeatures& features,
+                            const HardwareDescriptor& hw);
 
   struct Trial {
     Algorithm algorithm = Algorithm::kInPlace;
@@ -120,6 +132,7 @@ class FrameTuner {
     std::unique_ptr<Tuner> tuner;
     std::size_t probe_frames = 0;
     bool started = false;  ///< first apply_next() issued
+    bool warmed = false;   ///< seeded by warm_start / warm_start_db
   };
 
   Candidate& active();

@@ -34,11 +34,24 @@ std::shared_ptr<const KdTreeBase> emit_backend(
   return compact;
 }
 
+/// The backend name a ConfigDatabase entry for these options carries.
+/// Lazy / non-compacted scenes serve the builder's own layout, which the
+/// explorer records as "native"; everything else serves `opts.backend`.
+std::string db_backend_name(const AdmitOptions& opts) {
+  if (opts.algorithm == Algorithm::kLazy || !opts.compact) return "native";
+  return to_string(opts.backend);
+}
+
 }  // namespace
 
 void SceneRegistry::attach_cache(ConfigCache* cache) {
   std::lock_guard<std::mutex> lk(mutex_);
   cache_ = cache;
+}
+
+void SceneRegistry::attach_database(ConfigDatabase* db) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  db_ = db;
 }
 
 BuildConfig SceneRegistry::config_from_values(
@@ -62,8 +75,29 @@ std::vector<std::int64_t> SceneRegistry::values_of(const BuildConfig& config,
   return values;
 }
 
+BuildConfig SceneRegistry::config_from_named(
+    const std::vector<std::pair<std::string, std::int64_t>>& params) {
+  BuildConfig c = kBaseConfig;
+  for (const auto& [name, value] : params) {
+    if (name == "ci") c.ci = value;
+    if (name == "cb") c.cb = value;
+    if (name == "s") c.s = value;
+    if (name == "r") c.r = value;
+  }
+  return c;
+}
+
 std::string SceneRegistry::cache_key(const std::string& name,
-                                     Algorithm algorithm) const {
+                                     Algorithm algorithm,
+                                     QueryBackend backend) const {
+  return ConfigCache::key_for(
+      name, std::string(to_string(algorithm)), pool_.concurrency(),
+      to_string(backend),
+      HardwareDescriptor::detect(pool_.concurrency()).suffix());
+}
+
+std::string SceneRegistry::legacy_cache_key(const std::string& name,
+                                            Algorithm algorithm) const {
   return ConfigCache::key_for(name, std::string(to_string(algorithm)),
                               pool_.concurrency());
 }
@@ -103,15 +137,43 @@ std::shared_ptr<SceneSnapshot> SceneRegistry::build_snapshot(
 
 std::shared_ptr<const SceneSnapshot> SceneRegistry::admit(
     const std::string& name, Scene scene, const AdmitOptions& opts) {
+  bool want_features = false;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    want_features = db_ != nullptr;
+  }
+  // Feature extraction is O(triangles); keep it off the registry lock like
+  // the build itself.
+  std::optional<SceneFeatures> features;
+  if (want_features) features = SceneFeatures::extract(scene.triangles());
+
+  // Configuration priority: explicit > this scene's cached best (canonical
+  // key, then pre-backend legacy key) > the database's nearest measured
+  // context > the paper's C_base.
   BuildConfig config;
   if (opts.config) {
     config = *opts.config;
   } else {
     config = kBaseConfig;
     std::lock_guard<std::mutex> lk(mutex_);
+    bool found = false;
     if (cache_ != nullptr) {
-      if (const auto hit = cache_->lookup(cache_key(name, opts.algorithm))) {
+      if (const auto hit = cache_->lookup_compat(
+              cache_key(name, opts.algorithm, opts.backend),
+              legacy_cache_key(name, opts.algorithm))) {
         config = config_from_values(hit->values);
+        found = true;
+      }
+    }
+    if (!found && db_ != nullptr && features) {
+      const auto match =
+          db_->nearest("build", *features,
+                       HardwareDescriptor::detect(pool_.concurrency()),
+                       std::string(to_string(opts.algorithm)),
+                       db_backend_name(opts));
+      if (match.entry != nullptr &&
+          match.kind != ConfigDatabase::MatchKind::kFar) {
+        config = config_from_named(match.entry->params);
       }
     }
   }
@@ -128,6 +190,7 @@ std::shared_ptr<const SceneSnapshot> SceneRegistry::admit(
   entry.opts = opts;
   entry.opts.config = config;
   entry.current = snapshot;
+  entry.features = std::move(features);
   if (replacing) swaps_.fetch_add(1, std::memory_order_relaxed);
   return snapshot;
 }
@@ -144,6 +207,7 @@ std::shared_ptr<const SceneSnapshot> SceneRegistry::rebuild(
     std::optional<Scene> geometry) {
   Scene scene;
   AdmitOptions opts;
+  bool want_features = false;
   {
     std::lock_guard<std::mutex> lk(mutex_);
     const auto it = entries_.find(name);
@@ -151,15 +215,19 @@ std::shared_ptr<const SceneSnapshot> SceneRegistry::rebuild(
     scene = geometry ? std::move(*geometry) : it->second.scene;
     opts = it->second.opts;
     if (config) opts.config = *config;
+    want_features = db_ != nullptr && geometry.has_value();
   }
   const BuildConfig build_config = opts.config.value_or(kBaseConfig);
   auto snapshot = build_snapshot(name, scene, opts, build_config);
+  std::optional<SceneFeatures> features;
+  if (want_features) features = SceneFeatures::extract(scene.triangles());
 
   std::lock_guard<std::mutex> lk(mutex_);
   const auto it = entries_.find(name);
   if (it == entries_.end()) return nullptr;  // removed while building
   snapshot->version = it->second.current->version + 1;
   if (geometry) it->second.scene = std::move(scene);
+  if (features) it->second.features = std::move(features);
   it->second.opts = opts;
   it->second.current = snapshot;
   swaps_.fetch_add(1, std::memory_order_relaxed);
@@ -245,9 +313,31 @@ bool SceneRegistry::record_tuned(const std::string& name,
   if (it == entries_.end()) return false;
   it->second.opts.config = config;
   if (algorithm) it->second.opts.algorithm = *algorithm;
+  const AdmitOptions& opts = it->second.opts;
   if (cache_ != nullptr) {
-    cache_->store(cache_key(name, it->second.opts.algorithm),
-                  values_of(config, it->second.opts.algorithm), seconds);
+    cache_->store(cache_key(name, opts.algorithm, opts.backend),
+                  values_of(config, opts.algorithm), seconds);
+  }
+  if (db_ != nullptr) {
+    if (!it->second.features) {
+      // Database attached after admit: extract now (once; record_tuned
+      // fires per tuner convergence, not per query).
+      it->second.features =
+          SceneFeatures::extract(it->second.scene.triangles());
+    }
+    ConfigDatabase::Entry entry;
+    entry.workload = "build";
+    entry.scene = name;
+    entry.builder = to_string(opts.algorithm);
+    entry.backend = db_backend_name(opts);
+    entry.hw = HardwareDescriptor::detect(pool_.concurrency());
+    entry.features = *it->second.features;
+    entry.params = {{"ci", config.ci}, {"cb", config.cb}, {"s", config.s}};
+    if (opts.algorithm == Algorithm::kLazy) {
+      entry.params.emplace_back("r", config.r);
+    }
+    entry.seconds = seconds;
+    db_->store(std::move(entry));
   }
   return true;
 }

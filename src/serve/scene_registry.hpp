@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "dse/config_db.hpp"
 #include "kdtree/builder.hpp"
 #include "kdtree/compact_tree.hpp"
 #include "kdtree/query_backend.hpp"
@@ -81,6 +82,14 @@ class SceneRegistry {
   /// serializes its own cache accesses, but the cache must not be mutated
   /// concurrently by others while attached.
   void attach_cache(ConfigCache* cache);
+
+  /// Cross-scene configuration database (docs/EXPLORE.md), not owned; same
+  /// ownership rules as attach_cache. admit() consults it after the cache:
+  /// an exact feature/hardware hit reuses the stored configuration
+  /// directly, a near miss seeds the build with the neighbor's parameters
+  /// (the online tuner keeps refining), a far miss changes nothing.
+  /// record_tuned() writes measured winners back (keeps-if-faster).
+  void attach_database(ConfigDatabase* db);
 
   /// Builds and publishes version 1 of `name` (or the next version if the
   /// name already exists — re-admission is a hot swap that also replaces the
@@ -163,23 +172,35 @@ class SceneRegistry {
       const std::vector<std::int64_t>& values);
   static std::vector<std::int64_t> values_of(const BuildConfig& config,
                                              Algorithm algorithm);
+  /// ConfigDatabase named-parameter layout for BuildConfig: "ci", "cb",
+  /// "s", "r" applied over kBaseConfig; unknown names are ignored.
+  static BuildConfig config_from_named(
+      const std::vector<std::pair<std::string, std::int64_t>>& params);
 
  private:
   struct Entry {
     Scene scene;
     AdmitOptions opts;
     std::shared_ptr<const SceneSnapshot> current;
+    /// Extracted on admit when a database is attached (geometry refreshes
+    /// on re-admit / rebuild-with-geometry; staged frame updates keep the
+    /// admitted features — per-frame extraction would tax the hot path).
+    std::optional<SceneFeatures> features;
   };
 
-  std::string cache_key(const std::string& name, Algorithm algorithm) const;
+  std::string cache_key(const std::string& name, Algorithm algorithm,
+                        QueryBackend backend) const;
+  std::string legacy_cache_key(const std::string& name,
+                               Algorithm algorithm) const;
   std::shared_ptr<SceneSnapshot> build_snapshot(
       const std::string& name, const Scene& scene, const AdmitOptions& opts,
       const BuildConfig& config) const;
 
   ThreadPool& pool_;
-  mutable std::mutex mutex_;  ///< guards entries_ and cache_ access
+  mutable std::mutex mutex_;  ///< guards entries_, cache_, and db_ access
   std::map<std::string, Entry> entries_;
   ConfigCache* cache_ = nullptr;
+  ConfigDatabase* db_ = nullptr;
   std::atomic<std::uint64_t> swaps_{0};
 };
 

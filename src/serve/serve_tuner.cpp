@@ -89,6 +89,29 @@ ServeTuner::ServeTuner(QueryService& service, ServeTunerOptions opts)
   }
 }
 
+std::size_t ServeTuner::warm_start_named(
+    const std::vector<std::pair<std::string, std::int64_t>>& params) {
+  const std::vector<TunableParameter>& dims = tuner_.parameters();
+  // Unmatched dimensions seed at their current values, so a partial entry
+  // (say, from a sweep that never varied the flush timeout) still yields a
+  // complete warm-start point.
+  std::vector<std::int64_t> values;
+  values.reserve(dims.size());
+  for (const TunableParameter& dim : dims) values.push_back(dim.current());
+  std::size_t seeded = 0;
+  for (const auto& [name, value] : params) {
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      if (dims[d].name() == name) {
+        values[d] = value;
+        ++seeded;
+        break;
+      }
+    }
+  }
+  if (seeded != 0) tuner_.warm_start(values);
+  return seeded;
+}
+
 void ServeTuner::begin_window() {
   if (window_open_) return;
   // record() auto-applies the next proposal into trial_, so only the very

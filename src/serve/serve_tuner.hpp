@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "kdtree/query_backend.hpp"
@@ -92,6 +93,15 @@ class ServeTuner {
 
   ServeTuner(const ServeTuner&) = delete;
   ServeTuner& operator=(const ServeTuner&) = delete;
+
+  /// Seeds the search from named parameter values (e.g. a ConfigDatabase
+  /// "serve" entry's params): each name matching a registered dimension
+  /// ("batch_size", "flush_timeout_us", "range.batch_size", extra-dimension
+  /// names, "query_backend"...) is seeded at its stored value; unmatched
+  /// dimensions keep their current values. Call before the first
+  /// begin_window(). Returns the number of dimensions seeded.
+  std::size_t warm_start_named(
+      const std::vector<std::pair<std::string, std::int64_t>>& params);
 
   /// Applies the next trial parameters to the service and starts measuring.
   void begin_window();

@@ -148,4 +148,18 @@ std::string ConfigCache::key_for(const std::string& scene,
   return scene + "/" + algorithm + "/threads=" + std::to_string(threads);
 }
 
+std::string ConfigCache::key_for(const std::string& scene,
+                                 const std::string& algorithm,
+                                 unsigned threads, const std::string& backend,
+                                 const std::string& hw_suffix) {
+  return key_for(scene, algorithm, threads) + "/backend=" + backend +
+         "/hw=" + hw_suffix;
+}
+
+std::optional<ConfigCache::Entry> ConfigCache::lookup_compat(
+    const std::string& key, const std::string& legacy_key) const {
+  if (auto hit = lookup(key)) return hit;
+  return lookup(legacy_key);
+}
+
 }  // namespace kdtune

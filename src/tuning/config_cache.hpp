@@ -52,9 +52,28 @@ class ConfigCache {
   /// crashed writer must never take service startup down with it.
   void load_file(const std::string& path);
 
-  /// Canonical key for the kd-tree use case.
+  /// Canonical key for the kd-tree use case:
+  ///   scene/algorithm/threads=N/backend=B/hw=H
+  /// `backend` is the serving query backend the configuration was measured
+  /// under and `hw_suffix` a host identity (HardwareDescriptor::suffix()) —
+  /// without them, optima measured under different layouts or on different
+  /// hosts collide on one key and silently warm-start each other.
+  static std::string key_for(const std::string& scene,
+                             const std::string& algorithm, unsigned threads,
+                             const std::string& backend,
+                             const std::string& hw_suffix);
+
+  /// The pre-database key format (scene/algorithm/threads=N), still what
+  /// old cache files contain. New code writes the canonical format and
+  /// back-reads this one via lookup_compat().
   static std::string key_for(const std::string& scene,
                              const std::string& algorithm, unsigned threads);
+
+  /// Migration lookup: the canonical `key` first, then `legacy_key` — a
+  /// cache written before the key format grew backend/hardware components
+  /// keeps warm-starting until its entries are rewritten in place.
+  std::optional<Entry> lookup_compat(const std::string& key,
+                                     const std::string& legacy_key) const;
 
  private:
   std::map<std::string, Entry> entries_;

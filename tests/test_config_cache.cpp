@@ -209,6 +209,35 @@ TEST(ConfigCache, KeyForComposesContext) {
             "sibenik/lazy/threads=8");
 }
 
+TEST(ConfigCache, CanonicalKeyAddsBackendAndHardware) {
+  EXPECT_EQ(ConfigCache::key_for("sibenik", "lazy", 8, "wide8", "8c-avx2-cl64"),
+            "sibenik/lazy/threads=8/backend=wide8/hw=8c-avx2-cl64");
+}
+
+TEST(ConfigCache, MigratesOldFormatKeysViaCompatLookup) {
+  // A cache file written before keys carried backend/hardware components
+  // must keep warm-starting: lookup_compat back-reads the legacy key.
+  const std::string legacy = ConfigCache::key_for("bunny", "in-place", 4);
+  const std::string canonical =
+      ConfigCache::key_for("bunny", "in-place", 4, "compact", "8c-avx2-cl64");
+
+  std::stringstream old_file("bunny/in-place/threads=4\t0.25\t21,9,4\n");
+  ConfigCache cache;
+  cache.load(old_file);
+
+  EXPECT_FALSE(cache.lookup(canonical).has_value());
+  const auto migrated = cache.lookup_compat(canonical, legacy);
+  ASSERT_TRUE(migrated.has_value());
+  EXPECT_EQ(migrated->values, (std::vector<std::int64_t>{21, 9, 4}));
+
+  // Once a canonical entry exists it wins over the legacy one, even when
+  // the legacy entry is faster — the contexts are not comparable.
+  cache.store(canonical, {50, 1, 1}, 0.9);
+  const auto preferred = cache.lookup_compat(canonical, legacy);
+  ASSERT_TRUE(preferred.has_value());
+  EXPECT_EQ(preferred->values, (std::vector<std::int64_t>{50, 1, 1}));
+}
+
 TEST(WarmStart, TunerProposesSeedFirst) {
   std::int64_t ci = 0, cb = 0;
   Tuner tuner;

@@ -1,0 +1,199 @@
+#include "dse/config_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace kdtune {
+namespace {
+
+HardwareDescriptor test_hw() {
+  HardwareDescriptor hw;
+  hw.threads = 4;
+  hw.cores = 8;
+  hw.simd = SimdLevel::kAvx2;
+  hw.cache_line = 64;
+  return hw;
+}
+
+SceneFeatures test_features(double fill) {
+  SceneFeatures f;
+  f.prim_count = 1000;
+  for (std::size_t i = 0; i < kSceneFeatureCount; ++i) {
+    f.v[i] = fill + 0.01 * static_cast<double>(i);
+  }
+  return f;
+}
+
+ConfigDatabase::Entry test_entry(double seconds = 0.5) {
+  ConfigDatabase::Entry e;
+  e.workload = "build";
+  e.scene = "bunny";
+  e.builder = "in-place";
+  e.backend = "compact";
+  e.hw = test_hw();
+  e.features = test_features(0.25);
+  e.params = {{"ci", 17}, {"cb", 10}, {"s", 3}};
+  e.seconds = seconds;
+  return e;
+}
+
+TEST(ConfigDatabase, StoreLookupAndKeepsIfFaster) {
+  ConfigDatabase db;
+  EXPECT_TRUE(db.empty());
+
+  ConfigDatabase::Entry e = test_entry(0.5);
+  EXPECT_TRUE(db.store(e));
+  EXPECT_EQ(db.size(), 1u);
+  const auto hit = db.lookup(e.key());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->params, e.params);
+  EXPECT_DOUBLE_EQ(hit->seconds, 0.5);
+
+  // Slower same-context measurements are rejected; faster ones replace.
+  ConfigDatabase::Entry slower = test_entry(0.9);
+  slower.params[0].second = 99;
+  EXPECT_FALSE(db.store(slower));
+  EXPECT_EQ(db.lookup(e.key())->params[0].second, 17);
+  ConfigDatabase::Entry faster = test_entry(0.1);
+  faster.params[0].second = 42;
+  EXPECT_TRUE(db.store(faster));
+  EXPECT_EQ(db.lookup(e.key())->params[0].second, 42);
+}
+
+TEST(ConfigDatabase, SaveLoadResaveIsByteIdentical) {
+  ConfigDatabase db;
+  ConfigDatabase::Entry e1 = test_entry(1.0 / 3.0);  // non-terminating double
+  db.store(e1);
+  ConfigDatabase::Entry e2 = test_entry(0.125);
+  e2.workload = "serve";
+  e2.params = {{"batch_size", 16}, {"flush_timeout_us", 200}};
+  db.store(e2);
+
+  std::stringstream first;
+  db.save(first);
+
+  ConfigDatabase reloaded;
+  std::stringstream in(first.str());
+  reloaded.load(in);
+  EXPECT_EQ(reloaded.size(), db.size());
+
+  std::stringstream second;
+  reloaded.save(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(ConfigDatabase, LoadMergesKeepingFaster) {
+  ConfigDatabase a;
+  a.store(test_entry(0.5));
+  std::stringstream saved;
+  a.save(saved);
+
+  ConfigDatabase b;
+  b.store(test_entry(0.2));  // already knows a faster config
+  b.load(saved);
+  EXPECT_DOUBLE_EQ(b.lookup(test_entry().key())->seconds, 0.2);
+}
+
+TEST(ConfigDatabase, NearestDistinguishesExactNearFar) {
+  ConfigDatabase db;
+  db.store(test_entry());
+
+  // Bit-identical features + identical hardware: an exact hit.
+  const auto exact =
+      db.nearest("build", test_features(0.25), test_hw(), "in-place",
+                 "compact");
+  ASSERT_NE(exact.entry, nullptr);
+  EXPECT_EQ(exact.kind, ConfigDatabase::MatchKind::kExact);
+  EXPECT_EQ(exact.distance, 0.0);
+
+  // A small perturbation: near, with a positive distance.
+  SceneFeatures near_f = test_features(0.25);
+  near_f.v[3] += 0.05;
+  const auto near = db.nearest("build", near_f, test_hw());
+  ASSERT_NE(near.entry, nullptr);
+  EXPECT_EQ(near.kind, ConfigDatabase::MatchKind::kNear);
+  EXPECT_GT(near.distance, 0.0);
+
+  // A wildly different scene: the candidate exists but is a far miss.
+  const auto far = db.nearest("build", test_features(6.0), test_hw());
+  ASSERT_NE(far.entry, nullptr);
+  EXPECT_EQ(far.kind, ConfigDatabase::MatchKind::kFar);
+
+  // Workload / builder / backend filters exclude non-matching entries.
+  EXPECT_EQ(db.nearest("serve", test_features(0.25), test_hw()).entry,
+            nullptr);
+  EXPECT_EQ(
+      db.nearest("build", test_features(0.25), test_hw(), "lazy").entry,
+      nullptr);
+  EXPECT_EQ(db.nearest("build", test_features(0.25), test_hw(), "in-place",
+                       "wide8")
+                .entry,
+            nullptr);
+}
+
+TEST(ConfigDatabase, DifferentHardwareDemotesExactToNear) {
+  ConfigDatabase db;
+  db.store(test_entry());
+  HardwareDescriptor other = test_hw();
+  other.simd = SimdLevel::kScalar;
+  const auto match = db.nearest("build", test_features(0.25), other);
+  ASSERT_NE(match.entry, nullptr);
+  EXPECT_NE(match.kind, ConfigDatabase::MatchKind::kExact);
+  EXPECT_GT(match.distance, 0.0);
+}
+
+TEST(ConfigDatabase, FileRoundTripAtomicAndMissingFileIsEmpty) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "kdtune_test_configdb.jsonl").string();
+  std::remove(path.c_str());
+
+  ConfigDatabase missing;
+  missing.load_file(path);  // no file: silently empty
+  EXPECT_TRUE(missing.empty());
+
+  ConfigDatabase db;
+  db.store(test_entry());
+  db.save_file(path);
+  ConfigDatabase loaded;
+  loaded.load_file(path);
+  EXPECT_EQ(loaded.size(), 1u);
+
+  for (const auto& entry : fs::directory_iterator(::testing::TempDir())) {
+    EXPECT_EQ(entry.path().string().find("kdtune_test_configdb.jsonl.tmp"),
+              std::string::npos)
+        << "leftover temp file: " << entry.path();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ConfigDatabase, CorruptFileDegradesToColdStart) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "kdtune_corrupt_db.jsonl").string();
+  {
+    std::ofstream out(path);
+    out << "{\"format\":\"kdtune-configdb\",\"version\":1}\n";
+    out << "this is not json\n";
+  }
+  ConfigDatabase db;
+  db.load_file(path);  // warns to stderr, loads nothing
+  EXPECT_TRUE(db.empty());
+  std::remove(path.c_str());
+}
+
+TEST(ConfigDatabase, StrictLoadRejectsBadHeaderAndNewerVersion) {
+  ConfigDatabase db;
+  std::stringstream no_header("{\"not\":\"a header\"}\n");
+  EXPECT_THROW(db.load(no_header), std::runtime_error);
+  std::stringstream newer(
+      "{\"format\":\"kdtune-configdb\",\"version\":999}\n");
+  EXPECT_THROW(db.load(newer), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -1,0 +1,128 @@
+#include "dse/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "kdtree/builder.hpp"
+#include "parallel/thread_pool.hpp"
+#include "scene/generators.hpp"
+
+namespace kdtune {
+namespace {
+
+Scene test_scene() { return make_bunny(0.06f); }
+
+TEST(SceneFeatures, ExtractionIsDeterministicAcrossRuns) {
+  const Scene scene = test_scene();
+  const SceneFeatures a = SceneFeatures::extract(scene.triangles());
+  const SceneFeatures b = SceneFeatures::extract(scene.triangles());
+  EXPECT_EQ(a, b);  // bit-identical, not just approximately equal
+  EXPECT_EQ(a.prim_count, scene.triangle_count());
+
+  // A second generator invocation produces the same geometry, hence the
+  // same features down to the last bit.
+  const Scene again = test_scene();
+  EXPECT_EQ(SceneFeatures::extract(again.triangles()), a);
+}
+
+TEST(SceneFeatures, IndependentOfThreadCountAndBuilder) {
+  // The database key must not depend on how the scene happens to be built:
+  // features are extracted from geometry alone, so building with any
+  // builder at any pool width first must not perturb them.
+  const Scene scene = test_scene();
+  const SceneFeatures reference = SceneFeatures::extract(scene.triangles());
+  for (const unsigned workers : {0u, 1u, 4u}) {
+    ThreadPool pool(workers);
+    for (const Algorithm algorithm :
+         {Algorithm::kNodeLevel, Algorithm::kInPlace, Algorithm::kLazy}) {
+      const auto tree =
+          make_builder(algorithm)->build(scene.triangles(), kBaseConfig, pool);
+      ASSERT_NE(tree, nullptr);
+      EXPECT_EQ(SceneFeatures::extract(scene.triangles()), reference)
+          << "builder " << to_string(algorithm) << ", workers " << workers;
+    }
+  }
+}
+
+TEST(SceneFeatures, ValuesAreSane) {
+  const Scene scene = test_scene();
+  const SceneFeatures f = SceneFeatures::extract(scene.triangles());
+  EXPECT_GT(f.v[0], 0.0);  // log2(1 + prims)
+  // Aspect ratios and centroid means are normalized into [0, 1].
+  for (const std::size_t i : {1u, 2u, 3u, 4u, 5u, 9u}) {
+    EXPECT_GE(f.v[i], 0.0) << feature_names()[i];
+    EXPECT_LE(f.v[i], 1.0) << feature_names()[i];
+  }
+  // The size histogram is a distribution over the buckets.
+  double hist_sum = 0.0;
+  for (std::size_t b = 0; b < kSceneSizeBuckets; ++b) {
+    EXPECT_GE(f.v[11 + b], 0.0);
+    hist_sum += f.v[11 + b];
+  }
+  EXPECT_NEAR(hist_sum, 1.0, 1e-12);
+}
+
+TEST(SceneFeatures, EmptySceneExtractsWithoutNaNs) {
+  const SceneFeatures f = SceneFeatures::extract({});
+  EXPECT_EQ(f.prim_count, 0u);
+  for (std::size_t i = 0; i < kSceneFeatureCount; ++i) {
+    EXPECT_TRUE(std::isfinite(f.v[i])) << feature_names()[i];
+  }
+}
+
+TEST(FeatureDistance, FuzzSymmetryAndZeroDistanceExactness) {
+  // Deterministic xorshift-style fuzz over random vectors: the metric must
+  // be symmetric, zero exactly on identical vectors, and positive on any
+  // perturbed copy — nearest() relies on all three.
+  std::uint64_t state = 0x5EEDF00Dull;
+  const auto next_unit = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<double>(state >> 11) * 0x1.0p-53;
+  };
+  for (int round = 0; round < 200; ++round) {
+    SceneFeatures a, b;
+    for (std::size_t i = 0; i < kSceneFeatureCount; ++i) {
+      a.v[i] = next_unit() * 8.0;
+      b.v[i] = next_unit() * 8.0;
+    }
+    EXPECT_DOUBLE_EQ(feature_distance(a, b), feature_distance(b, a));
+    EXPECT_EQ(feature_distance(a, a), 0.0);
+    EXPECT_EQ(feature_distance(b, b), 0.0);
+
+    SceneFeatures c = a;
+    const std::size_t dim =
+        static_cast<std::size_t>(next_unit() * kSceneFeatureCount) %
+        kSceneFeatureCount;
+    c.v[dim] += 0.125 + next_unit();
+    EXPECT_GT(feature_distance(a, c), 0.0);
+  }
+}
+
+TEST(HardwareDescriptor, DetectAndIdentity) {
+  const HardwareDescriptor hw = HardwareDescriptor::detect(4);
+  EXPECT_EQ(hw.threads, 4u);
+  EXPECT_GE(hw.cores, 1u);
+  EXPECT_GE(hw.cache_line, 16u);
+  EXPECT_EQ(hw.id(), "4t-" + hw.suffix());
+  EXPECT_EQ(hw, HardwareDescriptor::detect(4));
+  EXPECT_EQ(hardware_distance(hw, hw), 0.0);
+
+  // detect(0) floors the thread count instead of producing a 0-thread key.
+  EXPECT_EQ(HardwareDescriptor::detect(0).threads, 1u);
+}
+
+TEST(HardwareDescriptor, DistanceIsSymmetricAndSensitive) {
+  HardwareDescriptor a = HardwareDescriptor::detect(2);
+  HardwareDescriptor b = a;
+  b.threads = 8;
+  b.simd = a.simd == SimdLevel::kScalar ? SimdLevel::kAvx2 : SimdLevel::kScalar;
+  EXPECT_GT(hardware_distance(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(hardware_distance(a, b), hardware_distance(b, a));
+}
+
+}  // namespace
+}  // namespace kdtune

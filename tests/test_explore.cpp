@@ -1,0 +1,170 @@
+#include "dse/explore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "geom/rng.hpp"
+#include "kdtree/tree.hpp"
+#include "scene/generators.hpp"
+#include "serve/scene_registry.hpp"
+
+namespace kdtune {
+namespace {
+
+ExploreOptions tiny_options() {
+  ExploreOptions opts;
+  opts.scenes = {"bunny"};
+  opts.detail = 0.035f;
+  opts.threads = 2;
+  opts.grid = ExploreGrid::smoke();
+  opts.build_rays = 32;
+  opts.serve_requests = 32;
+  return opts;
+}
+
+TEST(Explore, SmokeSweepPopulatesDatabase) {
+  ConfigDatabase db;
+  const ExploreOptions opts = tiny_options();
+  const ExploreStats stats = run_explore(opts, db);
+  // Smoke grid: 2 builders x 2 ci x {2 backends | sweep has 2 backends} +
+  // 2 serve cells; exact arithmetic pinned here so grid edits are noticed.
+  EXPECT_EQ(stats.cells_total, 2u * 2u * 2u + 2u);
+  EXPECT_EQ(stats.cells_run, stats.cells_total);
+  EXPECT_EQ(stats.cells_skipped, 0u);
+  EXPECT_GT(stats.db_updates, 0u);
+  EXPECT_FALSE(db.empty());
+
+  // Build entries collapse per (builder, backend) context with the fastest
+  // configuration winning; serve entries land under the "serve" workload.
+  bool saw_build = false, saw_serve = false;
+  for (const ConfigDatabase::Entry* e : db.entries()) {
+    if (e->workload == "build") saw_build = true;
+    if (e->workload == "serve") saw_serve = true;
+    EXPECT_EQ(e->scene, "bunny");
+    EXPECT_GT(e->seconds, 0.0);
+  }
+  EXPECT_TRUE(saw_build);
+  EXPECT_TRUE(saw_serve);
+}
+
+TEST(Explore, CheckpointsAndResumesViaProgressFile) {
+  namespace fs = std::filesystem;
+  const std::string db_path =
+      (fs::path(::testing::TempDir()) / "kdtune_explore_db.jsonl").string();
+  const std::string progress_path = db_path + ".progress";
+  std::remove(db_path.c_str());
+  std::remove(progress_path.c_str());
+
+  ExploreOptions opts = tiny_options();
+  opts.db_path = db_path;
+  opts.max_cells = 3;  // interrupted run: only part of the grid measured
+
+  ConfigDatabase db;
+  const ExploreStats partial = run_explore(opts, db);
+  EXPECT_EQ(partial.cells_run, 3u);
+  EXPECT_TRUE(fs::exists(db_path));
+  EXPECT_TRUE(fs::exists(progress_path));
+
+  // Resume with a fresh process state: the finished cells are skipped, the
+  // remainder measured, and the checkpoint database keeps growing.
+  ConfigDatabase resumed;
+  resumed.load_file(db_path);
+  opts.max_cells = 0;
+  const ExploreStats rest = run_explore(opts, resumed);
+  EXPECT_EQ(rest.cells_skipped, 3u);
+  EXPECT_EQ(rest.cells_run, rest.cells_total - 3u);
+
+  // A third run has nothing left to do.
+  const ExploreStats done = run_explore(opts, resumed);
+  EXPECT_EQ(done.cells_run, 0u);
+  EXPECT_EQ(done.cells_skipped, done.cells_total);
+
+  std::remove(db_path.c_str());
+  std::remove(progress_path.c_str());
+}
+
+TEST(Explore, RegistryConsultsDatabaseAndAnswersStayBitIdentical) {
+  ThreadPool pool(2);
+  const Scene scene = make_bunny(0.035f);
+  const SceneFeatures features = SceneFeatures::extract(scene.triangles());
+  const HardwareDescriptor hw =
+      HardwareDescriptor::detect(pool.concurrency());
+
+  // A database entry whose parameters match the swept best for this exact
+  // context. Deliberately NOT C_base, so the admit path provably read it.
+  ConfigDatabase db;
+  ConfigDatabase::Entry entry;
+  entry.workload = "build";
+  entry.scene = "bunny";
+  entry.builder = "in-place";
+  entry.backend = "compact";
+  entry.hw = hw;
+  entry.features = features;
+  entry.params = {{"ci", 29}, {"cb", 4}, {"s", 2}};
+  entry.seconds = 0.001;
+  db.store(entry);
+
+  SceneRegistry with_db(pool);
+  with_db.attach_database(&db);
+  const auto snap_db = with_db.admit("bunny", scene);
+  ASSERT_NE(snap_db, nullptr);
+  // Exact-key hit: the stored configuration is reused directly.
+  EXPECT_EQ(snap_db->config.ci, 29);
+  EXPECT_EQ(snap_db->config.cb, 4);
+  EXPECT_EQ(snap_db->config.s, 2);
+
+  // Served answers must be bit-identical with and without the database:
+  // build the same configuration without one and compare exact hits.
+  SceneRegistry without_db(pool);
+  AdmitOptions opts;
+  opts.config = snap_db->config;
+  const auto snap_plain = without_db.admit("bunny", scene, opts);
+  ASSERT_NE(snap_plain, nullptr);
+
+  Rng rng(7);
+  const AABB bounds = scene.bounds();
+  const Vec3 ext = bounds.extent();
+  for (int i = 0; i < 64; ++i) {
+    const Vec3 origin{bounds.lo.x - ext.x * 0.5f + rng.next_float() * ext.x,
+                      bounds.lo.y + rng.next_float() * ext.y,
+                      bounds.lo.z + rng.next_float() * ext.z};
+    const Vec3 target{bounds.lo.x + rng.next_float() * ext.x,
+                      bounds.lo.y + rng.next_float() * ext.y,
+                      bounds.lo.z + rng.next_float() * ext.z};
+    const Ray ray(origin, target - origin);
+    const Hit a = snap_db->tree->closest_hit(ray);
+    const Hit b = snap_plain->tree->closest_hit(ray);
+    EXPECT_EQ(a.triangle, b.triangle);
+    EXPECT_EQ(a.t, b.t);  // exact float equality, not approximate
+    EXPECT_EQ(a.u, b.u);
+    EXPECT_EQ(a.v, b.v);
+  }
+}
+
+TEST(Explore, RecordTunedWritesBackToDatabase) {
+  ThreadPool pool(2);
+  ConfigDatabase db;
+  SceneRegistry registry(pool);
+  registry.attach_database(&db);
+  registry.admit("bunny", make_bunny(0.035f));
+
+  BuildConfig tuned = kBaseConfig;
+  tuned.ci = 23;
+  ASSERT_TRUE(registry.record_tuned("bunny", tuned, 0.004));
+  ASSERT_EQ(db.size(), 1u);
+  const ConfigDatabase::Entry* e = db.entries().front();
+  EXPECT_EQ(e->workload, "build");
+  EXPECT_EQ(e->builder, "in-place");
+  EXPECT_EQ(e->params.front().first, "ci");
+  EXPECT_EQ(e->params.front().second, 23);
+
+  // keeps-if-faster: a slower later result does not displace the stored one.
+  ASSERT_TRUE(registry.record_tuned("bunny", kBaseConfig, 0.9));
+  EXPECT_EQ(db.entries().front()->params.front().second, 23);
+}
+
+}  // namespace
+}  // namespace kdtune

@@ -368,7 +368,8 @@ TEST(FramePipeline, TunerDrivenRunRecordsBestIntoCache) {
   // run, and the registry entry now defaults to it.
   const auto entry = cache.lookup(ConfigCache::key_for(
       "tuned", std::string(to_string(tuner.best_algorithm())),
-      pool.concurrency()));
+      pool.concurrency(), "compact",
+      HardwareDescriptor::detect(pool.concurrency()).suffix()));
   ASSERT_TRUE(entry.has_value());
   EXPECT_EQ(entry->values,
             SceneRegistry::values_of(tuner.best_config(),

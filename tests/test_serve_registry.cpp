@@ -206,9 +206,11 @@ TEST(SceneRegistry, RecordTunedCanSwitchAlgorithm) {
   EXPECT_TRUE(
       registry.record_tuned("soup", tuned, 0.002, Algorithm::kLazy));
 
-  // The cache entry lands under the *winning* algorithm's key.
+  // The cache entry lands under the *winning* algorithm's canonical
+  // (backend/hardware-keyed) key.
   const auto entry = cache.lookup(ConfigCache::key_for(
-      "soup", std::string(to_string(Algorithm::kLazy)), pool.concurrency()));
+      "soup", std::string(to_string(Algorithm::kLazy)), pool.concurrency(),
+      "compact", HardwareDescriptor::detect(pool.concurrency()).suffix()));
   ASSERT_TRUE(entry.has_value());
   EXPECT_EQ(entry->values,
             (std::vector<std::int64_t>{tuned.ci, tuned.cb, tuned.s, 4096}));
@@ -222,9 +224,9 @@ TEST(SceneRegistry, RecordTunedCanSwitchAlgorithm) {
 
 TEST(SceneRegistry, ConfigCacheWarmStartRoundTrip) {
   ThreadPool pool(2);
-  const std::string key =
-      ConfigCache::key_for("soup", std::string(to_string(Algorithm::kInPlace)),
-                           pool.concurrency());
+  const std::string key = ConfigCache::key_for(
+      "soup", std::string(to_string(Algorithm::kInPlace)), pool.concurrency(),
+      "compact", HardwareDescriptor::detect(pool.concurrency()).suffix());
 
   // First "run": admit, tune, record. record_tuned stores to the cache.
   ConfigCache cache;

@@ -11,6 +11,9 @@
 //
 // Options: --detail=F --threads=N --frames=N --cache=FILE --out=FILE
 //          --seed=N (deterministic serve load)
+//          --config-db=FILE (feature-keyed config database from
+//          kdtune_explore; warm-starts tune/render/serve and records
+//          tuned results back — see docs/EXPLORE.md)
 //          --trace=FILE (Chrome trace-event JSON of the run; Perfetto)
 //          --tuner-log=FILE (JSONL tuner decision log; `tune` command)
 //          --obj=FILE (load geometry from a Wavefront OBJ instead of a
@@ -39,6 +42,7 @@ struct CliOptions {
   unsigned threads = 3;
   std::size_t frames = 80;
   std::string cache_path;
+  std::string config_db_path;
   std::string out_path;
   std::string obj_path;
   int width = 320;
@@ -67,6 +71,8 @@ CliOptions parse_options(int argc, char** argv, int first) {
       o.frames = std::strtoul(v, nullptr, 10);
     } else if (const char* v = value("--cache=")) {
       o.cache_path = v;
+    } else if (const char* v = value("--config-db=")) {
+      o.config_db_path = v;
     } else if (const char* v = value("--out=")) {
       o.out_path = v;
     } else if (const char* v = value("--obj=")) {
@@ -124,6 +130,23 @@ BuildConfig config_from_values(const std::vector<std::int64_t>& values) {
   return c;
 }
 
+BuildConfig config_from_db_entry(const ConfigDatabase::Entry& e) {
+  BuildConfig c = kBaseConfig;
+  for (const auto& [name, v] : e.params) {
+    if (name == "ci") c.ci = v;
+    else if (name == "cb") c.cb = v;
+    else if (name == "s") c.s = v;
+    else if (name == "r") c.r = v;
+  }
+  return c;
+}
+
+// The database's backend tag for a plain KdTree query path (matches
+// SceneRegistry::db_backend_name): lazy trees stay in their native layout.
+std::string db_backend_for(Algorithm algorithm) {
+  return algorithm == Algorithm::kLazy ? "native" : "compact";
+}
+
 int cmd_info() {
   std::printf("scenes:     ");
   for (const auto& id : scene_ids()) std::printf("%s ", id.c_str());
@@ -142,10 +165,17 @@ int cmd_tune(const std::string& scene_id, const std::string& algo,
   const auto scene = resolve_scene(scene_id, o);
   ThreadPool pool(o.threads);
 
+  const HardwareDescriptor hw = HardwareDescriptor::detect(pool.concurrency());
   ConfigCache cache;
-  const std::string key =
+  const std::string legacy_key =
       ConfigCache::key_for(scene->name(), algo, pool.concurrency());
+  const std::string key = ConfigCache::key_for(
+      scene->name(), algo, pool.concurrency(), db_backend_for(algorithm),
+      hw.suffix());
   if (!o.cache_path.empty()) cache.load_file(o.cache_path);
+
+  ConfigDatabase db;
+  if (!o.config_db_path.empty()) db.load_file(o.config_db_path);
 
   PipelineOptions popts;
   popts.width = o.width / 2;
@@ -159,15 +189,34 @@ int cmd_tune(const std::string& scene_id, const std::string& algo,
       std::fprintf(stderr, "cannot write %s\n", o.tuner_log_path.c_str());
     }
   }
-  if (const auto hit = cache.lookup(key)) {
+  const Scene first = scene->frame(0);
+  SceneFeatures features{};
+  if (!o.config_db_path.empty()) {
+    features = SceneFeatures::extract(first.triangles());
+  }
+  if (const auto hit = cache.lookup_compat(key, legacy_key)) {
     std::printf("warm start from cache: ");
     print_config("", config_from_values(hit->values),
                  algorithm == Algorithm::kLazy);
     pipeline.warm_start(config_from_values(hit->values));
+  } else if (!o.config_db_path.empty()) {
+    // Cache miss: fall back to the explorer database. An exact context hit
+    // reuses the stored parameters directly; a near neighbor seeds the
+    // search; a far miss leaves the cold start untouched.
+    const auto match = db.nearest("build", features, hw,
+                                  std::string(to_string(algorithm)));
+    if (match.entry && match.kind != ConfigDatabase::MatchKind::kFar) {
+      std::printf("%s warm start from config db (d=%.3f, scene '%s'): ",
+                  match.kind == ConfigDatabase::MatchKind::kExact ? "exact"
+                                                                  : "near",
+                  match.distance, match.entry->scene.c_str());
+      const BuildConfig seed = config_from_db_entry(*match.entry);
+      print_config("", seed, algorithm == Algorithm::kLazy);
+      pipeline.warm_start(seed);
+    }
   }
 
   double base_time = 0.0;
-  const Scene first = scene->frame(0);
   for (int i = 0; i < 3; ++i) {
     base_time += pipeline.render_frame_with(first, kBaseConfig).total_seconds;
   }
@@ -192,6 +241,23 @@ int cmd_tune(const std::string& scene_id, const std::string& algo,
     cache.save_file(o.cache_path);
     std::printf("cached as '%s' in %s\n", key.c_str(), o.cache_path.c_str());
   }
+  if (!o.config_db_path.empty()) {
+    ConfigDatabase::Entry entry;
+    entry.workload = "build";
+    entry.scene = scene->name();
+    entry.builder = std::string(to_string(algorithm));
+    entry.backend = db_backend_for(algorithm);
+    entry.hw = hw;
+    entry.features = features;
+    const BuildConfig bc = pipeline.best_config();
+    entry.params = {{"ci", bc.ci}, {"cb", bc.cb}, {"s", bc.s}};
+    if (algorithm == Algorithm::kLazy) entry.params.emplace_back("r", bc.r);
+    entry.seconds = best;
+    if (db.store(std::move(entry))) {  // keeps-if-faster
+      db.save_file(o.config_db_path);
+      std::printf("recorded in config db %s\n", o.config_db_path.c_str());
+    }
+  }
   return 0;
 }
 
@@ -201,15 +267,36 @@ int cmd_render(const std::string& scene_id, const std::string& algo,
   const auto scene = resolve_scene(scene_id, o);
   ThreadPool pool(o.threads);
 
+  const Scene frame = scene->frame(0);
   BuildConfig config = kBaseConfig;
+  bool configured = false;
   if (!o.cache_path.empty()) {
     ConfigCache cache;
     cache.load_file(o.cache_path);
-    const std::string key =
+    const std::string key = ConfigCache::key_for(
+        scene->name(), algo, pool.concurrency(), db_backend_for(algorithm),
+        HardwareDescriptor::detect(pool.concurrency()).suffix());
+    const std::string legacy_key =
         ConfigCache::key_for(scene->name(), algo, pool.concurrency());
-    if (const auto hit = cache.lookup(key)) {
+    if (const auto hit = cache.lookup_compat(key, legacy_key)) {
       config = config_from_values(hit->values);
+      configured = true;
       std::printf("using cached configuration for '%s'\n", key.c_str());
+    }
+  }
+  if (!configured && !o.config_db_path.empty()) {
+    ConfigDatabase db;
+    db.load_file(o.config_db_path);
+    const auto match = db.nearest(
+        "build", SceneFeatures::extract(frame.triangles()),
+        HardwareDescriptor::detect(pool.concurrency()),
+        std::string(to_string(algorithm)));
+    if (match.entry && match.kind != ConfigDatabase::MatchKind::kFar) {
+      config = config_from_db_entry(*match.entry);
+      std::printf("using config db %s match (d=%.3f, scene '%s')\n",
+                  match.kind == ConfigDatabase::MatchKind::kExact ? "exact"
+                                                                  : "near",
+                  match.distance, match.entry->scene.c_str());
     }
   }
   print_config("config:", config, algorithm == Algorithm::kLazy);
@@ -219,7 +306,7 @@ int cmd_render(const std::string& scene_id, const std::string& algo,
   popts.height = o.height;
   TunedPipeline pipeline(algorithm, pool, std::move(popts));
   Framebuffer fb(o.width, o.height);
-  const FrameReport r = pipeline.render_frame_with(scene->frame(0), config, &fb);
+  const FrameReport r = pipeline.render_frame_with(frame, config, &fb);
   std::printf("frame: %.2f ms (build %.2f + render %.2f), %zu nodes\n",
               r.total_seconds * 1e3, r.build_seconds * 1e3,
               r.render_seconds * 1e3, r.tree.node_count);
@@ -300,11 +387,16 @@ int cmd_serve(const std::string& scene_list, const CliOptions& o) {
   if (ids.empty()) throw std::invalid_argument("serve: no scenes given");
 
   ThreadPool pool(o.threads);
+  ConfigDatabase db;
   SceneRegistry registry(pool);
   ConfigCache cache;
   if (!o.cache_path.empty()) {
     cache.load_file(o.cache_path);
     registry.attach_cache(&cache);  // warm-starts every admit below
+  }
+  if (!o.config_db_path.empty()) {
+    db.load_file(o.config_db_path);
+    registry.attach_database(&db);  // cache misses fall back to NN lookup
   }
 
   std::vector<AABB> boxes;
@@ -388,7 +480,7 @@ int usage() {
                "         (quick demo; kdtune_serve is the full load "
                "generator)\n"
                "common: --detail=F --threads=N --size=WxH --obj=FILE "
-               "--seed=N\n");
+               "--seed=N --config-db=FILE\n");
   return 1;
 }
 

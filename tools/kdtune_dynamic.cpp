@@ -29,6 +29,9 @@
 //   --no-tune        fixed base configuration    --seed=N     workload seed
 //   --target-fps=F   pace frames; late builds carry over
 //   --skip-ahead     with --target-fps: drop frames instead
+//   --config-db=FILE feature-keyed config database from kdtune_explore:
+//                    warm-starts candidates the ConfigCache missed and
+//                    records each scene's best result back (keeps-if-faster)
 //   --json=FILE      write stats + check results as JSON
 //   --trace=FILE     write a Chrome trace-event JSON of the whole run
 //                    (open in Perfetto; see docs/OBSERVABILITY.md)
@@ -60,6 +63,7 @@ struct DynamicOptions {
   double target_fps = 0.0;
   bool skip_ahead = false;
   std::uint64_t seed = 0x5EEDu;
+  std::string config_db_path;
   std::string json_path;
   std::string trace_path;
   std::string tuner_log_path;
@@ -98,6 +102,8 @@ DynamicOptions parse_options(int argc, char** argv) {
       o.target_fps = std::strtod(v, nullptr);
     } else if (const char* v = value("--seed=")) {
       o.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--config-db=")) {
+      o.config_db_path = v;
     } else if (const char* v = value("--json=")) {
       o.json_path = v;
     } else if (const char* v = value("--trace=")) {
@@ -176,11 +182,13 @@ struct SceneOutcome {
 };
 
 SceneOutcome run_scene(const DynamicOptions& o, const std::string& id,
-                       ConfigCache& cache, TunerLog* tuner_log) {
+                       ConfigCache& cache, ConfigDatabase* db,
+                       TunerLog* tuner_log) {
   ThreadPool pool(o.threads);
   ThreadPool reference_pool(0);
   SceneRegistry registry(pool);
   registry.attach_cache(&cache);
+  if (db != nullptr) registry.attach_database(db);
 
   const auto anim = capped(make_scene(id, o.detail), o.frames);
   SceneOutcome out;
@@ -192,6 +200,17 @@ SceneOutcome run_scene(const DynamicOptions& o, const std::string& id,
   if (o.tune) {
     tuner = std::make_unique<FrameTuner>();
     tuner->warm_start(cache, id, pool.concurrency());
+    if (db != nullptr) {
+      // Candidates the cache missed start from the database's nearest
+      // measured context instead of C_base.
+      const std::size_t seeded = tuner->warm_start_db(
+          *db, SceneFeatures::extract(anim->frame(0).triangles()),
+          HardwareDescriptor::detect(pool.concurrency()));
+      if (seeded != 0) {
+        std::printf("  %-14s db warm start: %zu candidate(s)\n", id.c_str(),
+                    seeded);
+      }
+    }
     if (tuner_log != nullptr) tuner->set_log(tuner_log);
     popts.tuner = tuner.get();
   }
@@ -268,12 +287,23 @@ SceneOutcome run_scene(const DynamicOptions& o, const std::string& id,
     out.tuner_iterations = tuner->iterations();
     out.best_algorithm = tuner->best_algorithm();
     out.best_config = tuner->best_config();
-    out.cache_recorded =
-        cache
-            .lookup(ConfigCache::key_for(
-                id, std::string(to_string(out.best_algorithm)),
-                pool.concurrency()))
+    // The registry records under the canonical backend/hardware-keyed name;
+    // the tuner may have retired on any backend, so probe them all (plus the
+    // legacy pre-backend key for caches written by older builds).
+    const std::string algorithm(to_string(out.best_algorithm));
+    const std::string hw =
+        HardwareDescriptor::detect(pool.concurrency()).suffix();
+    bool recorded =
+        cache.lookup(ConfigCache::key_for(id, algorithm, pool.concurrency()))
             .has_value();
+    for (std::int64_t b = 0; !recorded && b < kQueryBackendCount; ++b) {
+      recorded = cache
+                     .lookup(ConfigCache::key_for(
+                         id, algorithm, pool.concurrency(),
+                         to_string(backend_from_int(b)), hw))
+                     .has_value();
+    }
+    out.cache_recorded = recorded;
   }
   return out;
 }
@@ -294,10 +324,18 @@ int run(const DynamicOptions& o) {
   }
 
   ConfigCache cache;
+  ConfigDatabase config_db;
+  const bool use_db = !o.config_db_path.empty();
+  if (use_db) {
+    config_db.load_file(o.config_db_path);
+    std::printf("config db %s: %zu entries\n", o.config_db_path.c_str(),
+                config_db.size());
+  }
   std::vector<SceneOutcome> outcomes;
   for (const std::string& id : o.scenes) {
     const SceneOutcome out =
-        run_scene(o, id, cache, tuner_log.is_open() ? &tuner_log : nullptr);
+        run_scene(o, id, cache, use_db ? &config_db : nullptr,
+                  tuner_log.is_open() ? &tuner_log : nullptr);
     std::printf(
         "  %-14s %3llu frames in %6.2f s (%5.1f fps), build %6.1f ms, "
         "query %6.1f ms, %llu rays%s",
@@ -318,6 +356,12 @@ int run(const DynamicOptions& o) {
     }
     std::printf("\n");
     outcomes.push_back(out);
+  }
+  if (use_db) {
+    // record_tuned stored each scene's best into the attached database
+    // (keeps-if-faster); persist it for the next run / machine.
+    config_db.save_file(o.config_db_path);
+    std::printf("config db saved: %zu entries\n", config_db.size());
   }
 
   // --- Checks (the pipeline contracts; exit code for CI) -------------------

@@ -1,0 +1,196 @@
+// kdtune_explore: offline design-space sweep driver (docs/EXPLORE.md).
+//
+//   kdtune_explore [options]
+//
+// Sweeps builders x Table-II configurations x query backends x serving
+// knobs over generator scenes and distills the results into a portable
+// ConfigDatabase that warm-starts the online tuners on later runs. The
+// sweep checkpoints after every cell (database + progress file), so an
+// interrupted run resumes instead of restarting.
+//
+// Options:
+//   --db=FILE         database path (default explore_db.jsonl); loaded if
+//                     present, checkpointed after every cell
+//   --scenes=a,b,c    generator scene ids (default: all six; see
+//                     kdtune_cli info)
+//   --detail=F        generator detail scale (default 0.12)
+//   --threads=N       pool workers (default 3)
+//   --rays=N          probe rays per build cell (default 512)
+//   --requests=N      requests per serve cell (default 256)
+//   --max-cells=N     stop after measuring N cells (resume later; 0 = all)
+//   --smoke           tiny grid + bunny-only defaults (CI)
+//   --fresh           ignore an existing progress file (re-measure all)
+//   --no-serve        skip the serving-knob sweep
+//   --no-build        skip the build sweep
+//   --check-roundtrip=FILE
+//                     validation mode: load FILE, re-save, and verify the
+//                     bytes are identical; exits 0/1, runs no sweep
+//   --trace=FILE      Chrome trace-event JSON of the sweep
+//   --tuner-log=FILE  JSONL measurement log (streams "explore:<scene>:...")
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/kdtune.hpp"
+
+namespace {
+
+using namespace kdtune;
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream in(csv);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out;
+}
+
+int check_roundtrip(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream original;
+  original << in.rdbuf();
+
+  ConfigDatabase db;
+  try {
+    std::stringstream parse(original.str());
+    db.load(parse);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s does not parse: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+  std::stringstream resaved;
+  db.save(resaved);
+  if (resaved.str() != original.str()) {
+    std::fprintf(stderr,
+                 "%s: re-save is not byte-identical (%zu vs %zu bytes)\n",
+                 path.c_str(), resaved.str().size(), original.str().size());
+    return 1;
+  }
+  std::printf("%s: %zu entries, load -> save byte-identical\n", path.c_str(),
+              db.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExploreOptions opts;
+  opts.scenes = scene_ids();
+  opts.db_path = "explore_db.jsonl";
+  bool fresh = false;
+  bool smoke = false;
+  std::string roundtrip_path;
+  std::string trace_path;
+  std::string tuner_log_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&arg](const char* key) -> const char* {
+      const std::size_t n = std::strlen(key);
+      return arg.compare(0, n, key) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--db=")) {
+      opts.db_path = v;
+    } else if (const char* v = value("--scenes=")) {
+      opts.scenes = split_csv(v);
+    } else if (const char* v = value("--detail=")) {
+      opts.detail = std::strtof(v, nullptr);
+    } else if (const char* v = value("--threads=")) {
+      opts.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--rays=")) {
+      opts.build_rays = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value("--requests=")) {
+      opts.serve_requests = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value("--max-cells=")) {
+      opts.max_cells = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value("--seed=")) {
+      opts.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--check-roundtrip=")) {
+      roundtrip_path = v;
+    } else if (const char* v = value("--trace=")) {
+      trace_path = v;
+      TraceRecorder::instance().set_enabled(true);
+    } else if (const char* v = value("--tuner-log=")) {
+      tuner_log_path = v;
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--fresh") {
+      fresh = true;
+    } else if (arg == "--no-serve") {
+      opts.sweep_serve = false;
+    } else if (arg == "--no-build") {
+      opts.sweep_build = false;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (!roundtrip_path.empty()) return check_roundtrip(roundtrip_path);
+
+  if (smoke) {
+    opts.grid = ExploreGrid::smoke();
+    opts.scenes = {"bunny"};
+    opts.detail = 0.05f;
+    opts.build_rays = 64;
+    opts.serve_requests = 64;
+  }
+
+  if (fresh) {
+    const std::string progress = opts.progress_path.empty()
+                                     ? opts.db_path + ".progress"
+                                     : opts.progress_path;
+    std::remove(progress.c_str());
+  }
+
+  TunerLog log;
+  if (!tuner_log_path.empty()) {
+    if (!log.open(tuner_log_path)) {
+      std::fprintf(stderr, "cannot write %s\n", tuner_log_path.c_str());
+      return 1;
+    }
+    opts.log = &log;
+  }
+
+  ConfigDatabase db;
+  db.load_file(opts.db_path);  // resume; missing/corrupt = cold start
+  std::printf("exploring %zu scene(s), db %s (%zu entries loaded)\n",
+              opts.scenes.size(), opts.db_path.c_str(), db.size());
+
+  ExploreStats stats;
+  try {
+    stats = run_explore(opts, db);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "explore failed: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf(
+      "cells: %zu total, %zu measured, %zu resumed; db: %zu entries "
+      "(%zu updated)\n",
+      stats.cells_total, stats.cells_run, stats.cells_skipped, db.size(),
+      stats.db_updates);
+
+  if (!trace_path.empty()) {
+    TraceRecorder& recorder = TraceRecorder::instance();
+    recorder.set_enabled(false);
+    if (recorder.write_json(trace_path)) {
+      std::printf("wrote %s (%zu trace events)\n", trace_path.c_str(),
+                  recorder.event_count());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -33,6 +33,10 @@
 //   --packet=N       rays per packet request
 //   --window-ms=N    tuner window length
 //   --seed=N         deterministic load (same seed = same requests)
+//   --config-db=FILE feature-keyed config database from kdtune_explore:
+//                    admits consult it for build configs, the ServeTuner
+//                    warm-starts from the nearest "serve" entry, and the
+//                    best serving parameters are recorded back
 //   --json=FILE      write stats + check results as JSON
 //   --trace=FILE     write a Chrome trace-event JSON of the whole run
 //   --tuner-log=FILE write every tuner iteration as JSONL
@@ -89,6 +93,7 @@ struct ServeOptions {
   int packet_rays = 8;
   int window_ms = 25;
   std::uint64_t seed = 0x5EEDu;
+  std::string config_db_path;
   std::string json_path;
   std::string trace_path;
   std::string tuner_log_path;
@@ -142,6 +147,8 @@ ServeOptions parse_options(int argc, char** argv) {
       o.window_ms = std::atoi(v);
     } else if (const char* v = value("--seed=")) {
       o.seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--config-db=")) {
+      o.config_db_path = v;
     } else if (const char* v = value("--json=")) {
       o.json_path = v;
     } else if (const char* v = value("--trace=")) {
@@ -639,7 +646,15 @@ int run(const ServeOptions& o) {
 
   ThreadPool pool(o.threads);
   ThreadPool reference_pool(0);
+  ConfigDatabase config_db;
   SceneRegistry registry(pool);
+  const bool use_db = !o.config_db_path.empty();
+  if (use_db) {
+    config_db.load_file(o.config_db_path);
+    registry.attach_database(&config_db);  // admits consult it on cache miss
+    std::printf("config db %s: %zu entries\n", o.config_db_path.c_str(),
+                config_db.size());
+  }
 
   // --- Admit scenes and build single-threaded reference trees --------------
   std::vector<std::string> names;
@@ -647,8 +662,12 @@ int run(const ServeOptions& o) {
   std::vector<AABB> boxes;
   std::printf("admitting %zu scene(s) at detail %.2f ...\n", o.scenes.size(),
               o.detail);
+  SceneFeatures serve_features{};  // scene 0's features key the serve entries
   for (const std::string& id : o.scenes) {
     const Scene scene = make_scene(id, o.detail)->frame(0);
+    if (use_db && names.empty()) {
+      serve_features = SceneFeatures::extract(scene.triangles());
+    }
     AdmitOptions admit;
     admit.algorithm = Algorithm::kInPlace;
     const auto snap = registry.admit(id, scene, admit);
@@ -750,6 +769,20 @@ int run(const ServeOptions& o) {
                            QueryKind::kClosestPoint};
     tuner = std::make_unique<ServeTuner>(service, topts);
     if (tuner_log.is_open()) tuner->tuner().set_log(&tuner_log, "serve");
+    if (use_db) {
+      const auto match = config_db.nearest(
+          "serve", serve_features, HardwareDescriptor::detect(o.threads));
+      if (match.entry != nullptr &&
+          match.kind != ConfigDatabase::MatchKind::kFar) {
+        const std::size_t seeded = tuner->warm_start_named(match.entry->params);
+        std::printf(
+            "serve tuner warm start: %zu dimension(s) from %s db match "
+            "(d=%.3f, scene '%s')\n",
+            seeded,
+            match.kind == ConfigDatabase::MatchKind::kExact ? "exact" : "near",
+            match.distance, match.entry->scene.c_str());
+      }
+    }
     tuner_thread = std::thread([&] {
       while (!load_done.load(std::memory_order_acquire)) {
         tuner->begin_window();
@@ -857,6 +890,26 @@ int run(const ServeOptions& o) {
                 static_cast<long long>(best.batch_size),
                 static_cast<long long>(best.flush_timeout_us),
                 static_cast<long long>(best.max_inflight_batches));
+    if (use_db && tuner->windows() >= 1) {
+      const double best_time = tuner->tuner().best_time();
+      if (best_time > 0.0 && best_time < 1e30) {  // at least one full window
+        ConfigDatabase::Entry entry;
+        entry.workload = "serve";
+        entry.scene = names[0];
+        entry.builder = "in-place";  // matches the explorer's serve cells
+        entry.backend = "compact";
+        entry.hw = HardwareDescriptor::detect(o.threads);
+        entry.features = serve_features;
+        entry.params = {{"batch_size", best.batch_size},
+                        {"flush_timeout_us", best.flush_timeout_us}};
+        entry.seconds = best_time;
+        if (config_db.store(std::move(entry))) {  // keeps-if-faster
+          config_db.save_file(o.config_db_path);
+          std::printf("recorded best serving params in %s\n",
+                      o.config_db_path.c_str());
+        }
+      }
+    }
   }
 
   // --- Checks (the serving contracts; exit code for CI) --------------------
