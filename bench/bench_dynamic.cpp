@@ -11,6 +11,11 @@
 //      configuration across frames, warm-started from a prior (untimed)
 //      tuning pass through the ConfigCache — the paper's cross-run
 //      warm-start loop.
+//   3. Algorithm routing: a `balanced` row per scene (the left-balanced
+//      builder serving the same pipeline, fixed) showing its raw build
+//      throughput, plus a five-candidate FrameTuner selection demo — the
+//      fast-moving scene must route to the balanced builder, a static
+//      query-heavy scene back to an SAH sweep.
 //
 // Writes BENCH_dynamic.json. `--smoke` shrinks everything for CI (smaller
 // still under KDTUNE_CI_SMALL).
@@ -170,13 +175,15 @@ struct RunResult {
 RunResult run_pipeline(const DynamicBenchOptions& o, int rays,
                        const std::shared_ptr<const AnimatedScene>& anim,
                        bool overlap, FrameTuner* tuner, ConfigCache* cache,
-                       ThreadPool& pool) {
+                       ThreadPool& pool,
+                       Algorithm algorithm = Algorithm::kInPlace) {
   SceneRegistry registry(pool);
   if (cache != nullptr) registry.attach_cache(cache);
 
   FramePipelineOptions popts;
   popts.overlap = overlap;
   popts.tuner = tuner;
+  popts.algorithm = algorithm;
   FramePipeline pipeline(anim, registry, popts);
 
   Rng rng(o.seed);
@@ -200,6 +207,55 @@ RunResult run_pipeline(const DynamicBenchOptions& o, int rays,
   out.build_seconds = stats.total_build_seconds;
   out.query_seconds = stats.total_query_seconds;
   if (tuner != nullptr) out.tuner_iterations = tuner->iterations();
+  return out;
+}
+
+/// The paper-conclusion demo: all five tuned algorithms compete under the
+/// frame objective m = t_build + w * t_query on real builds, and the
+/// pipeline serves whichever the FrameTuner selects. Returns once selection
+/// has finished (plus a few frames serving the winner).
+struct RoutingResult {
+  Algorithm algorithm = Algorithm::kInPlace;
+  std::uint64_t frames = 0;
+  double best_objective = 0.0;
+};
+
+RoutingResult run_routing(const DynamicBenchOptions& o, int rays,
+                          const std::shared_ptr<const AnimatedScene>& anim,
+                          double query_weight, ThreadPool& pool) {
+  FrameTunerOptions topts;
+  topts.algorithms = all_algorithms();
+  topts.frames_per_algorithm = 4;
+  topts.query_weight = query_weight;
+  FrameTuner tuner(topts);
+
+  SceneRegistry registry(pool);
+  FramePipelineOptions popts;
+  popts.tuner = &tuner;
+  popts.loop = true;  // selection decides when to stop, not the frame count
+  FramePipeline pipeline(anim, registry, popts);
+
+  Rng rng(o.seed);
+  std::uint64_t frames = 1;
+  std::size_t settle = 4;  // post-selection frames serving the winner
+  for (FrameTick tick = pipeline.begin();
+       tick.published && frames < 600 && (!tuner.selection_done() ||
+                                          settle-- > 0);
+       ++frames) {
+    const auto snap = registry.acquire(anim->name());
+    const AABB box = snap->tree->bounds();
+    Stopwatch query_clock;
+    query_clock.start();
+    for (int r = 0; r < rays; ++r) {
+      (void)snap->tree->closest_hit(random_ray_into(rng, box));
+    }
+    tick = pipeline.advance(query_clock.elapsed());
+  }
+
+  RoutingResult out;
+  out.algorithm = tuner.best_algorithm();
+  out.frames = frames;
+  out.best_objective = tuner.best_objective();
   return out;
 }
 
@@ -243,7 +299,7 @@ int main(int argc, char** argv) {
   struct Row {
     std::string scene;
     int rays = 0;
-    RunResult sequential, overlapped, tuned;
+    RunResult sequential, overlapped, tuned, balanced;
   };
   std::vector<Row> rows;
 
@@ -266,11 +322,20 @@ int main(int argc, char** argv) {
       const RunResult v =
           run_pipeline(o, rays, anim, /*overlap=*/true, nullptr, nullptr,
                        pool);
+      // The left-balanced builder serving the same overlapped pipeline: its
+      // raw build throughput is the reason the five-candidate selection
+      // below routes fast-moving scenes to it.
+      const RunResult b =
+          run_pipeline(o, rays, anim, /*overlap=*/true, nullptr, nullptr,
+                       pool, Algorithm::kBalanced);
       if (rep == 0 || s.wall_seconds < row.sequential.wall_seconds) {
         row.sequential = s;
       }
       if (rep == 0 || v.wall_seconds < row.overlapped.wall_seconds) {
         row.overlapped = v;
+      }
+      if (rep == 0 || b.wall_seconds < row.balanced.wall_seconds) {
+        row.balanced = b;
       }
     }
 
@@ -300,7 +365,7 @@ int main(int argc, char** argv) {
 
     std::printf("%-14s %5d rays | sequential %6.1f fps | overlapped %6.1f "
                 "fps (x%.2f) | frame cost base %7.3f ms -> tuned %7.3f ms "
-                "(x%.2f, %zu iters)\n",
+                "(x%.2f, %zu iters) | balanced build x%.2f\n",
                 id.c_str(), rays, row.sequential.frames_per_sec(),
                 row.overlapped.frames_per_sec(),
                 row.overlapped.frames_per_sec() /
@@ -308,9 +373,40 @@ int main(int argc, char** argv) {
                 row.overlapped.frame_seconds() * 1e3,
                 row.tuned.frame_seconds() * 1e3,
                 row.overlapped.frame_seconds() / row.tuned.frame_seconds(),
-                row.tuned.tuner_iterations);
+                row.tuned.tuner_iterations,
+                row.balanced.build_seconds > 0.0
+                    ? row.overlapped.build_seconds / row.balanced.build_seconds
+                    : 0.0);
     rows.push_back(std::move(row));
   }
+
+  // Five-candidate algorithm routing: a fast-moving scene with a light query
+  // batch (build-dominated objective) and a static query-heavy scene (the
+  // same structured frame rebuilt while a weighted query load dominates).
+  const int routing_rays = o.smoke ? 256 : 512;
+  const int static_rays = o.smoke ? 2000 : 8000;
+  const double static_weight = 20.0;
+  RoutingResult fast_route, static_route;
+  std::string static_scene = "bunny";
+  {
+    ThreadPool pool(o.threads);
+    const auto fast_anim = capped(make_scene("toasters", o.detail), o.frames);
+    fast_route = run_routing(o, routing_rays, fast_anim, 1.0, pool);
+
+    const auto base = std::make_shared<Scene>(make_bunny(
+        std::min(1.0f, o.detail * 2.0f)));
+    const auto static_anim = std::make_shared<ProceduralAnimation>(
+        static_scene, std::size_t{8},
+        [base](std::size_t) { return *base; });
+    static_route = run_routing(o, static_rays, static_anim, static_weight,
+                               pool);
+  }
+  const std::string fast_name{to_string(fast_route.algorithm)};
+  const std::string static_name{to_string(static_route.algorithm)};
+  std::printf("\nrouting: fast-moving toasters -> %s (%" PRIu64
+              " frames) | static bunny (w=%.0f) -> %s (%" PRIu64 " frames)\n",
+              fast_name.c_str(), fast_route.frames, static_weight,
+              static_name.c_str(), static_route.frames);
 
   std::FILE* out = std::fopen(o.json_path.c_str(), "w");
   if (out == nullptr) {
@@ -352,14 +448,30 @@ int main(int argc, char** argv) {
     emit("sequential", r.sequential, ",");
     emit("overlapped", r.overlapped, ",");
     emit("tuned", r.tuned, ",");
+    emit("balanced", r.balanced, ",");
     std::fprintf(out,
                  "    \"overlap_speedup\": %.3f,\n"
-                 "    \"tuned_speedup\": %.3f}%s\n",
+                 "    \"tuned_speedup\": %.3f,\n"
+                 "    \"balanced_build_speedup\": %.3f}%s\n",
                  r.overlapped.frames_per_sec() / r.sequential.frames_per_sec(),
                  r.overlapped.frame_seconds() / r.tuned.frame_seconds(),
+                 r.balanced.build_seconds > 0.0
+                     ? r.overlapped.build_seconds / r.balanced.build_seconds
+                     : 0.0,
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(out, "]}\n");
+  std::fprintf(out, "],\n");
+  std::fprintf(out,
+               " \"routing\": {\n"
+               "  \"fast\": {\"scene\": \"toasters\", \"rays\": %d, "
+               "\"query_weight\": 1.0, \"algorithm\": \"%s\", "
+               "\"frames\": %" PRIu64 "},\n"
+               "  \"static\": {\"scene\": \"%s\", \"rays\": %d, "
+               "\"query_weight\": %.1f, \"algorithm\": \"%s\", "
+               "\"frames\": %" PRIu64 "}}}\n",
+               routing_rays, fast_name.c_str(), fast_route.frames,
+               static_scene.c_str(), static_rays, static_weight,
+               static_name.c_str(), static_route.frames);
   std::fclose(out);
   std::printf("\nwrote %s (%zu scenes)\n", o.json_path.c_str(), rows.size());
   if (disabled_ns > kMaxDisabledNs) {

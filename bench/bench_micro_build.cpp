@@ -1,4 +1,4 @@
-// Micro: construction throughput of every builder (the paper's four parallel
+// Micro: construction throughput of every builder (the five tuned
 // algorithms plus the sequential references) on the evaluation scenes, and
 // the asymptotic-complexity ablation (sweep O(n log^2 n) vs event O(n log n)).
 

@@ -26,12 +26,35 @@ namespace {
 
 // Random soup generator. Shapes stress different tree pathologies: uniform
 // clouds, outlier clusters (huge empty-space cutoffs), flat sheets (one axis
-// never splits usefully), elongated tubes, mixed scales, and an axis-aligned
+// never splits usefully), elongated tubes, mixed scales, an axis-aligned
 // grid whose coplanar geometry produces exact SAH-plane and hit-distance
-// ties — the case where "agree approximately" would hide real divergence.
+// ties — the case where "agree approximately" would hide real divergence —
+// and degenerate-input corner cases (empty soup, a single triangle,
+// all-coincident copies) where a partitioning builder can loop or emit an
+// unbalanced tree instead of terminating in a leaf.
 std::vector<Triangle> generate_geometry(Rng& rng,
                                         const DifferentialOptions& opts) {
-  const int shape = static_cast<int>(rng.next_int(0, 5));
+  const int shape = static_cast<int>(rng.next_int(0, 6));
+  if (shape == 6) {
+    const int corner = static_cast<int>(rng.next_int(0, 3));
+    if (corner == 0) return {};  // empty soup
+    const Triangle one{{rng.uniform(-2, 2), rng.uniform(-2, 2), 0.0f},
+                       {rng.uniform(0.2f, 1.0f), 0.5f, 0.1f},
+                       {0.3f, rng.uniform(0.2f, 1.0f), -0.1f}};
+    if (corner == 1) return {one};  // single triangle
+    // All-coincident primitives: identical copies (corner 2) or copies with
+    // one jittered vertex sharing a centroid cluster (corner 3). Every
+    // split plane a builder can try straddles everything.
+    const std::size_t n =
+        static_cast<std::size_t>(rng.next_int(9, 64));
+    std::vector<Triangle> tris(n, one);
+    if (corner == 3) {
+      for (std::size_t i = 0; i < n; ++i) {
+        tris[i].c.z += 0.001f * static_cast<float>(i % 3);
+      }
+    }
+    return tris;
+  }
   const std::size_t n = static_cast<std::size_t>(
       rng.next_int(2, static_cast<std::int64_t>(opts.max_triangles)));
   std::vector<Triangle> tris;

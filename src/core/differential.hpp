@@ -2,7 +2,7 @@
 
 // Differential fuzz harness: one seeded case generates a random scene and a
 // random BuildConfig drawn from the paper's Table II ranges, builds the same
-// geometry with every builder (the four parallel algorithms plus the three
+// geometry with every builder (the five tuned algorithms plus the three
 // sequential references), re-emits the eager tree into the compact serving
 // layout, builds the BVH baseline, and then checks that every implementation
 // agrees with a brute-force oracle — *exactly*, not approximately — on

@@ -272,6 +272,7 @@ ConfigDatabase::Match ConfigDatabase::nearest(
     const std::string& backend, double near_threshold) const {
   Match best;
   double best_distance = std::numeric_limits<double>::infinity();
+  const std::string* best_key = nullptr;
   for (const auto& [key, entry] : entries_) {
     if (entry.workload != workload) continue;
     if (!builder.empty() && entry.builder != builder) continue;
@@ -279,8 +280,13 @@ ConfigDatabase::Match ConfigDatabase::nearest(
     const double d =
         feature_distance(entry.features, features) +
         hardware_distance(entry.hw, hw);
-    if (d < best_distance) {
+    // Equidistant entries tie-break on the smaller key, never on container
+    // iteration or insertion order: warm starts must pick the same entry
+    // before and after a save→load round trip.
+    if (d < best_distance ||
+        (d == best_distance && best_key != nullptr && key < *best_key)) {
       best_distance = d;
+      best_key = &key;
       best.entry = &entry;
     }
   }

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <future>
+#include <sstream>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -446,7 +447,7 @@ ExploreGrid ExploreGrid::smoke() {
   g.cb = {10};
   g.s = {3};
   g.r = {4096};
-  g.builders = {"in-place", "sweep"};
+  g.builders = {"in-place", "sweep", "balanced"};
   g.backends = {"compact", "wide8"};
   g.serve_batch = {1, 16};
   g.serve_flush_us = {0};
@@ -458,9 +459,50 @@ ExploreGrid ExploreGrid::smoke() {
 
 const std::vector<std::string>& explore_builder_names() {
   static const std::vector<std::string> names{
-      "node-level", "nested", "in-place", "lazy", "median", "sweep", "event"};
+      "node-level", "nested", "in-place", "lazy",
+      "balanced",   "median", "sweep",    "event"};
   return names;
 }
+
+namespace {
+
+std::string grid_signature(const ExploreOptions& opts) {
+  // Everything that defines what a progress line *means*: the swept axes and
+  // the measurement protocol. Cell keys already carry their own parameters,
+  // but probe sizes and the seed are not part of them — resuming a sweep
+  // whose protocol changed would silently mix incomparable measurements.
+  std::ostringstream sig;
+  sig << "v1";
+  const auto strings = [&sig](const char* name,
+                              const std::vector<std::string>& v) {
+    sig << '|' << name << '=';
+    for (std::size_t i = 0; i < v.size(); ++i) sig << (i ? "," : "") << v[i];
+  };
+  const auto ints = [&sig](const char* name,
+                           const std::vector<std::int64_t>& v) {
+    sig << '|' << name << '=';
+    for (std::size_t i = 0; i < v.size(); ++i) sig << (i ? "," : "") << v[i];
+  };
+  strings("scenes", opts.scenes);
+  sig << "|detail=" << opts.detail << "|threads=" << opts.threads;
+  strings("builders", opts.grid.builders);
+  strings("backends", opts.grid.backends);
+  ints("ci", opts.grid.ci);
+  ints("cb", opts.grid.cb);
+  ints("s", opts.grid.s);
+  ints("r", opts.grid.r);
+  ints("batch", opts.grid.serve_batch);
+  ints("flush", opts.grid.serve_flush_us);
+  ints("rbatch", opts.grid.serve_range_batch);
+  ints("shards", opts.grid.serve_shards);
+  ints("fanout", opts.grid.serve_fanout);
+  sig << "|build=" << opts.sweep_build << "|serve=" << opts.sweep_serve
+      << "|rays=" << opts.build_rays << "|requests=" << opts.serve_requests
+      << "|seed=" << opts.seed;
+  return sig.str();
+}
+
+}  // namespace
 
 ExploreStats run_explore(const ExploreOptions& opts, ConfigDatabase& db) {
   const std::vector<Cell> cells = enumerate_cells(opts);
@@ -471,20 +513,53 @@ ExploreStats run_explore(const ExploreOptions& opts, ConfigDatabase& db) {
       !opts.progress_path.empty()
           ? opts.progress_path
           : (opts.db_path.empty() ? std::string() : opts.db_path + ".progress");
+  const std::string signature = grid_signature(opts);
   std::unordered_set<std::string> done;
+  bool valid_existing = false;
   if (!progress_path.empty()) {
     std::ifstream in(progress_path);
     std::string line;
+    bool first = true;
+    bool stale = false;
     while (std::getline(in, line)) {
+      if (first) {
+        first = false;
+        if (line.rfind("#grid ", 0) == 0) {
+          valid_existing = line.compare(6, std::string::npos, signature) == 0;
+          stale = !valid_existing;
+          if (stale) break;
+          continue;
+        }
+        // No signature header: a pre-signature (or hand-edited) file whose
+        // grid is unknowable. Treat as stale rather than silently resuming.
+        stale = true;
+        break;
+      }
       if (!line.empty()) done.insert(line);
+    }
+    if (stale) {
+      std::fprintf(stderr,
+                   "explore: progress file %s was written for a different "
+                   "grid or protocol; discarding it and restarting the "
+                   "sweep\n",
+                   progress_path.c_str());
+      done.clear();
+      stats.progress_invalidated = true;
     }
   }
   std::ofstream progress;
   if (!progress_path.empty()) {
-    progress.open(progress_path, std::ios::app);
+    // Append to a progress file whose signature matches; otherwise start it
+    // over (new file, stale grid, or legacy header-less format).
+    progress.open(progress_path,
+                  valid_existing ? std::ios::app : std::ios::trunc);
     if (!progress) {
       throw std::runtime_error("explore: cannot write progress file " +
                                progress_path);
+    }
+    if (!valid_existing) {
+      progress << "#grid " << signature << '\n';
+      progress.flush();
     }
   }
 

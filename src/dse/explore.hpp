@@ -30,9 +30,9 @@ class TunerLog;
 struct ExploreGrid {
   std::vector<std::int64_t> ci, cb, s;
   std::vector<std::int64_t> r;  ///< lazy builder only
-  /// Builder names: the four tuned algorithms ("node-level", "nested",
-  /// "in-place", "lazy") plus the reference builders ("median", "sweep",
-  /// "event").
+  /// Builder names: the five tuned algorithms ("node-level", "nested",
+  /// "in-place", "lazy", "balanced") plus the reference builders ("median",
+  /// "sweep", "event").
   std::vector<std::string> builders;
   /// Serving layouts for eager builds: "compact", "wide4", "wide8", "bvh"
   /// (or "native" to query the builder's own layout).
@@ -76,9 +76,12 @@ struct ExploreStats {
   std::size_t cells_run = 0;      ///< measured this invocation
   std::size_t cells_skipped = 0;  ///< resumed past (found in progress file)
   std::size_t db_updates = 0;     ///< store() calls that changed the database
+  /// True when an existing progress file was discarded because it was
+  /// recorded under a different grid or measurement protocol.
+  bool progress_invalidated = false;
 };
 
-/// All seven builder names, in sweep order.
+/// All eight builder names, in sweep order.
 const std::vector<std::string>& explore_builder_names();
 
 /// Runs the sweep, merging results into `db` (keeps-if-faster). Throws

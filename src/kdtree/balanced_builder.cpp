@@ -1,0 +1,365 @@
+// Left-balanced massively-parallel builder (Wald, "GPU-Friendly, Parallel,
+// and (Almost-)In-Place Construction of Left-Balanced k-d Trees"). No SAH
+// sweep and no per-node allocation: the whole tree is produced one level at a
+// time by median-quantile partitioning of a flat id array, with every
+// per-primitive phase running as parallel passes over fixed-size blocks.
+//
+// Wald's trees split *points* and are left-balanced by construction; serving
+// triangles through the shared KdNode traversal additionally requires that a
+// primitive overlapping both halves of a split plane appears on both sides,
+// so the partition duplicates straddlers — and clips the duplicate's AABB to
+// the child domain on the split axis so a large primitive is only carried
+// into cells its (recursively clipped) bounds actually touch. This is the
+// adapter that keeps all six query families bit-exact against the
+// brute-force oracles while preserving the build style's raw throughput. The
+// result is an eager `KdTree` in BFS order — children of level L are
+// contiguous in level L+1 — which collapses into the compact/wide serving
+// layouts like any other eager build.
+//
+// Determinism: the split plane comes from a *strided* centroid sample
+// (stride fixed by node size, never by thread count), side classification is
+// pure per-primitive math, and the scatter preserves parent order via
+// per-block prefix sums — so the tree is bit-identical across thread counts.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "kdtree/builder.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace kdtune {
+
+namespace {
+
+// Per-primitive side bits for one level's classification pass.
+constexpr std::uint8_t kLeft = 1;
+constexpr std::uint8_t kRight = 2;
+
+// Block granularity of the per-level passes. Every block is an independent
+// unit of work in both the counting and the scatter phase.
+constexpr std::size_t kBlock = 4096;
+
+// Upper bound on the strided centroid sample used for the split search.
+// Keeps the per-node sequential cost O(1) no matter how many primitives a
+// node holds.
+constexpr std::size_t kMaxSample = 256;
+
+constexpr std::uint32_t kLeafSize = 8;
+
+// Levels carrying fewer primitive references than this run their phases
+// inline: a tree level is four pool dispatches, which dominates the actual
+// work on small scenes (and on the small deep levels of any scene).
+constexpr std::size_t kSerialCutoff = 16384;
+
+// One node alive at the current BFS level.
+struct Task {
+  std::uint32_t node = 0;   // index into the output node array
+  std::size_t begin = 0;    // id range in the level's id array
+  std::size_t end = 0;
+  AABB box;                 // split-derived domain box
+  // Split decision (phase A), then child placement (sequential step).
+  bool split = false;
+  Axis axis = Axis::X;
+  float pos = 0.0f;
+  std::size_t nl = 0, nr = 0;       // child sizes after counting
+  std::size_t loff = 0, roff = 0;   // child offsets in the next id array
+  std::size_t leaf_off = 0;         // offset in prim_indices when a leaf
+};
+
+// One fixed-size chunk of a task's id range; the unit of parallelism.
+struct Block {
+  std::uint32_t task = 0;
+  std::size_t begin = 0, end = 0;
+  std::size_t nl = 0, nr = 0;       // per-block side counts (phase A)
+  std::size_t loff = 0, roff = 0;   // per-block scatter offsets (phase B)
+};
+
+class BalancedBuilder final : public Builder {
+ public:
+  std::string_view name() const noexcept override { return "balanced"; }
+
+  std::unique_ptr<KdTreeBase> build(std::span<const Triangle> tris,
+                                    const BuildConfig& config,
+                                    ThreadPool& pool) const override {
+    // Level-wide primitive state: triangle id + AABB clipped to every split
+    // plane on the path from the root. Ping-pong between levels.
+    std::vector<std::uint32_t> cur, next;
+    std::vector<AABB> curb, nextb;
+    AABB bounds;
+    cur.reserve(tris.size());
+    curb.reserve(tris.size());
+    for (std::size_t i = 0; i < tris.size(); ++i) {
+      if (tris[i].degenerate()) continue;  // zero-area: matches the oracles
+      cur.push_back(static_cast<std::uint32_t>(i));
+      curb.push_back(tris[i].bounds());
+      bounds.expand(curb.back());
+    }
+
+    std::vector<KdNode> nodes;
+    std::vector<std::uint32_t> prim_indices;
+
+    if (cur.empty()) {
+      // Empty soup (or all-degenerate input): a single empty leaf, exactly
+      // the PR 7 empty-tree shape every query guard already understands.
+      nodes.push_back(KdNode::make_leaf(0, 0));
+      return std::make_unique<KdTree>(
+          std::vector<Triangle>(tris.begin(), tris.end()), std::move(nodes),
+          std::move(prim_indices), 0, bounds);
+    }
+
+    const int max_depth = config.resolved_max_depth(cur.size());
+    std::vector<std::uint8_t> sides(cur.size());
+
+    nodes.push_back(KdNode{});  // root placeholder
+    std::vector<Task> tasks{Task{0, 0, cur.size(), bounds}};
+    std::vector<Task> next_tasks;
+    std::vector<Block> blocks;
+
+    for (int depth = 0; !tasks.empty(); ++depth) {
+      const bool serial = cur.size() < kSerialCutoff;
+      const auto pfor = [&](std::size_t n, auto&& body) {
+        if (serial) {
+          for (std::size_t i = 0; i < n; ++i) body(i);
+        } else {
+          parallel_for(pool, 0, n, 1, body);
+        }
+      };
+
+      // --- Phase A0: per-node split decision (parallel across nodes).
+      pfor(tasks.size(), [&](std::size_t ti) {
+        decide_split(tasks[ti], curb, depth, max_depth, config);
+      });
+
+      // Chop every splitting task into blocks.
+      blocks.clear();
+      for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+        const Task& t = tasks[ti];
+        if (!t.split) continue;
+        for (std::size_t b = t.begin; b < t.end; b += kBlock) {
+          blocks.push_back({static_cast<std::uint32_t>(ti), b,
+                            std::min(t.end, b + kBlock)});
+        }
+      }
+
+      // --- Phase A1: classify sides and count, one pass per block.
+      pfor(blocks.size(), [&](std::size_t bi) {
+        Block& blk = blocks[bi];
+        const Task& t = tasks[blk.task];
+        std::size_t nl = 0, nr = 0;
+        for (std::size_t i = blk.begin; i < blk.end; ++i) {
+          std::uint8_t s = 0;
+          if (curb[i].lo[t.axis] < t.pos) s |= kLeft;
+          if (curb[i].hi[t.axis] > t.pos) s |= kRight;
+          if (s == 0) s = kLeft | kRight;  // planar on the split plane
+          sides[i] = s;
+          nl += (s & kLeft) ? 1 : 0;
+          nr += (s & kRight) ? 1 : 0;
+        }
+        blk.nl = nl;
+        blk.nr = nr;
+      });
+
+      // --- Sequential step: fold counts, demote no-progress splits to
+      // leaves, lay out children (BFS: appended in task order) and prefix-sum
+      // every offset — node, next-array and prim_indices placements.
+      for (const Block& blk : blocks) {
+        tasks[blk.task].nl += blk.nl;
+        tasks[blk.task].nr += blk.nr;
+      }
+      std::size_t next_size = 0;
+      std::size_t leaf_base = prim_indices.size();
+      next_tasks.clear();
+      for (Task& t : tasks) {
+        const std::size_t count = t.end - t.begin;
+        if (t.split &&
+            (t.nl == 0 || t.nr == 0 || (t.nl == count && t.nr == count))) {
+          // All primitives landed on one side, or every one of them straddles
+          // the plane: recursing would loop on identical ranges (the
+          // all-coincident degenerate case). Finalize as a leaf instead.
+          t.split = false;
+        }
+        if (t.split) {
+          const auto left = static_cast<std::uint32_t>(nodes.size());
+          const auto right = left + 1;
+          nodes[t.node] = KdNode::make_interior(t.axis, t.pos, left, right);
+          nodes.emplace_back();
+          nodes.emplace_back();
+          t.loff = next_size;
+          t.roff = next_size + t.nl;
+          next_size += t.nl + t.nr;
+          const auto [lbox, rbox] = t.box.split(t.axis, t.pos);
+          next_tasks.push_back(Task{left, t.loff, t.roff, lbox});
+          next_tasks.push_back(Task{right, t.roff, t.roff + t.nr, rbox});
+        } else {
+          t.leaf_off = leaf_base;
+          nodes[t.node] = KdNode::make_leaf(
+              static_cast<std::uint32_t>(leaf_base),
+              static_cast<std::uint32_t>(count));
+          leaf_base += count;
+        }
+      }
+      // Per-block scatter offsets for split tasks, in parent order.
+      for (Task& t : tasks) {
+        if (t.split) {
+          t.nl = t.loff;  // reuse as running write cursors for the blocks
+          t.nr = t.roff;
+        }
+      }
+      for (Block& blk : blocks) {
+        Task& t = tasks[blk.task];
+        if (!t.split) continue;
+        blk.loff = t.nl;
+        blk.roff = t.nr;
+        t.nl += blk.nl;
+        t.nr += blk.nr;
+      }
+
+      // --- Phase B: scatter. Split blocks write child ids into `next`,
+      // clipping a duplicated straddler's AABB to the child domain on the
+      // split axis; leaves (including demoted ones) copy ids out.
+      next.resize(next_size);
+      nextb.resize(next_size);
+      pfor(blocks.size(), [&](std::size_t bi) {
+        const Block& blk = blocks[bi];
+        const Task& t = tasks[blk.task];
+        if (!t.split) return;
+        std::size_t l = blk.loff, r = blk.roff;
+        for (std::size_t i = blk.begin; i < blk.end; ++i) {
+          const std::uint8_t s = sides[i];
+          if (s & kLeft) {
+            next[l] = cur[i];
+            nextb[l] = curb[i];
+            if (s & kRight) nextb[l].hi[t.axis] = t.pos;
+            ++l;
+          }
+          if (s & kRight) {
+            next[r] = cur[i];
+            nextb[r] = curb[i];
+            if (s & kLeft) nextb[r].lo[t.axis] = t.pos;
+            ++r;
+          }
+        }
+      });
+      prim_indices.resize(leaf_base);
+      pfor(tasks.size(), [&](std::size_t ti) {
+        const Task& t = tasks[ti];
+        if (t.split) return;
+        for (std::size_t i = t.begin; i < t.end; ++i) {
+          prim_indices[t.leaf_off + (i - t.begin)] = cur[i];
+        }
+      });
+
+      cur.swap(next);
+      curb.swap(nextb);
+      sides.resize(cur.size());
+      tasks.swap(next_tasks);
+    }
+
+    return std::make_unique<KdTree>(
+        std::vector<Triangle>(tris.begin(), tris.end()), std::move(nodes),
+        std::move(prim_indices), 0, bounds);
+  }
+
+ private:
+  static void decide_split(Task& t, const std::vector<AABB>& curb, int depth,
+                           int max_depth, const BuildConfig& config) {
+    const std::size_t count = t.end - t.begin;
+    t.split = false;
+    if (count <= kLeafSize || depth >= max_depth) return;
+
+    // Candidate planes are centroid quantiles (median first) of a
+    // deterministic strided sample, tried on every non-degenerate axis and
+    // compared by a *sampled* SAH estimate — the full sweep and the binning
+    // passes of the SAH builders are replaced by O(kMaxSample) work per
+    // node. The estimate doubles as the termination rule: when no candidate
+    // beats the leaf cost, splitting would only duplicate straddlers without
+    // reducing query work, which is exactly the overlap-heavy case where
+    // forced median recursion blows up the reference count.
+    const std::size_t stride = std::max<std::size_t>(1, count / kMaxSample);
+    float cen[kMaxSample], plo[kMaxSample], phi[kMaxSample];
+    const Vec3 ext = t.box.extent();
+    const double ci = static_cast<double>(config.ci);
+    const double inv_area =
+        1.0 / std::max(1e-30, 2.0 * (static_cast<double>(ext.x) * ext.y +
+                                     static_cast<double>(ext.y) * ext.z +
+                                     static_cast<double>(ext.z) * ext.x));
+    double best_cost = ci * static_cast<double>(count);  // leaf cost
+    static constexpr float kQuantiles[] = {0.5f, 0.3f, 0.7f, 0.2f, 0.8f};
+    static constexpr float kMedianOnly[] = {0.5f};
+    // Small nodes vastly outnumber large ones, so the candidate search is
+    // tiered: tiny nodes try one plane (the centroid median of the longest
+    // axis), mid-size nodes the full quantile set on the longest axis, and
+    // only nodes above the sample cap pay for the three-axis search. This
+    // keeps the aggregate decision cost a small fraction of the partition
+    // passes without flattening deep-tree quality.
+    const bool tiny = count <= 32;
+    const bool mid = count <= kMaxSample;
+    const std::span<const float> quantiles =
+        tiny ? std::span<const float>(kMedianOnly)
+             : std::span<const float>(kQuantiles);
+    const int first_ax = mid ? static_cast<int>(t.box.longest_axis()) : 0;
+    const int last_ax = mid ? first_ax : 2;
+    for (int ax = first_ax; ax <= last_ax; ++ax) {
+      const auto axis = static_cast<Axis>(ax);
+      const float blo = t.box.lo[axis];
+      const float bhi = t.box.hi[axis];
+      if (!(blo < bhi)) continue;  // flat domain (all-coincident input)
+      // Half-area of a child box = cross + spread * child extent on `axis`,
+      // where cross/spread come from the two other axes.
+      const double e1 = ext[(ax + 1) % 3];
+      const double e2 = ext[(ax + 2) % 3];
+      const double cross = e1 * e2;
+      const double spread = e1 + e2;
+      std::size_t m = 0;
+      for (std::size_t i = t.begin; i < t.end && m < kMaxSample; i += stride) {
+        plo[m] = curb[i].lo[axis];
+        phi[m] = curb[i].hi[axis];
+        cen[m] = 0.5f * (plo[m] + phi[m]);
+        ++m;
+      }
+      if (tiny) {
+        std::nth_element(cen, cen + static_cast<std::size_t>(0.5f * (m - 1)),
+                         cen + m);
+      } else {
+        std::sort(cen, cen + m);
+      }
+      const double scale = static_cast<double>(count) / static_cast<double>(m);
+      float prev = blo;  // skip duplicate candidate positions
+      for (float q : quantiles) {
+        const float pos = cen[static_cast<std::size_t>(q * (m - 1))];
+        if (!(pos > blo && pos < bhi) || pos == prev) continue;
+        prev = pos;
+        std::size_t nl = 0, nr = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+          nl += (plo[i] < pos) ? 1 : 0;
+          nr += (phi[i] > pos) ? 1 : 0;
+        }
+        if (nl == 0 || nr == 0) continue;
+        const double al = 2.0 * (cross + spread * (pos - blo));
+        const double ar = 2.0 * (cross + spread * (bhi - pos));
+        const double cost =
+            BuildConfig::kCt +
+            ci * scale * inv_area *
+                (al * static_cast<double>(nl) + ar * static_cast<double>(nr));
+        if (cost < best_cost) {
+          best_cost = cost;
+          t.split = true;
+          t.axis = axis;
+          t.pos = pos;
+        }
+      }
+    }
+    t.nl = t.nr = 0;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Builder> make_balanced_builder();
+
+std::unique_ptr<Builder> make_balanced_builder() {
+  return std::make_unique<BalancedBuilder>();
+}
+
+}  // namespace kdtune

@@ -9,6 +9,7 @@ std::unique_ptr<Builder> make_nodelevel_builder();
 std::unique_ptr<Builder> make_nested_builder();
 std::unique_ptr<Builder> make_inplace_builder();
 std::unique_ptr<Builder> make_lazy_builder();
+std::unique_ptr<Builder> make_balanced_builder();
 
 std::string_view to_string(Algorithm a) noexcept {
   switch (a) {
@@ -16,6 +17,7 @@ std::string_view to_string(Algorithm a) noexcept {
     case Algorithm::kNested: return "nested";
     case Algorithm::kInPlace: return "in-place";
     case Algorithm::kLazy: return "lazy";
+    case Algorithm::kBalanced: return "balanced";
   }
   return "?";
 }
@@ -25,12 +27,13 @@ Algorithm algorithm_from_string(std::string_view name) {
   if (name == "nested") return Algorithm::kNested;
   if (name == "in-place" || name == "inplace") return Algorithm::kInPlace;
   if (name == "lazy") return Algorithm::kLazy;
+  if (name == "balanced" || name == "left-balanced") return Algorithm::kBalanced;
   throw std::invalid_argument("unknown algorithm: " + std::string(name));
 }
 
 std::vector<Algorithm> all_algorithms() {
   return {Algorithm::kNodeLevel, Algorithm::kNested, Algorithm::kInPlace,
-          Algorithm::kLazy};
+          Algorithm::kLazy, Algorithm::kBalanced};
 }
 
 std::unique_ptr<Builder> make_builder(Algorithm a) {
@@ -39,6 +42,7 @@ std::unique_ptr<Builder> make_builder(Algorithm a) {
     case Algorithm::kNested: return make_nested_builder();
     case Algorithm::kInPlace: return make_inplace_builder();
     case Algorithm::kLazy: return make_lazy_builder();
+    case Algorithm::kBalanced: return make_balanced_builder();
   }
   throw std::invalid_argument("unknown algorithm id");
 }

@@ -1,7 +1,8 @@
 #pragma once
 
 // Builder interface and registry. The paper evaluates four parallel builders
-// (node-level, nested, in-place, lazy); the library additionally ships three
+// (node-level, nested, in-place, lazy); the library adds a fifth tuner
+// candidate (the left-balanced massively-parallel builder) and three
 // sequential reference builders (median split, SAH sweep, O(n log n) event
 // build) used as baselines and as the lazy tree's expansion engine.
 
@@ -34,14 +35,15 @@ class Builder {
                                             ThreadPool& pool) const = 0;
 };
 
-/// The paper's four algorithm ids, in its order.
-enum class Algorithm { kNodeLevel, kNested, kInPlace, kLazy };
+/// The paper's four algorithm ids, in its order, plus the left-balanced
+/// massively-parallel builder (Wald) the tuner arbitrates against them.
+enum class Algorithm { kNodeLevel, kNested, kInPlace, kLazy, kBalanced };
 
 std::string_view to_string(Algorithm a) noexcept;
 Algorithm algorithm_from_string(std::string_view name);
 std::vector<Algorithm> all_algorithms();
 
-/// Factory for the paper's four algorithms.
+/// Factory for the tuner-selectable algorithms.
 std::unique_ptr<Builder> make_builder(Algorithm a);
 
 /// Factories for the sequential reference builders.

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <memory>
 
 #include "geom/intersect.hpp"
@@ -189,7 +190,8 @@ INSTANTIATE_TEST_SUITE_P(
                       BuilderCase{"node-level", 3},
                       BuilderCase{"nested", 0}, BuilderCase{"nested", 3},
                       BuilderCase{"in-place", 0}, BuilderCase{"in-place", 3},
-                      BuilderCase{"lazy", 0}, BuilderCase{"lazy", 3}),
+                      BuilderCase{"lazy", 0}, BuilderCase{"lazy", 3},
+                      BuilderCase{"balanced", 0}, BuilderCase{"balanced", 3}),
     [](const ::testing::TestParamInfo<BuilderCase>& info) {
       std::string name = info.param.builder;
       for (char& c : name) {
@@ -231,7 +233,8 @@ TEST_P(EagerBuilders, SceneTreeStructurallyValid) {
 
 INSTANTIATE_TEST_SUITE_P(Matrix, EagerBuilders,
                          ::testing::Values("median", "sweep", "event",
-                                           "node-level", "nested", "in-place"),
+                                           "node-level", "nested", "in-place",
+                                           "balanced"),
                          [](const ::testing::TestParamInfo<const char*>& info) {
                            std::string name = info.param;
                            for (char& c : name) {
@@ -272,6 +275,66 @@ TEST(BuilderAgreement, NodeLevelMatchesSweepTree) {
   EXPECT_EQ(a.node_count, b.node_count);
   EXPECT_EQ(a.leaf_count, b.leaf_count);
   EXPECT_NEAR(a.sah_cost, b.sah_cost, 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Left-balanced builder: degenerate-input guards and determinism. The
+// level-synchronous median partition must terminate in a leaf — never loop
+// or emit a lopsided chain — on inputs where no plane separates anything.
+
+TEST(BalancedBuilder, AllCoincidentPrimitivesTerminateInOneLeaf) {
+  ThreadPool pool(2);
+  // 100 identical copies: every candidate plane straddles all of them.
+  const Triangle t{{-1, -1, 0}, {1, -1, 0.5f}, {0, 1, -0.5f}};
+  const std::vector<Triangle> tris(100, t);
+  const auto tree = make_builder(Algorithm::kBalanced)
+                        ->build(tris, kBaseConfig, pool);
+  const TreeStats stats = tree->stats();
+  EXPECT_EQ(stats.leaf_count, 1u);
+  EXPECT_EQ(stats.node_count, 1u);
+  EXPECT_EQ(stats.prim_refs, 100u);
+  expect_oracle_equivalence(*tree, tris, 40, 19);
+}
+
+TEST(BalancedBuilder, PointDegenerateDomainBecomesEmptyOrLeaf) {
+  ThreadPool pool(2);
+  // All triangles collapse to the same point: degenerate, skipped like the
+  // oracles do, leaving the empty-tree shape.
+  const std::vector<Triangle> tris(
+      16, Triangle{{2, 2, 2}, {2, 2, 2}, {2, 2, 2}});
+  const auto tree = make_builder(Algorithm::kBalanced)
+                        ->build(tris, kBaseConfig, pool);
+  EXPECT_EQ(tree->stats().prim_refs, 0u);
+  EXPECT_FALSE(tree->closest_hit(Ray({0, 0, 0}, {1, 1, 1})).valid());
+}
+
+TEST(BalancedBuilder, TreeIsBitIdenticalAcrossThreadCounts) {
+  // Large enough that the top levels take the block-parallel path (the
+  // serial small-level cutoff is 16384 references).
+  const auto tris = random_soup(20000, 23);
+  std::unique_ptr<KdTreeBase> trees[3];
+  unsigned widths[3] = {0, 1, 5};
+  for (int i = 0; i < 3; ++i) {
+    ThreadPool pool(widths[i]);
+    trees[i] = make_builder(Algorithm::kBalanced)
+                   ->build(tris, kBaseConfig, pool);
+  }
+  const auto* a = dynamic_cast<const KdTree*>(trees[0].get());
+  ASSERT_NE(a, nullptr);
+  for (int i = 1; i < 3; ++i) {
+    const auto* b = dynamic_cast<const KdTree*>(trees[i].get());
+    ASSERT_NE(b, nullptr);
+    ASSERT_EQ(a->nodes().size(), b->nodes().size()) << "width " << widths[i];
+    ASSERT_EQ(std::memcmp(a->nodes().data(), b->nodes().data(),
+                          a->nodes().size() * sizeof(KdNode)),
+              0)
+        << "width " << widths[i];
+    ASSERT_EQ(a->prim_indices().size(), b->prim_indices().size());
+    ASSERT_EQ(std::memcmp(a->prim_indices().data(), b->prim_indices().data(),
+                          a->prim_indices().size() * sizeof(std::uint32_t)),
+              0)
+        << "width " << widths[i];
+  }
 }
 
 TEST(BuilderAgreement, TaskDepthForFormula) {

@@ -135,6 +135,42 @@ TEST(ConfigDatabase, NearestDistinguishesExactNearFar) {
             nullptr);
 }
 
+TEST(ConfigDatabase, NearestBreaksDistanceTiesByKey) {
+  // Two entries with identical features and hardware but different scene
+  // names are equidistant from any query; the winner must be the smaller
+  // key regardless of insertion order and across a save→load round trip.
+  ConfigDatabase::Entry alpha = test_entry(0.5);
+  alpha.scene = "alpha";
+  alpha.params = {{"ci", 11}};
+  ConfigDatabase::Entry zulu = test_entry(0.5);
+  zulu.scene = "zulu";
+  zulu.params = {{"ci", 99}};
+
+  SceneFeatures query = test_features(0.25);
+  query.v[1] += 0.07;  // equidistant near miss from both entries
+
+  for (const bool alpha_first : {true, false}) {
+    ConfigDatabase db;
+    db.store(alpha_first ? alpha : zulu);
+    db.store(alpha_first ? zulu : alpha);
+
+    const auto match = db.nearest("build", query, test_hw());
+    ASSERT_NE(match.entry, nullptr);
+    EXPECT_EQ(match.entry->scene, "alpha")
+        << "insertion order leaked into the tie-break (alpha_first="
+        << alpha_first << ")";
+
+    std::stringstream buf;
+    db.save(buf);
+    ConfigDatabase reloaded;
+    reloaded.load(buf);
+    const auto again = reloaded.nearest("build", query, test_hw());
+    ASSERT_NE(again.entry, nullptr);
+    EXPECT_EQ(again.entry->scene, "alpha");
+    EXPECT_EQ(again.distance, match.distance);
+  }
+}
+
 TEST(ConfigDatabase, DifferentHardwareDemotesExactToNear) {
   ConfigDatabase db;
   db.store(test_entry());

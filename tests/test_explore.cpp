@@ -29,9 +29,9 @@ TEST(Explore, SmokeSweepPopulatesDatabase) {
   ConfigDatabase db;
   const ExploreOptions opts = tiny_options();
   const ExploreStats stats = run_explore(opts, db);
-  // Smoke grid: 2 builders x 2 ci x {2 backends | sweep has 2 backends} +
-  // 2 serve cells; exact arithmetic pinned here so grid edits are noticed.
-  EXPECT_EQ(stats.cells_total, 2u * 2u * 2u + 2u);
+  // Smoke grid: 3 builders x 2 ci x 2 backends + 2 serve cells; exact
+  // arithmetic pinned here so grid edits are noticed.
+  EXPECT_EQ(stats.cells_total, 3u * 2u * 2u + 2u);
   EXPECT_EQ(stats.cells_run, stats.cells_total);
   EXPECT_EQ(stats.cells_skipped, 0u);
   EXPECT_GT(stats.db_updates, 0u);
@@ -81,6 +81,56 @@ TEST(Explore, CheckpointsAndResumesViaProgressFile) {
   const ExploreStats done = run_explore(opts, resumed);
   EXPECT_EQ(done.cells_run, 0u);
   EXPECT_EQ(done.cells_skipped, done.cells_total);
+  EXPECT_FALSE(done.progress_invalidated);
+
+  std::remove(db_path.c_str());
+  std::remove(progress_path.c_str());
+}
+
+TEST(Explore, ResumeAfterGridChangeInvalidatesStaleProgress) {
+  namespace fs = std::filesystem;
+  const std::string db_path =
+      (fs::path(::testing::TempDir()) / "kdtune_explore_stale.jsonl").string();
+  const std::string progress_path = db_path + ".progress";
+  std::remove(db_path.c_str());
+  std::remove(progress_path.c_str());
+
+  // Sweep a reduced grid to completion.
+  ExploreOptions narrow = tiny_options();
+  narrow.db_path = db_path;
+  narrow.grid.builders = {"in-place"};
+  ConfigDatabase db;
+  const ExploreStats first = run_explore(narrow, db);
+  EXPECT_FALSE(first.progress_invalidated);
+  EXPECT_EQ(first.cells_run, first.cells_total);
+
+  // Grow the builder axis and resume against the same progress file. The
+  // old checkpoint was recorded under a different grid, so it must be
+  // discarded (with a warning) and every cell of the new grid measured —
+  // not just the ones whose keys happen to be new.
+  ExploreOptions grown = narrow;
+  grown.grid.builders = {"in-place", "balanced"};
+  const ExploreStats second = run_explore(grown, db);
+  EXPECT_TRUE(second.progress_invalidated);
+  EXPECT_EQ(second.cells_skipped, 0u);
+  EXPECT_EQ(second.cells_run, second.cells_total);
+  EXPECT_GT(second.cells_total, first.cells_total);
+
+  // The rewritten checkpoint carries the new grid's signature: an identical
+  // follow-up run resumes cleanly and has nothing to measure.
+  const ExploreStats third = run_explore(grown, db);
+  EXPECT_FALSE(third.progress_invalidated);
+  EXPECT_EQ(third.cells_run, 0u);
+  EXPECT_EQ(third.cells_skipped, third.cells_total);
+
+  // A header-less (pre-signature) progress file is also treated as stale.
+  {
+    std::ofstream legacy(progress_path, std::ios::trunc);
+    legacy << "some-old-cell-key\n";
+  }
+  const ExploreStats legacy_run = run_explore(grown, db);
+  EXPECT_TRUE(legacy_run.progress_invalidated);
+  EXPECT_EQ(legacy_run.cells_skipped, 0u);
 
   std::remove(db_path.c_str());
   std::remove(progress_path.c_str());

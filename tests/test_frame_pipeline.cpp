@@ -12,15 +12,27 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/differential.hpp"
 #include "dynamic/frame_tuner.hpp"
 #include "geom/rng.hpp"
+#include "kdtree/builder.hpp"
+#include "obs/tuner_log.hpp"
 #include "scene/animation.hpp"
+#include "scene/generators.hpp"
 #include "serve/scene_registry.hpp"
 
 namespace kdtune {
@@ -128,6 +140,220 @@ TEST(FrameTuner, SelectionRoutesToFastestAlgorithm) {
   EXPECT_DOUBLE_EQ(tuner.best_objective(), 0.001);
   // Further trials keep going to the winner (its tuner stays online).
   EXPECT_EQ(tuner.next_trial().algorithm, Algorithm::kNested);
+}
+
+// ------------------------------------ five-candidate selection, real scenes
+//
+// The paper-conclusion experiment in miniature: all five tuned algorithms
+// compete on real builds and real query batches, and the decision is read
+// back from the TunerLog stream rather than tuner accessors alone. A
+// fast-deforming soup (rebuilt every frame, light query load) must route to
+// the left-balanced builder; a static structured scene under a query-heavy
+// objective must route back to an SAH builder.
+
+std::vector<Ray> rays_toward(const AABB& bounds, std::size_t n) {
+  const Vec3 ext = bounds.extent();
+  std::vector<Ray> rays;
+  rays.reserve(n);
+  Rng rng(99);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 origin{bounds.lo.x - ext.x * 0.3f + rng.next_float() * ext.x * 1.6f,
+                      bounds.lo.y - ext.y * 0.3f + rng.next_float() * ext.y * 1.6f,
+                      bounds.lo.z - ext.z};
+    const Vec3 target{bounds.lo.x + rng.next_float() * ext.x,
+                      bounds.lo.y + rng.next_float() * ext.y,
+                      bounds.lo.z + rng.next_float() * ext.z};
+    rays.emplace_back(origin, normalized(target - origin));
+  }
+  return rays;
+}
+
+// Runs probe frames with real wall-clock measurement until algorithm
+// selection finishes, then a few more so the log's tail shows the winner's
+// stream. `frame_tris` supplies frame i's geometry (constant for a static
+// scene).
+void drive_real_selection(
+    FrameTuner& tuner, ThreadPool& pool,
+    const std::function<const std::vector<Triangle>&(std::size_t)>& frame_tris,
+    const std::vector<Ray>& rays) {
+  using Clock = std::chrono::steady_clock;
+  float sink = 0.0f;
+  std::size_t frame = 0;
+  const std::size_t post_selection_probes = 3;
+  std::size_t remaining = post_selection_probes;
+  while (!tuner.selection_done() || remaining-- > 0) {
+    ASSERT_LT(frame, std::size_t{400});  // runaway guard
+    const FrameTuner::Trial trial = tuner.next_trial();
+    const std::vector<Triangle>& tris = frame_tris(frame);
+    const auto t0 = Clock::now();
+    const auto tree =
+        make_builder(trial.algorithm)->build(tris, trial.config, pool);
+    const auto t1 = Clock::now();
+    for (const Ray& ray : rays) {
+      const Hit hit = tree->closest_hit(ray);
+      if (hit.valid()) sink += hit.t;
+    }
+    const auto t2 = Clock::now();
+    tuner.frame_retired(trial.probe,
+                        std::chrono::duration<double>(t1 - t0).count(),
+                        std::chrono::duration<double>(t2 - t1).count());
+    ++frame;
+  }
+  EXPECT_GE(sink, 0.0f);  // keep the query loop observable
+}
+
+struct LogDigest {
+  std::map<std::string, double> min_seconds;  ///< per-stream best objective
+  std::string last_stream;                    ///< stream of the final record
+  std::size_t records = 0;
+};
+
+// Reads a TunerLog JSONL file back; the schema is one flat object per line
+// with "tuner" and "seconds" fields (docs/OBSERVABILITY.md).
+LogDigest digest_tuner_log(const std::string& path) {
+  LogDigest digest;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string tuner_key = "\"tuner\":\"";
+    const std::size_t t0 = line.find(tuner_key);
+    const std::size_t s0 = line.find("\"seconds\":");
+    if (t0 == std::string::npos || s0 == std::string::npos) continue;
+    const std::size_t t1 = line.find('"', t0 + tuner_key.size());
+    const std::string stream = line.substr(t0 + tuner_key.size(),
+                                           t1 - t0 - tuner_key.size());
+    const double seconds = std::strtod(line.c_str() + s0 + 10, nullptr);
+    if (seconds > 0.0) {
+      const auto it = digest.min_seconds.find(stream);
+      if (it == digest.min_seconds.end() || seconds < it->second) {
+        digest.min_seconds[stream] = seconds;
+      }
+    }
+    digest.last_stream = stream;
+    ++digest.records;
+  }
+  return digest;
+}
+
+std::string winning_stream(const LogDigest& digest) {
+  std::string best;
+  double best_seconds = std::numeric_limits<double>::infinity();
+  for (const auto& [stream, seconds] : digest.min_seconds) {
+    if (seconds < best_seconds) {
+      best_seconds = seconds;
+      best = stream;
+    }
+  }
+  return best;
+}
+
+const std::vector<Algorithm> kAllFiveCandidates = {
+    Algorithm::kNodeLevel, Algorithm::kNested, Algorithm::kInPlace,
+    Algorithm::kLazy, Algorithm::kBalanced};
+
+TEST(FrameTunerSelection, FastDeformingSceneConvergesToBalanced) {
+  // Rebuild-every-frame soup with a light query batch: the objective is
+  // dominated by construction, where the left-balanced builder's sampled
+  // plane search beats every SAH sweep by ~3x and the lazy builder loses its
+  // deferred work to the soup's overlap-heavy expansion.
+  namespace fs = std::filesystem;
+  const std::size_t kTris = kdtune_ci_small() ? 4000 : 10000;
+  const std::size_t kRays = kdtune_ci_small() ? 400 : 1000;
+  const std::size_t kFrames = 8;
+  const auto anim = soup_animation("deform", kFrames, kTris);
+  std::vector<std::vector<Triangle>> frames;
+  AABB bounds;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    const Scene scene = anim->frame(i);
+    frames.emplace_back(scene.triangles().begin(), scene.triangles().end());
+    for (const Triangle& t : frames.back()) {
+      bounds.expand(t.a);
+      bounds.expand(t.b);
+      bounds.expand(t.c);
+    }
+  }
+  const std::vector<Ray> rays = rays_toward(bounds, kRays);
+
+  const std::string log_path =
+      (fs::path(::testing::TempDir()) / "frame_select_deform.jsonl").string();
+  TunerLog log;
+  ASSERT_TRUE(log.open(log_path));
+
+  FrameTunerOptions opts;
+  opts.algorithms = kAllFiveCandidates;
+  opts.frames_per_algorithm = 4;
+  opts.query_weight = 1.0;
+  FrameTuner tuner(opts);
+  tuner.set_log(&log);
+
+  ThreadPool pool(3);
+  drive_real_selection(
+      tuner, pool,
+      [&frames](std::size_t i) -> const std::vector<Triangle>& {
+        return frames[i % frames.size()];
+      },
+      rays);
+  log.close();
+
+  ASSERT_TRUE(tuner.selection_done());
+  EXPECT_EQ(tuner.best_algorithm(), Algorithm::kBalanced);
+
+  // The decision must be reconstructible from the log alone: the balanced
+  // stream holds the globally best objective, every candidate stream is
+  // present, and post-selection probes keep landing on the winner.
+  const LogDigest digest = digest_tuner_log(log_path);
+  EXPECT_EQ(digest.min_seconds.size(), 5u);
+  EXPECT_EQ(winning_stream(digest), "frame:balanced");
+  EXPECT_EQ(digest.last_stream, "frame:balanced");
+  std::remove(log_path.c_str());
+}
+
+TEST(FrameTunerSelection, StaticSceneConvergesToSah) {
+  // Static structured scene under a query-heavy objective: the tree is
+  // rebuilt per frame, but the weighted query batch dominates, so SAH sweep
+  // quality wins back the frames the balanced builder saved during
+  // construction.
+  namespace fs = std::filesystem;
+  const float kDetail = kdtune_ci_small() ? 0.2f : 0.3f;
+  const std::size_t kRays = kdtune_ci_small() ? 4000 : 8000;
+  const Scene scene = make_bunny(kDetail);
+  const std::vector<Triangle> tris(scene.triangles().begin(),
+                                   scene.triangles().end());
+  const std::vector<Ray> rays = rays_toward(scene.bounds(), kRays);
+
+  const std::string log_path =
+      (fs::path(::testing::TempDir()) / "frame_select_static.jsonl").string();
+  TunerLog log;
+  ASSERT_TRUE(log.open(log_path));
+
+  FrameTunerOptions opts;
+  opts.algorithms = kAllFiveCandidates;
+  opts.frames_per_algorithm = 4;
+  opts.query_weight = 20.0;  // static service: queries dwarf the rebuild
+  FrameTuner tuner(opts);
+  tuner.set_log(&log);
+
+  ThreadPool pool(3);
+  drive_real_selection(
+      tuner, pool,
+      [&tris](std::size_t) -> const std::vector<Triangle>& { return tris; },
+      rays);
+  log.close();
+
+  ASSERT_TRUE(tuner.selection_done());
+  const Algorithm winner = tuner.best_algorithm();
+  EXPECT_TRUE(winner == Algorithm::kNodeLevel || winner == Algorithm::kNested ||
+              winner == Algorithm::kInPlace)
+      << "winner: " << to_string(winner);
+
+  const LogDigest digest = digest_tuner_log(log_path);
+  EXPECT_EQ(digest.min_seconds.size(), 5u);
+  const std::string best_stream = winning_stream(digest);
+  EXPECT_TRUE(best_stream == "frame:node-level" ||
+              best_stream == "frame:nested" || best_stream == "frame:in-place")
+      << "best stream: " << best_stream;
+  EXPECT_EQ(digest.last_stream, "frame:" + std::string(to_string(winner)));
+  std::remove(log_path.c_str());
 }
 
 double synthetic_cost(const BuildConfig& c) {

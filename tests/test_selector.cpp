@@ -31,12 +31,14 @@ TEST(AlgorithmSelector, EvaluatesAlgorithmsInSequence) {
     }
     selector.render_frame(scene);
   }
-  // Every algorithm was visited exactly once, in the paper's order.
-  ASSERT_EQ(seen.size(), 4u);
+  // Every algorithm was visited exactly once: the paper's four in its order,
+  // then the left-balanced builder.
+  ASSERT_EQ(seen.size(), 5u);
   EXPECT_EQ(seen[0], Algorithm::kNodeLevel);
   EXPECT_EQ(seen[1], Algorithm::kNested);
   EXPECT_EQ(seen[2], Algorithm::kInPlace);
   EXPECT_EQ(seen[3], Algorithm::kLazy);
+  EXPECT_EQ(seen[4], Algorithm::kBalanced);
 }
 
 TEST(AlgorithmSelector, PicksTheFastestCandidate) {

@@ -24,6 +24,10 @@
 //   --scenes=a,b,..  scene ids (default: the three dynamic scenes)
 //   --detail=F       scene detail scale          --threads=N  pool workers
 //   --frames=N       cap frames per scene        --rays=N     rays per frame
+//   --algorithms=a,b tuner candidate algorithms ("node-level", "nested",
+//                    "in-place", "lazy", "balanced"; default in-place only);
+//                    with several, the FrameTuner runs algorithm selection
+//   --probe-frames=N probe frames per candidate before selection moves on
 //   --sequential     disable overlap (baseline --no-verify    skip parity
 //                    build-then-query order)
 //   --no-tune        fixed base configuration    --seed=N     workload seed
@@ -41,6 +45,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -53,6 +58,8 @@ using namespace kdtune;
 
 struct DynamicOptions {
   std::vector<std::string> scenes;
+  std::vector<Algorithm> algorithms;  ///< empty = FrameTuner default
+  std::size_t probe_frames = 0;       ///< 0 = FrameTuner default
   float detail = 0.2f;
   unsigned threads = 3;
   std::size_t frames = 40;
@@ -90,6 +97,27 @@ DynamicOptions parse_options(int argc, char** argv) {
           item.push_back(*p);
         }
       }
+    } else if (const char* v = value("--algorithms=")) {
+      o.algorithms.clear();
+      std::string item;
+      for (const char* p = v;; ++p) {
+        if (*p == ',' || *p == '\0') {
+          if (!item.empty()) {
+            try {
+              o.algorithms.push_back(algorithm_from_string(item));
+            } catch (const std::invalid_argument& e) {
+              std::fprintf(stderr, "%s\n", e.what());
+              std::exit(1);
+            }
+          }
+          item.clear();
+          if (*p == '\0') break;
+        } else {
+          item.push_back(*p);
+        }
+      }
+    } else if (const char* v = value("--probe-frames=")) {
+      o.probe_frames = std::strtoul(v, nullptr, 10);
     } else if (const char* v = value("--detail=")) {
       o.detail = std::strtof(v, nullptr);
     } else if (const char* v = value("--threads=")) {
@@ -198,7 +226,10 @@ SceneOutcome run_scene(const DynamicOptions& o, const std::string& id,
   std::unique_ptr<FrameTuner> tuner;
   FramePipelineOptions popts;
   if (o.tune) {
-    tuner = std::make_unique<FrameTuner>();
+    FrameTunerOptions topts;
+    if (!o.algorithms.empty()) topts.algorithms = o.algorithms;
+    if (o.probe_frames > 0) topts.frames_per_algorithm = o.probe_frames;
+    tuner = std::make_unique<FrameTuner>(topts);
     tuner->warm_start(cache, id, pool.concurrency());
     if (db != nullptr) {
       // Candidates the cache missed start from the database's nearest
